@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's tables and figures against
+// the simulated system.
+//
+// Usage:
+//
+//	experiments -exp all            # everything (slow: full Fig 9 + Table 5)
+//	experiments -exp table1         # one experiment
+//	experiments -exp table5 -frames 120 -scale 1   # paper-sized assets
+//
+// Experiments: table1 table2 table5 fig7 fig8 fig9 fig10 fig11 fig12 fig13.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"protosim/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1,table2,table5,fig7..fig13,all)")
+	frames := flag.Int("frames", 60, "frames per app run (table5, fig10, fig11)")
+	scale := flag.Int("scale", 4, "asset scale divisor (1 = paper-sized assets)")
+	difficulty := flag.Int("difficulty", 18, "blockchain difficulty bits (fig10)")
+	root := flag.String("root", ".", "repository root (fig7)")
+	flag.Parse()
+
+	run := func(name string, fn func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	run("table1", func() (string, error) { return experiments.Table1(), nil })
+	run("table2", func() (string, error) { return experiments.Table2(), nil })
+	run("fig7", func() (string, error) { return experiments.Fig7(*root) })
+	run("fig8", func() (string, error) {
+		_, out, err := experiments.Fig8()
+		return out, err
+	})
+	run("fig9", func() (string, error) {
+		_, out, err := experiments.Fig9()
+		return out, err
+	})
+	run("table5", func() (string, error) {
+		_, out, err := experiments.Table5(*frames, *scale)
+		return out, err
+	})
+	run("fig10", func() (string, error) {
+		_, out, err := experiments.Fig10(*frames, *difficulty)
+		return out, err
+	})
+	run("fig11", func() (string, error) {
+		_, a, err := experiments.Fig11Rendering(*frames)
+		if err != nil {
+			return "", err
+		}
+		_, b, err := experiments.Fig11InputLatency(30)
+		return a + "\n" + b, err
+	})
+	run("fig12", func() (string, error) {
+		_, out, err := experiments.Fig12()
+		return out, err
+	})
+	run("fig13", func() (string, error) { return experiments.Fig13(), nil })
+}

@@ -1,0 +1,104 @@
+// Command mkimage builds Proto's two-partition OS image (§3): partition 1
+// is the kernel's ramdisk dump (xv6fs, holding /bin ELF executables, NES
+// cartridges and /etc files), partition 2 the FAT32 user partition (game
+// assets, music, video, photos). The images are written to files so they
+// can be inspected with host tools, then verified by remounting.
+//
+// Usage:
+//
+//	mkimage -out ./images -scale 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"protosim/internal/core"
+	"protosim/internal/hw"
+	"protosim/internal/kernel/fat32"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/xv6fs"
+)
+
+func main() {
+	out := flag.String("out", "images", "output directory")
+	scale := flag.Int("scale", 4, "asset scale divisor (1 = paper-sized)")
+	sdMB := flag.Int("sdmb", 32, "SD card size in MB")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("mkdir: %v", err)
+	}
+
+	// Partition 1: boot a system to reuse core's ramdisk packing, then
+	// dump the root filesystem image.
+	sys, err := core.NewSystem(core.Options{
+		Prototype:  core.Prototype5,
+		AssetScale: *scale,
+		MemBytes:   96 << 20,
+	})
+	if err != nil {
+		fatal("assemble: %v", err)
+	}
+	defer sys.Shutdown()
+
+	ramdiskPath := filepath.Join(*out, "ramdisk.img")
+	rd, err := core.RootImage(map[string][]byte{
+		"/etc/motd": []byte("proto image built by mkimage\n"),
+	})
+	if err != nil {
+		fatal("ramdisk: %v", err)
+	}
+	if err := os.WriteFile(ramdiskPath, rd, 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+
+	sdPath := filepath.Join(*out, "sdcard.img")
+	if err := os.WriteFile(sdPath, sys.Machine.SD.DumpImage(), 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+
+	// Verify both images remount and hold the expected files.
+	rfs, err := xv6fs.Mount(fs.NewRamdiskFromImage(xv6fs.BlockSize, rd), nil)
+	if err != nil {
+		fatal("verify ramdisk: %v", err)
+	}
+	if _, err := rfs.Stat(nil, "/bin/sh"); err != nil {
+		fatal("verify ramdisk: /bin/sh: %v", err)
+	}
+	sd := hw.NewSDCard(len(sys.Machine.SD.DumpImage())/hw.SDBlockSize, hw.NewIRQController(1))
+	sd.SetLatencyScale(0)
+	sd.LoadImage(sys.Machine.SD.DumpImage())
+	ffs, err := fat32.Mount(sdDev{sd}, nil)
+	if err != nil {
+		fatal("verify sd: %v", err)
+	}
+	st, err := ffs.Stat(nil, "/doom1.wad")
+	if err != nil {
+		fatal("verify sd: /doom1.wad: %v", err)
+	}
+
+	fmt.Printf("wrote %s (%d KB, xv6fs root with /bin)\n", ramdiskPath, len(rd)/1024)
+	fmt.Printf("wrote %s (%d MB FAT32, doom1.wad %d KB)\n", sdPath,
+		len(sys.Machine.SD.DumpImage())>>20, st.Size/1024)
+	_ = sdMB
+}
+
+// sdDev adapts hw.SDCard to fs.BlockDevice.
+type sdDev struct{ sd *hw.SDCard }
+
+func (d sdDev) BlockSize() int { return hw.SDBlockSize }
+func (d sdDev) Blocks() int    { return d.sd.Blocks() }
+func (d sdDev) ReadBlocks(lba, n int, dst []byte) error {
+	return d.sd.ReadBlocks(lba, n, dst)
+}
+func (d sdDev) WriteBlocks(lba, n int, src []byte) error {
+	return d.sd.WriteBlocks(lba, n, src)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mkimage: "+format+"\n", args...)
+	os.Exit(1)
+}

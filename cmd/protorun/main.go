@@ -1,0 +1,120 @@
+// Command protorun boots a Proto prototype and runs an app (or a shell
+// script), printing the UART console to stdout — the closest thing to
+// plugging the Pi3 into a monitor.
+//
+// Usage:
+//
+//	protorun -proto 5 -app doom -frames 120
+//	protorun -proto 1 -app donut-text -frames 30
+//	protorun -proto 4 -script 'echo hello > /f.txt; cat /f.txt'
+//	protorun -proto 5 -list           # show the app matrix for -proto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"protosim/internal/core"
+	"protosim/internal/kernel"
+)
+
+func main() {
+	proto := flag.Int("proto", 5, "prototype stage 1..5")
+	app := flag.String("app", "", "app to run (see -list)")
+	script := flag.String("script", "", "shell script to execute (prototype >= 4)")
+	frames := flag.Int("frames", 60, "frame budget passed to the app")
+	cores := flag.Int("cores", 0, "cores (default: prototype-appropriate)")
+	mode := flag.String("mode", "proto", "kernel mode: proto, xv6, prod")
+	scale := flag.Int("scale", 4, "asset scale divisor (1 = paper-sized)")
+	list := flag.Bool("list", false, "list apps runnable on -proto")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("Prototype %d (%s):\n", *proto, core.Prototype(*proto).Title())
+		for _, a := range core.Apps() {
+			ok, missing := core.CanRun(a, core.Prototype(*proto))
+			status := "ok"
+			if !ok {
+				status = "needs " + missing
+			}
+			fmt.Printf("  %-16s %-34s %s\n", a.Name, a.Desc, status)
+		}
+		return
+	}
+
+	var m kernel.Mode
+	switch *mode {
+	case "proto":
+		m = kernel.ModeProto
+	case "xv6":
+		m = kernel.ModeXv6
+	case "prod":
+		m = kernel.ModeProd
+	default:
+		fatal("unknown mode %q", *mode)
+	}
+
+	sys, err := core.NewSystem(core.Options{
+		Prototype:  core.Prototype(*proto),
+		Cores:      *cores,
+		Mode:       m,
+		AssetScale: *scale,
+		ConsoleOut: os.Stdout,
+	})
+	if err != nil {
+		fatal("boot: %v", err)
+	}
+	defer sys.Shutdown()
+
+	switch {
+	case *script != "":
+		code, err := sys.RunShellScript(strings.ReplaceAll(*script, ";", "\n"), 5*time.Minute)
+		if err != nil {
+			fatal("script: %v", err)
+		}
+		fmt.Printf("\n[script exited %d]\n", code)
+	case *app != "":
+		argv := append([]string{*app}, flag.Args()...)
+		if len(argv) == 1 {
+			argv = defaultArgv(*app, *frames)
+		}
+		start := time.Now()
+		code, err := sys.RunApp(*app, argv, 10*time.Minute)
+		if err != nil {
+			fatal("%s: %v", *app, err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("\n[%s exited %d after %v — %.1f FPS over %d frames]\n",
+			*app, code, elapsed.Round(time.Millisecond), float64(*frames)/elapsed.Seconds(), *frames)
+	default:
+		fatal("pass -app, -script or -list")
+	}
+}
+
+// defaultArgv fills each app's conventional arguments.
+func defaultArgv(app string, frames int) []string {
+	f := fmt.Sprint(frames)
+	switch app {
+	case "doom":
+		return []string{app, "/d/doom1.wad", f}
+	case "videoplayer":
+		return []string{app, "/d/clip480.mpv", f}
+	case "mario-noinput", "mario-proc", "mario-sdl":
+		return []string{app, "builtin:mario", f}
+	case "donut", "donut-text", "sysmon", "launcher":
+		return []string{app, f}
+	case "slider":
+		return []string{app, "/d/photos", "3"}
+	case "blockchain":
+		return []string{app, "2", "14", "4"}
+	}
+	return []string{app}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,24 @@
+// Command sloc performs Figure 7's source-code analysis on this
+// repository: lines of code per subsystem bucket.
+//
+// Usage: sloc [-root DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"protosim/internal/experiments"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+	out, err := experiments.Fig7(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sloc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,55 @@
+// Mediaplayer: the §4.4 producer-consumer audio pipeline plus video
+// playback — MusicPlayer streams ADPCM blocks to /dev/sb through the DMA
+// engine while VideoPlayer decodes MPV1 frames to the framebuffer.
+//
+//	go run ./examples/mediaplayer
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"protosim/internal/core"
+)
+
+func main() {
+	sys, err := core.NewSystem(core.Options{
+		Prototype:  core.Prototype5,
+		AssetScale: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+
+	// Music: decode POG on a clone()d thread, stream to /dev/sb, DMA to
+	// the PWM output.
+	start := time.Now()
+	code, err := sys.RunApp("musicplayer",
+		[]string{"musicplayer", "/d/track01.pog", "/d/cover01.bmp"}, 5*time.Minute)
+	if err != nil || code != 0 {
+		log.Fatalf("musicplayer: code=%d err=%v", code, err)
+	}
+	consumed, underruns, _ := sys.Machine.PWM.Stats()
+	xfers, bytes := sys.Machine.DMA.Stats()
+	fmt.Printf("music: %v, %d samples played, %d underruns, %d DMA transfers (%d bytes)\n",
+		time.Since(start).Round(time.Millisecond), consumed, underruns, xfers, bytes)
+
+	// Video: decode and present at the native framerate.
+	const frames = 12
+	start = time.Now()
+	code, err = sys.RunApp("videoplayer",
+		[]string{"videoplayer", "/d/clip480.mpv", fmt.Sprint(frames)}, 5*time.Minute)
+	if err != nil || code != 0 {
+		log.Fatalf("videoplayer: code=%d err=%v", code, err)
+	}
+	fmt.Printf("video: %d frames in %v\n", frames, time.Since(start).Round(time.Millisecond))
+
+	// Slides from the FAT32 partition.
+	code, err = sys.RunApp("slider", []string{"slider", "/d/photos", "3"}, 5*time.Minute)
+	if err != nil || code != 0 {
+		log.Fatalf("slider: code=%d err=%v", code, err)
+	}
+	fmt.Println("slider: 3 slides shown")
+}

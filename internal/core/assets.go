@@ -1,0 +1,45 @@
+package core
+
+import (
+	"protosim/internal/user/codec/bmpimg"
+	"protosim/internal/user/codec/mpv"
+	"protosim/internal/user/codec/pim"
+	"protosim/internal/user/codec/pogg"
+)
+
+// poggTone encodes n samples of the synth melody.
+func poggTone(n int) []byte {
+	return pogg.Encode(pogg.Tone(n, 22050), 22050)
+}
+
+// coverArt renders the album cover BMP.
+func coverArt() []byte {
+	return bmpimg.Encode(bmpimg.Gradient(160, 160, 0x99))
+}
+
+// photo renders one slide.
+func photo(w, h int, seed byte) []byte {
+	if w < 8 {
+		w = 8
+	}
+	if h < 8 {
+		h = 8
+	}
+	return bmpimg.Encode(bmpimg.Gradient(w, h, seed))
+}
+
+// photoPIM renders one high-res slide in the PNG-substitute format.
+func photoPIM(w, h int, seed byte) ([]byte, error) {
+	if w < 8 {
+		w = 8
+	}
+	if h < 8 {
+		h = 8
+	}
+	return pim.Encode(bmpimg.Gradient(w, h, seed))
+}
+
+// synthClip encodes the synthetic test video.
+func synthClip(w, h, frames int) ([]byte, error) {
+	return mpv.SynthesizeClip(w, h, frames, 30, 6)
+}

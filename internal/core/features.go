@@ -1,0 +1,208 @@
+// Package core implements the paper's primary contribution: decomposing a
+// full-featured OS into five incremental, self-contained prototypes, each
+// mapped to the target applications that motivate its mechanisms (Table 1).
+//
+// core.NewSystem assembles the machine + kernel + userland for a chosen
+// prototype, enabling exactly that prototype's feature set; the app
+// registry records which kernel features each app needs, so Table 1's
+// "which app runs where" matrix is checked by the system, not asserted in
+// prose.
+package core
+
+import "fmt"
+
+// Prototype identifies one of the five incremental snapshots (§4).
+type Prototype int
+
+// The five prototypes.
+const (
+	Prototype1 Prototype = 1 + iota // "Baremetal IO"
+	Prototype2                      // "Multitasking"
+	Prototype3                      // "User vs. Kernel"
+	Prototype4                      // "Files"
+	Prototype5                      // "Desktop"
+)
+
+// Title returns the paper's name for the prototype.
+func (p Prototype) Title() string {
+	switch p {
+	case Prototype1:
+		return "Baremetal IO"
+	case Prototype2:
+		return "Multitasking"
+	case Prototype3:
+		return "User vs. Kernel"
+	case Prototype4:
+		return "Files"
+	case Prototype5:
+		return "Desktop"
+	}
+	return fmt.Sprintf("Prototype%d", int(p))
+}
+
+// Feature is one kernel capability row of Table 1.
+type Feature int
+
+// Features, following Table 1's kernel-core / files / IO sections.
+const (
+	FeatDebugMsg Feature = iota
+	FeatTimers
+	FeatIRQ
+	FeatFramebuffer
+	FeatUARTPolled
+	FeatUARTIRQRx
+	FeatMultitasking
+	FeatPageAlloc
+	FeatKmalloc
+	FeatPrivileges // EL0/EL1 split
+	FeatVM
+	FeatSyscallsTask
+	FeatSyscallsFile
+	FeatSyscallsThread
+	FeatMulticore
+	FeatWM
+	FeatFileAbstraction
+	FeatProcDevFS
+	FeatRamdisk
+	FeatXv6FS
+	FeatFAT32
+	FeatUSBKeyboard
+	FeatSound
+	FeatSDCard
+	numFeatures
+)
+
+// featureNames for reports.
+var featureNames = map[Feature]string{
+	FeatDebugMsg:        "debug msg",
+	FeatTimers:          "timer, timekeeping",
+	FeatIRQ:             "irq",
+	FeatFramebuffer:     "framebuffer",
+	FeatUARTPolled:      "UART (polled)",
+	FeatUARTIRQRx:       "UART (irq RX)",
+	FeatMultitasking:    "multitasking",
+	FeatPageAlloc:       "memory allocator (pages)",
+	FeatKmalloc:         "kmalloc",
+	FeatPrivileges:      "privileges (EL0/1)",
+	FeatVM:              "virtual memory",
+	FeatSyscallsTask:    "syscalls: tasks & time",
+	FeatSyscallsFile:    "syscalls: files",
+	FeatSyscallsThread:  "syscalls: threading",
+	FeatMulticore:       "multicore",
+	FeatWM:              "window manager",
+	FeatFileAbstraction: "file abstraction",
+	FeatProcDevFS:       "procfs/devfs",
+	FeatRamdisk:         "ramdisk",
+	FeatXv6FS:           "xv6 filesystem",
+	FeatFAT32:           "FAT32",
+	FeatUSBKeyboard:     "USB keyboard",
+	FeatSound:           "sound (PWM)",
+	FeatSDCard:          "SD card",
+}
+
+// Name returns the Table 1 row label.
+func (f Feature) Name() string { return featureNames[f] }
+
+// FeatureSet is a prototype's enabled capability set.
+type FeatureSet map[Feature]bool
+
+// Has reports whether the set includes f.
+func (fs FeatureSet) Has(f Feature) bool { return fs[f] }
+
+// Features returns the prototype's feature set — exactly Table 1's kernel
+// column for Prototype-X.
+func (p Prototype) Features() FeatureSet {
+	fs := FeatureSet{}
+	add := func(feats ...Feature) {
+		for _, f := range feats {
+			fs[f] = true
+		}
+	}
+	// Prototype 1: baremetal appliance.
+	add(FeatDebugMsg, FeatTimers, FeatIRQ, FeatFramebuffer, FeatUARTPolled)
+	if p >= Prototype2 {
+		add(FeatMultitasking, FeatPageAlloc, FeatUARTIRQRx)
+	}
+	if p >= Prototype3 {
+		add(FeatPrivileges, FeatVM, FeatSyscallsTask)
+	}
+	if p >= Prototype4 {
+		add(FeatSyscallsFile, FeatFileAbstraction, FeatProcDevFS,
+			FeatRamdisk, FeatXv6FS, FeatUSBKeyboard, FeatSound, FeatKmalloc)
+	}
+	if p >= Prototype5 {
+		add(FeatSyscallsThread, FeatMulticore, FeatWM, FeatFAT32, FeatSDCard)
+	}
+	return fs
+}
+
+// AppSpec describes one target application: its name, the prototype that
+// first supports it, and the features it depends on (the "minimum viable
+// implementation" mapping, principle P4).
+type AppSpec struct {
+	Name     string
+	Desc     string
+	Since    Prototype
+	Requires []Feature
+}
+
+// Apps is the registry of Table 1's application rows.
+func Apps() []AppSpec {
+	return []AppSpec{
+		{"helloworld", "hello world over UART", Prototype1,
+			[]Feature{FeatDebugMsg, FeatUARTPolled}},
+		{"donut-text", "spinning textual donut", Prototype1,
+			[]Feature{FeatTimers, FeatUARTPolled}},
+		{"donut", "spinning pixel donut", Prototype1,
+			[]Feature{FeatTimers, FeatFramebuffer}},
+		{"mario-noinput", "NES emulator, autoplay", Prototype3,
+			[]Feature{FeatVM, FeatPrivileges, FeatSyscallsTask, FeatFramebuffer}},
+		{"sysmon", "floating CPU/mem monitor", Prototype4,
+			[]Feature{FeatSyscallsFile, FeatProcDevFS, FeatWM}},
+		{"sh", "shell with scripts", Prototype4,
+			[]Feature{FeatSyscallsFile, FeatFileAbstraction, FeatXv6FS}},
+		{"slider", "BMP slide viewer", Prototype4,
+			[]Feature{FeatSyscallsFile, FeatFramebuffer, FeatUSBKeyboard}},
+		{"mario-proc", "NES emulator, IPC input", Prototype4,
+			[]Feature{FeatSyscallsFile, FeatUSBKeyboard, FeatVM}},
+		{"musicplayer", "POG playback with album art", Prototype4,
+			[]Feature{FeatSyscallsFile, FeatSound}},
+		{"doom", "raycasting 3D game", Prototype5,
+			[]Feature{FeatSyscallsFile, FeatFAT32, FeatSDCard, FeatFramebuffer}},
+		{"mario-sdl", "NES emulator, threads + WM", Prototype5,
+			[]Feature{FeatSyscallsThread, FeatWM}},
+		{"launcher", "GUI program launcher", Prototype5,
+			[]Feature{FeatWM, FeatSyscallsFile}},
+		{"blockchain", "multithreaded miner", Prototype5,
+			[]Feature{FeatSyscallsThread, FeatMulticore}},
+		{"videoplayer", "MPV1 video playback", Prototype5,
+			[]Feature{FeatSyscallsFile, FeatFAT32, FeatFramebuffer}},
+	}
+}
+
+// CanRun checks an app's requirements against a prototype's features,
+// returning the first missing feature's name.
+func CanRun(app AppSpec, p Prototype) (bool, string) {
+	fs := p.Features()
+	for _, f := range app.Requires {
+		if !fs.Has(f) {
+			return false, f.Name()
+		}
+	}
+	return true, ""
+}
+
+// FeatureMatrix reproduces Table 1's app section: for each app and
+// prototype, whether the app's requirements are met. Keyed app -> [5]bool.
+func FeatureMatrix() map[string][5]bool {
+	out := map[string][5]bool{}
+	for _, app := range Apps() {
+		var row [5]bool
+		for p := Prototype1; p <= Prototype5; p++ {
+			ok, _ := CanRun(app, p)
+			row[p-1] = ok
+		}
+		out[app.Name] = row
+	}
+	return out
+}

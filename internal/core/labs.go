@@ -1,0 +1,169 @@
+package core
+
+import "fmt"
+
+// Lab is one of the five student assignments (Table 2): its workload
+// numbers and the task graph of Figure 14.
+type Lab struct {
+	Number   int
+	Tasks    []LabTask
+	Files    int    // source files to modify
+	SLoC     string // lines of code to write (paper reports ranges)
+	Videos   int    // required video evidences
+	Teamwork bool   // Labs 4–5 expect teams (§6.1)
+}
+
+// LabTask is one node of a Figure 14 task graph.
+type LabTask struct {
+	ID        string
+	Title     string
+	Concepts  []string
+	DependsOn []string
+	Video     bool // bold-border tasks require video evidence
+}
+
+// Labs returns the course's five labs with Table 2's workload numbers and
+// Figure 14's task graphs encoded as data.
+func Labs() []Lab {
+	return []Lab{
+		{
+			Number: 1, Files: 10, SLoC: "~100", Videos: 9,
+			Tasks: []LabTask{
+				{ID: "1.1", Title: "Setup", Concepts: []string{"Compilation", "Linking"}},
+				{ID: "1.2", Title: "Kernel image", Concepts: []string{"elf", "binary files"}, DependsOn: []string{"1.1"}},
+				{ID: "1.3", Title: "Boot", Concepts: []string{"GDB", "HW/SW interactions"}, DependsOn: []string{"1.2"}, Video: true},
+				{ID: "1.4", Title: "UART", Concepts: []string{"IO"}, DependsOn: []string{"1.3"}, Video: true},
+				{ID: "1.5", Title: "Textual donut", Concepts: []string{"IO"}, DependsOn: []string{"1.4"}, Video: true},
+				{ID: "1.6", Title: "OS logo", Concepts: []string{"Graphics"}, DependsOn: []string{"1.4"}, Video: true},
+				{ID: "1.7", Title: "Debug level", Concepts: []string{"Debug"}, DependsOn: []string{"1.4"}},
+				{ID: "1.8", Title: "Framebuffer offsets", Concepts: []string{"Graphics"}, DependsOn: []string{"1.6"}},
+				{ID: "1.9", Title: "SysTimer IRQ", Concepts: []string{"IRQ"}, DependsOn: []string{"1.4"}, Video: true},
+				{ID: "1.10", Title: "Pixel donut", Concepts: []string{"IRQ", "Graphics"}, DependsOn: []string{"1.8", "1.9"}, Video: true},
+				{ID: "1.11", Title: "Virtual timers", Concepts: []string{"Virtualization"}, DependsOn: []string{"1.9"}, Video: true},
+				{ID: "1.12", Title: "UART RX IRQ", Concepts: []string{"IO", "IRQ"}, DependsOn: []string{"1.9"}, Video: true},
+				{ID: "1.13", Title: "Rpi3", Concepts: []string{"HW/SW interactions"}, DependsOn: []string{"1.10"}, Video: true},
+			},
+		},
+		{
+			Number: 2, Files: 10, SLoC: "~100", Videos: 9,
+			Tasks: []LabTask{
+				{ID: "2.1", Title: "Boot (kernel stack)", Concepts: []string{"Stack"}},
+				{ID: "2.2", Title: "Two cooperative printers", Concepts: []string{"Virtualization", "Scheduling"}, DependsOn: []string{"2.1"}, Video: true},
+				{ID: "2.3", Title: "Two preemptive printers", Concepts: []string{"Virtualization", "Scheduling"}, DependsOn: []string{"2.2"}, Video: true},
+				{ID: "2.4", Title: "Two donuts", Concepts: []string{"Scheduling", "IO"}, DependsOn: []string{"2.3"}, Video: true},
+				{ID: "2.5", Title: "N donuts", Concepts: []string{"Scheduling", "Concurrency", "IO"}, DependsOn: []string{"2.4"}, Video: true},
+				{ID: "2.6", Title: "Fast/slow donuts", Concepts: []string{"Scheduling"}, DependsOn: []string{"2.5"}, Video: true},
+				{ID: "2.7", Title: "Donuts in sync", Concepts: []string{"Scheduling", "Concurrency"}, DependsOn: []string{"2.5"}, Video: true},
+				{ID: "2.8", Title: "Kill a donut", Concepts: []string{"Process"}, DependsOn: []string{"2.5"}, Video: true},
+				{ID: "2.9", Title: "Donuts on Rpi3", Concepts: []string{"HW/SW interactions"}, DependsOn: []string{"2.5"}, Video: true},
+				{ID: "2.10", Title: "Wordsmith", Concepts: []string{"Concurrency"}, DependsOn: []string{"2.3"}, Video: true},
+			},
+		},
+		{
+			Number: 3, Files: 18, SLoC: "~150", Videos: 6,
+			Tasks: []LabTask{
+				{ID: "3.1", Title: "Kernel virtual addresses", Concepts: []string{"Virtual memory"}},
+				{ID: "3.2", Title: "User helloworld", Concepts: []string{"User/kernel separation", "Syscalls"}, DependsOn: []string{"3.1"}, Video: true},
+				{ID: "3.3", Title: "Two user printers", Concepts: []string{"Scheduling", "Process"}, DependsOn: []string{"3.2"}, Video: true},
+				{ID: "3.4", Title: "User donut", Concepts: []string{"User/kernel separation", "mmap", "IO"}, DependsOn: []string{"3.2"}, Video: true},
+				{ID: "3.5", Title: "User donut on rpi3", Concepts: []string{"HW/SW interactions", "CPU cache"}, DependsOn: []string{"3.4"}, Video: true},
+				{ID: "3.6", Title: "Mario", Concepts: []string{"Process", "memory management"}, DependsOn: []string{"3.4"}, Video: true},
+				{ID: "3.7", Title: "Mario on rpi3", Concepts: []string{"Process", "HW/SW interactions"}, DependsOn: []string{"3.6"}, Video: true},
+			},
+		},
+		{
+			Number: 4, Files: 21, SLoC: "~300", Videos: 7, Teamwork: true,
+			Tasks: []LabTask{
+				{ID: "4.1", Title: "Shell", Concepts: []string{"Shell", "process"}, Video: true},
+				{ID: "4.2", Title: "Kungfu (NES from file)", Concepts: []string{"Graphics", "files", "procfs"}, DependsOn: []string{"4.1"}, Video: true},
+				{ID: "4.3", Title: "initrc", Concepts: []string{"User-level system programming"}, DependsOn: []string{"4.1"}},
+				{ID: "4.4", Title: "Mario with inputs", Concepts: []string{"Device driver", "IPC", "procfs"}, DependsOn: []string{"4.2"}, Video: true},
+				{ID: "4.5", Title: "Mario on rpi3", Concepts: []string{"HW/SW interactions"}, DependsOn: []string{"4.4"}, Video: true},
+				{ID: "4.6", Title: "Slider", Concepts: []string{"User-level IO", "Graphics"}, DependsOn: []string{"4.1"}, Video: true},
+				{ID: "4.7", Title: "Large files", Concepts: []string{"Filesystem", "Block devices"}, DependsOn: []string{"4.6"}, Video: true},
+				{ID: "4.8", Title: "Sound", Concepts: []string{"Device driver", "IO", "DMA", "procfs"}, DependsOn: []string{"4.1"}, Video: true},
+			},
+		},
+		{
+			Number: 5, Files: 28, SLoC: "~300", Videos: 6, Teamwork: true,
+			Tasks: []LabTask{
+				{ID: "5.1", Title: "Build", Concepts: []string{"Complex software projects", "Libraries"}, Video: true},
+				{ID: "5.2", Title: "MusicPlayer", Concepts: []string{"Threading", "Concurrency", "Graphics", "IO"}, DependsOn: []string{"5.1"}, Video: true},
+				{ID: "5.3", Title: "FAT on SD card", Concepts: []string{"Filesystems", "Device Driver", "HW/SW interactions"}, DependsOn: []string{"5.1"}, Video: true},
+				{ID: "5.4", Title: "DOOM", Concepts: []string{"Libraries", "Graphics", "IO"}, DependsOn: []string{"5.3"}, Video: true},
+				{ID: "5.5", Title: "Desktop", Concepts: []string{"IPC", "Synchronization", "IO", "Graphics"}, DependsOn: []string{"5.2"}, Video: true},
+				{ID: "5.6", Title: "Multicore", Concepts: []string{"Multicore", "Concurrency"}, DependsOn: []string{"5.5"}, Video: true},
+			},
+		},
+	}
+}
+
+// ValidateLabGraph checks a lab's dependency graph: every dependency
+// exists, no cycles (so students can always make progress).
+func ValidateLabGraph(lab Lab) error {
+	byID := map[string]*LabTask{}
+	for i := range lab.Tasks {
+		byID[lab.Tasks[i].ID] = &lab.Tasks[i]
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(id string) error
+	visit = func(id string) error {
+		switch color[id] {
+		case grey:
+			return fmt.Errorf("lab %d: cycle through task %s", lab.Number, id)
+		case black:
+			return nil
+		}
+		color[id] = grey
+		t := byID[id]
+		if t == nil {
+			return fmt.Errorf("lab %d: unknown task %s", lab.Number, id)
+		}
+		for _, dep := range t.DependsOn {
+			if byID[dep] == nil {
+				return fmt.Errorf("lab %d: task %s depends on unknown %s", lab.Number, id, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		color[id] = black
+		return nil
+	}
+	for _, t := range lab.Tasks {
+		if err := visit(t.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SurveyQuestion is one bar of Figure 13 (the pedagogical user study).
+type SurveyQuestion struct {
+	ID        string
+	Principle string
+	Question  string
+	Score     float64 // mean on the 1–5 scale, as read from Figure 13
+}
+
+// Survey returns Figure 13's reported results (N=48). These are the
+// paper's data — a human-subjects study cannot be re-run by a simulator —
+// shipped so the experiment harness can render the figure.
+func Survey() (questions []SurveyQuestion, n int) {
+	return []SurveyQuestion{
+		{"Q1", "P1 appealing apps", "Apps interesting?", 4.5},
+		{"Q2", "P1 appealing apps", "Apps motivate learning?", 4.3},
+		{"Q3", "P2 demonstrability", "Hardware motivate learning?", 4.0},
+		{"Q4", "P2 demonstrability", "Will demonstrate to others?", 3.9},
+		{"Q5", "P3 incremental prototype", "Incremental prototyping helpful?", 4.4},
+		{"Q6", "P3 incremental prototype", "Early prototypes help later one?", 4.3},
+		{"Q7", "P4 minimum viable impl", "Understand quests/apps relations?", 4.2},
+		{"Q8", "P4 minimum viable impl", "Quests tied to apps?", 4.3},
+		{"Q9", "P4 minimum viable impl", "Can manage code complexity?", 3.8},
+	}, 48
+}

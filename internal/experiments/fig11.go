@@ -1,0 +1,402 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/wm"
+	"protosim/internal/user/apps/blockchain"
+	"protosim/internal/user/apps/nes"
+	"protosim/internal/user/codec/mpv"
+	"protosim/internal/user/ulib"
+)
+
+// marioInstance runs the emulator for n frames, presenting through its own
+// WM surface — exactly how Figure 1(l)'s eight marios share the screen.
+// (Direct rendering would serialize all instances on the one hardware
+// framebuffer; the window manager is what makes the workload scale.)
+func marioInstance(p *kernel.Proc, n int) int {
+	cart, err := nes.BuildMarioROM("mario", 3)
+	if err != nil {
+		return 1
+	}
+	sfd, err := p.OpenSurface("mario8", nes.ScreenW/2, nes.ScreenH/2)
+	if err != nil {
+		return 1
+	}
+	console := nes.NewConsole(cart)
+	frame := make([]byte, nes.ScreenW*nes.ScreenH*4)
+	small := make([]byte, (nes.ScreenW/2)*(nes.ScreenH/2)*4)
+	for i := 0; i < n; i++ {
+		console.StepFrame()
+		console.Render(frame, nes.ScreenW*4)
+		// Downscale 2x into the window (8 windows must fit the panel).
+		for y := 0; y < nes.ScreenH/2; y++ {
+			srow := frame[(y*2)*nes.ScreenW*4:]
+			drow := small[y*(nes.ScreenW/2)*4:]
+			for x := 0; x < nes.ScreenW/2; x++ {
+				copy(drow[x*4:x*4+4], srow[x*8:x*8+4])
+			}
+		}
+		if _, err := p.SysWrite(sfd, small); err != nil {
+			return 1
+		}
+		p.Checkpoint()
+	}
+	return 0
+}
+
+// mineN mines n blocks at the given difficulty with `threads` workers.
+func mineN(p *kernel.Proc, n, difficulty, threads int) error {
+	m := blockchain.NewMiner(difficulty, threads)
+	var prev [32]byte
+	for i := 0; i < n; i++ {
+		blk := blockchain.Block{Index: uint32(i), PrevHash: prev}
+		solved, err := m.MineBlock(p, blk)
+		if err != nil {
+			return err
+		}
+		if !blockchain.Verify(&solved, difficulty) {
+			return fmt.Errorf("experiments: mined block failed verification")
+		}
+		prev = solved.Hash
+	}
+	return nil
+}
+
+// Fig11Render is the rendering-latency breakdown for one app (ms/frame).
+type Fig11Render struct {
+	Name     string
+	AppLogic float64 // emulate / decode (user)
+	Draw     float64 // pixel conversion + blit into fb memory (lib)
+	Present  float64 // cache flush / surface write (kernel)
+}
+
+// Fig11Rendering instruments the frame pipelines of video and the mario
+// variants, splitting each frame into app logic, draw, and present — the
+// decomposition of Figure 11(a).
+func Fig11Rendering(frames int) ([]Fig11Render, string, error) {
+	sys, err := newSystem(kernel.ModeProto, 4, 8)
+	if err != nil {
+		return nil, "", err
+	}
+	defer sys.Shutdown()
+	var out []Fig11Render
+
+	// video: decode (app) / YUV convert (draw) / flush (present).
+	var vr Fig11Render
+	vr.Name = "video"
+	err = runProc(sys, "fig11-video", func(p *kernel.Proc) error {
+		data, err := ulib.ReadFile(p, "/d/clip480.mpv")
+		if err != nil {
+			return err
+		}
+		dec, err := mpv.NewDecoder(data)
+		if err != nil {
+			return err
+		}
+		fbmem, err := p.MapFramebuffer()
+		if err != nil {
+			return err
+		}
+		fb := p.Kernel().FB
+		var tApp, tDraw, tPresent time.Duration
+		n := 0
+		for n < frames {
+			t0 := time.Now()
+			f, err := dec.NextFrame()
+			if err != nil {
+				return err
+			}
+			if f == nil {
+				// Loop the clip.
+				dec, _ = mpv.NewDecoder(data)
+				continue
+			}
+			t1 := time.Now()
+			if f.W <= fb.Width() && f.H <= fb.Height() {
+				mpv.FastYUVToXRGB(f, fbmem, fb.Pitch())
+			}
+			t2 := time.Now()
+			p.SysCacheFlush(0, fb.Size())
+			t3 := time.Now()
+			tApp += t1.Sub(t0)
+			tDraw += t2.Sub(t1)
+			tPresent += t3.Sub(t2)
+			n++
+			p.Checkpoint()
+		}
+		vr.AppLogic = msPerFrame(tApp, n)
+		vr.Draw = msPerFrame(tDraw, n)
+		vr.Present = msPerFrame(tPresent, n)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	out = append(out, vr)
+
+	// mario-noinput: emulate (app) / render+blit (draw) / flush (present).
+	var mr Fig11Render
+	mr.Name = "mario-noinput"
+	err = runProc(sys, "fig11-mario", func(p *kernel.Proc) error {
+		cart, err := nes.BuildMarioROM("mario", 3)
+		if err != nil {
+			return err
+		}
+		fbmem, err := p.MapFramebuffer()
+		if err != nil {
+			return err
+		}
+		fb := p.Kernel().FB
+		console := nes.NewConsole(cart)
+		frame := make([]byte, nes.ScreenW*nes.ScreenH*4)
+		var tApp, tDraw, tPresent time.Duration
+		for i := 0; i < frames; i++ {
+			t0 := time.Now()
+			console.StepFrame()
+			t1 := time.Now()
+			console.Render(frame, nes.ScreenW*4)
+			rows := min(nes.ScreenH, fb.Height())
+			for y := 0; y < rows; y++ {
+				copy(fbmem[y*fb.Pitch():], frame[y*nes.ScreenW*4:(y+1)*nes.ScreenW*4])
+			}
+			t2 := time.Now()
+			p.SysCacheFlush(0, fb.Size())
+			t3 := time.Now()
+			tApp += t1.Sub(t0)
+			tDraw += t2.Sub(t1)
+			tPresent += t3.Sub(t2)
+			p.Checkpoint()
+		}
+		mr.AppLogic = msPerFrame(tApp, frames)
+		mr.Draw = msPerFrame(tDraw, frames)
+		mr.Present = msPerFrame(tPresent, frames)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	out = append(out, mr)
+
+	// mario-sdl: same emulation, but present = surface write + WM
+	// composition (the indirection cost).
+	var sr Fig11Render
+	sr.Name = "mario-sdl"
+	err = runProc(sys, "fig11-mariosdl", func(p *kernel.Proc) error {
+		cart, err := nes.BuildMarioROM("mario", 3)
+		if err != nil {
+			return err
+		}
+		sfd, err := p.OpenSurface("mario", nes.ScreenW, nes.ScreenH)
+		if err != nil {
+			return err
+		}
+		console := nes.NewConsole(cart)
+		frame := make([]byte, nes.ScreenW*nes.ScreenH*4)
+		var tApp, tDraw, tPresent time.Duration
+		for i := 0; i < frames; i++ {
+			t0 := time.Now()
+			console.StepFrame()
+			t1 := time.Now()
+			console.Render(frame, nes.ScreenW*4)
+			t2 := time.Now()
+			if _, err := p.SysWrite(sfd, frame); err != nil {
+				return err
+			}
+			t3 := time.Now()
+			tApp += t1.Sub(t0)
+			tDraw += t2.Sub(t1)
+			tPresent += t3.Sub(t2)
+			p.Checkpoint()
+		}
+		sr.AppLogic = msPerFrame(tApp, frames)
+		sr.Draw = msPerFrame(tDraw, frames)
+		sr.Present = msPerFrame(tPresent, frames)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	out = append(out, sr)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11(a): rendering latency breakdown (ms/frame)\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s\n", "app", "app logic", "draw", "present")
+	for _, r := range out {
+		fmt.Fprintf(&b, "%-14s %10.2f %10.2f %10.2f\n", r.Name, r.AppLogic, r.Draw, r.Present)
+	}
+	return out, b.String(), nil
+}
+
+func msPerFrame(d time.Duration, n int) float64 {
+	return float64(d.Microseconds()) / 1000 / float64(n)
+}
+
+// Fig11Input is the input-latency result for one delivery path (µs).
+type Fig11Input struct {
+	Path      string
+	LatencyUS float64
+}
+
+// Fig11InputLatency measures end-to-end input latency: key injection at
+// the "driver" to observation by the app, for the three delivery paths of
+// Figure 11(b). As in the paper, the app-side polling interval dominates:
+// DOOM polls its non-blocking fd every ~5 ms, while the mario variants
+// consume events once per ~15 ms frame, plus the extra indirection (pipe
+// IPC for mario-proc, WM dispatch + event queue for mario-sdl). Keys are
+// injected asynchronously at varying offsets within the polling period.
+func Fig11InputLatency(rounds int) ([]Fig11Input, string, error) {
+	sys, err := newSystem(kernel.ModeProto, 4, 8)
+	if err != nil {
+		return nil, "", err
+	}
+	defer sys.Shutdown()
+	var out []Fig11Input
+
+	// inject sends a key after a deterministic pseudo-random offset so the
+	// app's polling phase is sampled uniformly.
+	inject := func(i int) time.Time {
+		offset := time.Duration(i*7%13) * time.Millisecond
+		time.Sleep(offset)
+		sent := time.Now()
+		sys.Kernel.InjectKey(wm.InputEvent{Down: true, Code: hw.UsageA, ASCII: 'a'})
+		return sent
+	}
+
+	// DOOM: direct non-blocking poll every 5 ms.
+	var direct float64
+	err = runProc(sys, "input-direct", func(p *kernel.Proc) error {
+		efd, err := p.SysOpen("/dev/events", fs.ORdOnly|fs.ONonblock)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, wm.EventSize)
+		var total time.Duration
+		for i := 0; i < rounds; i++ {
+			sentCh := make(chan time.Time, 1)
+			go func(i int) { sentCh <- inject(i) }(i)
+			var sent time.Time
+			for {
+				if _, err := p.SysRead(efd, buf); err == nil {
+					if sent.IsZero() {
+						sent = <-sentCh
+					}
+					break
+				}
+				p.SysSleep(5) // DOOM's polling interval
+			}
+			total += time.Since(sent)
+		}
+		direct = float64(total.Microseconds()) / float64(rounds)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	out = append(out, Fig11Input{"doom-direct-poll", direct})
+
+	// mario-proc: a reader process forwards events into a pipe; the main
+	// loop drains the pipe once per 15 ms frame.
+	var viaIPC float64
+	err = runProc(sys, "input-ipc", func(p *kernel.Proc) error {
+		rfd, wfd, err := p.SysPipe()
+		if err != nil {
+			return err
+		}
+		p.SysFork(func(c *kernel.Proc) {
+			efd, err := c.SysOpen("/dev/events", fs.ORdOnly)
+			if err != nil {
+				c.SysExit(1)
+			}
+			buf := make([]byte, wm.EventSize)
+			for {
+				if _, err := c.SysRead(efd, buf); err != nil {
+					c.SysExit(0)
+				}
+				if _, err := c.SysWrite(wfd, buf); err != nil {
+					c.SysExit(0)
+				}
+			}
+		})
+		// Drain via a non-blocking frame loop: the pipe read must not
+		// block, so probe with a 1-byte peek through a second pipe? The
+		// kernel pipe blocks; emulate the frame loop by reading only when
+		// the event must have been forwarded — poll the pipe with a short
+		// frame sleep first, matching mario-proc's event consumption
+		// cadence (events are handled at most once per frame).
+		buf := make([]byte, wm.EventSize)
+		var total time.Duration
+		for i := 0; i < rounds; i++ {
+			sentCh := make(chan time.Time, 1)
+			go func(i int) { sentCh <- inject(i) }(i)
+			p.SysSleep(15) // the frame in progress when the key arrives
+			if _, err := p.SysRead(rfd, buf); err != nil {
+				return err
+			}
+			sent := <-sentCh
+			total += time.Since(sent)
+		}
+		viaIPC = float64(total.Microseconds()) / float64(rounds)
+		p.SysClose(rfd)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	out = append(out, Fig11Input{"mario-proc-ipc", viaIPC})
+
+	// mario-sdl: WM focus dispatch into the window's queue, polled once
+	// per 15 ms frame.
+	var viaWM float64
+	err = runProc(sys, "input-wm", func(p *kernel.Proc) error {
+		if _, err := p.OpenSurface("probe", 32, 32); err != nil {
+			return err
+		}
+		efd, err := p.OpenSurfaceEvents(true)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, wm.EventSize)
+		var total time.Duration
+		for i := 0; i < rounds; i++ {
+			sentCh := make(chan time.Time, 1)
+			go func(i int) { sentCh <- inject(i) }(i)
+			var sent time.Time
+			for {
+				if _, err := p.SysRead(efd, buf); err == nil {
+					if sent.IsZero() {
+						sent = <-sentCh
+					}
+					break
+				}
+				p.SysSleep(15) // frame-paced event polling
+			}
+			total += time.Since(sent)
+		}
+		viaWM = float64(total.Microseconds()) / float64(rounds)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	out = append(out, Fig11Input{"mario-sdl-wm", viaWM})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11(b): input latency, injection to app (us)\n")
+	for _, r := range out {
+		fmt.Fprintf(&b, "%-18s %10.0f us\n", r.Path, r.LatencyUS)
+	}
+	return out, b.String(), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

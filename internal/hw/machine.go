@@ -1,0 +1,89 @@
+package hw
+
+import (
+	"time"
+)
+
+// MachineConfig sizes the simulated board.
+type MachineConfig struct {
+	Cores        int // 1–4, like the Pi3's Cortex-A53 cluster
+	MemBytes     int // DRAM size (paper: 1 GB; tests use less)
+	SDBlocks     int // SD card capacity in 512 B blocks (0 = no card)
+	FBWidth      int
+	FBHeight     int
+	ScrambleSeed uint64 // non-zero: fill DRAM with garbage at power-on
+}
+
+// DefaultConfig is a Pi3-like board scaled for in-process testing: 4 cores,
+// 64 MB DRAM, a 32 MB SD card, and the Game HAT panel.
+func DefaultConfig() MachineConfig {
+	return MachineConfig{
+		Cores:        4,
+		MemBytes:     64 << 20,
+		SDBlocks:     (32 << 20) / SDBlockSize,
+		FBWidth:      DefaultFBWidth,
+		FBHeight:     DefaultFBHeight,
+		ScrambleSeed: 0xDEADBEEFCAFE,
+	}
+}
+
+// Machine bundles the whole board: everything Proto's kernel drives.
+type Machine struct {
+	Cfg     MachineConfig
+	Mem     *Mem
+	IRQ     *IRQController
+	UART    *UART
+	SysTmr  *SystemTimer
+	GTimers []*GenericTimer
+	Mailbox *Mailbox
+	GPIO    *GPIO
+	PWM     *PWMAudio
+	DMA     *DMAEngine
+	SD      *SDCard
+	USB     *USBController
+	Power   *PowerModel
+
+	poweredOn time.Time
+}
+
+// NewMachine powers on a board.
+func NewMachine(cfg MachineConfig) *Machine {
+	if cfg.Cores < 1 || cfg.Cores > 8 {
+		panic("hw: core count must be 1..8")
+	}
+	m := &Machine{Cfg: cfg, poweredOn: time.Now()}
+	m.Mem = NewMem(cfg.MemBytes)
+	if cfg.ScrambleSeed != 0 {
+		m.Mem.Scramble(cfg.ScrambleSeed)
+	}
+	m.IRQ = NewIRQController(cfg.Cores)
+	m.UART = NewUART(m.IRQ)
+	m.SysTmr = NewSystemTimer()
+	for c := 0; c < cfg.Cores; c++ {
+		m.GTimers = append(m.GTimers, NewGenericTimer(c, m.IRQ))
+	}
+	m.Mailbox = NewMailbox(m.Mem)
+	m.GPIO = NewGPIO(m.IRQ)
+	m.PWM = NewPWMAudio(DefaultSampleRate, DefaultSampleRate/2)
+	m.DMA = NewDMAEngine(m.Mem, m.IRQ)
+	if cfg.SDBlocks > 0 {
+		m.SD = NewSDCard(cfg.SDBlocks, m.IRQ)
+	}
+	m.USB = NewUSBController(m.IRQ)
+	m.Power = NewPowerModel(cfg.Cores)
+	return m
+}
+
+// Cores returns the CPU core count.
+func (m *Machine) Cores() int { return m.Cfg.Cores }
+
+// Uptime is wall time since power-on.
+func (m *Machine) Uptime() time.Duration { return time.Since(m.poweredOn) }
+
+// Shutdown stops device goroutines (timers, audio).
+func (m *Machine) Shutdown() {
+	for _, t := range m.GTimers {
+		t.Stop()
+	}
+	m.PWM.Stop()
+}

@@ -1,0 +1,94 @@
+package hw
+
+import (
+	"sync"
+	"time"
+)
+
+// PowerModel estimates board power from device activity counters, standing
+// in for the metered USB supply of Figure 12. Coefficients are calibrated
+// so the paper's envelope reproduces: ~3 W at an idle shell prompt (WFI most
+// of the time), rising toward ~4 W under DOOM-class CPU + display load.
+// It is a model, not a measurement; EXPERIMENTS.md says so.
+type PowerModel struct {
+	mu    sync.Mutex
+	start time.Time
+
+	// Integrated busy time per core, reported by the scheduler.
+	busy []time.Duration
+}
+
+// Power coefficients (watts). The Pi3 board floor covers SoC standby, PMIC
+// and SDRAM refresh; the HAT floor covers the 3.5" backlight at its default
+// level, which dominates the HAT's draw.
+const (
+	PowerBoardIdle   = 1.25      // Pi3 floor with all cores in WFI
+	PowerCoreActive  = 0.55      // each fully-busy Cortex-A53 core
+	PowerHATDisplay  = 1.45      // backlight + panel logic
+	PowerHATAmp      = 0.15      // speaker amp when samples flow
+	PowerSDActive    = 0.20      // controller during transfers
+	BatteryWattHours = 3.0 * 3.7 // one 18650: 3000 mAh at 3.7 V
+)
+
+// NewPowerModel starts integrating at "power on".
+func NewPowerModel(ncores int) *PowerModel {
+	return &PowerModel{start: time.Now(), busy: make([]time.Duration, ncores)}
+}
+
+// AddBusy credits busy time to a core; the scheduler calls this when a task
+// completes a timeslice.
+func (p *PowerModel) AddBusy(core int, d time.Duration) {
+	p.mu.Lock()
+	p.busy[core] += d
+	p.mu.Unlock()
+}
+
+// Utilization returns each core's busy fraction since power-on.
+func (p *PowerModel) Utilization() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	elapsed := time.Since(p.start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	out := make([]float64, len(p.busy))
+	for i, b := range p.busy {
+		u := float64(b) / float64(elapsed)
+		if u > 1 {
+			u = 1
+		}
+		out[i] = u
+	}
+	return out
+}
+
+// Reading is one power-model sample.
+type Reading struct {
+	PiWatts      float64 // SoC + board
+	HATWatts     float64 // display + amp
+	TotalWatts   float64
+	BatteryHours float64 // estimated life on one 18650
+}
+
+// Sample computes a reading given current activity. audioActive and
+// sdActive report whether those devices moved data during the sampling
+// window; displayOn is true whenever the framebuffer has been allocated.
+func (p *PowerModel) Sample(displayOn, audioActive, sdActive bool) Reading {
+	var r Reading
+	r.PiWatts = PowerBoardIdle
+	for _, u := range p.Utilization() {
+		r.PiWatts += PowerCoreActive * u
+	}
+	if sdActive {
+		r.PiWatts += PowerSDActive
+	}
+	if displayOn {
+		r.HATWatts += PowerHATDisplay
+	}
+	if audioActive {
+		r.HATWatts += PowerHATAmp
+	}
+	r.TotalWatts = r.PiWatts + r.HATWatts
+	r.BatteryHours = BatteryWattHours / r.TotalWatts
+	return r
+}

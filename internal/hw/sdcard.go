@@ -1,0 +1,216 @@
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SDBlockSize is the SD sector size.
+const SDBlockSize = 512
+
+// SD timing model. Proto's 600-SLoC driver polls the controller; the
+// dominant costs are a fixed per-command setup (CMD17/18 issue, card
+// response, polling loop iterations) plus a per-block wire transfer. Range
+// transfers (CMD18) pay setup once for many blocks — which is why bypassing
+// the single-block buffer cache for FAT32 range reads wins the paper's 2–3×
+// (§5.2). The prod-OS baseline uses DMA: same wire time, but the CPU sleeps
+// instead of polling and setup overlaps transfer.
+const (
+	sdCmdSetup  = 120 * time.Microsecond // command issue + response, polled
+	sdPerBlock  = 380 * time.Microsecond // one 512 B sector on the wire
+	sdDMASetup  = 60 * time.Microsecond  // descriptor programming
+	sdReadOnlyE = "sd: card is write-protected"
+)
+
+// ErrSDRange is returned for out-of-range block addresses.
+var ErrSDRange = errors.New("sd: block address out of range")
+
+// ErrSDInjected is returned when a test has injected a media error.
+var ErrSDInjected = errors.New("sd: injected IO error")
+
+// SDCard models the EMMC controller plus an inserted card. The backing
+// store is in-memory; what matters for the reproduction is the latency
+// structure and the single-block vs range-transfer distinction.
+type SDCard struct {
+	mu     sync.Mutex
+	data   []byte
+	ro     bool
+	useDMA bool
+	ic     *IRQController
+
+	reads, writes  uint64 // blocks
+	cmds           uint64
+	failNextOps    int
+	latencyScale   float64
+	busyPollBudget uint64 // counts simulated poll iterations (power model)
+}
+
+// NewSDCard returns a card with the given capacity in blocks.
+func NewSDCard(blocks int, ic *IRQController) *SDCard {
+	if blocks <= 0 {
+		panic("hw: sd card needs at least one block")
+	}
+	return &SDCard{data: make([]byte, blocks*SDBlockSize), ic: ic, latencyScale: 1}
+}
+
+// Blocks returns the card capacity in 512-byte blocks.
+func (sd *SDCard) Blocks() int { return len(sd.data) / SDBlockSize }
+
+// SetDMA switches the controller between polled PIO (Proto's driver) and
+// DMA (the production-OS baseline). With DMA, completion raises IRQSD.
+func (sd *SDCard) SetDMA(on bool) {
+	sd.mu.Lock()
+	sd.useDMA = on
+	sd.mu.Unlock()
+}
+
+// SetLatencyScale scales the timing model (0 disables latency entirely,
+// which keeps unit tests fast; benchmarks run at scale 1).
+func (sd *SDCard) SetLatencyScale(s float64) {
+	sd.mu.Lock()
+	sd.latencyScale = s
+	sd.mu.Unlock()
+}
+
+// SetReadOnly toggles write protection.
+func (sd *SDCard) SetReadOnly(ro bool) {
+	sd.mu.Lock()
+	sd.ro = ro
+	sd.mu.Unlock()
+}
+
+// InjectErrors makes the next n operations fail with ErrSDInjected.
+func (sd *SDCard) InjectErrors(n int) {
+	sd.mu.Lock()
+	sd.failNextOps = n
+	sd.mu.Unlock()
+}
+
+// LoadImage installs a disk image starting at block 0 (mkimage uses this to
+// "burn" the FAT32 partition).
+func (sd *SDCard) LoadImage(img []byte) error {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	if len(img) > len(sd.data) {
+		return fmt.Errorf("sd: image %d bytes exceeds card %d bytes", len(img), len(sd.data))
+	}
+	copy(sd.data, img)
+	return nil
+}
+
+// DumpImage copies the card contents (for host-side verification).
+func (sd *SDCard) DumpImage() []byte {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	out := make([]byte, len(sd.data))
+	copy(out, sd.data)
+	return out
+}
+
+func (sd *SDCard) checkRange(lba, n int) error {
+	if lba < 0 || n <= 0 || (lba+n)*SDBlockSize > len(sd.data) {
+		return ErrSDRange
+	}
+	return nil
+}
+
+func (sd *SDCard) takeError() error {
+	if sd.failNextOps > 0 {
+		sd.failNextOps--
+		return ErrSDInjected
+	}
+	return nil
+}
+
+// busyWait models the polled PIO delay. Polling burns CPU on the caller —
+// we account the iterations for the power model but yield the host CPU.
+func (sd *SDCard) busyWait(d time.Duration, scale float64) {
+	if scale == 0 {
+		return
+	}
+	d = time.Duration(float64(d) * scale)
+	sd.mu.Lock()
+	sd.busyPollBudget += uint64(d / time.Microsecond)
+	sd.mu.Unlock()
+	time.Sleep(d)
+}
+
+// ReadBlocks reads n blocks starting at lba into dst (len >= n*512).
+// Latency: one command setup + n wire transfers; with DMA the setup is
+// cheaper and an IRQSD fires at completion.
+func (sd *SDCard) ReadBlocks(lba, n int, dst []byte) error {
+	if err := sd.checkRange(lba, n); err != nil {
+		return err
+	}
+	if len(dst) < n*SDBlockSize {
+		return fmt.Errorf("sd: destination %d bytes < %d", len(dst), n*SDBlockSize)
+	}
+	sd.mu.Lock()
+	if err := sd.takeError(); err != nil {
+		sd.mu.Unlock()
+		return err
+	}
+	dma := sd.useDMA
+	scale := sd.latencyScale
+	sd.cmds++
+	sd.reads += uint64(n)
+	src := sd.data[lba*SDBlockSize : (lba+n)*SDBlockSize]
+	copy(dst, src)
+	sd.mu.Unlock()
+
+	if dma {
+		sd.busyWait(sdDMASetup+time.Duration(n)*sdPerBlock, scale)
+		if sd.ic != nil {
+			sd.ic.Raise(IRQSD)
+		}
+	} else {
+		sd.busyWait(sdCmdSetup+time.Duration(n)*sdPerBlock, scale)
+	}
+	return nil
+}
+
+// WriteBlocks writes n blocks starting at lba from src.
+func (sd *SDCard) WriteBlocks(lba, n int, src []byte) error {
+	if err := sd.checkRange(lba, n); err != nil {
+		return err
+	}
+	if len(src) < n*SDBlockSize {
+		return fmt.Errorf("sd: source %d bytes < %d", len(src), n*SDBlockSize)
+	}
+	sd.mu.Lock()
+	if sd.ro {
+		sd.mu.Unlock()
+		return errors.New(sdReadOnlyE)
+	}
+	if err := sd.takeError(); err != nil {
+		sd.mu.Unlock()
+		return err
+	}
+	dma := sd.useDMA
+	scale := sd.latencyScale
+	sd.cmds++
+	sd.writes += uint64(n)
+	copy(sd.data[lba*SDBlockSize:(lba+n)*SDBlockSize], src)
+	sd.mu.Unlock()
+
+	// Writes pay a program-time penalty on top of the wire transfer.
+	extra := time.Duration(n) * sdPerBlock / 2
+	if dma {
+		sd.busyWait(sdDMASetup+time.Duration(n)*sdPerBlock+extra, scale)
+		if sd.ic != nil {
+			sd.ic.Raise(IRQSD)
+		}
+	} else {
+		sd.busyWait(sdCmdSetup+time.Duration(n)*sdPerBlock+extra, scale)
+	}
+	return nil
+}
+
+// Stats reports IO activity for the power model and experiment harness.
+func (sd *SDCard) Stats() (cmds, readBlocks, writeBlocks, pollMicros uint64) {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.cmds, sd.reads, sd.writes, sd.busyPollBudget
+}

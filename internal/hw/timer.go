@@ -1,0 +1,88 @@
+package hw
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SystemTimer is the SoC-level free-running counter (BCM2835 system timer:
+// 1 MHz on the Pi3). Proto uses it for timekeeping; the per-core generic
+// timers drive scheduler ticks.
+type SystemTimer struct {
+	epoch time.Time
+}
+
+// NewSystemTimer starts the counter at zero.
+func NewSystemTimer() *SystemTimer { return &SystemTimer{epoch: time.Now()} }
+
+// Ticks returns microseconds since power-on (the counter runs at 1 MHz).
+func (t *SystemTimer) Ticks() uint64 {
+	return uint64(time.Since(t.epoch) / time.Microsecond)
+}
+
+// Now returns the elapsed time since power-on.
+func (t *SystemTimer) Now() time.Duration { return time.Since(t.epoch) }
+
+// GenericTimer is one core's ARM generic timer. When started it raises that
+// core's timer IRQ at the programmed interval; the kernel uses it for
+// preemption ticks. Each core owns exactly one (§4.5: "interrupts from ARM
+// generic timers ... are fed to each core").
+type GenericTimer struct {
+	core     int
+	ic       *IRQController
+	mu       sync.Mutex
+	stop     chan struct{}
+	interval time.Duration
+	fired    atomic.Uint64
+}
+
+// NewGenericTimer returns core's (stopped) generic timer.
+func NewGenericTimer(core int, ic *IRQController) *GenericTimer {
+	return &GenericTimer{core: core, ic: ic}
+}
+
+// Core returns which core this timer interrupts.
+func (t *GenericTimer) Core() int { return t.core }
+
+// Start programs the timer to fire every interval. The handler must already
+// be registered on GenericTimerLine(core). Restarting reprograms.
+func (t *GenericTimer) Start(interval time.Duration) {
+	if interval <= 0 {
+		panic("hw: generic timer interval must be positive")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stop != nil {
+		close(t.stop)
+	}
+	stop := make(chan struct{})
+	t.stop = stop
+	t.interval = interval
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				t.fired.Add(1)
+				t.ic.Raise(GenericTimerLine(t.core))
+			}
+		}
+	}()
+}
+
+// Stop disarms the timer.
+func (t *GenericTimer) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stop != nil {
+		close(t.stop)
+		t.stop = nil
+	}
+}
+
+// Fired reports how many times the timer has fired since Start.
+func (t *GenericTimer) Fired() uint64 { return t.fired.Load() }

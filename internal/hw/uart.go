@@ -1,0 +1,134 @@
+package hw
+
+import (
+	"io"
+	"sync"
+)
+
+// UARTMode selects how the receive side is driven, mirroring the prototype
+// staging in Table 1: Prototype 1 polls (RX only), Prototypes 2–3 use RX
+// IRQs, Prototypes 4–5 use IRQs for RX and keep TX synchronous (the paper
+// deliberately never makes TX interrupt-driven, §4.1).
+type UARTMode int
+
+const (
+	// UARTPolled: no interrupts; the kernel polls RxByte.
+	UARTPolled UARTMode = iota
+	// UARTIRQRx: received bytes raise IRQUARTRx.
+	UARTIRQRx
+)
+
+const uartRxFIFO = 256
+
+// UART models the Pi3 mini-UART. Writes are always synchronous (polled),
+// matching Proto's decision to keep debug output free of locking and ring
+// buffers. Reads come from a bounded RX FIFO fed by the host test harness.
+type UART struct {
+	mu      sync.Mutex
+	mode    UARTMode
+	rx      []byte
+	dropped int
+	tx      []byte
+	sink    io.Writer // optional tee for interactive runs
+	ic      *IRQController
+
+	txBytes int
+}
+
+// NewUART returns a UART in polled mode with output captured in-memory.
+func NewUART(ic *IRQController) *UART {
+	return &UART{ic: ic}
+}
+
+// SetMode switches the receive path between polled and IRQ-driven.
+func (u *UART) SetMode(m UARTMode) {
+	u.mu.Lock()
+	u.mode = m
+	u.mu.Unlock()
+}
+
+// SetSink tees transmitted bytes to w (e.g. os.Stdout for cmd/protorun).
+func (u *UART) SetSink(w io.Writer) {
+	u.mu.Lock()
+	u.sink = w
+	u.mu.Unlock()
+}
+
+// TxByte transmits one byte synchronously.
+func (u *UART) TxByte(b byte) {
+	u.mu.Lock()
+	u.tx = append(u.tx, b)
+	u.txBytes++
+	sink := u.sink
+	u.mu.Unlock()
+	if sink != nil {
+		sink.Write([]byte{b})
+	}
+}
+
+// Write transmits a buffer synchronously; it never fails (the wire does not
+// push back), satisfying io.Writer so the kernel's printk can Fprintf to it.
+func (u *UART) Write(p []byte) (int, error) {
+	u.mu.Lock()
+	u.tx = append(u.tx, p...)
+	u.txBytes += len(p)
+	sink := u.sink
+	u.mu.Unlock()
+	if sink != nil {
+		sink.Write(p)
+	}
+	return len(p), nil
+}
+
+// Feed injects received bytes from the host side (a person typing on the
+// serial console). In IRQ mode each injection raises IRQUARTRx after the
+// bytes are in the FIFO. Overflow beyond the FIFO depth drops bytes, as the
+// real 16550-style FIFO would.
+func (u *UART) Feed(p []byte) {
+	u.mu.Lock()
+	for _, b := range p {
+		if len(u.rx) >= uartRxFIFO {
+			u.dropped++
+			continue
+		}
+		u.rx = append(u.rx, b)
+	}
+	mode := u.mode
+	u.mu.Unlock()
+	if mode == UARTIRQRx && len(p) > 0 {
+		u.ic.Raise(IRQUARTRx)
+	}
+}
+
+// RxByte pops one received byte; ok is false when the FIFO is empty.
+func (u *UART) RxByte() (b byte, ok bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.rx) == 0 {
+		return 0, false
+	}
+	b = u.rx[0]
+	u.rx = u.rx[1:]
+	return b, true
+}
+
+// Transcript returns everything transmitted so far.
+func (u *UART) Transcript() string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return string(u.tx)
+}
+
+// TxBytes reports the number of bytes transmitted (for the power model).
+func (u *UART) TxBytes() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.txBytes
+}
+
+// Dropped reports RX FIFO overflow losses.
+func (u *UART) Dropped() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.dropped
+}

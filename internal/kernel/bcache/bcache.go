@@ -1,0 +1,188 @@
+// Package bcache is the xv6-inherited buffer cache: a fixed pool of
+// single-block buffers with LRU recycling and per-buffer sleeplocks. It
+// only supports single-block operations — sufficient for xv6fs, but a
+// bottleneck for FAT32's multi-block ranges, which is why Prototype 5
+// bypasses it for range accesses (§5.2); the FAT32 package takes that
+// bypass, and Figure 9/Fig 8 benchmarks measure the difference.
+package bcache
+
+import (
+	"fmt"
+	"sync"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/ksync"
+	"protosim/internal/kernel/sched"
+)
+
+// DefaultBuffers matches xv6's NBUF=30.
+const DefaultBuffers = 30
+
+// Buf is one cached block. Callers hold the buffer (its sleeplock) between
+// Get and Release.
+type Buf struct {
+	lba   int
+	valid bool
+	dirty bool
+	refs  int
+	lock  ksync.SleepLock
+	Data  []byte
+	lru   int64 // last-release tick
+}
+
+// LBA returns which block the buffer holds.
+func (b *Buf) LBA() int { return b.lba }
+
+// Cache is the buffer cache over one block device.
+type Cache struct {
+	dev fs.BlockDevice
+
+	mu   sync.Mutex
+	bufs []*Buf
+	tick int64
+
+	hits, misses, evictions, writebacks int64
+}
+
+// New returns a cache of n buffers over dev.
+func New(dev fs.BlockDevice, n int) *Cache {
+	if n <= 0 {
+		n = DefaultBuffers
+	}
+	c := &Cache{dev: dev}
+	for i := 0; i < n; i++ {
+		c.bufs = append(c.bufs, &Buf{lba: -1, Data: make([]byte, dev.BlockSize())})
+	}
+	return c
+}
+
+// Get returns the locked buffer holding block lba, reading it from the
+// device on a miss. The caller must Release it. Concurrent Gets of the same
+// block converge on one buffer — the identity property a buffer cache must
+// provide (two buffers aliasing one disk block is the classic bug).
+func (c *Cache) Get(t *sched.Task, lba int) (*Buf, error) {
+	c.mu.Lock()
+	// Hit — including a buffer another task is mid-way through filling
+	// (refs > 0): wait on its lock rather than aliasing the block.
+	for _, b := range c.bufs {
+		if b.lba == lba && (b.valid || b.refs > 0) {
+			b.refs++
+			c.hits++
+			c.mu.Unlock()
+			b.lock.Lock(t)
+			if !b.valid { // predecessor's read failed; retry ourselves
+				if err := c.dev.ReadBlocks(lba, 1, b.Data); err != nil {
+					b.lock.Unlock()
+					c.put(b)
+					return nil, err
+				}
+				b.valid = true
+			}
+			return b, nil
+		}
+	}
+	c.misses++
+	// Recycle the least-recently-released unreferenced buffer.
+	var victim *Buf
+	for _, b := range c.bufs {
+		if b.refs != 0 {
+			continue
+		}
+		if victim == nil || b.lru < victim.lru {
+			victim = b
+		}
+	}
+	if victim == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("bcache: all %d buffers referenced", len(c.bufs))
+	}
+	if victim.valid {
+		c.evictions++
+	}
+	needWriteback := victim.dirty && victim.valid
+	oldLBA := victim.lba
+	victim.refs++
+	victim.lba = lba
+	victim.valid = false
+	c.mu.Unlock()
+
+	victim.lock.Lock(t)
+	// Write the evicted block back before reusing the buffer.
+	if needWriteback {
+		if err := c.dev.WriteBlocks(oldLBA, 1, victim.Data); err != nil {
+			victim.lock.Unlock()
+			c.put(victim)
+			return nil, err
+		}
+		c.mu.Lock()
+		c.writebacks++
+		c.mu.Unlock()
+		victim.dirty = false
+	}
+	if err := c.dev.ReadBlocks(lba, 1, victim.Data); err != nil {
+		victim.lock.Unlock()
+		c.put(victim)
+		return nil, err
+	}
+	victim.valid = true
+	return victim, nil
+}
+
+// MarkDirty records that the caller modified the buffer.
+func (c *Cache) MarkDirty(b *Buf) { b.dirty = true }
+
+// Release unlocks and unpins a buffer.
+func (c *Cache) Release(b *Buf) {
+	b.lock.Unlock()
+	c.put(b)
+}
+
+func (c *Cache) put(b *Buf) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b.refs <= 0 {
+		panic("bcache: release of unreferenced buffer")
+	}
+	b.refs--
+	c.tick++
+	b.lru = c.tick
+}
+
+// Flush writes every dirty buffer back to the device (unmount/shutdown).
+func (c *Cache) Flush(t *sched.Task) error {
+	c.mu.Lock()
+	dirty := make([]*Buf, 0)
+	for _, b := range c.bufs {
+		if b.valid && b.dirty {
+			b.refs++
+			dirty = append(dirty, b)
+		}
+	}
+	c.mu.Unlock()
+	for _, b := range dirty {
+		b.lock.Lock(t)
+		if b.dirty && b.valid {
+			if err := c.dev.WriteBlocks(b.lba, 1, b.Data); err != nil {
+				c.Release(b)
+				return err
+			}
+			c.mu.Lock()
+			c.writebacks++
+			c.mu.Unlock()
+			b.dirty = false
+		}
+		c.Release(b)
+	}
+	return nil
+}
+
+// Stats reports cache behaviour.
+func (c *Cache) Stats() (hits, misses, evictions, writebacks int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.writebacks
+}
+
+// Device exposes the underlying block device (FAT32's range bypass needs
+// it; that is the point of §5.2's optimization).
+func (c *Cache) Device() fs.BlockDevice { return c.dev }

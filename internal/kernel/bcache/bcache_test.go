@@ -1,0 +1,143 @@
+package bcache
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+)
+
+func newCache(t *testing.T, blocks, bufs int) (*Cache, *fs.Ramdisk) {
+	t.Helper()
+	rd := fs.NewRamdisk(512, blocks)
+	return New(rd, bufs), rd
+}
+
+func TestHitAvoidsDeviceRead(t *testing.T) {
+	c, rd := newCache(t, 16, 4)
+	b, err := c.Get(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Release(b)
+	r0, _ := rd.Stats()
+	b2, _ := c.Get(nil, 3)
+	c.Release(b2)
+	r1, _ := rd.Stats()
+	if r1 != r0 {
+		t.Fatal("cache hit still read the device")
+	}
+	hits, misses, _, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestDirtyWritebackOnEviction(t *testing.T) {
+	c, rd := newCache(t, 16, 2)
+	b, _ := c.Get(nil, 0)
+	b.Data[0] = 0xAB
+	c.MarkDirty(b)
+	c.Release(b)
+	// Evict block 0 by touching two other blocks.
+	for lba := 1; lba <= 2; lba++ {
+		b, _ := c.Get(nil, lba)
+		c.Release(b)
+	}
+	// The write must have reached the device.
+	raw := make([]byte, 512)
+	rd.ReadBlocks(0, 1, raw)
+	if raw[0] != 0xAB {
+		t.Fatal("dirty block lost on eviction")
+	}
+}
+
+func TestFlushWritesAllDirty(t *testing.T) {
+	c, rd := newCache(t, 16, 8)
+	for lba := 0; lba < 4; lba++ {
+		b, _ := c.Get(nil, lba)
+		b.Data[0] = byte(0x10 + lba)
+		c.MarkDirty(b)
+		c.Release(b)
+	}
+	if err := c.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 512)
+	for lba := 0; lba < 4; lba++ {
+		rd.ReadBlocks(lba, 1, raw)
+		if raw[0] != byte(0x10+lba) {
+			t.Fatalf("block %d not flushed", lba)
+		}
+	}
+}
+
+func TestNoAliasingOfSameBlock(t *testing.T) {
+	// Two tasks getting the same block must converge on one buffer.
+	s := sched.New(sched.Config{Cores: 2})
+	s.Start()
+	defer s.Shutdown(5 * time.Second)
+	c, _ := newCache(t, 16, 4)
+
+	var mu sync.Mutex
+	var bufs []*Buf
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		s.Go("getter", 0, func(t *sched.Task) {
+			defer wg.Done()
+			b, err := c.Get(t, 7)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			bufs = append(bufs, b)
+			mu.Unlock()
+			t.SleepFor(time.Millisecond)
+			c.Release(b)
+		})
+	}
+	wg.Wait()
+	if len(bufs) != 2 || bufs[0] != bufs[1] {
+		t.Fatalf("same block served by different buffers: %p %p", bufs[0], bufs[1])
+	}
+}
+
+func TestAllBuffersReferencedFails(t *testing.T) {
+	c, _ := newCache(t, 16, 2)
+	b0, _ := c.Get(nil, 0)
+	b1, _ := c.Get(nil, 1)
+	if _, err := c.Get(nil, 2); err == nil {
+		t.Fatal("expected buffer exhaustion")
+	}
+	c.Release(b0)
+	c.Release(b1)
+	if b, err := c.Get(nil, 2); err != nil {
+		t.Fatal(err)
+	} else {
+		c.Release(b)
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c, _ := newCache(t, 16, 3)
+	for lba := 0; lba < 3; lba++ {
+		b, _ := c.Get(nil, lba)
+		c.Release(b)
+	}
+	// Touch 0 to refresh it, then force one eviction.
+	b, _ := c.Get(nil, 0)
+	c.Release(b)
+	b, _ = c.Get(nil, 9)
+	c.Release(b)
+	// Block 0 should still hit; block 1 (oldest) was evicted.
+	h0, _, _, _ := c.Stats()
+	b, _ = c.Get(nil, 0)
+	c.Release(b)
+	h1, _, _, _ := c.Stats()
+	if h1 != h0+1 {
+		t.Fatal("recently used block was evicted")
+	}
+}

@@ -1,0 +1,373 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+	"protosim/internal/kernel/wm"
+)
+
+// eventQueue buffers keyboard events for /dev/events when no window
+// manager is routing input (Prototype 4).
+type eventQueue struct {
+	mu     sync.Mutex
+	events []wm.InputEvent
+	wq     sched.WaitQueue
+}
+
+func (q *eventQueue) push(e wm.InputEvent) {
+	q.mu.Lock()
+	if len(q.events) < 512 {
+		q.events = append(q.events, e)
+	}
+	q.mu.Unlock()
+	q.wq.WakeAll()
+}
+
+func (q *eventQueue) pop(t *sched.Task, block bool) (wm.InputEvent, bool) {
+	for {
+		q.mu.Lock()
+		if len(q.events) > 0 {
+			e := q.events[0]
+			q.events = q.events[1:]
+			q.mu.Unlock()
+			return e, true
+		}
+		q.mu.Unlock()
+		if !block {
+			return wm.InputEvent{}, false
+		}
+		q.wq.Sleep(t)
+	}
+}
+
+// initKeyboard performs the USPi-style enumeration dance and installs the
+// IRQ handler that turns HID reports into input events.
+func (k *Kernel) initKeyboard() error {
+	usb := k.m.USB
+	if !usb.PortConnected() {
+		return fmt.Errorf("no keyboard on the root hub")
+	}
+	// Enumeration: read the device descriptor at address 0, assign an
+	// address, read configuration, set configuration, boot protocol.
+	if _, err := usb.ControlTransfer(0, hw.SetupPacket{Request: 6, Value: 1 << 8, Length: 18}); err != nil {
+		return fmt.Errorf("get device descriptor: %w", err)
+	}
+	const addr = 1
+	if _, err := usb.ControlTransfer(0, hw.SetupPacket{Request: 5, Value: addr}); err != nil {
+		return fmt.Errorf("set address: %w", err)
+	}
+	cfg, err := usb.ControlTransfer(addr, hw.SetupPacket{Request: 6, Value: 2 << 8, Length: 64})
+	if err != nil {
+		return fmt.Errorf("get config descriptor: %w", err)
+	}
+	if len(cfg) < 17 || cfg[14] != 3 {
+		return fmt.Errorf("device is not HID class")
+	}
+	if _, err := usb.ControlTransfer(addr, hw.SetupPacket{Request: 9, Value: 1}); err != nil {
+		return fmt.Errorf("set configuration: %w", err)
+	}
+	if _, err := usb.ControlTransfer(addr, hw.SetupPacket{Request: 11, Value: 0}); err != nil {
+		return fmt.Errorf("set boot protocol: %w", err)
+	}
+	k.kbdAddr = addr
+	k.rawEvents = &eventQueue{}
+	k.m.IRQ.Register(hw.IRQUSB, 0, func(hw.IRQLine, int) { k.drainKeyboard() })
+
+	// Game HAT buttons arrive via GPIO and are translated to the same
+	// event stream (§5.5: buttons "emit key events through /dev/events").
+	k.m.IRQ.Register(hw.IRQGPIO, 0, func(hw.IRQLine, int) { k.drainButtons() })
+	k.Printk("proto: usb keyboard at address %d\n", addr)
+	return nil
+}
+
+// drainKeyboard services the USB interrupt: fetch reports, diff against
+// the previous state to produce down/up events, and route them.
+func (k *Kernel) drainKeyboard() {
+	for {
+		rep, ok, err := k.m.USB.InterruptTransfer(k.kbdAddr)
+		if err != nil || !ok {
+			return
+		}
+		prev := k.kbdLast
+		k.kbdLast = rep
+		mods := rep[0]
+		// Releases: usages in prev but not in rep.
+		for _, u := range prev[2:] {
+			if u == 0 {
+				continue
+			}
+			if !reportHas(rep, u) {
+				k.routeEvent(wm.InputEvent{Down: false, Code: u, Mods: mods, ASCII: hw.UsageToASCII(u, mods)})
+			}
+		}
+		// Presses: usages in rep but not in prev.
+		for _, u := range rep[2:] {
+			if u == 0 {
+				continue
+			}
+			if !reportHas(prev, u) {
+				k.routeEvent(wm.InputEvent{Down: true, Code: u, Mods: mods, ASCII: hw.UsageToASCII(u, mods)})
+			}
+		}
+	}
+}
+
+func reportHas(rep [hw.HIDReportLen]byte, usage byte) bool {
+	for _, u := range rep[2:] {
+		if u == usage {
+			return true
+		}
+	}
+	return false
+}
+
+// drainButtons maps Game HAT GPIO edges to key events.
+func (k *Kernel) drainButtons() {
+	for _, ev := range k.m.GPIO.DrainEvents() {
+		var usage byte
+		switch ev.Pin {
+		case hw.PinUp:
+			usage = hw.UsageUp
+		case hw.PinDown:
+			usage = hw.UsageDown
+		case hw.PinLeft:
+			usage = hw.UsageLeft
+		case hw.PinRight:
+			usage = hw.UsageRight
+		case hw.PinA:
+			usage = hw.UsageA
+		case hw.PinB:
+			usage = hw.UsageA + 1
+		case hw.PinStart:
+			usage = hw.UsageEnter
+		case hw.PinSelect:
+			usage = hw.UsageTab
+		default:
+			continue
+		}
+		k.routeEvent(wm.InputEvent{Down: ev.Pressed, Code: usage, ASCII: hw.UsageToASCII(usage, 0)})
+	}
+}
+
+// routeEvent sends an input event to the WM's focused window; when no
+// window exists (direct-rendering apps like DOOM, or a bare console), it
+// lands in the raw /dev/events queue instead.
+func (k *Kernel) routeEvent(e wm.InputEvent) {
+	if k.WM != nil && k.WM.Focused() != nil {
+		k.WM.DeliverKey(e)
+		return
+	}
+	if k.rawEvents != nil {
+		k.rawEvents.push(e)
+	}
+}
+
+// InjectKey lets tests and examples type without a USB device attached
+// (it still flows through the normal routing).
+func (k *Kernel) InjectKey(e wm.InputEvent) { k.routeEvent(e) }
+
+// registerDevices populates /dev.
+func (k *Kernel) registerDevices() {
+	k.DevFS.Register("uart", func(*sched.Task, int) (fs.File, error) {
+		return &uartFile{k: k}, nil
+	})
+	k.DevFS.Register("console", func(*sched.Task, int) (fs.File, error) {
+		return &consoleFile{k: k}, nil
+	})
+	k.DevFS.Register("fb", func(_ *sched.Task, flags int) (fs.File, error) {
+		return &fbFile{k: k}, nil
+	})
+	k.DevFS.Register("events", func(_ *sched.Task, flags int) (fs.File, error) {
+		return &eventsFile{k: k, nonblock: flags&fs.ONonblock != 0}, nil
+	})
+	if k.cfg.EnableSound {
+		k.DevFS.Register("sb", func(*sched.Task, int) (fs.File, error) {
+			return &soundFile{dev: k.sound}, nil
+		})
+	}
+}
+
+// registerWMDevices adds the Prototype 5 surface devices once a WM exists.
+// Called lazily from the surface open path.
+
+// --- /dev/uart and /dev/console ---
+
+// uartFile is raw serial: writes transmit, reads poll the RX FIFO.
+type uartFile struct{ k *Kernel }
+
+func (u *uartFile) Read(t *sched.Task, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		b, ok := u.k.m.UART.RxByte()
+		if !ok {
+			break
+		}
+		p[n] = b
+		n++
+	}
+	return n, nil
+}
+
+func (u *uartFile) Write(_ *sched.Task, p []byte) (int, error) {
+	return u.k.m.UART.Write(p)
+}
+func (u *uartFile) Close() error { return nil }
+func (u *uartFile) Stat() (fs.Stat, error) {
+	return fs.Stat{Name: "uart", Type: fs.TypeDevice}, nil
+}
+
+// consoleFile is the shell's terminal: reads block for keyboard ASCII
+// (falling back to UART RX), writes go to the UART synchronously.
+type consoleFile struct{ k *Kernel }
+
+func (c *consoleFile) Read(t *sched.Task, p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for {
+		// Keyboard first.
+		if q := c.k.rawEvents; q != nil {
+			if e, ok := q.pop(t, false); ok {
+				if e.Down && e.ASCII != 0 {
+					p[0] = e.ASCII
+					return 1, nil
+				}
+				continue // releases and unprintables are skipped
+			}
+		}
+		if b, ok := c.k.m.UART.RxByte(); ok {
+			p[0] = b
+			return 1, nil
+		}
+		// Nothing pending: sleep briefly (console poll tick).
+		t.SleepFor(2 * time.Millisecond)
+	}
+}
+
+func (c *consoleFile) Write(_ *sched.Task, p []byte) (int, error) {
+	return c.k.m.UART.Write(p)
+}
+func (c *consoleFile) Close() error { return nil }
+func (c *consoleFile) Stat() (fs.Stat, error) {
+	return fs.Stat{Name: "console", Type: fs.TypeDevice}, nil
+}
+
+// --- /dev/fb ---
+
+// fbFile exposes the framebuffer as a seekable device file; ioctl flushes
+// the cache so the panel shows the writes.
+type fbFile struct {
+	k   *Kernel
+	mu  sync.Mutex
+	off int64
+}
+
+func (f *fbFile) Read(_ *sched.Task, p []byte) (int, error) {
+	fb := f.k.FB
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.off >= int64(fb.Size()) {
+		return 0, nil
+	}
+	n := copy(p, fb.Mem()[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *fbFile) Write(_ *sched.Task, p []byte) (int, error) {
+	fb := f.k.FB
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.off >= int64(fb.Size()) {
+		return 0, fs.ErrNoSpace
+	}
+	n := copy(fb.Mem()[f.off:], p)
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *fbFile) Close() error { return nil }
+func (f *fbFile) Stat() (fs.Stat, error) {
+	return fs.Stat{Name: "fb", Type: fs.TypeDevice, Size: int64(f.k.FB.Size())}, nil
+}
+
+// Lseek implements fs.Seeker.
+func (f *fbFile) Lseek(off int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case fs.SeekSet:
+		base = 0
+	case fs.SeekCur:
+		base = f.off
+	case fs.SeekEnd:
+		base = int64(f.k.FB.Size())
+	default:
+		return 0, fs.ErrBadSeek
+	}
+	n := base + off
+	if n < 0 {
+		return 0, fs.ErrBadSeek
+	}
+	f.off = n
+	return n, nil
+}
+
+// Ioctl implements fs.Ioctler.
+func (f *fbFile) Ioctl(_ *sched.Task, op int, arg int64) (int64, error) {
+	switch op {
+	case IoctlFBFlush:
+		f.k.FB.Flush()
+		return 0, nil
+	case IoctlFBInfo:
+		return int64(f.k.FB.Width())<<32 | int64(f.k.FB.Height()), nil
+	}
+	return 0, fmt.Errorf("kernel: fb ioctl %d", op)
+}
+
+// --- /dev/events ---
+
+// eventsFile delivers raw keyboard events as 8-byte records; with
+// O_NONBLOCK (or the ioctl) an empty queue returns ErrWouldBlock — the
+// §4.5 non-blocking IO path DOOM's key polling needs.
+type eventsFile struct {
+	k        *Kernel
+	nonblock bool
+}
+
+func (f *eventsFile) Read(t *sched.Task, p []byte) (int, error) {
+	if len(p) < wm.EventSize {
+		return 0, fmt.Errorf("kernel: events read needs %d bytes", wm.EventSize)
+	}
+	q := f.k.rawEvents
+	if q == nil {
+		return 0, fs.ErrNotFound
+	}
+	e, ok := q.pop(t, !f.nonblock)
+	if !ok {
+		return 0, fs.ErrWouldBlock
+	}
+	e.Encode(p)
+	return wm.EventSize, nil
+}
+
+func (f *eventsFile) Write(*sched.Task, []byte) (int, error) { return 0, fs.ErrPerm }
+func (f *eventsFile) Close() error                           { return nil }
+func (f *eventsFile) Stat() (fs.Stat, error) {
+	return fs.Stat{Name: "events", Type: fs.TypeDevice}, nil
+}
+
+// Ioctl implements fs.Ioctler.
+func (f *eventsFile) Ioctl(_ *sched.Task, op int, arg int64) (int64, error) {
+	if op == IoctlNonblock {
+		f.nonblock = arg != 0
+		return 0, nil
+	}
+	return 0, fmt.Errorf("kernel: events ioctl %d", op)
+}

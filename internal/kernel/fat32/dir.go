@@ -1,0 +1,229 @@
+package fat32
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+)
+
+// dirent83 is one 32-byte FAT directory entry (8.3, no LFN — Proto's asset
+// names fit; see package comment).
+type dirent83 struct {
+	name    [11]byte // "NAME    EXT"
+	attr    byte
+	cluster uint32
+	size    uint32
+}
+
+func (d *dirent83) encode(b []byte) {
+	copy(b[0:11], d.name[:])
+	b[11] = d.attr
+	binary.LittleEndian.PutUint16(b[20:], uint16(d.cluster>>16))
+	binary.LittleEndian.PutUint16(b[26:], uint16(d.cluster&0xFFFF))
+	binary.LittleEndian.PutUint32(b[28:], d.size)
+}
+
+func (d *dirent83) decode(b []byte) {
+	copy(d.name[:], b[0:11])
+	d.attr = b[11]
+	d.cluster = uint32(binary.LittleEndian.Uint16(b[20:]))<<16 | uint32(binary.LittleEndian.Uint16(b[26:]))
+	d.size = binary.LittleEndian.Uint32(b[28:])
+}
+
+func (d *dirent83) free() bool    { return d.name[0] == 0 || d.name[0] == 0xE5 }
+func (d *dirent83) endMark() bool { return d.name[0] == 0 }
+
+// to83 converts "doom1.wad" to "DOOM1   WAD". Returns false for names that
+// don't fit 8.3.
+func to83(name string) ([11]byte, bool) {
+	var out [11]byte
+	for i := range out {
+		out[i] = ' '
+	}
+	name = strings.ToUpper(name)
+	base, ext := name, ""
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		base, ext = name[:i], name[i+1:]
+	}
+	if base == "" || len(base) > 8 || len(ext) > 3 || strings.ContainsAny(name, " /\\") {
+		return out, false
+	}
+	copy(out[0:8], base)
+	copy(out[8:11], ext)
+	return out, true
+}
+
+// from83 converts "DOOM1   WAD" back to "doom1.wad".
+func from83(raw [11]byte) string {
+	base := strings.TrimRight(string(raw[0:8]), " ")
+	ext := strings.TrimRight(string(raw[8:11]), " ")
+	s := base
+	if ext != "" {
+		s += "." + ext
+	}
+	return strings.ToLower(s)
+}
+
+// direntRef locates an entry inside a directory chain.
+type direntRef struct {
+	cluster uint32 // cluster holding the entry
+	index   int    // entry index within the cluster
+}
+
+// scanDir iterates a directory chain, calling fn for each live entry.
+// fn returning false stops the scan.
+func (f *FS) scanDir(t *sched.Task, dirCluster uint32, fn func(de *dirent83, ref direntRef) bool) error {
+	clusters, err := f.chain(t, dirCluster)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, ClusterSize)
+	for _, c := range clusters {
+		if err := f.readClusterData(t, c, buf); err != nil {
+			return err
+		}
+		for i := 0; i < ClusterSize/direntSize; i++ {
+			var de dirent83
+			de.decode(buf[i*direntSize:])
+			if de.endMark() {
+				return nil
+			}
+			if de.free() {
+				continue
+			}
+			if !fn(&de, direntRef{cluster: c, index: i}) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// lookup finds name in the directory starting at dirCluster.
+func (f *FS) lookup(t *sched.Task, dirCluster uint32, name string) (*dirent83, direntRef, error) {
+	want, ok := to83(name)
+	if !ok {
+		return nil, direntRef{}, fs.ErrNameTooLong
+	}
+	var found *dirent83
+	var ref direntRef
+	err := f.scanDir(t, dirCluster, func(de *dirent83, r direntRef) bool {
+		if bytes.Equal(de.name[:], want[:]) {
+			cp := *de
+			found, ref = &cp, r
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, direntRef{}, err
+	}
+	if found == nil {
+		return nil, direntRef{}, fs.ErrNotFound
+	}
+	return found, ref, nil
+}
+
+// writeDirent stores de at ref.
+func (f *FS) writeDirent(t *sched.Task, ref direntRef, de *dirent83) error {
+	buf := make([]byte, ClusterSize)
+	if err := f.readClusterData(t, ref.cluster, buf); err != nil {
+		return err
+	}
+	de.encode(buf[ref.index*direntSize:])
+	return f.writeClusterData(t, ref.cluster, buf)
+}
+
+// addDirent appends an entry to a directory, extending the chain when full.
+func (f *FS) addDirent(t *sched.Task, dirCluster uint32, de *dirent83) error {
+	clusters, err := f.chain(t, dirCluster)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, ClusterSize)
+	for _, c := range clusters {
+		if err := f.readClusterData(t, c, buf); err != nil {
+			return err
+		}
+		for i := 0; i < ClusterSize/direntSize; i++ {
+			var cur dirent83
+			cur.decode(buf[i*direntSize:])
+			if cur.free() {
+				de.encode(buf[i*direntSize:])
+				return f.writeClusterData(t, c, buf)
+			}
+		}
+	}
+	// Directory full: grow the chain.
+	nc, err := f.allocCluster(t)
+	if err != nil {
+		return err
+	}
+	last := clusters[len(clusters)-1]
+	if err := f.fatSet(t, last, nc); err != nil {
+		return err
+	}
+	if err := f.readClusterData(t, nc, buf); err != nil {
+		return err
+	}
+	de.encode(buf[0:])
+	return f.writeClusterData(t, nc, buf)
+}
+
+// removeDirent marks an entry deleted (0xE5).
+func (f *FS) removeDirent(t *sched.Task, ref direntRef) error {
+	buf := make([]byte, ClusterSize)
+	if err := f.readClusterData(t, ref.cluster, buf); err != nil {
+		return err
+	}
+	buf[ref.index*direntSize] = 0xE5
+	return f.writeClusterData(t, ref.cluster, buf)
+}
+
+// walk resolves a cleaned absolute path to its directory entry. The root
+// has no dirent; rootDe() fakes one.
+func (f *FS) walk(t *sched.Task, path string) (*dirent83, direntRef, error) {
+	path = fs.Clean(path)
+	if path == "/" {
+		return rootDe(), direntRef{}, nil
+	}
+	cur := uint32(rootCluster)
+	segs := strings.Split(path[1:], "/")
+	for i, seg := range segs {
+		de, ref, err := f.lookup(t, cur, seg)
+		if err != nil {
+			return nil, direntRef{}, err
+		}
+		if i == len(segs)-1 {
+			return de, ref, nil
+		}
+		if de.attr&attrDir == 0 {
+			return nil, direntRef{}, fs.ErrNotDir
+		}
+		cur = de.cluster
+	}
+	return nil, direntRef{}, fs.ErrNotFound
+}
+
+func rootDe() *dirent83 {
+	return &dirent83{attr: attrDir, cluster: rootCluster}
+}
+
+// parentCluster resolves the directory containing path's final element.
+func (f *FS) parentCluster(t *sched.Task, path string) (uint32, string, error) {
+	dir, name := fs.SplitPath(path)
+	if name == "" {
+		return 0, "", fs.ErrPerm
+	}
+	de, _, err := f.walk(t, dir)
+	if err != nil {
+		return 0, "", err
+	}
+	if de.attr&attrDir == 0 {
+		return 0, "", fs.ErrNotDir
+	}
+	return de.cluster, name, nil
+}

@@ -1,0 +1,364 @@
+// Package fat32 is Proto's FatFS substitute: a FAT32 implementation with
+// real on-disk structures (boot sector, file allocation table, 32-byte
+// directory entries, cluster chains) over the SD card. As in Prototype 5
+// (§4.5):
+//
+//   - files and directories get *pseudo-inodes* (handle structures) because
+//     FAT has no inode concept;
+//   - data IO uses *range* transfers straight to the block device,
+//     bypassing the single-block buffer cache (§5.2's optimization) —
+//     metadata (FAT, directories) still goes through the cache;
+//   - names are 8.3 (uppercase on disk, case-insensitive lookup), which
+//     covers Proto's assets (DOOM1.WAD, music, videos).
+package fat32
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/ksync"
+	"protosim/internal/kernel/sched"
+)
+
+// Geometry.
+const (
+	SectorSize        = 512
+	SectorsPerCluster = 8 // 4 KB clusters
+	ClusterSize       = SectorSize * SectorsPerCluster
+
+	fatEntrySize = 4
+	direntSize   = 32
+
+	endOfChain = 0x0FFFFFF8
+	freeClust  = 0
+
+	attrDir     = 0x10
+	attrArchive = 0x20
+
+	rootCluster = 2
+)
+
+// ErrBadFS reports an unrecognized boot sector.
+var ErrBadFS = errors.New("fat32: bad boot sector")
+
+// FS is a mounted FAT32 volume.
+type FS struct {
+	dev fs.BlockDevice
+	bc  *bcache.Cache
+
+	totalSectors int
+	fatStart     int // sector
+	fatSectors   int
+	dataStart    int // sector of cluster 2
+	clusters     int
+
+	lock ksync.SleepLock // volume-wide, like xv6fs's
+
+	mu          sync.Mutex
+	pseudo      map[uint32]*pseudoInode // keyed by first cluster
+	rangeReads  int64
+	rangeBlocks int64
+
+	// useBcacheForData disables the §5.2 bypass so benchmarks can measure
+	// what it buys (the ModeXv6 baseline keeps the cache in the path).
+	useBcacheForData bool
+}
+
+// pseudoInode bridges FAT (no inodes) to Proto's file layer: one per open
+// file or directory, keyed by first cluster.
+type pseudoInode struct {
+	firstCluster uint32
+	size         uint32
+	isDir        bool
+	refs         int
+	// Directory entry location, for size updates on write.
+	dirCluster uint32
+	dirIndex   int
+}
+
+// Mkfs formats dev as FAT32 with an empty root directory.
+func Mkfs(dev fs.BlockDevice) error {
+	if dev.BlockSize() != SectorSize {
+		return fmt.Errorf("fat32: mkfs wants %d-byte sectors, got %d", SectorSize, dev.BlockSize())
+	}
+	total := dev.Blocks()
+	// Size the FAT: clusters ≈ (total - reserved) / sectorsPerCluster.
+	reserved := 32
+	clusters := (total - reserved) / SectorsPerCluster
+	fatSectors := (clusters*fatEntrySize + SectorSize - 1) / SectorSize
+	clusters = (total - reserved - fatSectors) / SectorsPerCluster
+	if clusters < 16 {
+		return fmt.Errorf("fat32: device too small (%d sectors)", total)
+	}
+
+	boot := make([]byte, SectorSize)
+	copy(boot[3:], "PROTOFAT")
+	binary.LittleEndian.PutUint16(boot[11:], SectorSize)
+	boot[13] = SectorsPerCluster
+	binary.LittleEndian.PutUint16(boot[14:], uint16(reserved))
+	boot[16] = 1 // one FAT
+	binary.LittleEndian.PutUint32(boot[32:], uint32(total))
+	binary.LittleEndian.PutUint32(boot[36:], uint32(fatSectors))
+	binary.LittleEndian.PutUint32(boot[44:], rootCluster)
+	boot[510], boot[511] = 0x55, 0xAA
+	if err := dev.WriteBlocks(0, 1, boot); err != nil {
+		return err
+	}
+
+	// Zero the FAT, then mark reserved entries and the root cluster.
+	zero := make([]byte, SectorSize)
+	for s := 0; s < fatSectors; s++ {
+		if err := dev.WriteBlocks(reserved+s, 1, zero); err != nil {
+			return err
+		}
+	}
+	fat0 := make([]byte, SectorSize)
+	binary.LittleEndian.PutUint32(fat0[0:], 0x0FFFFFF8) // media
+	binary.LittleEndian.PutUint32(fat0[4:], 0x0FFFFFFF) // reserved
+	binary.LittleEndian.PutUint32(fat0[8:], endOfChain) // root dir
+	if err := dev.WriteBlocks(reserved, 1, fat0); err != nil {
+		return err
+	}
+	// Zero the root directory cluster.
+	dataStart := reserved + fatSectors
+	for s := 0; s < SectorsPerCluster; s++ {
+		if err := dev.WriteBlocks(dataStart+s, 1, zero); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mount opens a FAT32 volume.
+func Mount(dev fs.BlockDevice, t *sched.Task) (*FS, error) {
+	if dev.BlockSize() != SectorSize {
+		return nil, fmt.Errorf("%w: sector size %d", ErrBadFS, dev.BlockSize())
+	}
+	f := &FS{dev: dev, bc: bcache.New(dev, bcache.DefaultBuffers), pseudo: make(map[uint32]*pseudoInode)}
+	boot := make([]byte, SectorSize)
+	if err := dev.ReadBlocks(0, 1, boot); err != nil {
+		return nil, err
+	}
+	if boot[510] != 0x55 || boot[511] != 0xAA || string(boot[3:11]) != "PROTOFAT" {
+		return nil, ErrBadFS
+	}
+	reserved := int(binary.LittleEndian.Uint16(boot[14:]))
+	f.totalSectors = int(binary.LittleEndian.Uint32(boot[32:]))
+	f.fatSectors = int(binary.LittleEndian.Uint32(boot[36:]))
+	f.fatStart = reserved
+	f.dataStart = reserved + f.fatSectors
+	f.clusters = (f.totalSectors - f.dataStart) / SectorsPerCluster
+	return f, nil
+}
+
+// SetDataThroughCache forces data IO through the single-block buffer cache
+// (disabling the §5.2 bypass); used by the xv6-baseline benchmarks.
+func (f *FS) SetDataThroughCache(on bool) {
+	f.mu.Lock()
+	f.useBcacheForData = on
+	f.mu.Unlock()
+}
+
+// RangeStats reports bypassed range transfers (reads, blocks).
+func (f *FS) RangeStats() (ops, blocks int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rangeReads, f.rangeBlocks
+}
+
+// Cache exposes the metadata buffer cache.
+func (f *FS) Cache() *bcache.Cache { return f.bc }
+
+// --- FAT access (through the buffer cache; caller holds f.lock) ---
+
+func (f *FS) fatGet(t *sched.Task, cluster uint32) (uint32, error) {
+	off := int(cluster) * fatEntrySize
+	sector := f.fatStart + off/SectorSize
+	var val uint32
+	b, err := f.bc.Get(t, sector)
+	if err != nil {
+		return 0, err
+	}
+	val = binary.LittleEndian.Uint32(b.Data[off%SectorSize:]) & 0x0FFFFFFF
+	f.bc.Release(b)
+	return val, nil
+}
+
+func (f *FS) fatSet(t *sched.Task, cluster, val uint32) error {
+	off := int(cluster) * fatEntrySize
+	sector := f.fatStart + off/SectorSize
+	b, err := f.bc.Get(t, sector)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(b.Data[off%SectorSize:], val&0x0FFFFFFF)
+	f.bc.MarkDirty(b)
+	f.bc.Release(b)
+	return nil
+}
+
+// allocCluster finds a free FAT entry, links it as end-of-chain.
+func (f *FS) allocCluster(t *sched.Task) (uint32, error) {
+	for c := uint32(rootCluster); c < uint32(f.clusters+rootCluster); c++ {
+		v, err := f.fatGet(t, c)
+		if err != nil {
+			return 0, err
+		}
+		if v == freeClust {
+			if err := f.fatSet(t, c, endOfChain); err != nil {
+				return 0, err
+			}
+			// Zero the cluster (directories depend on this).
+			zero := make([]byte, ClusterSize)
+			if err := f.writeClusterData(t, c, zero); err != nil {
+				return 0, err
+			}
+			return c, nil
+		}
+	}
+	return 0, fs.ErrNoSpace
+}
+
+// freeChain releases a cluster chain.
+func (f *FS) freeChain(t *sched.Task, c uint32) error {
+	for c >= rootCluster && c < endOfChain {
+		next, err := f.fatGet(t, c)
+		if err != nil {
+			return err
+		}
+		if err := f.fatSet(t, c, freeClust); err != nil {
+			return err
+		}
+		c = next
+	}
+	return nil
+}
+
+// chain returns the cluster list of a chain starting at c.
+func (f *FS) chain(t *sched.Task, c uint32) ([]uint32, error) {
+	var out []uint32
+	for c >= rootCluster && c < endOfChain {
+		out = append(out, c)
+		next, err := f.fatGet(t, c)
+		if err != nil {
+			return nil, err
+		}
+		if next == c {
+			return nil, fmt.Errorf("fat32: cluster %d links to itself", c)
+		}
+		c = next
+	}
+	return out, nil
+}
+
+func (f *FS) clusterSector(c uint32) int {
+	return f.dataStart + int(c-rootCluster)*SectorsPerCluster
+}
+
+// readClusterData reads one whole cluster. Data path: a single range read
+// (the bypass), or 8 single-block cached reads in baseline mode.
+func (f *FS) readClusterData(t *sched.Task, c uint32, dst []byte) error {
+	sector := f.clusterSector(c)
+	f.mu.Lock()
+	cached := f.useBcacheForData
+	f.mu.Unlock()
+	if cached {
+		for s := 0; s < SectorsPerCluster; s++ {
+			b, err := f.bc.Get(t, sector+s)
+			if err != nil {
+				return err
+			}
+			copy(dst[s*SectorSize:], b.Data)
+			f.bc.Release(b)
+		}
+		return nil
+	}
+	f.mu.Lock()
+	f.rangeReads++
+	f.rangeBlocks += SectorsPerCluster
+	f.mu.Unlock()
+	return f.dev.ReadBlocks(sector, SectorsPerCluster, dst)
+}
+
+func (f *FS) writeClusterData(t *sched.Task, c uint32, src []byte) error {
+	sector := f.clusterSector(c)
+	f.mu.Lock()
+	cached := f.useBcacheForData
+	f.mu.Unlock()
+	if cached {
+		for s := 0; s < SectorsPerCluster; s++ {
+			b, err := f.bc.Get(t, sector+s)
+			if err != nil {
+				return err
+			}
+			copy(b.Data, src[s*SectorSize:(s+1)*SectorSize])
+			f.bc.MarkDirty(b)
+			f.bc.Release(b)
+		}
+		return nil
+	}
+	f.mu.Lock()
+	f.rangeReads++
+	f.rangeBlocks += SectorsPerCluster
+	f.mu.Unlock()
+	return f.dev.WriteBlocks(sector, SectorsPerCluster, src)
+}
+
+// readRange reads contiguous cluster runs with single range commands — the
+// §5.2 fast path whose effect Fig 8's throughput sweep shows.
+func (f *FS) readRange(t *sched.Task, clusters []uint32, off int, dst []byte) error {
+	// Walk [off, off+len(dst)) across the chain, coalescing contiguous
+	// clusters into one device command.
+	done := 0
+	for done < len(dst) {
+		pos := off + done
+		ci := pos / ClusterSize
+		co := pos % ClusterSize
+		if ci >= len(clusters) {
+			return fmt.Errorf("fat32: read beyond chain")
+		}
+		if co != 0 || len(dst)-done < ClusterSize {
+			// Partial cluster: read it whole, copy the piece.
+			buf := make([]byte, ClusterSize)
+			if err := f.readClusterData(t, clusters[ci], buf); err != nil {
+				return err
+			}
+			n := copy(dst[done:], buf[co:])
+			done += n
+			continue
+		}
+		// Aligned: coalesce a contiguous run.
+		run := 1
+		for ci+run < len(clusters) &&
+			clusters[ci+run] == clusters[ci]+uint32(run) &&
+			done+(run+1)*ClusterSize <= len(dst) {
+			run++
+		}
+		f.mu.Lock()
+		cached := f.useBcacheForData
+		f.mu.Unlock()
+		if cached {
+			for k := 0; k < run; k++ {
+				if err := f.readClusterData(t, clusters[ci+k], dst[done+k*ClusterSize:done+(k+1)*ClusterSize]); err != nil {
+					return err
+				}
+			}
+		} else {
+			sector := f.clusterSector(clusters[ci])
+			nsec := run * SectorsPerCluster
+			f.mu.Lock()
+			f.rangeReads++
+			f.rangeBlocks += int64(nsec)
+			f.mu.Unlock()
+			if err := f.dev.ReadBlocks(sector, nsec, dst[done:done+run*ClusterSize]); err != nil {
+				return err
+			}
+		}
+		done += run * ClusterSize
+	}
+	return nil
+}

@@ -1,0 +1,350 @@
+package fat32
+
+import (
+	"sync"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+)
+
+// file is one open FAT32 file, backed by a shared pseudo-inode.
+type file struct {
+	fsys *FS
+	pi   *pseudoInode
+	name string
+
+	mu    sync.Mutex
+	off   int64
+	flags int
+}
+
+// getPseudo returns (creating if needed) the pseudo-inode for a dirent.
+// Caller holds f.lock.
+func (f *FS) getPseudo(de *dirent83, ref direntRef) *pseudoInode {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if pi, ok := f.pseudo[de.cluster]; ok {
+		pi.refs++
+		return pi
+	}
+	pi := &pseudoInode{
+		firstCluster: de.cluster,
+		size:         de.size,
+		isDir:        de.attr&attrDir != 0,
+		refs:         1,
+		dirCluster:   ref.cluster,
+		dirIndex:     ref.index,
+	}
+	f.pseudo[de.cluster] = pi
+	return pi
+}
+
+func (f *FS) putPseudo(pi *pseudoInode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pi.refs--
+	if pi.refs <= 0 {
+		delete(f.pseudo, pi.firstCluster)
+	}
+}
+
+// PseudoInodes reports how many pseudo-inodes are live (tests verify the
+// bridge cleans up after itself).
+func (f *FS) PseudoInodes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pseudo)
+}
+
+// Open implements fs.FileSystem.
+func (f *FS) Open(t *sched.Task, path string, flags int) (fs.File, error) {
+	f.lock.Lock(t)
+	defer f.lock.Unlock()
+	path = fs.Clean(path)
+	de, ref, err := f.walk(t, path)
+	if err == fs.ErrNotFound && flags&fs.OCreate != 0 {
+		de, ref, err = f.createLocked(t, path, false)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if de.attr&attrDir != 0 && flags&(fs.OWrOnly|fs.ORdWr) != 0 {
+		return nil, fs.ErrIsDir
+	}
+	pi := f.getPseudo(de, ref)
+	if flags&fs.OTrunc != 0 && !pi.isDir && pi.size > 0 {
+		// Free all but the first cluster, reset size.
+		next, err := f.fatGet(t, pi.firstCluster)
+		if err != nil {
+			return nil, err
+		}
+		if next < endOfChain {
+			if err := f.freeChain(t, next); err != nil {
+				return nil, err
+			}
+			if err := f.fatSet(t, pi.firstCluster, endOfChain); err != nil {
+				return nil, err
+			}
+		}
+		pi.size = 0
+		de.size = 0
+		if err := f.writeDirent(t, ref, de); err != nil {
+			return nil, err
+		}
+	}
+	_, name := fs.SplitPath(path)
+	return &file{fsys: f, pi: pi, name: name, flags: flags}, nil
+}
+
+// createLocked adds a new file or directory; caller holds f.lock.
+func (f *FS) createLocked(t *sched.Task, path string, dir bool) (*dirent83, direntRef, error) {
+	parent, name, err := f.parentCluster(t, path)
+	if err != nil {
+		return nil, direntRef{}, err
+	}
+	if _, _, err := f.lookup(t, parent, name); err == nil {
+		return nil, direntRef{}, fs.ErrExists
+	} else if err != fs.ErrNotFound {
+		return nil, direntRef{}, err
+	}
+	n83, ok := to83(name)
+	if !ok {
+		return nil, direntRef{}, fs.ErrNameTooLong
+	}
+	c, err := f.allocCluster(t)
+	if err != nil {
+		return nil, direntRef{}, err
+	}
+	de := &dirent83{name: n83, cluster: c, attr: attrArchive}
+	if dir {
+		de.attr = attrDir
+	}
+	if err := f.addDirent(t, parent, de); err != nil {
+		return nil, direntRef{}, err
+	}
+	_, ref, err := f.lookup(t, parent, name)
+	if err != nil {
+		return nil, direntRef{}, err
+	}
+	return de, ref, nil
+}
+
+// Mkdir implements fs.FileSystem.
+func (f *FS) Mkdir(t *sched.Task, path string) error {
+	f.lock.Lock(t)
+	defer f.lock.Unlock()
+	_, _, err := f.createLocked(t, path, true)
+	return err
+}
+
+// Unlink implements fs.FileSystem.
+func (f *FS) Unlink(t *sched.Task, path string) error {
+	f.lock.Lock(t)
+	defer f.lock.Unlock()
+	de, ref, err := f.walk(t, path)
+	if err != nil {
+		return err
+	}
+	if de.attr&attrDir != 0 {
+		empty := true
+		if err := f.scanDir(t, de.cluster, func(*dirent83, direntRef) bool {
+			empty = false
+			return false
+		}); err != nil {
+			return err
+		}
+		if !empty {
+			return fs.ErrNotEmpty
+		}
+	}
+	if err := f.freeChain(t, de.cluster); err != nil {
+		return err
+	}
+	return f.removeDirent(t, ref)
+}
+
+// Stat implements fs.FileSystem.
+func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
+	f.lock.Lock(t)
+	defer f.lock.Unlock()
+	de, _, err := f.walk(t, path)
+	if err != nil {
+		return fs.Stat{}, err
+	}
+	_, name := fs.SplitPath(path)
+	typ := fs.TypeFile
+	if de.attr&attrDir != 0 {
+		typ = fs.TypeDir
+	}
+	return fs.Stat{Name: name, Type: typ, Size: int64(de.size), Inode: uint64(de.cluster)}, nil
+}
+
+// Sync flushes the metadata cache.
+func (f *FS) Sync(t *sched.Task) error { return f.bc.Flush(t) }
+
+// --- fs.File implementation ---
+
+func (fl *file) Read(t *sched.Task, p []byte) (int, error) {
+	fl.fsys.lock.Lock(t)
+	defer fl.fsys.lock.Unlock()
+	if fl.pi.isDir {
+		return 0, fs.ErrIsDir
+	}
+	fl.mu.Lock()
+	off := fl.off
+	fl.mu.Unlock()
+	size := int64(fl.pi.size)
+	if off >= size {
+		return 0, nil
+	}
+	if off+int64(len(p)) > size {
+		p = p[:size-off]
+	}
+	clusters, err := fl.fsys.chain(t, fl.pi.firstCluster)
+	if err != nil {
+		return 0, err
+	}
+	if err := fl.fsys.readRange(t, clusters, int(off), p); err != nil {
+		return 0, err
+	}
+	fl.mu.Lock()
+	fl.off += int64(len(p))
+	fl.mu.Unlock()
+	return len(p), nil
+}
+
+func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
+	if fl.flags&(fs.OWrOnly|fs.ORdWr) == 0 {
+		return 0, fs.ErrPerm
+	}
+	fl.fsys.lock.Lock(t)
+	defer fl.fsys.lock.Unlock()
+	if fl.pi.isDir {
+		return 0, fs.ErrIsDir
+	}
+	fl.mu.Lock()
+	off := fl.off
+	if fl.flags&fs.OAppend != 0 {
+		off = int64(fl.pi.size)
+	}
+	fl.mu.Unlock()
+
+	end := off + int64(len(p))
+	clusters, err := fl.fsys.chain(t, fl.pi.firstCluster)
+	if err != nil {
+		return 0, err
+	}
+	// Grow the chain to cover end.
+	for int64(len(clusters))*ClusterSize < end {
+		nc, err := fl.fsys.allocCluster(t)
+		if err != nil {
+			return 0, err
+		}
+		if err := fl.fsys.fatSet(t, clusters[len(clusters)-1], nc); err != nil {
+			return 0, err
+		}
+		clusters = append(clusters, nc)
+	}
+	// Write cluster by cluster (read-modify-write partials).
+	done := 0
+	buf := make([]byte, ClusterSize)
+	for done < len(p) {
+		pos := int(off) + done
+		ci := pos / ClusterSize
+		co := pos % ClusterSize
+		n := ClusterSize - co
+		if n > len(p)-done {
+			n = len(p) - done
+		}
+		if co != 0 || n != ClusterSize {
+			if err := fl.fsys.readClusterData(t, clusters[ci], buf); err != nil {
+				return done, err
+			}
+		}
+		copy(buf[co:], p[done:done+n])
+		if err := fl.fsys.writeClusterData(t, clusters[ci], buf); err != nil {
+			return done, err
+		}
+		done += n
+	}
+	fl.mu.Lock()
+	fl.off = off + int64(done)
+	fl.mu.Unlock()
+	if end > int64(fl.pi.size) {
+		fl.pi.size = uint32(end)
+		// Update the directory entry's size field.
+		ref := direntRef{cluster: fl.pi.dirCluster, index: fl.pi.dirIndex}
+		var de dirent83
+		dbuf := make([]byte, ClusterSize)
+		if err := fl.fsys.readClusterData(t, ref.cluster, dbuf); err != nil {
+			return done, err
+		}
+		de.decode(dbuf[ref.index*direntSize:])
+		de.size = fl.pi.size
+		if err := fl.fsys.writeDirent(t, ref, &de); err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+func (fl *file) Close() error {
+	fl.fsys.putPseudo(fl.pi)
+	return nil
+}
+
+func (fl *file) Stat() (fs.Stat, error) {
+	typ := fs.TypeFile
+	if fl.pi.isDir {
+		typ = fs.TypeDir
+	}
+	return fs.Stat{Name: fl.name, Type: typ, Size: int64(fl.pi.size), Inode: uint64(fl.pi.firstCluster)}, nil
+}
+
+// Lseek implements fs.Seeker.
+func (fl *file) Lseek(offset int64, whence int) (int64, error) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	var base int64
+	switch whence {
+	case fs.SeekSet:
+		base = 0
+	case fs.SeekCur:
+		base = fl.off
+	case fs.SeekEnd:
+		base = int64(fl.pi.size)
+	default:
+		return 0, fs.ErrBadSeek
+	}
+	n := base + offset
+	if n < 0 {
+		return 0, fs.ErrBadSeek
+	}
+	fl.off = n
+	return n, nil
+}
+
+// ReadDir implements fs.DirReader.
+func (fl *file) ReadDir() ([]fs.DirEntry, error) {
+	fl.fsys.lock.Lock(nil)
+	defer fl.fsys.lock.Unlock()
+	if !fl.pi.isDir {
+		return nil, fs.ErrNotDir
+	}
+	var out []fs.DirEntry
+	err := fl.fsys.scanDir(nil, fl.pi.firstCluster, func(de *dirent83, _ direntRef) bool {
+		typ := fs.TypeFile
+		if de.attr&attrDir != 0 {
+			typ = fs.TypeDir
+		}
+		out = append(out, fs.DirEntry{Name: from83(de.name), Type: typ, Size: int64(de.size)})
+		return true
+	})
+	return out, err
+}
+
+var (
+	_ fs.File      = (*file)(nil)
+	_ fs.Seeker    = (*file)(nil)
+	_ fs.DirReader = (*file)(nil)
+)

@@ -1,0 +1,111 @@
+package fs
+
+import (
+	"sort"
+	"sync"
+
+	"protosim/internal/kernel/sched"
+)
+
+// DevFS is the /dev filesystem: a flat namespace of device files the
+// kernel's drivers register (framebuffer, events, sound, surface, uart,
+// null). Opening a device file calls the driver's open hook so each open
+// can get its own state (e.g. a per-open surface in the window manager).
+type DevFS struct {
+	mu      sync.RWMutex
+	devices map[string]DeviceOpener
+}
+
+// DeviceOpener creates a File for one open() of the device.
+type DeviceOpener func(t *sched.Task, flags int) (File, error)
+
+// NewDevFS returns an empty /dev with only /dev/null present.
+func NewDevFS() *DevFS {
+	d := &DevFS{devices: make(map[string]DeviceOpener)}
+	d.Register("null", func(*sched.Task, int) (File, error) { return nullFile{}, nil })
+	return d
+}
+
+// Register adds (or replaces) a device node.
+func (d *DevFS) Register(name string, open DeviceOpener) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.devices[name] = open
+}
+
+// Open implements FileSystem.
+func (d *DevFS) Open(t *sched.Task, path string, flags int) (File, error) {
+	path = Clean(path)
+	if path == "/" {
+		return &devDir{dev: d}, nil
+	}
+	name := path[1:]
+	d.mu.RLock()
+	open, ok := d.devices[name]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return open(t, flags)
+}
+
+// Mkdir is not permitted in /dev.
+func (d *DevFS) Mkdir(*sched.Task, string) error { return ErrPerm }
+
+// Unlink is not permitted in /dev.
+func (d *DevFS) Unlink(*sched.Task, string) error { return ErrPerm }
+
+// Stat implements FileSystem.
+func (d *DevFS) Stat(_ *sched.Task, path string) (Stat, error) {
+	path = Clean(path)
+	if path == "/" {
+		return Stat{Name: "dev", Type: TypeDir}, nil
+	}
+	d.mu.RLock()
+	_, ok := d.devices[path[1:]]
+	d.mu.RUnlock()
+	if !ok {
+		return Stat{}, ErrNotFound
+	}
+	return Stat{Name: path[1:], Type: TypeDevice}, nil
+}
+
+// Names lists registered devices (sorted).
+func (d *DevFS) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.devices))
+	for n := range d.devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// devDir lets ls read /dev.
+type devDir struct{ dev *DevFS }
+
+func (dd *devDir) Read(*sched.Task, []byte) (int, error)  { return 0, ErrIsDir }
+func (dd *devDir) Write(*sched.Task, []byte) (int, error) { return 0, ErrIsDir }
+func (dd *devDir) Close() error                           { return nil }
+func (dd *devDir) Stat() (Stat, error)                    { return Stat{Name: "dev", Type: TypeDir}, nil }
+
+// ReadDir implements DirReader.
+func (dd *devDir) ReadDir() ([]DirEntry, error) {
+	names := dd.dev.Names()
+	out := make([]DirEntry, len(names))
+	for i, n := range names {
+		out[i] = DirEntry{Name: n, Type: TypeDevice}
+	}
+	return out, nil
+}
+
+// nullFile is /dev/null.
+type nullFile struct{}
+
+func (nullFile) Read(*sched.Task, []byte) (int, error) { return 0, nil }
+func (nullFile) Write(_ *sched.Task, p []byte) (int, error) {
+	return len(p), nil
+}
+func (nullFile) Close() error        { return nil }
+func (nullFile) Stat() (Stat, error) { return Stat{Name: "null", Type: TypeDevice}, nil }

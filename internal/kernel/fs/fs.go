@@ -1,0 +1,132 @@
+// Package fs is Proto's Prototype 4 file layer: the file abstraction,
+// device files (devfs), proc files (procfs), pipes, and the VFS that
+// dispatches paths to mounted filesystems — the root xv6fs at "/" and the
+// FAT32 SD partition at "/d" in Prototype 5 (§4.5).
+package fs
+
+import (
+	"errors"
+
+	"protosim/internal/kernel/sched"
+)
+
+// Open flags (a UNIX-like subset, enough for the ported apps).
+const (
+	ORdOnly   = 0x0
+	OWrOnly   = 0x1
+	ORdWr     = 0x2
+	OCreate   = 0x40
+	OTrunc    = 0x200
+	ONonblock = 0x800
+	OAppend   = 0x400
+
+	accessMask = 0x3
+)
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// FileType classifies directory entries and open files.
+type FileType int
+
+// File types.
+const (
+	TypeFile FileType = iota
+	TypeDir
+	TypeDevice
+	TypePipe
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeFile:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeDevice:
+		return "dev"
+	case TypePipe:
+		return "pipe"
+	}
+	return "?"
+}
+
+// Stat describes a file, fstat-style.
+type Stat struct {
+	Name  string
+	Type  FileType
+	Size  int64
+	Inode uint64
+}
+
+// DirEntry is one readdir row.
+type DirEntry struct {
+	Name string
+	Type FileType
+	Size int64
+}
+
+// Errors shared across filesystems.
+var (
+	ErrNotFound    = errors.New("fs: no such file or directory")
+	ErrExists      = errors.New("fs: file exists")
+	ErrNotDir      = errors.New("fs: not a directory")
+	ErrIsDir       = errors.New("fs: is a directory")
+	ErrBadFD       = errors.New("fs: bad file descriptor")
+	ErrPerm        = errors.New("fs: operation not permitted")
+	ErrNotEmpty    = errors.New("fs: directory not empty")
+	ErrNameTooLong = errors.New("fs: name too long")
+	ErrFileTooBig  = errors.New("fs: file exceeds filesystem maximum")
+	ErrNoSpace     = errors.New("fs: no space left on device")
+	ErrWouldBlock  = errors.New("fs: operation would block") // EAGAIN
+	ErrPipeClosed  = errors.New("fs: broken pipe")
+	ErrBadSeek     = errors.New("fs: illegal seek")
+	ErrReadOnly    = errors.New("fs: read-only filesystem")
+)
+
+// File is an open file description. Reads and writes may block (pipes,
+// /dev/events, /dev/sb), so they carry the calling task.
+type File interface {
+	Read(t *sched.Task, p []byte) (int, error)
+	Write(t *sched.Task, p []byte) (int, error)
+	Close() error
+	Stat() (Stat, error)
+}
+
+// Seeker is implemented by files that support lseek.
+type Seeker interface {
+	Lseek(offset int64, whence int) (int64, error)
+}
+
+// DirReader is implemented by open directories.
+type DirReader interface {
+	ReadDir() ([]DirEntry, error)
+}
+
+// Ioctler is implemented by device files with control operations (e.g.
+// /dev/fb's flush, /dev/events' nonblock toggle).
+type Ioctler interface {
+	Ioctl(t *sched.Task, op int, arg int64) (int64, error)
+}
+
+// FileSystem is what the VFS mounts. Paths given to a FileSystem are
+// relative to its mount point, cleaned, and always start with '/'.
+type FileSystem interface {
+	Open(t *sched.Task, path string, flags int) (File, error)
+	Mkdir(t *sched.Task, path string) error
+	Unlink(t *sched.Task, path string) error
+	Stat(t *sched.Task, path string) (Stat, error)
+}
+
+// BlockDevice abstracts the storage under a filesystem: the ramdisk under
+// xv6fs, the SD card under FAT32.
+type BlockDevice interface {
+	BlockSize() int
+	Blocks() int
+	ReadBlocks(lba, n int, dst []byte) error
+	WriteBlocks(lba, n int, src []byte) error
+}

@@ -1,0 +1,422 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"protosim/internal/kernel/sched"
+)
+
+func newSched(t *testing.T) *sched.Scheduler {
+	t.Helper()
+	s := sched.New(sched.Config{Cores: 2})
+	s.Start()
+	t.Cleanup(func() {
+		if err := s.Shutdown(5 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+func TestCleanPaths(t *testing.T) {
+	cases := map[string]string{
+		"":            "/",
+		"/":           "/",
+		"//a//b/":     "/a/b",
+		"/a/./b":      "/a/b",
+		"/a/../b":     "/b",
+		"/../../x":    "/x",
+		"a/b":         "/a/b",
+		"/dev/fb":     "/dev/fb",
+		"/a/b/../../": "/",
+	}
+	for in, want := range cases {
+		if got := Clean(in); got != want {
+			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	dir, name := SplitPath("/a/b/c.txt")
+	if dir != "/a/b" || name != "c.txt" {
+		t.Fatalf("split = %q, %q", dir, name)
+	}
+	dir, name = SplitPath("/top")
+	if dir != "/" || name != "top" {
+		t.Fatalf("split = %q, %q", dir, name)
+	}
+}
+
+// fakeFS records which relative paths it was asked for.
+type fakeFS struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (f *fakeFS) Open(t *sched.Task, path string, flags int) (File, error) {
+	f.mu.Lock()
+	f.calls = append(f.calls, path)
+	f.mu.Unlock()
+	return &memFile{name: path, data: []byte("data:" + path)}, nil
+}
+func (f *fakeFS) Mkdir(*sched.Task, string) error  { return nil }
+func (f *fakeFS) Unlink(*sched.Task, string) error { return nil }
+func (f *fakeFS) Stat(_ *sched.Task, path string) (Stat, error) {
+	return Stat{Name: path}, nil
+}
+
+func TestVFSMountDispatch(t *testing.T) {
+	v := NewVFS()
+	root, d, dev := &fakeFS{}, &fakeFS{}, &fakeFS{}
+	if err := v.Mount("/", root); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Mount("/d", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Mount("/dev", dev); err != nil {
+		t.Fatal(err)
+	}
+	// Longest-prefix dispatch.
+	v.Open(nil, "/d/videos/clip.mpv", ORdOnly)
+	if len(d.calls) != 1 || d.calls[0] != "/videos/clip.mpv" {
+		t.Fatalf("d calls = %v", d.calls)
+	}
+	// "/data" belongs to root, not "/d".
+	v.Open(nil, "/data", ORdOnly)
+	if len(root.calls) != 1 || root.calls[0] != "/data" {
+		t.Fatalf("root calls = %v", root.calls)
+	}
+	// "/dev" exact hits devfs root.
+	v.Open(nil, "/dev", ORdOnly)
+	if len(dev.calls) != 1 || dev.calls[0] != "/" {
+		t.Fatalf("dev calls = %v", dev.calls)
+	}
+	// Double mount rejected.
+	if err := v.Mount("/d", d); err == nil {
+		t.Fatal("double mount accepted")
+	}
+}
+
+func TestVFSNoRootFails(t *testing.T) {
+	v := NewVFS()
+	if _, err := v.Open(nil, "/x", ORdOnly); err == nil {
+		t.Fatal("open with no mounts succeeded")
+	}
+}
+
+func TestPipeTransfersInOrder(t *testing.T) {
+	s := newSched(t)
+	r, w := NewPipe()
+	var got []byte
+	var mu sync.Mutex
+	done := make(chan struct{})
+	s.Go("reader", 0, func(t *sched.Task) {
+		defer close(done)
+		buf := make([]byte, 64)
+		for {
+			n, err := r.Read(t, buf)
+			if err != nil || n == 0 {
+				return
+			}
+			mu.Lock()
+			got = append(got, buf[:n]...)
+			mu.Unlock()
+		}
+	})
+	s.Go("writer", 0, func(t *sched.Task) {
+		for i := 0; i < 10; i++ {
+			w.Write(t, []byte{byte(i), byte(i + 100)})
+		}
+		w.Close()
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipe never closed")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 20 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+	for i := 0; i < 10; i++ {
+		if got[2*i] != byte(i) || got[2*i+1] != byte(i+100) {
+			t.Fatalf("order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestPipeBackpressure(t *testing.T) {
+	s := newSched(t)
+	r, w := NewPipe()
+	var wrote atomic.Int64
+	writerDone := make(chan struct{})
+	s.Go("writer", 0, func(t *sched.Task) {
+		defer close(writerDone)
+		big := make([]byte, PipeSize*3)
+		w.Write(t, big)
+		wrote.Store(int64(len(big)))
+		w.Close()
+	})
+	// The write must block: only PipeSize bytes fit.
+	time.Sleep(10 * time.Millisecond)
+	if wrote.Load() != 0 {
+		t.Fatal("oversized write completed without a reader")
+	}
+	done := make(chan int)
+	s.Go("reader", 0, func(t *sched.Task) {
+		total := 0
+		buf := make([]byte, 256)
+		for {
+			n, _ := r.Read(t, buf)
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+		done <- total
+	})
+	select {
+	case total := <-done:
+		if total != PipeSize*3 {
+			t.Fatalf("read %d, want %d", total, PipeSize*3)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader stuck")
+	}
+	<-writerDone
+}
+
+func TestPipeWriteAfterReaderClosed(t *testing.T) {
+	s := newSched(t)
+	r, w := NewPipe()
+	r.Close()
+	errCh := make(chan error, 1)
+	s.Go("writer", 0, func(t *sched.Task) {
+		_, err := w.Write(t, []byte("x"))
+		errCh <- err
+	})
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrPipeClosed) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write blocked forever")
+	}
+}
+
+func TestPipeEOFAfterWriterClosed(t *testing.T) {
+	s := newSched(t)
+	r, w := NewPipe()
+	s.Go("writer", 0, func(t *sched.Task) {
+		w.Write(t, []byte("bye"))
+		w.Close()
+	})
+	got := make(chan []byte, 1)
+	s.Go("reader", 0, func(t *sched.Task) {
+		var all []byte
+		buf := make([]byte, 16)
+		for {
+			n, _ := r.Read(t, buf)
+			if n == 0 {
+				break
+			}
+			all = append(all, buf[:n]...)
+		}
+		got <- all
+	})
+	select {
+	case all := <-got:
+		if string(all) != "bye" {
+			t.Fatalf("got %q", all)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no EOF delivered")
+	}
+}
+
+// Property: pipe preserves arbitrary byte sequences (FIFO, lossless).
+func TestPipeFIFOProperty(t *testing.T) {
+	s := newSched(t)
+	check := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		r, w := NewPipe()
+		out := make(chan []byte, 1)
+		s.Go("r", 0, func(t *sched.Task) {
+			var all []byte
+			buf := make([]byte, 128)
+			for {
+				n, _ := r.Read(t, buf)
+				if n == 0 {
+					break
+				}
+				all = append(all, buf[:n]...)
+			}
+			out <- all
+		})
+		s.Go("w", 0, func(t *sched.Task) {
+			w.Write(t, data)
+			w.Close()
+		})
+		select {
+		case all := <-out:
+			return bytes.Equal(all, data)
+		case <-time.After(5 * time.Second):
+			return false
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDevFSRegistryAndNull(t *testing.T) {
+	d := NewDevFS()
+	f, err := d.Open(nil, "/null", ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.Write(nil, []byte("discard")); n != 7 {
+		t.Fatal("null write")
+	}
+	if n, _ := f.Read(nil, make([]byte, 4)); n != 0 {
+		t.Fatal("null read returned data")
+	}
+	if _, err := d.Open(nil, "/fb", ORdWr); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	d.Register("fb", func(*sched.Task, int) (File, error) {
+		return &memFile{name: "fb"}, nil
+	})
+	if _, err := d.Open(nil, "/fb", ORdWr); err != nil {
+		t.Fatal(err)
+	}
+	dir, _ := d.Open(nil, "/", ORdOnly)
+	entries, _ := dir.(DirReader).ReadDir()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if err := d.Mkdir(nil, "/x"); !errors.Is(err, ErrPerm) {
+		t.Fatal("mkdir in /dev allowed")
+	}
+}
+
+func TestProcFSGeneratesAtOpen(t *testing.T) {
+	p := NewProcFS()
+	var n atomic.Int32
+	p.Register("uptime", func() string {
+		return string(rune('0' + n.Add(1)))
+	})
+	read := func() string {
+		f, err := p.Open(nil, "/uptime", ORdOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]byte, 8)
+		k, _ := f.Read(nil, b)
+		return string(b[:k])
+	}
+	if read() != "1" || read() != "2" {
+		t.Fatal("procfs content not regenerated per open")
+	}
+	// Writes rejected.
+	if _, err := p.Open(nil, "/uptime", OWrOnly); !errors.Is(err, ErrPerm) {
+		t.Fatal("procfs write open allowed")
+	}
+}
+
+func TestFDTableLifecycle(t *testing.T) {
+	ft := NewFDTable(8)
+	f := &memFile{name: "x", data: []byte("hello")}
+	fd, err := ft.Install(f, ORdOnly)
+	if err != nil || fd != 0 {
+		t.Fatalf("fd = %d, %v", fd, err)
+	}
+	got, err := ft.Get(fd)
+	if err != nil || got != File(f) {
+		t.Fatal("get mismatch")
+	}
+	fd2, _ := ft.Dup(fd)
+	if fd2 != 1 {
+		t.Fatalf("dup fd = %d", fd2)
+	}
+	// Dup shares the offset.
+	b := make([]byte, 2)
+	f1, _ := ft.Get(fd)
+	f1.Read(nil, b)
+	f2, _ := ft.Get(fd2)
+	f2.Read(nil, b)
+	if string(b) != "ll" {
+		t.Fatalf("shared offset broken: %q", b)
+	}
+	ft.Close(fd)
+	if _, err := ft.Get(fd); !errors.Is(err, ErrBadFD) {
+		t.Fatal("closed fd still valid")
+	}
+	if _, err := ft.Get(fd2); err != nil {
+		t.Fatal("dup'd fd must survive sibling close")
+	}
+	ft.Close(fd2)
+	if ft.OpenCount() != 0 {
+		t.Fatalf("open count = %d", ft.OpenCount())
+	}
+}
+
+func TestFDTableCloneSharesDescriptions(t *testing.T) {
+	ft := NewFDTable(8)
+	f := &memFile{name: "x", data: []byte("abcd")}
+	fd, _ := ft.Install(f, ORdOnly)
+	child := ft.Clone()
+	b := make([]byte, 2)
+	pf, _ := ft.Get(fd)
+	pf.Read(nil, b) // parent reads "ab"
+	cf, _ := child.Get(fd)
+	cf.Read(nil, b) // child continues at "cd" — shared offset, as in xv6
+	if string(b) != "cd" {
+		t.Fatalf("fork offset sharing broken: %q", b)
+	}
+	ft.CloseAll()
+	child.CloseAll()
+}
+
+func TestFDTableExhaustion(t *testing.T) {
+	ft := NewFDTable(2)
+	ft.Install(&memFile{}, 0)
+	ft.Install(&memFile{}, 0)
+	if _, err := ft.Install(&memFile{}, 0); err == nil {
+		t.Fatal("expected fd exhaustion")
+	}
+}
+
+func TestRamdiskRoundTripAndBounds(t *testing.T) {
+	rd := NewRamdisk(512, 16)
+	src := bytes.Repeat([]byte{0x5A}, 1024)
+	if err := rd.WriteBlocks(3, 2, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 1024)
+	if err := rd.ReadBlocks(3, 2, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatal("round trip failed")
+	}
+	if err := rd.ReadBlocks(15, 2, dst); err == nil {
+		t.Fatal("out of range read accepted")
+	}
+	r, w := rd.Stats()
+	if r != 2 || w != 2 {
+		t.Fatalf("stats = %d, %d", r, w)
+	}
+}

@@ -1,0 +1,139 @@
+package fs
+
+import (
+	"sync"
+
+	"protosim/internal/kernel/sched"
+)
+
+// PipeSize is the ring capacity — xv6's 512 bytes, which Figure 11 shows
+// becoming a bottleneck even for 10-byte keyboard events.
+const PipeSize = 512
+
+// pipe is the shared ring between the two ends.
+type pipe struct {
+	mu      sync.Mutex
+	buf     [PipeSize]byte
+	r, w    int // total bytes read/written (mod indices derived)
+	readers int
+	writers int
+	rwq     sched.WaitQueue // readers waiting for data
+	wwq     sched.WaitQueue // writers waiting for room
+}
+
+// PipeReader is the read end.
+type PipeReader struct{ p *pipe }
+
+// PipeWriter is the write end.
+type PipeWriter struct{ p *pipe }
+
+// NewPipe returns connected read and write ends.
+func NewPipe() (*PipeReader, *PipeWriter) {
+	p := &pipe{readers: 1, writers: 1}
+	return &PipeReader{p}, &PipeWriter{p}
+}
+
+func (p *pipe) used() int { return p.w - p.r }
+
+// Read blocks until data or all writers close (then EOF: n=0, nil error —
+// following xv6's pipe convention which shell pipelines rely on).
+func (r *PipeReader) Read(t *sched.Task, buf []byte) (int, error) {
+	p := r.p
+	for {
+		p.mu.Lock()
+		if p.used() > 0 {
+			n := 0
+			for n < len(buf) && p.used() > 0 {
+				buf[n] = p.buf[p.r%PipeSize]
+				p.r++
+				n++
+			}
+			p.mu.Unlock()
+			p.wwq.WakeAll()
+			return n, nil
+		}
+		if p.writers == 0 {
+			p.mu.Unlock()
+			return 0, nil // EOF
+		}
+		p.mu.Unlock()
+		p.rwq.Sleep(t)
+	}
+}
+
+// Write blocks while the ring is full; writing with no readers returns
+// ErrPipeClosed (the EPIPE analogue).
+func (w *PipeWriter) Write(t *sched.Task, buf []byte) (int, error) {
+	p := w.p
+	written := 0
+	for written < len(buf) {
+		p.mu.Lock()
+		if p.readers == 0 {
+			p.mu.Unlock()
+			if written > 0 {
+				return written, nil
+			}
+			return 0, ErrPipeClosed
+		}
+		wrote := false
+		for written < len(buf) && p.used() < PipeSize {
+			p.buf[p.w%PipeSize] = buf[written]
+			p.w++
+			written++
+			wrote = true
+		}
+		p.mu.Unlock()
+		if wrote {
+			p.rwq.WakeAll()
+		}
+		if written < len(buf) {
+			p.wwq.Sleep(t)
+		}
+	}
+	return written, nil
+}
+
+// Write on the read end is an error.
+func (r *PipeReader) Write(*sched.Task, []byte) (int, error) { return 0, ErrPerm }
+
+// Read on the write end is an error.
+func (w *PipeWriter) Read(*sched.Task, []byte) (int, error) { return 0, ErrPerm }
+
+// Close drops the read end; blocked writers fail with ErrPipeClosed.
+func (r *PipeReader) Close() error {
+	p := r.p
+	p.mu.Lock()
+	p.readers--
+	p.mu.Unlock()
+	p.wwq.WakeAll()
+	return nil
+}
+
+// Close drops the write end; blocked readers see EOF.
+func (w *PipeWriter) Close() error {
+	p := w.p
+	p.mu.Lock()
+	p.writers--
+	p.mu.Unlock()
+	p.rwq.WakeAll()
+	return nil
+}
+
+// Stat implements File.
+func (r *PipeReader) Stat() (Stat, error) {
+	r.p.mu.Lock()
+	defer r.p.mu.Unlock()
+	return Stat{Name: "pipe", Type: TypePipe, Size: int64(r.p.used())}, nil
+}
+
+// Stat implements File.
+func (w *PipeWriter) Stat() (Stat, error) {
+	w.p.mu.Lock()
+	defer w.p.mu.Unlock()
+	return Stat{Name: "pipe", Type: TypePipe, Size: int64(w.p.used())}, nil
+}
+
+var (
+	_ File = (*PipeReader)(nil)
+	_ File = (*PipeWriter)(nil)
+)

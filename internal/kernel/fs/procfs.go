@@ -1,0 +1,144 @@
+package fs
+
+import (
+	"sort"
+	"sync"
+
+	"protosim/internal/kernel/sched"
+)
+
+// ProcFS is /proc: read-only text files whose content is generated at open
+// time by kernel callbacks — /proc/cpuinfo and /proc/meminfo in the paper,
+// plus whatever the kernel registers (uptime, tasks). sysmon reads these.
+type ProcFS struct {
+	mu    sync.RWMutex
+	nodes map[string]func() string
+}
+
+// NewProcFS returns an empty /proc.
+func NewProcFS() *ProcFS { return &ProcFS{nodes: make(map[string]func() string)} }
+
+// Register adds a proc file backed by gen.
+func (p *ProcFS) Register(name string, gen func() string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nodes[name] = gen
+}
+
+// Open implements FileSystem. Content is snapshotted at open, like a real
+// procfs read of a seq_file.
+func (p *ProcFS) Open(t *sched.Task, path string, flags int) (File, error) {
+	path = Clean(path)
+	if path == "/" {
+		return &procDir{p}, nil
+	}
+	if flags&accessMask != ORdOnly {
+		return nil, ErrPerm
+	}
+	p.mu.RLock()
+	gen, ok := p.nodes[path[1:]]
+	p.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return &memFile{name: path[1:], data: []byte(gen())}, nil
+}
+
+// Mkdir is not permitted in /proc.
+func (p *ProcFS) Mkdir(*sched.Task, string) error { return ErrPerm }
+
+// Unlink is not permitted in /proc.
+func (p *ProcFS) Unlink(*sched.Task, string) error { return ErrPerm }
+
+// Stat implements FileSystem.
+func (p *ProcFS) Stat(_ *sched.Task, path string) (Stat, error) {
+	path = Clean(path)
+	if path == "/" {
+		return Stat{Name: "proc", Type: TypeDir}, nil
+	}
+	p.mu.RLock()
+	_, ok := p.nodes[path[1:]]
+	p.mu.RUnlock()
+	if !ok {
+		return Stat{}, ErrNotFound
+	}
+	return Stat{Name: path[1:], Type: TypeFile}, nil
+}
+
+// Names lists proc entries.
+func (p *ProcFS) Names() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.nodes))
+	for n := range p.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type procDir struct{ p *ProcFS }
+
+func (pd *procDir) Read(*sched.Task, []byte) (int, error)  { return 0, ErrIsDir }
+func (pd *procDir) Write(*sched.Task, []byte) (int, error) { return 0, ErrIsDir }
+func (pd *procDir) Close() error                           { return nil }
+func (pd *procDir) Stat() (Stat, error)                    { return Stat{Name: "proc", Type: TypeDir}, nil }
+func (pd *procDir) ReadDir() ([]DirEntry, error) {
+	names := pd.p.Names()
+	out := make([]DirEntry, len(names))
+	for i, n := range names {
+		out[i] = DirEntry{Name: n, Type: TypeFile}
+	}
+	return out, nil
+}
+
+// memFile is an in-memory read-only file with an offset (procfs content,
+// also reused by tests).
+type memFile struct {
+	name string
+	mu   sync.Mutex
+	data []byte
+	off  int64
+}
+
+func (m *memFile) Read(_ *sched.Task, p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.off >= int64(len(m.data)) {
+		return 0, nil
+	}
+	n := copy(p, m.data[m.off:])
+	m.off += int64(n)
+	return n, nil
+}
+
+func (m *memFile) Write(*sched.Task, []byte) (int, error) { return 0, ErrPerm }
+func (m *memFile) Close() error                           { return nil }
+func (m *memFile) Stat() (Stat, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stat{Name: m.name, Type: TypeFile, Size: int64(len(m.data))}, nil
+}
+
+// Lseek implements Seeker.
+func (m *memFile) Lseek(offset int64, whence int) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = m.off
+	case SeekEnd:
+		base = int64(len(m.data))
+	default:
+		return 0, ErrBadSeek
+	}
+	n := base + offset
+	if n < 0 {
+		return 0, ErrBadSeek
+	}
+	m.off = n
+	return n, nil
+}

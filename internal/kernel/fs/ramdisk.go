@@ -1,0 +1,92 @@
+package fs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ramdisk is the block device under the root xv6fs: the kernel image packs
+// an opaque ramdisk dump that the boot path hands to the filesystem (§3).
+// All reads and writes are synchronous and run in syscall context, which is
+// exactly why Prototype 4 puts its first filesystem here — no storage
+// hardware asynchrony to cope with.
+type Ramdisk struct {
+	blockSize int
+	mu        sync.RWMutex
+	data      []byte
+	reads     int64
+	writes    int64
+}
+
+// NewRamdisk returns a ramdisk of n blocks of blockSize bytes.
+func NewRamdisk(blockSize, n int) *Ramdisk {
+	if blockSize <= 0 || n <= 0 {
+		panic("fs: bad ramdisk geometry")
+	}
+	return &Ramdisk{blockSize: blockSize, data: make([]byte, blockSize*n)}
+}
+
+// NewRamdiskFromImage wraps an existing image (the boot-time dump).
+func NewRamdiskFromImage(blockSize int, img []byte) *Ramdisk {
+	if len(img)%blockSize != 0 {
+		panic(fmt.Sprintf("fs: image %d bytes not a multiple of block size %d", len(img), blockSize))
+	}
+	d := make([]byte, len(img))
+	copy(d, img)
+	return &Ramdisk{blockSize: blockSize, data: d}
+}
+
+// BlockSize implements BlockDevice.
+func (r *Ramdisk) BlockSize() int { return r.blockSize }
+
+// Blocks implements BlockDevice.
+func (r *Ramdisk) Blocks() int { return len(r.data) / r.blockSize }
+
+func (r *Ramdisk) check(lba, n int) error {
+	if lba < 0 || n <= 0 || (lba+n)*r.blockSize > len(r.data) {
+		return fmt.Errorf("fs: ramdisk access [%d,%d) outside %d blocks", lba, lba+n, r.Blocks())
+	}
+	return nil
+}
+
+// ReadBlocks implements BlockDevice.
+func (r *Ramdisk) ReadBlocks(lba, n int, dst []byte) error {
+	if err := r.check(lba, n); err != nil {
+		return err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	copy(dst, r.data[lba*r.blockSize:(lba+n)*r.blockSize])
+	r.reads += int64(n)
+	return nil
+}
+
+// WriteBlocks implements BlockDevice.
+func (r *Ramdisk) WriteBlocks(lba, n int, src []byte) error {
+	if err := r.check(lba, n); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	copy(r.data[lba*r.blockSize:(lba+n)*r.blockSize], src[:n*r.blockSize])
+	r.writes += int64(n)
+	return nil
+}
+
+// Image returns a copy of the full disk contents.
+func (r *Ramdisk) Image() []byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]byte, len(r.data))
+	copy(out, r.data)
+	return out
+}
+
+// Stats reports block IO counts.
+func (r *Ramdisk) Stats() (reads, writes int64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.reads, r.writes
+}
+
+var _ BlockDevice = (*Ramdisk)(nil)

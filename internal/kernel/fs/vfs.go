@@ -1,0 +1,278 @@
+package fs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"protosim/internal/kernel/sched"
+)
+
+// VFS dispatches file syscalls to mounted filesystems by longest-prefix
+// path match — Prototype 5's interposition layer that routes "/d/..." to
+// FatFS and everything else to xv6fs (§4.5).
+type VFS struct {
+	mu     sync.RWMutex
+	mounts map[string]FileSystem // mount point -> fs ("/" must exist)
+}
+
+// NewVFS returns an empty mount table.
+func NewVFS() *VFS { return &VFS{mounts: make(map[string]FileSystem)} }
+
+// Mount attaches fsys at point ("/", "/d", "/dev", "/proc").
+func (v *VFS) Mount(point string, fsys FileSystem) error {
+	point = Clean(point)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, dup := v.mounts[point]; dup {
+		return fmt.Errorf("vfs: %s already mounted", point)
+	}
+	v.mounts[point] = fsys
+	return nil
+}
+
+// MountPoints lists mount points, longest first.
+func (v *VFS) MountPoints() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	pts := make([]string, 0, len(v.mounts))
+	for p := range v.mounts {
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, j int) bool { return len(pts[i]) > len(pts[j]) })
+	return pts
+}
+
+// resolve finds the filesystem owning path and the path relative to it.
+func (v *VFS) resolve(path string) (FileSystem, string, error) {
+	path = Clean(path)
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	best := ""
+	var bestFS FileSystem
+	for point, fsys := range v.mounts {
+		if !strings.HasPrefix(path, point) {
+			continue
+		}
+		// "/d" must not match "/data": the next byte must be '/' or end.
+		if point != "/" && len(path) > len(point) && path[len(point)] != '/' {
+			continue
+		}
+		if len(point) > len(best) {
+			best, bestFS = point, fsys
+		}
+	}
+	if bestFS == nil {
+		return nil, "", fmt.Errorf("vfs: no filesystem for %q", path)
+	}
+	rel := strings.TrimPrefix(path, best)
+	if !strings.HasPrefix(rel, "/") {
+		rel = "/" + rel
+	}
+	return bestFS, rel, nil
+}
+
+// Open opens path with flags.
+func (v *VFS) Open(t *sched.Task, path string, flags int) (File, error) {
+	fsys, rel, err := v.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fsys.Open(t, rel, flags)
+}
+
+// Mkdir creates a directory.
+func (v *VFS) Mkdir(t *sched.Task, path string) error {
+	fsys, rel, err := v.resolve(path)
+	if err != nil {
+		return err
+	}
+	return fsys.Mkdir(t, rel)
+}
+
+// Unlink removes a file.
+func (v *VFS) Unlink(t *sched.Task, path string) error {
+	fsys, rel, err := v.resolve(path)
+	if err != nil {
+		return err
+	}
+	return fsys.Unlink(t, rel)
+}
+
+// Stat stats a path.
+func (v *VFS) Stat(t *sched.Task, path string) (Stat, error) {
+	fsys, rel, err := v.resolve(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	return fsys.Stat(t, rel)
+}
+
+// Clean normalizes a path: leading '/', no trailing '/' (except root), no
+// empty or dot segments. ".." collapses textually (Proto has no symlinks).
+func Clean(path string) string {
+	if path == "" {
+		return "/"
+	}
+	segs := strings.Split(path, "/")
+	out := make([]string, 0, len(segs))
+	for _, s := range segs {
+		switch s {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// SplitPath returns the directory and final element of a cleaned path.
+func SplitPath(path string) (dir, name string) {
+	path = Clean(path)
+	i := strings.LastIndexByte(path, '/')
+	dir = path[:i]
+	if dir == "" {
+		dir = "/"
+	}
+	return dir, path[i+1:]
+}
+
+// FDTable is a process's descriptor table. fork shares the open file
+// descriptions (offsets included), exec keeps them, as in xv6.
+type FDTable struct {
+	mu    sync.Mutex
+	files []*FDEntry
+}
+
+// FDEntry is one slot: a refcounted open file description.
+type FDEntry struct {
+	mu    sync.Mutex
+	file  File
+	refs  int
+	flags int
+}
+
+// NewFDTable returns a table with maxFDs slots.
+func NewFDTable(maxFDs int) *FDTable {
+	return &FDTable{files: make([]*FDEntry, maxFDs)}
+}
+
+// Install places file in the lowest free slot and returns the fd.
+func (ft *FDTable) Install(file File, flags int) (int, error) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	for fd, e := range ft.files {
+		if e == nil {
+			ft.files[fd] = &FDEntry{file: file, refs: 1, flags: flags}
+			return fd, nil
+		}
+	}
+	file.Close()
+	return -1, fmt.Errorf("fs: out of file descriptors")
+}
+
+// Get returns the open file for fd.
+func (ft *FDTable) Get(fd int) (File, error) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
+		return nil, ErrBadFD
+	}
+	return ft.files[fd].file, nil
+}
+
+// Flags returns the open flags recorded for fd.
+func (ft *FDTable) Flags(fd int) (int, error) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
+		return 0, ErrBadFD
+	}
+	return ft.files[fd].flags, nil
+}
+
+// Dup duplicates fd into a new slot sharing the same description.
+func (ft *FDTable) Dup(fd int) (int, error) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
+		return -1, ErrBadFD
+	}
+	e := ft.files[fd]
+	for nfd, slot := range ft.files {
+		if slot == nil {
+			e.mu.Lock()
+			e.refs++
+			e.mu.Unlock()
+			ft.files[nfd] = e
+			return nfd, nil
+		}
+	}
+	return -1, fmt.Errorf("fs: out of file descriptors")
+}
+
+// Close drops fd; the description closes at refcount zero.
+func (ft *FDTable) Close(fd int) error {
+	ft.mu.Lock()
+	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
+		ft.mu.Unlock()
+		return ErrBadFD
+	}
+	e := ft.files[fd]
+	ft.files[fd] = nil
+	ft.mu.Unlock()
+
+	e.mu.Lock()
+	e.refs--
+	last := e.refs == 0
+	e.mu.Unlock()
+	if last {
+		return e.file.Close()
+	}
+	return nil
+}
+
+// Clone copies the table for fork: both processes share descriptions.
+func (ft *FDTable) Clone() *FDTable {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	nt := NewFDTable(len(ft.files))
+	for fd, e := range ft.files {
+		if e == nil {
+			continue
+		}
+		e.mu.Lock()
+		e.refs++
+		e.mu.Unlock()
+		nt.files[fd] = e
+	}
+	return nt
+}
+
+// CloseAll releases every descriptor (process exit).
+func (ft *FDTable) CloseAll() {
+	ft.mu.Lock()
+	n := len(ft.files)
+	ft.mu.Unlock()
+	for fd := 0; fd < n; fd++ {
+		ft.Close(fd) // ErrBadFD for empty slots is fine
+	}
+}
+
+// OpenCount reports how many descriptors are live.
+func (ft *FDTable) OpenCount() int {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	n := 0
+	for _, e := range ft.files {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package kdebug
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceRecordsAndMerges(t *testing.T) {
+	tr := NewTrace(2)
+	tr.TraceEvent(0, "switch-in", 1, 0)
+	tr.TraceEvent(1, "tick", 0, 0)
+	tr.TraceEvent(0, "exit", 1, 0)
+	dump := tr.Dump()
+	if len(dump) != 3 {
+		t.Fatalf("dump = %d events", len(dump))
+	}
+	for i := 1; i < len(dump); i++ {
+		if dump[i].TSMicros < dump[i-1].TSMicros {
+			t.Fatal("dump not time-ordered")
+		}
+	}
+}
+
+func TestTraceRingOverwrites(t *testing.T) {
+	tr := NewTrace(1)
+	for i := 0; i < ringSize+100; i++ {
+		tr.TraceEvent(0, "e", int64(i), 0)
+	}
+	dump := tr.Dump()
+	if len(dump) != ringSize {
+		t.Fatalf("retained %d, want %d", len(dump), ringSize)
+	}
+	if dump[0].Arg1 != 100 {
+		t.Fatalf("oldest retained = %d, want 100", dump[0].Arg1)
+	}
+}
+
+func TestTraceDisable(t *testing.T) {
+	tr := NewTrace(1)
+	tr.SetEnabled(false)
+	tr.TraceEvent(0, "e", 0, 0)
+	if tr.Count() != 0 {
+		t.Fatal("disabled tracer recorded")
+	}
+}
+
+func TestTraceConcurrentProducers(t *testing.T) {
+	tr := NewTrace(4)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(core int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.TraceEvent(core, "e", int64(i), 0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if tr.Count() != 4000 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+}
+
+func TestUnwinderPushPop(t *testing.T) {
+	u := NewUnwinder()
+	u.Push(5, "main")
+	u.Push(5, "render_frame")
+	u.Push(5, "blit")
+	frames := u.Unwind(5)
+	if len(frames) != 3 || frames[0].Name != "blit" || frames[2].Name != "main" {
+		t.Fatalf("frames = %v", frames)
+	}
+	u.Pop(5)
+	if got := u.Unwind(5); len(got) != 2 || got[0].Name != "render_frame" {
+		t.Fatalf("after pop = %v", got)
+	}
+	out := u.Format(5)
+	if !strings.Contains(out, "render_frame") || !strings.Contains(out, "[<") {
+		t.Fatalf("format = %q", out)
+	}
+	u.Pop(5)
+	u.Pop(5)
+	if len(u.Unwind(5)) != 0 {
+		t.Fatal("stack not empty")
+	}
+}
+
+func TestMonitorBreakpoint(t *testing.T) {
+	m := NewMonitor()
+	var events []DebugEvent
+	m.OnEvent(func(e DebugEvent) { events = append(events, e) })
+	m.SetBreakpoint(0x80000)
+	if m.Check(1, 0x80004, AccessExec) {
+		t.Fatal("wrong pc hit")
+	}
+	if !m.Check(1, 0x80000, AccessExec) {
+		t.Fatal("breakpoint missed")
+	}
+	m.ClearBreakpoint(0x80000)
+	if m.Check(1, 0x80000, AccessExec) {
+		t.Fatal("cleared breakpoint hit")
+	}
+	if len(events) != 1 || events[0].TaskID != 1 {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestMonitorWatchpointKinds(t *testing.T) {
+	m := NewMonitor()
+	m.SetWatchpoint(0x1000, AccessWrite)
+	if m.Check(1, 0x1000, AccessRead) {
+		t.Fatal("read hit a write watchpoint")
+	}
+	if !m.Check(1, 0x1000, AccessWrite) {
+		t.Fatal("write missed")
+	}
+	if len(m.Hits()) != 1 {
+		t.Fatal("hit not recorded")
+	}
+}
+
+func TestMonitorSingleStep(t *testing.T) {
+	m := NewMonitor()
+	m.SetSingleStep(7, true)
+	if !m.Check(7, 0x100, AccessExec) || !m.Check(7, 0x104, AccessExec) {
+		t.Fatal("single step not firing per instruction")
+	}
+	if m.Check(8, 0x100, AccessExec) {
+		t.Fatal("stepping leaked to another task")
+	}
+	m.SetSingleStep(7, false)
+	if m.Check(7, 0x108, AccessExec) {
+		t.Fatal("stepping survived disable")
+	}
+}

@@ -1,0 +1,462 @@
+// Package kernel assembles Proto: the monolithic kernel that drives the
+// simulated Pi3 (internal/hw), schedules tasks (sched), manages memory
+// (mm), serves the 28 syscalls across task management, files, and
+// threading/synchronization (§3), and hosts the drivers — framebuffer,
+// USB keyboard, PWM/DMA sound, SD card — plus the window manager kernel
+// thread and the self-hosted debugging facilities.
+//
+// Feature staging (which prototype enables what) lives one level up in
+// internal/core; this package accepts a Config with feature switches and
+// implements everything.
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/fat32"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/kdebug"
+	"protosim/internal/kernel/ktime"
+	"protosim/internal/kernel/mm"
+	"protosim/internal/kernel/sched"
+	"protosim/internal/kernel/wm"
+	"protosim/internal/kernel/xv6fs"
+)
+
+// Mode selects the kernel baseline for Figure 9's comparison columns.
+type Mode int
+
+// Kernel modes.
+const (
+	// ModeProto is Proto as published: eager-copy fork, fast memmove,
+	// FAT32 range bypass, polled SD.
+	ModeProto Mode = iota
+	// ModeXv6 strips Proto's optimizations: byte-loop memmove and all
+	// FAT32 data IO through the single-block buffer cache.
+	ModeXv6
+	// ModeProd adds the production-OS mechanisms the paper credits for
+	// Linux/FreeBSD wins: copy-on-write fork and SD DMA.
+	ModeProd
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeProto:
+		return "proto"
+	case ModeXv6:
+		return "xv6"
+	case ModeProd:
+		return "prod"
+	}
+	return "?"
+}
+
+// Config selects which mechanisms the kernel brings up. internal/core maps
+// prototypes 1–5 onto these switches.
+type Config struct {
+	Machine *hw.Machine
+	Cores   int // cores to release from "parked" (<= Machine cores)
+	Mode    Mode
+
+	RunqueueMode sched.RunqueueMode
+	TickInterval time.Duration // scheduler tick (default 4ms)
+
+	// Feature switches (Table 1 rows).
+	EnableVM      bool // per-app address spaces + EL0/EL1 split
+	EnableFiles   bool // file abstraction, ramdisk xv6fs, devfs/procfs
+	EnableFAT     bool // SD card + FAT32 mounted at /d
+	EnableUSB     bool // USB keyboard
+	EnableSound   bool // PWM/DMA audio via /dev/sb
+	EnableWM      bool // window manager kernel thread
+	EnableThreads bool // clone + semaphores
+	EnableTrace   bool // kdebug event tracing
+
+	RamdiskImage []byte // xv6fs image for the root filesystem
+
+	// ConsoleOut tees printk output (nil = in-memory transcript only).
+	ConsoleOut io.Writer
+}
+
+// DefaultTick is the scheduler tick period.
+const DefaultTick = 4 * time.Millisecond
+
+// Kernel is the running system.
+type Kernel struct {
+	cfg Config
+	m   *hw.Machine
+
+	Sched      *sched.Scheduler
+	FrameAlloc *mm.FrameAllocator
+	KHeap      *mm.KAlloc
+	VFS        *fs.VFS
+	DevFS      *fs.DevFS
+	ProcFS     *fs.ProcFS
+	RootFS     *xv6fs.FS
+	FatFS      *fat32.FS
+	FB         *hw.Framebuffer
+	WM         *wm.WM
+	Trace      *kdebug.Trace
+	Unwinder   *kdebug.Unwinder
+	Monitor    *kdebug.Monitor
+	VTimers    *ktime.Set
+
+	mu       sync.Mutex
+	procs    map[int]*Proc
+	nextPID  int
+	programs map[string]Program
+
+	rawEvents *eventQueue // keyboard events when no WM runs
+	kbdAddr   byte
+	kbdLast   [hw.HIDReportLen]byte
+	sound     *soundDev
+	surfaces  map[int]*wm.Surface // proc PID -> surface (for /dev/event1)
+
+	syscalls atomic.Int64
+	booted   time.Time
+	bootTime time.Duration
+	panicLog []string
+	wmTask   *sched.Task
+	shutdown atomic.Bool
+}
+
+// Program is a user program body: Proto apps compiled as ELF executables
+// resolve to these via the uelf token (see internal/uelf).
+type Program func(p *Proc, argv []string) int
+
+// New creates a kernel over the machine; Boot brings it up.
+func New(cfg Config) *Kernel {
+	if cfg.Machine == nil {
+		panic("kernel: nil machine")
+	}
+	if cfg.Cores <= 0 || cfg.Cores > cfg.Machine.Cores() {
+		cfg.Cores = cfg.Machine.Cores()
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = DefaultTick
+	}
+	k := &Kernel{
+		cfg:      cfg,
+		m:        cfg.Machine,
+		procs:    make(map[int]*Proc),
+		programs: make(map[string]Program),
+		surfaces: make(map[int]*wm.Surface),
+	}
+	return k
+}
+
+// Machine exposes the underlying board.
+func (k *Kernel) Machine() *hw.Machine { return k.m }
+
+// Mode reports the kernel baseline mode.
+func (k *Kernel) Mode() Mode { return k.cfg.Mode }
+
+// Cores reports the active core count.
+func (k *Kernel) Cores() int { return k.cfg.Cores }
+
+// Printk writes a kernel message to the UART, synchronously (§4.1: debug
+// output never buffers).
+func (k *Kernel) Printk(format string, args ...any) {
+	fmt.Fprintf(k.m.UART, format, args...)
+}
+
+// Transcript returns everything printk'd so far.
+func (k *Kernel) Transcript() string { return k.m.UART.Transcript() }
+
+// RegisterProgram installs a user program under its token name.
+func (k *Kernel) RegisterProgram(name string, fn Program) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.programs[name] = fn
+}
+
+// Programs lists registered program names.
+func (k *Kernel) Programs() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]string, 0, len(k.programs))
+	for n := range k.programs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Boot brings the kernel up: scheduler and per-core timers, memory,
+// filesystems, drivers, the window manager — the Prototype 5 sequence,
+// gated by the Config feature switches.
+func (k *Kernel) Boot() error {
+	start := time.Now()
+	if k.cfg.ConsoleOut != nil {
+		k.m.UART.SetSink(k.cfg.ConsoleOut)
+	}
+	k.Printk("proto: booting on %d core(s), mode=%s\n", k.cfg.Cores, k.cfg.Mode)
+
+	// Debug facilities first — everything else traces through them.
+	k.Trace = kdebug.NewTrace(k.cfg.Cores)
+	k.Trace.SetEnabled(k.cfg.EnableTrace)
+	k.Unwinder = kdebug.NewUnwinder()
+	k.Monitor = kdebug.NewMonitor()
+
+	// Memory: reserve the first 2 MB for the "kernel image" and the top
+	// 8 MB for the GPU framebuffer carve-out.
+	reserveLow := (2 << 20) / mm.PageSize
+	reserveHigh := (8 << 20) / mm.PageSize
+	if k.m.Mem.Frames() < reserveLow+reserveHigh+64 {
+		reserveLow, reserveHigh = 4, 4
+	}
+	k.FrameAlloc = mm.NewFrameAllocator(k.m.Mem, reserveLow, reserveHigh)
+	// kmalloc arena: carve 64 frames out of the allocator.
+	heapFrames := 64
+	heapBase := -1
+	for i := 0; i < heapFrames; i++ {
+		f, err := k.FrameAlloc.Alloc()
+		if err != nil {
+			return fmt.Errorf("kernel: kmalloc arena: %w", err)
+		}
+		if heapBase < 0 {
+			heapBase = f
+		}
+	}
+	k.KHeap = mm.NewKAlloc(heapBase*mm.PageSize, heapFrames*mm.PageSize)
+
+	// Virtual timers over the hardware timer (Prototype 1, Lab 1 #11):
+	// every sleep() in the system multiplexes through this set.
+	k.VTimers = ktime.NewSet()
+
+	// Scheduler + per-core generic timers.
+	k.Sched = sched.New(sched.Config{
+		Cores:   k.cfg.Cores,
+		Mode:    k.cfg.RunqueueMode,
+		Quantum: k.cfg.TickInterval,
+		Power:   k.m.Power,
+		Tracer:  k.Trace,
+		After: func(d time.Duration, fn func()) func() bool {
+			return k.VTimers.After(d, fn).Stop
+		},
+		OnPanic: k.taskPanicked,
+	})
+	k.Sched.Start()
+	for c := 0; c < k.cfg.Cores; c++ {
+		core := c
+		k.m.IRQ.Register(hw.GenericTimerLine(core), core, func(hw.IRQLine, int) {
+			k.Sched.Tick(core)
+		})
+		k.m.GTimers[core].Start(k.cfg.TickInterval)
+	}
+
+	// Panic button: FIQ, never masked.
+	k.m.IRQ.Register(hw.FIQPanic, 0, func(_ hw.IRQLine, core int) {
+		k.PanicDump(core)
+	})
+
+	// Framebuffer via the mailbox (first-class peripheral: present from
+	// Prototype 1 on).
+	fb, err := k.m.Mailbox.AllocFramebuffer(k.m.Cfg.FBWidth, k.m.Cfg.FBHeight)
+	if err != nil {
+		return fmt.Errorf("kernel: framebuffer: %w", err)
+	}
+	k.FB = fb
+
+	// Filesystems.
+	if k.cfg.EnableFiles {
+		k.VFS = fs.NewVFS()
+		if k.cfg.RamdiskImage != nil {
+			rd := fs.NewRamdiskFromImage(xv6fs.BlockSize, k.cfg.RamdiskImage)
+			root, err := xv6fs.Mount(rd, nil)
+			if err != nil {
+				return fmt.Errorf("kernel: root fs: %w", err)
+			}
+			k.RootFS = root
+			if err := k.VFS.Mount("/", root); err != nil {
+				return err
+			}
+		} else {
+			// An empty root if no image was packed.
+			rd, err := xv6fs.BuildImage(1024, 128, nil)
+			if err != nil {
+				return err
+			}
+			root, err := xv6fs.Mount(rd, nil)
+			if err != nil {
+				return err
+			}
+			k.RootFS = root
+			if err := k.VFS.Mount("/", root); err != nil {
+				return err
+			}
+		}
+		k.DevFS = fs.NewDevFS()
+		k.ProcFS = fs.NewProcFS()
+		if err := k.VFS.Mount("/dev", k.DevFS); err != nil {
+			return err
+		}
+		if err := k.VFS.Mount("/proc", k.ProcFS); err != nil {
+			return err
+		}
+		k.registerProcFiles()
+		k.registerDevices()
+	}
+
+	if k.cfg.EnableFAT {
+		if k.m.SD == nil {
+			return fmt.Errorf("kernel: FAT32 enabled but no SD card")
+		}
+		fatfs, err := fat32.Mount(sdBlockDev{k.m.SD}, nil)
+		if err != nil {
+			return fmt.Errorf("kernel: FAT32: %w", err)
+		}
+		k.FatFS = fatfs
+		if k.cfg.Mode == ModeXv6 {
+			fatfs.SetDataThroughCache(true)
+		}
+		if k.cfg.Mode == ModeProd {
+			k.m.SD.SetDMA(true)
+		}
+		if k.VFS == nil {
+			return fmt.Errorf("kernel: FAT32 requires files")
+		}
+		if err := k.VFS.Mount("/d", fatfs); err != nil {
+			return err
+		}
+	}
+
+	// USB keyboard.
+	if k.cfg.EnableUSB {
+		if err := k.initKeyboard(); err != nil {
+			k.Printk("proto: usb keyboard: %v\n", err)
+		}
+	}
+
+	// Sound.
+	if k.cfg.EnableSound {
+		if err := k.initSound(); err != nil {
+			return fmt.Errorf("kernel: sound: %w", err)
+		}
+	}
+
+	// Window manager kernel thread.
+	if k.cfg.EnableWM {
+		k.WM = wm.New(k.FB)
+		k.wmTask = k.Sched.Go("kwm", 2, k.WM.Run)
+	}
+
+	k.booted = time.Now()
+	k.bootTime = time.Since(start)
+	k.Printk("proto: boot complete in %v\n", k.bootTime.Round(time.Microsecond))
+	return nil
+}
+
+// sdBlockDev adapts the SD card to fs.BlockDevice.
+type sdBlockDev struct{ sd *hw.SDCard }
+
+func (d sdBlockDev) BlockSize() int { return hw.SDBlockSize }
+func (d sdBlockDev) Blocks() int    { return d.sd.Blocks() }
+func (d sdBlockDev) ReadBlocks(lba, n int, dst []byte) error {
+	return d.sd.ReadBlocks(lba, n, dst)
+}
+func (d sdBlockDev) WriteBlocks(lba, n int, src []byte) error {
+	return d.sd.WriteBlocks(lba, n, src)
+}
+
+// taskPanicked is the kernel oops path for a crashing user task.
+func (k *Kernel) taskPanicked(t *sched.Task, reason any) {
+	k.Printk("proto: oops: task %d (%s): %v\n", t.ID, t.Name, reason)
+	k.Printk("%s", k.Unwinder.Format(t.ID))
+}
+
+// BootDuration reports how long Boot took.
+func (k *Kernel) BootDuration() time.Duration { return k.bootTime }
+
+// Uptime reports time since boot completed.
+func (k *Kernel) Uptime() time.Duration { return time.Since(k.booted) }
+
+// SyscallCount reports total syscalls served.
+func (k *Kernel) SyscallCount() int64 { return k.syscalls.Load() }
+
+// Shutdown stops user tasks, the WM, flushes filesystems and stops cores.
+func (k *Kernel) Shutdown() error {
+	if !k.shutdown.CompareAndSwap(false, true) {
+		return nil
+	}
+	if k.WM != nil {
+		k.WM.Stop()
+	}
+	if k.sound != nil {
+		k.sound.stop()
+	}
+	err := k.Sched.Shutdown(10 * time.Second)
+	if k.VTimers != nil {
+		k.VTimers.Close()
+	}
+	if k.RootFS != nil {
+		k.RootFS.Sync(nil)
+	}
+	if k.FatFS != nil {
+		k.FatFS.Sync(nil)
+	}
+	k.m.Shutdown()
+	return err
+}
+
+// registerProcFiles fills /proc with the paper's nodes.
+func (k *Kernel) registerProcFiles() {
+	k.ProcFS.Register("cpuinfo", func() string {
+		var b strings.Builder
+		util := k.m.Power.Utilization()
+		for c := 0; c < k.cfg.Cores; c++ {
+			fmt.Fprintf(&b, "processor: %d\nmodel: Cortex-A53 (sim)\nutil_pct: %d\n", c, int(util[c]*100))
+		}
+		return b.String()
+	})
+	k.ProcFS.Register("meminfo", func() string {
+		total := k.m.Mem.Size()
+		free := k.FrameAlloc.FreeFrames() * mm.PageSize
+		return fmt.Sprintf("MemTotal: %d kB\nMemFree: %d kB\nKmallocUsed: %d\n",
+			total/1024, free/1024, k.KHeap.InUse())
+	})
+	k.ProcFS.Register("uptime", func() string {
+		return fmt.Sprintf("%.3f\n", k.Uptime().Seconds())
+	})
+	k.ProcFS.Register("tasks", func() string {
+		var b strings.Builder
+		for _, t := range k.Sched.Tasks() {
+			fmt.Fprintf(&b, "%d %s %s cpu=%dus\n", t.ID, t.Name, t.State(), t.CPUTime().Microseconds())
+		}
+		return b.String()
+	})
+}
+
+// PanicDump is the panic-button handler: dump every core's current task
+// and call stack over UART, even if the kernel is deadlocked (§5.1).
+func (k *Kernel) PanicDump(core int) {
+	k.Printk("\n=== PANIC BUTTON (fiq on core %d) ===\n", core)
+	for c := 0; c < k.cfg.Cores; c++ {
+		t := k.Sched.Current(c)
+		if t == nil {
+			k.Printk("cpu%d: idle (wfi)\n", c)
+			continue
+		}
+		k.Printk("cpu%d: %s\n", c, t.String())
+		k.Printk("%s", k.Unwinder.Format(t.ID))
+	}
+	k.mu.Lock()
+	k.panicLog = append(k.panicLog, fmt.Sprintf("fiq@core%d", core))
+	k.mu.Unlock()
+}
+
+// PanicDumps reports how many emergency dumps have fired.
+func (k *Kernel) PanicDumps() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.panicLog)
+}
+
+// fat32Format formats a block device as FAT32 (mkimage and tests use it).
+func fat32Format(dev fs.BlockDevice) error { return fat32.Mkfs(dev) }

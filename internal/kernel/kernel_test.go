@@ -1,0 +1,721 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/mm"
+	"protosim/internal/kernel/wm"
+	"protosim/internal/kernel/xv6fs"
+	"protosim/internal/uelf"
+)
+
+// testMachine returns a small, fast board.
+func testMachine(cores int) *hw.Machine {
+	cfg := hw.DefaultConfig()
+	cfg.Cores = cores
+	cfg.MemBytes = 32 << 20
+	cfg.SDBlocks = 8192
+	cfg.FBWidth, cfg.FBHeight = 320, 240
+	m := hw.NewMachine(cfg)
+	m.SD.SetLatencyScale(0)
+	return m
+}
+
+// fullConfig is a Prototype 5-class kernel.
+func fullConfig(m *hw.Machine, ramdisk []byte) Config {
+	return Config{
+		Machine:       m,
+		Mode:          ModeProto,
+		EnableVM:      true,
+		EnableFiles:   true,
+		EnableUSB:     true,
+		EnableSound:   true,
+		EnableThreads: true,
+		EnableTrace:   true,
+		RamdiskImage:  ramdisk,
+		TickInterval:  2 * time.Millisecond,
+	}
+}
+
+// bootKernel boots a full kernel with a ramdisk containing the given files.
+func bootKernel(t *testing.T, cores int, files map[string][]byte) *Kernel {
+	t.Helper()
+	m := testMachine(cores)
+	rd, err := xv6fs.BuildImage(2048, 128, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(fullConfig(m, rd.Image()))
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := k.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return k
+}
+
+// run launches fn as a process and waits for it to finish.
+func run(t *testing.T, k *Kernel, name string, fn Program) int {
+	t.Helper()
+	code := make(chan int, 1)
+	k.Spawn(name, 0, func(p *Proc, argv []string) int {
+		c := fn(p, argv)
+		code <- c
+		return c
+	}, nil)
+	select {
+	case c := <-code:
+		return c
+	case <-time.After(20 * time.Second):
+		t.Fatalf("process %s never finished", name)
+		return -1
+	}
+}
+
+func TestBootFullKernel(t *testing.T) {
+	k := bootKernel(t, 4, map[string][]byte{"/etc/motd": []byte("hi")})
+	if !strings.Contains(k.Transcript(), "boot complete") {
+		t.Fatalf("transcript = %q", k.Transcript())
+	}
+	if k.RootFS == nil || k.DevFS == nil || k.ProcFS == nil {
+		t.Fatal("filesystems missing")
+	}
+	if k.BootDuration() <= 0 {
+		t.Fatal("no boot duration")
+	}
+}
+
+func TestSyscallBasics(t *testing.T) {
+	k := bootKernel(t, 2, map[string][]byte{"/hello.txt": []byte("file content")})
+	code := run(t, k, "basics", func(p *Proc, _ []string) int {
+		if p.SysGetPID() <= 0 {
+			return 1
+		}
+		fd, err := p.SysOpen("/hello.txt", fs.ORdOnly)
+		if err != nil {
+			return 2
+		}
+		buf := make([]byte, 32)
+		n, err := p.SysRead(fd, buf)
+		if err != nil || string(buf[:n]) != "file content" {
+			return 3
+		}
+		if err := p.SysClose(fd); err != nil {
+			return 4
+		}
+		if _, err := p.SysOpen("/absent", fs.ORdOnly); !errors.Is(err, fs.ErrNotFound) {
+			return 5
+		}
+		up := p.SysUptime()
+		p.SysSleep(5)
+		if p.SysUptime() <= up {
+			return 6
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if k.SyscallCount() == 0 {
+		t.Fatal("no syscalls counted")
+	}
+}
+
+func TestSbrkAndUserMemory(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "sbrk", func(p *Proc, _ []string) int {
+		old, err := p.SysSbrk(3 * mm.PageSize)
+		if err != nil {
+			return 1
+		}
+		data := []byte("heap bytes across pages")
+		if err := p.AddressSpace().WriteAt(old+mm.PageSize-4, data); err != nil {
+			return 2
+		}
+		back := make([]byte, len(data))
+		if err := p.AddressSpace().ReadAt(old+mm.PageSize-4, back); err != nil {
+			return 3
+		}
+		if string(back) != string(data) {
+			return 4
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestForkWaitExit(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "parent", func(p *Proc, _ []string) int {
+		pid, err := p.SysFork(func(c *Proc) {
+			c.SysSleep(2)
+			c.SysExit(42)
+		})
+		if err != nil {
+			return 1
+		}
+		gotPID, status, err := p.SysWait()
+		if err != nil || gotPID != pid || status != 42 {
+			return 2
+		}
+		if _, _, err := p.SysWait(); !errors.Is(err, ErrNoKids) {
+			return 3
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestForkIsolatesMemory(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "isolate", func(p *Proc, _ []string) int {
+		old, _ := p.SysSbrk(mm.PageSize)
+		p.AddressSpace().WriteAt(old, []byte("parent"))
+		childSaw := make(chan string, 1)
+		p.SysFork(func(c *Proc) {
+			b := make([]byte, 6)
+			c.AddressSpace().ReadAt(old, b)
+			childSaw <- string(b)
+			c.AddressSpace().WriteAt(old, []byte("child!"))
+		})
+		p.SysWait()
+		if got := <-childSaw; got != "parent" {
+			return 1
+		}
+		b := make([]byte, 6)
+		p.AddressSpace().ReadAt(old, b)
+		if string(b) != "parent" {
+			return 2 // child write leaked into parent
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestExecLoadsELF(t *testing.T) {
+	elf := uelf.Build("greeter", []byte("payload!"), 4096)
+	k := bootKernel(t, 2, map[string][]byte{"/bin/greeter": elf})
+	var ranArgs atomic.Value
+	k.RegisterProgram("greeter", func(p *Proc, argv []string) int {
+		ranArgs.Store(strings.Join(argv, " "))
+		// The data segment must be mapped and readable.
+		img, _ := uelf.Parse(elf)
+		b := make([]byte, 8)
+		if err := p.AddressSpace().ReadAt(img.Segments[1].Vaddr, b); err != nil {
+			return 9
+		}
+		if string(b) != "payload!" {
+			return 8
+		}
+		return 7
+	})
+	code := run(t, k, "execer", func(p *Proc, _ []string) int {
+		var childStatus int
+		p.SysFork(func(c *Proc) {
+			if err := c.SysExec("/bin/greeter", []string{"greeter", "-v"}); err != nil {
+				c.SysExit(99)
+			}
+		})
+		_, childStatus, _ = p.SysWait()
+		return childStatus
+	})
+	if code != 7 {
+		t.Fatalf("exec'd program exit = %d", code)
+	}
+	if got := ranArgs.Load(); got != "greeter -v" {
+		t.Fatalf("argv = %v", got)
+	}
+}
+
+func TestExecRejectsGarbageELF(t *testing.T) {
+	k := bootKernel(t, 2, map[string][]byte{"/bin/bad": []byte("MZ not an elf")})
+	code := run(t, k, "badexec", func(p *Proc, _ []string) int {
+		if err := p.SysExec("/bin/bad", nil); err == nil {
+			return 1
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatal("garbage ELF exec'd")
+	}
+}
+
+func TestPipesBetweenProcesses(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "piper", func(p *Proc, _ []string) int {
+		rfd, wfd, err := p.SysPipe()
+		if err != nil {
+			return 1
+		}
+		p.SysFork(func(c *Proc) {
+			c.SysWrite(wfd, []byte("through the pipe"))
+			c.SysClose(wfd)
+			c.SysClose(rfd)
+		})
+		p.SysClose(wfd)
+		buf := make([]byte, 64)
+		var all []byte
+		for {
+			n, err := p.SysRead(rfd, buf)
+			if err != nil || n == 0 {
+				break
+			}
+			all = append(all, buf[:n]...)
+		}
+		p.SysWait()
+		if string(all) != "through the pipe" {
+			return 2
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestCloneThreadsAndSemaphores(t *testing.T) {
+	k := bootKernel(t, 4, nil)
+	code := run(t, k, "threads", func(p *Proc, _ []string) int {
+		done, err := p.SysSemCreate(0)
+		if err != nil {
+			return 1
+		}
+		var counter atomic.Int64
+		const workers = 4
+		for i := 0; i < workers; i++ {
+			if _, err := p.SysClone("worker", func(tp *Proc) {
+				for j := 0; j < 1000; j++ {
+					counter.Add(1)
+					if j%256 == 0 {
+						tp.Checkpoint()
+					}
+				}
+				tp.SysSemPost(done)
+			}); err != nil {
+				return 2
+			}
+		}
+		for i := 0; i < workers; i++ {
+			p.SysSemWait(done)
+		}
+		if counter.Load() != workers*1000 {
+			return 3
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestThreadsShareAddressSpace(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "sharemem", func(p *Proc, _ []string) int {
+		old, _ := p.SysSbrk(mm.PageSize)
+		done, _ := p.SysSemCreate(0)
+		p.SysClone("writer", func(tp *Proc) {
+			tp.AddressSpace().WriteAt(old, []byte("thread"))
+			tp.SysSemPost(done)
+		})
+		p.SysSemWait(done)
+		b := make([]byte, 6)
+		p.AddressSpace().ReadAt(old, b)
+		if string(b) != "thread" {
+			return 1 // CLONE_VM broken
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestDevConsoleAndProcFS(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "proc", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/proc/meminfo", fs.ORdOnly)
+		if err != nil {
+			return 1
+		}
+		buf := make([]byte, 256)
+		n, _ := p.SysRead(fd, buf)
+		if !strings.Contains(string(buf[:n]), "MemTotal") {
+			return 2
+		}
+		p.SysClose(fd)
+		cfd, err := p.SysOpen("/dev/console", fs.OWrOnly)
+		if err != nil {
+			return 3
+		}
+		p.SysWrite(cfd, []byte("hello console\n"))
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(k.Transcript(), "hello console") {
+		t.Fatal("console write did not reach UART")
+	}
+}
+
+func TestKeyboardToDevEvents(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	kbd := k.Machine().USB.AttachKeyboard()
+	_ = kbd
+	// The keyboard was attached after boot; re-init the driver.
+	if err := k.initKeyboard(); err != nil {
+		t.Fatal(err)
+	}
+	code := run(t, k, "events", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/dev/events", fs.ORdOnly)
+		if err != nil {
+			return 1
+		}
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			kbd.Tap(hw.UsageA)
+		}()
+		buf := make([]byte, wm.EventSize)
+		if _, err := p.SysRead(fd, buf); err != nil {
+			return 2
+		}
+		e, ok := wm.DecodeEvent(buf)
+		if !ok || !e.Down || e.ASCII != 'a' {
+			return 3
+		}
+		// The release event follows.
+		p.SysRead(fd, buf)
+		if e, _ := wm.DecodeEvent(buf); e.Down {
+			return 4
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestNonblockingEvents(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	k.Machine().USB.AttachKeyboard()
+	if err := k.initKeyboard(); err != nil {
+		t.Fatal(err)
+	}
+	code := run(t, k, "nb", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/dev/events", fs.ORdOnly|fs.ONonblock)
+		if err != nil {
+			return 1
+		}
+		buf := make([]byte, wm.EventSize)
+		if _, err := p.SysRead(fd, buf); !errors.Is(err, fs.ErrWouldBlock) {
+			return 2
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestSoundPipelineViaDevSB(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "audio", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/dev/sb", fs.OWrOnly)
+		if err != nil {
+			return 1
+		}
+		// A second of square wave, written in chunks: exercises the ring,
+		// DMA kicks, and back-pressure.
+		chunk := make([]byte, 4096)
+		for i := 0; i < len(chunk); i += 2 {
+			v := int16(6000)
+			if (i/2)%64 < 32 {
+				v = -6000
+			}
+			chunk[i] = byte(uint16(v))
+			chunk[i+1] = byte(uint16(v) >> 8)
+		}
+		for i := 0; i < 40; i++ {
+			if _, err := p.SysWrite(fd, chunk); err != nil {
+				return 2
+			}
+		}
+		if _, err := p.SysIoctl(fd, IoctlSoundDrain, 0); err != nil {
+			return 3
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	consumed, _, energy := k.Machine().PWM.Stats()
+	if consumed == 0 || energy == 0 {
+		t.Fatalf("no audio reached the PWM (consumed=%d energy=%f)", consumed, energy)
+	}
+	xfers, _ := k.Machine().DMA.Stats()
+	if xfers < 2 {
+		t.Fatalf("DMA transfers = %d; pipeline not chunking", xfers)
+	}
+}
+
+func TestFramebufferMapAndCacheFlush(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "fbapp", func(p *Proc, _ []string) int {
+		px, err := p.MapFramebuffer()
+		if err != nil {
+			return 1
+		}
+		for i := 0; i < 64; i++ {
+			px[i] = 0x7F
+		}
+		// Without a flush the panel must NOT see it (the §4.3 artifact).
+		if k.FB.PixelAt(0, 0) == 0x7F7F7F7F {
+			return 2
+		}
+		if err := p.SysCacheFlush(0, 64); err != nil {
+			return 3
+		}
+		if k.FB.PixelAt(0, 0) != 0x7F7F7F7F {
+			return 4
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestFATMountAndLargeFile(t *testing.T) {
+	m := testMachine(2)
+	// Put a FAT32 filesystem on the SD card first.
+	sd := sdBlockDev{m.SD}
+	if err := fat32Mkfs(sd); err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := xv6fs.BuildImage(1024, 64, nil)
+	cfg := fullConfig(m, rd.Image())
+	cfg.EnableFAT = true
+	k := New(cfg)
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	code := run(t, k, "fatapp", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/d/movie.mpv", fs.OCreate|fs.ORdWr)
+		if err != nil {
+			return 1
+		}
+		big := make([]byte, 600<<10) // way past xv6fs's 268 KB limit
+		for i := range big {
+			big[i] = byte(i)
+		}
+		if _, err := p.SysWrite(fd, big); err != nil {
+			return 2
+		}
+		if _, err := p.SysLseek(fd, 0, fs.SeekSet); err != nil {
+			return 3
+		}
+		got := make([]byte, len(big))
+		read := 0
+		for read < len(got) {
+			n, err := p.SysRead(fd, got[read:])
+			if err != nil || n == 0 {
+				break
+			}
+			read += n
+		}
+		if read != len(big) {
+			return 4
+		}
+		for i := range got {
+			if got[i] != byte(i) {
+				return 5
+			}
+		}
+		// Meanwhile the root filesystem still enforces its cap.
+		rfd, err := p.SysOpen("/toobig", fs.OCreate|fs.OWrOnly)
+		if err != nil {
+			return 6
+		}
+		if _, err := p.SysWrite(rfd, big); !errors.Is(err, fs.ErrFileTooBig) {
+			return 7
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestSurfaceAndWM(t *testing.T) {
+	m := testMachine(2)
+	rd, _ := xv6fs.BuildImage(1024, 64, nil)
+	cfg := fullConfig(m, rd.Image())
+	cfg.EnableWM = true
+	k := New(cfg)
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	code := run(t, k, "winapp", func(p *Proc, _ []string) int {
+		sfd, err := p.OpenSurface("test", 64, 48)
+		if err != nil {
+			return 1
+		}
+		frame := make([]byte, 64*48*4)
+		for i := 0; i < len(frame); i += 4 {
+			frame[i+2] = 0xEE // red
+			frame[i+3] = 0xFF
+		}
+		if _, err := p.SysWrite(sfd, frame); err != nil {
+			return 2
+		}
+		// Wait for the WM kernel thread to composite.
+		deadline := time.Now().Add(5 * time.Second)
+		s := p.Surface()
+		x, y := s.Pos()
+		for time.Now().Before(deadline) {
+			if px := k.FB.PixelAt(x+5, y+5); px&0xFF0000 == 0xEE0000 {
+				return 0
+			}
+			p.SysSleep(5)
+		}
+		return 3
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestCrashingTaskKillsOnlyItself(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	crashed := make(chan struct{})
+	k.Spawn("crasher", 0, func(p *Proc, _ []string) int {
+		defer close(crashed)
+		// Access way outside any mapping: the fault storm/segfault path
+		// terminates the task via Go panic -> oops.
+		err := p.AddressSpace().WriteAt(0x3000_0000, []byte{1})
+		if err != nil {
+			panic(err) // simulate the hardware fault killing the task
+		}
+		return 0
+	}, nil)
+	select {
+	case <-crashed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("crasher still alive")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if !strings.Contains(k.Transcript(), "oops") {
+		t.Fatalf("no oops in transcript: %q", k.Transcript())
+	}
+	// The kernel survives.
+	if code := run(t, k, "after", func(p *Proc, _ []string) int { return 0 }); code != 0 {
+		t.Fatal("kernel unusable after task crash")
+	}
+}
+
+func TestPanicButtonDumpsAllCores(t *testing.T) {
+	k := bootKernel(t, 4, nil)
+	// Wedge two tasks in compute loops.
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < 2; i++ {
+		k.Spawn("wedge", 0, func(p *Proc, _ []string) int {
+			for {
+				select {
+				case <-stop:
+					return 0
+				default:
+					p.Checkpoint()
+				}
+			}
+		}, nil)
+	}
+	time.Sleep(5 * time.Millisecond)
+	k.Machine().GPIO.Press(hw.PinPanic)
+	if k.PanicDumps() != 1 {
+		t.Fatalf("panic dumps = %d", k.PanicDumps())
+	}
+	tr := k.Transcript()
+	if !strings.Contains(tr, "PANIC BUTTON") || !strings.Contains(tr, "cpu0") || !strings.Contains(tr, "cpu3") {
+		t.Fatalf("dump missing cores: %q", tr)
+	}
+	k.Machine().GPIO.Release(hw.PinPanic)
+}
+
+func TestPrototypeGating(t *testing.T) {
+	// A kernel without threads must refuse clone and semaphores.
+	m := testMachine(1)
+	rd, _ := xv6fs.BuildImage(512, 64, nil)
+	cfg := fullConfig(m, rd.Image())
+	cfg.EnableThreads = false
+	k := New(cfg)
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	code := run(t, k, "gated", func(p *Proc, _ []string) int {
+		if _, err := p.SysClone("x", func(*Proc) {}); !errors.Is(err, ErrNoThreads) {
+			return 1
+		}
+		if _, err := p.SysSemCreate(0); !errors.Is(err, ErrNoThreads) {
+			return 2
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestChdirAndRelativePaths(t *testing.T) {
+	k := bootKernel(t, 2, map[string][]byte{"/home/docs/a.txt": []byte("A")})
+	code := run(t, k, "chdir", func(p *Proc, _ []string) int {
+		if err := p.SysChdir("/home/docs"); err != nil {
+			return 1
+		}
+		fd, err := p.SysOpen("a.txt", fs.ORdOnly)
+		if err != nil {
+			return 2
+		}
+		b := make([]byte, 1)
+		p.SysRead(fd, b)
+		if b[0] != 'A' {
+			return 3
+		}
+		if err := p.SysChdir("/home/docs/a.txt"); !errors.Is(err, fs.ErrNotDir) {
+			return 4
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+// fat32Mkfs formats the SD for TestFATMountAndLargeFile (avoids an import
+// cycle of convenience helpers).
+func fat32Mkfs(dev fs.BlockDevice) error {
+	return fat32MkfsFn(dev)
+}
+
+// fat32MkfsFn indirection so the test file reads naturally.
+var fat32MkfsFn = func(dev fs.BlockDevice) error {
+	return fat32Format(dev)
+}

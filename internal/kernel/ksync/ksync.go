@@ -1,0 +1,211 @@
+// Package ksync provides Proto's kernel synchronization primitives:
+// spinlocks with interrupt-disable reference counting (Prototype 1's
+// evolution from spinlock to refcounted irq on/off), counting semaphores
+// (the Prototype 5 syscall surface), and sleeplocks for long-held resources
+// like buffer-cache blocks.
+package ksync
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"protosim/internal/kernel/sched"
+)
+
+// IRQMasker abstracts the per-core interrupt mask (hw.IRQController
+// satisfies it) so SpinLock can implement pushcli/popcli semantics.
+type IRQMasker interface {
+	Mask(core int)
+	Unmask(core int)
+}
+
+// SpinLock is a kernel spinlock. On a real single-core Prototype 1 it
+// degenerates into reference-counted interrupt disabling; here both the
+// mutual exclusion and the irq-off refcount are modelled, and the refcount
+// bug class (unbalanced push/pop) panics loudly.
+type SpinLock struct {
+	mu       sync.Mutex
+	name     string
+	holder   atomic.Int64 // task ID, 0 when free
+	acquires atomic.Int64
+}
+
+// NewSpinLock names a lock for diagnostics.
+func NewSpinLock(name string) *SpinLock { return &SpinLock{name: name} }
+
+// Lock acquires the lock on behalf of task id (0 for IRQ context).
+func (l *SpinLock) Lock(taskID int) {
+	l.mu.Lock()
+	l.holder.Store(int64(taskID))
+	l.acquires.Add(1)
+}
+
+// Unlock releases the lock.
+func (l *SpinLock) Unlock() {
+	l.holder.Store(0)
+	l.mu.Unlock()
+}
+
+// Holder returns the task ID currently holding the lock (0 = free/IRQ).
+func (l *SpinLock) Holder() int { return int(l.holder.Load()) }
+
+// Acquires counts lifetime acquisitions (contention diagnostics).
+func (l *SpinLock) Acquires() int64 { return l.acquires.Load() }
+
+// IRQGuard is the reference-counted interrupt on/off that Prototype 1
+// arrives at after discovering a bare spinlock is overkill on one core:
+// nested critical sections push/pop, and interrupts resume only when the
+// count returns to zero.
+type IRQGuard struct {
+	ic   IRQMasker
+	core int
+	mu   sync.Mutex
+	refs int
+}
+
+// NewIRQGuard guards one core's interrupt mask.
+func NewIRQGuard(ic IRQMasker, core int) *IRQGuard {
+	return &IRQGuard{ic: ic, core: core}
+}
+
+// Push disables interrupts (idempotent via refcount).
+func (g *IRQGuard) Push() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.refs == 0 {
+		g.ic.Mask(g.core)
+	}
+	g.refs++
+}
+
+// Pop re-enables interrupts when the refcount drains. Unbalanced pops are
+// the classic bug; they panic.
+func (g *IRQGuard) Pop() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.refs == 0 {
+		panic("ksync: IRQGuard pop without matching push")
+	}
+	g.refs--
+	if g.refs == 0 {
+		g.ic.Unmask(g.core)
+	}
+}
+
+// Depth returns the current nesting depth.
+func (g *IRQGuard) Depth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.refs
+}
+
+// Semaphore is a counting semaphore, the primitive Prototype 5 exposes as
+// syscalls and on which the user library builds mutexes and condition
+// variables (§4.5).
+type Semaphore struct {
+	mu    sync.Mutex
+	count int
+	wq    sched.WaitQueue
+}
+
+// NewSemaphore creates a semaphore with an initial count.
+func NewSemaphore(initial int) *Semaphore {
+	if initial < 0 {
+		panic("ksync: negative semaphore count")
+	}
+	return &Semaphore{count: initial}
+}
+
+// Wait (P) decrements; the task sleeps while the count is zero.
+func (s *Semaphore) Wait(t *sched.Task) {
+	for {
+		s.mu.Lock()
+		if s.count > 0 {
+			s.count--
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		s.wq.Sleep(t)
+	}
+}
+
+// TryWait decrements without blocking; reports success.
+func (s *Semaphore) TryWait() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count > 0 {
+		s.count--
+		return true
+	}
+	return false
+}
+
+// Post (V) increments and wakes one waiter.
+func (s *Semaphore) Post() {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+	s.wq.WakeOne()
+}
+
+// Value reads the current count (diagnostics only).
+func (s *Semaphore) Value() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// SleepLock is a long-hold lock whose waiters sleep instead of spinning —
+// xv6's sleeplock, used by the buffer cache where a disk read happens under
+// the lock.
+type SleepLock struct {
+	mu     sync.Mutex
+	locked bool
+	holder int
+	wq     sched.WaitQueue
+}
+
+// Lock acquires for task t, sleeping while held elsewhere. A nil task is
+// permitted for host-side contexts (image building, test harnesses) that
+// run outside the simulated scheduler; they spin-yield instead of sleeping.
+func (l *SleepLock) Lock(t *sched.Task) {
+	for {
+		l.mu.Lock()
+		if !l.locked {
+			l.locked = true
+			if t != nil {
+				l.holder = t.ID
+			}
+			l.mu.Unlock()
+			return
+		}
+		l.mu.Unlock()
+		if t != nil {
+			l.wq.Sleep(t)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases and wakes one waiter.
+func (l *SleepLock) Unlock() {
+	l.mu.Lock()
+	if !l.locked {
+		l.mu.Unlock()
+		panic("ksync: unlock of unlocked sleeplock")
+	}
+	l.locked = false
+	l.holder = 0
+	l.mu.Unlock()
+	l.wq.WakeOne()
+}
+
+// Held reports whether the lock is taken (diagnostics).
+func (l *SleepLock) Held() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.locked
+}

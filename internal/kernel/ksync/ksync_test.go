@@ -1,0 +1,228 @@
+package ksync
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"protosim/internal/kernel/sched"
+)
+
+type fakeMasker struct {
+	mu       sync.Mutex
+	masked   map[int]bool
+	maskOps  int
+	unmaskOp int
+}
+
+func (f *fakeMasker) Mask(core int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.masked == nil {
+		f.masked = map[int]bool{}
+	}
+	f.masked[core] = true
+	f.maskOps++
+}
+
+func (f *fakeMasker) Unmask(core int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.masked[core] = false
+	f.unmaskOp++
+}
+
+func newSched(t *testing.T, cores int) *sched.Scheduler {
+	t.Helper()
+	s := sched.New(sched.Config{Cores: cores})
+	s.Start()
+	t.Cleanup(func() {
+		if err := s.Shutdown(5 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	l := NewSpinLock("test")
+	var counter int
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Lock(id + 1)
+				counter++
+				l.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+	if l.Acquires() != 8000 {
+		t.Fatalf("acquires = %d", l.Acquires())
+	}
+	if l.Holder() != 0 {
+		t.Fatalf("holder = %d after all unlocks", l.Holder())
+	}
+}
+
+func TestIRQGuardRefcount(t *testing.T) {
+	m := &fakeMasker{}
+	g := NewIRQGuard(m, 0)
+	g.Push()
+	g.Push()
+	if !m.masked[0] {
+		t.Fatal("irqs not masked after push")
+	}
+	if m.maskOps != 1 {
+		t.Fatalf("mask called %d times, want 1 (refcounted)", m.maskOps)
+	}
+	g.Pop()
+	if !m.masked[0] {
+		t.Fatal("irqs unmasked while refcount > 0")
+	}
+	g.Pop()
+	if m.masked[0] {
+		t.Fatal("irqs still masked after final pop")
+	}
+	if g.Depth() != 0 {
+		t.Fatalf("depth = %d", g.Depth())
+	}
+}
+
+func TestIRQGuardUnbalancedPopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIRQGuard(&fakeMasker{}, 0).Pop()
+}
+
+func TestSemaphoreCounts(t *testing.T) {
+	s := newSched(t, 2)
+	sem := NewSemaphore(2)
+	var inCrit, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		s.Go("sem", 0, func(t *sched.Task) {
+			defer wg.Done()
+			sem.Wait(t)
+			c := inCrit.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			t.SleepFor(time.Millisecond)
+			inCrit.Add(-1)
+			sem.Post()
+		})
+	}
+	wg.Wait()
+	if peak.Load() > 2 {
+		t.Fatalf("semaphore(2) admitted %d tasks at once", peak.Load())
+	}
+	if sem.Value() != 2 {
+		t.Fatalf("final value = %d, want 2", sem.Value())
+	}
+}
+
+func TestSemaphoreTryWait(t *testing.T) {
+	sem := NewSemaphore(1)
+	if !sem.TryWait() {
+		t.Fatal("trywait on count 1 failed")
+	}
+	if sem.TryWait() {
+		t.Fatal("trywait on count 0 succeeded")
+	}
+	sem.Post()
+	if !sem.TryWait() {
+		t.Fatal("trywait after post failed")
+	}
+}
+
+// Property: after any interleaving of P/V with P ≤ V + initial, the final
+// count is initial + V - P.
+func TestSemaphoreCountProperty(t *testing.T) {
+	s := newSched(t, 2)
+	check := func(initial uint8, extra uint8) bool {
+		init := int(initial%8) + 1
+		posts := int(extra % 8)
+		sem := NewSemaphore(init)
+		var wg sync.WaitGroup
+		// init+posts total permits; consume init of them, post posts.
+		for i := 0; i < posts; i++ {
+			sem.Post()
+		}
+		for i := 0; i < init; i++ {
+			wg.Add(1)
+			s.Go("p", 0, func(t *sched.Task) {
+				defer wg.Done()
+				sem.Wait(t)
+			})
+		}
+		wg.Wait()
+		return sem.Value() == posts
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepLockBlocksAndWakes(t *testing.T) {
+	s := newSched(t, 2)
+	var l SleepLock
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	acquired := make(chan struct{})
+	wg.Add(2)
+	s.Go("first", 0, func(t *sched.Task) {
+		defer wg.Done()
+		l.Lock(t)
+		close(acquired)
+		t.SleepFor(5 * time.Millisecond)
+		mu.Lock()
+		order = append(order, "first")
+		mu.Unlock()
+		l.Unlock()
+	})
+	<-acquired
+	s.Go("second", 0, func(t *sched.Task) {
+		defer wg.Done()
+		l.Lock(t)
+		mu.Lock()
+		order = append(order, "second")
+		mu.Unlock()
+		l.Unlock()
+	})
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order = %v", order)
+	}
+	if l.Held() {
+		t.Fatal("lock held after both released")
+	}
+}
+
+func TestSleepLockDoubleUnlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var l SleepLock
+	l.Unlock()
+}

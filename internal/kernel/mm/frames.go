@@ -1,0 +1,115 @@
+// Package mm implements Proto's memory management: a physical frame
+// allocator (Prototype 2's page-based allocator), a byte-granular kernel
+// allocator (Prototype 4's kmalloc), ARMv8-style page tables with 1 MB
+// kernel blocks and 4 KB user pages, and per-task address spaces with
+// demand-paged stacks, sbrk heaps, fork by eager copy or copy-on-write, and
+// the repeated-page-fault kill policy of Prototype 3.
+package mm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"protosim/internal/hw"
+)
+
+// PageSize is the user mapping granularity.
+const PageSize = hw.FrameSize
+
+// ErrNoMemory is returned when physical memory is exhausted.
+var ErrNoMemory = errors.New("mm: out of physical frames")
+
+// FrameAllocator hands out physical frames from hw.Mem, excluding a
+// reserved kernel carve-out (kernel image + GPU framebuffer region). Frames
+// carry reference counts so copy-on-write can share them.
+type FrameAllocator struct {
+	mem *hw.Mem
+
+	mu       sync.Mutex
+	free     []int // stack of free frame numbers
+	refs     []int32
+	reserved int
+	allocs   int64
+}
+
+// NewFrameAllocator manages mem, reserving frames [0, reserveFrames) for
+// the kernel image and everything from highReserve frames below the top
+// (the mailbox framebuffer carve-out).
+func NewFrameAllocator(mem *hw.Mem, reserveFrames, highReserve int) *FrameAllocator {
+	total := mem.Frames()
+	fa := &FrameAllocator{mem: mem, refs: make([]int32, total), reserved: reserveFrames}
+	for f := total - 1 - highReserve; f >= reserveFrames; f-- {
+		fa.free = append(fa.free, f)
+	}
+	return fa
+}
+
+// Alloc returns a zeroed frame with refcount 1.
+func (fa *FrameAllocator) Alloc() (int, error) {
+	fa.mu.Lock()
+	if len(fa.free) == 0 {
+		fa.mu.Unlock()
+		return 0, ErrNoMemory
+	}
+	f := fa.free[len(fa.free)-1]
+	fa.free = fa.free[:len(fa.free)-1]
+	fa.refs[f] = 1
+	fa.allocs++
+	fa.mu.Unlock()
+	// Zero it: real DRAM holds garbage (hw.Mem.Scramble), and handing
+	// scrambled frames to user tasks is the uninitialized-memory bug the
+	// paper warns about.
+	b := fa.mem.Frame(f)
+	for i := range b {
+		b[i] = 0
+	}
+	return f, nil
+}
+
+// Ref increments a frame's reference count (COW sharing).
+func (fa *FrameAllocator) Ref(frame int) {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	if fa.refs[frame] <= 0 {
+		panic(fmt.Sprintf("mm: ref of free frame %d", frame))
+	}
+	fa.refs[frame]++
+}
+
+// Refs returns a frame's current reference count.
+func (fa *FrameAllocator) Refs(frame int) int {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return int(fa.refs[frame])
+}
+
+// Free drops one reference; the frame returns to the pool at zero.
+func (fa *FrameAllocator) Free(frame int) {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	if fa.refs[frame] <= 0 {
+		panic(fmt.Sprintf("mm: double free of frame %d", frame))
+	}
+	fa.refs[frame]--
+	if fa.refs[frame] == 0 {
+		fa.free = append(fa.free, frame)
+	}
+}
+
+// FreeFrames reports how many frames remain allocatable.
+func (fa *FrameAllocator) FreeFrames() int {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return len(fa.free)
+}
+
+// TotalAllocs counts lifetime allocations (for /proc/meminfo).
+func (fa *FrameAllocator) TotalAllocs() int64 {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return fa.allocs
+}
+
+// Mem exposes the underlying physical memory.
+func (fa *FrameAllocator) Mem() *hw.Mem { return fa.mem }

@@ -1,0 +1,125 @@
+package mm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrKAllocExhausted is returned when the kmalloc arena is full.
+var ErrKAllocExhausted = errors.New("mm: kmalloc arena exhausted")
+
+// KAlloc is the byte-granular kernel allocator Prototypes 4–5 add on top of
+// the page allocator (Table 1 footnote 6: "kmalloc"). It is a first-fit
+// free-list allocator over a physical arena, with coalescing on free —
+// deliberately simple, like Proto's.
+type KAlloc struct {
+	base int // physical base of the arena
+	size int
+
+	mu    sync.Mutex
+	free  []span      // sorted by offset, coalesced
+	used  map[int]int // offset -> length
+	inUse int
+	peak  int
+}
+
+type span struct{ off, len int }
+
+// NewKAlloc manages the physical range [base, base+size).
+func NewKAlloc(base, size int) *KAlloc {
+	if size <= 0 {
+		panic("mm: kmalloc arena must be non-empty")
+	}
+	return &KAlloc{
+		base: base,
+		size: size,
+		free: []span{{0, size}},
+		used: make(map[int]int),
+	}
+}
+
+const kallocAlign = 16
+
+// Alloc returns the physical address of an n-byte region (16-aligned).
+func (k *KAlloc) Alloc(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("mm: kmalloc of %d bytes", n)
+	}
+	n = (n + kallocAlign - 1) &^ (kallocAlign - 1)
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for i, s := range k.free {
+		if s.len < n {
+			continue
+		}
+		off := s.off
+		if s.len == n {
+			k.free = append(k.free[:i], k.free[i+1:]...)
+		} else {
+			k.free[i] = span{s.off + n, s.len - n}
+		}
+		k.used[off] = n
+		k.inUse += n
+		if k.inUse > k.peak {
+			k.peak = k.inUse
+		}
+		return k.base + off, nil
+	}
+	return 0, ErrKAllocExhausted
+}
+
+// Free releases a region previously returned by Alloc. Freeing an unknown
+// address panics: that bug class must be loud in a kernel.
+func (k *KAlloc) Free(pa int) {
+	off := pa - k.base
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	n, ok := k.used[off]
+	if !ok {
+		panic(fmt.Sprintf("mm: kfree of unallocated %#x", pa))
+	}
+	delete(k.used, off)
+	k.inUse -= n
+	k.free = append(k.free, span{off, n})
+	sort.Slice(k.free, func(i, j int) bool { return k.free[i].off < k.free[j].off })
+	// Coalesce neighbours.
+	out := k.free[:1]
+	for _, s := range k.free[1:] {
+		last := &out[len(out)-1]
+		if last.off+last.len == s.off {
+			last.len += s.len
+		} else {
+			out = append(out, s)
+		}
+	}
+	k.free = out
+}
+
+// InUse returns currently allocated bytes.
+func (k *KAlloc) InUse() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.inUse
+}
+
+// Peak returns the high-water mark.
+func (k *KAlloc) Peak() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.peak
+}
+
+// LargestFree returns the biggest allocatable request (fragmentation probe).
+func (k *KAlloc) LargestFree() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	max := 0
+	for _, s := range k.free {
+		if s.len > max {
+			max = s.len
+		}
+	}
+	return max
+}

@@ -1,0 +1,513 @@
+package mm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"protosim/internal/hw"
+)
+
+func newFA(t *testing.T) *FrameAllocator {
+	t.Helper()
+	mem := hw.NewMem(8 << 20)
+	mem.Scramble(7)
+	return NewFrameAllocator(mem, 4, 4)
+}
+
+func TestFrameAllocZeroedAndDistinct(t *testing.T) {
+	fa := newFA(t)
+	seen := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		f, err := fa.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[f] {
+			t.Fatalf("frame %d handed out twice", f)
+		}
+		seen[f] = true
+		for _, b := range fa.Mem().Frame(f) {
+			if b != 0 {
+				t.Fatal("allocated frame not zeroed")
+			}
+		}
+	}
+}
+
+func TestFrameReserveRespected(t *testing.T) {
+	fa := newFA(t)
+	for i := 0; i < fa.FreeFrames(); i++ {
+	}
+	// Drain the allocator; no frame may fall in the reserved ranges.
+	total := fa.Mem().Frames()
+	for {
+		f, err := fa.Alloc()
+		if err != nil {
+			break
+		}
+		if f < 4 || f >= total-4 {
+			t.Fatalf("allocator handed out reserved frame %d", f)
+		}
+	}
+}
+
+func TestFrameRefCounting(t *testing.T) {
+	fa := newFA(t)
+	f, _ := fa.Alloc()
+	fa.Ref(f)
+	if fa.Refs(f) != 2 {
+		t.Fatalf("refs = %d", fa.Refs(f))
+	}
+	before := fa.FreeFrames()
+	fa.Free(f)
+	if fa.FreeFrames() != before {
+		t.Fatal("frame returned to pool while still referenced")
+	}
+	fa.Free(f)
+	if fa.FreeFrames() != before+1 {
+		t.Fatal("frame not returned at refcount zero")
+	}
+}
+
+func TestFrameDoubleFreePanics(t *testing.T) {
+	fa := newFA(t)
+	f, _ := fa.Alloc()
+	fa.Free(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free")
+		}
+	}()
+	fa.Free(f)
+}
+
+func TestFrameExhaustion(t *testing.T) {
+	fa := newFA(t)
+	for fa.FreeFrames() > 0 {
+		if _, err := fa.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fa.Alloc(); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("err = %v, want ErrNoMemory", err)
+	}
+}
+
+func TestPageTableMapTranslateUnmap(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.Map(0x1000, 5*PageSize, FlagWrite|FlagUser); err != nil {
+		t.Fatal(err)
+	}
+	pa, flags, ok := pt.Translate(0x1234)
+	if !ok || pa != 5*PageSize+0x234 {
+		t.Fatalf("translate: pa=%#x ok=%v", pa, ok)
+	}
+	if flags&FlagWrite == 0 || flags&FlagUser == 0 {
+		t.Fatalf("flags = %v", flags)
+	}
+	if _, _, ok := pt.Translate(0x2000); ok {
+		t.Fatal("unmapped va translated")
+	}
+	if _, err := pt.Unmap(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := pt.Translate(0x1000); ok {
+		t.Fatal("translation survived unmap")
+	}
+}
+
+func TestPageTableBlockMapping(t *testing.T) {
+	pt := NewPageTable()
+	if err := pt.MapBlock(KernelBase, 0, FlagWrite|FlagCached); err != nil {
+		t.Fatal(err)
+	}
+	pa, _, ok := pt.Translate(KernelBase + 0x12345)
+	if !ok || pa != 0x12345 {
+		t.Fatalf("block translate: pa=%#x ok=%v", pa, ok)
+	}
+	// A 4 KB map inside a block region must be rejected.
+	if err := pt.Map(KernelBase+0x3000, PageSize, 0); err == nil {
+		t.Fatal("page map inside block accepted")
+	}
+	// Misaligned blocks rejected.
+	if err := pt.MapBlock(KernelBase+123, 0, 0); !errors.Is(err, ErrAlignment) {
+		t.Fatalf("err = %v, want alignment", err)
+	}
+}
+
+func TestPageTableDoubleMapRejected(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0, 0, 0)
+	if err := pt.Map(0, PageSize, 0); !errors.Is(err, ErrMapped) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: map/translate round-trips for arbitrary page-aligned pairs.
+func TestPageTableProperty(t *testing.T) {
+	check := func(vaPages []uint16, paPage uint16) bool {
+		pt := NewPageTable()
+		want := map[uint64]int{}
+		for i, vp := range vaPages {
+			va := uint64(vp) * PageSize
+			pa := (int(paPage) + i) * PageSize
+			if _, dup := want[va]; dup {
+				continue
+			}
+			if err := pt.Map(va, pa, FlagUser); err != nil {
+				return false
+			}
+			want[va] = pa
+		}
+		if pt.Pages() != len(want) {
+			return false
+		}
+		for va, pa := range want {
+			got, _, ok := pt.Translate(va + 7)
+			if !ok || got != pa+7 {
+				return false
+			}
+		}
+		// Unmap everything; translations must disappear.
+		for va := range want {
+			if _, err := pt.Unmap(va); err != nil {
+				return false
+			}
+			if _, _, ok := pt.Translate(va); ok {
+				return false
+			}
+		}
+		return pt.Pages() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSpaceSegmentAndIO(t *testing.T) {
+	fa := newFA(t)
+	as := NewAddressSpace(fa)
+	defer as.Release()
+	code := []byte("program text here")
+	if err := as.MapSegment(0, code, 2*PageSize, FlagValid|FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(code))
+	if err := as.ReadAt(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, code) {
+		t.Fatalf("read %q", got)
+	}
+	// Cross-page write/read.
+	data := bytes.Repeat([]byte{0xCD}, PageSize)
+	if err := as.WriteAt(PageSize/2, data); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, len(data))
+	if err := as.ReadAt(PageSize/2, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("cross-page IO corrupted data")
+	}
+}
+
+func TestDemandPagedStack(t *testing.T) {
+	fa := newFA(t)
+	as := NewAddressSpace(fa)
+	defer as.Release()
+	if err := as.SetupStack(DefaultStackVA, 8); err != nil {
+		t.Fatal(err)
+	}
+	if as.PageTable().Pages() != 1 {
+		t.Fatalf("stack pre-mapped %d pages, want 1", as.PageTable().Pages())
+	}
+	// Touch three pages down: two demand faults beyond the premapped one.
+	va := DefaultStackVA - 3*PageSize
+	if err := as.WriteAt(va, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	demand, _, pages := as.Stats()
+	if demand < 2 {
+		t.Fatalf("demand faults = %d, want >= 2", demand)
+	}
+	if pages < 2 {
+		t.Fatalf("pages = %d", pages)
+	}
+	// Below the stack floor: segfault.
+	low, _ := as.StackRange()
+	err := as.WriteAt(low-PageSize, []byte{9})
+	if !errors.Is(err, ErrSegfault) {
+		t.Fatalf("err = %v, want segfault", err)
+	}
+}
+
+func TestSbrkGrowsHeap(t *testing.T) {
+	fa := newFA(t)
+	as := NewAddressSpace(fa)
+	defer as.Release()
+	if err := as.MapSegment(0, []byte("x"), PageSize, FlagValid); err != nil {
+		t.Fatal(err)
+	}
+	old, err := as.Sbrk(3 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != PageSize {
+		t.Fatalf("old brk = %#x, want %#x", old, PageSize)
+	}
+	// The new heap must be usable.
+	if err := as.WriteAt(old, bytes.Repeat([]byte{7}, 3*PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if as.Brk() != PageSize+3*PageSize {
+		t.Fatalf("brk = %#x", as.Brk())
+	}
+}
+
+func TestForkEagerCopies(t *testing.T) {
+	fa := newFA(t)
+	parent := NewAddressSpace(fa)
+	defer parent.Release()
+	parent.MapSegment(0, []byte("shared start"), PageSize, FlagValid|FlagWrite)
+	child, err := parent.Fork(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Release()
+	// Writes in the child must not appear in the parent.
+	if err := child.WriteAt(0, []byte("CHILD")); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 5)
+	parent.ReadAt(0, p)
+	if string(p) == "CHILD" {
+		t.Fatal("eager fork shared memory with parent")
+	}
+}
+
+func TestForkCOWSharesUntilWrite(t *testing.T) {
+	fa := newFA(t)
+	parent := NewAddressSpace(fa)
+	defer parent.Release()
+	parent.MapSegment(0, []byte("shared start"), PageSize, FlagValid|FlagWrite)
+	allocsBefore := fa.TotalAllocs()
+	child, err := parent.Fork(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Release()
+	if fa.TotalAllocs() != allocsBefore {
+		t.Fatalf("COW fork allocated %d frames, want 0", fa.TotalAllocs()-allocsBefore)
+	}
+	// Reads see the same bytes.
+	c := make([]byte, 6)
+	if err := child.ReadAt(0, c); err != nil {
+		t.Fatal(err)
+	}
+	if string(c) != "shared" {
+		t.Fatalf("child read %q", c)
+	}
+	// Child write breaks the share.
+	if err := child.WriteAt(0, []byte("CHILD!")); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 6)
+	parent.ReadAt(0, p)
+	if string(p) != "shared" {
+		t.Fatalf("parent sees child write: %q", p)
+	}
+	_, cow, _ := child.Stats()
+	if cow != 1 {
+		t.Fatalf("cow breaks = %d, want 1", cow)
+	}
+	// Parent write after the break must also work (its page went read-only).
+	if err := parent.WriteAt(0, []byte("PARENT")); err != nil {
+		t.Fatal(err)
+	}
+	parent.ReadAt(0, p)
+	if string(p) != "PARENT" {
+		t.Fatalf("parent readback %q", p)
+	}
+}
+
+func TestForkPreservesSharedDeviceMappings(t *testing.T) {
+	fa := newFA(t)
+	as := NewAddressSpace(fa)
+	defer as.Release()
+	// Identity-map a fake framebuffer region (not owned).
+	const fbPA = 6 << 20
+	if err := as.MapShared(0x1000_0000, fbPA, 2*PageSize, FlagValid|FlagWrite|FlagCached); err != nil {
+		t.Fatal(err)
+	}
+	child, err := as.Fork(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Release()
+	pa, _, ok := child.PageTable().Translate(0x1000_0000)
+	if !ok || pa != fbPA {
+		t.Fatalf("child fb mapping pa=%#x ok=%v", pa, ok)
+	}
+	// Writes through either space hit the same physical bytes.
+	child.WriteAt(0x1000_0000, []byte{0xEE})
+	var b [1]byte
+	as.ReadAt(0x1000_0000, b[:])
+	if b[0] != 0xEE {
+		t.Fatal("shared mapping not actually shared")
+	}
+}
+
+func TestReleaseFreesFrames(t *testing.T) {
+	fa := newFA(t)
+	free0 := fa.FreeFrames()
+	as := NewAddressSpace(fa)
+	as.MapSegment(0, make([]byte, 3*PageSize), 3*PageSize, FlagValid|FlagWrite)
+	as.SetupStack(DefaultStackVA, 4)
+	if fa.FreeFrames() >= free0 {
+		t.Fatal("no frames consumed")
+	}
+	as.Release()
+	if fa.FreeFrames() != free0 {
+		t.Fatalf("leak: %d frames free, started with %d", fa.FreeFrames(), free0)
+	}
+}
+
+func TestThreadSharingViaRefs(t *testing.T) {
+	fa := newFA(t)
+	free0 := fa.FreeFrames()
+	as := NewAddressSpace(fa)
+	as.MapSegment(0, []byte("t"), PageSize, FlagValid|FlagWrite)
+	as.Ref() // clone(CLONE_VM)
+	if as.Refs() != 2 {
+		t.Fatalf("refs = %d", as.Refs())
+	}
+	as.Release() // thread exits
+	if fa.FreeFrames() == free0 {
+		t.Fatal("frames freed while space still shared")
+	}
+	as.Release() // process exits
+	if fa.FreeFrames() != free0 {
+		t.Fatal("frames leaked after last release")
+	}
+}
+
+func TestKernelPageNotUserAccessible(t *testing.T) {
+	fa := newFA(t)
+	as := NewAddressSpace(fa)
+	defer as.Release()
+	f, _ := fa.Alloc()
+	as.PageTable().Map(0x5000, f*PageSize, FlagValid|FlagWrite) // no FlagUser
+	err := as.ReadAt(0x5000, make([]byte, 1))
+	if !errors.Is(err, ErrSegfault) {
+		t.Fatalf("err = %v, want segfault on EL0->kernel access", err)
+	}
+	fa.Free(f)
+}
+
+func TestFaultStormTerminates(t *testing.T) {
+	fa := newFA(t)
+	as := NewAddressSpace(fa)
+	defer as.Release()
+	as.SetupStack(DefaultStackVA, 4)
+	va := DefaultStackVA - 2*PageSize
+	var last error
+	for i := 0; i < faultStormLimit+2; i++ {
+		last = as.HandleFault(va, true)
+	}
+	if !errors.Is(last, ErrFaultStorm) {
+		t.Fatalf("err = %v, want fault storm", last)
+	}
+}
+
+func TestKAllocBasic(t *testing.T) {
+	k := NewKAlloc(0x100000, 4096)
+	a, err := k.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("overlapping allocations")
+	}
+	if a%kallocAlign != 0 || b%kallocAlign != 0 {
+		t.Fatal("unaligned allocation")
+	}
+	k.Free(a)
+	k.Free(b)
+	if k.InUse() != 0 {
+		t.Fatalf("inuse = %d", k.InUse())
+	}
+	// After freeing everything, the arena must coalesce back to one span.
+	if k.LargestFree() != 4096 {
+		t.Fatalf("largest free = %d, want 4096 (coalescing broken)", k.LargestFree())
+	}
+}
+
+func TestKAllocExhaustion(t *testing.T) {
+	k := NewKAlloc(0, 256)
+	if _, err := k.Alloc(512); !errors.Is(err, ErrKAllocExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKAllocFreeUnknownPanics(t *testing.T) {
+	k := NewKAlloc(0, 256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.Free(64)
+}
+
+// Property: any alloc/free interleaving keeps regions disjoint and ends
+// with full coalescing when everything is freed.
+func TestKAllocProperty(t *testing.T) {
+	check := func(sizes []uint8) bool {
+		k := NewKAlloc(0x8000, 64<<10)
+		type alloc struct{ pa, n int }
+		var live []alloc
+		for _, sz := range sizes {
+			n := int(sz)%1024 + 1
+			pa, err := k.Alloc(n)
+			if err != nil {
+				return false
+			}
+			for _, a := range live {
+				if pa < a.pa+a.n && a.pa < pa+n {
+					return false // overlap
+				}
+			}
+			live = append(live, alloc{pa, n})
+			if len(live) > 4 { // free the oldest to churn the free list
+				k.Free(live[0].pa)
+				live = live[1:]
+			}
+		}
+		for _, a := range live {
+			k.Free(a.pa)
+		}
+		return k.InUse() == 0 && k.LargestFree() == 64<<10
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKAllocPeakTracking(t *testing.T) {
+	k := NewKAlloc(0, 4096)
+	a, _ := k.Alloc(1000)
+	b, _ := k.Alloc(1000)
+	k.Free(a)
+	k.Free(b)
+	if k.Peak() < 2000 {
+		t.Fatalf("peak = %d", k.Peak())
+	}
+}

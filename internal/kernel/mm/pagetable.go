@@ -1,0 +1,221 @@
+package mm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"protosim/internal/hw"
+)
+
+// PTEFlags carry the permission and attribute bits Proto's page tables use.
+type PTEFlags uint8
+
+// Flag bits.
+const (
+	FlagValid  PTEFlags = 1 << iota
+	FlagWrite           // writable
+	FlagUser            // EL0-accessible
+	FlagCached          // normal cached memory (framebuffer wants this!)
+	FlagCOW             // shared copy-on-write frame; write faults copy
+	FlagDevice          // device memory (IO registers, uncached)
+)
+
+// KernelBase is the bottom of kernel virtual addresses: Proto prefixes
+// kernel space with 0xffff (§3).
+const KernelBase = uint64(0xffff_0000_0000_0000)
+
+// BlockSize is the kernel's coarse mapping granularity (1 MB).
+const BlockSize = hw.BlockSize
+
+// Errors from mapping operations.
+var (
+	ErrMapped    = errors.New("mm: address already mapped")
+	ErrNotMapped = errors.New("mm: address not mapped")
+	ErrAlignment = errors.New("mm: misaligned address")
+)
+
+// PTE is one translation entry.
+type PTE struct {
+	PA    int
+	Flags PTEFlags
+}
+
+// l1slot is one 1 MB region: either a block mapping or a table of 4 KB
+// pages — the exact two granularities Proto uses (1 MB kernel blocks, 4 KB
+// user pages).
+type l1slot struct {
+	block *PTE
+	l2    []PTE // BlockSize/PageSize entries, indexed by page within block
+}
+
+// PageTable is one address space's translation table. It is structured
+// like the two-granularity ARMv8 setup the paper describes rather than a
+// flat map, so table walks, block vs page conflicts, and unmap bookkeeping
+// behave faithfully.
+type PageTable struct {
+	mu    sync.RWMutex
+	slots map[uint64]*l1slot // key: va / BlockSize
+	pages int                // live 4 KB mappings
+}
+
+// NewPageTable returns an empty table.
+func NewPageTable() *PageTable {
+	return &PageTable{slots: make(map[uint64]*l1slot)}
+}
+
+// MapBlock installs a 1 MB block mapping (kernel linear map, IO windows).
+func (pt *PageTable) MapBlock(va uint64, pa int, flags PTEFlags) error {
+	if va%BlockSize != 0 || pa%BlockSize != 0 {
+		return ErrAlignment
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	key := va / BlockSize
+	if pt.slots[key] != nil {
+		return fmt.Errorf("%w: block at %#x", ErrMapped, va)
+	}
+	pt.slots[key] = &l1slot{block: &PTE{PA: pa, Flags: flags | FlagValid}}
+	return nil
+}
+
+// Map installs a 4 KB page mapping.
+func (pt *PageTable) Map(va uint64, pa int, flags PTEFlags) error {
+	if va%PageSize != 0 || pa%PageSize != 0 {
+		return ErrAlignment
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	key := va / BlockSize
+	slot := pt.slots[key]
+	if slot == nil {
+		slot = &l1slot{l2: make([]PTE, BlockSize/PageSize)}
+		pt.slots[key] = slot
+	}
+	if slot.block != nil {
+		return fmt.Errorf("%w: page %#x inside block mapping", ErrMapped, va)
+	}
+	idx := (va % BlockSize) / PageSize
+	if slot.l2[idx].Flags&FlagValid != 0 {
+		return fmt.Errorf("%w: page at %#x", ErrMapped, va)
+	}
+	slot.l2[idx] = PTE{PA: pa, Flags: flags | FlagValid}
+	pt.pages++
+	return nil
+}
+
+// Unmap removes a 4 KB mapping, returning its old entry.
+func (pt *PageTable) Unmap(va uint64) (PTE, error) {
+	if va%PageSize != 0 {
+		return PTE{}, ErrAlignment
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	slot := pt.slots[va/BlockSize]
+	if slot == nil || slot.block != nil {
+		return PTE{}, fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	idx := (va % BlockSize) / PageSize
+	e := slot.l2[idx]
+	if e.Flags&FlagValid == 0 {
+		return PTE{}, fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	slot.l2[idx] = PTE{}
+	pt.pages--
+	return e, nil
+}
+
+// SetFlags rewrites the flags of an existing 4 KB mapping (COW break).
+func (pt *PageTable) SetFlags(va uint64, flags PTEFlags) error {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	slot := pt.slots[va/BlockSize]
+	if slot == nil || slot.block != nil {
+		return fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	idx := (va % BlockSize) / PageSize
+	if slot.l2[idx].Flags&FlagValid == 0 {
+		return fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	slot.l2[idx].Flags = flags | FlagValid
+	return nil
+}
+
+// SetPA rewrites the physical address of an existing mapping (COW copy).
+func (pt *PageTable) SetPA(va uint64, pa int) error {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	slot := pt.slots[va/BlockSize]
+	if slot == nil || slot.block != nil {
+		return fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	idx := (va % BlockSize) / PageSize
+	if slot.l2[idx].Flags&FlagValid == 0 {
+		return fmt.Errorf("%w: %#x", ErrNotMapped, va)
+	}
+	slot.l2[idx].PA = pa
+	return nil
+}
+
+// Translate walks the table: returns the physical address for va and the
+// entry's flags. ok is false on a translation fault.
+func (pt *PageTable) Translate(va uint64) (pa int, flags PTEFlags, ok bool) {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	slot := pt.slots[va/BlockSize]
+	if slot == nil {
+		return 0, 0, false
+	}
+	if slot.block != nil {
+		return slot.block.PA + int(va%BlockSize), slot.block.Flags, true
+	}
+	idx := (va % BlockSize) / PageSize
+	e := slot.l2[idx]
+	if e.Flags&FlagValid == 0 {
+		return 0, 0, false
+	}
+	return e.PA + int(va%PageSize), e.Flags, true
+}
+
+// Lookup returns the 4 KB PTE covering va (not blocks).
+func (pt *PageTable) Lookup(va uint64) (PTE, bool) {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	slot := pt.slots[va/BlockSize]
+	if slot == nil || slot.block != nil {
+		return PTE{}, false
+	}
+	e := slot.l2[(va%BlockSize)/PageSize]
+	return e, e.Flags&FlagValid != 0
+}
+
+// Pages counts live 4 KB mappings.
+func (pt *PageTable) Pages() int {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	return pt.pages
+}
+
+// VisitPages calls fn for every 4 KB mapping (fork copies use this).
+func (pt *PageTable) VisitPages(fn func(va uint64, e PTE)) {
+	pt.mu.RLock()
+	type pair struct {
+		va uint64
+		e  PTE
+	}
+	var all []pair
+	for key, slot := range pt.slots {
+		if slot.block != nil {
+			continue
+		}
+		for i, e := range slot.l2 {
+			if e.Flags&FlagValid != 0 {
+				all = append(all, pair{key*BlockSize + uint64(i)*PageSize, e})
+			}
+		}
+	}
+	pt.mu.RUnlock()
+	for _, p := range all {
+		fn(p.va, p.e)
+	}
+}

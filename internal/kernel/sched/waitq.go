@@ -1,0 +1,83 @@
+package sched
+
+import "sync"
+
+// WaitQueue is the kernel's blocking primitive: tasks sleep on it and
+// wakers (other tasks, IRQ handlers, timers) wake one or all. Semaphores,
+// pipes, the keyboard ring, and the audio pipeline are all built on it.
+//
+// Wakeups may be spurious (a wake can race a task that was about to block),
+// so callers re-check their condition in a loop — the same contract as a
+// condition variable, and the reason xv6 wraps sleep in while loops.
+type WaitQueue struct {
+	mu      sync.Mutex
+	waiters []*Task
+}
+
+// Sleep blocks the calling task until a wake. The caller re-checks its
+// condition afterwards.
+func (wq *WaitQueue) Sleep(t *Task) {
+	t.exitIfKilled()
+	wq.mu.Lock()
+	wq.waiters = append(wq.waiters, t)
+	wq.mu.Unlock()
+
+	t.waitMu.Lock()
+	t.waitingOn = wq
+	t.waitMu.Unlock()
+
+	t.block()
+
+	t.waitMu.Lock()
+	t.waitingOn = nil
+	t.waitMu.Unlock()
+	// If we woke for a reason other than WakeOne (kill, racing wake), make
+	// sure we are no longer on the waiter list.
+	wq.remove(t)
+}
+
+// WakeOne wakes the longest-waiting task, if any. Returns true if a task
+// was woken.
+func (wq *WaitQueue) WakeOne() bool {
+	wq.mu.Lock()
+	if len(wq.waiters) == 0 {
+		wq.mu.Unlock()
+		return false
+	}
+	t := wq.waiters[0]
+	wq.waiters = wq.waiters[1:]
+	wq.mu.Unlock()
+	t.sched.wake(t)
+	return true
+}
+
+// WakeAll wakes every waiting task.
+func (wq *WaitQueue) WakeAll() int {
+	wq.mu.Lock()
+	ws := wq.waiters
+	wq.waiters = nil
+	wq.mu.Unlock()
+	for _, t := range ws {
+		t.sched.wake(t)
+	}
+	return len(ws)
+}
+
+// Waiting reports how many tasks are blocked on the queue.
+func (wq *WaitQueue) Waiting() int {
+	wq.mu.Lock()
+	defer wq.mu.Unlock()
+	return len(wq.waiters)
+}
+
+// remove deletes t from the waiter list (kill path and post-wake cleanup).
+func (wq *WaitQueue) remove(t *Task) {
+	wq.mu.Lock()
+	defer wq.mu.Unlock()
+	for i, w := range wq.waiters {
+		if w == t {
+			wq.waiters = append(wq.waiters[:i], wq.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package kernel
+
+import (
+	"fmt"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+	"protosim/internal/kernel/wm"
+)
+
+// OpenSurface gives the calling process a window: it opens /dev/surface
+// semantics directly (apps use the ulib wrapper, which issues the open +
+// size ioctl). Writes of full frames blit into the surface; the WM
+// composites them. The paired event stream is OpenSurfaceEvents.
+func (p *Proc) OpenSurface(title string, w, h int) (int, error) {
+	p.k.count()
+	if p.k.WM == nil {
+		return -1, fmt.Errorf("kernel: no window manager in this prototype")
+	}
+	if p.fds == nil {
+		return -1, ErrNoFiles
+	}
+	s, err := p.k.WM.CreateSurface(p.PID, title, w, h)
+	if err != nil {
+		return -1, err
+	}
+	p.k.mu.Lock()
+	p.k.surfaces[p.group.PID] = s
+	p.k.mu.Unlock()
+	return p.fds.Install(&surfaceFile{k: p.k, s: s}, fs.ORdWr)
+}
+
+// OpenSurfaceEvents opens the /dev/event1 stream: input events routed to
+// the caller's window by the WM focus logic (§4.5).
+func (p *Proc) OpenSurfaceEvents(nonblock bool) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return -1, ErrNoFiles
+	}
+	p.k.mu.Lock()
+	s := p.k.surfaces[p.group.PID]
+	p.k.mu.Unlock()
+	if s == nil {
+		return -1, fmt.Errorf("kernel: process has no surface")
+	}
+	return p.fds.Install(&surfaceEventsFile{s: s, nonblock: nonblock}, fs.ORdOnly)
+}
+
+// Surface returns the process's window (examples/tests peek at geometry).
+func (p *Proc) Surface() *wm.Surface {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	return p.k.surfaces[p.group.PID]
+}
+
+// surfaceFile renders indirectly through the WM: each Write is a full (or
+// partial, streaming) frame in XRGB8888.
+type surfaceFile struct {
+	k *Kernel
+	s *wm.Surface
+}
+
+func (f *surfaceFile) Read(*sched.Task, []byte) (int, error) { return 0, fs.ErrPerm }
+
+func (f *surfaceFile) Write(_ *sched.Task, p []byte) (int, error) {
+	if err := f.s.Blit(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (f *surfaceFile) Close() error {
+	// The surface itself is closed at process exit (finalize) so multiple
+	// opens of the fd can come and go.
+	return nil
+}
+
+func (f *surfaceFile) Stat() (fs.Stat, error) {
+	w, h := f.s.Size()
+	return fs.Stat{Name: "surface", Type: fs.TypeDevice, Size: int64(w * h * 4)}, nil
+}
+
+// Ioctl implements fs.Ioctler: surface geometry and alpha.
+func (f *surfaceFile) Ioctl(_ *sched.Task, op int, arg int64) (int64, error) {
+	switch op {
+	case IoctlSurfSize:
+		w, h := f.s.Size()
+		_ = arg // resize unsupported: Proto windows are fixed-size
+		return int64(w)<<32 | int64(h), nil
+	case IoctlSurfAlpha:
+		if arg < 0 || arg > 255 {
+			return 0, fmt.Errorf("kernel: alpha %d", arg)
+		}
+		f.s.SetAlpha(byte(arg))
+		return 0, nil
+	}
+	return 0, fmt.Errorf("kernel: surface ioctl %d", op)
+}
+
+// surfaceEventsFile reads the window's input queue as 8-byte records.
+type surfaceEventsFile struct {
+	s        *wm.Surface
+	nonblock bool
+}
+
+func (f *surfaceEventsFile) Read(t *sched.Task, p []byte) (int, error) {
+	if len(p) < wm.EventSize {
+		return 0, fmt.Errorf("kernel: event read needs %d bytes", wm.EventSize)
+	}
+	e, ok := f.s.PopEvent(t, !f.nonblock)
+	if !ok {
+		return 0, fs.ErrWouldBlock
+	}
+	e.Encode(p)
+	return wm.EventSize, nil
+}
+
+func (f *surfaceEventsFile) Write(*sched.Task, []byte) (int, error) { return 0, fs.ErrPerm }
+func (f *surfaceEventsFile) Close() error                           { return nil }
+func (f *surfaceEventsFile) Stat() (fs.Stat, error) {
+	return fs.Stat{Name: "event1", Type: fs.TypeDevice}, nil
+}
+
+// Ioctl implements fs.Ioctler.
+func (f *surfaceEventsFile) Ioctl(_ *sched.Task, op int, arg int64) (int64, error) {
+	if op == IoctlNonblock {
+		f.nonblock = arg != 0
+		return 0, nil
+	}
+	return 0, fs.ErrPerm
+}

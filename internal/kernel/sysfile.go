@@ -1,0 +1,248 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"protosim/internal/kernel/fs"
+)
+
+// count tallies a syscall entry (Fig 8's counters) and gives the scheduler
+// a preemption checkpoint, as real syscall entry/exit paths do.
+func (k *Kernel) count() { k.syscalls.Add(1) }
+
+// resolvePath makes path absolute against the process cwd.
+func (p *Proc) resolvePath(path string) string {
+	if strings.HasPrefix(path, "/") {
+		return fs.Clean(path)
+	}
+	return fs.Clean(p.cwd + "/" + path)
+}
+
+// --- File syscalls (11–23) ---
+
+// SysOpen opens path with flags and returns a descriptor.
+func (p *Proc) SysOpen(path string, flags int) (int, error) {
+	p.k.count()
+	if p.fds == nil || p.k.VFS == nil {
+		return -1, ErrNoFiles
+	}
+	f, err := p.k.VFS.Open(p.Task, p.resolvePath(path), flags)
+	if err != nil {
+		return -1, err
+	}
+	return p.fds.Install(f, flags)
+}
+
+// SysClose releases a descriptor.
+func (p *Proc) SysClose(fd int) error {
+	p.k.count()
+	if p.fds == nil {
+		return ErrNoFiles
+	}
+	return p.fds.Close(fd)
+}
+
+// SysRead reads up to len(buf) bytes from fd.
+func (p *Proc) SysRead(fd int, buf []byte) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	f, err := p.fds.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Task.CheckPreempt()
+	return f.Read(p.Task, buf)
+}
+
+// SysWrite writes buf to fd.
+func (p *Proc) SysWrite(fd int, buf []byte) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	f, err := p.fds.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Task.CheckPreempt()
+	return f.Write(p.Task, buf)
+}
+
+// SysLseek repositions fd.
+func (p *Proc) SysLseek(fd int, off int64, whence int) (int64, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	f, err := p.fds.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	sk, ok := f.(fs.Seeker)
+	if !ok {
+		return 0, fs.ErrBadSeek
+	}
+	return sk.Lseek(off, whence)
+}
+
+// SysDup duplicates fd.
+func (p *Proc) SysDup(fd int) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return -1, ErrNoFiles
+	}
+	return p.fds.Dup(fd)
+}
+
+// SysPipe creates a pipe, returning (readFD, writeFD).
+func (p *Proc) SysPipe() (int, int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return -1, -1, ErrNoFiles
+	}
+	r, w := fs.NewPipe()
+	rfd, err := p.fds.Install(r, fs.ORdOnly)
+	if err != nil {
+		return -1, -1, err
+	}
+	wfd, err := p.fds.Install(w, fs.OWrOnly)
+	if err != nil {
+		p.fds.Close(rfd)
+		return -1, -1, err
+	}
+	return rfd, wfd, nil
+}
+
+// SysMkdir creates a directory.
+func (p *Proc) SysMkdir(path string) error {
+	p.k.count()
+	if p.k.VFS == nil {
+		return ErrNoFiles
+	}
+	return p.k.VFS.Mkdir(p.Task, p.resolvePath(path))
+}
+
+// SysUnlink removes a file or empty directory.
+func (p *Proc) SysUnlink(path string) error {
+	p.k.count()
+	if p.k.VFS == nil {
+		return ErrNoFiles
+	}
+	return p.k.VFS.Unlink(p.Task, p.resolvePath(path))
+}
+
+// SysFstat stats an open descriptor.
+func (p *Proc) SysFstat(fd int) (fs.Stat, error) {
+	p.k.count()
+	if p.fds == nil {
+		return fs.Stat{}, ErrNoFiles
+	}
+	f, err := p.fds.Get(fd)
+	if err != nil {
+		return fs.Stat{}, err
+	}
+	return f.Stat()
+}
+
+// SysStat stats a path (convenience wrapper the shell uses; counted under
+// fstat in the syscall tally).
+func (p *Proc) SysStat(path string) (fs.Stat, error) {
+	p.k.count()
+	if p.k.VFS == nil {
+		return fs.Stat{}, ErrNoFiles
+	}
+	return p.k.VFS.Stat(p.Task, p.resolvePath(path))
+}
+
+// SysChdir changes the working directory.
+func (p *Proc) SysChdir(path string) error {
+	p.k.count()
+	if p.k.VFS == nil {
+		return ErrNoFiles
+	}
+	abs := p.resolvePath(path)
+	st, err := p.k.VFS.Stat(p.Task, abs)
+	if err != nil {
+		return err
+	}
+	if st.Type != fs.TypeDir {
+		return fs.ErrNotDir
+	}
+	p.cwd = abs
+	return nil
+}
+
+// Cwd returns the working directory.
+func (p *Proc) Cwd() string { return p.cwd }
+
+// SysReadDir lists an open directory.
+func (p *Proc) SysReadDir(fd int) ([]fs.DirEntry, error) {
+	p.k.count()
+	if p.fds == nil {
+		return nil, ErrNoFiles
+	}
+	f, err := p.fds.Get(fd)
+	if err != nil {
+		return nil, err
+	}
+	dr, ok := f.(fs.DirReader)
+	if !ok {
+		return nil, fs.ErrNotDir
+	}
+	return dr.ReadDir()
+}
+
+// Ioctl operation numbers.
+const (
+	IoctlFBFlush    = 1 // /dev/fb: flush the whole framebuffer
+	IoctlFBInfo     = 2 // /dev/fb: returns (width<<32 | height)
+	IoctlNonblock   = 3 // /dev/events, /dev/event1: toggle non-blocking
+	IoctlSurfSize   = 4 // /dev/surface: arg = width<<32 | height
+	IoctlSurfAlpha  = 5 // /dev/surface: arg = alpha 0..255
+	IoctlSoundDrain = 6 // /dev/sb: block until the audio ring drains
+)
+
+// SysIoctl issues a device control operation on fd.
+func (p *Proc) SysIoctl(fd int, op int, arg int64) (int64, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	f, err := p.fds.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	ic, ok := f.(fs.Ioctler)
+	if !ok {
+		return 0, fmt.Errorf("kernel: fd %d does not support ioctl", fd)
+	}
+	return ic.Ioctl(p.Task, op, arg)
+}
+
+// readAll slurps a file (the exec loader path).
+func (p *Proc) readAll(path string) ([]byte, error) {
+	f, err := p.k.VFS.Open(p.Task, p.resolvePath(path), fs.ORdOnly)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, st.Size)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := f.Read(p.Task, buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, buf[:n]...)
+	}
+}

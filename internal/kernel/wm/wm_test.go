@@ -1,0 +1,250 @@
+package wm
+
+import (
+	"testing"
+	"time"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/sched"
+)
+
+func newWM(t *testing.T) (*WM, *hw.Framebuffer) {
+	t.Helper()
+	mem := hw.NewMem(16 << 20)
+	mb := hw.NewMailbox(mem)
+	fb, err := mb.AllocFramebuffer(160, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(fb), fb
+}
+
+func solidFrame(w, h int, r, g, b byte) []byte {
+	f := make([]byte, w*h*4)
+	for i := 0; i < len(f); i += 4 {
+		f[i], f[i+1], f[i+2], f[i+3] = b, g, r, 0xFF
+	}
+	return f
+}
+
+func TestEventEncodeDecode(t *testing.T) {
+	e := InputEvent{Down: true, Code: hw.UsageA, Mods: hw.ModLShift, ASCII: 'A'}
+	var b [EventSize]byte
+	e.Encode(b[:])
+	got, ok := DecodeEvent(b[:])
+	if !ok || got != e {
+		t.Fatalf("round trip = %+v, %v", got, ok)
+	}
+	if _, ok := DecodeEvent([]byte{1, 2, 3}); ok {
+		t.Fatal("short/garbage decode accepted")
+	}
+}
+
+func TestSurfaceCompositesToFramebuffer(t *testing.T) {
+	w, fb := newWM(t)
+	s, err := w.CreateSurface(1, "red", 40, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Move(10, 10)
+	s.Blit(solidFrame(40, 30, 0xFF, 0, 0))
+	if !w.Composite() {
+		t.Fatal("composite drew nothing")
+	}
+	// Pixel inside the window is red; outside is background.
+	if px := fb.PixelAt(12, 12); px&0xFF0000 != 0xFF0000 {
+		t.Fatalf("window pixel = %#x", px)
+	}
+	if px := fb.PixelAt(100, 100); px&0xFFFFFF == 0xFF0000 {
+		t.Fatal("background is red")
+	}
+}
+
+func TestZOrderOverlap(t *testing.T) {
+	w, fb := newWM(t)
+	bottom, _ := w.CreateSurface(1, "bottom", 60, 60)
+	top, _ := w.CreateSurface(2, "top", 60, 60)
+	bottom.Move(0, 0)
+	top.Move(20, 20)
+	bottom.Blit(solidFrame(60, 60, 0, 0xFF, 0)) // green
+	top.Blit(solidFrame(60, 60, 0, 0, 0xFF))    // blue
+	w.Composite()
+	// Overlap region shows the top (blue) window.
+	if px := fb.PixelAt(30, 30); px&0xFF != 0xFF {
+		t.Fatalf("overlap pixel = %#x, want blue on top", px)
+	}
+	// Raising the bottom window flips the overlap.
+	w.Raise(bottom)
+	w.Composite()
+	if px := fb.PixelAt(30, 30); px&0x00FF00 != 0x00FF00 {
+		t.Fatalf("after raise pixel = %#x, want green", px)
+	}
+}
+
+func TestTranslucentFloatingWindow(t *testing.T) {
+	w, fb := newWM(t)
+	base, _ := w.CreateSurface(1, "app", 80, 80)
+	base.Move(0, 0)
+	base.Blit(solidFrame(80, 80, 0xFF, 0, 0)) // red
+	mon, _ := w.CreateSurface(2, "sysmon", 40, 40)
+	mon.Move(0, 0)
+	mon.SetAlpha(128)
+	mon.Blit(solidFrame(40, 40, 0, 0, 0xFF)) // translucent blue over red
+	w.Composite()
+	px := fb.PixelAt(5, 5)
+	r := (px >> 16) & 0xFF
+	b := px & 0xFF
+	if r < 0x40 || r > 0xC0 || b < 0x40 || b > 0xC0 {
+		t.Fatalf("blend = %#x (r=%#x b=%#x), want mixed", px, r, b)
+	}
+}
+
+func TestDirtyRegionSkipsCleanFrames(t *testing.T) {
+	w, _ := newWM(t)
+	s, _ := w.CreateSurface(1, "app", 40, 40)
+	s.Blit(solidFrame(40, 40, 1, 2, 3))
+	if !w.Composite() {
+		t.Fatal("first composite drew nothing")
+	}
+	// Nothing changed: second pass must be a no-op.
+	if w.Composite() {
+		t.Fatal("clean composite still drew")
+	}
+	s.Blit(solidFrame(40, 40, 9, 9, 9))
+	if !w.Composite() {
+		t.Fatal("dirty composite skipped")
+	}
+}
+
+func TestDirtyRegionLimitsBlending(t *testing.T) {
+	w, _ := newWM(t)
+	s, _ := w.CreateSurface(1, "app", 100, 100)
+	s.Move(0, 0)
+	s.Blit(solidFrame(100, 100, 5, 5, 5))
+	w.Composite()
+	_, p0 := w.Stats()
+	// A 10x10 update must blend far fewer pixels than the whole window.
+	s.BlitRect(20, 20, 10, 10, solidFrame(10, 10, 0xFF, 0xFF, 0xFF))
+	w.Composite()
+	_, p1 := w.Stats()
+	if delta := p1 - p0; delta > 100*100/2 {
+		t.Fatalf("partial update blended %d pixels; dirty tracking broken", delta)
+	}
+}
+
+func TestFocusRoutingAndCtrlTab(t *testing.T) {
+	w, _ := newWM(t)
+	a, _ := w.CreateSurface(1, "a", 20, 20)
+	b, _ := w.CreateSurface(2, "b", 20, 20)
+	if w.Focused() != b {
+		t.Fatal("newest window not focused")
+	}
+	// Plain key goes to b.
+	w.DeliverKey(InputEvent{Down: true, Code: hw.UsageA, ASCII: 'a'})
+	if e, ok := b.PopEvent(nil, false); !ok || e.ASCII != 'a' {
+		t.Fatalf("b event = %+v, %v", e, ok)
+	}
+	if _, ok := a.PopEvent(nil, false); ok {
+		t.Fatal("unfocused window received input")
+	}
+	// ctrl+tab switches to a; the chord itself is swallowed.
+	w.DeliverKey(InputEvent{Down: true, Code: hw.UsageTab, Mods: hw.ModLCtrl})
+	if w.Focused() != a {
+		t.Fatal("ctrl+tab did not rotate focus")
+	}
+	if _, ok := a.PopEvent(nil, false); ok {
+		t.Fatal("focus chord leaked to app")
+	}
+	w.DeliverKey(InputEvent{Down: true, Code: hw.UsageA + 1, Mods: 0, ASCII: 'b'})
+	if e, ok := a.PopEvent(nil, false); !ok || e.ASCII != 'b' {
+		t.Fatalf("a event = %+v", e)
+	}
+}
+
+func TestCtrlArrowMovesWindow(t *testing.T) {
+	w, _ := newWM(t)
+	s, _ := w.CreateSurface(1, "a", 20, 20)
+	s.Move(50, 50)
+	w.DeliverKey(InputEvent{Down: true, Code: hw.UsageRight, Mods: hw.ModLCtrl})
+	w.DeliverKey(InputEvent{Down: true, Code: hw.UsageDown, Mods: hw.ModLCtrl})
+	x, y := s.Pos()
+	if x != 66 || y != 66 {
+		t.Fatalf("pos = (%d,%d)", x, y)
+	}
+}
+
+func TestBlockingEventRead(t *testing.T) {
+	s := sched.New(sched.Config{Cores: 2})
+	s.Start()
+	defer s.Shutdown(5 * time.Second)
+	w, _ := newWM(t)
+	surf, _ := w.CreateSurface(1, "app", 20, 20)
+	got := make(chan InputEvent, 1)
+	s.Go("reader", 0, func(t *sched.Task) {
+		e, ok := surf.PopEvent(t, true)
+		if ok {
+			got <- e
+		}
+	})
+	time.Sleep(5 * time.Millisecond)
+	w.DeliverKey(InputEvent{Down: true, Code: hw.UsageA, ASCII: 'a'})
+	select {
+	case e := <-got:
+		if e.ASCII != 'a' {
+			t.Fatalf("event = %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocking read never woke")
+	}
+}
+
+func TestCloseSurfaceRefocusesAndUnblocks(t *testing.T) {
+	s := sched.New(sched.Config{Cores: 2})
+	s.Start()
+	defer s.Shutdown(5 * time.Second)
+	w, _ := newWM(t)
+	a, _ := w.CreateSurface(1, "a", 20, 20)
+	b, _ := w.CreateSurface(2, "b", 20, 20)
+	done := make(chan bool, 1)
+	s.Go("reader", 0, func(t *sched.Task) {
+		_, ok := b.PopEvent(t, true)
+		done <- ok
+	})
+	time.Sleep(5 * time.Millisecond)
+	b.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("closed surface delivered an event")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader stuck on closed surface")
+	}
+	if w.Focused() != a {
+		t.Fatal("focus did not fall back")
+	}
+	if len(w.Surfaces()) != 1 {
+		t.Fatal("surface not removed")
+	}
+}
+
+func TestWMRunsAsKernelThread(t *testing.T) {
+	s := sched.New(sched.Config{Cores: 2})
+	s.Start()
+	defer s.Shutdown(5 * time.Second)
+	w, fb := newWM(t)
+	s.Go("wm", 5, w.Run)
+	surf, _ := w.CreateSurface(1, "app", 30, 30)
+	surf.Move(0, 0)
+	surf.Blit(solidFrame(30, 30, 0xFF, 0xFF, 0))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if px := fb.PixelAt(5, 5); px&0xFFFF00 == 0xFFFF00 {
+			w.Stop()
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.Stop()
+	t.Fatal("kernel thread never composited the frame")
+}

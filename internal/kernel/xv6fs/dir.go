@@ -1,0 +1,152 @@
+package xv6fs
+
+import (
+	"bytes"
+	"strings"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+)
+
+// dirent is the 16-byte on-disk directory entry: uint16 inum + 14-byte
+// NUL-padded name.
+func encodeDirent(inum int, name string, b []byte) {
+	b[0] = byte(inum)
+	b[1] = byte(inum >> 8)
+	n := copy(b[2:DirentSize], name)
+	for i := 2 + n; i < DirentSize; i++ {
+		b[i] = 0
+	}
+}
+
+func decodeDirent(b []byte) (inum int, name string) {
+	inum = int(b[0]) | int(b[1])<<8
+	raw := b[2:DirentSize]
+	if i := bytes.IndexByte(raw, 0); i >= 0 {
+		raw = raw[:i]
+	}
+	return inum, string(raw)
+}
+
+// dirLookup scans directory inode di for name. Returns the entry's inum
+// and byte offset, or inum 0.
+func (f *FS) dirLookup(t *sched.Task, di *dinode, dirInum int, name string) (inum int, off int64, err error) {
+	buf := make([]byte, DirentSize)
+	for o := int64(0); o < int64(di.Size); o += DirentSize {
+		if _, err := f.readData(t, di, dirInum, o, buf); err != nil {
+			return 0, 0, err
+		}
+		in, n := decodeDirent(buf)
+		if in != 0 && n == name {
+			return in, o, nil
+		}
+	}
+	return 0, 0, nil
+}
+
+// dirLink adds (name, inum) to a directory, reusing holes.
+func (f *FS) dirLink(t *sched.Task, di *dinode, dirInum int, name string, inum int) error {
+	if len(name) > MaxName {
+		return fs.ErrNameTooLong
+	}
+	buf := make([]byte, DirentSize)
+	off := int64(di.Size)
+	for o := int64(0); o < int64(di.Size); o += DirentSize {
+		if _, err := f.readData(t, di, dirInum, o, buf); err != nil {
+			return err
+		}
+		if in, _ := decodeDirent(buf); in == 0 {
+			off = o
+			break
+		}
+	}
+	encodeDirent(inum, name, buf)
+	_, err := f.writeData(t, di, dirInum, off, buf)
+	return err
+}
+
+// dirUnlink zeroes the entry for name.
+func (f *FS) dirUnlink(t *sched.Task, di *dinode, dirInum int, name string) error {
+	inum, off, err := f.dirLookup(t, di, dirInum, name)
+	if err != nil {
+		return err
+	}
+	if inum == 0 {
+		return fs.ErrNotFound
+	}
+	zero := make([]byte, DirentSize)
+	_, err = f.writeData(t, di, dirInum, off, zero)
+	return err
+}
+
+// dirEntries lists a directory's live entries.
+func (f *FS) dirEntries(t *sched.Task, di *dinode, dirInum int) ([]fs.DirEntry, error) {
+	var out []fs.DirEntry
+	buf := make([]byte, DirentSize)
+	for o := int64(0); o < int64(di.Size); o += DirentSize {
+		if _, err := f.readData(t, di, dirInum, o, buf); err != nil {
+			return nil, err
+		}
+		inum, name := decodeDirent(buf)
+		if inum == 0 || name == "." || name == ".." {
+			continue
+		}
+		var cdi dinode
+		if err := f.readInode(t, inum, &cdi); err != nil {
+			return nil, err
+		}
+		typ := fs.TypeFile
+		if cdi.Type == typeDir {
+			typ = fs.TypeDir
+		}
+		out = append(out, fs.DirEntry{Name: name, Type: typ, Size: int64(cdi.Size)})
+	}
+	return out, nil
+}
+
+// walk resolves path to an inode number. Paths are cleaned and absolute
+// within this filesystem.
+func (f *FS) walk(t *sched.Task, path string) (int, *dinode, error) {
+	path = fs.Clean(path)
+	inum := rootInum
+	var di dinode
+	if err := f.readInode(t, inum, &di); err != nil {
+		return 0, nil, err
+	}
+	if path == "/" {
+		return inum, &di, nil
+	}
+	for _, seg := range strings.Split(path[1:], "/") {
+		if di.Type != typeDir {
+			return 0, nil, fs.ErrNotDir
+		}
+		next, _, err := f.dirLookup(t, &di, inum, seg)
+		if err != nil {
+			return 0, nil, err
+		}
+		if next == 0 {
+			return 0, nil, fs.ErrNotFound
+		}
+		inum = next
+		if err := f.readInode(t, inum, &di); err != nil {
+			return 0, nil, err
+		}
+	}
+	return inum, &di, nil
+}
+
+// walkParent resolves the directory containing path's final element.
+func (f *FS) walkParent(t *sched.Task, path string) (dirInum int, di *dinode, name string, err error) {
+	dir, name := fs.SplitPath(path)
+	if name == "" {
+		return 0, nil, "", fs.ErrPerm
+	}
+	dirInum, di, err = f.walk(t, dir)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if di.Type != typeDir {
+		return 0, nil, "", fs.ErrNotDir
+	}
+	return dirInum, di, name, nil
+}

@@ -1,0 +1,272 @@
+package xv6fs
+
+import (
+	"sync"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+)
+
+// file is one open xv6fs file or directory.
+type file struct {
+	fsys *FS
+	inum int
+	name string
+
+	mu     sync.Mutex
+	off    int64
+	flags  int
+	closed bool
+}
+
+// Open implements fs.FileSystem.
+func (f *FS) Open(t *sched.Task, path string, flags int) (fs.File, error) {
+	f.lock.Lock(t)
+	defer f.lock.Unlock()
+
+	path = fs.Clean(path)
+	inum, di, err := f.walk(t, path)
+	if err == fs.ErrNotFound && flags&fs.OCreate != 0 {
+		inum, err = f.createLocked(t, path, typeFile)
+		if err != nil {
+			return nil, err
+		}
+		var ndi dinode
+		if err := f.readInode(t, inum, &ndi); err != nil {
+			return nil, err
+		}
+		di = &ndi
+	} else if err != nil {
+		return nil, err
+	}
+	if di.Type == typeDir && flags&(fs.OWrOnly|fs.ORdWr) != 0 {
+		return nil, fs.ErrIsDir
+	}
+	if flags&fs.OTrunc != 0 && di.Type == typeFile {
+		if err := f.truncate(t, di, inum); err != nil {
+			return nil, err
+		}
+	}
+	_, name := fs.SplitPath(path)
+	if name == "" {
+		name = "/"
+	}
+	return &file{fsys: f, inum: inum, name: name, flags: flags}, nil
+}
+
+// createLocked makes a new file/dir entry; caller holds f.lock.
+func (f *FS) createLocked(t *sched.Task, path string, typ uint16) (int, error) {
+	dirInum, ddi, name, err := f.walkParent(t, path)
+	if err != nil {
+		return 0, err
+	}
+	if existing, _, err := f.dirLookup(t, ddi, dirInum, name); err != nil {
+		return 0, err
+	} else if existing != 0 {
+		return 0, fs.ErrExists
+	}
+	inum, err := f.allocInode(t, typ)
+	if err != nil {
+		return 0, err
+	}
+	if typ == typeDir {
+		var di dinode
+		if err := f.readInode(t, inum, &di); err != nil {
+			return 0, err
+		}
+		if err := f.dirLink(t, &di, inum, ".", inum); err != nil {
+			return 0, err
+		}
+		if err := f.readInode(t, inum, &di); err != nil {
+			return 0, err
+		}
+		if err := f.dirLink(t, &di, inum, "..", dirInum); err != nil {
+			return 0, err
+		}
+	}
+	if err := f.readInode(t, dirInum, ddi); err != nil { // re-read: links moved it
+		return 0, err
+	}
+	if err := f.dirLink(t, ddi, dirInum, name, inum); err != nil {
+		return 0, err
+	}
+	return inum, nil
+}
+
+// Mkdir implements fs.FileSystem.
+func (f *FS) Mkdir(t *sched.Task, path string) error {
+	f.lock.Lock(t)
+	defer f.lock.Unlock()
+	_, err := f.createLocked(t, path, typeDir)
+	return err
+}
+
+// Unlink implements fs.FileSystem.
+func (f *FS) Unlink(t *sched.Task, path string) error {
+	f.lock.Lock(t)
+	defer f.lock.Unlock()
+	inum, di, err := f.walk(t, path)
+	if err != nil {
+		return err
+	}
+	if di.Type == typeDir {
+		entries, err := f.dirEntries(t, di, inum)
+		if err != nil {
+			return err
+		}
+		if len(entries) > 0 {
+			return fs.ErrNotEmpty
+		}
+	}
+	dirInum, ddi, name, err := f.walkParent(t, path)
+	if err != nil {
+		return err
+	}
+	if err := f.dirUnlink(t, ddi, dirInum, name); err != nil {
+		return err
+	}
+	di.NLink--
+	if di.NLink == 0 {
+		if err := f.truncate(t, di, inum); err != nil {
+			return err
+		}
+		di.Type = typeFree
+	}
+	return f.writeInode(t, inum, di)
+}
+
+// Stat implements fs.FileSystem.
+func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
+	f.lock.Lock(t)
+	defer f.lock.Unlock()
+	inum, di, err := f.walk(t, path)
+	if err != nil {
+		return fs.Stat{}, err
+	}
+	_, name := fs.SplitPath(path)
+	typ := fs.TypeFile
+	if di.Type == typeDir {
+		typ = fs.TypeDir
+	}
+	return fs.Stat{Name: name, Type: typ, Size: int64(di.Size), Inode: uint64(inum)}, nil
+}
+
+// Sync flushes dirty buffers to the device.
+func (f *FS) Sync(t *sched.Task) error { return f.bc.Flush(t) }
+
+// --- fs.File implementation ---
+
+func (fl *file) Read(t *sched.Task, p []byte) (int, error) {
+	fl.fsys.lock.Lock(t)
+	defer fl.fsys.lock.Unlock()
+	var di dinode
+	if err := fl.fsys.readInode(t, fl.inum, &di); err != nil {
+		return 0, err
+	}
+	if di.Type == typeDir {
+		return 0, fs.ErrIsDir
+	}
+	fl.mu.Lock()
+	off := fl.off
+	fl.mu.Unlock()
+	n, err := fl.fsys.readData(t, &di, fl.inum, off, p)
+	fl.mu.Lock()
+	fl.off += int64(n)
+	fl.mu.Unlock()
+	return n, err
+}
+
+func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
+	if fl.flags&(fs.OWrOnly|fs.ORdWr) == 0 {
+		return 0, fs.ErrPerm
+	}
+	fl.fsys.lock.Lock(t)
+	defer fl.fsys.lock.Unlock()
+	var di dinode
+	if err := fl.fsys.readInode(t, fl.inum, &di); err != nil {
+		return 0, err
+	}
+	fl.mu.Lock()
+	off := fl.off
+	if fl.flags&fs.OAppend != 0 {
+		off = int64(di.Size)
+	}
+	fl.mu.Unlock()
+	n, err := fl.fsys.writeData(t, &di, fl.inum, off, p)
+	fl.mu.Lock()
+	fl.off = off + int64(n)
+	fl.mu.Unlock()
+	return n, err
+}
+
+func (fl *file) Close() error {
+	fl.mu.Lock()
+	fl.closed = true
+	fl.mu.Unlock()
+	return nil
+}
+
+func (fl *file) Stat() (fs.Stat, error) {
+	// Stat through an open file has no task handy; reading the inode
+	// without the FS lock is safe because inode loads are single-block.
+	var di dinode
+	if err := fl.fsys.readInode(nil, fl.inum, &di); err != nil {
+		return fs.Stat{}, err
+	}
+	typ := fs.TypeFile
+	if di.Type == typeDir {
+		typ = fs.TypeDir
+	}
+	return fs.Stat{Name: fl.name, Type: typ, Size: int64(di.Size), Inode: uint64(fl.inum)}, nil
+}
+
+// Lseek implements fs.Seeker.
+func (fl *file) Lseek(offset int64, whence int) (int64, error) {
+	var size int64
+	if whence == fs.SeekEnd {
+		st, err := fl.Stat()
+		if err != nil {
+			return 0, err
+		}
+		size = st.Size
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	var base int64
+	switch whence {
+	case fs.SeekSet:
+		base = 0
+	case fs.SeekCur:
+		base = fl.off
+	case fs.SeekEnd:
+		base = size
+	default:
+		return 0, fs.ErrBadSeek
+	}
+	n := base + offset
+	if n < 0 {
+		return 0, fs.ErrBadSeek
+	}
+	fl.off = n
+	return n, nil
+}
+
+// ReadDir implements fs.DirReader.
+func (fl *file) ReadDir() ([]fs.DirEntry, error) {
+	fl.fsys.lock.Lock(nil)
+	defer fl.fsys.lock.Unlock()
+	var di dinode
+	if err := fl.fsys.readInode(nil, fl.inum, &di); err != nil {
+		return nil, err
+	}
+	if di.Type != typeDir {
+		return nil, fs.ErrNotDir
+	}
+	return fl.fsys.dirEntries(nil, &di, fl.inum)
+}
+
+var (
+	_ fs.File      = (*file)(nil)
+	_ fs.Seeker    = (*file)(nil)
+	_ fs.DirReader = (*file)(nil)
+)

@@ -1,0 +1,140 @@
+package xv6fs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"protosim/internal/kernel/fs"
+)
+
+// Mkfs formats dev with an empty xv6fs: superblock, inode array sized for
+// ninodes, allocation bitmap, root directory. It writes the device
+// directly (no buffer cache) — this is the host-side tool path, like xv6's
+// mkfs running on the development machine.
+func Mkfs(dev fs.BlockDevice, ninodes int) error {
+	if dev.BlockSize() != BlockSize {
+		return fmt.Errorf("xv6fs: mkfs needs %d-byte blocks, device has %d", BlockSize, dev.BlockSize())
+	}
+	total := dev.Blocks()
+	inodeBlocks := (ninodes + inodesPerBlock - 1) / inodesPerBlock
+	bitmapBlocks := (total + BlockSize*8 - 1) / (BlockSize * 8)
+	sb := Superblock{
+		Magic:       Magic,
+		Size:        uint32(total),
+		NInodes:     uint32(ninodes),
+		InodeStart:  1,
+		BitmapStart: uint32(1 + inodeBlocks),
+		DataStart:   uint32(1 + inodeBlocks + bitmapBlocks),
+	}
+	if int(sb.DataStart) >= total {
+		return fmt.Errorf("xv6fs: %d blocks too small for metadata", total)
+	}
+
+	zero := make([]byte, BlockSize)
+	for lba := 0; lba < int(sb.DataStart); lba++ {
+		if err := dev.WriteBlocks(lba, 1, zero); err != nil {
+			return err
+		}
+	}
+	blk := make([]byte, BlockSize)
+	sb.encode(blk)
+	if err := dev.WriteBlocks(0, 1, blk); err != nil {
+		return err
+	}
+
+	// Root inode: an empty directory with "." and "..".
+	root := dinode{Type: typeDir, NLink: 1}
+	rootData, err := mkfsAllocBlock(dev, &sb)
+	if err != nil {
+		return err
+	}
+	root.Addrs[0] = uint32(rootData)
+	root.Size = 2 * DirentSize
+	dblk := make([]byte, BlockSize)
+	encodeDirent(rootInum, ".", dblk[0:])
+	encodeDirent(rootInum, "..", dblk[DirentSize:])
+	if err := dev.WriteBlocks(rootData, 1, dblk); err != nil {
+		return err
+	}
+	iblk := make([]byte, BlockSize)
+	if err := dev.ReadBlocks(int(sb.InodeStart), 1, iblk); err != nil {
+		return err
+	}
+	root.encode(iblk[rootInum*inodeSize:])
+	return dev.WriteBlocks(int(sb.InodeStart), 1, iblk)
+}
+
+// mkfsAllocBlock allocates one data block directly on the device.
+func mkfsAllocBlock(dev fs.BlockDevice, sb *Superblock) (int, error) {
+	blk := make([]byte, BlockSize)
+	total := int(sb.Size)
+	for bm := 0; bm*BlockSize*8 < total; bm++ {
+		lba := int(sb.BitmapStart) + bm
+		if err := dev.ReadBlocks(lba, 1, blk); err != nil {
+			return 0, err
+		}
+		for i := 0; i < BlockSize*8; i++ {
+			blockNo := bm*BlockSize*8 + i
+			if blockNo >= total {
+				break
+			}
+			if blockNo < int(sb.DataStart) {
+				continue
+			}
+			if blk[i/8]&(1<<(i%8)) == 0 {
+				blk[i/8] |= 1 << (i % 8)
+				if err := dev.WriteBlocks(lba, 1, blk); err != nil {
+					return 0, err
+				}
+				return blockNo, nil
+			}
+		}
+	}
+	return 0, fs.ErrNoSpace
+}
+
+// BuildImage formats a fresh ramdisk and populates it with files — the
+// tool that packs Proto's ramdisk dump into the kernel image. Keys are
+// absolute paths; intermediate directories are created. Returns the
+// mounted filesystem's backing ramdisk image.
+func BuildImage(blocks, ninodes int, files map[string][]byte) (*fs.Ramdisk, error) {
+	rd := fs.NewRamdisk(BlockSize, blocks)
+	if err := Mkfs(rd, ninodes); err != nil {
+		return nil, err
+	}
+	fsys, err := Mount(rd, nil)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths) // parents before children
+	for _, p := range paths {
+		clean := fs.Clean(p)
+		// Ensure parent directories exist.
+		parts := strings.Split(clean, "/")
+		for i := 2; i < len(parts); i++ {
+			dir := strings.Join(parts[:i], "/")
+			if _, err := fsys.Stat(nil, dir); err == fs.ErrNotFound {
+				if err := fsys.Mkdir(nil, dir); err != nil {
+					return nil, fmt.Errorf("mkdir %s: %w", dir, err)
+				}
+			}
+		}
+		fl, err := fsys.Open(nil, clean, fs.OCreate|fs.OWrOnly)
+		if err != nil {
+			return nil, fmt.Errorf("create %s: %w", clean, err)
+		}
+		if _, err := fl.Write(nil, files[p]); err != nil {
+			return nil, fmt.Errorf("write %s: %w", clean, err)
+		}
+		fl.Close()
+	}
+	if err := fsys.Sync(nil); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}

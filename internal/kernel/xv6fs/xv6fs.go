@@ -1,0 +1,405 @@
+// Package xv6fs is Proto's port of the xv6 filesystem ("xv6fs"): an
+// ext2-like on-disk layout with a superblock, inode array, allocation
+// bitmap and data blocks, accessed one block at a time through the buffer
+// cache. Geometry follows the paper's numbers: 1 KB blocks, 12 direct
+// addresses plus one singly-indirect block, so the maximum file size is
+// (12+256)·1 KB = 268 KB — the "270 KB" limit that pushes Prototype 5 to
+// FAT32 (§4.5).
+package xv6fs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/ksync"
+	"protosim/internal/kernel/sched"
+)
+
+// On-disk geometry.
+const (
+	BlockSize = 1024
+	NDirect   = 12
+	NIndirect = BlockSize / 4
+	MaxFile   = NDirect + NIndirect // blocks: 268 KB
+
+	Magic = 0x10203040
+
+	DirentSize = 16
+	MaxName    = 13 // dirent name bytes minus NUL
+
+	inodeSize      = 64
+	inodesPerBlock = BlockSize / inodeSize
+	rootInum       = 1
+)
+
+// On-disk inode types.
+const (
+	typeFree = 0
+	typeDir  = 1
+	typeFile = 2
+)
+
+// ErrBadFS reports a corrupt or foreign superblock.
+var ErrBadFS = errors.New("xv6fs: bad superblock")
+
+// Superblock mirrors the on-disk layout header.
+type Superblock struct {
+	Magic       uint32
+	Size        uint32 // total blocks
+	NInodes     uint32
+	InodeStart  uint32
+	BitmapStart uint32
+	DataStart   uint32
+}
+
+func (sb *Superblock) encode(b []byte) {
+	binary.LittleEndian.PutUint32(b[0:], sb.Magic)
+	binary.LittleEndian.PutUint32(b[4:], sb.Size)
+	binary.LittleEndian.PutUint32(b[8:], sb.NInodes)
+	binary.LittleEndian.PutUint32(b[12:], sb.InodeStart)
+	binary.LittleEndian.PutUint32(b[16:], sb.BitmapStart)
+	binary.LittleEndian.PutUint32(b[20:], sb.DataStart)
+}
+
+func (sb *Superblock) decode(b []byte) {
+	sb.Magic = binary.LittleEndian.Uint32(b[0:])
+	sb.Size = binary.LittleEndian.Uint32(b[4:])
+	sb.NInodes = binary.LittleEndian.Uint32(b[8:])
+	sb.InodeStart = binary.LittleEndian.Uint32(b[12:])
+	sb.BitmapStart = binary.LittleEndian.Uint32(b[16:])
+	sb.DataStart = binary.LittleEndian.Uint32(b[20:])
+}
+
+// dinode is the on-disk inode.
+type dinode struct {
+	Type  uint16
+	NLink uint16
+	Size  uint32
+	Addrs [NDirect + 1]uint32
+}
+
+func (di *dinode) encode(b []byte) {
+	binary.LittleEndian.PutUint16(b[0:], di.Type)
+	binary.LittleEndian.PutUint16(b[2:], di.NLink)
+	binary.LittleEndian.PutUint32(b[4:], di.Size)
+	for i, a := range di.Addrs {
+		binary.LittleEndian.PutUint32(b[8+4*i:], a)
+	}
+}
+
+func (di *dinode) decode(b []byte) {
+	di.Type = binary.LittleEndian.Uint16(b[0:])
+	di.NLink = binary.LittleEndian.Uint16(b[2:])
+	di.Size = binary.LittleEndian.Uint32(b[4:])
+	for i := range di.Addrs {
+		di.Addrs[i] = binary.LittleEndian.Uint32(b[8+4*i:])
+	}
+}
+
+// FS is a mounted xv6fs.
+type FS struct {
+	dev fs.BlockDevice
+	bc  *bcache.Cache
+	sb  Superblock
+
+	// One filesystem-wide sleeplock serializes metadata operations. The
+	// real xv6 uses per-inode locks; Proto inherits the structure but the
+	// paper never relies on intra-FS parallelism, and a sleeplock (not a
+	// mutex) keeps single-core schedulers live while an FS op blocks.
+	lock ksync.SleepLock
+
+	mu       sync.Mutex
+	readOnly bool
+}
+
+// Mount opens an existing filesystem on dev.
+func Mount(dev fs.BlockDevice, t *sched.Task) (*FS, error) {
+	if dev.BlockSize() != BlockSize {
+		return nil, fmt.Errorf("%w: device block size %d, want %d", ErrBadFS, dev.BlockSize(), BlockSize)
+	}
+	f := &FS{dev: dev, bc: bcache.New(dev, bcache.DefaultBuffers)}
+	b, err := f.bc.Get(t, 0)
+	if err != nil {
+		return nil, err
+	}
+	f.sb.decode(b.Data)
+	f.bc.Release(b)
+	if f.sb.Magic != Magic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadFS, f.sb.Magic)
+	}
+	if int(f.sb.Size) > dev.Blocks() {
+		return nil, fmt.Errorf("%w: size %d exceeds device %d", ErrBadFS, f.sb.Size, dev.Blocks())
+	}
+	return f, nil
+}
+
+// Cache exposes buffer-cache statistics for the experiment harness.
+func (f *FS) Cache() *bcache.Cache { return f.bc }
+
+// --- low-level block and inode helpers (caller holds f.lock) ---
+
+func (f *FS) readBlock(t *sched.Task, lba int, fn func(data []byte)) error {
+	b, err := f.bc.Get(t, lba)
+	if err != nil {
+		return err
+	}
+	fn(b.Data)
+	f.bc.Release(b)
+	return nil
+}
+
+func (f *FS) writeBlock(t *sched.Task, lba int, fn func(data []byte)) error {
+	b, err := f.bc.Get(t, lba)
+	if err != nil {
+		return err
+	}
+	fn(b.Data)
+	f.bc.MarkDirty(b)
+	f.bc.Release(b)
+	return nil
+}
+
+// allocBlock finds a zero bit in the bitmap, sets it, zeroes the block.
+func (f *FS) allocBlock(t *sched.Task) (int, error) {
+	total := int(f.sb.Size)
+	for bmBlock := 0; bmBlock*BlockSize*8 < total; bmBlock++ {
+		found := -1
+		err := f.writeBlock(t, int(f.sb.BitmapStart)+bmBlock, func(data []byte) {
+			for i := 0; i < BlockSize*8; i++ {
+				blockNo := bmBlock*BlockSize*8 + i
+				if blockNo >= total {
+					return
+				}
+				if blockNo < int(f.sb.DataStart) {
+					continue // metadata blocks are permanently "allocated"
+				}
+				if data[i/8]&(1<<(i%8)) == 0 {
+					data[i/8] |= 1 << (i % 8)
+					found = blockNo
+					return
+				}
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		if found >= 0 {
+			if err := f.writeBlock(t, found, func(d []byte) {
+				for i := range d {
+					d[i] = 0
+				}
+			}); err != nil {
+				return 0, err
+			}
+			return found, nil
+		}
+	}
+	return 0, fs.ErrNoSpace
+}
+
+// freeBlock clears the bitmap bit for lba.
+func (f *FS) freeBlock(t *sched.Task, lba int) error {
+	bmBlock := lba / (BlockSize * 8)
+	bit := lba % (BlockSize * 8)
+	return f.writeBlock(t, int(f.sb.BitmapStart)+bmBlock, func(data []byte) {
+		data[bit/8] &^= 1 << (bit % 8)
+	})
+}
+
+// readInode loads inode inum.
+func (f *FS) readInode(t *sched.Task, inum int, di *dinode) error {
+	lba := int(f.sb.InodeStart) + inum/inodesPerBlock
+	return f.readBlock(t, lba, func(data []byte) {
+		di.decode(data[(inum%inodesPerBlock)*inodeSize:])
+	})
+}
+
+// writeInode stores inode inum.
+func (f *FS) writeInode(t *sched.Task, inum int, di *dinode) error {
+	lba := int(f.sb.InodeStart) + inum/inodesPerBlock
+	return f.writeBlock(t, lba, func(data []byte) {
+		di.encode(data[(inum%inodesPerBlock)*inodeSize:])
+	})
+}
+
+// allocInode finds a free on-disk inode.
+func (f *FS) allocInode(t *sched.Task, typ uint16) (int, error) {
+	for inum := 1; inum < int(f.sb.NInodes); inum++ {
+		var di dinode
+		if err := f.readInode(t, inum, &di); err != nil {
+			return 0, err
+		}
+		if di.Type == typeFree {
+			di = dinode{Type: typ, NLink: 1}
+			if err := f.writeInode(t, inum, &di); err != nil {
+				return 0, err
+			}
+			return inum, nil
+		}
+	}
+	return 0, fs.ErrNoSpace
+}
+
+// bmap returns the disk block of file block fb, allocating when alloc.
+func (f *FS) bmap(t *sched.Task, di *dinode, inum, fb int, alloc bool) (int, error) {
+	if fb < NDirect {
+		if di.Addrs[fb] == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			nb, err := f.allocBlock(t)
+			if err != nil {
+				return 0, err
+			}
+			di.Addrs[fb] = uint32(nb)
+			if err := f.writeInode(t, inum, di); err != nil {
+				return 0, err
+			}
+		}
+		return int(di.Addrs[fb]), nil
+	}
+	fb -= NDirect
+	if fb >= NIndirect {
+		return 0, fs.ErrFileTooBig
+	}
+	if di.Addrs[NDirect] == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		nb, err := f.allocBlock(t)
+		if err != nil {
+			return 0, err
+		}
+		di.Addrs[NDirect] = uint32(nb)
+		if err := f.writeInode(t, inum, di); err != nil {
+			return 0, err
+		}
+	}
+	var blockNo int
+	err := f.readBlock(t, int(di.Addrs[NDirect]), func(data []byte) {
+		blockNo = int(binary.LittleEndian.Uint32(data[4*fb:]))
+	})
+	if err != nil {
+		return 0, err
+	}
+	if blockNo == 0 && alloc {
+		nb, err := f.allocBlock(t)
+		if err != nil {
+			return 0, err
+		}
+		blockNo = nb
+		if err := f.writeBlock(t, int(di.Addrs[NDirect]), func(data []byte) {
+			binary.LittleEndian.PutUint32(data[4*fb:], uint32(nb))
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return blockNo, nil
+}
+
+// readData reads n bytes at off from inode inum into dst.
+func (f *FS) readData(t *sched.Task, di *dinode, inum int, off int64, dst []byte) (int, error) {
+	size := int64(di.Size)
+	if off >= size {
+		return 0, nil
+	}
+	if off+int64(len(dst)) > size {
+		dst = dst[:size-off]
+	}
+	done := 0
+	for done < len(dst) {
+		fb := int((off + int64(done)) / BlockSize)
+		bo := int((off + int64(done)) % BlockSize)
+		blockNo, err := f.bmap(t, di, inum, fb, false)
+		if err != nil {
+			return done, err
+		}
+		n := BlockSize - bo
+		if n > len(dst)-done {
+			n = len(dst) - done
+		}
+		if blockNo == 0 { // hole
+			for i := 0; i < n; i++ {
+				dst[done+i] = 0
+			}
+		} else if err := f.readBlock(t, blockNo, func(data []byte) {
+			copy(dst[done:done+n], data[bo:])
+		}); err != nil {
+			return done, err
+		}
+		done += n
+	}
+	return done, nil
+}
+
+// writeData writes src at off, growing the file.
+func (f *FS) writeData(t *sched.Task, di *dinode, inum int, off int64, src []byte) (int, error) {
+	if off+int64(len(src)) > MaxFile*BlockSize {
+		return 0, fs.ErrFileTooBig
+	}
+	done := 0
+	for done < len(src) {
+		fb := int((off + int64(done)) / BlockSize)
+		bo := int((off + int64(done)) % BlockSize)
+		blockNo, err := f.bmap(t, di, inum, fb, true)
+		if err != nil {
+			return done, err
+		}
+		n := BlockSize - bo
+		if n > len(src)-done {
+			n = len(src) - done
+		}
+		if err := f.writeBlock(t, blockNo, func(data []byte) {
+			copy(data[bo:], src[done:done+n])
+		}); err != nil {
+			return done, err
+		}
+		done += n
+	}
+	if newSize := off + int64(done); newSize > int64(di.Size) {
+		di.Size = uint32(newSize)
+		if err := f.writeInode(t, inum, di); err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// truncate frees all blocks of an inode.
+func (f *FS) truncate(t *sched.Task, di *dinode, inum int) error {
+	for i := 0; i < NDirect; i++ {
+		if di.Addrs[i] != 0 {
+			if err := f.freeBlock(t, int(di.Addrs[i])); err != nil {
+				return err
+			}
+			di.Addrs[i] = 0
+		}
+	}
+	if di.Addrs[NDirect] != 0 {
+		var indirect [NIndirect]uint32
+		if err := f.readBlock(t, int(di.Addrs[NDirect]), func(data []byte) {
+			for i := range indirect {
+				indirect[i] = binary.LittleEndian.Uint32(data[4*i:])
+			}
+		}); err != nil {
+			return err
+		}
+		for _, a := range indirect {
+			if a != 0 {
+				if err := f.freeBlock(t, int(a)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := f.freeBlock(t, int(di.Addrs[NDirect])); err != nil {
+			return err
+		}
+		di.Addrs[NDirect] = 0
+	}
+	di.Size = 0
+	return f.writeInode(t, inum, di)
+}

@@ -1,0 +1,399 @@
+package xv6fs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"protosim/internal/kernel/fs"
+)
+
+func newFS(t *testing.T, blocks int) *FS {
+	t.Helper()
+	rd := fs.NewRamdisk(BlockSize, blocks)
+	if err := Mkfs(rd, 64); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMkfsMountEmptyRoot(t *testing.T) {
+	f := newFS(t, 512)
+	st, err := f.Stat(nil, "/")
+	if err != nil || st.Type != fs.TypeDir {
+		t.Fatalf("root stat = %+v, %v", st, err)
+	}
+	d, err := f.Open(nil, "/", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := d.(fs.DirReader).ReadDir()
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("root entries = %v, %v", entries, err)
+	}
+}
+
+func TestMountRejectsGarbage(t *testing.T) {
+	rd := fs.NewRamdisk(BlockSize, 64)
+	if _, err := Mount(rd, nil); !errors.Is(err, ErrBadFS) {
+		t.Fatalf("err = %v, want ErrBadFS", err)
+	}
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	f := newFS(t, 512)
+	fl, err := f.Open(nil, "/hello.txt", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello from prototype 4")
+	if n, err := fl.Write(nil, msg); err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	fl.Close()
+
+	fl2, err := f.Open(nil, "/hello.txt", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	n, err := fl2.Read(nil, got)
+	if err != nil || !bytes.Equal(got[:n], msg) {
+		t.Fatalf("read %q, %v", got[:n], err)
+	}
+	// EOF.
+	if n, _ := fl2.Read(nil, got); n != 0 {
+		t.Fatalf("read past EOF returned %d", n)
+	}
+}
+
+func TestOpenMissingFails(t *testing.T) {
+	f := newFS(t, 512)
+	if _, err := f.Open(nil, "/nope", fs.ORdOnly); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateExclusiveSemantics(t *testing.T) {
+	f := newFS(t, 512)
+	fl, _ := f.Open(nil, "/a", fs.OCreate|fs.OWrOnly)
+	fl.Write(nil, []byte("one"))
+	fl.Close()
+	// Re-open with OCreate keeps existing content.
+	fl2, err := f.Open(nil, "/a", fs.OCreate|fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 8)
+	n, _ := fl2.Read(nil, b)
+	if string(b[:n]) != "one" {
+		t.Fatalf("content = %q", b[:n])
+	}
+	// OTrunc clears it.
+	f.Open(nil, "/a", fs.OCreate|fs.OWrOnly|fs.OTrunc)
+	st, _ := f.Stat(nil, "/a")
+	if st.Size != 0 {
+		t.Fatalf("size after trunc = %d", st.Size)
+	}
+}
+
+func TestDirectoriesAndWalk(t *testing.T) {
+	f := newFS(t, 512)
+	if err := f.Mkdir(nil, "/bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Mkdir(nil, "/bin/tools"); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := f.Open(nil, "/bin/tools/ls", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, []byte("ELF"))
+	fl.Close()
+	st, err := f.Stat(nil, "/bin/tools/ls")
+	if err != nil || st.Size != 3 {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+	// Walk through a file must fail with ErrNotDir.
+	if _, err := f.Stat(nil, "/bin/tools/ls/x"); !errors.Is(err, fs.ErrNotDir) {
+		t.Fatalf("err = %v", err)
+	}
+	// ReadDir sees the child.
+	d, _ := f.Open(nil, "/bin", fs.ORdOnly)
+	entries, _ := d.(fs.DirReader).ReadDir()
+	if len(entries) != 1 || entries[0].Name != "tools" || entries[0].Type != fs.TypeDir {
+		t.Fatalf("entries = %v", entries)
+	}
+}
+
+func TestMkdirDuplicateFails(t *testing.T) {
+	f := newFS(t, 512)
+	f.Mkdir(nil, "/x")
+	if err := f.Mkdir(nil, "/x"); !errors.Is(err, fs.ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnlinkFileAndFreesSpace(t *testing.T) {
+	f := newFS(t, 256)
+	data := bytes.Repeat([]byte{0xAA}, 50*BlockSize)
+	// Fill and delete repeatedly: if blocks leak, this exhausts the disk.
+	for i := 0; i < 5; i++ {
+		fl, err := f.Open(nil, "/big", fs.OCreate|fs.OWrOnly)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if _, err := fl.Write(nil, data); err != nil {
+			t.Fatalf("iter %d write: %v", i, err)
+		}
+		fl.Close()
+		if err := f.Unlink(nil, "/big"); err != nil {
+			t.Fatalf("iter %d unlink: %v", i, err)
+		}
+	}
+	if _, err := f.Stat(nil, "/big"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat after unlink = %v", err)
+	}
+}
+
+func TestUnlinkNonEmptyDirFails(t *testing.T) {
+	f := newFS(t, 512)
+	f.Mkdir(nil, "/d")
+	fl, _ := f.Open(nil, "/d/f", fs.OCreate|fs.OWrOnly)
+	fl.Close()
+	if err := f.Unlink(nil, "/d"); !errors.Is(err, fs.ErrNotEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	f.Unlink(nil, "/d/f")
+	if err := f.Unlink(nil, "/d"); err != nil {
+		t.Fatalf("unlink empty dir: %v", err)
+	}
+}
+
+func TestMaxFileSize270KB(t *testing.T) {
+	f := newFS(t, 1024)
+	fl, err := f.Open(nil, "/max", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := MaxFile * BlockSize // 268 KB: the paper's "270 KB" cap
+	if max != 274432 {
+		t.Fatalf("max file = %d bytes, expected 268 KB", max)
+	}
+	chunk := bytes.Repeat([]byte{7}, 32*1024)
+	written := 0
+	for written < max {
+		n := len(chunk)
+		if written+n > max {
+			n = max - written
+		}
+		if _, err := fl.Write(nil, chunk[:n]); err != nil {
+			t.Fatalf("write at %d: %v", written, err)
+		}
+		written += n
+	}
+	// One more byte must fail with ErrFileTooBig — the limitation that
+	// motivates FAT32 in Prototype 5.
+	if _, err := fl.Write(nil, []byte{1}); !errors.Is(err, fs.ErrFileTooBig) {
+		t.Fatalf("err = %v, want ErrFileTooBig", err)
+	}
+}
+
+func TestLseekAndSparseRead(t *testing.T) {
+	f := newFS(t, 512)
+	fl, _ := f.Open(nil, "/s", fs.OCreate|fs.ORdWr)
+	fl.Write(nil, []byte("0123456789"))
+	sk := fl.(fs.Seeker)
+	if off, err := sk.Lseek(4, fs.SeekSet); err != nil || off != 4 {
+		t.Fatalf("seek = %d, %v", off, err)
+	}
+	b := make([]byte, 3)
+	fl.Read(nil, b)
+	if string(b) != "456" {
+		t.Fatalf("read %q", b)
+	}
+	if off, _ := sk.Lseek(-2, fs.SeekEnd); off != 8 {
+		t.Fatalf("seekend = %d", off)
+	}
+	if _, err := sk.Lseek(-100, fs.SeekSet); !errors.Is(err, fs.ErrBadSeek) {
+		t.Fatalf("negative seek err = %v", err)
+	}
+}
+
+func TestAppendFlag(t *testing.T) {
+	f := newFS(t, 512)
+	fl, _ := f.Open(nil, "/log", fs.OCreate|fs.OWrOnly)
+	fl.Write(nil, []byte("aaa"))
+	fl.Close()
+	fl2, _ := f.Open(nil, "/log", fs.OWrOnly|fs.OAppend)
+	fl2.Write(nil, []byte("bbb"))
+	fl2.Close()
+	fl3, _ := f.Open(nil, "/log", fs.ORdOnly)
+	b := make([]byte, 16)
+	n, _ := fl3.Read(nil, b)
+	if string(b[:n]) != "aaabbb" {
+		t.Fatalf("content = %q", b[:n])
+	}
+}
+
+func TestWriteWithoutWritePermFails(t *testing.T) {
+	f := newFS(t, 512)
+	fl, _ := f.Open(nil, "/ro", fs.OCreate|fs.OWrOnly)
+	fl.Close()
+	fl2, _ := f.Open(nil, "/ro", fs.ORdOnly)
+	if _, err := fl2.Write(nil, []byte("x")); !errors.Is(err, fs.ErrPerm) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	f := newFS(t, 512)
+	_, err := f.Open(nil, "/this-name-is-way-too-long-for-xv6fs", fs.OCreate|fs.OWrOnly)
+	if !errors.Is(err, fs.ErrNameTooLong) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDiskFullSurfaces(t *testing.T) {
+	f := newFS(t, 48) // tiny disk
+	fl, _ := f.Open(nil, "/fill", fs.OCreate|fs.OWrOnly)
+	chunk := bytes.Repeat([]byte{1}, BlockSize)
+	var err error
+	for i := 0; i < 100; i++ {
+		if _, err = fl.Write(nil, chunk); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, fs.ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestBuildImageAndRemount(t *testing.T) {
+	files := map[string][]byte{
+		"/bin/sh":     []byte("shell binary"),
+		"/bin/ls":     []byte("ls binary"),
+		"/etc/initrc": []byte("launcher\n"),
+		"/readme":     bytes.Repeat([]byte("R"), 3000),
+	}
+	rd, err := BuildImage(1024, 64, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remount from the raw image, as the kernel does at boot.
+	f, err := Mount(fs.NewRamdiskFromImage(BlockSize, rd.Image()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range files {
+		fl, err := f.Open(nil, path, fs.ORdOnly)
+		if err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+		got := make([]byte, len(want)+10)
+		n, _ := fl.Read(nil, got)
+		if !bytes.Equal(got[:n], want) {
+			t.Fatalf("%s: got %d bytes, want %d", path, n, len(want))
+		}
+	}
+}
+
+// Property test: xv6fs agrees with an in-memory model across random
+// write/read offsets within one file.
+func TestReadWriteOffsetsProperty(t *testing.T) {
+	f := newFS(t, 2048)
+	fl, err := f.Open(nil, "/prop", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := fl.(fs.Seeker)
+	model := make([]byte, MaxFile*BlockSize)
+	modelSize := 0
+	op := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int(off) % (200 * 1024)
+		if o+len(data) > len(model) {
+			return true
+		}
+		if _, err := sk.Lseek(int64(o), fs.SeekSet); err != nil {
+			return false
+		}
+		if _, err := fl.Write(nil, data); err != nil {
+			return false
+		}
+		copy(model[o:], data)
+		if o+len(data) > modelSize {
+			modelSize = o + len(data)
+		}
+		// Verify a read spanning the write.
+		if _, err := sk.Lseek(int64(o), fs.SeekSet); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		n, err := fl.Read(nil, got)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got[:n], model[o:o+n])
+	}
+	if err := quick.Check(op, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	// Full-file comparison at the end.
+	if _, err := sk.Lseek(0, fs.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, modelSize)
+	total := 0
+	for total < modelSize {
+		n, err := fl.Read(nil, got[total:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if !bytes.Equal(got[:total], model[:total]) {
+		t.Fatal("final content diverged from model")
+	}
+}
+
+func TestManyFilesInDirectory(t *testing.T) {
+	f := newFS(t, 2048)
+	for i := 0; i < 40; i++ {
+		fl, err := f.Open(nil, fmt.Sprintf("/f%02d", i), fs.OCreate|fs.OWrOnly)
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		fl.Write(nil, []byte{byte(i)})
+		fl.Close()
+	}
+	d, _ := f.Open(nil, "/", fs.ORdOnly)
+	entries, _ := d.(fs.DirReader).ReadDir()
+	if len(entries) != 40 {
+		t.Fatalf("entries = %d, want 40", len(entries))
+	}
+	// Unlink reuses dirent holes.
+	f.Unlink(nil, "/f00")
+	fl, err := f.Open(nil, "/new", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Close()
+	d2, _ := f.Open(nil, "/", fs.ORdOnly)
+	entries2, _ := d2.(fs.DirReader).ReadDir()
+	if len(entries2) != 40 {
+		t.Fatalf("entries after churn = %d", len(entries2))
+	}
+}

@@ -1,0 +1,204 @@
+// Package uelf builds and parses the ELF64 executables Proto's exec() loads.
+//
+// Proto packs user programs as AArch64 ELF executables in the ramdisk; its
+// exec() parses the ELF region and loads code/data segments into the user
+// address space (§4.3). In this reproduction the "machine code" of a
+// program is a registry token — a magic string naming the Go function that
+// implements the app — but everything around it is genuine ELF64: magic,
+// class/data/machine fields, program headers with vaddr/filesz/memsz/flags,
+// and an entry point inside the text segment. exec() performs the same
+// validation and mapping work the real kernel does, and corrupt images fail
+// in the same ways (bad magic, wrong class, truncated phdrs).
+package uelf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ELF constants (the subset exec validates).
+const (
+	elfClass64   = 2
+	elfLittle    = 1
+	elfTypeExec  = 2
+	elfMachARM64 = 0xB7
+	ehSize       = 64
+	phSize       = 56
+
+	// TokenMagic marks the text segment of a protosim app.
+	TokenMagic = "PROTOAPP"
+)
+
+// Segment load addresses: text at 64 KB (leaving page 0 unmapped to catch
+// null derefs), data after it.
+const (
+	TextVaddr = 0x10000
+	DataAlign = 0x1000
+)
+
+// Segment flags.
+const (
+	FlagX = 1
+	FlagW = 2
+	FlagR = 4
+)
+
+// Errors from Parse.
+var (
+	ErrNotELF    = errors.New("uelf: bad ELF magic")
+	ErrBadClass  = errors.New("uelf: not ELF64 little-endian")
+	ErrBadType   = errors.New("uelf: not an AArch64 executable")
+	ErrTruncated = errors.New("uelf: truncated image")
+	ErrNoToken   = errors.New("uelf: no program token in text segment")
+)
+
+// Segment is one loadable program header.
+type Segment struct {
+	Vaddr uint64
+	Data  []byte
+	MemSz uint64 // >= len(Data); the rest is BSS
+	Flags uint32
+}
+
+// Image is a parsed executable.
+type Image struct {
+	Entry    uint64
+	Segments []Segment
+	// Program is the registry token extracted from the text segment — the
+	// name exec() resolves to a Go function.
+	Program string
+}
+
+// Build produces an ELF64 AArch64 executable whose text segment carries the
+// program token and whose data segment carries payload (may be nil). bss
+// adds zero-initialized space after the data.
+func Build(program string, payload []byte, bss int) []byte {
+	text := make([]byte, 0, len(TokenMagic)+1+len(program)+1)
+	text = append(text, TokenMagic...)
+	text = append(text, 0)
+	text = append(text, program...)
+	text = append(text, 0)
+	// Pad text so it looks like real code (and exceeds one instruction).
+	for len(text)%16 != 0 {
+		text = append(text, 0xD5) // a byte of "nop"-ish filler
+	}
+
+	nph := 1
+	if len(payload) > 0 || bss > 0 {
+		nph = 2
+	}
+	textOff := uint64(ehSize + nph*phSize)
+	dataOff := textOff + uint64(len(text))
+	dataVaddr := (TextVaddr + uint64(len(text)) + DataAlign - 1) &^ (DataAlign - 1)
+
+	img := make([]byte, int(dataOff)+len(payload))
+	// ELF header.
+	copy(img[0:4], "\x7fELF")
+	img[4] = elfClass64
+	img[5] = elfLittle
+	img[6] = 1 // version
+	binary.LittleEndian.PutUint16(img[16:], elfTypeExec)
+	binary.LittleEndian.PutUint16(img[18:], elfMachARM64)
+	binary.LittleEndian.PutUint32(img[20:], 1)
+	binary.LittleEndian.PutUint64(img[24:], TextVaddr) // entry
+	binary.LittleEndian.PutUint64(img[32:], ehSize)    // phoff
+	binary.LittleEndian.PutUint16(img[52:], ehSize)
+	binary.LittleEndian.PutUint16(img[54:], phSize)
+	binary.LittleEndian.PutUint16(img[56:], uint16(nph))
+
+	// Text phdr.
+	ph := img[ehSize:]
+	binary.LittleEndian.PutUint32(ph[0:], 1) // PT_LOAD
+	binary.LittleEndian.PutUint32(ph[4:], FlagR|FlagX)
+	binary.LittleEndian.PutUint64(ph[8:], textOff)
+	binary.LittleEndian.PutUint64(ph[16:], TextVaddr)
+	binary.LittleEndian.PutUint64(ph[24:], TextVaddr)
+	binary.LittleEndian.PutUint64(ph[32:], uint64(len(text)))
+	binary.LittleEndian.PutUint64(ph[40:], uint64(len(text)))
+	binary.LittleEndian.PutUint64(ph[48:], DataAlign)
+
+	if nph == 2 {
+		ph2 := img[ehSize+phSize:]
+		binary.LittleEndian.PutUint32(ph2[0:], 1)
+		binary.LittleEndian.PutUint32(ph2[4:], FlagR|FlagW)
+		binary.LittleEndian.PutUint64(ph2[8:], dataOff)
+		binary.LittleEndian.PutUint64(ph2[16:], dataVaddr)
+		binary.LittleEndian.PutUint64(ph2[24:], dataVaddr)
+		binary.LittleEndian.PutUint64(ph2[32:], uint64(len(payload)))
+		binary.LittleEndian.PutUint64(ph2[40:], uint64(len(payload)+bss))
+		binary.LittleEndian.PutUint64(ph2[48:], DataAlign)
+	}
+
+	copy(img[textOff:], text)
+	copy(img[dataOff:], payload)
+	return img
+}
+
+// Parse validates and decodes an executable image.
+func Parse(img []byte) (*Image, error) {
+	if len(img) >= 4 && string(img[0:4]) != "\x7fELF" {
+		return nil, ErrNotELF
+	}
+	if len(img) < ehSize {
+		return nil, ErrTruncated
+	}
+	if img[4] != elfClass64 || img[5] != elfLittle {
+		return nil, ErrBadClass
+	}
+	if binary.LittleEndian.Uint16(img[16:]) != elfTypeExec ||
+		binary.LittleEndian.Uint16(img[18:]) != elfMachARM64 {
+		return nil, ErrBadType
+	}
+	entry := binary.LittleEndian.Uint64(img[24:])
+	phoff := binary.LittleEndian.Uint64(img[32:])
+	nph := int(binary.LittleEndian.Uint16(img[56:]))
+	out := &Image{Entry: entry}
+	for i := 0; i < nph; i++ {
+		off := int(phoff) + i*phSize
+		if off+phSize > len(img) {
+			return nil, ErrTruncated
+		}
+		ph := img[off:]
+		if binary.LittleEndian.Uint32(ph[0:]) != 1 { // PT_LOAD only
+			continue
+		}
+		flags := binary.LittleEndian.Uint32(ph[4:])
+		fileOff := binary.LittleEndian.Uint64(ph[8:])
+		vaddr := binary.LittleEndian.Uint64(ph[16:])
+		filesz := binary.LittleEndian.Uint64(ph[32:])
+		memsz := binary.LittleEndian.Uint64(ph[40:])
+		if fileOff+filesz > uint64(len(img)) {
+			return nil, ErrTruncated
+		}
+		if memsz < filesz {
+			return nil, fmt.Errorf("uelf: memsz %d < filesz %d", memsz, filesz)
+		}
+		seg := Segment{
+			Vaddr: vaddr,
+			Data:  img[fileOff : fileOff+filesz],
+			MemSz: memsz,
+			Flags: flags,
+		}
+		out.Segments = append(out.Segments, seg)
+	}
+	// Extract the program token from the segment containing the entry.
+	for _, seg := range out.Segments {
+		if entry < seg.Vaddr || entry >= seg.Vaddr+uint64(len(seg.Data)) {
+			continue
+		}
+		text := seg.Data[entry-seg.Vaddr:]
+		if len(text) < len(TokenMagic)+2 || string(text[:len(TokenMagic)]) != TokenMagic {
+			return nil, ErrNoToken
+		}
+		rest := text[len(TokenMagic)+1:]
+		for j, b := range rest {
+			if b == 0 {
+				out.Program = string(rest[:j])
+				return out, nil
+			}
+		}
+		return nil, ErrNoToken
+	}
+	return nil, ErrNoToken
+}

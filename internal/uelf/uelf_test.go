@@ -1,0 +1,115 @@
+package uelf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	payload := []byte("game assets table")
+	img := Build("mario", payload, 4096)
+	parsed, err := Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Program != "mario" {
+		t.Fatalf("program = %q", parsed.Program)
+	}
+	if parsed.Entry != TextVaddr {
+		t.Fatalf("entry = %#x", parsed.Entry)
+	}
+	if len(parsed.Segments) != 2 {
+		t.Fatalf("segments = %d", len(parsed.Segments))
+	}
+	text, data := parsed.Segments[0], parsed.Segments[1]
+	if text.Flags&FlagX == 0 || data.Flags&FlagW == 0 {
+		t.Fatalf("flags: text %b data %b", text.Flags, data.Flags)
+	}
+	if !bytes.Equal(data.Data, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if data.MemSz != uint64(len(payload)+4096) {
+		t.Fatalf("memsz = %d (bss lost)", data.MemSz)
+	}
+	if data.Vaddr%DataAlign != 0 || data.Vaddr <= text.Vaddr {
+		t.Fatalf("data vaddr = %#x", data.Vaddr)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("not an elf at all, definitely")); !errors.Is(err, ErrNotELF) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Parse([]byte{0x7f}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsWrongClass(t *testing.T) {
+	img := Build("x", nil, 0)
+	img[4] = 1 // ELF32
+	if _, err := Parse(img); !errors.Is(err, ErrBadClass) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsWrongMachine(t *testing.T) {
+	img := Build("x", nil, 0)
+	img[18] = 0x3E // x86-64
+	if _, err := Parse(img); !errors.Is(err, ErrBadType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsTruncatedSegment(t *testing.T) {
+	img := Build("x", []byte("data"), 0)
+	if _, err := Parse(img[:len(img)-2]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsMissingToken(t *testing.T) {
+	img := Build("x", nil, 0)
+	// Corrupt the token magic inside the text segment.
+	idx := bytes.Index(img, []byte(TokenMagic))
+	img[idx] = 'X'
+	if _, err := Parse(img); !errors.Is(err, ErrNoToken) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(nameBytes []byte, payload []byte, bss uint16) bool {
+		name := ""
+		for _, b := range nameBytes {
+			if b >= 'a' && b <= 'z' {
+				name += string(rune(b))
+			}
+		}
+		if name == "" {
+			name = "app"
+		}
+		if len(name) > 20 {
+			name = name[:20]
+		}
+		img := Build(name, payload, int(bss))
+		p, err := Parse(img)
+		if err != nil {
+			return false
+		}
+		if p.Program != name {
+			return false
+		}
+		if len(payload) > 0 {
+			if len(p.Segments) != 2 || !bytes.Equal(p.Segments[1].Data, payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

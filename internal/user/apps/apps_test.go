@@ -1,0 +1,348 @@
+// Package apps_test exercises the user applications end to end on booted
+// systems: the integration layer between internal/core's prototype tests
+// and the per-app packages' unit tests.
+package apps_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"protosim/internal/core"
+	"protosim/internal/hw"
+	"protosim/internal/kernel"
+	"protosim/internal/kernel/wm"
+	"protosim/internal/user/apps/blockchain"
+	"protosim/internal/user/apps/donut"
+	"protosim/internal/user/apps/doomlike"
+	"protosim/internal/user/minisdl"
+	"protosim/internal/user/ulib"
+)
+
+func boot(t *testing.T, p core.Prototype) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{Prototype: p, MemBytes: 48 << 20, FBWidth: 320, FBHeight: 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Machine.SD != nil {
+		sys.Machine.SD.SetLatencyScale(0)
+	}
+	t.Cleanup(func() {
+		if err := sys.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return sys
+}
+
+func run(t *testing.T, sys *core.System, name string, fn func(p *kernel.Proc) int) int {
+	t.Helper()
+	done := make(chan int, 1)
+	sys.Kernel.Spawn(name, 0, func(p *kernel.Proc, _ []string) int {
+		c := fn(p)
+		done <- c
+		return c
+	}, nil)
+	select {
+	case c := <-done:
+		return c
+	case <-time.After(60 * time.Second):
+		t.Fatalf("%s hung", name)
+		return -1
+	}
+}
+
+func TestDonutTextRendersTorus(t *testing.T) {
+	s := donut.NewState(1)
+	f1 := s.RenderText()
+	chars := 0
+	for _, c := range f1 {
+		if c != ' ' {
+			chars++
+		}
+	}
+	if chars < 200 {
+		t.Fatalf("donut frame has %d glyphs", chars)
+	}
+	// Rotation changes the frame.
+	f2 := s.RenderText()
+	if string(f1) == string(f2) {
+		t.Fatal("donut not spinning")
+	}
+}
+
+func TestDonutFastSpinsFaster(t *testing.T) {
+	slow := donut.NewState(1)
+	fast := donut.NewState(2.5)
+	slow.RenderText()
+	fast.RenderText()
+	if fast.A <= slow.A {
+		t.Fatalf("fast donut A=%f, slow A=%f", fast.A, slow.A)
+	}
+}
+
+func TestDoomWADRoundTrip(t *testing.T) {
+	wad := doomlike.BuildWAD(32, 24, 128<<10)
+	if len(wad) < 128<<10 {
+		t.Fatalf("wad = %d bytes", len(wad))
+	}
+	w, err := doomlike.LoadWAD(wad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 160*120*4)
+	w.Render(frame, 160, 120, 160*4)
+	// Walls textured: a raycast frame must have many distinct colours.
+	colors := map[uint32]bool{}
+	for i := 0; i < len(frame); i += 4 {
+		colors[uint32(frame[i])|uint32(frame[i+1])<<8|uint32(frame[i+2])<<16] = true
+	}
+	if len(colors) < 16 {
+		t.Fatalf("raycast frame has only %d colours", len(colors))
+	}
+	if _, err := doomlike.LoadWAD(wad[:40]); err == nil {
+		t.Fatal("truncated WAD accepted")
+	}
+}
+
+func TestDoomMovementCollides(t *testing.T) {
+	w, err := doomlike.LoadWAD(doomlike.BuildWAD(16, 16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk forward into a wall for many steps: must not escape the map.
+	for i := 0; i < 500; i++ {
+		w.Step(doomlike.KeyForward)
+	}
+	frame := make([]byte, 64*64*4)
+	w.Render(frame, 64, 64, 64*4) // must not panic (player inside bounds)
+}
+
+func TestBlockchainVerify(t *testing.T) {
+	sys := boot(t, core.Prototype5)
+	code := run(t, sys, "miner", func(p *kernel.Proc) int {
+		m := blockchain.NewMiner(10, 2)
+		blk, err := m.MineBlock(p, blockchain.Block{Index: 1})
+		if err != nil {
+			return 1
+		}
+		if !blockchain.Verify(&blk, 10) {
+			return 2
+		}
+		// Tampering breaks verification.
+		blk.Nonce++
+		if blockchain.Verify(&blk, 10) {
+			return 3
+		}
+		hashes, mined := m.Stats()
+		if hashes == 0 || mined != 1 {
+			return 4
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestMinisdlWindowAndEvents(t *testing.T) {
+	sys := boot(t, core.Prototype5)
+	code := run(t, sys, "sdlapp", func(p *kernel.Proc) int {
+		win, err := minisdl.CreateWindow(p, "test", 64, 48)
+		if err != nil {
+			return 1
+		}
+		frame := make([]byte, 64*48*4)
+		for i := range frame {
+			frame[i] = 0x40
+		}
+		if err := win.Present(frame); err != nil {
+			return 2
+		}
+		// No pending events: poll returns false.
+		if _, ok := win.PollEvent(); ok {
+			return 3
+		}
+		// Inject a key; focused window receives it.
+		p.Kernel().InjectKey(kernelEvent('z'))
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if e, ok := win.PollEvent(); ok {
+				if e.ASCII != 'z' {
+					return 4
+				}
+				return 0
+			}
+			p.SysSleep(2)
+		}
+		return 5
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestMinisdlAudioThread(t *testing.T) {
+	sys := boot(t, core.Prototype5)
+	code := run(t, sys, "sdlaudio", func(p *kernel.Proc) int {
+		blocks := 5
+		audio, err := minisdl.OpenAudio(p, func(buf []int16) int {
+			if blocks == 0 {
+				return 0
+			}
+			blocks--
+			for i := range buf {
+				buf[i] = int16((i % 64) * 256)
+			}
+			return len(buf)
+		})
+		if err != nil {
+			return 1
+		}
+		audio.Wait()
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	// The output stage consumes at the sample rate; give it a moment.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if consumed, _, _ := sys.Machine.PWM.Stats(); consumed > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("audio thread produced nothing")
+}
+
+func TestShellPipelineOfUtilities(t *testing.T) {
+	sys := boot(t, core.Prototype4)
+	script := strings.Join([]string{
+		"mkdir /work",
+		"echo one line here > /work/a.txt",
+		"echo another > /work/b.txt",
+		"ls /work",
+		"wc /work/a.txt",
+		"grep line /work/a.txt",
+		"rm /work/b.txt",
+		"ls /work",
+		"ps",
+	}, "\n")
+	code, err := sys.RunShellScript(script, 60*time.Second)
+	if err != nil || code != 0 {
+		t.Fatalf("script: code=%d err=%v", code, err)
+	}
+	out := sys.Kernel.Transcript()
+	for _, want := range []string{"a.txt", "one line here", "1 3 14"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	// b.txt appears once (the first ls); after rm the second ls omits it.
+	if strings.Count(out, "b.txt") != 1 {
+		t.Fatalf("b.txt listed %d times, want 1:\n%s", strings.Count(out, "b.txt"), out)
+	}
+}
+
+func TestShellRedirectionAndNotFound(t *testing.T) {
+	sys := boot(t, core.Prototype4)
+	code, err := sys.RunShellScript("nosuchcmd\necho fine > /r.txt\ncat /r.txt\n", 30*time.Second)
+	if err != nil || code != 0 {
+		t.Fatalf("script: code=%d err=%v", code, err)
+	}
+	out := sys.Kernel.Transcript()
+	if !strings.Contains(out, "not found") || !strings.Contains(out, "fine") {
+		t.Fatalf("transcript: %s", out)
+	}
+}
+
+func TestUlibMallocFree(t *testing.T) {
+	sys := boot(t, core.Prototype3)
+	code := run(t, sys, "malloc", func(p *kernel.Proc) int {
+		a := ulib.NewAlloc(p)
+		var ptrs []uint64
+		for i := 0; i < 50; i++ {
+			va, err := a.Malloc(100 + i*10)
+			if err != nil {
+				return 1
+			}
+			if err := a.Store(va, []byte{byte(i)}); err != nil {
+				return 2
+			}
+			ptrs = append(ptrs, va)
+		}
+		// Verify and free.
+		for i, va := range ptrs {
+			b := make([]byte, 1)
+			if err := a.Load(va, b); err != nil || b[0] != byte(i) {
+				return 3
+			}
+			a.Free(va)
+		}
+		if a.InUse() != 0 {
+			return 4
+		}
+		// Reuse after free: no growth needed.
+		if _, err := a.Malloc(64); err != nil {
+			return 5
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestUlibMutexCondAcrossThreads(t *testing.T) {
+	sys := boot(t, core.Prototype5)
+	code := run(t, sys, "sync", func(p *kernel.Proc) int {
+		mu, err := ulib.NewMutex(p)
+		if err != nil {
+			return 1
+		}
+		cond, err := ulib.NewCond(p)
+		if err != nil {
+			return 2
+		}
+		ready := false
+		var got int
+		done, _ := p.SysSemCreate(0)
+		p.SysClone("waiter", func(tp *kernel.Proc) {
+			mu.Lock(tp)
+			for !ready {
+				cond.Wait(tp, mu)
+			}
+			got = 99
+			mu.Unlock(tp)
+			tp.SysSemPost(done)
+		})
+		p.SysSleep(5)
+		mu.Lock(p)
+		ready = true
+		cond.Signal(p)
+		mu.Unlock(p)
+		p.SysSemWait(done)
+		if got != 99 {
+			return 3
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+// kernelEvent builds an injected key event.
+func kernelEvent(ch byte) wm.InputEvent {
+	return wm.InputEvent{Down: true, Code: hw.UsageA + (ch - 'a'), ASCII: ch}
+}
+
+func TestWordsmithSynchronization(t *testing.T) {
+	sys := boot(t, core.Prototype5)
+	code, err := sys.RunShellScript("wordsmith 40\n", 60*time.Second)
+	if err != nil || code != 0 {
+		t.Fatalf("wordsmith: code=%d err=%v", code, err)
+	}
+}

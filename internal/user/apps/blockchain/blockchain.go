@@ -1,0 +1,154 @@
+// Package blockchain is the multithreaded proof-of-work miner of Table 1
+// and Figure 10: clone()d worker threads sweep disjoint nonce ranges over
+// SHA-256 double hashing, coordinated with semaphores — Proto's showcase
+// for threads scaling across all four cores. (The paper's app is C++; the
+// crt0/global-constructor machinery it needs is host-language runtime here.)
+package blockchain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"protosim/internal/kernel"
+)
+
+// Block is one mined block.
+type Block struct {
+	Index    uint32
+	PrevHash [32]byte
+	Payload  [32]byte
+	Nonce    uint64
+	Hash     [32]byte
+}
+
+// Difficulty is the number of leading zero bits a hash must have.
+const DefaultDifficulty = 17
+
+// header serializes the hashed portion.
+func (b *Block) header(nonce uint64) [80]byte {
+	var h [80]byte
+	binary.LittleEndian.PutUint32(h[0:], b.Index)
+	copy(h[4:36], b.PrevHash[:])
+	copy(h[36:68], b.Payload[:])
+	binary.LittleEndian.PutUint64(h[68:], nonce)
+	return h
+}
+
+// hashAt computes the double-SHA256 for a nonce.
+func (b *Block) hashAt(nonce uint64) [32]byte {
+	h := b.header(nonce)
+	first := sha256.Sum256(h[:])
+	return sha256.Sum256(first[:])
+}
+
+// meets checks the difficulty target.
+func meets(hash [32]byte, bits int) bool {
+	for i := 0; i < bits; i++ {
+		if hash[i/8]&(0x80>>(i%8)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify re-checks a mined block.
+func Verify(b *Block, bits int) bool {
+	return b.hashAt(b.Nonce) == b.Hash && meets(b.Hash, bits)
+}
+
+// Miner mines blocks with nthreads clone()d workers.
+type Miner struct {
+	Difficulty int
+	Threads    int
+
+	hashes atomic.Uint64
+	mined  atomic.Uint64
+}
+
+// NewMiner configures a miner.
+func NewMiner(difficulty, threads int) *Miner {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Miner{Difficulty: difficulty, Threads: threads}
+}
+
+// Stats reports total hashes tried and blocks mined.
+func (m *Miner) Stats() (hashes, mined uint64) {
+	return m.hashes.Load(), m.mined.Load()
+}
+
+// MineBlock finds a nonce for block b using worker threads; returns the
+// solved block. The workers stride the nonce space and the first winner
+// posts the result semaphore.
+func (m *Miner) MineBlock(p *kernel.Proc, b Block) (Block, error) {
+	found, err := p.SysSemCreate(0)
+	if err != nil {
+		return b, err
+	}
+	var winner atomic.Uint64
+	var solved atomic.Bool
+	for w := 0; w < m.Threads; w++ {
+		start := uint64(w)
+		if _, err := p.SysClone(fmt.Sprintf("miner%d", w), func(tp *kernel.Proc) {
+			local := b
+			for nonce := start; !solved.Load(); nonce += uint64(m.Threads) {
+				h := local.hashAt(nonce)
+				m.hashes.Add(1)
+				if meets(h, m.Difficulty) {
+					if solved.CompareAndSwap(false, true) {
+						winner.Store(nonce)
+						tp.SysSemPost(found)
+					}
+					return
+				}
+				if nonce%1024 < uint64(m.Threads) {
+					tp.Checkpoint() // preemption point in the hash loop
+				}
+			}
+		}); err != nil {
+			return b, err
+		}
+	}
+	p.SysSemWait(found)
+	b.Nonce = winner.Load()
+	b.Hash = b.hashAt(b.Nonce)
+	m.mined.Add(1)
+	// Give straggler threads a moment to observe `solved` and exit.
+	for p.Threads() > 1 {
+		p.SysSleep(1)
+	}
+	return b, nil
+}
+
+// Main mines argv[1] blocks (default 3) at argv[2] difficulty with argv[3]
+// threads, printing progress to the console.
+func Main(p *kernel.Proc, argv []string) int {
+	blocks, difficulty, threads := 3, DefaultDifficulty, 4
+	if len(argv) >= 2 {
+		fmt.Sscanf(argv[1], "%d", &blocks)
+	}
+	if len(argv) >= 3 {
+		fmt.Sscanf(argv[2], "%d", &difficulty)
+	}
+	if len(argv) >= 4 {
+		fmt.Sscanf(argv[3], "%d", &threads)
+	}
+	m := NewMiner(difficulty, threads)
+	var prev [32]byte
+	for i := 0; i < blocks; i++ {
+		blk := Block{Index: uint32(i), PrevHash: prev}
+		copy(blk.Payload[:], fmt.Sprintf("block %d payload", i))
+		solved, err := m.MineBlock(p, blk)
+		if err != nil {
+			return 1
+		}
+		if !Verify(&solved, difficulty) {
+			return 2
+		}
+		prev = solved.Hash
+	}
+	return 0
+}

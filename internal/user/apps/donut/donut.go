@@ -1,0 +1,179 @@
+// Package donut renders the spinning 3D torus of a1k0n's donut.c — Proto's
+// Prototype 1/2 flagship app — in both its textual form (UART output) and
+// its pixel form (framebuffer), with per-instance rotation rates so
+// Prototype 2's scheduler behaviour is visible on screen (§4.2).
+package donut
+
+import (
+	"math"
+
+	"protosim/internal/kernel"
+)
+
+// Text geometry.
+const (
+	TextW = 80
+	TextH = 22
+)
+
+// State carries the rotation angles of one donut instance.
+type State struct {
+	A, B float64 // rotation angles
+	// StepA/StepB set the spin rate — fast vs slow donuts (Lab 2 task 6).
+	StepA, StepB float64
+}
+
+// NewState returns a donut with the classic spin rates scaled by rate.
+func NewState(rate float64) *State {
+	return &State{StepA: 0.07 * rate, StepB: 0.03 * rate}
+}
+
+// luminanceChars maps brightness to ASCII, exactly as donut.c does.
+const luminanceChars = ".,-~:;=!*#$@"
+
+// RenderText produces one frame of the textual donut.
+func (s *State) RenderText() []byte {
+	zbuf := make([]float64, TextW*TextH)
+	out := make([]byte, TextW*TextH)
+	for i := range out {
+		out[i] = ' '
+	}
+	s.render(TextW, TextH, func(x, y int, z, lum float64) {
+		idx := y*TextW + x
+		if z > zbuf[idx] {
+			zbuf[idx] = z
+			li := int(lum * 8)
+			if li < 0 {
+				li = 0
+			}
+			if li >= len(luminanceChars) {
+				li = len(luminanceChars) - 1
+			}
+			out[idx] = luminanceChars[li]
+		}
+	})
+	s.A += s.StepA
+	s.B += s.StepB
+	return out
+}
+
+// RenderPixels draws a w×h pixel frame (XRGB) of the donut.
+func (s *State) RenderPixels(dst []byte, w, h, stride int) {
+	for i := 0; i < h; i++ {
+		row := dst[i*stride : i*stride+w*4]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	zbuf := make([]float64, w*h)
+	s.render(w, h, func(x, y int, z, lum float64) {
+		idx := y*w + x
+		if z > zbuf[idx] {
+			zbuf[idx] = z
+			v := lum
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			o := y*stride + x*4
+			dst[o] = byte(40 + 100*v)    // B
+			dst[o+1] = byte(80 * v)      // G
+			dst[o+2] = byte(155 + 100*v) // R: warm donut
+			dst[o+3] = 0xFF
+		}
+	})
+	s.A += s.StepA
+	s.B += s.StepB
+}
+
+// render walks the torus surface and emits projected samples.
+func (s *State) render(w, h int, plot func(x, y int, z, lum float64)) {
+	sinA, cosA := math.Sin(s.A), math.Cos(s.A)
+	sinB, cosB := math.Sin(s.B), math.Cos(s.B)
+	scale := float64(h) * 15.0 / 22.0
+	for theta := 0.0; theta < 2*math.Pi; theta += 0.07 {
+		sinT, cosT := math.Sin(theta), math.Cos(theta)
+		for phi := 0.0; phi < 2*math.Pi; phi += 0.02 {
+			sinP, cosP := math.Sin(phi), math.Cos(phi)
+			circX := cosT + 2 // torus radius 2, tube radius 1
+			circY := sinT
+			// 3D rotation.
+			x := circX*(cosB*cosP+sinA*sinB*sinP) - circY*cosA*sinB
+			y := circX*(sinB*cosP-sinA*cosB*sinP) + circY*cosA*cosB
+			z := 5 + cosA*circX*sinP + circY*sinA
+			ooz := 1 / z
+			px := int(float64(w)/2 + scale*2*ooz*x)
+			py := int(float64(h)/2 - scale*ooz*y)
+			if px < 0 || px >= w || py < 0 || py >= h {
+				continue
+			}
+			lum := cosP*cosT*sinB - cosA*cosT*sinP - sinA*sinT +
+				cosB*(cosA*sinT-cosT*sinA*sinP)
+			plot(px, py, ooz, (lum+1.4)/2.8)
+		}
+	}
+}
+
+// MainText is the textual donut app: frames to the console at ~30 FPS.
+// argv: [name, maxFrames].
+func MainText(p *kernel.Proc, argv []string) int {
+	cfd, err := p.SysOpen("/dev/console", 1)
+	if err != nil {
+		return 1
+	}
+	s := NewState(1)
+	max := frames(argv)
+	for i := 0; max == 0 || i < max; i++ {
+		frame := s.RenderText()
+		var buf []byte
+		buf = append(buf, "\x1b[H"...)
+		for y := 0; y < TextH; y++ {
+			buf = append(buf, frame[y*TextW:(y+1)*TextW]...)
+			buf = append(buf, '\n')
+		}
+		if _, err := p.SysWrite(cfd, buf); err != nil {
+			return 1
+		}
+		p.SysSleep(33)
+	}
+	return 0
+}
+
+// MainPixel is the framebuffer donut. argv: [name, maxFrames, rate].
+func MainPixel(p *kernel.Proc, argv []string) int {
+	fbmem, err := p.MapFramebuffer()
+	if err != nil {
+		return 1
+	}
+	fb := p.Kernel().FB
+	rate := 1.0
+	if len(argv) >= 3 && argv[2] == "fast" {
+		rate = 2.5
+	}
+	s := NewState(rate)
+	max := frames(argv)
+	for i := 0; max == 0 || i < max; i++ {
+		s.RenderPixels(fbmem, fb.Width(), fb.Height(), fb.Pitch())
+		if err := p.SysCacheFlush(0, fb.Size()); err != nil {
+			return 1
+		}
+		p.SysSleep(16)
+	}
+	return 0
+}
+
+func frames(argv []string) int {
+	if len(argv) < 2 {
+		return 0
+	}
+	n := 0
+	for _, ch := range argv[1] {
+		if ch < '0' || ch > '9' {
+			return 0
+		}
+		n = n*10 + int(ch-'0')
+	}
+	return n
+}

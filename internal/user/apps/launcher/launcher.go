@@ -1,0 +1,142 @@
+// Package launcher is the GUI frontend of Prototype 5: an animated menu of
+// installed programs; up/down selects, enter fork+execs the selection in a
+// new process. It renders through the window manager.
+package launcher
+
+import (
+	"fmt"
+	"sort"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/wm"
+)
+
+// Window geometry.
+const (
+	Width  = 240
+	Height = 180
+	rowH   = 18
+)
+
+// Main runs the launcher. argv: [name, maxFrames] — maxFrames > 0 runs the
+// animation that many frames then exits (demo/benchmark mode).
+func Main(p *kernel.Proc, argv []string) int {
+	entries, err := listBin(p)
+	if err != nil || len(entries) == 0 {
+		return 1
+	}
+	sfd, err := p.OpenSurface("launcher", Width, Height)
+	if err != nil {
+		return 2
+	}
+	efd, err := p.OpenSurfaceEvents(true)
+	if err != nil {
+		return 3
+	}
+	maxFrames := 0
+	if len(argv) >= 2 {
+		fmt.Sscanf(argv[1], "%d", &maxFrames)
+	}
+	sel := 0
+	frame := make([]byte, Width*Height*4)
+	buf := make([]byte, wm.EventSize)
+	for n := 0; maxFrames == 0 || n < maxFrames; n++ {
+		// Non-blocking event drain.
+		for {
+			if _, err := p.SysRead(efd, buf); err != nil {
+				break
+			}
+			e, ok := wm.DecodeEvent(buf)
+			if !ok || !e.Down {
+				continue
+			}
+			switch e.Code {
+			case hw.UsageDown:
+				sel = (sel + 1) % len(entries)
+			case hw.UsageUp:
+				sel = (sel + len(entries) - 1) % len(entries)
+			case hw.UsageEnter:
+				launch(p, entries[sel])
+			case hw.UsageEsc:
+				return 0
+			}
+		}
+		render(frame, entries, sel, n)
+		if _, err := p.SysWrite(sfd, frame); err != nil {
+			return 4
+		}
+		p.SysSleep(33)
+	}
+	return 0
+}
+
+// listBin enumerates /bin.
+func listBin(p *kernel.Proc) ([]string, error) {
+	fd, err := p.SysOpen("/bin", fs.ORdOnly)
+	if err != nil {
+		return nil, err
+	}
+	defer p.SysClose(fd)
+	des, err := p.SysReadDir(fd)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, de := range des {
+		if de.Type == fs.TypeFile {
+			out = append(out, de.Name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// launch fork+execs the selected program, without waiting (the launcher
+// stays responsive; the WM handles focus).
+func launch(p *kernel.Proc, name string) {
+	p.SysFork(func(c *kernel.Proc) {
+		if err := c.SysExec("/bin/"+name, []string{name}); err != nil {
+			c.SysExit(127)
+		}
+	})
+}
+
+// render draws the animated background and the menu.
+func render(frame []byte, entries []string, sel, tick int) {
+	// Animated diagonal waves.
+	for y := 0; y < Height; y++ {
+		for x := 0; x < Width; x++ {
+			o := (y*Width + x) * 4
+			v := byte((x + y + tick*3) % 64)
+			frame[o] = 0x30 + v/2
+			frame[o+1] = 0x18 + v/3
+			frame[o+2] = 0x28
+			frame[o+3] = 0xFF
+		}
+	}
+	// Menu rows: selected row highlighted; entries drawn as blocks (a
+	// 5x7 text renderer is overkill — row identity is positional).
+	for i, name := range entries {
+		y0 := 8 + i*rowH
+		if y0+rowH > Height {
+			break
+		}
+		var r, g, b byte = 0x60, 0x60, 0x70
+		if i == sel {
+			r, g, b = 0xF0, 0xC0, 0x30
+		}
+		barLen := 40 + 8*len(name)
+		if barLen > Width-16 {
+			barLen = Width - 16
+		}
+		for dy := 2; dy < rowH-4; dy++ {
+			row := (y0 + dy) * Width * 4
+			for dx := 0; dx < barLen; dx++ {
+				o := row + (8+dx)*4
+				frame[o], frame[o+1], frame[o+2] = b, g, r
+			}
+		}
+	}
+}

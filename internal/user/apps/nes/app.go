@@ -1,0 +1,330 @@
+package nes
+
+import (
+	"time"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/wm"
+)
+
+// The three mario variants of §7.3:
+//
+//   - MainNoInput (Prototype 3): one task, direct framebuffer rendering,
+//     no input handling — autoplay only.
+//   - MainProc (Prototype 4): direct rendering; input via the fork+pipe
+//     IPC pattern of §4.4 (a timer process and a /dev/events reader
+//     process writing into a shared pipe the main loop reads).
+//   - MainSDL (Prototype 5): renders indirectly through the window
+//     manager and reads events from its window.
+//
+// argv: [name, romPath, maxFrames] — maxFrames 0 means run until killed.
+
+// runConfig carries per-variant wiring.
+type runConfig struct {
+	blit     func(frame []byte) error // present one rendered frame
+	pollKeys func() byte              // controller state
+	done     func() bool
+}
+
+// loadROM reads the cartridge from the filesystem (or builds the embedded
+// mario when the path is "builtin:mario").
+func loadROM(p *kernel.Proc, path string) (*Cartridge, error) {
+	if path == "" || path == "builtin:mario" {
+		return BuildMarioROM("mario", 3)
+	}
+	data, err := readAll(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadCartridge(data)
+}
+
+func readAll(p *kernel.Proc, path string) ([]byte, error) {
+	fd, err := p.SysOpen(path, fs.ORdOnly)
+	if err != nil {
+		return nil, err
+	}
+	defer p.SysClose(fd)
+	var out []byte
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := p.SysRead(fd, buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// frameLimit parses argv[2].
+func frameLimit(argv []string) int {
+	if len(argv) >= 3 {
+		n := 0
+		for _, ch := range argv[2] {
+			if ch < '0' || ch > '9' {
+				return 0
+			}
+			n = n*10 + int(ch-'0')
+		}
+		return n
+	}
+	return 0
+}
+
+func romPath(argv []string) string {
+	if len(argv) >= 2 {
+		return argv[1]
+	}
+	return "builtin:mario"
+}
+
+// emulate is the shared main loop: emulate a frame, render, present.
+func emulate(p *kernel.Proc, cart *Cartridge, cfg runConfig, maxFrames int) int {
+	console := NewConsole(cart)
+	frame := make([]byte, ScreenW*ScreenH*4)
+	frames := 0
+	for maxFrames == 0 || frames < maxFrames {
+		console.Controller = cfg.pollKeys()
+		console.StepFrame()
+		console.Render(frame, ScreenW*4)
+		if err := cfg.blit(frame); err != nil {
+			return 1
+		}
+		frames++
+		p.Checkpoint()
+		if cfg.done != nil && cfg.done() {
+			break
+		}
+		if console.CPU.Halted() {
+			return 2
+		}
+	}
+	return 0
+}
+
+// MainNoInput is the Prototype 3 variant.
+func MainNoInput(p *kernel.Proc, argv []string) int {
+	cart, err := loadROM(p, romPath(argv))
+	if err != nil {
+		return 1
+	}
+	fbmem, err := p.MapFramebuffer()
+	if err != nil {
+		return 1
+	}
+	fbw := p.Kernel().FB.Width()
+	pitch := p.Kernel().FB.Pitch()
+	return emulate(p, cart, runConfig{
+		blit: func(frame []byte) error {
+			blitToFB(fbmem, pitch, fbw, frame)
+			return p.SysCacheFlush(0, len(fbmem))
+		},
+		pollKeys: func() byte { return 0 },
+	}, frameLimit(argv))
+}
+
+// MainProc is the Prototype 4 variant: two forked helper processes (a
+// msleep ticker and a blocking /dev/events reader) write event bytes into
+// a pipe; the main loop reads the pipe — two writers, one reader (§4.4).
+func MainProc(p *kernel.Proc, argv []string) int {
+	cart, err := loadROM(p, romPath(argv))
+	if err != nil {
+		return 1
+	}
+	fbmem, err := p.MapFramebuffer()
+	if err != nil {
+		return 1
+	}
+	fbw := p.Kernel().FB.Width()
+	pitch := p.Kernel().FB.Pitch()
+
+	rfd, wfd, err := p.SysPipe()
+	if err != nil {
+		return 1
+	}
+	// Ticker child: a 'T' byte per frame period. Table 5 measures apps
+	// rendering "as fast as possible without locking to a fixed FPS", so
+	// the tick is the shortest sleep the kernel grants — the IPC structure
+	// (two writers, one reader over a pipe) is what this variant is about.
+	p.SysFork(func(c *kernel.Proc) {
+		for {
+			c.SysSleep(1)
+			if _, err := c.SysWrite(wfd, []byte{'T'}); err != nil {
+				c.SysExit(0)
+			}
+		}
+	})
+	// Input child: blocking /dev/events reads, forwarding key state bytes.
+	p.SysFork(func(c *kernel.Proc) {
+		efd, err := c.SysOpen("/dev/events", fs.ORdOnly)
+		if err != nil {
+			c.SysExit(1)
+		}
+		var state byte
+		buf := make([]byte, wm.EventSize)
+		for {
+			if _, err := c.SysRead(efd, buf); err != nil {
+				c.SysExit(0)
+			}
+			e, ok := wm.DecodeEvent(buf)
+			if !ok {
+				continue
+			}
+			state = applyKey(state, e)
+			if _, err := c.SysWrite(wfd, []byte{'K', state}); err != nil {
+				c.SysExit(0)
+			}
+		}
+	})
+	p.SysClose(wfd)
+
+	var keys byte
+	buf := make([]byte, 2)
+	waitTick := func() {
+		for {
+			n, err := p.SysRead(rfd, buf[:1])
+			if err != nil || n == 0 {
+				return
+			}
+			switch buf[0] {
+			case 'T':
+				return
+			case 'K':
+				if n2, _ := p.SysRead(rfd, buf[1:2]); n2 == 1 {
+					keys = buf[1]
+				}
+			}
+		}
+	}
+	code := emulate(p, cart, runConfig{
+		blit: func(frame []byte) error {
+			waitTick()
+			blitToFB(fbmem, pitch, fbw, frame)
+			return p.SysCacheFlush(0, len(fbmem))
+		},
+		pollKeys: func() byte { return keys },
+	}, frameLimit(argv))
+	p.SysClose(rfd)
+	return code
+}
+
+// MainSDL is the Prototype 5 variant: threads + WM surface.
+func MainSDL(p *kernel.Proc, argv []string) int {
+	cart, err := loadROM(p, romPath(argv))
+	if err != nil {
+		return 1
+	}
+	sfd, err := p.OpenSurface("mario", ScreenW, ScreenH)
+	if err != nil {
+		return 1
+	}
+	efd, err := p.OpenSurfaceEvents(false)
+	if err != nil {
+		return 1
+	}
+	// Event thread (clone, like SDL's input handling): updates shared key
+	// state the render loop polls — threads over processes, §4.5.
+	var keyState atomic32
+	if _, err := p.SysClone("input", func(tp *kernel.Proc) {
+		buf := make([]byte, wm.EventSize)
+		for {
+			if _, err := tp.SysRead(efd, buf); err != nil {
+				return
+			}
+			if e, ok := wm.DecodeEvent(buf); ok {
+				keyState.store(applyKey(keyState.load(), e))
+			}
+		}
+	}); err != nil {
+		return 1
+	}
+	frameBytes := 0
+	code := emulate(p, cart, runConfig{
+		blit: func(frame []byte) error {
+			frameBytes = len(frame)
+			_, err := p.SysWrite(sfd, frame)
+			return err
+		},
+		pollKeys: func() byte { return keyState.load() },
+	}, frameLimit(argv))
+	_ = frameBytes
+	return code
+}
+
+// applyKey folds an input event into controller state.
+func applyKey(state byte, e wm.InputEvent) byte {
+	var bit byte
+	switch e.Code {
+	case hw.UsageRight:
+		bit = BtnRight
+	case hw.UsageLeft:
+		bit = BtnLeft
+	case hw.UsageDown:
+		bit = BtnDown
+	case hw.UsageUp:
+		bit = BtnUp
+	case hw.UsageA:
+		bit = BtnA
+	case hw.UsageA + 1:
+		bit = BtnB
+	default:
+		return state
+	}
+	if e.Down {
+		return state | bit
+	}
+	return state &^ bit
+}
+
+// blitToFB centres the 256×240 frame on the framebuffer.
+func blitToFB(fbmem []byte, pitch, fbw int, frame []byte) {
+	offX := (fbw - ScreenW) / 2
+	if offX < 0 {
+		offX = 0
+	}
+	h := len(fbmem) / pitch
+	offY := (h - ScreenH) / 2
+	if offY < 0 {
+		offY = 0
+	}
+	rows := ScreenH
+	if rows > h {
+		rows = h
+	}
+	cols := ScreenW
+	if cols > fbw {
+		cols = fbw
+	}
+	for y := 0; y < rows; y++ {
+		dst := fbmem[(offY+y)*pitch+offX*4:]
+		src := frame[y*ScreenW*4:]
+		copy(dst[:cols*4], src[:cols*4])
+	}
+}
+
+// atomic32 is a tiny atomic byte (avoids importing sync/atomic at use
+// sites in a "user program").
+type atomic32 struct{ v int32 }
+
+func (a *atomic32) load() byte { return byte(loadInt32(&a.v)) }
+func (a *atomic32) store(b byte) {
+	storeInt32(&a.v, int32(b))
+}
+
+// FPS measures frames per second over n frames of headless emulation
+// (benchmarks use it to isolate emulator cost from OS cost).
+func FPS(cart *Cartridge, n int) float64 {
+	console := NewConsole(cart)
+	frame := make([]byte, ScreenW*ScreenH*4)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		console.StepFrame()
+		console.Render(frame, ScreenW*4)
+	}
+	return float64(n) / time.Since(start).Seconds()
+}

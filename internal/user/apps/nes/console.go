@@ -1,0 +1,180 @@
+package nes
+
+// Console wires the 6502 to RAM, PRG ROM, a controller port, and the
+// mini-PPU: a tile/sprite renderer over 2-bits-per-pixel CHR patterns —
+// the essential structure of LiteNES without the cycle-exact scanline
+// machinery.
+//
+// Memory map (simplified NES):
+//
+//	0x0000–0x07FF  RAM (mirrored through 0x1FFF)
+//	0x2000–0x23BF  nametable (32×30 background tile ids)
+//	0x2400–0x24FF  OAM (64 sprites × 4 bytes: y, tile, attr, x)
+//	0x4016         controller (bit0 right, 1 left, 2 down, 3 up, 4 A, 5 B)
+//	0x5000         frame counter (read-only)
+//	0x8000–0xFFFF  PRG ROM (32 KB, vectors at the top)
+type Console struct {
+	CPU *CPU
+
+	ram [0x800]byte
+	nt  [32 * 30]byte
+	oam [256]byte
+	prg []byte
+	chr []byte // 256 tiles × 16 bytes, 2bpp
+
+	Controller byte
+	frame      uint32
+}
+
+// Screen geometry.
+const (
+	ScreenW = 256
+	ScreenH = 240
+)
+
+// CyclesPerFrame approximates NTSC timing.
+const CyclesPerFrame = 29780
+
+// NewConsole inserts a cartridge.
+func NewConsole(cart *Cartridge) *Console {
+	c := &Console{prg: cart.PRG, chr: cart.CHR}
+	c.CPU = NewCPU(c)
+	c.CPU.Reset()
+	return c
+}
+
+// Read implements Bus.
+func (c *Console) Read(addr uint16) byte {
+	switch {
+	case addr < 0x2000:
+		return c.ram[addr&0x7FF]
+	case addr >= 0x2000 && addr < 0x2000+uint16(len(c.nt)):
+		return c.nt[addr-0x2000]
+	case addr >= 0x2400 && addr < 0x2500:
+		return c.oam[addr-0x2400]
+	case addr == 0x4016:
+		return c.Controller
+	case addr == 0x5000:
+		return byte(c.frame)
+	case addr >= 0x8000:
+		i := int(addr-0x8000) % len(c.prg)
+		return c.prg[i]
+	}
+	return 0
+}
+
+// Write implements Bus.
+func (c *Console) Write(addr uint16, v byte) {
+	switch {
+	case addr < 0x2000:
+		c.ram[addr&0x7FF] = v
+	case addr >= 0x2000 && addr < 0x2000+uint16(len(c.nt)):
+		c.nt[addr-0x2000] = v
+	case addr >= 0x2400 && addr < 0x2500:
+		c.oam[addr-0x2400] = v
+	}
+}
+
+// Frame returns the frame counter.
+func (c *Console) Frame() uint32 { return c.frame }
+
+// StepFrame emulates one video frame: a frame's worth of CPU cycles, then
+// the vertical-blank NMI that runs the game's per-frame logic.
+func (c *Console) StepFrame() {
+	target := c.CPU.Cycles + CyclesPerFrame
+	for c.CPU.Cycles < target && !c.CPU.Halted() {
+		c.CPU.Step()
+	}
+	c.frame++
+	c.CPU.NMI()
+	// Let the NMI handler run (it ends with RTI back into the main loop).
+	limit := c.CPU.Cycles + 8000
+	for c.CPU.Cycles < limit && !c.CPU.Halted() {
+		c.CPU.Step()
+	}
+}
+
+// palette is a 16-entry RGB palette (NES-flavoured).
+var palette = [16][3]byte{
+	{0x00, 0x00, 0x00}, {0x7C, 0x7C, 0x7C}, {0xBC, 0xBC, 0xBC}, {0xF8, 0xF8, 0xF8},
+	{0xA8, 0x10, 0x00}, {0xF8, 0x38, 0x00}, {0xF8, 0x78, 0x58}, {0xFC, 0xA0, 0x44},
+	{0x00, 0x40, 0x58}, {0x00, 0x78, 0x88}, {0x00, 0xB8, 0xF8}, {0x3C, 0xBC, 0xFC},
+	{0x00, 0x58, 0x00}, {0x00, 0xA8, 0x00}, {0xB8, 0xF8, 0x18}, {0xF8, 0xD8, 0x78},
+}
+
+// tilePixel reads one 2bpp pixel from a CHR tile.
+func (c *Console) tilePixel(tile byte, x, y int) byte {
+	base := int(tile) * 16
+	if base+16 > len(c.chr) {
+		return 0
+	}
+	lo := c.chr[base+y]
+	hi := c.chr[base+8+y]
+	bit := 7 - x
+	return (lo>>bit)&1 | ((hi>>bit)&1)<<1
+}
+
+// Render draws the current frame into dst (XRGB8888, 256×240, given
+// stride in bytes). This is the blit-heavy half of mario's frame loop.
+func (c *Console) Render(dst []byte, stride int) {
+	// Background: 32×30 tiles.
+	for ty := 0; ty < 30; ty++ {
+		for tx := 0; tx < 32; tx++ {
+			tile := c.nt[ty*32+tx]
+			for py := 0; py < 8; py++ {
+				row := (ty*8 + py) * stride
+				for px := 0; px < 8; px++ {
+					pix := c.tilePixel(tile, px, py)
+					col := palette[pix]
+					o := row + (tx*8+px)*4
+					dst[o] = col[2]
+					dst[o+1] = col[1]
+					dst[o+2] = col[0]
+					dst[o+3] = 0xFF
+				}
+			}
+		}
+	}
+	// Sprites: 64 entries, pixel 0 transparent, palette offset 4.
+	for s := 0; s < 64; s++ {
+		sy := int(c.oam[s*4])
+		tile := c.oam[s*4+1]
+		attr := c.oam[s*4+2]
+		sx := int(c.oam[s*4+3])
+		if sy >= ScreenH-1 || (tile == 0 && attr == 0 && sx == 0 && sy == 0) {
+			continue
+		}
+		for py := 0; py < 8; py++ {
+			y := sy + py
+			if y < 0 || y >= ScreenH {
+				continue
+			}
+			for px := 0; px < 8; px++ {
+				x := sx + px
+				if x < 0 || x >= ScreenW {
+					continue
+				}
+				pix := c.tilePixel(tile, px, py)
+				if pix == 0 {
+					continue
+				}
+				col := palette[4+int(pix)+int(attr&3)*3]
+				o := y*stride + x*4
+				dst[o] = col[2]
+				dst[o+1] = col[1]
+				dst[o+2] = col[0]
+				dst[o+3] = 0xFF
+			}
+		}
+	}
+}
+
+// Controller button bits.
+const (
+	BtnRight = 1 << 0
+	BtnLeft  = 1 << 1
+	BtnDown  = 1 << 2
+	BtnUp    = 1 << 3
+	BtnA     = 1 << 4
+	BtnB     = 1 << 5
+)

@@ -1,0 +1,633 @@
+// Package nes is the LiteNES substitute: a real MOS 6502 interpreter, a
+// minimal PPU-style tile renderer, and synthetic cartridges, enough to run
+// "mario"-class sprite games. The paper's mario builds exercise exactly
+// this computational profile — an interpreter loop emulating ~30k cycles
+// per frame followed by a full-frame pixel blit (§7.3).
+package nes
+
+import "fmt"
+
+// Bus is the CPU's view of memory.
+type Bus interface {
+	Read(addr uint16) byte
+	Write(addr uint16, v byte)
+}
+
+// Status flag bits.
+const (
+	flagC byte = 1 << 0
+	flagZ byte = 1 << 1
+	flagI byte = 1 << 2
+	flagD byte = 1 << 3
+	flagB byte = 1 << 4
+	flagU byte = 1 << 5
+	flagV byte = 1 << 6
+	flagN byte = 1 << 7
+)
+
+// CPU is a MOS 6502 with the documented instruction set.
+type CPU struct {
+	A, X, Y byte
+	SP      byte
+	PC      uint16
+	P       byte
+
+	bus    Bus
+	Cycles uint64
+	halted bool
+}
+
+// NewCPU attaches a CPU to a bus.
+func NewCPU(bus Bus) *CPU {
+	return &CPU{bus: bus, SP: 0xFD, P: flagI | flagU}
+}
+
+// Reset loads PC from the reset vector.
+func (c *CPU) Reset() {
+	c.PC = uint16(c.bus.Read(0xFFFC)) | uint16(c.bus.Read(0xFFFD))<<8
+	c.SP = 0xFD
+	c.P = flagI | flagU
+	c.halted = false
+}
+
+// Halted reports whether the CPU hit an illegal/KIL opcode.
+func (c *CPU) Halted() bool { return c.halted }
+
+func (c *CPU) setZN(v byte) {
+	c.setFlag(flagZ, v == 0)
+	c.setFlag(flagN, v&0x80 != 0)
+}
+
+func (c *CPU) setFlag(f byte, on bool) {
+	if on {
+		c.P |= f
+	} else {
+		c.P &^= f
+	}
+}
+
+func (c *CPU) flag(f byte) bool { return c.P&f != 0 }
+
+func (c *CPU) fetch() byte {
+	v := c.bus.Read(c.PC)
+	c.PC++
+	return v
+}
+
+func (c *CPU) fetch16() uint16 {
+	lo := uint16(c.fetch())
+	hi := uint16(c.fetch())
+	return hi<<8 | lo
+}
+
+func (c *CPU) push(v byte) {
+	c.bus.Write(0x0100|uint16(c.SP), v)
+	c.SP--
+}
+
+func (c *CPU) pop() byte {
+	c.SP++
+	return c.bus.Read(0x0100 | uint16(c.SP))
+}
+
+func (c *CPU) read16(addr uint16) uint16 {
+	return uint16(c.bus.Read(addr)) | uint16(c.bus.Read(addr+1))<<8
+}
+
+// read16bug reproduces the 6502's page-wrap bug for indirect JMP.
+func (c *CPU) read16bug(addr uint16) uint16 {
+	lo := uint16(c.bus.Read(addr))
+	hiAddr := (addr & 0xFF00) | uint16(byte(addr)+1)
+	hi := uint16(c.bus.Read(hiAddr))
+	return hi<<8 | lo
+}
+
+// Addressing modes return the effective address.
+func (c *CPU) zp() uint16   { return uint16(c.fetch()) }
+func (c *CPU) zpx() uint16  { return uint16(c.fetch() + c.X) }
+func (c *CPU) zpy() uint16  { return uint16(c.fetch() + c.Y) }
+func (c *CPU) abs() uint16  { return c.fetch16() }
+func (c *CPU) absx() uint16 { return c.fetch16() + uint16(c.X) }
+func (c *CPU) absy() uint16 { return c.fetch16() + uint16(c.Y) }
+func (c *CPU) indx() uint16 {
+	base := c.fetch() + c.X
+	return uint16(c.bus.Read(uint16(base))) | uint16(c.bus.Read(uint16(base+1)))<<8
+}
+func (c *CPU) indy() uint16 {
+	base := c.fetch()
+	addr := uint16(c.bus.Read(uint16(base))) | uint16(c.bus.Read(uint16(base+1)))<<8
+	return addr + uint16(c.Y)
+}
+
+func (c *CPU) branch(cond bool) {
+	off := int8(c.fetch())
+	if cond {
+		c.PC = uint16(int32(c.PC) + int32(off))
+		c.Cycles++
+	}
+}
+
+// ALU helpers.
+func (c *CPU) adc(v byte) {
+	carry := uint16(0)
+	if c.flag(flagC) {
+		carry = 1
+	}
+	sum := uint16(c.A) + uint16(v) + carry
+	c.setFlag(flagC, sum > 0xFF)
+	r := byte(sum)
+	c.setFlag(flagV, (c.A^r)&(v^r)&0x80 != 0)
+	c.A = r
+	c.setZN(c.A)
+}
+
+func (c *CPU) sbc(v byte) { c.adc(^v) }
+
+func (c *CPU) cmp(reg, v byte) {
+	c.setFlag(flagC, reg >= v)
+	c.setZN(reg - v)
+}
+
+func (c *CPU) asl(v byte) byte {
+	c.setFlag(flagC, v&0x80 != 0)
+	v <<= 1
+	c.setZN(v)
+	return v
+}
+
+func (c *CPU) lsr(v byte) byte {
+	c.setFlag(flagC, v&1 != 0)
+	v >>= 1
+	c.setZN(v)
+	return v
+}
+
+func (c *CPU) rol(v byte) byte {
+	carry := byte(0)
+	if c.flag(flagC) {
+		carry = 1
+	}
+	c.setFlag(flagC, v&0x80 != 0)
+	v = v<<1 | carry
+	c.setZN(v)
+	return v
+}
+
+func (c *CPU) ror(v byte) byte {
+	carry := byte(0)
+	if c.flag(flagC) {
+		carry = 0x80
+	}
+	c.setFlag(flagC, v&1 != 0)
+	v = v>>1 | carry
+	c.setZN(v)
+	return v
+}
+
+func (c *CPU) bit(v byte) {
+	c.setFlag(flagZ, c.A&v == 0)
+	c.setFlag(flagV, v&0x40 != 0)
+	c.setFlag(flagN, v&0x80 != 0)
+}
+
+// rmw applies fn to memory at addr.
+func (c *CPU) rmw(addr uint16, fn func(byte) byte) {
+	c.bus.Write(addr, fn(c.bus.Read(addr)))
+}
+
+// Step executes one instruction, returning its cycle cost.
+func (c *CPU) Step() int {
+	if c.halted {
+		return 1
+	}
+	op := c.fetch()
+	cycles := opCycles[op]
+	switch op {
+	// Loads.
+	case 0xA9:
+		c.A = c.fetch()
+		c.setZN(c.A)
+	case 0xA5:
+		c.A = c.bus.Read(c.zp())
+		c.setZN(c.A)
+	case 0xB5:
+		c.A = c.bus.Read(c.zpx())
+		c.setZN(c.A)
+	case 0xAD:
+		c.A = c.bus.Read(c.abs())
+		c.setZN(c.A)
+	case 0xBD:
+		c.A = c.bus.Read(c.absx())
+		c.setZN(c.A)
+	case 0xB9:
+		c.A = c.bus.Read(c.absy())
+		c.setZN(c.A)
+	case 0xA1:
+		c.A = c.bus.Read(c.indx())
+		c.setZN(c.A)
+	case 0xB1:
+		c.A = c.bus.Read(c.indy())
+		c.setZN(c.A)
+	case 0xA2:
+		c.X = c.fetch()
+		c.setZN(c.X)
+	case 0xA6:
+		c.X = c.bus.Read(c.zp())
+		c.setZN(c.X)
+	case 0xB6:
+		c.X = c.bus.Read(c.zpy())
+		c.setZN(c.X)
+	case 0xAE:
+		c.X = c.bus.Read(c.abs())
+		c.setZN(c.X)
+	case 0xBE:
+		c.X = c.bus.Read(c.absy())
+		c.setZN(c.X)
+	case 0xA0:
+		c.Y = c.fetch()
+		c.setZN(c.Y)
+	case 0xA4:
+		c.Y = c.bus.Read(c.zp())
+		c.setZN(c.Y)
+	case 0xB4:
+		c.Y = c.bus.Read(c.zpx())
+		c.setZN(c.Y)
+	case 0xAC:
+		c.Y = c.bus.Read(c.abs())
+		c.setZN(c.Y)
+	case 0xBC:
+		c.Y = c.bus.Read(c.absx())
+		c.setZN(c.Y)
+	// Stores.
+	case 0x85:
+		c.bus.Write(c.zp(), c.A)
+	case 0x95:
+		c.bus.Write(c.zpx(), c.A)
+	case 0x8D:
+		c.bus.Write(c.abs(), c.A)
+	case 0x9D:
+		c.bus.Write(c.absx(), c.A)
+	case 0x99:
+		c.bus.Write(c.absy(), c.A)
+	case 0x81:
+		c.bus.Write(c.indx(), c.A)
+	case 0x91:
+		c.bus.Write(c.indy(), c.A)
+	case 0x86:
+		c.bus.Write(c.zp(), c.X)
+	case 0x96:
+		c.bus.Write(c.zpy(), c.X)
+	case 0x8E:
+		c.bus.Write(c.abs(), c.X)
+	case 0x84:
+		c.bus.Write(c.zp(), c.Y)
+	case 0x94:
+		c.bus.Write(c.zpx(), c.Y)
+	case 0x8C:
+		c.bus.Write(c.abs(), c.Y)
+	// Transfers.
+	case 0xAA:
+		c.X = c.A
+		c.setZN(c.X)
+	case 0xA8:
+		c.Y = c.A
+		c.setZN(c.Y)
+	case 0x8A:
+		c.A = c.X
+		c.setZN(c.A)
+	case 0x98:
+		c.A = c.Y
+		c.setZN(c.A)
+	case 0xBA:
+		c.X = c.SP
+		c.setZN(c.X)
+	case 0x9A:
+		c.SP = c.X
+	// Stack.
+	case 0x48:
+		c.push(c.A)
+	case 0x68:
+		c.A = c.pop()
+		c.setZN(c.A)
+	case 0x08:
+		c.push(c.P | flagB | flagU)
+	case 0x28:
+		c.P = c.pop()&^flagB | flagU
+	// Arithmetic.
+	case 0x69:
+		c.adc(c.fetch())
+	case 0x65:
+		c.adc(c.bus.Read(c.zp()))
+	case 0x75:
+		c.adc(c.bus.Read(c.zpx()))
+	case 0x6D:
+		c.adc(c.bus.Read(c.abs()))
+	case 0x7D:
+		c.adc(c.bus.Read(c.absx()))
+	case 0x79:
+		c.adc(c.bus.Read(c.absy()))
+	case 0x61:
+		c.adc(c.bus.Read(c.indx()))
+	case 0x71:
+		c.adc(c.bus.Read(c.indy()))
+	case 0xE9:
+		c.sbc(c.fetch())
+	case 0xE5:
+		c.sbc(c.bus.Read(c.zp()))
+	case 0xF5:
+		c.sbc(c.bus.Read(c.zpx()))
+	case 0xED:
+		c.sbc(c.bus.Read(c.abs()))
+	case 0xFD:
+		c.sbc(c.bus.Read(c.absx()))
+	case 0xF9:
+		c.sbc(c.bus.Read(c.absy()))
+	case 0xE1:
+		c.sbc(c.bus.Read(c.indx()))
+	case 0xF1:
+		c.sbc(c.bus.Read(c.indy()))
+	// Logic.
+	case 0x29:
+		c.A &= c.fetch()
+		c.setZN(c.A)
+	case 0x25:
+		c.A &= c.bus.Read(c.zp())
+		c.setZN(c.A)
+	case 0x35:
+		c.A &= c.bus.Read(c.zpx())
+		c.setZN(c.A)
+	case 0x2D:
+		c.A &= c.bus.Read(c.abs())
+		c.setZN(c.A)
+	case 0x3D:
+		c.A &= c.bus.Read(c.absx())
+		c.setZN(c.A)
+	case 0x39:
+		c.A &= c.bus.Read(c.absy())
+		c.setZN(c.A)
+	case 0x21:
+		c.A &= c.bus.Read(c.indx())
+		c.setZN(c.A)
+	case 0x31:
+		c.A &= c.bus.Read(c.indy())
+		c.setZN(c.A)
+	case 0x09:
+		c.A |= c.fetch()
+		c.setZN(c.A)
+	case 0x05:
+		c.A |= c.bus.Read(c.zp())
+		c.setZN(c.A)
+	case 0x15:
+		c.A |= c.bus.Read(c.zpx())
+		c.setZN(c.A)
+	case 0x0D:
+		c.A |= c.bus.Read(c.abs())
+		c.setZN(c.A)
+	case 0x1D:
+		c.A |= c.bus.Read(c.absx())
+		c.setZN(c.A)
+	case 0x19:
+		c.A |= c.bus.Read(c.absy())
+		c.setZN(c.A)
+	case 0x01:
+		c.A |= c.bus.Read(c.indx())
+		c.setZN(c.A)
+	case 0x11:
+		c.A |= c.bus.Read(c.indy())
+		c.setZN(c.A)
+	case 0x49:
+		c.A ^= c.fetch()
+		c.setZN(c.A)
+	case 0x45:
+		c.A ^= c.bus.Read(c.zp())
+		c.setZN(c.A)
+	case 0x55:
+		c.A ^= c.bus.Read(c.zpx())
+		c.setZN(c.A)
+	case 0x4D:
+		c.A ^= c.bus.Read(c.abs())
+		c.setZN(c.A)
+	case 0x5D:
+		c.A ^= c.bus.Read(c.absx())
+		c.setZN(c.A)
+	case 0x59:
+		c.A ^= c.bus.Read(c.absy())
+		c.setZN(c.A)
+	case 0x41:
+		c.A ^= c.bus.Read(c.indx())
+		c.setZN(c.A)
+	case 0x51:
+		c.A ^= c.bus.Read(c.indy())
+		c.setZN(c.A)
+	// Compare.
+	case 0xC9:
+		c.cmp(c.A, c.fetch())
+	case 0xC5:
+		c.cmp(c.A, c.bus.Read(c.zp()))
+	case 0xD5:
+		c.cmp(c.A, c.bus.Read(c.zpx()))
+	case 0xCD:
+		c.cmp(c.A, c.bus.Read(c.abs()))
+	case 0xDD:
+		c.cmp(c.A, c.bus.Read(c.absx()))
+	case 0xD9:
+		c.cmp(c.A, c.bus.Read(c.absy()))
+	case 0xC1:
+		c.cmp(c.A, c.bus.Read(c.indx()))
+	case 0xD1:
+		c.cmp(c.A, c.bus.Read(c.indy()))
+	case 0xE0:
+		c.cmp(c.X, c.fetch())
+	case 0xE4:
+		c.cmp(c.X, c.bus.Read(c.zp()))
+	case 0xEC:
+		c.cmp(c.X, c.bus.Read(c.abs()))
+	case 0xC0:
+		c.cmp(c.Y, c.fetch())
+	case 0xC4:
+		c.cmp(c.Y, c.bus.Read(c.zp()))
+	case 0xCC:
+		c.cmp(c.Y, c.bus.Read(c.abs()))
+	// Inc/dec.
+	case 0xE6:
+		c.rmw(c.zp(), func(v byte) byte { v++; c.setZN(v); return v })
+	case 0xF6:
+		c.rmw(c.zpx(), func(v byte) byte { v++; c.setZN(v); return v })
+	case 0xEE:
+		c.rmw(c.abs(), func(v byte) byte { v++; c.setZN(v); return v })
+	case 0xFE:
+		c.rmw(c.absx(), func(v byte) byte { v++; c.setZN(v); return v })
+	case 0xC6:
+		c.rmw(c.zp(), func(v byte) byte { v--; c.setZN(v); return v })
+	case 0xD6:
+		c.rmw(c.zpx(), func(v byte) byte { v--; c.setZN(v); return v })
+	case 0xCE:
+		c.rmw(c.abs(), func(v byte) byte { v--; c.setZN(v); return v })
+	case 0xDE:
+		c.rmw(c.absx(), func(v byte) byte { v--; c.setZN(v); return v })
+	case 0xE8:
+		c.X++
+		c.setZN(c.X)
+	case 0xC8:
+		c.Y++
+		c.setZN(c.Y)
+	case 0xCA:
+		c.X--
+		c.setZN(c.X)
+	case 0x88:
+		c.Y--
+		c.setZN(c.Y)
+	// Shifts.
+	case 0x0A:
+		c.A = c.asl(c.A)
+	case 0x06:
+		c.rmw(c.zp(), c.asl)
+	case 0x16:
+		c.rmw(c.zpx(), c.asl)
+	case 0x0E:
+		c.rmw(c.abs(), c.asl)
+	case 0x1E:
+		c.rmw(c.absx(), c.asl)
+	case 0x4A:
+		c.A = c.lsr(c.A)
+	case 0x46:
+		c.rmw(c.zp(), c.lsr)
+	case 0x56:
+		c.rmw(c.zpx(), c.lsr)
+	case 0x4E:
+		c.rmw(c.abs(), c.lsr)
+	case 0x5E:
+		c.rmw(c.absx(), c.lsr)
+	case 0x2A:
+		c.A = c.rol(c.A)
+	case 0x26:
+		c.rmw(c.zp(), c.rol)
+	case 0x36:
+		c.rmw(c.zpx(), c.rol)
+	case 0x2E:
+		c.rmw(c.abs(), c.rol)
+	case 0x3E:
+		c.rmw(c.absx(), c.rol)
+	case 0x6A:
+		c.A = c.ror(c.A)
+	case 0x66:
+		c.rmw(c.zp(), c.ror)
+	case 0x76:
+		c.rmw(c.zpx(), c.ror)
+	case 0x6E:
+		c.rmw(c.abs(), c.ror)
+	case 0x7E:
+		c.rmw(c.absx(), c.ror)
+	// Bit test.
+	case 0x24:
+		c.bit(c.bus.Read(c.zp()))
+	case 0x2C:
+		c.bit(c.bus.Read(c.abs()))
+	// Jumps and calls.
+	case 0x4C:
+		c.PC = c.fetch16()
+	case 0x6C:
+		c.PC = c.read16bug(c.fetch16())
+	case 0x20:
+		addr := c.fetch16()
+		ret := c.PC - 1
+		c.push(byte(ret >> 8))
+		c.push(byte(ret))
+		c.PC = addr
+	case 0x60:
+		lo := uint16(c.pop())
+		hi := uint16(c.pop())
+		c.PC = hi<<8 | lo + 1
+	case 0x40: // RTI
+		c.P = c.pop()&^flagB | flagU
+		lo := uint16(c.pop())
+		hi := uint16(c.pop())
+		c.PC = hi<<8 | lo
+	case 0x00: // BRK
+		c.PC++
+		c.push(byte(c.PC >> 8))
+		c.push(byte(c.PC))
+		c.push(c.P | flagB | flagU)
+		c.setFlag(flagI, true)
+		c.PC = c.read16(0xFFFE)
+	// Branches.
+	case 0x90:
+		c.branch(!c.flag(flagC))
+	case 0xB0:
+		c.branch(c.flag(flagC))
+	case 0xF0:
+		c.branch(c.flag(flagZ))
+	case 0xD0:
+		c.branch(!c.flag(flagZ))
+	case 0x10:
+		c.branch(!c.flag(flagN))
+	case 0x30:
+		c.branch(c.flag(flagN))
+	case 0x50:
+		c.branch(!c.flag(flagV))
+	case 0x70:
+		c.branch(c.flag(flagV))
+	// Flags.
+	case 0x18:
+		c.setFlag(flagC, false)
+	case 0x38:
+		c.setFlag(flagC, true)
+	case 0x58:
+		c.setFlag(flagI, false)
+	case 0x78:
+		c.setFlag(flagI, true)
+	case 0xB8:
+		c.setFlag(flagV, false)
+	case 0xD8:
+		c.setFlag(flagD, false)
+	case 0xF8:
+		c.setFlag(flagD, true)
+	case 0xEA: // NOP
+	default:
+		// Undocumented opcode: halt, like LiteNES would crash.
+		c.halted = true
+	}
+	c.Cycles += uint64(cycles)
+	return cycles
+}
+
+// NMI triggers the vertical-blank interrupt the game loop runs on.
+func (c *CPU) NMI() {
+	c.push(byte(c.PC >> 8))
+	c.push(byte(c.PC))
+	c.push(c.P &^ flagB)
+	c.setFlag(flagI, true)
+	c.PC = c.read16(0xFFFA)
+}
+
+// String summarizes register state for debugging.
+func (c *CPU) String() string {
+	return fmt.Sprintf("A=%02X X=%02X Y=%02X SP=%02X PC=%04X P=%02X", c.A, c.X, c.Y, c.SP, c.PC, c.P)
+}
+
+// opCycles gives base cycle counts (page-cross penalties folded in
+// approximately; the emulator only needs frame-level pacing).
+var opCycles = [256]int{}
+
+func init() {
+	for i := range opCycles {
+		opCycles[i] = 2
+	}
+	for _, e := range []struct {
+		op  byte
+		cyc int
+	}{
+		{0xA5, 3}, {0xB5, 4}, {0xAD, 4}, {0xBD, 4}, {0xB9, 4}, {0xA1, 6}, {0xB1, 5},
+		{0x85, 3}, {0x95, 4}, {0x8D, 4}, {0x9D, 5}, {0x99, 5}, {0x81, 6}, {0x91, 6},
+		{0x20, 6}, {0x60, 6}, {0x40, 6}, {0x00, 7}, {0x4C, 3}, {0x6C, 5},
+		{0x48, 3}, {0x68, 4}, {0x08, 3}, {0x28, 4},
+		{0xE6, 5}, {0xF6, 6}, {0xEE, 6}, {0xFE, 7},
+		{0xC6, 5}, {0xD6, 6}, {0xCE, 6}, {0xDE, 7},
+		{0x06, 5}, {0x16, 6}, {0x0E, 6}, {0x1E, 7},
+		{0x46, 5}, {0x56, 6}, {0x4E, 6}, {0x5E, 7},
+		{0x26, 5}, {0x36, 6}, {0x2E, 6}, {0x3E, 7},
+		{0x66, 5}, {0x76, 6}, {0x6E, 6}, {0x7E, 7},
+	} {
+		opCycles[e.op] = e.cyc
+	}
+}

@@ -1,0 +1,262 @@
+package nes
+
+import (
+	"bytes"
+	"testing"
+)
+
+// ramBus is a flat 64 KB bus for CPU unit tests.
+type ramBus struct{ mem [65536]byte }
+
+func (b *ramBus) Read(a uint16) byte     { return b.mem[a] }
+func (b *ramBus) Write(a uint16, v byte) { b.mem[a] = v }
+
+// loadProgram installs code at 0x8000 with the reset vector set.
+func loadProgram(b *ramBus, code []byte) {
+	copy(b.mem[0x8000:], code)
+	b.mem[0xFFFC] = 0x00
+	b.mem[0xFFFD] = 0x80
+}
+
+func runCPU(t *testing.T, code []byte, steps int) (*CPU, *ramBus) {
+	t.Helper()
+	b := &ramBus{}
+	loadProgram(b, code)
+	c := NewCPU(b)
+	c.Reset()
+	for i := 0; i < steps && !c.Halted(); i++ {
+		c.Step()
+	}
+	return c, b
+}
+
+func TestCPULoadStore(t *testing.T) {
+	c, b := runCPU(t, []byte{
+		0xA9, 0x42, // LDA #$42
+		0x85, 0x10, // STA $10
+		0xA6, 0x10, // LDX $10
+		0x8E, 0x00, 0x02, // STX $0200
+	}, 4)
+	if c.A != 0x42 || c.X != 0x42 || b.mem[0x10] != 0x42 || b.mem[0x200] != 0x42 {
+		t.Fatalf("state: %v mem10=%02x mem200=%02x", c, b.mem[0x10], b.mem[0x200])
+	}
+}
+
+func TestCPUArithmeticFlags(t *testing.T) {
+	c, _ := runCPU(t, []byte{
+		0xA9, 0x7F, // LDA #$7F
+		0x18,       // CLC
+		0x69, 0x01, // ADC #1 -> 0x80, overflow set
+	}, 3)
+	if c.A != 0x80 || !c.flag(flagV) || !c.flag(flagN) || c.flag(flagC) {
+		t.Fatalf("A=%02x P=%02x", c.A, c.P)
+	}
+	c2, _ := runCPU(t, []byte{
+		0xA9, 0x01,
+		0x38,       // SEC
+		0xE9, 0x01, // SBC #1 -> 0
+	}, 3)
+	if c2.A != 0 || !c2.flag(flagZ) || !c2.flag(flagC) {
+		t.Fatalf("A=%02x P=%02x", c2.A, c2.P)
+	}
+}
+
+func TestCPUBranchLoop(t *testing.T) {
+	// Count X down from 5; loop with BNE.
+	c, _ := runCPU(t, []byte{
+		0xA2, 0x05, // LDX #5
+		0xCA,       // DEX
+		0xD0, 0xFD, // BNE -3
+		0xA9, 0xAA, // LDA #$AA
+	}, 20)
+	if c.X != 0 || c.A != 0xAA {
+		t.Fatalf("X=%d A=%02x", c.X, c.A)
+	}
+}
+
+func TestCPUSubroutine(t *testing.T) {
+	c, _ := runCPU(t, []byte{
+		0x20, 0x08, 0x80, // JSR $8008
+		0xA2, 0x55, // $8003: LDX #$55 (after return)
+		0x4C, 0x05, 0x80, // $8005: JMP $8005 (spin)
+		0xA9, 0x99, // $8008: LDA #$99
+		0x60, // RTS
+	}, 6)
+	if c.A != 0x99 || c.X != 0x55 {
+		t.Fatalf("A=%02x X=%02x", c.A, c.X)
+	}
+}
+
+func TestCPUStack(t *testing.T) {
+	c, _ := runCPU(t, []byte{
+		0xA9, 0x11,
+		0x48,       // PHA
+		0xA9, 0x22, // LDA #$22
+		0x68, // PLA -> 0x11
+	}, 4)
+	if c.A != 0x11 {
+		t.Fatalf("A=%02x", c.A)
+	}
+}
+
+func TestCPUShiftsAndLogic(t *testing.T) {
+	c, _ := runCPU(t, []byte{
+		0xA9, 0x81, // LDA #$81
+		0x0A,       // ASL -> 0x02, C=1
+		0x09, 0x40, // ORA #$40
+		0x29, 0x42, // AND #$42
+		0x49, 0x02, // EOR #$02 -> 0x40
+	}, 5)
+	if c.A != 0x40 || !c.flag(flagC) {
+		t.Fatalf("A=%02x P=%02x", c.A, c.P)
+	}
+}
+
+func TestCPUIndexedIndirect(t *testing.T) {
+	b := &ramBus{}
+	// Pointer at $24/$25 -> $0300; value 0x5A at $0300.
+	b.mem[0x24] = 0x00
+	b.mem[0x25] = 0x03
+	b.mem[0x300] = 0x5A
+	loadProgram(b, []byte{
+		0xA2, 0x04, // LDX #4
+		0xA1, 0x20, // LDA ($20,X) -> ($24)
+	})
+	c := NewCPU(b)
+	c.Reset()
+	c.Step()
+	c.Step()
+	if c.A != 0x5A {
+		t.Fatalf("A=%02x", c.A)
+	}
+}
+
+func TestCPUNMIAndRTI(t *testing.T) {
+	b := &ramBus{}
+	loadProgram(b, []byte{
+		0xA9, 0x01, // reset: LDA #1
+		0x4C, 0x02, 0x80, // JMP self
+	})
+	// NMI handler at $9000: LDX #$77; RTI.
+	copy(b.mem[0x9000:], []byte{0xA2, 0x77, 0x40})
+	b.mem[0xFFFA] = 0x00
+	b.mem[0xFFFB] = 0x90
+	c := NewCPU(b)
+	c.Reset()
+	c.Step()
+	pcBefore := c.PC
+	c.NMI()
+	c.Step() // LDX
+	c.Step() // RTI
+	if c.X != 0x77 {
+		t.Fatalf("X=%02x", c.X)
+	}
+	if c.PC != pcBefore {
+		t.Fatalf("PC=%04x, want %04x after RTI", c.PC, pcBefore)
+	}
+}
+
+func TestCPUHaltsOnUndocumented(t *testing.T) {
+	c, _ := runCPU(t, []byte{0x02}, 3) // KIL
+	if !c.Halted() {
+		t.Fatal("undocumented opcode did not halt")
+	}
+}
+
+func TestCartridgeSerializeLoad(t *testing.T) {
+	cart, err := BuildMarioROM("mario", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCartridge(cart.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "mario" || !bytes.Equal(got.PRG, cart.PRG) || !bytes.Equal(got.CHR, cart.CHR) {
+		t.Fatal("cartridge round trip failed")
+	}
+	if _, err := LoadCartridge([]byte("NES\x1a old format")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMarioROMRunsAndAnimates(t *testing.T) {
+	cart, err := BuildMarioROM("mario", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	console := NewConsole(cart)
+	f1 := make([]byte, ScreenW*ScreenH*4)
+	f2 := make([]byte, ScreenW*ScreenH*4)
+	for i := 0; i < 3; i++ {
+		console.StepFrame()
+	}
+	console.Render(f1, ScreenW*4)
+	for i := 0; i < 8; i++ {
+		console.StepFrame()
+	}
+	console.Render(f2, ScreenW*4)
+	if console.CPU.Halted() {
+		t.Fatalf("ROM crashed: %v", console.CPU)
+	}
+	if bytes.Equal(f1, f2) {
+		t.Fatal("no animation between frames (autoplay broken)")
+	}
+	// The frame must not be blank.
+	blank := true
+	for _, b := range f1 {
+		if b != 0 && b != 0xFF {
+			blank = false
+			break
+		}
+	}
+	if blank {
+		t.Fatal("rendered frame is blank")
+	}
+}
+
+func TestControllerMovesSprite(t *testing.T) {
+	cart, _ := BuildMarioROM("mario", 1)
+	console := NewConsole(cart)
+	for i := 0; i < 2; i++ {
+		console.StepFrame()
+	}
+	x0 := console.oam[3]
+	console.Controller = BtnRight
+	for i := 0; i < 8; i++ {
+		console.StepFrame()
+	}
+	x1 := console.oam[3]
+	if x1 <= x0 {
+		t.Fatalf("sprite x %d -> %d; controller ignored", x0, x1)
+	}
+	// Releasing stops movement (minus the idle drift every 4 frames).
+	console.Controller = 0
+	start := console.oam[3]
+	console.StepFrame()
+	console.StepFrame()
+	moved := int(console.oam[3]) - int(start)
+	if moved > 2 {
+		t.Fatalf("sprite keeps racing after release: +%d", moved)
+	}
+}
+
+func TestRenderDrawsSprite(t *testing.T) {
+	cart, _ := BuildMarioROM("mario", 1)
+	console := NewConsole(cart)
+	for i := 0; i < 3; i++ {
+		console.StepFrame()
+	}
+	frame := make([]byte, ScreenW*ScreenH*4)
+	console.Render(frame, ScreenW*4)
+	sx := int(console.oam[3])
+	sy := int(console.oam[0])
+	// Center of the sprite should use a sprite palette colour (not the
+	// checkerboard greys).
+	o := ((sy+4)*ScreenW + sx + 4) * 4
+	r, g, b := frame[o+2], frame[o+1], frame[o]
+	grey := r == g && g == b
+	if grey {
+		t.Fatalf("sprite pixel (%d,%d) = grey %02x", sx+4, sy+4, r)
+	}
+}

@@ -1,0 +1,273 @@
+package nes
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Cartridge is PRG code plus CHR tiles, serialized in an iNES-like "PNES"
+// container so game files live on the filesystem as Prototype 4 requires
+// ("the NES game engine can load additional ROMs as files", §4.4).
+type Cartridge struct {
+	Name string
+	PRG  []byte // 32 KB
+	CHR  []byte // 4 KB
+}
+
+// ROMMagic identifies a cartridge file.
+const ROMMagic = "PNES"
+
+// ErrBadROM reports a malformed cartridge file.
+var ErrBadROM = errors.New("nes: bad ROM")
+
+// PRGSize and CHRSize are fixed (mapper 0 flavour).
+const (
+	PRGSize = 32 * 1024
+	CHRSize = 4 * 1024
+)
+
+// Serialize writes the cartridge file.
+func (c *Cartridge) Serialize() []byte {
+	out := make([]byte, 0, 16+len(c.Name)+PRGSize+CHRSize)
+	out = append(out, ROMMagic...)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(c.Name)))
+	out = append(out, hdr[:]...)
+	out = append(out, c.Name...)
+	out = append(out, c.PRG...)
+	out = append(out, c.CHR...)
+	return out
+}
+
+// LoadCartridge parses a cartridge file.
+func LoadCartridge(data []byte) (*Cartridge, error) {
+	if len(data) < 8 || string(data[0:4]) != ROMMagic {
+		return nil, ErrBadROM
+	}
+	nameLen := int(binary.LittleEndian.Uint32(data[4:]))
+	if nameLen < 0 || nameLen > 64 || 8+nameLen+PRGSize+CHRSize > len(data) {
+		return nil, fmt.Errorf("%w: truncated", ErrBadROM)
+	}
+	c := &Cartridge{Name: string(data[8 : 8+nameLen])}
+	c.PRG = append([]byte(nil), data[8+nameLen:8+nameLen+PRGSize]...)
+	c.CHR = append([]byte(nil), data[8+nameLen+PRGSize:8+nameLen+PRGSize+CHRSize]...)
+	return c, nil
+}
+
+// --- A tiny 6502 assembler for building the synthetic game ROMs ---
+
+// asm builds PRG images with label fixups.
+type asm struct {
+	buf    []byte
+	org    uint16
+	labels map[string]uint16
+	fixAbs map[int]string // offset of 16-bit absolute operand -> label
+	fixRel map[int]string // offset of 8-bit branch operand -> label
+}
+
+func newAsm(org uint16) *asm {
+	return &asm{org: org, labels: map[string]uint16{}, fixAbs: map[int]string{}, fixRel: map[int]string{}}
+}
+
+func (a *asm) pc() uint16        { return a.org + uint16(len(a.buf)) }
+func (a *asm) label(name string) { a.labels[name] = a.pc() }
+func (a *asm) db(bs ...byte)     { a.buf = append(a.buf, bs...) }
+
+// op emits opcode + operand bytes.
+func (a *asm) op(code byte, operands ...byte) { a.db(append([]byte{code}, operands...)...) }
+
+// opAbs emits opcode with a label-resolved absolute address.
+func (a *asm) opAbs(code byte, label string) {
+	a.db(code)
+	a.fixAbs[len(a.buf)] = label
+	a.db(0, 0)
+}
+
+// br emits a branch to a label.
+func (a *asm) br(code byte, label string) {
+	a.db(code)
+	a.fixRel[len(a.buf)] = label
+	a.db(0)
+}
+
+// assemble resolves fixups and pads to PRGSize with vectors installed.
+func (a *asm) assemble(resetLabel, nmiLabel string) ([]byte, error) {
+	for off, label := range a.fixAbs {
+		addr, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("nes: undefined label %q", label)
+		}
+		a.buf[off] = byte(addr)
+		a.buf[off+1] = byte(addr >> 8)
+	}
+	for off, label := range a.fixRel {
+		addr, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("nes: undefined label %q", label)
+		}
+		rel := int(addr) - int(a.org) - (off + 1)
+		if rel < -128 || rel > 127 {
+			return nil, fmt.Errorf("nes: branch to %q out of range (%d)", label, rel)
+		}
+		a.buf[off] = byte(int8(rel))
+	}
+	if len(a.buf) > PRGSize-6 {
+		return nil, fmt.Errorf("nes: program too large (%d)", len(a.buf))
+	}
+	prg := make([]byte, PRGSize)
+	copy(prg, a.buf)
+	reset := a.labels[resetLabel]
+	nmi := a.labels[nmiLabel]
+	// Vectors live at 0xFFFA (NMI), 0xFFFC (RESET), 0xFFFE (IRQ/BRK).
+	put := func(vec uint16, addr uint16) {
+		prg[vec-0x8000] = byte(addr)
+		prg[vec-0x8000+1] = byte(addr >> 8)
+	}
+	put(0xFFFA, nmi)
+	put(0xFFFC, reset)
+	put(0xFFFE, reset)
+	return prg, nil
+}
+
+// BuildMarioROM assembles the synthetic "mario" game: a sprite moved by
+// the controller over an animated background, with a busy-work loop per
+// frame so the CPU profile resembles a real game engine. The title screen
+// animates even with no input (the coin flash of §4.3) and the sprite
+// auto-drifts when idle — mario-noinput's perpetual motion.
+func BuildMarioROM(name string, workLoops byte) (*Cartridge, error) {
+	a := newAsm(0x8000)
+	// Zero page: $10 = sprite x, $11 = sprite y, $12 = anim counter.
+	a.label("reset")
+	a.op(0xA9, 120) // LDA #120
+	a.op(0x85, 0x10)
+	a.op(0xA9, 100)
+	a.op(0x85, 0x11)
+	a.op(0xA9, 0)
+	a.op(0x85, 0x12)
+	// Fill the nametable with tile 2 (checkerboard).
+	a.op(0xA2, 0x00) // LDX #0
+	a.label("fill")
+	a.op(0xA9, 2)
+	// STA $2000,X ; STA $2100,X ; STA $2200,X ; ~(32*30=960 < 0x400)
+	a.op(0x9D, 0x00, 0x20)
+	a.op(0x9D, 0x00, 0x21)
+	a.op(0x9D, 0x00, 0x22)
+	a.op(0x9D, 0x00, 0x23)
+	a.op(0xE8) // INX
+	a.br(0xD0, "fill")
+	a.label("idle")
+	a.opAbs(0x4C, "idle") // JMP idle — everything happens in the NMI.
+
+	a.label("nmi")
+	// Controller: right/left/down/up move the sprite.
+	a.op(0xAD, 0x16, 0x40) // LDA $4016
+	a.op(0x4A)             // LSR (bit0 right -> carry)
+	a.br(0x90, "noR")
+	a.op(0xE6, 0x10) // INC $10
+	a.label("noR")
+	a.op(0x4A)
+	a.br(0x90, "noL")
+	a.op(0xC6, 0x10)
+	a.label("noL")
+	a.op(0x4A)
+	a.br(0x90, "noD")
+	a.op(0xE6, 0x11)
+	a.label("noD")
+	a.op(0x4A)
+	a.br(0x90, "noU")
+	a.op(0xC6, 0x11)
+	a.label("noU")
+	// Idle drift: every 4th frame nudge x so the demo is alive without
+	// input (autoplay).
+	a.op(0xA5, 0x12)
+	a.op(0x29, 0x03) // AND #3
+	a.br(0xD0, "noDrift")
+	a.op(0xE6, 0x10)
+	a.label("noDrift")
+	// OAM sprite 0: y, tile 1, attr 0, x.
+	a.op(0xA5, 0x11)
+	a.op(0x8D, 0x00, 0x24)
+	a.op(0xA9, 1)
+	a.op(0x8D, 0x01, 0x24)
+	a.op(0xA9, 0)
+	a.op(0x8D, 0x02, 0x24)
+	a.op(0xA5, 0x10)
+	a.op(0x8D, 0x03, 0x24)
+	// Animate the title row: cycle tile ids 2/3 along row 0 (coin flash).
+	a.op(0xE6, 0x12) // INC $12
+	a.op(0xA5, 0x12)
+	a.op(0x4A)
+	a.op(0x4A)
+	a.op(0x29, 0x01)
+	a.op(0x18)       // CLC
+	a.op(0x69, 2)    // ADC #2 -> tile 2 or 3
+	a.op(0xA6, 0x12) // LDX $12
+	a.op(0x9D, 0x00, 0x20)
+	// Busy work: nested DEY loop to burn cycles like game logic.
+	a.op(0xA0, workLoops) // LDY #work
+	a.label("busyO")
+	a.op(0xA2, 0xFF)
+	a.label("busyI")
+	a.op(0xCA)
+	a.br(0xD0, "busyI")
+	a.op(0x88)
+	a.br(0xD0, "busyO")
+	a.op(0x40) // RTI
+
+	prg, err := a.assemble("reset", "nmi")
+	if err != nil {
+		return nil, err
+	}
+	return &Cartridge{Name: name, PRG: prg, CHR: buildCHR()}, nil
+}
+
+// buildCHR generates pattern tiles: 0 = blank, 1 = the hero sprite blob,
+// 2/3 = background checker variants, 4.. = gradient stripes.
+func buildCHR() []byte {
+	chr := make([]byte, CHRSize)
+	setPix := func(tile, x, y int, v byte) {
+		base := tile * 16
+		bit := byte(1) << (7 - x)
+		if v&1 != 0 {
+			chr[base+y] |= bit
+		}
+		if v&2 != 0 {
+			chr[base+8+y] |= bit
+		}
+	}
+	// Tile 1: a filled 8x8 blob with a face-ish notch.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			v := byte(3)
+			if y < 2 && (x < 2 || x > 5) {
+				v = 0
+			}
+			if y == 4 && (x == 2 || x == 5) {
+				v = 1
+			}
+			setPix(1, x, y, v)
+		}
+	}
+	// Tiles 2 and 3: checker phases.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if (x/2+y/2)%2 == 0 {
+				setPix(2, x, y, 1)
+			} else {
+				setPix(3, x, y, 1)
+			}
+		}
+	}
+	// Tiles 4..7: stripe patterns.
+	for t := 4; t < 8; t++ {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				if (x+y+t)%4 == 0 {
+					setPix(t, x, y, 2)
+				}
+			}
+		}
+	}
+	return chr
+}

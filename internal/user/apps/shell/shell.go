@@ -1,0 +1,161 @@
+// Package shell is Proto's console shell (ported from xv6, enhanced with
+// script execution, §3) plus the standard utilities. Convention: fd 0 is
+// standard input and fd 1 standard output; the shell wires both to
+// /dev/console (or a script/pipe) before fork+exec'ing commands, and
+// children inherit them through the fd table.
+package shell
+
+import (
+	"fmt"
+	"strings"
+
+	"protosim/internal/kernel"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/user/ulib"
+)
+
+// Main runs the shell. argv: [name] for interactive mode, [name, script]
+// to execute a script file.
+func Main(p *kernel.Proc, argv []string) int {
+	if err := ensureStdio(p); err != nil {
+		return 1
+	}
+	if len(argv) >= 2 && argv[1] != "" {
+		return runScript(p, argv[1])
+	}
+	ulib.Printf(p, 1, "proto sh — type 'help'\n")
+	for {
+		ulib.Printf(p, 1, "$ ")
+		line, eof := readLine(p, 0)
+		if eof {
+			return 0
+		}
+		if code, exit := Execute(p, line); exit {
+			return code
+		}
+	}
+}
+
+// ensureStdio opens the console on fds 0 and 1 if the table is empty.
+func ensureStdio(p *kernel.Proc) error {
+	if _, err := p.SysFstat(0); err == nil {
+		return nil
+	}
+	fd, err := p.SysOpen("/dev/console", fs.ORdWr)
+	if err != nil {
+		return err
+	}
+	if fd != 0 {
+		return fmt.Errorf("console landed on fd %d", fd)
+	}
+	_, err = p.SysDup(0) // fd 1
+	return err
+}
+
+// runScript executes each line of a file — the initrc mechanism (Lab 4).
+func runScript(p *kernel.Proc, path string) int {
+	data, err := ulib.ReadFile(p, path)
+	if err != nil {
+		ulib.Printf(p, 1, "sh: %s: %v\n", path, err)
+		return 1
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if code, exit := Execute(p, line); exit {
+			return code
+		}
+	}
+	return 0
+}
+
+// Execute runs one command line. Returns (exitCode, true) when the shell
+// should exit.
+func Execute(p *kernel.Proc, line string) (int, bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return 0, false
+	}
+	// Sequential composition.
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		Execute(p, line[:i])
+		return Execute(p, line[i+1:])
+	}
+	// Output redirection: cmd > file.
+	redirect := ""
+	if i := strings.IndexByte(line, '>'); i >= 0 {
+		redirect = strings.TrimSpace(line[i+1:])
+		line = strings.TrimSpace(line[:i])
+	}
+	args := strings.Fields(line)
+	if len(args) == 0 {
+		return 0, false
+	}
+	switch args[0] {
+	case "exit":
+		return 0, true
+	case "cd":
+		dir := "/"
+		if len(args) > 1 {
+			dir = args[1]
+		}
+		if err := p.SysChdir(dir); err != nil {
+			ulib.Printf(p, 1, "cd: %v\n", err)
+		}
+		return 0, false
+	case "help":
+		ulib.Printf(p, 1, "builtins: cd exit help; programs in /bin\n")
+		return 0, false
+	}
+	// External command: fork, set up redirection, exec /bin/<cmd>.
+	path := args[0]
+	if !strings.HasPrefix(path, "/") {
+		path = "/bin/" + path
+	}
+	if _, err := p.SysStat(path); err != nil {
+		ulib.Printf(p, 1, "sh: %s: not found\n", args[0])
+		return 127, false
+	}
+	pid, err := p.SysFork(func(c *kernel.Proc) {
+		if redirect != "" {
+			c.SysClose(1)
+			fd, err := c.SysOpen(redirect, fs.OCreate|fs.OWrOnly|fs.OTrunc)
+			if err != nil || fd != 1 {
+				c.SysExit(126)
+			}
+		}
+		if err := c.SysExec(path, args); err != nil {
+			c.SysExit(127)
+		}
+	})
+	if err != nil {
+		ulib.Printf(p, 1, "sh: fork: %v\n", err)
+		return 1, false
+	}
+	_ = pid
+	_, status, err := p.SysWait()
+	if err != nil {
+		return 1, false
+	}
+	return status, false
+}
+
+// readLine reads one line from fd with minimal line discipline (backspace).
+func readLine(p *kernel.Proc, fd int) (string, bool) {
+	var line []byte
+	buf := make([]byte, 1)
+	for {
+		n, err := p.SysRead(fd, buf)
+		if err != nil || n == 0 {
+			return string(line), true
+		}
+		switch buf[0] {
+		case '\n', '\r':
+			return string(line), false
+		case 0x08: // backspace
+			if len(line) > 0 {
+				line = line[:len(line)-1]
+			}
+		default:
+			line = append(line, buf[0])
+		}
+	}
+}

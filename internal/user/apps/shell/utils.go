@@ -1,0 +1,222 @@
+package shell
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"protosim/internal/kernel"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/user/ulib"
+)
+
+// The console utilities ported from xv6 (§3). Each is a separate program
+// (own ELF in /bin); they read fd 0 and write fd 1.
+
+// LsMain lists a directory. argv: [ls, path?].
+func LsMain(p *kernel.Proc, argv []string) int {
+	path := p.Cwd()
+	if len(argv) > 1 && !strings.HasPrefix(argv[1], "-") {
+		path = argv[1]
+	}
+	st, err := p.SysStat(path)
+	if err != nil {
+		ulib.Printf(p, 1, "ls: %s: %v\n", path, err)
+		return 1
+	}
+	if st.Type != fs.TypeDir {
+		ulib.Printf(p, 1, "%s %d\n", st.Name, st.Size)
+		return 0
+	}
+	fd, err := p.SysOpen(path, fs.ORdOnly)
+	if err != nil {
+		return 1
+	}
+	defer p.SysClose(fd)
+	entries, err := p.SysReadDir(fd)
+	if err != nil {
+		ulib.Printf(p, 1, "ls: %v\n", err)
+		return 1
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	for _, e := range entries {
+		marker := ""
+		if e.Type == fs.TypeDir {
+			marker = "/"
+		}
+		ulib.Printf(p, 1, "%-14s %6d %s\n", e.Name+marker, e.Size, e.Type)
+	}
+	return 0
+}
+
+// CatMain concatenates files (or stdin) to stdout.
+func CatMain(p *kernel.Proc, argv []string) int {
+	dump := func(fd int) int {
+		buf := make([]byte, 4096)
+		for {
+			n, err := p.SysRead(fd, buf)
+			if err != nil {
+				return 1
+			}
+			if n == 0 {
+				return 0
+			}
+			if _, err := p.SysWrite(1, buf[:n]); err != nil {
+				return 1
+			}
+		}
+	}
+	if len(argv) < 2 {
+		return dump(0)
+	}
+	for _, path := range argv[1:] {
+		fd, err := p.SysOpen(path, fs.ORdOnly)
+		if err != nil {
+			ulib.Printf(p, 1, "cat: %s: %v\n", path, err)
+			return 1
+		}
+		code := dump(fd)
+		p.SysClose(fd)
+		if code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// EchoMain prints its arguments.
+func EchoMain(p *kernel.Proc, argv []string) int {
+	ulib.Printf(p, 1, "%s\n", strings.Join(argv[1:], " "))
+	return 0
+}
+
+// WcMain counts lines, words, bytes of a file or stdin.
+func WcMain(p *kernel.Proc, argv []string) int {
+	fd := 0
+	if len(argv) > 1 {
+		var err error
+		fd, err = p.SysOpen(argv[1], fs.ORdOnly)
+		if err != nil {
+			ulib.Printf(p, 1, "wc: %v\n", err)
+			return 1
+		}
+		defer p.SysClose(fd)
+	}
+	var lines, words, bytes int
+	inWord := false
+	buf := make([]byte, 4096)
+	for {
+		n, err := p.SysRead(fd, buf)
+		if err != nil || n == 0 {
+			break
+		}
+		bytes += n
+		for _, b := range buf[:n] {
+			if b == '\n' {
+				lines++
+			}
+			space := b == ' ' || b == '\n' || b == '\t'
+			if !space && !inWord {
+				words++
+			}
+			inWord = !space
+		}
+	}
+	ulib.Printf(p, 1, "%d %d %d\n", lines, words, bytes)
+	return 0
+}
+
+// GrepMain prints lines matching a literal pattern.
+func GrepMain(p *kernel.Proc, argv []string) int {
+	if len(argv) < 2 {
+		ulib.Printf(p, 1, "usage: grep pattern [file]\n")
+		return 1
+	}
+	pattern := argv[1]
+	fd := 0
+	if len(argv) > 2 {
+		var err error
+		fd, err = p.SysOpen(argv[2], fs.ORdOnly)
+		if err != nil {
+			ulib.Printf(p, 1, "grep: %v\n", err)
+			return 1
+		}
+		defer p.SysClose(fd)
+	}
+	var data []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := p.SysRead(fd, buf)
+		if err != nil || n == 0 {
+			break
+		}
+		data = append(data, buf[:n]...)
+	}
+	found := 1
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, pattern) {
+			ulib.Printf(p, 1, "%s\n", line)
+			found = 0
+		}
+	}
+	return found
+}
+
+// MkdirMain creates directories.
+func MkdirMain(p *kernel.Proc, argv []string) int {
+	if len(argv) < 2 {
+		return 1
+	}
+	for _, path := range argv[1:] {
+		if err := p.SysMkdir(path); err != nil {
+			ulib.Printf(p, 1, "mkdir: %s: %v\n", path, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// RmMain unlinks files.
+func RmMain(p *kernel.Proc, argv []string) int {
+	if len(argv) < 2 {
+		return 1
+	}
+	for _, path := range argv[1:] {
+		if err := p.SysUnlink(path); err != nil {
+			ulib.Printf(p, 1, "rm: %s: %v\n", path, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// UptimeMain prints seconds since boot.
+func UptimeMain(p *kernel.Proc, argv []string) int {
+	us := p.SysUptime()
+	ulib.Printf(p, 1, "up %.2fs\n", float64(us)/1e6)
+	return 0
+}
+
+// PsMain lists tasks from /proc/tasks.
+func PsMain(p *kernel.Proc, argv []string) int {
+	content, err := ulib.ProcRead(p, "tasks")
+	if err != nil {
+		return 1
+	}
+	ulib.Printf(p, 1, "%s", content)
+	return 0
+}
+
+// KillMain kills a process by pid.
+func KillMain(p *kernel.Proc, argv []string) int {
+	if len(argv) < 2 {
+		return 1
+	}
+	pid := 0
+	fmt.Sscanf(argv[1], "%d", &pid)
+	if err := p.SysKill(pid); err != nil {
+		ulib.Printf(p, 1, "kill: %v\n", err)
+		return 1
+	}
+	return 0
+}

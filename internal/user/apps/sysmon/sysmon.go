@@ -1,0 +1,100 @@
+// Package sysmon is the floating, semi-transparent system monitor: it
+// reads /proc/cpuinfo and /proc/meminfo and draws per-core utilization and
+// memory bars in a translucent window that stays on top of other apps
+// (Figure 1(m)).
+package sysmon
+
+import (
+	"fmt"
+
+	"protosim/internal/kernel"
+	"protosim/internal/user/ulib"
+)
+
+// Window geometry.
+const (
+	Width  = 160
+	Height = 100
+)
+
+// Main runs the monitor. argv: [name, iterations] (0 = forever).
+func Main(p *kernel.Proc, argv []string) int {
+	sfd, err := p.OpenSurface("sysmon", Width, Height)
+	if err != nil {
+		return 1
+	}
+	// Floating translucency: alpha ~160 like the paper's screenshot.
+	if _, err := p.SysIoctl(sfd, kernel.IoctlSurfAlpha, 160); err != nil {
+		return 2
+	}
+	iterations := 0
+	if len(argv) >= 2 {
+		fmt.Sscanf(argv[1], "%d", &iterations)
+	}
+	frame := make([]byte, Width*Height*4)
+	for i := 0; iterations == 0 || i < iterations; i++ {
+		cores, util, err := ulib.CPUInfo(p)
+		if err != nil {
+			return 3
+		}
+		totalKB, freeKB, err := ulib.MemInfo(p)
+		if err != nil {
+			return 4
+		}
+		render(frame, cores, util, totalKB, freeKB)
+		if _, err := p.SysWrite(sfd, frame); err != nil {
+			return 5
+		}
+		p.SysSleep(100)
+	}
+	return 0
+}
+
+// render draws the bars into the XRGB frame.
+func render(frame []byte, cores int, util []int, totalKB, freeKB int) {
+	// Dark translucent panel background.
+	for i := 0; i < len(frame); i += 4 {
+		frame[i], frame[i+1], frame[i+2], frame[i+3] = 0x18, 0x10, 0x10, 0xFF
+	}
+	barW := Width - 20
+	// CPU bars.
+	for c := 0; c < cores && c < 8; c++ {
+		pct := 0
+		if c < len(util) {
+			pct = util[c]
+		}
+		y0 := 8 + c*12
+		drawBar(frame, 10, y0, barW, 8, pct, 0x30, 0xC0, 0x30)
+	}
+	// Memory bar.
+	usedPct := 0
+	if totalKB > 0 {
+		usedPct = (totalKB - freeKB) * 100 / totalKB
+	}
+	drawBar(frame, 10, Height-16, barW, 10, usedPct, 0x30, 0x60, 0xE0)
+}
+
+func drawBar(frame []byte, x, y, w, h, pct int, r, g, b byte) {
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	fill := w * pct / 100
+	for dy := 0; dy < h; dy++ {
+		row := (y + dy) * Width * 4
+		for dx := 0; dx < w; dx++ {
+			o := row + (x+dx)*4
+			if o+3 >= len(frame) {
+				continue
+			}
+			if dx < fill {
+				frame[o], frame[o+1], frame[o+2] = b, g, r
+			} else {
+				frame[o], frame[o+1], frame[o+2] = 0x30, 0x28, 0x28
+			}
+			frame[o+3] = 0xFF
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package wordsmith is Lab 2's reader/writer synchronization exercise
+// ("Wordsmith", Fig 14b task 10): a writer produces words character by
+// character into a shared bounded buffer and a reader assembles and prints
+// them — correctness depends entirely on the synchronization between the
+// two, so torn words mean a broken lock/condvar.
+//
+// In Prototype 5 form it runs as two clone()d threads sharing user memory,
+// synchronized with the semaphore syscalls via ulib's mutex/condvar.
+package wordsmith
+
+import (
+	"fmt"
+	"strings"
+
+	"protosim/internal/kernel"
+	"protosim/internal/user/ulib"
+)
+
+// Words the writer emits.
+var words = []string{
+	"proto", "kernel", "donut", "framebuffer", "syscall",
+	"semaphore", "scheduler", "pagetable", "pipeline", "interrupt",
+}
+
+// Main runs the exercise. argv: [name, rounds]. Exit 0 when every word
+// arrived untorn.
+func Main(p *kernel.Proc, argv []string) int {
+	rounds := 20
+	if len(argv) >= 2 {
+		fmt.Sscanf(argv[1], "%d", &rounds)
+	}
+
+	// Shared state: a one-word slot plus full/empty signalling — the
+	// classic bounded-buffer-of-size-one.
+	mu, err := ulib.NewMutex(p)
+	if err != nil {
+		return 1
+	}
+	notEmpty, err := ulib.NewCond(p)
+	if err != nil {
+		return 1
+	}
+	notFull, err := ulib.NewCond(p)
+	if err != nil {
+		return 1
+	}
+	var slot string
+	full := false
+	doneSem, err := p.SysSemCreate(0)
+	if err != nil {
+		return 1
+	}
+
+	// Writer thread: publishes one word at a time.
+	if _, err := p.SysClone("writer", func(tp *kernel.Proc) {
+		for i := 0; i < rounds; i++ {
+			word := words[i%len(words)]
+			mu.Lock(tp)
+			for full {
+				notFull.Wait(tp, mu)
+			}
+			// Build the word character by character while holding the
+			// lock — without it the reader would see torn words.
+			var b strings.Builder
+			for _, ch := range word {
+				b.WriteRune(ch)
+				tp.Checkpoint()
+			}
+			slot = b.String()
+			full = true
+			notEmpty.Signal(tp)
+			mu.Unlock(tp)
+		}
+		mu.Lock(tp)
+		for full {
+			notFull.Wait(tp, mu)
+		}
+		slot = "" // EOF marker
+		full = true
+		notEmpty.Signal(tp)
+		mu.Unlock(tp)
+	}); err != nil {
+		return 2
+	}
+
+	// Reader thread: consumes and validates.
+	ok := true
+	if _, err := p.SysClone("reader", func(tp *kernel.Proc) {
+		defer tp.SysSemPost(doneSem)
+		for i := 0; ; i++ {
+			mu.Lock(tp)
+			for !full {
+				notEmpty.Wait(tp, mu)
+			}
+			word := slot
+			full = false
+			notFull.Signal(tp)
+			mu.Unlock(tp)
+			if word == "" {
+				return
+			}
+			if word != words[i%len(words)] {
+				ok = false
+				return
+			}
+		}
+	}); err != nil {
+		return 3
+	}
+
+	p.SysSemWait(doneSem)
+	if !ok {
+		return 4
+	}
+	return 0
+}

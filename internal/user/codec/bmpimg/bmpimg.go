@@ -1,0 +1,138 @@
+// Package bmpimg encodes and decodes 24-bit uncompressed BMP images — the
+// LODE substitute for slider's slides and MusicPlayer's album covers.
+// The implementation is a real BI_RGB BMP writer/reader (bottom-up rows,
+// 4-byte row padding, BGR byte order) so files interoperate with desktop
+// tools through the FAT32 partition, as the paper intends (§3).
+package bmpimg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Image is a simple RGBA image (A is carried but BMP drops it).
+type Image struct {
+	W, H int
+	Pix  []byte // RGBA, row-major, top-down
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]byte, w*h*4)}
+}
+
+// Set writes a pixel.
+func (im *Image) Set(x, y int, r, g, b byte) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	o := (y*im.W + x) * 4
+	im.Pix[o], im.Pix[o+1], im.Pix[o+2], im.Pix[o+3] = r, g, b, 0xFF
+}
+
+// At reads a pixel.
+func (im *Image) At(x, y int) (r, g, b byte) {
+	o := (y*im.W + x) * 4
+	return im.Pix[o], im.Pix[o+1], im.Pix[o+2]
+}
+
+// ToXRGB converts to the framebuffer's XRGB8888 layout.
+func (im *Image) ToXRGB() []byte {
+	out := make([]byte, im.W*im.H*4)
+	for i := 0; i < im.W*im.H; i++ {
+		out[i*4] = im.Pix[i*4+2]   // B
+		out[i*4+1] = im.Pix[i*4+1] // G
+		out[i*4+2] = im.Pix[i*4]   // R
+		out[i*4+3] = 0xFF
+	}
+	return out
+}
+
+// ErrBadBMP reports a malformed file.
+var ErrBadBMP = errors.New("bmpimg: not a 24-bit BMP")
+
+const (
+	fileHeaderSize = 14
+	infoHeaderSize = 40
+)
+
+// Encode writes the image as a 24-bit BMP.
+func Encode(im *Image) []byte {
+	rowSize := (im.W*3 + 3) &^ 3
+	dataSize := rowSize * im.H
+	total := fileHeaderSize + infoHeaderSize + dataSize
+	out := make([]byte, total)
+	out[0], out[1] = 'B', 'M'
+	binary.LittleEndian.PutUint32(out[2:], uint32(total))
+	binary.LittleEndian.PutUint32(out[10:], fileHeaderSize+infoHeaderSize)
+	ih := out[fileHeaderSize:]
+	binary.LittleEndian.PutUint32(ih[0:], infoHeaderSize)
+	binary.LittleEndian.PutUint32(ih[4:], uint32(im.W))
+	binary.LittleEndian.PutUint32(ih[8:], uint32(im.H))
+	binary.LittleEndian.PutUint16(ih[12:], 1)
+	binary.LittleEndian.PutUint16(ih[14:], 24)
+	binary.LittleEndian.PutUint32(ih[20:], uint32(dataSize))
+	data := out[fileHeaderSize+infoHeaderSize:]
+	for y := 0; y < im.H; y++ {
+		src := im.Pix[(im.H-1-y)*im.W*4:] // bottom-up
+		row := data[y*rowSize:]
+		for x := 0; x < im.W; x++ {
+			row[x*3] = src[x*4+2]   // B
+			row[x*3+1] = src[x*4+1] // G
+			row[x*3+2] = src[x*4]   // R
+		}
+	}
+	return out
+}
+
+// Decode parses a 24-bit BMP.
+func Decode(b []byte) (*Image, error) {
+	if len(b) < fileHeaderSize+infoHeaderSize || b[0] != 'B' || b[1] != 'M' {
+		return nil, ErrBadBMP
+	}
+	dataOff := int(binary.LittleEndian.Uint32(b[10:]))
+	ih := b[fileHeaderSize:]
+	w := int(int32(binary.LittleEndian.Uint32(ih[4:])))
+	h := int(int32(binary.LittleEndian.Uint32(ih[8:])))
+	bpp := int(binary.LittleEndian.Uint16(ih[14:]))
+	compression := binary.LittleEndian.Uint32(ih[16:])
+	if bpp != 24 || compression != 0 {
+		return nil, fmt.Errorf("%w: bpp=%d compression=%d", ErrBadBMP, bpp, compression)
+	}
+	topDown := false
+	if h < 0 {
+		h, topDown = -h, true
+	}
+	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrBadBMP, w, h)
+	}
+	rowSize := (w*3 + 3) &^ 3
+	if dataOff+rowSize*h > len(b) {
+		return nil, fmt.Errorf("%w: truncated pixel data", ErrBadBMP)
+	}
+	im := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		srcY := h - 1 - y
+		if topDown {
+			srcY = y
+		}
+		row := b[dataOff+srcY*rowSize:]
+		for x := 0; x < w; x++ {
+			im.Set(x, y, row[x*3+2], row[x*3+1], row[x*3])
+		}
+	}
+	return im, nil
+}
+
+// Gradient renders a test-card image (slide and album-art generator for
+// examples and benchmarks).
+func Gradient(w, h int, seed byte) *Image {
+	im := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Set(x, y, byte(x*255/w), byte(y*255/h), seed^byte((x+y)/2))
+		}
+	}
+	return im
+}

@@ -1,0 +1,76 @@
+package bmpimg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	im := Gradient(33, 17, 0x5A) // odd width exercises row padding
+	dec, err := Decode(Encode(im))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.W != 33 || dec.H != 17 {
+		t.Fatalf("size = %dx%d", dec.W, dec.H)
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r0, g0, b0 := im.At(x, y)
+			r1, g1, b1 := dec.At(x, y)
+			if r0 != r1 || g0 != g1 || b0 != b1 {
+				t.Fatalf("pixel (%d,%d): (%d,%d,%d) != (%d,%d,%d)", x, y, r0, g0, b0, r1, g1, b1)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("PNG? nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	im := Gradient(8, 8, 1)
+	b := Encode(im)
+	if _, err := Decode(b[:40]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	// 32bpp rejected.
+	b2 := Encode(im)
+	b2[14+14] = 32
+	if _, err := Decode(b2); err == nil {
+		t.Fatal("32bpp accepted")
+	}
+}
+
+func TestToXRGB(t *testing.T) {
+	im := NewImage(2, 1)
+	im.Set(0, 0, 0x11, 0x22, 0x33)
+	x := im.ToXRGB()
+	if x[0] != 0x33 || x[1] != 0x22 || x[2] != 0x11 || x[3] != 0xFF {
+		t.Fatalf("xrgb = % x", x[:4])
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(w8, h8 uint8, seed byte) bool {
+		w := int(w8)%40 + 1
+		h := int(h8)%40 + 1
+		im := Gradient(w, h, seed)
+		dec, err := Decode(Encode(im))
+		if err != nil || dec.W != w || dec.H != h {
+			return false
+		}
+		for i := range im.Pix {
+			if i%4 == 3 {
+				continue // alpha not carried
+			}
+			if im.Pix[i] != dec.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

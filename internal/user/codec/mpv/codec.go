@@ -1,0 +1,276 @@
+package mpv
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame type markers.
+const (
+	frameI = 'I'
+	frameP = 'P'
+	// blockSkip marks an unchanged P-frame block (one byte, no payload).
+	blockSkip = 0xFE
+	blockCode = 0xFD
+)
+
+// Encoder compresses frames into an MPV1 stream.
+type Encoder struct {
+	W, H    int
+	FPS     int
+	Quality int32 // 1 (best) .. 31 (worst), like MPEG's qscale
+
+	frames int
+	prev   *Frame // reconstructed reference
+	buf    []byte
+}
+
+// NewEncoder starts a stream; dimensions must be multiples of 16.
+func NewEncoder(w, h, fps int, quality int32) (*Encoder, error) {
+	if w%16 != 0 || h%16 != 0 || w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("mpv: dimensions %dx%d not multiples of 16", w, h)
+	}
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 31 {
+		quality = 31
+	}
+	e := &Encoder{W: w, H: h, FPS: fps, Quality: quality}
+	e.buf = append(e.buf, Magic...)
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(w))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(h))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(fps))
+	// Frame count (hdr[12:16]) backpatched by Close.
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(quality))
+	e.buf = append(e.buf, hdr[:]...)
+	return e, nil
+}
+
+// planeSpec describes one plane's geometry for the block loops.
+type planeSpec struct {
+	data   []byte
+	ref    []byte
+	stride int
+	bh, bw int // blocks
+}
+
+func (e *Encoder) planes(f, ref *Frame) []planeSpec {
+	var r1, r2, r3 []byte
+	if ref != nil {
+		r1, r2, r3 = ref.Y, ref.U, ref.V
+	}
+	return []planeSpec{
+		{f.Y, r1, e.W, e.H / 8, e.W / 8},
+		{f.U, r2, e.W / 2, e.H / 16, e.W / 16},
+		{f.V, r3, e.W / 2, e.H / 16, e.W / 16},
+	}
+}
+
+// AddFrame encodes one frame (I every GOP frames, P otherwise).
+func (e *Encoder) AddFrame(f *Frame) error {
+	if f.W != e.W || f.H != e.H {
+		return fmt.Errorf("mpv: frame %dx%d in %dx%d stream", f.W, f.H, e.W, e.H)
+	}
+	intra := e.frames%GOP == 0 || e.prev == nil
+	if intra {
+		e.buf = append(e.buf, frameI)
+	} else {
+		e.buf = append(e.buf, frameP)
+	}
+	recon := NewFrame(e.W, e.H)
+	reconPlanes := e.planes(recon, nil)
+	var ref *Frame
+	if !intra {
+		ref = e.prev
+	}
+	for pi, pl := range e.planes(f, ref) {
+		var coeffs, spatial [64]int32
+		for by := 0; by < pl.bh; by++ {
+			for bx := 0; bx < pl.bw; bx++ {
+				if !intra {
+					// P block: residual against the reference.
+					if blockUnchanged(pl.data, pl.ref, pl.stride, bx, by) {
+						e.buf = append(e.buf, blockSkip)
+						copyBlock(reconPlanes[pi].data, pl.ref, pl.stride, bx, by)
+						continue
+					}
+					diffBlock(pl.data, pl.ref, pl.stride, bx, by, &spatial)
+				} else {
+					getBlock(pl.data, pl.stride, bx, by, &spatial, 128)
+				}
+				fdct8(&spatial, &coeffs)
+				quantize(&coeffs, e.Quality)
+				e.buf = append(e.buf, blockCode)
+				e.buf = encodeBlock(&coeffs, e.buf)
+				// Reconstruct exactly as the decoder will, so P frames
+				// predict from decoded (not source) pixels.
+				dequantize(&coeffs, e.Quality)
+				idct8(&coeffs, &spatial)
+				if intra {
+					putBlock(reconPlanes[pi].data, pl.stride, bx, by, &spatial, 128)
+				} else {
+					addBlock(reconPlanes[pi].data, pl.ref, pl.stride, bx, by, &spatial)
+				}
+			}
+		}
+	}
+	e.prev = recon
+	e.frames++
+	return nil
+}
+
+// Close finalizes and returns the stream.
+func (e *Encoder) Close() []byte {
+	out := append(e.buf, 0) // end marker (no more frames)
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(e.frames))
+	copy(out[16:], cnt[:])
+	return out
+}
+
+func blockUnchanged(cur, ref []byte, stride, bx, by int) bool {
+	var sad int
+	for y := 0; y < 8; y++ {
+		row := (by*8 + y) * stride
+		for x := 0; x < 8; x++ {
+			d := int(cur[row+bx*8+x]) - int(ref[row+bx*8+x])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad < 48 // tolerance: tiny noise still skips
+}
+
+func copyBlock(dst, src []byte, stride, bx, by int) {
+	for y := 0; y < 8; y++ {
+		row := (by*8 + y) * stride
+		copy(dst[row+bx*8:row+bx*8+8], src[row+bx*8:row+bx*8+8])
+	}
+}
+
+func diffBlock(cur, ref []byte, stride, bx, by int, out *[64]int32) {
+	for y := 0; y < 8; y++ {
+		row := (by*8 + y) * stride
+		for x := 0; x < 8; x++ {
+			out[y*8+x] = int32(cur[row+bx*8+x]) - int32(ref[row+bx*8+x])
+		}
+	}
+}
+
+func addBlock(dst, ref []byte, stride, bx, by int, res *[64]int32) {
+	for y := 0; y < 8; y++ {
+		row := (by*8 + y) * stride
+		for x := 0; x < 8; x++ {
+			v := int32(ref[row+bx*8+x]) + res[y*8+x]
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			dst[row+bx*8+x] = byte(v)
+		}
+	}
+}
+
+// Decoder streams frames out of an MPV1 buffer.
+type Decoder struct {
+	W, H, FPS int
+	Frames    int
+	Quality   int32
+
+	data []byte
+	pos  int
+	prev *Frame
+	out  int
+}
+
+// NewDecoder validates the header (quality travels in the stream).
+func NewDecoder(data []byte) (*Decoder, error) {
+	if len(data) < 24 || string(data[0:4]) != Magic {
+		return nil, ErrBadMPV
+	}
+	d := &Decoder{
+		W:       int(binary.LittleEndian.Uint32(data[4:])),
+		H:       int(binary.LittleEndian.Uint32(data[8:])),
+		FPS:     int(binary.LittleEndian.Uint32(data[12:])),
+		Frames:  int(binary.LittleEndian.Uint32(data[16:])),
+		Quality: int32(binary.LittleEndian.Uint32(data[20:])),
+		data:    data,
+		pos:     24,
+	}
+	if d.W%16 != 0 || d.H%16 != 0 || d.W <= 0 || d.H <= 0 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrBadMPV, d.W, d.H)
+	}
+	if d.Quality < 1 || d.Quality > 31 {
+		return nil, fmt.Errorf("%w: quality %d", ErrBadMPV, d.Quality)
+	}
+	return d, nil
+}
+
+// NextFrame decodes and returns the next frame (nil at end of stream).
+func (d *Decoder) NextFrame() (*Frame, error) {
+	if d.pos >= len(d.data) || d.data[d.pos] == 0 || d.out >= d.Frames {
+		return nil, nil
+	}
+	ftype := d.data[d.pos]
+	d.pos++
+	if ftype != frameI && ftype != frameP {
+		return nil, fmt.Errorf("%w: frame type %#x", ErrBadMPV, ftype)
+	}
+	intra := ftype == frameI
+	if !intra && d.prev == nil {
+		return nil, fmt.Errorf("%w: P frame before any I frame", ErrBadMPV)
+	}
+	f := NewFrame(d.W, d.H)
+	planes := []planeSpec{
+		{f.Y, nil, d.W, d.H / 8, d.W / 8},
+		{f.U, nil, d.W / 2, d.H / 16, d.W / 16},
+		{f.V, nil, d.W / 2, d.H / 16, d.W / 16},
+	}
+	var refs [3][]byte
+	if d.prev != nil {
+		refs = [3][]byte{d.prev.Y, d.prev.U, d.prev.V}
+	}
+	var coeffs, spatial [64]int32
+	for pi, pl := range planes {
+		for by := 0; by < pl.bh; by++ {
+			for bx := 0; bx < pl.bw; bx++ {
+				if d.pos >= len(d.data) {
+					return nil, fmt.Errorf("%w: truncated frame", ErrBadMPV)
+				}
+				marker := d.data[d.pos]
+				d.pos++
+				switch marker {
+				case blockSkip:
+					if intra {
+						return nil, fmt.Errorf("%w: skip block in I frame", ErrBadMPV)
+					}
+					copyBlock(pl.data, refs[pi], pl.stride, bx, by)
+				case blockCode:
+					n, err := decodeBlock(d.data[d.pos:], &coeffs)
+					if err != nil {
+						return nil, err
+					}
+					d.pos += n
+					dequantize(&coeffs, d.Quality)
+					idct8(&coeffs, &spatial)
+					if intra {
+						putBlock(pl.data, pl.stride, bx, by, &spatial, 128)
+					} else {
+						addBlock(pl.data, refs[pi], pl.stride, bx, by, &spatial)
+					}
+				default:
+					return nil, fmt.Errorf("%w: block marker %#x", ErrBadMPV, marker)
+				}
+			}
+		}
+	}
+	d.prev = f
+	d.out++
+	return f, nil
+}

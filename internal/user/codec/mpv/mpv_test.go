@@ -1,0 +1,192 @@
+package mpv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDCTRoundTrip(t *testing.T) {
+	var in, freq, back [64]int32
+	for i := range in {
+		in[i] = int32((i*37)%255 - 128)
+	}
+	fdct8(&in, &freq)
+	idct8(&freq, &back)
+	for i := range in {
+		d := in[i] - back[i]
+		if d < -2 || d > 2 {
+			t.Fatalf("coefficient %d: %d -> %d", i, in[i], back[i])
+		}
+	}
+}
+
+func TestDCTRoundTripProperty(t *testing.T) {
+	check := func(raw [64]uint8) bool {
+		var in, freq, back [64]int32
+		for i := range in {
+			in[i] = int32(raw[i]) - 128
+		}
+		fdct8(&in, &freq)
+		idct8(&freq, &back)
+		for i := range in {
+			d := in[i] - back[i]
+			if d < -2 || d > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropyBlockRoundTrip(t *testing.T) {
+	var c [64]int32
+	c[0] = 100
+	c[1] = -3
+	c[9] = 7
+	c[63] = 1
+	encoded := encodeBlock(&c, nil)
+	var got [64]int32
+	n, err := decodeBlock(encoded, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(encoded) {
+		t.Fatalf("consumed %d of %d", n, len(encoded))
+	}
+	if got != c {
+		t.Fatalf("round trip: %v != %v", got, c)
+	}
+}
+
+func TestEntropyBlockProperty(t *testing.T) {
+	check := func(vals [64]int8) bool {
+		var c [64]int32
+		for i, v := range vals {
+			if v%3 == 0 { // keep it sparse, like real coefficients
+				c[i] = int32(v)
+			}
+		}
+		encoded := encodeBlock(&c, nil)
+		var got [64]int32
+		_, err := decodeBlock(encoded, &got)
+		return err == nil && got == c
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeClip(t *testing.T) {
+	stream, err := SynthesizeClip(64, 48, 25, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.W != 64 || d.H != 48 || d.FPS != 30 || d.Frames != 25 {
+		t.Fatalf("header = %dx%d@%d x%d", d.W, d.H, d.FPS, d.Frames)
+	}
+	frames := 0
+	for {
+		f, err := d.NextFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", frames, err)
+		}
+		if f == nil {
+			break
+		}
+		frames++
+	}
+	if frames != 25 {
+		t.Fatalf("decoded %d frames", frames)
+	}
+}
+
+func TestDecodedQuality(t *testing.T) {
+	// Encode one frame and compare PSNR-ish: mean abs error per pixel must
+	// be small at high quality.
+	w, h := 64, 48
+	rgb := make([]byte, w*h*4)
+	renderTestFrame(rgb, w, h, 3)
+	src := NewFrame(w, h)
+	RGBToYUV(src, rgb, w*4)
+	enc, _ := NewEncoder(w, h, 30, 2)
+	enc.AddFrame(src)
+	d, _ := NewDecoder(enc.Close())
+	got, err := d.NextFrame()
+	if err != nil || got == nil {
+		t.Fatal(err)
+	}
+	var sum, n int
+	for i := range src.Y {
+		diff := int(src.Y[i]) - int(got.Y[i])
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += diff
+		n++
+	}
+	if mae := float64(sum) / float64(n); mae > 6 {
+		t.Fatalf("mean abs luma error = %.1f", mae)
+	}
+}
+
+func TestPFramesCompress(t *testing.T) {
+	// Mostly-static content: P frames must be much smaller than I frames.
+	w, h := 64, 48
+	iOnly, _ := NewEncoder(w, h, 30, 4)
+	withP, _ := NewEncoder(w, h, 30, 4)
+	rgb := make([]byte, w*h*4)
+	f := NewFrame(w, h)
+	for n := 0; n < GOP; n++ {
+		renderTestFrame(rgb, w, h, 0) // static scene
+		RGBToYUV(f, rgb, w*4)
+		withP.AddFrame(f)
+		// iOnly gets a fresh encoder-forced I each time via GOP reset:
+		single, _ := NewEncoder(w, h, 30, 4)
+		single.AddFrame(f)
+		iOnly.buf = append(iOnly.buf, single.Close()[24:]...)
+	}
+	if len(withP.Close()) >= len(iOnly.buf) {
+		t.Fatalf("P-frame stream %d >= I-only %d", len(withP.buf), len(iOnly.buf))
+	}
+}
+
+func TestFastAndSlowYUVAgree(t *testing.T) {
+	w, h := 32, 32
+	rgb := make([]byte, w*h*4)
+	renderTestFrame(rgb, w, h, 5)
+	f := NewFrame(w, h)
+	RGBToYUV(f, rgb, w*4)
+	fast := make([]byte, w*h*4)
+	slow := make([]byte, w*h*4)
+	FastYUVToXRGB(f, fast, w*4)
+	SlowYUVToXRGB(f, slow, w*4)
+	for i := range fast {
+		d := int(fast[i]) - int(slow[i])
+		if d < -3 || d > 3 {
+			t.Fatalf("byte %d: fast=%d slow=%d", i, fast[i], slow[i])
+		}
+	}
+}
+
+func TestDecoderRejectsGarbage(t *testing.T) {
+	if _, err := NewDecoder([]byte("AVI?xxxxxxxxxxxxxxxxxxxxxxx")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	stream, _ := SynthesizeClip(32, 32, 3, 30, 4)
+	// Corrupt a frame marker.
+	stream[24] = 'X'
+	d, err := NewDecoder(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NextFrame(); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+}

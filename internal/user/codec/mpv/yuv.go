@@ -1,0 +1,171 @@
+package mpv
+
+// YUV <-> RGB conversion. FastYUVToXRGB is the fixed-point path standing in
+// for Proto's ARMv8 SIMD pixel conversion (§5.2, "improve video playback
+// framerate by nearly 3x"); SlowYUVToXRGB is the naive floating-point
+// per-pixel version it replaced. Benchmarks compare them.
+
+// clamp8 saturates to a byte.
+func clamp8(v int32) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// FastYUVToXRGB converts a 4:2:0 frame into XRGB8888 using BT.601
+// fixed-point coefficients, two rows at a time to reuse chroma — the
+// SIMD-substitute fast path.
+func FastYUVToXRGB(f *Frame, dst []byte, stride int) {
+	w, h := f.W, f.H
+	cw := w / 2
+	for y := 0; y < h; y += 2 {
+		crow := (y / 2) * cw
+		for row := 0; row < 2; row++ {
+			yy := y + row
+			yrow := yy * w
+			drow := yy * stride
+			for x := 0; x < w; x++ {
+				cy := int32(f.Y[yrow+x]) - 16
+				cu := int32(f.U[crow+x/2]) - 128
+				cv := int32(f.V[crow+x/2]) - 128
+				y298 := 298 * cy
+				r := (y298 + 409*cv + 128) >> 8
+				g := (y298 - 100*cu - 208*cv + 128) >> 8
+				b := (y298 + 516*cu + 128) >> 8
+				o := drow + x*4
+				dst[o] = clamp8(b)
+				dst[o+1] = clamp8(g)
+				dst[o+2] = clamp8(r)
+				dst[o+3] = 0xFF
+			}
+		}
+	}
+}
+
+// SlowYUVToXRGB is the unoptimized float path (per-pixel chroma lookup,
+// float math, function-call conversion) that the paper's user library
+// replaced.
+func SlowYUVToXRGB(f *Frame, dst []byte, stride int) {
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			r, g, b := slowPixel(f, x, y)
+			o := y*stride + x*4
+			dst[o] = b
+			dst[o+1] = g
+			dst[o+2] = r
+			dst[o+3] = 0xFF
+		}
+	}
+}
+
+func slowPixel(f *Frame, x, y int) (r, g, b byte) {
+	cy := float64(f.Y[y*f.W+x]) - 16
+	cu := float64(f.U[(y/2)*(f.W/2)+x/2]) - 128
+	cv := float64(f.V[(y/2)*(f.W/2)+x/2]) - 128
+	rf := 1.164*cy + 1.596*cv
+	gf := 1.164*cy - 0.392*cu - 0.813*cv
+	bf := 1.164*cy + 2.017*cu
+	return clampF(rf), clampF(gf), clampF(bf)
+}
+
+func clampF(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// RGBToYUV fills a frame from XRGB pixels (the encoder-side conversion for
+// synthesizing test content).
+func RGBToYUV(dst *Frame, src []byte, stride int) {
+	w, h := dst.W, dst.H
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			o := y*stride + x*4
+			b := int32(src[o])
+			g := int32(src[o+1])
+			r := int32(src[o+2])
+			yy := (66*r + 129*g + 25*b + 128) >> 8
+			dst.Y[y*w+x] = clamp8(yy + 16)
+		}
+	}
+	cw, ch := w/2, h/2
+	for cy := 0; cy < ch; cy++ {
+		for cx := 0; cx < cw; cx++ {
+			// Average the 2x2 quad.
+			var rs, gs, bs int32
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					o := (cy*2+dy)*stride + (cx*2+dx)*4
+					bs += int32(src[o])
+					gs += int32(src[o+1])
+					rs += int32(src[o+2])
+				}
+			}
+			r, g, b := rs/4, gs/4, bs/4
+			u := (-38*r - 74*g + 112*b + 128) >> 8
+			v := (112*r - 94*g - 18*b + 128) >> 8
+			dst.U[cy*cw+cx] = clamp8(u + 128)
+			dst.V[cy*cw+cx] = clamp8(v + 128)
+		}
+	}
+}
+
+// SynthesizeClip produces an n-frame test video (moving gradient ball over
+// a static background — mixes skip blocks, P residuals and I refreshes).
+func SynthesizeClip(w, h, frames, fps int, quality int32) ([]byte, error) {
+	enc, err := NewEncoder(w, h, fps, quality)
+	if err != nil {
+		return nil, err
+	}
+	rgb := make([]byte, w*h*4)
+	f := NewFrame(w, h)
+	for n := 0; n < frames; n++ {
+		renderTestFrame(rgb, w, h, n)
+		RGBToYUV(f, rgb, w*4)
+		if err := enc.AddFrame(f); err != nil {
+			return nil, err
+		}
+	}
+	return enc.Close(), nil
+}
+
+// renderTestFrame draws frame n of the synthetic clip.
+func renderTestFrame(dst []byte, w, h, n int) {
+	// Static background gradient.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			o := (y*w + x) * 4
+			dst[o] = byte(x * 255 / w)
+			dst[o+1] = byte(y * 255 / h)
+			dst[o+2] = 0x30
+			dst[o+3] = 0xFF
+		}
+	}
+	// Moving ball.
+	bx := (n * 7) % w
+	by := (n * 5) % h
+	r := h / 6
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy > r*r {
+				continue
+			}
+			x, y := bx+dx, by+dy
+			if x < 0 || y < 0 || x >= w || y >= h {
+				continue
+			}
+			o := (y*w + x) * 4
+			dst[o] = 0x20
+			dst[o+1] = 0x80
+			dst[o+2] = 0xF0
+		}
+	}
+}

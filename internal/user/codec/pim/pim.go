@@ -1,0 +1,173 @@
+// Package pim is the PNG substitute for slider's "high res PNGs"
+// (Table 1 note 4): a lossless image codec with PNG's architecture —
+// per-row predictive filtering (none/sub/up/average, chosen per row by
+// heuristic) followed by DEFLATE entropy coding (compress/flate). Files
+// round-trip exactly; compression on synthetic slides is PNG-class.
+package pim
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"protosim/internal/user/codec/bmpimg"
+)
+
+// Magic identifies a PIM file.
+const Magic = "PIM1"
+
+// ErrBadPIM reports a malformed file.
+var ErrBadPIM = errors.New("pim: bad image")
+
+// Row filter types (PNG's, minus Paeth).
+const (
+	filterNone byte = iota
+	filterSub
+	filterUp
+	filterAvg
+	numFilters
+)
+
+// Encode compresses an RGBA image.
+func Encode(im *bmpimg.Image) ([]byte, error) {
+	const bpp = 4
+	stride := im.W * bpp
+	raw := make([]byte, 0, (stride+1)*im.H)
+	prev := make([]byte, stride) // zero row above the first
+	scratch := make([]byte, stride)
+	for y := 0; y < im.H; y++ {
+		row := im.Pix[y*stride : (y+1)*stride]
+		best, bestScore := filterNone, int(^uint(0)>>1)
+		var bestData []byte
+		for f := filterNone; f < numFilters; f++ {
+			applyFilter(f, row, prev, scratch, bpp)
+			score := 0
+			for _, b := range scratch {
+				v := int(int8(b))
+				if v < 0 {
+					v = -v
+				}
+				score += v
+			}
+			if score < bestScore {
+				bestScore = score
+				best = f
+				bestData = append(bestData[:0], scratch...)
+			}
+		}
+		raw = append(raw, best)
+		raw = append(raw, bestData...)
+		prev = append(prev[:0], row...)
+	}
+	var compressed bytes.Buffer
+	zw, err := flate.NewWriter(&compressed, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 12+compressed.Len())
+	out = append(out, Magic...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(im.W))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(im.H))
+	out = append(out, hdr[:]...)
+	return append(out, compressed.Bytes()...), nil
+}
+
+// applyFilter computes dst = filter(row) given the previous row.
+func applyFilter(f byte, row, prev, dst []byte, bpp int) {
+	switch f {
+	case filterNone:
+		copy(dst, row)
+	case filterSub:
+		for i := range row {
+			left := byte(0)
+			if i >= bpp {
+				left = row[i-bpp]
+			}
+			dst[i] = row[i] - left
+		}
+	case filterUp:
+		for i := range row {
+			dst[i] = row[i] - prev[i]
+		}
+	case filterAvg:
+		for i := range row {
+			left := 0
+			if i >= bpp {
+				left = int(row[i-bpp])
+			}
+			dst[i] = row[i] - byte((left+int(prev[i]))/2)
+		}
+	}
+}
+
+// unfilter inverts applyFilter in place.
+func unfilter(f byte, row, prev []byte, bpp int) error {
+	switch f {
+	case filterNone:
+	case filterSub:
+		for i := range row {
+			left := byte(0)
+			if i >= bpp {
+				left = row[i-bpp]
+			}
+			row[i] += left
+		}
+	case filterUp:
+		for i := range row {
+			row[i] += prev[i]
+		}
+	case filterAvg:
+		for i := range row {
+			left := 0
+			if i >= bpp {
+				left = int(row[i-bpp])
+			}
+			row[i] += byte((left + int(prev[i])) / 2)
+		}
+	default:
+		return fmt.Errorf("%w: filter %d", ErrBadPIM, f)
+	}
+	return nil
+}
+
+// Decode parses a PIM file.
+func Decode(data []byte) (*bmpimg.Image, error) {
+	if len(data) < 12 || string(data[0:4]) != Magic {
+		return nil, ErrBadPIM
+	}
+	w := int(binary.LittleEndian.Uint32(data[4:]))
+	h := int(binary.LittleEndian.Uint32(data[8:]))
+	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrBadPIM, w, h)
+	}
+	zr := flate.NewReader(bytes.NewReader(data[12:]))
+	defer zr.Close()
+	const bpp = 4
+	stride := w * bpp
+	raw := make([]byte, (stride+1)*h)
+	if _, err := io.ReadFull(zr, raw); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPIM, err)
+	}
+	im := bmpimg.NewImage(w, h)
+	prev := make([]byte, stride)
+	for y := 0; y < h; y++ {
+		f := raw[y*(stride+1)]
+		row := raw[y*(stride+1)+1 : (y+1)*(stride+1)]
+		if err := unfilter(f, row, prev, bpp); err != nil {
+			return nil, err
+		}
+		copy(im.Pix[y*stride:], row)
+		prev = row
+	}
+	return im, nil
+}

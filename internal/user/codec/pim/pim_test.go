@@ -1,0 +1,74 @@
+package pim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"protosim/internal/user/codec/bmpimg"
+)
+
+func TestRoundTripExact(t *testing.T) {
+	im := bmpimg.Gradient(97, 41, 0x3C) // odd sizes
+	data, err := Encode(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.W != im.W || dec.H != im.H || !bytes.Equal(dec.Pix, im.Pix) {
+		t.Fatal("lossless round trip failed")
+	}
+}
+
+func TestCompressesSmoothContent(t *testing.T) {
+	im := bmpimg.Gradient(256, 256, 0)
+	data, err := Encode(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := len(im.Pix)
+	if len(data) > raw/3 {
+		t.Fatalf("compressed %d of %d raw bytes; filtering+deflate should do much better on a gradient", len(data), raw)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("JPEG")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	im := bmpimg.Gradient(16, 16, 1)
+	data, _ := Encode(im)
+	if _, err := Decode(data[:20]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	// Oversized dimensions rejected.
+	bad := append([]byte(nil), data...)
+	bad[4], bad[5], bad[6], bad[7] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("absurd dimensions accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(w8, h8 uint8, pix []byte) bool {
+		w := int(w8)%24 + 1
+		h := int(h8)%24 + 1
+		im := bmpimg.NewImage(w, h)
+		for i := 0; i < len(im.Pix) && i < len(pix); i++ {
+			im.Pix[i] = pix[i]
+		}
+		// Alpha is carried exactly too (unlike BMP).
+		data, err := Encode(im)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(data)
+		return err == nil && bytes.Equal(dec.Pix, im.Pix)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

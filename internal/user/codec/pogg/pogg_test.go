@@ -1,0 +1,91 @@
+package pogg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeLengthAndRate(t *testing.T) {
+	pcm := Tone(10000, 22050)
+	stream := Encode(pcm, 22050)
+	got, rate, err := DecodeAll(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 22050 {
+		t.Fatalf("rate = %d", rate)
+	}
+	if len(got) != len(pcm) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(pcm))
+	}
+}
+
+func TestCodecQuality(t *testing.T) {
+	pcm := Tone(22050, 22050)
+	got, _, err := DecodeAll(Encode(pcm, 22050))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr := SNR(pcm, got); snr < 20 {
+		t.Fatalf("SNR = %.1f dB; ADPCM should exceed 20 dB on tonal content", snr)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	pcm := Tone(44100, 22050)
+	stream := Encode(pcm, 22050)
+	raw := len(pcm) * 2
+	if len(stream) > raw/3 {
+		t.Fatalf("stream %d bytes vs %d raw; expected ~4:1", len(stream), raw)
+	}
+}
+
+func TestStreamingBlockDecode(t *testing.T) {
+	pcm := Tone(3*BlockSamples+100, 22050)
+	d, err := NewDecoder(Encode(pcm, 22050))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := 0
+	total := 0
+	for {
+		b := d.NextBlock()
+		if b == nil {
+			break
+		}
+		blocks++
+		total += len(b)
+	}
+	if blocks != 4 {
+		t.Fatalf("blocks = %d, want 4", blocks)
+	}
+	if total != len(pcm) {
+		t.Fatalf("total = %d, want %d (final block must trim)", total, len(pcm))
+	}
+}
+
+func TestDecoderRejectsGarbage(t *testing.T) {
+	if _, err := NewDecoder([]byte("OGGS")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	stream := Encode(Tone(2048, 22050), 22050)
+	if _, err := NewDecoder(stream[:20]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+// Property: decoding never produces more blocks than the header promises
+// and always reproduces the sample count, for arbitrary content.
+func TestRoundTripProperty(t *testing.T) {
+	check := func(raw []byte) bool {
+		pcm := make([]int16, len(raw))
+		for i, b := range raw {
+			pcm[i] = int16(int(b)-128) * 200
+		}
+		got, _, err := DecodeAll(Encode(pcm, 8000))
+		return err == nil && len(got) == len(pcm)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

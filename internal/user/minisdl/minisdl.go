@@ -1,0 +1,152 @@
+// Package minisdl is the trimmed-down SDL of Prototype 5 (§4.5): a small
+// portable layer over the window manager's surface device, the per-window
+// event stream, and the audio device. Like the real SDL port, audio runs
+// on a dedicated clone()d thread streaming samples to /dev/sb while the
+// game thread renders (§4.5: "SDL uses a dedicated thread to stream audio
+// samples to the device file").
+package minisdl
+
+import (
+	"errors"
+	"sync"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/wm"
+)
+
+// Window wraps a WM surface plus its event stream.
+type Window struct {
+	p   *kernel.Proc
+	sfd int
+	efd int
+	w   int
+	h   int
+}
+
+// CreateWindow opens a surface and its event queue.
+func CreateWindow(p *kernel.Proc, title string, w, h int) (*Window, error) {
+	sfd, err := p.OpenSurface(title, w, h)
+	if err != nil {
+		return nil, err
+	}
+	efd, err := p.OpenSurfaceEvents(true) // SDL-style polled events
+	if err != nil {
+		return nil, err
+	}
+	return &Window{p: p, sfd: sfd, efd: efd, w: w, h: h}, nil
+}
+
+// Size returns the window dimensions.
+func (win *Window) Size() (w, h int) { return win.w, win.h }
+
+// Present pushes a full XRGB frame to the compositor.
+func (win *Window) Present(frame []byte) error {
+	_, err := win.p.SysWrite(win.sfd, frame)
+	return err
+}
+
+// Event is minisdl's event record.
+type Event struct {
+	Down  bool
+	Key   byte // HID usage
+	ASCII byte
+}
+
+// PollEvent returns the next pending event without blocking.
+func (win *Window) PollEvent() (Event, bool) {
+	buf := make([]byte, wm.EventSize)
+	if _, err := win.p.SysRead(win.efd, buf); err != nil {
+		return Event{}, false
+	}
+	e, ok := wm.DecodeEvent(buf)
+	if !ok {
+		return Event{}, false
+	}
+	return Event{Down: e.Down, Key: e.Code, ASCII: e.ASCII}, true
+}
+
+// SetAlpha adjusts window translucency.
+func (win *Window) SetAlpha(a byte) error {
+	_, err := win.p.SysIoctl(win.sfd, kernel.IoctlSurfAlpha, int64(a))
+	return err
+}
+
+// Key constants re-exported for app convenience.
+const (
+	KeyUp    = hw.UsageUp
+	KeyDown  = hw.UsageDown
+	KeyLeft  = hw.UsageLeft
+	KeyRight = hw.UsageRight
+	KeyEnter = hw.UsageEnter
+	KeyEsc   = hw.UsageEsc
+)
+
+// Audio is the SDL-style callback audio device: a worker thread repeatedly
+// asks the callback for samples and streams them to /dev/sb.
+type Audio struct {
+	p    *kernel.Proc
+	fd   int
+	stop chan struct{}
+	wg   sync.WaitGroup
+	sem  int // completion semaphore
+}
+
+// ErrNoAudio is returned when /dev/sb is absent (sound disabled).
+var ErrNoAudio = errors.New("minisdl: no audio device")
+
+// OpenAudio starts the audio thread. callback fills buf with 16-bit
+// samples and returns how many it wrote; returning 0 ends the stream.
+func OpenAudio(p *kernel.Proc, callback func(buf []int16) int) (*Audio, error) {
+	fd, err := p.SysOpen("/dev/sb", fs.OWrOnly)
+	if err != nil {
+		return nil, ErrNoAudio
+	}
+	sem, err := p.SysSemCreate(0)
+	if err != nil {
+		return nil, err
+	}
+	a := &Audio{p: p, fd: fd, stop: make(chan struct{}), sem: sem}
+	_, err = p.SysClone("sdl-audio", func(tp *kernel.Proc) {
+		defer tp.SysSemPost(sem)
+		samples := make([]int16, 2048)
+		raw := make([]byte, 0, len(samples)*2)
+		for {
+			select {
+			case <-a.stop:
+				return
+			default:
+			}
+			n := callback(samples)
+			if n == 0 {
+				return
+			}
+			raw = raw[:0]
+			for _, s := range samples[:n] {
+				raw = append(raw, byte(uint16(s)), byte(uint16(s)>>8))
+			}
+			if _, err := tp.SysWrite(a.fd, raw); err != nil {
+				return
+			}
+			tp.Checkpoint()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Wait blocks until the audio stream ends (callback returned 0), then
+// drains the device.
+func (a *Audio) Wait() {
+	a.p.SysSemWait(a.sem)
+	a.p.SysIoctl(a.fd, kernel.IoctlSoundDrain, 0)
+}
+
+// Close stops the audio thread.
+func (a *Audio) Close() {
+	close(a.stop)
+	a.p.SysSemWait(a.sem)
+}

@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet bench experiments clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The kernel tree is where the concurrency lives (sharded bcache, sched,
+# ksync); CI runs the whole suite under the race detector, this target is
+# the fast local loop.
+race:
+	$(GO) test -race ./internal/kernel/...
+
+vet:
+	$(GO) vet ./...
+	@test -z "$$(gofmt -l .)" || { echo "gofmt needed:"; gofmt -l .; exit 1; }
+
+# The paper's evaluation as Go benchmarks (Fig 8/9/10, Table 5, ablations,
+# sharded-cache vs bypass).
+bench:
+	$(GO) test -bench . -benchtime 3x -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments -exp all
+
+clean:
+	$(GO) clean ./...
+	rm -rf images

@@ -12,6 +12,7 @@ import (
 	"protosim/internal/core"
 	"protosim/internal/hw"
 	"protosim/internal/kernel"
+	"protosim/internal/kernel/fat32"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/mm"
 	"protosim/internal/user/apps/blockchain"
@@ -178,10 +179,62 @@ func benchDiskRead(b *testing.B, mode kernel.Mode) {
 	})
 }
 
-// Range bypass (§5.2) vs single-block buffer cache (xv6 baseline):
-// the paper's 2–3x.
+// Proto's disk read path vs the xv6 baseline. Since the sharded cache
+// landed, the Proto column is a warm-cache read (the 256 KB file fits),
+// while the xv6 column runs a faithful 30-buffer single-shard cache with
+// per-sector commands — so the gap is much larger than the paper's 2–3×
+// device-path effect. The §5.2 range-vs-bypass *device* comparison lives
+// in BenchmarkRangeRead256K{Sharded,Bypass} below.
 func BenchmarkFig9DiskReadProto(b *testing.B) { benchDiskRead(b, kernel.ModeProto) }
 func BenchmarkFig9DiskReadXv6(b *testing.B)   { benchDiskRead(b, kernel.ModeXv6) }
+
+// --- Sharded cache vs the old direct-device bypass ---
+//
+// The bypass was the pre-sharded-cache fast path: range commands straight
+// to the SD card, no caching. The sharded cache issues the same coalesced
+// commands on a cold pass and serves repeats from memory, so it must be at
+// parity or better on every shape these benchmarks measure.
+
+func benchRangeIO(b *testing.B, write bool, path fat32.DataPath) {
+	sys := bootP5(b, 4, kernel.ModeProto)
+	sys.Kernel.FatFS.SetDataPath(path)
+	const fileSize = 256 << 10
+	inProc(b, sys, func(p *kernel.Proc) {
+		buf := make([]byte, fileSize)
+		fd, err := p.SysOpen("/d/range.bin", fs.OCreate|fs.ORdWr|fs.OTrunc)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if _, err := p.SysWrite(fd, buf); err != nil {
+			b.Error(err)
+			return
+		}
+		b.SetBytes(fileSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.SysLseek(fd, 0, fs.SeekSet)
+			var n int
+			var err error
+			if write {
+				n, err = p.SysWrite(fd, buf)
+			} else {
+				n, err = p.SysRead(fd, buf)
+			}
+			if err != nil || n != fileSize {
+				b.Errorf("iteration %d: n=%d err=%v", i, n, err)
+				return
+			}
+		}
+		b.StopTimer()
+		p.SysClose(fd)
+	})
+}
+
+func BenchmarkRangeRead256KSharded(b *testing.B)  { benchRangeIO(b, false, fat32.DataPathRange) }
+func BenchmarkRangeRead256KBypass(b *testing.B)   { benchRangeIO(b, false, fat32.DataPathBypass) }
+func BenchmarkRangeWrite256KSharded(b *testing.B) { benchRangeIO(b, true, fat32.DataPathRange) }
+func BenchmarkRangeWrite256KBypass(b *testing.B)  { benchRangeIO(b, true, fat32.DataPathBypass) }
 
 // --- Table 5: app FPS ---
 

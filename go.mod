@@ -1,0 +1,3 @@
+module protosim
+
+go 1.24

@@ -1,12 +1,3 @@
-// Package core implements the paper's primary contribution: decomposing a
-// full-featured OS into five incremental, self-contained prototypes, each
-// mapped to the target applications that motivate its mechanisms (Table 1).
-//
-// core.NewSystem assembles the machine + kernel + userland for a chosen
-// prototype, enabling exactly that prototype's feature set; the app
-// registry records which kernel features each app needs, so Table 1's
-// "which app runs where" matrix is checked by the system, not asserted in
-// prose.
 package core
 
 import "fmt"

@@ -36,6 +36,13 @@ type Options struct {
 	// (multi-MB WAD, 480p clip), 0 or larger divisors = smaller/faster.
 	AssetScale int
 
+	// CacheShards and CacheBuffers size the sharded buffer cache both
+	// filesystems mount over (0 = bcache defaults). More shards cut lock
+	// contention under multicore IO; more buffers keep a bigger working
+	// set — DOOM's WAD, the FAT — out of the SD card's latency path.
+	CacheShards  int
+	CacheBuffers int
+
 	// WithKeyboard attaches the USB keyboard (default true from P4 on).
 	WithKeyboard *bool
 
@@ -178,6 +185,8 @@ func NewSystem(opts Options) (*System, error) {
 		EnableWM:      feats.Has(FeatWM),
 		EnableThreads: feats.Has(FeatSyscallsThread),
 		EnableTrace:   true,
+		CacheShards:   opts.CacheShards,
+		CacheBuffers:  opts.CacheBuffers,
 		RamdiskImage:  ramdisk,
 		ConsoleOut:    opts.ConsoleOut,
 	}

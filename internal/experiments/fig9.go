@@ -39,18 +39,28 @@ func fig9Benches() []fig9Bench {
 		{"fork", func(p *kernel.Proc, _ *core.System) (float64, error) {
 			// Give the process a meaty image so fork has pages to copy —
 			// this is where eager copy vs COW separates (paper: 17×).
-			if _, err := p.SysSbrk(96 * mm.PageSize); err != nil {
+			if _, err := p.SysSbrk(256 * mm.PageSize); err != nil {
 				return 0, err
 			}
-			return timeOps(40, func(int) error {
+			// Time only the fork() call: the child hand-off and wait()
+			// are scheduler latency, identical across modes, and noisy
+			// enough to swamp the copy-vs-COW difference Fig 9 plots.
+			const n = 40
+			var forkNS int64
+			for i := 0; i < n; i++ {
 				start := make(chan struct{})
-				if _, err := p.SysFork(func(c *kernel.Proc) { <-start }); err != nil {
-					return err
+				t0 := time.Now()
+				_, err := p.SysFork(func(c *kernel.Proc) { <-start })
+				forkNS += time.Since(t0).Nanoseconds()
+				if err != nil {
+					return 0, err
 				}
 				close(start)
-				_, _, err := p.SysWait()
-				return err
-			})
+				if _, _, err := p.SysWait(); err != nil {
+					return 0, err
+				}
+			}
+			return float64(forkNS) / n, nil
 		}},
 		{"sbrk", func(p *kernel.Proc, _ *core.System) (float64, error) {
 			return timeOps(2000, func(int) error {

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"protosim/internal/hw"
@@ -10,6 +11,139 @@ import (
 	"protosim/internal/kernel/sched"
 	"protosim/internal/kernel/wm"
 )
+
+// --- unified block IO path ---
+
+// BlockIO is the kernel's single entry point to a block device: every
+// filesystem mounts over one of these (the ramdisk under xv6fs, the SD
+// card under FAT32), so all block traffic — cached, range, or baseline
+// bypass — funnels through here and is accounted uniformly. /proc/diskstats
+// reports the counters and /dev/<name> exposes the raw (read-only) device.
+type BlockIO struct {
+	name string
+	dev  fs.BlockDevice
+
+	readCmds, readBlocks   atomic.Int64
+	writeCmds, writeBlocks atomic.Int64
+}
+
+// NewBlockIO wraps dev as a named kernel block device.
+func NewBlockIO(name string, dev fs.BlockDevice) *BlockIO {
+	return &BlockIO{name: name, dev: dev}
+}
+
+// Name returns the device name ("rd0", "sd0").
+func (d *BlockIO) Name() string { return d.name }
+
+// BlockSize implements fs.BlockDevice.
+func (d *BlockIO) BlockSize() int { return d.dev.BlockSize() }
+
+// Blocks implements fs.BlockDevice.
+func (d *BlockIO) Blocks() int { return d.dev.Blocks() }
+
+// ReadBlocks implements fs.BlockDevice.
+func (d *BlockIO) ReadBlocks(lba, n int, dst []byte) error {
+	d.readCmds.Add(1)
+	d.readBlocks.Add(int64(n))
+	return d.dev.ReadBlocks(lba, n, dst)
+}
+
+// WriteBlocks implements fs.BlockDevice.
+func (d *BlockIO) WriteBlocks(lba, n int, src []byte) error {
+	d.writeCmds.Add(1)
+	d.writeBlocks.Add(int64(n))
+	return d.dev.WriteBlocks(lba, n, src)
+}
+
+// Stats reports commands and blocks moved in each direction. The command
+// counts are what the §5.2 batching optimizations shrink: one range
+// command for n blocks instead of n single-block commands.
+func (d *BlockIO) Stats() (readCmds, readBlocks, writeCmds, writeBlocks int64) {
+	return d.readCmds.Load(), d.readBlocks.Load(), d.writeCmds.Load(), d.writeBlocks.Load()
+}
+
+// addBlockDev records a block device and, once /dev exists, exposes it as
+// a raw (read-only) device file.
+func (k *Kernel) addBlockDev(d *BlockIO) {
+	k.blockDevs = append(k.blockDevs, d)
+	if k.DevFS != nil {
+		k.registerBlockDevFile(d)
+	}
+}
+
+// BlockDevs lists the kernel's block devices.
+func (k *Kernel) BlockDevs() []*BlockIO { return k.blockDevs }
+
+func (k *Kernel) registerBlockDevFile(d *BlockIO) {
+	k.DevFS.Register(d.name, func(*sched.Task, int) (fs.File, error) {
+		return &blockFile{dev: d}, nil
+	})
+}
+
+// blockFile is a raw, read-only, seekable view of a block device —
+// `cat /dev/sd0` territory. Writes are refused: scribbling under a mounted
+// filesystem is how images get corrupted.
+type blockFile struct {
+	dev *BlockIO
+	mu  sync.Mutex
+	off int64
+}
+
+func (f *blockFile) Read(_ *sched.Task, p []byte) (int, error) {
+	bs := int64(f.dev.BlockSize())
+	size := int64(f.dev.Blocks()) * bs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.off >= size {
+		return 0, nil
+	}
+	if int64(len(p)) > size-f.off {
+		p = p[:size-f.off]
+	}
+	// Read the covering block range, then slice out the unaligned view.
+	first := f.off / bs
+	last := (f.off + int64(len(p)) - 1) / bs
+	buf := make([]byte, (last-first+1)*bs)
+	if err := f.dev.ReadBlocks(int(first), int(last-first+1), buf); err != nil {
+		return 0, err
+	}
+	n := copy(p, buf[f.off-first*bs:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *blockFile) Write(*sched.Task, []byte) (int, error) { return 0, fs.ErrPerm }
+func (f *blockFile) Close() error                           { return nil }
+func (f *blockFile) Stat() (fs.Stat, error) {
+	return fs.Stat{
+		Name: f.dev.Name(),
+		Type: fs.TypeDevice,
+		Size: int64(f.dev.Blocks()) * int64(f.dev.BlockSize()),
+	}, nil
+}
+
+// Lseek implements fs.Seeker.
+func (f *blockFile) Lseek(off int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case fs.SeekSet:
+		base = 0
+	case fs.SeekCur:
+		base = f.off
+	case fs.SeekEnd:
+		base = int64(f.dev.Blocks()) * int64(f.dev.BlockSize())
+	default:
+		return 0, fs.ErrBadSeek
+	}
+	n := base + off
+	if n < 0 {
+		return 0, fs.ErrBadSeek
+	}
+	f.off = n
+	return n, nil
+}
 
 // eventQueue buffers keyboard events for /dev/events when no window
 // manager is routing input (Prototype 4).

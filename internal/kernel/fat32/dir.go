@@ -82,7 +82,7 @@ func (f *FS) scanDir(t *sched.Task, dirCluster uint32, fn func(de *dirent83, ref
 	}
 	buf := make([]byte, ClusterSize)
 	for _, c := range clusters {
-		if err := f.readClusterData(t, c, buf); err != nil {
+		if err := f.readClusterCached(t, c, buf); err != nil {
 			return err
 		}
 		for i := 0; i < ClusterSize/direntSize; i++ {
@@ -130,11 +130,11 @@ func (f *FS) lookup(t *sched.Task, dirCluster uint32, name string) (*dirent83, d
 // writeDirent stores de at ref.
 func (f *FS) writeDirent(t *sched.Task, ref direntRef, de *dirent83) error {
 	buf := make([]byte, ClusterSize)
-	if err := f.readClusterData(t, ref.cluster, buf); err != nil {
+	if err := f.readClusterCached(t, ref.cluster, buf); err != nil {
 		return err
 	}
 	de.encode(buf[ref.index*direntSize:])
-	return f.writeClusterData(t, ref.cluster, buf)
+	return f.writeClusterCached(t, ref.cluster, buf)
 }
 
 // addDirent appends an entry to a directory, extending the chain when full.
@@ -145,7 +145,7 @@ func (f *FS) addDirent(t *sched.Task, dirCluster uint32, de *dirent83) error {
 	}
 	buf := make([]byte, ClusterSize)
 	for _, c := range clusters {
-		if err := f.readClusterData(t, c, buf); err != nil {
+		if err := f.readClusterCached(t, c, buf); err != nil {
 			return err
 		}
 		for i := 0; i < ClusterSize/direntSize; i++ {
@@ -153,12 +153,12 @@ func (f *FS) addDirent(t *sched.Task, dirCluster uint32, de *dirent83) error {
 			cur.decode(buf[i*direntSize:])
 			if cur.free() {
 				de.encode(buf[i*direntSize:])
-				return f.writeClusterData(t, c, buf)
+				return f.writeClusterCached(t, c, buf)
 			}
 		}
 	}
 	// Directory full: grow the chain.
-	nc, err := f.allocCluster(t)
+	nc, err := f.allocCluster(t, true)
 	if err != nil {
 		return err
 	}
@@ -166,21 +166,21 @@ func (f *FS) addDirent(t *sched.Task, dirCluster uint32, de *dirent83) error {
 	if err := f.fatSet(t, last, nc); err != nil {
 		return err
 	}
-	if err := f.readClusterData(t, nc, buf); err != nil {
+	if err := f.readClusterCached(t, nc, buf); err != nil {
 		return err
 	}
 	de.encode(buf[0:])
-	return f.writeClusterData(t, nc, buf)
+	return f.writeClusterCached(t, nc, buf)
 }
 
 // removeDirent marks an entry deleted (0xE5).
 func (f *FS) removeDirent(t *sched.Task, ref direntRef) error {
 	buf := make([]byte, ClusterSize)
-	if err := f.readClusterData(t, ref.cluster, buf); err != nil {
+	if err := f.readClusterCached(t, ref.cluster, buf); err != nil {
 		return err
 	}
 	buf[ref.index*direntSize] = 0xE5
-	return f.writeClusterData(t, ref.cluster, buf)
+	return f.writeClusterCached(t, ref.cluster, buf)
 }
 
 // walk resolves a cleaned absolute path to its directory entry. The root

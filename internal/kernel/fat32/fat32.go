@@ -5,11 +5,19 @@
 //
 //   - files and directories get *pseudo-inodes* (handle structures) because
 //     FAT has no inode concept;
-//   - data IO uses *range* transfers straight to the block device,
-//     bypassing the single-block buffer cache (§5.2's optimization) —
-//     metadata (FAT, directories) still goes through the cache;
+//   - data IO uses *range* transfers — multi-block commands that pay the
+//     SD command setup once per contiguous run (§5.2's optimization);
 //   - names are 8.3 (uppercase on disk, case-insensitive lookup), which
 //     covers Proto's assets (DOOM1.WAD, music, videos).
+//
+// Historically the range path bypassed the single-block buffer cache
+// because the cache could not express multi-block operations. The sharded
+// bcache now supports range reads/writes natively, so all IO — data and
+// metadata — flows through one cache (DataPathRange, the default). The two
+// older paths survive only as measurement baselines: DataPathSingleBlock
+// reproduces the xv6 per-sector cached loop for Figure 9's ModeXv6 column,
+// and DataPathBypass reproduces the pre-cache direct-device path so
+// benchmarks can show what caching range IO buys.
 package fat32
 
 import (
@@ -45,6 +53,41 @@ const (
 // ErrBadFS reports an unrecognized boot sector.
 var ErrBadFS = errors.New("fat32: bad boot sector")
 
+// DataPath selects how file data reaches the block device. Metadata (FAT,
+// directories) always goes through the buffer cache.
+type DataPath int
+
+// Data paths. Only DataPathRange is a production path; the other two exist
+// so experiments can reproduce the baselines the paper compares against.
+// Switching paths on a live volume is a benchmark-harness affordance:
+// callers must Sync first, and the bypass path must not run concurrently
+// with cached writes to the same clusters.
+const (
+	// DataPathRange (default) sends multi-block range operations through
+	// the sharded buffer cache: cached blocks from memory, misses
+	// coalesced into single device commands, batched writeback.
+	DataPathRange DataPath = iota
+	// DataPathSingleBlock loops over sectors through the cache one block
+	// at a time — the xv6 baseline of Figure 9 (kernel ModeXv6).
+	DataPathSingleBlock
+	// DataPathBypass issues range commands directly to the device,
+	// skipping the cache — the pre-sharded-cache behavior, kept as the
+	// benchmark baseline the sharded cache is measured against.
+	DataPathBypass
+)
+
+func (p DataPath) String() string {
+	switch p {
+	case DataPathRange:
+		return "range"
+	case DataPathSingleBlock:
+		return "single-block"
+	case DataPathBypass:
+		return "bypass"
+	}
+	return "?"
+}
+
 // FS is a mounted FAT32 volume.
 type FS struct {
 	dev fs.BlockDevice
@@ -60,12 +103,9 @@ type FS struct {
 
 	mu          sync.Mutex
 	pseudo      map[uint32]*pseudoInode // keyed by first cluster
-	rangeReads  int64
+	dataPath    DataPath
+	rangeOps    int64
 	rangeBlocks int64
-
-	// useBcacheForData disables the §5.2 bypass so benchmarks can measure
-	// what it buys (the ModeXv6 baseline keeps the cache in the path).
-	useBcacheForData bool
 }
 
 // pseudoInode bridges FAT (no inodes) to Proto's file layer: one per open
@@ -133,12 +173,18 @@ func Mkfs(dev fs.BlockDevice) error {
 	return nil
 }
 
-// Mount opens a FAT32 volume.
+// Mount opens a FAT32 volume with default cache sizing.
 func Mount(dev fs.BlockDevice, t *sched.Task) (*FS, error) {
+	return MountWith(dev, t, bcache.Options{})
+}
+
+// MountWith opens a FAT32 volume with an explicitly configured buffer
+// cache (shard count, buffer count, readahead).
+func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, error) {
 	if dev.BlockSize() != SectorSize {
 		return nil, fmt.Errorf("%w: sector size %d", ErrBadFS, dev.BlockSize())
 	}
-	f := &FS{dev: dev, bc: bcache.New(dev, bcache.DefaultBuffers), pseudo: make(map[uint32]*pseudoInode)}
+	f := &FS{dev: dev, bc: bcache.NewWithOptions(dev, copts), pseudo: make(map[uint32]*pseudoInode)}
 	boot := make([]byte, SectorSize)
 	if err := dev.ReadBlocks(0, 1, boot); err != nil {
 		return nil, err
@@ -155,23 +201,44 @@ func Mount(dev fs.BlockDevice, t *sched.Task) (*FS, error) {
 	return f, nil
 }
 
-// SetDataThroughCache forces data IO through the single-block buffer cache
-// (disabling the §5.2 bypass); used by the xv6-baseline benchmarks.
-func (f *FS) SetDataThroughCache(on bool) {
+// SetDataPath switches the data IO strategy (benchmark baselines only —
+// see DataPath). Callers must Sync before switching away from a cached
+// path; the clean cache contents are dropped here so neither side of the
+// switch can serve — or leave behind — stale copies.
+func (f *FS) SetDataPath(p DataPath) {
 	f.mu.Lock()
-	f.useBcacheForData = on
+	changed := f.dataPath != p
+	f.dataPath = p
 	f.mu.Unlock()
+	if changed {
+		f.bc.Invalidate()
+	}
 }
 
-// RangeStats reports bypassed range transfers (reads, blocks).
+// DataPath reports the active data IO strategy.
+func (f *FS) DataPath() DataPath {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dataPath
+}
+
+// RangeStats reports range transfers issued by the data path (ops, blocks).
 func (f *FS) RangeStats() (ops, blocks int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.rangeReads, f.rangeBlocks
+	return f.rangeOps, f.rangeBlocks
 }
 
-// Cache exposes the metadata buffer cache.
+// Cache exposes the buffer cache (all IO flows through it by default).
 func (f *FS) Cache() *bcache.Cache { return f.bc }
+
+// countRange accounts one multi-block transfer of n sectors.
+func (f *FS) countRange(n int) {
+	f.mu.Lock()
+	f.rangeOps++
+	f.rangeBlocks += int64(n)
+	f.mu.Unlock()
+}
 
 // --- FAT access (through the buffer cache; caller holds f.lock) ---
 
@@ -201,8 +268,14 @@ func (f *FS) fatSet(t *sched.Task, cluster, val uint32) error {
 	return nil
 }
 
-// allocCluster finds a free FAT entry, links it as end-of-chain.
-func (f *FS) allocCluster(t *sched.Task) (uint32, error) {
+// allocCluster finds a free FAT entry and links it as end-of-chain. Only
+// directory clusters and partially-covered file clusters need zeroing
+// (the scan depends on the 0 end-mark; unwritten file bytes must read as
+// zeros). A caller passing zero=false promises the cluster is either
+// fully overwritten by its write or unlinked again on failure (see
+// file.Write's rollback) — skipping the zero write halves the device
+// traffic of appends.
+func (f *FS) allocCluster(t *sched.Task, zero bool) (uint32, error) {
 	for c := uint32(rootCluster); c < uint32(f.clusters+rootCluster); c++ {
 		v, err := f.fatGet(t, c)
 		if err != nil {
@@ -212,10 +285,12 @@ func (f *FS) allocCluster(t *sched.Task) (uint32, error) {
 			if err := f.fatSet(t, c, endOfChain); err != nil {
 				return 0, err
 			}
-			// Zero the cluster (directories depend on this).
-			zero := make([]byte, ClusterSize)
-			if err := f.writeClusterData(t, c, zero); err != nil {
-				return 0, err
+			if zero {
+				// Zeroing always goes through the cache (write-through),
+				// so every path observes the zeros in every mode.
+				if err := f.writeClusterCached(t, c, make([]byte, ClusterSize)); err != nil {
+					return 0, err
+				}
 			}
 			return c, nil
 		}
@@ -259,15 +334,12 @@ func (f *FS) clusterSector(c uint32) int {
 	return f.dataStart + int(c-rootCluster)*SectorsPerCluster
 }
 
-// readClusterData reads one whole cluster. Data path: a single range read
-// (the bypass), or 8 single-block cached reads in baseline mode.
-func (f *FS) readClusterData(t *sched.Task, c uint32, dst []byte) error {
-	sector := f.clusterSector(c)
-	f.mu.Lock()
-	cached := f.useBcacheForData
-	f.mu.Unlock()
-	if cached {
-		for s := 0; s < SectorsPerCluster; s++ {
+// devRead moves nsec sectors starting at sector into dst along the
+// active data path — the one dispatch point every data read shares.
+func (f *FS) devRead(t *sched.Task, sector, nsec int, dst []byte) error {
+	switch f.DataPath() {
+	case DataPathSingleBlock:
+		for s := 0; s < nsec; s++ {
 			b, err := f.bc.Get(t, sector+s)
 			if err != nil {
 				return err
@@ -276,21 +348,20 @@ func (f *FS) readClusterData(t *sched.Task, c uint32, dst []byte) error {
 			f.bc.Release(b)
 		}
 		return nil
+	case DataPathBypass:
+		f.countRange(nsec)
+		return f.dev.ReadBlocks(sector, nsec, dst)
+	default:
+		f.countRange(nsec)
+		return f.bc.ReadRange(t, sector, nsec, dst)
 	}
-	f.mu.Lock()
-	f.rangeReads++
-	f.rangeBlocks += SectorsPerCluster
-	f.mu.Unlock()
-	return f.dev.ReadBlocks(sector, SectorsPerCluster, dst)
 }
 
-func (f *FS) writeClusterData(t *sched.Task, c uint32, src []byte) error {
-	sector := f.clusterSector(c)
-	f.mu.Lock()
-	cached := f.useBcacheForData
-	f.mu.Unlock()
-	if cached {
-		for s := 0; s < SectorsPerCluster; s++ {
+// devWrite is devRead's write-side twin.
+func (f *FS) devWrite(t *sched.Task, sector, nsec int, src []byte) error {
+	switch f.DataPath() {
+	case DataPathSingleBlock:
+		for s := 0; s < nsec; s++ {
 			b, err := f.bc.Get(t, sector+s)
 			if err != nil {
 				return err
@@ -300,65 +371,119 @@ func (f *FS) writeClusterData(t *sched.Task, c uint32, src []byte) error {
 			f.bc.Release(b)
 		}
 		return nil
+	case DataPathBypass:
+		f.countRange(nsec)
+		return f.dev.WriteBlocks(sector, nsec, src)
+	default:
+		f.countRange(nsec)
+		return f.bc.WriteRange(t, sector, nsec, src)
 	}
-	f.mu.Lock()
-	f.rangeReads++
-	f.rangeBlocks += SectorsPerCluster
-	f.mu.Unlock()
-	return f.dev.WriteBlocks(sector, SectorsPerCluster, src)
 }
 
-// readRange reads contiguous cluster runs with single range commands — the
-// §5.2 fast path whose effect Fig 8's throughput sweep shows.
-func (f *FS) readRange(t *sched.Task, clusters []uint32, off int, dst []byte) error {
-	// Walk [off, off+len(dst)) across the chain, coalescing contiguous
-	// clusters into one device command.
+// readClusterData reads one whole cluster along the active data path.
+func (f *FS) readClusterData(t *sched.Task, c uint32, dst []byte) error {
+	return f.devRead(t, f.clusterSector(c), SectorsPerCluster, dst)
+}
+
+// writeClusterData writes one whole cluster along the active data path.
+func (f *FS) writeClusterData(t *sched.Task, c uint32, src []byte) error {
+	return f.devWrite(t, f.clusterSector(c), SectorsPerCluster, src)
+}
+
+// readClusterCached / writeClusterCached are the metadata variants:
+// directory clusters (and cluster zeroing) always go through the buffer
+// cache no matter the DataPath, so the benchmark baselines can never
+// leave a stale cached directory behind. Write-through keeps the device
+// current for the bypass path.
+func (f *FS) readClusterCached(t *sched.Task, c uint32, dst []byte) error {
+	return f.bc.ReadRange(t, f.clusterSector(c), SectorsPerCluster, dst)
+}
+
+func (f *FS) writeClusterCached(t *sched.Task, c uint32, src []byte) error {
+	return f.bc.WriteRange(t, f.clusterSector(c), SectorsPerCluster, src)
+}
+
+// clusterRuns walks [off, off+size) across the chain and calls partial for
+// unaligned edges and aligned for maximal contiguous full-cluster runs —
+// the coalescing that turns a big sequential transfer into a handful of
+// range commands (§5.2, Fig 8's throughput sweep).
+func (f *FS) clusterRuns(clusters []uint32, off, size int,
+	partial func(ci, co, n int) error, aligned func(ci, run int) error) (int, error) {
 	done := 0
-	for done < len(dst) {
+	for done < size {
 		pos := off + done
 		ci := pos / ClusterSize
 		co := pos % ClusterSize
 		if ci >= len(clusters) {
-			return fmt.Errorf("fat32: read beyond chain")
+			return done, fmt.Errorf("fat32: access beyond chain")
 		}
-		if co != 0 || len(dst)-done < ClusterSize {
-			// Partial cluster: read it whole, copy the piece.
+		if co != 0 || size-done < ClusterSize {
+			n := ClusterSize - co
+			if n > size-done {
+				n = size - done
+			}
+			if err := partial(ci, co, n); err != nil {
+				return done, err
+			}
+			done += n
+			continue
+		}
+		run := 1
+		for ci+run < len(clusters) &&
+			clusters[ci+run] == clusters[ci]+uint32(run) &&
+			done+(run+1)*ClusterSize <= size {
+			run++
+		}
+		if err := aligned(ci, run); err != nil {
+			return done, err
+		}
+		done += run * ClusterSize
+	}
+	return done, nil
+}
+
+// readRange reads [off, off+len(dst)) of a cluster chain, coalescing
+// contiguous clusters into multi-block commands through the cache (or the
+// baseline paths).
+func (f *FS) readRange(t *sched.Task, clusters []uint32, off int, dst []byte) error {
+	pos := 0 // write cursor into dst, advanced in lockstep with the walk
+	_, err := f.clusterRuns(clusters, off, len(dst),
+		func(ci, co, n int) error {
 			buf := make([]byte, ClusterSize)
 			if err := f.readClusterData(t, clusters[ci], buf); err != nil {
 				return err
 			}
-			n := copy(dst[done:], buf[co:])
-			done += n
-			continue
-		}
-		// Aligned: coalesce a contiguous run.
-		run := 1
-		for ci+run < len(clusters) &&
-			clusters[ci+run] == clusters[ci]+uint32(run) &&
-			done+(run+1)*ClusterSize <= len(dst) {
-			run++
-		}
-		f.mu.Lock()
-		cached := f.useBcacheForData
-		f.mu.Unlock()
-		if cached {
-			for k := 0; k < run; k++ {
-				if err := f.readClusterData(t, clusters[ci+k], dst[done+k*ClusterSize:done+(k+1)*ClusterSize]); err != nil {
-					return err
-				}
-			}
-		} else {
-			sector := f.clusterSector(clusters[ci])
-			nsec := run * SectorsPerCluster
-			f.mu.Lock()
-			f.rangeReads++
-			f.rangeBlocks += int64(nsec)
-			f.mu.Unlock()
-			if err := f.dev.ReadBlocks(sector, nsec, dst[done:done+run*ClusterSize]); err != nil {
+			copy(dst[pos:pos+n], buf[co:])
+			pos += n
+			return nil
+		},
+		func(ci, run int) error {
+			out := dst[pos : pos+run*ClusterSize]
+			pos += run * ClusterSize
+			return f.devRead(t, f.clusterSector(clusters[ci]), run*SectorsPerCluster, out)
+		})
+	return err
+}
+
+// writeRange writes src at [off, off+len(src)) of a cluster chain, which
+// must already be long enough. Aligned full-cluster runs go out as single
+// multi-block commands; unaligned edges read-modify-write their cluster.
+// Returns how many leading bytes landed (short-write reporting).
+func (f *FS) writeRange(t *sched.Task, clusters []uint32, off int, src []byte) (int, error) {
+	pos := 0
+	return f.clusterRuns(clusters, off, len(src),
+		func(ci, co, n int) error {
+			buf := make([]byte, ClusterSize)
+			if err := f.readClusterData(t, clusters[ci], buf); err != nil {
 				return err
 			}
-		}
-		done += run * ClusterSize
-	}
-	return nil
+			copy(buf[co:], src[pos:pos+n])
+			pos += n
+			return f.writeClusterData(t, clusters[ci], buf)
+		},
+		func(ci, run int) error {
+			in := src[pos : pos+run*ClusterSize]
+			pos += run * ClusterSize
+			return f.devWrite(t, f.clusterSector(clusters[ci]), run*SectorsPerCluster, in)
+		})
 }

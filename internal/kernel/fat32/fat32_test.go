@@ -264,10 +264,23 @@ func TestSDErrorSurfaces(t *testing.T) {
 	}
 	fl, _ := f.Open(nil, "/x.bin", fs.OCreate|fs.ORdWr)
 	fl.Write(nil, make([]byte, 64<<10))
-	fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+	fl.Close()
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Remount for a cold cache: with the data resident, a read would be
+	// served from memory and never touch the failing device.
+	f2, err := Mount(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl2, err := f2.Open(nil, "/x.bin", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sd.InjectErrors(1)
 	buf := make([]byte, 64<<10)
-	if _, err := fl.Read(nil, buf); err == nil {
+	if _, err := fl2.Read(nil, buf); err == nil {
 		t.Fatal("injected SD error did not surface")
 	}
 }
@@ -365,4 +378,119 @@ func TestWriteAtOffsets(t *testing.T) {
 	if !bytes.Equal(got[:len(model)], model) {
 		t.Fatal("offset writes diverged from model")
 	}
+}
+
+// --- sharded-cache data path (this replaces the §5.2 bypass) ---
+
+func TestDataFlowsThroughCache(t *testing.T) {
+	sd := hw.NewSDCard(4096, hw.NewIRQController(1))
+	sd.SetLatencyScale(0)
+	dev := sdDev{sd}
+	if err := Mkfs(dev); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Mount(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DataPath() != DataPathRange {
+		t.Fatalf("default data path = %v, want range", f.DataPath())
+	}
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	fl, err := f.Open(nil, "/data.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	ops, blocks := f.RangeStats()
+	if ops == 0 || blocks == 0 {
+		t.Fatalf("write issued no range transfers (ops=%d blocks=%d)", ops, blocks)
+	}
+	cro, _, _ := f.Cache().RangeStats()
+	if cro == 0 {
+		t.Fatal("cache saw no range operations — data is not flowing through it")
+	}
+	// Warm read: the file was write-allocated, so no device reads happen.
+	_, r0, _, _ := sd.Stats()
+	fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+	got := make([]byte, len(payload))
+	if _, err := fl.Read(nil, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("cached read returned wrong data")
+	}
+	_, r1, _, _ := sd.Stats()
+	if r1 != r0 {
+		t.Fatalf("warm read hit the device: %d -> %d blocks", r0, r1)
+	}
+	fl.Close()
+}
+
+func TestDataPathModesAgree(t *testing.T) {
+	payload := make([]byte, 100<<10) // unaligned tail exercises partials
+	for i := range payload {
+		payload[i] = byte(i ^ (i >> 8))
+	}
+	f := newFS(t, 4096)
+	fl, err := f.Open(nil, "/agree.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	fl.Close()
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []DataPath{DataPathRange, DataPathSingleBlock, DataPathBypass} {
+		f.SetDataPath(p)
+		fl, err := f.Open(nil, "/agree.bin", fs.ORdOnly)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		got := make([]byte, len(payload))
+		if _, err := fl.Read(nil, got); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("data path %v read different bytes", p)
+		}
+		fl.Close()
+	}
+}
+
+func TestRangeWritesCoalesceCommands(t *testing.T) {
+	sd := hw.NewSDCard(8192, hw.NewIRQController(1))
+	sd.SetLatencyScale(0)
+	dev := sdDev{sd}
+	if err := Mkfs(dev); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Mount(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := f.Open(nil, "/big.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _, _, _ := sd.Stats()
+	// One 256 KB write over a fresh contiguous chain: the data itself
+	// should go out in a handful of multi-block commands, far fewer than
+	// the 512 sectors it covers.
+	if _, err := fl.Write(nil, make([]byte, 256<<10)); err != nil {
+		t.Fatal(err)
+	}
+	c1, _, _, _ := sd.Stats()
+	if cmds := c1 - c0; cmds > 200 {
+		t.Fatalf("256 KB write issued %d device commands; range batching missing", cmds)
+	}
+	fl.Close()
 }

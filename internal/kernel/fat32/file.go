@@ -111,7 +111,7 @@ func (f *FS) createLocked(t *sched.Task, path string, dir bool) (*dirent83, dire
 	if !ok {
 		return nil, direntRef{}, fs.ErrNameTooLong
 	}
-	c, err := f.allocCluster(t)
+	c, err := f.allocCluster(t, true)
 	if err != nil {
 		return nil, direntRef{}, err
 	}
@@ -179,8 +179,14 @@ func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
 	return fs.Stat{Name: name, Type: typ, Size: int64(de.size), Inode: uint64(de.cluster)}, nil
 }
 
-// Sync flushes the metadata cache.
-func (f *FS) Sync(t *sched.Task) error { return f.bc.Flush(t) }
+// Sync flushes dirty cache state, batched. It takes the volume lock like
+// every other operation: the cache's range paths rely on the filesystem
+// serializing its IO, so Flush must not run concurrently with a Write.
+func (f *FS) Sync(t *sched.Task) error {
+	f.lock.Lock(t)
+	defer f.lock.Unlock()
+	return f.bc.Flush(t)
+}
 
 // --- fs.File implementation ---
 
@@ -234,38 +240,57 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	// Grow the chain to cover end.
+	origLen := len(clusters)
+	// rollback unlinks and frees clusters appended by this write, so a
+	// failed write leaves the chain exactly as it found it — in
+	// particular, no unzeroed cluster stays reachable (see allocCluster:
+	// fully-covered clusters skip zeroing on the promise the data write
+	// lands or the cluster is unlinked). Best-effort: the write's own
+	// error is what the caller sees.
+	rollback := func() {
+		if len(clusters) == origLen {
+			return
+		}
+		fl.fsys.fatSet(t, clusters[origLen-1], endOfChain)
+		fl.fsys.freeChain(t, clusters[origLen])
+	}
+	// Grow the chain to cover end. A new cluster fully covered by this
+	// write is about to be overwritten whole — skip its zeroing write;
+	// partially covered ones (tail, seek-past-EOF gaps) still get zeroed
+	// so unwritten bytes read back as zeros.
 	for int64(len(clusters))*ClusterSize < end {
-		nc, err := fl.fsys.allocCluster(t)
+		span0 := int64(len(clusters)) * ClusterSize
+		covered := off <= span0 && end >= span0+ClusterSize
+		nc, err := fl.fsys.allocCluster(t, !covered)
 		if err != nil {
+			rollback()
 			return 0, err
 		}
 		if err := fl.fsys.fatSet(t, clusters[len(clusters)-1], nc); err != nil {
+			fl.fsys.fatSet(t, nc, freeClust)
+			rollback()
 			return 0, err
 		}
 		clusters = append(clusters, nc)
 	}
-	// Write cluster by cluster (read-modify-write partials).
-	done := 0
-	buf := make([]byte, ClusterSize)
-	for done < len(p) {
-		pos := int(off) + done
-		ci := pos / ClusterSize
-		co := pos % ClusterSize
-		n := ClusterSize - co
-		if n > len(p)-done {
-			n = len(p) - done
+	// Range write: contiguous full clusters coalesce into single
+	// multi-block commands, unaligned edges read-modify-write. On error
+	// the appended clusters are unlinked and the reported short-write
+	// count is clamped to the old file size: bytes that landed in
+	// rolled-back clusters are not durable, while in-place overwrites
+	// below the old size are.
+	oldSize := int64(fl.pi.size)
+	done, err := fl.fsys.writeRange(t, clusters, int(off), p)
+	if err != nil {
+		rollback()
+		durable := oldSize - off
+		if durable < 0 {
+			durable = 0
 		}
-		if co != 0 || n != ClusterSize {
-			if err := fl.fsys.readClusterData(t, clusters[ci], buf); err != nil {
-				return done, err
-			}
+		if int64(done) > durable {
+			done = int(durable)
 		}
-		copy(buf[co:], p[done:done+n])
-		if err := fl.fsys.writeClusterData(t, clusters[ci], buf); err != nil {
-			return done, err
-		}
-		done += n
+		return done, err
 	}
 	fl.mu.Lock()
 	fl.off = off + int64(done)
@@ -276,12 +301,15 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 		ref := direntRef{cluster: fl.pi.dirCluster, index: fl.pi.dirIndex}
 		var de dirent83
 		dbuf := make([]byte, ClusterSize)
-		if err := fl.fsys.readClusterData(t, ref.cluster, dbuf); err != nil {
+		if err := fl.fsys.readClusterCached(t, ref.cluster, dbuf); err != nil {
 			return done, err
 		}
 		de.decode(dbuf[ref.index*direntSize:])
 		de.size = fl.pi.size
-		if err := fl.fsys.writeDirent(t, ref, &de); err != nil {
+		// Patch the entry into the cluster already in hand — writeDirent
+		// would re-read the same cluster for nothing.
+		de.encode(dbuf[ref.index*direntSize:])
+		if err := fl.fsys.writeClusterCached(t, ref.cluster, dbuf); err != nil {
 			return done, err
 		}
 	}

@@ -2,6 +2,12 @@
 // device files (devfs), proc files (procfs), pipes, and the VFS that
 // dispatches paths to mounted filesystems — the root xv6fs at "/" and the
 // FAT32 SD partition at "/d" in Prototype 5 (§4.5).
+//
+// The package also defines the two contracts the storage stack hangs off:
+// BlockDevice, the multi-block command interface every filesystem's cache
+// drives (and the kernel's BlockIO wraps), and Syncer, which VFS.SyncAll
+// uses as the single flush path for every mounted filesystem's write-back
+// state. See ARCHITECTURE.md for the full layer diagram.
 package fs
 
 import (
@@ -120,6 +126,14 @@ type FileSystem interface {
 	Mkdir(t *sched.Task, path string) error
 	Unlink(t *sched.Task, path string) error
 	Stat(t *sched.Task, path string) (Stat, error)
+}
+
+// Syncer is implemented by filesystems with dirty state to flush (disk
+// filesystems over a write-back buffer cache). VFS.SyncAll drives it at
+// shutdown; devfs/procfs have nothing to flush and simply don't implement
+// it.
+type Syncer interface {
+	Sync(t *sched.Task) error
 }
 
 // BlockDevice abstracts the storage under a filesystem: the ramdisk under

@@ -100,6 +100,28 @@ func (v *VFS) Unlink(t *sched.Task, path string) error {
 	return fsys.Unlink(t, rel)
 }
 
+// SyncAll flushes every mounted filesystem that implements Syncer — the
+// one unified flush path (shutdown, sync syscalls). All errors are
+// reported; flushing continues past a failing filesystem so one bad device
+// doesn't strand the others' dirty blocks.
+func (v *VFS) SyncAll(t *sched.Task) error {
+	v.mu.RLock()
+	fss := make([]FileSystem, 0, len(v.mounts))
+	for _, fsys := range v.mounts {
+		fss = append(fss, fsys)
+	}
+	v.mu.RUnlock()
+	var firstErr error
+	for _, fsys := range fss {
+		if s, ok := fsys.(Syncer); ok {
+			if err := s.Sync(t); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
 // Stat stats a path.
 func (v *VFS) Stat(t *sched.Task, path string) (Stat, error) {
 	fsys, rel, err := v.resolve(path)

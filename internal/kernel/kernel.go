@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"protosim/internal/hw"
+	"protosim/internal/kernel/bcache"
 	"protosim/internal/kernel/fat32"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/kdebug"
@@ -78,6 +79,12 @@ type Config struct {
 	EnableThreads bool // clone + semaphores
 	EnableTrace   bool // kdebug event tracing
 
+	// Buffer-cache sizing for both filesystems (0 = bcache defaults).
+	// Shard count trades lock contention for memory locality; buffer
+	// count bounds how much of the working set stays cached.
+	CacheShards  int
+	CacheBuffers int
+
 	RamdiskImage []byte // xv6fs image for the root filesystem
 
 	// ConsoleOut tees printk output (nil = in-memory transcript only).
@@ -111,6 +118,9 @@ type Kernel struct {
 	procs    map[int]*Proc
 	nextPID  int
 	programs map[string]Program
+
+	blockDevs   []*BlockIO               // every block device, behind the unified IO path
+	blockCaches map[string]*bcache.Cache // device name -> its buffer cache (diskstats)
 
 	rawEvents *eventQueue // keyboard events when no WM runs
 	kbdAddr   byte
@@ -264,33 +274,39 @@ func (k *Kernel) Boot() error {
 	}
 	k.FB = fb
 
-	// Filesystems.
+	// Filesystems. Every mount goes over a BlockIO — the unified block IO
+	// path — and a sharded buffer cache sized by the Config knobs.
+	copts := bcache.Options{Buffers: k.cfg.CacheBuffers, Shards: k.cfg.CacheShards}
+	if k.cfg.Mode == ModeXv6 {
+		// The xv6 baseline gets xv6's cache everywhere: one shard, NBUF
+		// buffers, no readahead — Figure 9 measures the original
+		// structure, not a shrunken sharded one.
+		copts = bcache.Options{Buffers: bcache.Xv6Buffers, Shards: 1, Readahead: -1}
+	}
+	k.blockCaches = make(map[string]*bcache.Cache)
 	if k.cfg.EnableFiles {
 		k.VFS = fs.NewVFS()
+		var rd *fs.Ramdisk
 		if k.cfg.RamdiskImage != nil {
-			rd := fs.NewRamdiskFromImage(xv6fs.BlockSize, k.cfg.RamdiskImage)
-			root, err := xv6fs.Mount(rd, nil)
-			if err != nil {
-				return fmt.Errorf("kernel: root fs: %w", err)
-			}
-			k.RootFS = root
-			if err := k.VFS.Mount("/", root); err != nil {
-				return err
-			}
+			rd = fs.NewRamdiskFromImage(xv6fs.BlockSize, k.cfg.RamdiskImage)
 		} else {
 			// An empty root if no image was packed.
-			rd, err := xv6fs.BuildImage(1024, 128, nil)
+			img, err := xv6fs.BuildImage(1024, 128, nil)
 			if err != nil {
 				return err
 			}
-			root, err := xv6fs.Mount(rd, nil)
-			if err != nil {
-				return err
-			}
-			k.RootFS = root
-			if err := k.VFS.Mount("/", root); err != nil {
-				return err
-			}
+			rd = img
+		}
+		rdev := NewBlockIO("rd0", rd)
+		k.addBlockDev(rdev)
+		root, err := xv6fs.MountWith(rdev, nil, copts)
+		if err != nil {
+			return fmt.Errorf("kernel: root fs: %w", err)
+		}
+		k.RootFS = root
+		k.blockCaches[rdev.Name()] = root.Cache()
+		if err := k.VFS.Mount("/", root); err != nil {
+			return err
 		}
 		k.DevFS = fs.NewDevFS()
 		k.ProcFS = fs.NewProcFS()
@@ -302,19 +318,25 @@ func (k *Kernel) Boot() error {
 		}
 		k.registerProcFiles()
 		k.registerDevices()
+		for _, d := range k.blockDevs {
+			k.registerBlockDevFile(d)
+		}
 	}
 
 	if k.cfg.EnableFAT {
 		if k.m.SD == nil {
 			return fmt.Errorf("kernel: FAT32 enabled but no SD card")
 		}
-		fatfs, err := fat32.Mount(sdBlockDev{k.m.SD}, nil)
+		sdio := NewBlockIO("sd0", sdBlockDev{k.m.SD})
+		fatfs, err := fat32.MountWith(sdio, nil, copts)
 		if err != nil {
 			return fmt.Errorf("kernel: FAT32: %w", err)
 		}
 		k.FatFS = fatfs
+		k.blockCaches[sdio.Name()] = fatfs.Cache()
 		if k.cfg.Mode == ModeXv6 {
-			fatfs.SetDataThroughCache(true)
+			// ...and loops sector-by-sector, one command per block.
+			fatfs.SetDataPath(fat32.DataPathSingleBlock)
 		}
 		if k.cfg.Mode == ModeProd {
 			k.m.SD.SetDMA(true)
@@ -325,6 +347,7 @@ func (k *Kernel) Boot() error {
 		if err := k.VFS.Mount("/d", fatfs); err != nil {
 			return err
 		}
+		k.addBlockDev(sdio)
 	}
 
 	// USB keyboard.
@@ -395,11 +418,12 @@ func (k *Kernel) Shutdown() error {
 	if k.VTimers != nil {
 		k.VTimers.Close()
 	}
-	if k.RootFS != nil {
-		k.RootFS.Sync(nil)
-	}
-	if k.FatFS != nil {
-		k.FatFS.Sync(nil)
+	// One unified flush path: every mounted filesystem that can sync does.
+	// Only after a clean scheduler shutdown — Sync takes the volume locks,
+	// and a wedged task that survived the timeout may still hold one; a
+	// hung host process is worse than skipping the final flush.
+	if k.VFS != nil && err == nil {
+		k.VFS.SyncAll(nil)
 	}
 	k.m.Shutdown()
 	return err
@@ -423,6 +447,25 @@ func (k *Kernel) registerProcFiles() {
 	})
 	k.ProcFS.Register("uptime", func() string {
 		return fmt.Sprintf("%.3f\n", k.Uptime().Seconds())
+	})
+	k.ProcFS.Register("diskstats", func() string {
+		var b strings.Builder
+		for _, d := range k.blockDevs {
+			rc, rb, wc, wb := d.Stats()
+			fmt.Fprintf(&b, "%s read_cmds=%d read_blocks=%d write_cmds=%d write_blocks=%d\n",
+				d.Name(), rc, rb, wc, wb)
+		}
+		for _, d := range k.blockDevs {
+			c := k.blockCaches[d.Name()]
+			if c == nil {
+				continue
+			}
+			h, m, ev, wb := c.Stats()
+			ro, rbl, ra := c.RangeStats()
+			fmt.Fprintf(&b, "%s.cache hits=%d misses=%d evictions=%d writebacks=%d range_ops=%d range_blocks=%d readahead=%d\n",
+				d.Name(), h, m, ev, wb, ro, rbl, ra)
+		}
+		return b.String()
 	})
 	k.ProcFS.Register("tasks", func() string {
 		var b strings.Builder

@@ -110,10 +110,23 @@ func (k *Kernel) Spawn(name string, prio int, fn Program, argv []string) *Proc {
 		p.mm = mm.NewAddressSpace(k.FrameAlloc)
 		p.mm.SetupStack(mm.DefaultStackVA, mm.MaxStackPages)
 	}
-	p.Task = k.Sched.Go(name, prio, func(t *sched.Task) {
+	k.startProcTask(p, prio, func() {
 		p.runBody(func() int { return fn(p, argv) })
 	})
 	return p
+}
+
+// startProcTask launches body as p's scheduler task. The body (and every
+// syscall it makes) reads p.Task, and a core may dispatch the task before
+// Sched.Go returns — so the task waits on a gate that is closed only after
+// the p.Task assignment completes.
+func (k *Kernel) startProcTask(p *Proc, prio int, body func()) {
+	ready := make(chan struct{})
+	p.Task = k.Sched.Go(p.Name, prio, func(*sched.Task) {
+		<-ready
+		body()
+	})
+	close(ready)
 }
 
 // runBody executes a process body, translating exit() unwinds and cleaning
@@ -212,7 +225,7 @@ func (p *Proc) SysFork(childBody func(c *Proc)) (int, error) {
 	p.mu.Lock()
 	p.children[child.PID] = child
 	p.mu.Unlock()
-	child.Task = p.k.Sched.Go(child.Name, p.Task.Priority, func(t *sched.Task) {
+	p.k.startProcTask(child, p.Task.Priority, func() {
 		child.runBody(func() int { childBody(child); return 0 })
 	})
 	return child.PID, nil
@@ -367,7 +380,7 @@ func (p *Proc) SysClone(name string, body func(threadProc *Proc)) (int, error) {
 	leader.mu.Lock()
 	leader.threads++
 	leader.mu.Unlock()
-	thread.Task = p.k.Sched.Go(thread.Name, p.Task.Priority, func(t *sched.Task) {
+	p.k.startProcTask(thread, p.Task.Priority, func() {
 		thread.runBodyThread(func() { body(thread) })
 	})
 	return thread.PID, nil

@@ -164,6 +164,7 @@ func (s *Scheduler) finalize(t *Task, panicked any) {
 		s.cfg.OnPanic(t, panicked)
 	}
 	s.trace(t.Core(), "exit", int64(t.ID), 0)
+	t.chargeCPU()
 	t.release <- releaseExit
 	s.mu.Lock()
 	delete(s.tasks, t.ID)
@@ -258,10 +259,10 @@ func (s *Scheduler) coreLoop(core int) {
 		t.switches.Add(1)
 		s.trace(core, "switch-in", int64(t.ID), 0)
 		start := time.Now()
+		t.lastGrant.Store(monoNow())
 		t.grant <- struct{}{}
 		reason := <-t.release
 		busy := time.Since(start)
-		t.cpuTime.Add(int64(busy))
 		if s.cfg.Power != nil {
 			s.cfg.Power.AddBusy(core, busy)
 		}

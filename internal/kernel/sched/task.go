@@ -91,6 +91,7 @@ type Task struct {
 
 	// Accounting.
 	startedAt  time.Time
+	lastGrant  atomic.Int64 // monoNow() at the latest CPU grant
 	cpuTime    atomic.Int64 // nanoseconds on CPU
 	switches   atomic.Int64 // times scheduled in
 	preemptths atomic.Int64 // involuntary preemptions
@@ -113,6 +114,23 @@ func (t *Task) Switches() int64 { return t.switches.Load() }
 // Preemptions returns how many involuntary context switches the task took.
 func (t *Task) Preemptions() int64 { return t.preemptths.Load() }
 
+// monoBase anchors grant timestamps to Go's monotonic clock: deltas from
+// it are immune to wall-clock steps (NTP, suspend), unlike UnixNano.
+var monoBase = time.Now()
+
+// monoNow is nanoseconds since monoBase, monotonic.
+func monoNow() int64 { return int64(time.Since(monoBase)) }
+
+// chargeCPU accumulates on-CPU time since the latest grant. It runs on the
+// task side immediately before every release send, so the accounting is
+// already visible to anyone who observes the task leaving the CPU (the
+// dispatcher's own measurement only feeds the power model).
+func (t *Task) chargeCPU() {
+	if start := t.lastGrant.Load(); start != 0 {
+		t.cpuTime.Add(monoNow() - start)
+	}
+}
+
 // Killed reports whether the kernel has condemned this task.
 func (t *Task) Killed() bool { return t.killed.Load() }
 
@@ -131,6 +149,7 @@ func (t *Task) CheckPreempt() {
 	}
 	t.preemptths.Add(1)
 	t.state.Store(int32(StateRunnable))
+	t.chargeCPU()
 	t.release <- releasePreempt
 	<-t.grant
 	t.exitIfKilled()
@@ -141,6 +160,7 @@ func (t *Task) Yield() {
 	t.exitIfKilled()
 	t.needResched.Store(false)
 	t.state.Store(int32(StateRunnable))
+	t.chargeCPU()
 	t.release <- releasePreempt
 	<-t.grant
 	t.exitIfKilled()
@@ -165,6 +185,7 @@ func (t *Task) block() {
 		t.exitIfKilled()
 		return
 	}
+	t.chargeCPU()
 	t.release <- releaseBlocked
 	<-t.grant
 	t.exitIfKilled()

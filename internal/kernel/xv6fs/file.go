@@ -151,8 +151,14 @@ func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
 	return fs.Stat{Name: name, Type: typ, Size: int64(di.Size), Inode: uint64(inum)}, nil
 }
 
-// Sync flushes dirty buffers to the device.
-func (f *FS) Sync(t *sched.Task) error { return f.bc.Flush(t) }
+// Sync flushes dirty buffers to the device, batched. It takes the volume
+// lock like every other operation so the flush never interleaves with an
+// in-flight write's cache traffic.
+func (f *FS) Sync(t *sched.Task) error {
+	f.lock.Lock(t)
+	defer f.lock.Unlock()
+	return f.bc.Flush(t)
+}
 
 // --- fs.File implementation ---
 

@@ -10,11 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The kernel tree is where the concurrency lives (sharded bcache, sched,
-# ksync); CI runs the whole suite under the race detector, this target is
-# the fast local loop.
+# The kernel tree is where the concurrency lives (sharded bcache,
+# per-inode filesystem locking, sched, ksync); CI runs this twice under
+# the race detector (kernel-stress job), this target mirrors it locally.
 race:
-	$(GO) test -race ./internal/kernel/...
+	$(GO) test -race -count=2 ./internal/kernel/...
 
 vet:
 	$(GO) vet ./...

@@ -10,10 +10,9 @@
 //
 //   - Buffers live in N shards keyed by LBA; each shard has its own lock,
 //     hash map, and LRU list, so cache traffic on different shards never
-//     contends. (Today each filesystem serializes its IO under a volume
-//     sleeplock, so sharding pays off mainly by keeping the design ready
-//     for the lock-narrowing the ROADMAP calls for; the capacity and
-//     range/batching wins are what the Fig 8 sweeps measure now.)
+//     contends. With the filesystems on per-inode locking, N tasks on N
+//     files reach N shards concurrently on a single mount — the product
+//     path finally exercises the sharding, not just cross-mount traffic.
 //   - Get/MarkDirty/Release keep the xv6 single-block contract — per-buffer
 //     sleeplocks, identity (two Gets of one block converge on one buffer),
 //     write-back with eviction writeback — so xv6fs metadata code is
@@ -30,11 +29,15 @@
 //
 // Range operations are atomic per block, not across the range; callers that
 // need whole-range atomicity (filesystems) serialize with their own locks,
-// as both xv6fs and FAT32 do with their volume sleeplocks.
+// as both xv6fs and FAT32 do with their per-inode/pseudo-inode sleeplocks —
+// which is also what finally exercises the shards: N tasks on N files reach
+// N shards concurrently on a single mount.
 package bcache
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -43,6 +46,27 @@ import (
 	"protosim/internal/kernel/ksync"
 	"protosim/internal/kernel/sched"
 )
+
+// errShardFull reports transient buffer exhaustion: every buffer in the
+// shard is pinned by in-flight operations. It is internal — claim paths
+// back off and retry, because pins are transient (a claim releases as soon
+// as its device command completes), so capacity reappears on its own. The
+// volume-lock era could never see this (one operation in flight per
+// mount); per-inode locking makes overlapping claims routine.
+var errShardFull = errors.New("bcache: all buffers in shard referenced")
+
+// yieldRetry gives up the CPU between exhaustion retries. For a simulated
+// task that MUST be the scheduler's Yield — runtime.Gosched only yields
+// the host thread, not the simulated core, so a Gosched spin on a
+// single-core configuration would starve the very pin-holder it is
+// waiting for. Nil tasks (host contexts) spin-yield, as in SleepLock.
+func yieldRetry(t *sched.Task) {
+	if t != nil {
+		t.Yield()
+	} else {
+		runtime.Gosched()
+	}
+}
 
 // Defaults. DefaultBuffers is deliberately far above xv6's NBUF=30: the
 // sharded cache is meant to hold working sets (a WAD plus level data, a
@@ -223,14 +247,23 @@ func (c *Cache) Device() fs.BlockDevice { return c.dev }
 // block converge on one buffer — the identity property a buffer cache must
 // provide (two buffers aliasing one disk block is the classic bug).
 func (c *Cache) Get(t *sched.Task, lba int) (*Buf, error) {
-	b, err := c.pin(t, lba)
-	if err != nil {
-		return nil, err
+	for {
+		b, err := c.pin(t, lba)
+		if err == errShardFull {
+			// Transient: racing claims hold the whole shard. They hold no
+			// lock we own (a Get pins before locking anything), so
+			// yielding until one drains cannot deadlock.
+			yieldRetry(t)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := c.lockAndFill(t, b, lba); err != nil {
+			return nil, err
+		}
+		return b, nil
 	}
-	if err := c.lockAndFill(t, b, lba); err != nil {
-		return nil, err
-	}
-	return b, nil
 }
 
 // lockAndFill locks a pinned buffer and, if it holds no valid data (fresh
@@ -312,6 +345,7 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 		// Room in the budget: allocate a fresh buffer.
 		if s.n < s.max {
 			b := &Buf{lba: lba, refs: 1, Data: make([]byte, c.blockSize)}
+			b.lock.SetRank(ksync.RankBuffer, int64(lba))
 			s.n++
 			s.bufs[lba] = b
 			s.mu.Unlock()
@@ -321,9 +355,8 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 		// Recycle the least-recently-released unreferenced buffer.
 		v := s.lruPopFront()
 		if v == nil {
-			n := s.max
 			s.mu.Unlock()
-			return nil, fmt.Errorf("bcache: all %d buffers in shard referenced", n)
+			return nil, errShardFull
 		}
 		if !v.dirty || !v.valid {
 			delete(s.bufs, v.lba)
@@ -331,6 +364,7 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 				c.evictions.Add(1)
 			}
 			v.lba = lba
+			v.lock.SetRank(ksync.RankBuffer, int64(lba))
 			v.valid = false
 			v.dirty = false
 			v.refs = 1
@@ -414,8 +448,25 @@ func (c *Cache) segmentMax() int {
 // a Get miss) while holding no sleeplocks — pin may wait on an eviction
 // victim's lock, which would invert lock order if we already held some —
 // then lock the pinned buffers in ascending LBA order, the same order
-// Flush uses. Cancels cleanly on pin failure.
+// Flush uses.
+//
+// When concurrent claims exhaust a shard (errShardFull), the whole claim
+// is released before retrying — no hold-and-wait, so claims cannot
+// resource-deadlock against each other, and a lone claim always fits
+// (segmentMax caps a segment at half the cache), so retries terminate once
+// racing claims drain. Real pin errors (device writeback failures) abort.
 func (c *Cache) claimSegment(t *sched.Task, lba, n int) ([]*Buf, error) {
+	for {
+		bufs, err := c.tryClaimSegment(t, lba, n)
+		if err == errShardFull {
+			yieldRetry(t)
+			continue
+		}
+		return bufs, err
+	}
+}
+
+func (c *Cache) tryClaimSegment(t *sched.Task, lba, n int) ([]*Buf, error) {
 	bufs := make([]*Buf, 0, n)
 	for i := 0; i < n; i++ {
 		b, err := c.pin(t, lba+i)

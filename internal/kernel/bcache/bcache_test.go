@@ -141,20 +141,78 @@ func TestNoAliasingOfSameBlock(t *testing.T) {
 	}
 }
 
-func TestAllBuffersReferencedFails(t *testing.T) {
+// TestAllBuffersReferencedWaits pins the exhaustion contract the per-inode
+// locking era needs: a Get that finds every buffer pinned backs off and
+// waits for capacity instead of failing — concurrent range claims from
+// independent files make transient exhaustion routine, and it always
+// clears because claims are transient.
+func TestAllBuffersReferencedWaits(t *testing.T) {
 	c, _ := newCache(t, 16, 2)
 	b0, _ := c.Get(nil, 0)
 	b1, _ := c.Get(nil, 1)
-	if _, err := c.Get(nil, 2); err == nil {
-		t.Fatal("expected buffer exhaustion")
+	got := make(chan *Buf)
+	go func() {
+		b, err := c.Get(nil, 2) // must wait, not error
+		if err != nil {
+			t.Error(err)
+		}
+		got <- b
+	}()
+	select {
+	case <-got:
+		t.Fatal("Get returned while every buffer was referenced")
+	case <-time.After(20 * time.Millisecond):
 	}
 	c.Release(b0)
 	c.Release(b1)
-	if b, err := c.Get(nil, 2); err != nil {
-		t.Fatal(err)
-	} else {
+	select {
+	case b := <-got:
+		if b == nil {
+			t.Fatal("Get failed after capacity freed")
+		}
 		c.Release(b)
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get still blocked after buffers were released")
 	}
+}
+
+// TestConcurrentClaimsOverTinyPool floods a pool far smaller than the
+// combined claim demand with overlapping range IO from many goroutines —
+// the shape per-inode locking produces. Release-before-retry must keep it
+// live (no resource deadlock, no spurious errors) and end coherent.
+func TestConcurrentClaimsOverTinyPool(t *testing.T) {
+	rd := fs.NewRamdisk(512, 256)
+	c := NewWithOptions(rd, Options{Buffers: 8, Shards: 2, Readahead: -1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * 32
+			src := make([]byte, 4*512)
+			for i := range src {
+				src[i] = byte(w)
+			}
+			dst := make([]byte, 4*512)
+			for r := 0; r < 30; r++ {
+				if err := c.WriteRange(nil, base+(r%8)*4, 4, src); err != nil {
+					t.Errorf("w%d write: %v", w, err)
+					return
+				}
+				if err := c.ReadRange(nil, base+(r%8)*4, 4, dst); err != nil {
+					t.Errorf("w%d read: %v", w, err)
+					return
+				}
+				for i, b := range dst {
+					if b != byte(w) {
+						t.Errorf("w%d byte %d = %d, ranges bled", w, i, b)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func TestLRUEvictsOldest(t *testing.T) {

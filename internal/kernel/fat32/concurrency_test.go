@@ -1,0 +1,298 @@
+package fat32
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/ksync"
+)
+
+// withRankCheck arms the ksync lock-order assertion for one test.
+func withRankCheck(t *testing.T) {
+	t.Helper()
+	ksync.SetRankCheck(true)
+	t.Cleanup(func() { ksync.SetRankCheck(false) })
+}
+
+// runWithDeadline fails the test if fn does not finish in time — the
+// deadlock detector for the concurrency suite.
+func runWithDeadline(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("deadlock suspected: no progress after %v\n%s", d, buf[:n])
+	}
+}
+
+// TestParallelDisjointFiles drives 8 tasks against disjoint files on ONE
+// FAT32 mount — create/write/read/append/unlink mixes — and verifies final
+// contents. With per-file pseudo-inode locks the tasks serialize only on
+// the narrow FAT allocator lock, never on each other's data IO.
+func TestParallelDisjointFiles(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 16384) // 8 MB card
+	const workers = 8
+	const rounds = 12
+
+	runWithDeadline(t, 2*time.Minute, func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				main := fmt.Sprintf("/w%d.dat", w)
+				dir := fmt.Sprintf("/dir%d", w)
+				if err := f.Mkdir(nil, dir); err != nil {
+					t.Errorf("w%d mkdir: %v", w, err)
+					return
+				}
+				payload := bytes.Repeat([]byte{byte('A' + w)}, 24<<10) // 6 clusters
+				for r := 0; r < rounds; r++ {
+					fl, err := f.Open(nil, main, fs.OCreate|fs.ORdWr|fs.OTrunc)
+					if err != nil {
+						t.Errorf("w%d open: %v", w, err)
+						return
+					}
+					if _, err := fl.Write(nil, payload); err != nil {
+						t.Errorf("w%d write: %v", w, err)
+						return
+					}
+					fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+					got := make([]byte, len(payload))
+					read := 0
+					for read < len(got) {
+						n, err := fl.Read(nil, got[read:])
+						if err != nil || n == 0 {
+							t.Errorf("w%d read: %d, %v", w, n, err)
+							return
+						}
+						read += n
+					}
+					if !bytes.Equal(got, payload) {
+						t.Errorf("w%d round %d: read back wrong bytes", w, r)
+						return
+					}
+					fl.Close()
+
+					sp := fmt.Sprintf("%s/s%d.tmp", dir, r%3)
+					sf, err := f.Open(nil, sp, fs.OCreate|fs.OWrOnly)
+					if err != nil {
+						t.Errorf("w%d scratch: %v", w, err)
+						return
+					}
+					sf.Write(nil, payload[:512])
+					sf.Close()
+					if err := f.Unlink(nil, sp); err != nil {
+						t.Errorf("w%d scratch unlink: %v", w, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	if t.Failed() {
+		return
+	}
+	for w := 0; w < workers; w++ {
+		st, err := f.Stat(nil, fmt.Sprintf("/w%d.dat", w))
+		if err != nil || st.Size != 24<<10 {
+			t.Fatalf("final stat w%d = %+v, %v", w, st, err)
+		}
+		fl, _ := f.Open(nil, fmt.Sprintf("/w%d.dat", w), fs.ORdOnly)
+		got := make([]byte, 24<<10)
+		read := 0
+		for read < len(got) {
+			n, err := fl.Read(nil, got[read:])
+			if err != nil || n == 0 {
+				t.Fatalf("final read w%d: %v", w, err)
+			}
+			read += n
+		}
+		for i, b := range got {
+			if b != byte('A'+w) {
+				t.Fatalf("w%d byte %d = %q, files bled into each other", w, i, b)
+			}
+		}
+		fl.Close()
+	}
+	if n := f.PseudoInodes(); n != 0 {
+		t.Fatalf("pseudo-inode leak: %d live after close", n)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+// TestConcurrentRenameOpposingDirs bounces files between two directories
+// in both directions at once with create/unlink churn — the two-directory
+// lock-order stress, with the rank assertion armed.
+func TestConcurrentRenameOpposingDirs(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 8192)
+	for _, d := range []string{"/a", "/b"} {
+		if err := f.Mkdir(nil, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkfile := func(path, content string) {
+		fl, err := f.Open(nil, path, fs.OCreate|fs.OWrOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl.Write(nil, []byte(content))
+		fl.Close()
+	}
+	mkfile("/a/x.bin", "xx")
+	mkfile("/b/y.bin", "yyy")
+
+	const rounds = 80
+	runWithDeadline(t, 2*time.Minute, func() {
+		var wg sync.WaitGroup
+		bounce := func(from, to string) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := f.Rename(nil, from, to); err != nil {
+					t.Errorf("rename %s -> %s: %v", from, to, err)
+					return
+				}
+				if err := f.Rename(nil, to, from); err != nil {
+					t.Errorf("rename %s -> %s: %v", to, from, err)
+					return
+				}
+			}
+		}
+		churn := func(dir string) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				p := fmt.Sprintf("%s/c%d.tmp", dir, r%5)
+				fl, err := f.Open(nil, p, fs.OCreate|fs.OWrOnly)
+				if err != nil {
+					t.Errorf("churn create %s: %v", p, err)
+					return
+				}
+				fl.Close()
+				if err := f.Unlink(nil, p); err != nil {
+					t.Errorf("churn unlink %s: %v", p, err)
+					return
+				}
+			}
+		}
+		wg.Add(4)
+		go bounce("/a/x.bin", "/b/x.bin")
+		go bounce("/b/y.bin", "/a/y.bin")
+		go churn("/a")
+		go churn("/b")
+		wg.Wait()
+	})
+	if t.Failed() {
+		return
+	}
+	for path, size := range map[string]int64{"/a/x.bin": 2, "/b/y.bin": 3} {
+		st, err := f.Stat(nil, path)
+		if err != nil || st.Size != size {
+			t.Fatalf("final %s = %+v, %v", path, st, err)
+		}
+	}
+}
+
+// TestCreateVsWalkSameParent races creates in one directory against walks
+// through it.
+func TestCreateVsWalkSameParent(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 8192)
+	if err := f.Mkdir(nil, "/p"); err != nil {
+		t.Fatal(err)
+	}
+	fl, _ := f.Open(nil, "/p/known.txt", fs.OCreate|fs.OWrOnly)
+	fl.Write(nil, []byte("k"))
+	fl.Close()
+
+	runWithDeadline(t, 2*time.Minute, func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := fmt.Sprintf("/p/f%02d.txt", i)
+				fl, err := f.Open(nil, p, fs.OCreate|fs.OWrOnly)
+				if err != nil {
+					t.Errorf("create %s: %v", p, err)
+					return
+				}
+				fl.Close()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if _, err := f.Stat(nil, "/p/known.txt"); err != nil {
+					t.Errorf("walk: %v", err)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+	})
+	if t.Failed() {
+		return
+	}
+	d, _ := f.Open(nil, "/p", fs.ORdOnly)
+	entries, _ := d.(fs.DirReader).ReadDir()
+	if len(entries) != 51 {
+		t.Fatalf("entries = %d, want 51", len(entries))
+	}
+}
+
+// TestUnlinkPoisonsOpenHandles pins the FAT32 unlink contract: the chain
+// is freed immediately (FAT has no deferred reclaim), so surviving handles
+// must fail cleanly rather than read reallocated clusters.
+func TestUnlinkPoisonsOpenHandles(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 4096)
+	fl, err := f.Open(nil, "/gone.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, make([]byte, 8192))
+	if err := f.Unlink(nil, "/gone.bin"); err != nil {
+		t.Fatal(err)
+	}
+	fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+	if _, err := fl.Read(nil, make([]byte, 512)); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("read after unlink = %v, want ErrNotFound", err)
+	}
+	if _, err := fl.Write(nil, []byte("x")); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("write after unlink = %v, want ErrNotFound", err)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.PseudoInodes(); n != 0 {
+		t.Fatalf("pseudo-inode leak after close: %d", n)
+	}
+	// The first cluster may be reused by a new file without aliasing the
+	// dead handle's pseudo-inode.
+	fl2, err := f.Open(nil, "/fresh.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl2.Write(nil, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	fl2.Close()
+}

@@ -73,8 +73,34 @@ type direntRef struct {
 	index   int    // entry index within the cluster
 }
 
+// direntLoc maps ref to its device sector and intra-sector byte offset. A
+// 32-byte entry never straddles a 512-byte sector.
+func (f *FS) direntLoc(ref direntRef) (sector, off int) {
+	byteOff := ref.index * direntSize
+	return f.clusterSector(ref.cluster) + byteOff/SectorSize, byteOff % SectorSize
+}
+
+// patchDirent read-modify-writes the single SECTOR holding ref's entry
+// under that sector's buffer sleeplock. This is the one way directory
+// entries are mutated: sector granularity makes a file's size update
+// (under its own file lock) atomic against a concurrent create or unlink
+// patching a different entry of the same directory cluster — no
+// whole-cluster read-modify-write can lose either update.
+func (f *FS) patchDirent(t *sched.Task, ref direntRef, fn func(entry []byte)) error {
+	sector, off := f.direntLoc(ref)
+	b, err := f.bc.Get(t, sector)
+	if err != nil {
+		return err
+	}
+	fn(b.Data[off : off+direntSize])
+	f.bc.MarkDirty(b)
+	f.bc.Release(b)
+	return nil
+}
+
 // scanDir iterates a directory chain, calling fn for each live entry.
-// fn returning false stops the scan.
+// fn returning false stops the scan. Caller holds the directory's
+// pseudo-inode lock.
 func (f *FS) scanDir(t *sched.Task, dirCluster uint32, fn func(de *dirent83, ref direntRef) bool) error {
 	clusters, err := f.chain(t, dirCluster)
 	if err != nil {
@@ -102,7 +128,8 @@ func (f *FS) scanDir(t *sched.Task, dirCluster uint32, fn func(de *dirent83, ref
 	return nil
 }
 
-// lookup finds name in the directory starting at dirCluster.
+// lookup finds name in the directory starting at dirCluster. Caller holds
+// the directory's pseudo-inode lock.
 func (f *FS) lookup(t *sched.Task, dirCluster uint32, name string) (*dirent83, direntRef, error) {
 	want, ok := to83(name)
 	if !ok {
@@ -127,103 +154,107 @@ func (f *FS) lookup(t *sched.Task, dirCluster uint32, name string) (*dirent83, d
 	return found, ref, nil
 }
 
-// writeDirent stores de at ref.
-func (f *FS) writeDirent(t *sched.Task, ref direntRef, de *dirent83) error {
-	buf := make([]byte, ClusterSize)
-	if err := f.readClusterCached(t, ref.cluster, buf); err != nil {
-		return err
-	}
-	de.encode(buf[ref.index*direntSize:])
-	return f.writeClusterCached(t, ref.cluster, buf)
-}
-
-// addDirent appends an entry to a directory, extending the chain when full.
-func (f *FS) addDirent(t *sched.Task, dirCluster uint32, de *dirent83) error {
+// addDirent claims a free slot for de (extending the chain when full) and
+// returns where it landed. Caller holds the directory's pseudo-inode lock,
+// which is what makes the scan-then-patch slot claim exclusive.
+func (f *FS) addDirent(t *sched.Task, dirCluster uint32, de *dirent83) (direntRef, error) {
 	clusters, err := f.chain(t, dirCluster)
 	if err != nil {
-		return err
+		return direntRef{}, err
 	}
 	buf := make([]byte, ClusterSize)
 	for _, c := range clusters {
 		if err := f.readClusterCached(t, c, buf); err != nil {
-			return err
+			return direntRef{}, err
 		}
 		for i := 0; i < ClusterSize/direntSize; i++ {
 			var cur dirent83
 			cur.decode(buf[i*direntSize:])
 			if cur.free() {
-				de.encode(buf[i*direntSize:])
-				return f.writeClusterCached(t, c, buf)
+				ref := direntRef{cluster: c, index: i}
+				return ref, f.patchDirent(t, ref, de.encode)
 			}
 		}
 	}
-	// Directory full: grow the chain.
+	// Directory full: grow the chain with a zeroed cluster.
 	nc, err := f.allocCluster(t, true)
 	if err != nil {
-		return err
+		return direntRef{}, err
 	}
 	last := clusters[len(clusters)-1]
 	if err := f.fatSet(t, last, nc); err != nil {
-		return err
+		f.unclaimCluster(t, nc)
+		return direntRef{}, err
 	}
-	if err := f.readClusterCached(t, nc, buf); err != nil {
-		return err
-	}
-	de.encode(buf[0:])
-	return f.writeClusterCached(t, nc, buf)
+	ref := direntRef{cluster: nc, index: 0}
+	return ref, f.patchDirent(t, ref, de.encode)
 }
 
-// removeDirent marks an entry deleted (0xE5).
+// removeDirent marks an entry deleted (0xE5). Caller holds the directory's
+// pseudo-inode lock.
 func (f *FS) removeDirent(t *sched.Task, ref direntRef) error {
-	buf := make([]byte, ClusterSize)
-	if err := f.readClusterCached(t, ref.cluster, buf); err != nil {
-		return err
-	}
-	buf[ref.index*direntSize] = 0xE5
-	return f.writeClusterCached(t, ref.cluster, buf)
+	return f.patchDirent(t, ref, func(entry []byte) {
+		entry[0] = 0xE5
+	})
 }
 
-// walk resolves a cleaned absolute path to its directory entry. The root
-// has no dirent; rootDe() fakes one.
-func (f *FS) walk(t *sched.Task, path string) (*dirent83, direntRef, error) {
-	path = fs.Clean(path)
-	if path == "/" {
-		return rootDe(), direntRef{}, nil
-	}
-	cur := uint32(rootCluster)
-	segs := strings.Split(path[1:], "/")
-	for i, seg := range segs {
-		de, ref, err := f.lookup(t, cur, seg)
-		if err != nil {
-			return nil, direntRef{}, err
-		}
-		if i == len(segs)-1 {
-			return de, ref, nil
-		}
-		if de.attr&attrDir == 0 {
-			return nil, direntRef{}, fs.ErrNotDir
-		}
-		cur = de.cluster
-	}
-	return nil, direntRef{}, fs.ErrNotFound
-}
-
+// rootDe fakes a dirent for the root directory, which has none on disk.
 func rootDe() *dirent83 {
 	return &dirent83{attr: attrDir, cluster: rootCluster}
 }
 
-// parentCluster resolves the directory containing path's final element.
-func (f *FS) parentCluster(t *sched.Task, path string) (uint32, string, error) {
+// pinRoot pins the root directory's pseudo-inode.
+func (f *FS) pinRoot() *pseudoInode {
+	return f.pin(rootCluster, true, 0, direntRef{})
+}
+
+// walkDir resolves a cleaned absolute path to a pinned, UNLOCKED directory
+// pseudo-inode. The walk is hand-over-hand: each directory is locked only
+// while looking up the next segment and released before the child is
+// locked, so a walk holds at most one lock and can never deadlock against
+// create/unlink/rename, which lock parent before child.
+func (f *FS) walkDir(t *sched.Task, path string) (*pseudoInode, error) {
+	path = fs.Clean(path)
+	cur := f.pinRoot()
+	if path == "/" {
+		return cur, nil
+	}
+	for _, seg := range strings.Split(path[1:], "/") {
+		cur.lock.Lock(t)
+		if cur.dead {
+			cur.lock.Unlock()
+			f.unpin(cur)
+			return nil, fs.ErrNotFound
+		}
+		de, ref, err := f.lookup(t, cur.firstCluster, seg)
+		if err != nil {
+			cur.lock.Unlock()
+			f.unpin(cur)
+			return nil, err
+		}
+		if de.attr&attrDir == 0 {
+			cur.lock.Unlock()
+			f.unpin(cur)
+			return nil, fs.ErrNotDir
+		}
+		next := f.pin(de.cluster, true, de.size, ref)
+		cur.lock.Unlock()
+		f.unpin(cur)
+		cur = next
+	}
+	return cur, nil
+}
+
+// walkParent resolves the directory containing path's final element,
+// pinned and unlocked, plus the name.
+func (f *FS) walkParent(t *sched.Task, path string) (*pseudoInode, string, error) {
 	dir, name := fs.SplitPath(path)
 	if name == "" {
-		return 0, "", fs.ErrPerm
+		return nil, "", fs.ErrPerm
 	}
-	de, _, err := f.walk(t, dir)
+	dp, err := f.walkDir(t, dir)
 	if err != nil {
-		return 0, "", err
+		return nil, "", err
 	}
-	if de.attr&attrDir == 0 {
-		return 0, "", fs.ErrNotDir
-	}
-	return de.cluster, name, nil
+	return dp, name, nil
 }

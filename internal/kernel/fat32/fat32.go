@@ -99,7 +99,19 @@ type FS struct {
 	dataStart    int // sector of cluster 2
 	clusters     int
 
-	lock ksync.SleepLock // volume-wide, like xv6fs's
+	// renameMu serializes renames volume-wide (rank: rename); see
+	// FS.Rename for why two-directory locking needs it.
+	renameMu ksync.SleepLock
+
+	// fatLock (rank: alloc) is the dedicated allocator lock: it guards
+	// free↔claimed FAT transitions (allocCluster's scan-and-claim,
+	// freeChain) and the FSInfo-style next-free hint. Chain walks and
+	// tail links of a chain the caller owns (its pseudo-inode locked)
+	// don't need it — individual FAT entry updates are atomic under
+	// their sector's buffer lock — so allocators never contend with
+	// data IO.
+	fatLock  ksync.SleepLock
+	freeHint uint32 // next-free scan start, guarded by fatLock
 
 	mu          sync.Mutex
 	pseudo      map[uint32]*pseudoInode // keyed by first cluster
@@ -108,13 +120,20 @@ type FS struct {
 	rangeBlocks int64
 }
 
-// pseudoInode bridges FAT (no inodes) to Proto's file layer: one per open
-// file or directory, keyed by first cluster.
+// pseudoInode bridges FAT (no inodes) to Proto's file layer: one per
+// in-use file or directory, keyed by first cluster and deduplicated so
+// every holder converges on the same sleeplock — the per-file lock that
+// replaced the volume-wide one.
 type pseudoInode struct {
 	firstCluster uint32
-	size         uint32
 	isDir        bool
-	refs         int
+	refs         int // guarded by FS.mu
+
+	// lock (rank: inode, order: firstCluster) serializes operations on
+	// this file/directory and guards the fields below.
+	lock ksync.SleepLock
+	size uint32
+	dead bool // unlinked: chain freed, operations must fail
 	// Directory entry location, for size updates on write.
 	dirCluster uint32
 	dirIndex   int
@@ -185,6 +204,9 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 		return nil, fmt.Errorf("%w: sector size %d", ErrBadFS, dev.BlockSize())
 	}
 	f := &FS{dev: dev, bc: bcache.NewWithOptions(dev, copts), pseudo: make(map[uint32]*pseudoInode)}
+	f.renameMu.SetRank(ksync.RankRename, 0)
+	f.fatLock.SetRank(ksync.RankAlloc, 0)
+	f.freeHint = rootCluster
 	boot := make([]byte, SectorSize)
 	if err := dev.ReadBlocks(0, 1, boot); err != nil {
 		return nil, err
@@ -240,7 +262,12 @@ func (f *FS) countRange(n int) {
 	f.mu.Unlock()
 }
 
-// --- FAT access (through the buffer cache; caller holds f.lock) ---
+// --- FAT access (through the buffer cache) ---
+//
+// A single fatGet/fatSet is atomic under its sector's buffer sleeplock.
+// Entries belonging to a chain whose pseudo-inode lock the caller holds
+// can be read and relinked with no further locking (nobody else mutates an
+// owned chain); free↔claimed transitions go under fatLock.
 
 func (f *FS) fatGet(t *sched.Task, cluster uint32) (uint32, error) {
 	off := int(cluster) * fatEntrySize
@@ -268,15 +295,44 @@ func (f *FS) fatSet(t *sched.Task, cluster, val uint32) error {
 	return nil
 }
 
-// allocCluster finds a free FAT entry and links it as end-of-chain. Only
-// directory clusters and partially-covered file clusters need zeroing
+// allocCluster finds a free FAT entry and links it as end-of-chain. The
+// scan-and-claim runs under fatLock, starting at the FSInfo-style
+// next-free hint; the zeroing write happens after the claim, outside the
+// allocator lock, because the fresh cluster is private to the caller.
+//
+// Only directory clusters and partially-covered file clusters need zeroing
 // (the scan depends on the 0 end-mark; unwritten file bytes must read as
 // zeros). A caller passing zero=false promises the cluster is either
 // fully overwritten by its write or unlinked again on failure (see
 // file.Write's rollback) — skipping the zero write halves the device
 // traffic of appends.
 func (f *FS) allocCluster(t *sched.Task, zero bool) (uint32, error) {
-	for c := uint32(rootCluster); c < uint32(f.clusters+rootCluster); c++ {
+	f.fatLock.Lock(t)
+	c, err := f.allocClusterLocked(t)
+	f.fatLock.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if zero {
+		// Zeroing always goes through the cache, so every data path
+		// observes the zeros in every mode.
+		if err := f.writeClusterCached(t, c, make([]byte, ClusterSize)); err != nil {
+			f.unclaimCluster(t, c)
+			return 0, err
+		}
+	}
+	return c, nil
+}
+
+// allocClusterLocked is the scan-and-claim; caller holds fatLock.
+func (f *FS) allocClusterLocked(t *sched.Task) (uint32, error) {
+	span := uint32(f.clusters)
+	start := f.freeHint
+	if start < rootCluster || start >= rootCluster+span {
+		start = rootCluster
+	}
+	for i := uint32(0); i < span; i++ {
+		c := rootCluster + (start-rootCluster+i)%span
 		v, err := f.fatGet(t, c)
 		if err != nil {
 			return 0, err
@@ -285,21 +341,29 @@ func (f *FS) allocCluster(t *sched.Task, zero bool) (uint32, error) {
 			if err := f.fatSet(t, c, endOfChain); err != nil {
 				return 0, err
 			}
-			if zero {
-				// Zeroing always goes through the cache (write-through),
-				// so every path observes the zeros in every mode.
-				if err := f.writeClusterCached(t, c, make([]byte, ClusterSize)); err != nil {
-					return 0, err
-				}
-			}
+			f.freeHint = c + 1
 			return c, nil
 		}
 	}
 	return 0, fs.ErrNoSpace
 }
 
-// freeChain releases a cluster chain.
+// unclaimCluster releases a just-claimed, never-linked cluster (alloc
+// failure paths). Best-effort.
+func (f *FS) unclaimCluster(t *sched.Task, c uint32) {
+	f.fatLock.Lock(t)
+	if f.fatSet(t, c, freeClust) == nil && c < f.freeHint {
+		f.freeHint = c
+	}
+	f.fatLock.Unlock()
+}
+
+// freeChain releases a cluster chain. The free transitions (and the hint
+// update) run under fatLock so a concurrent allocator scan never claims a
+// half-released entry.
 func (f *FS) freeChain(t *sched.Task, c uint32) error {
+	f.fatLock.Lock(t)
+	defer f.fatLock.Unlock()
 	for c >= rootCluster && c < endOfChain {
 		next, err := f.fatGet(t, c)
 		if err != nil {
@@ -308,12 +372,34 @@ func (f *FS) freeChain(t *sched.Task, c uint32) error {
 		if err := f.fatSet(t, c, freeClust); err != nil {
 			return err
 		}
+		if c < f.freeHint {
+			f.freeHint = c
+		}
 		c = next
 	}
 	return nil
 }
 
-// chain returns the cluster list of a chain starting at c.
+// FreeClusters counts free FAT entries — the FSInfo free-count, used by
+// tests to assert that failed writes roll their allocations back.
+func (f *FS) FreeClusters(t *sched.Task) (int, error) {
+	f.fatLock.Lock(t)
+	defer f.fatLock.Unlock()
+	n := 0
+	for c := uint32(rootCluster); c < uint32(f.clusters+rootCluster); c++ {
+		v, err := f.fatGet(t, c)
+		if err != nil {
+			return 0, err
+		}
+		if v == freeClust {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// chain returns the cluster list of a chain starting at c. Callers hold
+// the owning pseudo-inode's lock, which is what keeps the walk stable.
 func (f *FS) chain(t *sched.Task, c uint32) ([]uint32, error) {
 	var out []uint32
 	for c >= rootCluster && c < endOfChain {

@@ -1,9 +1,12 @@
 package fat32
 
 import (
+	"encoding/binary"
+	"sort"
 	"sync"
 
 	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/ksync"
 	"protosim/internal/kernel/sched"
 )
 
@@ -13,38 +16,72 @@ type file struct {
 	pi   *pseudoInode
 	name string
 
-	mu    sync.Mutex
-	off   int64
-	flags int
+	mu       sync.Mutex
+	off      int64
+	flags    int
+	closed   bool
+	inflight int // operations between use() and done()
 }
 
-// getPseudo returns (creating if needed) the pseudo-inode for a dirent.
-// Caller holds f.lock.
-func (f *FS) getPseudo(de *dirent83, ref direntRef) *pseudoInode {
+// use opens an operation window on the description (false once closed);
+// done closes it. Threads share FD tables, so a Close can race an
+// in-flight Read/Write on the same descriptor — the pseudo-inode
+// reference is dropped by whoever finishes last, never mid-operation.
+func (fl *file) use() bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.closed {
+		return false
+	}
+	fl.inflight++
+	return true
+}
+
+func (fl *file) done() {
+	fl.mu.Lock()
+	fl.inflight--
+	drop := fl.closed && fl.inflight == 0
+	fl.mu.Unlock()
+	if drop {
+		fl.fsys.unpin(fl.pi)
+	}
+}
+
+// pin returns (creating if needed) a referenced pseudo-inode for the
+// object whose chain starts at cluster. Callers pin while holding the
+// parent directory's lock (or for the root, nothing), so a pin never races
+// the unlink that would invalidate its dirent.
+func (f *FS) pin(cluster uint32, isDir bool, size uint32, ref direntRef) *pseudoInode {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if pi, ok := f.pseudo[de.cluster]; ok {
+	if pi, ok := f.pseudo[cluster]; ok {
 		pi.refs++
 		return pi
 	}
 	pi := &pseudoInode{
-		firstCluster: de.cluster,
-		size:         de.size,
-		isDir:        de.attr&attrDir != 0,
+		firstCluster: cluster,
+		size:         size,
+		isDir:        isDir,
 		refs:         1,
 		dirCluster:   ref.cluster,
 		dirIndex:     ref.index,
 	}
-	f.pseudo[de.cluster] = pi
+	pi.lock.SetRank(ksync.RankInode, int64(cluster))
+	f.pseudo[cluster] = pi
 	return pi
 }
 
-func (f *FS) putPseudo(pi *pseudoInode) {
+// unpin drops a reference. The identity check matters: a dead (unlinked)
+// pseudo-inode was already removed from the map, and its first cluster may
+// have been reused by a live successor that must not be evicted.
+func (f *FS) unpin(pi *pseudoInode) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	pi.refs--
 	if pi.refs <= 0 {
-		delete(f.pseudo, pi.firstCluster)
+		if cur, ok := f.pseudo[pi.firstCluster]; ok && cur == pi {
+			delete(f.pseudo, pi.firstCluster)
+		}
 	}
 }
 
@@ -56,57 +93,87 @@ func (f *FS) PseudoInodes() int {
 	return len(f.pseudo)
 }
 
+// patchDirentSize pushes pi.size into its directory entry, atomically
+// under the entry's sector buffer lock. Caller holds pi.lock.
+func (f *FS) patchDirentSize(t *sched.Task, pi *pseudoInode) error {
+	ref := direntRef{cluster: pi.dirCluster, index: pi.dirIndex}
+	size := pi.size
+	return f.patchDirent(t, ref, func(entry []byte) {
+		binary.LittleEndian.PutUint32(entry[28:], size)
+	})
+}
+
 // Open implements fs.FileSystem.
 func (f *FS) Open(t *sched.Task, path string, flags int) (fs.File, error) {
-	f.lock.Lock(t)
-	defer f.lock.Unlock()
 	path = fs.Clean(path)
-	de, ref, err := f.walk(t, path)
-	if err == fs.ErrNotFound && flags&fs.OCreate != 0 {
-		de, ref, err = f.createLocked(t, path, false)
+	if path == "/" {
+		if flags&(fs.OWrOnly|fs.ORdWr) != 0 {
+			return nil, fs.ErrIsDir
+		}
+		return &file{fsys: f, pi: f.pinRoot(), name: "/", flags: flags}, nil
 	}
+	dp, name, err := f.walkParent(t, path)
 	if err != nil {
 		return nil, err
 	}
+	dp.lock.Lock(t)
+	fail := func(err error) (fs.File, error) {
+		dp.lock.Unlock()
+		f.unpin(dp)
+		return nil, err
+	}
+	if dp.dead {
+		return fail(fs.ErrNotFound)
+	}
+	de, ref, err := f.lookup(t, dp.firstCluster, name)
+	if err == fs.ErrNotFound && flags&fs.OCreate != 0 {
+		de, ref, err = f.createInDir(t, dp, name, false)
+	}
+	if err != nil {
+		return fail(err)
+	}
 	if de.attr&attrDir != 0 && flags&(fs.OWrOnly|fs.ORdWr) != 0 {
-		return nil, fs.ErrIsDir
+		return fail(fs.ErrIsDir)
 	}
-	pi := f.getPseudo(de, ref)
-	if flags&fs.OTrunc != 0 && !pi.isDir && pi.size > 0 {
-		// Free all but the first cluster, reset size.
-		next, err := f.fatGet(t, pi.firstCluster)
-		if err != nil {
-			return nil, err
-		}
-		if next < endOfChain {
-			if err := f.freeChain(t, next); err != nil {
-				return nil, err
-			}
-			if err := f.fatSet(t, pi.firstCluster, endOfChain); err != nil {
-				return nil, err
+	pi := f.pin(de.cluster, de.attr&attrDir != 0, de.size, ref)
+	if flags&fs.OTrunc != 0 && !pi.isDir {
+		pi.lock.LockNested(t)
+		if pi.size > 0 {
+			if err := f.truncatePI(t, pi); err != nil {
+				pi.lock.Unlock()
+				f.unpin(pi)
+				return fail(err)
 			}
 		}
-		pi.size = 0
-		de.size = 0
-		if err := f.writeDirent(t, ref, de); err != nil {
-			return nil, err
-		}
+		pi.lock.Unlock()
 	}
-	_, name := fs.SplitPath(path)
+	dp.lock.Unlock()
+	f.unpin(dp)
 	return &file{fsys: f, pi: pi, name: name, flags: flags}, nil
 }
 
-// createLocked adds a new file or directory; caller holds f.lock.
-func (f *FS) createLocked(t *sched.Task, path string, dir bool) (*dirent83, direntRef, error) {
-	parent, name, err := f.parentCluster(t, path)
+// truncatePI frees all but the first cluster and zeroes the size. Caller
+// holds pi.lock.
+func (f *FS) truncatePI(t *sched.Task, pi *pseudoInode) error {
+	next, err := f.fatGet(t, pi.firstCluster)
 	if err != nil {
-		return nil, direntRef{}, err
+		return err
 	}
-	if _, _, err := f.lookup(t, parent, name); err == nil {
-		return nil, direntRef{}, fs.ErrExists
-	} else if err != fs.ErrNotFound {
-		return nil, direntRef{}, err
+	if next < endOfChain {
+		if err := f.freeChain(t, next); err != nil {
+			return err
+		}
+		if err := f.fatSet(t, pi.firstCluster, endOfChain); err != nil {
+			return err
+		}
 	}
+	pi.size = 0
+	return f.patchDirentSize(t, pi)
+}
+
+// createInDir adds a new file or directory entry named name to dp. Caller
+// holds dp.lock, which serializes the lookup-miss → slot-claim sequence.
+func (f *FS) createInDir(t *sched.Task, dp *pseudoInode, name string, dir bool) (*dirent83, direntRef, error) {
 	n83, ok := to83(name)
 	if !ok {
 		return nil, direntRef{}, fs.ErrNameTooLong
@@ -119,11 +186,9 @@ func (f *FS) createLocked(t *sched.Task, path string, dir bool) (*dirent83, dire
 	if dir {
 		de.attr = attrDir
 	}
-	if err := f.addDirent(t, parent, de); err != nil {
-		return nil, direntRef{}, err
-	}
-	_, ref, err := f.lookup(t, parent, name)
+	ref, err := f.addDirent(t, dp.firstCluster, de)
 	if err != nil {
+		f.unclaimCluster(t, c)
 		return nil, direntRef{}, err
 	}
 	return de, ref, nil
@@ -131,47 +196,232 @@ func (f *FS) createLocked(t *sched.Task, path string, dir bool) (*dirent83, dire
 
 // Mkdir implements fs.FileSystem.
 func (f *FS) Mkdir(t *sched.Task, path string) error {
-	f.lock.Lock(t)
-	defer f.lock.Unlock()
-	_, _, err := f.createLocked(t, path, true)
+	path = fs.Clean(path)
+	if path == "/" {
+		return fs.ErrExists
+	}
+	dp, name, err := f.walkParent(t, path)
+	if err != nil {
+		return err
+	}
+	dp.lock.Lock(t)
+	defer func() {
+		dp.lock.Unlock()
+		f.unpin(dp)
+	}()
+	if dp.dead {
+		return fs.ErrNotFound
+	}
+	if _, _, err := f.lookup(t, dp.firstCluster, name); err == nil {
+		return fs.ErrExists
+	} else if err != fs.ErrNotFound {
+		return err
+	}
+	_, _, err = f.createInDir(t, dp, name, true)
 	return err
 }
 
 // Unlink implements fs.FileSystem.
 func (f *FS) Unlink(t *sched.Task, path string) error {
-	f.lock.Lock(t)
-	defer f.lock.Unlock()
-	de, ref, err := f.walk(t, path)
+	path = fs.Clean(path)
+	if path == "/" {
+		return fs.ErrPerm
+	}
+	dp, name, err := f.walkParent(t, path)
 	if err != nil {
 		return err
 	}
-	if de.attr&attrDir != 0 {
+	dp.lock.Lock(t)
+	fail := func(err error) error {
+		dp.lock.Unlock()
+		f.unpin(dp)
+		return err
+	}
+	if dp.dead {
+		return fail(fs.ErrNotFound)
+	}
+	de, ref, err := f.lookup(t, dp.firstCluster, name)
+	if err != nil {
+		return fail(err)
+	}
+	pi := f.pin(de.cluster, de.attr&attrDir != 0, de.size, ref)
+	pi.lock.LockNested(t)
+	failBoth := func(err error) error {
+		pi.lock.Unlock()
+		f.unpin(pi)
+		return fail(err)
+	}
+	if pi.isDir {
 		empty := true
 		if err := f.scanDir(t, de.cluster, func(*dirent83, direntRef) bool {
 			empty = false
 			return false
 		}); err != nil {
-			return err
+			return failBoth(err)
 		}
 		if !empty {
-			return fs.ErrNotEmpty
+			return failBoth(fs.ErrNotEmpty)
 		}
 	}
 	if err := f.freeChain(t, de.cluster); err != nil {
+		return failBoth(err)
+	}
+	err = f.removeDirent(t, ref)
+	// The chain is gone: poison the pseudo-inode so surviving handles fail
+	// cleanly instead of reading reallocated clusters, and drop it from the
+	// table so the first cluster's next owner gets a fresh one.
+	pi.dead = true
+	f.mu.Lock()
+	if cur, ok := f.pseudo[pi.firstCluster]; ok && cur == pi {
+		delete(f.pseudo, pi.firstCluster)
+	}
+	f.mu.Unlock()
+	pi.lock.Unlock()
+	f.unpin(pi)
+	dp.lock.Unlock()
+	f.unpin(dp)
+	return err
+}
+
+// Rename implements fs.Renamer: atomically move oldPath to newPath within
+// the volume. The destination must not already exist.
+//
+// Rename is the one operation holding two directory locks at once, so it
+// is serialized volume-wide by renameMu and locks the pair ancestor-first
+// (ascending first-cluster for unrelated directories). Ancestry comes from
+// the cleaned paths — safe because only renames reshape the tree and
+// renameMu admits one at a time. Against create/unlink/walk, which lock
+// parent-then-child down the tree, ancestor-first ordering closes every
+// cycle.
+func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
+	oldPath, newPath = fs.Clean(oldPath), fs.Clean(newPath)
+	if oldPath == "/" || newPath == "/" {
+		return fs.ErrPerm
+	}
+	if oldPath == newPath {
+		return nil
+	}
+	// Moving a directory into its own subtree would orphan it.
+	if fs.IsPathAncestor(oldPath, newPath) {
+		return fs.ErrPerm
+	}
+	oldDir, oldName := fs.SplitPath(oldPath)
+	newDir, newName := fs.SplitPath(newPath)
+	n83, ok := to83(newName)
+	if !ok {
+		return fs.ErrNameTooLong
+	}
+
+	f.renameMu.Lock(t)
+	defer f.renameMu.Unlock()
+
+	dp1, err := f.walkDir(t, oldDir)
+	if err != nil {
 		return err
 	}
-	return f.removeDirent(t, ref)
+	dp2, err := f.walkDir(t, newDir)
+	if err != nil {
+		f.unpin(dp1)
+		return err
+	}
+	unpinDirs := func() {
+		f.unpin(dp1)
+		f.unpin(dp2)
+	}
+
+	first, second := dp1, dp2
+	switch {
+	case dp1 == dp2:
+		second = nil
+	case fs.IsPathAncestor(newDir, oldDir): // newDir is the ancestor
+		first, second = dp2, dp1
+	case fs.IsPathAncestor(oldDir, newDir): // oldDir is the ancestor
+	default: // unrelated: ascending first cluster
+		if dp2.firstCluster < dp1.firstCluster {
+			first, second = dp2, dp1
+		}
+	}
+	first.lock.Lock(t)
+	if second != nil {
+		second.lock.LockNested(t)
+	}
+	fail := func(err error) error {
+		if second != nil {
+			second.lock.Unlock()
+		}
+		first.lock.Unlock()
+		unpinDirs()
+		return err
+	}
+	if dp1.dead || dp2.dead {
+		return fail(fs.ErrNotFound)
+	}
+
+	de, ref, err := f.lookup(t, dp1.firstCluster, oldName)
+	if err != nil {
+		return fail(err)
+	}
+	if _, _, err := f.lookup(t, dp2.firstCluster, newName); err == nil {
+		return fail(fs.ErrExists)
+	} else if err != fs.ErrNotFound {
+		return fail(err)
+	}
+
+	// Lock the moved object's pseudo-inode across the move so a concurrent
+	// size patch through an open handle can neither race the dirent copy
+	// nor land on the vacated slot.
+	pi := f.pin(de.cluster, de.attr&attrDir != 0, de.size, ref)
+	pi.lock.LockNested(t)
+	nde := *de
+	nde.name = n83
+	nde.size = pi.size
+	newRef, err := f.addDirent(t, dp2.firstCluster, &nde)
+	if err != nil {
+		pi.lock.Unlock()
+		f.unpin(pi)
+		return fail(err)
+	}
+	if err := f.removeDirent(t, ref); err != nil {
+		// Roll the new entry back rather than leave the file under two
+		// names; best-effort, the original error wins.
+		_ = f.removeDirent(t, newRef)
+		pi.lock.Unlock()
+		f.unpin(pi)
+		return fail(err)
+	}
+	pi.dirCluster, pi.dirIndex = newRef.cluster, newRef.index
+	pi.lock.Unlock()
+	f.unpin(pi)
+	if second != nil {
+		second.lock.Unlock()
+	}
+	first.lock.Unlock()
+	unpinDirs()
+	return nil
 }
 
 // Stat implements fs.FileSystem.
 func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
-	f.lock.Lock(t)
-	defer f.lock.Unlock()
-	de, _, err := f.walk(t, path)
+	path = fs.Clean(path)
+	if path == "/" {
+		return fs.Stat{Name: "/", Type: fs.TypeDir, Inode: rootCluster}, nil
+	}
+	dp, name, err := f.walkParent(t, path)
 	if err != nil {
 		return fs.Stat{}, err
 	}
-	_, name := fs.SplitPath(path)
+	dp.lock.Lock(t)
+	defer func() {
+		dp.lock.Unlock()
+		f.unpin(dp)
+	}()
+	if dp.dead {
+		return fs.Stat{}, fs.ErrNotFound
+	}
+	de, _, err := f.lookup(t, dp.firstCluster, name)
+	if err != nil {
+		return fs.Stat{}, err
+	}
 	typ := fs.TypeFile
 	if de.attr&attrDir != 0 {
 		typ = fs.TypeDir
@@ -179,34 +429,58 @@ func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
 	return fs.Stat{Name: name, Type: typ, Size: int64(de.size), Inode: uint64(de.cluster)}, nil
 }
 
-// Sync flushes dirty cache state, batched. It takes the volume lock like
-// every other operation: the cache's range paths rely on the filesystem
-// serializing its IO, so Flush must not run concurrently with a Write.
+// Sync flushes dirty cache state, batched. Metadata is write-through into
+// the cache under per-object locks, so Sync first drains in-flight
+// operations by taking each live pseudo-inode lock once — one at a time,
+// never two held together, so it cannot deadlock against parent→child
+// holders — then quiesces the FAT allocator across the batched writeback.
 func (f *FS) Sync(t *sched.Task) error {
-	f.lock.Lock(t)
-	defer f.lock.Unlock()
-	return f.bc.Flush(t)
+	f.mu.Lock()
+	live := make([]*pseudoInode, 0, len(f.pseudo))
+	for _, pi := range f.pseudo {
+		pi.refs++
+		live = append(live, pi)
+	}
+	f.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].firstCluster < live[j].firstCluster })
+	for _, pi := range live {
+		pi.lock.Lock(t)
+		pi.lock.Unlock()
+		f.unpin(pi)
+	}
+	f.fatLock.Lock(t)
+	err := f.bc.Flush(t)
+	f.fatLock.Unlock()
+	return err
 }
 
 // --- fs.File implementation ---
 
 func (fl *file) Read(t *sched.Task, p []byte) (int, error) {
-	fl.fsys.lock.Lock(t)
-	defer fl.fsys.lock.Unlock()
-	if fl.pi.isDir {
+	if !fl.use() {
+		return 0, fs.ErrBadFD
+	}
+	defer fl.done()
+	pi := fl.pi
+	pi.lock.Lock(t)
+	defer pi.lock.Unlock()
+	if pi.isDir {
 		return 0, fs.ErrIsDir
+	}
+	if pi.dead {
+		return 0, fs.ErrNotFound
 	}
 	fl.mu.Lock()
 	off := fl.off
 	fl.mu.Unlock()
-	size := int64(fl.pi.size)
+	size := int64(pi.size)
 	if off >= size {
 		return 0, nil
 	}
 	if off+int64(len(p)) > size {
 		p = p[:size-off]
 	}
-	clusters, err := fl.fsys.chain(t, fl.pi.firstCluster)
+	clusters, err := fl.fsys.chain(t, pi.firstCluster)
 	if err != nil {
 		return 0, err
 	}
@@ -214,7 +488,7 @@ func (fl *file) Read(t *sched.Task, p []byte) (int, error) {
 		return 0, err
 	}
 	fl.mu.Lock()
-	fl.off += int64(len(p))
+	fl.off = off + int64(len(p))
 	fl.mu.Unlock()
 	return len(p), nil
 }
@@ -223,20 +497,28 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 	if fl.flags&(fs.OWrOnly|fs.ORdWr) == 0 {
 		return 0, fs.ErrPerm
 	}
-	fl.fsys.lock.Lock(t)
-	defer fl.fsys.lock.Unlock()
-	if fl.pi.isDir {
+	if !fl.use() {
+		return 0, fs.ErrBadFD
+	}
+	defer fl.done()
+	pi := fl.pi
+	pi.lock.Lock(t)
+	defer pi.lock.Unlock()
+	if pi.isDir {
 		return 0, fs.ErrIsDir
+	}
+	if pi.dead {
+		return 0, fs.ErrNotFound
 	}
 	fl.mu.Lock()
 	off := fl.off
 	if fl.flags&fs.OAppend != 0 {
-		off = int64(fl.pi.size)
+		off = int64(pi.size)
 	}
 	fl.mu.Unlock()
 
 	end := off + int64(len(p))
-	clusters, err := fl.fsys.chain(t, fl.pi.firstCluster)
+	clusters, err := fl.fsys.chain(t, pi.firstCluster)
 	if err != nil {
 		return 0, err
 	}
@@ -267,7 +549,7 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 			return 0, err
 		}
 		if err := fl.fsys.fatSet(t, clusters[len(clusters)-1], nc); err != nil {
-			fl.fsys.fatSet(t, nc, freeClust)
+			fl.fsys.unclaimCluster(t, nc)
 			rollback()
 			return 0, err
 		}
@@ -279,7 +561,7 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 	// count is clamped to the old file size: bytes that landed in
 	// rolled-back clusters are not durable, while in-place overwrites
 	// below the old size are.
-	oldSize := int64(fl.pi.size)
+	oldSize := int64(pi.size)
 	done, err := fl.fsys.writeRange(t, clusters, int(off), p)
 	if err != nil {
 		rollback()
@@ -295,21 +577,9 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 	fl.mu.Lock()
 	fl.off = off + int64(done)
 	fl.mu.Unlock()
-	if end > int64(fl.pi.size) {
-		fl.pi.size = uint32(end)
-		// Update the directory entry's size field.
-		ref := direntRef{cluster: fl.pi.dirCluster, index: fl.pi.dirIndex}
-		var de dirent83
-		dbuf := make([]byte, ClusterSize)
-		if err := fl.fsys.readClusterCached(t, ref.cluster, dbuf); err != nil {
-			return done, err
-		}
-		de.decode(dbuf[ref.index*direntSize:])
-		de.size = fl.pi.size
-		// Patch the entry into the cluster already in hand — writeDirent
-		// would re-read the same cluster for nothing.
-		de.encode(dbuf[ref.index*direntSize:])
-		if err := fl.fsys.writeClusterCached(t, ref.cluster, dbuf); err != nil {
+	if end > int64(pi.size) {
+		pi.size = uint32(end)
+		if err := fl.fsys.patchDirentSize(t, pi); err != nil {
 			return done, err
 		}
 	}
@@ -317,20 +587,51 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 }
 
 func (fl *file) Close() error {
-	fl.fsys.putPseudo(fl.pi)
+	fl.mu.Lock()
+	if fl.closed {
+		fl.mu.Unlock()
+		return nil
+	}
+	fl.closed = true
+	drop := fl.inflight == 0
+	fl.mu.Unlock()
+	// Deferred to the last in-flight operation if any are mid-call.
+	if drop {
+		fl.fsys.unpin(fl.pi)
+	}
 	return nil
 }
 
-func (fl *file) Stat() (fs.Stat, error) {
+func (fl *file) Stat() (fs.Stat, error) { return fl.StatT(nil) }
+
+// StatT implements fs.TaskStater: with the task in hand, a contended
+// pseudo-inode lock puts it to sleep on the simulated core instead of
+// spin-yielding the host thread.
+func (fl *file) StatT(t *sched.Task) (fs.Stat, error) {
+	if !fl.use() {
+		return fs.Stat{}, fs.ErrBadFD
+	}
+	defer fl.done()
+	pi := fl.pi
+	pi.lock.Lock(t)
+	defer pi.lock.Unlock()
 	typ := fs.TypeFile
-	if fl.pi.isDir {
+	if pi.isDir {
 		typ = fs.TypeDir
 	}
-	return fs.Stat{Name: fl.name, Type: typ, Size: int64(fl.pi.size), Inode: uint64(fl.pi.firstCluster)}, nil
+	return fs.Stat{Name: fl.name, Type: typ, Size: int64(pi.size), Inode: uint64(pi.firstCluster)}, nil
 }
 
 // Lseek implements fs.Seeker.
 func (fl *file) Lseek(offset int64, whence int) (int64, error) {
+	var size int64
+	if whence == fs.SeekEnd {
+		st, err := fl.Stat()
+		if err != nil {
+			return 0, err
+		}
+		size = st.Size
+	}
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
 	var base int64
@@ -340,7 +641,7 @@ func (fl *file) Lseek(offset int64, whence int) (int64, error) {
 	case fs.SeekCur:
 		base = fl.off
 	case fs.SeekEnd:
-		base = int64(fl.pi.size)
+		base = size
 	default:
 		return 0, fs.ErrBadSeek
 	}
@@ -353,14 +654,25 @@ func (fl *file) Lseek(offset int64, whence int) (int64, error) {
 }
 
 // ReadDir implements fs.DirReader.
-func (fl *file) ReadDir() ([]fs.DirEntry, error) {
-	fl.fsys.lock.Lock(nil)
-	defer fl.fsys.lock.Unlock()
-	if !fl.pi.isDir {
+func (fl *file) ReadDir() ([]fs.DirEntry, error) { return fl.ReadDirT(nil) }
+
+// ReadDirT implements fs.TaskDirReader.
+func (fl *file) ReadDirT(t *sched.Task) ([]fs.DirEntry, error) {
+	if !fl.use() {
+		return nil, fs.ErrBadFD
+	}
+	defer fl.done()
+	pi := fl.pi
+	pi.lock.Lock(t)
+	defer pi.lock.Unlock()
+	if !pi.isDir {
 		return nil, fs.ErrNotDir
 	}
+	if pi.dead {
+		return nil, fs.ErrNotFound
+	}
 	var out []fs.DirEntry
-	err := fl.fsys.scanDir(nil, fl.pi.firstCluster, func(de *dirent83, _ direntRef) bool {
+	err := fl.fsys.scanDir(t, pi.firstCluster, func(de *dirent83, _ direntRef) bool {
 		typ := fs.TypeFile
 		if de.attr&attrDir != 0 {
 			typ = fs.TypeDir
@@ -372,7 +684,10 @@ func (fl *file) ReadDir() ([]fs.DirEntry, error) {
 }
 
 var (
-	_ fs.File      = (*file)(nil)
-	_ fs.Seeker    = (*file)(nil)
-	_ fs.DirReader = (*file)(nil)
+	_ fs.File          = (*file)(nil)
+	_ fs.Seeker        = (*file)(nil)
+	_ fs.DirReader     = (*file)(nil)
+	_ fs.TaskStater    = (*file)(nil)
+	_ fs.TaskDirReader = (*file)(nil)
+	_ fs.Renamer       = (*FS)(nil)
 )

@@ -92,6 +92,7 @@ var (
 	ErrPipeClosed  = errors.New("fs: broken pipe")
 	ErrBadSeek     = errors.New("fs: illegal seek")
 	ErrReadOnly    = errors.New("fs: read-only filesystem")
+	ErrCrossDevice = errors.New("fs: cross-device rename") // EXDEV
 )
 
 // File is an open file description. Reads and writes may block (pipes,
@@ -113,6 +114,32 @@ type DirReader interface {
 	ReadDir() ([]DirEntry, error)
 }
 
+// The File method set predates the need to carry the calling task into
+// every operation that may wait on a lock: Stat, Close, and ReadDir have
+// no task parameter, so a contended sleeplock under them can only
+// spin-yield the host thread — which on a single-core configuration
+// starves the very holder being waited on. TaskStater, TaskCloser, and
+// TaskDirReader are the task-carrying variants; the syscall layer prefers
+// them whenever it has a task in hand, so the task sleeps on the
+// simulated core instead. The task-less methods remain for host-side
+// callers (tests, image building).
+
+// TaskStater is Stat with the calling task.
+type TaskStater interface {
+	StatT(t *sched.Task) (Stat, error)
+}
+
+// TaskCloser is Close with the calling task (disk filesystems may reclaim
+// an unlinked file's blocks at last close, which is lock-and-IO work).
+type TaskCloser interface {
+	CloseT(t *sched.Task) error
+}
+
+// TaskDirReader is ReadDir with the calling task.
+type TaskDirReader interface {
+	ReadDirT(t *sched.Task) ([]DirEntry, error)
+}
+
 // Ioctler is implemented by device files with control operations (e.g.
 // /dev/fb's flush, /dev/events' nonblock toggle).
 type Ioctler interface {
@@ -131,9 +158,18 @@ type FileSystem interface {
 // Syncer is implemented by filesystems with dirty state to flush (disk
 // filesystems over a write-back buffer cache). VFS.SyncAll drives it at
 // shutdown; devfs/procfs have nothing to flush and simply don't implement
-// it.
+// it. Implementations serialize against in-flight operations with their
+// own locks — since the per-inode locking refactor that means the
+// allocator locks plus a per-inode drain, not a volume lock.
 type Syncer interface {
 	Sync(t *sched.Task) error
+}
+
+// Renamer is implemented by filesystems that support atomically moving an
+// entry to a new path on the same volume. VFS.Rename dispatches to it and
+// rejects cross-mount renames with ErrCrossDevice.
+type Renamer interface {
+	Rename(t *sched.Task, oldPath, newPath string) error
 }
 
 // BlockDevice abstracts the storage under a filesystem: the ramdisk under

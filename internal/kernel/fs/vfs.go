@@ -100,10 +100,35 @@ func (v *VFS) Unlink(t *sched.Task, path string) error {
 	return fsys.Unlink(t, rel)
 }
 
+// Rename atomically moves oldPath to newPath. Both must resolve to the
+// same mounted filesystem (no cross-device moves), and that filesystem
+// must implement Renamer.
+func (v *VFS) Rename(t *sched.Task, oldPath, newPath string) error {
+	ofs, orel, err := v.resolve(oldPath)
+	if err != nil {
+		return err
+	}
+	nfs, nrel, err := v.resolve(newPath)
+	if err != nil {
+		return err
+	}
+	if ofs != nfs {
+		return ErrCrossDevice
+	}
+	r, ok := ofs.(Renamer)
+	if !ok {
+		return ErrPerm
+	}
+	return r.Rename(t, orel, nrel)
+}
+
 // SyncAll flushes every mounted filesystem that implements Syncer — the
 // one unified flush path (shutdown, sync syscalls). All errors are
 // reported; flushing continues past a failing filesystem so one bad device
-// doesn't strand the others' dirty blocks.
+// doesn't strand the others' dirty blocks. Each filesystem's Sync takes
+// its own allocator and per-inode locks (there is no volume lock anymore),
+// so a flush runs concurrently with IO on other mounts and drains, rather
+// than blocks behind, IO on its own.
 func (v *VFS) SyncAll(t *sched.Task) error {
 	v.mu.RLock()
 	fss := make([]FileSystem, 0, len(v.mounts))
@@ -151,6 +176,22 @@ func Clean(path string) string {
 		}
 	}
 	return "/" + strings.Join(out, "/")
+}
+
+// IsPathAncestor reports whether cleaned path a strictly contains cleaned
+// path b ("/a" contains "/a/b/c"; the root contains everything else).
+// Renames use it for their two-directory lock ordering — ancestor first —
+// so the deadlock-avoidance decision lives in one place for every
+// filesystem (naive prefix checks get the root wrong: "/"+"/" is not a
+// prefix of "/a/").
+func IsPathAncestor(a, b string) bool {
+	if a == b {
+		return false
+	}
+	if a == "/" {
+		return true
+	}
+	return strings.HasPrefix(b, a+"/")
 }
 
 // SplitPath returns the directory and final element of a cleaned path.
@@ -239,7 +280,12 @@ func (ft *FDTable) Dup(fd int) (int, error) {
 }
 
 // Close drops fd; the description closes at refcount zero.
-func (ft *FDTable) Close(fd int) error {
+func (ft *FDTable) Close(fd int) error { return ft.CloseTask(nil, fd) }
+
+// CloseTask is Close carrying the calling task, so a final close that
+// must reclaim an unlinked file's storage sleeps properly on contended
+// locks (see TaskCloser).
+func (ft *FDTable) CloseTask(t *sched.Task, fd int) error {
 	ft.mu.Lock()
 	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
 		ft.mu.Unlock()
@@ -254,6 +300,9 @@ func (ft *FDTable) Close(fd int) error {
 	last := e.refs == 0
 	e.mu.Unlock()
 	if last {
+		if tc, ok := e.file.(TaskCloser); ok && t != nil {
+			return tc.CloseT(t)
+		}
 		return e.file.Close()
 	}
 	return nil
@@ -277,12 +326,15 @@ func (ft *FDTable) Clone() *FDTable {
 }
 
 // CloseAll releases every descriptor (process exit).
-func (ft *FDTable) CloseAll() {
+func (ft *FDTable) CloseAll() { ft.CloseAllTask(nil) }
+
+// CloseAllTask is CloseAll carrying the exiting task.
+func (ft *FDTable) CloseAllTask(t *sched.Task) {
 	ft.mu.Lock()
 	n := len(ft.files)
 	ft.mu.Unlock()
 	for fd := 0; fd < n; fd++ {
-		ft.Close(fd) // ErrBadFD for empty slots is fine
+		ft.CloseTask(t, fd) // ErrBadFD for empty slots is fine
 	}
 }
 

@@ -1,0 +1,178 @@
+package fs_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/fat32"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/ksync"
+	"protosim/internal/kernel/xv6fs"
+)
+
+type sdDev struct{ sd *hw.SDCard }
+
+func (d sdDev) BlockSize() int { return hw.SDBlockSize }
+func (d sdDev) Blocks() int    { return d.sd.Blocks() }
+func (d sdDev) ReadBlocks(lba, n int, dst []byte) error {
+	return d.sd.ReadBlocks(lba, n, dst)
+}
+func (d sdDev) WriteBlocks(lba, n int, src []byte) error {
+	return d.sd.WriteBlocks(lba, n, src)
+}
+
+func newTwoMountVFS(t *testing.T) (*fs.VFS, *fs.Ramdisk) {
+	t.Helper()
+	rd := fs.NewRamdisk(xv6fs.BlockSize, 2048)
+	if err := xv6fs.Mkfs(rd, 64); err != nil {
+		t.Fatal(err)
+	}
+	root, err := xv6fs.Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := hw.NewSDCard(8192, hw.NewIRQController(1))
+	sd.SetLatencyScale(0)
+	if err := fat32.Mkfs(sdDev{sd}); err != nil {
+		t.Fatal(err)
+	}
+	card, err := fat32.Mount(sdDev{sd}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := fs.NewVFS()
+	if err := v.Mount("/", root); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Mount("/d", card); err != nil {
+		t.Fatal(err)
+	}
+	return v, rd
+}
+
+// TestSyncAllDuringWriters drives SyncAll repeatedly while tasks write on
+// BOTH mounts. Since the volume locks are gone, each filesystem's Sync
+// must coordinate through the new allocator + per-inode locks: no
+// deadlock, no lost writes, and the final SyncAll leaves the xv6fs image
+// remountable with everything durable.
+func TestSyncAllDuringWriters(t *testing.T) {
+	ksync.SetRankCheck(true)
+	t.Cleanup(func() { ksync.SetRankCheck(false) })
+	v, rd := newTwoMountVFS(t)
+
+	const workers = 4
+	const rounds = 15
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rootPath := fmt.Sprintf("/r%d.dat", w)
+			cardPath := fmt.Sprintf("/d/c%d.bin", w)
+			payload := bytes.Repeat([]byte{byte('a' + w)}, 5000)
+			for r := 0; r < rounds; r++ {
+				for _, p := range []string{rootPath, cardPath} {
+					fl, err := v.Open(nil, p, fs.OCreate|fs.OWrOnly|fs.OTrunc)
+					if err != nil {
+						t.Errorf("w%d open %s: %v", w, p, err)
+						return
+					}
+					if _, err := fl.Write(nil, payload); err != nil {
+						t.Errorf("w%d write %s: %v", w, p, err)
+						return
+					}
+					fl.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 3*rounds; r++ {
+			if err := v.SyncAll(nil); err != nil {
+				t.Errorf("SyncAll: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := v.SyncAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	// The flushed xv6fs image must remount with every file durable.
+	remounted, err := xv6fs.Mount(fs.NewRamdiskFromImage(xv6fs.BlockSize, rd.Image()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		st, err := remounted.Stat(nil, fmt.Sprintf("/r%d.dat", w))
+		if err != nil || st.Size != 5000 {
+			t.Fatalf("remounted stat w%d = %+v, %v", w, st, err)
+		}
+	}
+	// And the FAT32 side still serves correct contents.
+	for w := 0; w < workers; w++ {
+		fl, err := v.Open(nil, fmt.Sprintf("/d/c%d.bin", w), fs.ORdOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 5000)
+		read := 0
+		for read < len(got) {
+			n, err := fl.Read(nil, got[read:])
+			if err != nil || n == 0 {
+				t.Fatalf("card read w%d: %d, %v", w, n, err)
+			}
+			read += n
+		}
+		for i, b := range got {
+			if b != byte('a'+w) {
+				t.Fatalf("card w%d byte %d = %q", w, i, b)
+			}
+		}
+		fl.Close()
+	}
+}
+
+// TestVFSRenameDispatch checks same-mount dispatch and the cross-device
+// rejection.
+func TestVFSRenameDispatch(t *testing.T) {
+	v, _ := newTwoMountVFS(t)
+	fl, err := v.Open(nil, "/move.me", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, []byte("payload"))
+	fl.Close()
+	if err := v.Rename(nil, "/move.me", "/moved"); err != nil {
+		t.Fatalf("same-mount rename: %v", err)
+	}
+	if _, err := v.Stat(nil, "/move.me"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("old path survives: %v", err)
+	}
+	st, err := v.Stat(nil, "/moved")
+	if err != nil || st.Size != 7 {
+		t.Fatalf("new path stat = %+v, %v", st, err)
+	}
+	// FAT32 mount renames too.
+	fl, err = v.Open(nil, "/d/a.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Close()
+	if err := v.Rename(nil, "/d/a.bin", "/d/b.bin"); err != nil {
+		t.Fatalf("fat32 rename: %v", err)
+	}
+	// Cross-mount is EXDEV.
+	if err := v.Rename(nil, "/moved", "/d/moved.bin"); !errors.Is(err, fs.ErrCrossDevice) {
+		t.Fatalf("cross-device rename = %v, want ErrCrossDevice", err)
+	}
+}

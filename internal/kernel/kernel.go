@@ -419,9 +419,10 @@ func (k *Kernel) Shutdown() error {
 		k.VTimers.Close()
 	}
 	// One unified flush path: every mounted filesystem that can sync does.
-	// Only after a clean scheduler shutdown — Sync takes the volume locks,
-	// and a wedged task that survived the timeout may still hold one; a
-	// hung host process is worse than skipping the final flush.
+	// Only after a clean scheduler shutdown — Sync drains per-inode and
+	// allocator locks, and a wedged task that survived the timeout may
+	// still hold one; a hung host process is worse than skipping the
+	// final flush.
 	if k.VFS != nil && err == nil {
 		k.VFS.SyncAll(nil)
 	}

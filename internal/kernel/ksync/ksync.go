@@ -6,6 +6,7 @@
 package ksync
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -159,18 +160,40 @@ func (s *Semaphore) Value() int {
 
 // SleepLock is a long-hold lock whose waiters sleep instead of spinning —
 // xv6's sleeplock, used by the buffer cache where a disk read happens under
-// the lock.
+// the lock, and (since the per-inode locking refactor) by the filesystems'
+// inode, pseudo-inode, allocator and rename locks.
+//
+// A SleepLock may carry a Rank (SetRank); ranked locks participate in the
+// debug lock-order assertion when SetRankCheck(true) is active.
 type SleepLock struct {
 	mu     sync.Mutex
 	locked bool
 	holder int
 	wq     sched.WaitQueue
+
+	// Rank metadata for the debug lock-order checker. Written by SetRank
+	// while the lock is free and externally unreachable or quiescent
+	// (buffer recycle under the shard lock), read by Lock/LockNested.
+	rank  Rank
+	order int64
 }
 
 // Lock acquires for task t, sleeping while held elsewhere. A nil task is
 // permitted for host-side contexts (image building, test harnesses) that
 // run outside the simulated scheduler; they spin-yield instead of sleeping.
-func (l *SleepLock) Lock(t *sched.Task) {
+func (l *SleepLock) Lock(t *sched.Task) { l.lock(t, false) }
+
+// LockNested acquires like Lock but tells the rank checker this is a
+// tree-protocol acquisition: a lock of the SAME rank as one already held is
+// permitted regardless of order key. Used for parent-directory → child
+// inode locking, where deadlock freedom comes from the directory tree shape
+// (always ancestor before descendant) rather than a total lock order.
+func (l *SleepLock) LockNested(t *sched.Task) { l.lock(t, true) }
+
+func (l *SleepLock) lock(t *sched.Task, nested bool) {
+	if l.rank != RankNone && rankCheckOn.Load() {
+		rankCheckAcquire(l, nested)
+	}
 	for {
 		l.mu.Lock()
 		if !l.locked {
@@ -192,6 +215,9 @@ func (l *SleepLock) Lock(t *sched.Task) {
 
 // Unlock releases and wakes one waiter.
 func (l *SleepLock) Unlock() {
+	if l.rank != RankNone && rankCheckOn.Load() {
+		rankCheckRelease(l)
+	}
 	l.mu.Lock()
 	if !l.locked {
 		l.mu.Unlock()
@@ -208,4 +234,135 @@ func (l *SleepLock) Held() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.locked
+}
+
+// --- debug lock-rank checking ---
+//
+// The storage stack's sleeplocks form a hierarchy; acquiring against it is
+// how filesystem deadlocks are born. The checker enforces, per goroutine:
+//
+//	rename (FS-wide rename serialization)
+//	  < inode (per-inode / pseudo-inode locks; order key = inum / cluster)
+//	  < alloc (inode array, block bitmap, FAT — the allocation structures)
+//	  < buffer (bcache buffer sleeplocks; order key = LBA)
+//
+// Within one rank, plain Lock demands a strictly increasing order key
+// (bcache claims segments in ascending LBA; Flush locks runs in ascending
+// LBA; rename locks unrelated directories in ascending id). LockNested
+// waives the order-key demand for tree-protocol acquisitions
+// (parent-directory → child), whose deadlock freedom comes from always
+// walking ancestor-to-descendant, not from a total order.
+//
+// Checking is off by default (it costs a goroutine-ID lookup and a global
+// map per ranked acquisition) and switched on by the concurrency tests.
+
+// Rank is a level in the storage-stack lock hierarchy. Locks are acquired
+// in increasing rank; RankNone opts a lock out of checking.
+type Rank int
+
+// Ranks, lowest (acquired first) to highest.
+const (
+	RankNone Rank = iota
+	RankRename
+	RankInode
+	RankAlloc
+	RankBuffer
+)
+
+func (r Rank) String() string {
+	switch r {
+	case RankRename:
+		return "rename"
+	case RankInode:
+		return "inode"
+	case RankAlloc:
+		return "alloc"
+	case RankBuffer:
+		return "buffer"
+	}
+	return "none"
+}
+
+// SetRank assigns the lock's place in the hierarchy and its within-rank
+// order key (inode number, cluster number, LBA). Call while the lock is
+// unreachable by other goroutines (construction, buffer recycle under the
+// owning shard lock).
+func (l *SleepLock) SetRank(r Rank, order int64) {
+	l.rank = r
+	l.order = order
+}
+
+var (
+	rankCheckOn atomic.Bool
+	rankMu      sync.Mutex
+	rankHeld    = make(map[int64][]*SleepLock) // goroutine id -> held ranked locks
+)
+
+// SetRankCheck switches the global lock-rank assertion on or off. Turning
+// it off clears all tracking state.
+func SetRankCheck(on bool) {
+	rankCheckOn.Store(on)
+	if !on {
+		rankMu.Lock()
+		rankHeld = make(map[int64][]*SleepLock)
+		rankMu.Unlock()
+	}
+}
+
+// goid parses the current goroutine's ID out of the stack header
+// ("goroutine N [..."). Debug path only.
+func goid() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	var id int64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// rankCheckAcquire asserts that taking l now respects the hierarchy, then
+// records it as held.
+func rankCheckAcquire(l *SleepLock, nested bool) {
+	g := goid()
+	rankMu.Lock()
+	defer rankMu.Unlock()
+	held := rankHeld[g]
+	for _, h := range held {
+		if h == l {
+			panic(fmt.Sprintf("ksync: recursive acquisition of %v lock (order %d)", l.rank, l.order))
+		}
+		if h.rank > l.rank {
+			panic(fmt.Sprintf("ksync: lock-rank inversion: acquiring %v (order %d) while holding %v (order %d)",
+				l.rank, l.order, h.rank, h.order))
+		}
+		if h.rank == l.rank && !nested && h.order >= l.order {
+			panic(fmt.Sprintf("ksync: same-rank order violation: acquiring %v order %d while holding order %d (use ascending order or LockNested for tree descent)",
+				l.rank, l.order, h.order))
+		}
+	}
+	rankHeld[g] = append(held, l)
+}
+
+// rankCheckRelease forgets a held lock. Locks taken before checking was
+// enabled are simply not found, which is fine.
+func rankCheckRelease(l *SleepLock) {
+	g := goid()
+	rankMu.Lock()
+	defer rankMu.Unlock()
+	held := rankHeld[g]
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == l {
+			held = append(held[:i], held[i+1:]...)
+			break
+		}
+	}
+	if len(held) == 0 {
+		delete(rankHeld, g)
+	} else {
+		rankHeld[g] = held
+	}
 }

@@ -152,7 +152,15 @@ func (p *Proc) runBody(body func() int) {
 func (p *Proc) finalize(code int) {
 	p.exit = code
 	if p.fds != nil {
-		p.fds.CloseAll()
+		// Carry the exiting task: a final close may reclaim an unlinked
+		// file's storage, which sleeps on locks and does IO. A condemned
+		// task must not — its sleep would panic out of finalize and skip
+		// the cleanup below — so it closes host-style instead.
+		t := p.Task
+		if t != nil && t.Killed() {
+			t = nil
+		}
+		p.fds.CloseAllTask(t)
 	}
 	if p.mm != nil {
 		p.mm.Release()

@@ -40,7 +40,7 @@ func (p *Proc) SysClose(fd int) error {
 	if p.fds == nil {
 		return ErrNoFiles
 	}
-	return p.fds.Close(fd)
+	return p.fds.CloseTask(p.Task, fd)
 }
 
 // SysRead reads up to len(buf) bytes from fd.
@@ -134,6 +134,15 @@ func (p *Proc) SysUnlink(path string) error {
 	return p.k.VFS.Unlink(p.Task, p.resolvePath(path))
 }
 
+// SysRename atomically moves a file or directory within one filesystem.
+func (p *Proc) SysRename(oldPath, newPath string) error {
+	p.k.count()
+	if p.k.VFS == nil {
+		return ErrNoFiles
+	}
+	return p.k.VFS.Rename(p.Task, p.resolvePath(oldPath), p.resolvePath(newPath))
+}
+
 // SysFstat stats an open descriptor.
 func (p *Proc) SysFstat(fd int) (fs.Stat, error) {
 	p.k.count()
@@ -143,6 +152,9 @@ func (p *Proc) SysFstat(fd int) (fs.Stat, error) {
 	f, err := p.fds.Get(fd)
 	if err != nil {
 		return fs.Stat{}, err
+	}
+	if ts, ok := f.(fs.TaskStater); ok {
+		return ts.StatT(p.Task)
 	}
 	return f.Stat()
 }
@@ -187,6 +199,9 @@ func (p *Proc) SysReadDir(fd int) ([]fs.DirEntry, error) {
 	f, err := p.fds.Get(fd)
 	if err != nil {
 		return nil, err
+	}
+	if tdr, ok := f.(fs.TaskDirReader); ok {
+		return tdr.ReadDirT(p.Task)
 	}
 	dr, ok := f.(fs.DirReader)
 	if !ok {

@@ -417,13 +417,15 @@ func (w *WM) Composite() bool {
 			row[o+3] = 0xFF
 		}
 	}
-	// Draw surfaces bottom to top, clipped to the damage.
+	// Draw surfaces bottom to top, clipped to the damage. The surface
+	// lock is held across the blend: snapshotting the pixel slice and
+	// reading it unlocked would race a concurrent Blit's copy into the
+	// same backing array.
 	blended := int64(0)
 	for _, s := range surfs {
 		s.mu.Lock()
 		sx, sy, sw, sh, alpha := s.x, s.y, s.w, s.h, s.alpha
 		pixels := s.pixels
-		s.mu.Unlock()
 		r := rect{sx, sy, sx + sw, sy + sh}.clip(w.fb.Width(), w.fb.Height())
 		r = r.union(rect{}) // no-op, keep shape
 		// Intersect with damage.
@@ -440,6 +442,7 @@ func (w *WM) Composite() bool {
 			r.y1 = damage.y1
 		}
 		if r.empty() {
+			s.mu.Unlock()
 			continue
 		}
 		for y := r.y0; y < r.y1; y++ {
@@ -464,6 +467,7 @@ func (w *WM) Composite() bool {
 				blended++
 			}
 		}
+		s.mu.Unlock()
 	}
 	// Flush only the damaged rows — the cache maintenance the paper makes
 	// Prototype 3 students implement.

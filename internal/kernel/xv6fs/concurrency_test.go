@@ -1,0 +1,448 @@
+package xv6fs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/ksync"
+)
+
+// withRankCheck turns the ksync lock-order assertion on for one test, so a
+// lock-hierarchy regression fails loudly instead of deadlocking quietly.
+func withRankCheck(t *testing.T) {
+	t.Helper()
+	ksync.SetRankCheck(true)
+	t.Cleanup(func() { ksync.SetRankCheck(false) })
+}
+
+// runWithDeadline fails the test if fn does not finish in time — the
+// deadlock detector for the concurrency suite. The goroutine dump makes a
+// hung lock acquisition diagnosable from the failure output.
+func runWithDeadline(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("deadlock suspected: no progress after %v\n%s", d, buf[:n])
+	}
+}
+
+// TestParallelDisjointFiles hammers ONE mount with 8 tasks working on
+// disjoint files — mixed create/write/read/append/unlink — and verifies
+// every file's final contents. Under the old volume lock this exercised
+// nothing; with per-inode locks it drives 8 inode locks and all cache
+// shards concurrently (run under -race).
+func TestParallelDisjointFiles(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 4096)
+	const workers = 8
+	const rounds = 25
+
+	runWithDeadline(t, 2*time.Minute, func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				main := fmt.Sprintf("/w%d.dat", w)
+				scratch := fmt.Sprintf("/s%d.tmp", w)
+				dir := fmt.Sprintf("/d%d", w)
+				if err := f.Mkdir(nil, dir); err != nil {
+					t.Errorf("w%d mkdir: %v", w, err)
+					return
+				}
+				payload := bytes.Repeat([]byte{byte('A' + w)}, 3000)
+				for r := 0; r < rounds; r++ {
+					// Main file: truncate, write, read back, append.
+					fl, err := f.Open(nil, main, fs.OCreate|fs.ORdWr|fs.OTrunc)
+					if err != nil {
+						t.Errorf("w%d open: %v", w, err)
+						return
+					}
+					if _, err := fl.Write(nil, payload); err != nil {
+						t.Errorf("w%d write: %v", w, err)
+						return
+					}
+					fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+					got := make([]byte, len(payload))
+					n, err := fl.Read(nil, got)
+					if err != nil || !bytes.Equal(got[:n], payload) {
+						t.Errorf("w%d round %d read back %d bytes, err %v", w, r, n, err)
+						return
+					}
+					fl.Close()
+
+					// Scratch file in the worker's own directory: create,
+					// stat, unlink — the metadata-heavy mix.
+					sp := dir + scratch
+					sf, err := f.Open(nil, sp, fs.OCreate|fs.OWrOnly)
+					if err != nil {
+						t.Errorf("w%d scratch open: %v", w, err)
+						return
+					}
+					sf.Write(nil, payload[:64])
+					sf.Close()
+					if _, err := f.Stat(nil, sp); err != nil {
+						t.Errorf("w%d scratch stat: %v", w, err)
+						return
+					}
+					if err := f.Unlink(nil, sp); err != nil {
+						t.Errorf("w%d scratch unlink: %v", w, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	if t.Failed() {
+		return
+	}
+	// Final contents: every worker's main file holds its own byte pattern.
+	for w := 0; w < workers; w++ {
+		fl, err := f.Open(nil, fmt.Sprintf("/w%d.dat", w), fs.ORdOnly)
+		if err != nil {
+			t.Fatalf("final open w%d: %v", w, err)
+		}
+		got := make([]byte, 4000)
+		n, err := fl.Read(nil, got)
+		if err != nil || n != 3000 {
+			t.Fatalf("final read w%d: %d bytes, %v", w, n, err)
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != byte('A'+w) {
+				t.Fatalf("w%d byte %d = %q, files bled into each other", w, i, got[i])
+			}
+		}
+		fl.Close()
+		// Scratch files were unlinked; directories must be empty.
+		d, _ := f.Open(nil, fmt.Sprintf("/d%d", w), fs.ORdOnly)
+		if entries, _ := d.(fs.DirReader).ReadDir(); len(entries) != 0 {
+			t.Fatalf("w%d dir not empty: %v", w, entries)
+		}
+		d.Close()
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+// TestConcurrentRenameOpposingDirs bounces files between two directories
+// in BOTH directions at once, with create/unlink churn mixed in — the
+// classic two-directory lock-ordering deadlock, looped under -race with
+// the rank assertion armed.
+func TestConcurrentRenameOpposingDirs(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 2048)
+	for _, d := range []string{"/a", "/b"} {
+		if err := f.Mkdir(nil, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkfile := func(path string) {
+		fl, err := f.Open(nil, path, fs.OCreate|fs.OWrOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl.Write(nil, []byte(path))
+		fl.Close()
+	}
+	mkfile("/a/x")
+	mkfile("/b/y")
+
+	const rounds = 120
+	runWithDeadline(t, 2*time.Minute, func() {
+		var wg sync.WaitGroup
+		bounce := func(from, to string) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := f.Rename(nil, from, to); err != nil {
+					t.Errorf("rename %s -> %s: %v", from, to, err)
+					return
+				}
+				if err := f.Rename(nil, to, from); err != nil {
+					t.Errorf("rename %s -> %s: %v", to, from, err)
+					return
+				}
+			}
+		}
+		churn := func(dir string) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				p := fmt.Sprintf("%s/c%d", dir, r%7)
+				fl, err := f.Open(nil, p, fs.OCreate|fs.OWrOnly)
+				if err != nil {
+					t.Errorf("churn create %s: %v", p, err)
+					return
+				}
+				fl.Close()
+				if err := f.Unlink(nil, p); err != nil {
+					t.Errorf("churn unlink %s: %v", p, err)
+					return
+				}
+			}
+		}
+		wg.Add(4)
+		go bounce("/a/x", "/b/x") // a→b direction
+		go bounce("/b/y", "/a/y") // b→a direction, opposing lock order
+		go churn("/a")
+		go churn("/b")
+		wg.Wait()
+	})
+	if t.Failed() {
+		return
+	}
+	// Both files must be back home with their contents intact.
+	for path, want := range map[string]string{"/a/x": "/a/x", "/b/y": "/b/y"} {
+		fl, err := f.Open(nil, path, fs.ORdOnly)
+		if err != nil {
+			t.Fatalf("final open %s: %v", path, err)
+		}
+		got := make([]byte, 16)
+		n, _ := fl.Read(nil, got)
+		if string(got[:n]) != want {
+			t.Fatalf("%s content = %q", path, got[:n])
+		}
+		fl.Close()
+	}
+}
+
+// TestConcurrentRenameDirAcrossDirs moves a DIRECTORY between two parents
+// while a walker resolves paths through it — ".." rewriting plus
+// ancestor-first ordering under load.
+func TestConcurrentRenameDirAcrossDirs(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 2048)
+	for _, d := range []string{"/p", "/q", "/p/mv"} {
+		if err := f.Mkdir(nil, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl, _ := f.Open(nil, "/p/mv/deep", fs.OCreate|fs.OWrOnly)
+	fl.Write(nil, []byte("deep"))
+	fl.Close()
+
+	runWithDeadline(t, 2*time.Minute, func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 80; r++ {
+				if err := f.Rename(nil, "/p/mv", "/q/mv"); err != nil {
+					t.Errorf("mv p->q: %v", err)
+					return
+				}
+				if err := f.Rename(nil, "/q/mv", "/p/mv"); err != nil {
+					t.Errorf("mv q->p: %v", err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 200; r++ {
+				// The dir is always under exactly one parent; a walk
+				// through either location must never see anything but
+				// found/not-found.
+				_, err1 := f.Stat(nil, "/p/mv/deep")
+				_, err2 := f.Stat(nil, "/q/mv/deep")
+				for _, err := range []error{err1, err2} {
+					if err != nil && !errors.Is(err, fs.ErrNotFound) {
+						t.Errorf("walker: %v", err)
+						return
+					}
+				}
+			}
+		}()
+		wg.Wait()
+	})
+	if t.Failed() {
+		return
+	}
+	st, err := f.Stat(nil, "/p/mv/deep")
+	if err != nil || st.Size != 4 {
+		t.Fatalf("final stat = %+v, %v", st, err)
+	}
+	// ".." must have followed the moves home again.
+	if _, err := f.Stat(nil, "/p/mv/../mv/deep"); err != nil {
+		t.Fatalf("dot-dot after rename: %v", err)
+	}
+}
+
+// TestCreateVsWalkSameParent races creates in one directory against path
+// walks through that same directory (run under -race).
+func TestCreateVsWalkSameParent(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 2048)
+	if err := f.Mkdir(nil, "/p"); err != nil {
+		t.Fatal(err)
+	}
+	fl, _ := f.Open(nil, "/p/known", fs.OCreate|fs.OWrOnly)
+	fl.Write(nil, []byte("k"))
+	fl.Close()
+
+	runWithDeadline(t, 2*time.Minute, func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				p := fmt.Sprintf("/p/f%02d", i)
+				fl, err := f.Open(nil, p, fs.OCreate|fs.OWrOnly)
+				if err != nil {
+					t.Errorf("create %s: %v", p, err)
+					return
+				}
+				fl.Close()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if _, err := f.Stat(nil, "/p/known"); err != nil {
+					t.Errorf("walk: %v", err)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+	})
+	if t.Failed() {
+		return
+	}
+	d, _ := f.Open(nil, "/p", fs.ORdOnly)
+	entries, _ := d.(fs.DirReader).ReadDir()
+	if len(entries) != 61 { // known + 60 creates
+		t.Fatalf("entries = %d, want 61", len(entries))
+	}
+}
+
+// TestCreateInUnlinkedDirFails pins the orphaned-parent guard: once a
+// directory is unlinked, creating into it must fail even for a holder
+// whose reference predates the unlink — otherwise the new inode would be
+// stranded forever when the orphan's data is reclaimed.
+func TestCreateInUnlinkedDirFails(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 512)
+	if err := f.Mkdir(nil, "/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	// Hold a reference to the directory across the unlink, as a racing
+	// Open's walk would.
+	d, err := f.Open(nil, "/doomed", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Open(nil, "/doomed/stranded", fs.OCreate|fs.OWrOnly); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("create in unlinked dir = %v, want ErrNotFound", err)
+	}
+	d.Close()
+}
+
+// TestCloseVsReadRace hammers concurrent Read/Stat against Close on the
+// same description (threads share FD tables, so the kernel must tolerate
+// it): late operations fail with ErrBadFD rather than touching an inode
+// whose reference was dropped.
+func TestCloseVsReadRace(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 1024)
+	for r := 0; r < 40; r++ {
+		fl, err := f.Open(nil, "/race.bin", fs.OCreate|fs.ORdWr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl.Write(nil, bytes.Repeat([]byte{9}, 2048))
+		fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 2048)
+			for {
+				if _, err := fl.Read(nil, buf); err != nil {
+					if !errors.Is(err, fs.ErrBadFD) {
+						t.Errorf("read after close: %v", err)
+					}
+					return
+				}
+				fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			fl.Stat()
+			fl.Close()
+		}()
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+	}
+	// The inode reference must have been dropped exactly once: unlink and
+	// reuse still work.
+	if err := f.Unlink(nil, "/race.bin"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnlinkWhileOpen pins the xv6 deferred-reclaim semantics the itable
+// brought: an unlinked file stays readable through open descriptors, and
+// its blocks are freed only at the last close.
+func TestUnlinkWhileOpen(t *testing.T) {
+	withRankCheck(t)
+	f := newFS(t, 256)
+	fl, err := f.Open(nil, "/keep", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 50*BlockSize)
+	if _, err := fl.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/keep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(nil, "/keep"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat after unlink = %v", err)
+	}
+	// Still readable through the open descriptor.
+	fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+	got := make([]byte, len(payload))
+	n := 0
+	for n < len(got) {
+		m, err := fl.Read(nil, got[n:])
+		if err != nil || m == 0 {
+			t.Fatalf("read after unlink: %d, %v", m, err)
+		}
+		n += m
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("unlinked-but-open file corrupted")
+	}
+	// Blocks must come back at close: a same-size file fits again.
+	fl.Close()
+	fl2, err := f.Open(nil, "/next", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl2.Write(nil, payload); err != nil {
+		t.Fatalf("blocks not reclaimed at final close: %v", err)
+	}
+	fl2.Close()
+}

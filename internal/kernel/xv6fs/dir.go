@@ -28,12 +28,12 @@ func decodeDirent(b []byte) (inum int, name string) {
 	return inum, string(raw)
 }
 
-// dirLookup scans directory inode di for name. Returns the entry's inum
-// and byte offset, or inum 0.
-func (f *FS) dirLookup(t *sched.Task, di *dinode, dirInum int, name string) (inum int, off int64, err error) {
+// dirLookup scans directory dp for name. Returns the entry's inum and byte
+// offset, or inum 0. Caller holds dp.lock.
+func (f *FS) dirLookup(t *sched.Task, dp *inode, name string) (inum int, off int64, err error) {
 	buf := make([]byte, DirentSize)
-	for o := int64(0); o < int64(di.Size); o += DirentSize {
-		if _, err := f.readData(t, di, dirInum, o, buf); err != nil {
+	for o := int64(0); o < int64(dp.di.Size); o += DirentSize {
+		if _, err := f.readData(t, dp, o, buf); err != nil {
 			return 0, 0, err
 		}
 		in, n := decodeDirent(buf)
@@ -44,15 +44,16 @@ func (f *FS) dirLookup(t *sched.Task, di *dinode, dirInum int, name string) (inu
 	return 0, 0, nil
 }
 
-// dirLink adds (name, inum) to a directory, reusing holes.
-func (f *FS) dirLink(t *sched.Task, di *dinode, dirInum int, name string, inum int) error {
+// dirLink adds (name, inum) to directory dp, reusing holes. Caller holds
+// dp.lock.
+func (f *FS) dirLink(t *sched.Task, dp *inode, name string, inum int) error {
 	if len(name) > MaxName {
 		return fs.ErrNameTooLong
 	}
 	buf := make([]byte, DirentSize)
-	off := int64(di.Size)
-	for o := int64(0); o < int64(di.Size); o += DirentSize {
-		if _, err := f.readData(t, di, dirInum, o, buf); err != nil {
+	off := int64(dp.di.Size)
+	for o := int64(0); o < int64(dp.di.Size); o += DirentSize {
+		if _, err := f.readData(t, dp, o, buf); err != nil {
 			return err
 		}
 		if in, _ := decodeDirent(buf); in == 0 {
@@ -61,13 +62,13 @@ func (f *FS) dirLink(t *sched.Task, di *dinode, dirInum int, name string, inum i
 		}
 	}
 	encodeDirent(inum, name, buf)
-	_, err := f.writeData(t, di, dirInum, off, buf)
+	_, err := f.writeData(t, dp, off, buf)
 	return err
 }
 
-// dirUnlink zeroes the entry for name.
-func (f *FS) dirUnlink(t *sched.Task, di *dinode, dirInum int, name string) error {
-	inum, off, err := f.dirLookup(t, di, dirInum, name)
+// dirUnlink zeroes the entry for name. Caller holds dp.lock.
+func (f *FS) dirUnlink(t *sched.Task, dp *inode, name string) error {
+	inum, off, err := f.dirLookup(t, dp, name)
 	if err != nil {
 		return err
 	}
@@ -75,16 +76,50 @@ func (f *FS) dirUnlink(t *sched.Task, di *dinode, dirInum int, name string) erro
 		return fs.ErrNotFound
 	}
 	zero := make([]byte, DirentSize)
-	_, err = f.writeData(t, di, dirInum, off, zero)
+	_, err = f.writeData(t, dp, off, zero)
 	return err
 }
 
-// dirEntries lists a directory's live entries.
-func (f *FS) dirEntries(t *sched.Task, di *dinode, dirInum int) ([]fs.DirEntry, error) {
+// dirSetInum repoints an existing entry (rename uses it to rewrite a moved
+// directory's ".."). Caller holds dp.lock.
+func (f *FS) dirSetInum(t *sched.Task, dp *inode, name string, inum int) error {
+	old, off, err := f.dirLookup(t, dp, name)
+	if err != nil {
+		return err
+	}
+	if old == 0 {
+		return fs.ErrNotFound
+	}
+	buf := make([]byte, DirentSize)
+	encodeDirent(inum, name, buf)
+	_, err = f.writeData(t, dp, off, buf)
+	return err
+}
+
+// isDirEmpty reports whether dp holds no live entries besides "." and
+// "..". Caller holds dp.lock.
+func (f *FS) isDirEmpty(t *sched.Task, dp *inode) (bool, error) {
+	buf := make([]byte, DirentSize)
+	for o := int64(0); o < int64(dp.di.Size); o += DirentSize {
+		if _, err := f.readData(t, dp, o, buf); err != nil {
+			return false, err
+		}
+		inum, name := decodeDirent(buf)
+		if inum != 0 && name != "." && name != ".." {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// dirEntries lists dp's live entries. Child metadata is read straight from
+// the inode array (buffer-atomic) rather than through child locks, so a
+// listing never stacks inode locks. Caller holds dp.lock.
+func (f *FS) dirEntries(t *sched.Task, dp *inode) ([]fs.DirEntry, error) {
 	var out []fs.DirEntry
 	buf := make([]byte, DirentSize)
-	for o := int64(0); o < int64(di.Size); o += DirentSize {
-		if _, err := f.readData(t, di, dirInum, o, buf); err != nil {
+	for o := int64(0); o < int64(dp.di.Size); o += DirentSize {
+		if _, err := f.readData(t, dp, o, buf); err != nil {
 			return nil, err
 		}
 		inum, name := decodeDirent(buf)
@@ -104,49 +139,52 @@ func (f *FS) dirEntries(t *sched.Task, di *dinode, dirInum int) ([]fs.DirEntry, 
 	return out, nil
 }
 
-// walk resolves path to an inode number. Paths are cleaned and absolute
-// within this filesystem.
-func (f *FS) walk(t *sched.Task, path string) (int, *dinode, error) {
+// namex resolves path to a referenced, UNLOCKED inode. The walk is
+// hand-over-hand: each directory is locked only while looking up the next
+// segment, and released before the child is locked — so a walk holds at
+// most one inode lock and can never deadlock with create/unlink/rename,
+// which lock parent before child.
+func (f *FS) namex(t *sched.Task, path string) (*inode, error) {
 	path = fs.Clean(path)
-	inum := rootInum
-	var di dinode
-	if err := f.readInode(t, inum, &di); err != nil {
-		return 0, nil, err
-	}
+	ip := f.iget(rootInum)
 	if path == "/" {
-		return inum, &di, nil
+		return ip, nil
 	}
 	for _, seg := range strings.Split(path[1:], "/") {
-		if di.Type != typeDir {
-			return 0, nil, fs.ErrNotDir
+		if err := f.ilock(t, ip); err != nil {
+			f.iput(t, ip)
+			return nil, err
 		}
-		next, _, err := f.dirLookup(t, &di, inum, seg)
+		if ip.di.Type != typeDir {
+			f.iunlockput(t, ip)
+			return nil, fs.ErrNotDir
+		}
+		next, _, err := f.dirLookup(t, ip, seg)
 		if err != nil {
-			return 0, nil, err
+			f.iunlockput(t, ip)
+			return nil, err
 		}
 		if next == 0 {
-			return 0, nil, fs.ErrNotFound
+			f.iunlockput(t, ip)
+			return nil, fs.ErrNotFound
 		}
-		inum = next
-		if err := f.readInode(t, inum, &di); err != nil {
-			return 0, nil, err
-		}
+		nip := f.iget(next)
+		f.iunlockput(t, ip)
+		ip = nip
 	}
-	return inum, &di, nil
+	return ip, nil
 }
 
-// walkParent resolves the directory containing path's final element.
-func (f *FS) walkParent(t *sched.Task, path string) (dirInum int, di *dinode, name string, err error) {
+// namexParent resolves the directory containing path's final element,
+// returning it referenced and unlocked plus the final name.
+func (f *FS) namexParent(t *sched.Task, path string) (*inode, string, error) {
 	dir, name := fs.SplitPath(path)
 	if name == "" {
-		return 0, nil, "", fs.ErrPerm
+		return nil, "", fs.ErrPerm
 	}
-	dirInum, di, err = f.walk(t, dir)
+	dp, err := f.namex(t, dir)
 	if err != nil {
-		return 0, nil, "", err
+		return nil, "", err
 	}
-	if di.Type != typeDir {
-		return 0, nil, "", fs.ErrNotDir
-	}
-	return dirInum, di, name, nil
+	return dp, name, nil
 }

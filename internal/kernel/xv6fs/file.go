@@ -7,43 +7,72 @@ import (
 	"protosim/internal/kernel/sched"
 )
 
-// file is one open xv6fs file or directory.
+// file is one open xv6fs file or directory, holding a reference on its
+// in-memory inode. Operations lock the inode for their duration, so tasks
+// working on different files never serialize against each other — only
+// against operations on the same inode.
 type file struct {
 	fsys *FS
-	inum int
+	ip   *inode
 	name string
 
-	mu     sync.Mutex
-	off    int64
-	flags  int
-	closed bool
+	mu       sync.Mutex
+	off      int64
+	flags    int
+	closed   bool
+	inflight int // operations between use() and done()
+}
+
+// use opens an operation window on the description (false once closed);
+// done closes it. Threads share FD tables, so a Close can race an
+// in-flight Read/Write on the same descriptor — the inode reference is
+// dropped by whoever finishes last, never yanked mid-operation.
+func (fl *file) use() bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.closed {
+		return false
+	}
+	fl.inflight++
+	return true
+}
+
+func (fl *file) done(t *sched.Task) {
+	fl.mu.Lock()
+	fl.inflight--
+	drop := fl.closed && fl.inflight == 0
+	fl.mu.Unlock()
+	if drop {
+		fl.fsys.iput(t, fl.ip)
+	}
 }
 
 // Open implements fs.FileSystem.
 func (f *FS) Open(t *sched.Task, path string, flags int) (fs.File, error) {
-	f.lock.Lock(t)
-	defer f.lock.Unlock()
-
 	path = fs.Clean(path)
-	inum, di, err := f.walk(t, path)
-	if err == fs.ErrNotFound && flags&fs.OCreate != 0 {
-		inum, err = f.createLocked(t, path, typeFile)
+	var ip *inode
+	var err error
+	if flags&fs.OCreate != 0 && path != "/" {
+		ip, err = f.create(t, path, typeFile, true)
 		if err != nil {
 			return nil, err
 		}
-		var ndi dinode
-		if err := f.readInode(t, inum, &ndi); err != nil {
+	} else {
+		if ip, err = f.namex(t, path); err != nil {
 			return nil, err
 		}
-		di = &ndi
-	} else if err != nil {
-		return nil, err
+		if err = f.ilock(t, ip); err != nil {
+			f.iput(t, ip)
+			return nil, err
+		}
 	}
-	if di.Type == typeDir && flags&(fs.OWrOnly|fs.ORdWr) != 0 {
+	if ip.di.Type == typeDir && flags&(fs.OWrOnly|fs.ORdWr) != 0 {
+		f.iunlockput(t, ip)
 		return nil, fs.ErrIsDir
 	}
-	if flags&fs.OTrunc != 0 && di.Type == typeFile {
-		if err := f.truncate(t, di, inum); err != nil {
+	if flags&fs.OTrunc != 0 && ip.di.Type == typeFile {
+		if err := f.truncate(t, ip); err != nil {
+			f.iunlockput(t, ip)
 			return nil, err
 		}
 	}
@@ -51,133 +80,331 @@ func (f *FS) Open(t *sched.Task, path string, flags int) (fs.File, error) {
 	if name == "" {
 		name = "/"
 	}
-	return &file{fsys: f, inum: inum, name: name, flags: flags}, nil
+	f.iunlock(ip)
+	return &file{fsys: f, ip: ip, name: name, flags: flags}, nil
 }
 
-// createLocked makes a new file/dir entry; caller holds f.lock.
-func (f *FS) createLocked(t *sched.Task, path string, typ uint16) (int, error) {
-	dirInum, ddi, name, err := f.walkParent(t, path)
+// create makes (or, when existOK, returns) the inode for path's final
+// element. On success the returned inode is referenced AND locked. Lock
+// order is the canonical parent-directory → child → allocator: the parent
+// stays locked from lookup through link so no second create can race the
+// same name, and the child inode — invisible to everyone else until the
+// dirLink lands — is locked nested under it.
+func (f *FS) create(t *sched.Task, path string, typ uint16, existOK bool) (*inode, error) {
+	dp, name, err := f.namexParent(t, path)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	if existing, _, err := f.dirLookup(t, ddi, dirInum, name); err != nil {
-		return 0, err
+	if err := f.ilock(t, dp); err != nil {
+		f.iput(t, dp)
+		return nil, err
+	}
+	if dp.di.Type != typeDir {
+		f.iunlockput(t, dp)
+		return nil, fs.ErrNotDir
+	}
+	// Re-validate after locking: a racing unlink may have orphaned the
+	// parent (NLink 0, reclaim deferred on our reference). Linking into
+	// it would strand the new inode forever.
+	if dp.di.NLink == 0 {
+		f.iunlockput(t, dp)
+		return nil, fs.ErrNotFound
+	}
+	if existing, _, err := f.dirLookup(t, dp, name); err != nil {
+		f.iunlockput(t, dp)
+		return nil, err
 	} else if existing != 0 {
-		return 0, fs.ErrExists
+		ip := f.iget(existing)
+		f.iunlockput(t, dp)
+		if !existOK {
+			f.iput(t, ip)
+			return nil, fs.ErrExists
+		}
+		if err := f.ilock(t, ip); err != nil {
+			f.iput(t, ip)
+			return nil, err
+		}
+		return ip, nil
+	}
+	if len(name) > MaxName {
+		f.iunlockput(t, dp)
+		return nil, fs.ErrNameTooLong
 	}
 	inum, err := f.allocInode(t, typ)
 	if err != nil {
-		return 0, err
+		f.iunlockput(t, dp)
+		return nil, err
+	}
+	ip := f.iget(inum)
+	if err := f.ilockNested(t, ip); err != nil {
+		f.iput(t, ip)
+		f.iunlockput(t, dp)
+		return nil, err
+	}
+	// Unwind a half-made inode: drop its link count so iput reclaims it.
+	fail := func(err error) (*inode, error) {
+		ip.di.NLink = 0
+		_ = f.iupdate(t, ip)
+		f.iunlockput(t, ip)
+		f.iunlockput(t, dp)
+		return nil, err
 	}
 	if typ == typeDir {
-		var di dinode
-		if err := f.readInode(t, inum, &di); err != nil {
-			return 0, err
+		if err := f.dirLink(t, ip, ".", inum); err != nil {
+			return fail(err)
 		}
-		if err := f.dirLink(t, &di, inum, ".", inum); err != nil {
-			return 0, err
-		}
-		if err := f.readInode(t, inum, &di); err != nil {
-			return 0, err
-		}
-		if err := f.dirLink(t, &di, inum, "..", dirInum); err != nil {
-			return 0, err
+		if err := f.dirLink(t, ip, "..", dp.inum); err != nil {
+			return fail(err)
 		}
 	}
-	if err := f.readInode(t, dirInum, ddi); err != nil { // re-read: links moved it
-		return 0, err
+	if err := f.dirLink(t, dp, name, inum); err != nil {
+		return fail(err)
 	}
-	if err := f.dirLink(t, ddi, dirInum, name, inum); err != nil {
-		return 0, err
-	}
-	return inum, nil
+	f.iunlockput(t, dp)
+	return ip, nil
 }
 
 // Mkdir implements fs.FileSystem.
 func (f *FS) Mkdir(t *sched.Task, path string) error {
-	f.lock.Lock(t)
-	defer f.lock.Unlock()
-	_, err := f.createLocked(t, path, typeDir)
-	return err
+	ip, err := f.create(t, fs.Clean(path), typeDir, false)
+	if err != nil {
+		return err
+	}
+	f.iunlockput(t, ip)
+	return nil
 }
 
 // Unlink implements fs.FileSystem.
 func (f *FS) Unlink(t *sched.Task, path string) error {
-	f.lock.Lock(t)
-	defer f.lock.Unlock()
-	inum, di, err := f.walk(t, path)
+	path = fs.Clean(path)
+	dp, name, err := f.namexParent(t, path)
 	if err != nil {
 		return err
 	}
-	if di.Type == typeDir {
-		entries, err := f.dirEntries(t, di, inum)
+	if err := f.ilock(t, dp); err != nil {
+		f.iput(t, dp)
+		return err
+	}
+	fail := func(err error) error {
+		f.iunlockput(t, dp)
+		return err
+	}
+	// The walk only type-checks directories it descends THROUGH; the final
+	// parent must be validated here or a regular file's bytes would be
+	// scanned as dirents.
+	if dp.di.Type != typeDir {
+		return fail(fs.ErrNotDir)
+	}
+	inum, _, err := f.dirLookup(t, dp, name)
+	if err != nil {
+		return fail(err)
+	}
+	if inum == 0 {
+		return fail(fs.ErrNotFound)
+	}
+	ip := f.iget(inum)
+	if err := f.ilockNested(t, ip); err != nil {
+		f.iput(t, ip)
+		return fail(err)
+	}
+	if ip.di.Type == typeDir {
+		empty, err := f.isDirEmpty(t, ip)
 		if err != nil {
-			return err
+			f.iunlockput(t, ip)
+			return fail(err)
 		}
-		if len(entries) > 0 {
-			return fs.ErrNotEmpty
+		if !empty {
+			f.iunlockput(t, ip)
+			return fail(fs.ErrNotEmpty)
 		}
 	}
-	dirInum, ddi, name, err := f.walkParent(t, path)
+	if err := f.dirUnlink(t, dp, name); err != nil {
+		f.iunlockput(t, ip)
+		return fail(err)
+	}
+	ip.di.NLink--
+	err = f.iupdate(t, ip)
+	// Reclaim happens in iput when the last reference drops — right here
+	// if nothing has the file open, at final Close otherwise.
+	f.iunlockput(t, ip)
+	f.iunlockput(t, dp)
+	return err
+}
+
+// Rename implements fs.Renamer: atomically move oldPath to newPath within
+// this filesystem. The destination must not already exist.
+//
+// Rename is the one operation that must hold two directory locks at once,
+// which is why it is serialized FS-wide by renameMu and locks the pair
+// ancestor-first (falling back to ascending inum for unrelated
+// directories). Ancestry comes from the cleaned paths — safe because only
+// renames reshape the tree and renameMu admits one at a time. Against
+// create/unlink/walk, which take parent-then-child down the tree,
+// ancestor-first ordering closes every cycle.
+func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
+	oldPath, newPath = fs.Clean(oldPath), fs.Clean(newPath)
+	if oldPath == "/" || newPath == "/" {
+		return fs.ErrPerm
+	}
+	if oldPath == newPath {
+		return nil
+	}
+	// Moving a directory into its own subtree would orphan it.
+	if fs.IsPathAncestor(oldPath, newPath) {
+		return fs.ErrPerm
+	}
+	oldDir, oldName := fs.SplitPath(oldPath)
+	newDir, newName := fs.SplitPath(newPath)
+	if len(newName) > MaxName {
+		return fs.ErrNameTooLong
+	}
+
+	f.renameMu.Lock(t)
+	defer f.renameMu.Unlock()
+
+	dp1, err := f.namex(t, oldDir)
 	if err != nil {
 		return err
 	}
-	if err := f.dirUnlink(t, ddi, dirInum, name); err != nil {
+	dp2, err := f.namex(t, newDir)
+	if err != nil {
+		f.iput(t, dp1)
 		return err
 	}
-	di.NLink--
-	if di.NLink == 0 {
-		if err := f.truncate(t, di, inum); err != nil {
+	putDirs := func() {
+		f.iput(t, dp1)
+		f.iput(t, dp2)
+	}
+
+	first, second := dp1, dp2
+	switch {
+	case dp1 == dp2:
+		second = nil
+	case fs.IsPathAncestor(newDir, oldDir): // newDir is the ancestor
+		first, second = dp2, dp1
+	case fs.IsPathAncestor(oldDir, newDir): // oldDir is the ancestor
+	default: // unrelated: ascending inum
+		if dp2.inum < dp1.inum {
+			first, second = dp2, dp1
+		}
+	}
+	if err := f.ilock(t, first); err != nil {
+		putDirs()
+		return err
+	}
+	if second != nil {
+		if err := f.ilockNested(t, second); err != nil {
+			f.iunlock(first)
+			putDirs()
 			return err
 		}
-		di.Type = typeFree
 	}
-	return f.writeInode(t, inum, di)
+	unlockDirs := func() {
+		if second != nil {
+			f.iunlock(second)
+		}
+		f.iunlock(first)
+		putDirs()
+	}
+	// Re-validate after locking: an unlinked directory either reads back
+	// as typeFree/reallocated (reclaimed) or still looks like a dir with
+	// NLink 0 (reclaim deferred on our reference) — both are dead ends.
+	if dp1.di.Type != typeDir || dp2.di.Type != typeDir ||
+		dp1.di.NLink == 0 || dp2.di.NLink == 0 {
+		unlockDirs()
+		return fs.ErrNotFound
+	}
+
+	inum, _, err := f.dirLookup(t, dp1, oldName)
+	if err != nil {
+		unlockDirs()
+		return err
+	}
+	if inum == 0 {
+		unlockDirs()
+		return fs.ErrNotFound
+	}
+	if existing, _, err := f.dirLookup(t, dp2, newName); err != nil {
+		unlockDirs()
+		return err
+	} else if existing != 0 {
+		unlockDirs()
+		return fs.ErrExists
+	}
+
+	ip := f.iget(inum)
+	if err := f.ilockNested(t, ip); err != nil {
+		f.iput(t, ip)
+		unlockDirs()
+		return err
+	}
+	if ip.di.Type == typeDir && dp1 != dp2 {
+		// The moved directory's ".." must follow it to the new parent.
+		if err := f.dirSetInum(t, ip, "..", dp2.inum); err != nil {
+			f.iunlockput(t, ip)
+			unlockDirs()
+			return err
+		}
+	}
+	if err := f.dirLink(t, dp2, newName, inum); err != nil {
+		f.iunlockput(t, ip)
+		unlockDirs()
+		return err
+	}
+	if err := f.dirUnlink(t, dp1, oldName); err != nil {
+		// Roll the new link back rather than leave the file under two
+		// names; best-effort, the original error wins.
+		_ = f.dirUnlink(t, dp2, newName)
+		f.iunlockput(t, ip)
+		unlockDirs()
+		return err
+	}
+	f.iunlockput(t, ip)
+	unlockDirs()
+	return nil
 }
 
 // Stat implements fs.FileSystem.
 func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
-	f.lock.Lock(t)
-	defer f.lock.Unlock()
-	inum, di, err := f.walk(t, path)
+	path = fs.Clean(path)
+	ip, err := f.namex(t, path)
 	if err != nil {
+		return fs.Stat{}, err
+	}
+	if err := f.ilock(t, ip); err != nil {
+		f.iput(t, ip)
 		return fs.Stat{}, err
 	}
 	_, name := fs.SplitPath(path)
 	typ := fs.TypeFile
-	if di.Type == typeDir {
+	if ip.di.Type == typeDir {
 		typ = fs.TypeDir
 	}
-	return fs.Stat{Name: name, Type: typ, Size: int64(di.Size), Inode: uint64(inum)}, nil
-}
-
-// Sync flushes dirty buffers to the device, batched. It takes the volume
-// lock like every other operation so the flush never interleaves with an
-// in-flight write's cache traffic.
-func (f *FS) Sync(t *sched.Task) error {
-	f.lock.Lock(t)
-	defer f.lock.Unlock()
-	return f.bc.Flush(t)
+	st := fs.Stat{Name: name, Type: typ, Size: int64(ip.di.Size), Inode: uint64(ip.inum)}
+	f.iunlockput(t, ip)
+	return st, nil
 }
 
 // --- fs.File implementation ---
 
 func (fl *file) Read(t *sched.Task, p []byte) (int, error) {
-	fl.fsys.lock.Lock(t)
-	defer fl.fsys.lock.Unlock()
-	var di dinode
-	if err := fl.fsys.readInode(t, fl.inum, &di); err != nil {
+	if !fl.use() {
+		return 0, fs.ErrBadFD
+	}
+	defer fl.done(t)
+	if err := fl.fsys.ilock(t, fl.ip); err != nil {
 		return 0, err
 	}
-	if di.Type == typeDir {
+	defer fl.fsys.iunlock(fl.ip)
+	if fl.ip.di.Type == typeDir {
 		return 0, fs.ErrIsDir
 	}
 	fl.mu.Lock()
 	off := fl.off
 	fl.mu.Unlock()
-	n, err := fl.fsys.readData(t, &di, fl.inum, off, p)
+	n, err := fl.fsys.readData(t, fl.ip, off, p)
 	fl.mu.Lock()
-	fl.off += int64(n)
+	fl.off = off + int64(n)
 	fl.mu.Unlock()
 	return n, err
 }
@@ -186,44 +413,67 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 	if fl.flags&(fs.OWrOnly|fs.ORdWr) == 0 {
 		return 0, fs.ErrPerm
 	}
-	fl.fsys.lock.Lock(t)
-	defer fl.fsys.lock.Unlock()
-	var di dinode
-	if err := fl.fsys.readInode(t, fl.inum, &di); err != nil {
+	if !fl.use() {
+		return 0, fs.ErrBadFD
+	}
+	defer fl.done(t)
+	if err := fl.fsys.ilock(t, fl.ip); err != nil {
 		return 0, err
 	}
+	defer fl.fsys.iunlock(fl.ip)
 	fl.mu.Lock()
 	off := fl.off
 	if fl.flags&fs.OAppend != 0 {
-		off = int64(di.Size)
+		off = int64(fl.ip.di.Size)
 	}
 	fl.mu.Unlock()
-	n, err := fl.fsys.writeData(t, &di, fl.inum, off, p)
+	n, err := fl.fsys.writeData(t, fl.ip, off, p)
 	fl.mu.Lock()
 	fl.off = off + int64(n)
 	fl.mu.Unlock()
 	return n, err
 }
 
-func (fl *file) Close() error {
+func (fl *file) Close() error { return fl.CloseT(nil) }
+
+// CloseT implements fs.TaskCloser: the syscall layer closes with the task
+// in hand, since reclaiming an unlinked file at last close is lock-and-IO
+// work.
+func (fl *file) CloseT(t *sched.Task) error {
 	fl.mu.Lock()
+	if fl.closed {
+		fl.mu.Unlock()
+		return nil
+	}
 	fl.closed = true
+	drop := fl.inflight == 0
 	fl.mu.Unlock()
+	// Drop the inode reference — deferred to the last in-flight operation
+	// if any are mid-call. If the file was unlinked while open, this is
+	// where its blocks are reclaimed.
+	if drop {
+		fl.fsys.iput(t, fl.ip)
+	}
 	return nil
 }
 
-func (fl *file) Stat() (fs.Stat, error) {
-	// Stat through an open file has no task handy; reading the inode
-	// without the FS lock is safe because inode loads are single-block.
-	var di dinode
-	if err := fl.fsys.readInode(nil, fl.inum, &di); err != nil {
+func (fl *file) Stat() (fs.Stat, error) { return fl.StatT(nil) }
+
+// StatT implements fs.TaskStater.
+func (fl *file) StatT(t *sched.Task) (fs.Stat, error) {
+	if !fl.use() {
+		return fs.Stat{}, fs.ErrBadFD
+	}
+	defer fl.done(t)
+	if err := fl.fsys.ilock(t, fl.ip); err != nil {
 		return fs.Stat{}, err
 	}
+	defer fl.fsys.iunlock(fl.ip)
 	typ := fs.TypeFile
-	if di.Type == typeDir {
+	if fl.ip.di.Type == typeDir {
 		typ = fs.TypeDir
 	}
-	return fs.Stat{Name: fl.name, Type: typ, Size: int64(di.Size), Inode: uint64(fl.inum)}, nil
+	return fs.Stat{Name: fl.name, Type: typ, Size: int64(fl.ip.di.Size), Inode: uint64(fl.ip.inum)}, nil
 }
 
 // Lseek implements fs.Seeker.
@@ -258,21 +508,30 @@ func (fl *file) Lseek(offset int64, whence int) (int64, error) {
 }
 
 // ReadDir implements fs.DirReader.
-func (fl *file) ReadDir() ([]fs.DirEntry, error) {
-	fl.fsys.lock.Lock(nil)
-	defer fl.fsys.lock.Unlock()
-	var di dinode
-	if err := fl.fsys.readInode(nil, fl.inum, &di); err != nil {
+func (fl *file) ReadDir() ([]fs.DirEntry, error) { return fl.ReadDirT(nil) }
+
+// ReadDirT implements fs.TaskDirReader.
+func (fl *file) ReadDirT(t *sched.Task) ([]fs.DirEntry, error) {
+	if !fl.use() {
+		return nil, fs.ErrBadFD
+	}
+	defer fl.done(t)
+	if err := fl.fsys.ilock(t, fl.ip); err != nil {
 		return nil, err
 	}
-	if di.Type != typeDir {
+	defer fl.fsys.iunlock(fl.ip)
+	if fl.ip.di.Type != typeDir {
 		return nil, fs.ErrNotDir
 	}
-	return fl.fsys.dirEntries(nil, &di, fl.inum)
+	return fl.fsys.dirEntries(t, fl.ip)
 }
 
 var (
-	_ fs.File      = (*file)(nil)
-	_ fs.Seeker    = (*file)(nil)
-	_ fs.DirReader = (*file)(nil)
+	_ fs.File          = (*file)(nil)
+	_ fs.Seeker        = (*file)(nil)
+	_ fs.DirReader     = (*file)(nil)
+	_ fs.TaskStater    = (*file)(nil)
+	_ fs.TaskCloser    = (*file)(nil)
+	_ fs.TaskDirReader = (*file)(nil)
+	_ fs.Renamer       = (*FS)(nil)
 )

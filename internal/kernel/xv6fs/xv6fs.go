@@ -10,12 +10,23 @@
 // blocks into multi-block cache range reads — the sharded bcache's
 // ReadRange — so sequentially-written files stream at range speed without
 // the filesystem knowing anything about the cache's internals.
+//
+// Locking follows xv6 proper, not the volume-wide sleeplock earlier
+// versions of this port used: an in-memory inode table (itable) hands out
+// refcounted inodes, each with its own sleeplock, and the shared
+// allocation structures get dedicated narrow locks (ialloc for the inode
+// array, balloc for the block bitmap) so allocators never contend with
+// data IO on unrelated files. The lock hierarchy — rename serialization,
+// then inodes (parent directory before child), then allocators, then
+// buffer-cache blocks — is ranked and assertable via ksync.SetRankCheck;
+// see ARCHITECTURE.md's locking section.
 package xv6fs
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"protosim/internal/kernel/bcache"
@@ -111,14 +122,36 @@ type FS struct {
 	bc  *bcache.Cache
 	sb  Superblock
 
-	// One filesystem-wide sleeplock serializes metadata operations. The
-	// real xv6 uses per-inode locks; Proto inherits the structure but the
-	// paper never relies on intra-FS parallelism, and a sleeplock (not a
-	// mutex) keeps single-core schedulers live while an FS op blocks.
-	lock ksync.SleepLock
+	// renameMu serializes renames FS-wide (rank: rename). Two-directory
+	// lock acquisition is only deadlock-free against parent→child holders
+	// because at most one rename is in flight at a time and it locks
+	// ancestors first.
+	renameMu ksync.SleepLock
 
-	mu       sync.Mutex
-	readOnly bool
+	// itable is the in-memory inode table: one entry per inode with live
+	// references, deduplicated by inode number so every holder converges
+	// on the same sleeplock. imu guards the map and the ref counts.
+	imu    sync.Mutex
+	itable map[int]*inode
+
+	// Narrow allocator locks (rank: alloc). ialloc serializes inode-array
+	// allocation scans and free transitions; balloc serializes the block
+	// bitmap. Data IO on already-allocated blocks never touches either.
+	ialloc ksync.SleepLock
+	balloc ksync.SleepLock
+}
+
+// inode is an in-memory inode: the per-file lock the whole filesystem
+// hangs off, plus a cached copy of the on-disk dinode.
+type inode struct {
+	inum int
+	ref  int // guarded by FS.imu
+
+	// lock (rank: inode, order: inum) guards valid and di, and serializes
+	// all metadata/data operations on this inode.
+	lock  ksync.SleepLock
+	valid bool
+	di    dinode
 }
 
 // Mount opens an existing filesystem on dev with default cache sizing.
@@ -132,7 +165,10 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	if dev.BlockSize() != BlockSize {
 		return nil, fmt.Errorf("%w: device block size %d, want %d", ErrBadFS, dev.BlockSize(), BlockSize)
 	}
-	f := &FS{dev: dev, bc: bcache.NewWithOptions(dev, copts)}
+	f := &FS{dev: dev, bc: bcache.NewWithOptions(dev, copts), itable: make(map[int]*inode)}
+	f.renameMu.SetRank(ksync.RankRename, 0)
+	f.ialloc.SetRank(ksync.RankAlloc, 1)
+	f.balloc.SetRank(ksync.RankAlloc, 2)
 	b, err := f.bc.Get(t, 0)
 	if err != nil {
 		return nil, err
@@ -151,7 +187,96 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 // Cache exposes buffer-cache statistics for the experiment harness.
 func (f *FS) Cache() *bcache.Cache { return f.bc }
 
-// --- low-level block and inode helpers (caller holds f.lock) ---
+// --- the inode table ---
+
+// iget returns a referenced in-memory inode for inum, without locking it
+// or touching the disk. Every holder of the same inum gets the same
+// structure, so its sleeplock is the per-inode lock.
+func (f *FS) iget(inum int) *inode {
+	f.imu.Lock()
+	defer f.imu.Unlock()
+	if ip, ok := f.itable[inum]; ok {
+		ip.ref++
+		return ip
+	}
+	ip := &inode{inum: inum, ref: 1}
+	ip.lock.SetRank(ksync.RankInode, int64(inum))
+	f.itable[inum] = ip
+	return ip
+}
+
+// ilock locks ip and loads its dinode from disk if this is the first lock
+// since it entered the table. On error the inode is left unlocked.
+func (f *FS) ilock(t *sched.Task, ip *inode) error { return f.ilockMode(t, ip, false) }
+
+// ilockNested is ilock for tree-protocol acquisitions: locking a child
+// while the parent directory's lock is held (see ksync.LockNested).
+func (f *FS) ilockNested(t *sched.Task, ip *inode) error { return f.ilockMode(t, ip, true) }
+
+func (f *FS) ilockMode(t *sched.Task, ip *inode, nested bool) error {
+	if nested {
+		ip.lock.LockNested(t)
+	} else {
+		ip.lock.Lock(t)
+	}
+	if !ip.valid {
+		if err := f.readInode(t, ip.inum, &ip.di); err != nil {
+			ip.lock.Unlock()
+			return err
+		}
+		ip.valid = true
+	}
+	return nil
+}
+
+func (f *FS) iunlock(ip *inode) { ip.lock.Unlock() }
+
+// iupdate writes ip's cached dinode through to the inode array. Callers
+// hold ip.lock; the write is atomic under the inode block's buffer lock,
+// so neighbours in the same block are never torn.
+func (f *FS) iupdate(t *sched.Task, ip *inode) error {
+	return f.writeInode(t, ip.inum, &ip.di)
+}
+
+// iput drops a reference. The last reference to an unlinked inode frees
+// its data blocks and on-disk slot — xv6's deferred reclaim, which is what
+// makes unlink-while-open safe: the dirent goes away immediately, the
+// storage only when the final descriptor closes.
+func (f *FS) iput(t *sched.Task, ip *inode) {
+	f.imu.Lock()
+	if ip.ref == 1 && ip.valid && ip.di.NLink == 0 {
+		// Sole reference and no directory links left: nobody else can
+		// reach this inode (dirLookup can't find it, allocInode won't
+		// hand it out until it is marked free), so dropping imu here is
+		// safe — no new ref can appear. LockNested: unlink still holds
+		// the parent directory's lock when it puts the child.
+		f.imu.Unlock()
+		ip.lock.LockNested(t)
+		// Best-effort reclaim: an IO error here leaks blocks (fsck
+		// territory), it does not corrupt live data.
+		_ = f.truncate(t, ip)
+		f.ialloc.Lock(t)
+		ip.di.Type = typeFree
+		_ = f.iupdate(t, ip)
+		f.ialloc.Unlock()
+		ip.valid = false
+		ip.lock.Unlock()
+		f.imu.Lock()
+	}
+	ip.ref--
+	if ip.ref == 0 {
+		delete(f.itable, ip.inum)
+	}
+	f.imu.Unlock()
+}
+
+// iunlockput unlocks then releases — the common tail of directory ops.
+func (f *FS) iunlockput(t *sched.Task, ip *inode) {
+	f.iunlock(ip)
+	f.iput(t, ip)
+}
+
+// --- low-level block and inode helpers ---
 
 func (f *FS) readBlock(t *sched.Task, lba int, fn func(data []byte)) error {
 	b, err := f.bc.Get(t, lba)
@@ -175,10 +300,14 @@ func (f *FS) writeBlock(t *sched.Task, lba int, fn func(data []byte)) error {
 }
 
 // allocBlock finds a zero bit in the bitmap, sets it, zeroes the block.
+// The scan-and-claim runs under balloc so two writers can't claim the same
+// block; the zeroing write happens after the claim, outside any allocator
+// state, because the block is already private to the caller.
 func (f *FS) allocBlock(t *sched.Task) (int, error) {
+	f.balloc.Lock(t)
+	found := -1
 	total := int(f.sb.Size)
-	for bmBlock := 0; bmBlock*BlockSize*8 < total; bmBlock++ {
-		found := -1
+	for bmBlock := 0; found < 0 && bmBlock*BlockSize*8 < total; bmBlock++ {
 		err := f.writeBlock(t, int(f.sb.BitmapStart)+bmBlock, func(data []byte) {
 			for i := 0; i < BlockSize*8; i++ {
 				blockNo := bmBlock*BlockSize*8 + i
@@ -196,24 +325,28 @@ func (f *FS) allocBlock(t *sched.Task) (int, error) {
 			}
 		})
 		if err != nil {
+			f.balloc.Unlock()
 			return 0, err
 		}
-		if found >= 0 {
-			if err := f.writeBlock(t, found, func(d []byte) {
-				for i := range d {
-					d[i] = 0
-				}
-			}); err != nil {
-				return 0, err
-			}
-			return found, nil
-		}
 	}
-	return 0, fs.ErrNoSpace
+	f.balloc.Unlock()
+	if found < 0 {
+		return 0, fs.ErrNoSpace
+	}
+	if err := f.writeBlock(t, found, func(d []byte) {
+		for i := range d {
+			d[i] = 0
+		}
+	}); err != nil {
+		return 0, err
+	}
+	return found, nil
 }
 
 // freeBlock clears the bitmap bit for lba.
 func (f *FS) freeBlock(t *sched.Task, lba int) error {
+	f.balloc.Lock(t)
+	defer f.balloc.Unlock()
 	bmBlock := lba / (BlockSize * 8)
 	bit := lba % (BlockSize * 8)
 	return f.writeBlock(t, int(f.sb.BitmapStart)+bmBlock, func(data []byte) {
@@ -237,8 +370,10 @@ func (f *FS) writeInode(t *sched.Task, inum int, di *dinode) error {
 	})
 }
 
-// allocInode finds a free on-disk inode.
+// allocInode finds a free on-disk inode and claims it, under ialloc.
 func (f *FS) allocInode(t *sched.Task, typ uint16) (int, error) {
+	f.ialloc.Lock(t)
+	defer f.ialloc.Unlock()
 	for inum := 1; inum < int(f.sb.NInodes); inum++ {
 		var di dinode
 		if err := f.readInode(t, inum, &di); err != nil {
@@ -256,9 +391,10 @@ func (f *FS) allocInode(t *sched.Task, typ uint16) (int, error) {
 }
 
 // bmap returns the disk block of file block fb, allocating when alloc.
-func (f *FS) bmap(t *sched.Task, di *dinode, inum, fb int, alloc bool) (int, error) {
+// Caller holds ip.lock.
+func (f *FS) bmap(t *sched.Task, ip *inode, fb int, alloc bool) (int, error) {
 	if fb < NDirect {
-		if di.Addrs[fb] == 0 {
+		if ip.di.Addrs[fb] == 0 {
 			if !alloc {
 				return 0, nil
 			}
@@ -266,18 +402,18 @@ func (f *FS) bmap(t *sched.Task, di *dinode, inum, fb int, alloc bool) (int, err
 			if err != nil {
 				return 0, err
 			}
-			di.Addrs[fb] = uint32(nb)
-			if err := f.writeInode(t, inum, di); err != nil {
+			ip.di.Addrs[fb] = uint32(nb)
+			if err := f.iupdate(t, ip); err != nil {
 				return 0, err
 			}
 		}
-		return int(di.Addrs[fb]), nil
+		return int(ip.di.Addrs[fb]), nil
 	}
 	fb -= NDirect
 	if fb >= NIndirect {
 		return 0, fs.ErrFileTooBig
 	}
-	if di.Addrs[NDirect] == 0 {
+	if ip.di.Addrs[NDirect] == 0 {
 		if !alloc {
 			return 0, nil
 		}
@@ -285,13 +421,13 @@ func (f *FS) bmap(t *sched.Task, di *dinode, inum, fb int, alloc bool) (int, err
 		if err != nil {
 			return 0, err
 		}
-		di.Addrs[NDirect] = uint32(nb)
-		if err := f.writeInode(t, inum, di); err != nil {
+		ip.di.Addrs[NDirect] = uint32(nb)
+		if err := f.iupdate(t, ip); err != nil {
 			return 0, err
 		}
 	}
 	var blockNo int
-	err := f.readBlock(t, int(di.Addrs[NDirect]), func(data []byte) {
+	err := f.readBlock(t, int(ip.di.Addrs[NDirect]), func(data []byte) {
 		blockNo = int(binary.LittleEndian.Uint32(data[4*fb:]))
 	})
 	if err != nil {
@@ -303,7 +439,7 @@ func (f *FS) bmap(t *sched.Task, di *dinode, inum, fb int, alloc bool) (int, err
 			return 0, err
 		}
 		blockNo = nb
-		if err := f.writeBlock(t, int(di.Addrs[NDirect]), func(data []byte) {
+		if err := f.writeBlock(t, int(ip.di.Addrs[NDirect]), func(data []byte) {
 			binary.LittleEndian.PutUint32(data[4*fb:], uint32(nb))
 		}); err != nil {
 			return 0, err
@@ -312,11 +448,11 @@ func (f *FS) bmap(t *sched.Task, di *dinode, inum, fb int, alloc bool) (int, err
 	return blockNo, nil
 }
 
-// readData reads n bytes at off from inode inum into dst. Runs of
-// physically contiguous, block-aligned data go through the cache's
-// multi-block ReadRange; everything else stays block-at-a-time.
-func (f *FS) readData(t *sched.Task, di *dinode, inum int, off int64, dst []byte) (int, error) {
-	size := int64(di.Size)
+// readData reads n bytes at off from ip into dst. Runs of physically
+// contiguous, block-aligned data go through the cache's multi-block
+// ReadRange; everything else stays block-at-a-time. Caller holds ip.lock.
+func (f *FS) readData(t *sched.Task, ip *inode, off int64, dst []byte) (int, error) {
+	size := int64(ip.di.Size)
 	if off >= size {
 		return 0, nil
 	}
@@ -327,7 +463,7 @@ func (f *FS) readData(t *sched.Task, di *dinode, inum int, off int64, dst []byte
 	for done < len(dst) {
 		fb := int((off + int64(done)) / BlockSize)
 		bo := int((off + int64(done)) % BlockSize)
-		blockNo, err := f.bmap(t, di, inum, fb, false)
+		blockNo, err := f.bmap(t, ip, fb, false)
 		if err != nil {
 			return done, err
 		}
@@ -346,7 +482,7 @@ func (f *FS) readData(t *sched.Task, di *dinode, inum int, off int64, dst []byte
 			// Aligned full block: extend to a contiguous multi-block run.
 			run := 1
 			for done+(run+1)*BlockSize <= len(dst) {
-				nb, err := f.bmap(t, di, inum, fb+run, false)
+				nb, err := f.bmap(t, ip, fb+run, false)
 				if err != nil {
 					return done, err
 				}
@@ -373,8 +509,8 @@ func (f *FS) readData(t *sched.Task, di *dinode, inum int, off int64, dst []byte
 	return done, nil
 }
 
-// writeData writes src at off, growing the file.
-func (f *FS) writeData(t *sched.Task, di *dinode, inum int, off int64, src []byte) (int, error) {
+// writeData writes src at off, growing the file. Caller holds ip.lock.
+func (f *FS) writeData(t *sched.Task, ip *inode, off int64, src []byte) (int, error) {
 	if off+int64(len(src)) > MaxFile*BlockSize {
 		return 0, fs.ErrFileTooBig
 	}
@@ -382,7 +518,7 @@ func (f *FS) writeData(t *sched.Task, di *dinode, inum int, off int64, src []byt
 	for done < len(src) {
 		fb := int((off + int64(done)) / BlockSize)
 		bo := int((off + int64(done)) % BlockSize)
-		blockNo, err := f.bmap(t, di, inum, fb, true)
+		blockNo, err := f.bmap(t, ip, fb, true)
 		if err != nil {
 			return done, err
 		}
@@ -397,28 +533,28 @@ func (f *FS) writeData(t *sched.Task, di *dinode, inum int, off int64, src []byt
 		}
 		done += n
 	}
-	if newSize := off + int64(done); newSize > int64(di.Size) {
-		di.Size = uint32(newSize)
-		if err := f.writeInode(t, inum, di); err != nil {
+	if newSize := off + int64(done); newSize > int64(ip.di.Size) {
+		ip.di.Size = uint32(newSize)
+		if err := f.iupdate(t, ip); err != nil {
 			return done, err
 		}
 	}
 	return done, nil
 }
 
-// truncate frees all blocks of an inode.
-func (f *FS) truncate(t *sched.Task, di *dinode, inum int) error {
+// truncate frees all blocks of an inode. Caller holds ip.lock.
+func (f *FS) truncate(t *sched.Task, ip *inode) error {
 	for i := 0; i < NDirect; i++ {
-		if di.Addrs[i] != 0 {
-			if err := f.freeBlock(t, int(di.Addrs[i])); err != nil {
+		if ip.di.Addrs[i] != 0 {
+			if err := f.freeBlock(t, int(ip.di.Addrs[i])); err != nil {
 				return err
 			}
-			di.Addrs[i] = 0
+			ip.di.Addrs[i] = 0
 		}
 	}
-	if di.Addrs[NDirect] != 0 {
+	if ip.di.Addrs[NDirect] != 0 {
 		var indirect [NIndirect]uint32
-		if err := f.readBlock(t, int(di.Addrs[NDirect]), func(data []byte) {
+		if err := f.readBlock(t, int(ip.di.Addrs[NDirect]), func(data []byte) {
 			for i := range indirect {
 				indirect[i] = binary.LittleEndian.Uint32(data[4*i:])
 			}
@@ -432,11 +568,40 @@ func (f *FS) truncate(t *sched.Task, di *dinode, inum int) error {
 				}
 			}
 		}
-		if err := f.freeBlock(t, int(di.Addrs[NDirect])); err != nil {
+		if err := f.freeBlock(t, int(ip.di.Addrs[NDirect])); err != nil {
 			return err
 		}
-		di.Addrs[NDirect] = 0
+		ip.di.Addrs[NDirect] = 0
 	}
-	di.Size = 0
-	return f.writeInode(t, inum, di)
+	ip.di.Size = 0
+	return f.iupdate(t, ip)
+}
+
+// Sync flushes dirty state, batched. Per-inode metadata is write-through
+// (every mutation iupdates before its lock drops), so Sync first drains
+// in-flight operations by taking each live inode lock once — one at a
+// time, in inum order, never two held together, so it cannot deadlock
+// against parent→child holders — then quiesces both allocators across the
+// batched cache writeback so the bitmap and inode array flush as a
+// consistent snapshot.
+func (f *FS) Sync(t *sched.Task) error {
+	f.imu.Lock()
+	live := make([]*inode, 0, len(f.itable))
+	for _, ip := range f.itable {
+		ip.ref++
+		live = append(live, ip)
+	}
+	f.imu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].inum < live[j].inum })
+	for _, ip := range live {
+		ip.lock.Lock(t)
+		ip.lock.Unlock()
+		f.iput(t, ip)
+	}
+	f.ialloc.Lock(t)
+	f.balloc.Lock(t)
+	err := f.bc.Flush(t)
+	f.balloc.Unlock()
+	f.ialloc.Unlock()
+	return err
 }

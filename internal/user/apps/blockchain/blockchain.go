@@ -90,10 +90,13 @@ func (m *Miner) MineBlock(p *kernel.Proc, b Block) (Block, error) {
 	}
 	var winner atomic.Uint64
 	var solved atomic.Bool
+	// Workers read this pre-spawn copy; the parent mutates b (Nonce, Hash)
+	// after the win, which a late-starting straggler must never observe.
+	tmpl := b
 	for w := 0; w < m.Threads; w++ {
 		start := uint64(w)
 		if _, err := p.SysClone(fmt.Sprintf("miner%d", w), func(tp *kernel.Proc) {
-			local := b
+			local := tmpl
 			for nonce := start; !solved.Load(); nonce += uint64(m.Threads) {
 				h := local.hashAt(nonce)
 				m.hashes.Add(1)

@@ -43,6 +43,16 @@ type Options struct {
 	CacheShards  int
 	CacheBuffers int
 
+	// QueueDepth bounds in-flight commands in each block device's IO
+	// request queue (0 = blkq default; negative disables the queues —
+	// the synchronous baseline).
+	QueueDepth int
+
+	// WritebackRatio is the dirty-buffer percentage that wakes the
+	// write-behind flusher daemon early (0 = bcache default; negative
+	// disables the ratio trigger, leaving only the age interval).
+	WritebackRatio int
+
 	// WithKeyboard attaches the USB keyboard (default true from P4 on).
 	WithKeyboard *bool
 
@@ -172,23 +182,25 @@ func NewSystem(opts Options) (*System, error) {
 		rq = sched.RunqueuePerCore
 	}
 	kcfg := kernel.Config{
-		Machine:       m,
-		Cores:         cores,
-		Mode:          opts.Mode,
-		RunqueueMode:  rq,
-		TickInterval:  opts.TickInterval,
-		EnableVM:      feats.Has(FeatVM),
-		EnableFiles:   feats.Has(FeatFileAbstraction),
-		EnableFAT:     feats.Has(FeatFAT32),
-		EnableUSB:     withKbd,
-		EnableSound:   feats.Has(FeatSound),
-		EnableWM:      feats.Has(FeatWM),
-		EnableThreads: feats.Has(FeatSyscallsThread),
-		EnableTrace:   true,
-		CacheShards:   opts.CacheShards,
-		CacheBuffers:  opts.CacheBuffers,
-		RamdiskImage:  ramdisk,
-		ConsoleOut:    opts.ConsoleOut,
+		Machine:        m,
+		Cores:          cores,
+		Mode:           opts.Mode,
+		RunqueueMode:   rq,
+		TickInterval:   opts.TickInterval,
+		EnableVM:       feats.Has(FeatVM),
+		EnableFiles:    feats.Has(FeatFileAbstraction),
+		EnableFAT:      feats.Has(FeatFAT32),
+		EnableUSB:      withKbd,
+		EnableSound:    feats.Has(FeatSound),
+		EnableWM:       feats.Has(FeatWM),
+		EnableThreads:  feats.Has(FeatSyscallsThread),
+		EnableTrace:    true,
+		CacheShards:    opts.CacheShards,
+		CacheBuffers:   opts.CacheBuffers,
+		QueueDepth:     opts.QueueDepth,
+		WritebackRatio: opts.WritebackRatio,
+		RamdiskImage:   ramdisk,
+		ConsoleOut:     opts.ConsoleOut,
 	}
 	k := kernel.New(kcfg)
 	for name, fn := range programTable() {

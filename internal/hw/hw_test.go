@@ -473,6 +473,105 @@ func TestSDRangeBeatsSingleBlock(t *testing.T) {
 	}
 }
 
+// TestSDAsyncSubmitCompletion exercises the split halves: Submit returns
+// before the data lands, the completion carries the tag (and any media
+// error), and IRQSD fires per command.
+func TestSDAsyncSubmitCompletion(t *testing.T) {
+	ic := NewIRQController(1)
+	fired := make(chan IRQLine, 8)
+	ic.Register(IRQSD, 0, func(l IRQLine, _ int) { fired <- l })
+	sd := NewSDCard(64, ic)
+	sd.SetLatencyScale(0.02)
+
+	src := bytes.Repeat([]byte{0x7E}, SDBlockSize)
+	if err := sd.SubmitWrite(42, 3, 1, src); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no IRQSD for async write")
+	}
+	tag, err, ok := sd.PopCompletion()
+	if !ok || tag != 42 || err != nil {
+		t.Fatalf("completion = (%d, %v, %v), want (42, nil, true)", tag, err, ok)
+	}
+	dst := make([]byte, SDBlockSize)
+	if err := sd.SubmitRead(43, 3, 1, dst); err != nil {
+		t.Fatal(err)
+	}
+	<-fired
+	if tag, err, ok := sd.PopCompletion(); !ok || tag != 43 || err != nil {
+		t.Fatalf("read completion = (%d, %v, %v)", tag, err, ok)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("async round trip corrupted data")
+	}
+	// Bad descriptors are rejected at submit; media errors ride the
+	// completion.
+	if err := sd.SubmitRead(44, 64, 1, dst); err != ErrSDRange {
+		t.Fatalf("bad-range submit = %v, want ErrSDRange", err)
+	}
+	sd.InjectErrors(1)
+	if err := sd.SubmitWrite(45, 0, 1, src); err != nil {
+		t.Fatal(err)
+	}
+	<-fired
+	if _, err, _ := sd.PopCompletion(); err != ErrSDInjected {
+		t.Fatalf("completion err = %v, want ErrSDInjected", err)
+	}
+}
+
+// TestSDWaitAccountingSplitsPollAndDMA pins the power-model fix: polled
+// PIO charges the busy-poll budget, DMA transfers (sync or async) charge
+// the idle DMA budget — never the poll budget.
+func TestSDWaitAccountingSplitsPollAndDMA(t *testing.T) {
+	ic := NewIRQController(1)
+	sd := NewSDCard(64, ic)
+	sd.SetLatencyScale(0.01)
+	buf := make([]byte, SDBlockSize)
+
+	if err := sd.ReadBlocks(0, 1, buf); err != nil { // polled PIO
+		t.Fatal(err)
+	}
+	poll1, dma1 := sd.WaitStats()
+	if poll1 == 0 || dma1 != 0 {
+		t.Fatalf("PIO read charged poll=%d dma=%d, want poll>0 dma=0", poll1, dma1)
+	}
+
+	sd.SetDMA(true)
+	if err := sd.ReadBlocks(0, 1, buf); err != nil { // sync DMA
+		t.Fatal(err)
+	}
+	poll2, dma2 := sd.WaitStats()
+	if poll2 != poll1 {
+		t.Fatalf("sync DMA grew the poll budget: %d -> %d", poll1, poll2)
+	}
+	if dma2 == 0 {
+		t.Fatal("sync DMA charged no idle wait")
+	}
+
+	done := make(chan struct{})
+	ic.Register(IRQSD, 0, func(IRQLine, int) {
+		select {
+		case done <- struct{}{}:
+		default:
+		}
+	})
+	if err := sd.SubmitRead(1, 0, 1, buf); err != nil { // async DMA
+		t.Fatal(err)
+	}
+	<-done
+	poll3, dma3 := sd.WaitStats()
+	if poll3 != poll1 || dma3 <= dma2 {
+		t.Fatalf("async DMA accounting: poll %d -> %d, dma %d -> %d", poll1, poll3, dma2, dma3)
+	}
+	// Stats' pollMicros column is the PIO-only figure.
+	if _, _, _, pm := sd.Stats(); pm != poll1 {
+		t.Fatalf("Stats pollMicros = %d, want %d", pm, poll1)
+	}
+}
+
 func TestSDImageLoadDump(t *testing.T) {
 	ic := NewIRQController(1)
 	sd := NewSDCard(4, ic)

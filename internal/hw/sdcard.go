@@ -33,6 +33,18 @@ var ErrSDInjected = errors.New("sd: injected IO error")
 // SDCard models the EMMC controller plus an inserted card. The backing
 // store is in-memory; what matters for the reproduction is the latency
 // structure and the single-block vs range-transfer distinction.
+//
+// The controller has two faces:
+//
+//   - ReadBlocks/WriteBlocks, the synchronous driver path: the caller eats
+//     the command latency inline (polled PIO, or a DMA sleep ending in an
+//     IRQSD the caller has already slept through).
+//   - SubmitRead/SubmitWrite + PopCompletion, the split submit/completion
+//     halves the async request queue drives: Submit programs the transfer
+//     and returns immediately; when the simulated wire time elapses the
+//     completion record (tag, error) is queued and IRQSD fires, and the
+//     IRQ handler collects it with PopCompletion. Multiple commands may be
+//     in flight at once (the request queue bounds how many).
 type SDCard struct {
 	mu     sync.Mutex
 	data   []byte
@@ -44,7 +56,16 @@ type SDCard struct {
 	cmds           uint64
 	failNextOps    int
 	latencyScale   float64
-	busyPollBudget uint64 // counts simulated poll iterations (power model)
+	busyPollBudget uint64 // simulated PIO poll iterations (power model)
+	dmaWaitBudget  uint64 // simulated DMA sleep time — the CPU is idle
+
+	completions []sdCompletion // finished async commands, drained via IRQ
+}
+
+// sdCompletion is one finished async command awaiting collection.
+type sdCompletion struct {
+	tag uint64
+	err error
 }
 
 // NewSDCard returns a card with the given capacity in blocks.
@@ -137,6 +158,22 @@ func (sd *SDCard) busyWait(d time.Duration, scale float64) {
 	time.Sleep(d)
 }
 
+// dmaWait models the DMA transfer window: the same wall time as the wire
+// transfer, but the CPU sleeps instead of polling, so the time is charged
+// to the idle-wait budget — not the busy-poll budget the power model bills
+// as CPU burn. (Earlier versions charged both paths to the poll budget,
+// making DMA look as power-hungry as PIO.)
+func (sd *SDCard) dmaWait(d time.Duration, scale float64) {
+	if scale == 0 {
+		return
+	}
+	d = time.Duration(float64(d) * scale)
+	sd.mu.Lock()
+	sd.dmaWaitBudget += uint64(d / time.Microsecond)
+	sd.mu.Unlock()
+	time.Sleep(d)
+}
+
 // ReadBlocks reads n blocks starting at lba into dst (len >= n*512).
 // Latency: one command setup + n wire transfers; with DMA the setup is
 // cheaper and an IRQSD fires at completion.
@@ -161,7 +198,7 @@ func (sd *SDCard) ReadBlocks(lba, n int, dst []byte) error {
 	sd.mu.Unlock()
 
 	if dma {
-		sd.busyWait(sdDMASetup+time.Duration(n)*sdPerBlock, scale)
+		sd.dmaWait(sdDMASetup+time.Duration(n)*sdPerBlock, scale)
 		if sd.ic != nil {
 			sd.ic.Raise(IRQSD)
 		}
@@ -198,7 +235,7 @@ func (sd *SDCard) WriteBlocks(lba, n int, src []byte) error {
 	// Writes pay a program-time penalty on top of the wire transfer.
 	extra := time.Duration(n) * sdPerBlock / 2
 	if dma {
-		sd.busyWait(sdDMASetup+time.Duration(n)*sdPerBlock+extra, scale)
+		sd.dmaWait(sdDMASetup+time.Duration(n)*sdPerBlock+extra, scale)
 		if sd.ic != nil {
 			sd.ic.Raise(IRQSD)
 		}
@@ -208,9 +245,108 @@ func (sd *SDCard) WriteBlocks(lba, n int, src []byte) error {
 	return nil
 }
 
+// --- split submit/completion halves (async request-queue path) ---
+
+// SubmitRead programs an asynchronous DMA read of n blocks at lba into dst
+// and returns immediately. dst must stay valid (and unread) until the
+// command's completion is collected: the DMA engine writes it at transfer
+// end. Range errors are reported synchronously — the controller rejects a
+// bad descriptor before starting; media errors (injection, write protect)
+// surface in the completion record. When the simulated transfer time
+// elapses, the completion (tag, error) is queued and IRQSD is raised.
+func (sd *SDCard) SubmitRead(tag uint64, lba, n int, dst []byte) error {
+	if err := sd.checkRange(lba, n); err != nil {
+		return err
+	}
+	if len(dst) < n*SDBlockSize {
+		return fmt.Errorf("sd: destination %d bytes < %d", len(dst), n*SDBlockSize)
+	}
+	sd.mu.Lock()
+	scale := sd.latencyScale
+	sd.cmds++
+	sd.reads += uint64(n)
+	sd.mu.Unlock()
+	go func() {
+		sd.dmaWait(sdDMASetup+time.Duration(n)*sdPerBlock, scale)
+		sd.mu.Lock()
+		err := sd.takeError()
+		if err == nil {
+			copy(dst, sd.data[lba*SDBlockSize:(lba+n)*SDBlockSize])
+		}
+		sd.completions = append(sd.completions, sdCompletion{tag: tag, err: err})
+		ic := sd.ic
+		sd.mu.Unlock()
+		if ic != nil {
+			ic.Raise(IRQSD)
+		}
+	}()
+	return nil
+}
+
+// SubmitWrite is SubmitRead's write half. src must stay stable until
+// completion; the card latches it at transfer end, so a write whose
+// completion has not fired is not yet durable — Flush-style barriers wait
+// for completions, not submissions.
+func (sd *SDCard) SubmitWrite(tag uint64, lba, n int, src []byte) error {
+	if err := sd.checkRange(lba, n); err != nil {
+		return err
+	}
+	if len(src) < n*SDBlockSize {
+		return fmt.Errorf("sd: source %d bytes < %d", len(src), n*SDBlockSize)
+	}
+	sd.mu.Lock()
+	scale := sd.latencyScale
+	sd.cmds++
+	sd.writes += uint64(n)
+	sd.mu.Unlock()
+	go func() {
+		extra := time.Duration(n) * sdPerBlock / 2
+		sd.dmaWait(sdDMASetup+time.Duration(n)*sdPerBlock+extra, scale)
+		sd.mu.Lock()
+		var err error
+		if sd.ro {
+			err = errors.New(sdReadOnlyE)
+		} else if err = sd.takeError(); err == nil {
+			copy(sd.data[lba*SDBlockSize:(lba+n)*SDBlockSize], src)
+		}
+		sd.completions = append(sd.completions, sdCompletion{tag: tag, err: err})
+		ic := sd.ic
+		sd.mu.Unlock()
+		if ic != nil {
+			ic.Raise(IRQSD)
+		}
+	}()
+	return nil
+}
+
+// PopCompletion collects one finished async command (tag and error), FIFO.
+// The IRQSD handler drains this until ok is false — one interrupt may
+// cover several completions, as on real controllers.
+func (sd *SDCard) PopCompletion() (tag uint64, err error, ok bool) {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	if len(sd.completions) == 0 {
+		return 0, nil, false
+	}
+	c := sd.completions[0]
+	sd.completions = sd.completions[1:]
+	return c.tag, c.err, true
+}
+
 // Stats reports IO activity for the power model and experiment harness.
+// pollMicros counts only polled-PIO busy time; DMA sleeps are idle and
+// reported separately by WaitStats.
 func (sd *SDCard) Stats() (cmds, readBlocks, writeBlocks, pollMicros uint64) {
 	sd.mu.Lock()
 	defer sd.mu.Unlock()
 	return sd.cmds, sd.reads, sd.writes, sd.busyPollBudget
+}
+
+// WaitStats splits simulated device-wait time by kind: pollMicros is CPU
+// burned busy-polling (PIO), dmaMicros is idle sleep until the completion
+// IRQ (DMA) — the distinction the power model charges differently.
+func (sd *SDCard) WaitStats() (pollMicros, dmaMicros uint64) {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.busyPollBudget, sd.dmaWaitBudget
 }

@@ -23,9 +23,23 @@
 //     one batched device command for the whole contiguous range and keeps
 //     the cache coherent (write-through with write-allocate). FAT32 range
 //     IO no longer needs a cache bypass.
-//   - Flush performs batched writeback: dirty blocks are sorted and
-//     contiguous runs are written with one device command each, so a burst
-//     of FAT-sector updates costs one command setup, not one per sector.
+//   - Writes are write-behind by default: WriteRange and MarkDirty leave
+//     dirty buffers in the cache and return without touching the device.
+//     A background writeback daemon (RunDaemon, the kernel's kflushd task)
+//     flushes them when a dirty-ratio threshold or an age interval is hit,
+//     and eviction hands dirty victims to the daemon instead of writing
+//     them inline — a writer never stalls behind another file's writeback.
+//     WritePolicyThrough restores the old synchronous behaviour for the
+//     measurement baselines.
+//   - Flush is the durability barrier (fsync/unmount): every dirty buffer
+//     is written back, batched — over a request queue
+//     (fs.QueuedBlockDevice) the writes are submitted asynchronously under
+//     a plug and the elevator merges them into multi-block commands, with
+//     Flush waiting for every completion; on a plain device contiguous
+//     runs are assembled and written synchronously. Asynchronous writeback
+//     errors (daemon, eviction) are sticky: the next Flush reports them to
+//     its caller even if the retry succeeds, fsync-style, so a write error
+//     is never silently dropped.
 //
 // Range operations are atomic per block, not across the range; callers that
 // need whole-range atomicity (filesystems) serialize with their own locks,
@@ -41,6 +55,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/ksync"
@@ -84,6 +99,28 @@ const (
 	// maxWritebackRun caps how many buffer locks Flush holds at once while
 	// assembling one batched write command.
 	maxWritebackRun = 128
+
+	// DefaultWritebackRatio is the dirty-buffer percentage that wakes the
+	// writeback daemon ahead of its age interval.
+	DefaultWritebackRatio = 25
+
+	// DefaultFlushInterval is the daemon's age bound: no buffer stays
+	// dirty longer than roughly this once a daemon runs.
+	DefaultFlushInterval = 50 * time.Millisecond
+)
+
+// WritePolicy selects what WriteRange does with the device.
+type WritePolicy int
+
+// Write policies.
+const (
+	// WritePolicyBehind (default): WriteRange installs dirty buffers and
+	// returns; the device sees the data at daemon writeback, eviction, or
+	// Flush. Repeated writes to the same blocks cost one writeback.
+	WritePolicyBehind WritePolicy = iota
+	// WritePolicyThrough: every WriteRange issues its device command
+	// before returning — the pre-queue synchronous baseline.
+	WritePolicyThrough
 )
 
 // Options configures NewWithOptions. Zero values select defaults.
@@ -97,6 +134,13 @@ type Options struct {
 	// beyond the requested range. 0 selects DefaultReadahead; negative
 	// disables readahead.
 	Readahead int
+	// Policy selects write-behind (default) or write-through.
+	Policy WritePolicy
+	// WritebackRatio is the dirty percentage that wakes the daemon early
+	// (0 = DefaultWritebackRatio; negative disables the ratio trigger).
+	WritebackRatio int
+	// FlushInterval is the daemon's age bound (0 = DefaultFlushInterval).
+	FlushInterval time.Duration
 }
 
 // Buf is one cached block. Callers hold the buffer (its sleeplock) between
@@ -173,18 +217,51 @@ func (s *shard) lruPopFront() *Buf {
 // Cache is the sharded buffer cache over one block device.
 type Cache struct {
 	dev       fs.BlockDevice
+	tdev      fs.TaskBlockDevice   // non-nil when dev carries tasks (blkq)
+	qdev      fs.QueuedBlockDevice // non-nil when dev is a request queue
 	blockSize int
 	shards    []*shard
 	readahead int
+
+	writeBehind   bool
+	ratioTrigger  int // dirty-buffer count that wakes the daemon; 0 = off
+	flushInterval time.Duration
 
 	// lastReadEnd is the block one past the previous ReadRange, the
 	// sequentiality signal that gates readahead: only a request picking
 	// up exactly where the last one ended looks like a streaming scan.
 	lastReadEnd atomic.Int64
 
+	// dirty counts valid+dirty buffers; maintained by setFlags, read by
+	// the ratio trigger and /proc/diskstats.
+	dirty atomic.Int64
+
+	// wbErr latches the first asynchronous writeback error (daemon or
+	// eviction) until a Flush reports it — fsync error semantics.
+	wbErrMu sync.Mutex
+	wbErr   error
+
+	// Writeback-daemon state. daemonOn gates the eviction handoff; the
+	// kick/stop machinery serves both the sched-task and host-goroutine
+	// daemon modes.
+	daemonOn   atomic.Bool
+	daemonKick atomic.Bool
+	daemonStop atomic.Bool
+	daemonWQ   sched.WaitQueue
+	kickCh     chan struct{}
+	stopCh     chan struct{}
+	doneCh     chan struct{}
+	stopOnce   sync.Once
+
+	// Pools for steady-state IO: claimed-segment slices and the scratch
+	// blocks the cache-fill-only read path needs, so the hot paths stop
+	// allocating per call.
+	segPool     sync.Pool
+	scratchPool sync.Pool
+
 	hits, misses, evictions, writebacks atomic.Int64
 	rangeOps, rangeBlocks, readaheads   atomic.Int64
-	flushBatches                        atomic.Int64
+	flushBatches, daemonFlushes         atomic.Int64
 }
 
 // New returns a cache of n buffers over dev with default sharding.
@@ -212,8 +289,43 @@ func NewWithOptions(dev fs.BlockDevice, opts Options) *Cache {
 	case ra < 0:
 		ra = 0
 	}
-	c := &Cache{dev: dev, blockSize: dev.BlockSize(), readahead: ra}
+	c := &Cache{
+		dev:         dev,
+		blockSize:   dev.BlockSize(),
+		readahead:   ra,
+		writeBehind: opts.Policy == WritePolicyBehind,
+		kickCh:      make(chan struct{}, 1),
+		stopCh:      make(chan struct{}),
+		doneCh:      make(chan struct{}),
+	}
+	c.tdev, _ = dev.(fs.TaskBlockDevice)
+	c.qdev, _ = dev.(fs.QueuedBlockDevice)
+	ratio := opts.WritebackRatio
+	switch {
+	case ratio == 0:
+		ratio = DefaultWritebackRatio
+	case ratio < 0:
+		ratio = 0
+	}
+	if ratio > 0 {
+		c.ratioTrigger = bufs * ratio / 100
+		if c.ratioTrigger < 1 {
+			c.ratioTrigger = 1
+		}
+	}
+	c.flushInterval = opts.FlushInterval
+	if c.flushInterval <= 0 {
+		c.flushInterval = DefaultFlushInterval
+	}
 	c.lastReadEnd.Store(-1)
+	c.segPool.New = func() any {
+		s := make([]*Buf, 0, maxWritebackRun)
+		return &s
+	}
+	c.scratchPool.New = func() any {
+		s := make([]byte, maxWritebackRun*c.blockSize)
+		return &s
+	}
 	for i := 0; i < nsh; i++ {
 		max := bufs / nsh
 		if i < bufs%nsh {
@@ -222,6 +334,24 @@ func NewWithOptions(dev fs.BlockDevice, opts Options) *Cache {
 		c.shards = append(c.shards, &shard{bufs: make(map[int]*Buf), max: max})
 	}
 	return c
+}
+
+// devRead issues a device read, threading the task through when the
+// device layer can use it (the request queue sleeps the task until the
+// completion IRQ).
+func (c *Cache) devRead(t *sched.Task, lba, n int, dst []byte) error {
+	if c.tdev != nil {
+		return c.tdev.ReadBlocksT(t, lba, n, dst)
+	}
+	return c.dev.ReadBlocks(lba, n, dst)
+}
+
+// devWrite is devRead's write twin.
+func (c *Cache) devWrite(t *sched.Task, lba, n int, src []byte) error {
+	if c.tdev != nil {
+		return c.tdev.WriteBlocksT(t, lba, n, src)
+	}
+	return c.dev.WriteBlocks(lba, n, src)
 }
 
 func (c *Cache) shard(lba int) *shard { return c.shards[lba%len(c.shards)] }
@@ -272,7 +402,7 @@ func (c *Cache) Get(t *sched.Task, lba int) (*Buf, error) {
 func (c *Cache) lockAndFill(t *sched.Task, b *Buf, lba int) error {
 	b.lock.Lock(t)
 	if !b.valid {
-		if err := c.dev.ReadBlocks(lba, 1, b.Data); err != nil {
+		if err := c.devRead(t, lba, 1, b.Data); err != nil {
 			b.lock.Unlock()
 			c.unpin(b)
 			return err
@@ -305,13 +435,27 @@ func (c *Cache) tryPin(lba int) *Buf {
 // The flags are read under the shard lock by pin's eviction check and
 // Flush's dirty snapshot, so writes must not race past it; the caller
 // holds the buffer's sleeplock, which orders the flag change with the
-// Data it describes.
+// Data it describes. Transitions in and out of the valid+dirty state
+// maintain the cache-wide dirty count; crossing the writeback ratio wakes
+// the daemon.
 func (c *Cache) setFlags(b *Buf, valid, dirty bool) {
 	s := c.shard(b.lba)
 	s.mu.Lock()
+	was := b.valid && b.dirty
 	b.valid = valid
 	b.dirty = dirty
+	now := valid && dirty
 	s.mu.Unlock()
+	if now == was {
+		return
+	}
+	if !now {
+		c.dirty.Add(-1)
+		return
+	}
+	if d := c.dirty.Add(1); c.ratioTrigger > 0 && d >= int64(c.ratioTrigger) {
+		c.kickDaemon()
+	}
 }
 
 // pin finds or installs the buffer for lba and takes a reference on it.
@@ -352,10 +496,33 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 			return b, nil
 		}
 
-		// Recycle the least-recently-released unreferenced buffer.
-		v := s.lruPopFront()
+		// Recycle an unreferenced buffer. With a writeback daemon running,
+		// eviction never writes inline: it takes the least-recently-used
+		// CLEAN buffer and, if only dirty ones remain, hands the shard to
+		// the daemon (kick + transient-full backoff) — the caller retries
+		// once the daemon has cleaned a victim, and the writer that made
+		// the buffers dirty never stalls behind an unrelated writeback.
+		daemon := c.daemonOn.Load()
+		var v *Buf
+		if daemon {
+			// First clean buffer in LRU order; dirty ones keep their place.
+			for b := s.head; b != nil; b = b.next {
+				if !b.dirty || !b.valid {
+					v = b
+					break
+				}
+			}
+			if v != nil {
+				s.lruRemove(v)
+			}
+		} else {
+			v = s.lruPopFront()
+		}
 		if v == nil {
 			s.mu.Unlock()
+			if daemon {
+				c.kickDaemon()
+			}
 			return nil, errShardFull
 		}
 		if !v.dirty || !v.valid {
@@ -373,21 +540,22 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 			return v, nil
 		}
 
-		// Dirty victim: write it back while it stays in the map (pinned),
-		// then retry. A racing Get of the victim's block pins it too and
-		// waits on its sleeplock, so it observes the cached data, never a
-		// stale device copy.
+		// Dirty victim, no daemon: write it back while it stays in the map
+		// (pinned), then retry. A racing Get of the victim's block pins it
+		// too and waits on its sleeplock, so it observes the cached data,
+		// never a stale device copy.
 		v.refs = 1
 		s.mu.Unlock()
 		v.lock.Lock(t)
 		var err error
 		wrote := v.dirty && v.valid
 		if wrote {
-			err = c.dev.WriteBlocks(v.lba, 1, v.Data)
+			err = c.devWrite(t, v.lba, 1, v.Data)
 		}
 		s.mu.Lock()
 		if wrote && err == nil {
 			v.dirty = false
+			c.dirty.Add(-1)
 			c.writebacks.Add(1)
 		}
 		v.lock.Unlock()
@@ -399,6 +567,10 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 		}
 		if err != nil {
 			s.mu.Unlock()
+			// The write error also latches for the next Flush: the caller
+			// here is some unlucky evictor, not necessarily the file's
+			// owner, and fsync must still hear about it.
+			c.noteWritebackErr(err)
 			return nil, err
 		}
 		// Loop: the victim is clean now (or claimed by a racer, in which
@@ -455,7 +627,7 @@ func (c *Cache) segmentMax() int {
 // resource-deadlock against each other, and a lone claim always fits
 // (segmentMax caps a segment at half the cache), so retries terminate once
 // racing claims drain. Real pin errors (device writeback failures) abort.
-func (c *Cache) claimSegment(t *sched.Task, lba, n int) ([]*Buf, error) {
+func (c *Cache) claimSegment(t *sched.Task, lba, n int) (*[]*Buf, error) {
 	for {
 		bufs, err := c.tryClaimSegment(t, lba, n)
 		if err == errShardFull {
@@ -466,14 +638,17 @@ func (c *Cache) claimSegment(t *sched.Task, lba, n int) ([]*Buf, error) {
 	}
 }
 
-func (c *Cache) tryClaimSegment(t *sched.Task, lba, n int) ([]*Buf, error) {
-	bufs := make([]*Buf, 0, n)
+func (c *Cache) tryClaimSegment(t *sched.Task, lba, n int) (*[]*Buf, error) {
+	sp := c.segPool.Get().(*[]*Buf)
+	bufs := (*sp)[:0]
 	for i := 0; i < n; i++ {
 		b, err := c.pin(t, lba+i)
 		if err != nil {
 			for _, p := range bufs {
 				c.unpin(p)
 			}
+			*sp = bufs[:0]
+			c.segPool.Put(sp)
 			return nil, err
 		}
 		bufs = append(bufs, b)
@@ -481,14 +656,19 @@ func (c *Cache) tryClaimSegment(t *sched.Task, lba, n int) ([]*Buf, error) {
 	for _, b := range bufs {
 		b.lock.Lock(t)
 	}
-	return bufs, nil
+	*sp = bufs
+	return sp, nil
 }
 
-func (c *Cache) releaseSegment(bufs []*Buf) {
-	for _, b := range bufs {
+// releaseSegment unlocks and unpins a claimed segment and returns its
+// slice to the pool (steady-state range IO allocates nothing: the pooled
+// header pointer travels with the claim).
+func (c *Cache) releaseSegment(sp *[]*Buf) {
+	for _, b := range *sp {
 		b.lock.Unlock()
 		c.unpin(b)
 	}
+	c.segPool.Put(sp)
 }
 
 // ReadRange reads n blocks starting at lba into dst. Valid cached blocks
@@ -536,12 +716,13 @@ func (c *Cache) ReadRange(t *sched.Task, lba, n int, dst []byte) error {
 // device.
 func (c *Cache) readSegment(t *sched.Task, lba, n int, dst []byte) (int, error) {
 	bs := c.blockSize
-	bufs, err := c.claimSegment(t, lba, n)
+	sp, err := c.claimSegment(t, lba, n)
 	if err != nil {
 		return 0, err
 	}
+	bufs := *sp
 	missed := 0
-	var scratch []byte // lazily sized to the largest miss run, nil-dst mode
+	var scratch *[]byte // pooled, nil-dst (cache-fill-only) mode
 	for i := 0; i < n && err == nil; {
 		if bufs[i].valid {
 			if dst != nil {
@@ -558,12 +739,12 @@ func (c *Cache) readSegment(t *sched.Task, lba, n int, dst []byte) (int, error) 
 		if run != nil {
 			run = dst[i*bs : j*bs]
 		} else {
-			if len(scratch) < (j-i)*bs {
-				scratch = make([]byte, (j-i)*bs)
+			if scratch == nil {
+				scratch = c.scratchPool.Get().(*[]byte)
 			}
-			run = scratch[:(j-i)*bs]
+			run = (*scratch)[:(j-i)*bs]
 		}
-		if err = c.dev.ReadBlocks(lba+i, j-i, run); err == nil {
+		if err = c.devRead(t, lba+i, j-i, run); err == nil {
 			missed += j - i
 			for k := i; k < j; k++ {
 				copy(bufs[k].Data, run[(k-i)*bs:(k-i+1)*bs])
@@ -572,7 +753,10 @@ func (c *Cache) readSegment(t *sched.Task, lba, n int, dst []byte) (int, error) 
 		}
 		i = j
 	}
-	c.releaseSegment(bufs)
+	if scratch != nil {
+		c.scratchPool.Put(scratch)
+	}
+	c.releaseSegment(sp)
 	return missed, err
 }
 
@@ -596,14 +780,16 @@ func (c *Cache) readAhead(t *sched.Task, start int) {
 	}
 }
 
-// WriteRange writes n blocks starting at lba from src: batched device
-// commands (write-through), with the cache brought coherent — present
-// blocks are updated in place, absent blocks are installed
-// (write-allocate) so a following read hits. Each device command runs
-// while the sleeplocks of the range's cached blocks are held, so a
-// concurrent Flush or eviction of a stale dirty copy can never land
-// after the new data and leave the device stale. Segments are capped at
-// maxWritebackRun blocks to bound how many locks are held at once.
+// WriteRange writes n blocks starting at lba from src. Under the default
+// write-behind policy the blocks are installed in the cache dirty
+// (write-allocate) and the call returns — the device sees them at daemon
+// writeback, eviction, or the next Flush barrier, and rewrites of a
+// still-dirty block cost nothing at the device. Under write-through the
+// batched device command is issued before returning, while the range's
+// buffer sleeplocks are held, so a concurrent Flush or eviction of a
+// stale dirty copy can never land after the new data and leave the device
+// stale. Segments are capped at maxWritebackRun blocks to bound how many
+// locks are held at once.
 func (c *Cache) WriteRange(t *sched.Task, lba, n int, src []byte) error {
 	bs := c.blockSize
 	if len(src) < n*bs {
@@ -624,19 +810,29 @@ func (c *Cache) WriteRange(t *sched.Task, lba, n int, src []byte) error {
 	return nil
 }
 
-// writeSegment is one WriteRange device command plus the cache updates it
-// implies. The whole segment is claimed (pinned + locked, two-phase, see
-// claimSegment) for the duration of the device write, so a concurrent
-// reader of any block in the segment waits on its sleeplock rather than
-// installing pre-write device contents, and a concurrent Flush of a
-// stale dirty copy cannot land after the new data.
+// writeSegment is one WriteRange segment. The whole segment is claimed
+// (pinned + locked, two-phase, see claimSegment) while the cache copies —
+// and, write-through, the device command — land, so a concurrent reader
+// of any block waits on its sleeplock rather than observing a torn
+// segment, and a concurrent Flush of a stale dirty copy cannot land after
+// the new data.
 func (c *Cache) writeSegment(t *sched.Task, lba, n int, src []byte) error {
 	bs := c.blockSize
-	bufs, err := c.claimSegment(t, lba, n)
+	sp, err := c.claimSegment(t, lba, n)
 	if err != nil {
 		return err
 	}
-	if err = c.dev.WriteBlocks(lba, n, src); err == nil {
+	bufs := *sp
+	if c.writeBehind {
+		// Install dirty; the device catches up at writeback.
+		for i, b := range bufs {
+			copy(b.Data, src[i*bs:(i+1)*bs])
+			c.setFlags(b, true, true)
+		}
+		c.releaseSegment(sp)
+		return nil
+	}
+	if err = c.devWrite(t, lba, n, src); err == nil {
 		// The device holds the new data; make every cached copy match,
 		// clean. On error, invalid buffers stay invalid (a later Get
 		// re-reads the device) and valid ones keep their old contents.
@@ -645,15 +841,30 @@ func (c *Cache) writeSegment(t *sched.Task, lba, n int, src []byte) error {
 			c.setFlags(b, true, false)
 		}
 	}
-	c.releaseSegment(bufs)
+	c.releaseSegment(sp)
 	return err
 }
 
-// Flush writes every dirty buffer back to the device (sync/unmount). This
-// is the batched-writeback path: dirty blocks are sorted by LBA and each
-// contiguous run goes to the device as one command, so flushing a burst of
-// FAT-sector updates costs one command setup rather than one per sector.
+// Flush is the durability barrier (fsync/unmount): every dirty buffer is
+// written back, batched, before it returns — and any asynchronous
+// writeback error latched since the previous Flush (daemon or eviction
+// writeback) is reported here even if the data has since been rewritten
+// successfully, so an fsync caller never misses a write error.
 func (c *Cache) Flush(t *sched.Task) error {
+	err := c.flushDirty(t)
+	if werr := c.takeWritebackErr(); err == nil {
+		err = werr
+	}
+	return err
+}
+
+// flushDirty writes every currently-dirty buffer back. Over a request
+// queue it is "submit all, wait for all completions": each window's
+// blocks are submitted asynchronously under a plug so the elevator merges
+// them into multi-block commands and up to the queue depth overlap at the
+// device. On a plain device, contiguous runs are assembled and written
+// synchronously, one command per run.
+func (c *Cache) flushDirty(t *sched.Task) error {
 	var dirty []int
 	for _, s := range c.shards {
 		s.mu.Lock()
@@ -664,10 +875,89 @@ func (c *Cache) Flush(t *sched.Task) error {
 		}
 		s.mu.Unlock()
 	}
+	if len(dirty) == 0 {
+		return nil
+	}
 	sort.Ints(dirty)
+	if c.qdev != nil {
+		return c.flushQueued(t, dirty)
+	}
+	return c.flushSync(t, dirty)
+}
 
+// flushQueued is flushDirty over a request queue. Windows of up to
+// maxWritebackRun buffers are locked (ascending LBA, the buffer-rank
+// order), submitted under a plug — one request per block, zero-copy out
+// of the buffer, merged by the elevator — and waited on before the locks
+// drop, so a buffer is never marked clean ahead of its completion.
+func (c *Cache) flushQueued(t *sched.Task, dirty []int) error {
+	var firstErr error
+	type sub struct {
+		b  *Buf
+		tk fs.BlockTicket
+	}
+	for i := 0; i < len(dirty); i += maxWritebackRun {
+		j := i + maxWritebackRun
+		if j > len(dirty) {
+			j = len(dirty)
+		}
+		bufs := make([]*Buf, 0, j-i)
+		for _, lba := range dirty[i:j] {
+			b := c.tryPin(lba)
+			if b == nil {
+				continue // evicted (and thus written back) since the snapshot
+			}
+			b.lock.Lock(t)
+			bufs = append(bufs, b)
+		}
+		subs := make([]sub, 0, len(bufs))
+		runs := 0
+		c.qdev.Plug(t)
+		for k, b := range bufs {
+			if !b.dirty || !b.valid {
+				continue // cleaned by a racing writeback
+			}
+			if k == 0 || bufs[k-1].lba != b.lba-1 {
+				runs++ // contiguous-run accounting (flushBatches)
+			}
+			tk, err := c.qdev.SubmitWrite(t, b.lba, 1, b.Data)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			subs = append(subs, sub{b: b, tk: tk})
+		}
+		c.qdev.Unplug(t)
+		for _, s := range subs {
+			if err := s.tk.Wait(t); err != nil {
+				// Leave the buffer dirty; the next flush retries it.
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			c.setFlags(s.b, true, false)
+			c.writebacks.Add(1)
+		}
+		c.flushBatches.Add(int64(runs))
+		for _, b := range bufs {
+			b.lock.Unlock()
+			c.unpin(b)
+		}
+	}
+	return firstErr
+}
+
+// flushSync is flushDirty for a plain synchronous device: dirty blocks
+// are gathered into contiguous runs and each run goes out as one device
+// command, so flushing a burst of FAT-sector updates costs one command
+// setup rather than one per sector.
+func (c *Cache) flushSync(t *sched.Task, dirty []int) error {
 	bs := c.blockSize
-	scratch := make([]byte, maxWritebackRun*bs)
+	scratch := c.scratchPool.Get().(*[]byte)
+	defer c.scratchPool.Put(scratch)
 	for i := 0; i < len(dirty); {
 		j := i + 1
 		for j < len(dirty) && dirty[j] == dirty[j-1]+1 && j-i < maxWritebackRun {
@@ -697,9 +987,9 @@ func (c *Cache) Flush(t *sched.Task) error {
 				m++
 			}
 			for x := k; x < m; x++ {
-				copy(scratch[(x-k)*bs:], bufs[x].Data)
+				copy((*scratch)[(x-k)*bs:], bufs[x].Data)
 			}
-			if err = c.dev.WriteBlocks(bufs[k].lba, m-k, scratch[:(m-k)*bs]); err == nil {
+			if err = c.devWrite(t, bufs[k].lba, m-k, (*scratch)[:(m-k)*bs]); err == nil {
 				c.writebacks.Add(int64(m - k))
 				c.flushBatches.Add(1)
 				for x := k; x < m; x++ {
@@ -719,6 +1009,127 @@ func (c *Cache) Flush(t *sched.Task) error {
 	}
 	return nil
 }
+
+// --- asynchronous writeback error latch ---
+
+// noteWritebackErr records an error from a writeback no caller is waiting
+// on (daemon pass, eviction). The first such error is held until a Flush
+// reports it.
+func (c *Cache) noteWritebackErr(err error) {
+	c.wbErrMu.Lock()
+	if c.wbErr == nil {
+		c.wbErr = err
+	}
+	c.wbErrMu.Unlock()
+}
+
+// takeWritebackErr consumes the latched error.
+func (c *Cache) takeWritebackErr() error {
+	c.wbErrMu.Lock()
+	err := c.wbErr
+	c.wbErr = nil
+	c.wbErrMu.Unlock()
+	return err
+}
+
+// WritebackErrPending reports whether an unreported async write error is
+// latched (diagnostics / tests).
+func (c *Cache) WritebackErrPending() bool {
+	c.wbErrMu.Lock()
+	defer c.wbErrMu.Unlock()
+	return c.wbErr != nil
+}
+
+// --- the writeback daemon ---
+
+// RunDaemon is the body of the background writeback daemon — the kernel
+// runs it as the kflushd task for each mounted cache; tests may run it on
+// a plain goroutine with a nil task. It flushes dirty buffers whenever
+// the dirty ratio crosses Options.WritebackRatio (MarkDirty/WriteRange
+// kick it) and at least every Options.FlushInterval (the age bound), and
+// latches any write error for the next Flush caller. While it runs,
+// eviction hands dirty victims to it instead of writing them inline.
+//
+// after schedules a wakeup through the kernel's timer source (nil with a
+// nil task: host timers are used). RunDaemon returns after StopDaemon.
+func (c *Cache) RunDaemon(t *sched.Task, after func(d time.Duration, fn func()) func() bool) {
+	c.daemonOn.Store(true)
+	defer func() {
+		c.daemonOn.Store(false)
+		close(c.doneCh)
+	}()
+	for {
+		c.daemonWait(t, after)
+		if c.daemonStop.Load() {
+			return
+		}
+		if c.dirty.Load() == 0 {
+			continue
+		}
+		c.daemonFlushes.Add(1)
+		if err := c.flushDirty(t); err != nil {
+			// Nobody is waiting on this pass: latch for the next Flush.
+			// The failed buffers stay dirty and are retried next round,
+			// throttled by the interval.
+			c.noteWritebackErr(err)
+		}
+	}
+}
+
+// daemonWait sleeps until a kick, the age interval, or stop.
+func (c *Cache) daemonWait(t *sched.Task, after func(d time.Duration, fn func()) func() bool) {
+	if c.daemonKick.Swap(false) {
+		return // kicked while flushing: go again immediately
+	}
+	if t != nil && after != nil {
+		stop := after(c.flushInterval, func() { c.daemonWQ.WakeAll() })
+		c.daemonWQ.SleepUnless(t, func() bool {
+			return c.daemonKick.Load() || c.daemonStop.Load()
+		})
+		stop()
+		c.daemonKick.Store(false)
+		return
+	}
+	select {
+	case <-c.kickCh:
+		c.daemonKick.Store(false)
+	case <-time.After(c.flushInterval):
+	case <-c.stopCh:
+	}
+}
+
+// kickDaemon wakes the daemon ahead of its interval (ratio crossings,
+// eviction pressure). Harmless when no daemon runs.
+func (c *Cache) kickDaemon() {
+	c.daemonKick.Store(true)
+	c.daemonWQ.WakeAll()
+	select {
+	case c.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+// StopDaemon signals the daemon to exit and waits for it. Callers must
+// have started (or irrevocably scheduled) RunDaemon: the stop flag is
+// honoured even by a daemon that has not begun running yet — it exits on
+// its first wait — but a cache that never runs RunDaemon at all would
+// block here forever. The kernel tracks which caches got daemons;
+// calling twice is fine (the second wait returns immediately).
+func (c *Cache) StopDaemon() {
+	c.daemonStop.Store(true)
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.daemonWQ.WakeAll()
+	<-c.doneCh
+}
+
+// DaemonFlushes reports how many background writeback passes have run.
+func (c *Cache) DaemonFlushes() int64 { return c.daemonFlushes.Load() }
+
+// DirtyBuffers reports how many valid+dirty buffers the cache holds.
+func (c *Cache) DirtyBuffers() int64 { return c.dirty.Load() }
+
+// WriteBehind reports whether the cache runs the write-behind policy.
+func (c *Cache) WriteBehind() bool { return c.writeBehind }
 
 // Invalidate drops every clean, unreferenced buffer. Callers that are
 // about to route IO around the cache (the FAT32 benchmark bypass) use it

@@ -320,7 +320,7 @@ func TestRangeReadCoalescesMisses(t *testing.T) {
 func TestRangeWriteThroughAndCoherent(t *testing.T) {
 	rd := fs.NewRamdisk(512, 64)
 	dev := &cmdDev{BlockDevice: rd}
-	c := NewWithOptions(dev, Options{Buffers: 32, Shards: 4, Readahead: -1})
+	c := NewWithOptions(dev, Options{Buffers: 32, Shards: 4, Readahead: -1, Policy: WritePolicyThrough})
 	src := make([]byte, 10*512)
 	for i := range src {
 		src[i] = byte(i * 7)
@@ -355,7 +355,7 @@ func TestRangeWriteThroughAndCoherent(t *testing.T) {
 
 func TestRangeWriteUpdatesDirtyBuffer(t *testing.T) {
 	rd := fs.NewRamdisk(512, 64)
-	c := NewWithOptions(rd, Options{Buffers: 16, Shards: 4, Readahead: -1})
+	c := NewWithOptions(rd, Options{Buffers: 16, Shards: 4, Readahead: -1, Policy: WritePolicyThrough})
 	b, _ := c.Get(nil, 5)
 	b.Data[0] = 0xEE
 	c.MarkDirty(b)

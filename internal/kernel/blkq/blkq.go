@@ -1,0 +1,474 @@
+// Package blkq is Proto's per-device IO request queue: the asynchronous
+// block layer between the buffer cache and the device driver.
+//
+// Callers submit read/write requests; the queue keeps them sorted by LBA
+// and dispatches them elevator-style (one ascending sweep, wrapping at the
+// top), merging adjacent requests from different tasks into single
+// multi-block device commands — the batching the paper's SD timing model
+// rewards, applied across tasks instead of within one call. Up to Depth
+// commands are in flight at the device at once.
+//
+// On a device with split submit/completion halves (hw.SDCard's
+// SubmitRead/SubmitWrite + PopCompletion), dispatch programs the DMA
+// transfer and returns; the completion IRQ (hw.IRQSD, routed here by the
+// kernel via CompletionIRQ) finishes the command, wakes the submitting
+// tasks off the sched wait queue, and issues the next command from
+// interrupt context — no task ever busy-waits inside the driver. On a
+// plain synchronous device (the ramdisk) the dispatching context performs
+// the IO inline and completes it itself; the queueing, merging and
+// accounting behave identically.
+//
+// Two invariants callers must keep (the buffer cache does, via its
+// per-buffer sleeplocks):
+//
+//   - No two in-flight writes, and no in-flight write and read, may
+//     overlap: the elevator reorders freely, so overlapping commands have
+//     no defined order.
+//   - Request buffers stay stable (writes) or untouched (reads) until the
+//     request completes.
+//
+// Plug/Unplug brackets batch assembly: while plugged, submissions queue
+// without dispatching, so a writeback pass can lay out a whole batch and
+// let the elevator merge it before the first command goes out — Linux's
+// block-layer plugging, serving the same purpose.
+package blkq
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/ksync"
+	"protosim/internal/kernel/sched"
+)
+
+// AsyncBackend is a device with split submit/completion halves. Submit
+// errors are immediate rejects (bad range); transfer errors arrive in the
+// completion record. The device signals completions by raising its IRQ;
+// the kernel routes that IRQ to Queue.CompletionIRQ, which drains
+// PopCompletion.
+type AsyncBackend interface {
+	fs.BlockDevice
+	SubmitRead(tag uint64, lba, n int, dst []byte) error
+	SubmitWrite(tag uint64, lba, n int, src []byte) error
+	PopCompletion() (tag uint64, err error, ok bool)
+}
+
+// Defaults.
+const (
+	// DefaultDepth is how many commands may be in flight at the device.
+	DefaultDepth = 4
+	// maxMergeBlocks caps one merged command, matching the cache's
+	// writeback-run cap so neither layer builds unbounded commands.
+	maxMergeBlocks = 128
+)
+
+// Options configures New. Zero values select defaults.
+type Options struct {
+	// Depth bounds in-flight device commands (0 = DefaultDepth).
+	Depth int
+	// Async names the device's submit/completion halves when it has them;
+	// nil means dispatch performs synchronous IO inline. When non-nil it
+	// must be the same device as the sync half passed to New.
+	Async AsyncBackend
+}
+
+// request is one submitted IO, waiting in the queue or in flight as part
+// of a command. All fields except buf/write/lba/n are guarded by Queue.mu.
+type request struct {
+	write bool
+	lba   int
+	n     int
+	buf   []byte
+
+	done bool
+	err  error
+	wq   sched.WaitQueue // task waiters (completion IRQ wakes them)
+	ch   chan struct{}   // host-side waiters, made lazily under Queue.mu
+}
+
+// command is one device command: a merged run of requests.
+type command struct {
+	tag   uint64
+	write bool
+	lba   int
+	n     int
+	buf   []byte // reqs[0].buf when len(reqs)==1, else a pooled bounce buffer
+	reqs  []*request
+}
+
+// Queue is the request queue over one block device.
+type Queue struct {
+	dev   fs.BlockDevice
+	abe   AsyncBackend
+	bs    int
+	depth int
+
+	// mu (rank: blkq, below buffer) guards everything below. Acquired by
+	// submitters that already hold the buffer locks of the blocks they
+	// queue, and — with no task, briefly — by the completion IRQ path.
+	mu       ksync.SleepLock
+	pending  []*request // sorted by LBA
+	inflight map[uint64]*command
+	nextTag  uint64
+	head     int // elevator position: first LBA the next sweep considers
+	plugs    int // Plug nesting depth; dispatch holds while > 0
+
+	// Statistics. Guarded by mu.
+	submitted  int64 // requests accepted
+	dispatched int64 // device commands issued
+	merged     int64 // requests that rode along in a multi-request command
+	depthPeak  int64 // max commands in flight at once
+	queuedPeak int64 // max requests waiting at once
+
+	pool sync.Pool // bounce buffers for merged commands
+}
+
+// New builds a queue over dev. See Options for the async half.
+func New(dev fs.BlockDevice, opts Options) *Queue {
+	depth := opts.Depth
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	q := &Queue{
+		dev:      dev,
+		abe:      opts.Async,
+		bs:       dev.BlockSize(),
+		inflight: make(map[uint64]*command, depth),
+	}
+	q.mu.SetRank(ksync.RankBlkq, 0)
+	q.pool.New = func() any {
+		b := make([]byte, maxMergeBlocks*q.bs)
+		return &b
+	}
+	q.depth = depth
+	return q
+}
+
+// BlockSize implements fs.BlockDevice.
+func (q *Queue) BlockSize() int { return q.bs }
+
+// Blocks implements fs.BlockDevice.
+func (q *Queue) Blocks() int { return q.dev.Blocks() }
+
+// ReadBlocks implements fs.BlockDevice (host-side callers, no task).
+func (q *Queue) ReadBlocks(lba, n int, dst []byte) error {
+	return q.ReadBlocksT(nil, lba, n, dst)
+}
+
+// WriteBlocks implements fs.BlockDevice.
+func (q *Queue) WriteBlocks(lba, n int, src []byte) error {
+	return q.WriteBlocksT(nil, lba, n, src)
+}
+
+// ReadBlocksT implements fs.TaskBlockDevice: submit and sleep until the
+// completion IRQ wakes us.
+func (q *Queue) ReadBlocksT(t *sched.Task, lba, n int, dst []byte) error {
+	r, err := q.submit(t, false, lba, n, dst)
+	if err != nil {
+		return err
+	}
+	return q.wait(t, r)
+}
+
+// WriteBlocksT implements fs.TaskBlockDevice.
+func (q *Queue) WriteBlocksT(t *sched.Task, lba, n int, src []byte) error {
+	r, err := q.submit(t, true, lba, n, src)
+	if err != nil {
+		return err
+	}
+	return q.wait(t, r)
+}
+
+// ticket adapts a request to fs.BlockTicket.
+type ticket struct {
+	q *Queue
+	r *request
+}
+
+// Wait implements fs.BlockTicket.
+func (tk ticket) Wait(t *sched.Task) error { return tk.q.wait(t, tk.r) }
+
+// SubmitWrite implements fs.QueuedBlockDevice: queue a write and return a
+// ticket; the writeback paths keep several in flight to fill the device
+// queue. src must stay stable until Wait returns.
+func (q *Queue) SubmitWrite(t *sched.Task, lba, n int, src []byte) (fs.BlockTicket, error) {
+	r, err := q.submit(t, true, lba, n, src)
+	if err != nil {
+		return nil, err
+	}
+	return ticket{q: q, r: r}, nil
+}
+
+// Plug holds dispatch so a batch being assembled can merge before the
+// first command is issued. Nestable; every Plug needs an Unplug.
+func (q *Queue) Plug(t *sched.Task) {
+	q.mu.Lock(t)
+	q.plugs++
+	q.mu.Unlock()
+}
+
+// Unplug releases a Plug and dispatches whatever merged while plugged.
+func (q *Queue) Unplug(t *sched.Task) {
+	q.mu.Lock(t)
+	if q.plugs == 0 {
+		q.mu.Unlock()
+		panic("blkq: unplug without plug")
+	}
+	q.plugs--
+	q.mu.Unlock()
+	q.kick(t)
+}
+
+// submit validates and enqueues one request, then kicks dispatch.
+func (q *Queue) submit(t *sched.Task, write bool, lba, n int, buf []byte) (*request, error) {
+	if lba < 0 || n <= 0 || lba+n > q.dev.Blocks() {
+		return nil, fmt.Errorf("blkq: bad range [%d,%d)", lba, lba+n)
+	}
+	if len(buf) < n*q.bs {
+		return nil, fmt.Errorf("blkq: %d-block request over %d bytes", n, len(buf))
+	}
+	r := &request{write: write, lba: lba, n: n, buf: buf}
+	q.mu.Lock(t)
+	// Insert in LBA order (the elevator's working order).
+	i := sort.Search(len(q.pending), func(i int) bool { return q.pending[i].lba >= lba })
+	q.pending = append(q.pending, nil)
+	copy(q.pending[i+1:], q.pending[i:])
+	q.pending[i] = r
+	q.submitted++
+	if l := int64(len(q.pending)); l > q.queuedPeak {
+		q.queuedPeak = l
+	}
+	q.mu.Unlock()
+	q.kick(t)
+	return r, nil
+}
+
+// wait sleeps until r completes. Tasks sleep on the request's wait queue
+// and are woken from the completion IRQ; host-side callers block on a
+// channel. The sleep is uninterruptible (completions always arrive).
+func (q *Queue) wait(t *sched.Task, r *request) error {
+	if t == nil {
+		q.mu.Lock(nil)
+		if r.done {
+			q.mu.Unlock()
+			return r.err
+		}
+		if r.ch == nil {
+			r.ch = make(chan struct{})
+		}
+		ch := r.ch
+		q.mu.Unlock()
+		<-ch
+		return r.err
+	}
+	isDone := func() bool {
+		q.mu.Lock(t)
+		d := r.done
+		q.mu.Unlock()
+		return d
+	}
+	for !isDone() {
+		r.wq.SleepUnless(t, isDone)
+	}
+	return r.err
+}
+
+// kick dispatches until the device queue is full, the queue is plugged,
+// or no requests are pending. Runs in submitter context and — for async
+// backends — in completion-IRQ context, which is what keeps the device
+// busy without a dedicated dispatcher task.
+func (q *Queue) kick(t *sched.Task) {
+	for {
+		q.mu.Lock(t)
+		if q.plugs > 0 || len(q.inflight) >= q.depth || len(q.pending) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		cmd := q.buildCommandLocked()
+		q.inflight[cmd.tag] = cmd
+		q.dispatched++
+		q.merged += int64(len(cmd.reqs) - 1)
+		if l := int64(len(q.inflight)); l > q.depthPeak {
+			q.depthPeak = l
+		}
+		q.mu.Unlock()
+
+		if q.abe != nil {
+			var err error
+			if cmd.write {
+				err = q.abe.SubmitWrite(cmd.tag, cmd.lba, cmd.n, cmd.buf)
+			} else {
+				err = q.abe.SubmitRead(cmd.tag, cmd.lba, cmd.n, cmd.buf)
+			}
+			if err != nil {
+				// Immediate reject (bad descriptor): complete in place.
+				q.finish(t, cmd.tag, err)
+			}
+			continue
+		}
+		// Synchronous device: this context is the "driver"; do the IO and
+		// complete the command ourselves.
+		var err error
+		if cmd.write {
+			err = q.dev.WriteBlocks(cmd.lba, cmd.n, cmd.buf)
+		} else {
+			err = q.dev.ReadBlocks(cmd.lba, cmd.n, cmd.buf)
+		}
+		q.finish(t, cmd.tag, err)
+	}
+}
+
+// buildCommandLocked picks the elevator's next request and absorbs every
+// pending request contiguous with it (same direction) into one command.
+// Caller holds q.mu.
+func (q *Queue) buildCommandLocked() *command {
+	// Elevator pick: first request at or above the head, wrapping to the
+	// lowest LBA when the sweep tops out.
+	i := sort.Search(len(q.pending), func(i int) bool { return q.pending[i].lba >= q.head })
+	if i == len(q.pending) {
+		i = 0
+	}
+	seed := q.pending[i]
+
+	// Grow a contiguous same-direction group around the seed in the sorted
+	// slice. Writes merge only when exactly adjacent (no overlap — order
+	// between overlapping writes is undefined here); reads merge when they
+	// overlap or touch, since one covering transfer serves them all.
+	lo, hi := i, i+1
+	start, end := seed.lba, seed.lba+seed.n
+	joins := func(r *request) (bool, int, int) {
+		if r.write != seed.write {
+			return false, 0, 0
+		}
+		rEnd := r.lba + r.n
+		if seed.write {
+			if r.lba != end && rEnd != start {
+				return false, 0, 0
+			}
+		} else if r.lba > end || rEnd < start {
+			return false, 0, 0
+		}
+		ns, ne := start, end
+		if r.lba < ns {
+			ns = r.lba
+		}
+		if rEnd > ne {
+			ne = rEnd
+		}
+		return ne-ns <= maxMergeBlocks, ns, ne
+	}
+	for hi < len(q.pending) {
+		ok, ns, ne := joins(q.pending[hi])
+		if !ok {
+			break
+		}
+		start, end = ns, ne
+		hi++
+	}
+	for lo > 0 {
+		ok, ns, ne := joins(q.pending[lo-1])
+		if !ok {
+			break
+		}
+		start, end = ns, ne
+		lo--
+	}
+
+	group := make([]*request, hi-lo)
+	copy(group, q.pending[lo:hi])
+	q.pending = append(q.pending[:lo], q.pending[hi:]...)
+	q.head = end
+
+	q.nextTag++
+	cmd := &command{tag: q.nextTag, write: seed.write, lba: start, n: end - start, reqs: group}
+	if len(group) == 1 {
+		cmd.buf = seed.buf[:seed.n*q.bs]
+		return cmd
+	}
+	// Multi-request command: a pooled bounce buffer covers the merged
+	// span. Writes are gathered now; reads are scattered at completion.
+	buf := *(q.pool.Get().(*[]byte))
+	cmd.buf = buf[:cmd.n*q.bs]
+	if cmd.write {
+		for _, r := range group {
+			copy(cmd.buf[(r.lba-start)*q.bs:], r.buf[:r.n*q.bs])
+		}
+	}
+	return cmd
+}
+
+// CompletionIRQ is the device-interrupt entry point: the kernel's IRQSD
+// handler calls it to drain the backend's completion queue. Each finished
+// command wakes its submitters, and the freed device slot is refilled
+// immediately — the next command is issued from interrupt context.
+func (q *Queue) CompletionIRQ() {
+	if q.abe == nil {
+		return
+	}
+	for {
+		tag, err, ok := q.abe.PopCompletion()
+		if !ok {
+			return
+		}
+		q.finish(nil, tag, err)
+	}
+}
+
+// finish completes a command: scatter read data to the member requests,
+// record errors, wake waiters, recycle the bounce buffer, refill the
+// device queue.
+func (q *Queue) finish(t *sched.Task, tag uint64, err error) {
+	q.mu.Lock(t)
+	cmd := q.inflight[tag]
+	delete(q.inflight, tag)
+	if cmd == nil {
+		q.mu.Unlock()
+		return // stray completion (e.g. sync-path DMA raise) — ignore
+	}
+	merged := len(cmd.reqs) > 1
+	if merged && !cmd.write && err == nil {
+		for _, r := range cmd.reqs {
+			copy(r.buf[:r.n*q.bs], cmd.buf[(r.lba-cmd.lba)*q.bs:])
+		}
+	}
+	var chans []chan struct{}
+	for _, r := range cmd.reqs {
+		r.err = err
+		r.done = true
+		if r.ch != nil {
+			chans = append(chans, r.ch)
+		}
+	}
+	q.mu.Unlock()
+	if merged {
+		buf := cmd.buf[:cap(cmd.buf)]
+		q.pool.Put(&buf)
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	for _, r := range cmd.reqs {
+		r.wq.WakeAll()
+	}
+	q.kick(t)
+}
+
+// Stats reports queue activity: requests submitted, device commands
+// dispatched, requests that were merged into another request's command,
+// and the peak in-flight command / queued request counts. The merge ratio
+// submitted/dispatched is what /proc/diskstats derives.
+func (q *Queue) Stats() (submitted, dispatched, merged, depthPeak, queuedPeak int64) {
+	q.mu.Lock(nil)
+	defer q.mu.Unlock()
+	return q.submitted, q.dispatched, q.merged, q.depthPeak, q.queuedPeak
+}
+
+// Depth reports the configured in-flight command bound.
+func (q *Queue) Depth() int { return q.depth }
+
+var (
+	_ fs.TaskBlockDevice   = (*Queue)(nil)
+	_ fs.QueuedBlockDevice = (*Queue)(nil)
+)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"protosim/internal/hw"
+	"protosim/internal/kernel/blkq"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/sched"
 	"protosim/internal/kernel/wm"
@@ -17,11 +18,17 @@ import (
 // BlockIO is the kernel's single entry point to a block device: every
 // filesystem mounts over one of these (the ramdisk under xv6fs, the SD
 // card under FAT32), so all block traffic — cached, range, or baseline
-// bypass — funnels through here and is accounted uniformly. /proc/diskstats
-// reports the counters and /dev/<name> exposes the raw (read-only) device.
+// bypass — funnels through here and is accounted uniformly. When the
+// device has split submit/completion halves (the SD card), BlockIO
+// forwards them so a blkq request queue stacked on top can drive the
+// async path; the queue is registered back here (SetQueue) so its
+// merge/depth statistics ride the same /proc/diskstats node as the
+// command counts. /dev/<name> exposes the raw (read-only) device.
 type BlockIO struct {
 	name string
 	dev  fs.BlockDevice
+	abe  blkq.AsyncBackend // non-nil when dev has submit/completion halves
+	q    *blkq.Queue       // non-nil when a request queue fronts this device
 
 	readCmds, readBlocks   atomic.Int64
 	writeCmds, writeBlocks atomic.Int64
@@ -29,8 +36,50 @@ type BlockIO struct {
 
 // NewBlockIO wraps dev as a named kernel block device.
 func NewBlockIO(name string, dev fs.BlockDevice) *BlockIO {
-	return &BlockIO{name: name, dev: dev}
+	d := &BlockIO{name: name, dev: dev}
+	d.abe, _ = dev.(blkq.AsyncBackend)
+	return d
 }
+
+// Async returns the device's split submit/completion half — routed back
+// through this BlockIO so async commands are counted too — or nil when
+// the underlying device is synchronous only.
+func (d *BlockIO) Async() blkq.AsyncBackend {
+	if d.abe == nil {
+		return nil
+	}
+	return d
+}
+
+// SubmitRead forwards the async read half, counting the command.
+func (d *BlockIO) SubmitRead(tag uint64, lba, n int, dst []byte) error {
+	err := d.abe.SubmitRead(tag, lba, n, dst)
+	if err == nil {
+		d.readCmds.Add(1)
+		d.readBlocks.Add(int64(n))
+	}
+	return err
+}
+
+// SubmitWrite forwards the async write half, counting the command.
+func (d *BlockIO) SubmitWrite(tag uint64, lba, n int, src []byte) error {
+	err := d.abe.SubmitWrite(tag, lba, n, src)
+	if err == nil {
+		d.writeCmds.Add(1)
+		d.writeBlocks.Add(int64(n))
+	}
+	return err
+}
+
+// PopCompletion forwards the completion half.
+func (d *BlockIO) PopCompletion() (uint64, error, bool) { return d.abe.PopCompletion() }
+
+// SetQueue records the request queue stacked on this device so diskstats
+// can report its statistics alongside the command counts.
+func (d *BlockIO) SetQueue(q *blkq.Queue) { d.q = q }
+
+// Queue returns the request queue fronting this device, or nil.
+func (d *BlockIO) Queue() *blkq.Queue { return d.q }
 
 // Name returns the device name ("rd0", "sd0").
 func (d *BlockIO) Name() string { return d.name }

@@ -48,6 +48,15 @@ const (
 	attrArchive = 0x20
 
 	rootCluster = 2
+
+	// FSInfo sector (standard FAT32 layout): free-cluster count and
+	// next-free hint, persisted at Sync/unmount and read back at mount so
+	// a fresh mount neither rescans the FAT for the count nor restarts
+	// its allocation scan from cluster 2.
+	fsInfoSector    = 1
+	fsInfoLeadSig   = 0x41615252 // "RRaA"
+	fsInfoStructSig = 0x61417272 // "rrAa"
+	fsInfoUnknown   = 0xFFFFFFFF
 )
 
 // ErrBadFS reports an unrecognized boot sector.
@@ -112,6 +121,12 @@ type FS struct {
 	// data IO.
 	fatLock  ksync.SleepLock
 	freeHint uint32 // next-free scan start, guarded by fatLock
+	// freeCount is the running free-cluster tally, guarded by fatLock:
+	// seeded from the FSInfo sector at mount (or by one lazy scan when
+	// the image carried none) and maintained by every claim/free
+	// transition, so Sync persists it in O(1) instead of rescanning the
+	// FAT. -1 = not yet known.
+	freeCount int
 
 	mu          sync.Mutex
 	pseudo      map[uint32]*pseudoInode // keyed by first cluster
@@ -163,8 +178,17 @@ func Mkfs(dev fs.BlockDevice) error {
 	binary.LittleEndian.PutUint32(boot[32:], uint32(total))
 	binary.LittleEndian.PutUint32(boot[36:], uint32(fatSectors))
 	binary.LittleEndian.PutUint32(boot[44:], rootCluster)
+	binary.LittleEndian.PutUint16(boot[48:], fsInfoSector)
 	boot[510], boot[511] = 0x55, 0xAA
 	if err := dev.WriteBlocks(0, 1, boot); err != nil {
+		return err
+	}
+
+	// FSInfo: all clusters free except the root directory's; next free
+	// scan starts right behind the root.
+	fsi := make([]byte, SectorSize)
+	encodeFSInfo(fsi, uint32(clusters-1), rootCluster+1)
+	if err := dev.WriteBlocks(fsInfoSector, 1, fsi); err != nil {
 		return err
 	}
 
@@ -220,7 +244,84 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	f.fatStart = reserved
 	f.dataStart = reserved + f.fatSectors
 	f.clusters = (f.totalSectors - f.dataStart) / SectorsPerCluster
+
+	// FSInfo: seed the next-free hint (and remember the persisted free
+	// count) when a valid sector is present. Images from before the
+	// FSInfo change just have an invalid sector and start from scratch.
+	if s := int(binary.LittleEndian.Uint16(boot[48:])); s == fsInfoSector && reserved > fsInfoSector {
+		fsi := make([]byte, SectorSize)
+		if err := dev.ReadBlocks(fsInfoSector, 1, fsi); err != nil {
+			return nil, err
+		}
+		if free, next, ok := decodeFSInfo(fsi); ok {
+			if next >= rootCluster && next < uint32(f.clusters)+rootCluster {
+				f.freeHint = next
+			}
+			if free != fsInfoUnknown && free <= uint32(f.clusters) {
+				f.freeCount = int(free)
+			} else {
+				f.freeCount = -1
+			}
+		} else {
+			f.freeCount = -1
+		}
+	} else {
+		f.freeCount = -1
+	}
 	return f, nil
+}
+
+// encodeFSInfo lays out a standard FAT32 FSInfo sector.
+func encodeFSInfo(b []byte, free, next uint32) {
+	binary.LittleEndian.PutUint32(b[0:], fsInfoLeadSig)
+	binary.LittleEndian.PutUint32(b[484:], fsInfoStructSig)
+	binary.LittleEndian.PutUint32(b[488:], free)
+	binary.LittleEndian.PutUint32(b[492:], next)
+	b[510], b[511] = 0x55, 0xAA
+}
+
+// decodeFSInfo validates and extracts an FSInfo sector.
+func decodeFSInfo(b []byte) (free, next uint32, ok bool) {
+	if binary.LittleEndian.Uint32(b[0:]) != fsInfoLeadSig ||
+		binary.LittleEndian.Uint32(b[484:]) != fsInfoStructSig ||
+		b[510] != 0x55 || b[511] != 0xAA {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint32(b[488:]), binary.LittleEndian.Uint32(b[492:]), true
+}
+
+// FSInfo reports the running free-cluster count (-1 when the mounted
+// image carried no valid FSInfo and no Sync has scanned yet) and the
+// current next-free hint.
+func (f *FS) FSInfo(t *sched.Task) (freeCount int, nextFree uint32) {
+	f.fatLock.Lock(t)
+	defer f.fatLock.Unlock()
+	return f.freeCount, f.freeHint
+}
+
+// writeFSInfoLocked pushes the running free count and hint into the
+// FSInfo sector through the cache. The count is maintained incrementally
+// by the claim/free transitions (all under fatLock); only a mount from a
+// pre-FSInfo image pays one lazy FAT scan here. Caller holds fatLock.
+func (f *FS) writeFSInfoLocked(t *sched.Task) error {
+	if f.freeCount < 0 {
+		free, err := f.freeClustersLocked(t)
+		if err != nil {
+			return err
+		}
+		f.freeCount = free
+	}
+	b, err := f.bc.Get(t, fsInfoSector)
+	if err != nil {
+		return err
+	}
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+	encodeFSInfo(b.Data, uint32(f.freeCount), f.freeHint)
+	f.bc.MarkDirty(b)
+	f.bc.Release(b)
+	return nil
 }
 
 // SetDataPath switches the data IO strategy (benchmark baselines only —
@@ -342,6 +443,9 @@ func (f *FS) allocClusterLocked(t *sched.Task) (uint32, error) {
 				return 0, err
 			}
 			f.freeHint = c + 1
+			if f.freeCount > 0 {
+				f.freeCount--
+			}
 			return c, nil
 		}
 	}
@@ -352,8 +456,13 @@ func (f *FS) allocClusterLocked(t *sched.Task) (uint32, error) {
 // failure paths). Best-effort.
 func (f *FS) unclaimCluster(t *sched.Task, c uint32) {
 	f.fatLock.Lock(t)
-	if f.fatSet(t, c, freeClust) == nil && c < f.freeHint {
-		f.freeHint = c
+	if f.fatSet(t, c, freeClust) == nil {
+		if c < f.freeHint {
+			f.freeHint = c
+		}
+		if f.freeCount >= 0 {
+			f.freeCount++
+		}
 	}
 	f.fatLock.Unlock()
 }
@@ -375,6 +484,9 @@ func (f *FS) freeChain(t *sched.Task, c uint32) error {
 		if c < f.freeHint {
 			f.freeHint = c
 		}
+		if f.freeCount >= 0 {
+			f.freeCount++
+		}
 		c = next
 	}
 	return nil
@@ -385,6 +497,11 @@ func (f *FS) freeChain(t *sched.Task, c uint32) error {
 func (f *FS) FreeClusters(t *sched.Task) (int, error) {
 	f.fatLock.Lock(t)
 	defer f.fatLock.Unlock()
+	return f.freeClustersLocked(t)
+}
+
+// freeClustersLocked is the scan; caller holds fatLock.
+func (f *FS) freeClustersLocked(t *sched.Task) (int, error) {
 	n := 0
 	for c := uint32(rootCluster); c < uint32(f.clusters+rootCluster); c++ {
 		v, err := f.fatGet(t, c)

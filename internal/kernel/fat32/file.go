@@ -429,11 +429,14 @@ func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
 	return fs.Stat{Name: name, Type: typ, Size: int64(de.size), Inode: uint64(de.cluster)}, nil
 }
 
-// Sync flushes dirty cache state, batched. Metadata is write-through into
-// the cache under per-object locks, so Sync first drains in-flight
-// operations by taking each live pseudo-inode lock once — one at a time,
-// never two held together, so it cannot deadlock against parent→child
-// holders — then quiesces the FAT allocator across the batched writeback.
+// Sync is the volume's durability barrier. Metadata lands in the cache
+// under per-object locks, so Sync first drains in-flight operations by
+// taking each live pseudo-inode lock once — one at a time, never two held
+// together, so it cannot deadlock against parent→child holders — then
+// quiesces the FAT allocator while it persists the FSInfo sector (free
+// count + next-free hint) and runs the cache's Flush barrier: every dirty
+// buffer submitted and its completion awaited, with asynchronous
+// writeback errors from the daemon reported to this caller.
 func (f *FS) Sync(t *sched.Task) error {
 	f.mu.Lock()
 	live := make([]*pseudoInode, 0, len(f.pseudo))
@@ -449,7 +452,10 @@ func (f *FS) Sync(t *sched.Task) error {
 		f.unpin(pi)
 	}
 	f.fatLock.Lock(t)
-	err := f.bc.Flush(t)
+	err := f.writeFSInfoLocked(t)
+	if ferr := f.bc.Flush(t); err == nil {
+		err = ferr
+	}
 	f.fatLock.Unlock()
 	return err
 }

@@ -180,3 +180,33 @@ type BlockDevice interface {
 	ReadBlocks(lba, n int, dst []byte) error
 	WriteBlocks(lba, n int, src []byte) error
 }
+
+// TaskBlockDevice is a BlockDevice whose commands carry the calling task,
+// so a device layer that must wait (the blkq request queue waiting for a
+// DMA completion IRQ) can sleep the task on the simulated core instead of
+// busy-waiting the host thread. The buffer cache prefers these variants
+// whenever its own caller handed it a task.
+type TaskBlockDevice interface {
+	BlockDevice
+	ReadBlocksT(t *sched.Task, lba, n int, dst []byte) error
+	WriteBlocksT(t *sched.Task, lba, n int, src []byte) error
+}
+
+// BlockTicket is one in-flight asynchronous block command. Wait blocks
+// until the device completion arrives and returns the command's error; it
+// may be called once per ticket.
+type BlockTicket interface {
+	Wait(t *sched.Task) error
+}
+
+// QueuedBlockDevice is implemented by block devices fronted by an IO
+// request queue (internal/kernel/blkq): commands can be submitted
+// asynchronously — the writeback paths keep several in flight to fill the
+// device queue — and a Plug/Unplug pair holds dispatch while a batch is
+// being assembled so the elevator can merge it.
+type QueuedBlockDevice interface {
+	TaskBlockDevice
+	SubmitWrite(t *sched.Task, lba, n int, src []byte) (BlockTicket, error)
+	Plug(t *sched.Task)
+	Unplug(t *sched.Task)
+}

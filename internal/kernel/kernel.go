@@ -21,6 +21,7 @@ import (
 
 	"protosim/internal/hw"
 	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/blkq"
 	"protosim/internal/kernel/fat32"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/kdebug"
@@ -85,6 +86,18 @@ type Config struct {
 	CacheShards  int
 	CacheBuffers int
 
+	// QueueDepth bounds how many commands each device's IO request queue
+	// keeps in flight (0 = blkq.DefaultDepth; negative disables the
+	// queues entirely — the synchronous baseline). ModeXv6 always runs
+	// without queues.
+	QueueDepth int
+
+	// WritebackRatio is the dirty-buffer percentage that wakes the
+	// per-mount writeback daemon ahead of its age interval (0 = bcache
+	// default; negative disables the ratio trigger). ModeXv6 runs the
+	// caches write-through, without daemons.
+	WritebackRatio int
+
 	RamdiskImage []byte // xv6fs image for the root filesystem
 
 	// ConsoleOut tees printk output (nil = in-memory transcript only).
@@ -119,8 +132,9 @@ type Kernel struct {
 	nextPID  int
 	programs map[string]Program
 
-	blockDevs   []*BlockIO               // every block device, behind the unified IO path
-	blockCaches map[string]*bcache.Cache // device name -> its buffer cache (diskstats)
+	blockDevs    []*BlockIO               // every block device, behind the unified IO path
+	blockCaches  map[string]*bcache.Cache // device name -> its buffer cache (diskstats)
+	daemonCaches []*bcache.Cache          // caches with a running kflushd (stopped at shutdown)
 
 	rawEvents *eventQueue // keyboard events when no WM runs
 	kbdAddr   byte
@@ -275,13 +289,22 @@ func (k *Kernel) Boot() error {
 	k.FB = fb
 
 	// Filesystems. Every mount goes over a BlockIO — the unified block IO
-	// path — and a sharded buffer cache sized by the Config knobs.
-	copts := bcache.Options{Buffers: k.cfg.CacheBuffers, Shards: k.cfg.CacheShards}
+	// path — fronted (outside the xv6 baseline) by a blkq request queue,
+	// and a sharded buffer cache sized by the Config knobs. The queue
+	// gives cross-task elevator merging and IRQ-driven completion; the
+	// cache runs write-behind with a kflushd daemon per mount.
+	copts := bcache.Options{
+		Buffers:        k.cfg.CacheBuffers,
+		Shards:         k.cfg.CacheShards,
+		WritebackRatio: k.cfg.WritebackRatio,
+	}
+	useQueue := k.cfg.Mode != ModeXv6 && k.cfg.QueueDepth >= 0
 	if k.cfg.Mode == ModeXv6 {
 		// The xv6 baseline gets xv6's cache everywhere: one shard, NBUF
-		// buffers, no readahead — Figure 9 measures the original
-		// structure, not a shrunken sharded one.
-		copts = bcache.Options{Buffers: bcache.Xv6Buffers, Shards: 1, Readahead: -1}
+		// buffers, no readahead, synchronous write-through — Figure 9
+		// measures the original structure, not a shrunken sharded one.
+		copts = bcache.Options{Buffers: bcache.Xv6Buffers, Shards: 1, Readahead: -1,
+			Policy: bcache.WritePolicyThrough}
 	}
 	k.blockCaches = make(map[string]*bcache.Cache)
 	if k.cfg.EnableFiles {
@@ -299,12 +322,13 @@ func (k *Kernel) Boot() error {
 		}
 		rdev := NewBlockIO("rd0", rd)
 		k.addBlockDev(rdev)
-		root, err := xv6fs.MountWith(rdev, nil, copts)
+		root, err := xv6fs.MountWith(k.stackQueue(rdev, useQueue), nil, copts)
 		if err != nil {
 			return fmt.Errorf("kernel: root fs: %w", err)
 		}
 		k.RootFS = root
 		k.blockCaches[rdev.Name()] = root.Cache()
+		k.startFlushDaemon(rdev.Name(), root.Cache())
 		if err := k.VFS.Mount("/", root); err != nil {
 			return err
 		}
@@ -328,12 +352,13 @@ func (k *Kernel) Boot() error {
 			return fmt.Errorf("kernel: FAT32 enabled but no SD card")
 		}
 		sdio := NewBlockIO("sd0", sdBlockDev{k.m.SD})
-		fatfs, err := fat32.MountWith(sdio, nil, copts)
+		fatfs, err := fat32.MountWith(k.stackQueue(sdio, useQueue), nil, copts)
 		if err != nil {
 			return fmt.Errorf("kernel: FAT32: %w", err)
 		}
 		k.FatFS = fatfs
 		k.blockCaches[sdio.Name()] = fatfs.Cache()
+		k.startFlushDaemon(sdio.Name(), fatfs.Cache())
 		if k.cfg.Mode == ModeXv6 {
 			// ...and loops sector-by-sector, one command per block.
 			fatfs.SetDataPath(fat32.DataPathSingleBlock)
@@ -376,7 +401,44 @@ func (k *Kernel) Boot() error {
 	return nil
 }
 
-// sdBlockDev adapts the SD card to fs.BlockDevice.
+// stackQueue fronts a block device with an IO request queue: elevator
+// sorting, cross-task merging, and — when the device has async halves
+// (the SD card) — IRQ-driven completion, with submitting tasks asleep on
+// the sched waitq until hw.IRQSD fires. Returns the device unwrapped when
+// queues are disabled (baselines).
+func (k *Kernel) stackQueue(d *BlockIO, enabled bool) fs.BlockDevice {
+	if !enabled {
+		return d
+	}
+	q := blkq.New(d, blkq.Options{Depth: k.cfg.QueueDepth, Async: d.Async()})
+	d.SetQueue(q)
+	if d.Async() != nil {
+		// Route the device's completion IRQ into the queue: finished
+		// commands wake their submitters and the next command is issued
+		// from interrupt context.
+		k.m.IRQ.Register(hw.IRQSD, 0, func(hw.IRQLine, int) { q.CompletionIRQ() })
+	}
+	return q
+}
+
+// startFlushDaemon launches the kflushd kernel task for one mount's
+// cache: background write-behind flushing by dirty ratio and age, with
+// eviction handing dirty victims to it instead of writing inline. No-op
+// for write-through caches (baselines).
+func (k *Kernel) startFlushDaemon(name string, c *bcache.Cache) {
+	if !c.WriteBehind() {
+		return
+	}
+	k.daemonCaches = append(k.daemonCaches, c)
+	k.Sched.Go("kflushd-"+name, 1, func(t *sched.Task) {
+		c.RunDaemon(t, func(d time.Duration, fn func()) func() bool {
+			return k.VTimers.After(d, fn).Stop
+		})
+	})
+}
+
+// sdBlockDev adapts the SD card to fs.BlockDevice, forwarding the async
+// submit/completion halves the request queue drives.
 type sdBlockDev struct{ sd *hw.SDCard }
 
 func (d sdBlockDev) BlockSize() int { return hw.SDBlockSize }
@@ -387,6 +449,13 @@ func (d sdBlockDev) ReadBlocks(lba, n int, dst []byte) error {
 func (d sdBlockDev) WriteBlocks(lba, n int, src []byte) error {
 	return d.sd.WriteBlocks(lba, n, src)
 }
+func (d sdBlockDev) SubmitRead(tag uint64, lba, n int, dst []byte) error {
+	return d.sd.SubmitRead(tag, lba, n, dst)
+}
+func (d sdBlockDev) SubmitWrite(tag uint64, lba, n int, src []byte) error {
+	return d.sd.SubmitWrite(tag, lba, n, src)
+}
+func (d sdBlockDev) PopCompletion() (uint64, error, bool) { return d.sd.PopCompletion() }
 
 // taskPanicked is the kernel oops path for a crashing user task.
 func (k *Kernel) taskPanicked(t *sched.Task, reason any) {
@@ -413,6 +482,14 @@ func (k *Kernel) Shutdown() error {
 	}
 	if k.sound != nil {
 		k.sound.stop()
+	}
+	// Stop the writeback daemons first, cleanly: they park in
+	// uninterruptible waits holding no locks, and letting the scheduler
+	// kill one mid-flush could strand buffer locks the final SyncAll then
+	// spins on. The stop flag reaches even a daemon task that has not
+	// been granted the CPU yet.
+	for _, c := range k.daemonCaches {
+		c.StopDaemon()
 	}
 	err := k.Sched.Shutdown(10 * time.Second)
 	if k.VTimers != nil {
@@ -456,6 +533,22 @@ func (k *Kernel) registerProcFiles() {
 			fmt.Fprintf(&b, "%s read_cmds=%d read_blocks=%d write_cmds=%d write_blocks=%d\n",
 				d.Name(), rc, rb, wc, wb)
 		}
+		// Request queues: merge ratio is submitted requests over dispatched
+		// device commands — >1 means the elevator folded concurrent
+		// requests into fewer, larger commands.
+		for _, d := range k.blockDevs {
+			q := d.Queue()
+			if q == nil {
+				continue
+			}
+			sub, disp, merged, depthPeak, queuedPeak := q.Stats()
+			ratio := 1.0
+			if disp > 0 {
+				ratio = float64(sub) / float64(disp)
+			}
+			fmt.Fprintf(&b, "%s.q depth=%d submitted=%d commands=%d merged=%d merge_ratio=%.2f inflight_peak=%d queued_peak=%d\n",
+				d.Name(), q.Depth(), sub, disp, merged, ratio, depthPeak, queuedPeak)
+		}
 		for _, d := range k.blockDevs {
 			c := k.blockCaches[d.Name()]
 			if c == nil {
@@ -463,8 +556,8 @@ func (k *Kernel) registerProcFiles() {
 			}
 			h, m, ev, wb := c.Stats()
 			ro, rbl, ra := c.RangeStats()
-			fmt.Fprintf(&b, "%s.cache hits=%d misses=%d evictions=%d writebacks=%d range_ops=%d range_blocks=%d readahead=%d\n",
-				d.Name(), h, m, ev, wb, ro, rbl, ra)
+			fmt.Fprintf(&b, "%s.cache hits=%d misses=%d evictions=%d writebacks=%d range_ops=%d range_blocks=%d readahead=%d dirty=%d daemon_flushes=%d\n",
+				d.Name(), h, m, ev, wb, ro, rbl, ra, c.DirtyBuffers(), c.DaemonFlushes())
 		}
 		return b.String()
 	})

@@ -245,6 +245,8 @@ func (l *SleepLock) Held() bool {
 //	  < inode (per-inode / pseudo-inode locks; order key = inum / cluster)
 //	  < alloc (inode array, block bitmap, FAT — the allocation structures)
 //	  < buffer (bcache buffer sleeplocks; order key = LBA)
+//	  < blkq (per-device IO request-queue lock, held while queueing a
+//	    command for blocks whose buffer locks the submitter already holds)
 //
 // Within one rank, plain Lock demands a strictly increasing order key
 // (bcache claims segments in ascending LBA; Flush locks runs in ascending
@@ -267,6 +269,10 @@ const (
 	RankInode
 	RankAlloc
 	RankBuffer
+	// RankBlkq is the per-device IO request-queue lock, below buffer in the
+	// hierarchy (acquired after): submitters hold buffer sleeplocks while
+	// they queue the device command for those blocks.
+	RankBlkq
 )
 
 func (r Rank) String() string {
@@ -279,6 +285,8 @@ func (r Rank) String() string {
 		return "alloc"
 	case RankBuffer:
 		return "buffer"
+	case RankBlkq:
+		return "blkq"
 	}
 	return "none"
 }

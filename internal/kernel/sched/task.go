@@ -191,6 +191,22 @@ func (t *Task) block() {
 	t.exitIfKilled()
 }
 
+// blockNoKill is block without the kill checkpoints: the uninterruptible
+// sleep under WaitQueue.SleepUnless. A Kill's wake still ends the block
+// (the caller re-checks its condition and, not being unwound, eventually
+// reaches a killable checkpoint); the task just never unwinds while a
+// caller up-stack holds locks across an IO wait.
+func (t *Task) blockNoKill() {
+	t.state.Store(int32(StateSleeping))
+	if t.wakePending.CompareAndSwap(true, false) {
+		t.state.Store(int32(StateRunning))
+		return
+	}
+	t.chargeCPU()
+	t.release <- releaseBlocked
+	<-t.grant
+}
+
 // SleepFor blocks the task for at least d (the sleep/msleep syscall). The
 // wakeup comes from the scheduler's timer source — in a booted kernel,
 // ktime's virtual timers over the hardware timer.

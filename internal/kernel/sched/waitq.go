@@ -36,6 +36,47 @@ func (wq *WaitQueue) Sleep(t *Task) {
 	wq.remove(t)
 }
 
+// SleepUnless blocks t on wq unless done() already reports true once t is
+// registered as a waiter. Registering before the final check closes the
+// lost-wakeup window of the bare check-then-Sleep pattern: a waker that
+// publishes its condition and calls WakeAll between the caller's own check
+// and Sleep's registration would wake nobody, and a one-shot condition (an
+// IO completion) never wakes again. Here that waker either sees t on the
+// list, or done() sees the published condition.
+//
+// The sleep is uninterruptible, like a disk wait in D state: a Kill wakes
+// the task (so the loop re-checks done) but does not unwind it here —
+// callers wait for completions that always arrive, and unwinding mid-IO
+// would leak the buffer locks held across the wait. The kill takes effect
+// at the task's next killable checkpoint. Spurious returns are possible;
+// callers loop.
+func (wq *WaitQueue) SleepUnless(t *Task, done func() bool) {
+	wq.mu.Lock()
+	wq.waiters = append(wq.waiters, t)
+	wq.mu.Unlock()
+
+	t.waitMu.Lock()
+	t.waitingOn = wq
+	t.waitMu.Unlock()
+
+	if done() {
+		// Condition already satisfied: don't block. A concurrent wake may
+		// have latched wakePending; that surfaces as a spurious return from
+		// the task's next block, which the sleep contract allows.
+		t.waitMu.Lock()
+		t.waitingOn = nil
+		t.waitMu.Unlock()
+		wq.remove(t)
+		return
+	}
+	t.blockNoKill()
+
+	t.waitMu.Lock()
+	t.waitingOn = nil
+	t.waitMu.Unlock()
+	wq.remove(t)
+}
+
 // WakeOne wakes the longest-waiting task, if any. Returns true if a task
 // was woken.
 func (wq *WaitQueue) WakeOne() bool {

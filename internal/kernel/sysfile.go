@@ -134,6 +134,18 @@ func (p *Proc) SysUnlink(path string) error {
 	return p.k.VFS.Unlink(p.Task, p.resolvePath(path))
 }
 
+// SysSync flushes every mounted filesystem's dirty state to its device —
+// the durability barrier user programs need now that writes are
+// write-behind. It reports asynchronous writeback errors (daemon or
+// eviction write failures since the last sync), fsync-style.
+func (p *Proc) SysSync() error {
+	p.k.count()
+	if p.k.VFS == nil {
+		return ErrNoFiles
+	}
+	return p.k.VFS.SyncAll(p.Task)
+}
+
 // SysRename atomically moves a file or directory within one filesystem.
 func (p *Proc) SysRename(oldPath, newPath string) error {
 	p.k.count()

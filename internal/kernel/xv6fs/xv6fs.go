@@ -577,13 +577,15 @@ func (f *FS) truncate(t *sched.Task, ip *inode) error {
 	return f.iupdate(t, ip)
 }
 
-// Sync flushes dirty state, batched. Per-inode metadata is write-through
-// (every mutation iupdates before its lock drops), so Sync first drains
-// in-flight operations by taking each live inode lock once — one at a
-// time, in inum order, never two held together, so it cannot deadlock
-// against parent→child holders — then quiesces both allocators across the
-// batched cache writeback so the bitmap and inode array flush as a
-// consistent snapshot.
+// Sync is the volume's durability barrier. Per-inode metadata lands in
+// the cache before its lock drops (every mutation iupdates), so Sync
+// first drains in-flight operations by taking each live inode lock once
+// — one at a time, in inum order, never two held together, so it cannot
+// deadlock against parent→child holders — then quiesces both allocators
+// across the cache's Flush barrier, so the bitmap and inode array flush
+// as a consistent snapshot and every dirty buffer's write completion is
+// awaited. Asynchronous writeback errors (the kflushd daemon, eviction)
+// latched since the previous sync are reported to this caller.
 func (f *FS) Sync(t *sched.Task) error {
 	f.imu.Lock()
 	live := make([]*inode, 0, len(f.itable))

@@ -1,0 +1,118 @@
+// Command lintdoc fails when an exported identifier in the given package
+// directories lacks a doc comment — the revive/golint "exported" rule as
+// a dependency-free script. CI runs it over the storage-stack packages
+// whose documentation this repo treats as a contract (internal/kernel/blkq,
+// internal/kernel/bcache), so `go doc` stays usable as the docs evolve.
+//
+// Usage: go run ./cmd/lintdoc <pkg-dir> [<pkg-dir>...]
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintdoc <pkg-dir> [<pkg-dir>...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d exported identifier(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintdoc: %s: %v\n", dir, err)
+		os.Exit(2)
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				bad += lintDecl(fset, decl)
+			}
+		}
+	}
+	return bad
+}
+
+// lintDecl flags exported top-level identifiers (functions, methods with
+// exported receivers, types, consts, vars) whose declaration carries no
+// doc comment. A documented grouped declaration covers its members — the
+// standard "// Errors shared across..." const-block idiom.
+func lintDecl(fset *token.FileSet, decl ast.Decl) int {
+	complain := func(pos token.Pos, what, name string) int {
+		fmt.Fprintf(os.Stderr, "%s: exported %s %s has no doc comment\n",
+			fset.Position(pos), what, name)
+		return 1
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return 0
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return 0 // method on an unexported type
+		}
+		return complain(d.Pos(), "function", d.Name.Name)
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return 0 // the group comment documents the members
+		}
+		bad := 0
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil {
+					bad += complain(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						bad += complain(n.Pos(), "value", n.Name)
+					}
+				}
+			}
+		}
+		return bad
+	}
+	return 0
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -53,6 +53,12 @@ type Options struct {
 	// disables the ratio trigger, leaving only the age interval).
 	WritebackRatio int
 
+	// PlugDelay is the request queues' anticipatory-plug window — how long
+	// a request arriving at an idle queue waits for mergeable company
+	// before dispatching (0 = blkq default; negative disables
+	// anticipatory plugging).
+	PlugDelay time.Duration
+
 	// WithKeyboard attaches the USB keyboard (default true from P4 on).
 	WithKeyboard *bool
 
@@ -199,6 +205,7 @@ func NewSystem(opts Options) (*System, error) {
 		CacheBuffers:   opts.CacheBuffers,
 		QueueDepth:     opts.QueueDepth,
 		WritebackRatio: opts.WritebackRatio,
+		PlugDelay:      opts.PlugDelay,
 		RamdiskImage:   ramdisk,
 		ConsoleOut:     opts.ConsoleOut,
 	}

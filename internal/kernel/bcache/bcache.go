@@ -1,51 +1,3 @@
-// Package bcache is Proto's buffer cache: the single block-caching layer
-// between every filesystem and its block device.
-//
-// The original xv6-inherited design — one global lock over a fixed pool of
-// single-block buffers — only supported single-block Get/Release, which is
-// why Prototype 5's FAT32 bypassed it entirely for multi-block range
-// accesses (§5.2) and why the ROADMAP calls the cache out as the hot-path
-// bottleneck. This package replaces it with a sharded, range-capable
-// design:
-//
-//   - Buffers live in N shards keyed by LBA; each shard has its own lock,
-//     hash map, and LRU list, so cache traffic on different shards never
-//     contends. With the filesystems on per-inode locking, N tasks on N
-//     files reach N shards concurrently on a single mount — the product
-//     path finally exercises the sharding, not just cross-mount traffic.
-//   - Get/MarkDirty/Release keep the xv6 single-block contract — per-buffer
-//     sleeplocks, identity (two Gets of one block converge on one buffer),
-//     write-back with eviction writeback — so xv6fs metadata code is
-//     unchanged.
-//   - ReadRange/WriteRange are first-class multi-block operations:
-//     ReadRange serves cached blocks from memory and coalesces misses into
-//     single device commands (plus sequential readahead); WriteRange issues
-//     one batched device command for the whole contiguous range and keeps
-//     the cache coherent (write-through with write-allocate). FAT32 range
-//     IO no longer needs a cache bypass.
-//   - Writes are write-behind by default: WriteRange and MarkDirty leave
-//     dirty buffers in the cache and return without touching the device.
-//     A background writeback daemon (RunDaemon, the kernel's kflushd task)
-//     flushes them when a dirty-ratio threshold or an age interval is hit,
-//     and eviction hands dirty victims to the daemon instead of writing
-//     them inline — a writer never stalls behind another file's writeback.
-//     WritePolicyThrough restores the old synchronous behaviour for the
-//     measurement baselines.
-//   - Flush is the durability barrier (fsync/unmount): every dirty buffer
-//     is written back, batched — over a request queue
-//     (fs.QueuedBlockDevice) the writes are submitted asynchronously under
-//     a plug and the elevator merges them into multi-block commands, with
-//     Flush waiting for every completion; on a plain device contiguous
-//     runs are assembled and written synchronously. Asynchronous writeback
-//     errors (daemon, eviction) are sticky: the next Flush reports them to
-//     its caller even if the retry succeeds, fsync-style, so a write error
-//     is never silently dropped.
-//
-// Range operations are atomic per block, not across the range; callers that
-// need whole-range atomicity (filesystems) serialize with their own locks,
-// as both xv6fs and FAT32 do with their per-inode/pseudo-inode sleeplocks —
-// which is also what finally exercises the shards: N tasks on N files reach
-// N shards concurrently on a single mount.
 package bcache
 
 import (
@@ -153,6 +105,12 @@ type Buf struct {
 	lock  ksync.SleepLock
 	Data  []byte
 
+	// owner is the errseq stream of the file whose write last dirtied this
+	// buffer (nil for unowned metadata); asynchronous writeback failures
+	// advance it. Written under the shard lock by writers holding the
+	// buffer sleeplock, like valid/dirty, so either lock suffices to read.
+	owner *Owner
+
 	// Intrusive LRU links; a buffer is on its shard's LRU list exactly
 	// when refs == 0. Guarded by the shard lock.
 	prev, next *Buf
@@ -236,10 +194,12 @@ type Cache struct {
 	// the ratio trigger and /proc/diskstats.
 	dirty atomic.Int64
 
-	// wbErr latches the first asynchronous writeback error (daemon or
-	// eviction) until a Flush reports it — fsync error semantics.
-	wbErrMu sync.Mutex
-	wbErr   error
+	// devErr is the device-wide writeback-error stream: every asynchronous
+	// write failure advances it (alongside the failing buffer's per-file
+	// Owner stream), and Flush — the whole-device barrier behind volume
+	// Sync and SysSync — is its observer. Errseq semantics: each failure
+	// epoch is reported exactly once, even if the retry succeeded.
+	devErr Owner
 
 	// Writeback-daemon state. daemonOn gates the eviction handoff; the
 	// kick/stop machinery serves both the sched-task and host-goroutine
@@ -431,19 +391,34 @@ func (c *Cache) tryPin(lba int) *Buf {
 	return b
 }
 
-// setFlags updates a pinned buffer's valid/dirty bits under its shard lock.
-// The flags are read under the shard lock by pin's eviction check and
-// Flush's dirty snapshot, so writes must not race past it; the caller
-// holds the buffer's sleeplock, which orders the flag change with the
-// Data it describes. Transitions in and out of the valid+dirty state
-// maintain the cache-wide dirty count; crossing the writeback ratio wakes
-// the daemon.
+// setFlags updates a pinned buffer's valid/dirty bits under its shard
+// lock, leaving the owner tag alone. The flags are read under the shard
+// lock by pin's eviction check and Flush's dirty snapshot, so writes must
+// not race past it; the caller holds the buffer's sleeplock, which orders
+// the flag change with the Data it describes. Transitions in and out of
+// the valid+dirty state maintain the cache-wide dirty count; crossing the
+// writeback ratio wakes the daemon.
 func (c *Cache) setFlags(b *Buf, valid, dirty bool) {
+	c.setState(b, valid, dirty, false, nil)
+}
+
+// setFlagsOwned is setFlags plus an ownership transfer: the buffer's
+// error stream becomes o's (nil for unowned metadata). Last writer wins —
+// files never share data blocks, so the tag only ever moves between one
+// file and the metadata pool.
+func (c *Cache) setFlagsOwned(b *Buf, valid, dirty bool, o *Owner) {
+	c.setState(b, valid, dirty, true, o)
+}
+
+func (c *Cache) setState(b *Buf, valid, dirty, setOwner bool, o *Owner) {
 	s := c.shard(b.lba)
 	s.mu.Lock()
 	was := b.valid && b.dirty
 	b.valid = valid
 	b.dirty = dirty
+	if setOwner {
+		b.owner = o
+	}
 	now := valid && dirty
 	s.mu.Unlock()
 	if now == was {
@@ -534,6 +509,7 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 			v.lock.SetRank(ksync.RankBuffer, int64(lba))
 			v.valid = false
 			v.dirty = false
+			v.owner = nil
 			v.refs = 1
 			s.bufs[lba] = v
 			s.mu.Unlock()
@@ -548,6 +524,7 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 		s.mu.Unlock()
 		v.lock.Lock(t)
 		var err error
+		owner := v.owner
 		wrote := v.dirty && v.valid
 		if wrote {
 			err = c.devWrite(t, v.lba, 1, v.Data)
@@ -567,10 +544,10 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 		}
 		if err != nil {
 			s.mu.Unlock()
-			// The write error also latches for the next Flush: the caller
-			// here is some unlucky evictor, not necessarily the file's
-			// owner, and fsync must still hear about it.
-			c.noteWritebackErr(err)
+			// The error also advances the victim's error streams: the
+			// caller here is some unlucky evictor, not the file whose data
+			// failed to land, and that file's fsync must still hear it.
+			c.noteAsyncWriteErr(owner, err)
 			return nil, err
 		}
 		// Loop: the victim is clean now (or claimed by a racer, in which
@@ -592,9 +569,18 @@ func (c *Cache) unpin(b *Buf) {
 	}
 }
 
-// MarkDirty records that the caller modified the buffer. The caller must
-// hold the buffer (Get'd, not yet Released).
-func (c *Cache) MarkDirty(b *Buf) { c.setFlags(b, b.valid, true) }
+// MarkDirty records that the caller modified the buffer — an unowned
+// (metadata) write: any async writeback failure lands only on the
+// device-wide error stream. The caller must hold the buffer (Get'd, not
+// yet Released).
+func (c *Cache) MarkDirty(b *Buf) { c.MarkDirtyOwned(b, nil) }
+
+// MarkDirtyOwned is MarkDirty with the writing file's error-stream token:
+// if this buffer's asynchronous writeback later fails, the error advances
+// o's stream so that file's fsync — and only that file's — reports it.
+func (c *Cache) MarkDirtyOwned(b *Buf, o *Owner) {
+	c.setFlagsOwned(b, b.valid, true, o)
+}
 
 // Release unlocks and unpins a buffer.
 func (c *Cache) Release(b *Buf) {
@@ -780,17 +766,26 @@ func (c *Cache) readAhead(t *sched.Task, start int) {
 	}
 }
 
-// WriteRange writes n blocks starting at lba from src. Under the default
-// write-behind policy the blocks are installed in the cache dirty
-// (write-allocate) and the call returns — the device sees them at daemon
-// writeback, eviction, or the next Flush barrier, and rewrites of a
-// still-dirty block cost nothing at the device. Under write-through the
-// batched device command is issued before returning, while the range's
-// buffer sleeplocks are held, so a concurrent Flush or eviction of a
-// stale dirty copy can never land after the new data and leave the device
-// stale. Segments are capped at maxWritebackRun blocks to bound how many
-// locks are held at once.
+// WriteRange writes n blocks starting at lba from src, unowned: any async
+// writeback failure of these blocks lands only on the device-wide error
+// stream. Under the default write-behind policy the blocks are installed
+// in the cache dirty (write-allocate) and the call returns — the device
+// sees them at daemon writeback, eviction, or the next Flush barrier, and
+// rewrites of a still-dirty block cost nothing at the device. Under
+// write-through the batched device command is issued before returning,
+// while the range's buffer sleeplocks are held, so a concurrent Flush or
+// eviction of a stale dirty copy can never land after the new data and
+// leave the device stale. Segments are capped at maxWritebackRun blocks
+// to bound how many locks are held at once.
 func (c *Cache) WriteRange(t *sched.Task, lba, n int, src []byte) error {
+	return c.WriteRangeOwned(t, lba, n, src, nil)
+}
+
+// WriteRangeOwned is WriteRange with the writing file's error-stream
+// token: the dirtied buffers are tagged with o, so an asynchronous
+// writeback failure is attributed to that file's fsync stream (see Owner)
+// and FlushOwner can find the file's dirty blocks.
+func (c *Cache) WriteRangeOwned(t *sched.Task, lba, n int, src []byte, o *Owner) error {
 	bs := c.blockSize
 	if len(src) < n*bs {
 		return fmt.Errorf("bcache: range write %d blocks from %d bytes", n, len(src))
@@ -803,7 +798,7 @@ func (c *Cache) WriteRange(t *sched.Task, lba, n int, src []byte) error {
 		if segN > segMax {
 			segN = segMax
 		}
-		if err := c.writeSegment(t, lba+seg, segN, src[seg*bs:(seg+segN)*bs]); err != nil {
+		if err := c.writeSegment(t, lba+seg, segN, src[seg*bs:(seg+segN)*bs], o); err != nil {
 			return err
 		}
 	}
@@ -816,7 +811,7 @@ func (c *Cache) WriteRange(t *sched.Task, lba, n int, src []byte) error {
 // of any block waits on its sleeplock rather than observing a torn
 // segment, and a concurrent Flush of a stale dirty copy cannot land after
 // the new data.
-func (c *Cache) writeSegment(t *sched.Task, lba, n int, src []byte) error {
+func (c *Cache) writeSegment(t *sched.Task, lba, n int, src []byte, o *Owner) error {
 	bs := c.blockSize
 	sp, err := c.claimSegment(t, lba, n)
 	if err != nil {
@@ -827,7 +822,7 @@ func (c *Cache) writeSegment(t *sched.Task, lba, n int, src []byte) error {
 		// Install dirty; the device catches up at writeback.
 		for i, b := range bufs {
 			copy(b.Data, src[i*bs:(i+1)*bs])
-			c.setFlags(b, true, true)
+			c.setFlagsOwned(b, true, true, o)
 		}
 		c.releaseSegment(sp)
 		return nil
@@ -838,21 +833,75 @@ func (c *Cache) writeSegment(t *sched.Task, lba, n int, src []byte) error {
 		// re-reads the device) and valid ones keep their old contents.
 		for i, b := range bufs {
 			copy(b.Data, src[i*bs:(i+1)*bs])
-			c.setFlags(b, true, false)
+			c.setFlagsOwned(b, true, false, o)
 		}
 	}
 	c.releaseSegment(sp)
 	return err
 }
 
-// Flush is the durability barrier (fsync/unmount): every dirty buffer is
-// written back, batched, before it returns — and any asynchronous
-// writeback error latched since the previous Flush (daemon or eviction
-// writeback) is reported here even if the data has since been rewritten
-// successfully, so an fsync caller never misses a write error.
+// Flush is the whole-device durability barrier (volume Sync, SysSync,
+// unmount): every dirty buffer is written back, batched, before it
+// returns — and the device-wide error stream is observed, so any
+// asynchronous writeback error recorded since the previous barrier
+// (daemon or eviction writeback, any file's) is reported here exactly
+// once, even if the data has since been rewritten successfully.
 func (c *Cache) Flush(t *sched.Task) error {
 	err := c.flushDirty(t)
-	if werr := c.takeWritebackErr(); err == nil {
+	if werr := c.devErr.check(); err == nil {
+		err = werr
+	}
+	return err
+}
+
+// FlushOwner is the per-file durability barrier — fsync. It writes back
+// the dirty buffers tagged with o (the file's data) plus any caller-named
+// metadata blocks (extra: the file's inode block, its directory-entry
+// sector), then observes o's error stream: an asynchronous writeback
+// failure of this file's buffers is reported here exactly once, and
+// another file's failure never is — the isolation the old cache-wide
+// error latch could not give.
+//
+// Unlike Flush, the queued submissions run without an explicit plug: an
+// fsync is the lone, latency-sensitive submitter the request queue's
+// anticipatory plug (blkq.Options.PlugDelay) exists for — its burst
+// accumulates in the anticipatory window and merges, and the first Wait
+// releases the window without paying the full delay.
+func (c *Cache) FlushOwner(t *sched.Task, o *Owner, extra ...int) error {
+	var dirty []int
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for lba, b := range s.bufs {
+			if b.valid && b.dirty && b.owner == o {
+				dirty = append(dirty, lba)
+			}
+		}
+		s.mu.Unlock()
+	}
+	for _, lba := range extra {
+		// Dedupe against the owned snapshot: a window must never lock one
+		// buffer twice.
+		dup := false
+		for _, have := range dirty {
+			if have == lba {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dirty = append(dirty, lba)
+		}
+	}
+	var err error
+	if len(dirty) > 0 {
+		sort.Ints(dirty)
+		if c.qdev != nil {
+			err = c.flushQueued(t, dirty, false)
+		} else {
+			err = c.flushSync(t, dirty)
+		}
+	}
+	if werr := o.check(); err == nil {
 		err = werr
 	}
 	return err
@@ -863,7 +912,9 @@ func (c *Cache) Flush(t *sched.Task) error {
 // blocks are submitted asynchronously under a plug so the elevator merges
 // them into multi-block commands and up to the queue depth overlap at the
 // device. On a plain device, contiguous runs are assembled and written
-// synchronously, one command per run.
+// synchronously, one command per run. Every write failure is recorded in
+// the failing buffer's error streams (owner + device-wide) as well as
+// returned, so fsync observers hear about it no matter who ran the flush.
 func (c *Cache) flushDirty(t *sched.Task) error {
 	var dirty []int
 	for _, s := range c.shards {
@@ -880,17 +931,20 @@ func (c *Cache) flushDirty(t *sched.Task) error {
 	}
 	sort.Ints(dirty)
 	if c.qdev != nil {
-		return c.flushQueued(t, dirty)
+		return c.flushQueued(t, dirty, true)
 	}
 	return c.flushSync(t, dirty)
 }
 
-// flushQueued is flushDirty over a request queue. Windows of up to
-// maxWritebackRun buffers are locked (ascending LBA, the buffer-rank
-// order), submitted under a plug — one request per block, zero-copy out
-// of the buffer, merged by the elevator — and waited on before the locks
-// drop, so a buffer is never marked clean ahead of its completion.
-func (c *Cache) flushQueued(t *sched.Task, dirty []int) error {
+// flushQueued writes the given dirty blocks back over the request queue.
+// Windows of up to maxWritebackRun buffers are locked (ascending LBA, the
+// buffer-rank order), submitted — one request per block, zero-copy out of
+// the buffer, merged by the elevator — and waited on before the locks
+// drop, so a buffer is never marked clean ahead of its completion. When
+// plugged, each window's submissions go out under an explicit
+// Plug/Unplug bracket (the batch assemblers: Flush, the daemon);
+// FlushOwner passes false and leans on the queue's anticipatory plug.
+func (c *Cache) flushQueued(t *sched.Task, dirty []int, plugged bool) error {
 	var firstErr error
 	type sub struct {
 		b  *Buf
@@ -912,7 +966,9 @@ func (c *Cache) flushQueued(t *sched.Task, dirty []int) error {
 		}
 		subs := make([]sub, 0, len(bufs))
 		runs := 0
-		c.qdev.Plug(t)
+		if plugged {
+			c.qdev.Plug(t)
+		}
 		for k, b := range bufs {
 			if !b.dirty || !b.valid {
 				continue // cleaned by a racing writeback
@@ -922,6 +978,7 @@ func (c *Cache) flushQueued(t *sched.Task, dirty []int) error {
 			}
 			tk, err := c.qdev.SubmitWrite(t, b.lba, 1, b.Data)
 			if err != nil {
+				c.noteAsyncWriteErr(b.owner, err)
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -929,10 +986,15 @@ func (c *Cache) flushQueued(t *sched.Task, dirty []int) error {
 			}
 			subs = append(subs, sub{b: b, tk: tk})
 		}
-		c.qdev.Unplug(t)
+		if plugged {
+			c.qdev.Unplug(t)
+		}
 		for _, s := range subs {
 			if err := s.tk.Wait(t); err != nil {
-				// Leave the buffer dirty; the next flush retries it.
+				// Leave the buffer dirty — the next flush retries it — and
+				// advance its error streams so the owning file's fsync and
+				// the device barrier both hear about it.
+				c.noteAsyncWriteErr(s.b.owner, err)
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -950,10 +1012,10 @@ func (c *Cache) flushQueued(t *sched.Task, dirty []int) error {
 	return firstErr
 }
 
-// flushSync is flushDirty for a plain synchronous device: dirty blocks
-// are gathered into contiguous runs and each run goes out as one device
-// command, so flushing a burst of FAT-sector updates costs one command
-// setup rather than one per sector.
+// flushSync writes the given dirty blocks back on a plain synchronous
+// device: they are gathered into contiguous runs and each run goes out as
+// one device command, so flushing a burst of FAT-sector updates costs one
+// command setup rather than one per sector.
 func (c *Cache) flushSync(t *sched.Task, dirty []int) error {
 	bs := c.blockSize
 	scratch := c.scratchPool.Get().(*[]byte)
@@ -995,6 +1057,12 @@ func (c *Cache) flushSync(t *sched.Task, dirty []int) error {
 				for x := k; x < m; x++ {
 					c.setFlags(bufs[x], true, false)
 				}
+			} else {
+				// The whole run stays dirty; advance every member's error
+				// streams so each owning file's fsync hears about its own.
+				for x := k; x < m; x++ {
+					c.noteAsyncWriteErr(bufs[x].owner, err)
+				}
 			}
 			k = m
 		}
@@ -1010,35 +1078,22 @@ func (c *Cache) flushSync(t *sched.Task, dirty []int) error {
 	return nil
 }
 
-// --- asynchronous writeback error latch ---
+// --- asynchronous writeback error streams ---
 
-// noteWritebackErr records an error from a writeback no caller is waiting
-// on (daemon pass, eviction). The first such error is held until a Flush
-// reports it.
-func (c *Cache) noteWritebackErr(err error) {
-	c.wbErrMu.Lock()
-	if c.wbErr == nil {
-		c.wbErr = err
+// noteAsyncWriteErr records a write failure no caller owns: the buffer's
+// per-file stream (when the buffer is owned) and the device-wide stream
+// both advance, so the file's fsync and the whole-device barrier each
+// report it exactly once.
+func (c *Cache) noteAsyncWriteErr(o *Owner, err error) {
+	if o != nil {
+		o.record(err)
 	}
-	c.wbErrMu.Unlock()
+	c.devErr.record(err)
 }
 
-// takeWritebackErr consumes the latched error.
-func (c *Cache) takeWritebackErr() error {
-	c.wbErrMu.Lock()
-	err := c.wbErr
-	c.wbErr = nil
-	c.wbErrMu.Unlock()
-	return err
-}
-
-// WritebackErrPending reports whether an unreported async write error is
-// latched (diagnostics / tests).
-func (c *Cache) WritebackErrPending() bool {
-	c.wbErrMu.Lock()
-	defer c.wbErrMu.Unlock()
-	return c.wbErr != nil
-}
+// WritebackErrPending reports whether the device-wide stream holds a
+// write error no Flush has reported yet (diagnostics / tests).
+func (c *Cache) WritebackErrPending() bool { return c.devErr.Pending() }
 
 // --- the writeback daemon ---
 
@@ -1046,9 +1101,9 @@ func (c *Cache) WritebackErrPending() bool {
 // runs it as the kflushd task for each mounted cache; tests may run it on
 // a plain goroutine with a nil task. It flushes dirty buffers whenever
 // the dirty ratio crosses Options.WritebackRatio (MarkDirty/WriteRange
-// kick it) and at least every Options.FlushInterval (the age bound), and
-// latches any write error for the next Flush caller. While it runs,
-// eviction hands dirty victims to it instead of writing them inline.
+// kick it) and at least every Options.FlushInterval (the age bound).
+// While it runs, eviction hands dirty victims to it instead of writing
+// them inline.
 //
 // after schedules a wakeup through the kernel's timer source (nil with a
 // nil task: host timers are used). RunDaemon returns after StopDaemon.
@@ -1067,12 +1122,11 @@ func (c *Cache) RunDaemon(t *sched.Task, after func(d time.Duration, fn func()) 
 			continue
 		}
 		c.daemonFlushes.Add(1)
-		if err := c.flushDirty(t); err != nil {
-			// Nobody is waiting on this pass: latch for the next Flush.
-			// The failed buffers stay dirty and are retried next round,
-			// throttled by the interval.
-			c.noteWritebackErr(err)
-		}
+		// Nobody waits on this pass; write failures were recorded in the
+		// failing buffers' error streams by the flush path itself, the
+		// failed buffers stay dirty, and the next round (throttled by the
+		// interval) retries them — so the pass's return needs no handling.
+		_ = c.flushDirty(t)
 	}
 }
 

@@ -1,0 +1,74 @@
+// Package bcache is Proto's buffer cache: the single block-caching layer
+// between every filesystem and its block device.
+//
+// The original xv6-inherited design — one global lock over a fixed pool of
+// single-block buffers — only supported single-block Get/Release, which is
+// why Prototype 5's FAT32 bypassed it entirely for multi-block range
+// accesses (§5.2) and why the ROADMAP called the cache out as the hot-path
+// bottleneck. This package replaces it with a sharded, range-capable,
+// write-behind design.
+//
+// # Sharding and the single-block contract
+//
+// Buffers live in N shards keyed by LBA; each shard has its own lock,
+// hash map, and LRU list, so cache traffic on different shards never
+// contends. With the filesystems on per-inode locking, N tasks on N files
+// reach N shards concurrently on a single mount. Get/MarkDirty/Release
+// keep the xv6 single-block contract — per-buffer sleeplocks, identity
+// (two Gets of one block converge on one buffer) — so xv6fs metadata code
+// is unchanged. ReadRange/WriteRange are first-class multi-block
+// operations: ReadRange serves cached blocks from memory and coalesces
+// misses into single device commands (plus sequential readahead);
+// WriteRange installs a whole claimed segment at once. Range operations
+// are atomic per block, not across the range; callers that need
+// whole-range atomicity (filesystems) serialize with their own per-inode
+// locks.
+//
+// # Write policies
+//
+// WritePolicyBehind (the default): WriteRange and MarkDirty leave dirty
+// buffers in the cache and return without touching the device; repeated
+// writes to a still-dirty block cost one eventual writeback. The device
+// catches up at daemon writeback, eviction handoff, or a Flush barrier.
+// WritePolicyThrough issues every write's device command before returning
+// — the synchronous baseline the paper's measurements compare against —
+// and is what kernel.ModeXv6 runs.
+//
+// # The writeback daemon and the eviction handoff
+//
+// RunDaemon is the per-mount kflushd task: it flushes dirty buffers when
+// the dirty count crosses Options.WritebackRatio (MarkDirty/WriteRange
+// kick it) and at least every Options.FlushInterval (the age bound).
+// While a daemon runs, eviction never writes back inline: a claim that
+// needs a buffer takes the least-recently-used CLEAN victim, and if only
+// dirty victims remain it kicks the daemon and backs off with a
+// transient-full retry — a writer never stalls behind another file's
+// writeback, and the daemon (not a random evictor) pays the device wait.
+// Without a daemon (write-through configurations, tests), eviction of a
+// dirty victim writes it back inline while the victim stays mapped and
+// pinned, so a concurrent Get can never read a stale device copy.
+//
+// # Flush, fsync, and errseq error semantics
+//
+// Flush is the whole-device durability barrier (volume Sync, unmount,
+// SysSync): every dirty buffer is written back — over a request queue the
+// blocks are submitted asynchronously under an explicit plug and the
+// elevator merges them; on a plain device contiguous runs go out one
+// command each — and every completion is awaited before return.
+// FlushOwner is the per-file barrier (fsync): it writes back only the
+// buffers tagged with one file's Owner token (plus caller-named metadata
+// blocks), submitting without an explicit plug — an fsync is the lone,
+// latency-sensitive submitter the request queue's anticipatory plug
+// exists for.
+//
+// Errors from writebacks nobody waits on (daemon passes, eviction) are
+// recorded Linux-errseq-style in the owning file's Owner stream and in
+// the cache's device-wide stream, not in a cache-wide latch: each stream
+// position advances on every failure and never rewinds, and each observer
+// — FlushOwner for the owning file, Flush for the device — reports an
+// error epoch exactly once, even if a retried write has since succeeded.
+// One file's fsync therefore never reports another file's daemon error,
+// while the device-wide barrier still reports every failure once. Failed
+// buffers stay dirty, so the data itself is never silently dropped. See
+// the Owner type for the full semantics.
+package bcache

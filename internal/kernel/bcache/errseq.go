@@ -1,0 +1,65 @@
+package bcache
+
+import "sync"
+
+// Owner is a per-file writeback-error stream, modeled on Linux's errseq_t.
+// Filesystems keep one per file identity — xv6fs keyed by inum, FAT32 by
+// first cluster, in registries that OUTLIVE the in-memory inode, since
+// write-behind buffers keep their owner tag past the last close and a
+// reopened file's fsync must still find them — and tag the buffers that
+// file dirties with it (MarkDirtyOwned/WriteRangeOwned). When a writeback
+// nobody is waiting on fails — a kflushd daemon pass, an eviction
+// writeback — the error advances the owning file's stream (and the
+// cache's device-wide stream), instead of a single cache-wide latch: an
+// fsync of file B can no longer be handed file A's daemon error.
+//
+// The stream carries a sequence number that advances on every recorded
+// failure and never rewinds — a later successful retry does not erase the
+// epoch, so fsync semantics hold: once data failed to reach the device
+// asynchronously, the next observation reports it even though the
+// re-issued write landed. Each Owner has one observer, the file's fsync
+// path (Cache.FlushOwner): it compares the stream position against the
+// cursor of its last observation and advances the cursor, so every error
+// epoch is reported exactly once to that observer and a clean stream
+// stays silent. The cache itself holds an Owner as the whole-device
+// stream, observed the same way by Cache.Flush (volume Sync / SysSync) —
+// a second, independent observer, so a daemon error is reported once to
+// the file that owned the buffer and once to the device-wide barrier.
+//
+// The zero value is a ready, clean stream. An Owner must not be copied
+// after first use.
+type Owner struct {
+	mu    sync.Mutex
+	seq   uint64 // stream position: advances on every recorded failure
+	err   error  // the error recorded at seq
+	since uint64 // the observer's cursor: stream position last reported
+}
+
+// record advances the stream with an asynchronous write failure.
+func (o *Owner) record(err error) {
+	o.mu.Lock()
+	o.seq++
+	o.err = err
+	o.mu.Unlock()
+}
+
+// check is the observer's sample-and-compare: if the stream advanced past
+// the cursor, report the recorded error once and move the cursor up.
+func (o *Owner) check() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.since == o.seq {
+		return nil
+	}
+	o.since = o.seq
+	return o.err
+}
+
+// Pending reports whether the stream holds an error its observer has not
+// yet seen (diagnostics and tests; a Sync/fsync path uses check via
+// Flush/FlushOwner instead).
+func (o *Owner) Pending() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.since != o.seq
+}

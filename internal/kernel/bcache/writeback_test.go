@@ -144,6 +144,124 @@ func TestDaemonWritebackErrorSurfacesAtSync(t *testing.T) {
 	}
 }
 
+// lbaFlakyRD injects write errors only for commands overlapping an LBA
+// range — the per-owner attribution tests need to fail one file's blocks
+// while another's flush cleanly.
+type lbaFlakyRD struct {
+	*fs.Ramdisk
+	mu     sync.Mutex
+	lo, hi int
+	fail   int
+}
+
+func (d *lbaFlakyRD) arm(lo, hi, count int) {
+	d.mu.Lock()
+	d.lo, d.hi, d.fail = lo, hi, count
+	d.mu.Unlock()
+}
+
+func (d *lbaFlakyRD) WriteBlocks(lba, n int, src []byte) error {
+	d.mu.Lock()
+	if d.fail > 0 && lba < d.hi && lba+n > d.lo {
+		d.fail--
+		d.mu.Unlock()
+		return errWB
+	}
+	d.mu.Unlock()
+	return d.Ramdisk.WriteBlocks(lba, n, src)
+}
+
+// TestOwnerErrSeqIsolation is the cache-level errseq contract: a daemon
+// write failure on owner A's buffers advances A's stream and the
+// device-wide stream, never B's. A's observer (FlushOwner) reports it
+// exactly once even though the flush retry succeeds; so does the
+// device-wide observer (Flush); B stays clean throughout.
+func TestOwnerErrSeqIsolation(t *testing.T) {
+	dev := &lbaFlakyRD{Ramdisk: fs.NewRamdisk(512, 256)}
+	c := NewWithOptions(dev, Options{Buffers: 64, Shards: 4, Readahead: -1,
+		FlushInterval: 2 * time.Millisecond})
+	go c.RunDaemon(nil, nil)
+	defer c.StopDaemon()
+
+	var a, b Owner
+	blk := make([]byte, 4*512)
+	dev.arm(8, 12, 1) // A's range fails once
+	if err := c.WriteRangeOwned(nil, 8, 4, blk, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteRangeOwned(nil, 40, 4, blk, &b); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !a.Pending() {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never hit the injected error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if b.Pending() {
+		t.Fatal("B's stream advanced on A's failure")
+	}
+	if err := c.FlushOwner(nil, &b); err != nil {
+		t.Fatalf("B's fsync = %v, want nil", err)
+	}
+	if err := c.FlushOwner(nil, &a); !errors.Is(err, errWB) {
+		t.Fatalf("A's fsync = %v, want %v", err, errWB)
+	}
+	if err := c.FlushOwner(nil, &a); err != nil {
+		t.Fatalf("A's second fsync = %v, want nil (exactly-once)", err)
+	}
+	// The device-wide observer is independent: Flush still reports once.
+	if err := c.Flush(nil); !errors.Is(err, errWB) {
+		t.Fatalf("Flush = %v, want %v", err, errWB)
+	}
+	if err := c.Flush(nil); err != nil {
+		t.Fatalf("second Flush = %v, want nil", err)
+	}
+	if c.WritebackErrPending() {
+		t.Fatal("device stream still pending after its observer reported")
+	}
+}
+
+// TestFlushOwnerSelective: FlushOwner writes back only the owner's
+// buffers plus the caller-named extra blocks, leaving everyone else's
+// dirty state for the daemon/Flush.
+func TestFlushOwnerSelective(t *testing.T) {
+	rd := fs.NewRamdisk(512, 256)
+	c := NewWithOptions(rd, Options{Buffers: 64, Shards: 4, Readahead: -1,
+		WritebackRatio: -1, FlushInterval: time.Hour})
+	var a, b Owner
+	blk := bytes.Repeat([]byte{0x11}, 512)
+	for lba := 8; lba < 12; lba++ {
+		if err := c.WriteRangeOwned(nil, lba, 1, blk, &a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteRangeOwned(nil, 40, 1, blk, &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteRange(nil, 60, 1, blk); err != nil { // unowned "metadata"
+		t.Fatal(err)
+	}
+	if err := c.FlushOwner(nil, &a, 60); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 512)
+	for _, lba := range []int{8, 9, 10, 11, 60} {
+		rd.ReadBlocks(lba, 1, raw)
+		if !bytes.Equal(raw, blk) {
+			t.Fatalf("block %d not durable after FlushOwner", lba)
+		}
+	}
+	rd.ReadBlocks(40, 1, raw)
+	if bytes.Equal(raw, blk) {
+		t.Fatal("FlushOwner flushed B's buffer")
+	}
+	if d := c.DirtyBuffers(); d != 1 {
+		t.Fatalf("DirtyBuffers = %d after owner flush, want 1 (B's)", d)
+	}
+}
+
 // TestDaemonFlushesByRatio checks the dirty-ratio trigger: crossing it
 // wakes the daemon without waiting for the age interval.
 func TestDaemonFlushesByRatio(t *testing.T) {

@@ -1,42 +1,10 @@
-// Package blkq is Proto's per-device IO request queue: the asynchronous
-// block layer between the buffer cache and the device driver.
-//
-// Callers submit read/write requests; the queue keeps them sorted by LBA
-// and dispatches them elevator-style (one ascending sweep, wrapping at the
-// top), merging adjacent requests from different tasks into single
-// multi-block device commands — the batching the paper's SD timing model
-// rewards, applied across tasks instead of within one call. Up to Depth
-// commands are in flight at the device at once.
-//
-// On a device with split submit/completion halves (hw.SDCard's
-// SubmitRead/SubmitWrite + PopCompletion), dispatch programs the DMA
-// transfer and returns; the completion IRQ (hw.IRQSD, routed here by the
-// kernel via CompletionIRQ) finishes the command, wakes the submitting
-// tasks off the sched wait queue, and issues the next command from
-// interrupt context — no task ever busy-waits inside the driver. On a
-// plain synchronous device (the ramdisk) the dispatching context performs
-// the IO inline and completes it itself; the queueing, merging and
-// accounting behave identically.
-//
-// Two invariants callers must keep (the buffer cache does, via its
-// per-buffer sleeplocks):
-//
-//   - No two in-flight writes, and no in-flight write and read, may
-//     overlap: the elevator reorders freely, so overlapping commands have
-//     no defined order.
-//   - Request buffers stay stable (writes) or untouched (reads) until the
-//     request completes.
-//
-// Plug/Unplug brackets batch assembly: while plugged, submissions queue
-// without dispatching, so a writeback pass can lay out a whole batch and
-// let the elevator merge it before the first command goes out — Linux's
-// block-layer plugging, serving the same purpose.
 package blkq
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/ksync"
@@ -59,6 +27,12 @@ type AsyncBackend interface {
 const (
 	// DefaultDepth is how many commands may be in flight at the device.
 	DefaultDepth = 4
+	// DefaultPlugDelay is the anticipatory-plug window: how long a request
+	// that found the queue idle is held back hoping a mergeable follow-up
+	// arrives. Short relative to an SD command (so a timeout costs little)
+	// but long relative to the submit cadence of a writeback loop (so a
+	// burst lands whole).
+	DefaultPlugDelay = 500 * time.Microsecond
 	// maxMergeBlocks caps one merged command, matching the cache's
 	// writeback-run cap so neither layer builds unbounded commands.
 	maxMergeBlocks = 128
@@ -72,6 +46,16 @@ type Options struct {
 	// nil means dispatch performs synchronous IO inline. When non-nil it
 	// must be the same device as the sync half passed to New.
 	Async AsyncBackend
+	// PlugDelay is the anticipatory-plug window opened when a request
+	// arrives at an idle queue (0 = DefaultPlugDelay; negative disables
+	// anticipatory plugging — requests at an idle queue dispatch at once).
+	// See the package comment's plug-lifecycle section.
+	PlugDelay time.Duration
+	// After schedules the anticipatory plug's expiry through the caller's
+	// timer source (the kernel passes its virtual-timer set); the returned
+	// function cancels the pending callback. Nil selects host timers
+	// (time.AfterFunc).
+	After func(d time.Duration, fn func()) func() bool
 }
 
 // request is one submitted IO, waiting in the queue or in flight as part
@@ -110,17 +94,30 @@ type Queue struct {
 	// queue, and — with no task, briefly — by the completion IRQ path.
 	mu       ksync.SleepLock
 	pending  []*request // sorted by LBA
+	pendingN int        // total blocks across pending (plug-pressure check)
 	inflight map[uint64]*command
 	nextTag  uint64
 	head     int // elevator position: first LBA the next sweep considers
 	plugs    int // Plug nesting depth; dispatch holds while > 0
 
+	// Anticipatory-plug state (see the package comment). antOpen holds
+	// dispatch exactly like an explicit plug; antGen invalidates the expiry
+	// of a window that was closed (and possibly reopened) before its timer
+	// fired; antStop cancels the pending expiry, best-effort.
+	plugDelay time.Duration
+	after     func(d time.Duration, fn func()) func() bool
+	antOpen   bool
+	antGen    uint64
+	antStop   func() bool
+
 	// Statistics. Guarded by mu.
-	submitted  int64 // requests accepted
-	dispatched int64 // device commands issued
-	merged     int64 // requests that rode along in a multi-request command
-	depthPeak  int64 // max commands in flight at once
-	queuedPeak int64 // max requests waiting at once
+	submitted    int64 // requests accepted
+	dispatched   int64 // device commands issued
+	merged       int64 // requests that rode along in a multi-request command
+	depthPeak    int64 // max commands in flight at once
+	queuedPeak   int64 // max requests waiting at once
+	plugHits     int64 // requests that arrived inside an anticipatory window
+	plugTimeouts int64 // anticipatory windows that expired unconverted
 
 	pool sync.Pool // bounce buffers for merged commands
 }
@@ -143,6 +140,18 @@ func New(dev fs.BlockDevice, opts Options) *Queue {
 		return &b
 	}
 	q.depth = depth
+	switch {
+	case opts.PlugDelay == 0:
+		q.plugDelay = DefaultPlugDelay
+	case opts.PlugDelay > 0:
+		q.plugDelay = opts.PlugDelay
+	}
+	q.after = opts.After
+	if q.after == nil {
+		q.after = func(d time.Duration, fn func()) func() bool {
+			return time.AfterFunc(d, fn).Stop
+		}
+	}
 	return q
 }
 
@@ -202,10 +211,14 @@ func (q *Queue) SubmitWrite(t *sched.Task, lba, n int, src []byte) (fs.BlockTick
 }
 
 // Plug holds dispatch so a batch being assembled can merge before the
-// first command is issued. Nestable; every Plug needs an Unplug.
+// first command is issued. Nestable; every Plug needs an Unplug. An open
+// anticipatory window is subsumed: the explicit plug takes over holding
+// dispatch, and the eventual Unplug dispatches immediately — explicit
+// batching never waits out the anticipatory delay.
 func (q *Queue) Plug(t *sched.Task) {
 	q.mu.Lock(t)
 	q.plugs++
+	q.closeAnticipationLocked()
 	q.mu.Unlock()
 }
 
@@ -221,6 +234,62 @@ func (q *Queue) Unplug(t *sched.Task) {
 	q.kick(t)
 }
 
+// --- the anticipatory plug ---
+
+// openAnticipationLocked starts a PlugDelay dispatch hold for a request
+// that found the queue idle. Caller holds q.mu; the timer callback fires
+// outside every ktime/host-timer lock, so arming under q.mu is safe.
+func (q *Queue) openAnticipationLocked() {
+	q.antOpen = true
+	q.antGen++
+	gen := q.antGen
+	q.antStop = q.after(q.plugDelay, func() { q.anticipationExpired(gen) })
+}
+
+// closeAnticipationLocked converts or cancels an open window; dispatch is
+// the caller's job (kick after dropping q.mu). Caller holds q.mu.
+func (q *Queue) closeAnticipationLocked() {
+	if !q.antOpen {
+		return
+	}
+	q.antOpen = false
+	q.antGen++ // a late-firing timer for the old window is now a no-op
+	if q.antStop != nil {
+		q.antStop()
+		q.antStop = nil
+	}
+}
+
+// anticipationExpired is the window's timer callback: nothing mergeable
+// arrived (or the submitter never waited), so stop anticipating and let
+// the accumulated batch go.
+func (q *Queue) anticipationExpired(gen uint64) {
+	q.mu.Lock(nil)
+	if !q.antOpen || gen != q.antGen {
+		q.mu.Unlock()
+		return // window already converted by a waiter, plug, or pressure
+	}
+	q.antOpen = false
+	q.antStop = nil
+	q.plugTimeouts++
+	q.mu.Unlock()
+	q.kick(nil)
+}
+
+// flushAnticipation closes any open window before a caller sleeps on a
+// request: the submitter is out of follow-ups, so holding dispatch back
+// any longer is pure latency (Linux flushes the task plug in schedule()
+// for the same reason).
+func (q *Queue) flushAnticipation(t *sched.Task) {
+	q.mu.Lock(t)
+	open := q.antOpen
+	q.closeAnticipationLocked()
+	q.mu.Unlock()
+	if open {
+		q.kick(t)
+	}
+}
+
 // submit validates and enqueues one request, then kicks dispatch.
 func (q *Queue) submit(t *sched.Task, write bool, lba, n int, buf []byte) (*request, error) {
 	if lba < 0 || n <= 0 || lba+n > q.dev.Blocks() {
@@ -231,14 +300,34 @@ func (q *Queue) submit(t *sched.Task, write bool, lba, n int, buf []byte) (*requ
 	}
 	r := &request{write: write, lba: lba, n: n, buf: buf}
 	q.mu.Lock(t)
+	idle := len(q.pending) == 0 && len(q.inflight) == 0
 	// Insert in LBA order (the elevator's working order).
 	i := sort.Search(len(q.pending), func(i int) bool { return q.pending[i].lba >= lba })
 	q.pending = append(q.pending, nil)
 	copy(q.pending[i+1:], q.pending[i:])
 	q.pending[i] = r
+	q.pendingN += n
 	q.submitted++
 	if l := int64(len(q.pending)); l > q.queuedPeak {
 		q.queuedPeak = l
+	}
+	// Anticipatory plugging: a request hitting an idle, unplugged queue
+	// would dispatch alone — solo commands are exactly what the elevator
+	// cannot merge. Hold it for PlugDelay instead, so a lone sequential
+	// writer's follow-ups accumulate into one command. Requests landing in
+	// an open window are the anticipated traffic (plug hits); once the
+	// pending span can no longer grow a bigger command, waiting is pointless
+	// and the window converts.
+	if q.plugDelay > 0 && q.plugs == 0 {
+		switch {
+		case q.antOpen:
+			q.plugHits++
+			if q.pendingN >= maxMergeBlocks {
+				q.closeAnticipationLocked()
+			}
+		case idle:
+			q.openAnticipationLocked()
+		}
 	}
 	q.mu.Unlock()
 	q.kick(t)
@@ -247,8 +336,11 @@ func (q *Queue) submit(t *sched.Task, write bool, lba, n int, buf []byte) (*requ
 
 // wait sleeps until r completes. Tasks sleep on the request's wait queue
 // and are woken from the completion IRQ; host-side callers block on a
-// channel. The sleep is uninterruptible (completions always arrive).
+// channel. The sleep is uninterruptible (completions always arrive). A
+// waiter ends any anticipatory window first — it is about to sleep, so
+// the window's batch is as big as it is going to get.
 func (q *Queue) wait(t *sched.Task, r *request) error {
+	q.flushAnticipation(t)
 	if t == nil {
 		q.mu.Lock(nil)
 		if r.done {
@@ -275,14 +367,15 @@ func (q *Queue) wait(t *sched.Task, r *request) error {
 	return r.err
 }
 
-// kick dispatches until the device queue is full, the queue is plugged,
-// or no requests are pending. Runs in submitter context and — for async
-// backends — in completion-IRQ context, which is what keeps the device
+// kick dispatches until the device queue is full, the queue is plugged
+// (explicitly or anticipatorily), or no requests are pending. Runs in
+// submitter context, the anticipatory plug's timer context, and — for
+// async backends — completion-IRQ context, which is what keeps the device
 // busy without a dedicated dispatcher task.
 func (q *Queue) kick(t *sched.Task) {
 	for {
 		q.mu.Lock(t)
-		if q.plugs > 0 || len(q.inflight) >= q.depth || len(q.pending) == 0 {
+		if q.plugs > 0 || q.antOpen || len(q.inflight) >= q.depth || len(q.pending) == 0 {
 			q.mu.Unlock()
 			return
 		}
@@ -379,6 +472,9 @@ func (q *Queue) buildCommandLocked() *command {
 	group := make([]*request, hi-lo)
 	copy(group, q.pending[lo:hi])
 	q.pending = append(q.pending[:lo], q.pending[hi:]...)
+	for _, r := range group {
+		q.pendingN -= r.n
+	}
 	q.head = end
 
 	q.nextTag++
@@ -465,8 +561,21 @@ func (q *Queue) Stats() (submitted, dispatched, merged, depthPeak, queuedPeak in
 	return q.submitted, q.dispatched, q.merged, q.depthPeak, q.queuedPeak
 }
 
+// PlugStats reports anticipatory-plug activity: requests that arrived
+// inside an open window (hits — the anticipated traffic) and windows that
+// expired on their timer (timeouts — the misses, each costing one
+// PlugDelay of added latency). Both surface in /proc/diskstats.
+func (q *Queue) PlugStats() (hits, timeouts int64) {
+	q.mu.Lock(nil)
+	defer q.mu.Unlock()
+	return q.plugHits, q.plugTimeouts
+}
+
 // Depth reports the configured in-flight command bound.
 func (q *Queue) Depth() int { return q.depth }
+
+// PlugDelay reports the anticipatory-plug window (0 = disabled).
+func (q *Queue) PlugDelay() time.Duration { return q.plugDelay }
 
 var (
 	_ fs.TaskBlockDevice   = (*Queue)(nil)

@@ -105,6 +105,103 @@ func TestPlugMergesAdjacentWrites(t *testing.T) {
 	}
 }
 
+// TestAnticipatoryPlugMergesLoneSubmitter is the lone-sequential-writer
+// contract: per-block submissions trickling into an idle queue with no
+// explicit plug dispatch solo when anticipatory plugging is off, but
+// accumulate in the anticipatory window and go out as one merged command
+// when it is on — with the first Wait releasing the window, so the
+// submitter never pays the full delay.
+func TestAnticipatoryPlugMergesLoneSubmitter(t *testing.T) {
+	run := func(delay time.Duration) (cmds int, hits int64) {
+		dev := &cmdDev{BlockDevice: fs.NewRamdisk(512, 64)}
+		q := New(dev, Options{PlugDelay: delay})
+		buf := make([]byte, 512)
+		var tks []fs.BlockTicket
+		for i := 0; i < 8; i++ {
+			tk, err := q.SubmitWrite(nil, 10+i, 1, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tks = append(tks, tk)
+		}
+		for _, tk := range tks {
+			if err := tk.Wait(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h, _ := q.PlugStats()
+		return len(dev.writeCmds()), h
+	}
+	// Window deliberately enormous: if the waiter-release path were
+	// broken, the test would hang instead of silently passing slow.
+	plugged, hits := run(time.Minute)
+	if plugged != 1 {
+		t.Fatalf("anticipatory plug dispatched %d commands for a lone writer's burst, want 1", plugged)
+	}
+	if hits != 7 {
+		t.Fatalf("plug hits = %d, want 7 (every follow-up request rode the window)", hits)
+	}
+	solo, _ := run(-1)
+	if solo != 8 {
+		t.Fatalf("disabled plugging dispatched %d commands, want 8 solo (nothing else merges a lone submitter)", solo)
+	}
+}
+
+// TestAnticipatoryPlugTimeout: a lone request whose submitter never waits
+// must still dispatch — the window expires on its timer and counts as a
+// plug timeout.
+func TestAnticipatoryPlugTimeout(t *testing.T) {
+	dev := &cmdDev{BlockDevice: fs.NewRamdisk(512, 64)}
+	q := New(dev, Options{PlugDelay: 2 * time.Millisecond})
+	if _, err := q.SubmitWrite(nil, 5, 1, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(dev.writeCmds()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("window never expired: the fire-and-forget request is stuck")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if _, timeouts := q.PlugStats(); timeouts != 1 {
+		t.Fatalf("plug timeouts = %d, want 1", timeouts)
+	}
+}
+
+// TestExplicitPlugBypassesAnticipatoryDelay: a Plug/Unplug bracket is an
+// explicit batch — Unplug dispatches it immediately, it never waits out
+// PlugDelay (set here to a minute: any accidental wait would hang the
+// test), and no anticipatory window opens or expires around it.
+func TestExplicitPlugBypassesAnticipatoryDelay(t *testing.T) {
+	dev := &cmdDev{BlockDevice: fs.NewRamdisk(512, 64)}
+	q := New(dev, Options{PlugDelay: time.Minute})
+	buf := make([]byte, 512)
+	q.Plug(nil)
+	var tks []fs.BlockTicket
+	for i := 0; i < 4; i++ {
+		tk, err := q.SubmitWrite(nil, 20+i, 1, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks = append(tks, tk)
+	}
+	q.Unplug(nil)
+	// Synchronous backend: Unplug's dispatch runs the IO inline, so the
+	// command must be on the device before any ticket is waited on.
+	if cmds := dev.writeCmds(); len(cmds) != 1 || cmds[0] != [2]int{20, 4} {
+		t.Fatalf("explicit batch dispatched %v at Unplug, want one immediate [20 4] command", cmds)
+	}
+	for _, tk := range tks {
+		if err := tk.Wait(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, timeouts := q.PlugStats()
+	if hits != 0 || timeouts != 0 {
+		t.Fatalf("explicit batch touched the anticipatory plug: hits=%d timeouts=%d", hits, timeouts)
+	}
+}
+
 // TestNoMergeAcrossGapsOrDirections: non-adjacent writes and mixed
 // read/write never share a command.
 func TestNoMergeAcrossGapsOrDirections(t *testing.T) {

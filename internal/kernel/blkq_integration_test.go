@@ -48,7 +48,9 @@ func TestAsyncIOStackWiredThroughBoot(t *testing.T) {
 		t.Fatalf("found %d kflushd tasks, want 2 (rd0, sd0)", daemons)
 	}
 
-	// Drive writes through the syscall layer on both mounts, then sync.
+	// Drive writes through the syscall layer on both mounts — fsyncing
+	// each file (the per-file barrier, riding the anticipatory plug),
+	// then the whole-system sync.
 	code := run(t, k, "writer", func(p *Proc, _ []string) int {
 		for _, path := range []string{"/a.dat", "/d/b.dat"} {
 			fd, err := p.SysOpen(path, fs.OCreate|fs.OWrOnly)
@@ -62,12 +64,15 @@ func TestAsyncIOStackWiredThroughBoot(t *testing.T) {
 			if _, err := p.SysWrite(fd, payload); err != nil {
 				return 2
 			}
+			if err := p.SysFsync(fd); err != nil {
+				return 5
+			}
 			if err := p.SysClose(fd); err != nil {
 				return 3
 			}
 		}
-		// The new durability syscall: write-behind means user programs
-		// need an explicit barrier.
+		// The whole-system barrier: flushes what fsync's per-file scope
+		// left behind (foreign metadata, the other mount's state).
 		if err := p.SysSync(); err != nil {
 			return 4
 		}
@@ -82,9 +87,10 @@ func TestAsyncIOStackWiredThroughBoot(t *testing.T) {
 		}
 	}
 
-	// diskstats carries the queue and writeback telemetry.
+	// diskstats carries the queue, plug, and writeback telemetry.
 	stats := readProc(t, k, "diskstats")
-	for _, want := range []string{"sd0.q depth=", "rd0.q depth=", "merge_ratio=", "daemon_flushes=", "dirty=0"} {
+	for _, want := range []string{"sd0.q depth=", "rd0.q depth=", "merge_ratio=",
+		"plug_hits=", "plug_timeouts=", "daemon_flushes=", "dirty=0"} {
 		if !strings.Contains(stats, want) {
 			t.Fatalf("diskstats missing %q:\n%s", want, stats)
 		}

@@ -133,6 +133,15 @@ type FS struct {
 	dataPath    DataPath
 	rangeOps    int64
 	rangeBlocks int64
+
+	// owners maps first cluster -> the file's writeback-error stream,
+	// guarded by mu. Deliberately separate from the pseudo-inode table:
+	// write-behind buffers keep their owner tag after the last close
+	// drops the pseudo-inode, so the stream must outlive it — a reopen
+	// finds the same Owner and its fsync still flushes that earlier data
+	// and reports its errors. An entry dies at unlink, when the first
+	// cluster stops naming this file.
+	owners map[uint32]*bcache.Owner
 }
 
 // pseudoInode bridges FAT (no inodes) to Proto's file layer: one per
@@ -152,6 +161,12 @@ type pseudoInode struct {
 	// Directory entry location, for size updates on write.
 	dirCluster uint32
 	dirIndex   int
+
+	// wb is this file's writeback-error stream (shared via FS.owners so
+	// it survives the pseudo-inode): data writes tag their dirty buffers
+	// with it, asynchronous write failures advance it, and the file's
+	// fsync observes it (bcache errseq semantics).
+	wb *bcache.Owner
 }
 
 // Mkfs formats dev as FAT32 with an empty root directory.
@@ -227,7 +242,12 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	if dev.BlockSize() != SectorSize {
 		return nil, fmt.Errorf("%w: sector size %d", ErrBadFS, dev.BlockSize())
 	}
-	f := &FS{dev: dev, bc: bcache.NewWithOptions(dev, copts), pseudo: make(map[uint32]*pseudoInode)}
+	f := &FS{
+		dev:    dev,
+		bc:     bcache.NewWithOptions(dev, copts),
+		pseudo: make(map[uint32]*pseudoInode),
+		owners: make(map[uint32]*bcache.Owner),
+	}
 	f.renameMu.SetRank(ksync.RankRename, 0)
 	f.fatLock.SetRank(ksync.RankAlloc, 0)
 	f.freeHint = rootCluster
@@ -560,8 +580,11 @@ func (f *FS) devRead(t *sched.Task, sector, nsec int, dst []byte) error {
 	}
 }
 
-// devWrite is devRead's write-side twin.
-func (f *FS) devWrite(t *sched.Task, sector, nsec int, src []byte) error {
+// devWrite is devRead's write-side twin. o tags the dirtied buffers with
+// the writing file's error stream on the cached paths (nil for unowned
+// writes); the bypass path is synchronous, so its errors are direct and
+// the owner is moot.
+func (f *FS) devWrite(t *sched.Task, sector, nsec int, src []byte, o *bcache.Owner) error {
 	switch f.DataPath() {
 	case DataPathSingleBlock:
 		for s := 0; s < nsec; s++ {
@@ -570,7 +593,7 @@ func (f *FS) devWrite(t *sched.Task, sector, nsec int, src []byte) error {
 				return err
 			}
 			copy(b.Data, src[s*SectorSize:(s+1)*SectorSize])
-			f.bc.MarkDirty(b)
+			f.bc.MarkDirtyOwned(b, o)
 			f.bc.Release(b)
 		}
 		return nil
@@ -579,7 +602,7 @@ func (f *FS) devWrite(t *sched.Task, sector, nsec int, src []byte) error {
 		return f.dev.WriteBlocks(sector, nsec, src)
 	default:
 		f.countRange(nsec)
-		return f.bc.WriteRange(t, sector, nsec, src)
+		return f.bc.WriteRangeOwned(t, sector, nsec, src, o)
 	}
 }
 
@@ -588,9 +611,10 @@ func (f *FS) readClusterData(t *sched.Task, c uint32, dst []byte) error {
 	return f.devRead(t, f.clusterSector(c), SectorsPerCluster, dst)
 }
 
-// writeClusterData writes one whole cluster along the active data path.
-func (f *FS) writeClusterData(t *sched.Task, c uint32, src []byte) error {
-	return f.devWrite(t, f.clusterSector(c), SectorsPerCluster, src)
+// writeClusterData writes one whole cluster along the active data path,
+// tagging the buffers with the owning file's error stream.
+func (f *FS) writeClusterData(t *sched.Task, c uint32, src []byte, o *bcache.Owner) error {
+	return f.devWrite(t, f.clusterSector(c), SectorsPerCluster, src, o)
 }
 
 // readClusterCached / writeClusterCached are the metadata variants:
@@ -671,8 +695,9 @@ func (f *FS) readRange(t *sched.Task, clusters []uint32, off int, dst []byte) er
 // writeRange writes src at [off, off+len(src)) of a cluster chain, which
 // must already be long enough. Aligned full-cluster runs go out as single
 // multi-block commands; unaligned edges read-modify-write their cluster.
-// Returns how many leading bytes landed (short-write reporting).
-func (f *FS) writeRange(t *sched.Task, clusters []uint32, off int, src []byte) (int, error) {
+// Dirtied buffers carry o, the owning file's error stream. Returns how
+// many leading bytes landed (short-write reporting).
+func (f *FS) writeRange(t *sched.Task, clusters []uint32, off int, src []byte, o *bcache.Owner) (int, error) {
 	pos := 0
 	return f.clusterRuns(clusters, off, len(src),
 		func(ci, co, n int) error {
@@ -682,11 +707,11 @@ func (f *FS) writeRange(t *sched.Task, clusters []uint32, off int, src []byte) (
 			}
 			copy(buf[co:], src[pos:pos+n])
 			pos += n
-			return f.writeClusterData(t, clusters[ci], buf)
+			return f.writeClusterData(t, clusters[ci], buf, o)
 		},
 		func(ci, run int) error {
 			in := src[pos : pos+run*ClusterSize]
 			pos += run * ClusterSize
-			return f.devWrite(t, f.clusterSector(clusters[ci]), run*SectorsPerCluster, in)
+			return f.devWrite(t, f.clusterSector(clusters[ci]), run*SectorsPerCluster, in, o)
 		})
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"protosim/internal/kernel/bcache"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/ksync"
 	"protosim/internal/kernel/sched"
@@ -58,6 +59,11 @@ func (f *FS) pin(cluster uint32, isDir bool, size uint32, ref direntRef) *pseudo
 		pi.refs++
 		return pi
 	}
+	wb := f.owners[cluster]
+	if wb == nil {
+		wb = &bcache.Owner{}
+		f.owners[cluster] = wb
+	}
 	pi := &pseudoInode{
 		firstCluster: cluster,
 		size:         size,
@@ -65,6 +71,7 @@ func (f *FS) pin(cluster uint32, isDir bool, size uint32, ref direntRef) *pseudo
 		refs:         1,
 		dirCluster:   ref.cluster,
 		dirIndex:     ref.index,
+		wb:           wb,
 	}
 	pi.lock.SetRank(ksync.RankInode, int64(cluster))
 	f.pseudo[cluster] = pi
@@ -268,13 +275,15 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 	}
 	err = f.removeDirent(t, ref)
 	// The chain is gone: poison the pseudo-inode so surviving handles fail
-	// cleanly instead of reading reallocated clusters, and drop it from the
-	// table so the first cluster's next owner gets a fresh one.
+	// cleanly instead of reading reallocated clusters, and drop it — and
+	// its error stream — from the tables so the first cluster's next owner
+	// gets a fresh identity.
 	pi.dead = true
 	f.mu.Lock()
 	if cur, ok := f.pseudo[pi.firstCluster]; ok && cur == pi {
 		delete(f.pseudo, pi.firstCluster)
 	}
+	delete(f.owners, pi.firstCluster)
 	f.mu.Unlock()
 	pi.lock.Unlock()
 	f.unpin(pi)
@@ -568,7 +577,7 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 	// rolled-back clusters are not durable, while in-place overwrites
 	// below the old size are.
 	oldSize := int64(pi.size)
-	done, err := fl.fsys.writeRange(t, clusters, int(off), p)
+	done, err := fl.fsys.writeRange(t, clusters, int(off), p, pi.wb)
 	if err != nil {
 		rollback()
 		durable := oldSize - off
@@ -590,6 +599,59 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 		}
 	}
 	return done, nil
+}
+
+// SyncT implements fs.FileSyncer — fsync. It writes back this file's
+// dirty data buffers (tagged with the pseudo-inode's error stream) plus
+// every metadata sector the file's durability depends on: the directory
+// sector holding its entry (the size patch lives there) and the FAT
+// sectors covering its cluster chain — without the chain links, data
+// appended past the old tail would be durable but unreachable. Then the
+// stream is observed: an asynchronous writeback failure of this file's
+// data since the last fsync is reported exactly once, and another
+// file's failure never is.
+func (fl *file) SyncT(t *sched.Task) error {
+	if !fl.use() {
+		return fs.ErrBadFD
+	}
+	defer fl.done()
+	f := fl.fsys
+	pi := fl.pi
+	pi.lock.Lock(t)
+	defer pi.lock.Unlock()
+	if pi.dead {
+		return fs.ErrNotFound
+	}
+	var extra []int
+	if !pi.isDir && pi.dirCluster >= rootCluster {
+		sector, _ := f.direntLoc(direntRef{cluster: pi.dirCluster, index: pi.dirIndex})
+		extra = append(extra, sector)
+	}
+	clusters, err := f.chain(t, pi.firstCluster)
+	if err != nil {
+		return err
+	}
+	last := -1
+	for _, c := range clusters {
+		// The chain is in allocation order, not sector order, so dedupe
+		// against everything collected so far; FlushOwner sorts.
+		s := f.fatStart + int(c)*fatEntrySize/SectorSize
+		if s == last {
+			continue
+		}
+		last = s
+		dup := false
+		for _, have := range extra {
+			if have == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			extra = append(extra, s)
+		}
+	}
+	return f.bc.FlushOwner(t, pi.wb, extra...)
 }
 
 func (fl *file) Close() error {
@@ -695,5 +757,6 @@ var (
 	_ fs.DirReader     = (*file)(nil)
 	_ fs.TaskStater    = (*file)(nil)
 	_ fs.TaskDirReader = (*file)(nil)
+	_ fs.FileSyncer    = (*file)(nil)
 	_ fs.Renamer       = (*FS)(nil)
 )

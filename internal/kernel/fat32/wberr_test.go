@@ -1,0 +1,312 @@
+package fat32
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/fs"
+)
+
+// errLBAInjected is the targeted write failure lbaFlakyDev raises.
+var errLBAInjected = errors.New("fat32 test: injected write error")
+
+// lbaFlakyDev fails a limited number of write commands that overlap a
+// target LBA range — the per-file fault injector the cross-file isolation
+// test needs (a whole-device injector could not tell A's writeback from
+// B's).
+type lbaFlakyDev struct {
+	fs.BlockDevice
+	mu       sync.Mutex
+	lo, hi   int // fail writes overlapping [lo, hi)
+	failures int // remaining injections
+}
+
+func (d *lbaFlakyDev) arm(lo, hi, count int) {
+	d.mu.Lock()
+	d.lo, d.hi, d.failures = lo, hi, count
+	d.mu.Unlock()
+}
+
+func (d *lbaFlakyDev) WriteBlocks(lba, n int, src []byte) error {
+	d.mu.Lock()
+	if d.failures > 0 && lba < d.hi && lba+n > d.lo {
+		d.failures--
+		d.mu.Unlock()
+		return errLBAInjected
+	}
+	d.mu.Unlock()
+	return d.BlockDevice.WriteBlocks(lba, n, src)
+}
+
+// TestFsyncIsolatesCrossFileErrors is the regression test for the
+// pre-errseq bug this PR fixes: the async writeback error latch was
+// per-cache, so an fsync of file B could report file A's daemon write
+// error. Now errors ride per-inode errseq streams: a daemon write failure
+// on A's blocks must leave B's fsync clean, reach A's fsync exactly once
+// (even though the daemon's retry has long since succeeded), and still
+// surface exactly once on the device-wide stream that volume Sync
+// observes.
+func TestFsyncIsolatesCrossFileErrors(t *testing.T) {
+	dev := &lbaFlakyDev{BlockDevice: fs.NewRamdisk(SectorSize, 16384)}
+	if err := Mkfs(dev); err != nil {
+		t.Fatal(err)
+	}
+	f, err := MountWith(dev, nil, bcache.Options{
+		Buffers: 256, Shards: 4, Readahead: -1,
+		FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Cache()
+	go c.RunDaemon(nil, nil)
+	defer c.StopDaemon()
+
+	// Lay the files out with a spacer between them so A's and B's dirty
+	// clusters can never coalesce into one device command — the injector
+	// must be able to fail A's writeback without touching B's.
+	open := func(name string) fs.File {
+		fl, err := f.Open(nil, name, fs.OCreate|fs.ORdWr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fl
+	}
+	af := open("/a.bin")
+	gap := open("/gap.bin")
+	bf := open("/b.bin")
+	defer af.Close()
+	defer bf.Close()
+	gap.Close()
+
+	aData := bytes.Repeat([]byte{0xAA}, ClusterSize)
+	bData := bytes.Repeat([]byte{0xBB}, ClusterSize)
+	if _, err := af.Write(nil, aData); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.Write(nil, bData); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err) // everything clean and durable before the injection
+	}
+
+	api, bpi := af.(*file).pi, bf.(*file).pi
+	aSector := f.clusterSector(api.firstCluster)
+
+	// Arm: the next write command touching A's cluster fails, once. Then
+	// rewrite both files' first clusters — pure cache traffic (the
+	// clusters are warm, the sizes don't change), so the dirty state the
+	// daemon flushes is exactly A's 8 sectors and B's 8 sectors, in two
+	// separate runs.
+	dev.arm(aSector, aSector+SectorsPerCluster, 1)
+	aData2 := bytes.Repeat([]byte{0xA2}, ClusterSize)
+	if _, err := af.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write(nil, aData2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.Write(nil, bData); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !api.wb.Pending() {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never hit the injected error on A's blocks")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// B's fsync: clean. Its own blocks flush fine and A's error must not
+	// leak across — the whole point of per-inode errseq tracking.
+	if err := bf.(fs.FileSyncer).SyncT(nil); err != nil {
+		t.Fatalf("B's fsync observed a foreign error: %v", err)
+	}
+	if bpi.wb.Pending() {
+		t.Fatal("B's error stream advanced without a B write failing")
+	}
+
+	// A's fsync: the injected error, exactly once — the injector is long
+	// disarmed, so the flush retry inside this very fsync succeeds, and
+	// the error must still be reported (errseq never rewinds).
+	if err := af.(fs.FileSyncer).SyncT(nil); !errors.Is(err, errLBAInjected) {
+		t.Fatalf("A's fsync = %v, want the injected error", err)
+	}
+	if err := af.(fs.FileSyncer).SyncT(nil); err != nil {
+		t.Fatalf("A's second fsync = %v, want nil (exactly-once)", err)
+	}
+
+	// The device-wide stream is an independent observer: volume Sync
+	// reports the same failure once, then goes clean.
+	if err := f.Sync(nil); !errors.Is(err, errLBAInjected) {
+		t.Fatalf("volume Sync = %v, want the injected error", err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatalf("second volume Sync = %v, want nil", err)
+	}
+
+	// And the data itself was never dropped: A's rewrite is durable.
+	f2, err := Mount(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := f2.Open(nil, "/a.bin", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, ClusterSize)
+	read := 0
+	for read < len(got) {
+		n, err := rf.Read(nil, got[read:])
+		if err != nil || n == 0 {
+			t.Fatalf("read back: %d, %v", n, err)
+		}
+		read += n
+	}
+	if !bytes.Equal(got, aData2) {
+		t.Fatal("A's data lost across the failed daemon writeback")
+	}
+}
+
+// TestFsyncAfterReopenAndChainGrowth pins two durability holes review
+// found in the first fsync design. (1) The error stream must survive the
+// in-memory pseudo-inode: data written through one handle and left dirty
+// (write-behind), then the handle closed and the file reopened, must
+// still be flushed by the new handle's fsync — the Owner lives in
+// FS.owners keyed by file identity, not in the discarded pseudo-inode.
+// (2) fsync must flush the FAT sectors linking the chain, or data
+// appended past the old tail is durable but unreachable: a fresh mount
+// of the raw device (simulated crash: the dirty cache is simply
+// abandoned) must read the full file back.
+func TestFsyncAfterReopenAndChainGrowth(t *testing.T) {
+	rd := fs.NewRamdisk(SectorSize, 16384)
+	if err := Mkfs(rd); err != nil {
+		t.Fatal(err)
+	}
+	// No daemon, age/ratio triggers off: fsync is the only flusher, so
+	// anything durable got there through SyncT alone.
+	f, err := MountWith(rd, nil, bcache.Options{
+		Buffers: 512, Shards: 4, Readahead: -1,
+		FlushInterval: time.Hour, WritebackRatio: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x7D}, 3*ClusterSize) // grows the chain twice
+	fl, err := f.Open(nil, "/log.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Close with everything still dirty, reopen, fsync through the NEW
+	// handle.
+	fl.Close()
+	if n := f.PseudoInodes(); n != 0 {
+		t.Fatalf("%d pseudo-inodes live after close", n)
+	}
+	fl2, err := f.Open(nil, "/log.bin", fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl2.(fs.FileSyncer).SyncT(nil); err != nil {
+		t.Fatal(err)
+	}
+	fl2.Close()
+
+	// Crash: mount the raw device fresh, abandoning f's cache. The whole
+	// file — data, size, and the chain links for the appended clusters —
+	// must be there.
+	f2, err := Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f2.Stat(nil, "/log.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != int64(len(payload)) {
+		t.Fatalf("post-crash size = %d, want %d (dirent sector not fsynced)", st.Size, len(payload))
+	}
+	rf, err := f2.Open(nil, "/log.bin", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	read := 0
+	for read < len(got) {
+		n, err := rf.Read(nil, got[read:])
+		if err != nil || n == 0 {
+			t.Fatalf("post-crash read at %d: %d, %v (chain FAT sectors not fsynced?)", read, n, err)
+		}
+		read += n
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("fsynced data unreadable after crash")
+	}
+}
+
+// TestFsyncFlushesOnlyOwnBlocks pins FlushOwner's selectivity: a file's
+// fsync makes that file durable without paying for the other files'
+// dirty buffers.
+func TestFsyncFlushesOnlyOwnBlocks(t *testing.T) {
+	rd := fs.NewRamdisk(SectorSize, 16384)
+	if err := Mkfs(rd); err != nil {
+		t.Fatal(err)
+	}
+	// No daemon: dirty state stays put until somebody flushes it.
+	f, err := MountWith(rd, nil, bcache.Options{
+		Buffers: 256, Shards: 4, Readahead: -1,
+		FlushInterval: time.Hour, WritebackRatio: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := f.Open(nil, "/a.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := f.Open(nil, "/b.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5C}, 2*ClusterSize)
+	if _, err := af.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.(fs.FileSyncer).SyncT(nil); err != nil {
+		t.Fatal(err)
+	}
+	// A's data is durable on the raw device...
+	a := af.(*file).pi
+	got := make([]byte, ClusterSize)
+	if err := rd.ReadBlocks(f.clusterSector(a.firstCluster), SectorsPerCluster, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:ClusterSize]) {
+		t.Fatal("fsync did not make A durable")
+	}
+	// ...while B's dirty buffers were not flushed by A's fsync.
+	b := bf.(*file).pi
+	if err := rd.ReadBlocks(f.clusterSector(b.firstCluster), SectorsPerCluster, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, payload[:ClusterSize]) {
+		t.Fatal("A's fsync flushed B's blocks too")
+	}
+	af.Close()
+	bf.Close()
+}

@@ -161,6 +161,97 @@ const (
 	wbScale      = 0.1
 )
 
+// The 1-appender fsync workload: one durability-conscious logger
+// appending a full cluster and fsyncing after every record. Each fsync
+// (bcache.FlushOwner) submits its handful of sectors to an IDLE queue
+// with no explicit plug — the lone-submitter shape where, without
+// anticipatory plugging, the first requests dispatch solo before their
+// adjacent neighbours arrive and the elevator has nothing to merge. With
+// PlugDelay the burst accumulates in the anticipatory window (released by
+// the fsync's first Wait, so the delay is not actually paid) and goes out
+// as one command per contiguous run.
+const (
+	faAppends    = 96
+	faAppendSize = ClusterSize // 8 sectors per fsync: a mergeable burst
+)
+
+type fsyncAppendResult struct {
+	Config       string  `json:"config"`
+	Appends      int     `json:"appends"`
+	AppendSize   int     `json:"append_size"`
+	Seconds      float64 `json:"seconds"`
+	QSubmitted   int64   `json:"queue_submitted"`
+	QCommands    int64   `json:"queue_commands"`
+	MergeRatio   float64 `json:"merge_ratio"`
+	PlugHits     int64   `json:"plug_hits"`
+	PlugTimeouts int64   `json:"plug_timeouts"`
+}
+
+func runFsyncAppend(tb testing.TB, plugDelay time.Duration, appends, appendSize int, latencyScale float64) fsyncAppendResult {
+	tb.Helper()
+	ic := hw.NewIRQController(1)
+	sd := hw.NewSDCard(65536, ic)
+	sd.SetLatencyScale(0)
+	raw := sdDev{sd}
+	if err := Mkfs(raw); err != nil {
+		tb.Fatal(err)
+	}
+	adev := asyncSDDev{raw}
+	q := blkq.New(adev, blkq.Options{Async: adev, PlugDelay: plugDelay})
+	ic.Register(hw.IRQSD, 0, func(hw.IRQLine, int) { q.CompletionIRQ() })
+	// No daemon and no ratio trigger: the fsync path is the only flusher,
+	// so the queue traffic is exactly the lone submitter's.
+	f, err := MountWith(q, nil, bcache.Options{Buffers: 2048, Shards: 8, Readahead: -1,
+		WritebackRatio: -1, FlushInterval: time.Hour})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fl, err := f.Open(nil, "/applog.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	record := make([]byte, appendSize)
+	for i := range record {
+		record[i] = byte(i * 13)
+	}
+	sd.SetLatencyScale(latencyScale)
+	start := time.Now()
+	for i := 0; i < appends; i++ {
+		if _, err := fl.Write(nil, record); err != nil {
+			tb.Fatal(err)
+		}
+		if err := fl.(fs.FileSyncer).SyncT(nil); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	sd.SetLatencyScale(0)
+	fl.Close()
+	if err := f.Sync(nil); err != nil {
+		tb.Fatal(err)
+	}
+	sub, disp, _, _, _ := q.Stats()
+	hits, timeouts := q.PlugStats()
+	res := fsyncAppendResult{
+		Config:       "noplug",
+		Appends:      appends,
+		AppendSize:   appendSize,
+		Seconds:      elapsed.Seconds(),
+		QSubmitted:   sub,
+		QCommands:    disp,
+		MergeRatio:   1,
+		PlugHits:     hits,
+		PlugTimeouts: timeouts,
+	}
+	if plugDelay > 0 {
+		res.Config = "plug"
+	}
+	if disp > 0 {
+		res.MergeRatio = float64(sub) / float64(disp)
+	}
+	return res
+}
+
 // BenchmarkWriteHeavy compares the two configurations under `go test
 // -bench WriteHeavy`.
 func BenchmarkWriteHeavy(b *testing.B) {
@@ -177,11 +268,30 @@ func BenchmarkWriteHeavy(b *testing.B) {
 	}
 }
 
-// TestWriteHeavyThroughput is the recorded perf gate: it runs both
-// configurations, asserts the async stack beats the synchronous baseline
-// ≥2× with a merge ratio >1, and writes BENCH_blkq.json. Heavyweight and
-// timing-sensitive, so it only runs when BENCH_BLKQ_JSON names the output
-// (the `make bench` / CI bench path), never in plain `go test ./...`.
+// BenchmarkFsyncAppend compares the 1-appender fsync-per-record workload
+// with anticipatory plugging off and on under `go test -bench FsyncAppend`.
+func BenchmarkFsyncAppend(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		delay time.Duration
+	}{{"noplug", -1}, {"plug", blkq.DefaultPlugDelay}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.SetBytes(int64(faAppends * faAppendSize))
+			for i := 0; i < b.N; i++ {
+				runFsyncAppend(b, cfg.delay, faAppends, faAppendSize, wbScale)
+			}
+		})
+	}
+}
+
+// TestWriteHeavyThroughput is the recorded perf gate: it runs the
+// 8-appender configurations (asserting the async stack beats the
+// synchronous baseline ≥2× with a merge ratio >1) and the 1-appender
+// fsync workload with anticipatory plugging off/on (asserting plugging
+// measurably improves the lone submitter's merge ratio), and writes
+// BENCH_blkq.json. Heavyweight and timing-sensitive, so it only runs when
+// BENCH_BLKQ_JSON names the output (the `make bench` / CI bench path),
+// never in plain `go test ./...`.
 func TestWriteHeavyThroughput(t *testing.T) {
 	out := os.Getenv("BENCH_BLKQ_JSON")
 	if out == "" {
@@ -190,12 +300,18 @@ func TestWriteHeavyThroughput(t *testing.T) {
 	base := runWriteHeavy(t, false, wbWorkers, wbAppends, wbAppendSize, wbScale)
 	opt := runWriteHeavy(t, true, wbWorkers, wbAppends, wbAppendSize, wbScale)
 	speedup := opt.MBps / base.MBps
+	noplug := runFsyncAppend(t, -1, faAppends, faAppendSize, wbScale)
+	plug := runFsyncAppend(t, blkq.DefaultPlugDelay, faAppends, faAppendSize, wbScale)
 	report := map[string]any{
 		"benchmark":   "write-heavy (8 tasks, latency-bound SD, one FAT32 mount)",
 		"append_size": wbAppendSize,
 		"appends":     wbAppends,
 		"results":     []writeBenchResult{base, opt},
 		"speedup":     speedup,
+		"fsync_1appender": map[string]any{
+			"benchmark": "1 appender, fsync per 4 KB record, latency-bound SD",
+			"results":   []fsyncAppendResult{noplug, plug},
+		},
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -207,10 +323,17 @@ func TestWriteHeavyThroughput(t *testing.T) {
 	t.Logf("sync: %.2f MB/s (%d cmds, %d blocks)", base.MBps, base.DeviceCmds, base.DeviceBlocks)
 	t.Logf("blkq: %.2f MB/s (%d cmds, %d blocks, merge ratio %.2f)", opt.MBps, opt.DeviceCmds, opt.DeviceBlocks, opt.MergeRatio)
 	t.Logf("speedup: %.2fx", speedup)
+	t.Logf("fsync-appender noplug: %d submitted / %d commands, merge ratio %.2f", noplug.QSubmitted, noplug.QCommands, noplug.MergeRatio)
+	t.Logf("fsync-appender plug:   %d submitted / %d commands, merge ratio %.2f (hits %d, timeouts %d)",
+		plug.QSubmitted, plug.QCommands, plug.MergeRatio, plug.PlugHits, plug.PlugTimeouts)
 	if speedup < 2 {
 		t.Errorf("async stack speedup %.2fx, want >= 2x", speedup)
 	}
 	if opt.MergeRatio <= 1 {
 		t.Errorf("merge ratio %.2f, want > 1", opt.MergeRatio)
+	}
+	if plug.MergeRatio < noplug.MergeRatio*1.2 {
+		t.Errorf("anticipatory plugging merge ratio %.2f vs %.2f unplugged; want a >=1.2x win for the lone appender",
+			plug.MergeRatio, noplug.MergeRatio)
 	}
 }

@@ -140,6 +140,19 @@ type TaskDirReader interface {
 	ReadDirT(t *sched.Task) ([]DirEntry, error)
 }
 
+// FileSyncer is implemented by open files that can flush their own dirty
+// state to stable storage — fsync(2). SyncT writes back the file's data
+// (and what of its metadata the filesystem locates: its inode block, its
+// directory-entry sector) and reports asynchronous writeback errors that
+// hit this file's buffers since the last observation, exactly once, even
+// if a retried write has since succeeded — and never another file's
+// errors (per-inode errseq tracking in the buffer cache). Files with
+// nothing to flush (devices, pipes) simply don't implement it and fsync
+// is a no-op on them.
+type FileSyncer interface {
+	SyncT(t *sched.Task) error
+}
+
 // Ioctler is implemented by device files with control operations (e.g.
 // /dev/fb's flush, /dev/events' nonblock toggle).
 type Ioctler interface {

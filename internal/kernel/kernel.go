@@ -98,6 +98,13 @@ type Config struct {
 	// caches write-through, without daemons.
 	WritebackRatio int
 
+	// PlugDelay is each request queue's anticipatory-plug window: how long
+	// a request arriving at an idle queue is held back so a lone
+	// sequential writer's follow-ups can accumulate and merge (0 =
+	// blkq.DefaultPlugDelay; negative disables anticipatory plugging).
+	// ModeXv6 runs without queues, so without plugging too.
+	PlugDelay time.Duration
+
 	RamdiskImage []byte // xv6fs image for the root filesystem
 
 	// ConsoleOut tees printk output (nil = in-memory transcript only).
@@ -402,15 +409,23 @@ func (k *Kernel) Boot() error {
 }
 
 // stackQueue fronts a block device with an IO request queue: elevator
-// sorting, cross-task merging, and — when the device has async halves
-// (the SD card) — IRQ-driven completion, with submitting tasks asleep on
-// the sched waitq until hw.IRQSD fires. Returns the device unwrapped when
-// queues are disabled (baselines).
+// sorting, cross-task merging, anticipatory plugging on the kernel's
+// virtual timers, and — when the device has async halves (the SD card) —
+// IRQ-driven completion, with submitting tasks asleep on the sched waitq
+// until hw.IRQSD fires. Returns the device unwrapped when queues are
+// disabled (baselines).
 func (k *Kernel) stackQueue(d *BlockIO, enabled bool) fs.BlockDevice {
 	if !enabled {
 		return d
 	}
-	q := blkq.New(d, blkq.Options{Depth: k.cfg.QueueDepth, Async: d.Async()})
+	q := blkq.New(d, blkq.Options{
+		Depth:     k.cfg.QueueDepth,
+		Async:     d.Async(),
+		PlugDelay: k.cfg.PlugDelay,
+		After: func(dur time.Duration, fn func()) func() bool {
+			return k.VTimers.After(dur, fn).Stop
+		},
+	})
 	d.SetQueue(q)
 	if d.Async() != nil {
 		// Route the device's completion IRQ into the queue: finished
@@ -542,12 +557,13 @@ func (k *Kernel) registerProcFiles() {
 				continue
 			}
 			sub, disp, merged, depthPeak, queuedPeak := q.Stats()
+			hits, timeouts := q.PlugStats()
 			ratio := 1.0
 			if disp > 0 {
 				ratio = float64(sub) / float64(disp)
 			}
-			fmt.Fprintf(&b, "%s.q depth=%d submitted=%d commands=%d merged=%d merge_ratio=%.2f inflight_peak=%d queued_peak=%d\n",
-				d.Name(), q.Depth(), sub, disp, merged, ratio, depthPeak, queuedPeak)
+			fmt.Fprintf(&b, "%s.q depth=%d submitted=%d commands=%d merged=%d merge_ratio=%.2f inflight_peak=%d queued_peak=%d plug_hits=%d plug_timeouts=%d\n",
+				d.Name(), q.Depth(), sub, disp, merged, ratio, depthPeak, queuedPeak, hits, timeouts)
 		}
 		for _, d := range k.blockDevs {
 			c := k.blockCaches[d.Name()]

@@ -146,6 +146,29 @@ func (p *Proc) SysSync() error {
 	return p.k.VFS.SyncAll(p.Task)
 }
 
+// SysFsync flushes one open file's data (and its reachable metadata) to
+// stable storage — fsync(2), the per-file durability barrier. Unlike
+// SysSync it reports only this file's asynchronous writeback errors:
+// another file's daemon write failure stays on that file's stream and the
+// whole-device barrier, never here. Descriptors with nothing to flush
+// (devices, pipes) return nil.
+func (p *Proc) SysFsync(fd int) error {
+	p.k.count()
+	if p.fds == nil {
+		return ErrNoFiles
+	}
+	f, err := p.fds.Get(fd)
+	if err != nil {
+		return err
+	}
+	fsy, ok := f.(fs.FileSyncer)
+	if !ok {
+		return nil
+	}
+	defer p.Task.CheckPreempt()
+	return fsy.SyncT(p.Task)
+}
+
 // SysRename atomically moves a file or directory within one filesystem.
 func (p *Proc) SysRename(oldPath, newPath string) error {
 	p.k.count()

@@ -434,6 +434,40 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 	return n, err
 }
 
+// SyncT implements fs.FileSyncer — fsync. It writes back this file's
+// dirty data buffers (tagged with the inode's error stream) plus every
+// metadata block the file's durability depends on: the inode-array block
+// holding its on-disk inode, its indirect block (the pointers bmap
+// dirties unowned), and the allocation bitmap (a block's bitmap bit must
+// land with the pointer that references it, or a crash + fsck frees data
+// fsync promised durable). All of it is already in the cache — every
+// mutation under ip.lock writes through it — so fsync is purely a
+// writeback-and-observe barrier. Then the inode's error stream is
+// observed: an asynchronous writeback failure of this file's data since
+// the last fsync is reported exactly once, and another file's failure
+// never is.
+func (fl *file) SyncT(t *sched.Task) error {
+	if !fl.use() {
+		return fs.ErrBadFD
+	}
+	defer fl.done(t)
+	f := fl.fsys
+	if err := f.ilock(t, fl.ip); err != nil {
+		return err
+	}
+	defer f.iunlock(fl.ip)
+	extra := []int{int(f.sb.InodeStart) + fl.ip.inum/inodesPerBlock}
+	if ind := fl.ip.di.Addrs[NDirect]; ind != 0 {
+		extra = append(extra, int(ind))
+	}
+	// The whole bitmap is at most a handful of blocks (1 per 8 Mbit of
+	// volume); clean ones are skipped by the flush anyway.
+	for b := int(f.sb.BitmapStart); b < int(f.sb.DataStart); b++ {
+		extra = append(extra, b)
+	}
+	return f.bc.FlushOwner(t, fl.ip.wb, extra...)
+}
+
 func (fl *file) Close() error { return fl.CloseT(nil) }
 
 // CloseT implements fs.TaskCloser: the syscall layer closes with the task
@@ -533,5 +567,6 @@ var (
 	_ fs.TaskStater    = (*file)(nil)
 	_ fs.TaskCloser    = (*file)(nil)
 	_ fs.TaskDirReader = (*file)(nil)
+	_ fs.FileSyncer    = (*file)(nil)
 	_ fs.Renamer       = (*FS)(nil)
 )

@@ -1,0 +1,303 @@
+package xv6fs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/fs"
+)
+
+// TestWriteDataUsesRangePath pins the segment-granular write path: a big
+// aligned file write must reach the cache as multi-block WriteRange calls
+// (the contiguous runs sequential allocation produces), not a
+// block-at-a-time Get/MarkDirty trickle — mirroring the read side's
+// coalescing.
+func TestWriteDataUsesRangePath(t *testing.T) {
+	f := newFS(t, 1024)
+	ops0, blocks0, _ := f.Cache().RangeStats()
+	fl, err := f.Open(nil, "/big.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64*BlockSize)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if n, err := fl.Write(nil, payload); err != nil || n != len(payload) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	ops1, blocks1, _ := f.Cache().RangeStats()
+	rangeBlocks := blocks1 - blocks0
+	if ops1 == ops0 || rangeBlocks < 32 {
+		t.Fatalf("64-block write issued %d range ops over %d blocks; want the contiguous runs coalesced",
+			ops1-ops0, rangeBlocks)
+	}
+	// And the data reads back exactly — through the cache and, after a
+	// Sync, from the device on a fresh mount.
+	if _, err := fl.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	read := 0
+	for read < len(got) {
+		n, err := fl.Read(nil, got[read:])
+		if err != nil || n == 0 {
+			t.Fatalf("read = %d, %v", n, err)
+		}
+		read += n
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("range-written data corrupted in cache")
+	}
+	fl.Close()
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Mount(f.dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := f2.Open(nil, "/big.bin", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read = 0
+	for read < len(got) {
+		n, err := rf.Read(nil, got[read:])
+		if err != nil || n == 0 {
+			t.Fatalf("remount read = %d, %v", n, err)
+		}
+		read += n
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("range-written data corrupted on device")
+	}
+}
+
+// TestWriteDataUnalignedEdges exercises the partial-block edges around
+// the range path: writes that start or end mid-block must
+// read-modify-write without disturbing their neighbours.
+func TestWriteDataUnalignedEdges(t *testing.T) {
+	f := newFS(t, 1024)
+	fl, err := f.Open(nil, "/edges.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := bytes.Repeat([]byte{0xEE}, 6*BlockSize)
+	if _, err := fl.Write(nil, base); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite an unaligned span crossing several block boundaries.
+	patch := bytes.Repeat([]byte{0x21}, 3*BlockSize)
+	off := int64(BlockSize/2 + BlockSize)
+	if _, err := fl.(fs.Seeker).Lseek(off, fs.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, patch); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), base...)
+	copy(want[off:], patch)
+	if _, err := fl.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	read := 0
+	for read < len(got) {
+		n, err := fl.Read(nil, got[read:])
+		if err != nil || n == 0 {
+			t.Fatalf("read = %d, %v", n, err)
+		}
+		read += n
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("unaligned overwrite corrupted the file")
+	}
+	fl.Close()
+}
+
+// TestFsyncDurableAfterCrash pins xv6fs fsync's metadata coverage and
+// the owner stream's lifetime. The file spans past NDirect so its tail
+// hangs off the indirect block (dirtied unowned by bmap); the write
+// happens through one handle which is then closed (discarding the
+// in-memory inode) before a reopened handle fsyncs. A fresh mount of the
+// raw device — simulated crash, the dirty cache abandoned — must read
+// the whole file: data blocks (owner survived the close in FS.owners),
+// inode, indirect block, and bitmap all made it out through SyncT alone.
+func TestFsyncDurableAfterCrash(t *testing.T) {
+	rd := fs.NewRamdisk(BlockSize, 1024)
+	if err := Mkfs(rd, 64); err != nil {
+		t.Fatal(err)
+	}
+	// No daemon, no triggers: fsync is the only flusher.
+	f, err := MountWith(rd, nil, bcache.Options{
+		Buffers: 256, Shards: 4, Readahead: -1,
+		FlushInterval: time.Hour, WritebackRatio: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, (NDirect+4)*BlockSize) // into the indirect block
+	for i := range payload {
+		payload[i] = byte(i * 11)
+	}
+	fl, err := f.Open(nil, "/deep.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the newly created DIRENT durable first: as in POSIX, a file's
+	// fsync covers its data and inode, not the parent directory's entry —
+	// that needs a sync of the directory (here: the volume).
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	fl.Close() // everything still dirty; the in-memory inode dies here
+	fl2, err := f.Open(nil, "/deep.bin", fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl2.(fs.FileSyncer).SyncT(nil); err != nil {
+		t.Fatal(err)
+	}
+	fl2.Close()
+
+	f2, err := Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := f2.Open(nil, "/deep.bin", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	read := 0
+	for read < len(got) {
+		n, err := rf.Read(nil, got[read:])
+		if err != nil || n == 0 {
+			t.Fatalf("post-crash read at %d: %d, %v (indirect block or inode not fsynced?)", read, n, err)
+		}
+		read += n
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("fsynced data unreadable after crash")
+	}
+}
+
+// errInjected is raised by flakyDev for writes overlapping its range.
+var errInjected = errors.New("xv6fs test: injected write error")
+
+// flakyDev fails writes overlapping an LBA range, count-limited.
+type flakyDev struct {
+	fs.BlockDevice
+	mu     sync.Mutex
+	lo, hi int
+	fail   int
+}
+
+func (d *flakyDev) arm(lo, hi, count int) {
+	d.mu.Lock()
+	d.lo, d.hi, d.fail = lo, hi, count
+	d.mu.Unlock()
+}
+
+func (d *flakyDev) WriteBlocks(lba, n int, src []byte) error {
+	d.mu.Lock()
+	if d.fail > 0 && lba < d.hi && lba+n > d.lo {
+		d.fail--
+		d.mu.Unlock()
+		return errInjected
+	}
+	d.mu.Unlock()
+	return d.BlockDevice.WriteBlocks(lba, n, src)
+}
+
+// TestFsyncIsolationXv6fs is the xv6fs twin of the FAT32 cross-file
+// regression: a daemon write failure on A's data blocks must leave B's
+// fsync clean and reach A's fsync exactly once.
+func TestFsyncIsolationXv6fs(t *testing.T) {
+	rd := fs.NewRamdisk(BlockSize, 1024)
+	if err := Mkfs(rd, 64); err != nil {
+		t.Fatal(err)
+	}
+	dev := &flakyDev{BlockDevice: rd}
+	f, err := MountWith(dev, nil, bcache.Options{
+		Buffers: 128, Shards: 4, Readahead: -1,
+		FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Cache()
+	go c.RunDaemon(nil, nil)
+	defer c.StopDaemon()
+
+	af, err := f.Open(nil, "/a.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := f.Open(nil, "/b.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Close()
+	defer bf.Close()
+	payload := bytes.Repeat([]byte{0xAB}, 2*BlockSize)
+	if _, err := af.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A's first data block, straight out of the locked-in inode map.
+	aip := af.(*file).ip
+	aBlock := int(aip.di.Addrs[0])
+	dev.arm(aBlock, aBlock+1, 1)
+
+	// Dirty both files again — warm cache, no device traffic — and let
+	// the daemon walk into the injected failure on A's block. A one-block
+	// rewrite keeps A's dirty run disjoint from B's blocks.
+	rewrite := func(fl fs.File, b byte) {
+		if _, err := fl.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fl.Write(nil, bytes.Repeat([]byte{b}, BlockSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rewrite(af, 0xA2)
+	rewrite(bf, 0xB2)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !aip.wb.Pending() {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never hit the injected error on A's block")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := bf.(fs.FileSyncer).SyncT(nil); err != nil {
+		t.Fatalf("B's fsync observed a foreign error: %v", err)
+	}
+	if err := af.(fs.FileSyncer).SyncT(nil); !errors.Is(err, errInjected) {
+		t.Fatalf("A's fsync = %v, want the injected error", err)
+	}
+	if err := af.(fs.FileSyncer).SyncT(nil); err != nil {
+		t.Fatalf("A's second fsync = %v, want nil (exactly-once)", err)
+	}
+	if err := f.Sync(nil); !errors.Is(err, errInjected) {
+		t.Fatalf("volume Sync = %v, want the injected error once", err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatalf("second volume Sync = %v, want nil", err)
+	}
+}

@@ -134,6 +134,15 @@ type FS struct {
 	imu    sync.Mutex
 	itable map[int]*inode
 
+	// owners maps inum -> the file's writeback-error stream, guarded by
+	// imu. It is deliberately SEPARATE from the itable: write-behind
+	// buffers keep their owner tag after the last close drops the
+	// in-memory inode, so the stream must outlive it — a reopen finds the
+	// same Owner and its fsync still flushes that earlier data and
+	// reports its errors. An entry dies only when the on-disk file does
+	// (iput's reclaim), so the map is bounded by live file identities.
+	owners map[int]*bcache.Owner
+
 	// Narrow allocator locks (rank: alloc). ialloc serializes inode-array
 	// allocation scans and free transitions; balloc serializes the block
 	// bitmap. Data IO on already-allocated blocks never touches either.
@@ -152,6 +161,12 @@ type inode struct {
 	lock  ksync.SleepLock
 	valid bool
 	di    dinode
+
+	// wb is this file's writeback-error stream (shared via FS.owners so
+	// it survives the in-memory inode): data writes tag their dirty
+	// buffers with it, asynchronous write failures advance it, and the
+	// file's fsync observes it (bcache errseq semantics).
+	wb *bcache.Owner
 }
 
 // Mount opens an existing filesystem on dev with default cache sizing.
@@ -165,7 +180,12 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	if dev.BlockSize() != BlockSize {
 		return nil, fmt.Errorf("%w: device block size %d, want %d", ErrBadFS, dev.BlockSize(), BlockSize)
 	}
-	f := &FS{dev: dev, bc: bcache.NewWithOptions(dev, copts), itable: make(map[int]*inode)}
+	f := &FS{
+		dev:    dev,
+		bc:     bcache.NewWithOptions(dev, copts),
+		itable: make(map[int]*inode),
+		owners: make(map[int]*bcache.Owner),
+	}
 	f.renameMu.SetRank(ksync.RankRename, 0)
 	f.ialloc.SetRank(ksync.RankAlloc, 1)
 	f.balloc.SetRank(ksync.RankAlloc, 2)
@@ -199,7 +219,12 @@ func (f *FS) iget(inum int) *inode {
 		ip.ref++
 		return ip
 	}
-	ip := &inode{inum: inum, ref: 1}
+	wb := f.owners[inum]
+	if wb == nil {
+		wb = &bcache.Owner{}
+		f.owners[inum] = wb
+	}
+	ip := &inode{inum: inum, ref: 1, wb: wb}
 	ip.lock.SetRank(ksync.RankInode, int64(inum))
 	f.itable[inum] = ip
 	return ip
@@ -244,6 +269,7 @@ func (f *FS) iupdate(t *sched.Task, ip *inode) error {
 // storage only when the final descriptor closes.
 func (f *FS) iput(t *sched.Task, ip *inode) {
 	f.imu.Lock()
+	reclaimed := false
 	if ip.ref == 1 && ip.valid && ip.di.NLink == 0 {
 		// Sole reference and no directory links left: nobody else can
 		// reach this inode (dirLookup can't find it, allocInode won't
@@ -261,11 +287,17 @@ func (f *FS) iput(t *sched.Task, ip *inode) {
 		f.ialloc.Unlock()
 		ip.valid = false
 		ip.lock.Unlock()
+		reclaimed = true
 		f.imu.Lock()
 	}
 	ip.ref--
 	if ip.ref == 0 {
 		delete(f.itable, ip.inum)
+		if reclaimed {
+			// The on-disk file is gone; the inum's next owner is a
+			// different file and must start a fresh error stream.
+			delete(f.owners, ip.inum)
+		}
 	}
 	f.imu.Unlock()
 }
@@ -510,6 +542,17 @@ func (f *FS) readData(t *sched.Task, ip *inode, off int64, dst []byte) (int, err
 }
 
 // writeData writes src at off, growing the file. Caller holds ip.lock.
+//
+// The write path mirrors readData's coalescing: aligned full-block spans
+// claim their physically contiguous runs through the cache's multi-block
+// WriteRange — one cache call installs the whole run dirty, and the
+// write-behind machinery later flushes it segment-granular instead of
+// block-at-a-time — while unaligned edges stay on the single-block
+// read-modify-write path. Sequential appends allocate mostly contiguous
+// blocks (allocBlock scans lowest-free-first), so big writes become a
+// handful of range calls. Every dirtied buffer is tagged with the inode's
+// error stream (ip.wb), so an asynchronous writeback failure of this
+// file's data is attributed to this file's fsync.
 func (f *FS) writeData(t *sched.Task, ip *inode, off int64, src []byte) (int, error) {
 	if off+int64(len(src)) > MaxFile*BlockSize {
 		return 0, fs.ErrFileTooBig
@@ -526,11 +569,36 @@ func (f *FS) writeData(t *sched.Task, ip *inode, off int64, src []byte) (int, er
 		if n > len(src)-done {
 			n = len(src) - done
 		}
-		if err := f.writeBlock(t, blockNo, func(data []byte) {
-			copy(data[bo:], src[done:done+n])
-		}); err != nil {
+		if bo == 0 && n == BlockSize {
+			// Aligned full block: extend to a physically contiguous run.
+			// bmap allocates as it probes; a probe that lands elsewhere on
+			// disk isn't wasted — the next loop iteration writes it.
+			run := 1
+			for done+(run+1)*BlockSize <= len(src) {
+				nb, err := f.bmap(t, ip, fb+run, true)
+				if err != nil {
+					return done, err
+				}
+				if nb != blockNo+run {
+					break
+				}
+				run++
+			}
+			if err := f.bc.WriteRangeOwned(t, blockNo, run, src[done:done+run*BlockSize], ip.wb); err != nil {
+				return done, err
+			}
+			done += run * BlockSize
+			continue
+		}
+		// Unaligned edge: single-block read-modify-write under the buffer
+		// lock, tagged with the same owner.
+		b, err := f.bc.Get(t, blockNo)
+		if err != nil {
 			return done, err
 		}
+		copy(b.Data[bo:], src[done:done+n])
+		f.bc.MarkDirtyOwned(b, ip.wb)
+		f.bc.Release(b)
 		done += n
 	}
 	if newSize := off + int64(done); newSize > int64(ip.di.Size) {

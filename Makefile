@@ -25,19 +25,23 @@ vet:
 # identifier there must carry a doc comment. cmd/lintdoc is the
 # dependency-free revive/golint "exported" rule.
 lint:
-	$(GO) run ./cmd/lintdoc internal/kernel/blkq internal/kernel/bcache
+	$(GO) run ./cmd/lintdoc internal/kernel/blkq internal/kernel/bcache \
+		internal/kernel/fs internal/kernel/errseq
 
 # Storage-stack perf trajectory: the write-heavy harness compares the
 # async stack (blkq + write-behind + flusher daemon) against the
 # synchronous-writeback baseline — asserting >= 2x throughput and a merge
 # ratio > 1 — and the 1-appender fsync workload with anticipatory
 # plugging off/on — asserting the plugged merge ratio wins — recording
-# both in BENCH_blkq.json; then the parallel-files, write-heavy, and
-# fsync-append benchmarks run for the log. CI runs this as a
-# non-blocking job.
+# both in BENCH_blkq.json; the random-4K file-IO harness compares pread
+# on a shared open file description against the lseek+read idiom it
+# replaced — asserting pread >= baseline — recording BENCH_file.json;
+# then the parallel-files, write-heavy, and fsync-append benchmarks run
+# for the log. CI runs this as a non-blocking job.
 bench:
 	BENCH_BLKQ_JSON=$(CURDIR)/BENCH_blkq.json $(GO) test -run TestWriteHeavyThroughput -v ./internal/kernel/fat32
-	$(GO) test -bench 'BenchmarkParallelFiles|BenchmarkWriteHeavy|BenchmarkFsyncAppend' -benchtime 1x -run '^$$' ./internal/kernel/fat32 ./internal/kernel/xv6fs
+	BENCH_FILE_JSON=$(CURDIR)/BENCH_file.json $(GO) test -run TestFileIOThroughput -v ./internal/kernel/xv6fs
+	$(GO) test -bench 'BenchmarkParallelFiles|BenchmarkWriteHeavy|BenchmarkFsyncAppend|BenchmarkRandom' -benchtime 1x -run '^$$' ./internal/kernel/fat32 ./internal/kernel/xv6fs
 
 # The paper's evaluation as Go benchmarks (Fig 8/9/10, Table 5, ablations,
 # sharded-cache vs bypass).

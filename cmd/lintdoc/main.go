@@ -1,8 +1,9 @@
 // Command lintdoc fails when an exported identifier in the given package
 // directories lacks a doc comment — the revive/golint "exported" rule as
-// a dependency-free script. CI runs it over the storage-stack packages
-// whose documentation this repo treats as a contract (internal/kernel/blkq,
-// internal/kernel/bcache), so `go doc` stays usable as the docs evolve.
+// a dependency-free script. CI runs it over the storage-stack and
+// file-layer packages whose documentation this repo treats as a contract
+// (internal/kernel/blkq, internal/kernel/bcache, internal/kernel/fs,
+// internal/kernel/errseq), so `go doc` stays usable as the docs evolve.
 //
 // Usage: go run ./cmd/lintdoc <pkg-dir> [<pkg-dir>...]
 package main

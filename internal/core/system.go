@@ -333,11 +333,12 @@ func buildSDAssets(sd *hw.SDCard, scale int) error {
 		return err
 	}
 	write := func(path string, data []byte) error {
-		fl, err := f.Open(nil, path, fs.OCreate|fs.OWrOnly)
+		ops, err := f.Open(nil, path, fs.OCreate|fs.OWrOnly)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		defer fl.Close()
+		fl := fs.NewOpenFile(ops, fs.OCreate|fs.OWrOnly)
+		defer fl.Close(nil)
 		if _, err := fl.Write(nil, data); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"protosim/internal/kernel/errseq"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/ksync"
 	"protosim/internal/kernel/sched"
@@ -197,9 +198,9 @@ type Cache struct {
 	// devErr is the device-wide writeback-error stream: every asynchronous
 	// write failure advances it (alongside the failing buffer's per-file
 	// Owner stream), and Flush — the whole-device barrier behind volume
-	// Sync and SysSync — is its observer. Errseq semantics: each failure
-	// epoch is reported exactly once, even if the retry succeeded.
-	devErr Owner
+	// Sync and SysSync — is its single observer. Errseq semantics: each
+	// failure epoch is reported exactly once, even if the retry succeeded.
+	devErr errseq.Stream
 
 	// Writeback-daemon state. daemonOn gates the eviction handoff; the
 	// kick/stop machinery serves both the sched-task and host-goroutine
@@ -414,13 +415,26 @@ func (c *Cache) setState(b *Buf, valid, dirty, setOwner bool, o *Owner) {
 	s := c.shard(b.lba)
 	s.mu.Lock()
 	was := b.valid && b.dirty
+	oldOwner := b.owner
 	b.valid = valid
 	b.dirty = dirty
 	if setOwner {
 		b.owner = o
 	}
+	newOwner := b.owner
 	now := valid && dirty
+	lba := b.lba
 	s.mu.Unlock()
+	// Per-owner dirty-list maintenance. The caller holds the buffer's
+	// sleeplock (the setFlags contract), so per-buffer transitions are
+	// ordered and the lists track buffer state exactly: an LBA is on an
+	// owner's list iff its buffer is valid+dirty and tagged with it.
+	if oldOwner != nil && was && (!now || newOwner != oldOwner) {
+		oldOwner.removeDirty(lba)
+	}
+	if newOwner != nil && now && (!was || newOwner != oldOwner) {
+		newOwner.addDirty(lba)
+	}
 	if now == was {
 		return
 	}
@@ -532,6 +546,9 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 		s.mu.Lock()
 		if wrote && err == nil {
 			v.dirty = false
+			if owner != nil {
+				owner.removeDirty(v.lba)
+			}
 			c.dirty.Add(-1)
 			c.writebacks.Add(1)
 		}
@@ -848,19 +865,26 @@ func (c *Cache) writeSegment(t *sched.Task, lba, n int, src []byte, o *Owner) er
 // once, even if the data has since been rewritten successfully.
 func (c *Cache) Flush(t *sched.Task) error {
 	err := c.flushDirty(t)
-	if werr := c.devErr.check(); err == nil {
+	if werr := c.devErr.Check(); err == nil {
 		err = werr
 	}
 	return err
 }
 
-// FlushOwner is the per-file durability barrier — fsync. It writes back
-// the dirty buffers tagged with o (the file's data) plus any caller-named
+// FlushOwner is the per-file flush half of fsync. It writes back the
+// dirty buffers tagged with o (the file's data) plus any caller-named
 // metadata blocks (extra: the file's inode block, its directory-entry
-// sector), then observes o's error stream: an asynchronous writeback
-// failure of this file's buffers is reported here exactly once, and
-// another file's failure never is — the isolation the old cache-wide
-// error latch could not give.
+// sector). The owned snapshot comes from o's own dirty list — O(dirty-own),
+// not a walk of every shard — so fsync of one small file costs the same
+// whether the cache holds nothing or a thousand other files' dirt.
+//
+// FlushOwner does not OBSERVE o's error stream: observation is per open
+// file description (fs.OpenFile.Sync observes its own errseq cursor after
+// this flush returns), so two descriptors on one inode each report an
+// asynchronous failure exactly once. Synchronous failures of the flush
+// itself are both returned and recorded on the stream — every observer
+// must hear about a write that never landed, not only the caller that
+// happened to run the flush.
 //
 // Unlike Flush, the queued submissions run without an explicit plug: an
 // fsync is the lone, latency-sensitive submitter the request queue's
@@ -868,16 +892,7 @@ func (c *Cache) Flush(t *sched.Task) error {
 // accumulates in the anticipatory window and merges, and the first Wait
 // releases the window without paying the full delay.
 func (c *Cache) FlushOwner(t *sched.Task, o *Owner, extra ...int) error {
-	var dirty []int
-	for _, s := range c.shards {
-		s.mu.Lock()
-		for lba, b := range s.bufs {
-			if b.valid && b.dirty && b.owner == o {
-				dirty = append(dirty, lba)
-			}
-		}
-		s.mu.Unlock()
-	}
+	dirty := o.snapshotDirty()
 	for _, lba := range extra {
 		// Dedupe against the owned snapshot: a window must never lock one
 		// buffer twice.
@@ -892,19 +907,14 @@ func (c *Cache) FlushOwner(t *sched.Task, o *Owner, extra ...int) error {
 			dirty = append(dirty, lba)
 		}
 	}
-	var err error
-	if len(dirty) > 0 {
-		sort.Ints(dirty)
-		if c.qdev != nil {
-			err = c.flushQueued(t, dirty, false)
-		} else {
-			err = c.flushSync(t, dirty)
-		}
+	if len(dirty) == 0 {
+		return nil
 	}
-	if werr := o.check(); err == nil {
-		err = werr
+	sort.Ints(dirty)
+	if c.qdev != nil {
+		return c.flushQueued(t, dirty, false)
 	}
-	return err
+	return c.flushSync(t, dirty)
 }
 
 // flushDirty writes every currently-dirty buffer back. Over a request
@@ -1086,9 +1096,9 @@ func (c *Cache) flushSync(t *sched.Task, dirty []int) error {
 // report it exactly once.
 func (c *Cache) noteAsyncWriteErr(o *Owner, err error) {
 	if o != nil {
-		o.record(err)
+		o.Record(err)
 	}
-	c.devErr.record(err)
+	c.devErr.Record(err)
 }
 
 // WritebackErrPending reports whether the device-wide stream holds a

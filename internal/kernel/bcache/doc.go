@@ -55,20 +55,25 @@
 // blocks are submitted asynchronously under an explicit plug and the
 // elevator merges them; on a plain device contiguous runs go out one
 // command each — and every completion is awaited before return.
-// FlushOwner is the per-file barrier (fsync): it writes back only the
-// buffers tagged with one file's Owner token (plus caller-named metadata
-// blocks), submitting without an explicit plug — an fsync is the lone,
-// latency-sensitive submitter the request queue's anticipatory plug
-// exists for.
+// FlushOwner is the per-file flush (the work half of fsync): it writes
+// back only the buffers tagged with one file's Owner token (plus
+// caller-named metadata blocks), found through the Owner's own dirty
+// list — O(dirty-own), never a walk of the shards — and submitted
+// without an explicit plug: an fsync is the lone, latency-sensitive
+// submitter the request queue's anticipatory plug exists for.
 //
 // Errors from writebacks nobody waits on (daemon passes, eviction) are
-// recorded Linux-errseq-style in the owning file's Owner stream and in
-// the cache's device-wide stream, not in a cache-wide latch: each stream
-// position advances on every failure and never rewinds, and each observer
-// — FlushOwner for the owning file, Flush for the device — reports an
-// error epoch exactly once, even if a retried write has since succeeded.
-// One file's fsync therefore never reports another file's daemon error,
-// while the device-wide barrier still reports every failure once. Failed
-// buffers stay dirty, so the data itself is never silently dropped. See
-// the Owner type for the full semantics.
+// recorded Linux-errseq-style in the owning file's Owner stream
+// (errseq.Stream) and in the cache's device-wide stream, not in a
+// cache-wide latch: each stream position advances on every failure and
+// never rewinds, so a retried write that succeeds does not erase the
+// epoch. Observation of a file's stream is per OPEN FILE DESCRIPTION,
+// not per file: FlushOwner only flushes, and each fs.OpenFile observes
+// its own errseq cursor afterwards — two descriptors on one inode each
+// report a failure exactly once (Linux f_wb_err semantics). The
+// device-wide stream keeps a single observer, Flush, so the volume
+// barrier still reports every failure once. One file's fsync never
+// reports another file's daemon error, and failed buffers stay dirty,
+// so the data itself is never silently dropped. See the Owner type and
+// package errseq for the full semantics.
 package bcache

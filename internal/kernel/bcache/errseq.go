@@ -1,65 +1,85 @@
 package bcache
 
-import "sync"
+import (
+	"sync"
 
-// Owner is a per-file writeback-error stream, modeled on Linux's errseq_t.
-// Filesystems keep one per file identity — xv6fs keyed by inum, FAT32 by
-// first cluster, in registries that OUTLIVE the in-memory inode, since
-// write-behind buffers keep their owner tag past the last close and a
-// reopened file's fsync must still find them — and tag the buffers that
+	"protosim/internal/kernel/errseq"
+)
+
+// Owner is a file's writeback identity inside the cache: the errseq
+// Stream its asynchronous write failures advance, plus the list of the
+// file's own dirty buffers, so fsync can find them without scanning the
+// whole cache.
+//
+// Filesystems keep one Owner per file identity — xv6fs keyed by inum,
+// FAT32 by first cluster, in registries that OUTLIVE the in-memory inode,
+// since write-behind buffers keep their owner tag past the last close and
+// a reopened file's fsync must still find them — and tag the buffers that
 // file dirties with it (MarkDirtyOwned/WriteRangeOwned). When a writeback
 // nobody is waiting on fails — a kflushd daemon pass, an eviction
 // writeback — the error advances the owning file's stream (and the
 // cache's device-wide stream), instead of a single cache-wide latch: an
 // fsync of file B can no longer be handed file A's daemon error.
 //
-// The stream carries a sequence number that advances on every recorded
-// failure and never rewinds — a later successful retry does not erase the
-// epoch, so fsync semantics hold: once data failed to reach the device
-// asynchronously, the next observation reports it even though the
-// re-issued write landed. Each Owner has one observer, the file's fsync
-// path (Cache.FlushOwner): it compares the stream position against the
-// cursor of its last observation and advances the cursor, so every error
-// epoch is reported exactly once to that observer and a clean stream
-// stays silent. The cache itself holds an Owner as the whole-device
-// stream, observed the same way by Cache.Flush (volume Sync / SysSync) —
-// a second, independent observer, so a daemon error is reported once to
-// the file that owned the buffer and once to the device-wide barrier.
+// Error OBSERVATION is per open file description, not per Owner: each
+// OpenFile samples the stream at open and observes its own cursor at
+// fsync (fs.OpenFile.Sync), so two descriptors on one inode each hear
+// about a failure exactly once — Linux's f_wb_err refinement of the
+// per-inode stream. The embedded Stream's own Check remains for
+// single-observer streams (the cache's device-wide stream, tests).
 //
-// The zero value is a ready, clean stream. An Owner must not be copied
+// The dirty list is maintained by the cache under each buffer's state
+// transitions: an LBA is listed exactly while some cached buffer is
+// valid+dirty and tagged with this Owner. Cache.FlushOwner snapshots it,
+// making fsync O(dirty-own) instead of O(cache).
+//
+// The zero value is a ready, clean Owner. An Owner must not be copied
 // after first use.
 type Owner struct {
+	errseq.Stream
+
 	mu    sync.Mutex
-	seq   uint64 // stream position: advances on every recorded failure
-	err   error  // the error recorded at seq
-	since uint64 // the observer's cursor: stream position last reported
+	dirty map[int]struct{} // LBAs of this owner's valid+dirty buffers
 }
 
-// record advances the stream with an asynchronous write failure.
-func (o *Owner) record(err error) {
+// addDirty records that the buffer at lba is dirty and owned.
+func (o *Owner) addDirty(lba int) {
 	o.mu.Lock()
-	o.seq++
-	o.err = err
+	if o.dirty == nil {
+		o.dirty = make(map[int]struct{})
+	}
+	o.dirty[lba] = struct{}{}
 	o.mu.Unlock()
 }
 
-// check is the observer's sample-and-compare: if the stream advanced past
-// the cursor, report the recorded error once and move the cursor up.
-func (o *Owner) check() error {
+// removeDirty records that lba's buffer is no longer this owner's dirty
+// buffer (cleaned, or re-tagged to another owner).
+func (o *Owner) removeDirty(lba int) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	if o.since == o.seq {
-		return nil
-	}
-	o.since = o.seq
-	return o.err
+	delete(o.dirty, lba)
+	o.mu.Unlock()
 }
 
-// Pending reports whether the stream holds an error its observer has not
-// yet seen (diagnostics and tests; a Sync/fsync path uses check via
-// Flush/FlushOwner instead).
-func (o *Owner) Pending() bool {
+// snapshotDirty returns the owner's dirty LBAs at this instant. The
+// snapshot is advisory: the flush path re-validates each buffer under its
+// lock, so concurrent cleans and evictions are harmless.
+func (o *Owner) snapshotDirty() []int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.since != o.seq
+	if len(o.dirty) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(o.dirty))
+	for lba := range o.dirty {
+		out = append(out, lba)
+	}
+	return out
+}
+
+// DirtyCount reports how many of the owner's buffers are dirty (tests:
+// the per-owner list must track buffer state exactly).
+func (o *Owner) DirtyCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.dirty)
 }

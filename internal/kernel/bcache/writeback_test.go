@@ -173,9 +173,11 @@ func (d *lbaFlakyRD) WriteBlocks(lba, n int, src []byte) error {
 
 // TestOwnerErrSeqIsolation is the cache-level errseq contract: a daemon
 // write failure on owner A's buffers advances A's stream and the
-// device-wide stream, never B's. A's observer (FlushOwner) reports it
-// exactly once even though the flush retry succeeds; so does the
-// device-wide observer (Flush); B stays clean throughout.
+// device-wide stream, never B's. Observation is per-cursor — each
+// descriptor-style observer of A's stream reports the failure exactly
+// once even though the flush retry succeeds, independently of every
+// other observer; so does the device-wide observer (Flush); B stays
+// clean throughout.
 func TestOwnerErrSeqIsolation(t *testing.T) {
 	dev := &lbaFlakyRD{Ramdisk: fs.NewRamdisk(512, 256)}
 	c := NewWithOptions(dev, Options{Buffers: 64, Shards: 4, Readahead: -1,
@@ -184,6 +186,9 @@ func TestOwnerErrSeqIsolation(t *testing.T) {
 	defer c.StopDaemon()
 
 	var a, b Owner
+	// Two "descriptors" on A and one on B, opened before the failure:
+	// each samples its own cursor, the way fs.NewOpenFile does.
+	ca1, ca2, cb := a.Sample(), a.Sample(), b.Sample()
 	blk := make([]byte, 4*512)
 	dev.arm(8, 12, 1) // A's range fails once
 	if err := c.WriteRangeOwned(nil, 8, 4, blk, &a); err != nil {
@@ -202,14 +207,36 @@ func TestOwnerErrSeqIsolation(t *testing.T) {
 	if b.Pending() {
 		t.Fatal("B's stream advanced on A's failure")
 	}
+	// B's fsync: flush clean, observation clean.
 	if err := c.FlushOwner(nil, &b); err != nil {
-		t.Fatalf("B's fsync = %v, want nil", err)
+		t.Fatalf("B's flush = %v, want nil", err)
 	}
-	if err := c.FlushOwner(nil, &a); !errors.Is(err, errWB) {
-		t.Fatalf("A's fsync = %v, want %v", err, errWB)
+	if err := b.Observe(&cb); err != nil {
+		t.Fatalf("B's observer = %v, want nil", err)
 	}
+	// A's fsync via the first descriptor: the flush retry succeeds, the
+	// observation still reports the epoch — exactly once.
 	if err := c.FlushOwner(nil, &a); err != nil {
-		t.Fatalf("A's second fsync = %v, want nil (exactly-once)", err)
+		t.Fatalf("A's flush = %v, want nil (retry succeeded)", err)
+	}
+	if err := a.Observe(&ca1); !errors.Is(err, errWB) {
+		t.Fatalf("A's first observer = %v, want %v", err, errWB)
+	}
+	if err := a.Observe(&ca1); err != nil {
+		t.Fatalf("A's first observer again = %v, want nil (exactly-once)", err)
+	}
+	// The second descriptor's cursor was not consumed by the first.
+	if err := a.Observe(&ca2); !errors.Is(err, errWB) {
+		t.Fatalf("A's second observer = %v, want %v", err, errWB)
+	}
+	if err := a.Observe(&ca2); err != nil {
+		t.Fatalf("A's second observer again = %v, want nil", err)
+	}
+	// A descriptor opened AFTER the epoch was reported samples the
+	// current position and stays silent.
+	late := a.Sample()
+	if err := a.Observe(&late); err != nil {
+		t.Fatalf("late observer = %v, want nil", err)
 	}
 	// The device-wide observer is independent: Flush still reports once.
 	if err := c.Flush(nil); !errors.Is(err, errWB) {
@@ -372,5 +399,62 @@ func TestFlushOverQueueMergesAndIsDurable(t *testing.T) {
 		if raw[0] != byte(lba) {
 			t.Fatalf("block %d not durable after Flush barrier", lba)
 		}
+	}
+}
+
+// TestOwnerDirtyListTracksState: the per-owner dirty list (what makes
+// FlushOwner O(dirty-own) instead of a walk of every shard) must track
+// buffer state exactly — grow on owned dirtying, shrink on writeback,
+// eviction writeback, and ownership handoff, and ignore unowned metadata.
+func TestOwnerDirtyListTracksState(t *testing.T) {
+	rd := fs.NewRamdisk(512, 256)
+	c := NewWithOptions(rd, Options{Buffers: 64, Shards: 4, Readahead: -1,
+		WritebackRatio: -1, FlushInterval: time.Hour})
+	var a, b Owner
+	blk := bytes.Repeat([]byte{0x22}, 512)
+	for lba := 8; lba < 12; lba++ {
+		if err := c.WriteRangeOwned(nil, lba, 1, blk, &a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteRange(nil, 60, 1, blk); err != nil { // unowned
+		t.Fatal(err)
+	}
+	if got := a.DirtyCount(); got != 4 {
+		t.Fatalf("A dirty = %d, want 4", got)
+	}
+	// Rewriting an already-dirty owned block must not double-count.
+	if err := c.WriteRangeOwned(nil, 8, 1, blk, &a); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.DirtyCount(); got != 4 {
+		t.Fatalf("A dirty after rewrite = %d, want 4", got)
+	}
+	// Ownership handoff moves the LBA between lists.
+	if err := c.WriteRangeOwned(nil, 11, 1, blk, &b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.DirtyCount(), 3; got != want {
+		t.Fatalf("A dirty after handoff = %d, want %d", got, want)
+	}
+	if got := b.DirtyCount(); got != 1 {
+		t.Fatalf("B dirty = %d, want 1", got)
+	}
+	// FlushOwner drains exactly A's list; B's survives.
+	if err := c.FlushOwner(nil, &a); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.DirtyCount(); got != 0 {
+		t.Fatalf("A dirty after FlushOwner = %d, want 0", got)
+	}
+	if got := b.DirtyCount(); got != 1 {
+		t.Fatalf("B dirty after A's flush = %d, want 1", got)
+	}
+	// The whole-cache barrier drains the rest.
+	if err := c.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.DirtyCount(); got != 0 {
+		t.Fatalf("B dirty after Flush = %d, want 0", got)
 	}
 }

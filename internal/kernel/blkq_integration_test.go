@@ -116,7 +116,7 @@ func readProc(t *testing.T, k *Kernel, name string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
+	defer f.Close(nil)
 	var sb strings.Builder
 	buf := make([]byte, 4096)
 	for {

@@ -124,46 +124,48 @@ func (k *Kernel) addBlockDev(d *BlockIO) {
 func (k *Kernel) BlockDevs() []*BlockIO { return k.blockDevs }
 
 func (k *Kernel) registerBlockDevFile(d *BlockIO) {
-	k.DevFS.Register(d.name, func(*sched.Task, int) (fs.File, error) {
+	k.DevFS.Register(d.name, func(*sched.Task, int) (fs.FileOps, error) {
 		return &blockFile{dev: d}, nil
 	})
 }
 
-// blockFile is a raw, read-only, seekable view of a block device —
+// blockFile is a raw, read-only, positional view of a block device —
 // `cat /dev/sd0` territory. Writes are refused: scribbling under a mounted
-// filesystem is how images get corrupted.
+// filesystem is how images get corrupted. It holds no state at all — the
+// offset lives in the OpenFile.
 type blockFile struct {
+	fs.BaseOps
 	dev *BlockIO
-	mu  sync.Mutex
-	off int64
 }
 
-func (f *blockFile) Read(_ *sched.Task, p []byte) (int, error) {
+// Pread implements fs.FileOps: an unaligned read served by covering block
+// commands.
+func (f *blockFile) Pread(_ *sched.Task, p []byte, off int64) (int, error) {
 	bs := int64(f.dev.BlockSize())
 	size := int64(f.dev.Blocks()) * bs
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.off >= size {
+	if off >= size {
 		return 0, nil
 	}
-	if int64(len(p)) > size-f.off {
-		p = p[:size-f.off]
+	if int64(len(p)) > size-off {
+		p = p[:size-off]
 	}
 	// Read the covering block range, then slice out the unaligned view.
-	first := f.off / bs
-	last := (f.off + int64(len(p)) - 1) / bs
+	first := off / bs
+	last := (off + int64(len(p)) - 1) / bs
 	buf := make([]byte, (last-first+1)*bs)
 	if err := f.dev.ReadBlocks(int(first), int(last-first+1), buf); err != nil {
 		return 0, err
 	}
-	n := copy(p, buf[f.off-first*bs:])
-	f.off += int64(n)
-	return n, nil
+	return copy(p, buf[off-first*bs:]), nil
 }
 
-func (f *blockFile) Write(*sched.Task, []byte) (int, error) { return 0, fs.ErrPerm }
-func (f *blockFile) Close() error                           { return nil }
-func (f *blockFile) Stat() (fs.Stat, error) {
+// Pwrite implements fs.FileOps: refused, the device is mounted.
+func (f *blockFile) Pwrite(*sched.Task, []byte, int64) (int, int64, error) {
+	return 0, 0, fs.ErrPerm
+}
+
+// Stat implements fs.FileOps.
+func (f *blockFile) Stat(*sched.Task) (fs.Stat, error) {
 	return fs.Stat{
 		Name: f.dev.Name(),
 		Type: fs.TypeDevice,
@@ -171,28 +173,8 @@ func (f *blockFile) Stat() (fs.Stat, error) {
 	}, nil
 }
 
-// Lseek implements fs.Seeker.
-func (f *blockFile) Lseek(off int64, whence int) (int64, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	var base int64
-	switch whence {
-	case fs.SeekSet:
-		base = 0
-	case fs.SeekCur:
-		base = f.off
-	case fs.SeekEnd:
-		base = int64(f.dev.Blocks()) * int64(f.dev.BlockSize())
-	default:
-		return 0, fs.ErrBadSeek
-	}
-	n := base + off
-	if n < 0 {
-		return 0, fs.ErrBadSeek
-	}
-	f.off = n
-	return n, nil
-}
+// Caps implements fs.FileOps: positional (seekable).
+func (f *blockFile) Caps() fs.Caps { return fs.CapSeek }
 
 // eventQueue buffers keyboard events for /dev/events when no window
 // manager is routing input (Prototype 4).
@@ -356,20 +338,20 @@ func (k *Kernel) InjectKey(e wm.InputEvent) { k.routeEvent(e) }
 
 // registerDevices populates /dev.
 func (k *Kernel) registerDevices() {
-	k.DevFS.Register("uart", func(*sched.Task, int) (fs.File, error) {
+	k.DevFS.Register("uart", func(*sched.Task, int) (fs.FileOps, error) {
 		return &uartFile{k: k}, nil
 	})
-	k.DevFS.Register("console", func(*sched.Task, int) (fs.File, error) {
+	k.DevFS.Register("console", func(*sched.Task, int) (fs.FileOps, error) {
 		return &consoleFile{k: k}, nil
 	})
-	k.DevFS.Register("fb", func(_ *sched.Task, flags int) (fs.File, error) {
+	k.DevFS.Register("fb", func(_ *sched.Task, flags int) (fs.FileOps, error) {
 		return &fbFile{k: k}, nil
 	})
-	k.DevFS.Register("events", func(_ *sched.Task, flags int) (fs.File, error) {
+	k.DevFS.Register("events", func(_ *sched.Task, flags int) (fs.FileOps, error) {
 		return &eventsFile{k: k, nonblock: flags&fs.ONonblock != 0}, nil
 	})
 	if k.cfg.EnableSound {
-		k.DevFS.Register("sb", func(*sched.Task, int) (fs.File, error) {
+		k.DevFS.Register("sb", func(*sched.Task, int) (fs.FileOps, error) {
 			return &soundFile{dev: k.sound}, nil
 		})
 	}
@@ -381,8 +363,12 @@ func (k *Kernel) registerDevices() {
 // --- /dev/uart and /dev/console ---
 
 // uartFile is raw serial: writes transmit, reads poll the RX FIFO.
-type uartFile struct{ k *Kernel }
+type uartFile struct {
+	fs.BaseOps
+	k *Kernel
+}
 
+// Read implements fs.FileOps.
 func (u *uartFile) Read(t *sched.Task, p []byte) (int, error) {
 	n := 0
 	for n < len(p) {
@@ -396,18 +382,24 @@ func (u *uartFile) Read(t *sched.Task, p []byte) (int, error) {
 	return n, nil
 }
 
+// Write implements fs.FileOps.
 func (u *uartFile) Write(_ *sched.Task, p []byte) (int, error) {
 	return u.k.m.UART.Write(p)
 }
-func (u *uartFile) Close() error { return nil }
-func (u *uartFile) Stat() (fs.Stat, error) {
+
+// Stat implements fs.FileOps.
+func (u *uartFile) Stat(*sched.Task) (fs.Stat, error) {
 	return fs.Stat{Name: "uart", Type: fs.TypeDevice}, nil
 }
 
 // consoleFile is the shell's terminal: reads block for keyboard ASCII
 // (falling back to UART RX), writes go to the UART synchronously.
-type consoleFile struct{ k *Kernel }
+type consoleFile struct {
+	fs.BaseOps
+	k *Kernel
+}
 
+// Read implements fs.FileOps: blocks for the next typed byte.
 func (c *consoleFile) Read(t *sched.Task, p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
@@ -432,77 +424,57 @@ func (c *consoleFile) Read(t *sched.Task, p []byte) (int, error) {
 	}
 }
 
+// Write implements fs.FileOps.
 func (c *consoleFile) Write(_ *sched.Task, p []byte) (int, error) {
 	return c.k.m.UART.Write(p)
 }
-func (c *consoleFile) Close() error { return nil }
-func (c *consoleFile) Stat() (fs.Stat, error) {
+
+// Stat implements fs.FileOps.
+func (c *consoleFile) Stat(*sched.Task) (fs.Stat, error) {
 	return fs.Stat{Name: "console", Type: fs.TypeDevice}, nil
 }
 
 // --- /dev/fb ---
 
-// fbFile exposes the framebuffer as a seekable device file; ioctl flushes
-// the cache so the panel shows the writes.
+// fbFile exposes the framebuffer as a positional device file; ioctl
+// flushes the cache so the panel shows the writes. The offset lives in
+// the OpenFile.
 type fbFile struct {
-	k   *Kernel
-	mu  sync.Mutex
-	off int64
+	fs.BaseOps
+	k *Kernel
 }
 
-func (f *fbFile) Read(_ *sched.Task, p []byte) (int, error) {
+// Pread implements fs.FileOps.
+func (f *fbFile) Pread(_ *sched.Task, p []byte, off int64) (int, error) {
 	fb := f.k.FB
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.off >= int64(fb.Size()) {
+	if off >= int64(fb.Size()) {
 		return 0, nil
 	}
-	n := copy(p, fb.Mem()[f.off:])
-	f.off += int64(n)
-	return n, nil
+	return copy(p, fb.Mem()[off:]), nil
 }
 
-func (f *fbFile) Write(_ *sched.Task, p []byte) (int, error) {
+// Pwrite implements fs.FileOps.
+func (f *fbFile) Pwrite(_ *sched.Task, p []byte, off int64) (int, int64, error) {
 	fb := f.k.FB
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.off >= int64(fb.Size()) {
-		return 0, fs.ErrNoSpace
+	if off == fs.OffAppend {
+		return 0, 0, fs.ErrBadSeek
 	}
-	n := copy(fb.Mem()[f.off:], p)
-	f.off += int64(n)
-	return n, nil
+	if off >= int64(fb.Size()) {
+		return 0, off, fs.ErrNoSpace
+	}
+	n := copy(fb.Mem()[off:], p)
+	return n, off + int64(n), nil
 }
 
-func (f *fbFile) Close() error { return nil }
-func (f *fbFile) Stat() (fs.Stat, error) {
+// Stat implements fs.FileOps.
+func (f *fbFile) Stat(*sched.Task) (fs.Stat, error) {
 	return fs.Stat{Name: "fb", Type: fs.TypeDevice, Size: int64(f.k.FB.Size())}, nil
 }
 
-// Lseek implements fs.Seeker.
-func (f *fbFile) Lseek(off int64, whence int) (int64, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	var base int64
-	switch whence {
-	case fs.SeekSet:
-		base = 0
-	case fs.SeekCur:
-		base = f.off
-	case fs.SeekEnd:
-		base = int64(f.k.FB.Size())
-	default:
-		return 0, fs.ErrBadSeek
-	}
-	n := base + off
-	if n < 0 {
-		return 0, fs.ErrBadSeek
-	}
-	f.off = n
-	return n, nil
-}
+// Caps implements fs.FileOps: positional, with control operations.
+func (f *fbFile) Caps() fs.Caps { return fs.CapSeek | fs.CapIoctl }
 
-// Ioctl implements fs.Ioctler.
+// Ioctl implements fs.FileOps.
 func (f *fbFile) Ioctl(_ *sched.Task, op int, arg int64) (int64, error) {
 	switch op {
 	case IoctlFBFlush:
@@ -520,10 +492,12 @@ func (f *fbFile) Ioctl(_ *sched.Task, op int, arg int64) (int64, error) {
 // O_NONBLOCK (or the ioctl) an empty queue returns ErrWouldBlock — the
 // §4.5 non-blocking IO path DOOM's key polling needs.
 type eventsFile struct {
+	fs.BaseOps
 	k        *Kernel
 	nonblock bool
 }
 
+// Read implements fs.FileOps: the next 8-byte event record.
 func (f *eventsFile) Read(t *sched.Task, p []byte) (int, error) {
 	if len(p) < wm.EventSize {
 		return 0, fmt.Errorf("kernel: events read needs %d bytes", wm.EventSize)
@@ -540,13 +514,15 @@ func (f *eventsFile) Read(t *sched.Task, p []byte) (int, error) {
 	return wm.EventSize, nil
 }
 
-func (f *eventsFile) Write(*sched.Task, []byte) (int, error) { return 0, fs.ErrPerm }
-func (f *eventsFile) Close() error                           { return nil }
-func (f *eventsFile) Stat() (fs.Stat, error) {
+// Stat implements fs.FileOps.
+func (f *eventsFile) Stat(*sched.Task) (fs.Stat, error) {
 	return fs.Stat{Name: "events", Type: fs.TypeDevice}, nil
 }
 
-// Ioctl implements fs.Ioctler.
+// Caps implements fs.FileOps: a stream with control operations.
+func (f *eventsFile) Caps() fs.Caps { return fs.CapIoctl }
+
+// Ioctl implements fs.FileOps.
 func (f *eventsFile) Ioctl(_ *sched.Task, op int, arg int64) (int64, error) {
 	if op == IoctlNonblock {
 		f.nonblock = arg != 0

@@ -1,0 +1,102 @@
+// Package errseq implements writeback-error streams with per-observer
+// cursors, modeled on Linux's errseq_t — the mechanism behind both the
+// kernel's per-inode error tracking (mapping->wb_err) and the per-open-file
+// refinement (struct file's f_wb_err).
+//
+// A Stream records asynchronous failures nobody was waiting on (a flusher
+// daemon's write error, an eviction writeback error). Each recorded failure
+// advances a never-rewinding sequence number, so a later successful retry
+// does not erase the epoch: once data failed to reach the device, every
+// observer's next observation reports it, exactly once per observer.
+//
+// Observers hold a Cursor — their private position in the stream. An open
+// file description samples the stream's cursor at open (Sample) and
+// observes it at every fsync (Observe): if the stream advanced past the
+// cursor, the recorded error is reported and the cursor catches up. Two
+// descriptors on the same file each hold their own cursor, so each reports
+// a failure exactly once — Linux's f_wb_err semantics, which a single
+// per-file cursor cannot give.
+//
+// Sample carries Linux's "seen" subtlety: a stream holding an error no
+// observer has yet reported samples to a position BEFORE that error, so a
+// file opened after the failure still learns about it on its first fsync.
+// Once any observer has reported the epoch, later opens sample the current
+// position and stay silent — the error is not news anymore.
+//
+// The zero Stream is ready and clean. A Stream must not be copied after
+// first use.
+package errseq
+
+import "sync"
+
+// Cursor is one observer's position in a Stream. The zero Cursor is the
+// position of a clean stream; descriptors obtain theirs with Sample at
+// open time and hand it back to Observe. A Cursor belongs to exactly one
+// Stream; all cursor movement happens under that Stream's lock.
+type Cursor uint64
+
+// Stream is one writeback-error stream: a sequence that advances on every
+// recorded failure, the most recent error, and the "unseen" flag that
+// gives late openers their first observation of an unreported epoch.
+type Stream struct {
+	mu     sync.Mutex
+	seq    uint64
+	err    error
+	unseen bool // an epoch no observer has reported yet
+
+	// legacy is the stream's own built-in observer, for single-observer
+	// uses (a cache's device-wide stream observed only by the volume sync
+	// barrier) and for tests.
+	legacy Cursor
+}
+
+// Record advances the stream with an asynchronous write failure.
+func (s *Stream) Record(err error) {
+	s.mu.Lock()
+	s.seq++
+	s.err = err
+	s.unseen = true
+	s.mu.Unlock()
+}
+
+// Sample returns the cursor a new observer should start from: the current
+// position — unless the stream holds an epoch nobody has reported yet, in
+// which case the cursor lands just before it, so the new observer's first
+// Observe reports the pending error (a file opened after a still-unreported
+// writeback failure must hear about it).
+func (s *Stream) Sample() Cursor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.unseen {
+		return Cursor(s.seq - 1)
+	}
+	return Cursor(s.seq)
+}
+
+// Observe is the sample-and-advance: if the stream moved past c since c's
+// last observation, the recorded error is reported once and c catches up;
+// a stream at c's position stays silent. Concurrent observers — even of
+// the same cursor, two fsyncs racing on one descriptor — serialize on the
+// stream's lock.
+func (s *Stream) Observe(c *Cursor) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if uint64(*c) == s.seq {
+		return nil
+	}
+	*c = Cursor(s.seq)
+	s.unseen = false
+	return s.err
+}
+
+// Check observes the stream's built-in legacy cursor — the single-observer
+// mode (device-wide streams, tests).
+func (s *Stream) Check() error { return s.Observe(&s.legacy) }
+
+// Pending reports whether the stream holds an error its built-in observer
+// has not yet seen (diagnostics and tests).
+func (s *Stream) Pending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(s.legacy) != s.seq
+}

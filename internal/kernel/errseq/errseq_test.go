@@ -1,0 +1,126 @@
+package errseq
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+var errBoom = errors.New("boom")
+
+func TestCleanStreamStaysSilent(t *testing.T) {
+	var s Stream
+	c := s.Sample()
+	if err := s.Observe(&c); err != nil {
+		t.Fatalf("clean observe = %v", err)
+	}
+	if s.Pending() {
+		t.Fatal("clean stream pending")
+	}
+}
+
+func TestEachCursorReportsOnce(t *testing.T) {
+	var s Stream
+	c1, c2 := s.Sample(), s.Sample()
+	s.Record(errBoom)
+	if err := s.Observe(&c1); !errors.Is(err, errBoom) {
+		t.Fatalf("c1 = %v", err)
+	}
+	if err := s.Observe(&c1); err != nil {
+		t.Fatalf("c1 again = %v, want nil (exactly-once)", err)
+	}
+	// c2 is independent: c1's observation did not consume its epoch.
+	if err := s.Observe(&c2); !errors.Is(err, errBoom) {
+		t.Fatalf("c2 = %v", err)
+	}
+	if err := s.Observe(&c2); err != nil {
+		t.Fatalf("c2 again = %v", err)
+	}
+}
+
+// TestLateSamplerSemantics is the Linux errseq_sample subtlety: a cursor
+// sampled while an epoch is still UNREPORTED lands before it (the new
+// opener must hear the news); one sampled after any observer reported it
+// lands on it (old news is not repeated to new opens).
+func TestLateSamplerSemantics(t *testing.T) {
+	var s Stream
+	s.Record(errBoom)
+	early := s.Sample() // nobody has observed the epoch yet
+	if err := s.Observe(&early); !errors.Is(err, errBoom) {
+		t.Fatalf("unseen-epoch sampler = %v, want %v", err, errBoom)
+	}
+	late := s.Sample() // the epoch has been reported now
+	if err := s.Observe(&late); err != nil {
+		t.Fatalf("seen-epoch sampler = %v, want nil", err)
+	}
+}
+
+func TestRetrySuccessDoesNotEraseEpoch(t *testing.T) {
+	var s Stream
+	c := s.Sample()
+	s.Record(errBoom)
+	// The "retry succeeded" case: no way to rewind the stream exists, so
+	// the observer still hears the failure.
+	if err := s.Observe(&c); !errors.Is(err, errBoom) {
+		t.Fatalf("observe after record = %v", err)
+	}
+}
+
+func TestCollapsedEpochsReportLatest(t *testing.T) {
+	var s Stream
+	c := s.Sample()
+	errLater := errors.New("later")
+	s.Record(errBoom)
+	s.Record(errLater)
+	if err := s.Observe(&c); !errors.Is(err, errLater) {
+		t.Fatalf("collapsed observe = %v, want the latest error", err)
+	}
+	if err := s.Observe(&c); err != nil {
+		t.Fatalf("second observe = %v", err)
+	}
+}
+
+func TestLegacyCheckIsIndependentObserver(t *testing.T) {
+	var s Stream
+	c := s.Sample()
+	s.Record(errBoom)
+	if err := s.Check(); !errors.Is(err, errBoom) {
+		t.Fatalf("Check = %v", err)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatalf("second Check = %v", err)
+	}
+	if err := s.Observe(&c); !errors.Is(err, errBoom) {
+		t.Fatalf("cursor after Check = %v, want the error (independent)", err)
+	}
+}
+
+// TestConcurrentObservers: racing observers of one shared cursor report
+// an epoch exactly once between them (two fsyncs on one descriptor), and
+// the run is race-detector clean.
+func TestConcurrentObservers(t *testing.T) {
+	var s Stream
+	c := s.Sample()
+	s.Record(errBoom)
+	const n = 16
+	reports := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports <- s.Observe(&c)
+		}()
+	}
+	wg.Wait()
+	close(reports)
+	got := 0
+	for err := range reports {
+		if err != nil {
+			got++
+		}
+	}
+	if got != 1 {
+		t.Fatalf("shared cursor reported %d times, want 1", got)
+	}
+}

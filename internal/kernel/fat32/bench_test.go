@@ -64,16 +64,16 @@ func BenchmarkParallelFiles(b *testing.B) {
 	}
 }
 
-var benchFiles []fs.File
+var benchFiles []*fs.OpenFile
 
 func setupParallelFiles(b *testing.B, f *FS, workers, fileSize int) {
-	benchFiles = make([]fs.File, workers)
+	benchFiles = make([]*fs.OpenFile, workers)
 	data := make([]byte, fileSize)
 	for i := range data {
 		data[i] = byte(i * 31)
 	}
 	for w := range benchFiles {
-		fl, err := f.Open(nil, fmt.Sprintf("/w%d.bin", w), fs.OCreate|fs.ORdWr)
+		fl, err := openOF(f, fmt.Sprintf("/w%d.bin", w), fs.OCreate|fs.ORdWr)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,10 +95,10 @@ func runParallelReads(b *testing.B, f *FS, workers, fileSize int) {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(fl fs.File) {
+			go func(fl *fs.OpenFile) {
 				defer wg.Done()
-				sk := fl.(fs.Seeker)
-				sk.Lseek(0, fs.SeekSet)
+				sk := fl
+				sk.Seek(nil, 0, fs.SeekSet)
 				// 16 KB chunks: claims stay small enough for every
 				// worker's device commands to stay in flight at once.
 				buf := make([]byte, 16<<10)

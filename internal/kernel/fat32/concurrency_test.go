@@ -62,7 +62,7 @@ func TestParallelDisjointFiles(t *testing.T) {
 				}
 				payload := bytes.Repeat([]byte{byte('A' + w)}, 24<<10) // 6 clusters
 				for r := 0; r < rounds; r++ {
-					fl, err := f.Open(nil, main, fs.OCreate|fs.ORdWr|fs.OTrunc)
+					fl, err := openOF(f, main, fs.OCreate|fs.ORdWr|fs.OTrunc)
 					if err != nil {
 						t.Errorf("w%d open: %v", w, err)
 						return
@@ -71,7 +71,7 @@ func TestParallelDisjointFiles(t *testing.T) {
 						t.Errorf("w%d write: %v", w, err)
 						return
 					}
-					fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+					fl.Seek(nil, 0, fs.SeekSet)
 					got := make([]byte, len(payload))
 					read := 0
 					for read < len(got) {
@@ -86,16 +86,16 @@ func TestParallelDisjointFiles(t *testing.T) {
 						t.Errorf("w%d round %d: read back wrong bytes", w, r)
 						return
 					}
-					fl.Close()
+					fl.Close(nil)
 
 					sp := fmt.Sprintf("%s/s%d.tmp", dir, r%3)
-					sf, err := f.Open(nil, sp, fs.OCreate|fs.OWrOnly)
+					sf, err := openOF(f, sp, fs.OCreate|fs.OWrOnly)
 					if err != nil {
 						t.Errorf("w%d scratch: %v", w, err)
 						return
 					}
 					sf.Write(nil, payload[:512])
-					sf.Close()
+					sf.Close(nil)
 					if err := f.Unlink(nil, sp); err != nil {
 						t.Errorf("w%d scratch unlink: %v", w, err)
 						return
@@ -113,7 +113,7 @@ func TestParallelDisjointFiles(t *testing.T) {
 		if err != nil || st.Size != 24<<10 {
 			t.Fatalf("final stat w%d = %+v, %v", w, st, err)
 		}
-		fl, _ := f.Open(nil, fmt.Sprintf("/w%d.dat", w), fs.ORdOnly)
+		fl, _ := openOF(f, fmt.Sprintf("/w%d.dat", w), fs.ORdOnly)
 		got := make([]byte, 24<<10)
 		read := 0
 		for read < len(got) {
@@ -128,7 +128,7 @@ func TestParallelDisjointFiles(t *testing.T) {
 				t.Fatalf("w%d byte %d = %q, files bled into each other", w, i, b)
 			}
 		}
-		fl.Close()
+		fl.Close(nil)
 	}
 	if n := f.PseudoInodes(); n != 0 {
 		t.Fatalf("pseudo-inode leak: %d live after close", n)
@@ -150,12 +150,12 @@ func TestConcurrentRenameOpposingDirs(t *testing.T) {
 		}
 	}
 	mkfile := func(path, content string) {
-		fl, err := f.Open(nil, path, fs.OCreate|fs.OWrOnly)
+		fl, err := openOF(f, path, fs.OCreate|fs.OWrOnly)
 		if err != nil {
 			t.Fatal(err)
 		}
 		fl.Write(nil, []byte(content))
-		fl.Close()
+		fl.Close(nil)
 	}
 	mkfile("/a/x.bin", "xx")
 	mkfile("/b/y.bin", "yyy")
@@ -180,12 +180,12 @@ func TestConcurrentRenameOpposingDirs(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				p := fmt.Sprintf("%s/c%d.tmp", dir, r%5)
-				fl, err := f.Open(nil, p, fs.OCreate|fs.OWrOnly)
+				fl, err := openOF(f, p, fs.OCreate|fs.OWrOnly)
 				if err != nil {
 					t.Errorf("churn create %s: %v", p, err)
 					return
 				}
-				fl.Close()
+				fl.Close(nil)
 				if err := f.Unlink(nil, p); err != nil {
 					t.Errorf("churn unlink %s: %v", p, err)
 					return
@@ -218,9 +218,9 @@ func TestCreateVsWalkSameParent(t *testing.T) {
 	if err := f.Mkdir(nil, "/p"); err != nil {
 		t.Fatal(err)
 	}
-	fl, _ := f.Open(nil, "/p/known.txt", fs.OCreate|fs.OWrOnly)
+	fl, _ := openOF(f, "/p/known.txt", fs.OCreate|fs.OWrOnly)
 	fl.Write(nil, []byte("k"))
-	fl.Close()
+	fl.Close(nil)
 
 	runWithDeadline(t, 2*time.Minute, func() {
 		var wg sync.WaitGroup
@@ -229,12 +229,12 @@ func TestCreateVsWalkSameParent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				p := fmt.Sprintf("/p/f%02d.txt", i)
-				fl, err := f.Open(nil, p, fs.OCreate|fs.OWrOnly)
+				fl, err := openOF(f, p, fs.OCreate|fs.OWrOnly)
 				if err != nil {
 					t.Errorf("create %s: %v", p, err)
 					return
 				}
-				fl.Close()
+				fl.Close(nil)
 			}
 		}()
 		go func() {
@@ -251,8 +251,8 @@ func TestCreateVsWalkSameParent(t *testing.T) {
 	if t.Failed() {
 		return
 	}
-	d, _ := f.Open(nil, "/p", fs.ORdOnly)
-	entries, _ := d.(fs.DirReader).ReadDir()
+	d, _ := openOF(f, "/p", fs.ORdOnly)
+	entries, _ := d.ReadDir(nil)
 	if len(entries) != 51 {
 		t.Fatalf("entries = %d, want 51", len(entries))
 	}
@@ -264,7 +264,7 @@ func TestCreateVsWalkSameParent(t *testing.T) {
 func TestUnlinkPoisonsOpenHandles(t *testing.T) {
 	withRankCheck(t)
 	f := newFS(t, 4096)
-	fl, err := f.Open(nil, "/gone.bin", fs.OCreate|fs.ORdWr)
+	fl, err := openOF(f, "/gone.bin", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,14 +272,14 @@ func TestUnlinkPoisonsOpenHandles(t *testing.T) {
 	if err := f.Unlink(nil, "/gone.bin"); err != nil {
 		t.Fatal(err)
 	}
-	fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+	fl.Seek(nil, 0, fs.SeekSet)
 	if _, err := fl.Read(nil, make([]byte, 512)); !errors.Is(err, fs.ErrNotFound) {
 		t.Fatalf("read after unlink = %v, want ErrNotFound", err)
 	}
 	if _, err := fl.Write(nil, []byte("x")); !errors.Is(err, fs.ErrNotFound) {
 		t.Fatalf("write after unlink = %v, want ErrNotFound", err)
 	}
-	if err := fl.Close(); err != nil {
+	if err := fl.Close(nil); err != nil {
 		t.Fatal(err)
 	}
 	if n := f.PseudoInodes(); n != 0 {
@@ -287,12 +287,12 @@ func TestUnlinkPoisonsOpenHandles(t *testing.T) {
 	}
 	// The first cluster may be reused by a new file without aliasing the
 	// dead handle's pseudo-inode.
-	fl2, err := f.Open(nil, "/fresh.bin", fs.OCreate|fs.OWrOnly)
+	fl2, err := openOF(f, "/fresh.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fl2.Write(nil, []byte("fresh")); err != nil {
 		t.Fatal(err)
 	}
-	fl2.Close()
+	fl2.Close(nil)
 }

@@ -56,7 +56,7 @@ func TestMountRejectsGarbage(t *testing.T) {
 
 func TestCreateWriteReadLargeFile(t *testing.T) {
 	f := newFS(t, 16384) // 8 MB card
-	fl, err := f.Open(nil, "/doom1.wad", fs.OCreate|fs.ORdWr)
+	fl, err := openOF(f, "/doom1.wad", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestCreateWriteReadLargeFile(t *testing.T) {
 	if n, err := fl.Write(nil, data); err != nil || n != len(data) {
 		t.Fatalf("write = %d, %v", n, err)
 	}
-	if _, err := fl.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+	if _, err := fl.Seek(nil, 0, fs.SeekSet); err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, len(data))
@@ -95,10 +95,10 @@ func TestCreateWriteReadLargeFile(t *testing.T) {
 
 func TestRangeBypassUsed(t *testing.T) {
 	f := newFS(t, 16384)
-	fl, _ := f.Open(nil, "/video.mpv", fs.OCreate|fs.ORdWr)
+	fl, _ := openOF(f, "/video.mpv", fs.OCreate|fs.ORdWr)
 	data := make([]byte, 512<<10)
 	fl.Write(nil, data)
-	fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+	fl.Seek(nil, 0, fs.SeekSet)
 	opsBefore, blocksBefore := f.RangeStats()
 	buf := make([]byte, 256<<10)
 	if _, err := fl.Read(nil, buf); err != nil {
@@ -118,12 +118,12 @@ func TestRangeBypassUsed(t *testing.T) {
 
 func TestNamesCaseInsensitive83(t *testing.T) {
 	f := newFS(t, 4096)
-	fl, err := f.Open(nil, "/Track01.pog", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/Track01.pog", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fl.Write(nil, []byte("audio"))
-	fl.Close()
+	fl.Close(nil)
 	// Lookup with different case succeeds (FAT is case-insensitive).
 	if _, err := f.Stat(nil, "/TRACK01.POG"); err != nil {
 		t.Fatalf("uppercase lookup: %v", err)
@@ -132,8 +132,8 @@ func TestNamesCaseInsensitive83(t *testing.T) {
 		t.Fatalf("lowercase lookup: %v", err)
 	}
 	// ReadDir reports the lowered name.
-	d, _ := f.Open(nil, "/", fs.ORdOnly)
-	entries, _ := d.(fs.DirReader).ReadDir()
+	d, _ := openOF(f, "/", fs.ORdOnly)
+	entries, _ := d.ReadDir(nil)
 	if len(entries) != 1 || entries[0].Name != "track01.pog" {
 		t.Fatalf("entries = %v", entries)
 	}
@@ -142,7 +142,7 @@ func TestNamesCaseInsensitive83(t *testing.T) {
 func TestNameRejection(t *testing.T) {
 	f := newFS(t, 4096)
 	for _, bad := range []string{"/waytoolongbasename.txt", "/file.toolong", "/sp ace.txt"} {
-		if _, err := f.Open(nil, bad, fs.OCreate|fs.OWrOnly); !errors.Is(err, fs.ErrNameTooLong) {
+		if _, err := openOF(f, bad, fs.OCreate|fs.OWrOnly); !errors.Is(err, fs.ErrNameTooLong) {
 			t.Fatalf("%s: err = %v", bad, err)
 		}
 	}
@@ -156,12 +156,12 @@ func TestDirectoriesNested(t *testing.T) {
 	if err := f.Mkdir(nil, "/photos/trip"); err != nil {
 		t.Fatal(err)
 	}
-	fl, err := f.Open(nil, "/photos/trip/img1.bmp", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/photos/trip/img1.bmp", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fl.Write(nil, []byte("BM"))
-	fl.Close()
+	fl.Close(nil)
 	st, err := f.Stat(nil, "/photos/trip/img1.bmp")
 	if err != nil || st.Size != 2 {
 		t.Fatalf("stat = %+v %v", st, err)
@@ -172,14 +172,14 @@ func TestUnlinkAndSpaceReuse(t *testing.T) {
 	f := newFS(t, 2048) // ~1 MB card
 	payload := make([]byte, 256<<10)
 	for i := 0; i < 4; i++ {
-		fl, err := f.Open(nil, "/big.bin", fs.OCreate|fs.OWrOnly)
+		fl, err := openOF(f, "/big.bin", fs.OCreate|fs.OWrOnly)
 		if err != nil {
 			t.Fatalf("iter %d: %v", i, err)
 		}
 		if _, err := fl.Write(nil, payload); err != nil {
 			t.Fatalf("iter %d: %v", i, err)
 		}
-		fl.Close()
+		fl.Close(nil)
 		if err := f.Unlink(nil, "/big.bin"); err != nil {
 			t.Fatalf("iter %d unlink: %v", i, err)
 		}
@@ -189,8 +189,8 @@ func TestUnlinkAndSpaceReuse(t *testing.T) {
 func TestUnlinkNonEmptyDir(t *testing.T) {
 	f := newFS(t, 4096)
 	f.Mkdir(nil, "/d")
-	fl, _ := f.Open(nil, "/d/x.txt", fs.OCreate|fs.OWrOnly)
-	fl.Close()
+	fl, _ := openOF(f, "/d/x.txt", fs.OCreate|fs.OWrOnly)
+	fl.Close(nil)
 	if err := f.Unlink(nil, "/d"); !errors.Is(err, fs.ErrNotEmpty) {
 		t.Fatalf("err = %v", err)
 	}
@@ -198,14 +198,14 @@ func TestUnlinkNonEmptyDir(t *testing.T) {
 
 func TestTruncReleasesClusters(t *testing.T) {
 	f := newFS(t, 2048)
-	fl, _ := f.Open(nil, "/t.bin", fs.OCreate|fs.OWrOnly)
+	fl, _ := openOF(f, "/t.bin", fs.OCreate|fs.OWrOnly)
 	fl.Write(nil, make([]byte, 128<<10))
-	fl.Close()
-	fl2, err := f.Open(nil, "/t.bin", fs.OWrOnly|fs.OTrunc)
+	fl.Close(nil)
+	fl2, err := openOF(f, "/t.bin", fs.OWrOnly|fs.OTrunc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl2.Close()
+	fl2.Close(nil)
 	st, _ := f.Stat(nil, "/t.bin")
 	if st.Size != 0 {
 		t.Fatalf("size = %d after trunc", st.Size)
@@ -214,23 +214,23 @@ func TestTruncReleasesClusters(t *testing.T) {
 
 func TestPseudoInodeLifecycle(t *testing.T) {
 	f := newFS(t, 4096)
-	fl, _ := f.Open(nil, "/a.txt", fs.OCreate|fs.OWrOnly)
+	fl, _ := openOF(f, "/a.txt", fs.OCreate|fs.OWrOnly)
 	fl.Write(nil, []byte("x"))
 	if f.PseudoInodes() != 1 {
 		t.Fatalf("pseudo inodes = %d", f.PseudoInodes())
 	}
 	// Second open of the same file shares the pseudo-inode.
-	fl2, _ := f.Open(nil, "/a.txt", fs.ORdOnly)
+	fl2, _ := openOF(f, "/a.txt", fs.ORdOnly)
 	if f.PseudoInodes() != 1 {
 		t.Fatalf("pseudo inodes = %d after second open", f.PseudoInodes())
 	}
 	// Both sides see a consistent size.
-	st, _ := fl2.Stat()
+	st, _ := fl2.Stat(nil)
 	if st.Size != 1 {
 		t.Fatalf("shared size = %d", st.Size)
 	}
-	fl.Close()
-	fl2.Close()
+	fl.Close(nil)
+	fl2.Close(nil)
 	if f.PseudoInodes() != 0 {
 		t.Fatalf("pseudo inodes leak: %d", f.PseudoInodes())
 	}
@@ -238,7 +238,7 @@ func TestPseudoInodeLifecycle(t *testing.T) {
 
 func TestDiskFull(t *testing.T) {
 	f := newFS(t, 512) // 256 KB card
-	fl, _ := f.Open(nil, "/fill.bin", fs.OCreate|fs.OWrOnly)
+	fl, _ := openOF(f, "/fill.bin", fs.OCreate|fs.OWrOnly)
 	var err error
 	chunk := make([]byte, 64<<10)
 	for i := 0; i < 32; i++ {
@@ -262,9 +262,9 @@ func TestSDErrorSurfaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl, _ := f.Open(nil, "/x.bin", fs.OCreate|fs.ORdWr)
+	fl, _ := openOF(f, "/x.bin", fs.OCreate|fs.ORdWr)
 	fl.Write(nil, make([]byte, 64<<10))
-	fl.Close()
+	fl.Close(nil)
 	if err := f.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestSDErrorSurfaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl2, err := f2.Open(nil, "/x.bin", fs.ORdOnly)
+	fl2, err := openOF(f2, "/x.bin", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,9 +291,9 @@ func TestMkfsRemountPersistence(t *testing.T) {
 	dev := sdDev{sd}
 	Mkfs(dev)
 	f, _ := Mount(dev, nil)
-	fl, _ := f.Open(nil, "/save.dat", fs.OCreate|fs.OWrOnly)
+	fl, _ := openOF(f, "/save.dat", fs.OCreate|fs.OWrOnly)
 	fl.Write(nil, []byte("persistent"))
-	fl.Close()
+	fl.Close(nil)
 	if err := f.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +302,7 @@ func TestMkfsRemountPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl2, err := f2.Open(nil, "/save.dat", fs.ORdOnly)
+	fl2, err := openOF(f2, "/save.dat", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,10 +340,10 @@ func Test83RoundTripProperty(t *testing.T) {
 
 func TestWriteAtOffsets(t *testing.T) {
 	f := newFS(t, 8192)
-	fl, _ := f.Open(nil, "/rw.bin", fs.OCreate|fs.ORdWr)
+	fl, _ := openOF(f, "/rw.bin", fs.OCreate|fs.ORdWr)
 	model := make([]byte, 96<<10)
 	fl.Write(nil, model) // allocate
-	sk := fl.(fs.Seeker)
+	sk := fl
 	writes := []struct {
 		off int
 		val byte
@@ -353,13 +353,13 @@ func TestWriteAtOffsets(t *testing.T) {
 	}
 	for _, w := range writes {
 		data := bytes.Repeat([]byte{w.val}, w.n)
-		sk.Lseek(int64(w.off), fs.SeekSet)
+		sk.Seek(nil, int64(w.off), fs.SeekSet)
 		if _, err := fl.Write(nil, data); err != nil {
 			t.Fatalf("write at %d: %v", w.off, err)
 		}
 		copy(model[w.off:], data)
 	}
-	sk.Lseek(0, fs.SeekSet)
+	sk.Seek(nil, 0, fs.SeekSet)
 	got := make([]byte, len(model)+4096)
 	read := 0
 	for {
@@ -400,7 +400,7 @@ func TestDataFlowsThroughCache(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 13)
 	}
-	fl, err := f.Open(nil, "/data.bin", fs.OCreate|fs.ORdWr)
+	fl, err := openOF(f, "/data.bin", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +417,7 @@ func TestDataFlowsThroughCache(t *testing.T) {
 	}
 	// Warm read: the file was write-allocated, so no device reads happen.
 	_, r0, _, _ := sd.Stats()
-	fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+	fl.Seek(nil, 0, fs.SeekSet)
 	got := make([]byte, len(payload))
 	if _, err := fl.Read(nil, got); err != nil {
 		t.Fatal(err)
@@ -429,7 +429,7 @@ func TestDataFlowsThroughCache(t *testing.T) {
 	if r1 != r0 {
 		t.Fatalf("warm read hit the device: %d -> %d blocks", r0, r1)
 	}
-	fl.Close()
+	fl.Close(nil)
 }
 
 func TestDataPathModesAgree(t *testing.T) {
@@ -438,20 +438,20 @@ func TestDataPathModesAgree(t *testing.T) {
 		payload[i] = byte(i ^ (i >> 8))
 	}
 	f := newFS(t, 4096)
-	fl, err := f.Open(nil, "/agree.bin", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/agree.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fl.Write(nil, payload); err != nil {
 		t.Fatal(err)
 	}
-	fl.Close()
+	fl.Close(nil)
 	if err := f.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []DataPath{DataPathRange, DataPathSingleBlock, DataPathBypass} {
 		f.SetDataPath(p)
-		fl, err := f.Open(nil, "/agree.bin", fs.ORdOnly)
+		fl, err := openOF(f, "/agree.bin", fs.ORdOnly)
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
@@ -462,7 +462,7 @@ func TestDataPathModesAgree(t *testing.T) {
 		if !bytes.Equal(got, payload) {
 			t.Fatalf("data path %v read different bytes", p)
 		}
-		fl.Close()
+		fl.Close(nil)
 	}
 }
 
@@ -477,7 +477,7 @@ func TestRangeWritesCoalesceCommands(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl, err := f.Open(nil, "/big.bin", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/big.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,5 +492,5 @@ func TestRangeWritesCoalesceCommands(t *testing.T) {
 	if cmds := c1 - c0; cmds > 200 {
 		t.Fatalf("256 KB write issued %d device commands; range batching missing", cmds)
 	}
-	fl.Close()
+	fl.Close(nil)
 }

@@ -3,49 +3,23 @@ package fat32
 import (
 	"encoding/binary"
 	"sort"
-	"sync"
 
 	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/errseq"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/ksync"
 	"protosim/internal/kernel/sched"
 )
 
-// file is one open FAT32 file, backed by a shared pseudo-inode.
+// file is the fs.FileOps of one open FAT32 file, backed by a shared
+// pseudo-inode. It is pure per-FILE state: the offset, open flags,
+// refcounts and the per-open error cursor live in the fs.OpenFile
+// wrapping it.
 type file struct {
+	fs.BaseOps
 	fsys *FS
 	pi   *pseudoInode
 	name string
-
-	mu       sync.Mutex
-	off      int64
-	flags    int
-	closed   bool
-	inflight int // operations between use() and done()
-}
-
-// use opens an operation window on the description (false once closed);
-// done closes it. Threads share FD tables, so a Close can race an
-// in-flight Read/Write on the same descriptor — the pseudo-inode
-// reference is dropped by whoever finishes last, never mid-operation.
-func (fl *file) use() bool {
-	fl.mu.Lock()
-	defer fl.mu.Unlock()
-	if fl.closed {
-		return false
-	}
-	fl.inflight++
-	return true
-}
-
-func (fl *file) done() {
-	fl.mu.Lock()
-	fl.inflight--
-	drop := fl.closed && fl.inflight == 0
-	fl.mu.Unlock()
-	if drop {
-		fl.fsys.unpin(fl.pi)
-	}
 }
 
 // pin returns (creating if needed) a referenced pseudo-inode for the
@@ -111,20 +85,20 @@ func (f *FS) patchDirentSize(t *sched.Task, pi *pseudoInode) error {
 }
 
 // Open implements fs.FileSystem.
-func (f *FS) Open(t *sched.Task, path string, flags int) (fs.File, error) {
+func (f *FS) Open(t *sched.Task, path string, flags int) (fs.FileOps, error) {
 	path = fs.Clean(path)
 	if path == "/" {
 		if flags&(fs.OWrOnly|fs.ORdWr) != 0 {
 			return nil, fs.ErrIsDir
 		}
-		return &file{fsys: f, pi: f.pinRoot(), name: "/", flags: flags}, nil
+		return &file{fsys: f, pi: f.pinRoot(), name: "/"}, nil
 	}
 	dp, name, err := f.walkParent(t, path)
 	if err != nil {
 		return nil, err
 	}
 	dp.lock.Lock(t)
-	fail := func(err error) (fs.File, error) {
+	fail := func(err error) (fs.FileOps, error) {
 		dp.lock.Unlock()
 		f.unpin(dp)
 		return nil, err
@@ -156,7 +130,7 @@ func (f *FS) Open(t *sched.Task, path string, flags int) (fs.File, error) {
 	}
 	dp.lock.Unlock()
 	f.unpin(dp)
-	return &file{fsys: f, pi: pi, name: name, flags: flags}, nil
+	return &file{fsys: f, pi: pi, name: name}, nil
 }
 
 // truncatePI frees all but the first cluster and zeroes the size. Caller
@@ -274,17 +248,7 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 		return failBoth(err)
 	}
 	err = f.removeDirent(t, ref)
-	// The chain is gone: poison the pseudo-inode so surviving handles fail
-	// cleanly instead of reading reallocated clusters, and drop it — and
-	// its error stream — from the tables so the first cluster's next owner
-	// gets a fresh identity.
-	pi.dead = true
-	f.mu.Lock()
-	if cur, ok := f.pseudo[pi.firstCluster]; ok && cur == pi {
-		delete(f.pseudo, pi.firstCluster)
-	}
-	delete(f.owners, pi.firstCluster)
-	f.mu.Unlock()
+	f.killPI(pi)
 	pi.lock.Unlock()
 	f.unpin(pi)
 	dp.lock.Unlock()
@@ -292,8 +256,28 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 	return err
 }
 
+// killPI poisons a pseudo-inode whose chain is gone, so surviving handles
+// fail cleanly instead of reading reallocated clusters, and drops it — and
+// its error stream — from the tables so the first cluster's next owner
+// gets a fresh identity. Caller holds pi.lock.
+func (f *FS) killPI(pi *pseudoInode) {
+	pi.dead = true
+	f.mu.Lock()
+	if cur, ok := f.pseudo[pi.firstCluster]; ok && cur == pi {
+		delete(f.pseudo, pi.firstCluster)
+	}
+	delete(f.owners, pi.firstCluster)
+	f.mu.Unlock()
+}
+
 // Rename implements fs.Renamer: atomically move oldPath to newPath within
-// the volume. The destination must not already exist.
+// the volume. An existing target is atomically REPLACED (POSIX rename):
+// its directory entry — same name, same slot — is repointed at the moved
+// file's chain in one sector-atomic patch, so newPath never stops
+// resolving; the displaced chain is freed and its pseudo-inode poisoned
+// (FAT32 has no deferred reclaim — surviving handles fail cleanly, as
+// with unlink-while-open). A directory may only replace an empty
+// directory; replacing across types fails with ErrIsDir/ErrNotDir.
 //
 // Rename is the one operation holding two directory locks at once, so it
 // is serialized volume-wide by renameMu and locks the pair ancestor-first
@@ -301,7 +285,9 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 // the cleaned paths — safe because only renames reshape the tree and
 // renameMu admits one at a time. Against create/unlink/walk, which lock
 // parent-then-child down the tree, ancestor-first ordering closes every
-// cycle.
+// cycle. The moved and displaced pseudo-inodes are locked nested under
+// the directories; holders of a single file lock never acquire a second,
+// so the pair cannot cycle either.
 func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 	oldPath, newPath = fs.Clean(oldPath), fs.Clean(newPath)
 	if oldPath == "/" || newPath == "/" {
@@ -323,6 +309,24 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 
 	f.renameMu.Lock(t)
 	defer f.renameMu.Unlock()
+
+	// Renaming onto an ANCESTOR of the source ("/x/y/z" → "/x/y"): the
+	// target is a directory the source's own lock path runs through —
+	// locking it as the replace victim would deadlock against the locks
+	// this call (or a concurrent walk) already holds — and it necessarily
+	// contains the source, so the POSIX answer needs no victim lock:
+	// ErrNotEmpty for a directory source, ErrIsDir for a file. Stable
+	// under renameMu: only renames reshape the tree.
+	if fs.IsPathAncestor(newPath, oldPath) {
+		st, err := f.Stat(t, oldPath)
+		if err != nil {
+			return err
+		}
+		if st.Type == fs.TypeDir {
+			return fs.ErrNotEmpty
+		}
+		return fs.ErrIsDir
+	}
 
 	dp1, err := f.walkDir(t, oldDir)
 	if err != nil {
@@ -370,10 +374,19 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 	if err != nil {
 		return fail(err)
 	}
-	if _, _, err := f.lookup(t, dp2.firstCluster, newName); err == nil {
-		return fail(fs.ErrExists)
-	} else if err != fs.ErrNotFound {
-		return fail(err)
+	tde, tref, terr := f.lookup(t, dp2.firstCluster, newName)
+	if terr != nil && terr != fs.ErrNotFound {
+		return fail(terr)
+	}
+	if terr == nil && tde.cluster == de.cluster {
+		// Both names already point at the same chain: POSIX no-op.
+		return fail(nil)
+	}
+	if terr == nil && (tde.cluster == dp1.firstCluster || tde.cluster == dp2.firstCluster) {
+		// Defensive: the ancestor-target check before the locks were
+		// taken should make this unreachable; refuse rather than deadlock
+		// on a lock this call already holds.
+		return fail(fs.ErrNotEmpty)
 	}
 
 	// Lock the moved object's pseudo-inode across the move so a concurrent
@@ -381,24 +394,86 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 	// nor land on the vacated slot.
 	pi := f.pin(de.cluster, de.attr&attrDir != 0, de.size, ref)
 	pi.lock.LockNested(t)
-	nde := *de
-	nde.name = n83
-	nde.size = pi.size
-	newRef, err := f.addDirent(t, dp2.firstCluster, &nde)
-	if err != nil {
+	failPI := func(err error) error {
 		pi.lock.Unlock()
 		f.unpin(pi)
 		return fail(err)
 	}
-	if err := f.removeDirent(t, ref); err != nil {
-		// Roll the new entry back rather than leave the file under two
-		// names; best-effort, the original error wins.
-		_ = f.removeDirent(t, newRef)
-		pi.lock.Unlock()
-		f.unpin(pi)
-		return fail(err)
+	if terr == nil {
+		// Replace: validate typing, then repoint the target's entry — one
+		// sector-atomic patch of cluster/size/attr, the name is already
+		// newName — free the displaced chain and poison its pseudo-inode.
+		vpi := f.pin(tde.cluster, tde.attr&attrDir != 0, tde.size, tref)
+		vpi.lock.LockNested(t)
+		failBoth := func(err error) error {
+			vpi.lock.Unlock()
+			f.unpin(vpi)
+			return failPI(err)
+		}
+		if vpi.isDir {
+			if !pi.isDir {
+				return failBoth(fs.ErrIsDir)
+			}
+			empty := true
+			if err := f.scanDir(t, tde.cluster, func(*dirent83, direntRef) bool {
+				empty = false
+				return false
+			}); err != nil {
+				return failBoth(err)
+			}
+			if !empty {
+				return failBoth(fs.ErrNotEmpty)
+			}
+		} else if pi.isDir {
+			return failBoth(fs.ErrNotDir)
+		}
+		nde := *de
+		nde.name = n83
+		nde.size = pi.size
+		if err := f.patchDirent(t, tref, func(entry []byte) {
+			nde.encode(entry)
+		}); err != nil {
+			return failBoth(err)
+		}
+		if err := f.removeDirent(t, ref); err != nil {
+			// Roll the repoint back rather than leave the file under two
+			// names; best-effort, the original error wins.
+			_ = f.patchDirent(t, tref, func(entry []byte) {
+				tde.encode(entry)
+			})
+			return failBoth(err)
+		}
+		// Only now is the displaced chain unreachable; free it. The
+		// rename itself is committed at this point — a FAT write failure
+		// here leaks the displaced clusters (fsck territory), so it is
+		// still reported to the caller, as Unlink reports its own
+		// free-chain failures.
+		freeErr := f.freeChain(t, tde.cluster)
+		f.killPI(vpi)
+		pi.dirCluster, pi.dirIndex = tref.cluster, tref.index
+		vpi.lock.Unlock()
+		f.unpin(vpi)
+		if freeErr != nil {
+			pi.lock.Unlock()
+			f.unpin(pi)
+			return fail(freeErr)
+		}
+	} else {
+		nde := *de
+		nde.name = n83
+		nde.size = pi.size
+		newRef, err := f.addDirent(t, dp2.firstCluster, &nde)
+		if err != nil {
+			return failPI(err)
+		}
+		if err := f.removeDirent(t, ref); err != nil {
+			// Roll the new entry back rather than leave the file under two
+			// names; best-effort, the original error wins.
+			_ = f.removeDirent(t, newRef)
+			return failPI(err)
+		}
+		pi.dirCluster, pi.dirIndex = newRef.cluster, newRef.index
 	}
-	pi.dirCluster, pi.dirIndex = newRef.cluster, newRef.index
 	pi.lock.Unlock()
 	f.unpin(pi)
 	if second != nil {
@@ -469,13 +544,24 @@ func (f *FS) Sync(t *sched.Task) error {
 	return err
 }
 
-// --- fs.File implementation ---
+// --- fs.FileOps implementation ---
 
-func (fl *file) Read(t *sched.Task, p []byte) (int, error) {
-	if !fl.use() {
-		return 0, fs.ErrBadFD
+// Caps implements fs.FileOps: directories list and sync, files are
+// positional and sync.
+func (fl *file) Caps() fs.Caps {
+	if fl.pi.isDir {
+		return fs.CapDir | fs.CapSync
 	}
-	defer fl.done()
+	return fs.CapSeek | fs.CapSync
+}
+
+// WbStream implements fs.FileOps: the pseudo-inode's errseq stream, which
+// the OpenFile samples for its per-open error cursor.
+func (fl *file) WbStream() *errseq.Stream { return &fl.pi.wb.Stream }
+
+// Pread implements fs.FileOps: read at an absolute offset under the
+// pseudo-inode lock. No open-file state is touched.
+func (fl *file) Pread(t *sched.Task, p []byte, off int64) (int, error) {
 	pi := fl.pi
 	pi.lock.Lock(t)
 	defer pi.lock.Unlock()
@@ -485,9 +571,6 @@ func (fl *file) Read(t *sched.Task, p []byte) (int, error) {
 	if pi.dead {
 		return 0, fs.ErrNotFound
 	}
-	fl.mu.Lock()
-	off := fl.off
-	fl.mu.Unlock()
 	size := int64(pi.size)
 	if off >= size {
 		return 0, nil
@@ -502,40 +585,33 @@ func (fl *file) Read(t *sched.Task, p []byte) (int, error) {
 	if err := fl.fsys.readRange(t, clusters, int(off), p); err != nil {
 		return 0, err
 	}
-	fl.mu.Lock()
-	fl.off = off + int64(len(p))
-	fl.mu.Unlock()
 	return len(p), nil
 }
 
-func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
-	if fl.flags&(fs.OWrOnly|fs.ORdWr) == 0 {
-		return 0, fs.ErrPerm
-	}
-	if !fl.use() {
-		return 0, fs.ErrBadFD
-	}
-	defer fl.done()
+// Pwrite implements fs.FileOps: write at an absolute offset — or, for
+// fs.OffAppend, at EOF resolved under the same pseudo-inode lock as the
+// write itself, making O_APPEND atomic across concurrent appenders.
+func (fl *file) Pwrite(t *sched.Task, p []byte, off int64) (int, int64, error) {
 	pi := fl.pi
 	pi.lock.Lock(t)
 	defer pi.lock.Unlock()
 	if pi.isDir {
-		return 0, fs.ErrIsDir
+		return 0, off, fs.ErrIsDir
 	}
 	if pi.dead {
-		return 0, fs.ErrNotFound
+		return 0, off, fs.ErrNotFound
 	}
-	fl.mu.Lock()
-	off := fl.off
-	if fl.flags&fs.OAppend != 0 {
+	if off == fs.OffAppend {
 		off = int64(pi.size)
 	}
-	fl.mu.Unlock()
+	if off < 0 {
+		return 0, off, fs.ErrBadSeek
+	}
 
 	end := off + int64(len(p))
 	clusters, err := fl.fsys.chain(t, pi.firstCluster)
 	if err != nil {
-		return 0, err
+		return 0, off, err
 	}
 	origLen := len(clusters)
 	// rollback unlinks and frees clusters appended by this write, so a
@@ -561,12 +637,12 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 		nc, err := fl.fsys.allocCluster(t, !covered)
 		if err != nil {
 			rollback()
-			return 0, err
+			return 0, off, err
 		}
 		if err := fl.fsys.fatSet(t, clusters[len(clusters)-1], nc); err != nil {
 			fl.fsys.unclaimCluster(t, nc)
 			rollback()
-			return 0, err
+			return 0, off, err
 		}
 		clusters = append(clusters, nc)
 	}
@@ -587,34 +663,27 @@ func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
 		if int64(done) > durable {
 			done = int(durable)
 		}
-		return done, err
+		return done, off + int64(done), err
 	}
-	fl.mu.Lock()
-	fl.off = off + int64(done)
-	fl.mu.Unlock()
 	if end > int64(pi.size) {
 		pi.size = uint32(end)
 		if err := fl.fsys.patchDirentSize(t, pi); err != nil {
-			return done, err
+			return done, off + int64(done), err
 		}
 	}
-	return done, nil
+	return done, off + int64(done), nil
 }
 
-// SyncT implements fs.FileSyncer — fsync. It writes back this file's
-// dirty data buffers (tagged with the pseudo-inode's error stream) plus
-// every metadata sector the file's durability depends on: the directory
-// sector holding its entry (the size patch lives there) and the FAT
-// sectors covering its cluster chain — without the chain links, data
-// appended past the old tail would be durable but unreachable. Then the
-// stream is observed: an asynchronous writeback failure of this file's
-// data since the last fsync is reported exactly once, and another
-// file's failure never is.
-func (fl *file) SyncT(t *sched.Task) error {
-	if !fl.use() {
-		return fs.ErrBadFD
-	}
-	defer fl.done()
+// Sync implements fs.FileOps — the flush half of fsync. It writes back
+// this file's dirty data buffers (found through the pseudo-inode's
+// per-owner dirty list) plus every metadata sector the file's durability
+// depends on: the directory sector holding its entry (the size patch
+// lives there) and the FAT sectors covering its cluster chain — without
+// the chain links, data appended past the old tail would be durable but
+// unreachable. Error observation happens in the caller: the fs.OpenFile
+// observes its own per-open cursor against the pseudo-inode's stream, so
+// each descriptor hears a failure exactly once.
+func (fl *file) Sync(t *sched.Task) error {
 	f := fl.fsys
 	pi := fl.pi
 	pi.lock.Lock(t)
@@ -654,32 +723,16 @@ func (fl *file) SyncT(t *sched.Task) error {
 	return f.bc.FlushOwner(t, pi.wb, extra...)
 }
 
-func (fl *file) Close() error {
-	fl.mu.Lock()
-	if fl.closed {
-		fl.mu.Unlock()
-		return nil
-	}
-	fl.closed = true
-	drop := fl.inflight == 0
-	fl.mu.Unlock()
-	// Deferred to the last in-flight operation if any are mid-call.
-	if drop {
-		fl.fsys.unpin(fl.pi)
-	}
+// Close implements fs.FileOps: drop the pseudo-inode reference. The
+// OpenFile calls it exactly once, after the last descriptor closed and
+// the last in-flight operation drained.
+func (fl *file) Close(t *sched.Task) error {
+	fl.fsys.unpin(fl.pi)
 	return nil
 }
 
-func (fl *file) Stat() (fs.Stat, error) { return fl.StatT(nil) }
-
-// StatT implements fs.TaskStater: with the task in hand, a contended
-// pseudo-inode lock puts it to sleep on the simulated core instead of
-// spin-yielding the host thread.
-func (fl *file) StatT(t *sched.Task) (fs.Stat, error) {
-	if !fl.use() {
-		return fs.Stat{}, fs.ErrBadFD
-	}
-	defer fl.done()
+// Stat implements fs.FileOps.
+func (fl *file) Stat(t *sched.Task) (fs.Stat, error) {
 	pi := fl.pi
 	pi.lock.Lock(t)
 	defer pi.lock.Unlock()
@@ -690,46 +743,8 @@ func (fl *file) StatT(t *sched.Task) (fs.Stat, error) {
 	return fs.Stat{Name: fl.name, Type: typ, Size: int64(pi.size), Inode: uint64(pi.firstCluster)}, nil
 }
 
-// Lseek implements fs.Seeker.
-func (fl *file) Lseek(offset int64, whence int) (int64, error) {
-	var size int64
-	if whence == fs.SeekEnd {
-		st, err := fl.Stat()
-		if err != nil {
-			return 0, err
-		}
-		size = st.Size
-	}
-	fl.mu.Lock()
-	defer fl.mu.Unlock()
-	var base int64
-	switch whence {
-	case fs.SeekSet:
-		base = 0
-	case fs.SeekCur:
-		base = fl.off
-	case fs.SeekEnd:
-		base = size
-	default:
-		return 0, fs.ErrBadSeek
-	}
-	n := base + offset
-	if n < 0 {
-		return 0, fs.ErrBadSeek
-	}
-	fl.off = n
-	return n, nil
-}
-
-// ReadDir implements fs.DirReader.
-func (fl *file) ReadDir() ([]fs.DirEntry, error) { return fl.ReadDirT(nil) }
-
-// ReadDirT implements fs.TaskDirReader.
-func (fl *file) ReadDirT(t *sched.Task) ([]fs.DirEntry, error) {
-	if !fl.use() {
-		return nil, fs.ErrBadFD
-	}
-	defer fl.done()
+// ReadDir implements fs.FileOps.
+func (fl *file) ReadDir(t *sched.Task) ([]fs.DirEntry, error) {
 	pi := fl.pi
 	pi.lock.Lock(t)
 	defer pi.lock.Unlock()
@@ -752,11 +767,6 @@ func (fl *file) ReadDirT(t *sched.Task) ([]fs.DirEntry, error) {
 }
 
 var (
-	_ fs.File          = (*file)(nil)
-	_ fs.Seeker        = (*file)(nil)
-	_ fs.DirReader     = (*file)(nil)
-	_ fs.TaskStater    = (*file)(nil)
-	_ fs.TaskDirReader = (*file)(nil)
-	_ fs.FileSyncer    = (*file)(nil)
-	_ fs.Renamer       = (*FS)(nil)
+	_ fs.FileOps = (*file)(nil)
+	_ fs.Renamer = (*FS)(nil)
 )

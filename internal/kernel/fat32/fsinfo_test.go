@@ -39,14 +39,14 @@ func TestFSInfoPersistedAcrossMounts(t *testing.T) {
 		t.Fatalf("mkfs FSInfo free=%d, scan says %d", free0, scan)
 	}
 
-	fl, err := f.Open(nil, "/grow.bin", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/grow.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fl.Write(nil, bytes.Repeat([]byte{7}, 5*ClusterSize)); err != nil {
 		t.Fatal(err)
 	}
-	fl.Close()
+	fl.Close(nil)
 	if err := f.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
@@ -96,12 +96,12 @@ func TestFSInfoInvalidIgnored(t *testing.T) {
 		t.Fatalf("invalid FSInfo gave (%d, %d), want (-1, %d)", free, next, rootCluster)
 	}
 	// The volume still allocates and syncs — and Sync repairs the sector.
-	fl, err := f.Open(nil, "/a.bin", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/a.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fl.Write(nil, []byte("x"))
-	fl.Close()
+	fl.Close(nil)
 	if err := f.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestDaemonWritebackErrorReachesSync(t *testing.T) {
 	defer c.StopDaemon()
 
 	payload := bytes.Repeat([]byte{0xEE}, 3*ClusterSize)
-	fl, err := f.Open(nil, "/victim.bin", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/victim.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestDaemonWritebackErrorReachesSync(t *testing.T) {
 	// cached, so this dirties data without any device traffic — there is
 	// guaranteed dirty state AFTER the injector armed, whatever the
 	// daemon managed to flush before.
-	if _, err := fl.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+	if _, err := fl.Seek(nil, 0, fs.SeekSet); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fl.Write(nil, payload[:ClusterSize]); err != nil {
@@ -171,12 +171,12 @@ func TestDaemonWritebackErrorReachesSync(t *testing.T) {
 	if err := f.Sync(nil); err != nil {
 		t.Fatalf("second Sync = %v, want nil", err)
 	}
-	fl.Close()
+	fl.Close(nil)
 	f2, err := Mount(dev, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := f2.Open(nil, "/victim.bin", fs.ORdOnly)
+	rf, err := openOF(f2, "/victim.bin", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}

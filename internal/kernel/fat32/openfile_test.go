@@ -1,0 +1,14 @@
+package fat32
+
+import "protosim/internal/kernel/fs"
+
+// openOF opens path and wraps it in a fresh open file description, the
+// way the VFS does on the syscall path — tests drive files through the
+// same fs.OpenFile contract the kernel uses.
+func openOF(f *FS, path string, flags int) (*fs.OpenFile, error) {
+	ops, err := f.Open(nil, path, flags)
+	if err != nil {
+		return nil, err
+	}
+	return fs.NewOpenFile(ops, flags), nil
+}

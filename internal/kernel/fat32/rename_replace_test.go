@@ -1,0 +1,205 @@
+package fat32
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/fs"
+)
+
+func newReplaceFS(t *testing.T) *FS {
+	t.Helper()
+	dev := fs.NewRamdisk(SectorSize, 16384)
+	if err := Mkfs(dev); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Mount(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func writeNew(t *testing.T, f *FS, path, content string) {
+	t.Helper()
+	fl, err := openOF(f, path, fs.OCreate|fs.OWrOnly|fs.OTrunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, []byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	fl.Close(nil)
+}
+
+func readAll(t *testing.T, f *FS, path string) []byte {
+	t.Helper()
+	fl, err := openOF(f, path, fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close(nil)
+	st, err := fl.Stat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, st.Size)
+	if _, err := fl.Pread(nil, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRenameReplacesFile: POSIX rename onto an existing FAT32 file
+// atomically replaces it — the target's dirent is repointed in place (no
+// ErrExists), the displaced chain is freed, and a handle still open on
+// the victim is poisoned like unlink-while-open (FAT32 has no deferred
+// reclaim).
+func TestRenameReplacesFile(t *testing.T) {
+	f := newReplaceFS(t)
+	writeNew(t, f, "/src.bin", "new-contents")
+	writeNew(t, f, "/dst.bin", "old-contents!")
+
+	free0, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := openOF(f, "/dst.bin", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(nil, "/src.bin", "/dst.bin"); err != nil {
+		t.Fatalf("replace rename = %v, want nil", err)
+	}
+	if _, err := f.Stat(nil, "/src.bin"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("source survives: %v", err)
+	}
+	if got := readAll(t, f, "/dst.bin"); !bytes.Equal(got, []byte("new-contents")) {
+		t.Fatalf("dst = %q", got)
+	}
+	// The displaced chain was freed (one cluster back in the pool)...
+	free1, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free1 != free0+1 {
+		t.Fatalf("free clusters %d -> %d, want the victim's chain freed", free0, free1)
+	}
+	// ...so the surviving victim handle is dead, not silently reading
+	// reallocated clusters.
+	if _, err := victim.Pread(nil, make([]byte, 4), 0); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("victim handle read = %v, want ErrNotFound", err)
+	}
+	victim.Close(nil)
+}
+
+// TestRenameReplaceTyping: the POSIX cross-type rules on FAT32.
+func TestRenameReplaceTyping(t *testing.T) {
+	f := newReplaceFS(t)
+	writeNew(t, f, "/file.bin", "x")
+	for _, d := range []string{"/empty", "/full", "/move"} {
+		if err := f.Mkdir(nil, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeNew(t, f, "/full/kid.bin", "y")
+
+	if err := f.Rename(nil, "/file.bin", "/empty"); !errors.Is(err, fs.ErrIsDir) {
+		t.Fatalf("file onto dir = %v, want ErrIsDir (EISDIR)", err)
+	}
+	if err := f.Rename(nil, "/move", "/file.bin"); !errors.Is(err, fs.ErrNotDir) {
+		t.Fatalf("dir onto file = %v, want ErrNotDir (ENOTDIR)", err)
+	}
+	if err := f.Rename(nil, "/move", "/full"); !errors.Is(err, fs.ErrNotEmpty) {
+		t.Fatalf("dir onto full dir = %v, want ErrNotEmpty", err)
+	}
+	if err := f.Rename(nil, "/move", "/empty"); err != nil {
+		t.Fatalf("dir onto empty dir = %v, want nil", err)
+	}
+	if _, err := f.Stat(nil, "/move"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatal("moved dir still at old path")
+	}
+	writeNew(t, f, "/empty/fresh.bin", "z")
+	if got := readAll(t, f, "/empty/fresh.bin"); !bytes.Equal(got, []byte("z")) {
+		t.Fatalf("fresh = %q", got)
+	}
+}
+
+// TestRenameSameChainIsNoop: both names pointing at one chain — rename
+// succeeds and removes nothing (POSIX).
+func TestRenameSameChainIsNoop(t *testing.T) {
+	f := newReplaceFS(t)
+	writeNew(t, f, "/same.bin", "data")
+	if err := f.Rename(nil, "/same.bin", "/same.bin"); err != nil {
+		t.Fatalf("self rename = %v", err)
+	}
+	if got := readAll(t, f, "/same.bin"); !bytes.Equal(got, []byte("data")) {
+		t.Fatalf("same = %q", got)
+	}
+}
+
+// TestRenameOntoAncestorNoDeadlock is the FAT32 twin of the xv6fs
+// regression: renaming onto the source's own parent/ancestor fails with
+// the POSIX error instead of self-deadlocking on the held pseudo-inode
+// lock.
+func TestRenameOntoAncestorNoDeadlock(t *testing.T) {
+	f := newReplaceFS(t)
+	for _, d := range []string{"/x", "/x/y", "/x/y/z"} {
+		if err := f.Mkdir(nil, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeNew(t, f, "/x/y/f.bin", "payload")
+
+	done := make(chan error, 4)
+	go func() { done <- f.Rename(nil, "/x/y/z", "/x/y") }()
+	go func() { done <- f.Rename(nil, "/x/y/z", "/x") }()
+	go func() { done <- f.Rename(nil, "/x/y/f.bin", "/x/y") }()
+	go func() { done <- f.Rename(nil, "/x/y/f.bin", "/x") }()
+	got := map[error]int{}
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-done:
+			got[err]++
+		case <-time.After(5 * time.Second):
+			t.Fatal("rename onto ancestor deadlocked")
+		}
+	}
+	if got[fs.ErrNotEmpty] != 2 || got[fs.ErrIsDir] != 2 {
+		t.Fatalf("errors = %v, want 2×ErrNotEmpty + 2×ErrIsDir", got)
+	}
+	if err := f.Rename(nil, "/x/y/f.bin", "/x/moved.bin"); err != nil {
+		t.Fatalf("follow-up rename = %v", err)
+	}
+}
+
+// TestFailedAppendKeepsOffset: a Write through an O_APPEND description
+// whose file died (unlinked while open) must fail WITHOUT corrupting the
+// shared offset (regression: the OFD used to store Pwrite's unresolved
+// input offset — OffAppend is -1 — as the file position on failure).
+func TestFailedAppendKeepsOffset(t *testing.T) {
+	f := newReplaceFS(t)
+	writeNew(t, f, "/doomed.bin", "0123456789")
+	fl, err := openOF(f, "/doomed.bin", fs.OWrOnly|fs.OAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close(nil)
+	if _, err := fl.Write(nil, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if off := fl.Offset(); off != 13 {
+		t.Fatalf("offset after append = %d, want 13", off)
+	}
+	if err := f.Unlink(nil, "/doomed.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, []byte("xyz")); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("write to dead file = %v, want ErrNotFound", err)
+	}
+	if off := fl.Offset(); off != 13 {
+		t.Fatalf("offset after failed append = %d, want 13 (not corrupted)", off)
+	}
+}

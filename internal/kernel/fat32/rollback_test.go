@@ -83,7 +83,7 @@ func TestShortWriteRollbackMidCluster(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			f, dev := newFlakyFS(t, 4096)
-			fl, err := f.Open(nil, "/victim.bin", fs.OCreate|fs.ORdWr)
+			fl, err := openOF(f, "/victim.bin", fs.OCreate|fs.ORdWr)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,7 +103,7 @@ func TestShortWriteRollbackMidCluster(t *testing.T) {
 			// grows the chain by 4 clusters, three fully covered
 			// (skip-zeroed), the tail partially covered (zeroed).
 			const off = 4000
-			if _, err := fl.(fs.Seeker).Lseek(off, fs.SeekSet); err != nil {
+			if _, err := fl.Seek(nil, off, fs.SeekSet); err != nil {
 				t.Fatal(err)
 			}
 			dev.arm(tc.okWrites)
@@ -134,7 +134,7 @@ func TestShortWriteRollbackMidCluster(t *testing.T) {
 				t.Fatalf("stat after failed write = %+v, %v", st, err)
 			}
 			// Bytes before the failed write's offset are untouched.
-			if _, err := fl.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+			if _, err := fl.Seek(nil, 0, fs.SeekSet); err != nil {
 				t.Fatal(err)
 			}
 			got := make([]byte, len(orig))
@@ -149,17 +149,17 @@ func TestShortWriteRollbackMidCluster(t *testing.T) {
 			if !bytes.Equal(got[:off], orig[:off]) {
 				t.Fatal("bytes below the failed write's offset were corrupted")
 			}
-			fl.Close()
+			fl.Close(nil)
 
 			// The volume still works: a full rewrite goes through.
-			fl2, err := f.Open(nil, "/victim.bin", fs.OCreate|fs.ORdWr|fs.OTrunc)
+			fl2, err := openOF(f, "/victim.bin", fs.OCreate|fs.ORdWr|fs.OTrunc)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if _, err := fl2.Write(nil, bytes.Repeat([]byte{0xEF}, 20000)); err != nil {
 				t.Fatalf("write after rollback: %v", err)
 			}
-			fl2.Close()
+			fl2.Close(nil)
 		})
 	}
 }
@@ -170,7 +170,7 @@ func TestShortWriteRollbackMidCluster(t *testing.T) {
 func TestRollbackConcurrentNeighbors(t *testing.T) {
 	withRankCheck(t)
 	f, dev := newFlakyFS(t, 8192)
-	victim, err := f.Open(nil, "/victim.bin", fs.OCreate|fs.ORdWr)
+	victim, err := openOF(f, "/victim.bin", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestRollbackConcurrentNeighbors(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 6; i++ {
-			nf, err := f.Open(nil, "/steady.bin", fs.OCreate|fs.OWrOnly|fs.OTrunc)
+			nf, err := openOF(f, "/steady.bin", fs.OCreate|fs.OWrOnly|fs.OTrunc)
 			if err != nil {
 				// The create/truncate path may absorb the injected failure
 				// instead of the victim; this loop rewrites from scratch
@@ -198,13 +198,13 @@ func TestRollbackConcurrentNeighbors(t *testing.T) {
 				t.Errorf("neighbor write: %v", err)
 				return
 			}
-			nf.Close()
+			nf.Close(nil)
 		}
 	}()
 	// Inject one failure window; the victim's write must roll back while
 	// the neighbour keeps going (its writes may also trip the injector —
 	// that's fine, its loop rewrites from scratch each round).
-	victim.(fs.Seeker).Lseek(4000, fs.SeekSet)
+	victim.Seek(nil, 4000, fs.SeekSet)
 	dev.arm(1)
 	_, werr := victim.Write(nil, bytes.Repeat([]byte{3}, 20000))
 	dev.disarm()
@@ -222,7 +222,7 @@ func TestRollbackConcurrentNeighbors(t *testing.T) {
 		t.Fatalf("victim stat = %+v, %v", st, err)
 	}
 	// The neighbour's final rewrite (after disarm) must be intact.
-	nf, err := f.Open(nil, "/steady.bin", fs.ORdOnly)
+	nf, err := openOF(f, "/steady.bin", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,6 +238,6 @@ func TestRollbackConcurrentNeighbors(t *testing.T) {
 	if !bytes.Equal(got, neighbor) {
 		t.Fatal("neighbour corrupted by victim's rollback")
 	}
-	nf.Close()
-	victim.Close()
+	nf.Close(nil)
+	victim.Close(nil)
 }

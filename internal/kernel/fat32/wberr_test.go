@@ -69,8 +69,8 @@ func TestFsyncIsolatesCrossFileErrors(t *testing.T) {
 	// Lay the files out with a spacer between them so A's and B's dirty
 	// clusters can never coalesce into one device command — the injector
 	// must be able to fail A's writeback without touching B's.
-	open := func(name string) fs.File {
-		fl, err := f.Open(nil, name, fs.OCreate|fs.ORdWr)
+	open := func(name string) *fs.OpenFile {
+		fl, err := openOF(f, name, fs.OCreate|fs.ORdWr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,9 +79,9 @@ func TestFsyncIsolatesCrossFileErrors(t *testing.T) {
 	af := open("/a.bin")
 	gap := open("/gap.bin")
 	bf := open("/b.bin")
-	defer af.Close()
-	defer bf.Close()
-	gap.Close()
+	defer af.Close(nil)
+	defer bf.Close(nil)
+	gap.Close(nil)
 
 	aData := bytes.Repeat([]byte{0xAA}, ClusterSize)
 	bData := bytes.Repeat([]byte{0xBB}, ClusterSize)
@@ -95,7 +95,7 @@ func TestFsyncIsolatesCrossFileErrors(t *testing.T) {
 		t.Fatal(err) // everything clean and durable before the injection
 	}
 
-	api, bpi := af.(*file).pi, bf.(*file).pi
+	api, bpi := af.Ops().(*file).pi, bf.Ops().(*file).pi
 	aSector := f.clusterSector(api.firstCluster)
 
 	// Arm: the next write command touching A's cluster fails, once. Then
@@ -105,13 +105,13 @@ func TestFsyncIsolatesCrossFileErrors(t *testing.T) {
 	// separate runs.
 	dev.arm(aSector, aSector+SectorsPerCluster, 1)
 	aData2 := bytes.Repeat([]byte{0xA2}, ClusterSize)
-	if _, err := af.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+	if _, err := af.Seek(nil, 0, fs.SeekSet); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := af.Write(nil, aData2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bf.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+	if _, err := bf.Seek(nil, 0, fs.SeekSet); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := bf.Write(nil, bData); err != nil {
@@ -128,7 +128,7 @@ func TestFsyncIsolatesCrossFileErrors(t *testing.T) {
 
 	// B's fsync: clean. Its own blocks flush fine and A's error must not
 	// leak across — the whole point of per-inode errseq tracking.
-	if err := bf.(fs.FileSyncer).SyncT(nil); err != nil {
+	if err := bf.Sync(nil); err != nil {
 		t.Fatalf("B's fsync observed a foreign error: %v", err)
 	}
 	if bpi.wb.Pending() {
@@ -138,10 +138,10 @@ func TestFsyncIsolatesCrossFileErrors(t *testing.T) {
 	// A's fsync: the injected error, exactly once — the injector is long
 	// disarmed, so the flush retry inside this very fsync succeeds, and
 	// the error must still be reported (errseq never rewinds).
-	if err := af.(fs.FileSyncer).SyncT(nil); !errors.Is(err, errLBAInjected) {
+	if err := af.Sync(nil); !errors.Is(err, errLBAInjected) {
 		t.Fatalf("A's fsync = %v, want the injected error", err)
 	}
-	if err := af.(fs.FileSyncer).SyncT(nil); err != nil {
+	if err := af.Sync(nil); err != nil {
 		t.Fatalf("A's second fsync = %v, want nil (exactly-once)", err)
 	}
 
@@ -159,7 +159,7 @@ func TestFsyncIsolatesCrossFileErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := f2.Open(nil, "/a.bin", fs.ORdOnly)
+	rf, err := openOF(f2, "/a.bin", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestFsyncAfterReopenAndChainGrowth(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte{0x7D}, 3*ClusterSize) // grows the chain twice
-	fl, err := f.Open(nil, "/log.bin", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/log.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,18 +211,18 @@ func TestFsyncAfterReopenAndChainGrowth(t *testing.T) {
 	}
 	// Close with everything still dirty, reopen, fsync through the NEW
 	// handle.
-	fl.Close()
+	fl.Close(nil)
 	if n := f.PseudoInodes(); n != 0 {
 		t.Fatalf("%d pseudo-inodes live after close", n)
 	}
-	fl2, err := f.Open(nil, "/log.bin", fs.OWrOnly)
+	fl2, err := openOF(f, "/log.bin", fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fl2.(fs.FileSyncer).SyncT(nil); err != nil {
+	if err := fl2.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
-	fl2.Close()
+	fl2.Close(nil)
 
 	// Crash: mount the raw device fresh, abandoning f's cache. The whole
 	// file — data, size, and the chain links for the appended clusters —
@@ -238,7 +238,7 @@ func TestFsyncAfterReopenAndChainGrowth(t *testing.T) {
 	if st.Size != int64(len(payload)) {
 		t.Fatalf("post-crash size = %d, want %d (dirent sector not fsynced)", st.Size, len(payload))
 	}
-	rf, err := f2.Open(nil, "/log.bin", fs.ORdOnly)
+	rf, err := openOF(f2, "/log.bin", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,11 +272,11 @@ func TestFsyncFlushesOnlyOwnBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	af, err := f.Open(nil, "/a.bin", fs.OCreate|fs.OWrOnly)
+	af, err := openOF(f, "/a.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bf, err := f.Open(nil, "/b.bin", fs.OCreate|fs.OWrOnly)
+	bf, err := openOF(f, "/b.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,11 +287,11 @@ func TestFsyncFlushesOnlyOwnBlocks(t *testing.T) {
 	if _, err := bf.Write(nil, payload); err != nil {
 		t.Fatal(err)
 	}
-	if err := af.(fs.FileSyncer).SyncT(nil); err != nil {
+	if err := af.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
 	// A's data is durable on the raw device...
-	a := af.(*file).pi
+	a := af.Ops().(*file).pi
 	got := make([]byte, ClusterSize)
 	if err := rd.ReadBlocks(f.clusterSector(a.firstCluster), SectorsPerCluster, got); err != nil {
 		t.Fatal(err)
@@ -300,13 +300,94 @@ func TestFsyncFlushesOnlyOwnBlocks(t *testing.T) {
 		t.Fatal("fsync did not make A durable")
 	}
 	// ...while B's dirty buffers were not flushed by A's fsync.
-	b := bf.(*file).pi
+	b := bf.Ops().(*file).pi
 	if err := rd.ReadBlocks(f.clusterSector(b.firstCluster), SectorsPerCluster, got); err != nil {
 		t.Fatal(err)
 	}
 	if bytes.Equal(got, payload[:ClusterSize]) {
 		t.Fatal("A's fsync flushed B's blocks too")
 	}
-	af.Close()
-	bf.Close()
+	af.Close(nil)
+	bf.Close(nil)
+}
+
+// TestPerOpenFsyncExactlyOnceFAT32 is the FAT32 twin of the xv6fs
+// f_wb_err regression behind SysFsync: two descriptors opened on one
+// file each observe an injected asynchronous writeback error exactly
+// once — the error cursor is per open file description, not per
+// pseudo-inode — and a descriptor opened after the reports stays silent.
+func TestPerOpenFsyncExactlyOnceFAT32(t *testing.T) {
+	dev := &lbaFlakyDev{BlockDevice: fs.NewRamdisk(SectorSize, 16384)}
+	if err := Mkfs(dev); err != nil {
+		t.Fatal(err)
+	}
+	f, err := MountWith(dev, nil, bcache.Options{
+		Buffers: 256, Shards: 4, Readahead: -1,
+		FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Cache()
+	go c.RunDaemon(nil, nil)
+	defer c.StopDaemon()
+
+	// Two open file descriptions over one pseudo-inode — separate opens,
+	// not a dup, so each holds its own errseq cursor sampled at open.
+	fd1, err := openOF(f, "/twice.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd2, err := openOF(f, "/twice.bin", fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd1.Close(nil)
+	defer fd2.Close(nil)
+	if _, err := fd1.Write(nil, bytes.Repeat([]byte{0xE1}, ClusterSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	pi := fd1.Ops().(*file).pi
+	sector := f.clusterSector(pi.firstCluster)
+	dev.arm(sector, sector+SectorsPerCluster, 1)
+
+	// Re-dirty through fd1 and let the daemon hit the injected failure.
+	if _, err := fd1.Pwrite(nil, bytes.Repeat([]byte{0xE2}, ClusterSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !pi.wb.Pending() {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never hit the injected error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := fd1.Sync(nil); !errors.Is(err, errLBAInjected) {
+		t.Fatalf("fd1 fsync = %v, want the injected error", err)
+	}
+	if err := fd1.Sync(nil); err != nil {
+		t.Fatalf("fd1 second fsync = %v, want nil (exactly-once per open)", err)
+	}
+	// fd2's cursor was NOT consumed by fd1's observation.
+	if err := fd2.Sync(nil); !errors.Is(err, errLBAInjected) {
+		t.Fatalf("fd2 fsync = %v, want the injected error (per-open cursor)", err)
+	}
+	if err := fd2.Sync(nil); err != nil {
+		t.Fatalf("fd2 second fsync = %v, want nil", err)
+	}
+	// A descriptor opened after both reports samples the current stream
+	// position: old news is not reported to new opens.
+	fd3, err := openOF(f, "/twice.bin", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd3.Close(nil)
+	if err := fd3.Sync(nil); err != nil {
+		t.Fatalf("late open fsync = %v, want nil", err)
+	}
 }

@@ -86,9 +86,9 @@ func runWriteHeavy(tb testing.TB, queued bool, workers, appends, appendSize int,
 		defer f.Cache().StopDaemon()
 	}
 
-	files := make([]fs.File, workers)
+	files := make([]*fs.OpenFile, workers)
 	for w := range files {
-		fl, err := f.Open(nil, fmt.Sprintf("/w%d.log", w), fs.OCreate|fs.OWrOnly)
+		fl, err := openOF(f, fmt.Sprintf("/w%d.log", w), fs.OCreate|fs.OWrOnly)
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -106,7 +106,7 @@ func runWriteHeavy(tb testing.TB, queued bool, workers, appends, appendSize int,
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(fl fs.File) {
+		go func(fl *fs.OpenFile) {
 			defer wg.Done()
 			for i := 0; i < appends; i++ {
 				if _, err := fl.Write(nil, record); err != nil {
@@ -123,7 +123,7 @@ func runWriteHeavy(tb testing.TB, queued bool, workers, appends, appendSize int,
 	elapsed := time.Since(start)
 	sd.SetLatencyScale(0)
 	for _, fl := range files {
-		fl.Close()
+		fl.Close(nil)
 	}
 
 	c1, _, w1, _ := sd.Stats()
@@ -206,7 +206,7 @@ func runFsyncAppend(tb testing.TB, plugDelay time.Duration, appends, appendSize 
 	if err != nil {
 		tb.Fatal(err)
 	}
-	fl, err := f.Open(nil, "/applog.bin", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/applog.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -220,13 +220,13 @@ func runFsyncAppend(tb testing.TB, plugDelay time.Duration, appends, appendSize 
 		if _, err := fl.Write(nil, record); err != nil {
 			tb.Fatal(err)
 		}
-		if err := fl.(fs.FileSyncer).SyncT(nil); err != nil {
+		if err := fl.Sync(nil); err != nil {
 			tb.Fatal(err)
 		}
 	}
 	elapsed := time.Since(start)
 	sd.SetLatencyScale(0)
-	fl.Close()
+	fl.Close(nil)
 	if err := f.Sync(nil); err != nil {
 		tb.Fatal(err)
 	}

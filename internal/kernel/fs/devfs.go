@@ -16,13 +16,13 @@ type DevFS struct {
 	devices map[string]DeviceOpener
 }
 
-// DeviceOpener creates a File for one open() of the device.
-type DeviceOpener func(t *sched.Task, flags int) (File, error)
+// DeviceOpener creates the FileOps for one open() of the device.
+type DeviceOpener func(t *sched.Task, flags int) (FileOps, error)
 
 // NewDevFS returns an empty /dev with only /dev/null present.
 func NewDevFS() *DevFS {
 	d := &DevFS{devices: make(map[string]DeviceOpener)}
-	d.Register("null", func(*sched.Task, int) (File, error) { return nullFile{}, nil })
+	d.Register("null", func(*sched.Task, int) (FileOps, error) { return nullFile{}, nil })
 	return d
 }
 
@@ -34,7 +34,7 @@ func (d *DevFS) Register(name string, open DeviceOpener) {
 }
 
 // Open implements FileSystem.
-func (d *DevFS) Open(t *sched.Task, path string, flags int) (File, error) {
+func (d *DevFS) Open(t *sched.Task, path string, flags int) (FileOps, error) {
 	path = Clean(path)
 	if path == "/" {
 		return &devDir{dev: d}, nil
@@ -83,15 +83,19 @@ func (d *DevFS) Names() []string {
 }
 
 // devDir lets ls read /dev.
-type devDir struct{ dev *DevFS }
+type devDir struct {
+	BaseOps
+	dev *DevFS
+}
 
-func (dd *devDir) Read(*sched.Task, []byte) (int, error)  { return 0, ErrIsDir }
-func (dd *devDir) Write(*sched.Task, []byte) (int, error) { return 0, ErrIsDir }
-func (dd *devDir) Close() error                           { return nil }
-func (dd *devDir) Stat() (Stat, error)                    { return Stat{Name: "dev", Type: TypeDir}, nil }
+// Stat implements FileOps.
+func (dd *devDir) Stat(*sched.Task) (Stat, error) { return Stat{Name: "dev", Type: TypeDir}, nil }
 
-// ReadDir implements DirReader.
-func (dd *devDir) ReadDir() ([]DirEntry, error) {
+// Caps implements FileOps: an open directory.
+func (dd *devDir) Caps() Caps { return CapDir }
+
+// ReadDir implements FileOps.
+func (dd *devDir) ReadDir(*sched.Task) ([]DirEntry, error) {
 	names := dd.dev.Names()
 	out := make([]DirEntry, len(names))
 	for i, n := range names {
@@ -101,11 +105,13 @@ func (dd *devDir) ReadDir() ([]DirEntry, error) {
 }
 
 // nullFile is /dev/null.
-type nullFile struct{}
+type nullFile struct{ BaseOps }
 
+// Read implements FileOps: always EOF.
 func (nullFile) Read(*sched.Task, []byte) (int, error) { return 0, nil }
-func (nullFile) Write(_ *sched.Task, p []byte) (int, error) {
-	return len(p), nil
-}
-func (nullFile) Close() error        { return nil }
-func (nullFile) Stat() (Stat, error) { return Stat{Name: "null", Type: TypeDevice}, nil }
+
+// Write implements FileOps: the bit bucket.
+func (nullFile) Write(_ *sched.Task, p []byte) (int, error) { return len(p), nil }
+
+// Stat implements FileOps.
+func (nullFile) Stat(*sched.Task) (Stat, error) { return Stat{Name: "null", Type: TypeDevice}, nil }

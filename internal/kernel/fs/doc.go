@@ -1,0 +1,35 @@
+// Package fs is Proto's file layer: the single FileOps contract every
+// open file object implements, the kernel-owned OpenFile (the open file
+// description), device files (devfs), proc files (procfs), pipes, and the
+// VFS that dispatches paths to mounted filesystems — the root xv6fs at
+// "/" and the FAT32 SD partition at "/d" in Prototype 5 (§4.5).
+//
+// # Ownership: FDTable → OpenFile → FileOps → inode
+//
+// The layer follows Linux's struct file / file_operations split. From the
+// top:
+//
+//	FDTable    per-process descriptor numbers → shared *OpenFile
+//	OpenFile   the OFD: offset, open flags, O_APPEND routing, descriptor
+//	           refcount + in-flight-operation guard, per-open
+//	           writeback-error cursor (errseq.Cursor, Linux's f_wb_err)
+//	FileOps    per-file operations: Pread/Pwrite at explicit offsets (or
+//	           Read/Write streams), Stat, Sync, ReadDir, Ioctl — all
+//	           task-first; capabilities via a Caps bitmask, no type
+//	           assertions
+//	inode      the filesystem's per-file state (xv6fs itable inode, FAT32
+//	           pseudo-inode), with its errseq.Stream of writeback errors
+//
+// dup and fork share the OpenFile — offset, flags and error cursor move
+// together, POSIX-style — while two independent opens of one path get two
+// OpenFiles over one inode: separate offsets, separate error cursors, one
+// errseq stream. That split is what makes both positional IO (pread takes
+// no offset lock at all) and f_wb_err semantics (each descriptor observes
+// a writeback failure exactly once) fall out naturally.
+//
+// The package also defines the two contracts the storage stack hangs off:
+// BlockDevice, the multi-block command interface every filesystem's cache
+// drives (and the kernel's BlockIO wraps), and Syncer, which VFS.SyncAll
+// uses as the single flush path for every mounted filesystem's write-back
+// state. See ARCHITECTURE.md for the full layer diagram.
+package fs

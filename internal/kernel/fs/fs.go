@@ -1,18 +1,9 @@
-// Package fs is Proto's Prototype 4 file layer: the file abstraction,
-// device files (devfs), proc files (procfs), pipes, and the VFS that
-// dispatches paths to mounted filesystems — the root xv6fs at "/" and the
-// FAT32 SD partition at "/d" in Prototype 5 (§4.5).
-//
-// The package also defines the two contracts the storage stack hangs off:
-// BlockDevice, the multi-block command interface every filesystem's cache
-// drives (and the kernel's BlockIO wraps), and Syncer, which VFS.SyncAll
-// uses as the single flush path for every mounted filesystem's write-back
-// state. See ARCHITECTURE.md for the full layer diagram.
 package fs
 
 import (
 	"errors"
 
+	"protosim/internal/kernel/errseq"
 	"protosim/internal/kernel/sched"
 )
 
@@ -36,6 +27,12 @@ const (
 	SeekEnd = 2
 )
 
+// OffAppend is the Pwrite offset sentinel for an atomic append: the
+// filesystem resolves it to the file's size under the inode lock, so the
+// locate-EOF and the write are one critical section and concurrent
+// O_APPEND writers can never interleave inside each other's records.
+const OffAppend int64 = -1
+
 // FileType classifies directory entries and open files.
 type FileType int
 
@@ -47,6 +44,7 @@ const (
 	TypePipe
 )
 
+// String names the file type for listings and diagnostics.
 func (t FileType) String() string {
 	switch t {
 	case TypeFile:
@@ -78,91 +76,147 @@ type DirEntry struct {
 
 // Errors shared across filesystems.
 var (
-	ErrNotFound    = errors.New("fs: no such file or directory")
-	ErrExists      = errors.New("fs: file exists")
-	ErrNotDir      = errors.New("fs: not a directory")
-	ErrIsDir       = errors.New("fs: is a directory")
-	ErrBadFD       = errors.New("fs: bad file descriptor")
-	ErrPerm        = errors.New("fs: operation not permitted")
-	ErrNotEmpty    = errors.New("fs: directory not empty")
-	ErrNameTooLong = errors.New("fs: name too long")
-	ErrFileTooBig  = errors.New("fs: file exceeds filesystem maximum")
-	ErrNoSpace     = errors.New("fs: no space left on device")
-	ErrWouldBlock  = errors.New("fs: operation would block") // EAGAIN
-	ErrPipeClosed  = errors.New("fs: broken pipe")
-	ErrBadSeek     = errors.New("fs: illegal seek")
-	ErrReadOnly    = errors.New("fs: read-only filesystem")
-	ErrCrossDevice = errors.New("fs: cross-device rename") // EXDEV
+	ErrNotFound     = errors.New("fs: no such file or directory")
+	ErrExists       = errors.New("fs: file exists")
+	ErrNotDir       = errors.New("fs: not a directory")
+	ErrIsDir        = errors.New("fs: is a directory")
+	ErrBadFD        = errors.New("fs: bad file descriptor")
+	ErrPerm         = errors.New("fs: operation not permitted")
+	ErrNotEmpty     = errors.New("fs: directory not empty")
+	ErrNameTooLong  = errors.New("fs: name too long")
+	ErrFileTooBig   = errors.New("fs: file exceeds filesystem maximum")
+	ErrNoSpace      = errors.New("fs: no space left on device")
+	ErrWouldBlock   = errors.New("fs: operation would block") // EAGAIN
+	ErrPipeClosed   = errors.New("fs: broken pipe")
+	ErrBadSeek      = errors.New("fs: illegal seek")
+	ErrReadOnly     = errors.New("fs: read-only filesystem")
+	ErrCrossDevice  = errors.New("fs: cross-device rename")     // EXDEV
+	ErrNotSupported = errors.New("fs: operation not supported") // ENOTTY and friends
 )
 
-// File is an open file description. Reads and writes may block (pipes,
-// /dev/events, /dev/sb), so they carry the calling task.
-type File interface {
+// Caps is a FileOps capability bitmask — what this open object can do,
+// reported once instead of discovered by type assertions. The OpenFile
+// layer routes on it: positional files are driven through Pread/Pwrite
+// with the OFD-owned offset, stream files through Read/Write.
+type Caps uint32
+
+// Capability bits.
+const (
+	// CapSeek marks a positional file: Pread/Pwrite work at explicit
+	// offsets, lseek is legal, and the OpenFile maintains the offset.
+	// Absent (pipes, character devices), IO flows through Read/Write and
+	// seeking is ErrBadSeek.
+	CapSeek Caps = 1 << iota
+	// CapDir marks an open directory: ReadDir works, byte IO is ErrIsDir.
+	CapDir
+	// CapSync marks a file with durable state behind it: Sync flushes to
+	// stable storage and reports this file's asynchronous writeback
+	// errors. Files without it (devices, pipes) fsync as a no-op.
+	CapSync
+	// CapIoctl marks a device file with control operations.
+	CapIoctl
+)
+
+// FileOps is the one contract every open file object implements — disk
+// files, directories, devices, proc files, pipe ends. Every method carries
+// the calling task so any lock or IO wait sleeps on the simulated core
+// (host-side callers — tests, image builders — pass nil and spin-yield).
+//
+// Positional files (CapSeek) serve Pread/Pwrite at explicit offsets and
+// never see Read/Write: the offset lives in the OpenFile, the kernel-owned
+// open file description, not here. Stream files serve Read/Write and
+// reject Pread/Pwrite with ErrBadSeek (ESPIPE). Methods outside a file's
+// capabilities return the matching error; BaseOps provides those defaults
+// so implementations spell out only what they support.
+//
+// Implementations do not check open-mode permissions; the OpenFile layer
+// enforces the access flags before dispatching.
+type FileOps interface {
+	// Read is sequential stream input (pipes, keyboards, the console);
+	// it may block on the calling task.
 	Read(t *sched.Task, p []byte) (int, error)
+	// Write is sequential stream output; it may block on the calling task.
 	Write(t *sched.Task, p []byte) (int, error)
-	Close() error
-	Stat() (Stat, error)
-}
-
-// Seeker is implemented by files that support lseek.
-type Seeker interface {
-	Lseek(offset int64, whence int) (int64, error)
-}
-
-// DirReader is implemented by open directories.
-type DirReader interface {
-	ReadDir() ([]DirEntry, error)
-}
-
-// The File method set predates the need to carry the calling task into
-// every operation that may wait on a lock: Stat, Close, and ReadDir have
-// no task parameter, so a contended sleeplock under them can only
-// spin-yield the host thread — which on a single-core configuration
-// starves the very holder being waited on. TaskStater, TaskCloser, and
-// TaskDirReader are the task-carrying variants; the syscall layer prefers
-// them whenever it has a task in hand, so the task sleeps on the
-// simulated core instead. The task-less methods remain for host-side
-// callers (tests, image building).
-
-// TaskStater is Stat with the calling task.
-type TaskStater interface {
-	StatT(t *sched.Task) (Stat, error)
-}
-
-// TaskCloser is Close with the calling task (disk filesystems may reclaim
-// an unlinked file's blocks at last close, which is lock-and-IO work).
-type TaskCloser interface {
-	CloseT(t *sched.Task) error
-}
-
-// TaskDirReader is ReadDir with the calling task.
-type TaskDirReader interface {
-	ReadDirT(t *sched.Task) ([]DirEntry, error)
-}
-
-// FileSyncer is implemented by open files that can flush their own dirty
-// state to stable storage — fsync(2). SyncT writes back the file's data
-// (and what of its metadata the filesystem locates: its inode block, its
-// directory-entry sector) and reports asynchronous writeback errors that
-// hit this file's buffers since the last observation, exactly once, even
-// if a retried write has since succeeded — and never another file's
-// errors (per-inode errseq tracking in the buffer cache). Files with
-// nothing to flush (devices, pipes) simply don't implement it and fsync
-// is a no-op on them.
-type FileSyncer interface {
-	SyncT(t *sched.Task) error
-}
-
-// Ioctler is implemented by device files with control operations (e.g.
-// /dev/fb's flush, /dev/events' nonblock toggle).
-type Ioctler interface {
+	// Pread reads up to len(p) bytes at absolute offset off, touching no
+	// shared position — two tasks can Pread one open file concurrently
+	// with no offset lock at all.
+	Pread(t *sched.Task, p []byte, off int64) (int, error)
+	// Pwrite writes p at absolute offset off — or atomically at EOF when
+	// off is OffAppend — and returns the byte count and the offset just
+	// past the written bytes (for OffAppend the only way the caller can
+	// learn where the append landed, since EOF is resolved under the
+	// inode lock).
+	Pwrite(t *sched.Task, p []byte, off int64) (int, int64, error)
+	// Close releases the object — called exactly once, when the last
+	// descriptor sharing the open file description drops and no operation
+	// is in flight (disk filesystems reclaim unlinked files here).
+	Close(t *sched.Task) error
+	// Stat describes the file.
+	Stat(t *sched.Task) (Stat, error)
+	// Sync flushes the file's dirty data and reachable metadata to stable
+	// storage — the fsync work. Error OBSERVATION is not done here: the
+	// OpenFile observes its own per-open cursor against WbStream after
+	// the flush, so each descriptor reports an asynchronous writeback
+	// failure exactly once.
+	Sync(t *sched.Task) error
+	// ReadDir lists an open directory (CapDir).
+	ReadDir(t *sched.Task) ([]DirEntry, error)
+	// Ioctl issues a device control operation (CapIoctl).
 	Ioctl(t *sched.Task, op int, arg int64) (int64, error)
+	// Caps reports what this object supports, replacing the old optional
+	// interfaces (Seeker, DirReader, Ioctler, ...) and their assertions.
+	Caps() Caps
+	// WbStream exposes the file's writeback-error stream — the per-inode
+	// errseq stream its dirty buffers are tagged with — or nil when the
+	// file has none (devices, pipes, proc files). The OpenFile samples it
+	// at open for the per-open error cursor.
+	WbStream() *errseq.Stream
 }
+
+// BaseOps is the embeddable FileOps skeleton: every method defaults to
+// the correct "not supported" behaviour (stream IO refused, positional IO
+// ErrBadSeek, ReadDir ErrNotDir, Sync a successful no-op, no caps, no
+// error stream). Implementations embed it and override their capabilities;
+// Stat is deliberately absent so every file must declare its identity.
+type BaseOps struct{}
+
+// Read refuses stream input by default.
+func (BaseOps) Read(*sched.Task, []byte) (int, error) { return 0, ErrNotSupported }
+
+// Write refuses stream output by default.
+func (BaseOps) Write(*sched.Task, []byte) (int, error) { return 0, ErrNotSupported }
+
+// Pread refuses positional reads by default (ESPIPE).
+func (BaseOps) Pread(*sched.Task, []byte, int64) (int, error) { return 0, ErrBadSeek }
+
+// Pwrite refuses positional writes by default (ESPIPE).
+func (BaseOps) Pwrite(*sched.Task, []byte, int64) (int, int64, error) { return 0, 0, ErrBadSeek }
+
+// Close is a no-op by default.
+func (BaseOps) Close(*sched.Task) error { return nil }
+
+// Sync is a successful no-op by default — fsync of a device or pipe has
+// nothing to flush.
+func (BaseOps) Sync(*sched.Task) error { return nil }
+
+// ReadDir refuses by default: not a directory.
+func (BaseOps) ReadDir(*sched.Task) ([]DirEntry, error) { return nil, ErrNotDir }
+
+// Ioctl refuses by default (ENOTTY).
+func (BaseOps) Ioctl(*sched.Task, int, int64) (int64, error) { return 0, ErrNotSupported }
+
+// Caps reports no capabilities by default.
+func (BaseOps) Caps() Caps { return 0 }
+
+// WbStream reports no writeback-error stream by default.
+func (BaseOps) WbStream() *errseq.Stream { return nil }
 
 // FileSystem is what the VFS mounts. Paths given to a FileSystem are
-// relative to its mount point, cleaned, and always start with '/'.
+// relative to its mount point, cleaned, and always start with '/'. Open
+// returns the bare per-file operations; the VFS wraps them in the
+// OpenFile that owns offset, flags and the per-open error cursor.
 type FileSystem interface {
-	Open(t *sched.Task, path string, flags int) (File, error)
+	Open(t *sched.Task, path string, flags int) (FileOps, error)
 	Mkdir(t *sched.Task, path string) error
 	Unlink(t *sched.Task, path string) error
 	Stat(t *sched.Task, path string) (Stat, error)
@@ -179,8 +233,9 @@ type Syncer interface {
 }
 
 // Renamer is implemented by filesystems that support atomically moving an
-// entry to a new path on the same volume. VFS.Rename dispatches to it and
-// rejects cross-mount renames with ErrCrossDevice.
+// entry to a new path on the same volume, replacing an existing target
+// (POSIX rename semantics). VFS.Rename dispatches to it and rejects
+// cross-mount renames with ErrCrossDevice.
 type Renamer interface {
 	Rename(t *sched.Task, oldPath, newPath string) error
 }

@@ -60,7 +60,7 @@ type fakeFS struct {
 	calls []string
 }
 
-func (f *fakeFS) Open(t *sched.Task, path string, flags int) (File, error) {
+func (f *fakeFS) Open(t *sched.Task, path string, flags int) (FileOps, error) {
 	f.mu.Lock()
 	f.calls = append(f.calls, path)
 	f.mu.Unlock()
@@ -135,7 +135,7 @@ func TestPipeTransfersInOrder(t *testing.T) {
 		for i := 0; i < 10; i++ {
 			w.Write(t, []byte{byte(i), byte(i + 100)})
 		}
-		w.Close()
+		w.Close(nil)
 	})
 	select {
 	case <-done:
@@ -164,7 +164,7 @@ func TestPipeBackpressure(t *testing.T) {
 		big := make([]byte, PipeSize*3)
 		w.Write(t, big)
 		wrote.Store(int64(len(big)))
-		w.Close()
+		w.Close(nil)
 	})
 	// The write must block: only PipeSize bytes fit.
 	time.Sleep(10 * time.Millisecond)
@@ -198,7 +198,7 @@ func TestPipeBackpressure(t *testing.T) {
 func TestPipeWriteAfterReaderClosed(t *testing.T) {
 	s := newSched(t)
 	r, w := NewPipe()
-	r.Close()
+	r.Close(nil)
 	errCh := make(chan error, 1)
 	s.Go("writer", 0, func(t *sched.Task) {
 		_, err := w.Write(t, []byte("x"))
@@ -219,7 +219,7 @@ func TestPipeEOFAfterWriterClosed(t *testing.T) {
 	r, w := NewPipe()
 	s.Go("writer", 0, func(t *sched.Task) {
 		w.Write(t, []byte("bye"))
-		w.Close()
+		w.Close(nil)
 	})
 	got := make(chan []byte, 1)
 	s.Go("reader", 0, func(t *sched.Task) {
@@ -267,7 +267,7 @@ func TestPipeFIFOProperty(t *testing.T) {
 		})
 		s.Go("w", 0, func(t *sched.Task) {
 			w.Write(t, data)
-			w.Close()
+			w.Close(nil)
 		})
 		select {
 		case all := <-out:
@@ -296,14 +296,17 @@ func TestDevFSRegistryAndNull(t *testing.T) {
 	if _, err := d.Open(nil, "/fb", ORdWr); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
-	d.Register("fb", func(*sched.Task, int) (File, error) {
+	d.Register("fb", func(*sched.Task, int) (FileOps, error) {
 		return &memFile{name: "fb"}, nil
 	})
 	if _, err := d.Open(nil, "/fb", ORdWr); err != nil {
 		t.Fatal(err)
 	}
 	dir, _ := d.Open(nil, "/", ORdOnly)
-	entries, _ := dir.(DirReader).ReadDir()
+	if dir.Caps()&CapDir == 0 {
+		t.Fatal("/dev root must report CapDir")
+	}
+	entries, _ := dir.ReadDir(nil)
 	if len(entries) != 2 {
 		t.Fatalf("entries = %v", entries)
 	}
@@ -319,10 +322,12 @@ func TestProcFSGeneratesAtOpen(t *testing.T) {
 		return string(rune('0' + n.Add(1)))
 	})
 	read := func() string {
-		f, err := p.Open(nil, "/uptime", ORdOnly)
+		ops, err := p.Open(nil, "/uptime", ORdOnly)
 		if err != nil {
 			t.Fatal(err)
 		}
+		f := NewOpenFile(ops, ORdOnly)
+		defer f.Close(nil)
 		b := make([]byte, 8)
 		k, _ := f.Read(nil, b)
 		return string(b[:k])
@@ -338,13 +343,13 @@ func TestProcFSGeneratesAtOpen(t *testing.T) {
 
 func TestFDTableLifecycle(t *testing.T) {
 	ft := NewFDTable(8)
-	f := &memFile{name: "x", data: []byte("hello")}
-	fd, err := ft.Install(f, ORdOnly)
+	of := NewOpenFile(&memFile{name: "x", data: []byte("hello")}, ORdOnly)
+	fd, err := ft.Install(of)
 	if err != nil || fd != 0 {
 		t.Fatalf("fd = %d, %v", fd, err)
 	}
 	got, err := ft.Get(fd)
-	if err != nil || got != File(f) {
+	if err != nil || got != of {
 		t.Fatal("get mismatch")
 	}
 	fd2, _ := ft.Dup(fd)
@@ -360,14 +365,14 @@ func TestFDTableLifecycle(t *testing.T) {
 	if string(b) != "ll" {
 		t.Fatalf("shared offset broken: %q", b)
 	}
-	ft.Close(fd)
+	ft.Close(nil, fd)
 	if _, err := ft.Get(fd); !errors.Is(err, ErrBadFD) {
 		t.Fatal("closed fd still valid")
 	}
 	if _, err := ft.Get(fd2); err != nil {
 		t.Fatal("dup'd fd must survive sibling close")
 	}
-	ft.Close(fd2)
+	ft.Close(nil, fd2)
 	if ft.OpenCount() != 0 {
 		t.Fatalf("open count = %d", ft.OpenCount())
 	}
@@ -375,8 +380,7 @@ func TestFDTableLifecycle(t *testing.T) {
 
 func TestFDTableCloneSharesDescriptions(t *testing.T) {
 	ft := NewFDTable(8)
-	f := &memFile{name: "x", data: []byte("abcd")}
-	fd, _ := ft.Install(f, ORdOnly)
+	fd, _ := ft.Install(NewOpenFile(&memFile{name: "x", data: []byte("abcd")}, ORdOnly))
 	child := ft.Clone()
 	b := make([]byte, 2)
 	pf, _ := ft.Get(fd)
@@ -386,15 +390,15 @@ func TestFDTableCloneSharesDescriptions(t *testing.T) {
 	if string(b) != "cd" {
 		t.Fatalf("fork offset sharing broken: %q", b)
 	}
-	ft.CloseAll()
-	child.CloseAll()
+	ft.CloseAll(nil)
+	child.CloseAll(nil)
 }
 
 func TestFDTableExhaustion(t *testing.T) {
 	ft := NewFDTable(2)
-	ft.Install(&memFile{}, 0)
-	ft.Install(&memFile{}, 0)
-	if _, err := ft.Install(&memFile{}, 0); err == nil {
+	ft.Install(NewOpenFile(&memFile{}, 0))
+	ft.Install(NewOpenFile(&memFile{}, 0))
+	if _, err := ft.Install(NewOpenFile(&memFile{}, 0)); err == nil {
 		t.Fatal("expected fd exhaustion")
 	}
 }
@@ -418,5 +422,80 @@ func TestRamdiskRoundTripAndBounds(t *testing.T) {
 	r, w := rd.Stats()
 	if r != 2 || w != 2 {
 		t.Fatalf("stats = %d, %d", r, w)
+	}
+}
+
+// TestOpenFileEdgeSemantics pins the POSIX corners the review chased: a
+// zero-length append write moves nothing, and empty vectored IO still
+// answers for a dead or wrong-mode descriptor.
+func TestOpenFileEdgeSemantics(t *testing.T) {
+	of := NewOpenFile(&memFile{name: "m", data: []byte("abcdef")}, ORdOnly)
+	// Empty readv on a live readable fd: 0, nil.
+	if n, err := of.Readv(nil, nil); n != 0 || err != nil {
+		t.Fatalf("empty readv = %d, %v", n, err)
+	}
+	// Empty writev on a read-only fd: ErrPerm, not silent success.
+	if _, err := of.Writev(nil, [][]byte{}); !errors.Is(err, ErrPerm) {
+		t.Fatalf("empty writev on O_RDONLY = %v, want ErrPerm", err)
+	}
+	of.Close(nil)
+	// Empty vectored ops on a closed descriptor: ErrBadFD.
+	if _, err := of.Readv(nil, nil); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("empty readv on closed = %v, want ErrBadFD", err)
+	}
+	if _, err := of.Writev(nil, nil); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("empty writev on closed = %v, want ErrBadFD", err)
+	}
+}
+
+// appendMem is a tiny positional ops with working OffAppend, for the
+// zero-length-append offset rule.
+type appendMem struct {
+	BaseOps
+	data []byte
+}
+
+func (m *appendMem) Pread(_ *sched.Task, p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
+		return 0, nil
+	}
+	return copy(p, m.data[off:]), nil
+}
+
+func (m *appendMem) Pwrite(_ *sched.Task, p []byte, off int64) (int, int64, error) {
+	if off == OffAppend {
+		off = int64(len(m.data))
+	}
+	for int64(len(m.data)) < off+int64(len(p)) {
+		m.data = append(m.data, 0)
+	}
+	n := copy(m.data[off:], p)
+	return n, off + int64(n), nil
+}
+
+func (m *appendMem) Stat(*sched.Task) (Stat, error) {
+	return Stat{Name: "am", Size: int64(len(m.data))}, nil
+}
+
+func (m *appendMem) Caps() Caps { return CapSeek }
+
+func TestZeroLengthAppendWriteKeepsOffset(t *testing.T) {
+	of := NewOpenFile(&appendMem{data: make([]byte, 100)}, OWrOnly|OAppend)
+	defer of.Close(nil)
+	if _, err := of.Seek(nil, 5, SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := of.Write(nil, nil); n != 0 || err != nil {
+		t.Fatalf("zero write = %d, %v", n, err)
+	}
+	if off := of.Offset(); off != 5 {
+		t.Fatalf("offset after zero-length append write = %d, want 5 (POSIX: no other results)", off)
+	}
+	// A real append does move it to EOF.
+	if _, err := of.Write(nil, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if off := of.Offset(); off != 102 {
+		t.Fatalf("offset after real append = %d, want 102", off)
 	}
 }

@@ -1,0 +1,509 @@
+package fs
+
+import (
+	"fmt"
+	"sync"
+
+	"protosim/internal/kernel/errseq"
+	"protosim/internal/kernel/sched"
+)
+
+// OpenFile is the kernel-owned open file description — the OFD, Linux's
+// struct file. Every open produces exactly one; dup and fork share it by
+// reference. It owns everything that is per-OPEN rather than per-file:
+//
+//   - the file offset (positional files only; Read/Write advance it under
+//     the offset lock, Pread/Pwrite never touch it),
+//   - the open flags, including O_APPEND routing every Write through the
+//     filesystem's atomic-append path,
+//   - the reference count descriptors share, with the in-flight operation
+//     guard so a Close racing a Read on a shared descriptor defers the
+//     final release instead of yanking the file mid-operation,
+//   - the per-open writeback-error cursor (Linux's f_wb_err): sampled
+//     from the file's errseq stream at open, observed at every Sync — so
+//     two descriptors on one inode each report an asynchronous writeback
+//     failure exactly once.
+//
+// Below it sits the file's FileOps, which holds only per-FILE state; above
+// it the FDTable maps descriptor numbers to OpenFiles.
+type OpenFile struct {
+	ops    FileOps
+	caps   Caps
+	flags  int
+	stream *errseq.Stream // ops.WbStream(), cached at open; nil for streamless files
+
+	mu       sync.Mutex // lifecycle: refs, inflight, closed, released
+	refs     int
+	inflight int
+	closed   bool
+	released bool // ops.Close has run (exactly once)
+
+	posMu sync.Mutex // the offset lock: serializes offset-advancing IO
+	off   int64
+
+	wb errseq.Cursor // per-open writeback-error cursor; moved under stream's lock
+}
+
+// NewOpenFile wraps ops in a fresh open file description with one
+// reference. The per-open error cursor is sampled here — at open — so a
+// writeback failure already reported through some other descriptor is not
+// news to this one, while one still unreported is.
+func NewOpenFile(ops FileOps, flags int) *OpenFile {
+	f := &OpenFile{ops: ops, caps: ops.Caps(), flags: flags, refs: 1}
+	if f.stream = ops.WbStream(); f.stream != nil {
+		f.wb = f.stream.Sample()
+	}
+	return f
+}
+
+// use opens an operation window (false once every descriptor closed);
+// done closes it. Threads share FD tables, so a Close can race an
+// in-flight Read/Write on the same descriptor — the underlying file is
+// released by whoever finishes last, never yanked mid-operation. This
+// guard lived in every filesystem's file struct before the OFD existed;
+// now it is enforced once, here, for every file type.
+func (f *OpenFile) use() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false
+	}
+	f.inflight++
+	return true
+}
+
+func (f *OpenFile) done(t *sched.Task) {
+	f.mu.Lock()
+	f.inflight--
+	rel := f.closed && f.inflight == 0 && !f.released
+	if rel {
+		f.released = true
+	}
+	f.mu.Unlock()
+	if rel {
+		f.ops.Close(t)
+	}
+}
+
+// Ref adds a descriptor reference (dup, fork).
+func (f *OpenFile) Ref() {
+	f.mu.Lock()
+	f.refs++
+	f.mu.Unlock()
+}
+
+// Close drops one descriptor reference; the last one releases the
+// underlying file — deferred to the final in-flight operation if any are
+// mid-call.
+func (f *OpenFile) Close(t *sched.Task) error {
+	f.mu.Lock()
+	if f.refs <= 0 {
+		f.mu.Unlock()
+		return ErrBadFD
+	}
+	f.refs--
+	if f.refs > 0 {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	rel := f.inflight == 0 && !f.released
+	if rel {
+		f.released = true
+	}
+	f.mu.Unlock()
+	if rel {
+		return f.ops.Close(t)
+	}
+	return nil
+}
+
+// readable reports whether the open mode admits reads.
+func (f *OpenFile) readable() bool { return f.flags&accessMask != OWrOnly }
+
+// writable reports whether the open mode admits writes.
+func (f *OpenFile) writable() bool { return f.flags&(OWrOnly|ORdWr) != 0 }
+
+// Read reads at the shared offset and advances it. The offset lock is
+// held across the IO, so two threads reading one descriptor consume
+// disjoint ranges instead of double-reading; stream files (no CapSeek)
+// dispatch straight to the ops with no offset at all.
+func (f *OpenFile) Read(t *sched.Task, p []byte) (int, error) {
+	if !f.use() {
+		return 0, ErrBadFD
+	}
+	defer f.done(t)
+	if !f.readable() {
+		return 0, ErrPerm
+	}
+	if f.caps&CapDir != 0 {
+		return 0, ErrIsDir
+	}
+	if f.caps&CapSeek == 0 {
+		return f.ops.Read(t, p)
+	}
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	n, err := f.ops.Pread(t, p, f.off)
+	f.off += int64(n)
+	return n, err
+}
+
+// Write writes at the shared offset and advances it to the end of the
+// written bytes. With O_APPEND the filesystem resolves the offset to EOF
+// under its inode lock (OffAppend), making concurrent appends atomic.
+func (f *OpenFile) Write(t *sched.Task, p []byte) (int, error) {
+	if !f.use() {
+		return 0, ErrBadFD
+	}
+	defer f.done(t)
+	if !f.writable() {
+		return 0, ErrPerm
+	}
+	if f.caps&CapDir != 0 {
+		return 0, ErrIsDir
+	}
+	if f.caps&CapSeek == 0 {
+		return f.ops.Write(t, p)
+	}
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	off := f.off
+	if f.flags&OAppend != 0 {
+		off = OffAppend
+	}
+	n, end, err := f.ops.Pwrite(t, p, off)
+	// Move the shared offset only when the write made progress (or
+	// succeeded with real bytes): a failing Pwrite may return its
+	// unresolved input offset — OffAppend is -1 — which must never become
+	// the file position, and POSIX gives a zero-length write no other
+	// results (an empty O_APPEND write must not teleport the offset to
+	// EOF).
+	if (n > 0 || (err == nil && len(p) > 0)) && end >= 0 {
+		f.off = end
+	}
+	return n, err
+}
+
+// Pread reads at an explicit offset, leaving the shared offset alone — no
+// offset lock is taken, so positional readers never serialize against
+// each other or against Read/Write/Seek on the same descriptor.
+func (f *OpenFile) Pread(t *sched.Task, p []byte, off int64) (int, error) {
+	if !f.use() {
+		return 0, ErrBadFD
+	}
+	defer f.done(t)
+	if !f.readable() {
+		return 0, ErrPerm
+	}
+	if f.caps&CapDir != 0 {
+		return 0, ErrIsDir
+	}
+	if f.caps&CapSeek == 0 {
+		return 0, ErrBadSeek
+	}
+	if off < 0 {
+		return 0, ErrBadSeek
+	}
+	return f.ops.Pread(t, p, off)
+}
+
+// Pwrite writes at an explicit offset, leaving the shared offset alone.
+func (f *OpenFile) Pwrite(t *sched.Task, p []byte, off int64) (int, error) {
+	if !f.use() {
+		return 0, ErrBadFD
+	}
+	defer f.done(t)
+	if !f.writable() {
+		return 0, ErrPerm
+	}
+	if f.caps&CapDir != 0 {
+		return 0, ErrIsDir
+	}
+	if f.caps&CapSeek == 0 {
+		return 0, ErrBadSeek
+	}
+	if off < 0 {
+		return 0, ErrBadSeek
+	}
+	n, _, err := f.ops.Pwrite(t, p, off)
+	return n, err
+}
+
+// Readv reads into the vector of buffers as one contiguous operation: a
+// single coalesced read at the shared offset (one inode lock, one cache
+// range op), scattered back into the caller's buffers.
+func (f *OpenFile) Readv(t *sched.Task, iovs [][]byte) (int, error) {
+	// Lifecycle and mode checks run even for an empty vector, so a
+	// zero-length readv on a closed or write-only descriptor fails the
+	// way read does (the inner Read re-checks; that is harmless).
+	if !f.use() {
+		return 0, ErrBadFD
+	}
+	defer f.done(t)
+	if !f.readable() {
+		return 0, ErrPerm
+	}
+	total := 0
+	for _, v := range iovs {
+		total += len(v)
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	buf := make([]byte, total)
+	n, err := f.Read(t, buf)
+	rem := buf[:n]
+	for _, v := range iovs {
+		if len(rem) == 0 {
+			break
+		}
+		c := copy(v, rem)
+		rem = rem[c:]
+	}
+	return n, err
+}
+
+// Writev gathers the vector of buffers into one contiguous span and
+// writes it with a single Write: one inode lock, one coalesced cache
+// range write — not len(iovs) separate block-at-a-time writes — and under
+// O_APPEND the whole vector lands as one atomic record.
+func (f *OpenFile) Writev(t *sched.Task, iovs [][]byte) (int, error) {
+	// As in Readv: an empty writev still answers for a dead or read-only
+	// descriptor.
+	if !f.use() {
+		return 0, ErrBadFD
+	}
+	defer f.done(t)
+	if !f.writable() {
+		return 0, ErrPerm
+	}
+	total := 0
+	for _, v := range iovs {
+		total += len(v)
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	buf := make([]byte, 0, total)
+	for _, v := range iovs {
+		buf = append(buf, v...)
+	}
+	return f.Write(t, buf)
+}
+
+// Seek repositions the shared offset (lseek). SeekEnd stats the file for
+// its size; the offset lock serializes against in-flight Read/Write.
+func (f *OpenFile) Seek(t *sched.Task, off int64, whence int) (int64, error) {
+	if !f.use() {
+		return 0, ErrBadFD
+	}
+	defer f.done(t)
+	if f.caps&CapSeek == 0 {
+		return 0, ErrBadSeek
+	}
+	var size int64
+	if whence == SeekEnd {
+		st, err := f.ops.Stat(t)
+		if err != nil {
+			return 0, err
+		}
+		size = st.Size
+	}
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = f.off
+	case SeekEnd:
+		base = size
+	default:
+		return 0, ErrBadSeek
+	}
+	n := base + off
+	if n < 0 {
+		return 0, ErrBadSeek
+	}
+	f.off = n
+	return n, nil
+}
+
+// Stat describes the file.
+func (f *OpenFile) Stat(t *sched.Task) (Stat, error) {
+	if !f.use() {
+		return Stat{}, ErrBadFD
+	}
+	defer f.done(t)
+	return f.ops.Stat(t)
+}
+
+// Sync is fsync through this descriptor: flush the file's dirty data and
+// metadata, then observe THIS open's error cursor against the file's
+// writeback-error stream — an asynchronous failure of this file's buffers
+// since this descriptor's last observation is reported exactly once here,
+// and never another file's, and never an epoch this descriptor already
+// reported (another descriptor's observations don't consume ours).
+func (f *OpenFile) Sync(t *sched.Task) error {
+	if !f.use() {
+		return ErrBadFD
+	}
+	defer f.done(t)
+	err := f.ops.Sync(t)
+	if f.stream != nil {
+		if werr := f.stream.Observe(&f.wb); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// ReadDir lists an open directory.
+func (f *OpenFile) ReadDir(t *sched.Task) ([]DirEntry, error) {
+	if !f.use() {
+		return nil, ErrBadFD
+	}
+	defer f.done(t)
+	return f.ops.ReadDir(t)
+}
+
+// Ioctl issues a device control operation.
+func (f *OpenFile) Ioctl(t *sched.Task, op int, arg int64) (int64, error) {
+	if !f.use() {
+		return 0, ErrBadFD
+	}
+	defer f.done(t)
+	if f.caps&CapIoctl == 0 {
+		return 0, ErrNotSupported
+	}
+	return f.ops.Ioctl(t, op, arg)
+}
+
+// Flags returns the open flags.
+func (f *OpenFile) Flags() int { return f.flags }
+
+// Ops exposes the underlying per-file operations (filesystem tests and
+// diagnostics reach through the OFD with it; the kernel never does).
+func (f *OpenFile) Ops() FileOps { return f.ops }
+
+// Caps returns the file's capability bitmask.
+func (f *OpenFile) Caps() Caps { return f.caps }
+
+// Offset returns the shared file offset (tests and diagnostics).
+func (f *OpenFile) Offset() int64 {
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	return f.off
+}
+
+// FDTable is a process's descriptor table: small integers mapping to
+// shared OpenFiles. fork clones the table — both processes share the open
+// file descriptions, offsets included — and exec keeps it, as in xv6.
+type FDTable struct {
+	mu    sync.Mutex
+	files []*OpenFile
+}
+
+// NewFDTable returns a table with maxFDs slots.
+func NewFDTable(maxFDs int) *FDTable {
+	return &FDTable{files: make([]*OpenFile, maxFDs)}
+}
+
+// Install places the open file in the lowest free slot and returns the
+// fd. On a full table the caller keeps its reference (and should close
+// it).
+func (ft *FDTable) Install(of *OpenFile) (int, error) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	for fd, e := range ft.files {
+		if e == nil {
+			ft.files[fd] = of
+			return fd, nil
+		}
+	}
+	return -1, fmt.Errorf("fs: out of file descriptors")
+}
+
+// Get returns the open file description for fd.
+func (ft *FDTable) Get(fd int) (*OpenFile, error) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
+		return nil, ErrBadFD
+	}
+	return ft.files[fd], nil
+}
+
+// Dup duplicates fd into a new slot sharing the same description —
+// offset, flags and error cursor included.
+func (ft *FDTable) Dup(fd int) (int, error) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
+		return -1, ErrBadFD
+	}
+	e := ft.files[fd]
+	for nfd, slot := range ft.files {
+		if slot == nil {
+			e.Ref()
+			ft.files[nfd] = e
+			return nfd, nil
+		}
+	}
+	return -1, fmt.Errorf("fs: out of file descriptors")
+}
+
+// Close drops fd, carrying the calling task so a final close that must
+// reclaim an unlinked file's storage sleeps properly on contended locks.
+func (ft *FDTable) Close(t *sched.Task, fd int) error {
+	ft.mu.Lock()
+	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
+		ft.mu.Unlock()
+		return ErrBadFD
+	}
+	e := ft.files[fd]
+	ft.files[fd] = nil
+	ft.mu.Unlock()
+	return e.Close(t)
+}
+
+// Clone copies the table for fork: both processes share descriptions.
+func (ft *FDTable) Clone() *FDTable {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	nt := NewFDTable(len(ft.files))
+	for fd, e := range ft.files {
+		if e == nil {
+			continue
+		}
+		e.Ref()
+		nt.files[fd] = e
+	}
+	return nt
+}
+
+// CloseAll releases every descriptor (process exit), carrying the exiting
+// task.
+func (ft *FDTable) CloseAll(t *sched.Task) {
+	ft.mu.Lock()
+	n := len(ft.files)
+	ft.mu.Unlock()
+	for fd := 0; fd < n; fd++ {
+		ft.Close(t, fd) // ErrBadFD for empty slots is fine
+	}
+}
+
+// OpenCount reports how many descriptors are live.
+func (ft *FDTable) OpenCount() int {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	n := 0
+	for _, e := range ft.files {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}

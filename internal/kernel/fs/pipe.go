@@ -22,15 +22,21 @@ type pipe struct {
 }
 
 // PipeReader is the read end.
-type PipeReader struct{ p *pipe }
+type PipeReader struct {
+	BaseOps
+	p *pipe
+}
 
 // PipeWriter is the write end.
-type PipeWriter struct{ p *pipe }
+type PipeWriter struct {
+	BaseOps
+	p *pipe
+}
 
 // NewPipe returns connected read and write ends.
 func NewPipe() (*PipeReader, *PipeWriter) {
 	p := &pipe{readers: 1, writers: 1}
-	return &PipeReader{p}, &PipeWriter{p}
+	return &PipeReader{p: p}, &PipeWriter{p: p}
 }
 
 func (p *pipe) used() int { return p.w - p.r }
@@ -93,14 +99,8 @@ func (w *PipeWriter) Write(t *sched.Task, buf []byte) (int, error) {
 	return written, nil
 }
 
-// Write on the read end is an error.
-func (r *PipeReader) Write(*sched.Task, []byte) (int, error) { return 0, ErrPerm }
-
-// Read on the write end is an error.
-func (w *PipeWriter) Read(*sched.Task, []byte) (int, error) { return 0, ErrPerm }
-
 // Close drops the read end; blocked writers fail with ErrPipeClosed.
-func (r *PipeReader) Close() error {
+func (r *PipeReader) Close(*sched.Task) error {
 	p := r.p
 	p.mu.Lock()
 	p.readers--
@@ -110,7 +110,7 @@ func (r *PipeReader) Close() error {
 }
 
 // Close drops the write end; blocked readers see EOF.
-func (w *PipeWriter) Close() error {
+func (w *PipeWriter) Close(*sched.Task) error {
 	p := w.p
 	p.mu.Lock()
 	p.writers--
@@ -119,21 +119,21 @@ func (w *PipeWriter) Close() error {
 	return nil
 }
 
-// Stat implements File.
-func (r *PipeReader) Stat() (Stat, error) {
+// Stat implements FileOps.
+func (r *PipeReader) Stat(*sched.Task) (Stat, error) {
 	r.p.mu.Lock()
 	defer r.p.mu.Unlock()
 	return Stat{Name: "pipe", Type: TypePipe, Size: int64(r.p.used())}, nil
 }
 
-// Stat implements File.
-func (w *PipeWriter) Stat() (Stat, error) {
+// Stat implements FileOps.
+func (w *PipeWriter) Stat(*sched.Task) (Stat, error) {
 	w.p.mu.Lock()
 	defer w.p.mu.Unlock()
 	return Stat{Name: "pipe", Type: TypePipe, Size: int64(w.p.used())}, nil
 }
 
 var (
-	_ File = (*PipeReader)(nil)
-	_ File = (*PipeWriter)(nil)
+	_ FileOps = (*PipeReader)(nil)
+	_ FileOps = (*PipeWriter)(nil)
 )

@@ -27,10 +27,10 @@ func (p *ProcFS) Register(name string, gen func() string) {
 
 // Open implements FileSystem. Content is snapshotted at open, like a real
 // procfs read of a seq_file.
-func (p *ProcFS) Open(t *sched.Task, path string, flags int) (File, error) {
+func (p *ProcFS) Open(t *sched.Task, path string, flags int) (FileOps, error) {
 	path = Clean(path)
 	if path == "/" {
-		return &procDir{p}, nil
+		return &procDir{p: p}, nil
 	}
 	if flags&accessMask != ORdOnly {
 		return nil, ErrPerm
@@ -77,13 +77,19 @@ func (p *ProcFS) Names() []string {
 	return out
 }
 
-type procDir struct{ p *ProcFS }
+type procDir struct {
+	BaseOps
+	p *ProcFS
+}
 
-func (pd *procDir) Read(*sched.Task, []byte) (int, error)  { return 0, ErrIsDir }
-func (pd *procDir) Write(*sched.Task, []byte) (int, error) { return 0, ErrIsDir }
-func (pd *procDir) Close() error                           { return nil }
-func (pd *procDir) Stat() (Stat, error)                    { return Stat{Name: "proc", Type: TypeDir}, nil }
-func (pd *procDir) ReadDir() ([]DirEntry, error) {
+// Stat implements FileOps.
+func (pd *procDir) Stat(*sched.Task) (Stat, error) { return Stat{Name: "proc", Type: TypeDir}, nil }
+
+// Caps implements FileOps: an open directory.
+func (pd *procDir) Caps() Caps { return CapDir }
+
+// ReadDir implements FileOps.
+func (pd *procDir) ReadDir(*sched.Task) ([]DirEntry, error) {
 	names := pd.p.Names()
 	out := make([]DirEntry, len(names))
 	for i, n := range names {
@@ -92,53 +98,27 @@ func (pd *procDir) ReadDir() ([]DirEntry, error) {
 	return out, nil
 }
 
-// memFile is an in-memory read-only file with an offset (procfs content,
-// also reused by tests).
+// memFile is an in-memory read-only positional file (procfs content, also
+// reused by tests). It holds no offset — the OpenFile owns that — just the
+// snapshot taken at open.
 type memFile struct {
+	BaseOps
 	name string
-	mu   sync.Mutex
 	data []byte
-	off  int64
 }
 
-func (m *memFile) Read(_ *sched.Task, p []byte) (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.off >= int64(len(m.data)) {
+// Pread implements FileOps.
+func (m *memFile) Pread(_ *sched.Task, p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
 		return 0, nil
 	}
-	n := copy(p, m.data[m.off:])
-	m.off += int64(n)
-	return n, nil
+	return copy(p, m.data[off:]), nil
 }
 
-func (m *memFile) Write(*sched.Task, []byte) (int, error) { return 0, ErrPerm }
-func (m *memFile) Close() error                           { return nil }
-func (m *memFile) Stat() (Stat, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// Stat implements FileOps.
+func (m *memFile) Stat(*sched.Task) (Stat, error) {
 	return Stat{Name: m.name, Type: TypeFile, Size: int64(len(m.data))}, nil
 }
 
-// Lseek implements Seeker.
-func (m *memFile) Lseek(offset int64, whence int) (int64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var base int64
-	switch whence {
-	case SeekSet:
-		base = 0
-	case SeekCur:
-		base = m.off
-	case SeekEnd:
-		base = int64(len(m.data))
-	default:
-		return 0, ErrBadSeek
-	}
-	n := base + offset
-	if n < 0 {
-		return 0, ErrBadSeek
-	}
-	m.off = n
-	return n, nil
-}
+// Caps implements FileOps: positional and read-only.
+func (m *memFile) Caps() Caps { return CapSeek }

@@ -73,13 +73,20 @@ func (v *VFS) resolve(path string) (FileSystem, string, error) {
 	return bestFS, rel, nil
 }
 
-// Open opens path with flags.
-func (v *VFS) Open(t *sched.Task, path string, flags int) (File, error) {
+// Open opens path with flags, returning a fresh open file description
+// wrapping the filesystem's FileOps — the one place OFDs are minted on
+// the syscall path, so offset ownership, append routing and the per-open
+// error cursor are uniform across every mounted filesystem.
+func (v *VFS) Open(t *sched.Task, path string, flags int) (*OpenFile, error) {
 	fsys, rel, err := v.resolve(path)
 	if err != nil {
 		return nil, err
 	}
-	return fsys.Open(t, rel, flags)
+	ops, err := fsys.Open(t, rel, flags)
+	if err != nil {
+		return nil, err
+	}
+	return NewOpenFile(ops, flags), nil
 }
 
 // Mkdir creates a directory.
@@ -203,150 +210,4 @@ func SplitPath(path string) (dir, name string) {
 		dir = "/"
 	}
 	return dir, path[i+1:]
-}
-
-// FDTable is a process's descriptor table. fork shares the open file
-// descriptions (offsets included), exec keeps them, as in xv6.
-type FDTable struct {
-	mu    sync.Mutex
-	files []*FDEntry
-}
-
-// FDEntry is one slot: a refcounted open file description.
-type FDEntry struct {
-	mu    sync.Mutex
-	file  File
-	refs  int
-	flags int
-}
-
-// NewFDTable returns a table with maxFDs slots.
-func NewFDTable(maxFDs int) *FDTable {
-	return &FDTable{files: make([]*FDEntry, maxFDs)}
-}
-
-// Install places file in the lowest free slot and returns the fd.
-func (ft *FDTable) Install(file File, flags int) (int, error) {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	for fd, e := range ft.files {
-		if e == nil {
-			ft.files[fd] = &FDEntry{file: file, refs: 1, flags: flags}
-			return fd, nil
-		}
-	}
-	file.Close()
-	return -1, fmt.Errorf("fs: out of file descriptors")
-}
-
-// Get returns the open file for fd.
-func (ft *FDTable) Get(fd int) (File, error) {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
-		return nil, ErrBadFD
-	}
-	return ft.files[fd].file, nil
-}
-
-// Flags returns the open flags recorded for fd.
-func (ft *FDTable) Flags(fd int) (int, error) {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
-		return 0, ErrBadFD
-	}
-	return ft.files[fd].flags, nil
-}
-
-// Dup duplicates fd into a new slot sharing the same description.
-func (ft *FDTable) Dup(fd int) (int, error) {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
-		return -1, ErrBadFD
-	}
-	e := ft.files[fd]
-	for nfd, slot := range ft.files {
-		if slot == nil {
-			e.mu.Lock()
-			e.refs++
-			e.mu.Unlock()
-			ft.files[nfd] = e
-			return nfd, nil
-		}
-	}
-	return -1, fmt.Errorf("fs: out of file descriptors")
-}
-
-// Close drops fd; the description closes at refcount zero.
-func (ft *FDTable) Close(fd int) error { return ft.CloseTask(nil, fd) }
-
-// CloseTask is Close carrying the calling task, so a final close that
-// must reclaim an unlinked file's storage sleeps properly on contended
-// locks (see TaskCloser).
-func (ft *FDTable) CloseTask(t *sched.Task, fd int) error {
-	ft.mu.Lock()
-	if fd < 0 || fd >= len(ft.files) || ft.files[fd] == nil {
-		ft.mu.Unlock()
-		return ErrBadFD
-	}
-	e := ft.files[fd]
-	ft.files[fd] = nil
-	ft.mu.Unlock()
-
-	e.mu.Lock()
-	e.refs--
-	last := e.refs == 0
-	e.mu.Unlock()
-	if last {
-		if tc, ok := e.file.(TaskCloser); ok && t != nil {
-			return tc.CloseT(t)
-		}
-		return e.file.Close()
-	}
-	return nil
-}
-
-// Clone copies the table for fork: both processes share descriptions.
-func (ft *FDTable) Clone() *FDTable {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	nt := NewFDTable(len(ft.files))
-	for fd, e := range ft.files {
-		if e == nil {
-			continue
-		}
-		e.mu.Lock()
-		e.refs++
-		e.mu.Unlock()
-		nt.files[fd] = e
-	}
-	return nt
-}
-
-// CloseAll releases every descriptor (process exit).
-func (ft *FDTable) CloseAll() { ft.CloseAllTask(nil) }
-
-// CloseAllTask is CloseAll carrying the exiting task.
-func (ft *FDTable) CloseAllTask(t *sched.Task) {
-	ft.mu.Lock()
-	n := len(ft.files)
-	ft.mu.Unlock()
-	for fd := 0; fd < n; fd++ {
-		ft.CloseTask(t, fd) // ErrBadFD for empty slots is fine
-	}
-}
-
-// OpenCount reports how many descriptors are live.
-func (ft *FDTable) OpenCount() int {
-	ft.mu.Lock()
-	defer ft.mu.Unlock()
-	n := 0
-	for _, e := range ft.files {
-		if e != nil {
-			n++
-		}
-	}
-	return n
 }

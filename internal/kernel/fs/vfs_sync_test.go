@@ -85,7 +85,7 @@ func TestSyncAllDuringWriters(t *testing.T) {
 						t.Errorf("w%d write %s: %v", w, p, err)
 						return
 					}
-					fl.Close()
+					fl.Close(nil)
 				}
 			}
 		}(w)
@@ -138,7 +138,7 @@ func TestSyncAllDuringWriters(t *testing.T) {
 				t.Fatalf("card w%d byte %d = %q", w, i, b)
 			}
 		}
-		fl.Close()
+		fl.Close(nil)
 	}
 }
 
@@ -151,7 +151,7 @@ func TestVFSRenameDispatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	fl.Write(nil, []byte("payload"))
-	fl.Close()
+	fl.Close(nil)
 	if err := v.Rename(nil, "/move.me", "/moved"); err != nil {
 		t.Fatalf("same-mount rename: %v", err)
 	}
@@ -167,7 +167,7 @@ func TestVFSRenameDispatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl.Close()
+	fl.Close(nil)
 	if err := v.Rename(nil, "/d/a.bin", "/d/b.bin"); err != nil {
 		t.Fatalf("fat32 rename: %v", err)
 	}

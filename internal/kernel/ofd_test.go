@@ -1,0 +1,421 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"protosim/internal/kernel/fs"
+)
+
+// These tests pin down the open-file-description contract the fs.OpenFile
+// redesign introduced: dup/fork share ONE offset, O_APPEND appends are
+// atomic across concurrent writers, pread takes no offset lock (so it can
+// race lseek on a shared descriptor without ever seeing its effects), and
+// the vectored calls move whole iovecs as single operations.
+
+func TestDupSharesOffset(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "dup-offset", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/shared.txt", fs.OCreate|fs.ORdWr)
+		if err != nil {
+			return 1
+		}
+		if _, err := p.SysWrite(fd, []byte("abcdef")); err != nil {
+			return 2
+		}
+		if _, err := p.SysLseek(fd, 0, fs.SeekSet); err != nil {
+			return 3
+		}
+		fd2, err := p.SysDup(fd)
+		if err != nil {
+			return 4
+		}
+		b := make([]byte, 2)
+		p.SysRead(fd, b) // "ab" through fd
+		if _, err := p.SysRead(fd2, b); err != nil {
+			return 5
+		}
+		if string(b) != "cd" { // fd2 continues where fd left off
+			return 6
+		}
+		// Seeking through one descriptor moves the other.
+		if _, err := p.SysLseek(fd2, 1, fs.SeekSet); err != nil {
+			return 7
+		}
+		p.SysRead(fd, b)
+		if string(b) != "bc" {
+			return 8
+		}
+		p.SysClose(fd)
+		// The description survives the sibling close, offset intact.
+		p.SysRead(fd2, b)
+		if string(b) != "de" {
+			return 9
+		}
+		p.SysClose(fd2)
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestForkSharesOffset(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "fork-offset", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/forked.txt", fs.OCreate|fs.ORdWr)
+		if err != nil {
+			return 1
+		}
+		p.SysWrite(fd, []byte("0123456789"))
+		p.SysLseek(fd, 0, fs.SeekSet)
+		b := make([]byte, 2)
+		p.SysRead(fd, b) // parent consumes "01"
+		childRead := make(chan string, 1)
+		if _, err := p.SysFork(func(c *Proc) {
+			cb := make([]byte, 2)
+			c.SysRead(fd, cb) // child continues at "23" — xv6/POSIX fork
+			childRead <- string(cb)
+		}); err != nil {
+			return 2
+		}
+		p.SysWait()
+		if got := <-childRead; got != "23" {
+			return 3
+		}
+		// And the child's read moved the parent's offset too.
+		p.SysRead(fd, b)
+		if string(b) != "45" {
+			return 4
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+// TestAppendAtomicConcurrentWriters is the O_APPEND contract: 8 forked
+// writers blast distinctive records through ONE shared O_APPEND
+// description plus their own private descriptions, and every record must
+// land contiguous and whole — the EOF resolution happens under the inode
+// lock inside Pwrite(OffAppend), so no two appends can interleave.
+func TestAppendAtomicConcurrentWriters(t *testing.T) {
+	const (
+		writers = 8
+		rounds  = 12
+		recSize = 700 // straddles block boundaries
+	)
+	k := bootKernel(t, 4, nil)
+	code := run(t, k, "append-atomic", func(p *Proc, _ []string) int {
+		shared, err := p.SysOpen("/log.dat", fs.OCreate|fs.OWrOnly|fs.OAppend)
+		if err != nil {
+			return 1
+		}
+		for w := 0; w < writers; w++ {
+			w := w
+			if _, err := p.SysFork(func(c *Proc) {
+				// Half the writers use the fork-shared description, half
+				// open their own — append atomicity must hold either way.
+				fd := shared
+				if w%2 == 1 {
+					own, err := c.SysOpen("/log.dat", fs.OWrOnly|fs.OAppend)
+					if err != nil {
+						c.SysExit(10)
+					}
+					fd = own
+				}
+				rec := bytes.Repeat([]byte{byte('A' + w)}, recSize)
+				for r := 0; r < rounds; r++ {
+					n, err := c.SysWrite(fd, rec)
+					if err != nil || n != recSize {
+						c.SysExit(11)
+					}
+				}
+				c.SysExit(0)
+			}); err != nil {
+				return 2
+			}
+		}
+		for w := 0; w < writers; w++ {
+			if _, status, err := p.SysWait(); err != nil || status != 0 {
+				return 20 + status
+			}
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("writer exit = %d", code)
+	}
+	// Verify: every record contiguous, counts exact.
+	code = run(t, k, "append-verify", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/log.dat", fs.ORdOnly)
+		if err != nil {
+			return 1
+		}
+		st, err := p.SysFstat(fd)
+		if err != nil || st.Size != int64(writers*rounds*recSize) {
+			return 2
+		}
+		counts := make(map[byte]int)
+		rec := make([]byte, recSize)
+		for off := int64(0); off < st.Size; off += recSize {
+			if n, err := p.SysPread(fd, rec, off); err != nil || n != recSize {
+				return 3
+			}
+			for _, b := range rec[1:] {
+				if b != rec[0] {
+					return 4 // torn record: two appenders interleaved
+				}
+			}
+			counts[rec[0]]++
+		}
+		for w := 0; w < writers; w++ {
+			if counts[byte('A'+w)] != rounds {
+				return 5
+			}
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("verify exit = %d", code)
+	}
+}
+
+// TestPreadRacesLseek: pread never touches the shared offset, so a
+// positional reader racing an lseek+read loop on the SAME description
+// must always see the bytes at its explicit offset — and the offset lock
+// never serializes it.
+func TestPreadRacesLseek(t *testing.T) {
+	k := bootKernel(t, 4, nil)
+	code := run(t, k, "pread-race", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/race.bin", fs.OCreate|fs.ORdWr)
+		if err != nil {
+			return 1
+		}
+		// 16 blocks, each filled with its own index byte.
+		blk := make([]byte, 512)
+		for i := 0; i < 16; i++ {
+			for j := range blk {
+				blk[j] = byte(i)
+			}
+			if _, err := p.SysWrite(fd, blk); err != nil {
+				return 2
+			}
+		}
+		const iters = 300
+		if _, err := p.SysFork(func(c *Proc) {
+			// The seeker thrashes the shared offset.
+			b := make([]byte, 64)
+			for i := 0; i < iters; i++ {
+				c.SysLseek(fd, int64((i%16)*512), fs.SeekSet)
+				c.SysRead(fd, b)
+			}
+			c.SysExit(0)
+		}); err != nil {
+			return 3
+		}
+		// The positional reader: offset 7*512 always holds 0x07.
+		b := make([]byte, 128)
+		for i := 0; i < iters; i++ {
+			n, err := p.SysPread(fd, b, 7*512)
+			if err != nil || n != len(b) {
+				return 4
+			}
+			for _, x := range b[:n] {
+				if x != 7 {
+					return 5 // pread was dragged off its offset
+				}
+			}
+		}
+		p.SysWait()
+		// The shared offset was moved by the seeker child, never by pread:
+		// it must be block-aligned, not 7*512+128-aligned.
+		if off, err := p.SysLseek(fd, 0, fs.SeekCur); err != nil || off%512 == 128 {
+			return 6
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestPreadPwriteAndVectored(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "pio", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/pio.bin", fs.OCreate|fs.ORdWr)
+		if err != nil {
+			return 1
+		}
+		// Pwrite at an offset past EOF, then pread it back; the shared
+		// offset must still be 0.
+		if n, err := p.SysPwrite(fd, []byte("hello"), 1000); err != nil || n != 5 {
+			return 2
+		}
+		b := make([]byte, 5)
+		if n, err := p.SysPread(fd, b, 1000); err != nil || n != 5 || string(b) != "hello" {
+			return 3
+		}
+		if off, _ := p.SysLseek(fd, 0, fs.SeekCur); off != 0 {
+			return 4
+		}
+		// The gap reads back as zeros.
+		gap := make([]byte, 4)
+		if n, _ := p.SysPread(fd, gap, 500); n != 4 || !bytes.Equal(gap, make([]byte, 4)) {
+			return 5
+		}
+		// Writev gathers one contiguous span; readv scatters it back.
+		if n, err := p.SysWritev(fd, [][]byte{[]byte("vec"), []byte("tor"), []byte("ed!")}); err != nil || n != 9 {
+			return 6
+		}
+		p.SysLseek(fd, 0, fs.SeekSet)
+		v1, v2 := make([]byte, 4), make([]byte, 5)
+		if n, err := p.SysReadv(fd, [][]byte{v1, v2}); err != nil || n != 9 {
+			return 7
+		}
+		if string(v1) != "vect" || string(v2) != "ored!" {
+			return 8
+		}
+		// Negative offsets are rejected.
+		if _, err := p.SysPread(fd, b, -1); !errors.Is(err, fs.ErrBadSeek) {
+			return 9
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+// TestStreamFilesRejectPositional: pipes have no position — lseek and
+// pread fail with ErrBadSeek (ESPIPE), via the Caps bitmask rather than a
+// type assertion.
+func TestStreamFilesRejectPositional(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "espipe", func(p *Proc, _ []string) int {
+		r, w, err := p.SysPipe()
+		if err != nil {
+			return 1
+		}
+		if _, err := p.SysLseek(r, 0, fs.SeekSet); !errors.Is(err, fs.ErrBadSeek) {
+			return 2
+		}
+		if _, err := p.SysPread(r, make([]byte, 4), 0); !errors.Is(err, fs.ErrBadSeek) {
+			return 3
+		}
+		if _, err := p.SysPwrite(w, []byte("x"), 0); !errors.Is(err, fs.ErrBadSeek) {
+			return 4
+		}
+		// Writing the read end is refused by the OFD's access mode.
+		if _, err := p.SysWrite(r, []byte("x")); !errors.Is(err, fs.ErrPerm) {
+			return 5
+		}
+		p.SysClose(r)
+		p.SysClose(w)
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+// TestWritevAppendIsOneRecord: a vectored append lands as one contiguous
+// record even with a rival appender between every syscall — the gather
+// happens before a single Pwrite(OffAppend).
+func TestWritevAppendIsOneRecord(t *testing.T) {
+	k := bootKernel(t, 4, nil)
+	code := run(t, k, "writev-append", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/wv.log", fs.OCreate|fs.OWrOnly|fs.OAppend)
+		if err != nil {
+			return 1
+		}
+		const rounds = 40
+		var wg sync.WaitGroup
+		errs := make(chan int, 2)
+		wg.Add(1)
+		if _, err := p.SysFork(func(c *Proc) {
+			defer wg.Done()
+			own, err := c.SysOpen("/wv.log", fs.OWrOnly|fs.OAppend)
+			if err != nil {
+				errs <- 2
+				return
+			}
+			rec := bytes.Repeat([]byte{'z'}, 90)
+			for i := 0; i < rounds; i++ {
+				if _, err := c.SysWrite(own, rec); err != nil {
+					errs <- 3
+					return
+				}
+			}
+		}); err != nil {
+			return 4
+		}
+		for i := 0; i < rounds; i++ {
+			n, err := p.SysWritev(fd, [][]byte{
+				bytes.Repeat([]byte{'x'}, 30),
+				bytes.Repeat([]byte{'y'}, 60),
+			})
+			if err != nil || n != 90 {
+				return 5
+			}
+		}
+		p.SysWait()
+		wg.Wait()
+		select {
+		case c := <-errs:
+			return c
+		default:
+		}
+		// Every 90-byte record is either all-z or exactly 30 x then 60 y.
+		data, err := readWhole(p, "/wv.log")
+		if err != nil || len(data) != 2*rounds*90 {
+			return 6
+		}
+		for off := 0; off < len(data); off += 90 {
+			rec := data[off : off+90]
+			if rec[0] == 'z' {
+				if !bytes.Equal(rec, bytes.Repeat([]byte{'z'}, 90)) {
+					return 7
+				}
+				continue
+			}
+			want := append(bytes.Repeat([]byte{'x'}, 30), bytes.Repeat([]byte{'y'}, 60)...)
+			if !bytes.Equal(rec, want) {
+				return 8 // the vector was torn across the append
+			}
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+// readWhole slurps a file through pread, fstat-sized.
+func readWhole(p *Proc, path string) ([]byte, error) {
+	fd, err := p.SysOpen(path, fs.ORdOnly)
+	if err != nil {
+		return nil, err
+	}
+	defer p.SysClose(fd)
+	st, err := p.SysFstat(fd)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, st.Size)
+	for off := int64(0); off < st.Size; {
+		n, err := p.SysPread(fd, out[off:], off)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("short file: %d of %d", off, st.Size)
+		}
+		off += int64(n)
+	}
+	return out, nil
+}

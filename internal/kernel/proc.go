@@ -160,7 +160,7 @@ func (p *Proc) finalize(code int) {
 		if t != nil && t.Killed() {
 			t = nil
 		}
-		p.fds.CloseAllTask(t)
+		p.fds.CloseAll(t)
 	}
 	if p.mm != nil {
 		p.mm.Release()

@@ -141,10 +141,12 @@ func (sd *soundDev) pending() int {
 }
 
 // soundFile is one open of /dev/sb.
-type soundFile struct{ dev *soundDev }
+type soundFile struct {
+	fs.BaseOps
+	dev *soundDev
+}
 
-func (f *soundFile) Read(*sched.Task, []byte) (int, error) { return 0, fs.ErrPerm }
-
+// Write implements fs.FileOps: stage samples for DMA.
 func (f *soundFile) Write(t *sched.Task, p []byte) (int, error) {
 	if f.dev == nil {
 		return 0, fs.ErrNotFound
@@ -152,16 +154,19 @@ func (f *soundFile) Write(t *sched.Task, p []byte) (int, error) {
 	return f.dev.write(t, p)
 }
 
-func (f *soundFile) Close() error { return nil }
-func (f *soundFile) Stat() (fs.Stat, error) {
+// Stat implements fs.FileOps.
+func (f *soundFile) Stat(*sched.Task) (fs.Stat, error) {
 	return fs.Stat{Name: "sb", Type: fs.TypeDevice}, nil
 }
 
-// Ioctl implements fs.Ioctler (IoctlSoundDrain).
+// Caps implements fs.FileOps: a stream with control operations.
+func (f *soundFile) Caps() fs.Caps { return fs.CapIoctl }
+
+// Ioctl implements fs.FileOps (IoctlSoundDrain).
 func (f *soundFile) Ioctl(t *sched.Task, op int, arg int64) (int64, error) {
 	if op == IoctlSoundDrain {
 		f.dev.drain(t)
 		return 0, nil
 	}
-	return 0, fs.ErrPerm
+	return 0, fs.ErrNotSupported
 }

@@ -27,7 +27,7 @@ func (p *Proc) OpenSurface(title string, w, h int) (int, error) {
 	p.k.mu.Lock()
 	p.k.surfaces[p.group.PID] = s
 	p.k.mu.Unlock()
-	return p.fds.Install(&surfaceFile{k: p.k, s: s}, fs.ORdWr)
+	return p.installOF(&surfaceFile{k: p.k, s: s}, fs.ORdWr)
 }
 
 // OpenSurfaceEvents opens the /dev/event1 stream: input events routed to
@@ -43,7 +43,7 @@ func (p *Proc) OpenSurfaceEvents(nonblock bool) (int, error) {
 	if s == nil {
 		return -1, fmt.Errorf("kernel: process has no surface")
 	}
-	return p.fds.Install(&surfaceEventsFile{s: s, nonblock: nonblock}, fs.ORdOnly)
+	return p.installOF(&surfaceEventsFile{s: s, nonblock: nonblock}, fs.ORdOnly)
 }
 
 // Surface returns the process's window (examples/tests peek at geometry).
@@ -54,14 +54,16 @@ func (p *Proc) Surface() *wm.Surface {
 }
 
 // surfaceFile renders indirectly through the WM: each Write is a full (or
-// partial, streaming) frame in XRGB8888.
+// partial, streaming) frame in XRGB8888. The surface itself is closed at
+// process exit (finalize) so multiple opens of the fd can come and go —
+// the default no-op Close is exactly right.
 type surfaceFile struct {
+	fs.BaseOps
 	k *Kernel
 	s *wm.Surface
 }
 
-func (f *surfaceFile) Read(*sched.Task, []byte) (int, error) { return 0, fs.ErrPerm }
-
+// Write implements fs.FileOps: blit one frame.
 func (f *surfaceFile) Write(_ *sched.Task, p []byte) (int, error) {
 	if err := f.s.Blit(p); err != nil {
 		return 0, err
@@ -69,18 +71,16 @@ func (f *surfaceFile) Write(_ *sched.Task, p []byte) (int, error) {
 	return len(p), nil
 }
 
-func (f *surfaceFile) Close() error {
-	// The surface itself is closed at process exit (finalize) so multiple
-	// opens of the fd can come and go.
-	return nil
-}
-
-func (f *surfaceFile) Stat() (fs.Stat, error) {
+// Stat implements fs.FileOps.
+func (f *surfaceFile) Stat(*sched.Task) (fs.Stat, error) {
 	w, h := f.s.Size()
 	return fs.Stat{Name: "surface", Type: fs.TypeDevice, Size: int64(w * h * 4)}, nil
 }
 
-// Ioctl implements fs.Ioctler: surface geometry and alpha.
+// Caps implements fs.FileOps: a stream with control operations.
+func (f *surfaceFile) Caps() fs.Caps { return fs.CapIoctl }
+
+// Ioctl implements fs.FileOps: surface geometry and alpha.
 func (f *surfaceFile) Ioctl(_ *sched.Task, op int, arg int64) (int64, error) {
 	switch op {
 	case IoctlSurfSize:
@@ -99,10 +99,12 @@ func (f *surfaceFile) Ioctl(_ *sched.Task, op int, arg int64) (int64, error) {
 
 // surfaceEventsFile reads the window's input queue as 8-byte records.
 type surfaceEventsFile struct {
+	fs.BaseOps
 	s        *wm.Surface
 	nonblock bool
 }
 
+// Read implements fs.FileOps: the next 8-byte event record.
 func (f *surfaceEventsFile) Read(t *sched.Task, p []byte) (int, error) {
 	if len(p) < wm.EventSize {
 		return 0, fmt.Errorf("kernel: event read needs %d bytes", wm.EventSize)
@@ -115,17 +117,19 @@ func (f *surfaceEventsFile) Read(t *sched.Task, p []byte) (int, error) {
 	return wm.EventSize, nil
 }
 
-func (f *surfaceEventsFile) Write(*sched.Task, []byte) (int, error) { return 0, fs.ErrPerm }
-func (f *surfaceEventsFile) Close() error                           { return nil }
-func (f *surfaceEventsFile) Stat() (fs.Stat, error) {
+// Stat implements fs.FileOps.
+func (f *surfaceEventsFile) Stat(*sched.Task) (fs.Stat, error) {
 	return fs.Stat{Name: "event1", Type: fs.TypeDevice}, nil
 }
 
-// Ioctl implements fs.Ioctler.
+// Caps implements fs.FileOps: a stream with control operations.
+func (f *surfaceEventsFile) Caps() fs.Caps { return fs.CapIoctl }
+
+// Ioctl implements fs.FileOps.
 func (f *surfaceEventsFile) Ioctl(_ *sched.Task, op int, arg int64) (int64, error) {
 	if op == IoctlNonblock {
 		f.nonblock = arg != 0
 		return 0, nil
 	}
-	return 0, fs.ErrPerm
+	return 0, fs.ErrNotSupported
 }

@@ -1,7 +1,6 @@
 package kernel
 
 import (
-	"fmt"
 	"strings"
 
 	"protosim/internal/kernel/fs"
@@ -20,6 +19,27 @@ func (p *Proc) resolvePath(path string) string {
 }
 
 // --- File syscalls (11–23) ---
+//
+// Every descriptor resolves to a *fs.OpenFile — the kernel-owned open
+// file description — and every operation dispatches through it. There are
+// no type assertions left on this path: capabilities are the OpenFile's
+// Caps bitmask, and unsupported operations fail with the right error
+// (ErrBadSeek on a pipe lseek, ErrNotDir on a file readdir) inside the
+// file layer.
+
+// installOF wraps bare file ops in a fresh open file description and
+// installs it, closing the description if the table is full — the one
+// descriptor-minting helper for every kernel-created file (pipes,
+// surfaces, surface event streams).
+func (p *Proc) installOF(ops fs.FileOps, flags int) (int, error) {
+	of := fs.NewOpenFile(ops, flags)
+	fd, err := p.fds.Install(of)
+	if err != nil {
+		of.Close(p.Task)
+		return -1, err
+	}
+	return fd, nil
+}
 
 // SysOpen opens path with flags and returns a descriptor.
 func (p *Proc) SysOpen(path string, flags int) (int, error) {
@@ -27,11 +47,16 @@ func (p *Proc) SysOpen(path string, flags int) (int, error) {
 	if p.fds == nil || p.k.VFS == nil {
 		return -1, ErrNoFiles
 	}
-	f, err := p.k.VFS.Open(p.Task, p.resolvePath(path), flags)
+	of, err := p.k.VFS.Open(p.Task, p.resolvePath(path), flags)
 	if err != nil {
 		return -1, err
 	}
-	return p.fds.Install(f, flags)
+	fd, err := p.fds.Install(of)
+	if err != nil {
+		of.Close(p.Task)
+		return -1, err
+	}
+	return fd, nil
 }
 
 // SysClose releases a descriptor.
@@ -40,55 +65,118 @@ func (p *Proc) SysClose(fd int) error {
 	if p.fds == nil {
 		return ErrNoFiles
 	}
-	return p.fds.CloseTask(p.Task, fd)
+	return p.fds.Close(p.Task, fd)
 }
 
-// SysRead reads up to len(buf) bytes from fd.
+// SysRead reads up to len(buf) bytes from fd at the shared offset.
 func (p *Proc) SysRead(fd int, buf []byte) (int, error) {
 	p.k.count()
 	if p.fds == nil {
 		return 0, ErrNoFiles
 	}
-	f, err := p.fds.Get(fd)
+	of, err := p.fds.Get(fd)
 	if err != nil {
 		return 0, err
 	}
 	defer p.Task.CheckPreempt()
-	return f.Read(p.Task, buf)
+	return of.Read(p.Task, buf)
 }
 
-// SysWrite writes buf to fd.
+// SysWrite writes buf to fd at the shared offset (or at EOF under
+// O_APPEND, atomically).
 func (p *Proc) SysWrite(fd int, buf []byte) (int, error) {
 	p.k.count()
 	if p.fds == nil {
 		return 0, ErrNoFiles
 	}
-	f, err := p.fds.Get(fd)
+	of, err := p.fds.Get(fd)
 	if err != nil {
 		return 0, err
 	}
 	defer p.Task.CheckPreempt()
-	return f.Write(p.Task, buf)
+	return of.Write(p.Task, buf)
 }
 
-// SysLseek repositions fd.
+// SysPread reads up to len(buf) bytes at absolute offset off, leaving the
+// shared file offset untouched — no seek round-trip and no offset lock,
+// so concurrent positional readers of one descriptor never serialize on
+// the descriptor at all.
+func (p *Proc) SysPread(fd int, buf []byte, off int64) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	of, err := p.fds.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Task.CheckPreempt()
+	return of.Pread(p.Task, buf, off)
+}
+
+// SysPwrite writes buf at absolute offset off, leaving the shared file
+// offset untouched.
+func (p *Proc) SysPwrite(fd int, buf []byte, off int64) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	of, err := p.fds.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Task.CheckPreempt()
+	return of.Pwrite(p.Task, buf, off)
+}
+
+// SysReadv reads into the vector of buffers as one contiguous operation
+// at the shared offset (readv).
+func (p *Proc) SysReadv(fd int, iovs [][]byte) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	of, err := p.fds.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Task.CheckPreempt()
+	return of.Readv(p.Task, iovs)
+}
+
+// SysWritev gathers the vector of buffers and writes them as ONE
+// contiguous span at the shared offset (writev): one inode lock, one
+// coalesced cache range-write — and under O_APPEND the whole vector is
+// one atomic record.
+func (p *Proc) SysWritev(fd int, iovs [][]byte) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	of, err := p.fds.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Task.CheckPreempt()
+	return of.Writev(p.Task, iovs)
+}
+
+// SysLseek repositions fd's shared offset.
 func (p *Proc) SysLseek(fd int, off int64, whence int) (int64, error) {
 	p.k.count()
 	if p.fds == nil {
 		return 0, ErrNoFiles
 	}
-	f, err := p.fds.Get(fd)
+	of, err := p.fds.Get(fd)
 	if err != nil {
 		return 0, err
 	}
-	sk, ok := f.(fs.Seeker)
-	if !ok {
-		return 0, fs.ErrBadSeek
-	}
-	return sk.Lseek(off, whence)
+	return of.Seek(p.Task, off, whence)
 }
 
-// SysDup duplicates fd.
+// SysDup duplicates fd: both descriptors share one open file description —
+// offset, flags and writeback-error cursor move together, as POSIX
+// specifies for dup/fork.
 func (p *Proc) SysDup(fd int) (int, error) {
 	p.k.count()
 	if p.fds == nil {
@@ -104,13 +192,14 @@ func (p *Proc) SysPipe() (int, int, error) {
 		return -1, -1, ErrNoFiles
 	}
 	r, w := fs.NewPipe()
-	rfd, err := p.fds.Install(r, fs.ORdOnly)
+	rfd, err := p.installOF(r, fs.ORdOnly)
 	if err != nil {
+		w.Close(p.Task)
 		return -1, -1, err
 	}
-	wfd, err := p.fds.Install(w, fs.OWrOnly)
+	wfd, err := p.installOF(w, fs.OWrOnly)
 	if err != nil {
-		p.fds.Close(rfd)
+		p.fds.Close(p.Task, rfd)
 		return -1, -1, err
 	}
 	return rfd, wfd, nil
@@ -147,29 +236,28 @@ func (p *Proc) SysSync() error {
 }
 
 // SysFsync flushes one open file's data (and its reachable metadata) to
-// stable storage — fsync(2), the per-file durability barrier. Unlike
-// SysSync it reports only this file's asynchronous writeback errors:
-// another file's daemon write failure stays on that file's stream and the
-// whole-device barrier, never here. Descriptors with nothing to flush
-// (devices, pipes) return nil.
+// stable storage — fsync(2), the per-file durability barrier. Error
+// reporting is per DESCRIPTOR: the open file description observes its own
+// errseq cursor, so an asynchronous writeback failure of this file is
+// reported exactly once to each descriptor that fsyncs — another
+// descriptor's earlier fsync does not consume this one's report, and
+// another file's failure is never seen here. Descriptors with nothing to
+// flush (devices, pipes) return nil.
 func (p *Proc) SysFsync(fd int) error {
 	p.k.count()
 	if p.fds == nil {
 		return ErrNoFiles
 	}
-	f, err := p.fds.Get(fd)
+	of, err := p.fds.Get(fd)
 	if err != nil {
 		return err
 	}
-	fsy, ok := f.(fs.FileSyncer)
-	if !ok {
-		return nil
-	}
 	defer p.Task.CheckPreempt()
-	return fsy.SyncT(p.Task)
+	return of.Sync(p.Task)
 }
 
-// SysRename atomically moves a file or directory within one filesystem.
+// SysRename atomically moves a file or directory within one filesystem,
+// replacing an existing target (POSIX rename semantics).
 func (p *Proc) SysRename(oldPath, newPath string) error {
 	p.k.count()
 	if p.k.VFS == nil {
@@ -184,14 +272,11 @@ func (p *Proc) SysFstat(fd int) (fs.Stat, error) {
 	if p.fds == nil {
 		return fs.Stat{}, ErrNoFiles
 	}
-	f, err := p.fds.Get(fd)
+	of, err := p.fds.Get(fd)
 	if err != nil {
 		return fs.Stat{}, err
 	}
-	if ts, ok := f.(fs.TaskStater); ok {
-		return ts.StatT(p.Task)
-	}
-	return f.Stat()
+	return of.Stat(p.Task)
 }
 
 // SysStat stats a path (convenience wrapper the shell uses; counted under
@@ -231,18 +316,11 @@ func (p *Proc) SysReadDir(fd int) ([]fs.DirEntry, error) {
 	if p.fds == nil {
 		return nil, ErrNoFiles
 	}
-	f, err := p.fds.Get(fd)
+	of, err := p.fds.Get(fd)
 	if err != nil {
 		return nil, err
 	}
-	if tdr, ok := f.(fs.TaskDirReader); ok {
-		return tdr.ReadDirT(p.Task)
-	}
-	dr, ok := f.(fs.DirReader)
-	if !ok {
-		return nil, fs.ErrNotDir
-	}
-	return dr.ReadDir()
+	return of.ReadDir(p.Task)
 }
 
 // Ioctl operation numbers.
@@ -261,32 +339,28 @@ func (p *Proc) SysIoctl(fd int, op int, arg int64) (int64, error) {
 	if p.fds == nil {
 		return 0, ErrNoFiles
 	}
-	f, err := p.fds.Get(fd)
+	of, err := p.fds.Get(fd)
 	if err != nil {
 		return 0, err
 	}
-	ic, ok := f.(fs.Ioctler)
-	if !ok {
-		return 0, fmt.Errorf("kernel: fd %d does not support ioctl", fd)
-	}
-	return ic.Ioctl(p.Task, op, arg)
+	return of.Ioctl(p.Task, op, arg)
 }
 
 // readAll slurps a file (the exec loader path).
 func (p *Proc) readAll(path string) ([]byte, error) {
-	f, err := p.k.VFS.Open(p.Task, p.resolvePath(path), fs.ORdOnly)
+	of, err := p.k.VFS.Open(p.Task, p.resolvePath(path), fs.ORdOnly)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	st, err := f.Stat()
+	defer of.Close(p.Task)
+	st, err := of.Stat(p.Task)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]byte, 0, st.Size)
 	buf := make([]byte, 32*1024)
 	for {
-		n, err := f.Read(p.Task, buf)
+		n, err := of.Read(p.Task, buf)
 		if err != nil {
 			return nil, err
 		}

@@ -78,13 +78,13 @@ func BenchmarkParallelFiles(b *testing.B) {
 }
 
 func runParallelFiles(b *testing.B, f *FS, workers, ioSize int, withWrites bool) {
-	files := make([]fs.File, workers)
+	files := make([]*fs.OpenFile, workers)
 	data := make([]byte, ioSize)
 	for i := range data {
 		data[i] = byte(i)
 	}
 	for w := range files {
-		fl, err := f.Open(nil, fmt.Sprintf("/w%d.bin", w), fs.OCreate|fs.ORdWr)
+		fl, err := openOF(f, fmt.Sprintf("/w%d.bin", w), fs.OCreate|fs.ORdWr)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,17 +107,16 @@ func runParallelFiles(b *testing.B, f *FS, workers, ioSize int, withWrites bool)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(fl fs.File) {
+			go func(fl *fs.OpenFile) {
 				defer wg.Done()
-				sk := fl.(fs.Seeker)
 				if withWrites {
-					sk.Lseek(0, fs.SeekSet)
+					fl.Seek(nil, 0, fs.SeekSet)
 					if _, err := fl.Write(nil, data); err != nil {
 						b.Error(err)
 						return
 					}
 				}
-				sk.Lseek(0, fs.SeekSet)
+				fl.Seek(nil, 0, fs.SeekSet)
 				// 16 KB chunks: claims stay small enough for every
 				// worker's device commands to stay in flight at once.
 				buf := make([]byte, 16<<10)

@@ -67,7 +67,7 @@ func TestParallelDisjointFiles(t *testing.T) {
 				payload := bytes.Repeat([]byte{byte('A' + w)}, 3000)
 				for r := 0; r < rounds; r++ {
 					// Main file: truncate, write, read back, append.
-					fl, err := f.Open(nil, main, fs.OCreate|fs.ORdWr|fs.OTrunc)
+					fl, err := openOF(f, main, fs.OCreate|fs.ORdWr|fs.OTrunc)
 					if err != nil {
 						t.Errorf("w%d open: %v", w, err)
 						return
@@ -76,25 +76,25 @@ func TestParallelDisjointFiles(t *testing.T) {
 						t.Errorf("w%d write: %v", w, err)
 						return
 					}
-					fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+					fl.Seek(nil, 0, fs.SeekSet)
 					got := make([]byte, len(payload))
 					n, err := fl.Read(nil, got)
 					if err != nil || !bytes.Equal(got[:n], payload) {
 						t.Errorf("w%d round %d read back %d bytes, err %v", w, r, n, err)
 						return
 					}
-					fl.Close()
+					fl.Close(nil)
 
 					// Scratch file in the worker's own directory: create,
 					// stat, unlink — the metadata-heavy mix.
 					sp := dir + scratch
-					sf, err := f.Open(nil, sp, fs.OCreate|fs.OWrOnly)
+					sf, err := openOF(f, sp, fs.OCreate|fs.OWrOnly)
 					if err != nil {
 						t.Errorf("w%d scratch open: %v", w, err)
 						return
 					}
 					sf.Write(nil, payload[:64])
-					sf.Close()
+					sf.Close(nil)
 					if _, err := f.Stat(nil, sp); err != nil {
 						t.Errorf("w%d scratch stat: %v", w, err)
 						return
@@ -113,7 +113,7 @@ func TestParallelDisjointFiles(t *testing.T) {
 	}
 	// Final contents: every worker's main file holds its own byte pattern.
 	for w := 0; w < workers; w++ {
-		fl, err := f.Open(nil, fmt.Sprintf("/w%d.dat", w), fs.ORdOnly)
+		fl, err := openOF(f, fmt.Sprintf("/w%d.dat", w), fs.ORdOnly)
 		if err != nil {
 			t.Fatalf("final open w%d: %v", w, err)
 		}
@@ -127,13 +127,13 @@ func TestParallelDisjointFiles(t *testing.T) {
 				t.Fatalf("w%d byte %d = %q, files bled into each other", w, i, got[i])
 			}
 		}
-		fl.Close()
+		fl.Close(nil)
 		// Scratch files were unlinked; directories must be empty.
-		d, _ := f.Open(nil, fmt.Sprintf("/d%d", w), fs.ORdOnly)
-		if entries, _ := d.(fs.DirReader).ReadDir(); len(entries) != 0 {
+		d, _ := openOF(f, fmt.Sprintf("/d%d", w), fs.ORdOnly)
+		if entries, _ := d.ReadDir(nil); len(entries) != 0 {
 			t.Fatalf("w%d dir not empty: %v", w, entries)
 		}
-		d.Close()
+		d.Close(nil)
 	}
 	if err := f.Sync(nil); err != nil {
 		t.Fatalf("sync: %v", err)
@@ -153,12 +153,12 @@ func TestConcurrentRenameOpposingDirs(t *testing.T) {
 		}
 	}
 	mkfile := func(path string) {
-		fl, err := f.Open(nil, path, fs.OCreate|fs.OWrOnly)
+		fl, err := openOF(f, path, fs.OCreate|fs.OWrOnly)
 		if err != nil {
 			t.Fatal(err)
 		}
 		fl.Write(nil, []byte(path))
-		fl.Close()
+		fl.Close(nil)
 	}
 	mkfile("/a/x")
 	mkfile("/b/y")
@@ -183,12 +183,12 @@ func TestConcurrentRenameOpposingDirs(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				p := fmt.Sprintf("%s/c%d", dir, r%7)
-				fl, err := f.Open(nil, p, fs.OCreate|fs.OWrOnly)
+				fl, err := openOF(f, p, fs.OCreate|fs.OWrOnly)
 				if err != nil {
 					t.Errorf("churn create %s: %v", p, err)
 					return
 				}
-				fl.Close()
+				fl.Close(nil)
 				if err := f.Unlink(nil, p); err != nil {
 					t.Errorf("churn unlink %s: %v", p, err)
 					return
@@ -207,7 +207,7 @@ func TestConcurrentRenameOpposingDirs(t *testing.T) {
 	}
 	// Both files must be back home with their contents intact.
 	for path, want := range map[string]string{"/a/x": "/a/x", "/b/y": "/b/y"} {
-		fl, err := f.Open(nil, path, fs.ORdOnly)
+		fl, err := openOF(f, path, fs.ORdOnly)
 		if err != nil {
 			t.Fatalf("final open %s: %v", path, err)
 		}
@@ -216,7 +216,7 @@ func TestConcurrentRenameOpposingDirs(t *testing.T) {
 		if string(got[:n]) != want {
 			t.Fatalf("%s content = %q", path, got[:n])
 		}
-		fl.Close()
+		fl.Close(nil)
 	}
 }
 
@@ -231,9 +231,9 @@ func TestConcurrentRenameDirAcrossDirs(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	fl, _ := f.Open(nil, "/p/mv/deep", fs.OCreate|fs.OWrOnly)
+	fl, _ := openOF(f, "/p/mv/deep", fs.OCreate|fs.OWrOnly)
 	fl.Write(nil, []byte("deep"))
-	fl.Close()
+	fl.Close(nil)
 
 	runWithDeadline(t, 2*time.Minute, func() {
 		var wg sync.WaitGroup
@@ -290,9 +290,9 @@ func TestCreateVsWalkSameParent(t *testing.T) {
 	if err := f.Mkdir(nil, "/p"); err != nil {
 		t.Fatal(err)
 	}
-	fl, _ := f.Open(nil, "/p/known", fs.OCreate|fs.OWrOnly)
+	fl, _ := openOF(f, "/p/known", fs.OCreate|fs.OWrOnly)
 	fl.Write(nil, []byte("k"))
-	fl.Close()
+	fl.Close(nil)
 
 	runWithDeadline(t, 2*time.Minute, func() {
 		var wg sync.WaitGroup
@@ -301,12 +301,12 @@ func TestCreateVsWalkSameParent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 60; i++ {
 				p := fmt.Sprintf("/p/f%02d", i)
-				fl, err := f.Open(nil, p, fs.OCreate|fs.OWrOnly)
+				fl, err := openOF(f, p, fs.OCreate|fs.OWrOnly)
 				if err != nil {
 					t.Errorf("create %s: %v", p, err)
 					return
 				}
-				fl.Close()
+				fl.Close(nil)
 			}
 		}()
 		go func() {
@@ -323,8 +323,8 @@ func TestCreateVsWalkSameParent(t *testing.T) {
 	if t.Failed() {
 		return
 	}
-	d, _ := f.Open(nil, "/p", fs.ORdOnly)
-	entries, _ := d.(fs.DirReader).ReadDir()
+	d, _ := openOF(f, "/p", fs.ORdOnly)
+	entries, _ := d.ReadDir(nil)
 	if len(entries) != 61 { // known + 60 creates
 		t.Fatalf("entries = %d, want 61", len(entries))
 	}
@@ -342,17 +342,17 @@ func TestCreateInUnlinkedDirFails(t *testing.T) {
 	}
 	// Hold a reference to the directory across the unlink, as a racing
 	// Open's walk would.
-	d, err := f.Open(nil, "/doomed", fs.ORdOnly)
+	d, err := openOF(f, "/doomed", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Unlink(nil, "/doomed"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Open(nil, "/doomed/stranded", fs.OCreate|fs.OWrOnly); !errors.Is(err, fs.ErrNotFound) {
+	if _, err := openOF(f, "/doomed/stranded", fs.OCreate|fs.OWrOnly); !errors.Is(err, fs.ErrNotFound) {
 		t.Fatalf("create in unlinked dir = %v, want ErrNotFound", err)
 	}
-	d.Close()
+	d.Close(nil)
 }
 
 // TestCloseVsReadRace hammers concurrent Read/Stat against Close on the
@@ -363,12 +363,12 @@ func TestCloseVsReadRace(t *testing.T) {
 	withRankCheck(t)
 	f := newFS(t, 1024)
 	for r := 0; r < 40; r++ {
-		fl, err := f.Open(nil, "/race.bin", fs.OCreate|fs.ORdWr)
+		fl, err := openOF(f, "/race.bin", fs.OCreate|fs.ORdWr)
 		if err != nil {
 			t.Fatal(err)
 		}
 		fl.Write(nil, bytes.Repeat([]byte{9}, 2048))
-		fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+		fl.Seek(nil, 0, fs.SeekSet)
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() {
@@ -381,13 +381,13 @@ func TestCloseVsReadRace(t *testing.T) {
 					}
 					return
 				}
-				fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+				fl.Seek(nil, 0, fs.SeekSet)
 			}
 		}()
 		go func() {
 			defer wg.Done()
-			fl.Stat()
-			fl.Close()
+			fl.Stat(nil)
+			fl.Close(nil)
 		}()
 		wg.Wait()
 		if t.Failed() {
@@ -407,7 +407,7 @@ func TestCloseVsReadRace(t *testing.T) {
 func TestUnlinkWhileOpen(t *testing.T) {
 	withRankCheck(t)
 	f := newFS(t, 256)
-	fl, err := f.Open(nil, "/keep", fs.OCreate|fs.ORdWr)
+	fl, err := openOF(f, "/keep", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +422,7 @@ func TestUnlinkWhileOpen(t *testing.T) {
 		t.Fatalf("stat after unlink = %v", err)
 	}
 	// Still readable through the open descriptor.
-	fl.(fs.Seeker).Lseek(0, fs.SeekSet)
+	fl.Seek(nil, 0, fs.SeekSet)
 	got := make([]byte, len(payload))
 	n := 0
 	for n < len(got) {
@@ -436,13 +436,13 @@ func TestUnlinkWhileOpen(t *testing.T) {
 		t.Fatal("unlinked-but-open file corrupted")
 	}
 	// Blocks must come back at close: a same-size file fits again.
-	fl.Close()
-	fl2, err := f.Open(nil, "/next", fs.OCreate|fs.OWrOnly)
+	fl.Close(nil)
+	fl2, err := openOF(f, "/next", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fl2.Write(nil, payload); err != nil {
 		t.Fatalf("blocks not reclaimed at final close: %v", err)
 	}
-	fl2.Close()
+	fl2.Close(nil)
 }

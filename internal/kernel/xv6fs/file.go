@@ -1,54 +1,27 @@
 package xv6fs
 
 import (
-	"sync"
-
+	"protosim/internal/kernel/errseq"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/sched"
 )
 
-// file is one open xv6fs file or directory, holding a reference on its
-// in-memory inode. Operations lock the inode for their duration, so tasks
-// working on different files never serialize against each other — only
-// against operations on the same inode.
+// file is the fs.FileOps of one open xv6fs file or directory, holding a
+// reference on its in-memory inode. It is pure per-FILE state: the offset,
+// open flags, refcounts and the per-open error cursor live in the
+// fs.OpenFile wrapping it. Operations lock the inode for their duration,
+// so tasks working on different files never serialize against each other —
+// only against operations on the same inode.
 type file struct {
-	fsys *FS
-	ip   *inode
-	name string
-
-	mu       sync.Mutex
-	off      int64
-	flags    int
-	closed   bool
-	inflight int // operations between use() and done()
-}
-
-// use opens an operation window on the description (false once closed);
-// done closes it. Threads share FD tables, so a Close can race an
-// in-flight Read/Write on the same descriptor — the inode reference is
-// dropped by whoever finishes last, never yanked mid-operation.
-func (fl *file) use() bool {
-	fl.mu.Lock()
-	defer fl.mu.Unlock()
-	if fl.closed {
-		return false
-	}
-	fl.inflight++
-	return true
-}
-
-func (fl *file) done(t *sched.Task) {
-	fl.mu.Lock()
-	fl.inflight--
-	drop := fl.closed && fl.inflight == 0
-	fl.mu.Unlock()
-	if drop {
-		fl.fsys.iput(t, fl.ip)
-	}
+	fs.BaseOps
+	fsys  *FS
+	ip    *inode
+	name  string
+	isDir bool
 }
 
 // Open implements fs.FileSystem.
-func (f *FS) Open(t *sched.Task, path string, flags int) (fs.File, error) {
+func (f *FS) Open(t *sched.Task, path string, flags int) (fs.FileOps, error) {
 	path = fs.Clean(path)
 	var ip *inode
 	var err error
@@ -80,8 +53,9 @@ func (f *FS) Open(t *sched.Task, path string, flags int) (fs.File, error) {
 	if name == "" {
 		name = "/"
 	}
+	isDir := ip.di.Type == typeDir
 	f.iunlock(ip)
-	return &file{fsys: f, ip: ip, name: name, flags: flags}, nil
+	return &file{fsys: f, ip: ip, name: name, isDir: isDir}, nil
 }
 
 // create makes (or, when existOK, returns) the inode for path's final
@@ -232,7 +206,12 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 }
 
 // Rename implements fs.Renamer: atomically move oldPath to newPath within
-// this filesystem. The destination must not already exist.
+// this filesystem. An existing target is atomically REPLACED (POSIX
+// rename): the target's directory entry is repointed at the moved inode
+// in one buffer-atomic write — no moment exists when newPath is absent —
+// and the displaced inode loses its link, reclaimed at its last close. A
+// directory may only replace an empty directory; replacing across types
+// fails with ErrIsDir/ErrNotDir as POSIX specifies.
 //
 // Rename is the one operation that must hold two directory locks at once,
 // which is why it is serialized FS-wide by renameMu and locks the pair
@@ -240,7 +219,9 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 // directories). Ancestry comes from the cleaned paths — safe because only
 // renames reshape the tree and renameMu admits one at a time. Against
 // create/unlink/walk, which take parent-then-child down the tree,
-// ancestor-first ordering closes every cycle.
+// ancestor-first ordering closes every cycle. The moved and displaced
+// inodes are locked nested under the directories; holders of a single
+// file lock never acquire a second, so the pair cannot cycle either.
 func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 	oldPath, newPath = fs.Clean(oldPath), fs.Clean(newPath)
 	if oldPath == "/" || newPath == "/" {
@@ -261,6 +242,24 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 
 	f.renameMu.Lock(t)
 	defer f.renameMu.Unlock()
+
+	// Renaming onto an ANCESTOR of the source ("/x/y/z" → "/x/y"): the
+	// target is a directory the source's own lock path runs through —
+	// locking it as the replace victim would deadlock against the locks
+	// this call (or a concurrent walk) already holds — and it necessarily
+	// contains the source, so the POSIX answer needs no victim lock:
+	// ErrNotEmpty for a directory source, ErrIsDir for a file. Stable
+	// under renameMu: only renames reshape the tree.
+	if fs.IsPathAncestor(newPath, oldPath) {
+		st, err := f.Stat(t, oldPath)
+		if err != nil {
+			return err
+		}
+		if st.Type == fs.TypeDir {
+			return fs.ErrNotEmpty
+		}
+		return fs.ErrIsDir
+	}
 
 	dp1, err := f.namex(t, oldDir)
 	if err != nil {
@@ -324,12 +323,23 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		unlockDirs()
 		return fs.ErrNotFound
 	}
-	if existing, _, err := f.dirLookup(t, dp2, newName); err != nil {
+	existing, _, err := f.dirLookup(t, dp2, newName)
+	if err != nil {
 		unlockDirs()
 		return err
-	} else if existing != 0 {
+	}
+	if existing == inum {
+		// Both names already point at the same inode: POSIX says do
+		// nothing and succeed.
 		unlockDirs()
-		return fs.ErrExists
+		return nil
+	}
+	if existing == dp1.inum || existing == dp2.inum {
+		// Defensive: the ancestor-target check before the locks were
+		// taken should make this unreachable; refuse rather than deadlock
+		// on a lock this call already holds.
+		unlockDirs()
+		return fs.ErrNotEmpty
 	}
 
 	ip := f.iget(inum)
@@ -338,26 +348,88 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		unlockDirs()
 		return err
 	}
+	// The displaced target, if any, is locked under the moved inode. No
+	// cycle: both parents are held (no create/unlink/walk can be between
+	// these children), and open-file operations hold one inode lock only.
+	var victim *inode
+	failLocked := func(err error) error {
+		if victim != nil {
+			f.iunlockput(t, victim)
+		}
+		f.iunlockput(t, ip)
+		unlockDirs()
+		return err
+	}
+	if existing != 0 {
+		victim = f.iget(existing)
+		if err := f.ilockNested(t, victim); err != nil {
+			f.iput(t, victim)
+			victim = nil
+			return failLocked(err)
+		}
+		// POSIX replace typing: a directory may only displace an empty
+		// directory, a file only a non-directory.
+		if victim.di.Type == typeDir {
+			if ip.di.Type != typeDir {
+				return failLocked(fs.ErrIsDir)
+			}
+			empty, err := f.isDirEmpty(t, victim)
+			if err != nil {
+				return failLocked(err)
+			}
+			if !empty {
+				return failLocked(fs.ErrNotEmpty)
+			}
+		} else if ip.di.Type == typeDir {
+			return failLocked(fs.ErrNotDir)
+		}
+	}
+	dotdotMoved := false
 	if ip.di.Type == typeDir && dp1 != dp2 {
 		// The moved directory's ".." must follow it to the new parent.
 		if err := f.dirSetInum(t, ip, "..", dp2.inum); err != nil {
-			f.iunlockput(t, ip)
-			unlockDirs()
-			return err
+			return failLocked(err)
+		}
+		dotdotMoved = true
+	}
+	// Any failure past the ".." repoint must restore it, or the directory
+	// stays under dp1 with ".." pointing at dp2; best-effort.
+	undoDotdot := func() {
+		if dotdotMoved {
+			_ = f.dirSetInum(t, ip, "..", dp1.inum)
 		}
 	}
-	if err := f.dirLink(t, dp2, newName, inum); err != nil {
-		f.iunlockput(t, ip)
-		unlockDirs()
-		return err
+	if victim != nil {
+		// Atomic replace: repoint the existing entry at the moved inode —
+		// one dirent write, so newPath never stops resolving.
+		if err := f.dirSetInum(t, dp2, newName, inum); err != nil {
+			undoDotdot()
+			return failLocked(err)
+		}
+	} else {
+		if err := f.dirLink(t, dp2, newName, inum); err != nil {
+			undoDotdot()
+			return failLocked(err)
+		}
 	}
 	if err := f.dirUnlink(t, dp1, oldName); err != nil {
-		// Roll the new link back rather than leave the file under two
+		// Roll the new entry back rather than leave the file under two
 		// names; best-effort, the original error wins.
-		_ = f.dirUnlink(t, dp2, newName)
-		f.iunlockput(t, ip)
-		unlockDirs()
-		return err
+		if victim != nil {
+			_ = f.dirSetInum(t, dp2, newName, existing)
+		} else {
+			_ = f.dirUnlink(t, dp2, newName)
+		}
+		undoDotdot()
+		return failLocked(err)
+	}
+	if victim != nil {
+		// The displaced inode lost its only directory entry; its storage
+		// is reclaimed at the last reference drop (right here when nothing
+		// holds it open — xv6 deferred reclaim otherwise).
+		victim.di.NLink--
+		_ = f.iupdate(t, victim)
+		f.iunlockput(t, victim)
 	}
 	f.iunlockput(t, ip)
 	unlockDirs()
@@ -385,13 +457,25 @@ func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
 	return st, nil
 }
 
-// --- fs.File implementation ---
+// --- fs.FileOps implementation ---
 
-func (fl *file) Read(t *sched.Task, p []byte) (int, error) {
-	if !fl.use() {
-		return 0, fs.ErrBadFD
+// Caps implements fs.FileOps: directories list and sync, files are
+// positional and sync.
+func (fl *file) Caps() fs.Caps {
+	if fl.isDir {
+		return fs.CapDir | fs.CapSync
 	}
-	defer fl.done(t)
+	return fs.CapSeek | fs.CapSync
+}
+
+// WbStream implements fs.FileOps: the inode's errseq stream, which the
+// OpenFile samples for its per-open error cursor.
+func (fl *file) WbStream() *errseq.Stream { return &fl.ip.wb.Stream }
+
+// Pread implements fs.FileOps: read at an absolute offset under the inode
+// lock. No open-file state is touched — concurrent preads of one
+// description contend only on the inode, like two descriptions would.
+func (fl *file) Pread(t *sched.Task, p []byte, off int64) (int, error) {
 	if err := fl.fsys.ilock(t, fl.ip); err != nil {
 		return 0, err
 	}
@@ -399,58 +483,43 @@ func (fl *file) Read(t *sched.Task, p []byte) (int, error) {
 	if fl.ip.di.Type == typeDir {
 		return 0, fs.ErrIsDir
 	}
-	fl.mu.Lock()
-	off := fl.off
-	fl.mu.Unlock()
-	n, err := fl.fsys.readData(t, fl.ip, off, p)
-	fl.mu.Lock()
-	fl.off = off + int64(n)
-	fl.mu.Unlock()
-	return n, err
+	return fl.fsys.readData(t, fl.ip, off, p)
 }
 
-func (fl *file) Write(t *sched.Task, p []byte) (int, error) {
-	if fl.flags&(fs.OWrOnly|fs.ORdWr) == 0 {
-		return 0, fs.ErrPerm
-	}
-	if !fl.use() {
-		return 0, fs.ErrBadFD
-	}
-	defer fl.done(t)
+// Pwrite implements fs.FileOps: write at an absolute offset — or, for
+// fs.OffAppend, at EOF resolved under the same inode lock as the write
+// itself, which is what makes O_APPEND atomic across any number of
+// concurrent appenders.
+func (fl *file) Pwrite(t *sched.Task, p []byte, off int64) (int, int64, error) {
 	if err := fl.fsys.ilock(t, fl.ip); err != nil {
-		return 0, err
+		return 0, off, err
 	}
 	defer fl.fsys.iunlock(fl.ip)
-	fl.mu.Lock()
-	off := fl.off
-	if fl.flags&fs.OAppend != 0 {
+	if fl.ip.di.Type == typeDir {
+		return 0, off, fs.ErrIsDir
+	}
+	if off == fs.OffAppend {
 		off = int64(fl.ip.di.Size)
 	}
-	fl.mu.Unlock()
+	if off < 0 {
+		return 0, off, fs.ErrBadSeek
+	}
 	n, err := fl.fsys.writeData(t, fl.ip, off, p)
-	fl.mu.Lock()
-	fl.off = off + int64(n)
-	fl.mu.Unlock()
-	return n, err
+	return n, off + int64(n), err
 }
 
-// SyncT implements fs.FileSyncer — fsync. It writes back this file's
-// dirty data buffers (tagged with the inode's error stream) plus every
-// metadata block the file's durability depends on: the inode-array block
-// holding its on-disk inode, its indirect block (the pointers bmap
-// dirties unowned), and the allocation bitmap (a block's bitmap bit must
-// land with the pointer that references it, or a crash + fsck frees data
-// fsync promised durable). All of it is already in the cache — every
-// mutation under ip.lock writes through it — so fsync is purely a
-// writeback-and-observe barrier. Then the inode's error stream is
-// observed: an asynchronous writeback failure of this file's data since
-// the last fsync is reported exactly once, and another file's failure
-// never is.
-func (fl *file) SyncT(t *sched.Task) error {
-	if !fl.use() {
-		return fs.ErrBadFD
-	}
-	defer fl.done(t)
+// Sync implements fs.FileOps — the flush half of fsync. It writes back
+// this file's dirty data buffers (found through the inode's per-owner
+// dirty list) plus every metadata block the file's durability depends on:
+// the inode-array block holding its on-disk inode, its indirect block
+// (the pointers bmap dirties unowned), and the allocation bitmap (a
+// block's bitmap bit must land with the pointer that references it, or a
+// crash + fsck frees data fsync promised durable). All of it is already
+// in the cache — every mutation under ip.lock writes through it — so the
+// flush is purely a writeback barrier. Error observation happens in the
+// caller: the fs.OpenFile observes its own per-open cursor against the
+// inode's stream, so each descriptor hears a failure exactly once.
+func (fl *file) Sync(t *sched.Task) error {
 	f := fl.fsys
 	if err := f.ilock(t, fl.ip); err != nil {
 		return err
@@ -468,37 +537,17 @@ func (fl *file) SyncT(t *sched.Task) error {
 	return f.bc.FlushOwner(t, fl.ip.wb, extra...)
 }
 
-func (fl *file) Close() error { return fl.CloseT(nil) }
-
-// CloseT implements fs.TaskCloser: the syscall layer closes with the task
-// in hand, since reclaiming an unlinked file at last close is lock-and-IO
-// work.
-func (fl *file) CloseT(t *sched.Task) error {
-	fl.mu.Lock()
-	if fl.closed {
-		fl.mu.Unlock()
-		return nil
-	}
-	fl.closed = true
-	drop := fl.inflight == 0
-	fl.mu.Unlock()
-	// Drop the inode reference — deferred to the last in-flight operation
-	// if any are mid-call. If the file was unlinked while open, this is
-	// where its blocks are reclaimed.
-	if drop {
-		fl.fsys.iput(t, fl.ip)
-	}
+// Close implements fs.FileOps: drop the inode reference. The OpenFile
+// calls it exactly once, after the last descriptor closed and the last
+// in-flight operation drained. If the file was unlinked while open, this
+// is where its blocks are reclaimed.
+func (fl *file) Close(t *sched.Task) error {
+	fl.fsys.iput(t, fl.ip)
 	return nil
 }
 
-func (fl *file) Stat() (fs.Stat, error) { return fl.StatT(nil) }
-
-// StatT implements fs.TaskStater.
-func (fl *file) StatT(t *sched.Task) (fs.Stat, error) {
-	if !fl.use() {
-		return fs.Stat{}, fs.ErrBadFD
-	}
-	defer fl.done(t)
+// Stat implements fs.FileOps.
+func (fl *file) Stat(t *sched.Task) (fs.Stat, error) {
 	if err := fl.fsys.ilock(t, fl.ip); err != nil {
 		return fs.Stat{}, err
 	}
@@ -510,46 +559,8 @@ func (fl *file) StatT(t *sched.Task) (fs.Stat, error) {
 	return fs.Stat{Name: fl.name, Type: typ, Size: int64(fl.ip.di.Size), Inode: uint64(fl.ip.inum)}, nil
 }
 
-// Lseek implements fs.Seeker.
-func (fl *file) Lseek(offset int64, whence int) (int64, error) {
-	var size int64
-	if whence == fs.SeekEnd {
-		st, err := fl.Stat()
-		if err != nil {
-			return 0, err
-		}
-		size = st.Size
-	}
-	fl.mu.Lock()
-	defer fl.mu.Unlock()
-	var base int64
-	switch whence {
-	case fs.SeekSet:
-		base = 0
-	case fs.SeekCur:
-		base = fl.off
-	case fs.SeekEnd:
-		base = size
-	default:
-		return 0, fs.ErrBadSeek
-	}
-	n := base + offset
-	if n < 0 {
-		return 0, fs.ErrBadSeek
-	}
-	fl.off = n
-	return n, nil
-}
-
-// ReadDir implements fs.DirReader.
-func (fl *file) ReadDir() ([]fs.DirEntry, error) { return fl.ReadDirT(nil) }
-
-// ReadDirT implements fs.TaskDirReader.
-func (fl *file) ReadDirT(t *sched.Task) ([]fs.DirEntry, error) {
-	if !fl.use() {
-		return nil, fs.ErrBadFD
-	}
-	defer fl.done(t)
+// ReadDir implements fs.FileOps.
+func (fl *file) ReadDir(t *sched.Task) ([]fs.DirEntry, error) {
 	if err := fl.fsys.ilock(t, fl.ip); err != nil {
 		return nil, err
 	}
@@ -561,12 +572,6 @@ func (fl *file) ReadDirT(t *sched.Task) ([]fs.DirEntry, error) {
 }
 
 var (
-	_ fs.File          = (*file)(nil)
-	_ fs.Seeker        = (*file)(nil)
-	_ fs.DirReader     = (*file)(nil)
-	_ fs.TaskStater    = (*file)(nil)
-	_ fs.TaskCloser    = (*file)(nil)
-	_ fs.TaskDirReader = (*file)(nil)
-	_ fs.FileSyncer    = (*file)(nil)
-	_ fs.Renamer       = (*FS)(nil)
+	_ fs.FileOps = (*file)(nil)
+	_ fs.Renamer = (*FS)(nil)
 )

@@ -1,0 +1,173 @@
+package xv6fs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/fs"
+)
+
+// The random-4K file-IO harness behind `make bench` / BENCH_file.json:
+// positional IO through the OpenFile contract (pread: no offset lock, one
+// inode lock per op) against the pre-redesign idiom it replaces
+// (lseek+read: an offset-lock round-trip plus two dispatches per op) —
+// with several workers hammering ONE shared open file description, the
+// dup/fork sharing shape where the old API forced full serialization.
+
+const (
+	fbFileBlocks = 256     // 256 KB file, well inside MaxFile and the cache
+	fbIOSize     = 4 << 10 // random 4K ops
+	fbOpsPerW    = 3000    // per worker per round
+	fbWorkers    = 4
+)
+
+type fileBenchFS struct {
+	f  *FS
+	of *fs.OpenFile
+}
+
+func newFileBenchFS(tb testing.TB) *fileBenchFS {
+	tb.Helper()
+	rd := fs.NewRamdisk(BlockSize, 4096)
+	if err := Mkfs(rd, 64); err != nil {
+		tb.Fatal(err)
+	}
+	f, err := MountWith(rd, nil, bcache.Options{Buffers: 1024, Shards: 8, Readahead: -1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	of, err := openOF(f, "/bench.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data := make([]byte, fbFileBlocks*BlockSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := of.Write(nil, data); err != nil {
+		tb.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		tb.Fatal(err)
+	}
+	return &fileBenchFS{f: f, of: of}
+}
+
+// runRandomIO drives workers×ops random 4K operations at the shared
+// description and returns MB/s. Four modes: pread / lseek+read and
+// pwrite / lseek+write.
+func (b *fileBenchFS) runRandomIO(tb testing.TB, positional, write bool) float64 {
+	tb.Helper()
+	span := int64(fbFileBlocks*BlockSize - fbIOSize)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < fbWorkers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, fbIOSize)
+			for i := 0; i < fbOpsPerW; i++ {
+				off := rng.Int63n(span)
+				var err error
+				switch {
+				case positional && write:
+					_, err = b.of.Pwrite(nil, buf, off)
+				case positional:
+					_, err = b.of.Pread(nil, buf, off)
+				case write:
+					if _, err = b.of.Seek(nil, off, fs.SeekSet); err == nil {
+						_, err = b.of.Write(nil, buf)
+					}
+				default:
+					if _, err = b.of.Seek(nil, off, fs.SeekSet); err == nil {
+						_, err = b.of.Read(nil, buf)
+					}
+				}
+				if err != nil {
+					tb.Errorf("io: %v", err)
+					return
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	mb := float64(fbWorkers*fbOpsPerW*fbIOSize) / (1 << 20)
+	return mb / elapsed.Seconds()
+}
+
+// TestFileIOThroughput is the BENCH_file.json recorder and gate: random
+// 4K pread throughput on a shared descriptor must be at least the
+// lseek+read baseline (it should comfortably beat it — pread takes no
+// offset lock and dispatches once per op). Heavyweight and
+// timing-sensitive, so it only runs when BENCH_FILE_JSON names the output
+// (the `make bench` / CI path).
+func TestFileIOThroughput(t *testing.T) {
+	out := os.Getenv("BENCH_FILE_JSON")
+	if out == "" {
+		t.Skip("set BENCH_FILE_JSON=<path> to run the file-IO benchmark")
+	}
+	b := newFileBenchFS(t)
+	// Warm once so every mode runs against the same cached file.
+	b.runRandomIO(t, true, false)
+
+	lseekRead := b.runRandomIO(t, false, false)
+	pread := b.runRandomIO(t, true, false)
+	lseekWrite := b.runRandomIO(t, false, true)
+	pwrite := b.runRandomIO(t, true, true)
+	if t.Failed() {
+		return
+	}
+	res := map[string]any{
+		"workload": fmt.Sprintf("random 4K ops, %d workers on one shared OFD, %dKB file, warm cache",
+			fbWorkers, fbFileBlocks*BlockSize>>10),
+		"pread_mbps":       round2(pread),
+		"lseek_read_mbps":  round2(lseekRead),
+		"pwrite_mbps":      round2(pwrite),
+		"lseek_write_mbps": round2(lseekWrite),
+		"pread_speedup":    round2(pread / lseekRead),
+		"pwrite_speedup":   round2(pwrite / lseekWrite),
+	}
+	blob, err := json.MarshalIndent(map[string]any{"file_random4k": res}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("random 4K: pread %.1f MB/s vs lseek+read %.1f MB/s (%.2fx); pwrite %.1f vs lseek+write %.1f",
+		pread, lseekRead, pread/lseekRead, pwrite, lseekWrite)
+	// The gate: positional reads must not lose to the seek round-trip.
+	if pread < lseekRead {
+		t.Fatalf("pread %.1f MB/s < lseek+read baseline %.1f MB/s", pread, lseekRead)
+	}
+}
+
+func round2(f float64) float64 { return float64(int(f*100)) / 100 }
+
+// BenchmarkRandomPread and BenchmarkRandomLseekRead expose the same
+// workload through `go test -bench` for the log.
+func BenchmarkRandomPread(b *testing.B) {
+	fb := newFileBenchFS(b)
+	b.SetBytes(int64(fbWorkers * fbOpsPerW * fbIOSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.runRandomIO(b, true, false)
+	}
+}
+
+func BenchmarkRandomLseekRead(b *testing.B) {
+	fb := newFileBenchFS(b)
+	b.SetBytes(int64(fbWorkers * fbOpsPerW * fbIOSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.runRandomIO(b, false, false)
+	}
+}

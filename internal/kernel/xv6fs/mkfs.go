@@ -124,14 +124,15 @@ func BuildImage(blocks, ninodes int, files map[string][]byte) (*fs.Ramdisk, erro
 				}
 			}
 		}
-		fl, err := fsys.Open(nil, clean, fs.OCreate|fs.OWrOnly)
+		ops, err := fsys.Open(nil, clean, fs.OCreate|fs.OWrOnly)
 		if err != nil {
 			return nil, fmt.Errorf("create %s: %w", clean, err)
 		}
+		fl := fs.NewOpenFile(ops, fs.OCreate|fs.OWrOnly)
 		if _, err := fl.Write(nil, files[p]); err != nil {
 			return nil, fmt.Errorf("write %s: %w", clean, err)
 		}
-		fl.Close()
+		fl.Close(nil)
 	}
 	if err := fsys.Sync(nil); err != nil {
 		return nil, err

@@ -1,0 +1,185 @@
+package xv6fs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/fs"
+)
+
+func newReplaceFS(t *testing.T) *FS {
+	t.Helper()
+	rd := fs.NewRamdisk(BlockSize, 2048)
+	if err := Mkfs(rd, 128); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func writeNew(t *testing.T, f *FS, path, content string) {
+	t.Helper()
+	fl, err := openOF(f, path, fs.OCreate|fs.OWrOnly|fs.OTrunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, []byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	fl.Close(nil)
+}
+
+func readAll(t *testing.T, f *FS, path string) []byte {
+	t.Helper()
+	fl, err := openOF(f, path, fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close(nil)
+	st, err := fl.Stat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, st.Size)
+	if _, err := fl.Pread(nil, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRenameReplacesFile: POSIX rename onto an existing file atomically
+// replaces it — no ErrExists — and the displaced inode is reclaimed. A
+// handle opened on the victim BEFORE the rename keeps reading the old
+// data (xv6 deferred reclaim), exactly like unlink-while-open.
+func TestRenameReplacesFile(t *testing.T) {
+	f := newReplaceFS(t)
+	writeNew(t, f, "/src", "new-contents")
+	writeNew(t, f, "/dst", "old-contents!")
+
+	victim, err := openOF(f, "/dst", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(nil, "/src", "/dst"); err != nil {
+		t.Fatalf("replace rename = %v, want nil", err)
+	}
+	if _, err := f.Stat(nil, "/src"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("source survives: %v", err)
+	}
+	if got := readAll(t, f, "/dst"); !bytes.Equal(got, []byte("new-contents")) {
+		t.Fatalf("dst = %q", got)
+	}
+	// The pre-rename handle still sees the displaced file's bytes.
+	old := make([]byte, 13)
+	if n, err := victim.Pread(nil, old, 0); err != nil || string(old[:n]) != "old-contents!" {
+		t.Fatalf("victim handle read = %q, %v", old[:n], err)
+	}
+	victim.Close(nil) // reclaim happens here
+	// The name is reusable and the replacement is stable.
+	if got := readAll(t, f, "/dst"); !bytes.Equal(got, []byte("new-contents")) {
+		t.Fatalf("dst after victim close = %q", got)
+	}
+}
+
+// TestRenameReplaceTyping: the POSIX cross-type rules — a directory may
+// only displace an EMPTY directory, a file only a non-directory.
+func TestRenameReplaceTyping(t *testing.T) {
+	f := newReplaceFS(t)
+	writeNew(t, f, "/file", "x")
+	if err := f.Mkdir(nil, "/emptydir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Mkdir(nil, "/fulldir"); err != nil {
+		t.Fatal(err)
+	}
+	writeNew(t, f, "/fulldir/kid", "y")
+	if err := f.Mkdir(nil, "/movedir"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.Rename(nil, "/file", "/emptydir"); !errors.Is(err, fs.ErrIsDir) {
+		t.Fatalf("file onto dir = %v, want ErrIsDir (EISDIR)", err)
+	}
+	if err := f.Rename(nil, "/movedir", "/file"); !errors.Is(err, fs.ErrNotDir) {
+		t.Fatalf("dir onto file = %v, want ErrNotDir (ENOTDIR)", err)
+	}
+	if err := f.Rename(nil, "/movedir", "/fulldir"); !errors.Is(err, fs.ErrNotEmpty) {
+		t.Fatalf("dir onto full dir = %v, want ErrNotEmpty", err)
+	}
+	// Directory onto empty directory replaces it.
+	if err := f.Rename(nil, "/movedir", "/emptydir"); err != nil {
+		t.Fatalf("dir onto empty dir = %v, want nil", err)
+	}
+	if _, err := f.Stat(nil, "/movedir"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatal("moved dir still at old path")
+	}
+	st, err := f.Stat(nil, "/emptydir")
+	if err != nil || st.Type != fs.TypeDir {
+		t.Fatalf("replaced dir stat = %+v, %v", st, err)
+	}
+	// The replaced directory's inode is gone; the slot is writable again.
+	writeNew(t, f, "/emptydir/fresh", "z")
+	if got := readAll(t, f, "/emptydir/fresh"); !bytes.Equal(got, []byte("z")) {
+		t.Fatalf("fresh = %q", got)
+	}
+}
+
+// TestRenameSameInodeIsNoop: rename where both names already point at the
+// same inode succeeds and removes nothing (POSIX).
+func TestRenameSameInodeIsNoop(t *testing.T) {
+	f := newReplaceFS(t)
+	writeNew(t, f, "/same", "data")
+	if err := f.Rename(nil, "/same", "/same"); err != nil {
+		t.Fatalf("self rename = %v", err)
+	}
+	if got := readAll(t, f, "/same"); !bytes.Equal(got, []byte("data")) {
+		t.Fatalf("same = %q", got)
+	}
+}
+
+// TestRenameOntoAncestorNoDeadlock: renaming something onto its own
+// parent (or any ancestor) must fail with the POSIX error, not
+// self-deadlock on the already-held directory lock (regression: the
+// replace path used to iget the victim — which IS dp1 — and block
+// forever on its own lock while holding renameMu).
+func TestRenameOntoAncestorNoDeadlock(t *testing.T) {
+	f := newReplaceFS(t)
+	if err := f.Mkdir(nil, "/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Mkdir(nil, "/x/y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Mkdir(nil, "/x/y/z"); err != nil {
+		t.Fatal(err)
+	}
+	writeNew(t, f, "/x/y/file", "payload")
+
+	done := make(chan error, 4)
+	go func() { done <- f.Rename(nil, "/x/y/z", "/x/y") }()    // dir onto parent
+	go func() { done <- f.Rename(nil, "/x/y/z", "/x") }()      // dir onto grandparent
+	go func() { done <- f.Rename(nil, "/x/y/file", "/x/y") }() // file onto parent
+	go func() { done <- f.Rename(nil, "/x/y/file", "/x") }()   // file onto grandparent
+	want := []error{fs.ErrNotEmpty, fs.ErrNotEmpty, fs.ErrIsDir, fs.ErrIsDir}
+	got := map[error]int{}
+	for range want {
+		select {
+		case err := <-done:
+			got[err]++
+		case <-time.After(5 * time.Second):
+			t.Fatal("rename onto ancestor deadlocked")
+		}
+	}
+	if got[fs.ErrNotEmpty] != 2 || got[fs.ErrIsDir] != 2 {
+		t.Fatalf("errors = %v, want 2×ErrNotEmpty + 2×ErrIsDir", got)
+	}
+	// The volume is not wedged: a normal rename still goes through.
+	if err := f.Rename(nil, "/x/y/file", "/x/moved"); err != nil {
+		t.Fatalf("follow-up rename = %v", err)
+	}
+}

@@ -19,7 +19,7 @@ import (
 func TestWriteDataUsesRangePath(t *testing.T) {
 	f := newFS(t, 1024)
 	ops0, blocks0, _ := f.Cache().RangeStats()
-	fl, err := f.Open(nil, "/big.bin", fs.OCreate|fs.ORdWr)
+	fl, err := openOF(f, "/big.bin", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestWriteDataUsesRangePath(t *testing.T) {
 	}
 	// And the data reads back exactly — through the cache and, after a
 	// Sync, from the device on a fresh mount.
-	if _, err := fl.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+	if _, err := fl.Seek(nil, 0, fs.SeekSet); err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, len(payload))
@@ -53,7 +53,7 @@ func TestWriteDataUsesRangePath(t *testing.T) {
 	if !bytes.Equal(got, payload) {
 		t.Fatal("range-written data corrupted in cache")
 	}
-	fl.Close()
+	fl.Close(nil)
 	if err := f.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestWriteDataUsesRangePath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := f2.Open(nil, "/big.bin", fs.ORdOnly)
+	rf, err := openOF(f2, "/big.bin", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestWriteDataUsesRangePath(t *testing.T) {
 // read-modify-write without disturbing their neighbours.
 func TestWriteDataUnalignedEdges(t *testing.T) {
 	f := newFS(t, 1024)
-	fl, err := f.Open(nil, "/edges.bin", fs.OCreate|fs.ORdWr)
+	fl, err := openOF(f, "/edges.bin", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestWriteDataUnalignedEdges(t *testing.T) {
 	// Overwrite an unaligned span crossing several block boundaries.
 	patch := bytes.Repeat([]byte{0x21}, 3*BlockSize)
 	off := int64(BlockSize/2 + BlockSize)
-	if _, err := fl.(fs.Seeker).Lseek(off, fs.SeekSet); err != nil {
+	if _, err := fl.Seek(nil, off, fs.SeekSet); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fl.Write(nil, patch); err != nil {
@@ -102,7 +102,7 @@ func TestWriteDataUnalignedEdges(t *testing.T) {
 	}
 	want := append([]byte(nil), base...)
 	copy(want[off:], patch)
-	if _, err := fl.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+	if _, err := fl.Seek(nil, 0, fs.SeekSet); err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, len(want))
@@ -117,7 +117,7 @@ func TestWriteDataUnalignedEdges(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatal("unaligned overwrite corrupted the file")
 	}
-	fl.Close()
+	fl.Close(nil)
 }
 
 // TestFsyncDurableAfterCrash pins xv6fs fsync's metadata coverage and
@@ -145,7 +145,7 @@ func TestFsyncDurableAfterCrash(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 11)
 	}
-	fl, err := f.Open(nil, "/deep.bin", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/deep.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,21 +158,21 @@ func TestFsyncDurableAfterCrash(t *testing.T) {
 	if _, err := fl.Write(nil, payload); err != nil {
 		t.Fatal(err)
 	}
-	fl.Close() // everything still dirty; the in-memory inode dies here
-	fl2, err := f.Open(nil, "/deep.bin", fs.OWrOnly)
+	fl.Close(nil) // everything still dirty; the in-memory inode dies here
+	fl2, err := openOF(f, "/deep.bin", fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fl2.(fs.FileSyncer).SyncT(nil); err != nil {
+	if err := fl2.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
-	fl2.Close()
+	fl2.Close(nil)
 
 	f2, err := Mount(rd, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := f2.Open(nil, "/deep.bin", fs.ORdOnly)
+	rf, err := openOF(f2, "/deep.bin", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,16 +238,16 @@ func TestFsyncIsolationXv6fs(t *testing.T) {
 	go c.RunDaemon(nil, nil)
 	defer c.StopDaemon()
 
-	af, err := f.Open(nil, "/a.bin", fs.OCreate|fs.ORdWr)
+	af, err := openOF(f, "/a.bin", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bf, err := f.Open(nil, "/b.bin", fs.OCreate|fs.ORdWr)
+	bf, err := openOF(f, "/b.bin", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer af.Close()
-	defer bf.Close()
+	defer af.Close(nil)
+	defer bf.Close(nil)
 	payload := bytes.Repeat([]byte{0xAB}, 2*BlockSize)
 	if _, err := af.Write(nil, payload); err != nil {
 		t.Fatal(err)
@@ -260,15 +260,15 @@ func TestFsyncIsolationXv6fs(t *testing.T) {
 	}
 
 	// A's first data block, straight out of the locked-in inode map.
-	aip := af.(*file).ip
+	aip := af.Ops().(*file).ip
 	aBlock := int(aip.di.Addrs[0])
 	dev.arm(aBlock, aBlock+1, 1)
 
 	// Dirty both files again — warm cache, no device traffic — and let
 	// the daemon walk into the injected failure on A's block. A one-block
 	// rewrite keeps A's dirty run disjoint from B's blocks.
-	rewrite := func(fl fs.File, b byte) {
-		if _, err := fl.(fs.Seeker).Lseek(0, fs.SeekSet); err != nil {
+	rewrite := func(fl *fs.OpenFile, b byte) {
+		if _, err := fl.Seek(nil, 0, fs.SeekSet); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := fl.Write(nil, bytes.Repeat([]byte{b}, BlockSize)); err != nil {
@@ -285,13 +285,13 @@ func TestFsyncIsolationXv6fs(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if err := bf.(fs.FileSyncer).SyncT(nil); err != nil {
+	if err := bf.Sync(nil); err != nil {
 		t.Fatalf("B's fsync observed a foreign error: %v", err)
 	}
-	if err := af.(fs.FileSyncer).SyncT(nil); !errors.Is(err, errInjected) {
+	if err := af.Sync(nil); !errors.Is(err, errInjected) {
 		t.Fatalf("A's fsync = %v, want the injected error", err)
 	}
-	if err := af.(fs.FileSyncer).SyncT(nil); err != nil {
+	if err := af.Sync(nil); err != nil {
 		t.Fatalf("A's second fsync = %v, want nil (exactly-once)", err)
 	}
 	if err := f.Sync(nil); !errors.Is(err, errInjected) {
@@ -300,4 +300,95 @@ func TestFsyncIsolationXv6fs(t *testing.T) {
 	if err := f.Sync(nil); err != nil {
 		t.Fatalf("second volume Sync = %v, want nil", err)
 	}
+}
+
+// TestPerOpenFsyncExactlyOnceXv6fs is the f_wb_err contract behind
+// SysFsync: TWO descriptors opened on the SAME inode each observe an
+// injected asynchronous writeback error exactly once — the error cursor
+// is per open file description, not per inode, so the first descriptor's
+// fsync does not consume the second's report. A descriptor opened after
+// the epoch has been reported stays silent.
+func TestPerOpenFsyncExactlyOnceXv6fs(t *testing.T) {
+	rd := fs.NewRamdisk(BlockSize, 1024)
+	if err := Mkfs(rd, 64); err != nil {
+		t.Fatal(err)
+	}
+	dev := &flakyDev{BlockDevice: rd}
+	f, err := MountWith(dev, nil, bcache.Options{
+		Buffers: 128, Shards: 4, Readahead: -1,
+		FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Cache()
+	go c.RunDaemon(nil, nil)
+	defer c.StopDaemon()
+
+	// Two open file descriptions over one inode — separate opens, not a
+	// dup, so each holds its own errseq cursor sampled at open.
+	fd1, err := openOF(f, "/twice.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd2, err := openOF(f, "/twice.bin", fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd1.Close(nil)
+	defer fd2.Close(nil)
+	payload := bytes.Repeat([]byte{0xE1}, BlockSize)
+	if _, err := fd1.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ip := fd1.Ops().(*file).ip
+	blk := int(ip.di.Addrs[0])
+	dev.arm(blk, blk+1, 1)
+
+	// Re-dirty through fd1 and let the daemon hit the injected failure.
+	if _, err := fd1.Pwrite(nil, bytes.Repeat([]byte{0xE2}, BlockSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !ip.wb.Pending() {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never hit the injected error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := fd1.Sync(nil); !errors.Is(err, errInjected) {
+		t.Fatalf("fd1 fsync = %v, want the injected error", err)
+	}
+	if err := fd1.Sync(nil); err != nil {
+		t.Fatalf("fd1 second fsync = %v, want nil (exactly-once per open)", err)
+	}
+	// fd2's cursor was NOT consumed by fd1's observation.
+	if err := fd2.Sync(nil); !errors.Is(err, errInjected) {
+		t.Fatalf("fd2 fsync = %v, want the injected error (per-open cursor)", err)
+	}
+	if err := fd2.Sync(nil); err != nil {
+		t.Fatalf("fd2 second fsync = %v, want nil", err)
+	}
+	// A descriptor opened after both reports samples the current stream
+	// position: old news is not reported to new opens.
+	fd3, err := openOF(f, "/twice.bin", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd3.Close(nil)
+	if err := fd3.Sync(nil); err != nil {
+		t.Fatalf("late open fsync = %v, want nil", err)
+	}
+	// A dup SHARES the cursor: after fd1 reported, its dup stays silent.
+	fd1.Ref()
+	dup := fd1
+	if err := dup.Sync(nil); err != nil {
+		t.Fatalf("dup fsync = %v, want nil (shared cursor)", err)
+	}
+	dup.Close(nil)
 }

@@ -29,11 +29,11 @@ func TestMkfsMountEmptyRoot(t *testing.T) {
 	if err != nil || st.Type != fs.TypeDir {
 		t.Fatalf("root stat = %+v, %v", st, err)
 	}
-	d, err := f.Open(nil, "/", fs.ORdOnly)
+	d, err := openOF(f, "/", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries, err := d.(fs.DirReader).ReadDir()
+	entries, err := d.ReadDir(nil)
 	if err != nil || len(entries) != 0 {
 		t.Fatalf("root entries = %v, %v", entries, err)
 	}
@@ -48,7 +48,7 @@ func TestMountRejectsGarbage(t *testing.T) {
 
 func TestCreateWriteReadBack(t *testing.T) {
 	f := newFS(t, 512)
-	fl, err := f.Open(nil, "/hello.txt", fs.OCreate|fs.ORdWr)
+	fl, err := openOF(f, "/hello.txt", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,9 +56,9 @@ func TestCreateWriteReadBack(t *testing.T) {
 	if n, err := fl.Write(nil, msg); err != nil || n != len(msg) {
 		t.Fatalf("write = %d, %v", n, err)
 	}
-	fl.Close()
+	fl.Close(nil)
 
-	fl2, err := f.Open(nil, "/hello.txt", fs.ORdOnly)
+	fl2, err := openOF(f, "/hello.txt", fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,18 +75,18 @@ func TestCreateWriteReadBack(t *testing.T) {
 
 func TestOpenMissingFails(t *testing.T) {
 	f := newFS(t, 512)
-	if _, err := f.Open(nil, "/nope", fs.ORdOnly); !errors.Is(err, fs.ErrNotFound) {
+	if _, err := openOF(f, "/nope", fs.ORdOnly); !errors.Is(err, fs.ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestCreateExclusiveSemantics(t *testing.T) {
 	f := newFS(t, 512)
-	fl, _ := f.Open(nil, "/a", fs.OCreate|fs.OWrOnly)
+	fl, _ := openOF(f, "/a", fs.OCreate|fs.OWrOnly)
 	fl.Write(nil, []byte("one"))
-	fl.Close()
+	fl.Close(nil)
 	// Re-open with OCreate keeps existing content.
-	fl2, err := f.Open(nil, "/a", fs.OCreate|fs.ORdOnly)
+	fl2, err := openOF(f, "/a", fs.OCreate|fs.ORdOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestCreateExclusiveSemantics(t *testing.T) {
 		t.Fatalf("content = %q", b[:n])
 	}
 	// OTrunc clears it.
-	f.Open(nil, "/a", fs.OCreate|fs.OWrOnly|fs.OTrunc)
+	openOF(f, "/a", fs.OCreate|fs.OWrOnly|fs.OTrunc)
 	st, _ := f.Stat(nil, "/a")
 	if st.Size != 0 {
 		t.Fatalf("size after trunc = %d", st.Size)
@@ -111,12 +111,12 @@ func TestDirectoriesAndWalk(t *testing.T) {
 	if err := f.Mkdir(nil, "/bin/tools"); err != nil {
 		t.Fatal(err)
 	}
-	fl, err := f.Open(nil, "/bin/tools/ls", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/bin/tools/ls", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fl.Write(nil, []byte("ELF"))
-	fl.Close()
+	fl.Close(nil)
 	st, err := f.Stat(nil, "/bin/tools/ls")
 	if err != nil || st.Size != 3 {
 		t.Fatalf("stat = %+v, %v", st, err)
@@ -126,8 +126,8 @@ func TestDirectoriesAndWalk(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 	// ReadDir sees the child.
-	d, _ := f.Open(nil, "/bin", fs.ORdOnly)
-	entries, _ := d.(fs.DirReader).ReadDir()
+	d, _ := openOF(f, "/bin", fs.ORdOnly)
+	entries, _ := d.ReadDir(nil)
 	if len(entries) != 1 || entries[0].Name != "tools" || entries[0].Type != fs.TypeDir {
 		t.Fatalf("entries = %v", entries)
 	}
@@ -146,14 +146,14 @@ func TestUnlinkFileAndFreesSpace(t *testing.T) {
 	data := bytes.Repeat([]byte{0xAA}, 50*BlockSize)
 	// Fill and delete repeatedly: if blocks leak, this exhausts the disk.
 	for i := 0; i < 5; i++ {
-		fl, err := f.Open(nil, "/big", fs.OCreate|fs.OWrOnly)
+		fl, err := openOF(f, "/big", fs.OCreate|fs.OWrOnly)
 		if err != nil {
 			t.Fatalf("iter %d: %v", i, err)
 		}
 		if _, err := fl.Write(nil, data); err != nil {
 			t.Fatalf("iter %d write: %v", i, err)
 		}
-		fl.Close()
+		fl.Close(nil)
 		if err := f.Unlink(nil, "/big"); err != nil {
 			t.Fatalf("iter %d unlink: %v", i, err)
 		}
@@ -166,8 +166,8 @@ func TestUnlinkFileAndFreesSpace(t *testing.T) {
 func TestUnlinkNonEmptyDirFails(t *testing.T) {
 	f := newFS(t, 512)
 	f.Mkdir(nil, "/d")
-	fl, _ := f.Open(nil, "/d/f", fs.OCreate|fs.OWrOnly)
-	fl.Close()
+	fl, _ := openOF(f, "/d/f", fs.OCreate|fs.OWrOnly)
+	fl.Close(nil)
 	if err := f.Unlink(nil, "/d"); !errors.Is(err, fs.ErrNotEmpty) {
 		t.Fatalf("err = %v", err)
 	}
@@ -179,7 +179,7 @@ func TestUnlinkNonEmptyDirFails(t *testing.T) {
 
 func TestMaxFileSize270KB(t *testing.T) {
 	f := newFS(t, 1024)
-	fl, err := f.Open(nil, "/max", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/max", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,10 +208,10 @@ func TestMaxFileSize270KB(t *testing.T) {
 
 func TestLseekAndSparseRead(t *testing.T) {
 	f := newFS(t, 512)
-	fl, _ := f.Open(nil, "/s", fs.OCreate|fs.ORdWr)
+	fl, _ := openOF(f, "/s", fs.OCreate|fs.ORdWr)
 	fl.Write(nil, []byte("0123456789"))
-	sk := fl.(fs.Seeker)
-	if off, err := sk.Lseek(4, fs.SeekSet); err != nil || off != 4 {
+	sk := fl
+	if off, err := sk.Seek(nil, 4, fs.SeekSet); err != nil || off != 4 {
 		t.Fatalf("seek = %d, %v", off, err)
 	}
 	b := make([]byte, 3)
@@ -219,23 +219,23 @@ func TestLseekAndSparseRead(t *testing.T) {
 	if string(b) != "456" {
 		t.Fatalf("read %q", b)
 	}
-	if off, _ := sk.Lseek(-2, fs.SeekEnd); off != 8 {
+	if off, _ := sk.Seek(nil, -2, fs.SeekEnd); off != 8 {
 		t.Fatalf("seekend = %d", off)
 	}
-	if _, err := sk.Lseek(-100, fs.SeekSet); !errors.Is(err, fs.ErrBadSeek) {
+	if _, err := sk.Seek(nil, -100, fs.SeekSet); !errors.Is(err, fs.ErrBadSeek) {
 		t.Fatalf("negative seek err = %v", err)
 	}
 }
 
 func TestAppendFlag(t *testing.T) {
 	f := newFS(t, 512)
-	fl, _ := f.Open(nil, "/log", fs.OCreate|fs.OWrOnly)
+	fl, _ := openOF(f, "/log", fs.OCreate|fs.OWrOnly)
 	fl.Write(nil, []byte("aaa"))
-	fl.Close()
-	fl2, _ := f.Open(nil, "/log", fs.OWrOnly|fs.OAppend)
+	fl.Close(nil)
+	fl2, _ := openOF(f, "/log", fs.OWrOnly|fs.OAppend)
 	fl2.Write(nil, []byte("bbb"))
-	fl2.Close()
-	fl3, _ := f.Open(nil, "/log", fs.ORdOnly)
+	fl2.Close(nil)
+	fl3, _ := openOF(f, "/log", fs.ORdOnly)
 	b := make([]byte, 16)
 	n, _ := fl3.Read(nil, b)
 	if string(b[:n]) != "aaabbb" {
@@ -245,9 +245,9 @@ func TestAppendFlag(t *testing.T) {
 
 func TestWriteWithoutWritePermFails(t *testing.T) {
 	f := newFS(t, 512)
-	fl, _ := f.Open(nil, "/ro", fs.OCreate|fs.OWrOnly)
-	fl.Close()
-	fl2, _ := f.Open(nil, "/ro", fs.ORdOnly)
+	fl, _ := openOF(f, "/ro", fs.OCreate|fs.OWrOnly)
+	fl.Close(nil)
+	fl2, _ := openOF(f, "/ro", fs.ORdOnly)
 	if _, err := fl2.Write(nil, []byte("x")); !errors.Is(err, fs.ErrPerm) {
 		t.Fatalf("err = %v", err)
 	}
@@ -255,7 +255,7 @@ func TestWriteWithoutWritePermFails(t *testing.T) {
 
 func TestNameTooLong(t *testing.T) {
 	f := newFS(t, 512)
-	_, err := f.Open(nil, "/this-name-is-way-too-long-for-xv6fs", fs.OCreate|fs.OWrOnly)
+	_, err := openOF(f, "/this-name-is-way-too-long-for-xv6fs", fs.OCreate|fs.OWrOnly)
 	if !errors.Is(err, fs.ErrNameTooLong) {
 		t.Fatalf("err = %v", err)
 	}
@@ -263,7 +263,7 @@ func TestNameTooLong(t *testing.T) {
 
 func TestDiskFullSurfaces(t *testing.T) {
 	f := newFS(t, 48) // tiny disk
-	fl, _ := f.Open(nil, "/fill", fs.OCreate|fs.OWrOnly)
+	fl, _ := openOF(f, "/fill", fs.OCreate|fs.OWrOnly)
 	chunk := bytes.Repeat([]byte{1}, BlockSize)
 	var err error
 	for i := 0; i < 100; i++ {
@@ -293,7 +293,7 @@ func TestBuildImageAndRemount(t *testing.T) {
 		t.Fatal(err)
 	}
 	for path, want := range files {
-		fl, err := f.Open(nil, path, fs.ORdOnly)
+		fl, err := openOF(f, path, fs.ORdOnly)
 		if err != nil {
 			t.Fatalf("open %s: %v", path, err)
 		}
@@ -309,11 +309,11 @@ func TestBuildImageAndRemount(t *testing.T) {
 // write/read offsets within one file.
 func TestReadWriteOffsetsProperty(t *testing.T) {
 	f := newFS(t, 2048)
-	fl, err := f.Open(nil, "/prop", fs.OCreate|fs.ORdWr)
+	fl, err := openOF(f, "/prop", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sk := fl.(fs.Seeker)
+	sk := fl
 	model := make([]byte, MaxFile*BlockSize)
 	modelSize := 0
 	op := func(off uint32, data []byte) bool {
@@ -324,7 +324,7 @@ func TestReadWriteOffsetsProperty(t *testing.T) {
 		if o+len(data) > len(model) {
 			return true
 		}
-		if _, err := sk.Lseek(int64(o), fs.SeekSet); err != nil {
+		if _, err := sk.Seek(nil, int64(o), fs.SeekSet); err != nil {
 			return false
 		}
 		if _, err := fl.Write(nil, data); err != nil {
@@ -335,7 +335,7 @@ func TestReadWriteOffsetsProperty(t *testing.T) {
 			modelSize = o + len(data)
 		}
 		// Verify a read spanning the write.
-		if _, err := sk.Lseek(int64(o), fs.SeekSet); err != nil {
+		if _, err := sk.Seek(nil, int64(o), fs.SeekSet); err != nil {
 			return false
 		}
 		got := make([]byte, len(data))
@@ -349,7 +349,7 @@ func TestReadWriteOffsetsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Full-file comparison at the end.
-	if _, err := sk.Lseek(0, fs.SeekSet); err != nil {
+	if _, err := sk.Seek(nil, 0, fs.SeekSet); err != nil {
 		t.Fatal(err)
 	}
 	got := make([]byte, modelSize)
@@ -372,27 +372,27 @@ func TestReadWriteOffsetsProperty(t *testing.T) {
 func TestManyFilesInDirectory(t *testing.T) {
 	f := newFS(t, 2048)
 	for i := 0; i < 40; i++ {
-		fl, err := f.Open(nil, fmt.Sprintf("/f%02d", i), fs.OCreate|fs.OWrOnly)
+		fl, err := openOF(f, fmt.Sprintf("/f%02d", i), fs.OCreate|fs.OWrOnly)
 		if err != nil {
 			t.Fatalf("create %d: %v", i, err)
 		}
 		fl.Write(nil, []byte{byte(i)})
-		fl.Close()
+		fl.Close(nil)
 	}
-	d, _ := f.Open(nil, "/", fs.ORdOnly)
-	entries, _ := d.(fs.DirReader).ReadDir()
+	d, _ := openOF(f, "/", fs.ORdOnly)
+	entries, _ := d.ReadDir(nil)
 	if len(entries) != 40 {
 		t.Fatalf("entries = %d, want 40", len(entries))
 	}
 	// Unlink reuses dirent holes.
 	f.Unlink(nil, "/f00")
-	fl, err := f.Open(nil, "/new", fs.OCreate|fs.OWrOnly)
+	fl, err := openOF(f, "/new", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl.Close()
-	d2, _ := f.Open(nil, "/", fs.ORdOnly)
-	entries2, _ := d2.(fs.DirReader).ReadDir()
+	fl.Close(nil)
+	d2, _ := openOF(f, "/", fs.ORdOnly)
+	entries2, _ := d2.ReadDir(nil)
 	if len(entries2) != 40 {
 		t.Fatalf("entries after churn = %d", len(entries2))
 	}

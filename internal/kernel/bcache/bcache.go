@@ -112,6 +112,14 @@ type Buf struct {
 	// buffer sleeplock, like valid/dirty, so either lock suffices to read.
 	owner *Owner
 
+	// nosteal marks a buffer frozen by a journal: its contents belong to
+	// an uncommitted transaction and must NOT reach the device until the
+	// transaction's log copy is durable. Every writeback path (Flush, the
+	// daemon, FlushOwner, FlushBlocks) skips frozen buffers; Freeze holds
+	// an extra reference so the buffer never reaches the eviction paths
+	// either. Guarded by the shard lock, like valid/dirty.
+	nosteal bool
+
 	// Intrusive LRU links; a buffer is on its shard's LRU list exactly
 	// when refs == 0. Guarded by the shard lock.
 	prev, next *Buf
@@ -119,6 +127,16 @@ type Buf struct {
 
 // LBA returns which block the buffer holds.
 func (b *Buf) LBA() int { return b.lba }
+
+// Lock acquires the buffer's sleeplock outside the Get/Release pairing.
+// The journal's commit path uses it to copy and thaw batch buffers it
+// pinned with Freeze; ordinary callers should use Get/Release. The same
+// rank rules apply: at most one buffer lock per task unless acquired in
+// ascending LBA order.
+func (b *Buf) Lock(t *sched.Task) { b.lock.Lock(t) }
+
+// Unlock releases the buffer's sleeplock (pairs with Lock).
+func (b *Buf) Unlock() { b.lock.Unlock() }
 
 // shard is one independent slice of the cache: its own lock, map and LRU.
 type shard struct {
@@ -201,6 +219,11 @@ type Cache struct {
 	// Sync and SysSync — is its single observer. Errseq semantics: each
 	// failure epoch is reported exactly once, even if the retry succeeded.
 	devErr errseq.Stream
+
+	// idleHook, when set, runs after each daemon writeback pass — the
+	// journal registers its opportunistic checkpoint here ("checkpoint on
+	// kflushd idle"). Set before the daemon starts; never changed after.
+	idleHook func(t *sched.Task)
 
 	// Writeback-daemon state. daemonOn gates the eviction handoff; the
 	// kick/stop machinery serves both the sched-task and host-goroutine
@@ -605,6 +628,51 @@ func (c *Cache) Release(b *Buf) {
 	c.unpin(b)
 }
 
+// Freeze marks a buffer dirty and pins it against every writeback and
+// eviction path: the write-ahead journal calls it instead of MarkDirty for
+// a block recorded in an open transaction, so uncommitted metadata can
+// never reach its home location ahead of the commit record (the "nosteal"
+// rule). The caller must hold the buffer (Get'd, not yet Released); the
+// extra reference Freeze takes survives that Release and is dropped by
+// Thaw. Idempotent while frozen.
+func (c *Cache) Freeze(b *Buf) {
+	c.setFlags(b, true, true)
+	s := c.shard(b.lba)
+	s.mu.Lock()
+	if !b.nosteal {
+		b.nosteal = true
+		b.refs++
+	}
+	s.mu.Unlock()
+}
+
+// Thaw releases a frozen buffer back to ordinary dirty-buffer life: the
+// journal calls it at commit, once the transaction's log copy is durable,
+// after which the daemon, Flush, or eviction may write the block home
+// whenever convenient (the checkpoint). The caller must hold the buffer's
+// sleeplock — like setFlags, so the flush paths' nosteal reads under
+// either the shard lock or the sleeplock stay ordered. No-op on an
+// unfrozen buffer.
+func (c *Cache) Thaw(b *Buf) {
+	s := c.shard(b.lba)
+	s.mu.Lock()
+	if !b.nosteal {
+		s.mu.Unlock()
+		return
+	}
+	b.nosteal = false
+	s.mu.Unlock()
+	c.unpin(b)
+}
+
+// Frozen reports whether the buffer is currently journal-pinned (tests).
+func (c *Cache) Frozen(b *Buf) bool {
+	s := c.shard(b.lba)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return b.nosteal
+}
+
 // segmentMax bounds how many blocks a range segment claims at once: the
 // lock-holding cap, and half the cache so tiny configurations still fit.
 func (c *Cache) segmentMax() int {
@@ -917,6 +985,34 @@ func (c *Cache) FlushOwner(t *sched.Task, o *Owner, extra ...int) error {
 	return c.flushSync(t, dirty)
 }
 
+// FlushBlocks writes back exactly the named blocks (deduplicated, in
+// ascending LBA order) and waits for their completions — the journal's
+// targeted durability primitive: commit flushes the transaction's log
+// slots with it (plugged, so the elevator merges the slot run into one
+// group-commit burst), then its header; the ordered-writes FAT32 path
+// flushes a new file's data and FAT sectors with it before publishing the
+// dirent. Blocks that are absent, clean, or frozen are skipped — absent
+// or clean means already durable, frozen means some open transaction owns
+// the block and its durability is the journal's job, not this caller's.
+func (c *Cache) FlushBlocks(t *sched.Task, lbas []int, plugged bool) error {
+	if len(lbas) == 0 {
+		return nil
+	}
+	sorted := make([]int, len(lbas))
+	copy(sorted, lbas)
+	sort.Ints(sorted)
+	dirty := sorted[:1]
+	for _, lba := range sorted[1:] {
+		if lba != dirty[len(dirty)-1] {
+			dirty = append(dirty, lba)
+		}
+	}
+	if c.qdev != nil {
+		return c.flushQueued(t, dirty, plugged)
+	}
+	return c.flushSync(t, dirty)
+}
+
 // flushDirty writes every currently-dirty buffer back. Over a request
 // queue it is "submit all, wait for all completions": each window's
 // blocks are submitted asynchronously under a plug so the elevator merges
@@ -930,7 +1026,7 @@ func (c *Cache) flushDirty(t *sched.Task) error {
 	for _, s := range c.shards {
 		s.mu.Lock()
 		for lba, b := range s.bufs {
-			if b.valid && b.dirty {
+			if b.valid && b.dirty && !b.nosteal {
 				dirty = append(dirty, lba)
 			}
 		}
@@ -980,8 +1076,8 @@ func (c *Cache) flushQueued(t *sched.Task, dirty []int, plugged bool) error {
 			c.qdev.Plug(t)
 		}
 		for k, b := range bufs {
-			if !b.dirty || !b.valid {
-				continue // cleaned by a racing writeback
+			if !b.dirty || !b.valid || b.nosteal {
+				continue // cleaned by a racing writeback, or journal-frozen
 			}
 			if k == 0 || bufs[k-1].lba != b.lba-1 {
 				runs++ // contiguous-run accounting (flushBatches)
@@ -1050,12 +1146,12 @@ func (c *Cache) flushSync(t *sched.Task, dirty []int) error {
 		// Write contiguous still-dirty sub-runs with single commands.
 		var err error
 		for k := 0; k < len(bufs) && err == nil; {
-			if !bufs[k].dirty || !bufs[k].valid {
+			if !bufs[k].dirty || !bufs[k].valid || bufs[k].nosteal {
 				k++
 				continue
 			}
 			m := k + 1
-			for m < len(bufs) && bufs[m].lba == bufs[m-1].lba+1 && bufs[m].dirty && bufs[m].valid {
+			for m < len(bufs) && bufs[m].lba == bufs[m-1].lba+1 && bufs[m].dirty && bufs[m].valid && !bufs[m].nosteal {
 				m++
 			}
 			for x := k; x < m; x++ {
@@ -1128,17 +1224,28 @@ func (c *Cache) RunDaemon(t *sched.Task, after func(d time.Duration, fn func()) 
 		if c.daemonStop.Load() {
 			return
 		}
-		if c.dirty.Load() == 0 {
-			continue
+		if c.dirty.Load() != 0 {
+			c.daemonFlushes.Add(1)
+			// Nobody waits on this pass; write failures were recorded in
+			// the failing buffers' error streams by the flush path itself,
+			// the failed buffers stay dirty, and the next round (throttled
+			// by the interval) retries them — so the pass's return needs no
+			// handling.
+			_ = c.flushDirty(t)
 		}
-		c.daemonFlushes.Add(1)
-		// Nobody waits on this pass; write failures were recorded in the
-		// failing buffers' error streams by the flush path itself, the
-		// failed buffers stay dirty, and the next round (throttled by the
-		// interval) retries them — so the pass's return needs no handling.
-		_ = c.flushDirty(t)
+		if c.idleHook != nil {
+			// The daemon is idle (its pass is done, nothing is waiting on
+			// it): let the journal checkpoint committed transactions so the
+			// log drains during quiet periods instead of on commit's
+			// critical path.
+			c.idleHook(t)
+		}
 	}
 }
+
+// SetIdleHook registers fn to run after every daemon writeback pass (the
+// journal's checkpoint trigger). Must be called before RunDaemon starts.
+func (c *Cache) SetIdleHook(fn func(t *sched.Task)) { c.idleHook = fn }
 
 // daemonWait sleeps until a kick, the age interval, or stop.
 func (c *Cache) daemonWait(t *sched.Task, after func(d time.Duration, fn func()) func() bool) {

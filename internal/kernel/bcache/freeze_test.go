@@ -1,0 +1,130 @@
+package bcache
+
+import (
+	"testing"
+
+	"protosim/internal/kernel/fs"
+)
+
+// TestFreezeBlocksEveryWriteback pins the journal's "nosteal" rule: a
+// frozen buffer is dirty but invisible to Flush and FlushBlocks, and only
+// Thaw makes it writable home again.
+func TestFreezeBlocksEveryWriteback(t *testing.T) {
+	c, rd := newCache(t, 64, 8)
+
+	b, err := c.Get(nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Data[0] = 0xAA
+	c.Freeze(b)
+	if !c.Frozen(b) {
+		t.Fatal("Freeze did not mark the buffer frozen")
+	}
+	c.Release(b)
+
+	// Neither the full flush nor a targeted one may write it home.
+	if err := c.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushBlocks(nil, []int{5}, true); err != nil {
+		t.Fatal(err)
+	}
+	on := make([]byte, 512)
+	if err := rd.ReadBlocks(5, 1, on); err != nil {
+		t.Fatal(err)
+	}
+	if on[0] == 0xAA {
+		t.Fatal("frozen buffer reached its home location")
+	}
+
+	// Thaw (sleeplock held, like the journal's commit) re-opens the path.
+	b, err = c.Get(nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Thaw(b)
+	if c.Frozen(b) {
+		t.Fatal("Thaw did not clear the frozen mark")
+	}
+	c.Release(b)
+	if err := c.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.ReadBlocks(5, 1, on); err != nil {
+		t.Fatal(err)
+	}
+	if on[0] != 0xAA {
+		t.Fatal("thawed buffer never written home")
+	}
+}
+
+// TestFreezePinsAgainstEviction pins the reference Freeze takes: with the
+// cache under heavy replacement pressure, the frozen buffer's content must
+// survive untouched until Thaw.
+func TestFreezePinsAgainstEviction(t *testing.T) {
+	// One shard so every Get competes for the same buffer pool as the
+	// frozen block — maximum replacement pressure on it.
+	rd := fs.NewRamdisk(512, 128)
+	c := NewWithOptions(rd, Options{Buffers: 8, Shards: 1})
+
+	b, err := c.Get(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Data[0] = 0x5A
+	c.Freeze(b)
+	c.Release(b)
+
+	// Churn far more blocks than the cache holds.
+	for lba := 16; lba < 48; lba++ {
+		x, err := c.Get(nil, lba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.MarkDirty(x)
+		c.Release(x)
+		if err := c.FlushBlocks(nil, []int{lba}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	b, err = c.Get(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Data[0] != 0x5A || !c.Frozen(b) {
+		t.Fatal("frozen buffer was evicted or recycled under pressure")
+	}
+	c.Thaw(b)
+	c.Release(b)
+}
+
+// TestFreezeIdempotent pins that re-freezing (the journal's absorption
+// path) takes one reference total: a single Thaw fully releases it.
+func TestFreezeIdempotent(t *testing.T) {
+	c, rd := newCache(t, 64, 8)
+	b, err := c.Get(nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Data[0] = 0x0F
+	c.Freeze(b)
+	c.Freeze(b)
+	c.Freeze(b)
+	c.Thaw(b)
+	if c.Frozen(b) {
+		t.Fatal("one Thaw did not undo repeated Freezes")
+	}
+	c.Release(b)
+	if err := c.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	on := make([]byte, 512)
+	if err := rd.ReadBlocks(7, 1, on); err != nil {
+		t.Fatal(err)
+	}
+	if on[0] != 0x0F {
+		t.Fatal("buffer not flushable after balanced Freeze/Thaw")
+	}
+}

@@ -176,13 +176,28 @@ func (f *FS) addDirent(t *sched.Task, dirCluster uint32, de *dirent83) (direntRe
 			}
 		}
 	}
-	// Directory full: grow the chain with a zeroed cluster.
+	// Directory full: grow the chain with a zeroed cluster. Ordered
+	// writes: the zeros and both FAT updates (the tail link and the new
+	// end-of-chain) go durable before the first entry is written into the
+	// new cluster — a dirent in a cluster whose zeroing never landed would
+	// read back surrounded by garbage "entries".
 	nc, err := f.allocCluster(t, true)
 	if err != nil {
 		return direntRef{}, err
 	}
 	last := clusters[len(clusters)-1]
 	if err := f.fatSet(t, last, nc); err != nil {
+		f.unclaimCluster(t, nc)
+		return direntRef{}, err
+	}
+	sectors := make([]int, 0, SectorsPerCluster+2)
+	cs := f.clusterSector(nc)
+	for s := 0; s < SectorsPerCluster; s++ {
+		sectors = append(sectors, cs+s)
+	}
+	sectors = append(sectors, f.fatSector(last), f.fatSector(nc))
+	if err := f.orderedFlush(t, sectors...); err != nil {
+		_ = f.fatSet(t, last, endOfChain)
 		f.unclaimCluster(t, nc)
 		return direntRef{}, err
 	}

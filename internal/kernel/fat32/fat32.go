@@ -390,6 +390,24 @@ func (f *FS) countRange(n int) {
 // can be read and relinked with no further locking (nobody else mutates an
 // owned chain); free↔claimed transitions go under fatLock.
 
+// fatSector returns the FAT sector holding cluster c's entry.
+func (f *FS) fatSector(c uint32) int {
+	return f.fatStart + int(c)*fatEntrySize/SectorSize
+}
+
+// orderedFlush forces the named sectors durable NOW, under one request-
+// queue plug. It is the ordered-writes discipline's only primitive: every
+// directory-entry write that publishes new structure (a fresh cluster, a
+// grown chain, a moved name) is preceded by an orderedFlush of the data
+// and FAT sectors it depends on, so no crash can leave a dirent pointing
+// at structure the device never saw. The reverse operations (unlink,
+// truncate) flush the UNpublishing dirent write before freeing, for the
+// same reason mirrored. See ARCHITECTURE.md's crash-consistency section
+// for the site-by-site ordering argument.
+func (f *FS) orderedFlush(t *sched.Task, sectors ...int) error {
+	return f.bc.FlushBlocks(t, sectors, true)
+}
+
 func (f *FS) fatGet(t *sched.Task, cluster uint32) (uint32, error) {
 	off := int(cluster) * fatEntrySize
 	sector := f.fatStart + off/SectorSize

@@ -1,0 +1,394 @@
+// Package fatfsck is an fsck.fat-style checker and repairer for the
+// FAT32 volumes internal/kernel/fat32 produces — the verification half
+// of the crash-injection harness for the ordered-writes filesystem. Like
+// xfsck it decodes the on-disk format independently (its own boot
+// sector, FAT and dirent readers), so the filesystem cannot misread its
+// own corruption into a pass.
+//
+// FAT32 has no journal; the ordered-writes discipline only promises that
+// a crash leaves the volume REPAIRABLE, not clean. The artifacts the
+// ordering is designed to bound — and that Repair fixes, exactly as
+// fsck.fat would — are:
+//
+//   - lost clusters: allocated in the FAT but reachable from no
+//     directory entry (a crash between an unlink's durable dirent
+//     removal and its chain walk, or mid-freeChain);
+//   - excess tail clusters: a chain longer than the published file size
+//     needs (append's FAT links go durable before the size patch, and
+//     truncate publishes size 0 before freeing);
+//   - duplicate references: two directory entries naming one chain (the
+//     window between rename's durable publish of the new entry and the
+//     removal of the old one);
+//   - a stale FSInfo sector (free count and next-free hint are only
+//     rewritten on Sync).
+//
+// Everything else — a dirent pointing at a free or out-of-range cluster,
+// a chain that runs through a free entry or loops, a published size
+// exceeding its chain, genuine mid-chain cross-links — is corruption the
+// ordering discipline exists to prevent, and stays an error in BOTH
+// modes: Strict reports the repairable artifacts as errors too (right
+// for a volume that was cleanly synced or already repaired), PostCrash
+// downgrades exactly the four artifact classes above to warnings.
+package fatfsck
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"protosim/internal/kernel/fat32"
+	"protosim/internal/kernel/fs"
+)
+
+// Mode selects how the tolerated post-crash artifacts are judged.
+type Mode int
+
+const (
+	// Strict treats every inconsistency, including repairable post-crash
+	// artifacts, as an error.
+	Strict Mode = iota
+	// PostCrash downgrades the artifact classes the ordered-writes
+	// discipline deliberately tolerates (lost clusters, excess tails,
+	// duplicate dirent references, stale FSInfo) to warnings.
+	PostCrash
+)
+
+const (
+	sectorSize        = fat32.SectorSize
+	sectorsPerCluster = fat32.SectorsPerCluster
+	clusterSize       = fat32.ClusterSize
+	direntSize        = 32
+	fatEntrySize      = 4
+	rootCluster       = 2
+)
+
+// FAT entry semantics (28-bit entries, top nibble reserved).
+const (
+	entMask = 0x0FFFFFFF
+	entFree = 0
+	entEOC  = 0x0FFFFFF8 // values >= this terminate a chain
+)
+
+const (
+	fsInfoSector    = 1
+	fsInfoLeadSig   = 0x41615252
+	fsInfoStructSig = 0x61417272
+)
+
+const (
+	attrDir = 0x10
+)
+
+// Report is the outcome of one Check or Repair run.
+type Report struct {
+	// Errors are corruption findings.
+	Errors []string
+	// Warnings are tolerated post-crash artifacts (PostCrash mode), or —
+	// from Repair — descriptions of what was repaired.
+	Warnings []string
+	// Files and Dirs count live directory entries seen on the walk.
+	Files, Dirs int
+	// UsedClusters counts FAT entries that are neither free nor the two
+	// reserved head entries; FreeFAT is the free count the FAT implies;
+	// FreeFSInfo is the count the FSInfo sector advertises (-1 invalid).
+	UsedClusters, FreeFAT, FreeFSInfo int
+}
+
+// Clean reports whether the volume passed: no corruption found.
+func (r *Report) Clean() bool { return len(r.Errors) == 0 }
+
+// String renders the report for test logs.
+func (r *Report) String() string {
+	return fmt.Sprintf("fatfsck: %d files, %d dirs, %d used clusters, %d errors, %d warnings",
+		r.Files, r.Dirs, r.UsedClusters, len(r.Errors), len(r.Warnings))
+}
+
+// volume is one parsed image held in memory.
+type volume struct {
+	img      []byte
+	fatStart int // sector
+	fatSecs  int
+	dataSt   int // sector of cluster 2
+	clusters int // valid cluster numbers are [2, 2+clusters)
+	rep      *Report
+	mode     Mode
+}
+
+func (v *volume) errf(format string, args ...any) {
+	v.rep.Errors = append(v.rep.Errors, fmt.Sprintf(format, args...))
+}
+
+// flag records a repairable artifact: a warning in PostCrash mode, an
+// error in Strict mode.
+func (v *volume) flag(format string, args ...any) {
+	if v.mode == PostCrash {
+		v.rep.Warnings = append(v.rep.Warnings, fmt.Sprintf(format, args...))
+	} else {
+		v.errf(format, args...)
+	}
+}
+
+func (v *volume) sector(s int) []byte {
+	return v.img[s*sectorSize : (s+1)*sectorSize]
+}
+
+func (v *volume) fatGet(c int) uint32 {
+	off := v.fatStart*sectorSize + c*fatEntrySize
+	return binary.LittleEndian.Uint32(v.img[off:]) & entMask
+}
+
+func (v *volume) fatSet(c int, val uint32) {
+	off := v.fatStart*sectorSize + c*fatEntrySize
+	binary.LittleEndian.PutUint32(v.img[off:], val&entMask)
+}
+
+func (v *volume) validCluster(c int) bool {
+	return c >= rootCluster && c < rootCluster+v.clusters
+}
+
+// load parses the boot sector and pulls the image into memory.
+func load(dev fs.BlockDevice, mode Mode) (*volume, error) {
+	if dev.BlockSize() != sectorSize {
+		return nil, fmt.Errorf("fatfsck: device sector size %d, want %d", dev.BlockSize(), sectorSize)
+	}
+	img := make([]byte, dev.Blocks()*sectorSize)
+	if err := dev.ReadBlocks(0, dev.Blocks(), img); err != nil {
+		return nil, err
+	}
+	v := &volume{img: img, rep: &Report{FreeFSInfo: -1}, mode: mode}
+	boot := v.sector(0)
+	if boot[510] != 0x55 || boot[511] != 0xAA || string(boot[3:11]) != "PROTOFAT" {
+		v.errf("boot sector: bad signature")
+		return v, nil
+	}
+	reserved := int(binary.LittleEndian.Uint16(boot[14:]))
+	total := int(binary.LittleEndian.Uint32(boot[32:]))
+	v.fatSecs = int(binary.LittleEndian.Uint32(boot[36:]))
+	v.fatStart = reserved
+	v.dataSt = reserved + v.fatSecs
+	v.clusters = (total - v.dataSt) / sectorsPerCluster
+	if total*sectorSize > len(img) || v.clusters < 1 || reserved < 2 ||
+		(rootCluster+v.clusters)*fatEntrySize > v.fatSecs*sectorSize {
+		v.errf("boot sector: inconsistent geometry (total=%d fat=%d reserved=%d)", total, v.fatSecs, reserved)
+		return v, nil
+	}
+	return v, nil
+}
+
+// Check verifies the FAT32 image on dev without modifying it.
+func Check(dev fs.BlockDevice, mode Mode) (*Report, error) {
+	v, err := load(dev, mode)
+	if err != nil {
+		return nil, err
+	}
+	if len(v.rep.Errors) == 0 {
+		v.check(false)
+	}
+	return v.rep, nil
+}
+
+// Repair checks the image and fixes every repairable post-crash
+// artifact in place on dev — removing duplicate directory references,
+// truncating excess tail clusters, freeing lost clusters and rewriting
+// the FSInfo sector — then writes the repaired image back. After a
+// successful Repair, Check in Strict mode passes unless the volume has
+// genuine (unrepairable) corruption, which stays in the report's
+// Errors. The Warnings list what was repaired.
+func Repair(dev fs.BlockDevice) (*Report, error) {
+	v, err := load(dev, PostCrash)
+	if err != nil {
+		return nil, err
+	}
+	if len(v.rep.Errors) == 0 {
+		v.check(true)
+		if err := dev.WriteBlocks(0, len(v.img)/sectorSize, v.img); err != nil {
+			return nil, err
+		}
+	}
+	return v.rep, nil
+}
+
+// check walks the tree and the FAT, recording findings; with repair set
+// it also fixes the repairable ones in v.img.
+func (v *volume) check(repair bool) {
+	// claims maps cluster -> first cluster of the chain that owns it.
+	claims := make(map[int]int)
+	v.walkDir(rootCluster, claims, repair)
+
+	// FAT sweep: reserved head entries, lost clusters, free count.
+	if e := v.fatGet(0); e < entEOC {
+		v.errf("FAT[0]: media entry %#x not reserved", e)
+	}
+	if e := v.fatGet(1); e < entEOC {
+		v.errf("FAT[1]: reserved entry %#x clear", e)
+	}
+	lost := 0
+	for c := rootCluster; c < rootCluster+v.clusters; c++ {
+		e := v.fatGet(c)
+		if e == entFree {
+			v.rep.FreeFAT++
+			continue
+		}
+		v.rep.UsedClusters++
+		if _, ok := claims[c]; !ok {
+			lost++
+			if repair {
+				v.fatSet(c, entFree)
+				v.rep.FreeFAT++
+				v.rep.UsedClusters--
+			}
+		}
+	}
+	if lost > 0 {
+		v.flag("%d lost clusters (allocated but unreachable)", lost)
+		if repair {
+			v.rep.Warnings = append(v.rep.Warnings, fmt.Sprintf("repair: freed %d lost clusters", lost))
+		}
+	}
+
+	// FSInfo agreement.
+	fsi := v.sector(fsInfoSector)
+	if binary.LittleEndian.Uint32(fsi[0:]) == fsInfoLeadSig &&
+		binary.LittleEndian.Uint32(fsi[484:]) == fsInfoStructSig &&
+		fsi[510] == 0x55 && fsi[511] == 0xAA {
+		v.rep.FreeFSInfo = int(binary.LittleEndian.Uint32(fsi[488:]))
+	}
+	if v.rep.FreeFSInfo != v.rep.FreeFAT {
+		v.flag("FSInfo free count %d, FAT says %d", v.rep.FreeFSInfo, v.rep.FreeFAT)
+	}
+	if repair {
+		binary.LittleEndian.PutUint32(fsi[0:], fsInfoLeadSig)
+		binary.LittleEndian.PutUint32(fsi[484:], fsInfoStructSig)
+		binary.LittleEndian.PutUint32(fsi[488:], uint32(v.rep.FreeFAT))
+		binary.LittleEndian.PutUint32(fsi[492:], rootCluster+1)
+		fsi[510], fsi[511] = 0x55, 0xAA
+		v.rep.FreeFSInfo = v.rep.FreeFAT
+	}
+}
+
+// chain follows the FAT from first, validating as it goes. Returns the
+// clusters it traversed (possibly truncated at a fatal finding).
+func (v *volume) chain(first int, what string) []int {
+	var out []int
+	seen := make(map[int]bool)
+	c := first
+	for {
+		if !v.validCluster(c) {
+			v.errf("%s: chain link to invalid cluster %d", what, c)
+			return out
+		}
+		if seen[c] {
+			v.errf("%s: chain loops at cluster %d", what, c)
+			return out
+		}
+		seen[c] = true
+		out = append(out, c)
+		e := v.fatGet(c)
+		if e == entFree {
+			v.errf("%s: chain runs through free cluster %d", what, c)
+			return out
+		}
+		if e >= entEOC {
+			return out
+		}
+		c = int(e)
+	}
+}
+
+// walkDir scans the directory whose chain starts at dirCluster,
+// claiming its own chain and every child's, recursing into
+// subdirectories. Mirrors the filesystem's scan semantics: an end-mark
+// entry (name[0] == 0) stops the whole scan.
+func (v *volume) walkDir(dirCluster int, claims map[int]int, repair bool) {
+	dirChain := v.claimChain(dirCluster, fmt.Sprintf("directory cluster %d", dirCluster), claims)
+	for _, c := range dirChain {
+		base := v.dataSt + (c-rootCluster)*sectorsPerCluster
+		for i := 0; i < clusterSize/direntSize; i++ {
+			off := base*sectorSize + i*direntSize
+			ent := v.img[off : off+direntSize]
+			if ent[0] == 0 {
+				return // end mark
+			}
+			if ent[0] == 0xE5 {
+				continue // deleted
+			}
+			first := int(binary.LittleEndian.Uint16(ent[20:]))<<16 | int(binary.LittleEndian.Uint16(ent[26:]))
+			size := binary.LittleEndian.Uint32(ent[28:])
+			name := direntName(ent)
+			if !v.validCluster(first) {
+				v.errf("dirent %q: first cluster %d out of range", name, first)
+				continue
+			}
+			if v.fatGet(first) == entFree {
+				v.errf("dirent %q: first cluster %d is free", name, first)
+				continue
+			}
+			if owner, dup := claims[first]; dup && owner == first {
+				// A second dirent naming an already-claimed chain head:
+				// rename's tolerated window (new entry durable, old
+				// removal not). Repair drops the later reference.
+				v.flag("dirent %q: duplicate reference to cluster %d", name, first)
+				if repair {
+					v.img[off] = 0xE5
+					v.rep.Warnings = append(v.rep.Warnings,
+						fmt.Sprintf("repair: dropped duplicate dirent %q (cluster %d)", name, first))
+				}
+				continue
+			}
+			if ent[11]&attrDir != 0 {
+				v.rep.Dirs++
+				v.walkDir(first, claims, repair)
+				continue
+			}
+			v.rep.Files++
+			chain := v.claimChain(first, fmt.Sprintf("file %q", name), claims)
+			need := (int(size) + clusterSize - 1) / clusterSize
+			if need == 0 {
+				need = 1 // zero-size files keep their first cluster
+			}
+			if need > len(chain) {
+				v.errf("file %q: size %d needs %d clusters, chain has %d", name, size, need, len(chain))
+			} else if need < len(chain) {
+				v.flag("file %q: %d excess tail clusters beyond size %d", name, len(chain)-need, size)
+				if repair {
+					v.fatSet(chain[need-1], entEOC)
+					for _, tc := range chain[need:] {
+						v.fatSet(tc, entFree)
+					}
+					v.rep.Warnings = append(v.rep.Warnings,
+						fmt.Sprintf("repair: truncated %d excess clusters off %q", len(chain)-need, name))
+				}
+			}
+		}
+	}
+}
+
+// claimChain walks and claims a chain, flagging genuine mid-chain
+// cross-links (a cluster owned by a DIFFERENT chain) as corruption.
+func (v *volume) claimChain(first int, what string, claims map[int]int) []int {
+	chain := v.chain(first, what)
+	for _, c := range chain {
+		if owner, dup := claims[c]; dup {
+			if owner != first {
+				v.errf("%s: cluster %d cross-linked with chain %d", what, c, owner)
+			}
+			continue
+		}
+		claims[c] = first
+	}
+	return chain
+}
+
+// direntName renders an 8.3 name for reports.
+func direntName(ent []byte) string {
+	base, ext := "", ""
+	for i := 0; i < 8 && ent[i] != ' '; i++ {
+		base += string(rune(ent[i]))
+	}
+	for i := 8; i < 11 && ent[i] != ' '; i++ {
+		ext += string(rune(ent[i]))
+	}
+	if ext != "" {
+		return base + "." + ext
+	}
+	return base
+}

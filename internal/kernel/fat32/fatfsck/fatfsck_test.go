@@ -1,0 +1,294 @@
+package fatfsck_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"protosim/internal/kernel/fat32"
+	"protosim/internal/kernel/fat32/fatfsck"
+	"protosim/internal/kernel/fs"
+)
+
+// mkVolume builds a small synced FAT32 volume: /big.dat spanning three
+// clusters, /dir with one file inside.
+func mkVolume(t *testing.T) *fs.Ramdisk {
+	t.Helper()
+	rd := fs.NewRamdisk(fat32.SectorSize, 4096)
+	if err := fat32.Mkfs(rd); err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := fat32.Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Mkdir(nil, "/dir"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/big.dat", "/dir/in.dat"} {
+		ops, err := fsys.Open(nil, p, fs.OCreate|fs.OWrOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := fs.NewOpenFile(ops, fs.OCreate|fs.OWrOnly)
+		if _, err := fl.Write(nil, make([]byte, 2*fat32.ClusterSize+100)); err != nil {
+			t.Fatal(err)
+		}
+		fl.Close(nil)
+	}
+	if err := fsys.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	return rd
+}
+
+func check(t *testing.T, rd *fs.Ramdisk, mode fatfsck.Mode) *fatfsck.Report {
+	t.Helper()
+	rep, err := fatfsck.Check(rd, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// geometry decodes the boot sector for test surgery.
+func geometry(t *testing.T, rd *fs.Ramdisk) (fatStart, dataStart int) {
+	t.Helper()
+	boot := make([]byte, fat32.SectorSize)
+	if err := rd.ReadBlocks(0, 1, boot); err != nil {
+		t.Fatal(err)
+	}
+	reserved := int(binary.LittleEndian.Uint16(boot[14:]))
+	return reserved, reserved + int(binary.LittleEndian.Uint32(boot[36:]))
+}
+
+// fatPatch rewrites FAT entry c to val directly on disk.
+func fatPatch(t *testing.T, rd *fs.Ramdisk, c int, val uint32) {
+	t.Helper()
+	fatStart, _ := geometry(t, rd)
+	sector := fatStart + c*4/fat32.SectorSize
+	b := make([]byte, fat32.SectorSize)
+	if err := rd.ReadBlocks(sector, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(b[c*4%fat32.SectorSize:], val)
+	if err := rd.WriteBlocks(sector, 1, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fatRead returns FAT entry c.
+func fatRead(t *testing.T, rd *fs.Ramdisk, c int) uint32 {
+	t.Helper()
+	fatStart, _ := geometry(t, rd)
+	sector := fatStart + c*4/fat32.SectorSize
+	b := make([]byte, fat32.SectorSize)
+	if err := rd.ReadBlocks(sector, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	return binary.LittleEndian.Uint32(b[c*4%fat32.SectorSize:]) & 0x0FFFFFFF
+}
+
+// expectError asserts corruption mentioning want.
+func expectError(t *testing.T, rep *fatfsck.Report, want string) {
+	t.Helper()
+	if rep.Clean() {
+		t.Fatalf("corruption not detected (wanted %q)", want)
+	}
+	for _, e := range rep.Errors {
+		if strings.Contains(e, want) {
+			return
+		}
+	}
+	t.Fatalf("errors %v mention nothing about %q", rep.Errors, want)
+}
+
+// expectRepairable asserts the finding is a PostCrash warning, a Strict
+// error, and gone after Repair.
+func expectRepairable(t *testing.T, rd *fs.Ramdisk, want string) {
+	t.Helper()
+	rep := check(t, rd, fatfsck.PostCrash)
+	if !rep.Clean() {
+		t.Fatalf("artifact escalated to corruption: %v", rep.Errors)
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, want) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warnings %v mention nothing about %q", rep.Warnings, want)
+	}
+	expectError(t, check(t, rd, fatfsck.Strict), want)
+	if rep, err := fatfsck.Repair(rd); err != nil || !rep.Clean() {
+		t.Fatalf("repair: %v %v", err, rep.Errors)
+	}
+	if rep := check(t, rd, fatfsck.Strict); !rep.Clean() {
+		t.Fatalf("artifact survived repair: %v", rep.Errors)
+	}
+}
+
+func TestCleanVolumePasses(t *testing.T) {
+	rd := mkVolume(t)
+	rep := check(t, rd, fatfsck.Strict)
+	if !rep.Clean() || len(rep.Warnings) != 0 {
+		t.Fatalf("clean volume flagged: %v %v", rep.Errors, rep.Warnings)
+	}
+	if rep.Files != 2 || rep.Dirs != 1 {
+		t.Fatalf("saw %d files / %d dirs, want 2 / 1", rep.Files, rep.Dirs)
+	}
+}
+
+func TestLostClustersRepairable(t *testing.T) {
+	rd := mkVolume(t)
+	// Allocate two clusters nobody references: a crashed unlink's
+	// half-freed chain.
+	fatPatch(t, rd, 400, 401)
+	fatPatch(t, rd, 401, 0x0FFFFFF8)
+	expectRepairable(t, rd, "lost clusters")
+	if fatRead(t, rd, 400) != 0 || fatRead(t, rd, 401) != 0 {
+		t.Fatal("repair did not free the lost clusters")
+	}
+}
+
+func TestExcessTailClustersRepairable(t *testing.T) {
+	rd := mkVolume(t)
+	// Extend /big.dat's chain past what its size needs: append's FAT
+	// links went durable, the size patch didn't. Find the chain tail by
+	// walking from the dirent.
+	tail := bigDatTail(t, rd)
+	fatPatch(t, rd, tail, 420)
+	fatPatch(t, rd, 420, 0x0FFFFFF8)
+	expectRepairable(t, rd, "excess tail")
+	if fatRead(t, rd, 420) != 0 {
+		t.Fatal("repair did not free the excess cluster")
+	}
+	if fatRead(t, rd, tail) < 0x0FFFFFF8 {
+		t.Fatal("repair did not re-terminate the chain")
+	}
+}
+
+// bigDatTail walks /big.dat's chain and returns its last cluster.
+func bigDatTail(t *testing.T, rd *fs.Ramdisk) int {
+	t.Helper()
+	_, dataStart := geometry(t, rd)
+	// Scan the root directory cluster for BIG     DAT.
+	buf := make([]byte, fat32.ClusterSize)
+	if err := rd.ReadBlocks(dataStart, fat32.SectorsPerCluster, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(buf); i += 32 {
+		if string(buf[i:i+11]) == "BIG     DAT" {
+			c := int(binary.LittleEndian.Uint16(buf[i+20:]))<<16 | int(binary.LittleEndian.Uint16(buf[i+26:]))
+			for {
+				next := fatRead(t, rd, c)
+				if next >= 0x0FFFFFF8 {
+					return c
+				}
+				c = int(next)
+			}
+		}
+	}
+	t.Fatal("/big.dat not found in root")
+	return 0
+}
+
+func TestDuplicateDirentRepairable(t *testing.T) {
+	rd := mkVolume(t)
+	_, dataStart := geometry(t, rd)
+	// Clone /big.dat's entry under a new name in a free root slot: the
+	// rename window where both names are durable.
+	buf := make([]byte, fat32.ClusterSize)
+	if err := rd.ReadBlocks(dataStart, fat32.SectorsPerCluster, buf); err != nil {
+		t.Fatal(err)
+	}
+	var src []byte
+	freeAt := -1
+	for i := 0; i < len(buf); i += 32 {
+		switch {
+		case string(buf[i:i+11]) == "BIG     DAT":
+			src = buf[i : i+32]
+		case buf[i] == 0 && freeAt < 0:
+			freeAt = i
+		}
+	}
+	if src == nil || freeAt < 0 {
+		t.Fatal("root layout not as expected")
+	}
+	copy(buf[freeAt:], src)
+	copy(buf[freeAt:freeAt+11], "COPY    DAT")
+	// Keep the end-mark invariant: the slot after the clone stays zero.
+	if err := rd.WriteBlocks(dataStart, fat32.SectorsPerCluster, buf); err != nil {
+		t.Fatal(err)
+	}
+	expectRepairable(t, rd, "duplicate reference")
+	// The first entry (original name) must survive, the clone must not.
+	if err := rd.ReadBlocks(dataStart, fat32.SectorsPerCluster, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[freeAt:freeAt+1]) != "\xe5" {
+		t.Fatal("repair did not drop the duplicate entry")
+	}
+}
+
+func TestStaleFSInfoRepairable(t *testing.T) {
+	rd := mkVolume(t)
+	fsi := make([]byte, fat32.SectorSize)
+	if err := rd.ReadBlocks(1, 1, fsi); err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(fsi[488:], 3) // bogus free count
+	if err := rd.WriteBlocks(1, 1, fsi); err != nil {
+		t.Fatal(err)
+	}
+	expectRepairable(t, rd, "FSInfo")
+}
+
+func TestDirentToFreeClusterIsCorruption(t *testing.T) {
+	rd := mkVolume(t)
+	// Free /big.dat's first cluster behind its dirent's back — the state
+	// ordered writes make impossible (the dirent publish is flushed only
+	// after the cluster and FAT landed).
+	_, dataStart := geometry(t, rd)
+	buf := make([]byte, fat32.ClusterSize)
+	if err := rd.ReadBlocks(dataStart, fat32.SectorsPerCluster, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(buf); i += 32 {
+		if string(buf[i:i+11]) == "BIG     DAT" {
+			c := int(binary.LittleEndian.Uint16(buf[i+20:]))<<16 | int(binary.LittleEndian.Uint16(buf[i+26:]))
+			fatPatch(t, rd, c, 0)
+			break
+		}
+	}
+	rep := check(t, rd, fatfsck.PostCrash)
+	expectError(t, rep, "free")
+}
+
+func TestChainLoopIsCorruption(t *testing.T) {
+	rd := mkVolume(t)
+	tail := bigDatTail(t, rd)
+	// Point the tail back at itself.
+	fatPatch(t, rd, tail, uint32(tail))
+	expectError(t, check(t, rd, fatfsck.PostCrash), "loop")
+}
+
+func TestSizeBeyondChainIsCorruption(t *testing.T) {
+	rd := mkVolume(t)
+	_, dataStart := geometry(t, rd)
+	buf := make([]byte, fat32.ClusterSize)
+	if err := rd.ReadBlocks(dataStart, fat32.SectorsPerCluster, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(buf); i += 32 {
+		if string(buf[i:i+11]) == "BIG     DAT" {
+			binary.LittleEndian.PutUint32(buf[i+28:], 100*fat32.ClusterSize)
+			break
+		}
+	}
+	if err := rd.WriteBlocks(dataStart, fat32.SectorsPerCluster, buf); err != nil {
+		t.Fatal(err)
+	}
+	expectError(t, check(t, rd, fatfsck.PostCrash), "needs")
+}

@@ -135,21 +135,36 @@ func (f *FS) Open(t *sched.Task, path string, flags int) (fs.FileOps, error) {
 
 // truncatePI frees all but the first cluster and zeroes the size. Caller
 // holds pi.lock.
+//
+// Ordered writes, shrinking direction: the size=0 dirent patch goes
+// durable first, then the first cluster's end-of-chain mark, and only
+// then are the tail clusters freed. Every crash window leaves either the
+// old intact file, a zero-size file with extra (leaked, repairable)
+// clusters, or the final state — never a dirent whose size exceeds its
+// chain, and never a chain running into freed clusters.
 func (f *FS) truncatePI(t *sched.Task, pi *pseudoInode) error {
 	next, err := f.fatGet(t, pi.firstCluster)
 	if err != nil {
 		return err
 	}
-	if next < endOfChain {
-		if err := f.freeChain(t, next); err != nil {
-			return err
-		}
-		if err := f.fatSet(t, pi.firstCluster, endOfChain); err != nil {
-			return err
-		}
-	}
 	pi.size = 0
-	return f.patchDirentSize(t, pi)
+	if err := f.patchDirentSize(t, pi); err != nil {
+		return err
+	}
+	if next >= endOfChain {
+		return nil
+	}
+	sector, _ := f.direntLoc(direntRef{cluster: pi.dirCluster, index: pi.dirIndex})
+	if err := f.orderedFlush(t, sector); err != nil {
+		return err
+	}
+	if err := f.fatSet(t, pi.firstCluster, endOfChain); err != nil {
+		return err
+	}
+	if err := f.orderedFlush(t, f.fatSector(pi.firstCluster)); err != nil {
+		return err
+	}
+	return f.freeChain(t, next)
 }
 
 // createInDir adds a new file or directory entry named name to dp. Caller
@@ -161,6 +176,20 @@ func (f *FS) createInDir(t *sched.Task, dp *pseudoInode, name string, dir bool) 
 	}
 	c, err := f.allocCluster(t, true)
 	if err != nil {
+		return nil, direntRef{}, err
+	}
+	// Ordered writes: the zeroed cluster and its FAT end-of-chain mark
+	// must be durable before the dirent that publishes them — a crash
+	// right after the dirent landed must find a valid (empty) object, not
+	// a free cluster or, for a directory, garbage entries.
+	sectors := make([]int, 0, SectorsPerCluster+1)
+	cs := f.clusterSector(c)
+	for s := 0; s < SectorsPerCluster; s++ {
+		sectors = append(sectors, cs+s)
+	}
+	sectors = append(sectors, f.fatSector(c))
+	if err := f.orderedFlush(t, sectors...); err != nil {
+		f.unclaimCluster(t, c)
 		return nil, direntRef{}, err
 	}
 	de := &dirent83{name: n83, cluster: c, attr: attrArchive}
@@ -244,10 +273,19 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 			return failBoth(fs.ErrNotEmpty)
 		}
 	}
-	if err := f.freeChain(t, de.cluster); err != nil {
+	// Ordered writes: remove the dirent and force that removal durable
+	// BEFORE freeing the chain. The reverse order has a crash window where
+	// a durable dirent points at freed (possibly reallocated) clusters —
+	// fatal corruption; this order's worst case is leaked clusters, which
+	// fsck repair reclaims.
+	if err := f.removeDirent(t, ref); err != nil {
 		return failBoth(err)
 	}
-	err = f.removeDirent(t, ref)
+	sector, _ := f.direntLoc(ref)
+	if err := f.orderedFlush(t, sector); err != nil {
+		return failBoth(err)
+	}
+	err = f.freeChain(t, de.cluster)
 	f.killPI(pi)
 	pi.lock.Unlock()
 	f.unpin(pi)
@@ -435,6 +473,18 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		}); err != nil {
 			return failBoth(err)
 		}
+		// Ordered writes: the repointed target entry goes durable before the
+		// source entry is removed and before the displaced chain is freed.
+		// A crash then leaves either the old state, or the moved file under
+		// BOTH names (a repairable duplicate reference) — never a window
+		// where newPath stops resolving or points at freed clusters.
+		tsector, _ := f.direntLoc(tref)
+		if err := f.orderedFlush(t, tsector); err != nil {
+			_ = f.patchDirent(t, tref, func(entry []byte) {
+				tde.encode(entry)
+			})
+			return failBoth(err)
+		}
 		if err := f.removeDirent(t, ref); err != nil {
 			// Roll the repoint back rather than leave the file under two
 			// names; best-effort, the original error wins.
@@ -464,6 +514,15 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		nde.size = pi.size
 		newRef, err := f.addDirent(t, dp2.firstCluster, &nde)
 		if err != nil {
+			return failPI(err)
+		}
+		// Ordered writes: the new entry goes durable before the old one is
+		// removed, so no crash window loses the file. The tolerated artifact
+		// is the inverse — both entries durable, one chain — which fsck
+		// repair resolves by dropping the duplicate reference.
+		nsector, _ := f.direntLoc(newRef)
+		if err := f.orderedFlush(t, nsector); err != nil {
+			_ = f.removeDirent(t, newRef)
 			return failPI(err)
 		}
 		if err := f.removeDirent(t, ref); err != nil {
@@ -666,6 +725,31 @@ func (fl *file) Pwrite(t *sched.Task, p []byte, off int64) (int, int64, error) {
 		return done, off + int64(done), err
 	}
 	if end > int64(pi.size) {
+		// Ordered writes, extending direction: before the dirent's size
+		// patch can publish the new length, the FAT links that make the
+		// appended clusters part of the chain must be durable — a crash
+		// with the size out but the links not leaves a dirent whose size
+		// exceeds its chain, which strict fsck flags as corruption. Only
+		// the FAT sectors are forced, not the cached data: FAT32 promises
+		// metadata consistency across a crash, while data durability stays
+		// an fsync matter (unfsynced appends may read back stale or zero
+		// after a crash — the classic FAT contract). In-place overwrites
+		// (no chain growth) publish nothing new and skip the flush.
+		if len(clusters) > origLen {
+			fatSectors := make([]int, 0, len(clusters)-origLen+1)
+			last := -1
+			for _, c := range clusters[origLen-1:] {
+				s := fl.fsys.fatSector(c)
+				if s != last {
+					fatSectors = append(fatSectors, s)
+					last = s
+				}
+			}
+			if err := fl.fsys.orderedFlush(t, fatSectors...); err != nil {
+				rollback()
+				return done, off + int64(done), err
+			}
+		}
 		pi.size = uint32(end)
 		if err := fl.fsys.patchDirentSize(t, pi); err != nil {
 			return done, off + int64(done), err
@@ -691,15 +775,11 @@ func (fl *file) Sync(t *sched.Task) error {
 	if pi.dead {
 		return fs.ErrNotFound
 	}
-	var extra []int
-	if !pi.isDir && pi.dirCluster >= rootCluster {
-		sector, _ := f.direntLoc(direntRef{cluster: pi.dirCluster, index: pi.dirIndex})
-		extra = append(extra, sector)
-	}
 	clusters, err := f.chain(t, pi.firstCluster)
 	if err != nil {
 		return err
 	}
+	var extra []int
 	last := -1
 	for _, c := range clusters {
 		// The chain is in allocation order, not sector order, so dedupe
@@ -720,7 +800,18 @@ func (fl *file) Sync(t *sched.Task) error {
 			extra = append(extra, s)
 		}
 	}
-	return f.bc.FlushOwner(t, pi.wb, extra...)
+	// Ordered writes: data and FAT links first, the dirent sector (where
+	// the size patch lives) second — two barriers, so a crash between them
+	// leaves the old size over a complete chain, never a published size
+	// the chain or data doesn't back.
+	if err := f.bc.FlushOwner(t, pi.wb, extra...); err != nil {
+		return err
+	}
+	if !pi.isDir && pi.dirCluster >= rootCluster {
+		sector, _ := f.direntLoc(direntRef{cluster: pi.dirCluster, index: pi.dirIndex})
+		return f.orderedFlush(t, sector)
+	}
+	return nil
 }
 
 // Close implements fs.FileOps: drop the pseudo-inode reference. The

@@ -161,6 +161,14 @@ const (
 	wbScale      = 0.1
 )
 
+// wbPR5BaselineMBps is the blkq configuration's recorded throughput from
+// the PR 5 BENCH_blkq.json, before the crash-consistency PR added the
+// ordered-writes discipline (dirent publishes now wait for their cluster
+// and FAT sectors). The discipline costs a few targeted flushes per
+// create — the regression gate asserts the write-heavy number keeps at
+// least 80% of it.
+const wbPR5BaselineMBps = 8.04
+
 // The 1-appender fsync workload: one durability-conscious logger
 // appending a full cluster and fsyncing after every record. Each fsync
 // (bcache.FlushOwner) submits its handful of sectors to an IDLE queue
@@ -286,7 +294,8 @@ func BenchmarkFsyncAppend(b *testing.B) {
 
 // TestWriteHeavyThroughput is the recorded perf gate: it runs the
 // 8-appender configurations (asserting the async stack beats the
-// synchronous baseline ≥2× with a merge ratio >1) and the 1-appender
+// synchronous baseline ≥2× with a merge ratio >1, and holds ≥0.8× of the
+// PR 5 recording now that ordered writes are in) and the 1-appender
 // fsync workload with anticipatory plugging off/on (asserting plugging
 // measurably improves the lone submitter's merge ratio), and writes
 // BENCH_blkq.json. Heavyweight and timing-sensitive, so it only runs when
@@ -303,11 +312,13 @@ func TestWriteHeavyThroughput(t *testing.T) {
 	noplug := runFsyncAppend(t, -1, faAppends, faAppendSize, wbScale)
 	plug := runFsyncAppend(t, blkq.DefaultPlugDelay, faAppends, faAppendSize, wbScale)
 	report := map[string]any{
-		"benchmark":   "write-heavy (8 tasks, latency-bound SD, one FAT32 mount)",
-		"append_size": wbAppendSize,
-		"appends":     wbAppends,
-		"results":     []writeBenchResult{base, opt},
-		"speedup":     speedup,
+		"benchmark":         "write-heavy (8 tasks, latency-bound SD, one FAT32 mount)",
+		"append_size":       wbAppendSize,
+		"appends":           wbAppends,
+		"results":           []writeBenchResult{base, opt},
+		"speedup":           speedup,
+		"pr5_baseline_mbps": wbPR5BaselineMBps,
+		"vs_pr5":            opt.MBps / wbPR5BaselineMBps,
 		"fsync_1appender": map[string]any{
 			"benchmark": "1 appender, fsync per 4 KB record, latency-bound SD",
 			"results":   []fsyncAppendResult{noplug, plug},
@@ -335,5 +346,9 @@ func TestWriteHeavyThroughput(t *testing.T) {
 	if plug.MergeRatio < noplug.MergeRatio*1.2 {
 		t.Errorf("anticipatory plugging merge ratio %.2f vs %.2f unplugged; want a >=1.2x win for the lone appender",
 			plug.MergeRatio, noplug.MergeRatio)
+	}
+	if opt.MBps < 0.8*wbPR5BaselineMBps {
+		t.Errorf("write-heavy throughput %.2f MB/s is under 80%% of the PR 5 baseline %.2f MB/s — the ordered-writes discipline regressed the hot path",
+			opt.MBps, wbPR5BaselineMBps)
 	}
 }

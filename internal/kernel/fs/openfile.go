@@ -292,6 +292,46 @@ func (f *OpenFile) Writev(t *sched.Task, iovs [][]byte) (int, error) {
 	return f.Write(t, buf)
 }
 
+// Preadv scatters one contiguous read at an absolute offset into the
+// vector of buffers: Readv's coalescing with Pread's offset discipline —
+// the shared offset is never consulted or advanced, so concurrent
+// preadv callers on one descriptor cannot interleave positions.
+func (f *OpenFile) Preadv(t *sched.Task, iovs [][]byte, off int64) (int, error) {
+	total := 0
+	for _, v := range iovs {
+		total += len(v)
+	}
+	// Pread runs its own lifecycle/mode/capability checks, which must
+	// fire even for an empty vector (POSIX: a zero-length preadv on a
+	// bad descriptor still fails).
+	buf := make([]byte, total)
+	n, err := f.Pread(t, buf, off)
+	rem := buf[:n]
+	for _, v := range iovs {
+		if len(rem) == 0 {
+			break
+		}
+		c := copy(v, rem)
+		rem = rem[c:]
+	}
+	return n, err
+}
+
+// Pwritev gathers the vector of buffers and writes them as one
+// contiguous Pwrite at an absolute offset: one inode lock, one coalesced
+// range write, shared offset untouched.
+func (f *OpenFile) Pwritev(t *sched.Task, iovs [][]byte, off int64) (int, error) {
+	total := 0
+	for _, v := range iovs {
+		total += len(v)
+	}
+	buf := make([]byte, 0, total)
+	for _, v := range iovs {
+		buf = append(buf, v...)
+	}
+	return f.Pwrite(t, buf, off)
+}
+
 // Seek repositions the shared offset (lseek). SeekEnd stats the file for
 // its size; the offset lock serializes against in-flight Read/Write.
 func (f *OpenFile) Seek(t *sched.Task, off int64, whence int) (int64, error) {

@@ -3,6 +3,7 @@ package fs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Ramdisk is the block device under the root xv6fs: the kernel image packs
@@ -14,8 +15,10 @@ type Ramdisk struct {
 	blockSize int
 	mu        sync.RWMutex
 	data      []byte
-	reads     int64
-	writes    int64
+	// Atomic, not mu-protected: ReadBlocks holds only the read lock, and
+	// concurrent readers (parallel cache fills) each bump the counter.
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 // NewRamdisk returns a ramdisk of n blocks of blockSize bytes.
@@ -57,7 +60,7 @@ func (r *Ramdisk) ReadBlocks(lba, n int, dst []byte) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	copy(dst, r.data[lba*r.blockSize:(lba+n)*r.blockSize])
-	r.reads += int64(n)
+	r.reads.Add(int64(n))
 	return nil
 }
 
@@ -69,7 +72,7 @@ func (r *Ramdisk) WriteBlocks(lba, n int, src []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	copy(r.data[lba*r.blockSize:(lba+n)*r.blockSize], src[:n*r.blockSize])
-	r.writes += int64(n)
+	r.writes.Add(int64(n))
 	return nil
 }
 
@@ -84,9 +87,7 @@ func (r *Ramdisk) Image() []byte {
 
 // Stats reports block IO counts.
 func (r *Ramdisk) Stats() (reads, writes int64) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.reads, r.writes
+	return r.reads.Load(), r.writes.Load()
 }
 
 var _ BlockDevice = (*Ramdisk)(nil)

@@ -1,0 +1,452 @@
+// Package jnl is a write-ahead metadata journal in the xv6 logging
+// tradition, adapted to live ABOVE a write-behind buffer cache instead of
+// xv6's write-through one.
+//
+// The contract: a filesystem operation brackets itself with Begin/End and
+// Records every metadata block it modifies. Recorded blocks are FROZEN in
+// the cache (bcache.Freeze) — valid, dirty, and invisible to every
+// writeback path — so uncommitted metadata can never reach its home
+// location. When the last outstanding operation Ends, the whole batch
+// commits as one transaction (group commit): the frozen blocks are copied
+// into the on-disk log's slot blocks and flushed under a single request-
+// queue plug — one merged burst — and then the header block naming their
+// home addresses is written and flushed. That header write is the commit
+// point: before it, a crash replays nothing and the operations never
+// happened; after it, recovery replays every block from the log and they
+// all happened. Nothing in between is observable.
+//
+// After commit the blocks are thawed into ordinary dirty buffers; writing
+// them home is the CHECKPOINT, and it rides the existing write-behind
+// machinery — the kflushd daemon's idle hook (bcache.SetIdleHook) triggers
+// it during quiet periods, so commit's critical path stays two flushes
+// long. The one ordering obligation is that a transaction's home blocks
+// must be durable before its header is invalidated, and the header must be
+// invalidated before the NEXT transaction reuses the slot blocks —
+// otherwise a crash would replay the old header over new slot contents.
+// commit and checkpoint both preserve this by completing the previous
+// transaction's checkpoint (and zeroing the header, flushed) before any
+// slot is rewritten.
+//
+// One wrinkle is unique to the write-behind world: a block committed by
+// transaction N may be re-modified (and re-frozen) by the still-open
+// transaction N+1 before N's checkpoint ran. Its cache buffer then holds
+// N+1's uncommitted content and must not be flushed — N's committed
+// content is INSTALLED from its log slot copy straight to the home
+// address, bypassing the cache (installs in Stats counts these).
+package jnl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+)
+
+// Magic identifies a valid log header block.
+const Magic = 0x6A6E6C31 // "jnl1"
+
+// DefaultMaxOp is how many distinct metadata blocks one Begin/End bracket
+// may Record — xv6's MAXOPBLOCKS. Begin reserves this much log space, so
+// a batch never outgrows the slots mid-operation.
+const DefaultMaxOp = 10
+
+// ErrTooBig reports an operation that recorded more blocks than the log
+// can hold — a filesystem bug (operations must fit DefaultMaxOp).
+var ErrTooBig = errors.New("jnl: transaction exceeds log size")
+
+// Journal is the in-memory state of one on-disk log region.
+type Journal struct {
+	bc        *bcache.Cache
+	dev       fs.BlockDevice
+	tdev      fs.TaskBlockDevice // non-nil when dev threads tasks (blkq)
+	blockSize int
+	start     int // header block LBA
+	slots     int // usable slot blocks (header excluded)
+	maxOp     int
+
+	mu          sync.Mutex
+	outstanding int   // operations inside Begin/End brackets
+	committing  bool  // a commit or checkpoint owns the log state
+	err         error // sticky commit/checkpoint error, reported by Sync
+
+	batch   []*bcache.Buf       // frozen buffers of the open batch, record order
+	inBatch map[int]*bcache.Buf // home lba -> frozen buffer (absorption)
+	pending map[int]int         // committed, un-checkpointed: home lba -> slot
+
+	onCommit []func()
+
+	commits, checkpoints, installs, absorbed, recovered int64
+}
+
+// Stats is a snapshot of journal activity for tests and /proc.
+type Stats struct {
+	Commits     int64 // transactions committed
+	Checkpoints int64 // checkpoint passes (header invalidations)
+	Installs    int64 // blocks installed home from log slots (re-frozen)
+	Absorbed    int64 // Records absorbed into an already-batched block
+	Recovered   int64 // blocks replayed by Recover at mount
+}
+
+// New wires a journal over the log region [start, start+blocks) of bc's
+// device. blocks includes the header; the usable slot count is further
+// capped at half the cache (frozen buffers must never exhaust it) and at
+// what the header block can index.
+func New(bc *bcache.Cache, start, blocks int) *Journal {
+	j := &Journal{
+		bc:        bc,
+		dev:       bc.Device(),
+		blockSize: bc.Device().BlockSize(),
+		start:     start,
+		slots:     blocks - 1,
+		maxOp:     DefaultMaxOp,
+		inBatch:   make(map[int]*bcache.Buf),
+		pending:   make(map[int]int),
+	}
+	j.tdev, _ = j.dev.(fs.TaskBlockDevice)
+	if half := bc.Buffers() / 2; j.slots > half {
+		j.slots = half
+	}
+	if max := (j.blockSize - 8) / 4; j.slots > max {
+		j.slots = max
+	}
+	if j.maxOp > j.slots {
+		j.maxOp = j.slots
+	}
+	return j
+}
+
+// yieldRetry gives up the CPU between reservation retries (see bcache's
+// twin: simulated tasks must Yield the simulated core; host contexts
+// Gosched).
+func yieldRetry(t *sched.Task) {
+	if t != nil {
+		t.Yield()
+	} else {
+		runtime.Gosched()
+	}
+}
+
+// OnCommit registers fn to run after every successful commit (the
+// filesystem clears its freed-block reuse guard here). Call before the
+// journal sees traffic.
+func (j *Journal) OnCommit(fn func()) { j.onCommit = append(j.onCommit, fn) }
+
+// Begin opens an operation bracket, blocking while a commit or checkpoint
+// owns the log or while admitting another operation could overflow it
+// (every admitted operation may still Record maxOp blocks).
+func (j *Journal) Begin(t *sched.Task) {
+	for {
+		j.mu.Lock()
+		if !j.committing && len(j.batch)+(j.outstanding+1)*j.maxOp <= j.slots {
+			j.outstanding++
+			j.mu.Unlock()
+			return
+		}
+		j.mu.Unlock()
+		yieldRetry(t)
+	}
+}
+
+// Record adds a held buffer (Get'd, not yet Released) to the open batch
+// and freezes it — this op's replacement for MarkDirty on metadata
+// blocks. Recording the same block twice absorbs into one slot: the log
+// holds the block's final content, which is why a whole batch of
+// operations updating one bitmap block costs one slot and one log write.
+func (j *Journal) Record(t *sched.Task, b *bcache.Buf) error {
+	j.mu.Lock()
+	if j.outstanding == 0 {
+		j.mu.Unlock()
+		return fmt.Errorf("jnl: Record outside Begin/End")
+	}
+	if _, ok := j.inBatch[b.LBA()]; ok {
+		j.absorbed++
+		j.mu.Unlock()
+		j.bc.Freeze(b) // idempotent; re-marks dirty after any clean transition
+		return nil
+	}
+	if len(j.batch) >= j.slots {
+		j.mu.Unlock()
+		return ErrTooBig
+	}
+	j.batch = append(j.batch, b)
+	j.inBatch[b.LBA()] = b
+	j.mu.Unlock()
+	j.bc.Freeze(b)
+	return nil
+}
+
+// End closes an operation bracket. The LAST close commits the whole batch
+// — group commit: every operation that overlapped this bracket rides the
+// same two log flushes. Commit errors are returned AND latched; Sync
+// reports the latch to callers that weren't the unlucky committer.
+func (j *Journal) End(t *sched.Task) error {
+	j.mu.Lock()
+	j.outstanding--
+	if j.outstanding > 0 || len(j.batch) == 0 {
+		j.mu.Unlock()
+		return nil
+	}
+	j.committing = true
+	j.mu.Unlock()
+	err := j.commit(t)
+	j.mu.Lock()
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	j.committing = false
+	j.mu.Unlock()
+	return err
+}
+
+// Sync drains every open operation, commits whatever batch is left (a
+// failed End's leftovers included) and reports — then clears — the sticky
+// journal error. This is fsync's and umount's ordering barrier: when it
+// returns nil, every operation that Ended before the call is on disk, in
+// the log or at home.
+func (j *Journal) Sync(t *sched.Task) error {
+	for {
+		j.mu.Lock()
+		if j.outstanding == 0 && !j.committing {
+			if len(j.batch) == 0 {
+				err := j.err
+				j.err = nil
+				j.mu.Unlock()
+				return err
+			}
+			j.committing = true
+			j.mu.Unlock()
+			cerr := j.commit(t)
+			j.mu.Lock()
+			if cerr != nil && j.err == nil {
+				j.err = cerr
+			}
+			err := j.err
+			j.err = nil
+			j.committing = false
+			j.mu.Unlock()
+			return err
+		}
+		j.mu.Unlock()
+		yieldRetry(t)
+	}
+}
+
+// Checkpoint opportunistically drains the committed-but-unwritten
+// transaction — the kflushd idle hook calls it. It only runs when the
+// journal is quiet (no open operations, no commit in flight); at such a
+// moment the open batch is necessarily empty, so every pending block's
+// cache buffer is thawed and flushable.
+func (j *Journal) Checkpoint(t *sched.Task) {
+	j.mu.Lock()
+	if j.outstanding > 0 || j.committing || len(j.pending) == 0 {
+		j.mu.Unlock()
+		return
+	}
+	j.committing = true
+	j.mu.Unlock()
+	err := j.checkpoint(t)
+	j.mu.Lock()
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	j.committing = false
+	j.mu.Unlock()
+}
+
+// commit writes the open batch to the log. Caller set committing (which
+// blocks Begin), and outstanding is zero, so batch/inBatch/pending are
+// exclusively ours even though mu is dropped.
+//
+// Order matters everywhere here:
+//
+//  1. The PREVIOUS transaction's checkpoint completes and its header is
+//     zeroed, durably — only then may its slot blocks be reused (else a
+//     crash replays the old header over new slot contents).
+//  2. The batch is copied into slot blocks and flushed under one plug:
+//     the group-commit device burst.
+//  3. The header naming the home addresses is written and flushed: the
+//     commit point.
+//  4. The batch buffers thaw into ordinary dirty buffers and become the
+//     new pending transaction, checkpointed at leisure.
+func (j *Journal) commit(t *sched.Task) error {
+	if err := j.checkpoint(t); err != nil {
+		return err
+	}
+	slotLBAs := make([]int, 0, len(j.batch))
+	for i, b := range j.batch {
+		slot := j.start + 1 + i
+		sb, err := j.bc.Get(t, slot)
+		if err != nil {
+			return err
+		}
+		b.Lock(t)
+		copy(sb.Data, b.Data)
+		b.Unlock()
+		j.bc.MarkDirty(sb)
+		j.bc.Release(sb)
+		slotLBAs = append(slotLBAs, slot)
+	}
+	if err := j.bc.FlushBlocks(t, slotLBAs, true); err != nil {
+		return err
+	}
+	if err := j.writeHeader(t, j.batch); err != nil {
+		return err
+	}
+	for i, b := range j.batch {
+		j.pending[b.LBA()] = i
+		b.Lock(t)
+		j.bc.Thaw(b)
+		b.Unlock()
+	}
+	j.batch = j.batch[:0]
+	j.inBatch = make(map[int]*bcache.Buf)
+	j.commits++
+	for _, fn := range j.onCommit {
+		fn()
+	}
+	return nil
+}
+
+// checkpoint makes the pending transaction's blocks durable at home and
+// invalidates the header. Blocks whose cache buffers were re-frozen by
+// the open batch hold NEWER uncommitted content — their committed content
+// is installed straight from the log slot to the home address, bypassing
+// the cache. Caller owns the log state (committing set).
+func (j *Journal) checkpoint(t *sched.Task) error {
+	if len(j.pending) == 0 {
+		return nil
+	}
+	flush := make([]int, 0, len(j.pending))
+	type install struct{ slot, home int }
+	var installs []install
+	for lba, slot := range j.pending {
+		if _, frozen := j.inBatch[lba]; frozen {
+			installs = append(installs, install{slot: j.start + 1 + slot, home: lba})
+		} else {
+			flush = append(flush, lba)
+		}
+	}
+	if err := j.bc.FlushBlocks(t, flush, true); err != nil {
+		return err
+	}
+	for _, in := range installs {
+		sb, err := j.bc.Get(t, in.slot)
+		if err != nil {
+			return err
+		}
+		err = j.devWrite(t, in.home, sb.Data)
+		j.bc.Release(sb)
+		if err != nil {
+			return err
+		}
+		j.installs++
+	}
+	if err := j.writeHeader(t, nil); err != nil {
+		return err
+	}
+	j.pending = make(map[int]int)
+	j.checkpoints++
+	return nil
+}
+
+// writeHeader encodes and durably writes the header block: magic, block
+// count, then the home LBA of each slot in order. A nil batch writes the
+// empty header — the invalidation.
+func (j *Journal) writeHeader(t *sched.Task, batch []*bcache.Buf) error {
+	hb, err := j.bc.Get(t, j.start)
+	if err != nil {
+		return err
+	}
+	for i := range hb.Data {
+		hb.Data[i] = 0
+	}
+	binary.LittleEndian.PutUint32(hb.Data[0:], Magic)
+	binary.LittleEndian.PutUint32(hb.Data[4:], uint32(len(batch)))
+	for i, b := range batch {
+		binary.LittleEndian.PutUint32(hb.Data[8+4*i:], uint32(b.LBA()))
+	}
+	j.bc.MarkDirty(hb)
+	j.bc.Release(hb)
+	return j.bc.FlushBlocks(t, []int{j.start}, false)
+}
+
+// devWrite writes one block straight to the device, bypassing the cache
+// (install-from-log only: the cache buffer for the block deliberately
+// holds different — newer, uncommitted — content).
+func (j *Journal) devWrite(t *sched.Task, lba int, src []byte) error {
+	if j.tdev != nil {
+		return j.tdev.WriteBlocksT(t, lba, 1, src)
+	}
+	return j.dev.WriteBlocks(lba, 1, src)
+}
+
+// Recover replays the log at mount: if the header names a committed
+// transaction, every slot block is copied to its home address (through
+// the cache, flushed) and the header is invalidated. Idempotent — a crash
+// mid-recovery just replays again. Returns how many blocks were replayed.
+// Must run before the filesystem reads any metadata.
+func (j *Journal) Recover(t *sched.Task) (int, error) {
+	hb, err := j.bc.Get(t, j.start)
+	if err != nil {
+		return 0, err
+	}
+	magic := binary.LittleEndian.Uint32(hb.Data[0:])
+	count := int(binary.LittleEndian.Uint32(hb.Data[4:]))
+	homes := make([]int, 0, count)
+	if magic == Magic && count > 0 && count <= j.slots {
+		for i := 0; i < count; i++ {
+			homes = append(homes, int(binary.LittleEndian.Uint32(hb.Data[8+4*i:])))
+		}
+	}
+	j.bc.Release(hb)
+	if len(homes) == 0 {
+		return 0, nil
+	}
+	for i, home := range homes {
+		sb, err := j.bc.Get(t, j.start+1+i)
+		if err != nil {
+			return 0, err
+		}
+		db, err := j.bc.Get(t, home)
+		if err != nil {
+			j.bc.Release(sb)
+			return 0, err
+		}
+		copy(db.Data, sb.Data)
+		j.bc.MarkDirty(db)
+		j.bc.Release(db)
+		j.bc.Release(sb)
+	}
+	if err := j.bc.FlushBlocks(t, homes, true); err != nil {
+		return 0, err
+	}
+	if err := j.writeHeader(t, nil); err != nil {
+		return 0, err
+	}
+	j.recovered += int64(len(homes))
+	return len(homes), nil
+}
+
+// Stats snapshots journal counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Commits:     j.commits,
+		Checkpoints: j.checkpoints,
+		Installs:    j.installs,
+		Absorbed:    j.absorbed,
+		Recovered:   j.recovered,
+	}
+}
+
+// Slots reports the usable slot count (tests size transactions with it).
+func (j *Journal) Slots() int { return j.slots }
+
+// MaxOp reports the per-operation block budget.
+func (j *Journal) MaxOp() int { return j.maxOp }

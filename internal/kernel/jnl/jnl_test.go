@@ -1,0 +1,320 @@
+package jnl_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/jnl"
+)
+
+const (
+	blockSize = 1024
+	devBlocks = 256
+	logStart  = 200 // header block; slots follow
+)
+
+// newJournal builds a ramdisk, a daemonless cache over it, and a journal
+// over the log region [logStart, logStart+logBlocks).
+func newJournal(t *testing.T, logBlocks int) (*jnl.Journal, *bcache.Cache, *fs.Ramdisk) {
+	t.Helper()
+	rd := fs.NewRamdisk(blockSize, devBlocks)
+	bc := bcache.NewWithOptions(rd, bcache.Options{
+		Buffers:        64,
+		Shards:         4,
+		Readahead:      -1,
+		FlushInterval:  time.Hour,
+		WritebackRatio: -1,
+	})
+	return jnl.New(bc, logStart, logBlocks), bc, rd
+}
+
+// record runs one Begin/Record/End bracket that fills block lba with val.
+func record(t *testing.T, j *jnl.Journal, bc *bcache.Cache, lba int, val byte) {
+	t.Helper()
+	j.Begin(nil)
+	b, err := bc.Get(nil, lba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Data {
+		b.Data[i] = val
+	}
+	if err := j.Record(nil, b); err != nil {
+		t.Fatal(err)
+	}
+	bc.Release(b)
+	if err := j.End(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// devBlock reads one block straight off the ramdisk.
+func devBlock(t *testing.T, rd *fs.Ramdisk, lba int) []byte {
+	t.Helper()
+	b := make([]byte, blockSize)
+	if err := rd.ReadBlocks(lba, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// header decodes the on-disk log header: valid, count, homes.
+func header(t *testing.T, rd *fs.Ramdisk) (bool, int, []int) {
+	t.Helper()
+	hb := devBlock(t, rd, logStart)
+	magic := binary.LittleEndian.Uint32(hb[0:])
+	count := int(binary.LittleEndian.Uint32(hb[4:]))
+	homes := make([]int, count)
+	for i := range homes {
+		homes[i] = int(binary.LittleEndian.Uint32(hb[8+4*i:]))
+	}
+	return magic == jnl.Magic, count, homes
+}
+
+// TestCommitThenCheckpoint pins the write-ahead discipline on the device
+// itself: after commit the log (slots + header) is durable but the home
+// block is untouched; after checkpoint the home is durable and the header
+// is invalidated.
+func TestCommitThenCheckpoint(t *testing.T) {
+	j, bc, rd := newJournal(t, 8)
+	record(t, j, bc, 10, 0xAB)
+
+	if s := j.Stats(); s.Commits != 1 {
+		t.Fatalf("commits = %d, want 1", s.Commits)
+	}
+	// Commit point reached: header names home 10, slot 0 holds the data.
+	if ok, count, homes := header(t, rd); !ok || count != 1 || homes[0] != 10 {
+		t.Fatalf("header after commit: valid=%v count=%d homes=%v", ok, count, homes)
+	}
+	if slot := devBlock(t, rd, logStart+1); slot[0] != 0xAB {
+		t.Fatal("slot block not durable after commit")
+	}
+	// Write-ahead: home must NOT have been written yet.
+	if home := devBlock(t, rd, 10); home[0] != 0 {
+		t.Fatal("home block written before checkpoint")
+	}
+
+	j.Checkpoint(nil)
+	if s := j.Stats(); s.Checkpoints != 1 {
+		t.Fatalf("checkpoints = %d, want 1", s.Checkpoints)
+	}
+	if home := devBlock(t, rd, 10); home[0] != 0xAB {
+		t.Fatal("home block not durable after checkpoint")
+	}
+	if _, count, _ := header(t, rd); count != 0 {
+		t.Fatalf("header not invalidated after checkpoint (count %d)", count)
+	}
+}
+
+// TestRecoverReplaysCommitted simulates a crash between commit and
+// checkpoint: a fresh cache over the same device (the old cache's dirty
+// buffers are lost) must replay the transaction from the log.
+func TestRecoverReplaysCommitted(t *testing.T) {
+	j, bc, rd := newJournal(t, 8)
+	record(t, j, bc, 10, 0xCD)
+	record(t, j, bc, 11, 0xEF)
+	// Crash: abandon bc and j. Remount over the raw device.
+	bc2 := bcache.NewWithOptions(rd, bcache.Options{
+		Buffers: 64, Shards: 4, Readahead: -1,
+		FlushInterval: time.Hour, WritebackRatio: -1,
+	})
+	j2 := jnl.New(bc2, logStart, 8)
+	n, err := j2.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second record's commit checkpointed the first, so only the
+	// second transaction (block 11) is in the log at crash time.
+	if n != 1 {
+		t.Fatalf("recovered %d blocks, want 1", n)
+	}
+	if home := devBlock(t, rd, 11); home[0] != 0xEF {
+		t.Fatal("recovery did not install block 11 home")
+	}
+	if _, count, _ := header(t, rd); count != 0 {
+		t.Fatal("recovery did not invalidate the header")
+	}
+	// Idempotent: a second Recover finds nothing.
+	if n, err := j2.Recover(nil); err != nil || n != 0 {
+		t.Fatalf("second Recover = %d, %v; want 0, nil", n, err)
+	}
+}
+
+// TestAbsorption pins that re-recording a block costs no extra slot: the
+// log holds the block's final content once.
+func TestAbsorption(t *testing.T) {
+	j, bc, rd := newJournal(t, 8)
+	j.Begin(nil)
+	for pass := 0; pass < 3; pass++ {
+		b, err := bc.Get(nil, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Data[0] = byte(pass + 1)
+		if err := j.Record(nil, b); err != nil {
+			t.Fatal(err)
+		}
+		bc.Release(b)
+	}
+	if err := j.End(nil); err != nil {
+		t.Fatal(err)
+	}
+	s := j.Stats()
+	if s.Absorbed != 2 {
+		t.Fatalf("absorbed = %d, want 2", s.Absorbed)
+	}
+	if _, count, _ := header(t, rd); count != 1 {
+		t.Fatalf("header count = %d, want 1 (one slot for three records)", count)
+	}
+}
+
+// TestGroupCommit pins that overlapping brackets commit as ONE
+// transaction: the first End while another op is open must not commit.
+func TestGroupCommit(t *testing.T) {
+	j, bc, rd := newJournal(t, 32)
+	j.Begin(nil)
+	j.Begin(nil)
+	for i, lba := range []int{10, 11} {
+		b, err := bc.Get(nil, lba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Data[0] = byte(i + 1)
+		if err := j.Record(nil, b); err != nil {
+			t.Fatal(err)
+		}
+		bc.Release(b)
+	}
+	if err := j.End(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := j.Stats(); s.Commits != 0 {
+		t.Fatal("committed with an operation still open")
+	}
+	if err := j.End(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := j.Stats(); s.Commits != 1 {
+		t.Fatalf("commits = %d, want 1 (group commit)", s.Commits)
+	}
+	if _, count, homes := header(t, rd); count != 2 || homes[0] != 10 || homes[1] != 11 {
+		t.Fatalf("header = %d %v, want both ops' blocks in one transaction", count, homes)
+	}
+}
+
+// TestErrTooBig pins the overflow guard: one bracket recording more
+// distinct blocks than the log has slots is a filesystem bug, reported
+// not deadlocked.
+func TestErrTooBig(t *testing.T) {
+	j, bc, _ := newJournal(t, 5) // 4 slots
+	if j.Slots() != 4 {
+		t.Fatalf("slots = %d, want 4", j.Slots())
+	}
+	j.Begin(nil)
+	var got error
+	for lba := 10; lba < 16; lba++ {
+		b, err := bc.Get(nil, lba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = j.Record(nil, b)
+		bc.Release(b)
+		if err != nil {
+			got = err
+			break
+		}
+	}
+	if got != jnl.ErrTooBig {
+		t.Fatalf("oversized op returned %v, want ErrTooBig", got)
+	}
+	if err := j.End(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstallFromLog pins the write-behind wrinkle: a block committed by
+// transaction N then re-frozen by open transaction N+1 must have N's
+// content installed home FROM THE LOG SLOT — the cache buffer holds N+1's
+// uncommitted bytes and flushing it would leak them ahead of commit.
+func TestInstallFromLog(t *testing.T) {
+	j, bc, rd := newJournal(t, 8)
+	record(t, j, bc, 10, 0x11) // txn 1 commits; checkpoint still pending
+
+	// Txn 2 re-records the same block before txn 1's checkpoint ran.
+	j.Begin(nil)
+	b, err := bc.Get(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Data {
+		b.Data[i] = 0x22
+	}
+	if err := j.Record(nil, b); err != nil {
+		t.Fatal(err)
+	}
+	bc.Release(b)
+	if err := j.End(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Txn 2's commit had to checkpoint txn 1 first, and the cache buffer
+	// already held txn 2's bytes — so txn 1's copy came from the log.
+	s := j.Stats()
+	if s.Installs != 1 {
+		t.Fatalf("installs = %d, want 1", s.Installs)
+	}
+	if s.Commits != 2 {
+		t.Fatalf("commits = %d, want 2", s.Commits)
+	}
+	// At this instant the durable home holds exactly txn 1's content:
+	// txn 2 is committed in the log but not yet checkpointed.
+	if home := devBlock(t, rd, 10); home[0] != 0x11 {
+		t.Fatalf("home byte = %#x, want txn 1's 0x11", home[0])
+	}
+	j.Checkpoint(nil)
+	if home := devBlock(t, rd, 10); home[0] != 0x22 {
+		t.Fatalf("home byte = %#x, want txn 2's 0x22 after checkpoint", home[0])
+	}
+}
+
+// TestSyncIsABarrier pins Sync's contract: when it returns, everything
+// that Ended before the call is durable — in the log or at home — and a
+// fresh mount's recovery observes it.
+func TestSyncIsABarrier(t *testing.T) {
+	j, bc, rd := newJournal(t, 8)
+	record(t, j, bc, 12, 0x77)
+	if err := j.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sync does not force the checkpoint — the log may still own the
+	// bytes — but log-or-home, the content must be recoverable.
+	bc2 := bcache.NewWithOptions(rd, bcache.Options{
+		Buffers: 64, Shards: 4, Readahead: -1,
+		FlushInterval: time.Hour, WritebackRatio: -1,
+	})
+	j2 := jnl.New(bc2, logStart, 8)
+	if _, err := j2.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x77}, blockSize)
+	if got := devBlock(t, rd, 12); !bytes.Equal(got, want) {
+		t.Fatal("content recorded before Sync not recoverable after it")
+	}
+}
+
+// TestRecordOutsideBracketFails pins the bracket discipline.
+func TestRecordOutsideBracketFails(t *testing.T) {
+	j, bc, _ := newJournal(t, 8)
+	b, err := bc.Get(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Release(b)
+	if err := j.Record(nil, b); err == nil {
+		t.Fatal("Record outside Begin/End succeeded")
+	}
+}

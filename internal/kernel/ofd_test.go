@@ -291,6 +291,84 @@ func TestPreadPwriteAndVectored(t *testing.T) {
 	}
 }
 
+// TestPreadvPwritevPositional: the positional vectored calls move whole
+// iovecs at an absolute offset — gathered/scattered as single operations
+// like writev/readv, offset-silent like pwrite/pread — and inherit both
+// families' error contracts (ESPIPE on streams, EINVAL on negative
+// offsets, mode checks even for empty vectors).
+func TestPreadvPwritevPositional(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "pvec", func(p *Proc, _ []string) int {
+		fd, err := p.SysOpen("/pvec.bin", fs.OCreate|fs.ORdWr)
+		if err != nil {
+			return 1
+		}
+		// Park the shared offset mid-file to prove the vectored
+		// positional calls never consult or move it.
+		if _, err := p.SysWrite(fd, []byte("0123456789")); err != nil {
+			return 2
+		}
+		if _, err := p.SysLseek(fd, 4, fs.SeekSet); err != nil {
+			return 3
+		}
+		if n, err := p.SysPwritev(fd, [][]byte{[]byte("gath"), []byte("ered")}, 100); err != nil || n != 8 {
+			return 4
+		}
+		v1, v2, v3 := make([]byte, 3), make([]byte, 3), make([]byte, 2)
+		if n, err := p.SysPreadv(fd, [][]byte{v1, v2, v3}, 100); err != nil || n != 8 {
+			return 5
+		}
+		if string(v1)+string(v2)+string(v3) != "gathered" {
+			return 6
+		}
+		if off, _ := p.SysLseek(fd, 0, fs.SeekCur); off != 4 {
+			return 7
+		}
+		// A short vector at EOF fills what exists and reports the truth.
+		tail := make([]byte, 16)
+		if n, err := p.SysPreadv(fd, [][]byte{tail}, 104); err != nil || n != 4 {
+			return 8
+		}
+		if string(tail[:4]) != "ered" {
+			return 9
+		}
+		// Negative offsets are rejected, as for pread/pwrite.
+		if _, err := p.SysPreadv(fd, [][]byte{v1}, -1); !errors.Is(err, fs.ErrBadSeek) {
+			return 10
+		}
+		if _, err := p.SysPwritev(fd, [][]byte{v1}, -1); !errors.Is(err, fs.ErrBadSeek) {
+			return 11
+		}
+		// Streams have no position: ESPIPE, even for an empty vector.
+		r, w, err := p.SysPipe()
+		if err != nil {
+			return 12
+		}
+		if _, err := p.SysPreadv(r, nil, 0); !errors.Is(err, fs.ErrBadSeek) {
+			return 13
+		}
+		if _, err := p.SysPwritev(w, nil, 0); !errors.Is(err, fs.ErrBadSeek) {
+			return 14
+		}
+		// Mode checks: a read-only descriptor refuses pwritev.
+		ro, err := p.SysOpen("/pvec.bin", fs.ORdOnly)
+		if err != nil {
+			return 15
+		}
+		if _, err := p.SysPwritev(ro, [][]byte{[]byte("x")}, 0); !errors.Is(err, fs.ErrPerm) {
+			return 16
+		}
+		p.SysClose(ro)
+		p.SysClose(r)
+		p.SysClose(w)
+		p.SysClose(fd)
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
 // TestStreamFilesRejectPositional: pipes have no position — lseek and
 // pread fail with ErrBadSeek (ESPIPE), via the Caps bitmask rather than a
 // type assertion.

@@ -144,6 +144,37 @@ func (p *Proc) SysReadv(fd int, iovs [][]byte) (int, error) {
 	return of.Readv(p.Task, iovs)
 }
 
+// SysPreadv scatters one contiguous read at absolute offset off into the
+// vector of buffers (preadv): Readv's coalescing with Pread's offset
+// discipline — the shared offset is never consulted or advanced.
+func (p *Proc) SysPreadv(fd int, iovs [][]byte, off int64) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	of, err := p.fds.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Task.CheckPreempt()
+	return of.Preadv(p.Task, iovs, off)
+}
+
+// SysPwritev gathers the vector of buffers into ONE contiguous write at
+// absolute offset off (pwritev), leaving the shared offset untouched.
+func (p *Proc) SysPwritev(fd int, iovs [][]byte, off int64) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	of, err := p.fds.Get(fd)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Task.CheckPreempt()
+	return of.Pwritev(p.Task, iovs, off)
+}
+
 // SysWritev gathers the vector of buffers and writes them as ONE
 // contiguous span at the shared offset (writev): one inode lock, one
 // coalesced cache range-write — and under O_APPEND the whole vector is

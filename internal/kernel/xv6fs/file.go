@@ -22,6 +22,11 @@ type file struct {
 
 // Open implements fs.FileSystem.
 func (f *FS) Open(t *sched.Task, path string, flags int) (fs.FileOps, error) {
+	// One journal bracket per entry point, taken before any lock (see
+	// beginOp). Even a read-only open needs it: the walk's iputs can fire
+	// a deferred reclaim if a racing unlink dropped its reference first.
+	f.beginOp(t)
+	defer f.endOp(t)
 	path = fs.Clean(path)
 	var ip *inode
 	var err error
@@ -140,6 +145,8 @@ func (f *FS) create(t *sched.Task, path string, typ uint16, existOK bool) (*inod
 
 // Mkdir implements fs.FileSystem.
 func (f *FS) Mkdir(t *sched.Task, path string) error {
+	f.beginOp(t)
+	defer f.endOp(t)
 	ip, err := f.create(t, fs.Clean(path), typeDir, false)
 	if err != nil {
 		return err
@@ -150,6 +157,8 @@ func (f *FS) Mkdir(t *sched.Task, path string) error {
 
 // Unlink implements fs.FileSystem.
 func (f *FS) Unlink(t *sched.Task, path string) error {
+	f.beginOp(t)
+	defer f.endOp(t)
 	path = fs.Clean(path)
 	dp, name, err := f.namexParent(t, path)
 	if err != nil {
@@ -223,6 +232,8 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 // inodes are locked nested under the directories; holders of a single
 // file lock never acquire a second, so the pair cannot cycle either.
 func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
+	f.beginOp(t)
+	defer f.endOp(t)
 	oldPath, newPath = fs.Clean(oldPath), fs.Clean(newPath)
 	if oldPath == "/" || newPath == "/" {
 		return fs.ErrPerm
@@ -251,7 +262,7 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 	// ErrNotEmpty for a directory source, ErrIsDir for a file. Stable
 	// under renameMu: only renames reshape the tree.
 	if fs.IsPathAncestor(newPath, oldPath) {
-		st, err := f.Stat(t, oldPath)
+		st, err := f.statInternal(t, oldPath)
 		if err != nil {
 			return err
 		}
@@ -438,6 +449,16 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 
 // Stat implements fs.FileSystem.
 func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
+	// Read-only, but the walk's iputs can fire a deferred reclaim (see
+	// Open), and reclaim writes metadata — so Stat brackets too.
+	f.beginOp(t)
+	defer f.endOp(t)
+	return f.statInternal(t, path)
+}
+
+// statInternal is Stat minus the journal bracket, for callers already
+// inside one (Rename's ancestor-target check — brackets never nest).
+func (f *FS) statInternal(t *sched.Task, path string) (fs.Stat, error) {
 	path = fs.Clean(path)
 	ip, err := f.namex(t, path)
 	if err != nil {
@@ -491,6 +512,12 @@ func (fl *file) Pread(t *sched.Task, p []byte, off int64) (int, error) {
 // itself, which is what makes O_APPEND atomic across any number of
 // concurrent appenders.
 func (fl *file) Pwrite(t *sched.Task, p []byte, off int64) (int, int64, error) {
+	// The bracket covers the allocations (bitmap, indirect) and the size
+	// update this write may make; file DATA itself is not journaled —
+	// metadata journaling, like ext4's default — so a crash can lose
+	// recent data but never the filesystem's shape.
+	fl.fsys.beginOp(t)
+	defer fl.fsys.endOp(t)
 	if err := fl.fsys.ilock(t, fl.ip); err != nil {
 		return 0, off, err
 	}
@@ -521,6 +548,18 @@ func (fl *file) Pwrite(t *sched.Task, p []byte, off int64) (int, int64, error) {
 // inode's stream, so each descriptor hears a failure exactly once.
 func (fl *file) Sync(t *sched.Task) error {
 	f := fl.fsys
+	// Journal barrier FIRST, before the inode lock: log.Sync waits for
+	// every open bracket to End, and a bracketed operation may itself be
+	// waiting on this inode's lock — taking the lock first would wedge
+	// fsync and the log against each other. After it returns, every
+	// metadata transaction this file's durability depends on is in the
+	// on-disk log (or home); the FlushOwner below only needs to move data
+	// blocks and already-checkpointed metadata.
+	if f.log != nil {
+		if err := f.log.Sync(t); err != nil {
+			return err
+		}
+	}
 	if err := f.ilock(t, fl.ip); err != nil {
 		return err
 	}
@@ -542,7 +581,12 @@ func (fl *file) Sync(t *sched.Task) error {
 // in-flight operation drained. If the file was unlinked while open, this
 // is where its blocks are reclaimed.
 func (fl *file) Close(t *sched.Task) error {
+	// The final close of an unlinked file reclaims its storage — a
+	// metadata transaction, so Close brackets like any mutating entry
+	// point.
+	fl.fsys.beginOp(t)
 	fl.fsys.iput(t, fl.ip)
+	fl.fsys.endOp(t)
 	return nil
 }
 

@@ -1,0 +1,175 @@
+package xv6fs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/fs"
+)
+
+// The journal-overhead harness behind BENCH_journal.json: a metadata-heavy
+// churn (create, write a few blocks, rename-replace, unlink) on a
+// journaled mount against the identical volume mounted unjournaled. Every
+// operation now pays Begin/Record/End bookkeeping, and each group commit
+// pays two targeted flushes (slots, header) that the unjournaled build
+// never issues — the recorder quantifies that price and gates it.
+
+const (
+	jbWorkers = 4
+	jbRounds  = 60 // per worker: one create+write+rename+unlink cycle each
+	jbBlocks  = 2  // data blocks written per created file
+)
+
+// newJournalBenchFS formats a volume and mounts it. Unjournaled mounts
+// come from the same image with LogSize zeroed in the superblock — the
+// log region becomes dead space, so both configurations run identical
+// geometry and allocator behaviour.
+func newJournalBenchFS(tb testing.TB, journaled bool) *FS {
+	tb.Helper()
+	rd := fs.NewRamdisk(BlockSize, 4096)
+	if err := Mkfs(rd, 256); err != nil {
+		tb.Fatal(err)
+	}
+	if !journaled {
+		sb := make([]byte, BlockSize)
+		if err := rd.ReadBlocks(0, 1, sb); err != nil {
+			tb.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(sb[24:], 0) // LogStart
+		binary.LittleEndian.PutUint32(sb[28:], 0) // LogSize
+		if err := rd.WriteBlocks(0, 1, sb); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	f, err := MountWith(rd, nil, bcache.Options{Buffers: 1024, Shards: 8, Readahead: -1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if journaled && f.Journal() == nil {
+		tb.Fatal("journaled mount has no journal")
+	}
+	if !journaled && f.Journal() != nil {
+		tb.Fatal("unjournaled mount grew a journal")
+	}
+	return f
+}
+
+// runMetadataChurn drives workers×rounds create/write/rename/unlink
+// cycles and returns operations per second (4 metadata ops per cycle).
+func runMetadataChurn(tb testing.TB, f *FS) float64 {
+	tb.Helper()
+	payload := make([]byte, jbBlocks*BlockSize)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < jbWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < jbRounds; r++ {
+				name := fmt.Sprintf("/w%d-r%d.dat", w, r)
+				tmp := fmt.Sprintf("/w%d-r%d.tmp", w, r)
+				fl, err := openOF(f, tmp, fs.OCreate|fs.OWrOnly)
+				if err != nil {
+					tb.Error(err)
+					return
+				}
+				if _, err := fl.Write(nil, payload); err != nil {
+					tb.Error(err)
+					fl.Close(nil)
+					return
+				}
+				fl.Close(nil)
+				if err := f.Rename(nil, tmp, name); err != nil {
+					tb.Error(err)
+					return
+				}
+				if err := f.Unlink(nil, name); err != nil {
+					tb.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := f.Sync(nil); err != nil {
+		tb.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	ops := float64(jbWorkers * jbRounds * 4) // create, write, rename, unlink
+	return ops / elapsed.Seconds()
+}
+
+// TestJournalOverhead is the BENCH_journal.json recorder and gate:
+// metadata-churn throughput on a journaled mount must hold a bounded
+// fraction of the unjournaled build's — the write-ahead log's two extra
+// flushes per group commit are the crash-consistency price. The measured
+// ratio sits around 0.5× on a zero-latency ramdisk (the worst case for
+// journaling: no device latency for group commit to amortize); the gate
+// is 0.35× to stay clear of scheduler noise. Heavyweight and
+// timing-sensitive, so it only runs when BENCH_JOURNAL_JSON names the
+// output (the `make bench` / CI path).
+func TestJournalOverhead(t *testing.T) {
+	out := os.Getenv("BENCH_JOURNAL_JSON")
+	if out == "" {
+		t.Skip("set BENCH_JOURNAL_JSON=<path> to run the journal-overhead benchmark")
+	}
+	// Warm once: first-run allocator and cache effects hit both configs.
+	runMetadataChurn(t, newJournalBenchFS(t, true))
+
+	plain := runMetadataChurn(t, newJournalBenchFS(t, false))
+	journaled := runMetadataChurn(t, newJournalBenchFS(t, true))
+	if t.Failed() {
+		return
+	}
+	fj := newJournalBenchFS(t, true)
+	runMetadataChurn(t, fj)
+	stats := fj.Journal().Stats()
+	ratio := journaled / plain
+	res := map[string]any{
+		"workload": fmt.Sprintf("metadata churn: %d workers × %d create/write/rename/unlink cycles, %d-block files",
+			jbWorkers, jbRounds, jbBlocks),
+		"unjournaled_ops_per_s": round2(plain),
+		"journaled_ops_per_s":   round2(journaled),
+		"ratio":                 round2(ratio),
+		"commits":               stats.Commits,
+		"checkpoints":           stats.Checkpoints,
+		"absorbed":              stats.Absorbed,
+		"installs":              stats.Installs,
+	}
+	blob, err := json.MarshalIndent(map[string]any{"journal_overhead": res}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("metadata churn: journaled %.0f ops/s vs unjournaled %.0f ops/s (%.2fx); %d commits, %d absorbed",
+		journaled, plain, ratio, stats.Commits, stats.Absorbed)
+	if ratio < 0.35 {
+		t.Errorf("journaled throughput is %.2fx the unjournaled build, want >= 0.35x", ratio)
+	}
+}
+
+// BenchmarkJournalChurn exposes the same workload through `go test
+// -bench` for the log, one sub-benchmark per configuration.
+func BenchmarkJournalChurn(b *testing.B) {
+	for _, cfg := range []struct {
+		name      string
+		journaled bool
+	}{{"unjournaled", false}, {"journaled", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runMetadataChurn(b, newJournalBenchFS(b, cfg.journaled))
+			}
+		})
+	}
+}

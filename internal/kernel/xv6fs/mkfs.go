@@ -19,13 +19,28 @@ func Mkfs(dev fs.BlockDevice, ninodes int) error {
 	total := dev.Blocks()
 	inodeBlocks := (ninodes + inodesPerBlock - 1) / inodesPerBlock
 	bitmapBlocks := (total + BlockSize*8 - 1) / (BlockSize * 8)
+	// The write-ahead log sits right behind the superblock. Small volumes
+	// get a proportionally smaller log; genuinely tiny ones (under 128
+	// blocks) get none and mount unjournaled, like legacy images.
+	logBlocks := DefaultLogBlocks
+	switch {
+	case total >= 512:
+	case total >= 128:
+		logBlocks = total / 8
+	default:
+		logBlocks = 0
+	}
 	sb := Superblock{
 		Magic:       Magic,
 		Size:        uint32(total),
 		NInodes:     uint32(ninodes),
-		InodeStart:  1,
-		BitmapStart: uint32(1 + inodeBlocks),
-		DataStart:   uint32(1 + inodeBlocks + bitmapBlocks),
+		InodeStart:  uint32(1 + logBlocks),
+		BitmapStart: uint32(1 + logBlocks + inodeBlocks),
+		DataStart:   uint32(1 + logBlocks + inodeBlocks + bitmapBlocks),
+	}
+	if logBlocks > 0 {
+		sb.LogStart = 1
+		sb.LogSize = uint32(logBlocks)
 	}
 	if int(sb.DataStart) >= total {
 		return fmt.Errorf("xv6fs: %d blocks too small for metadata", total)

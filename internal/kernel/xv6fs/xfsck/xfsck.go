@@ -1,0 +1,436 @@
+// Package xfsck is a standalone consistency checker for xv6fs disk
+// images — the verification half of the crash-injection harness. It
+// decodes the on-disk format independently of the xv6fs mount path (its
+// own superblock, inode, dirent and bitmap readers), so a bug that makes
+// the filesystem misread its own corruption cannot also blind the
+// checker.
+//
+// Check runs against any fs.BlockDevice, typically a crash image
+// materialized by internal/kernel/crash. It is journal-aware: when the
+// superblock names a log region and the log header is valid, the
+// committed transaction's slot blocks are overlaid onto their home
+// locations IN MEMORY before checking — exactly the replay mount-time
+// recovery would perform, without mutating the image. That makes Check's
+// verdict "would this image be consistent after recovery", which is the
+// write-ahead journal's actual promise.
+//
+// Two modes. Strict flags every anomaly as corruption — right for a
+// healthy volume after Sync, or a crash image after a real mount ran
+// recovery and orphan reclaim. PostCrash additionally tolerates, as
+// warnings, the artifacts crash recovery is DESIGNED to leave behind:
+// orphan inodes (type set, link count zero — an unlink committed while
+// the file was open) together with the blocks they still claim. Anything
+// else — unreachable claimed blocks, double-claimed blocks, dangling
+// directory entries, bad dot entries, link-count drift — is corruption
+// in both modes.
+package xfsck
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/jnl"
+	"protosim/internal/kernel/xv6fs"
+)
+
+// Mode selects how post-crash artifacts are judged.
+type Mode int
+
+const (
+	// Strict treats every inconsistency as corruption.
+	Strict Mode = iota
+	// PostCrash downgrades orphan inodes (and the blocks they claim) to
+	// warnings: they are the expected residue of crashing between an
+	// unlink's commit and the last close, and mount-time reclaim frees
+	// them.
+	PostCrash
+)
+
+// Report is the outcome of one Check run.
+type Report struct {
+	// Errors are corruption findings: invariants the filesystem promises
+	// to hold (after recovery) that the image breaks.
+	Errors []string
+	// Warnings are tolerated post-crash artifacts (PostCrash mode only).
+	Warnings []string
+	// Replayed is how many journal slot blocks were overlaid onto their
+	// home locations before checking (0 when the log was empty or the
+	// image has no journal).
+	Replayed int
+	// Inodes and Blocks count live inodes and claimed data blocks seen.
+	Inodes, Blocks int
+}
+
+// Clean reports whether the image passed: no corruption found.
+func (r *Report) Clean() bool { return len(r.Errors) == 0 }
+
+// String renders the report for test logs.
+func (r *Report) String() string {
+	return fmt.Sprintf("xfsck: %d inodes, %d blocks, %d replayed, %d errors, %d warnings",
+		r.Inodes, r.Blocks, r.Replayed, len(r.Errors), len(r.Warnings))
+}
+
+// checker carries one run's state: the full image in memory plus the
+// decoded superblock.
+type checker struct {
+	img  []byte
+	sb   superblock
+	mode Mode
+	rep  *Report
+}
+
+type superblock struct {
+	magic, size, ninodes               uint32
+	inodeStart, bitmapStart, dataStart uint32
+	logStart, logSize                  uint32
+}
+
+type dinode struct {
+	typ, nlink uint16
+	size       uint32
+	addrs      [xv6fs.NDirect + 1]uint32
+}
+
+const (
+	blockSize      = xv6fs.BlockSize
+	direntSize     = xv6fs.DirentSize
+	inodeSize      = 64
+	inodesPerBlock = blockSize / inodeSize
+	rootInum       = 1
+	typeFree       = 0
+	typeDir        = 1
+	typeFile       = 2
+)
+
+// Check verifies the xv6fs image on dev and reports what it found. It
+// never writes to dev. The returned error covers only failures to read
+// the device; format findings land in the Report.
+func Check(dev fs.BlockDevice, mode Mode) (*Report, error) {
+	if dev.BlockSize() != blockSize {
+		return nil, fmt.Errorf("xfsck: device block size %d, want %d", dev.BlockSize(), blockSize)
+	}
+	img := make([]byte, dev.Blocks()*blockSize)
+	if err := dev.ReadBlocks(0, dev.Blocks(), img); err != nil {
+		return nil, err
+	}
+	c := &checker{img: img, mode: mode, rep: &Report{}}
+	if !c.loadSuper() {
+		return c.rep, nil
+	}
+	c.replayJournal()
+	c.checkAll()
+	return c.rep, nil
+}
+
+func (c *checker) errf(format string, args ...any) {
+	c.rep.Errors = append(c.rep.Errors, fmt.Sprintf(format, args...))
+}
+
+func (c *checker) warnf(format string, args ...any) {
+	c.rep.Warnings = append(c.rep.Warnings, fmt.Sprintf(format, args...))
+}
+
+// block returns block lba of the (possibly journal-overlaid) image.
+func (c *checker) block(lba int) []byte {
+	return c.img[lba*blockSize : (lba+1)*blockSize]
+}
+
+// loadSuper decodes and sanity-checks the superblock. Returns false when
+// the image is too corrupt to check further.
+func (c *checker) loadSuper() bool {
+	b := c.block(0)
+	sb := &c.sb
+	sb.magic = binary.LittleEndian.Uint32(b[0:])
+	sb.size = binary.LittleEndian.Uint32(b[4:])
+	sb.ninodes = binary.LittleEndian.Uint32(b[8:])
+	sb.inodeStart = binary.LittleEndian.Uint32(b[12:])
+	sb.bitmapStart = binary.LittleEndian.Uint32(b[16:])
+	sb.dataStart = binary.LittleEndian.Uint32(b[20:])
+	sb.logStart = binary.LittleEndian.Uint32(b[24:])
+	sb.logSize = binary.LittleEndian.Uint32(b[28:])
+	if sb.magic != xv6fs.Magic {
+		c.errf("superblock: bad magic %#x", sb.magic)
+		return false
+	}
+	if int(sb.size)*blockSize > len(c.img) || sb.size == 0 {
+		c.errf("superblock: size %d exceeds device", sb.size)
+		return false
+	}
+	inodeBlocks := (int(sb.ninodes) + inodesPerBlock - 1) / inodesPerBlock
+	bitmapBlocks := (int(sb.size) + blockSize*8 - 1) / (blockSize * 8)
+	if sb.logSize > 0 && (sb.logStart < 1 || sb.logStart+sb.logSize > sb.inodeStart) {
+		c.errf("superblock: log [%d,%d) outside [1,%d)", sb.logStart, sb.logStart+sb.logSize, sb.inodeStart)
+		return false
+	}
+	if int(sb.bitmapStart) != int(sb.inodeStart)+inodeBlocks ||
+		int(sb.dataStart) != int(sb.bitmapStart)+bitmapBlocks ||
+		sb.dataStart >= sb.size {
+		c.errf("superblock: inconsistent layout inode=%d bitmap=%d data=%d size=%d",
+			sb.inodeStart, sb.bitmapStart, sb.dataStart, sb.size)
+		return false
+	}
+	return true
+}
+
+// replayJournal overlays a committed transaction from the log region onto
+// the in-memory image, mirroring mount-time recovery. A header that fails
+// validation is treated as absent (an interrupted header write is a
+// not-committed transaction, not corruption).
+func (c *checker) replayJournal() {
+	sb := &c.sb
+	if sb.logSize == 0 {
+		return
+	}
+	hb := c.block(int(sb.logStart))
+	if binary.LittleEndian.Uint32(hb[0:]) != jnl.Magic {
+		return
+	}
+	count := int(binary.LittleEndian.Uint32(hb[4:]))
+	slots := int(sb.logSize) - 1
+	if count <= 0 || count > slots || 8+4*count > blockSize {
+		return
+	}
+	for i := 0; i < count; i++ {
+		home := int(binary.LittleEndian.Uint32(hb[8+4*i:]))
+		if home <= 0 || home >= int(sb.size) ||
+			(home >= int(sb.logStart) && home < int(sb.logStart)+int(sb.logSize)) {
+			c.errf("journal: slot %d names invalid home block %d", i, home)
+			continue
+		}
+		copy(c.block(home), c.block(int(sb.logStart)+1+i))
+		c.rep.Replayed++
+	}
+}
+
+func (c *checker) readInode(inum int) dinode {
+	b := c.block(int(c.sb.inodeStart) + inum/inodesPerBlock)
+	raw := b[(inum%inodesPerBlock)*inodeSize:]
+	var di dinode
+	di.typ = binary.LittleEndian.Uint16(raw[0:])
+	di.nlink = binary.LittleEndian.Uint16(raw[2:])
+	di.size = binary.LittleEndian.Uint32(raw[4:])
+	for i := range di.addrs {
+		di.addrs[i] = binary.LittleEndian.Uint32(raw[8+4*i:])
+	}
+	return di
+}
+
+// bitmapBit reports whether the allocation bitmap claims block lba.
+func (c *checker) bitmapBit(lba int) bool {
+	b := c.block(int(c.sb.bitmapStart) + lba/(blockSize*8))
+	bit := lba % (blockSize * 8)
+	return b[bit/8]&(1<<(bit%8)) != 0
+}
+
+// checkAll runs the full invariant suite over the (replayed) image.
+func (c *checker) checkAll() {
+	sb := &c.sb
+	ninodes := int(sb.ninodes)
+
+	// Pass 1: every allocated inode's claimed blocks — in range, claimed
+	// once volume-wide, present in the bitmap.
+	claims := make(map[int]int) // data block -> claiming inum
+	live := make([]dinode, ninodes)
+	for inum := 1; inum < ninodes; inum++ {
+		di := c.readInode(inum)
+		live[inum] = di
+		if di.typ == typeFree {
+			if di.nlink != 0 {
+				c.errf("inode %d: free but nlink %d", inum, di.nlink)
+			}
+			continue
+		}
+		if di.typ != typeDir && di.typ != typeFile {
+			c.errf("inode %d: bad type %d", inum, di.typ)
+			continue
+		}
+		c.rep.Inodes++
+		if int64(di.size) > int64(xv6fs.MaxFile)*blockSize {
+			c.errf("inode %d: size %d exceeds max file size", inum, di.size)
+		}
+		c.claimBlocks(inum, &di, claims)
+	}
+
+	// Pass 2: bitmap agreement — every set data bit is claimed by exactly
+	// one inode (pass 1 caught the double-claims), every claim is set.
+	for lba := int(sb.dataStart); lba < int(sb.size); lba++ {
+		_, claimed := claims[lba]
+		set := c.bitmapBit(lba)
+		if set && !claimed {
+			c.errf("bitmap: block %d marked in use but unreachable from any inode", lba)
+		}
+		if claimed && !set {
+			c.errf("bitmap: block %d claimed by inode %d but marked free", lba, claims[lba])
+		}
+	}
+	for lba := 0; lba < int(sb.dataStart); lba++ {
+		if c.bitmapBit(lba) {
+			c.errf("bitmap: metadata block %d has its bit set", lba)
+		}
+	}
+	c.rep.Blocks = len(claims)
+
+	// Pass 3: walk the directory tree from the root, checking dirent
+	// targets, dot entries and uniqueness of directory parents; count
+	// references for the link-count check.
+	if live[rootInum].typ != typeDir {
+		c.errf("root inode: type %d, want directory", live[rootInum].typ)
+		return
+	}
+	refs := make([]int, ninodes)     // non-dot dirents naming each inum
+	visited := make([]bool, ninodes) // directories entered (cycle/share guard)
+	c.walk(rootInum, rootInum, live, refs, visited)
+
+	// Pass 4: link counts vs directory references.
+	for inum := 1; inum < ninodes; inum++ {
+		di := live[inum]
+		if di.typ == typeFree {
+			continue
+		}
+		want := refs[inum]
+		if inum == rootInum {
+			want = 1 // the root has no parent dirent; NLink 1 by convention
+		}
+		if di.nlink == 0 {
+			// Orphan: an unlink committed while the file was open. Its
+			// refs are necessarily 0 (the dirent went in the same txn).
+			if want != 0 {
+				c.errf("inode %d: nlink 0 but %d dirents reference it", inum, want)
+			} else if c.mode == PostCrash {
+				c.warnf("inode %d: orphan (nlink 0, type %d) awaiting mount-time reclaim", inum, di.typ)
+			} else {
+				c.errf("inode %d: orphan (nlink 0) not reclaimed", inum)
+			}
+			continue
+		}
+		if int(di.nlink) != want {
+			c.errf("inode %d: nlink %d but %d dirents reference it", inum, di.nlink, want)
+		}
+		if di.typ == typeDir && !visited[inum] && inum != rootInum {
+			c.errf("directory inode %d: referenced but never reached from the root", inum)
+		}
+	}
+}
+
+// claimBlocks records every data block inode inum points at (direct,
+// indirect pointer block, indirect targets) into claims, flagging
+// out-of-range and double-claimed blocks.
+func (c *checker) claimBlocks(inum int, di *dinode, claims map[int]int) {
+	claim := func(lba int, what string) {
+		if lba < int(c.sb.dataStart) || lba >= int(c.sb.size) {
+			c.errf("inode %d: %s block %d outside data area", inum, what, lba)
+			return
+		}
+		if prev, dup := claims[lba]; dup {
+			c.errf("inode %d: %s block %d already claimed by inode %d", inum, what, lba, prev)
+			return
+		}
+		claims[lba] = inum
+	}
+	for i := 0; i < xv6fs.NDirect; i++ {
+		if di.addrs[i] != 0 {
+			claim(int(di.addrs[i]), "direct")
+		}
+	}
+	ind := int(di.addrs[xv6fs.NDirect])
+	if ind == 0 {
+		return
+	}
+	claim(ind, "indirect-pointer")
+	if ind < int(c.sb.dataStart) || ind >= int(c.sb.size) {
+		return // can't dereference an out-of-range pointer block
+	}
+	ib := c.block(ind)
+	for i := 0; i < xv6fs.NIndirect; i++ {
+		if lba := int(binary.LittleEndian.Uint32(ib[4*i:])); lba != 0 {
+			claim(lba, "indirect")
+		}
+	}
+}
+
+// walk checks directory inum (whose parent is parent) and recurses into
+// subdirectories.
+func (c *checker) walk(inum, parent int, live []dinode, refs []int, visited []bool) {
+	if visited[inum] {
+		c.errf("directory inode %d: reached twice (loop or shared directory)", inum)
+		return
+	}
+	visited[inum] = true
+	di := live[inum]
+	if di.size%direntSize != 0 {
+		c.errf("directory inode %d: size %d not a multiple of %d", inum, di.size, direntSize)
+	}
+	var sawDot, sawDotDot bool
+	for off := 0; off+direntSize <= int(di.size); off += direntSize {
+		ent := c.direntAt(&di, off)
+		if ent == nil {
+			c.errf("directory inode %d: entry at %d in an unmapped block", inum, off)
+			continue
+		}
+		target := int(ent[0]) | int(ent[1])<<8
+		if target == 0 {
+			continue // deleted slot
+		}
+		name := direntName(ent)
+		if target >= len(live) || live[target].typ == typeFree {
+			c.errf("directory inode %d: entry %q names free/bad inode %d", inum, name, target)
+			continue
+		}
+		switch name {
+		case ".":
+			sawDot = true
+			if target != inum {
+				c.errf("directory inode %d: \".\" points at %d", inum, target)
+			}
+		case "..":
+			sawDotDot = true
+			if target != parent {
+				c.errf("directory inode %d: \"..\" points at %d, want %d", inum, target, parent)
+			}
+		default:
+			refs[target]++
+			if live[target].typ == typeDir {
+				c.walk(target, inum, live, refs, visited)
+			}
+		}
+	}
+	if !sawDot || !sawDotDot {
+		c.errf("directory inode %d: missing %q or %q", inum, ".", "..")
+	}
+}
+
+// direntAt reads the 16 bytes of the dirent at byte offset off of the
+// directory described by di, or nil when the covering block is a hole.
+func (c *checker) direntAt(di *dinode, off int) []byte {
+	fb := off / blockSize
+	var lba int
+	switch {
+	case fb < xv6fs.NDirect:
+		lba = int(di.addrs[fb])
+	case fb < xv6fs.MaxFile && di.addrs[xv6fs.NDirect] != 0:
+		ind := int(di.addrs[xv6fs.NDirect])
+		if ind < int(c.sb.dataStart) || ind >= int(c.sb.size) {
+			return nil
+		}
+		lba = int(binary.LittleEndian.Uint32(c.block(ind)[4*(fb-xv6fs.NDirect):]))
+	default:
+		return nil
+	}
+	if lba < int(c.sb.dataStart) || lba >= int(c.sb.size) {
+		return nil
+	}
+	bo := off % blockSize
+	return c.block(lba)[bo : bo+direntSize]
+}
+
+// direntName extracts the NUL-padded name from a raw dirent.
+func direntName(ent []byte) string {
+	raw := ent[2:direntSize]
+	for i, b := range raw {
+		if b == 0 {
+			return string(raw[:i])
+		}
+	}
+	return string(raw)
+}

@@ -31,6 +31,7 @@ import (
 
 	"protosim/internal/kernel/bcache"
 	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/jnl"
 	"protosim/internal/kernel/ksync"
 	"protosim/internal/kernel/sched"
 )
@@ -50,6 +51,11 @@ const (
 	inodeSize      = 64
 	inodesPerBlock = BlockSize / inodeSize
 	rootInum       = 1
+
+	// DefaultLogBlocks is the write-ahead log region Mkfs reserves right
+	// after the superblock: one header block plus 63 transaction slots —
+	// room for six maximally-sized operations in one group commit.
+	DefaultLogBlocks = 64
 )
 
 // On-disk inode types.
@@ -62,7 +68,9 @@ const (
 // ErrBadFS reports a corrupt or foreign superblock.
 var ErrBadFS = errors.New("xv6fs: bad superblock")
 
-// Superblock mirrors the on-disk layout header.
+// Superblock mirrors the on-disk layout header. LogStart/LogSize describe
+// the write-ahead log region; a zero LogSize is a legacy unjournaled image
+// (pre-journal superblocks left those bytes zero) and mounts without one.
 type Superblock struct {
 	Magic       uint32
 	Size        uint32 // total blocks
@@ -70,6 +78,8 @@ type Superblock struct {
 	InodeStart  uint32
 	BitmapStart uint32
 	DataStart   uint32
+	LogStart    uint32 // log header block; slots follow
+	LogSize     uint32 // log blocks including the header (0 = no journal)
 }
 
 func (sb *Superblock) encode(b []byte) {
@@ -79,6 +89,8 @@ func (sb *Superblock) encode(b []byte) {
 	binary.LittleEndian.PutUint32(b[12:], sb.InodeStart)
 	binary.LittleEndian.PutUint32(b[16:], sb.BitmapStart)
 	binary.LittleEndian.PutUint32(b[20:], sb.DataStart)
+	binary.LittleEndian.PutUint32(b[24:], sb.LogStart)
+	binary.LittleEndian.PutUint32(b[28:], sb.LogSize)
 }
 
 func (sb *Superblock) decode(b []byte) {
@@ -88,6 +100,8 @@ func (sb *Superblock) decode(b []byte) {
 	sb.InodeStart = binary.LittleEndian.Uint32(b[12:])
 	sb.BitmapStart = binary.LittleEndian.Uint32(b[16:])
 	sb.DataStart = binary.LittleEndian.Uint32(b[20:])
+	sb.LogStart = binary.LittleEndian.Uint32(b[24:])
+	sb.LogSize = binary.LittleEndian.Uint32(b[28:])
 }
 
 // dinode is the on-disk inode.
@@ -148,6 +162,24 @@ type FS struct {
 	// bitmap. Data IO on already-allocated blocks never touches either.
 	ialloc ksync.SleepLock
 	balloc ksync.SleepLock
+
+	// log is the write-ahead metadata journal (nil on legacy images with
+	// no log region). Every entry point that can modify metadata brackets
+	// itself with beginOp/endOp — exactly one bracket per entry point,
+	// taken before any lock, never nested — and metadata writes go through
+	// writeMeta, which records them in the open transaction.
+	log *jnl.Journal
+
+	// recentlyFreed guards against the metadata-journaling reuse hazard: a
+	// block freed inside the OPEN (uncommitted) transaction must not be
+	// reallocated — file data written into it is not journaled, so the
+	// write-behind daemon could land that data in a block the on-disk
+	// (pre-commit) metadata still considers live, and a crash before
+	// commit would corrupt the old owner. freeBlock adds entries, the
+	// allocBlock scan skips them, and the journal's commit hook clears the
+	// set (once the free is durable the block is genuinely reusable).
+	freedMu       sync.Mutex
+	recentlyFreed map[int]bool
 }
 
 // inode is an in-memory inode: the per-file lock the whole filesystem
@@ -201,7 +233,87 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	if int(f.sb.Size) > dev.Blocks() {
 		return nil, fmt.Errorf("%w: size %d exceeds device %d", ErrBadFS, f.sb.Size, dev.Blocks())
 	}
+	if f.sb.LogSize > 0 {
+		if f.sb.LogStart < 1 || f.sb.LogStart+f.sb.LogSize > f.sb.InodeStart {
+			return nil, fmt.Errorf("%w: log region [%d,%d) overlaps metadata", ErrBadFS, f.sb.LogStart, f.sb.LogStart+f.sb.LogSize)
+		}
+		f.log = jnl.New(f.bc, int(f.sb.LogStart), int(f.sb.LogSize))
+		f.recentlyFreed = make(map[int]bool)
+		f.log.OnCommit(func() {
+			f.freedMu.Lock()
+			for lba := range f.recentlyFreed {
+				delete(f.recentlyFreed, lba)
+			}
+			f.freedMu.Unlock()
+		})
+		// Recovery before anything reads metadata: replay the committed
+		// transaction the crash interrupted (if the header names one),
+		// then reclaim orphans — files that were unlinked-but-open at the
+		// crash, durable with no directory entry left.
+		if _, err := f.log.Recover(t); err != nil {
+			return nil, err
+		}
+		if err := f.reclaimOrphans(t); err != nil {
+			return nil, err
+		}
+		// Checkpoint on kflushd idle: committed transactions drain to
+		// their home blocks during quiet periods, off commit's critical
+		// path. Mount precedes the daemon, so the hook is set in time.
+		f.bc.SetIdleHook(func(ht *sched.Task) { f.log.Checkpoint(ht) })
+	}
 	return f, nil
+}
+
+// Journal exposes the write-ahead log (nil when unjournaled) for tests
+// and /proc diagnostics.
+func (f *FS) Journal() *jnl.Journal { return f.log }
+
+// reclaimOrphans scans the inode array at mount for allocated inodes with
+// no directory links — the unlinked-but-open files of the previous boot,
+// whose deferred reclaim a crash cancelled — and frees their storage, each
+// inside its own transaction so a crash mid-reclaim is itself recoverable.
+func (f *FS) reclaimOrphans(t *sched.Task) error {
+	for inum := rootInum + 1; inum < int(f.sb.NInodes); inum++ {
+		var di dinode
+		if err := f.readInode(t, inum, &di); err != nil {
+			return err
+		}
+		if di.Type == typeFree || di.NLink > 0 {
+			continue
+		}
+		f.beginOp(t)
+		ip := f.iget(inum)
+		if err := f.ilock(t, ip); err != nil {
+			f.iput(t, ip)
+			f.endOp(t)
+			return err
+		}
+		f.iunlock(ip)
+		f.iput(t, ip) // sole ref + NLink 0: deferred reclaim fires here
+		f.endOp(t)
+	}
+	return nil
+}
+
+// beginOp opens this operation's journal bracket (no-op unjournaled).
+// The discipline that keeps the log deadlock-free: exactly one bracket
+// per kernel entry point, taken BEFORE any inode or allocator lock, never
+// nested — commit needs every bracket closed, so a bracket that waited on
+// a lock held across another bracket's commit-wait would wedge the log.
+func (f *FS) beginOp(t *sched.Task) {
+	if f.log != nil {
+		f.log.Begin(t)
+	}
+}
+
+// endOp closes the bracket; the last closer group-commits. Commit errors
+// are latched in the journal and surfaced at the next fsync or Sync — the
+// same report-at-the-barrier model the write-behind cache uses for
+// asynchronous writeback errors.
+func (f *FS) endOp(t *sched.Task) {
+	if f.log != nil {
+		_ = f.log.End(t)
+	}
 }
 
 // Cache exposes buffer-cache statistics for the experiment harness.
@@ -331,16 +443,41 @@ func (f *FS) writeBlock(t *sched.Task, lba int, fn func(data []byte)) error {
 	return nil
 }
 
+// writeMeta is writeBlock for METADATA blocks — the inode array, the
+// allocation bitmap, indirect blocks, directory content. On a journaled
+// mount the block is recorded in the open transaction (frozen in the
+// cache until the group commit makes its log copy durable); unjournaled
+// mounts fall back to a plain dirty mark. Callers are inside a
+// beginOp/endOp bracket whenever f.log is set.
+func (f *FS) writeMeta(t *sched.Task, lba int, fn func(data []byte)) error {
+	b, err := f.bc.Get(t, lba)
+	if err != nil {
+		return err
+	}
+	fn(b.Data)
+	if f.log != nil {
+		err = f.log.Record(t, b)
+	} else {
+		f.bc.MarkDirty(b)
+	}
+	f.bc.Release(b)
+	return err
+}
+
 // allocBlock finds a zero bit in the bitmap, sets it, zeroes the block.
 // The scan-and-claim runs under balloc so two writers can't claim the same
 // block; the zeroing write happens after the claim, outside any allocator
-// state, because the block is already private to the caller.
+// state, because the block is already private to the caller. Blocks freed
+// inside the open transaction are skipped (see recentlyFreed); the zeroing
+// write is deliberately NOT journaled — the block is unreachable from any
+// committed metadata until this transaction's pointers to it commit, so a
+// premature writeback of zeros can only land in a dead block.
 func (f *FS) allocBlock(t *sched.Task) (int, error) {
 	f.balloc.Lock(t)
 	found := -1
 	total := int(f.sb.Size)
 	for bmBlock := 0; found < 0 && bmBlock*BlockSize*8 < total; bmBlock++ {
-		err := f.writeBlock(t, int(f.sb.BitmapStart)+bmBlock, func(data []byte) {
+		err := f.writeMeta(t, int(f.sb.BitmapStart)+bmBlock, func(data []byte) {
 			for i := 0; i < BlockSize*8; i++ {
 				blockNo := bmBlock*BlockSize*8 + i
 				if blockNo >= total {
@@ -350,6 +487,9 @@ func (f *FS) allocBlock(t *sched.Task) (int, error) {
 					continue // metadata blocks are permanently "allocated"
 				}
 				if data[i/8]&(1<<(i%8)) == 0 {
+					if f.log != nil && f.isRecentlyFreed(blockNo) {
+						continue // freed in the open txn: not reusable yet
+					}
 					data[i/8] |= 1 << (i % 8)
 					found = blockNo
 					return
@@ -375,13 +515,28 @@ func (f *FS) allocBlock(t *sched.Task) (int, error) {
 	return found, nil
 }
 
-// freeBlock clears the bitmap bit for lba.
+// isRecentlyFreed reports whether lba was freed inside the open
+// (uncommitted) transaction batch.
+func (f *FS) isRecentlyFreed(lba int) bool {
+	f.freedMu.Lock()
+	defer f.freedMu.Unlock()
+	return f.recentlyFreed[lba]
+}
+
+// freeBlock clears the bitmap bit for lba. On a journaled mount the block
+// is also quarantined from reallocation until the freeing transaction
+// commits.
 func (f *FS) freeBlock(t *sched.Task, lba int) error {
 	f.balloc.Lock(t)
 	defer f.balloc.Unlock()
+	if f.log != nil {
+		f.freedMu.Lock()
+		f.recentlyFreed[lba] = true
+		f.freedMu.Unlock()
+	}
 	bmBlock := lba / (BlockSize * 8)
 	bit := lba % (BlockSize * 8)
-	return f.writeBlock(t, int(f.sb.BitmapStart)+bmBlock, func(data []byte) {
+	return f.writeMeta(t, int(f.sb.BitmapStart)+bmBlock, func(data []byte) {
 		data[bit/8] &^= 1 << (bit % 8)
 	})
 }
@@ -394,10 +549,11 @@ func (f *FS) readInode(t *sched.Task, inum int, di *dinode) error {
 	})
 }
 
-// writeInode stores inode inum.
+// writeInode stores inode inum. Inode-array blocks are metadata: on a
+// journaled mount the write lands in the open transaction.
 func (f *FS) writeInode(t *sched.Task, inum int, di *dinode) error {
 	lba := int(f.sb.InodeStart) + inum/inodesPerBlock
-	return f.writeBlock(t, lba, func(data []byte) {
+	return f.writeMeta(t, lba, func(data []byte) {
 		di.encode(data[(inum%inodesPerBlock)*inodeSize:])
 	})
 }
@@ -471,7 +627,10 @@ func (f *FS) bmap(t *sched.Task, ip *inode, fb int, alloc bool) (int, error) {
 			return 0, err
 		}
 		blockNo = nb
-		if err := f.writeBlock(t, int(ip.di.Addrs[NDirect]), func(data []byte) {
+		// The indirect block is metadata — a pointer write that reaches
+		// disk ahead of the bitmap claim it depends on would be exactly
+		// the inconsistency the journal exists to rule out.
+		if err := f.writeMeta(t, int(ip.di.Addrs[NDirect]), func(data []byte) {
 			binary.LittleEndian.PutUint32(data[4*fb:], uint32(nb))
 		}); err != nil {
 			return 0, err
@@ -591,14 +750,27 @@ func (f *FS) writeData(t *sched.Task, ip *inode, off int64, src []byte) (int, er
 			continue
 		}
 		// Unaligned edge: single-block read-modify-write under the buffer
-		// lock, tagged with the same owner.
+		// lock, tagged with the same owner. Directory content is metadata
+		// — the dirent dances of create/unlink/rename must commit or
+		// vanish atomically with the inode and bitmap updates they pair
+		// with — so on a journaled mount it is recorded in the open
+		// transaction instead of marked dirty. Directories only ever write
+		// 16-byte dirents, so they always land on this path, never the
+		// range path above.
 		b, err := f.bc.Get(t, blockNo)
 		if err != nil {
 			return done, err
 		}
 		copy(b.Data[bo:], src[done:done+n])
-		f.bc.MarkDirtyOwned(b, ip.wb)
+		if f.log != nil && ip.di.Type == typeDir {
+			err = f.log.Record(t, b)
+		} else {
+			f.bc.MarkDirtyOwned(b, ip.wb)
+		}
 		f.bc.Release(b)
+		if err != nil {
+			return done, err
+		}
 		done += n
 	}
 	if newSize := off + int64(done); newSize > int64(ip.di.Size) {
@@ -664,14 +836,31 @@ func (f *FS) Sync(t *sched.Task) error {
 	f.imu.Unlock()
 	sort.Slice(live, func(i, j int) bool { return live[i].inum < live[j].inum })
 	for _, ip := range live {
+		// Each drop gets its own journal bracket: this iput can be the
+		// last reference to an unlinked inode, and the reclaim it fires
+		// (truncate + inode free) is a metadata transaction like any
+		// other. One bracket per inode keeps every transaction inside the
+		// per-operation block budget.
+		f.beginOp(t)
 		ip.lock.Lock(t)
 		ip.lock.Unlock()
 		f.iput(t, ip)
+		f.endOp(t)
+	}
+	// Commit whatever the journal still holds — with no lock held, because
+	// log.Sync waits for open brackets and a bracket may be waiting on a
+	// lock. Commit errors latched by earlier group commits surface here.
+	var logErr error
+	if f.log != nil {
+		logErr = f.log.Sync(t)
 	}
 	f.ialloc.Lock(t)
 	f.balloc.Lock(t)
 	err := f.bc.Flush(t)
 	f.balloc.Unlock()
 	f.ialloc.Unlock()
+	if logErr != nil {
+		return logErr
+	}
 	return err
 }

@@ -26,7 +26,7 @@ vet:
 # dependency-free revive/golint "exported" rule.
 lint:
 	$(GO) run ./cmd/lintdoc internal/kernel/blkq internal/kernel/bcache \
-		internal/kernel/fs internal/kernel/errseq
+		internal/kernel/fs internal/kernel/errseq internal/kernel/uring
 
 # Storage-stack perf trajectory: the write-heavy harness compares the
 # async stack (blkq + write-behind + flusher daemon) against the
@@ -35,7 +35,10 @@ lint:
 # plugging off/on — asserting the plugged merge ratio wins — recording
 # both in BENCH_blkq.json; the random-4K file-IO harness compares pread
 # on a shared open file description against the lseek+read idiom it
-# replaced — asserting pread >= baseline — recording BENCH_file.json;
+# replaced — asserting pread >= baseline — recording BENCH_file.json,
+# and the ring-vs-syscall random-4K harness merges its ring_random4k
+# section into the same file — asserting the batched ring path >= 1.3x
+# the one-syscall-per-op loop on a latency-bound device;
 # then the parallel-files, write-heavy, and fsync-append benchmarks run
 # for the log. The write-heavy harness additionally gates against its
 # PR 5 recording (>= 0.8x) now that the ordered-writes discipline is in,
@@ -45,6 +48,7 @@ lint:
 bench:
 	BENCH_BLKQ_JSON=$(CURDIR)/BENCH_blkq.json $(GO) test -run TestWriteHeavyThroughput -v ./internal/kernel/fat32
 	BENCH_FILE_JSON=$(CURDIR)/BENCH_file.json $(GO) test -run TestFileIOThroughput -v ./internal/kernel/xv6fs
+	BENCH_FILE_JSON=$(CURDIR)/BENCH_file.json $(GO) test -run TestRingIOThroughput -v ./internal/kernel
 	BENCH_JOURNAL_JSON=$(CURDIR)/BENCH_journal.json $(GO) test -run TestJournalOverhead -v ./internal/kernel/xv6fs
 	$(GO) test -bench 'BenchmarkParallelFiles|BenchmarkWriteHeavy|BenchmarkFsyncAppend|BenchmarkRandom' -benchtime 1x -run '^$$' ./internal/kernel/fat32 ./internal/kernel/xv6fs
 

@@ -51,6 +51,14 @@ type Options struct {
 	// anticipatory plugging — requests at an idle queue dispatch at once).
 	// See the package comment's plug-lifecycle section.
 	PlugDelay time.Duration
+	// AdaptivePlug scales the anticipatory window with the submitter's
+	// observed inter-submit gap instead of always waiting the full
+	// PlugDelay: a fast burst gets a window just big enough to catch its
+	// next request, and a submitter whose cadence is slower than the
+	// window stops opening windows at all — it would only pay the timeout
+	// without ever merging. PlugDelay remains the ceiling. Off by
+	// default: the fixed window is the PR 4 behavior.
+	AdaptivePlug bool
 	// After schedules the anticipatory plug's expiry through the caller's
 	// timer source (the kernel passes its virtual-timer set); the returned
 	// function cancels the pending callback. Nil selects host timers
@@ -100,6 +108,12 @@ type Queue struct {
 	head     int // elevator position: first LBA the next sweep considers
 	plugs    int // Plug nesting depth; dispatch holds while > 0
 
+	// plugOwner tracks how many of the explicit plugs each TASK holds, so
+	// wait can park a sleeping submitter's plugs (see wait). Host-side
+	// (nil-task) plugs are deliberately not tracked: they follow the
+	// plug-submit-unplug-wait discipline and never sleep while plugged.
+	plugOwner map[*sched.Task]int
+
 	// Anticipatory-plug state (see the package comment). antOpen holds
 	// dispatch exactly like an explicit plug; antGen invalidates the expiry
 	// of a window that was closed (and possibly reopened) before its timer
@@ -109,6 +123,15 @@ type Queue struct {
 	antOpen   bool
 	antGen    uint64
 	antStop   func() bool
+
+	// Adaptive-plug state: an EWMA of the gap between successive submits
+	// sizes each window (ceiling plugDelay), and a window that merged at
+	// least one request (antHits > 0) expiring is a successful close, not
+	// a timeout — only zero-hit windows count as misses.
+	adaptive   bool
+	lastSubmit time.Time
+	gapEWMA    time.Duration
+	antHits    int
 
 	// Statistics. Guarded by mu.
 	submitted    int64 // requests accepted
@@ -129,10 +152,12 @@ func New(dev fs.BlockDevice, opts Options) *Queue {
 		depth = DefaultDepth
 	}
 	q := &Queue{
-		dev:      dev,
-		abe:      opts.Async,
-		bs:       dev.BlockSize(),
-		inflight: make(map[uint64]*command, depth),
+		dev:       dev,
+		abe:       opts.Async,
+		bs:        dev.BlockSize(),
+		inflight:  make(map[uint64]*command, depth),
+		plugOwner: make(map[*sched.Task]int),
+		adaptive:  opts.AdaptivePlug,
 	}
 	q.mu.SetRank(ksync.RankBlkq, 0)
 	q.pool.New = func() any {
@@ -218,6 +243,9 @@ func (q *Queue) SubmitWrite(t *sched.Task, lba, n int, src []byte) (fs.BlockTick
 func (q *Queue) Plug(t *sched.Task) {
 	q.mu.Lock(t)
 	q.plugs++
+	if t != nil {
+		q.plugOwner[t]++
+	}
 	q.closeAnticipationLocked()
 	q.mu.Unlock()
 }
@@ -230,20 +258,107 @@ func (q *Queue) Unplug(t *sched.Task) {
 		panic("blkq: unplug without plug")
 	}
 	q.plugs--
+	if t != nil {
+		if q.plugOwner[t]--; q.plugOwner[t] <= 0 {
+			delete(q.plugOwner, t)
+		}
+	}
 	q.mu.Unlock()
 	q.kick(t)
 }
 
+// parkPlugs temporarily releases every explicit plug t holds, returning
+// how many were parked; unparkPlugs restores them after the sleep. This is
+// the Linux rule that schedule() flushes the blocking task's plug: a
+// plugged task about to sleep on one of its own requests would deadlock —
+// its plug holds the very dispatch it waits for — and any batch it was
+// assembling is as big as it is going to get. The plug logically survives
+// the sleep: once the task wakes, its later submissions accumulate again
+// until the real Unplug.
+func (q *Queue) parkPlugs(t *sched.Task) int {
+	if t == nil {
+		return 0
+	}
+	q.mu.Lock(t)
+	n := q.plugOwner[t]
+	if n > 0 {
+		q.plugs -= n
+		delete(q.plugOwner, t)
+	}
+	q.mu.Unlock()
+	if n > 0 {
+		q.kick(t)
+	}
+	return n
+}
+
+// unparkPlugs reinstates n plugs parked by parkPlugs.
+func (q *Queue) unparkPlugs(t *sched.Task, n int) {
+	if n <= 0 {
+		return
+	}
+	q.mu.Lock(t)
+	q.plugs += n
+	q.plugOwner[t] += n
+	q.mu.Unlock()
+}
+
 // --- the anticipatory plug ---
 
-// openAnticipationLocked starts a PlugDelay dispatch hold for a request
-// that found the queue idle. Caller holds q.mu; the timer callback fires
-// outside every ktime/host-timer lock, so arming under q.mu is safe.
-func (q *Queue) openAnticipationLocked() {
+// openAnticipationLocked starts a dispatch hold of the given length for a
+// request that found the queue idle. Caller holds q.mu; the timer callback
+// fires outside every ktime/host-timer lock, so arming under q.mu is safe.
+func (q *Queue) openAnticipationLocked(delay time.Duration) {
 	q.antOpen = true
 	q.antGen++
+	q.antHits = 0
 	gen := q.antGen
-	q.antStop = q.after(q.plugDelay, func() { q.anticipationExpired(gen) })
+	q.antStop = q.after(delay, func() { q.anticipationExpired(gen) })
+}
+
+// windowDelayLocked sizes the next anticipatory window. The fixed mode
+// always waits the full plugDelay. Adaptive mode bets on the observed
+// inter-submit cadence: with no estimate yet it waits the full window;
+// with the typical gap at or beyond the window it returns 0 — anticipation
+// cannot pay, every window would expire before the follow-up arrives — and
+// otherwise it holds for twice the typical gap (clamped to
+// [plugDelay/16, plugDelay]), long enough to catch the next request of a
+// burst without paying the full delay when the burst ends. Caller holds
+// q.mu.
+func (q *Queue) windowDelayLocked() time.Duration {
+	if !q.adaptive || q.gapEWMA == 0 {
+		return q.plugDelay
+	}
+	if q.gapEWMA >= q.plugDelay {
+		return 0
+	}
+	delay := 2 * q.gapEWMA
+	if floor := q.plugDelay / 16; delay < floor {
+		delay = floor
+	}
+	if delay > q.plugDelay {
+		delay = q.plugDelay
+	}
+	return delay
+}
+
+// noteSubmitGapLocked feeds one inter-submit gap into the cadence EWMA
+// (alpha 1/4, samples clamped to 4x plugDelay so one long pause does not
+// swamp the estimate but a genuinely slow submitter still pushes it past
+// the give-up threshold). Caller holds q.mu.
+func (q *Queue) noteSubmitGapLocked(now time.Time) {
+	if !q.lastSubmit.IsZero() {
+		gap := now.Sub(q.lastSubmit)
+		if max := 4 * q.plugDelay; gap > max {
+			gap = max
+		}
+		if q.gapEWMA == 0 {
+			q.gapEWMA = gap
+		} else {
+			q.gapEWMA += (gap - q.gapEWMA) / 4
+		}
+	}
+	q.lastSubmit = now
 }
 
 // closeAnticipationLocked converts or cancels an open window; dispatch is
@@ -262,7 +377,10 @@ func (q *Queue) closeAnticipationLocked() {
 
 // anticipationExpired is the window's timer callback: nothing mergeable
 // arrived (or the submitter never waited), so stop anticipating and let
-// the accumulated batch go.
+// the accumulated batch go. In adaptive mode a window that did merge
+// traffic before expiring closed successfully — the burst simply ended —
+// so only zero-hit windows count as timeouts there; the fixed mode keeps
+// the PR 4 accounting (every expiry is a miss).
 func (q *Queue) anticipationExpired(gen uint64) {
 	q.mu.Lock(nil)
 	if !q.antOpen || gen != q.antGen {
@@ -271,7 +389,9 @@ func (q *Queue) anticipationExpired(gen uint64) {
 	}
 	q.antOpen = false
 	q.antStop = nil
-	q.plugTimeouts++
+	if !q.adaptive || q.antHits == 0 {
+		q.plugTimeouts++
+	}
 	q.mu.Unlock()
 	q.kick(nil)
 }
@@ -313,20 +433,27 @@ func (q *Queue) submit(t *sched.Task, write bool, lba, n int, buf []byte) (*requ
 	}
 	// Anticipatory plugging: a request hitting an idle, unplugged queue
 	// would dispatch alone — solo commands are exactly what the elevator
-	// cannot merge. Hold it for PlugDelay instead, so a lone sequential
-	// writer's follow-ups accumulate into one command. Requests landing in
-	// an open window are the anticipated traffic (plug hits); once the
-	// pending span can no longer grow a bigger command, waiting is pointless
-	// and the window converts.
+	// cannot merge. Hold it for a window instead (the full PlugDelay, or
+	// the cadence-sized adaptive one), so a lone sequential writer's
+	// follow-ups accumulate into one command. Requests landing in an open
+	// window are the anticipated traffic (plug hits); once the pending
+	// span can no longer grow a bigger command, waiting is pointless and
+	// the window converts.
 	if q.plugDelay > 0 && q.plugs == 0 {
+		if q.adaptive {
+			q.noteSubmitGapLocked(time.Now())
+		}
 		switch {
 		case q.antOpen:
 			q.plugHits++
+			q.antHits++
 			if q.pendingN >= maxMergeBlocks {
 				q.closeAnticipationLocked()
 			}
 		case idle:
-			q.openAnticipationLocked()
+			if delay := q.windowDelayLocked(); delay > 0 {
+				q.openAnticipationLocked(delay)
+			}
 		}
 	}
 	q.mu.Unlock()
@@ -341,6 +468,8 @@ func (q *Queue) submit(t *sched.Task, write bool, lba, n int, buf []byte) (*requ
 // the window's batch is as big as it is going to get.
 func (q *Queue) wait(t *sched.Task, r *request) error {
 	q.flushAnticipation(t)
+	parked := q.parkPlugs(t)
+	defer q.unparkPlugs(t, parked)
 	if t == nil {
 		q.mu.Lock(nil)
 		if r.done {
@@ -574,8 +703,18 @@ func (q *Queue) PlugStats() (hits, timeouts int64) {
 // Depth reports the configured in-flight command bound.
 func (q *Queue) Depth() int { return q.depth }
 
-// PlugDelay reports the anticipatory-plug window (0 = disabled).
+// PlugDelay reports the anticipatory-plug window ceiling (0 = disabled).
 func (q *Queue) PlugDelay() time.Duration { return q.plugDelay }
+
+// AdaptivePlug reports whether windows are cadence-sized (see
+// Options.AdaptivePlug), plus the current inter-submit gap estimate and
+// the window the next idle request would open (0 = anticipation currently
+// given up as hopeless).
+func (q *Queue) AdaptivePlug() (on bool, gap, window time.Duration) {
+	q.mu.Lock(nil)
+	defer q.mu.Unlock()
+	return q.adaptive, q.gapEWMA, q.windowDelayLocked()
+}
 
 var (
 	_ fs.TaskBlockDevice   = (*Queue)(nil)

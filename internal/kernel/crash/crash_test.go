@@ -360,6 +360,15 @@ var fatCache = bcache.Options{Buffers: 512, Shards: 4, Readahead: -1,
 	FlushInterval: time.Hour, WritebackRatio: -1}
 
 func recordFat(t *testing.T, seed int64, nOps int) *crash.Recorder {
+	return recordFatPath(t, seed, nOps, fat32.DataPathRange)
+}
+
+// recordFatPath records the workload with file data flowing through the
+// given data path (metadata always goes through the cache): the
+// single-block and bypass baselines order their device writes
+// differently from the default coalesced range path, so each gets its
+// own crash sweep.
+func recordFatPath(t *testing.T, seed int64, nOps int, dp fat32.DataPath) *crash.Recorder {
 	t.Helper()
 	rd := fs.NewRamdisk(fat32.SectorSize, fatSectors)
 	if err := fat32.Mkfs(rd); err != nil {
@@ -370,6 +379,7 @@ func recordFat(t *testing.T, seed int64, nOps int) *crash.Recorder {
 	if err != nil {
 		t.Fatal(err)
 	}
+	fsys.SetDataPath(dp)
 	workload(t, fsys, rand.New(rand.NewSource(seed)), nOps)
 	return rec
 }
@@ -437,6 +447,30 @@ func TestCrashFAT32(t *testing.T) {
 		base := rec.ImageAt(0)
 		for _, k := range points(rng, rec.Writes(), nPoints, direntPoints(rec, base)) {
 			verifyFat(t, rec.ImageAt(k), fmt.Sprintf("seed %d point %d/%d", seed, k, rec.Writes()))
+		}
+	}
+}
+
+// TestCrashFAT32DataPaths sweeps the same crash-point fuzz over the two
+// measurement-baseline data paths (single-block cached loop, and direct-
+// device bypass). Only the default range path was crash-tested before;
+// the baselines put data on the device in a different order relative to
+// the ordered metadata writes — the bypass path in particular hits the
+// device before any cache flush — and every prefix must still verify,
+// repair, and take live traffic.
+func TestCrashFAT32DataPaths(t *testing.T) {
+	nOps, nPoints := 60, 25
+	if testing.Short() {
+		nOps, nPoints = 25, 6
+	}
+	for _, dp := range []fat32.DataPath{fat32.DataPathSingleBlock, fat32.DataPathBypass} {
+		for _, seed := range seeds(t) {
+			rec := recordFatPath(t, seed, nOps, dp)
+			rng := rand.New(rand.NewSource(seed + 2))
+			base := rec.ImageAt(0)
+			for _, k := range points(rng, rec.Writes(), nPoints, direntPoints(rec, base)) {
+				verifyFat(t, rec.ImageAt(k), fmt.Sprintf("path %s seed %d point %d/%d", dp, seed, k, rec.Writes()))
+			}
 		}
 	}
 }

@@ -258,35 +258,71 @@ func TestCreateVsWalkSameParent(t *testing.T) {
 	}
 }
 
-// TestUnlinkPoisonsOpenHandles pins the FAT32 unlink contract: the chain
-// is freed immediately (FAT has no deferred reclaim), so surviving handles
-// must fail cleanly rather than read reallocated clusters.
-func TestUnlinkPoisonsOpenHandles(t *testing.T) {
+// TestUnlinkDeferredReclaim pins the POSIX unlink-while-open contract
+// (xv6fs-style deferred reclaim): a descriptor opened before the unlink
+// keeps reading, writing, growing, and fsyncing the file; the name is gone
+// from the namespace immediately; and the LAST close frees the chain and
+// drops the pseudo-inode.
+func TestUnlinkDeferredReclaim(t *testing.T) {
 	withRankCheck(t)
 	f := newFS(t, 4096)
+	free0, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	fl, err := openOF(f, "/gone.bin", fs.OCreate|fs.ORdWr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl.Write(nil, make([]byte, 8192))
+	payload := make([]byte, 8192)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := fl.Write(nil, payload); err != nil {
+		t.Fatal(err)
+	}
 	if err := f.Unlink(nil, "/gone.bin"); err != nil {
 		t.Fatal(err)
 	}
-	fl.Seek(nil, 0, fs.SeekSet)
-	if _, err := fl.Read(nil, make([]byte, 512)); !errors.Is(err, fs.ErrNotFound) {
-		t.Fatalf("read after unlink = %v, want ErrNotFound", err)
+	// The name is gone immediately...
+	if _, err := f.Stat(nil, "/gone.bin"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat after unlink = %v, want ErrNotFound", err)
 	}
-	if _, err := fl.Write(nil, []byte("x")); !errors.Is(err, fs.ErrNotFound) {
-		t.Fatalf("write after unlink = %v, want ErrNotFound", err)
+	// ...but the descriptor still works: read back, overwrite, grow past
+	// the old tail, and fsync, all against the retained chain.
+	got := make([]byte, len(payload))
+	if _, err := fl.Pread(nil, got, 0); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read after unlink: %v (match=%v)", err, bytes.Equal(got, payload))
 	}
+	if _, err := fl.Pwrite(nil, []byte("still-here"), 0); err != nil {
+		t.Fatalf("write after unlink = %v", err)
+	}
+	if _, err := fl.Pwrite(nil, []byte("grown"), int64(len(payload))); err != nil {
+		t.Fatalf("grow after unlink = %v", err)
+	}
+	if err := fl.Sync(nil); err != nil {
+		t.Fatalf("fsync after unlink = %v", err)
+	}
+	if _, err := fl.Pread(nil, got[:10], 0); err != nil || string(got[:10]) != "still-here" {
+		t.Fatalf("readback after unlink: %q, %v", got[:10], err)
+	}
+	// The last close reclaims: pseudo-inode gone, every cluster back in
+	// the pool.
 	if err := fl.Close(nil); err != nil {
 		t.Fatal(err)
 	}
 	if n := f.PseudoInodes(); n != 0 {
 		t.Fatalf("pseudo-inode leak after close: %d", n)
 	}
+	free1, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free1 != free0 {
+		t.Fatalf("free clusters %d -> %d after last close, want full reclaim", free0, free1)
+	}
 	// The first cluster may be reused by a new file without aliasing the
-	// dead handle's pseudo-inode.
+	// closed handle's pseudo-inode.
 	fl2, err := openOF(f, "/fresh.bin", fs.OCreate|fs.OWrOnly)
 	if err != nil {
 		t.Fatal(err)

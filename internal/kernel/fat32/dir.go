@@ -236,25 +236,25 @@ func (f *FS) walkDir(t *sched.Task, path string) (*pseudoInode, error) {
 	}
 	for _, seg := range strings.Split(path[1:], "/") {
 		cur.lock.Lock(t)
-		if cur.dead {
+		if cur.gone() {
 			cur.lock.Unlock()
-			f.unpin(cur)
+			f.unpin(t, cur)
 			return nil, fs.ErrNotFound
 		}
 		de, ref, err := f.lookup(t, cur.firstCluster, seg)
 		if err != nil {
 			cur.lock.Unlock()
-			f.unpin(cur)
+			f.unpin(t, cur)
 			return nil, err
 		}
 		if de.attr&attrDir == 0 {
 			cur.lock.Unlock()
-			f.unpin(cur)
+			f.unpin(t, cur)
 			return nil, fs.ErrNotDir
 		}
 		next := f.pin(de.cluster, true, de.size, ref)
 		cur.lock.Unlock()
-		f.unpin(cur)
+		f.unpin(t, cur)
 		cur = next
 	}
 	return cur, nil

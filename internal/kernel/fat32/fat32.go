@@ -157,7 +157,14 @@ type pseudoInode struct {
 	// this file/directory and guards the fields below.
 	lock ksync.SleepLock
 	size uint32
-	dead bool // unlinked: chain freed, operations must fail
+	dead bool // poisoned: chain freed, operations must fail
+	// unlinked marks an object removed from the namespace while other
+	// handles still referenced it: the dirent is gone but the chain is
+	// kept allocated so those descriptors keep reading, writing, and
+	// fsyncing, and the LAST unpin frees the chain (deferred reclaim,
+	// the xv6fs open-unlink contract). Written while holding both
+	// pi.lock and FS.mu; readable under either.
+	unlinked bool
 	// Directory entry location, for size updates on write.
 	dirCluster uint32
 	dirIndex   int

@@ -52,18 +52,36 @@ func (f *FS) pin(cluster uint32, isDir bool, size uint32, ref direntRef) *pseudo
 	return pi
 }
 
-// unpin drops a reference. The identity check matters: a dead (unlinked)
+// unpin drops a reference. The identity check matters: a dead (poisoned)
 // pseudo-inode was already removed from the map, and its first cluster may
 // have been reused by a live successor that must not be evicted.
-func (f *FS) unpin(pi *pseudoInode) {
+//
+// The last unpin of an unlinked object performs the deferred reclaim: the
+// dirent went durable at unlink time, so all that is left is freeing the
+// chain and retiring the error stream (no new writer can be tagged with it
+// once the pseudo-inode is gone). freeChain runs after FS.mu is dropped —
+// it takes the allocator sleeplock, which must never nest inside the
+// table mutex — and its error is returned so the closing descriptor hears
+// about a reclaim that leaked clusters.
+func (f *FS) unpin(t *sched.Task, pi *pseudoInode) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	pi.refs--
+	reclaim := false
 	if pi.refs <= 0 {
 		if cur, ok := f.pseudo[pi.firstCluster]; ok && cur == pi {
 			delete(f.pseudo, pi.firstCluster)
 		}
+		if pi.unlinked && !pi.dead {
+			pi.dead = true
+			delete(f.owners, pi.firstCluster)
+			reclaim = true
+		}
 	}
+	f.mu.Unlock()
+	if reclaim {
+		return f.freeChain(t, pi.firstCluster)
+	}
+	return nil
 }
 
 // PseudoInodes reports how many pseudo-inodes are live (tests verify the
@@ -100,10 +118,10 @@ func (f *FS) Open(t *sched.Task, path string, flags int) (fs.FileOps, error) {
 	dp.lock.Lock(t)
 	fail := func(err error) (fs.FileOps, error) {
 		dp.lock.Unlock()
-		f.unpin(dp)
+		f.unpin(t, dp)
 		return nil, err
 	}
-	if dp.dead {
+	if dp.gone() {
 		return fail(fs.ErrNotFound)
 	}
 	de, ref, err := f.lookup(t, dp.firstCluster, name)
@@ -122,14 +140,14 @@ func (f *FS) Open(t *sched.Task, path string, flags int) (fs.FileOps, error) {
 		if pi.size > 0 {
 			if err := f.truncatePI(t, pi); err != nil {
 				pi.lock.Unlock()
-				f.unpin(pi)
+				f.unpin(t, pi)
 				return fail(err)
 			}
 		}
 		pi.lock.Unlock()
 	}
 	dp.lock.Unlock()
-	f.unpin(dp)
+	f.unpin(t, dp)
 	return &file{fsys: f, pi: pi, name: name}, nil
 }
 
@@ -217,9 +235,9 @@ func (f *FS) Mkdir(t *sched.Task, path string) error {
 	dp.lock.Lock(t)
 	defer func() {
 		dp.lock.Unlock()
-		f.unpin(dp)
+		f.unpin(t, dp)
 	}()
-	if dp.dead {
+	if dp.gone() {
 		return fs.ErrNotFound
 	}
 	if _, _, err := f.lookup(t, dp.firstCluster, name); err == nil {
@@ -244,10 +262,10 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 	dp.lock.Lock(t)
 	fail := func(err error) error {
 		dp.lock.Unlock()
-		f.unpin(dp)
+		f.unpin(t, dp)
 		return err
 	}
-	if dp.dead {
+	if dp.gone() {
 		return fail(fs.ErrNotFound)
 	}
 	de, ref, err := f.lookup(t, dp.firstCluster, name)
@@ -258,7 +276,7 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 	pi.lock.LockNested(t)
 	failBoth := func(err error) error {
 		pi.lock.Unlock()
-		f.unpin(pi)
+		f.unpin(t, pi)
 		return fail(err)
 	}
 	if pi.isDir {
@@ -285,12 +303,13 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 	if err := f.orderedFlush(t, sector); err != nil {
 		return failBoth(err)
 	}
-	err = f.freeChain(t, de.cluster)
-	f.killPI(pi)
+	err = f.disownPI(t, pi)
 	pi.lock.Unlock()
-	f.unpin(pi)
+	if uerr := f.unpin(t, pi); err == nil {
+		err = uerr
+	}
 	dp.lock.Unlock()
-	f.unpin(dp)
+	f.unpin(t, dp)
 	return err
 }
 
@@ -308,13 +327,39 @@ func (f *FS) killPI(pi *pseudoInode) {
 	f.mu.Unlock()
 }
 
+// disownPI finishes an unlink or rename-replace for an object whose dirent
+// is already durably gone. Holding the only reference, it frees the chain
+// and poisons the pseudo-inode inline; with other handles live it only
+// marks the object unlinked — those descriptors keep working against the
+// still-allocated chain, and the last unpin reclaims it (deferred reclaim,
+// matching xv6fs). Caller holds pi.lock and a pin on pi.
+func (f *FS) disownPI(t *sched.Task, pi *pseudoInode) error {
+	f.mu.Lock()
+	if pi.refs > 1 {
+		pi.unlinked = true
+		f.mu.Unlock()
+		return nil
+	}
+	f.mu.Unlock()
+	err := f.freeChain(t, pi.firstCluster)
+	f.killPI(pi)
+	return err
+}
+
+// gone reports whether the object has left the namespace — poisoned, or
+// unlinked and awaiting last-close reclaim. Directory operations check it
+// so nothing new is created or resolved under a removed directory; file
+// data paths deliberately check only dead, keeping surviving descriptors
+// usable. Caller holds pi.lock or FS.mu.
+func (pi *pseudoInode) gone() bool { return pi.dead || pi.unlinked }
+
 // Rename implements fs.Renamer: atomically move oldPath to newPath within
 // the volume. An existing target is atomically REPLACED (POSIX rename):
 // its directory entry — same name, same slot — is repointed at the moved
 // file's chain in one sector-atomic patch, so newPath never stops
-// resolving; the displaced chain is freed and its pseudo-inode poisoned
-// (FAT32 has no deferred reclaim — surviving handles fail cleanly, as
-// with unlink-while-open). A directory may only replace an empty
+// resolving; the displaced chain is freed — immediately when nothing else
+// references it, otherwise deferred to the last close so surviving
+// handles keep working (see disownPI). A directory may only replace an empty
 // directory; replacing across types fails with ErrIsDir/ErrNotDir.
 //
 // Rename is the one operation holding two directory locks at once, so it
@@ -372,12 +417,12 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 	}
 	dp2, err := f.walkDir(t, newDir)
 	if err != nil {
-		f.unpin(dp1)
+		f.unpin(t, dp1)
 		return err
 	}
 	unpinDirs := func() {
-		f.unpin(dp1)
-		f.unpin(dp2)
+		f.unpin(t, dp1)
+		f.unpin(t, dp2)
 	}
 
 	first, second := dp1, dp2
@@ -404,7 +449,7 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		unpinDirs()
 		return err
 	}
-	if dp1.dead || dp2.dead {
+	if dp1.gone() || dp2.gone() {
 		return fail(fs.ErrNotFound)
 	}
 
@@ -434,7 +479,7 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 	pi.lock.LockNested(t)
 	failPI := func(err error) error {
 		pi.lock.Unlock()
-		f.unpin(pi)
+		f.unpin(t, pi)
 		return fail(err)
 	}
 	if terr == nil {
@@ -445,7 +490,7 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		vpi.lock.LockNested(t)
 		failBoth := func(err error) error {
 			vpi.lock.Unlock()
-			f.unpin(vpi)
+			f.unpin(t, vpi)
 			return failPI(err)
 		}
 		if vpi.isDir {
@@ -493,19 +538,22 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 			})
 			return failBoth(err)
 		}
-		// Only now is the displaced chain unreachable; free it. The
+		// Only now is the displaced chain unreachable; free it — inline
+		// when this rename holds the victim's only reference, deferred to
+		// last close when open descriptors survive the replace. The
 		// rename itself is committed at this point — a FAT write failure
 		// here leaks the displaced clusters (fsck territory), so it is
 		// still reported to the caller, as Unlink reports its own
 		// free-chain failures.
-		freeErr := f.freeChain(t, tde.cluster)
-		f.killPI(vpi)
+		freeErr := f.disownPI(t, vpi)
 		pi.dirCluster, pi.dirIndex = tref.cluster, tref.index
 		vpi.lock.Unlock()
-		f.unpin(vpi)
+		if uerr := f.unpin(t, vpi); freeErr == nil {
+			freeErr = uerr
+		}
 		if freeErr != nil {
 			pi.lock.Unlock()
-			f.unpin(pi)
+			f.unpin(t, pi)
 			return fail(freeErr)
 		}
 	} else {
@@ -534,7 +582,7 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		pi.dirCluster, pi.dirIndex = newRef.cluster, newRef.index
 	}
 	pi.lock.Unlock()
-	f.unpin(pi)
+	f.unpin(t, pi)
 	if second != nil {
 		second.lock.Unlock()
 	}
@@ -556,9 +604,9 @@ func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
 	dp.lock.Lock(t)
 	defer func() {
 		dp.lock.Unlock()
-		f.unpin(dp)
+		f.unpin(t, dp)
 	}()
-	if dp.dead {
+	if dp.gone() {
 		return fs.Stat{}, fs.ErrNotFound
 	}
 	de, _, err := f.lookup(t, dp.firstCluster, name)
@@ -592,7 +640,7 @@ func (f *FS) Sync(t *sched.Task) error {
 	for _, pi := range live {
 		pi.lock.Lock(t)
 		pi.lock.Unlock()
-		f.unpin(pi)
+		f.unpin(t, pi)
 	}
 	f.fatLock.Lock(t)
 	err := f.writeFSInfoLocked(t)
@@ -734,8 +782,11 @@ func (fl *file) Pwrite(t *sched.Task, p []byte, off int64) (int, int64, error) {
 		// metadata consistency across a crash, while data durability stays
 		// an fsync matter (unfsynced appends may read back stale or zero
 		// after a crash — the classic FAT contract). In-place overwrites
-		// (no chain growth) publish nothing new and skip the flush.
-		if len(clusters) > origLen {
+		// (no chain growth) publish nothing new and skip the flush. An
+		// unlinked file has no dirent left to publish to: its size grows
+		// only in memory, and the FAT links need no barrier — a crash
+		// leaves the whole chain as a repairable leak either way.
+		if len(clusters) > origLen && !pi.unlinked {
 			fatSectors := make([]int, 0, len(clusters)-origLen+1)
 			last := -1
 			for _, c := range clusters[origLen-1:] {
@@ -751,8 +802,12 @@ func (fl *file) Pwrite(t *sched.Task, p []byte, off int64) (int, int64, error) {
 			}
 		}
 		pi.size = uint32(end)
-		if err := fl.fsys.patchDirentSize(t, pi); err != nil {
-			return done, off + int64(done), err
+		// No size patch for an unlinked file: its dirent slot is gone and
+		// may already hold an unrelated entry.
+		if !pi.unlinked {
+			if err := fl.fsys.patchDirentSize(t, pi); err != nil {
+				return done, off + int64(done), err
+			}
 		}
 	}
 	return done, off + int64(done), nil
@@ -807,7 +862,10 @@ func (fl *file) Sync(t *sched.Task) error {
 	if err := f.bc.FlushOwner(t, pi.wb, extra...); err != nil {
 		return err
 	}
-	if !pi.isDir && pi.dirCluster >= rootCluster {
+	// An unlinked file's dirent slot is gone (and possibly reused): there
+	// is no size patch to force, so fsync through a surviving descriptor
+	// stops after data + FAT.
+	if !pi.isDir && !pi.unlinked && pi.dirCluster >= rootCluster {
 		sector, _ := f.direntLoc(direntRef{cluster: pi.dirCluster, index: pi.dirIndex})
 		return f.orderedFlush(t, sector)
 	}
@@ -816,10 +874,11 @@ func (fl *file) Sync(t *sched.Task) error {
 
 // Close implements fs.FileOps: drop the pseudo-inode reference. The
 // OpenFile calls it exactly once, after the last descriptor closed and
-// the last in-flight operation drained.
+// the last in-flight operation drained. Closing the last handle of an
+// unlinked file is the deferred-reclaim point: unpin frees the chain, and
+// a reclaim failure (leaked clusters) surfaces here.
 func (fl *file) Close(t *sched.Task) error {
-	fl.fsys.unpin(fl.pi)
-	return nil
+	return fl.fsys.unpin(t, fl.pi)
 }
 
 // Stat implements fs.FileOps.

@@ -54,9 +54,9 @@ func readAll(t *testing.T, f *FS, path string) []byte {
 
 // TestRenameReplacesFile: POSIX rename onto an existing FAT32 file
 // atomically replaces it — the target's dirent is repointed in place (no
-// ErrExists), the displaced chain is freed, and a handle still open on
-// the victim is poisoned like unlink-while-open (FAT32 has no deferred
-// reclaim).
+// ErrExists), and a handle still open on the victim keeps reading the
+// displaced contents until it closes, at which point the chain is freed
+// (deferred reclaim, as with unlink-while-open).
 func TestRenameReplacesFile(t *testing.T) {
 	f := newReplaceFS(t)
 	writeNew(t, f, "/src.bin", "new-contents")
@@ -79,20 +79,30 @@ func TestRenameReplacesFile(t *testing.T) {
 	if got := readAll(t, f, "/dst.bin"); !bytes.Equal(got, []byte("new-contents")) {
 		t.Fatalf("dst = %q", got)
 	}
-	// The displaced chain was freed (one cluster back in the pool)...
+	// The surviving victim handle still reads the displaced contents —
+	// its chain is kept allocated while the handle lives...
 	free1, err := f.FreeClusters(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if free1 != free0+1 {
-		t.Fatalf("free clusters %d -> %d, want the victim's chain freed", free0, free1)
+	if free1 != free0 {
+		t.Fatalf("free clusters %d -> %d, want the victim's chain retained while open", free0, free1)
 	}
-	// ...so the surviving victim handle is dead, not silently reading
-	// reallocated clusters.
-	if _, err := victim.Pread(nil, make([]byte, 4), 0); !errors.Is(err, fs.ErrNotFound) {
-		t.Fatalf("victim handle read = %v, want ErrNotFound", err)
+	got := make([]byte, len("old-contents!"))
+	if _, err := victim.Pread(nil, got, 0); err != nil || !bytes.Equal(got, []byte("old-contents!")) {
+		t.Fatalf("victim handle read = %q, %v, want the displaced contents", got, err)
 	}
-	victim.Close(nil)
+	// ...and the last close reclaims it (one cluster back in the pool).
+	if err := victim.Close(nil); err != nil {
+		t.Fatalf("victim close = %v", err)
+	}
+	free2, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free2 != free0+1 {
+		t.Fatalf("free clusters %d -> %d after last close, want the victim's chain freed", free0, free2)
+	}
 }
 
 // TestRenameReplaceTyping: the POSIX cross-type rules on FAT32.
@@ -176,13 +186,14 @@ func TestRenameOntoAncestorNoDeadlock(t *testing.T) {
 }
 
 // TestFailedAppendKeepsOffset: a Write through an O_APPEND description
-// whose file died (unlinked while open) must fail WITHOUT corrupting the
-// shared offset (regression: the OFD used to store Pwrite's unresolved
-// input offset — OffAppend is -1 — as the file position on failure).
+// that fails (here: the volume runs out of clusters mid-append) must fail
+// WITHOUT corrupting the shared offset (regression: the OFD used to store
+// Pwrite's unresolved input offset — OffAppend is -1 — as the file
+// position on failure).
 func TestFailedAppendKeepsOffset(t *testing.T) {
 	f := newReplaceFS(t)
-	writeNew(t, f, "/doomed.bin", "0123456789")
-	fl, err := openOF(f, "/doomed.bin", fs.OWrOnly|fs.OAppend)
+	writeNew(t, f, "/grow.bin", "0123456789")
+	fl, err := openOF(f, "/grow.bin", fs.OWrOnly|fs.OAppend)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,11 +204,22 @@ func TestFailedAppendKeepsOffset(t *testing.T) {
 	if off := fl.Offset(); off != 13 {
 		t.Fatalf("offset after append = %d, want 13", off)
 	}
-	if err := f.Unlink(nil, "/doomed.bin"); err != nil {
+	// Exhaust the pool so the next cluster-crossing append cannot grow
+	// the chain.
+	free, err := f.FreeClusters(nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fl.Write(nil, []byte("xyz")); !errors.Is(err, fs.ErrNotFound) {
-		t.Fatalf("write to dead file = %v, want ErrNotFound", err)
+	filler, err := openOF(f, "/filler.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filler.Write(nil, make([]byte, free*ClusterSize)); err != nil {
+		t.Fatal(err)
+	}
+	defer filler.Close(nil)
+	if _, err := fl.Write(nil, make([]byte, ClusterSize)); !errors.Is(err, fs.ErrNoSpace) {
+		t.Fatalf("append on full volume = %v, want ErrNoSpace", err)
 	}
 	if off := fl.Offset(); off != 13 {
 		t.Fatalf("offset after failed append = %d, want 13 (not corrupted)", off)

@@ -260,6 +260,79 @@ func runFsyncAppend(tb testing.TB, plugDelay time.Duration, appends, appendSize 
 	return res
 }
 
+// The paced 1-appender workload: a lone logger appending one sector-sized
+// record every few milliseconds, fire-and-forget, straight into the
+// request queue — the unattended-log-device shape (nobody fsyncs;
+// completions drain by IRQ). Every batch-assembling flusher in the stack
+// either plugs explicitly (Flush, the daemon) or waits and thereby
+// converts its window (FlushOwner/fsync — which is why the fsync
+// appender's recording shows plug_timeouts 0), so this fire-and-forget
+// submitter is the shape where windows actually EXPIRE: each record finds
+// an idle queue, opens an anticipatory window, and — the cadence being far
+// slower than any window — waits it out for nothing, paying one PlugDelay
+// of added time-to-media latency per record. Fixed-delay plugging pays
+// that on every single record; adaptive plugging learns the cadence after
+// the first window and stops opening them, so plug_timeouts (and the
+// added latency) collapse.
+const (
+	paAppends    = 64
+	paAppendSize = SectorSize
+	paThink      = 4 * blkq.DefaultPlugDelay // inter-record think time
+)
+
+func runPacedAppend(tb testing.TB, adaptive bool, latencyScale float64) fsyncAppendResult {
+	tb.Helper()
+	ic := hw.NewIRQController(1)
+	sd := hw.NewSDCard(65536, ic)
+	sd.SetLatencyScale(latencyScale)
+	adev := asyncSDDev{sdDev{sd}}
+	q := blkq.New(adev, blkq.Options{Async: adev, PlugDelay: blkq.DefaultPlugDelay, AdaptivePlug: adaptive})
+	ic.Register(hw.IRQSD, 0, func(hw.IRQLine, int) { q.CompletionIRQ() })
+	record := make([]byte, paAppendSize)
+	for i := range record {
+		record[i] = byte(i * 7)
+	}
+	start := time.Now()
+	tks := make([]fs.BlockTicket, 0, paAppends)
+	for i := 0; i < paAppends; i++ {
+		tk, err := q.SubmitWrite(nil, 100+i, 1, record)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tks = append(tks, tk)
+		time.Sleep(paThink)
+	}
+	// Drain: by now every record's window has long expired; these waits
+	// just collect completions (and surface any error).
+	for _, tk := range tks {
+		if err := tk.Wait(nil); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	sd.SetLatencyScale(0)
+	sub, disp, _, _, _ := q.Stats()
+	hits, timeouts := q.PlugStats()
+	res := fsyncAppendResult{
+		Config:       "fixed-plug",
+		Appends:      paAppends,
+		AppendSize:   paAppendSize,
+		Seconds:      elapsed.Seconds(),
+		QSubmitted:   sub,
+		QCommands:    disp,
+		MergeRatio:   1,
+		PlugHits:     hits,
+		PlugTimeouts: timeouts,
+	}
+	if adaptive {
+		res.Config = "adaptive-plug"
+	}
+	if disp > 0 {
+		res.MergeRatio = float64(sub) / float64(disp)
+	}
+	return res
+}
+
 // BenchmarkWriteHeavy compares the two configurations under `go test
 // -bench WriteHeavy`.
 func BenchmarkWriteHeavy(b *testing.B) {
@@ -311,6 +384,8 @@ func TestWriteHeavyThroughput(t *testing.T) {
 	speedup := opt.MBps / base.MBps
 	noplug := runFsyncAppend(t, -1, faAppends, faAppendSize, wbScale)
 	plug := runFsyncAppend(t, blkq.DefaultPlugDelay, faAppends, faAppendSize, wbScale)
+	fixedPaced := runPacedAppend(t, false, wbScale)
+	adaptivePaced := runPacedAppend(t, true, wbScale)
 	report := map[string]any{
 		"benchmark":         "write-heavy (8 tasks, latency-bound SD, one FAT32 mount)",
 		"append_size":       wbAppendSize,
@@ -322,6 +397,10 @@ func TestWriteHeavyThroughput(t *testing.T) {
 		"fsync_1appender": map[string]any{
 			"benchmark": "1 appender, fsync per 4 KB record, latency-bound SD",
 			"results":   []fsyncAppendResult{noplug, plug},
+		},
+		"paced_1appender": map[string]any{
+			"benchmark": "1 paced fire-and-forget appender, think time 4x PlugDelay, latency-bound SD",
+			"results":   []fsyncAppendResult{fixedPaced, adaptivePaced},
 		},
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
@@ -337,6 +416,10 @@ func TestWriteHeavyThroughput(t *testing.T) {
 	t.Logf("fsync-appender noplug: %d submitted / %d commands, merge ratio %.2f", noplug.QSubmitted, noplug.QCommands, noplug.MergeRatio)
 	t.Logf("fsync-appender plug:   %d submitted / %d commands, merge ratio %.2f (hits %d, timeouts %d)",
 		plug.QSubmitted, plug.QCommands, plug.MergeRatio, plug.PlugHits, plug.PlugTimeouts)
+	t.Logf("paced-appender fixed:    %d submitted / %d commands, merge ratio %.2f (hits %d, timeouts %d)",
+		fixedPaced.QSubmitted, fixedPaced.QCommands, fixedPaced.MergeRatio, fixedPaced.PlugHits, fixedPaced.PlugTimeouts)
+	t.Logf("paced-appender adaptive: %d submitted / %d commands, merge ratio %.2f (hits %d, timeouts %d)",
+		adaptivePaced.QSubmitted, adaptivePaced.QCommands, adaptivePaced.MergeRatio, adaptivePaced.PlugHits, adaptivePaced.PlugTimeouts)
 	if speedup < 2 {
 		t.Errorf("async stack speedup %.2fx, want >= 2x", speedup)
 	}
@@ -346,6 +429,13 @@ func TestWriteHeavyThroughput(t *testing.T) {
 	if plug.MergeRatio < noplug.MergeRatio*1.2 {
 		t.Errorf("anticipatory plugging merge ratio %.2f vs %.2f unplugged; want a >=1.2x win for the lone appender",
 			plug.MergeRatio, noplug.MergeRatio)
+	}
+	if fixedPaced.PlugTimeouts == 0 {
+		t.Errorf("paced appender under fixed plugging recorded no plug timeouts — the workload no longer exercises the window-expiry path")
+	}
+	if adaptivePaced.PlugTimeouts*2 > fixedPaced.PlugTimeouts {
+		t.Errorf("adaptive plug timeouts = %d vs %d fixed; want at least a 2x drop on the paced lone appender",
+			adaptivePaced.PlugTimeouts, fixedPaced.PlugTimeouts)
 	}
 	if opt.MBps < 0.8*wbPR5BaselineMBps {
 		t.Errorf("write-heavy throughput %.2f MB/s is under 80%% of the PR 5 baseline %.2f MB/s — the ordered-writes discipline regressed the hot path",

@@ -105,6 +105,14 @@ type Config struct {
 	// ModeXv6 runs without queues, so without plugging too.
 	PlugDelay time.Duration
 
+	// AdaptivePlug sizes each anticipatory window from the observed
+	// inter-submit gap instead of always waiting the full PlugDelay
+	// (blkq.Options.AdaptivePlug): fast bursts get short windows, and
+	// submitters slower than the window stop opening them — plug
+	// timeouts stop charging latency to workloads anticipation cannot
+	// help. PlugDelay stays the ceiling.
+	AdaptivePlug bool
+
 	RamdiskImage []byte // xv6fs image for the root filesystem
 
 	// ConsoleOut tees printk output (nil = in-memory transcript only).
@@ -419,9 +427,10 @@ func (k *Kernel) stackQueue(d *BlockIO, enabled bool) fs.BlockDevice {
 		return d
 	}
 	q := blkq.New(d, blkq.Options{
-		Depth:     k.cfg.QueueDepth,
-		Async:     d.Async(),
-		PlugDelay: k.cfg.PlugDelay,
+		Depth:        k.cfg.QueueDepth,
+		Async:        d.Async(),
+		PlugDelay:    k.cfg.PlugDelay,
+		AdaptivePlug: k.cfg.AdaptivePlug,
 		After: func(dur time.Duration, fn func()) func() bool {
 			return k.VTimers.After(dur, fn).Stop
 		},

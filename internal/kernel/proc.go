@@ -10,6 +10,7 @@ import (
 	"protosim/internal/kernel/ksync"
 	"protosim/internal/kernel/mm"
 	"protosim/internal/kernel/sched"
+	"protosim/internal/kernel/uring"
 	"protosim/internal/uelf"
 )
 
@@ -18,13 +19,15 @@ const MaxFDs = 16
 
 // Syscall errors.
 var (
-	ErrNoProgram = errors.New("kernel: exec target is not a known program")
-	ErrNoVM      = errors.New("kernel: virtual memory not enabled in this prototype")
-	ErrNoFiles   = errors.New("kernel: files not enabled in this prototype")
-	ErrNoThreads = errors.New("kernel: threading not enabled in this prototype")
-	ErrNoSem     = errors.New("kernel: bad semaphore id")
-	ErrNoProc    = errors.New("kernel: no such process")
-	ErrNoKids    = errors.New("kernel: no children to wait for")
+	ErrNoProgram  = errors.New("kernel: exec target is not a known program")
+	ErrNoVM       = errors.New("kernel: virtual memory not enabled in this prototype")
+	ErrNoFiles    = errors.New("kernel: files not enabled in this prototype")
+	ErrNoThreads  = errors.New("kernel: threading not enabled in this prototype")
+	ErrNoSem      = errors.New("kernel: bad semaphore id")
+	ErrNoProc     = errors.New("kernel: no such process")
+	ErrNoKids     = errors.New("kernel: no children to wait for")
+	ErrNoRing     = errors.New("kernel: no ring set up (SysRingSetup first)")
+	ErrRingExists = errors.New("kernel: process already has a ring")
 )
 
 // procExit unwinds a process goroutine on exit()/exec-completion.
@@ -55,6 +58,11 @@ type Proc struct {
 
 	sems    map[int]*ksync.Semaphore
 	nextSem int
+
+	// ring is the group's submission/completion ring (SysRingSetup), held
+	// by the leader and shared by threads like the FD table. Closed on
+	// process exit before the descriptor table is torn down.
+	ring *uring.Ring
 
 	argv []string
 	exit int
@@ -159,6 +167,21 @@ func (p *Proc) finalize(code int) {
 		t := p.Task
 		if t != nil && t.Killed() {
 			t = nil
+		}
+		if p.ring != nil {
+			// The ring's workers execute against this descriptor table —
+			// shut the pool down before tearing descriptors out from under
+			// it. Close drains the active set, so every handed-off SQE
+			// still posts its CQE. A condemned task cannot Close: the join
+			// would park it host-side still holding its core, which the
+			// workers may need to exit — Abandon skips the join and leans
+			// on the OpenFile in-flight guards for descriptor safety.
+			if t != nil {
+				p.ring.Close(t)
+			} else {
+				p.ring.Abandon()
+			}
+			p.ring = nil
 		}
 		p.fds.CloseAll(t)
 	}

@@ -102,6 +102,13 @@ type Task struct {
 // State returns the task's current lifecycle state.
 func (t *Task) State() State { return State(t.state.Load()) }
 
+// Done returns a channel closed when the task's goroutine has fully
+// exited — including a task killed before its first dispatch, whose
+// function never ran at all. Watchers that must account for every
+// spawned task (the uring worker-pool teardown) wait on this instead of
+// instrumenting the task function, which a pre-dispatch kill skips.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
 // Core returns the core the task is running on, or -1.
 func (t *Task) Core() int { return int(t.core.Load()) }
 

@@ -1,9 +1,13 @@
 package kernel
 
 import (
+	"fmt"
 	"strings"
 
+	"protosim/internal/kernel/blkq"
 	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+	"protosim/internal/kernel/uring"
 )
 
 // count tallies a syscall entry (Fig 8's counters) and gives the scheduler
@@ -375,6 +379,95 @@ func (p *Proc) SysIoctl(fd int, op int, arg int64) (int64, error) {
 		return 0, err
 	}
 	return of.Ioctl(p.Task, op, arg)
+}
+
+// --- Ring syscalls (batched file IO, internal/kernel/uring) ---
+
+// SysRingSetup creates the process group's submission/completion ring
+// with `entries` pooled SQE slots and returns its handle. The handle's
+// Queue/Reap faces are the "shared memory" halves — user code stages
+// SQEs and reaps CQEs without entering the kernel; only SysRingEnter is
+// a syscall. One ring per process group (threads share it, like the FD
+// table); a second setup fails with ErrRingExists. The ring is closed
+// automatically on process exit, before the descriptor table is torn
+// down.
+func (p *Proc) SysRingSetup(entries int) (*uring.Ring, error) {
+	p.k.count()
+	if p.fds == nil {
+		return nil, ErrNoFiles
+	}
+	k := p.k
+	// The drain bracket plugs every request queue in the system: a batch's
+	// first dispatches accumulate and merge regardless of which device the
+	// descriptors resolve to.
+	var queues []*blkq.Queue
+	for _, d := range k.blockDevs {
+		if q := d.Queue(); q != nil {
+			queues = append(queues, q)
+		}
+	}
+	g := p.group
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ring != nil {
+		return nil, ErrRingExists
+	}
+	r, err := uring.New(entries, p.fds, uring.Options{
+		Spawn: func(name string, fn func(t *sched.Task)) *sched.Task {
+			// Ring workers are kernel tasks at the kflushd priority: batch
+			// IO runs above bulk user compute but below the interactive
+			// tier.
+			return k.Sched.Go(fmt.Sprintf("uring-%d-%s", g.PID, name), 1, fn)
+		},
+		Plug: func(t *sched.Task) {
+			for _, q := range queues {
+				q.Plug(t)
+			}
+		},
+		Unplug: func(t *sched.Task) {
+			for _, q := range queues {
+				q.Unplug(t)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.ring = r
+	return r, nil
+}
+
+// SysRingEnter is the ring's one kernel entry: it hands up to toSubmit
+// staged SQEs to the worker pool — the whole batch under ONE scheduler
+// entry and one Plug/Unplug bracket, however many operations it carries —
+// and blocks until at least minComplete completions are reapable
+// (clamped to the number that can still arrive). It returns how many
+// entries were handed off. Compare SysPread and friends, which pay this
+// entry per operation.
+func (p *Proc) SysRingEnter(toSubmit, minComplete int) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return 0, ErrNoFiles
+	}
+	g := p.group
+	g.mu.Lock()
+	r := g.ring
+	g.mu.Unlock()
+	if r == nil {
+		return 0, ErrNoRing
+	}
+	defer p.Task.CheckPreempt()
+	return r.Enter(p.Task, toSubmit, minComplete)
+}
+
+// Ring returns the group's ring handle (nil before SysRingSetup) — the
+// accessor user code uses to Queue/Reap after a fork/exec boundary where
+// the setup-time handle was not threaded through.
+func (p *Proc) Ring() *uring.Ring {
+	g := p.group
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ring
 }
 
 // readAll slurps a file (the exec loader path).

@@ -1,0 +1,427 @@
+package uring
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/errseq"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+)
+
+// memFile is a positional in-memory file: the minimal CapSeek|CapSync
+// FileOps a ring worker can drive, with an errseq stream so fsync's
+// exactly-once error contract is testable without a filesystem.
+type memFile struct {
+	fs.BaseOps
+	mu   sync.Mutex
+	data []byte
+	wb   errseq.Stream
+}
+
+func (m *memFile) Pread(_ *sched.Task, p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off >= int64(len(m.data)) {
+		return 0, nil
+	}
+	return copy(p, m.data[off:]), nil
+}
+
+func (m *memFile) Pwrite(_ *sched.Task, p []byte, off int64) (int, int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off == fs.OffAppend {
+		off = int64(len(m.data))
+	}
+	if end := off + int64(len(p)); end > int64(len(m.data)) {
+		m.data = append(m.data, make([]byte, end-int64(len(m.data)))...)
+	}
+	copy(m.data[off:], p)
+	return len(p), off + int64(len(p)), nil
+}
+
+func (m *memFile) Caps() fs.Caps            { return fs.CapSeek | fs.CapSync }
+func (m *memFile) WbStream() *errseq.Stream { return &m.wb }
+
+func (m *memFile) Stat(*sched.Task) (fs.Stat, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fs.Stat{Name: "memfile", Type: fs.TypeFile, Size: int64(len(m.data))}, nil
+}
+
+// espipeFile is the pipe shape: BaseOps defaults everywhere, so Pread and
+// Pwrite fail with ErrBadSeek (ESPIPE).
+type espipeFile struct{ fs.BaseOps }
+
+func (espipeFile) Stat(*sched.Task) (fs.Stat, error) {
+	return fs.Stat{Name: "espipe", Type: fs.TypeFile}, nil
+}
+func (m *memFile) bytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.data...)
+}
+
+// testRing boots a scheduler-backed ring over a fresh FD table, returning
+// the pieces plus a plug/unplug drain-bracket counter.
+func testRing(t *testing.T, entries, workers int) (*Ring, *fs.FDTable, *sched.Scheduler, func() (int64, int64)) {
+	t.Helper()
+	s := sched.New(sched.Config{Cores: 2})
+	s.Start()
+	t.Cleanup(func() { s.Shutdown(5 * time.Second) })
+	var mu sync.Mutex
+	var plugs, unplugs int64
+	fds := fs.NewFDTable(16)
+	r, err := New(entries, fds, Options{
+		Workers: workers,
+		Spawn:   func(name string, fn func(*sched.Task)) *sched.Task { return s.Go("uring-"+name, 1, fn) },
+		Plug:    func(*sched.Task) { mu.Lock(); plugs++; mu.Unlock() },
+		Unplug:  func(*sched.Task) { mu.Lock(); unplugs++; mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close(nil) })
+	return r, fds, s, func() (int64, int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		return plugs, unplugs
+	}
+}
+
+func install(t *testing.T, fds *fs.FDTable, ops fs.FileOps, flags int) int {
+	t.Helper()
+	fd, err := fds.Install(fs.NewOpenFile(ops, flags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fd
+}
+
+// reapAll drains the CQ into a User-keyed map.
+func reapAll(r *Ring) map[uint64]CQE {
+	out := make(map[uint64]CQE)
+	for {
+		cqe, ok := r.Reap()
+		if !ok {
+			return out
+		}
+		out[cqe.User] = cqe
+	}
+}
+
+// TestRingRoundTrip pushes a mixed pwrite/pread/pwritev/preadv batch
+// through one Enter each and checks the data and byte counts land.
+func TestRingRoundTrip(t *testing.T) {
+	r, fds, _, brackets := testRing(t, 32, 4)
+	mf := &memFile{}
+	fd := install(t, fds, mf, fs.ORdWr)
+
+	// One batch of positional writes, one Enter, all CQEs.
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := r.Queue(SQE{Op: OpPwrite, FD: fd, Off: int64(i * 4), Buf: []byte(fmt.Sprintf("b%02d.", i)), User: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err := r.Enter(nil, n, n); err != nil || got != n {
+		t.Fatalf("Enter = %d, %v, want %d submitted", got, err, n)
+	}
+	cqes := reapAll(r)
+	if len(cqes) != n {
+		t.Fatalf("reaped %d CQEs, want %d", len(cqes), n)
+	}
+	for u, c := range cqes {
+		if c.Err != nil || c.Res != 4 {
+			t.Fatalf("pwrite CQE %d = res %d err %v", u, c.Res, c.Err)
+		}
+	}
+	want := []byte("b00.b01.b02.b03.b04.b05.b06.b07.")
+	if got := mf.bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("file = %q, want %q", got, want)
+	}
+	if p, u := brackets(); p != 1 || u != 1 {
+		t.Fatalf("drain brackets = %d/%d, want exactly one Plug/Unplug for the whole batch", p, u)
+	}
+
+	// Vectored pair: a gathered write then a scattered read of it. Each
+	// batch is reaped before the next — minComplete counts reapable CQEs,
+	// so an unreaped completion from the last batch would satisfy this
+	// Enter's wait immediately (io_uring semantics: the CQ is cumulative).
+	if err := r.Queue(SQE{Op: OpPwritev, FD: fd, Off: 32, Iovs: [][]byte{[]byte("xx"), []byte("yy")}, User: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Enter(nil, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c := reapAll(r)[100]; c.Err != nil || c.Res != 4 {
+		t.Fatalf("pwritev CQE = res %d err %v", c.Res, c.Err)
+	}
+	a, b := make([]byte, 3), make([]byte, 1)
+	if err := r.Queue(SQE{Op: OpPreadv, FD: fd, Off: 32, Iovs: [][]byte{a, b}, User: 101}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Enter(nil, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c := reapAll(r)[101]; c.Err != nil || c.Res != 4 || string(a)+string(b) != "xxyy" {
+		t.Fatalf("preadv CQE = res %d err %v, iovs %q+%q", c.Res, c.Err, a, b)
+	}
+
+	// Plain pread round-trip.
+	buf := make([]byte, 4)
+	if err := r.Queue(SQE{Op: OpPread, FD: fd, Off: 4, Buf: buf, User: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Enter(nil, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c := reapAll(r)[200]; c.Err != nil || c.Res != 4 || string(buf) != "b01." {
+		t.Fatalf("pread CQE = res %d err %v buf %q", c.Res, c.Err, buf)
+	}
+
+	sub, comp, drains := r.Stats()
+	if sub != n+3 || comp != n+3 || drains != 4 {
+		t.Fatalf("stats = %d/%d/%d, want %d submitted, %d completed, 4 drains", sub, comp, drains, n+3, n+3)
+	}
+}
+
+// TestRingErrorsInCQEs: a bad descriptor, an ESPIPE file, a write to a
+// read-only descriptor, and an unknown opcode each fail their OWN CQE —
+// none of them aborts the batch, and the good op beside them completes.
+func TestRingErrorsInCQEs(t *testing.T) {
+	r, fds, _, _ := testRing(t, 16, 2)
+	mf := &memFile{}
+	fd := install(t, fds, mf, fs.ORdWr)
+	// BaseOps alone: no CapSeek, Pread/Pwrite are ErrBadSeek (ESPIPE), the
+	// pipe shape.
+	pipeFD := install(t, fds, espipeFile{}, fs.ORdWr)
+	roFD := install(t, fds, &memFile{}, fs.ORdOnly)
+
+	batch := []SQE{
+		{Op: OpPwrite, FD: 13, Buf: []byte("x"), User: 0},          // never opened
+		{Op: OpPread, FD: pipeFD, Buf: make([]byte, 4), User: 1},   // ESPIPE
+		{Op: OpPwrite, FD: roFD, Buf: []byte("x"), User: 2},        // read-only
+		{Op: Op(250), FD: fd, User: 3},                             // unknown opcode
+		{Op: OpPwrite, FD: fd, Off: 0, Buf: []byte("ok"), User: 4}, // the survivor
+	}
+	for _, e := range batch {
+		if err := r.Queue(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err := r.Enter(nil, len(batch), len(batch)); err != nil || got != len(batch) {
+		t.Fatalf("Enter = %d, %v", got, err)
+	}
+	cqes := reapAll(r)
+	if c := cqes[0]; !errors.Is(c.Err, fs.ErrBadFD) {
+		t.Fatalf("bad-fd CQE err = %v, want ErrBadFD", c.Err)
+	}
+	if c := cqes[1]; !errors.Is(c.Err, fs.ErrBadSeek) {
+		t.Fatalf("pipe pread CQE err = %v, want ErrBadSeek (ESPIPE)", c.Err)
+	}
+	if c := cqes[2]; !errors.Is(c.Err, fs.ErrPerm) {
+		t.Fatalf("read-only pwrite CQE err = %v, want ErrPerm", c.Err)
+	}
+	if c := cqes[3]; !errors.Is(c.Err, ErrBadOp) {
+		t.Fatalf("unknown-op CQE err = %v, want ErrBadOp", c.Err)
+	}
+	if c := cqes[4]; c.Err != nil || c.Res != 2 {
+		t.Fatalf("good CQE beside the failures = res %d err %v", c.Res, c.Err)
+	}
+	if got := mf.bytes(); !bytes.Equal(got, []byte("ok")) {
+		t.Fatalf("file = %q, want the good op's write", got)
+	}
+}
+
+// TestRingShortBatchAndClamp: Enter hands off only what is staged, a
+// too-large minComplete is clamped to what can still arrive, and an empty
+// Enter returns immediately instead of sleeping forever.
+func TestRingShortBatchAndClamp(t *testing.T) {
+	r, fds, _, _ := testRing(t, 16, 2)
+	fd := install(t, fds, &memFile{}, fs.ORdWr)
+	for i := 0; i < 3; i++ {
+		if err := r.Queue(SQE{Op: OpPwrite, FD: fd, Off: int64(i), Buf: []byte{byte(i)}, User: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ask for 10, have 3; ask to wait for 50 completions, only 3 can come.
+	done := make(chan struct{})
+	var n int
+	var err error
+	go func() { n, err = r.Enter(nil, 10, 50); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Enter slept forever on an over-asked minComplete")
+	}
+	if err != nil || n != 3 {
+		t.Fatalf("Enter = %d, %v, want the 3 staged entries", n, err)
+	}
+	if got := len(reapAll(r)); got != 3 {
+		t.Fatalf("reaped %d, want 3", got)
+	}
+	// Nothing staged, nothing outstanding: Enter(0, 5) must not block.
+	if n, err := r.Enter(nil, 0, 5); err != nil || n != 0 {
+		t.Fatalf("empty Enter = %d, %v", n, err)
+	}
+}
+
+// TestRingSQFull: the staging queue holds exactly `entries` SQEs; the
+// overflow Queue fails with ErrSQFull and a drain makes room again.
+func TestRingSQFull(t *testing.T) {
+	r, fds, _, _ := testRing(t, 4, 2)
+	fd := install(t, fds, &memFile{}, fs.ORdWr)
+	for i := 0; i < 4; i++ {
+		if err := r.Queue(SQE{Op: OpNop, FD: fd, User: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Queue(SQE{Op: OpNop}); !errors.Is(err, ErrSQFull) {
+		t.Fatalf("overflow Queue = %v, want ErrSQFull", err)
+	}
+	if _, err := r.Enter(nil, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Queue(SQE{Op: OpNop}); err != nil {
+		t.Fatalf("Queue after drain = %v, want room again", err)
+	}
+}
+
+// TestRingFsyncErrorExactlyOnce is the satellite contract: an async
+// writeback failure recorded on the file's errseq stream surfaces in
+// exactly one fsync CQE per open description — the next fsync through the
+// same description is clean, while a descriptor opened later (own cursor,
+// error already reported) never sees it.
+func TestRingFsyncErrorExactlyOnce(t *testing.T) {
+	r, fds, _, _ := testRing(t, 8, 1)
+	mf := &memFile{}
+	fd := install(t, fds, mf, fs.ORdWr)
+
+	wbErr := errors.New("simulated writeback failure")
+	mf.wb.Record(wbErr)
+
+	fsync := func(user uint64, fd int) CQE {
+		t.Helper()
+		if err := r.Queue(SQE{Op: OpFsync, FD: fd, User: user}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Enter(nil, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		c, ok := reapAll(r)[user]
+		if !ok {
+			t.Fatalf("fsync %d: no CQE", user)
+		}
+		return c
+	}
+
+	if c := fsync(1, fd); !errors.Is(c.Err, wbErr) {
+		t.Fatalf("first fsync CQE err = %v, want the writeback failure", c.Err)
+	}
+	if c := fsync(2, fd); c.Err != nil {
+		t.Fatalf("second fsync CQE err = %v, want nil (cursor already observed)", c.Err)
+	}
+	// A description opened after the report samples a cursor past it.
+	late := install(t, fds, mf, fs.ORdWr)
+	if c := fsync(3, late); c.Err != nil {
+		t.Fatalf("late-open fsync CQE err = %v, want nil", c.Err)
+	}
+}
+
+// TestRingClose: staged entries are dropped, active ones still post
+// their CQEs, and every face of a closed ring says ErrClosed.
+func TestRingClose(t *testing.T) {
+	r, fds, _, _ := testRing(t, 8, 2)
+	fd := install(t, fds, &memFile{}, fs.ORdWr)
+	// Hand one batch off and let it complete.
+	if err := r.Queue(SQE{Op: OpPwrite, FD: fd, Off: 0, Buf: []byte("z"), User: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Enter(nil, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Stage one more but never enter: Close drops it.
+	if err := r.Queue(SQE{Op: OpPwrite, FD: fd, Off: 1, Buf: []byte("q"), User: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	cqes := reapAll(r) // reaping a closed ring's leftovers still works
+	if _, ok := cqes[1]; !ok {
+		t.Fatal("completed CQE lost across Close")
+	}
+	if _, ok := cqes[2]; ok {
+		t.Fatal("staged-but-never-entered SQE completed after Close")
+	}
+	if err := r.Queue(SQE{Op: OpNop}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Queue after close = %v", err)
+	}
+	if _, err := r.Enter(nil, 0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Enter after close = %v", err)
+	}
+	if err := r.Close(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double Close = %v", err)
+	}
+}
+
+// TestRingNew rejects bad configurations.
+func TestRingNew(t *testing.T) {
+	fds := fs.NewFDTable(4)
+	spawn := func(string, func(*sched.Task)) *sched.Task { return nil }
+	if _, err := New(0, fds, Options{Spawn: spawn}); !errors.Is(err, ErrBadEntries) {
+		t.Fatalf("entries 0: %v", err)
+	}
+	if _, err := New(MaxEntries+1, fds, Options{Spawn: spawn}); !errors.Is(err, ErrBadEntries) {
+		t.Fatalf("entries over max: %v", err)
+	}
+	if _, err := New(8, nil, Options{Spawn: spawn}); err == nil {
+		t.Fatal("nil fd table accepted")
+	}
+	if _, err := New(8, fds, Options{}); err == nil {
+		t.Fatal("missing Spawn accepted")
+	}
+}
+
+// TestRingHotLoopAllocs: the SQE/CQE slots are pooled at New, so a full
+// queue→enter→reap batch allocates far less than one allocation per
+// operation (the residue is scheduler wait-queue bookkeeping, not ring
+// slots).
+func TestRingHotLoopAllocs(t *testing.T) {
+	r, _, _, _ := testRing(t, 64, 4)
+	// Warm up: first drains grow the wait-queue slices once.
+	for warm := 0; warm < 3; warm++ {
+		for i := 0; i < 64; i++ {
+			if err := r.Queue(SQE{Op: OpNop, User: uint64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := r.Enter(nil, 64, 64); err != nil {
+			t.Fatal(err)
+		}
+		reapAll(r)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 64; i++ {
+			r.Queue(SQE{Op: OpNop, User: uint64(i)})
+		}
+		r.Enter(nil, 64, 64)
+		for {
+			if _, ok := r.Reap(); !ok {
+				break
+			}
+		}
+	})
+	// AllocsPerRun sees every goroutine, workers included; the budget is
+	// half an allocation per op — pooled slots keep the ring itself at
+	// zero, only cross-task wakeup bookkeeping remains.
+	if avg > 32 {
+		t.Fatalf("64-op batch averaged %.1f allocs, want <= 32 (pooled slots)", avg)
+	}
+}

@@ -1,0 +1,206 @@
+package kernel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/uring"
+	"protosim/internal/kernel/xv6fs"
+)
+
+// The ring-vs-syscall harness behind `make bench`: random 4K preads over
+// a small set of latency-bound SD-backed FAT32 files, issued one syscall
+// per operation (SysPread) versus one syscall per BATCH (SysRingEnter at
+// batch 64). The ring's worker pool keeps the device's whole queue depth
+// busy — in-flight reads overlap at the card — while the syscall loop
+// serializes one device latency per op. The working set is far larger
+// than the buffer cache, so both modes miss and pay the device; it spans
+// several files because FAT32 serves each file's reads under its
+// pseudo-inode lock, so a single file caps device concurrency at one
+// regardless of issue depth (the many-file fan-out is exactly the shape
+// io_uring batches in practice).
+const (
+	rbFiles     = 4       // fan-out: matches the worker pool / queue depth
+	rbFileMB    = 1       // per file; 4 MB working set, 64x the cache
+	rbIOSize    = 4 << 10 // random 4K ops
+	rbOps       = 256     // per mode
+	rbBatch     = 64      // SQEs per SysRingEnter
+	rbCacheBufs = 128     // 64 KB cache: misses dominate
+	rbSDScale   = 0.05    // SD timing scale: latency-bound but quick
+)
+
+// ringBenchResult is one mode's row in BENCH_file.json.
+type ringBenchResult struct {
+	Config   string  `json:"config"`
+	Ops      int     `json:"ops"`
+	Syscalls int64   `json:"syscalls"`
+	MBps     float64 `json:"mbps"`
+}
+
+// TestRingIOThroughput records the ring-vs-syscall comparison into
+// BENCH_file.json (merged: the xv6fs file_random4k recorder writes the
+// file first) and gates ring throughput at >= 1.3x the per-op syscall
+// path. Heavyweight and timing-sensitive: runs only under
+// BENCH_FILE_JSON (the `make bench` / non-blocking CI path).
+func TestRingIOThroughput(t *testing.T) {
+	out := os.Getenv("BENCH_FILE_JSON")
+	if out == "" {
+		t.Skip("set BENCH_FILE_JSON=<path> to run the ring-IO benchmark")
+	}
+	hwCfg := hw.DefaultConfig()
+	hwCfg.Cores = 4
+	hwCfg.MemBytes = 32 << 20
+	hwCfg.SDBlocks = 32768 // 16 MB card: room for the 4 MB file
+	hwCfg.FBWidth, hwCfg.FBHeight = 320, 240
+	m := hw.NewMachine(hwCfg)
+	m.SD.SetLatencyScale(0)
+	if err := fat32Mkfs(sdBlockDev{m.SD}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := xv6fs.BuildImage(1024, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fullConfig(m, rd.Image())
+	cfg.EnableFAT = true
+	cfg.CacheBuffers = rbCacheBufs
+	k := New(cfg)
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+
+	// One (file, offset) sequence for both modes, 4K-aligned.
+	span := (rbFileMB << 20) / rbIOSize
+	rng := rand.New(rand.NewSource(7))
+	offs := make([]int64, rbOps)
+	files := make([]int, rbOps)
+	for i := range offs {
+		offs[i] = int64(rng.Intn(span)) * rbIOSize
+		files[i] = rng.Intn(rbFiles)
+	}
+
+	var syscallRes, ringRes ringBenchResult
+	code := run(t, k, "ringbench", func(p *Proc, _ []string) int {
+		// Lay the files down at zero latency, durably, so measurement pays
+		// only for reads.
+		chunk := make([]byte, 256<<10)
+		for i := range chunk {
+			chunk[i] = byte(i)
+		}
+		fds := make([]int, rbFiles)
+		for fi := range fds {
+			fd, err := p.SysOpen(fmt.Sprintf("/d/ring%d.bin", fi), fs.OCreate|fs.ORdWr)
+			if err != nil {
+				return 1
+			}
+			fds[fi] = fd
+			for written := 0; written < rbFileMB<<20; written += len(chunk) {
+				if _, err := p.SysWrite(fd, chunk); err != nil {
+					return 2
+				}
+			}
+		}
+		if err := p.SysSync(); err != nil {
+			return 3
+		}
+		m.SD.SetLatencyScale(rbSDScale)
+		defer m.SD.SetLatencyScale(0)
+
+		buf := make([]byte, rbIOSize)
+		mbps := func(elapsed time.Duration) float64 {
+			return (float64(rbOps*rbIOSize) / (1 << 20)) / elapsed.Seconds()
+		}
+
+		// Mode 1: one syscall per op.
+		scBefore := k.SyscallCount()
+		start := time.Now()
+		for i, off := range offs {
+			if _, err := p.SysPread(fds[files[i]], buf, off); err != nil {
+				return 4
+			}
+		}
+		syscallRes = ringBenchResult{
+			Config:   "syscall-per-op (SysPread)",
+			Ops:      rbOps,
+			Syscalls: k.SyscallCount() - scBefore,
+			MBps:     round2(mbps(time.Since(start))),
+		}
+
+		// Mode 2: one syscall per 64-op batch through the ring.
+		r, err := p.SysRingSetup(rbBatch)
+		if err != nil {
+			return 5
+		}
+		bufs := make([][]byte, rbBatch)
+		for i := range bufs {
+			bufs[i] = make([]byte, rbIOSize)
+		}
+		scBefore = k.SyscallCount()
+		start = time.Now()
+		for base := 0; base < rbOps; base += rbBatch {
+			for i, off := range offs[base : base+rbBatch] {
+				if err := r.Queue(uring.SQE{Op: uring.OpPread, FD: fds[files[base+i]], Off: off, Buf: bufs[i], User: uint64(i)}); err != nil {
+					return 6
+				}
+			}
+			if _, err := p.SysRingEnter(rbBatch, rbBatch); err != nil {
+				return 7
+			}
+			for i := 0; i < rbBatch; i++ {
+				if cqe, ok := r.Reap(); !ok || cqe.Err != nil {
+					return 8
+				}
+			}
+		}
+		ringRes = ringBenchResult{
+			Config:   fmt.Sprintf("ring batch %d (SysRingEnter)", rbBatch),
+			Ops:      rbOps,
+			Syscalls: k.SyscallCount() - scBefore,
+			MBps:     round2(mbps(time.Since(start))),
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("bench process exit = %d", code)
+	}
+
+	// Merge into BENCH_file.json beside the xv6fs recorder's section.
+	report := map[string]any{}
+	if blob, err := os.ReadFile(out); err == nil {
+		_ = json.Unmarshal(blob, &report)
+	}
+	speedup := ringRes.MBps / syscallRes.MBps
+	report["ring_random4k"] = map[string]any{
+		"benchmark": fmt.Sprintf("random 4K pread over %d FAT32 files (%dMB each) on latency-bound SD (scale %.2f), %dKB cache",
+			rbFiles, rbFileMB, rbSDScale, rbCacheBufs*512>>10),
+		"results":      []ringBenchResult{syscallRes, ringRes},
+		"ring_speedup": round2(speedup),
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("syscall-per-op: %.2f MB/s over %d syscalls; ring: %.2f MB/s over %d syscalls (%.2fx)",
+		syscallRes.MBps, syscallRes.Syscalls, ringRes.MBps, ringRes.Syscalls, speedup)
+
+	// The satellite's gate: batching must buy at least 1.3x on a
+	// latency-bound device (the CI job running this is non-blocking).
+	if speedup < 1.3 {
+		t.Errorf("ring speedup %.2fx < 1.3x over the per-op syscall path", speedup)
+	}
+	if want := int64(rbOps / rbBatch); ringRes.Syscalls != want+1 && ringRes.Syscalls != want {
+		t.Errorf("ring mode used %d syscalls for %d ops, want ~%d (one per batch)", ringRes.Syscalls, rbOps, want)
+	}
+}
+
+func round2(f float64) float64 { return float64(int(f*100)) / 100 }

@@ -1,0 +1,221 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/uring"
+	"protosim/internal/kernel/xv6fs"
+)
+
+// TestRingBatchedIO is the tentpole contract end to end: a process sets
+// up its ring, stages a whole batch of positional writes against an
+// xv6fs file, and lands them all under exactly ONE syscall — then reads
+// them back the same way.
+func TestRingBatchedIO(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "ringio", func(p *Proc, _ []string) int {
+		r, err := p.SysRingSetup(32)
+		if err != nil {
+			return 1
+		}
+		fd, err := p.SysOpen("/ring.dat", fs.OCreate|fs.ORdWr)
+		if err != nil {
+			return 2
+		}
+		const n = 16
+		for i := 0; i < n; i++ {
+			chunk := []byte(fmt.Sprintf("[%02d]", i))
+			if err := r.Queue(uring.SQE{Op: uring.OpPwrite, FD: fd, Off: int64(i * 4), Buf: chunk, User: uint64(i)}); err != nil {
+				return 3
+			}
+		}
+		// The whole batch is one kernel entry: the syscall counter moves by
+		// exactly one across the drain, however many SQEs it carries.
+		before := p.Kernel().SyscallCount()
+		got, err := p.SysRingEnter(n, n)
+		if delta := p.Kernel().SyscallCount() - before; err != nil || got != n || delta != 1 {
+			return 4
+		}
+		for i := 0; i < n; i++ {
+			cqe, ok := r.Reap()
+			if !ok || cqe.Err != nil || cqe.Res != 4 {
+				return 5
+			}
+		}
+		// Read the batch back through the ring too.
+		buf := make([]byte, 4*n)
+		views := make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			views = append(views, buf[i*4:i*4+4])
+			if err := r.Queue(uring.SQE{Op: uring.OpPread, FD: fd, Off: int64(i * 4), Buf: views[i], User: uint64(i)}); err != nil {
+				return 6
+			}
+		}
+		if _, err := p.SysRingEnter(n, n); err != nil {
+			return 7
+		}
+		for i := 0; i < n; i++ {
+			if cqe, ok := r.Reap(); !ok || cqe.Err != nil || cqe.Res != 4 {
+				return 8
+			}
+		}
+		want := make([]byte, 0, 4*n)
+		for i := 0; i < n; i++ {
+			want = append(want, []byte(fmt.Sprintf("[%02d]", i))...)
+		}
+		if !bytes.Equal(buf, want) {
+			return 9
+		}
+		// A ring fsync observes the same per-open error cursor SysFsync
+		// does; on a healthy file it completes clean.
+		if err := r.Queue(uring.SQE{Op: uring.OpFsync, FD: fd, User: 99}); err != nil {
+			return 10
+		}
+		if _, err := p.SysRingEnter(1, 1); err != nil {
+			return 11
+		}
+		if cqe, ok := r.Reap(); !ok || cqe.User != 99 || cqe.Err != nil {
+			return 12
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+// TestRingLifecycle covers the setup/teardown rules: one ring per
+// process, Enter without a ring fails, the handle survives via the
+// Ring() accessor, and process exit closes the ring before the FD table
+// is torn down.
+func TestRingLifecycle(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	var escaped *uring.Ring
+	code := run(t, k, "ringlife", func(p *Proc, _ []string) int {
+		if _, err := p.SysRingEnter(0, 0); !errors.Is(err, ErrNoRing) {
+			return 1
+		}
+		if p.Ring() != nil {
+			return 2
+		}
+		r, err := p.SysRingSetup(8)
+		if err != nil {
+			return 3
+		}
+		if p.Ring() != r {
+			return 4
+		}
+		if _, err := p.SysRingSetup(8); !errors.Is(err, ErrRingExists) {
+			return 5
+		}
+		if _, err := p.SysRingSetup(0); !errors.Is(err, ErrRingExists) {
+			return 6 // the one-per-group check fires before validation
+		}
+		escaped = r
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	// finalize closed the ring on exit: the escaped handle is dead.
+	if err := escaped.Queue(uring.SQE{Op: uring.OpNop}); !errors.Is(err, uring.ErrClosed) {
+		t.Fatalf("Queue on an exited process's ring = %v, want ErrClosed", err)
+	}
+	if _, err := escaped.Enter(nil, 0, 0); !errors.Is(err, uring.ErrClosed) {
+		t.Fatalf("Enter on an exited process's ring = %v, want ErrClosed", err)
+	}
+}
+
+// TestRingShutdownRace regression-tests the teardown race between a
+// fresh ring's process exit and scheduler shutdown: a worker task killed
+// before its FIRST dispatch never runs its function, so worker-exit
+// accounting inside the function would leave finalize's ring.Close
+// waiting forever (the pool watcher counts task goroutines instead).
+// Each iteration boots a kernel, sets a ring up, exits immediately, and
+// shuts down while the worker pool may not have been dispatched yet.
+func TestRingShutdownRace(t *testing.T) {
+	iters := 20
+	if testing.Short() {
+		iters = 5
+	}
+	for i := 0; i < iters; i++ {
+		m := testMachine(2)
+		rd, err := xv6fs.BuildImage(2048, 128, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := New(fullConfig(m, rd.Image()))
+		if err := k.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		if code := run(t, k, "ringshut", func(p *Proc, _ []string) int {
+			if _, err := p.SysRingSetup(8); err != nil {
+				return 1
+			}
+			return 0
+		}); code != 0 {
+			t.Fatalf("iter %d exit = %d", i, code)
+		}
+		// run returns on the body's exit code, racing finalize — Shutdown's
+		// kill storm can condemn ring workers that never ran.
+		if err := k.Shutdown(); err != nil {
+			t.Fatalf("iter %d shutdown: %v", i, err)
+		}
+	}
+}
+
+// TestRingSharedByThreads: the ring is group state like the FD table — a
+// clone sees the leader's ring through Ring() and can drive it with its
+// own SysRingEnter.
+func TestRingSharedByThreads(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	code := run(t, k, "ringthreads", func(p *Proc, _ []string) int {
+		r, err := p.SysRingSetup(8)
+		if err != nil {
+			return 1
+		}
+		fd, err := p.SysOpen("/shared.dat", fs.OCreate|fs.ORdWr)
+		if err != nil {
+			return 2
+		}
+		result := make(chan int, 1)
+		if _, err := p.SysClone("ringer", func(tp *Proc) {
+			tr := tp.Ring()
+			if tr != r {
+				result <- 10
+				return
+			}
+			if err := tr.Queue(uring.SQE{Op: uring.OpPwrite, FD: fd, Off: 0, Buf: []byte("from-thread"), User: 1}); err != nil {
+				result <- 11
+				return
+			}
+			if _, err := tp.SysRingEnter(1, 1); err != nil {
+				result <- 12
+				return
+			}
+			if cqe, ok := tr.Reap(); !ok || cqe.Err != nil || cqe.Res != len("from-thread") {
+				result <- 13
+				return
+			}
+			result <- 0
+		}); err != nil {
+			return 3
+		}
+		if rc := <-result; rc != 0 {
+			return rc
+		}
+		buf := make([]byte, 16)
+		n, err := p.SysPread(fd, buf, 0)
+		if err != nil || string(buf[:n]) != "from-thread" {
+			return 4
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}

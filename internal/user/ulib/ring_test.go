@@ -1,0 +1,119 @@
+package ulib
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/uring"
+	"protosim/internal/kernel/xv6fs"
+)
+
+// bootRingKernel boots a minimal files-enabled kernel for the ring
+// helper tests.
+func bootRingKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	cfg := hw.DefaultConfig()
+	cfg.Cores = 2
+	cfg.MemBytes = 32 << 20
+	cfg.SDBlocks = 8192
+	m := hw.NewMachine(cfg)
+	m.SD.SetLatencyScale(0)
+	rd, err := xv6fs.BuildImage(2048, 128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(kernel.Config{
+		Machine:      m,
+		Mode:         kernel.ModeProto,
+		EnableFiles:  true,
+		RamdiskImage: rd.Image(),
+		TickInterval: 2 * time.Millisecond,
+	})
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := k.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return k
+}
+
+func runProc(t *testing.T, k *kernel.Kernel, fn func(p *kernel.Proc) int) {
+	t.Helper()
+	code := make(chan int, 1)
+	k.Spawn("ringbatch", 0, func(p *kernel.Proc, _ []string) int {
+		c := fn(p)
+		code <- c
+		return c
+	}, nil)
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit = %d", c)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("process never finished")
+	}
+}
+
+// TestRingBatchHelper drives ulib.RingBatch through both of its paths: a
+// batch that fits the staging queue (one syscall) and one larger than
+// the ring, which forces the helper's partial-drain refill loop.
+func TestRingBatchHelper(t *testing.T) {
+	k := bootRingKernel(t)
+	runProc(t, k, func(p *kernel.Proc) int {
+		r, err := p.SysRingSetup(8)
+		if err != nil {
+			return 1
+		}
+		fd, err := p.SysOpen("/batch.dat", fs.OCreate|fs.ORdWr)
+		if err != nil {
+			return 2
+		}
+		// 24 SQEs through an 8-entry ring: RingBatch must drain and refill.
+		const n = 24
+		sqes := make([]uring.SQE, 0, n)
+		for i := 0; i < n; i++ {
+			sqes = append(sqes, uring.SQE{
+				Op: uring.OpPwrite, FD: fd, Off: int64(i * 4),
+				Buf: []byte(fmt.Sprintf("<%02d>", i)), User: uint64(i),
+			})
+		}
+		cqes, err := RingBatch(p, r, sqes)
+		if err != nil || len(cqes) != n {
+			return 3
+		}
+		seen := make(map[uint64]bool, n)
+		for _, c := range cqes {
+			if c.Err != nil || c.Res != 4 || seen[c.User] {
+				return 4
+			}
+			seen[c.User] = true
+		}
+		// One mixed read-back batch that fits: exactly one syscall.
+		buf := make([]byte, 4*n)
+		reads := make([]uring.SQE, 0, 8)
+		for i := 0; i < 8; i++ {
+			reads = append(reads, uring.SQE{
+				Op: uring.OpPread, FD: fd, Off: int64(i * 4),
+				Buf: buf[i*4 : i*4+4], User: uint64(100 + i),
+			})
+		}
+		before := p.Kernel().SyscallCount()
+		cqes, err = RingBatch(p, r, reads)
+		if delta := p.Kernel().SyscallCount() - before; err != nil || len(cqes) != 8 || delta != 1 {
+			return 5
+		}
+		if !bytes.Equal(buf[:32], []byte("<00><01><02><03><04><05><06><07>")) {
+			return 6
+		}
+		return 0
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"protosim/internal/kernel"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/mm"
+	"protosim/internal/kernel/uring"
 )
 
 // Alloc is the user allocator: a first-fit free list over memory obtained
@@ -215,6 +216,60 @@ func Printf(p *kernel.Proc, fd int, format string, args ...any) {
 // OpenConsole opens /dev/console read-write.
 func OpenConsole(p *kernel.Proc) (int, error) {
 	return p.SysOpen("/dev/console", fs.ORdWr)
+}
+
+// --- Ring helpers (batched IO over SysRingSetup/SysRingEnter) ---
+
+// RingBatch pushes sqes through the process ring and returns one CQE per
+// SQE, in completion order (correlate with SQE.User, not position). It
+// stages entries with Queue — draining with a SysRingEnter whenever the
+// staging queue fills — then enters once more until every completion has
+// been reaped. A full batch that fits the staging queue costs exactly one
+// syscall; per-op errors ride inside the CQEs, so err is only transport
+// failures (no ring, ring closed).
+func RingBatch(p *kernel.Proc, r *uring.Ring, sqes []uring.SQE) ([]uring.CQE, error) {
+	out := make([]uring.CQE, 0, len(sqes))
+	reap := func() {
+		for {
+			cqe, ok := r.Reap()
+			if !ok {
+				return
+			}
+			out = append(out, cqe)
+		}
+	}
+	staged := 0
+	for _, e := range sqes {
+		for {
+			err := r.Queue(e)
+			if err == nil {
+				staged++
+				break
+			}
+			if err != uring.ErrSQFull || staged == 0 {
+				return out, err
+			}
+			// Staging queue full: hand the partial batch off and reap what
+			// has already completed to free CQ slots for admission.
+			if _, err := p.SysRingEnter(staged, 1); err != nil {
+				return out, err
+			}
+			staged = 0
+			reap()
+		}
+	}
+	// Final drain: submit the tail and keep entering until every CQE for
+	// this batch has been reaped (earlier partial drains already counted
+	// toward out).
+	for len(out) < len(sqes) {
+		want := len(sqes) - len(out)
+		if _, err := p.SysRingEnter(staged, want); err != nil {
+			return out, err
+		}
+		staged = 0
+		reap()
+	}
+	return out, nil
 }
 
 // --- proc/devfs wrappers (Table 1's "proc/devfs wrappers" row) ---

@@ -1,0 +1,360 @@
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Typed device-fault errors. These are the canonical values the whole IO
+// stack tests with errors.Is — internal/kernel/fs re-exports them so upper
+// layers never import hw directly.
+var (
+	// ErrDeviceDead: the device has failed whole — every past and future
+	// command on it fails. The request queue latches this state and
+	// fast-fails instead of letting submitters sleep forever.
+	ErrDeviceDead = errors.New("hw: device dead")
+	// ErrBadSector: a persistent per-LBA media error. Retrying does not
+	// help; a merged command covering a bad sector should be split so only
+	// the requests over the sector fail.
+	ErrBadSector = errors.New("hw: bad sector")
+	// ErrSDWriteProtected: the card's write-protect tab is set. Typed so
+	// the stack can distinguish it from media errors (it is neither
+	// transient nor a reason to declare the device dead).
+	ErrSDWriteProtected = errors.New("sd: card is write-protected")
+)
+
+// blockStore is the sync device face a FaultDisk wraps — structurally
+// fs.BlockDevice, declared here so hw stays dependency-free.
+type blockStore interface {
+	BlockSize() int
+	Blocks() int
+	ReadBlocks(lba, n int, dst []byte) error
+	WriteBlocks(lba, n int, src []byte) error
+}
+
+// FaultPlan is a seeded, replayable schedule of device faults. All
+// decisions are drawn from one rand.Rand seeded with Seed in command-
+// arrival order, so a workload that issues the same command sequence sees
+// the same faults on every run (the crash harness's workloads are
+// single-goroutine for exactly this property).
+//
+// Probabilities are per command. Zero values inject nothing.
+type FaultPlan struct {
+	// Seed drives every random decision.
+	Seed int64
+	// PTransient injects an error burst: the command fails now, and the
+	// next 0..TransientMax-1 commands at the same start LBA fail too, after
+	// which commands there succeed — the retry-with-backoff success case.
+	PTransient float64
+	// TransientMax bounds a burst (default 2: at most the initial failure
+	// plus one retry failure).
+	TransientMax int
+	// PBadSector mints a persistent bad sector at a random LBA inside the
+	// command's range; that LBA fails every command covering it, forever.
+	PBadSector float64
+	// PTorn tears a multi-block write: a random proper prefix of the
+	// blocks lands on media and the command reports a transient error.
+	PTorn float64
+	// PLatency delays the command by LatencySpike (default 2ms).
+	PLatency     float64
+	LatencySpike time.Duration
+	// PStall drops an async command entirely: no completion ever arrives
+	// (the timeout path's food). Ignored on the synchronous faces.
+	PStall float64
+	// DeathAfter kills the whole device after that many commands
+	// (0 = never): every later command fails with ErrDeviceDead.
+	DeathAfter int
+}
+
+func (p FaultPlan) withDefaults() FaultPlan {
+	if p.TransientMax <= 0 {
+		p.TransientMax = 2
+	}
+	if p.LatencySpike <= 0 {
+		p.LatencySpike = 2 * time.Millisecond
+	}
+	return p
+}
+
+// String prints the knobs that matter for replaying a fuzz failure.
+func (p FaultPlan) String() string {
+	return fmt.Sprintf("plan{seed=%d transient=%.3f bad=%.3f torn=%.3f latency=%.3f stall=%.3f death=%d}",
+		p.Seed, p.PTransient, p.PBadSector, p.PTorn, p.PLatency, p.PStall, p.DeathAfter)
+}
+
+// RandomPlan derives a full plan from one seed: the probabilities
+// themselves are drawn from the seed, so a single integer names the whole
+// fault schedule (FAULT_SEED=n replays it).
+func RandomPlan(seed int64) FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := FaultPlan{
+		Seed:       seed,
+		PTransient: rng.Float64() * 0.08,
+		PBadSector: rng.Float64() * 0.02,
+		PTorn:      rng.Float64() * 0.05,
+		PLatency:   rng.Float64() * 0.02,
+	}
+	if rng.Intn(4) == 0 { // one run in four ends in whole-device death
+		p.DeathAfter = 40 + rng.Intn(200)
+	}
+	return p
+}
+
+// FaultStats counts what a FaultDisk actually injected (tests assert
+// against these, and fuzz logs them per seed).
+type FaultStats struct {
+	Commands   int
+	Transient  int
+	BadSector  int
+	Torn       int
+	Latency    int
+	Stalls     int
+	DeadFails  int
+	BadSectors int // distinct bad LBAs minted
+}
+
+// FaultDisk wraps a block device in a FaultPlan. It exposes both device
+// faces the kernel stack consumes: the synchronous fs.BlockDevice methods,
+// and the split submit/completion halves (blkq.AsyncBackend) with a
+// pluggable completion notifier in place of a wired IRQ line. It composes
+// with the crash Recorder in either order; stacking it ABOVE the Recorder
+// (FaultDisk → Recorder → ramdisk) records exactly the writes that
+// physically landed, torn prefixes included.
+type FaultDisk struct {
+	dev  blockStore
+	plan FaultPlan
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	dead        bool
+	transient   map[int]int // command-start LBA → remaining burst failures
+	bad         map[int]bool
+	completions []sdCompletion
+	notify      func()
+	stats       FaultStats
+}
+
+// NewFaultDisk wraps dev in plan.
+func NewFaultDisk(dev blockStore, plan FaultPlan) *FaultDisk {
+	plan = plan.withDefaults()
+	return &FaultDisk{
+		dev:       dev,
+		plan:      plan,
+		rng:       rand.New(rand.NewSource(plan.Seed)),
+		transient: make(map[int]int),
+		bad:       make(map[int]bool),
+	}
+}
+
+// SetNotify installs the completion signal for the async faces (the kernel
+// routes it to the queue's CompletionIRQ; tests call the queue directly).
+func (d *FaultDisk) SetNotify(fn func()) {
+	d.mu.Lock()
+	d.notify = fn
+	d.mu.Unlock()
+}
+
+// AddBadSector mints a persistent bad sector at lba — the deterministic
+// version of PBadSector for tests that need a known bad block.
+func (d *FaultDisk) AddBadSector(lba int) {
+	d.mu.Lock()
+	d.bad[lba] = true
+	d.mu.Unlock()
+}
+
+// InjectTransient opens a transient burst at lba: the next count commands
+// starting there fail with ErrSDInjected, after which commands at lba
+// succeed — the deterministic version of PTransient.
+func (d *FaultDisk) InjectTransient(lba, count int) {
+	d.mu.Lock()
+	d.transient[lba] = count + 1
+	d.mu.Unlock()
+}
+
+// Kill fails the device whole, immediately — the deterministic version of
+// DeathAfter for tests that need death at an exact point.
+func (d *FaultDisk) Kill() {
+	d.mu.Lock()
+	d.dead = true
+	d.mu.Unlock()
+}
+
+// Dead reports whether the device has died.
+func (d *FaultDisk) Dead() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead
+}
+
+// Stats snapshots the injection counters.
+func (d *FaultDisk) Stats() FaultStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.BadSectors = len(d.bad)
+	return s
+}
+
+// BlockSize implements the sync device face.
+func (d *FaultDisk) BlockSize() int { return d.dev.BlockSize() }
+
+// Blocks implements the sync device face.
+func (d *FaultDisk) Blocks() int { return d.dev.Blocks() }
+
+// verdict is one command's fate, decided under d.mu in arrival order.
+type verdict struct {
+	err     error
+	tornN   int  // torn write: blocks of the prefix that lands
+	stall   bool // async: never complete
+	latency time.Duration
+}
+
+// decide draws one command's fate. Async callers pass async=true so stalls
+// can apply. Caller must not hold d.mu.
+func (d *FaultDisk) decide(write bool, lba, n int, async bool) verdict {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Commands++
+	if d.plan.DeathAfter > 0 && d.stats.Commands > d.plan.DeathAfter {
+		d.dead = true
+	}
+	if d.dead {
+		d.stats.DeadFails++
+		return verdict{err: ErrDeviceDead}
+	}
+	var v verdict
+	if d.plan.PLatency > 0 && d.rng.Float64() < d.plan.PLatency {
+		d.stats.Latency++
+		v.latency = d.plan.LatencySpike
+	}
+	// Persistent bad sectors dominate everything below: the media is gone.
+	for b := lba; b < lba+n; b++ {
+		if d.bad[b] {
+			v.err = ErrBadSector
+			return v
+		}
+	}
+	// An open transient burst at this start LBA keeps failing until spent.
+	if left, ok := d.transient[lba]; ok {
+		if left <= 1 {
+			delete(d.transient, lba)
+		} else {
+			d.transient[lba] = left - 1
+			d.stats.Transient++
+			v.err = ErrSDInjected
+		}
+		return v
+	}
+	switch {
+	case async && d.plan.PStall > 0 && d.rng.Float64() < d.plan.PStall:
+		d.stats.Stalls++
+		v.stall = true
+	case d.plan.PTransient > 0 && d.rng.Float64() < d.plan.PTransient:
+		// Burst length counts this failure; the map holds what remains.
+		if burst := 1 + d.rng.Intn(d.plan.TransientMax); burst > 1 {
+			d.transient[lba] = burst
+		}
+		d.stats.Transient++
+		v.err = ErrSDInjected
+	case write && d.plan.PBadSector > 0 && d.rng.Float64() < d.plan.PBadSector:
+		d.bad[lba+d.rng.Intn(n)] = true
+		d.stats.BadSector++
+		v.err = ErrBadSector
+	case write && n > 1 && d.plan.PTorn > 0 && d.rng.Float64() < d.plan.PTorn:
+		d.stats.Torn++
+		v.tornN = 1 + d.rng.Intn(n-1)
+		v.err = ErrSDInjected
+	}
+	return v
+}
+
+// apply performs the decided IO against the backing store.
+func (d *FaultDisk) apply(v verdict, write bool, lba, n int, buf []byte) error {
+	if v.latency > 0 {
+		time.Sleep(v.latency)
+	}
+	if v.err != nil {
+		if v.tornN > 0 {
+			// Torn write: the prefix lands on media, the command fails.
+			bs := d.dev.BlockSize()
+			if werr := d.dev.WriteBlocks(lba, v.tornN, buf[:v.tornN*bs]); werr != nil {
+				return werr
+			}
+		}
+		return v.err
+	}
+	if write {
+		return d.dev.WriteBlocks(lba, n, buf)
+	}
+	return d.dev.ReadBlocks(lba, n, buf)
+}
+
+// ReadBlocks implements the sync device face with fault injection.
+func (d *FaultDisk) ReadBlocks(lba, n int, dst []byte) error {
+	return d.apply(d.decide(false, lba, n, false), false, lba, n, dst)
+}
+
+// WriteBlocks implements the sync device face with fault injection.
+func (d *FaultDisk) WriteBlocks(lba, n int, src []byte) error {
+	return d.apply(d.decide(true, lba, n, false), true, lba, n, src)
+}
+
+// --- split submit/completion halves (async request-queue face) ---
+
+// submitAsync is both async halves: decide the fate now (so fault order is
+// submission order, deterministic), run the transfer in the background,
+// queue the completion and fire the notifier. A stalled command never
+// completes — exactly the hang the queue's command timeout must break.
+func (d *FaultDisk) submitAsync(tag uint64, write bool, lba, n int, buf []byte) error {
+	if lba < 0 || n <= 0 || lba+n > d.dev.Blocks() {
+		return ErrSDRange
+	}
+	d.mu.Lock()
+	if d.dead {
+		d.stats.Commands++
+		d.stats.DeadFails++
+		d.mu.Unlock()
+		return ErrDeviceDead
+	}
+	d.mu.Unlock()
+	v := d.decide(write, lba, n, true)
+	if v.stall {
+		return nil
+	}
+	go func() {
+		err := d.apply(v, write, lba, n, buf)
+		d.mu.Lock()
+		d.completions = append(d.completions, sdCompletion{tag: tag, err: err})
+		fn := d.notify
+		d.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
+	}()
+	return nil
+}
+
+// SubmitRead implements the async face (blkq.AsyncBackend shape).
+func (d *FaultDisk) SubmitRead(tag uint64, lba, n int, dst []byte) error {
+	return d.submitAsync(tag, false, lba, n, dst)
+}
+
+// SubmitWrite implements the async face.
+func (d *FaultDisk) SubmitWrite(tag uint64, lba, n int, src []byte) error {
+	return d.submitAsync(tag, true, lba, n, src)
+}
+
+// PopCompletion implements the async face, FIFO like the SD controller.
+func (d *FaultDisk) PopCompletion() (tag uint64, err error, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.completions) == 0 {
+		return 0, nil, false
+	}
+	c := d.completions[0]
+	d.completions = d.completions[1:]
+	return c.tag, c.err, true
+}

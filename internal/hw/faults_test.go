@@ -1,0 +1,194 @@
+package hw
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// memDisk is a trivial backing store for FaultDisk tests.
+type memDisk struct {
+	bs   int
+	data []byte
+}
+
+func newMemDisk(bs, blocks int) *memDisk { return &memDisk{bs: bs, data: make([]byte, bs*blocks)} }
+
+func (m *memDisk) BlockSize() int { return m.bs }
+func (m *memDisk) Blocks() int    { return len(m.data) / m.bs }
+func (m *memDisk) ReadBlocks(lba, n int, dst []byte) error {
+	copy(dst, m.data[lba*m.bs:(lba+n)*m.bs])
+	return nil
+}
+func (m *memDisk) WriteBlocks(lba, n int, src []byte) error {
+	copy(m.data[lba*m.bs:(lba+n)*m.bs], src[:n*m.bs])
+	return nil
+}
+
+// TestFaultDiskReplayable pins the plan's core promise: the same seed over
+// the same command sequence injects the identical fault sequence.
+func TestFaultDiskReplayable(t *testing.T) {
+	run := func() []error {
+		fd := NewFaultDisk(newMemDisk(512, 64), FaultPlan{Seed: 11, PTransient: 0.3, PBadSector: 0.1, PTorn: 0.3})
+		var errs []error
+		buf := make([]byte, 4*512)
+		for i := 0; i < 200; i++ {
+			lba := (i * 7) % 60
+			if i%2 == 0 {
+				errs = append(errs, fd.WriteBlocks(lba, 1+i%4, buf))
+			} else {
+				errs = append(errs, fd.ReadBlocks(lba, 1+i%4, buf))
+			}
+		}
+		return errs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !errors.Is(b[i], a[i]) && (a[i] != nil || b[i] != nil) {
+			t.Fatalf("cmd %d: run1 %v, run2 %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFaultDiskTransientHeals: a transient burst fails at most TransientMax
+// times for one start LBA, then the same command succeeds — the contract
+// the queue's bounded retry depends on.
+func TestFaultDiskTransientHeals(t *testing.T) {
+	fd := NewFaultDisk(newMemDisk(512, 8), FaultPlan{Seed: 1, PTransient: 1.0, TransientMax: 3})
+	fd.plan.PTransient = 0 // only the burst opened below remains
+	fd.mu.Lock()
+	fd.transient[2] = 3
+	fd.mu.Unlock()
+	buf := make([]byte, 512)
+	fails := 0
+	for i := 0; i < 10; i++ {
+		err := fd.WriteBlocks(2, 1, buf)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrSDInjected) {
+			t.Fatalf("want ErrSDInjected, got %v", err)
+		}
+		fails++
+	}
+	if fails == 0 || fails > 3 {
+		t.Fatalf("burst failed %d times, want 1..3", fails)
+	}
+	if err := fd.WriteBlocks(2, 1, buf); err != nil {
+		t.Fatalf("post-burst write: %v", err)
+	}
+}
+
+// TestFaultDiskBadSectorPersists: a minted bad sector fails every covering
+// command forever, and commands elsewhere still succeed.
+func TestFaultDiskBadSectorPersists(t *testing.T) {
+	fd := NewFaultDisk(newMemDisk(512, 64), FaultPlan{Seed: 1})
+	fd.mu.Lock()
+	fd.bad[10] = true
+	fd.mu.Unlock()
+	buf := make([]byte, 8*512)
+	for i := 0; i < 3; i++ {
+		if err := fd.WriteBlocks(8, 4, buf); !errors.Is(err, ErrBadSector) {
+			t.Fatalf("covering write attempt %d: %v, want ErrBadSector", i, err)
+		}
+		if err := fd.ReadBlocks(9, 4, buf); !errors.Is(err, ErrBadSector) {
+			t.Fatalf("covering read attempt %d: %v, want ErrBadSector", i, err)
+		}
+	}
+	if err := fd.WriteBlocks(11, 4, buf); err != nil {
+		t.Fatalf("adjacent write: %v", err)
+	}
+	if err := fd.ReadBlocks(0, 8, buf); err != nil {
+		t.Fatalf("distant read: %v", err)
+	}
+}
+
+// TestFaultDiskTornWritePrefix: a torn multi-block write lands a strict
+// prefix and reports a transient error — rewriting the full range heals it.
+func TestFaultDiskTornWritePrefix(t *testing.T) {
+	m := newMemDisk(512, 16)
+	fd := NewFaultDisk(m, FaultPlan{Seed: 3, PTorn: 1.0})
+	src := make([]byte, 4*512)
+	for i := range src {
+		src[i] = 0xAB
+	}
+	err := fd.WriteBlocks(4, 4, src)
+	if !errors.Is(err, ErrSDInjected) {
+		t.Fatalf("torn write: %v, want ErrSDInjected", err)
+	}
+	// Some strict prefix landed; the tail did not.
+	landed := 0
+	for b := 4; b < 8; b++ {
+		if m.data[b*512] == 0xAB {
+			landed++
+		} else {
+			break
+		}
+	}
+	if landed == 0 || landed == 4 {
+		t.Fatalf("torn write landed %d/4 blocks, want a strict prefix", landed)
+	}
+	for b := 4 + landed; b < 8; b++ {
+		if m.data[b*512] != 0 {
+			t.Fatalf("block %d written past the tear", b)
+		}
+	}
+	fd.plan.PTorn = 0
+	if err := fd.WriteBlocks(4, 4, src); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+}
+
+// TestFaultDiskDeath: DeathAfter kills every later command, sync and
+// async, and Kill does it immediately.
+func TestFaultDiskDeath(t *testing.T) {
+	fd := NewFaultDisk(newMemDisk(512, 8), FaultPlan{Seed: 1, DeathAfter: 2})
+	buf := make([]byte, 512)
+	if err := fd.WriteBlocks(0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.ReadBlocks(0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fd.WriteBlocks(0, 1, buf); !errors.Is(err, ErrDeviceDead) {
+		t.Fatalf("post-death write: %v", err)
+	}
+	if err := fd.SubmitWrite(1, 0, 1, buf); !errors.Is(err, ErrDeviceDead) {
+		t.Fatalf("post-death submit: %v", err)
+	}
+	fd2 := NewFaultDisk(newMemDisk(512, 8), FaultPlan{Seed: 1})
+	fd2.Kill()
+	if err := fd2.ReadBlocks(0, 1, buf); !errors.Is(err, ErrDeviceDead) {
+		t.Fatalf("killed read: %v", err)
+	}
+}
+
+// TestFaultDiskAsyncStall: a stalled submission never completes; a healthy
+// one does and fires the notifier.
+func TestFaultDiskAsyncStall(t *testing.T) {
+	fd := NewFaultDisk(newMemDisk(512, 8), FaultPlan{Seed: 1, PStall: 1.0})
+	done := make(chan struct{}, 4)
+	fd.SetNotify(func() { done <- struct{}{} })
+	buf := make([]byte, 512)
+	if err := fd.SubmitWrite(1, 0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+		t.Fatal("stalled command completed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	fd.plan.PStall = 0
+	if err := fd.SubmitWrite(2, 1, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("healthy command never completed")
+	}
+	tag, err, ok := fd.PopCompletion()
+	if !ok || tag != 2 || err != nil {
+		t.Fatalf("completion: tag=%d err=%v ok=%v", tag, err, ok)
+	}
+}

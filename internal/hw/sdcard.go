@@ -18,10 +18,9 @@ const SDBlockSize = 512
 // (§5.2). The prod-OS baseline uses DMA: same wire time, but the CPU sleeps
 // instead of polling and setup overlaps transfer.
 const (
-	sdCmdSetup  = 120 * time.Microsecond // command issue + response, polled
-	sdPerBlock  = 380 * time.Microsecond // one 512 B sector on the wire
-	sdDMASetup  = 60 * time.Microsecond  // descriptor programming
-	sdReadOnlyE = "sd: card is write-protected"
+	sdCmdSetup = 120 * time.Microsecond // command issue + response, polled
+	sdPerBlock = 380 * time.Microsecond // one 512 B sector on the wire
+	sdDMASetup = 60 * time.Microsecond  // descriptor programming
 )
 
 // ErrSDRange is returned for out-of-range block addresses.
@@ -219,7 +218,7 @@ func (sd *SDCard) WriteBlocks(lba, n int, src []byte) error {
 	sd.mu.Lock()
 	if sd.ro {
 		sd.mu.Unlock()
-		return errors.New(sdReadOnlyE)
+		return ErrSDWriteProtected
 	}
 	if err := sd.takeError(); err != nil {
 		sd.mu.Unlock()
@@ -305,7 +304,7 @@ func (sd *SDCard) SubmitWrite(tag uint64, lba, n int, src []byte) error {
 		sd.mu.Lock()
 		var err error
 		if sd.ro {
-			err = errors.New(sdReadOnlyE)
+			err = ErrSDWriteProtected
 		} else if err = sd.takeError(); err == nil {
 			copy(sd.data[lba*SDBlockSize:(lba+n)*SDBlockSize], src)
 		}

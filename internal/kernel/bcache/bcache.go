@@ -60,6 +60,21 @@ const (
 	// DefaultFlushInterval is the daemon's age bound: no buffer stays
 	// dirty longer than roughly this once a daemon runs.
 	DefaultFlushInterval = 50 * time.Millisecond
+
+	// giveUpWrites is the per-buffer writeback-failure budget: after this
+	// many failed attempts (or one fatal error — a dead device, a
+	// persistent bad sector) the cache stops retrying the buffer. The
+	// error stays recorded on its errseq streams, the contents stay valid
+	// in memory, but the dirty bit is dropped so kflushd does not spin on
+	// a block that will never land. Without a give-up, a dead device turns
+	// the daemon into a busy-loop and StopDaemon into a hang.
+	giveUpWrites = 3
+
+	// readRetries is how many extra attempts devRead makes when the
+	// device reports a transient error. The request queue below already
+	// retries with backoff; this covers caches mounted straight on a
+	// device with no queue.
+	readRetries = 2
 )
 
 // WritePolicy selects what WriteRange does with the device.
@@ -94,6 +109,13 @@ type Options struct {
 	WritebackRatio int
 	// FlushInterval is the daemon's age bound (0 = DefaultFlushInterval).
 	FlushInterval time.Duration
+	// OnGiveUp, when set, is invoked each time the cache abandons a dirty
+	// buffer whose writeback cannot succeed (per-buffer failure budget
+	// exhausted, or a fatal device error). The mount uses it to flip
+	// degraded / read-only state. Called with the failing buffer's
+	// sleeplock held — the hook must not call back into the cache; record
+	// the fact and return.
+	OnGiveUp func(lba int, err error)
 }
 
 // Buf is one cached block. Callers hold the buffer (its sleeplock) between
@@ -111,6 +133,12 @@ type Buf struct {
 	// advance it. Written under the shard lock by writers holding the
 	// buffer sleeplock, like valid/dirty, so either lock suffices to read.
 	owner *Owner
+
+	// fails counts consecutive writeback failures of this buffer; at
+	// giveUpWrites the cache abandons the write (see writebackFailed).
+	// Guarded by the buffer's sleeplock, which every writeback path holds
+	// across its device command.
+	fails int
 
 	// nosteal marks a buffer frozen by a journal: its contents belong to
 	// an uncommitted transaction and must NOT reach the device until the
@@ -220,6 +248,9 @@ type Cache struct {
 	// failure epoch is reported exactly once, even if the retry succeeded.
 	devErr errseq.Stream
 
+	// onGiveUp is Options.OnGiveUp (abandoned-writeback notification).
+	onGiveUp func(lba int, err error)
+
 	// idleHook, when set, runs after each daemon writeback pass — the
 	// journal registers its opportunistic checkpoint here ("checkpoint on
 	// kflushd idle"). Set before the daemon starts; never changed after.
@@ -246,6 +277,7 @@ type Cache struct {
 	hits, misses, evictions, writebacks atomic.Int64
 	rangeOps, rangeBlocks, readaheads   atomic.Int64
 	flushBatches, daemonFlushes         atomic.Int64
+	giveUps, readRetried                atomic.Int64
 }
 
 // New returns a cache of n buffers over dev with default sharding.
@@ -284,6 +316,7 @@ func NewWithOptions(dev fs.BlockDevice, opts Options) *Cache {
 	}
 	c.tdev, _ = dev.(fs.TaskBlockDevice)
 	c.qdev, _ = dev.(fs.QueuedBlockDevice)
+	c.onGiveUp = opts.OnGiveUp
 	ratio := opts.WritebackRatio
 	switch {
 	case ratio == 0:
@@ -322,12 +355,22 @@ func NewWithOptions(dev fs.BlockDevice, opts Options) *Cache {
 
 // devRead issues a device read, threading the task through when the
 // device layer can use it (the request queue sleeps the task until the
-// completion IRQ).
+// completion IRQ). Transient device errors are retried a bounded number
+// of times — persistent ones (bad sector, dead device) are not, since
+// retrying cannot help.
 func (c *Cache) devRead(t *sched.Task, lba, n int, dst []byte) error {
-	if c.tdev != nil {
-		return c.tdev.ReadBlocksT(t, lba, n, dst)
+	for attempt := 0; ; attempt++ {
+		var err error
+		if c.tdev != nil {
+			err = c.tdev.ReadBlocksT(t, lba, n, dst)
+		} else {
+			err = c.dev.ReadBlocks(lba, n, dst)
+		}
+		if err == nil || attempt >= readRetries || !errors.Is(err, fs.ErrSDInjected) {
+			return err
+		}
+		c.readRetried.Add(1)
 	}
-	return c.dev.ReadBlocks(lba, n, dst)
 }
 
 // devWrite is devRead's write twin.
@@ -565,10 +608,19 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 		wrote := v.dirty && v.valid
 		if wrote {
 			err = c.devWrite(t, v.lba, 1, v.Data)
+			if err != nil {
+				// The error advances the victim's error streams: the caller
+				// here is some unlucky evictor, not the file whose data
+				// failed to land, and that file's fsync must still hear it.
+				// An unwritable victim is given up there, so eviction does
+				// not keep tripping over the same doomed buffer.
+				c.writebackFailed(v, err)
+			}
 		}
 		s.mu.Lock()
 		if wrote && err == nil {
 			v.dirty = false
+			v.fails = 0
 			if owner != nil {
 				owner.removeDirty(v.lba)
 			}
@@ -584,10 +636,6 @@ func (c *Cache) pin(t *sched.Task, lba int) (*Buf, error) {
 		}
 		if err != nil {
 			s.mu.Unlock()
-			// The error also advances the victim's error streams: the
-			// caller here is some unlucky evictor, not the file whose data
-			// failed to land, and that file's fsync must still hear it.
-			c.noteAsyncWriteErr(owner, err)
 			return nil, err
 		}
 		// Loop: the victim is clean now (or claimed by a racer, in which
@@ -663,6 +711,18 @@ func (c *Cache) Thaw(b *Buf) {
 	b.nosteal = false
 	s.mu.Unlock()
 	c.unpin(b)
+}
+
+// Discard unwinds an uncommitted buffer: clean, unfrozen and INVALID, so
+// the next Get re-reads the block from the device. The journal's abort
+// path calls it for every block of a transaction poisoned by a
+// mid-operation device error — the cache copy holds half-applied metadata
+// that must never reach the media, and the durable copy on disk is the
+// truth again. The caller must hold the buffer's sleeplock (Lock, as in
+// the commit path).
+func (c *Cache) Discard(b *Buf) {
+	c.setFlags(b, false, false)
+	c.Thaw(b)
 }
 
 // Frozen reports whether the buffer is currently journal-pinned (tests).
@@ -1084,7 +1144,7 @@ func (c *Cache) flushQueued(t *sched.Task, dirty []int, plugged bool) error {
 			}
 			tk, err := c.qdev.SubmitWrite(t, b.lba, 1, b.Data)
 			if err != nil {
-				c.noteAsyncWriteErr(b.owner, err)
+				c.writebackFailed(b, err)
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -1097,15 +1157,17 @@ func (c *Cache) flushQueued(t *sched.Task, dirty []int, plugged bool) error {
 		}
 		for _, s := range subs {
 			if err := s.tk.Wait(t); err != nil {
-				// Leave the buffer dirty — the next flush retries it — and
-				// advance its error streams so the owning file's fsync and
-				// the device barrier both hear about it.
-				c.noteAsyncWriteErr(s.b.owner, err)
+				// Advance the buffer's error streams so the owning file's
+				// fsync and the device barrier both hear about it; the
+				// buffer stays dirty for a later retry until its failure
+				// budget runs out (then writebackFailed gives it up).
+				c.writebackFailed(s.b, err)
 				if firstErr == nil {
 					firstErr = err
 				}
 				continue
 			}
+			s.b.fails = 0
 			c.setFlags(s.b, true, false)
 			c.writebacks.Add(1)
 		}
@@ -1161,13 +1223,15 @@ func (c *Cache) flushSync(t *sched.Task, dirty []int) error {
 				c.writebacks.Add(int64(m - k))
 				c.flushBatches.Add(1)
 				for x := k; x < m; x++ {
+					bufs[x].fails = 0
 					c.setFlags(bufs[x], true, false)
 				}
 			} else {
-				// The whole run stays dirty; advance every member's error
-				// streams so each owning file's fsync hears about its own.
+				// Advance every member's error streams so each owning
+				// file's fsync hears about its own; members stay dirty
+				// until their failure budget runs out.
 				for x := k; x < m; x++ {
-					c.noteAsyncWriteErr(bufs[x].owner, err)
+					c.writebackFailed(bufs[x], err)
 				}
 			}
 			k = m
@@ -1196,6 +1260,41 @@ func (c *Cache) noteAsyncWriteErr(o *Owner, err error) {
 	}
 	c.devErr.Record(err)
 }
+
+// writebackFailed handles one failed writeback attempt of a dirty
+// buffer: the error advances the buffer's error streams, and the buffer
+// normally stays dirty so a later pass retries it. But retrying cannot go
+// on forever — a buffer over a dead device or a persistent bad sector,
+// or one that has exhausted its failure budget, is GIVEN UP: its dirty
+// bit drops (contents stay valid in memory, so readers still see the
+// data), the abandonment is counted, and the OnGiveUp hook tells the
+// mount to degrade. This is what keeps kflushd from spinning on
+// unwritable blocks and lets StopDaemon return on a dead device; the
+// data loss is not silent — it was recorded on the errseq streams, so
+// every fsync observer and the Flush barrier still hear about it.
+//
+// The caller holds the buffer's sleeplock (and no shard lock).
+func (c *Cache) writebackFailed(b *Buf, err error) {
+	c.noteAsyncWriteErr(b.owner, err)
+	b.fails++
+	fatal := errors.Is(err, fs.ErrDeviceDead) || errors.Is(err, fs.ErrBadSector)
+	if !fatal && b.fails < giveUpWrites {
+		return // still worth retrying; stays dirty
+	}
+	b.fails = 0
+	c.setFlags(b, true, false)
+	c.giveUps.Add(1)
+	if c.onGiveUp != nil {
+		c.onGiveUp(b.lba, err)
+	}
+}
+
+// GiveUps reports how many dirty buffers the cache has abandoned because
+// their writeback could not succeed.
+func (c *Cache) GiveUps() int64 { return c.giveUps.Load() }
+
+// ReadRetries reports how many transient read errors devRead absorbed.
+func (c *Cache) ReadRetries() int64 { return c.readRetried.Load() }
 
 // WritebackErrPending reports whether the device-wide stream holds a
 // write error no Flush has reported yet (diagnostics / tests).

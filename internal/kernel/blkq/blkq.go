@@ -1,6 +1,7 @@
 package blkq
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -36,7 +37,23 @@ const (
 	// maxMergeBlocks caps one merged command, matching the cache's
 	// writeback-run cap so neither layer builds unbounded commands.
 	maxMergeBlocks = 128
+	// DefaultCmdTimeout bounds how long one device command may stay in
+	// flight before the queue abandons it and retries: generous against
+	// the SD timing model's worst merged write (~75ms at scale 1) plus
+	// injected latency spikes, small against a wedged device.
+	DefaultCmdTimeout = 2 * time.Second
+	// DefaultMaxRetries bounds re-issues of one command for transient
+	// errors and timeouts.
+	DefaultMaxRetries = 3
+	// retryBackoffBase is the first retry's delay; each further retry
+	// doubles it (exponential backoff).
+	retryBackoffBase = 500 * time.Microsecond
 )
+
+// ErrCmdTimeout marks a command the device never completed within the
+// queue's window. Retried like a transient fault; a command whose every
+// attempt times out declares the device dead.
+var ErrCmdTimeout = errors.New("blkq: device command timed out")
 
 // Options configures New. Zero values select defaults.
 type Options struct {
@@ -62,8 +79,17 @@ type Options struct {
 	// After schedules the anticipatory plug's expiry through the caller's
 	// timer source (the kernel passes its virtual-timer set); the returned
 	// function cancels the pending callback. Nil selects host timers
-	// (time.AfterFunc).
+	// (time.AfterFunc). Command timeouts and retry backoff use the same
+	// source.
 	After func(d time.Duration, fn func()) func() bool
+	// CmdTimeout bounds one command's time in flight before the queue
+	// abandons and retries it (0 = DefaultCmdTimeout; negative disables
+	// timeouts). Only armed on async backends — synchronous dispatch
+	// completes inline and cannot hang.
+	CmdTimeout time.Duration
+	// MaxRetries bounds per-command re-issues for transient errors and
+	// timeouts (0 = DefaultMaxRetries; negative disables retries).
+	MaxRetries int
 }
 
 // request is one submitted IO, waiting in the queue or in flight as part
@@ -88,6 +114,12 @@ type command struct {
 	n     int
 	buf   []byte // reqs[0].buf when len(reqs)==1, else a pooled bounce buffer
 	reqs  []*request
+
+	// Recovery state (guarded by Queue.mu while the command is tracked).
+	bounce    bool        // buf is queue-owned (bounce/retry buffer), not reqs[0].buf
+	attempts  int         // re-issues so far (0 = first issue)
+	abandoned bool        // timed out: a late DMA may still target buf — never pool it
+	cancelT   func() bool // pending timeout cancel, nil when unarmed
 }
 
 // Queue is the request queue over one block device.
@@ -133,6 +165,15 @@ type Queue struct {
 	gapEWMA    time.Duration
 	antHits    int
 
+	// Recovery state: per-command timeout/retry knobs and the dead-device
+	// latch. Once dead is set every queued and future request fast-fails
+	// with deadErr — no submitter ever sleeps on a device that cannot
+	// answer. Guarded by mu.
+	cmdTimeout time.Duration
+	maxRetries int
+	dead       bool
+	deadErr    error
+
 	// Statistics. Guarded by mu.
 	submitted    int64 // requests accepted
 	dispatched   int64 // device commands issued
@@ -141,6 +182,9 @@ type Queue struct {
 	queuedPeak   int64 // max requests waiting at once
 	plugHits     int64 // requests that arrived inside an anticipatory window
 	plugTimeouts int64 // anticipatory windows that expired unconverted
+	retries      int64 // command re-issues (transient errors, timeouts)
+	cmdTimeouts  int64 // commands the device never completed in the window
+	splits       int64 // merged commands split after a persistent failure
 
 	pool sync.Pool // bounce buffers for merged commands
 }
@@ -176,6 +220,18 @@ func New(dev fs.BlockDevice, opts Options) *Queue {
 		q.after = func(d time.Duration, fn func()) func() bool {
 			return time.AfterFunc(d, fn).Stop
 		}
+	}
+	switch {
+	case opts.CmdTimeout == 0:
+		q.cmdTimeout = DefaultCmdTimeout
+	case opts.CmdTimeout > 0:
+		q.cmdTimeout = opts.CmdTimeout
+	}
+	switch {
+	case opts.MaxRetries == 0:
+		q.maxRetries = DefaultMaxRetries
+	case opts.MaxRetries > 0:
+		q.maxRetries = opts.MaxRetries
 	}
 	return q
 }
@@ -420,6 +476,11 @@ func (q *Queue) submit(t *sched.Task, write bool, lba, n int, buf []byte) (*requ
 	}
 	r := &request{write: write, lba: lba, n: n, buf: buf}
 	q.mu.Lock(t)
+	if q.dead {
+		err := q.deadErr
+		q.mu.Unlock()
+		return nil, err
+	}
 	idle := len(q.pending) == 0 && len(q.inflight) == 0
 	// Insert in LBA order (the elevator's working order).
 	i := sort.Search(len(q.pending), func(i int) bool { return q.pending[i].lba >= lba })
@@ -516,30 +577,67 @@ func (q *Queue) kick(t *sched.Task) {
 			q.depthPeak = l
 		}
 		q.mu.Unlock()
+		q.issue(t, cmd)
+	}
+}
 
-		if q.abe != nil {
-			var err error
-			if cmd.write {
-				err = q.abe.SubmitWrite(cmd.tag, cmd.lba, cmd.n, cmd.buf)
-			} else {
-				err = q.abe.SubmitRead(cmd.tag, cmd.lba, cmd.n, cmd.buf)
-			}
-			if err != nil {
-				// Immediate reject (bad descriptor): complete in place.
-				q.finish(t, cmd.tag, err)
-			}
-			continue
-		}
-		// Synchronous device: this context is the "driver"; do the IO and
-		// complete the command ourselves.
+// issue sends one tracked command to the device (the caller has already
+// placed it in inflight). Async backends get a command timeout armed;
+// synchronous devices complete inline — they cannot hang, so no timer.
+// Runs in submitter, IRQ, retry-timer and timeout-timer contexts.
+func (q *Queue) issue(t *sched.Task, cmd *command) {
+	// Snapshot the mutable fields under the lock: a timed-out command's
+	// tag and buffer are rewritten by a later reissue, which must not race
+	// this attempt's device call.
+	q.mu.Lock(t)
+	tag, buf := cmd.tag, cmd.buf
+	if q.abe != nil && q.cmdTimeout > 0 && q.inflight[tag] == cmd {
+		cmd.cancelT = q.after(q.cmdTimeout, func() { q.timeout(tag) })
+	}
+	q.mu.Unlock()
+	if q.abe != nil {
 		var err error
 		if cmd.write {
-			err = q.dev.WriteBlocks(cmd.lba, cmd.n, cmd.buf)
+			err = q.abe.SubmitWrite(tag, cmd.lba, cmd.n, buf)
 		} else {
-			err = q.dev.ReadBlocks(cmd.lba, cmd.n, cmd.buf)
+			err = q.abe.SubmitRead(tag, cmd.lba, cmd.n, buf)
 		}
-		q.finish(t, cmd.tag, err)
+		if err != nil {
+			// Immediate reject (bad descriptor, dead device): complete in
+			// place.
+			q.finish(t, tag, err)
+		}
+		return
 	}
+	// Synchronous device: this context is the "driver"; do the IO and
+	// complete the command ourselves.
+	var err error
+	if cmd.write {
+		err = q.dev.WriteBlocks(cmd.lba, cmd.n, buf)
+	} else {
+		err = q.dev.ReadBlocks(cmd.lba, cmd.n, buf)
+	}
+	q.finish(t, tag, err)
+}
+
+// timeout is the command timer's callback: the device never answered for
+// tag within the window. The command is abandoned — its buffer may still
+// be a late DMA target, so it is never pooled again — and routed through
+// the same failure policy as an errored completion. A completion that
+// arrives after all is a stray and is dropped.
+func (q *Queue) timeout(tag uint64) {
+	q.mu.Lock(nil)
+	cmd := q.inflight[tag]
+	if cmd == nil {
+		q.mu.Unlock()
+		return // completed (or killed) just before the timer fired
+	}
+	delete(q.inflight, tag)
+	cmd.cancelT = nil
+	cmd.abandoned = true
+	q.cmdTimeouts++
+	q.mu.Unlock()
+	q.resolveFailure(nil, cmd, ErrCmdTimeout)
 }
 
 // buildCommandLocked picks the elevator's next request and absorbs every
@@ -616,6 +714,7 @@ func (q *Queue) buildCommandLocked() *command {
 	// span. Writes are gathered now; reads are scattered at completion.
 	buf := *(q.pool.Get().(*[]byte))
 	cmd.buf = buf[:cmd.n*q.bs]
+	cmd.bounce = true
 	if cmd.write {
 		for _, r := range group {
 			copy(cmd.buf[(r.lba-start)*q.bs:], r.buf[:r.n*q.bs])
@@ -641,19 +740,218 @@ func (q *Queue) CompletionIRQ() {
 	}
 }
 
-// finish completes a command: scatter read data to the member requests,
-// record errors, wake waiters, recycle the bounce buffer, refill the
-// device queue.
+// finish takes a command's completion: cancel its timeout, and either
+// complete it (success, or failure with no recovery left) or hand it to
+// the failure policy — retry with backoff, split, or declare the device
+// dead.
 func (q *Queue) finish(t *sched.Task, tag uint64, err error) {
 	q.mu.Lock(t)
 	cmd := q.inflight[tag]
 	delete(q.inflight, tag)
 	if cmd == nil {
 		q.mu.Unlock()
-		return // stray completion (e.g. sync-path DMA raise) — ignore
+		return // stray completion (sync-path DMA raise, or abandoned tag)
 	}
-	merged := len(cmd.reqs) > 1
-	if merged && !cmd.write && err == nil {
+	if cmd.cancelT != nil {
+		cmd.cancelT()
+		cmd.cancelT = nil
+	}
+	dead := q.dead
+	q.mu.Unlock()
+	if err != nil && !dead {
+		q.resolveFailure(t, cmd, err)
+		return
+	}
+	q.complete(t, cmd, err)
+}
+
+// retryable reports whether err is worth re-issuing the same command for:
+// transient injected media errors (which heal) and timeouts (the device
+// may merely be slow). Persistent faults — bad sectors, write protection,
+// device death, rejected descriptors — are not.
+func retryable(err error) bool {
+	return errors.Is(err, fs.ErrSDInjected) || errors.Is(err, ErrCmdTimeout)
+}
+
+// resolveFailure routes one failed command (already removed from
+// inflight) through the recovery policy:
+//
+//   - device death latches the dead state and fast-fails everything;
+//   - transient errors and timeouts re-issue the command with exponential
+//     backoff, up to maxRetries;
+//   - a command whose every attempt TIMED OUT has proven the device
+//     unresponsive — that, too, declares it dead;
+//   - a persistent bad sector under a merged command splits it so only
+//     the requests covering the sector ultimately fail;
+//   - anything else fails the command's requests with the error.
+func (q *Queue) resolveFailure(t *sched.Task, cmd *command, err error) {
+	switch {
+	case errors.Is(err, fs.ErrDeviceDead):
+		q.markDead(t, cmd, err)
+	case retryable(err) && cmd.attempts < q.maxRetries:
+		q.mu.Lock(t)
+		if q.dead {
+			derr := q.deadErr
+			q.mu.Unlock()
+			q.complete(t, cmd, derr)
+			return
+		}
+		q.retries++
+		q.mu.Unlock()
+		delay := retryBackoffBase << cmd.attempts
+		q.after(delay, func() { q.reissue(cmd) })
+	case errors.Is(err, ErrCmdTimeout):
+		// Every attempt timed out: nothing is answering. Declare death so
+		// no later submitter waits out the same window.
+		q.markDead(t, cmd, fs.ErrDeviceDead)
+	case errors.Is(err, fs.ErrBadSector) && len(cmd.reqs) > 1:
+		q.split(t, cmd, err)
+	default:
+		q.complete(t, cmd, err)
+	}
+}
+
+// reissue re-sends a command after its backoff delay, under a fresh tag.
+// An abandoned read gets a fresh queue-owned buffer — the old one may
+// still be the late DMA's target and is leaked, never pooled; an
+// abandoned write keeps its buffer (the device only reads it, and a late
+// landing writes the same bytes). Runs in timer context.
+func (q *Queue) reissue(cmd *command) {
+	q.mu.Lock(nil)
+	if q.dead {
+		derr := q.deadErr
+		q.mu.Unlock()
+		q.complete(nil, cmd, derr)
+		return
+	}
+	if cmd.abandoned && !cmd.write {
+		cmd.buf = q.freshBuf(cmd.n)
+		cmd.bounce = true
+		cmd.abandoned = false
+	}
+	cmd.attempts++
+	q.nextTag++
+	cmd.tag = q.nextTag
+	q.inflight[cmd.tag] = cmd
+	q.mu.Unlock()
+	q.issue(nil, cmd)
+}
+
+// freshBuf returns a queue-owned buffer for n blocks: pooled when the
+// standard bounce size covers it, else a one-off allocation. Caller holds
+// q.mu (the pool is internally synchronized; holding mu is merely
+// harmless).
+func (q *Queue) freshBuf(n int) []byte {
+	if n <= maxMergeBlocks {
+		return (*(q.pool.Get().(*[]byte)))[:n*q.bs]
+	}
+	return make([]byte, n*q.bs)
+}
+
+// split re-issues a failed merged command as two halves (by member
+// request), each with a fresh retry budget. Recursion through further
+// failures bottoms out at single-request commands, so a persistent bad
+// sector fails exactly the requests covering it while every merged
+// neighbor's IO still lands.
+func (q *Queue) split(t *sched.Task, cmd *command, err error) {
+	mid := len(cmd.reqs) / 2
+	halves := [][]*request{cmd.reqs[:mid:mid], cmd.reqs[mid:]}
+	subs := make([]*command, 0, 2)
+	q.mu.Lock(t)
+	if q.dead {
+		derr := q.deadErr
+		q.mu.Unlock()
+		q.complete(t, cmd, derr)
+		return
+	}
+	q.splits++
+	for _, group := range halves {
+		start, end := group[0].lba, group[0].lba+group[0].n
+		for _, r := range group[1:] {
+			if r.lba < start {
+				start = r.lba
+			}
+			if e := r.lba + r.n; e > end {
+				end = e
+			}
+		}
+		q.nextTag++
+		sub := &command{tag: q.nextTag, write: cmd.write, lba: start, n: end - start, reqs: group}
+		if len(group) == 1 {
+			sub.buf = group[0].buf[:group[0].n*q.bs]
+		} else {
+			sub.buf = q.freshBuf(sub.n)
+			sub.bounce = true
+			if sub.write {
+				for _, r := range group {
+					copy(sub.buf[(r.lba-start)*q.bs:], r.buf[:r.n*q.bs])
+				}
+			}
+		}
+		q.inflight[sub.tag] = sub
+		subs = append(subs, sub)
+	}
+	q.mu.Unlock()
+	q.recycle(cmd)
+	for _, sub := range subs {
+		q.issue(t, sub)
+	}
+}
+
+// markDead latches the dead-device state: the failing command, every
+// queued request, and every other in-flight command complete immediately
+// with ErrDeviceDead, and all future submissions fast-fail. Commands
+// sitting out a retry backoff find the latch when their timer fires.
+func (q *Queue) markDead(t *sched.Task, cmd *command, err error) {
+	q.mu.Lock(t)
+	if !q.dead {
+		q.dead = true
+		q.deadErr = err
+	}
+	derr := q.deadErr
+	pending := q.pending
+	q.pending = nil
+	q.pendingN = 0
+	var cmds []*command
+	if cmd != nil {
+		cmds = append(cmds, cmd)
+	}
+	for tag, c := range q.inflight {
+		delete(q.inflight, tag)
+		if c.cancelT != nil {
+			c.cancelT()
+			c.cancelT = nil
+		}
+		c.abandoned = true // completions may still arrive; never pool
+		cmds = append(cmds, c)
+	}
+	q.closeAnticipationLocked()
+	var chans []chan struct{}
+	for _, r := range pending {
+		r.err = derr
+		r.done = true
+		if r.ch != nil {
+			chans = append(chans, r.ch)
+		}
+	}
+	q.mu.Unlock()
+	for _, ch := range chans {
+		close(ch)
+	}
+	for _, r := range pending {
+		r.wq.WakeAll()
+	}
+	for _, c := range cmds {
+		q.complete(t, c, derr)
+	}
+}
+
+// complete finishes a command for good: scatter read data to the member
+// requests, record the error, wake waiters, recycle the bounce buffer,
+// refill the device queue.
+func (q *Queue) complete(t *sched.Task, cmd *command, err error) {
+	q.mu.Lock(t)
+	if cmd.bounce && !cmd.write && err == nil {
 		for _, r := range cmd.reqs {
 			copy(r.buf[:r.n*q.bs], cmd.buf[(r.lba-cmd.lba)*q.bs:])
 		}
@@ -667,10 +965,7 @@ func (q *Queue) finish(t *sched.Task, tag uint64, err error) {
 		}
 	}
 	q.mu.Unlock()
-	if merged {
-		buf := cmd.buf[:cap(cmd.buf)]
-		q.pool.Put(&buf)
-	}
+	q.recycle(cmd)
 	for _, ch := range chans {
 		close(ch)
 	}
@@ -678,6 +973,19 @@ func (q *Queue) finish(t *sched.Task, tag uint64, err error) {
 		r.wq.WakeAll()
 	}
 	q.kick(t)
+}
+
+// recycle returns a command's queue-owned buffer to the pool — unless the
+// command was abandoned (a late DMA may still target the buffer; leaking
+// it is the only safe move) or the buffer is an oversize one-off.
+func (q *Queue) recycle(cmd *command) {
+	if !cmd.bounce || cmd.abandoned || cap(cmd.buf) < maxMergeBlocks*q.bs {
+		return
+	}
+	buf := cmd.buf[:cap(cmd.buf)]
+	q.pool.Put(&buf)
+	cmd.buf = nil
+	cmd.bounce = false
 }
 
 // Stats reports queue activity: requests submitted, device commands
@@ -698,6 +1006,23 @@ func (q *Queue) PlugStats() (hits, timeouts int64) {
 	q.mu.Lock(nil)
 	defer q.mu.Unlock()
 	return q.plugHits, q.plugTimeouts
+}
+
+// FaultStats reports the recovery path's activity: command re-issues for
+// transient errors and timeouts, commands the device never answered,
+// merged commands split after persistent failures, and whether the
+// dead-device latch has tripped. All surface in /proc/diskstats.
+func (q *Queue) FaultStats() (retries, timeouts, splits int64, dead bool) {
+	q.mu.Lock(nil)
+	defer q.mu.Unlock()
+	return q.retries, q.cmdTimeouts, q.splits, q.dead
+}
+
+// Dead reports whether the queue has latched the dead-device state.
+func (q *Queue) Dead() bool {
+	q.mu.Lock(nil)
+	defer q.mu.Unlock()
+	return q.dead
 }
 
 // Depth reports the configured in-flight command bound.

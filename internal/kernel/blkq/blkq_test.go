@@ -350,10 +350,20 @@ func TestAsyncSDCompletionViaIRQ(t *testing.T) {
 	if !bytes.Equal(dst, src) {
 		t.Fatal("async round trip corrupted data")
 	}
-	// Media errors surface in the completion, not the submission.
+	// Media errors surface in the completion, not the submission — and a
+	// single transient failure is absorbed by the retry path, invisibly to
+	// the submitter.
 	sd.InjectErrors(1)
+	if err := q.WriteBlocks(7, 1, src); err != nil {
+		t.Fatalf("transient injected error not retried: %v", err)
+	}
+	if retries, _, _, dead := q.FaultStats(); retries != 1 || dead {
+		t.Fatalf("retries=%d dead=%v, want 1 retry and a live device", retries, dead)
+	}
+	// A burst longer than the retry budget does surface.
+	sd.InjectErrors(DefaultMaxRetries + 1)
 	if err := q.WriteBlocks(7, 1, src); !errors.Is(err, hw.ErrSDInjected) {
-		t.Fatalf("injected error = %v, want ErrSDInjected", err)
+		t.Fatalf("exhausted retries = %v, want ErrSDInjected", err)
 	}
 }
 

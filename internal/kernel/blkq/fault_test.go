@@ -1,0 +1,194 @@
+// Recovery-path tests: the queue over a FaultDisk. Transient faults must
+// be absorbed by bounded retry, persistent bad sectors must fail only the
+// requests covering them after a merged-command split, timeouts must break
+// device hangs, and a dead device must fast-fail everything — submitters
+// never sleep forever.
+package blkq
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/fs"
+)
+
+func newFaultQueue(blocks int, plan hw.FaultPlan, opts Options) (*hw.FaultDisk, *Queue) {
+	fd := hw.NewFaultDisk(fs.NewRamdisk(512, blocks), plan)
+	opts.Async = fd
+	q := New(fd, opts)
+	fd.SetNotify(func() { q.CompletionIRQ() })
+	return fd, q
+}
+
+// TestTransientWriteRetriedNoDataLoss pins the acceptance criterion: a
+// transient single-sector write fault is retried to success and the data
+// lands intact.
+func TestTransientWriteRetriedNoDataLoss(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		fd := hw.NewFaultDisk(fs.NewRamdisk(512, 64), hw.FaultPlan{Seed: 1})
+		opts := Options{PlugDelay: -1}
+		if async {
+			opts.Async = fd
+		}
+		q := New(fd, opts)
+		fd.SetNotify(func() { q.CompletionIRQ() })
+		// Open a 2-failure transient burst at LBA 5 (initial + one retry).
+		fd.InjectTransient(5, 2)
+		src := bytes.Repeat([]byte{0x5A}, 512)
+		if err := q.WriteBlocks(5, 1, src); err != nil {
+			t.Fatalf("async=%v: transient write fault not healed: %v", async, err)
+		}
+		got := make([]byte, 512)
+		if err := q.ReadBlocks(5, 1, got); err != nil {
+			t.Fatalf("async=%v: %v", async, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("async=%v: data lost across retry", async)
+		}
+		retries, _, _, dead := q.FaultStats()
+		if retries < 2 || dead {
+			t.Fatalf("async=%v: retries=%d dead=%v, want >=2 retries, live device", async, retries, dead)
+		}
+	}
+}
+
+// TestBadSectorSplitFailsOnlyCoveringRequests merges several adjacent
+// writes into one command over a known bad sector: after the split, only
+// the request covering the bad LBA fails — its merged neighbors land.
+func TestBadSectorSplitFailsOnlyCoveringRequests(t *testing.T) {
+	fd, q := newFaultQueue(64, hw.FaultPlan{Seed: 1}, Options{PlugDelay: -1})
+	const base, nReqs, badLBA = 8, 6, 10
+	fd.AddBadSector(badLBA)
+
+	q.Plug(nil)
+	tickets := make([]fs.BlockTicket, nReqs)
+	bufs := make([][]byte, nReqs)
+	for i := 0; i < nReqs; i++ {
+		bufs[i] = bytes.Repeat([]byte{byte(0xA0 + i)}, 512)
+		tk, err := q.SubmitWrite(nil, base+i, 1, bufs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	q.Unplug(nil)
+
+	for i, tk := range tickets {
+		err := tk.Wait(nil)
+		if base+i == badLBA {
+			if !errors.Is(err, fs.ErrBadSector) {
+				t.Fatalf("request over bad sector: %v, want ErrBadSector", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("merged neighbor %d failed: %v", base+i, err)
+		}
+	}
+	if _, _, splits, dead := q.FaultStats(); splits == 0 || dead {
+		t.Fatalf("splits=%d dead=%v, want a split and a live device", splits, dead)
+	}
+	// The neighbors' data must be on media; the bad sector's must not.
+	got := make([]byte, 512)
+	for i := 0; i < nReqs; i++ {
+		if base+i == badLBA {
+			continue
+		}
+		if err := q.ReadBlocks(base+i, 1, got); err != nil {
+			t.Fatalf("readback %d: %v", base+i, err)
+		}
+		if !bytes.Equal(got, bufs[i]) {
+			t.Fatalf("neighbor %d data lost in split", base+i)
+		}
+	}
+}
+
+// TestDeadDeviceFastFails: device death fails the in-flight and queued
+// requests promptly and every later submission rejects immediately — no
+// submitter sleeps forever.
+func TestDeadDeviceFastFails(t *testing.T) {
+	fd, q := newFaultQueue(64, hw.FaultPlan{Seed: 1}, Options{PlugDelay: -1, MaxRetries: -1})
+	buf := make([]byte, 512)
+	if err := q.WriteBlocks(1, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	fd.Kill()
+
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(lba int) { done <- q.WriteBlocks(lba, 1, make([]byte, 512)) }(2 + i)
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, fs.ErrDeviceDead) {
+				t.Fatalf("post-death write: %v, want ErrDeviceDead", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("submitter hung on a dead device")
+		}
+	}
+	if !q.Dead() {
+		t.Fatal("queue did not latch the dead state")
+	}
+	// Future submissions fast-fail at submit time.
+	if err := q.ReadBlocks(0, 1, buf); !errors.Is(err, fs.ErrDeviceDead) {
+		t.Fatalf("read on dead queue: %v, want ErrDeviceDead", err)
+	}
+	if _, err := q.SubmitWrite(nil, 0, 1, buf); !errors.Is(err, fs.ErrDeviceDead) {
+		t.Fatalf("ticket on dead queue: %v, want ErrDeviceDead", err)
+	}
+}
+
+// TestStalledCommandsTimeOutToDeath: a device that swallows commands
+// without ever completing them is broken by the command timeout; when
+// every attempt times out the queue declares the device dead rather than
+// letting the submitter wait out window after window.
+func TestStalledCommandsTimeOutToDeath(t *testing.T) {
+	_, q := newFaultQueue(64, hw.FaultPlan{Seed: 1, PStall: 1.0},
+		Options{PlugDelay: -1, CmdTimeout: 5 * time.Millisecond, MaxRetries: 2})
+	done := make(chan error, 1)
+	go func() { done <- q.WriteBlocks(3, 1, make([]byte, 512)) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, fs.ErrDeviceDead) {
+			t.Fatalf("stalled write: %v, want ErrDeviceDead", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled submitter never woke")
+	}
+	_, timeouts, _, dead := q.FaultStats()
+	if timeouts < 3 || !dead {
+		t.Fatalf("timeouts=%d dead=%v, want 3 timeouts then death", timeouts, dead)
+	}
+}
+
+// TestTransientMergedCommandHealsWhole: a transient failure of a MERGED
+// command is retried as a whole (no split) and every member succeeds.
+func TestTransientMergedCommandHealsWhole(t *testing.T) {
+	fd, q := newFaultQueue(64, hw.FaultPlan{Seed: 1}, Options{PlugDelay: -1})
+	const base, nReqs = 16, 4
+	fd.InjectTransient(base, 2)
+	q.Plug(nil)
+	tickets := make([]fs.BlockTicket, nReqs)
+	for i := 0; i < nReqs; i++ {
+		tk, err := q.SubmitWrite(nil, base+i, 1, bytes.Repeat([]byte{byte(i + 1)}, 512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	q.Unplug(nil)
+	for i, tk := range tickets {
+		if err := tk.Wait(nil); err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+	retries, _, splits, _ := q.FaultStats()
+	if retries == 0 || splits != 0 {
+		t.Fatalf("retries=%d splits=%d, want retry without split", retries, splits)
+	}
+}

@@ -106,6 +106,14 @@ func openOF(fsys fs.FileSystem, path string, flags int) (*fs.OpenFile, error) {
 // against any mounted filesystem.
 func workload(t *testing.T, fsys fs.FileSystem, rng *rand.Rand, nOps int) {
 	t.Helper()
+	workloadWith(t, fsys, rng, nOps, tolerable)
+}
+
+// workloadWith is workload with a pluggable error filter: the fault-plan
+// fuzz reuses the same op mix but must additionally tolerate injected IO
+// errors and the read-only latch they leave behind.
+func workloadWith(t *testing.T, fsys fs.FileSystem, rng *rand.Rand, nOps int, tol func(error) bool) {
+	t.Helper()
 	ren, _ := fsys.(fs.Renamer)
 	name := func() string { return fmt.Sprintf("/f%d.dat", rng.Intn(8)) }
 	payload := func() []byte {
@@ -140,7 +148,7 @@ func workload(t *testing.T, fsys fs.FileSystem, rng *rand.Rand, nOps int) {
 			err = fsys.Unlink(nil, name())
 		case 7: // mkdir + a file inside
 			d := fmt.Sprintf("/d%d", rng.Intn(3))
-			if err = fsys.Mkdir(nil, d); tolerable(err) {
+			if err = fsys.Mkdir(nil, d); tol(err) {
 				var fl *fs.OpenFile
 				if fl, err = openOF(fsys, d+"/in.dat", fs.OCreate|fs.OWrOnly); err == nil {
 					_, err = fl.Write(nil, payload())
@@ -152,7 +160,7 @@ func workload(t *testing.T, fsys fs.FileSystem, rng *rand.Rand, nOps int) {
 				err = ren.Rename(nil, name(), name())
 			}
 		}
-		if !tolerable(err) {
+		if !tol(err) {
 			t.Fatalf("workload op %d: %v", i, err)
 		}
 	}

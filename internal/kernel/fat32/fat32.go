@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"protosim/internal/kernel/bcache"
 	"protosim/internal/kernel/fs"
@@ -127,6 +128,16 @@ type FS struct {
 	// transition, so Sync persists it in O(1) instead of rescanning the
 	// FAT. -1 = not yet known.
 	freeCount int
+
+	// Error-resilience state (errors=remount-ro). degraded flips when any
+	// asynchronous writeback is abandoned; roFlag latches when an ordered
+	// publish barrier fails — the dirent about to be written would point
+	// at structure the device never accepted — or the device dies. Once
+	// latched, every mutating entry point returns ErrReadOnly; reads and
+	// fsync stay available.
+	degraded atomic.Bool
+	roFlag   atomic.Bool
+	roCause  atomic.Value // error
 
 	mu          sync.Mutex
 	pseudo      map[uint32]*pseudoInode // keyed by first cluster
@@ -251,10 +262,24 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	}
 	f := &FS{
 		dev:    dev,
-		bc:     bcache.NewWithOptions(dev, copts),
 		pseudo: make(map[uint32]*pseudoInode),
 		owners: make(map[uint32]*bcache.Owner),
 	}
+	// Cache give-up notifications drive the mount's health: any abandoned
+	// writeback marks the volume degraded; device death latches it
+	// read-only. The hook runs with a buffer sleeplock held and only
+	// flips atomics; a caller-supplied hook is chained after ours.
+	userGiveUp := copts.OnGiveUp
+	copts.OnGiveUp = func(lba int, err error) {
+		f.degraded.Store(true)
+		if errors.Is(err, fs.ErrDeviceDead) {
+			f.remountRO(err)
+		}
+		if userGiveUp != nil {
+			userGiveUp(lba, err)
+		}
+	}
+	f.bc = bcache.NewWithOptions(dev, copts)
 	f.renameMu.SetRank(ksync.RankRename, 0)
 	f.fatLock.SetRank(ksync.RankAlloc, 0)
 	f.freeHint = rootCluster
@@ -265,12 +290,42 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	if boot[510] != 0x55 || boot[511] != 0xAA || string(boot[3:11]) != "PROTOFAT" {
 		return nil, ErrBadFS
 	}
-	reserved := int(binary.LittleEndian.Uint16(boot[14:]))
-	f.totalSectors = int(binary.LittleEndian.Uint32(boot[32:]))
-	f.fatSectors = int(binary.LittleEndian.Uint32(boot[36:]))
-	f.fatStart = reserved
-	f.dataStart = reserved + f.fatSectors
-	f.clusters = (f.totalSectors - f.dataStart) / SectorsPerCluster
+	// Validate every geometry field before it sizes a loop or a block
+	// address — a hostile BPB must fail typed here, not panic later. All
+	// bounds math runs in int64 so crafted uint32s can't overflow.
+	if bps := binary.LittleEndian.Uint16(boot[11:]); bps != SectorSize {
+		return nil, fmt.Errorf("%w: %d-byte sectors", ErrBadFS, bps)
+	}
+	if spc := boot[13]; spc != SectorsPerCluster {
+		return nil, fmt.Errorf("%w: %d sectors per cluster", ErrBadFS, spc)
+	}
+	if rc := binary.LittleEndian.Uint32(boot[44:]); rc != rootCluster {
+		return nil, fmt.Errorf("%w: root cluster %d", ErrBadFS, rc)
+	}
+	reserved := int64(binary.LittleEndian.Uint16(boot[14:]))
+	totalSectors := int64(binary.LittleEndian.Uint32(boot[32:]))
+	fatSectors := int64(binary.LittleEndian.Uint32(boot[36:]))
+	if reserved < 1 || fatSectors < 1 {
+		return nil, fmt.Errorf("%w: %d reserved, %d FAT sectors", ErrBadFS, reserved, fatSectors)
+	}
+	if totalSectors < 1 || totalSectors > int64(dev.Blocks()) {
+		return nil, fmt.Errorf("%w: %d sectors (device %d)", ErrBadFS, totalSectors, dev.Blocks())
+	}
+	dataStart := reserved + fatSectors
+	clusters := (totalSectors - dataStart) / SectorsPerCluster
+	if clusters < 1 {
+		return nil, fmt.Errorf("%w: no data clusters", ErrBadFS)
+	}
+	// Every cluster's FAT entry must live inside the FAT region, or chain
+	// walks would read file data as links.
+	if (clusters+rootCluster)*fatEntrySize > fatSectors*SectorSize {
+		return nil, fmt.Errorf("%w: FAT too small for %d clusters", ErrBadFS, clusters)
+	}
+	f.totalSectors = int(totalSectors)
+	f.fatSectors = int(fatSectors)
+	f.fatStart = int(reserved)
+	f.dataStart = int(dataStart)
+	f.clusters = int(clusters)
 
 	// FSInfo: seed the next-free hint (and remember the persisted free
 	// count) when a valid sector is present. Images from before the
@@ -382,6 +437,37 @@ func (f *FS) RangeStats() (ops, blocks int64) {
 // Cache exposes the buffer cache (all IO flows through it by default).
 func (f *FS) Cache() *bcache.Cache { return f.bc }
 
+// remountRO latches the volume read-only, keeping the first cause.
+// Called when an ordered publish barrier fails or the device dies —
+// after either, further mutation could only publish structure the disk
+// never accepted.
+func (f *FS) remountRO(err error) {
+	if f.roFlag.CompareAndSwap(false, true) {
+		f.roCause.Store(err)
+	}
+	f.degraded.Store(true)
+}
+
+// checkRW gates mutating entry points: nil on a healthy mount,
+// fs.ErrReadOnly once the volume has latched read-only.
+func (f *FS) checkRW() error {
+	if f.roFlag.Load() {
+		return fs.ErrReadOnly
+	}
+	return nil
+}
+
+// Health reports the mount's error state: degraded means at least one
+// asynchronous writeback was abandoned (per-file fsync has the
+// details), readOnly means a publish barrier failed and mutations are
+// refused. cause is the error that latched read-only, nil otherwise.
+func (f *FS) Health() (degraded, readOnly bool, cause error) {
+	if e, ok := f.roCause.Load().(error); ok {
+		cause = e
+	}
+	return f.degraded.Load(), f.roFlag.Load(), cause
+}
+
 // countRange accounts one multi-block transfer of n sectors.
 func (f *FS) countRange(n int) {
 	f.mu.Lock()
@@ -411,8 +497,15 @@ func (f *FS) fatSector(c uint32) int {
 // truncate) flush the UNpublishing dirent write before freeing, for the
 // same reason mirrored. See ARCHITECTURE.md's crash-consistency section
 // for the site-by-site ordering argument.
+// A failed barrier latches the mount read-only: the caller's dirent
+// write will not happen, and allowing later mutations to race ahead of
+// the unflushed structure would break the ordering discipline globally.
 func (f *FS) orderedFlush(t *sched.Task, sectors ...int) error {
-	return f.bc.FlushBlocks(t, sectors, true)
+	if err := f.bc.FlushBlocks(t, sectors, true); err != nil {
+		f.remountRO(err)
+		return err
+	}
+	return nil
 }
 
 func (f *FS) fatGet(t *sched.Task, cluster uint32) (uint32, error) {

@@ -278,7 +278,10 @@ func TestSDErrorSurfaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sd.InjectErrors(1)
+	// The cache retries transient SD errors (bcache read-retry budget), so
+	// a persistent fault needs enough injected failures to exhaust every
+	// attempt of one read command before the error can surface.
+	sd.InjectErrors(3)
 	buf := make([]byte, 64<<10)
 	if _, err := fl2.Read(nil, buf); err == nil {
 		t.Fatal("injected SD error did not surface")

@@ -1,0 +1,109 @@
+// Device-fault behaviour of the mounted FAT32 volume: a failed ordered
+// publish barrier or device death latches the mount read-only with a
+// typed cause, mutating entry points fail ErrReadOnly, reads survive.
+package fat32
+
+import (
+	"errors"
+	"testing"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/blkq"
+	"protosim/internal/kernel/fs"
+)
+
+// faultMount mounts a fresh FAT32 over a FaultDisk routed through a
+// request queue — the production fault-model stack.
+func faultMount(t *testing.T) (*FS, *hw.FaultDisk) {
+	t.Helper()
+	rd := fs.NewRamdisk(SectorSize, 4096)
+	if err := Mkfs(rd); err != nil {
+		t.Fatal(err)
+	}
+	fd := hw.NewFaultDisk(rd, hw.FaultPlan{Seed: 1})
+	q := blkq.New(fd, blkq.Options{Async: fd, PlugDelay: -1})
+	fd.SetNotify(func() { q.CompletionIRQ() })
+	f, err := Mount(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, fd
+}
+
+// TestDeviceDeathRemountsReadOnly: after the device dies, the first
+// ordered barrier latches the mount read-only; mutations fail typed,
+// cached reads keep serving.
+func TestDeviceDeathRemountsReadOnly(t *testing.T) {
+	f, fd := faultMount(t)
+	fl, err := openOF(f, "/data.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, []byte("before death")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	fd.Kill()
+	// The next create needs an ordered flush of the fresh cluster and its
+	// FAT entry — which the dead device refuses.
+	if _, err := openOF(f, "/new.bin", fs.OCreate|fs.OWrOnly); !errors.Is(err, fs.ErrDeviceDead) {
+		t.Fatalf("create on dead device = %v, want ErrDeviceDead", err)
+	}
+	if degraded, ro, cause := f.Health(); !degraded || !ro || !errors.Is(cause, fs.ErrDeviceDead) {
+		t.Fatalf("Health = (%v, %v, %v), want (true, true, ErrDeviceDead)", degraded, ro, cause)
+	}
+
+	if _, err := openOF(f, "/other.bin", fs.OCreate|fs.OWrOnly); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("create on RO mount = %v, want ErrReadOnly", err)
+	}
+	if err := f.Mkdir(nil, "/d"); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("Mkdir on RO mount = %v, want ErrReadOnly", err)
+	}
+	if err := f.Unlink(nil, "/data.bin"); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("Unlink on RO mount = %v, want ErrReadOnly", err)
+	}
+	if err := f.Rename(nil, "/data.bin", "/moved.bin"); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("Rename on RO mount = %v, want ErrReadOnly", err)
+	}
+	if _, err := fl.Write(nil, []byte("more")); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("write on RO mount = %v, want ErrReadOnly", err)
+	}
+	got := make([]byte, 32)
+	rfl, err := openOF(f, "/data.bin", fs.ORdOnly)
+	if err != nil {
+		t.Fatalf("read-only open on RO mount = %v", err)
+	}
+	if n, err := rfl.Read(nil, got); err != nil || string(got[:n]) != "before death" {
+		t.Fatalf("read on RO mount = %q, %v", got[:n], err)
+	}
+}
+
+// TestBadSectorPublishLatchesReadOnly: a persistent media error under an
+// ordered publish barrier — not whole-device death — is durability loss
+// for the structure about to be published, and must latch read-only too.
+func TestBadSectorPublishLatchesReadOnly(t *testing.T) {
+	f, fd := faultMount(t)
+	// Warm the cache over the healthy device first: the FAT sector must be
+	// resident so the failure lands on the publish WRITE, not the lookup's
+	// read (read errors degrade nothing — the data is still on disk).
+	warm, err := openOF(f, "/warm.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Close(nil)
+	// The next allocation's FAT entry lives in the first FAT sector, which
+	// createInDir's ordered barrier must flush — onto the bad sector.
+	fd.AddBadSector(f.fatSector(3))
+	if _, err := openOF(f, "/new.bin", fs.OCreate|fs.OWrOnly); !errors.Is(err, fs.ErrBadSector) {
+		t.Fatalf("create over bad FAT sector = %v, want ErrBadSector", err)
+	}
+	if _, ro, cause := f.Health(); !ro || !errors.Is(cause, fs.ErrBadSector) {
+		t.Fatalf("Health = (ro=%v, cause=%v), want latched ErrBadSector", ro, cause)
+	}
+	if err := f.Mkdir(nil, "/d"); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("Mkdir after latch = %v, want ErrReadOnly", err)
+	}
+}

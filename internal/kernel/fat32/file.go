@@ -2,6 +2,7 @@ package fat32
 
 import (
 	"encoding/binary"
+	"errors"
 	"sort"
 
 	"protosim/internal/kernel/bcache"
@@ -104,6 +105,13 @@ func (f *FS) patchDirentSize(t *sched.Task, pi *pseudoInode) error {
 
 // Open implements fs.FileSystem.
 func (f *FS) Open(t *sched.Task, path string, flags int) (fs.FileOps, error) {
+	// A latched-read-only mount refuses opens that could mutate; plain
+	// read opens stay available.
+	if flags&(fs.OCreate|fs.OTrunc|fs.OWrOnly|fs.ORdWr) != 0 {
+		if err := f.checkRW(); err != nil {
+			return nil, err
+		}
+	}
 	path = fs.Clean(path)
 	if path == "/" {
 		if flags&(fs.OWrOnly|fs.ORdWr) != 0 {
@@ -224,6 +232,9 @@ func (f *FS) createInDir(t *sched.Task, dp *pseudoInode, name string, dir bool) 
 
 // Mkdir implements fs.FileSystem.
 func (f *FS) Mkdir(t *sched.Task, path string) error {
+	if err := f.checkRW(); err != nil {
+		return err
+	}
 	path = fs.Clean(path)
 	if path == "/" {
 		return fs.ErrExists
@@ -251,6 +262,9 @@ func (f *FS) Mkdir(t *sched.Task, path string) error {
 
 // Unlink implements fs.FileSystem.
 func (f *FS) Unlink(t *sched.Task, path string) error {
+	if err := f.checkRW(); err != nil {
+		return err
+	}
 	path = fs.Clean(path)
 	if path == "/" {
 		return fs.ErrPerm
@@ -372,6 +386,9 @@ func (pi *pseudoInode) gone() bool { return pi.dead || pi.unlinked }
 // the directories; holders of a single file lock never acquire a second,
 // so the pair cannot cycle either.
 func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
+	if err := f.checkRW(); err != nil {
+		return err
+	}
 	oldPath, newPath = fs.Clean(oldPath), fs.Clean(newPath)
 	if oldPath == "/" || newPath == "/" {
 		return fs.ErrPerm
@@ -648,6 +665,13 @@ func (f *FS) Sync(t *sched.Task) error {
 		err = ferr
 	}
 	f.fatLock.Unlock()
+	if err != nil && (errors.Is(err, fs.ErrDeviceDead) || errors.Is(err, fs.ErrBadSector)) {
+		// A fatal Sync failure is durability loss for cached metadata — on a
+		// journal-less volume that is exactly what errors=remount-ro guards.
+		// Transient writeback errors stay reportable-but-recoverable: the
+		// dirty buffer survives and the next barrier may land it.
+		f.remountRO(err)
+	}
 	return err
 }
 
@@ -699,6 +723,9 @@ func (fl *file) Pread(t *sched.Task, p []byte, off int64) (int, error) {
 // fs.OffAppend, at EOF resolved under the same pseudo-inode lock as the
 // write itself, making O_APPEND atomic across concurrent appenders.
 func (fl *file) Pwrite(t *sched.Task, p []byte, off int64) (int, int64, error) {
+	if err := fl.fsys.checkRW(); err != nil {
+		return 0, off, err
+	}
 	pi := fl.pi
 	pi.lock.Lock(t)
 	defer pi.lock.Unlock()

@@ -1,0 +1,101 @@
+// Hostile-image hardening: a corrupt or adversarial boot sector must
+// fail the mount with ErrBadFS — never panic, hang, or derive a block
+// address from an unchecked geometry field.
+package fat32
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"protosim/internal/kernel/fs"
+)
+
+// hostileBoot formats a valid volume, then lets corrupt rewrite the boot
+// sector before the mount attempt.
+func hostileBoot(t *testing.T, corrupt func(boot []byte)) *fs.Ramdisk {
+	t.Helper()
+	rd := fs.NewRamdisk(SectorSize, 4096)
+	if err := Mkfs(rd); err != nil {
+		t.Fatal(err)
+	}
+	boot := make([]byte, SectorSize)
+	if err := rd.ReadBlocks(0, 1, boot); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(boot)
+	if err := rd.WriteBlocks(0, 1, boot); err != nil {
+		t.Fatal(err)
+	}
+	return rd
+}
+
+func TestMountRejectsHostileBootSector(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(boot []byte)
+	}{
+		{"no signature", func(b []byte) { b[510] = 0 }},
+		{"foreign OEM", func(b []byte) { copy(b[3:], "MSWIN4.1") }},
+		{"4K sectors", func(b []byte) { binary.LittleEndian.PutUint16(b[11:], 4096) }},
+		{"zero sector size", func(b []byte) { binary.LittleEndian.PutUint16(b[11:], 0) }},
+		{"16 sectors per cluster", func(b []byte) { b[13] = 16 }},
+		{"zero sectors per cluster", func(b []byte) { b[13] = 0 }},
+		{"zero reserved", func(b []byte) { binary.LittleEndian.PutUint16(b[14:], 0) }},
+		{"zero FAT sectors", func(b []byte) { binary.LittleEndian.PutUint32(b[36:], 0) }},
+		{"FAT sectors max uint32", func(b []byte) { binary.LittleEndian.PutUint32(b[36:], 0xFFFFFFFF) }},
+		{"total beyond device", func(b []byte) { binary.LittleEndian.PutUint32(b[32:], 1<<30) }},
+		{"total max uint32", func(b []byte) { binary.LittleEndian.PutUint32(b[32:], 0xFFFFFFFF) }},
+		{"total zero", func(b []byte) { binary.LittleEndian.PutUint32(b[32:], 0) }},
+		{"no data clusters", func(b []byte) { binary.LittleEndian.PutUint32(b[32:], 40) }},
+		{"FAT too small for clusters", func(b []byte) {
+			// Claim one FAT sector (128 entries) for a volume whose data
+			// region implies far more clusters than the FAT can index.
+			binary.LittleEndian.PutUint32(b[36:], 1)
+		}},
+		{"root cluster not 2", func(b []byte) { binary.LittleEndian.PutUint32(b[44:], 7) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rd := hostileBoot(t, tc.corrupt)
+			if _, err := Mount(rd, nil); !errors.Is(err, ErrBadFS) {
+				t.Fatalf("Mount = %v, want ErrBadFS", err)
+			}
+		})
+	}
+}
+
+// TestMountSurvivesHostileFSInfo: FSInfo is advisory — garbage values
+// must not be trusted (hint out of range, free count beyond the volume)
+// but must never fail the mount.
+func TestMountSurvivesHostileFSInfo(t *testing.T) {
+	rd := fs.NewRamdisk(SectorSize, 4096)
+	if err := Mkfs(rd); err != nil {
+		t.Fatal(err)
+	}
+	fsi := make([]byte, SectorSize)
+	encodeFSInfo(fsi, 0xFFFFFF00, 0xFFFFFF00) // both impossible
+	if err := rd.WriteBlocks(fsInfoSector, 1, fsi); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Mount(rd, nil)
+	if err != nil {
+		t.Fatalf("Mount = %v, want nil (FSInfo is advisory)", err)
+	}
+	free, next := f.FSInfo(nil)
+	if free != -1 {
+		t.Fatalf("freeCount = %d, want -1 (untrusted)", free)
+	}
+	if next < rootCluster || next >= uint32(f.clusters)+rootCluster {
+		t.Fatalf("next-free hint %d out of range", next)
+	}
+	// The volume still works.
+	fl, err := openOF(f, "/ok.txt", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	fl.Close(nil)
+}

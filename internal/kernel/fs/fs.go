@@ -3,6 +3,7 @@ package fs
 import (
 	"errors"
 
+	"protosim/internal/hw"
 	"protosim/internal/kernel/errseq"
 	"protosim/internal/kernel/sched"
 )
@@ -92,6 +93,23 @@ var (
 	ErrReadOnly     = errors.New("fs: read-only filesystem")
 	ErrCrossDevice  = errors.New("fs: cross-device rename")     // EXDEV
 	ErrNotSupported = errors.New("fs: operation not supported") // ENOTTY and friends
+)
+
+// Device-fault errors. These are the hw package's canonical values,
+// re-exported so every layer from the request queue to the syscall
+// boundary tests one set with errors.Is and never imports hw directly:
+//
+//   - ErrDeviceDead: the device failed whole; the request queue fast-fails
+//     all queued and future IO with it, and mounts flip read-only.
+//   - ErrBadSector: a persistent per-LBA media error — retries cannot
+//     help, but after a merged-command split only the requests covering
+//     the sector see it.
+//   - ErrSDInjected: a transient injected media error — succeeds on retry;
+//     the request queue absorbs it with bounded backoff.
+var (
+	ErrDeviceDead = hw.ErrDeviceDead
+	ErrBadSector  = hw.ErrBadSector
+	ErrSDInjected = hw.ErrSDInjected
 )
 
 // Caps is a FileOps capability bitmask — what this open object can do,

@@ -59,6 +59,19 @@ const DefaultMaxOp = 10
 // can hold — a filesystem bug (operations must fit DefaultMaxOp).
 var ErrTooBig = errors.New("jnl: transaction exceeds log size")
 
+// ErrBadLog reports a log header that carries the magic but names an
+// impossible transaction — a slot count beyond the region or a home
+// address outside the device (or inside the log itself). Mount refuses
+// such an image rather than replay garbage over live blocks.
+var ErrBadLog = errors.New("jnl: corrupt log header")
+
+// ErrAborted reports a transaction poisoned by a mid-operation device
+// error: the half-recorded batch was discarded instead of committed, so
+// the on-disk metadata remains the pre-transaction state. The filesystem
+// latches read-only on it — mutation cannot proceed when operations can
+// no longer be made atomic.
+var ErrAborted = errors.New("jnl: transaction aborted")
+
 // Journal is the in-memory state of one on-disk log region.
 type Journal struct {
 	bc        *bcache.Cache
@@ -72,15 +85,23 @@ type Journal struct {
 	mu          sync.Mutex
 	outstanding int   // operations inside Begin/End brackets
 	committing  bool  // a commit or checkpoint owns the log state
+	aborted     bool  // the open batch is poisoned; discard, don't commit
+	abortCause  error // first device error that poisoned the batch
+	ckptErr     error // sticky: a failed checkpoint wedges the log
 	err         error // sticky commit/checkpoint error, reported by Sync
 
 	batch   []*bcache.Buf       // frozen buffers of the open batch, record order
 	inBatch map[int]*bcache.Buf // home lba -> frozen buffer (absorption)
 	pending map[int]int         // committed, un-checkpointed: home lba -> slot
 
+	// discarded marks pending home LBAs whose cache buffers an abort
+	// invalidated: their committed content now lives only in the log
+	// slots, so checkpoint must install them home from there.
+	discarded map[int]bool
+
 	onCommit []func()
 
-	commits, checkpoints, installs, absorbed, recovered int64
+	commits, checkpoints, installs, absorbed, recovered, aborts int64
 }
 
 // Stats is a snapshot of journal activity for tests and /proc.
@@ -90,6 +111,7 @@ type Stats struct {
 	Installs    int64 // blocks installed home from log slots (re-frozen)
 	Absorbed    int64 // Records absorbed into an already-batched block
 	Recovered   int64 // blocks replayed by Recover at mount
+	Aborts      int64 // poisoned batches discarded instead of committed
 }
 
 // New wires a journal over the log region [start, start+blocks) of bc's
@@ -106,6 +128,7 @@ func New(bc *bcache.Cache, start, blocks int) *Journal {
 		maxOp:     DefaultMaxOp,
 		inBatch:   make(map[int]*bcache.Buf),
 		pending:   make(map[int]int),
+		discarded: make(map[int]bool),
 	}
 	j.tdev, _ = j.dev.(fs.TaskBlockDevice)
 	if half := bc.Buffers() / 2; j.slots > half {
@@ -180,20 +203,83 @@ func (j *Journal) Record(t *sched.Task, b *bcache.Buf) error {
 	return nil
 }
 
+// Abort poisons the open batch: an operation inside a Begin/End bracket
+// hit a device error after recording some — but not all — of its blocks.
+// Committing the half-operation would persist a state no crash could ever
+// produce, so when the last bracket closes the whole batch is DISCARDED
+// instead: every recorded buffer is dropped from the cache (the next Get
+// re-reads the durable copy) and End/Sync report ErrAborted. Group commit
+// makes the discard batch-wide — operations that shared the bracket lose
+// their recordings too, exactly as if the machine had crashed before the
+// commit point.
+func (j *Journal) Abort(cause error) {
+	j.mu.Lock()
+	j.aborted = true
+	if j.abortCause == nil {
+		j.abortCause = cause
+	}
+	j.mu.Unlock()
+}
+
+// abortError names a discarded batch. It matches errors.Is for both
+// ErrAborted and the device error that poisoned the transaction, so
+// callers can latch on the mechanism or the root cause alike.
+func abortError(cause error) error {
+	if cause == nil {
+		return ErrAborted
+	}
+	return fmt.Errorf("%w: %w", ErrAborted, cause)
+}
+
+// discard drops the poisoned batch. Caller owns the log state (committing
+// set, outstanding zero). Blocks that also belong to the still-pending
+// previous transaction lose their cache copy of THAT transaction's
+// content too — mark them so checkpoint installs them home from their log
+// slots instead of flushing a buffer that no longer exists.
+func (j *Journal) discard(t *sched.Task) {
+	for _, b := range j.batch {
+		b.Lock(t)
+		j.bc.Discard(b)
+		b.Unlock()
+		if _, ok := j.pending[b.LBA()]; ok {
+			j.discarded[b.LBA()] = true
+		}
+	}
+	j.batch = j.batch[:0]
+	j.inBatch = make(map[int]*bcache.Buf)
+	j.aborted = false
+	j.abortCause = nil
+	j.aborts++
+}
+
 // End closes an operation bracket. The LAST close commits the whole batch
 // — group commit: every operation that overlapped this bracket rides the
-// same two log flushes. Commit errors are returned AND latched; Sync
-// reports the latch to callers that weren't the unlucky committer.
+// same two log flushes — or, if an operation aborted, discards it. Commit
+// errors are returned AND latched; Sync reports the latch to callers that
+// weren't the unlucky committer.
 func (j *Journal) End(t *sched.Task) error {
 	j.mu.Lock()
 	j.outstanding--
-	if j.outstanding > 0 || len(j.batch) == 0 {
+	if j.outstanding > 0 {
+		j.mu.Unlock()
+		return nil
+	}
+	if len(j.batch) == 0 {
+		// Nothing recorded; nothing to poison.
+		j.aborted, j.abortCause = false, nil
 		j.mu.Unlock()
 		return nil
 	}
 	j.committing = true
+	aborted, cause := j.aborted, j.abortCause
 	j.mu.Unlock()
-	err := j.commit(t)
+	var err error
+	if aborted {
+		j.discard(t)
+		err = abortError(cause)
+	} else {
+		err = j.commit(t)
+	}
 	j.mu.Lock()
 	if err != nil && j.err == nil {
 		j.err = err
@@ -213,14 +299,22 @@ func (j *Journal) Sync(t *sched.Task) error {
 		j.mu.Lock()
 		if j.outstanding == 0 && !j.committing {
 			if len(j.batch) == 0 {
+				j.aborted, j.abortCause = false, nil
 				err := j.err
 				j.err = nil
 				j.mu.Unlock()
 				return err
 			}
 			j.committing = true
+			aborted, cause := j.aborted, j.abortCause
 			j.mu.Unlock()
-			cerr := j.commit(t)
+			var cerr error
+			if aborted {
+				j.discard(t)
+				cerr = abortError(cause)
+			} else {
+				cerr = j.commit(t)
+			}
 			j.mu.Lock()
 			if cerr != nil && j.err == nil {
 				j.err = cerr
@@ -280,11 +374,24 @@ func (j *Journal) commit(t *sched.Task) error {
 	slotLBAs := make([]int, 0, len(j.batch))
 	for i, b := range j.batch {
 		slot := j.start + 1 + i
-		sb, err := j.bc.Get(t, slot)
-		if err != nil {
-			return err
+		// Buffer locks are ranked by ascending LBA. Most metadata lives
+		// above the log region, so slot-then-block is the ascending order —
+		// but the superblock (orphan list, LBA 0) sorts below it and must
+		// be locked first.
+		var sb *bcache.Buf
+		var err error
+		if b.LBA() < slot {
+			b.Lock(t)
+			if sb, err = j.bc.Get(t, slot); err != nil {
+				b.Unlock()
+				return err
+			}
+		} else {
+			if sb, err = j.bc.Get(t, slot); err != nil {
+				return err
+			}
+			b.Lock(t)
 		}
-		b.Lock(t)
 		copy(sb.Data, b.Data)
 		b.Unlock()
 		j.bc.MarkDirty(sb)
@@ -318,6 +425,16 @@ func (j *Journal) commit(t *sched.Task) error {
 // is installed straight from the log slot to the home address, bypassing
 // the cache. Caller owns the log state (committing set).
 func (j *Journal) checkpoint(t *sched.Task) error {
+	// A checkpoint that failed mid-way may have lost a pending block's only
+	// cache copy (a fatal writeback error gives the buffer up), leaving the
+	// log slot as the sole durable home of committed data. Retrying would
+	// skip the clean-looking buffer, complete, and zero the header — erasing
+	// that last copy. The journal wedges instead: the header stays intact,
+	// the transaction stays replayable, and the mount (latched read-only by
+	// the first failure) never commits again.
+	if j.ckptErr != nil {
+		return j.ckptErr
+	}
 	if len(j.pending) == 0 {
 		return nil
 	}
@@ -325,31 +442,39 @@ func (j *Journal) checkpoint(t *sched.Task) error {
 	type install struct{ slot, home int }
 	var installs []install
 	for lba, slot := range j.pending {
-		if _, frozen := j.inBatch[lba]; frozen {
+		// Install rather than flush when the cache buffer does not hold
+		// this transaction's content: re-frozen by the open batch (newer,
+		// uncommitted), or invalidated by an abort (gone).
+		if _, frozen := j.inBatch[lba]; frozen || j.discarded[lba] {
 			installs = append(installs, install{slot: j.start + 1 + slot, home: lba})
 		} else {
 			flush = append(flush, lba)
 		}
 	}
 	if err := j.bc.FlushBlocks(t, flush, true); err != nil {
+		j.ckptErr = err
 		return err
 	}
 	for _, in := range installs {
 		sb, err := j.bc.Get(t, in.slot)
 		if err != nil {
+			j.ckptErr = err
 			return err
 		}
 		err = j.devWrite(t, in.home, sb.Data)
 		j.bc.Release(sb)
 		if err != nil {
+			j.ckptErr = err
 			return err
 		}
 		j.installs++
 	}
 	if err := j.writeHeader(t, nil); err != nil {
+		j.ckptErr = err
 		return err
 	}
 	j.pending = make(map[int]int)
+	j.discarded = make(map[int]bool)
 	j.checkpoints++
 	return nil
 }
@@ -397,25 +522,51 @@ func (j *Journal) Recover(t *sched.Task) (int, error) {
 	}
 	magic := binary.LittleEndian.Uint32(hb.Data[0:])
 	count := int(binary.LittleEndian.Uint32(hb.Data[4:]))
-	homes := make([]int, 0, count)
-	if magic == Magic && count > 0 && count <= j.slots {
-		for i := 0; i < count; i++ {
-			homes = append(homes, int(binary.LittleEndian.Uint32(hb.Data[8+4*i:])))
-		}
-	}
-	j.bc.Release(hb)
-	if len(homes) == 0 {
+	if magic != Magic || count == 0 {
+		// No committed transaction (a foreign/garbage header doesn't
+		// carry the magic): nothing to replay.
+		j.bc.Release(hb)
 		return 0, nil
 	}
-	for i, home := range homes {
-		sb, err := j.bc.Get(t, j.start+1+i)
-		if err != nil {
-			return 0, err
+	if count > j.slots {
+		j.bc.Release(hb)
+		return 0, fmt.Errorf("%w: %d blocks in a %d-slot log", ErrBadLog, count, j.slots)
+	}
+	homes := make([]int, 0, count)
+	for i := 0; i < count; i++ {
+		home := int(binary.LittleEndian.Uint32(hb.Data[8+4*i:]))
+		// A hostile or torn header must not aim the replay outside the
+		// device or back into the log region itself.
+		if home < 0 || home >= j.dev.Blocks() ||
+			(home >= j.start && home <= j.start+j.slots) {
+			j.bc.Release(hb)
+			return 0, fmt.Errorf("%w: home block %d out of range", ErrBadLog, home)
 		}
-		db, err := j.bc.Get(t, home)
-		if err != nil {
-			j.bc.Release(sb)
-			return 0, err
+		homes = append(homes, home)
+	}
+	j.bc.Release(hb)
+	for i, home := range homes {
+		slot := j.start + 1 + i
+		// Ascending-LBA lock order, as in commit: the superblock's home
+		// (LBA 0) sorts below the log region, everything else above it.
+		var sb, db *bcache.Buf
+		var err error
+		if home < slot {
+			if db, err = j.bc.Get(t, home); err != nil {
+				return 0, err
+			}
+			if sb, err = j.bc.Get(t, slot); err != nil {
+				j.bc.Release(db)
+				return 0, err
+			}
+		} else {
+			if sb, err = j.bc.Get(t, slot); err != nil {
+				return 0, err
+			}
+			if db, err = j.bc.Get(t, home); err != nil {
+				j.bc.Release(sb)
+				return 0, err
+			}
 		}
 		copy(db.Data, sb.Data)
 		j.bc.MarkDirty(db)
@@ -442,6 +593,7 @@ func (j *Journal) Stats() Stats {
 		Installs:    j.installs,
 		Absorbed:    j.absorbed,
 		Recovered:   j.recovered,
+		Aborts:      j.aborts,
 	}
 }
 

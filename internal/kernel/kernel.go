@@ -571,8 +571,9 @@ func (k *Kernel) registerProcFiles() {
 			if disp > 0 {
 				ratio = float64(sub) / float64(disp)
 			}
-			fmt.Fprintf(&b, "%s.q depth=%d submitted=%d commands=%d merged=%d merge_ratio=%.2f inflight_peak=%d queued_peak=%d plug_hits=%d plug_timeouts=%d\n",
-				d.Name(), q.Depth(), sub, disp, merged, ratio, depthPeak, queuedPeak, hits, timeouts)
+			retries, cmdTimeouts, splits, dead := q.FaultStats()
+			fmt.Fprintf(&b, "%s.q depth=%d submitted=%d commands=%d merged=%d merge_ratio=%.2f inflight_peak=%d queued_peak=%d plug_hits=%d plug_timeouts=%d retries=%d cmd_timeouts=%d splits=%d dead=%t\n",
+				d.Name(), q.Depth(), sub, disp, merged, ratio, depthPeak, queuedPeak, hits, timeouts, retries, cmdTimeouts, splits, dead)
 		}
 		for _, d := range k.blockDevs {
 			c := k.blockCaches[d.Name()]
@@ -581,8 +582,29 @@ func (k *Kernel) registerProcFiles() {
 			}
 			h, m, ev, wb := c.Stats()
 			ro, rbl, ra := c.RangeStats()
-			fmt.Fprintf(&b, "%s.cache hits=%d misses=%d evictions=%d writebacks=%d range_ops=%d range_blocks=%d readahead=%d dirty=%d daemon_flushes=%d\n",
-				d.Name(), h, m, ev, wb, ro, rbl, ra, c.DirtyBuffers(), c.DaemonFlushes())
+			fmt.Fprintf(&b, "%s.cache hits=%d misses=%d evictions=%d writebacks=%d range_ops=%d range_blocks=%d readahead=%d dirty=%d daemon_flushes=%d give_ups=%d read_retries=%d\n",
+				d.Name(), h, m, ev, wb, ro, rbl, ra, c.DirtyBuffers(), c.DaemonFlushes(), c.GiveUps(), c.ReadRetries())
+		}
+		return b.String()
+	})
+	// One line per mounted filesystem: the errors=remount-ro state surface.
+	// A latched mount shows rw=false with the typed cause that tripped it.
+	k.ProcFS.Register("mounts", func() string {
+		var b strings.Builder
+		line := func(dev, path, kind string, degraded, ro bool, cause error) {
+			fmt.Fprintf(&b, "%s %s %s rw=%t degraded=%t", dev, path, kind, !ro, degraded)
+			if cause != nil {
+				fmt.Fprintf(&b, " errors=%q", cause.Error())
+			}
+			b.WriteByte('\n')
+		}
+		if k.RootFS != nil {
+			degraded, ro, cause := k.RootFS.Health()
+			line("rd0", "/", "xv6fs", degraded, ro, cause)
+		}
+		if k.FatFS != nil {
+			degraded, ro, cause := k.FatFS.Health()
+			line("sd0", "/d", "fat32", degraded, ro, cause)
 		}
 		return b.String()
 	})

@@ -373,6 +373,46 @@ func TestDevConsoleAndProcFS(t *testing.T) {
 	}
 }
 
+// TestProcMountsAndFaultCounters pins the degraded-mount proc surface:
+// /proc/mounts lists each filesystem rw and undegraded on a healthy boot,
+// and /proc/diskstats carries the queue's fault counters and the cache's
+// give-up/read-retry counters.
+func TestProcMountsAndFaultCounters(t *testing.T) {
+	k := bootKernel(t, 2, nil)
+	readProc := func(p *Proc, path string) (string, int) {
+		fd, err := p.SysOpen(path, fs.ORdOnly)
+		if err != nil {
+			return "", 1
+		}
+		defer p.SysClose(fd)
+		buf := make([]byte, 4096)
+		n, _ := p.SysRead(fd, buf)
+		return string(buf[:n]), 0
+	}
+	code := run(t, k, "mounts", func(p *Proc, _ []string) int {
+		mounts, rc := readProc(p, "/proc/mounts")
+		if rc != 0 {
+			return rc
+		}
+		if !strings.Contains(mounts, "rd0 / xv6fs rw=true degraded=false") {
+			return 2
+		}
+		stats, rc := readProc(p, "/proc/diskstats")
+		if rc != 0 {
+			return rc
+		}
+		for _, field := range []string{"retries=", "cmd_timeouts=", "splits=", "dead=false", "give_ups=", "read_retries="} {
+			if !strings.Contains(stats, field) {
+				return 3
+			}
+		}
+		return 0
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
 func TestKeyboardToDevEvents(t *testing.T) {
 	k := bootKernel(t, 2, nil)
 	kbd := k.Machine().USB.AttachKeyboard()

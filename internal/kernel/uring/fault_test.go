@@ -1,0 +1,146 @@
+// Ring behavior under device failure: the batch syscall must never hang
+// on a dead device — every staged op gets its own CQE carrying its own
+// error, and the drain completes even when the filesystem under the
+// descriptors has latched read-only mid-batch.
+package uring_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/blkq"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+	"protosim/internal/kernel/uring"
+	"protosim/internal/kernel/xv6fs"
+)
+
+// deviceDeathError matches everything a dead device may surface through a
+// CQE: the dead-device sentinel itself, the read-only latch it trips, and
+// the journal-abort wrapper both arrive under.
+func deviceDeathError(err error) bool {
+	for _, e := range []error{fs.ErrDeviceDead, fs.ErrReadOnly, fs.ErrBadSector} {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRingEnterDeviceDeath: a batch staged against a healthy mount is
+// entered after the device dies. Enter must return (no hung drain), every
+// op must complete with a per-op CQE, the failures must be typed, and the
+// trailing fsync must report the durability loss.
+func TestRingEnterDeviceDeath(t *testing.T) {
+	wd := time.AfterFunc(2*time.Minute, func() { panic("ring drain hung on dead device") })
+	defer wd.Stop()
+
+	s := sched.New(sched.Config{Cores: 2})
+	s.Start()
+	t.Cleanup(func() { s.Shutdown(5 * time.Second) })
+
+	rd := fs.NewRamdisk(xv6fs.BlockSize, 1024)
+	if err := xv6fs.Mkfs(rd, 64); err != nil {
+		t.Fatal(err)
+	}
+	fd := hw.NewFaultDisk(rd, hw.FaultPlan{Seed: 1})
+	q := blkq.New(fd, blkq.Options{Async: fd, PlugDelay: -1})
+	fd.SetNotify(func() { q.CompletionIRQ() })
+	fsys, err := xv6fs.Mount(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fds := fs.NewFDTable(16)
+	r, err := uring.New(16, fds, uring.Options{
+		Workers: 2,
+		Spawn:   func(name string, fn func(*sched.Task)) *sched.Task { return s.Go("uring-"+name, 1, fn) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close(nil) })
+
+	ops, err := fsys.Open(nil, "/dying.dat", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	of := fs.NewOpenFile(ops, fs.ORdWr)
+	rfd, err := fds.Install(of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := of.Write(nil, []byte("healthy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	fd.Kill()
+
+	// Extending pwrites force allocation transactions against the dead
+	// device, plus a trailing fsync that must hear about the loss.
+	const n = 8
+	chunk := make([]byte, 2*xv6fs.BlockSize)
+	for i := 0; i < n; i++ {
+		sqe := uring.SQE{Op: uring.OpPwrite, FD: rfd, Off: int64(i * len(chunk)), Buf: chunk, User: uint64(i)}
+		if err := r.Queue(sqe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Queue(uring.SQE{Op: uring.OpFsync, FD: rfd, User: uint64(n)}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := r.Enter(nil, n+1, n+1)
+	if err != nil || got != n+1 {
+		t.Fatalf("Enter = %d, %v, want %d submitted", got, err, n+1)
+	}
+	cqes := make(map[uint64]uring.CQE, n+1)
+	for {
+		c, ok := r.Reap()
+		if !ok {
+			break
+		}
+		cqes[c.User] = c
+	}
+	if len(cqes) != n+1 {
+		t.Fatalf("reaped %d CQEs, want %d — ops vanished from the drain", len(cqes), n+1)
+	}
+	failures := 0
+	for u, c := range cqes {
+		if c.Err == nil {
+			continue // write-behind may absorb an op into the cache
+		}
+		if !deviceDeathError(c.Err) {
+			t.Fatalf("CQE %d: untyped error %v", u, c.Err)
+		}
+		failures++
+	}
+	if failures == 0 {
+		t.Fatal("no op reported the dead device")
+	}
+	if c := cqes[n]; c.Err == nil || !deviceDeathError(c.Err) {
+		t.Fatalf("fsync CQE = %v, want a typed device error", c.Err)
+	}
+	if degraded, ro, cause := fsys.Health(); !degraded || !ro || !deviceDeathError(cause) {
+		t.Fatalf("Health = (%v, %v, %v), want degraded read-only with a typed cause", degraded, ro, cause)
+	}
+
+	// The ring itself is still serviceable: a read of the cached prefix
+	// completes cleanly after the failed batch.
+	buf := make([]byte, 7)
+	if err := r.Queue(uring.SQE{Op: uring.OpPread, FD: rfd, Buf: buf, User: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Enter(nil, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := r.Reap()
+	if !ok || c.Err != nil || c.Res != 7 || string(buf) != "healthy" {
+		t.Fatalf("post-death cached read CQE = %+v buf %q, want clean 7-byte read", c, buf)
+	}
+}

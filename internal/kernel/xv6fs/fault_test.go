@@ -1,0 +1,255 @@
+// Device-fault behaviour of the mounted filesystem: errors=remount-ro on
+// metadata durability loss, fsync error reporting exactly once per open,
+// and the on-disk orphan list that replaces the mount-time inode scan.
+package xv6fs
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/blkq"
+	"protosim/internal/kernel/fs"
+)
+
+// faultMount mounts a fresh xv6fs over a FaultDisk routed through a
+// request queue — the production stack of PR 8's fault model.
+func faultMount(t *testing.T) (*FS, *hw.FaultDisk) {
+	t.Helper()
+	rd := fs.NewRamdisk(BlockSize, 1024)
+	if err := Mkfs(rd, 64); err != nil {
+		t.Fatal(err)
+	}
+	fd := hw.NewFaultDisk(rd, hw.FaultPlan{Seed: 1})
+	q := blkq.New(fd, blkq.Options{Async: fd, PlugDelay: -1})
+	fd.SetNotify(func() { q.CompletionIRQ() })
+	f, err := Mount(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, fd
+}
+
+// TestDeviceDeathRemountsReadOnly: after the device dies, the first
+// barrier that needs it latches the mount read-only; every mutating
+// entry point then fails typed ErrReadOnly while reads of cached data
+// keep working.
+func TestDeviceDeathRemountsReadOnly(t *testing.T) {
+	f, fd := faultMount(t)
+	fl, err := openOF(f, "/data.txt", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, []byte("before death")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	fd.Kill()
+	// Force a metadata transaction and its commit under the dead device.
+	_ = f.Mkdir(nil, "/dir")
+	if err := f.Sync(nil); !errors.Is(err, fs.ErrDeviceDead) {
+		t.Fatalf("Sync on dead device = %v, want ErrDeviceDead", err)
+	}
+	if degraded, ro, cause := f.Health(); !degraded || !ro || !errors.Is(cause, fs.ErrDeviceDead) {
+		t.Fatalf("Health = (%v, %v, %v), want (true, true, ErrDeviceDead)", degraded, ro, cause)
+	}
+
+	if _, err := openOF(f, "/new.txt", fs.OCreate|fs.OWrOnly); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("create on RO mount = %v, want ErrReadOnly", err)
+	}
+	if err := f.Mkdir(nil, "/d2"); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("Mkdir on RO mount = %v, want ErrReadOnly", err)
+	}
+	if err := f.Unlink(nil, "/data.txt"); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("Unlink on RO mount = %v, want ErrReadOnly", err)
+	}
+	if err := f.Rename(nil, "/data.txt", "/moved.txt"); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("Rename on RO mount = %v, want ErrReadOnly", err)
+	}
+	if _, err := fl.Write(nil, []byte("more")); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("write on RO mount = %v, want ErrReadOnly", err)
+	}
+	// Reads through the open description still serve from cache. (A fresh
+	// path walk may need blocks the journal abort dropped, which the dead
+	// device cannot re-read — a degraded mount promises cached data only.)
+	got := make([]byte, 32)
+	if n, err := fl.Pread(nil, got, 0); err != nil || string(got[:n]) != "before death" {
+		t.Fatalf("cached read on RO mount = %q, %v", got[:n], err)
+	}
+}
+
+// TestFsyncReportsFailureOncePerOpen: an asynchronous writeback loss is
+// reported by each open description's fsync exactly once — the errseq
+// cursor contract end-to-end through a real device failure, not a stub.
+func TestFsyncReportsFailureOncePerOpen(t *testing.T) {
+	f, fd := faultMount(t)
+	fl1, err := openOF(f, "/twice.txt", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lay the file's metadata down durably while the device is healthy, so
+	// the later overwrite is a pure data write (no journal traffic).
+	if _, err := fl1.Write(nil, make([]byte, 2*BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	fl2, err := openOF(f, "/twice.txt", fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fd.Kill()
+	if _, err := fl1.Pwrite(nil, []byte("doomed"), 0); err != nil {
+		t.Fatal(err) // lands in cache; the device failure is asynchronous
+	}
+	// First fsync on each open reports the loss; the next is clean.
+	if err := fl1.Sync(nil); !errors.Is(err, fs.ErrDeviceDead) {
+		t.Fatalf("fl1 first fsync = %v, want ErrDeviceDead", err)
+	}
+	if err := fl1.Sync(nil); err != nil {
+		t.Fatalf("fl1 second fsync = %v, want nil (already reported)", err)
+	}
+	if err := fl2.Sync(nil); !errors.Is(err, fs.ErrDeviceDead) {
+		t.Fatalf("fl2 first fsync = %v, want ErrDeviceDead (own cursor)", err)
+	}
+	if err := fl2.Sync(nil); err != nil {
+		t.Fatalf("fl2 second fsync = %v, want nil", err)
+	}
+}
+
+// readOrphanSlots decodes the on-disk orphan list via the cache.
+func readOrphanSlots(t *testing.T, f *FS) (overflow bool, inums []int) {
+	t.Helper()
+	err := f.readBlock(nil, 0, func(d []byte) {
+		overflow = binary.LittleEndian.Uint32(d[orphanOff:]) != 0
+		for i := 0; i < orphanMax; i++ {
+			if v := binary.LittleEndian.Uint32(d[orphanOff+4+4*i:]); v != 0 {
+				inums = append(inums, int(v))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return overflow, inums
+}
+
+// TestOrphanListLifecycle: unlink-while-open records the inum in the
+// unlinking transaction; the final close's reclaim de-lists it.
+func TestOrphanListLifecycle(t *testing.T) {
+	f := newFS(t, 1024)
+	fl, err := openOF(f, "/open.txt", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, []byte("held open")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fl.Stat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/open.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, inums := readOrphanSlots(t, f); len(inums) != 1 || inums[0] != int(st.Inode) {
+		t.Fatalf("orphan list after unlink-while-open = %v, want [%d]", inums, st.Inode)
+	}
+	// A file NOT open at unlink reclaims inline and never hits the list.
+	fl2, _ := openOF(f, "/closed.txt", fs.OCreate|fs.OWrOnly)
+	fl2.Close(nil)
+	if err := f.Unlink(nil, "/closed.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, inums := readOrphanSlots(t, f); len(inums) != 1 {
+		t.Fatalf("orphan list grew on closed-file unlink: %v", inums)
+	}
+	fl.Close(nil) // deferred reclaim fires, de-listing the orphan
+	if _, inums := readOrphanSlots(t, f); len(inums) != 0 {
+		t.Fatalf("orphan list after final close = %v, want empty", inums)
+	}
+}
+
+// TestOrphanListRecoversAcrossRemount is the crash story: a file
+// unlinked while open, never closed (the "crash"), must be reclaimed by
+// the next mount from the on-disk list — its inode slot freed, the list
+// cleared.
+func TestOrphanListRecoversAcrossRemount(t *testing.T) {
+	rd := fs.NewRamdisk(BlockSize, 1024)
+	if err := Mkfs(rd, 64); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := openOF(f, "/orphan.txt", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, make([]byte, 4*BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fl.Stat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/orphan.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": abandon the mount without closing fl. The image holds the
+	// orphan record; the deferred reclaim never ran.
+	f2, err := Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var di dinode
+	if err := f2.readInode(nil, int(st.Inode), &di); err != nil {
+		t.Fatal(err)
+	}
+	if di.Type != typeFree {
+		t.Fatalf("orphan inode %d type = %d after recovery, want free", st.Inode, di.Type)
+	}
+	if _, inums := readOrphanSlots(t, f2); len(inums) != 0 {
+		t.Fatalf("orphan list after recovery = %v, want empty", inums)
+	}
+	if _, err := f2.Stat(nil, "/orphan.txt"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("Stat after recovery = %v, want ErrNotFound", err)
+	}
+}
+
+// TestRenameVictimJoinsOrphanList: POSIX rename-over displaces the
+// target; if the victim is held open its reclaim defers, and it must
+// ride the orphan list exactly like an unlink.
+func TestRenameVictimJoinsOrphanList(t *testing.T) {
+	f := newFS(t, 1024)
+	vic, err := openOF(f, "/victim.txt", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := vic.Stat(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := openOF(f, "/src.txt", fs.OCreate|fs.OWrOnly)
+	src.Close(nil)
+	if err := f.Rename(nil, "/src.txt", "/victim.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, inums := readOrphanSlots(t, f); len(inums) != 1 || inums[0] != int(st.Inode) {
+		t.Fatalf("orphan list after rename-over = %v, want [%d]", inums, st.Inode)
+	}
+	vic.Close(nil)
+	if _, inums := readOrphanSlots(t, f); len(inums) != 0 {
+		t.Fatalf("orphan list after victim close = %v, want empty", inums)
+	}
+}

@@ -21,15 +21,24 @@ type file struct {
 }
 
 // Open implements fs.FileSystem.
-func (f *FS) Open(t *sched.Task, path string, flags int) (fs.FileOps, error) {
+func (f *FS) Open(t *sched.Task, path string, flags int) (_ fs.FileOps, err error) {
+	// A latched-read-only mount refuses opens that could mutate; plain
+	// read opens stay available (the data that did land is still there).
+	if flags&(fs.OCreate|fs.OTrunc|fs.OWrOnly|fs.ORdWr) != 0 {
+		if err := f.checkRW(); err != nil {
+			return nil, err
+		}
+	}
 	// One journal bracket per entry point, taken before any lock (see
 	// beginOp). Even a read-only open needs it: the walk's iputs can fire
 	// a deferred reclaim if a racing unlink dropped its reference first.
+	// The closer inspects the returned error: a device failure mid-create
+	// or mid-truncate poisons the bracket so the half-recorded transaction
+	// is discarded, never committed.
 	f.beginOp(t)
-	defer f.endOp(t)
+	defer func() { f.opAbort(err); f.endOp(t) }()
 	path = fs.Clean(path)
 	var ip *inode
-	var err error
 	if flags&fs.OCreate != 0 && path != "/" {
 		ip, err = f.create(t, path, typeFile, true)
 		if err != nil {
@@ -144,9 +153,12 @@ func (f *FS) create(t *sched.Task, path string, typ uint16, existOK bool) (*inod
 }
 
 // Mkdir implements fs.FileSystem.
-func (f *FS) Mkdir(t *sched.Task, path string) error {
+func (f *FS) Mkdir(t *sched.Task, path string) (err error) {
+	if err := f.checkRW(); err != nil {
+		return err
+	}
 	f.beginOp(t)
-	defer f.endOp(t)
+	defer func() { f.opAbort(err); f.endOp(t) }()
 	ip, err := f.create(t, fs.Clean(path), typeDir, false)
 	if err != nil {
 		return err
@@ -156,9 +168,12 @@ func (f *FS) Mkdir(t *sched.Task, path string) error {
 }
 
 // Unlink implements fs.FileSystem.
-func (f *FS) Unlink(t *sched.Task, path string) error {
+func (f *FS) Unlink(t *sched.Task, path string) (err error) {
+	if err := f.checkRW(); err != nil {
+		return err
+	}
 	f.beginOp(t)
-	defer f.endOp(t)
+	defer func() { f.opAbort(err); f.endOp(t) }()
 	path = fs.Clean(path)
 	dp, name, err := f.namexParent(t, path)
 	if err != nil {
@@ -207,6 +222,21 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 	}
 	ip.di.NLink--
 	err = f.iupdate(t, ip)
+	// A file unlinked while still open elsewhere becomes an orphan: its
+	// reclaim is deferred to the final close, and a crash before then
+	// must not leak its storage — record it on the on-disk orphan list
+	// in this same transaction. No new reference can appear once the
+	// dirent is gone (this ref came from our own iget), so the ref count
+	// read under imu is stable for this decision. When we hold the sole
+	// reference, iput below reclaims immediately and no record is needed.
+	if err == nil && ip.di.NLink == 0 {
+		f.imu.Lock()
+		openElsewhere := ip.ref > 1
+		f.imu.Unlock()
+		if openElsewhere {
+			err = f.orphanAdd(t, ip.inum)
+		}
+	}
 	// Reclaim happens in iput when the last reference drops — right here
 	// if nothing has the file open, at final Close otherwise.
 	f.iunlockput(t, ip)
@@ -231,9 +261,12 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 // ancestor-first ordering closes every cycle. The moved and displaced
 // inodes are locked nested under the directories; holders of a single
 // file lock never acquire a second, so the pair cannot cycle either.
-func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
+func (f *FS) Rename(t *sched.Task, oldPath, newPath string) (err error) {
+	if err := f.checkRW(); err != nil {
+		return err
+	}
 	f.beginOp(t)
-	defer f.endOp(t)
+	defer func() { f.opAbort(err); f.endOp(t) }()
 	oldPath, newPath = fs.Clean(oldPath), fs.Clean(newPath)
 	if oldPath == "/" || newPath == "/" {
 		return fs.ErrPerm
@@ -437,9 +470,19 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 	if victim != nil {
 		// The displaced inode lost its only directory entry; its storage
 		// is reclaimed at the last reference drop (right here when nothing
-		// holds it open — xv6 deferred reclaim otherwise).
+		// holds it open — xv6 deferred reclaim otherwise). Like Unlink,
+		// a still-open victim joins the on-disk orphan list in this same
+		// transaction so a crash cannot leak it.
 		victim.di.NLink--
 		_ = f.iupdate(t, victim)
+		if victim.di.NLink == 0 {
+			f.imu.Lock()
+			openElsewhere := victim.ref > 1
+			f.imu.Unlock()
+			if openElsewhere {
+				_ = f.orphanAdd(t, victim.inum)
+			}
+		}
 		f.iunlockput(t, victim)
 	}
 	f.iunlockput(t, ip)
@@ -511,13 +554,16 @@ func (fl *file) Pread(t *sched.Task, p []byte, off int64) (int, error) {
 // fs.OffAppend, at EOF resolved under the same inode lock as the write
 // itself, which is what makes O_APPEND atomic across any number of
 // concurrent appenders.
-func (fl *file) Pwrite(t *sched.Task, p []byte, off int64) (int, int64, error) {
+func (fl *file) Pwrite(t *sched.Task, p []byte, off int64) (_ int, _ int64, err error) {
 	// The bracket covers the allocations (bitmap, indirect) and the size
 	// update this write may make; file DATA itself is not journaled —
 	// metadata journaling, like ext4's default — so a crash can lose
 	// recent data but never the filesystem's shape.
+	if err := fl.fsys.checkRW(); err != nil {
+		return 0, off, err
+	}
 	fl.fsys.beginOp(t)
-	defer fl.fsys.endOp(t)
+	defer func() { fl.fsys.opAbort(err); fl.fsys.endOp(t) }()
 	if err := fl.fsys.ilock(t, fl.ip); err != nil {
 		return 0, off, err
 	}
@@ -557,6 +603,11 @@ func (fl *file) Sync(t *sched.Task) error {
 	// blocks and already-checkpointed metadata.
 	if f.log != nil {
 		if err := f.log.Sync(t); err != nil {
+			// A commit failure means metadata durability is gone for the
+			// whole volume, not just this file: latch read-only. The error
+			// itself is still reported to exactly this fsync — the journal
+			// clears its sticky error once told.
+			f.remountRO(err)
 			return err
 		}
 	}

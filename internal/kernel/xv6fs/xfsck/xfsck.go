@@ -193,7 +193,9 @@ func (c *checker) replayJournal() {
 	}
 	for i := 0; i < count; i++ {
 		home := int(binary.LittleEndian.Uint32(hb[8+4*i:]))
-		if home <= 0 || home >= int(sb.size) ||
+		// Home 0 is legal: the superblock's orphan-list tail is journaled
+		// by unlink and reclaim transactions.
+		if home < 0 || home >= int(sb.size) ||
 			(home >= int(sb.logStart) && home < int(sb.logStart)+int(sb.logSize)) {
 			c.errf("journal: slot %d names invalid home block %d", i, home)
 			continue

@@ -202,6 +202,13 @@ func TestOrphanInodeModeSplit(t *testing.T) {
 			}
 		}
 	})
+	// The unlink transaction also records the inode on the superblock's
+	// orphan list (flag word at offset 64, then inum slots) — mount-time
+	// recovery is list-driven and reclaims exactly what is listed, not
+	// what a whole-array scan would find.
+	patchBlock(t, rd, 0, func(b []byte) {
+		binary.LittleEndian.PutUint32(b[64+4:], 3)
+	})
 	if rep := check(t, rd, xfsck.PostCrash); !rep.Clean() {
 		t.Fatalf("orphan should be tolerated post-crash: %v", rep.Errors)
 	} else if len(rep.Warnings) == 0 {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"protosim/internal/kernel/bcache"
 	"protosim/internal/kernel/fs"
@@ -56,6 +57,15 @@ const (
 	// after the superblock: one header block plus 63 transaction slots —
 	// room for six maximally-sized operations in one group commit.
 	DefaultLogBlocks = 64
+
+	// The on-disk orphan list lives in the superblock block's tail — inodes
+	// unlinked while still open, recorded in the unlinking transaction so a
+	// crash leaves mount-time recovery an exact list to reclaim instead of
+	// a full inode-array scan. Layout at orphanOff: a uint32 overflow flag
+	// (non-zero = the list filled up and recovery must fall back to the
+	// scan), then orphanMax uint32 inode numbers (0 = empty slot).
+	orphanOff = 64
+	orphanMax = (BlockSize - orphanOff - 4) / 4
 )
 
 // On-disk inode types.
@@ -102,6 +112,41 @@ func (sb *Superblock) decode(b []byte) {
 	sb.DataStart = binary.LittleEndian.Uint32(b[20:])
 	sb.LogStart = binary.LittleEndian.Uint32(b[24:])
 	sb.LogSize = binary.LittleEndian.Uint32(b[28:])
+}
+
+// validate rejects a corrupt or hostile superblock before any field is
+// used to size a loop, an allocation, or a block address. All arithmetic
+// is in uint64 so crafted values can't overflow their way past a bound;
+// every region must land inside the device and the regions must appear
+// in layout order without overlapping.
+func (sb *Superblock) validate(devBlocks int) error {
+	if sb.Magic != Magic {
+		return fmt.Errorf("%w: magic %#x", ErrBadFS, sb.Magic)
+	}
+	size := uint64(sb.Size)
+	if size < 4 || size > uint64(devBlocks) {
+		return fmt.Errorf("%w: size %d (device %d)", ErrBadFS, sb.Size, devBlocks)
+	}
+	if sb.NInodes < 2 || sb.InodeStart < 1 {
+		return fmt.Errorf("%w: %d inodes at block %d", ErrBadFS, sb.NInodes, sb.InodeStart)
+	}
+	inodeBlocks := (uint64(sb.NInodes) + inodesPerBlock - 1) / inodesPerBlock
+	if uint64(sb.InodeStart)+inodeBlocks > uint64(sb.BitmapStart) {
+		return fmt.Errorf("%w: inode array [%d,+%d) overruns bitmap at %d", ErrBadFS, sb.InodeStart, inodeBlocks, sb.BitmapStart)
+	}
+	bitmapBlocks := (size + BlockSize*8 - 1) / (BlockSize * 8)
+	if uint64(sb.BitmapStart)+bitmapBlocks > uint64(sb.DataStart) {
+		return fmt.Errorf("%w: bitmap [%d,+%d) overruns data at %d", ErrBadFS, sb.BitmapStart, bitmapBlocks, sb.DataStart)
+	}
+	if uint64(sb.DataStart) >= size {
+		return fmt.Errorf("%w: data region starts at %d of %d blocks", ErrBadFS, sb.DataStart, sb.Size)
+	}
+	if sb.LogSize > 0 {
+		if sb.LogStart < 1 || sb.LogSize < 2 || uint64(sb.LogStart)+uint64(sb.LogSize) > uint64(sb.InodeStart) {
+			return fmt.Errorf("%w: log region [%d,+%d) overlaps metadata", ErrBadFS, sb.LogStart, sb.LogSize)
+		}
+	}
+	return nil
 }
 
 // dinode is the on-disk inode.
@@ -170,6 +215,17 @@ type FS struct {
 	// writeMeta, which records them in the open transaction.
 	log *jnl.Journal
 
+	// Error-resilience state (errors=remount-ro, like ext4's default).
+	// degraded flips when any asynchronous writeback is abandoned (data
+	// loss recorded in the owning file's errseq stream); roFlag latches
+	// when METADATA durability fails — a journal commit error or device
+	// death — after which every mutating entry point returns ErrReadOnly.
+	// Reads and fsync stay available: fsync is how applications learn
+	// which writes were lost.
+	degraded atomic.Bool
+	roFlag   atomic.Bool
+	roCause  atomic.Value // error
+
 	// recentlyFreed guards against the metadata-journaling reuse hazard: a
 	// block freed inside the OPEN (uncommitted) transaction must not be
 	// reallocated — file data written into it is not journaled, so the
@@ -214,10 +270,25 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	}
 	f := &FS{
 		dev:    dev,
-		bc:     bcache.NewWithOptions(dev, copts),
 		itable: make(map[int]*inode),
 		owners: make(map[int]*bcache.Owner),
 	}
+	// Give-up notifications from the cache drive the mount's health: any
+	// abandoned writeback marks the volume degraded, and device death —
+	// after which no metadata can ever commit — latches it read-only.
+	// The hook runs with the buffer sleeplock held, so it only flips
+	// atomics; a caller-supplied hook is chained after ours.
+	userGiveUp := copts.OnGiveUp
+	copts.OnGiveUp = func(lba int, err error) {
+		f.degraded.Store(true)
+		if errors.Is(err, fs.ErrDeviceDead) {
+			f.remountRO(err)
+		}
+		if userGiveUp != nil {
+			userGiveUp(lba, err)
+		}
+	}
+	f.bc = bcache.NewWithOptions(dev, copts)
 	f.renameMu.SetRank(ksync.RankRename, 0)
 	f.ialloc.SetRank(ksync.RankAlloc, 1)
 	f.balloc.SetRank(ksync.RankAlloc, 2)
@@ -227,16 +298,10 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	}
 	f.sb.decode(b.Data)
 	f.bc.Release(b)
-	if f.sb.Magic != Magic {
-		return nil, fmt.Errorf("%w: magic %#x", ErrBadFS, f.sb.Magic)
-	}
-	if int(f.sb.Size) > dev.Blocks() {
-		return nil, fmt.Errorf("%w: size %d exceeds device %d", ErrBadFS, f.sb.Size, dev.Blocks())
+	if err := f.sb.validate(dev.Blocks()); err != nil {
+		return nil, err
 	}
 	if f.sb.LogSize > 0 {
-		if f.sb.LogStart < 1 || f.sb.LogStart+f.sb.LogSize > f.sb.InodeStart {
-			return nil, fmt.Errorf("%w: log region [%d,%d) overlaps metadata", ErrBadFS, f.sb.LogStart, f.sb.LogStart+f.sb.LogSize)
-		}
 		f.log = jnl.New(f.bc, int(f.sb.LogStart), int(f.sb.LogSize))
 		f.recentlyFreed = make(map[int]bool)
 		f.log.OnCommit(func() {
@@ -268,12 +333,125 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 // and /proc diagnostics.
 func (f *FS) Journal() *jnl.Journal { return f.log }
 
-// reclaimOrphans scans the inode array at mount for allocated inodes with
-// no directory links — the unlinked-but-open files of the previous boot,
-// whose deferred reclaim a crash cancelled — and frees their storage, each
-// inside its own transaction so a crash mid-reclaim is itself recoverable.
+// remountRO latches the volume read-only, keeping the first cause. Called
+// when metadata durability is gone: a journal group commit failed (the
+// on-disk metadata can no longer be made consistent with the in-memory
+// view) or the device died.
+func (f *FS) remountRO(err error) {
+	if f.roFlag.CompareAndSwap(false, true) {
+		f.roCause.Store(err)
+	}
+	f.degraded.Store(true)
+}
+
+// checkRW gates mutating entry points: nil on a healthy mount,
+// fs.ErrReadOnly once the volume has latched read-only.
+func (f *FS) checkRW() error {
+	if f.roFlag.Load() {
+		return fs.ErrReadOnly
+	}
+	return nil
+}
+
+// Health reports the mount's error state: degraded means at least one
+// asynchronous writeback was abandoned (per-file fsync has the details),
+// readOnly means metadata durability failed and mutations are refused.
+// cause is the error that latched read-only, nil otherwise.
+func (f *FS) Health() (degraded, readOnly bool, cause error) {
+	if e, ok := f.roCause.Load().(error); ok {
+		cause = e
+	}
+	return f.degraded.Load(), f.roFlag.Load(), cause
+}
+
+// orphanAdd records inum on the on-disk orphan list, inside the caller's
+// open transaction — the same transaction that drops the last directory
+// link — so the unlink and its orphan record commit (or vanish)
+// atomically. A full list sets the overflow flag instead, and mount-time
+// recovery falls back to the full inode-array scan.
+func (f *FS) orphanAdd(t *sched.Task, inum int) error {
+	if f.log == nil {
+		return nil
+	}
+	return f.writeMeta(t, 0, func(data []byte) {
+		free := -1
+		for i := 0; i < orphanMax; i++ {
+			off := orphanOff + 4 + 4*i
+			switch binary.LittleEndian.Uint32(data[off:]) {
+			case uint32(inum):
+				return // already listed
+			case 0:
+				if free < 0 {
+					free = off
+				}
+			}
+		}
+		if free < 0 {
+			binary.LittleEndian.PutUint32(data[orphanOff:], 1) // overflow
+			return
+		}
+		binary.LittleEndian.PutUint32(data[free:], uint32(inum))
+	})
+}
+
+// orphanRemove clears inum's list slot, inside the reclaiming
+// transaction, so the storage free and the de-listing commit together.
+// The superblock block is only journaled when the slot was actually
+// present — ordinary reclaims (files never unlinked-while-open) cost no
+// log slot here.
+func (f *FS) orphanRemove(t *sched.Task, inum int) error {
+	if f.log == nil {
+		return nil
+	}
+	b, err := f.bc.Get(t, 0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < orphanMax; i++ {
+		off := orphanOff + 4 + 4*i
+		if binary.LittleEndian.Uint32(b.Data[off:]) == uint32(inum) {
+			binary.LittleEndian.PutUint32(b.Data[off:], 0)
+			err = f.log.Record(t, b)
+			break
+		}
+	}
+	f.bc.Release(b)
+	return err
+}
+
+// reclaimOrphans frees the previous boot's unlinked-but-open files at
+// mount, after journal recovery cancelled their deferred reclaims. The
+// on-disk orphan list names them exactly — each entry committed with the
+// unlink that created it — so recovery visits a handful of listed inodes
+// instead of scanning the whole inode array; the scan survives only as
+// the fallback when the list overflowed. Each reclaim runs inside its
+// own transaction, so a crash mid-reclaim is itself recoverable. List
+// entries are never trusted: out-of-range and stale inums (hostile or
+// half-committed images) are skipped and swept.
 func (f *FS) reclaimOrphans(t *sched.Task) error {
-	for inum := rootInum + 1; inum < int(f.sb.NInodes); inum++ {
+	var overflow bool
+	var listed []int
+	if err := f.readBlock(t, 0, func(data []byte) {
+		overflow = binary.LittleEndian.Uint32(data[orphanOff:]) != 0
+		for i := 0; i < orphanMax; i++ {
+			if inum := binary.LittleEndian.Uint32(data[orphanOff+4+4*i:]); inum != 0 {
+				listed = append(listed, int(inum))
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	dirtyList := overflow || len(listed) > 0
+	if overflow {
+		listed = listed[:0]
+		for inum := rootInum + 1; inum < int(f.sb.NInodes); inum++ {
+			listed = append(listed, inum)
+		}
+	}
+	for _, inum := range listed {
+		if inum <= rootInum || inum >= int(f.sb.NInodes) {
+			continue
+		}
 		var di dinode
 		if err := f.readInode(t, inum, &di); err != nil {
 			return err
@@ -285,6 +463,7 @@ func (f *FS) reclaimOrphans(t *sched.Task) error {
 		ip := f.iget(inum)
 		if err := f.ilock(t, ip); err != nil {
 			f.iput(t, ip)
+			f.opAbort(err)
 			f.endOp(t)
 			return err
 		}
@@ -292,7 +471,20 @@ func (f *FS) reclaimOrphans(t *sched.Task) error {
 		f.iput(t, ip) // sole ref + NLink 0: deferred reclaim fires here
 		f.endOp(t)
 	}
-	return nil
+	if !dirtyList {
+		return nil
+	}
+	// Each reclaim above de-listed its own slot; whatever is left is
+	// stale or hostile. One transaction zeroes the region and the flag.
+	f.beginOp(t)
+	err := f.writeMeta(t, 0, func(data []byte) {
+		for i := orphanOff; i < BlockSize; i++ {
+			data[i] = 0
+		}
+	})
+	f.opAbort(err)
+	f.endOp(t)
+	return err
 }
 
 // beginOp opens this operation's journal bracket (no-op unjournaled).
@@ -309,10 +501,33 @@ func (f *FS) beginOp(t *sched.Task) {
 // endOp closes the bracket; the last closer group-commits. Commit errors
 // are latched in the journal and surfaced at the next fsync or Sync — the
 // same report-at-the-barrier model the write-behind cache uses for
-// asynchronous writeback errors.
+// asynchronous writeback errors — and additionally flip the mount
+// read-only: a failed group commit means the on-disk metadata can no
+// longer be brought in line with memory, so permitting further mutation
+// would only widen the damage (ext4's errors=remount-ro).
 func (f *FS) endOp(t *sched.Task) {
 	if f.log != nil {
-		_ = f.log.End(t)
+		if err := f.log.End(t); err != nil {
+			f.remountRO(err)
+		}
+	}
+}
+
+// opAbort poisons the open journal bracket when an operation is unwinding
+// with a device-level error: some of its metadata blocks may already be
+// recorded, and committing that half-operation would persist a state no
+// crash could ever produce (a dirent without its inode update, an nlink
+// without its dirent). The journal discards the whole batch at the last
+// End and reports ErrAborted, which endOp turns into the read-only latch.
+// Logical errors (not-found, exists, no-space...) never abort: their
+// partial recordings are consistent by construction.
+func (f *FS) opAbort(err error) {
+	if f.log == nil || err == nil {
+		return
+	}
+	if errors.Is(err, fs.ErrDeviceDead) || errors.Is(err, fs.ErrBadSector) ||
+		errors.Is(err, fs.ErrSDInjected) {
+		f.log.Abort(err)
 	}
 }
 
@@ -382,7 +597,11 @@ func (f *FS) iupdate(t *sched.Task, ip *inode) error {
 func (f *FS) iput(t *sched.Task, ip *inode) {
 	f.imu.Lock()
 	reclaimed := false
-	if ip.ref == 1 && ip.valid && ip.di.NLink == 0 {
+	// A latched-read-only mount must not reclaim: in-memory link counts
+	// may have diverged from disk when a transaction aborted, and writing
+	// frees based on them would corrupt what DID land. The next mount's
+	// orphan recovery sweeps whatever this leaks.
+	if ip.ref == 1 && ip.valid && ip.di.NLink == 0 && f.checkRW() == nil {
 		// Sole reference and no directory links left: nobody else can
 		// reach this inode (dirLookup can't find it, allocInode won't
 		// hand it out until it is marked free), so dropping imu here is
@@ -390,13 +609,24 @@ func (f *FS) iput(t *sched.Task, ip *inode) {
 		// the parent directory's lock when it puts the child.
 		f.imu.Unlock()
 		ip.lock.LockNested(t)
-		// Best-effort reclaim: an IO error here leaks blocks (fsck
-		// territory), it does not corrupt live data.
-		_ = f.truncate(t, ip)
+		// A device error mid-reclaim leaves the transaction half-recorded
+		// (some frees without the inode update); poison the bracket so it
+		// never commits — the orphan record on disk survives for the next
+		// mount to finish the job.
+		rerr := f.truncate(t, ip)
 		f.ialloc.Lock(t)
 		ip.di.Type = typeFree
-		_ = f.iupdate(t, ip)
+		if err := f.iupdate(t, ip); rerr == nil {
+			rerr = err
+		}
 		f.ialloc.Unlock()
+		// De-list from the on-disk orphan list in the same transaction:
+		// the slot free above and the orphan record must commit together
+		// or recovery would reclaim a reused inum.
+		if err := f.orphanRemove(t, ip.inum); rerr == nil {
+			rerr = err
+		}
+		f.opAbort(rerr)
 		ip.valid = false
 		ip.lock.Unlock()
 		reclaimed = true
@@ -852,7 +1082,9 @@ func (f *FS) Sync(t *sched.Task) error {
 	// lock. Commit errors latched by earlier group commits surface here.
 	var logErr error
 	if f.log != nil {
-		logErr = f.log.Sync(t)
+		if logErr = f.log.Sync(t); logErr != nil {
+			f.remountRO(logErr)
+		}
 	}
 	f.ialloc.Lock(t)
 	f.balloc.Lock(t)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-paper experiments clean
+.PHONY: all build test race vet lint torture bench bench-paper experiments clean
 
 all: vet lint build test
 
@@ -26,7 +26,16 @@ vet:
 # dependency-free revive/golint "exported" rule.
 lint:
 	$(GO) run ./cmd/lintdoc internal/kernel/blkq internal/kernel/bcache \
-		internal/kernel/fs internal/kernel/errseq internal/kernel/uring
+		internal/kernel/fs internal/kernel/errseq internal/kernel/uring \
+		internal/kernel/dcache
+
+# Lookup-vs-mutation torture: concurrent walkers on the dentry cache's
+# lock-free fast path against create/unlink/rename/rmdir mutators, on
+# both filesystems, repeated under the race detector. CI runs this as its
+# own job; the generation-protocol bugs it hunts only surface under -race
+# and repetition.
+torture:
+	$(GO) test -race -count=2 -run TestTortureLookupVsMutation -v ./internal/kernel/dcache
 
 # Storage-stack perf trajectory: the write-heavy harness compares the
 # async stack (blkq + write-behind + flusher daemon) against the
@@ -44,13 +53,17 @@ lint:
 # PR 5 recording (>= 0.8x) now that the ordered-writes discipline is in,
 # and the journal-overhead harness records what the xv6fs write-ahead
 # log costs against an unjournaled mount of the same image
-# (BENCH_journal.json). CI runs this as a non-blocking job.
+# (BENCH_journal.json). The path-lookup harness compares stat traffic
+# with the dentry cache attached against the uncached locked walk on a
+# latency-bound device — asserting >= 1.5x — recording BENCH_path.json.
+# CI runs this as a non-blocking job.
 bench:
 	BENCH_BLKQ_JSON=$(CURDIR)/BENCH_blkq.json $(GO) test -run TestWriteHeavyThroughput -v ./internal/kernel/fat32
 	BENCH_FILE_JSON=$(CURDIR)/BENCH_file.json $(GO) test -run TestFileIOThroughput -v ./internal/kernel/xv6fs
 	BENCH_FILE_JSON=$(CURDIR)/BENCH_file.json $(GO) test -run TestRingIOThroughput -v ./internal/kernel
 	BENCH_JOURNAL_JSON=$(CURDIR)/BENCH_journal.json $(GO) test -run TestJournalOverhead -v ./internal/kernel/xv6fs
-	$(GO) test -bench 'BenchmarkParallelFiles|BenchmarkWriteHeavy|BenchmarkFsyncAppend|BenchmarkRandom' -benchtime 1x -run '^$$' ./internal/kernel/fat32 ./internal/kernel/xv6fs
+	BENCH_PATH_JSON=$(CURDIR)/BENCH_path.json $(GO) test -run TestPathLookupThroughput -v ./internal/kernel/dcache
+	$(GO) test -bench 'BenchmarkParallelFiles|BenchmarkWriteHeavy|BenchmarkFsyncAppend|BenchmarkRandom|BenchmarkPathLookup' -benchtime 1x -run '^$$' ./internal/kernel/fat32 ./internal/kernel/xv6fs ./internal/kernel/dcache
 
 # The paper's evaluation as Go benchmarks (Fig 8/9/10, Table 5, ablations,
 # sharded-cache vs bypass).

@@ -17,6 +17,7 @@ package crash_test
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -27,12 +28,67 @@ import (
 
 	"protosim/internal/kernel/bcache"
 	"protosim/internal/kernel/crash"
+	"protosim/internal/kernel/dcache"
 	"protosim/internal/kernel/fat32"
 	"protosim/internal/kernel/fat32/fatfsck"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/xv6fs"
 	"protosim/internal/kernel/xv6fs/xfsck"
 )
+
+// newDC mints a standalone dentry-cache mount: workload and recovery
+// mounts run cached, the way the kernel wires them, so the crash sweeps
+// also cover invalidation raced against every crash point.
+func newDC() *dcache.Mount { return dcache.New(0, 0).NewMount("/") }
+
+// workloadPaths is the entire namespace the randomized workload can
+// touch (crash_test's name() and mkdir ops): the recovery oracle stats
+// all of it cold and warm.
+func workloadPaths() []string {
+	var out []string
+	for i := 0; i < 8; i++ {
+		out = append(out, fmt.Sprintf("/f%d.dat", i))
+	}
+	for i := 0; i < 3; i++ {
+		d := fmt.Sprintf("/d%d", i)
+		out = append(out, d, d+"/in.dat")
+	}
+	return out
+}
+
+// coldWarmCheck stats every workload path twice on a freshly recovered
+// mount: the first pass walks the directory blocks and fills the dentry
+// cache, the second is served from it. Any divergence means recovery
+// left the cache and the on-disk directories telling different stories.
+func coldWarmCheck(t *testing.T, fsys fs.FileSystem, m *dcache.Mount, ctx string) {
+	t.Helper()
+	type ans struct {
+		err  error
+		size int64
+		typ  fs.FileType
+	}
+	cold := make(map[string]ans)
+	for _, p := range workloadPaths() {
+		st, err := fsys.Stat(nil, p)
+		cold[p] = ans{err, st.Size, st.Type}
+	}
+	hot0 := m.Stats()
+	for _, p := range workloadPaths() {
+		st, err := fsys.Stat(nil, p)
+		c := cold[p]
+		if (err == nil) != (c.err == nil) || (err != nil && !errors.Is(err, c.err)) {
+			t.Fatalf("%s: cold/warm divergence at %s: cold err %v, warm err %v", ctx, p, c.err, err)
+		}
+		if err == nil && (st.Size != c.size || st.Type != c.typ) {
+			t.Fatalf("%s: cold/warm divergence at %s: cold (size %d, %v), warm (size %d, %v)",
+				ctx, p, c.size, c.typ, st.Size, st.Type)
+		}
+	}
+	hot1 := m.Stats()
+	if hot1.Hits+hot1.NegHits <= hot0.Hits+hot0.NegHits {
+		t.Fatalf("%s: warm pass never hit the dentry cache", ctx)
+	}
+}
 
 // regressionSeeds always run: seeds that once exposed bugs (or that the
 // suite has simply always run) stay pinned so fixes cannot silently
@@ -194,6 +250,7 @@ func recordXv6(t *testing.T, seed int64, nOps int) *crash.Recorder {
 	if fsys.Journal() == nil {
 		t.Fatal("volume mounted without a journal")
 	}
+	fsys.SetDcache(newDC())
 	workload(t, fsys, rand.New(rand.NewSource(seed)), nOps)
 	return rec
 }
@@ -215,7 +272,10 @@ func verifyXv6(t *testing.T, img *fs.Ramdisk, ctx string) {
 	if err != nil {
 		t.Fatalf("%s: recovery mount: %v", ctx, err)
 	}
+	dc := newDC()
+	fsys.SetDcache(dc)
 	probe(t, fsys, ctx)
+	coldWarmCheck(t, fsys, dc, ctx)
 	if err := fsys.Sync(nil); err != nil {
 		t.Fatalf("%s: sync after probe: %v", ctx, err)
 	}
@@ -388,6 +448,7 @@ func recordFatPath(t *testing.T, seed int64, nOps int, dp fat32.DataPath) *crash
 		t.Fatal(err)
 	}
 	fsys.SetDataPath(dp)
+	fsys.SetDcache(newDC())
 	workload(t, fsys, rand.New(rand.NewSource(seed)), nOps)
 	return rec
 }
@@ -412,7 +473,10 @@ func verifyFat(t *testing.T, img *fs.Ramdisk, ctx string) {
 	if err != nil {
 		t.Fatalf("%s: mount after repair: %v", ctx, err)
 	}
+	dc := newDC()
+	fsys.SetDcache(dc)
 	probe(t, fsys, ctx)
+	coldWarmCheck(t, fsys, dc, ctx)
 	if err := fsys.Sync(nil); err != nil {
 		t.Fatalf("%s: sync after probe: %v", ctx, err)
 	}

@@ -168,6 +168,7 @@ func fuzzXv6Plan(t *testing.T, seed int64, plan hw.FaultPlan, qopts blkq.Options
 			t.Fatalf("%s: mount: %v", ctx, err)
 		}
 	} else {
+		fsys.SetDcache(newDC()) // read-only latch must kill it cleanly
 		workloadWith(t, fsys, rand.New(rand.NewSource(seed)), fuzzOps(), faultTolerable)
 		if err := fsys.Sync(nil); err != nil && !faultTolerable(err) {
 			t.Fatalf("%s: sync: %v", ctx, err)
@@ -208,6 +209,7 @@ func fuzzFatPlan(t *testing.T, seed int64, plan hw.FaultPlan, qopts blkq.Options
 			t.Fatalf("%s: mount: %v", ctx, err)
 		}
 	} else {
+		fsys.SetDcache(newDC()) // read-only latch must kill it cleanly
 		workloadWith(t, fsys, rand.New(rand.NewSource(seed)), fuzzOps(), faultTolerable)
 		if err := fsys.Sync(nil); err != nil && !faultTolerable(err) {
 			t.Fatalf("%s: sync: %v", ctx, err)

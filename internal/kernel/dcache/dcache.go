@@ -1,0 +1,432 @@
+package dcache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards and DefaultPerShard size a mount's cache when the caller
+// passes zero: 8 shards × 512 entries covers a build-tree of a few
+// thousand names while staying small next to the buffer cache.
+const (
+	DefaultShards   = 8
+	DefaultPerShard = 512
+)
+
+// Entry is one cached lookup answer. Ino is the child's identity — inode
+// number for xv6fs, first data cluster for FAT32; a negative entry
+// (Neg=true) records a proven ENOENT and carries no identity. The
+// remaining fields are auxiliary state the owning filesystem needs to
+// revive the child without re-reading its directory entry: FAT32 stores
+// the file size and the dirent's location (RefA = sector-chain cluster,
+// RefB = slot index); xv6fs leaves them zero.
+type Entry struct {
+	Ino   int64
+	IsDir bool
+	Neg   bool
+	Size  int64
+	RefA  int64
+	RefB  int64
+}
+
+type key struct {
+	parent int64
+	name   string
+}
+
+// node is an entry on a shard's intrusive LRU list.
+type node struct {
+	key        key
+	e          Entry
+	prev, next *node
+}
+
+// shard is one lock's worth of the cache: a map for lookup plus an LRU
+// list (head = most recent) for bounded capacity. The mutex is a plain
+// leaf mutex, never held across sleeping or IO — taking it does not
+// count as a "directory lock" in the fast path's no-locks claim.
+type shard struct {
+	mu         sync.Mutex
+	m          map[key]*node
+	head, tail *node
+	cap        int
+}
+
+func (s *shard) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *shard) pushFront(n *node) {
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+// Stats is a point-in-time counter snapshot for one mount (or, from
+// Cache.Stats, the sum over all mounts).
+type Stats struct {
+	Hits     int64 // positive hits
+	NegHits  int64 // negative hits (cached ENOENT)
+	Misses   int64
+	Fills    int64 // positive + negative fills
+	Invals   int64 // explicit invalidations (entry present or not)
+	Evicts   int64 // LRU evictions
+	Entries  int64 // current resident entries
+	FastRes  int64 // whole-path lock-free resolutions (filesystem-reported)
+	FastFail int64 // fast-path walks abandoned to the locked walk
+}
+
+// Mount is one filesystem's slice of the dentry cache. The zero value is
+// not usable; mint one with Cache.NewMount. All methods are safe for
+// concurrent use and all are no-ops on a nil receiver, so filesystems
+// can run with the cache unwired (tests, A/B benches).
+type Mount struct {
+	c      *Cache
+	name   string
+	shards []shard
+	gen    atomic.Uint64
+	dead   atomic.Bool
+
+	hits, negHits, misses atomic.Int64
+	fills, invals, evicts atomic.Int64
+	fastRes, fastFail     atomic.Int64
+}
+
+// fnv1a over the parent key and name picks the shard.
+func (m *Mount) shardOf(parent int64, name string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(parent>>(8*i)) & 0xff
+		h *= 1099511628211
+	}
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return &m.shards[h%uint64(len(m.shards))]
+}
+
+// Gen reads the mount's mutation generation. A lock-free walk snapshots
+// it before the first hop and trusts its result only if the value is
+// unchanged afterwards (see the package comment).
+func (m *Mount) Gen() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.gen.Load()
+}
+
+// bump marks a name mutation. Ordered before the caller's directory
+// change (the caller invalidates, then writes), so a fast walk that read
+// a soon-stale entry always sees the new generation at its re-check.
+func (m *Mount) bump() { m.gen.Add(1) }
+
+// Lookup consults the cache. The second result reports whether an entry
+// (positive or negative) was found; counters are updated either way.
+func (m *Mount) Lookup(parent int64, name string) (Entry, bool) {
+	if m == nil || m.dead.Load() {
+		return Entry{}, false
+	}
+	s := m.shardOf(parent, name)
+	s.mu.Lock()
+	n, ok := s.m[key{parent, name}]
+	if !ok {
+		s.mu.Unlock()
+		m.misses.Add(1)
+		return Entry{}, false
+	}
+	s.unlink(n)
+	s.pushFront(n)
+	e := n.e
+	s.mu.Unlock()
+	if e.Neg {
+		m.negHits.Add(1)
+	} else {
+		m.hits.Add(1)
+	}
+	return e, true
+}
+
+// PutPositive records that parent/name resolves to the child described
+// by e. Call only while holding the parent directory's lock, after the
+// answer has been read from (or written to) the directory itself.
+func (m *Mount) PutPositive(parent int64, name string, e Entry) {
+	if m == nil {
+		return
+	}
+	e.Neg = false
+	m.put(parent, name, e)
+}
+
+// PutNegative records a proven ENOENT for parent/name. Same locking
+// contract as PutPositive.
+func (m *Mount) PutNegative(parent int64, name string) {
+	if m == nil {
+		return
+	}
+	m.put(parent, name, Entry{Neg: true})
+}
+
+func (m *Mount) put(parent int64, name string, e Entry) {
+	if m.dead.Load() {
+		return
+	}
+	s := m.shardOf(parent, name)
+	k := key{parent, name}
+	s.mu.Lock()
+	if n, ok := s.m[k]; ok {
+		n.e = e
+		s.unlink(n)
+		s.pushFront(n)
+		s.mu.Unlock()
+		m.fills.Add(1)
+		return
+	}
+	if len(s.m) >= s.cap && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.m, victim.key)
+		m.evicts.Add(1)
+	}
+	n := &node{key: k, e: e}
+	s.m[k] = n
+	s.pushFront(n)
+	s.mu.Unlock()
+	m.fills.Add(1)
+}
+
+// FixSize updates the cached size of a positive entry in place, provided
+// the entry still maps the name to the same child (ino). Mappings are
+// untouched and the generation does not move: this is how FAT32 writes
+// back a pseudo-inode's final size when it dies, without invalidating
+// the name for the next opener.
+func (m *Mount) FixSize(parent int64, name string, ino, size int64) {
+	if m == nil || m.dead.Load() {
+		return
+	}
+	s := m.shardOf(parent, name)
+	s.mu.Lock()
+	if n, ok := s.m[key{parent, name}]; ok && !n.e.Neg && n.e.Ino == ino {
+		n.e.Size = size
+	}
+	s.mu.Unlock()
+}
+
+// Invalidate drops the entry for parent/name (if any) and bumps the
+// generation. Mutation sites call it under the parent's lock, before
+// changing the directory block.
+func (m *Mount) Invalidate(parent int64, name string) {
+	if m == nil {
+		return
+	}
+	s := m.shardOf(parent, name)
+	s.mu.Lock()
+	if n, ok := s.m[key{parent, name}]; ok {
+		s.unlink(n)
+		delete(s.m, n.key)
+	}
+	s.mu.Unlock()
+	m.invals.Add(1)
+	m.bump()
+}
+
+// InvalidateDir drops every entry whose parent is dir and bumps the
+// generation. Called when a directory is removed (rmdir, rename-over):
+// its inode number may be recycled, and neither stale children nor stale
+// ENOENTs may survive into the recycled directory's life.
+func (m *Mount) InvalidateDir(dir int64) {
+	if m == nil {
+		return
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for k, n := range s.m {
+			if k.parent == dir {
+				s.unlink(n)
+				delete(s.m, k)
+				m.invals.Add(1)
+			}
+		}
+		s.mu.Unlock()
+	}
+	m.bump()
+}
+
+// Kill empties the mount's cache and latches it dead: lookups miss and
+// fills are refused from now on. Wired to errors=remount-ro degradation.
+func (m *Mount) Kill() {
+	if m == nil {
+		return
+	}
+	m.dead.Store(true)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		s.m = make(map[key]*node)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+	m.bump()
+}
+
+// Dead reports whether Kill has latched the mount.
+func (m *Mount) Dead() bool { return m != nil && m.dead.Load() }
+
+// FastPathResolved / FastPathFellBack let the filesystems report
+// whole-walk outcomes (distinct from per-component hit/miss counters).
+func (m *Mount) FastPathResolved() {
+	if m != nil {
+		m.fastRes.Add(1)
+	}
+}
+
+// FastPathFellBack counts a lock-free walk abandoned to the locked walk
+// (component miss or generation bump mid-walk).
+func (m *Mount) FastPathFellBack() {
+	if m != nil {
+		m.fastFail.Add(1)
+	}
+}
+
+// Stats snapshots the mount's counters.
+func (m *Mount) Stats() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	var entries int64
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		entries += int64(len(s.m))
+		s.mu.Unlock()
+	}
+	return Stats{
+		Hits:     m.hits.Load(),
+		NegHits:  m.negHits.Load(),
+		Misses:   m.misses.Load(),
+		Fills:    m.fills.Load(),
+		Invals:   m.invals.Load(),
+		Evicts:   m.evicts.Load(),
+		Entries:  entries,
+		FastRes:  m.fastRes.Load(),
+		FastFail: m.fastFail.Load(),
+	}
+}
+
+// Cache owns the dentry cache for a whole kernel: one Mount handle per
+// mounted filesystem, plus the aggregate view /proc/dcache renders.
+type Cache struct {
+	shards   int
+	perShard int
+
+	mu     sync.Mutex
+	mounts map[string]*Mount
+}
+
+// New builds a cache whose mounts each get shards×perShard capacity;
+// zero (or negative) arguments select the defaults.
+func New(shards, perShard int) *Cache {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if perShard <= 0 {
+		perShard = DefaultPerShard
+	}
+	return &Cache{shards: shards, perShard: perShard, mounts: make(map[string]*Mount)}
+}
+
+// NewMount mints the dentry cache for one mounted filesystem, named by
+// its mount point for /proc. Minting the same name again replaces the
+// old handle in the aggregate view (remount).
+func (c *Cache) NewMount(name string) *Mount {
+	m := &Mount{c: c, name: name, shards: make([]shard, c.shards)}
+	for i := range m.shards {
+		m.shards[i].m = make(map[key]*node)
+		m.shards[i].cap = c.perShard
+	}
+	c.mu.Lock()
+	c.mounts[name] = m
+	c.mu.Unlock()
+	return m
+}
+
+// Stats sums counters over all mounts.
+func (c *Cache) Stats() Stats {
+	var sum Stats
+	c.mu.Lock()
+	ms := make([]*Mount, 0, len(c.mounts))
+	for _, m := range c.mounts {
+		ms = append(ms, m)
+	}
+	c.mu.Unlock()
+	for _, m := range ms {
+		st := m.Stats()
+		sum.Hits += st.Hits
+		sum.NegHits += st.NegHits
+		sum.Misses += st.Misses
+		sum.Fills += st.Fills
+		sum.Invals += st.Invals
+		sum.Evicts += st.Evicts
+		sum.Entries += st.Entries
+		sum.FastRes += st.FastRes
+		sum.FastFail += st.FastFail
+	}
+	return sum
+}
+
+// String renders the /proc/dcache table: one line per mount plus a
+// totals line, in the key:value style of the other proc files.
+func (c *Cache) String() string {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.mounts))
+	for n := range c.mounts {
+		names = append(names, n)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+
+	out := ""
+	var sum Stats
+	for _, n := range names {
+		c.mu.Lock()
+		m := c.mounts[n]
+		c.mu.Unlock()
+		st := m.Stats()
+		state := "live"
+		if m.Dead() {
+			state = "dead"
+		}
+		out += fmt.Sprintf("mount %s state %s entries %d hits %d neghits %d misses %d fills %d invals %d evicts %d fastwalks %d fallbacks %d\n",
+			n, state, st.Entries, st.Hits, st.NegHits, st.Misses, st.Fills, st.Invals, st.Evicts, st.FastRes, st.FastFail)
+		sum.Hits += st.Hits
+		sum.NegHits += st.NegHits
+		sum.Misses += st.Misses
+		sum.Fills += st.Fills
+		sum.Invals += st.Invals
+		sum.Evicts += st.Evicts
+		sum.Entries += st.Entries
+		sum.FastRes += st.FastRes
+		sum.FastFail += st.FastFail
+	}
+	out += fmt.Sprintf("total entries %d hits %d neghits %d misses %d fills %d invals %d evicts %d fastwalks %d fallbacks %d\n",
+		sum.Entries, sum.Hits, sum.NegHits, sum.Misses, sum.Fills, sum.Invals, sum.Evicts, sum.FastRes, sum.FastFail)
+	return out
+}

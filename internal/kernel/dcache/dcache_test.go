@@ -1,0 +1,200 @@
+package dcache
+
+import (
+	"strings"
+	"testing"
+)
+
+func newMount(t *testing.T, shards, perShard int) *Mount {
+	t.Helper()
+	return New(shards, perShard).NewMount("/t")
+}
+
+func TestLookupFillInvalidate(t *testing.T) {
+	m := newMount(t, 2, 8)
+	if _, ok := m.Lookup(1, "a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	m.PutPositive(1, "a", Entry{Ino: 7, IsDir: true, Size: 42})
+	e, ok := m.Lookup(1, "a")
+	if !ok || e.Neg || e.Ino != 7 || !e.IsDir || e.Size != 42 {
+		t.Fatalf("positive lookup = %+v, %v", e, ok)
+	}
+	m.PutNegative(1, "b")
+	e, ok = m.Lookup(1, "b")
+	if !ok || !e.Neg {
+		t.Fatalf("negative lookup = %+v, %v", e, ok)
+	}
+	// Same name under a different parent is a different key.
+	if _, ok := m.Lookup(2, "a"); ok {
+		t.Fatal("hit for wrong parent")
+	}
+	g := m.Gen()
+	m.Invalidate(1, "a")
+	if m.Gen() == g {
+		t.Fatal("Invalidate did not bump the generation")
+	}
+	if _, ok := m.Lookup(1, "a"); ok {
+		t.Fatal("hit after invalidate")
+	}
+	st := m.Stats()
+	if st.Hits != 1 || st.NegHits != 1 || st.Misses != 3 || st.Fills != 2 || st.Invals != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Entries != 1 { // only the negative "b" remains
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := newMount(t, 1, 3) // single shard so the LRU order is total
+	m.PutPositive(1, "a", Entry{Ino: 1})
+	m.PutPositive(1, "b", Entry{Ino: 2})
+	m.PutPositive(1, "c", Entry{Ino: 3})
+	// Touch "a" so "b" becomes the LRU victim.
+	if _, ok := m.Lookup(1, "a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	m.PutPositive(1, "d", Entry{Ino: 4})
+	if _, ok := m.Lookup(1, "b"); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	for _, name := range []string{"a", "c", "d"} {
+		if _, ok := m.Lookup(1, name); !ok {
+			t.Fatalf("%s evicted, want resident", name)
+		}
+	}
+	st := m.Stats()
+	if st.Evicts != 1 || st.Entries != 3 {
+		t.Fatalf("evicts %d entries %d, want 1 and 3", st.Evicts, st.Entries)
+	}
+	// Re-putting an existing key updates in place — no eviction.
+	m.PutPositive(1, "a", Entry{Ino: 11})
+	if st := m.Stats(); st.Evicts != 1 {
+		t.Fatalf("update-in-place evicted: %d", st.Evicts)
+	}
+	if e, _ := m.Lookup(1, "a"); e.Ino != 11 {
+		t.Fatalf("update-in-place lost: %+v", e)
+	}
+}
+
+func TestFixSize(t *testing.T) {
+	m := newMount(t, 1, 8)
+	m.PutPositive(1, "f", Entry{Ino: 9, Size: 100})
+	g := m.Gen()
+	m.FixSize(1, "f", 9, 4096)
+	if m.Gen() != g {
+		t.Fatal("FixSize bumped the generation")
+	}
+	if e, _ := m.Lookup(1, "f"); e.Size != 4096 {
+		t.Fatalf("size = %d, want 4096", e.Size)
+	}
+	// Wrong ino: the name was re-bound since; size must not be smeared
+	// onto the new child.
+	m.FixSize(1, "f", 8, 1)
+	if e, _ := m.Lookup(1, "f"); e.Size != 4096 {
+		t.Fatalf("FixSize with stale ino applied: size %d", e.Size)
+	}
+	// Negative entries carry no size.
+	m.PutNegative(1, "g")
+	m.FixSize(1, "g", 0, 5)
+	if e, _ := m.Lookup(1, "g"); !e.Neg || e.Size != 0 {
+		t.Fatalf("FixSize touched a negative entry: %+v", e)
+	}
+}
+
+func TestInvalidateDir(t *testing.T) {
+	m := newMount(t, 4, 8)
+	m.PutPositive(10, "a", Entry{Ino: 1})
+	m.PutNegative(10, "b")
+	m.PutPositive(20, "a", Entry{Ino: 2})
+	g := m.Gen()
+	m.InvalidateDir(10)
+	if m.Gen() == g {
+		t.Fatal("InvalidateDir did not bump the generation")
+	}
+	if _, ok := m.Lookup(10, "a"); ok {
+		t.Fatal("child of dead dir survived")
+	}
+	if _, ok := m.Lookup(10, "b"); ok {
+		t.Fatal("negative entry of dead dir survived")
+	}
+	if _, ok := m.Lookup(20, "a"); !ok {
+		t.Fatal("sibling dir's child was dropped")
+	}
+	if st := m.Stats(); st.Invals != 2 {
+		t.Fatalf("invals = %d, want 2", st.Invals)
+	}
+}
+
+func TestKill(t *testing.T) {
+	m := newMount(t, 2, 8)
+	m.PutPositive(1, "a", Entry{Ino: 1})
+	if m.Dead() {
+		t.Fatal("dead before Kill")
+	}
+	m.Kill()
+	if !m.Dead() {
+		t.Fatal("not dead after Kill")
+	}
+	if _, ok := m.Lookup(1, "a"); ok {
+		t.Fatal("hit on dead mount")
+	}
+	m.PutPositive(1, "b", Entry{Ino: 2})
+	m.PutNegative(1, "c")
+	if st := m.Stats(); st.Entries != 0 {
+		t.Fatalf("dead mount accepted fills: %d entries", st.Entries)
+	}
+}
+
+func TestNilMountIsInert(t *testing.T) {
+	var m *Mount
+	if _, ok := m.Lookup(1, "a"); ok {
+		t.Fatal("nil mount hit")
+	}
+	m.PutPositive(1, "a", Entry{Ino: 1})
+	m.PutNegative(1, "b")
+	m.FixSize(1, "a", 1, 2)
+	m.Invalidate(1, "a")
+	m.InvalidateDir(1)
+	m.Kill()
+	m.FastPathResolved()
+	m.FastPathFellBack()
+	if m.Gen() != 0 || m.Dead() || m.Stats() != (Stats{}) {
+		t.Fatal("nil mount not inert")
+	}
+}
+
+func TestCacheAggregation(t *testing.T) {
+	c := New(1, 8)
+	a := c.NewMount("/")
+	b := c.NewMount("/d")
+	a.PutPositive(1, "x", Entry{Ino: 1})
+	b.PutNegative(1, "y")
+	a.Lookup(1, "x")
+	b.Lookup(1, "y")
+	b.FastPathResolved()
+	sum := c.Stats()
+	if sum.Hits != 1 || sum.NegHits != 1 || sum.Fills != 2 || sum.Entries != 2 || sum.FastRes != 1 {
+		t.Fatalf("aggregate = %+v", sum)
+	}
+	out := c.String()
+	for _, want := range []string{
+		"mount / state live",
+		"mount /d state live",
+		"total entries 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+	// Remount: same name replaces the handle, old counters leave the view.
+	c.NewMount("/d")
+	if sum := c.Stats(); sum.NegHits != 0 || sum.Entries != 1 {
+		t.Fatalf("remount did not replace: %+v", sum)
+	}
+	b.Kill()
+	if !strings.Contains(c.String(), "mount /d state live") {
+		t.Fatal("killing the replaced handle leaked into the new mount's line")
+	}
+}

@@ -1,0 +1,44 @@
+// Package dcache is the kernel dentry cache: a sharded name→inode map,
+// keyed by (mount, parent directory, component name), that lets hot-path
+// opens and stats resolve path components without reading directory
+// blocks or taking directory inode locks. It is the metadata-side twin
+// of the buffer cache — where bcache makes re-reading DATA cheap, dcache
+// makes re-walking NAMES cheap.
+//
+// # Entries
+//
+// An entry is either positive (the name exists; the entry carries the
+// child's identity — inode number for xv6fs, first cluster for FAT32 —
+// plus filesystem-specific auxiliary fields) or negative (a lookup
+// proved the name absent, so repeated opens of a missing path answer
+// ENOENT without a directory scan). Each mount's entries live in a fixed
+// number of shards, each a map plus an LRU list with a bounded capacity;
+// filling a full shard evicts the coldest entry.
+//
+// # Consistency
+//
+// Two rules make cached answers safe without per-entry locks:
+//
+//  1. Fills happen only while the filesystem holds the parent
+//     directory's lock, and every mutation (create, unlink, rmdir,
+//     rename) invalidates the affected (parent, name) keys — also under
+//     the parent's lock, before the directory block is changed. An entry
+//     observed while holding the parent's lock is therefore truthful.
+//
+//  2. Every invalidation bumps the mount's generation counter. A
+//     lock-free walk snapshots the generation, resolves components from
+//     the cache, and re-checks the generation before trusting the
+//     result; a bump during the walk sends the caller to the classic
+//     locked walk. This is the seqlock discipline Linux applies with
+//     rename_lock: if no name mutated anywhere on the mount during the
+//     walk, every hop's answer was simultaneously true.
+//
+// Removing a directory additionally drops every entry parented by it
+// (InvalidateDir), so a recycled inode number can never resurrect stale
+// children or stale ENOENTs. A mount that degrades to read-only after a
+// write error calls Kill, which empties the cache and refuses further
+// fills — a dead mount serves no cached answers.
+//
+// Counters (hits, misses, negative hits, fills, invalidations,
+// evictions) aggregate per mount and surface on /proc/dcache.
+package dcache

@@ -1,0 +1,193 @@
+package dcache_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/dcache"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/xv6fs"
+)
+
+// The path-lookup harness behind `make bench` / BENCH_path.json: stat
+// traffic over a directory tree whose metadata working set exceeds the
+// buffer cache, on a device with per-command latency — the regime where
+// every locked walk pays real IO for directory blocks and inode blocks,
+// and the dentry cache's lock-free fast path pays (almost) none.
+
+const (
+	pbDelay    = 25 * time.Microsecond // per device command
+	pbTopDirs  = 8
+	pbSubDirs  = 16 // per top dir: 128 subdir blocks, past the 128-buffer cache
+	pbFiles    = 4  // per subdir: 512 files
+	pbRounds   = 6
+	pbNInodes  = 1024
+	pbDiskSize = 4096
+)
+
+// slowDisk adds a fixed per-command latency to a ramdisk — the
+// latency-bound device (SD card, network block device) where path
+// resolution cost is IO count, not CPU.
+type slowDisk struct {
+	rd    *fs.Ramdisk
+	delay time.Duration
+}
+
+func (d *slowDisk) BlockSize() int { return d.rd.BlockSize() }
+func (d *slowDisk) Blocks() int    { return d.rd.Blocks() }
+func (d *slowDisk) ReadBlocks(lba, n int, dst []byte) error {
+	time.Sleep(d.delay)
+	return d.rd.ReadBlocks(lba, n, dst)
+}
+func (d *slowDisk) WriteBlocks(lba, n int, src []byte) error {
+	time.Sleep(d.delay)
+	return d.rd.WriteBlocks(lba, n, src)
+}
+
+// newPathBenchFS builds a mounted xv6fs tree on a slow disk: pbTopDirs ×
+// pbSubDirs directories with pbFiles files each, plus one ghost (never
+// created) name per subdir. The bcache is big enough for the journal but
+// far smaller than the tree's metadata, so locked walks keep missing.
+func newPathBenchFS(tb testing.TB, cached bool) (*xv6fs.FS, []string, []string) {
+	tb.Helper()
+	sd := &slowDisk{rd: fs.NewRamdisk(xv6fs.BlockSize, pbDiskSize), delay: 0}
+	if err := xv6fs.Mkfs(sd.rd, pbNInodes); err != nil {
+		tb.Fatal(err)
+	}
+	f, err := xv6fs.MountWith(sd, nil, bcache.Options{Buffers: 128, Shards: 8, Readahead: -1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if cached {
+		f.SetDcache(dcache.New(0, 0).NewMount("/"))
+	}
+	var files, ghosts []string
+	for ti := 0; ti < pbTopDirs; ti++ {
+		td := fmt.Sprintf("/t%d", ti)
+		if err := f.Mkdir(nil, td); err != nil {
+			tb.Fatal(err)
+		}
+		for si := 0; si < pbSubDirs; si++ {
+			sub := fmt.Sprintf("%s/s%d", td, si)
+			if err := f.Mkdir(nil, sub); err != nil {
+				tb.Fatal(err)
+			}
+			for fi := 0; fi < pbFiles; fi++ {
+				p := fmt.Sprintf("%s/f%d", sub, fi)
+				ops, err := f.Open(nil, p, fs.OCreate|fs.OWrOnly)
+				if err != nil {
+					tb.Fatal(err)
+				}
+				fs.NewOpenFile(ops, fs.OCreate|fs.OWrOnly).Close(nil)
+				files = append(files, p)
+			}
+			ghosts = append(ghosts, sub+"/nope")
+		}
+	}
+	if err := f.Sync(nil); err != nil {
+		tb.Fatal(err)
+	}
+	sd.delay = pbDelay // setup ran at full speed; measurement pays latency
+	return f, files, ghosts
+}
+
+// statSweep stats every file and ghost path `rounds` times and returns
+// lookups per second.
+func statSweep(tb testing.TB, f *xv6fs.FS, files, ghosts []string, rounds int) float64 {
+	tb.Helper()
+	start := time.Now()
+	n := 0
+	for r := 0; r < rounds; r++ {
+		for _, p := range files {
+			if _, err := f.Stat(nil, p); err != nil {
+				tb.Fatalf("stat %s: %v", p, err)
+			}
+			n++
+		}
+		for _, p := range ghosts {
+			if _, err := f.Stat(nil, p); err == nil {
+				tb.Fatalf("ghost %s resolved", p)
+			}
+			n++
+		}
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// TestPathLookupThroughput is the BENCH_path.json recorder and gate:
+// stat throughput with the dentry cache attached must be at least 1.5×
+// the uncached locked-walk baseline on the latency-bound device (it
+// should be far more — a warm fast-path walk does no IO at all).
+// Heavyweight and timing-sensitive, so it only runs when BENCH_PATH_JSON
+// names the output (the `make bench` / CI path).
+func TestPathLookupThroughput(t *testing.T) {
+	out := os.Getenv("BENCH_PATH_JSON")
+	if out == "" {
+		t.Skip("set BENCH_PATH_JSON=<path> to run the path-lookup benchmark")
+	}
+	fc, files, ghosts := newPathBenchFS(t, true)
+	fu, ufiles, ughosts := newPathBenchFS(t, false)
+	// One warm pass each: fills the dentry cache on the cached mount and
+	// gives the uncached mount the same (futile) bcache warmup.
+	statSweep(t, fc, files, ghosts, 1)
+	statSweep(t, fu, ufiles, ughosts, 1)
+
+	cached := statSweep(t, fc, files, ghosts, pbRounds)
+	uncached := statSweep(t, fu, ufiles, ughosts, pbRounds)
+	speedup := cached / uncached
+
+	st := fc.Dcache().Stats()
+	res := map[string]any{
+		"workload": fmt.Sprintf("stat sweep, %d files + %d ghosts at depth 3, %v/cmd device, 128-buffer cache",
+			len(files), len(ghosts), pbDelay),
+		"cached_lookups_per_sec":   round2(cached),
+		"uncached_lookups_per_sec": round2(uncached),
+		"speedup":                  round2(speedup),
+		"fast_walks":               st.FastRes,
+		"fallbacks":                st.FastFail,
+		"hits":                     st.Hits,
+		"neg_hits":                 st.NegHits,
+	}
+	blob, err := json.MarshalIndent(map[string]any{"path_lookup": res}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("path lookup: cached %.0f/s vs uncached %.0f/s (%.2fx); %d fast walks, %d fallbacks",
+		cached, uncached, speedup, st.FastRes, st.FastFail)
+	if speedup < 1.5 {
+		t.Fatalf("dentry cache speedup %.2fx < 1.5x gate (cached %.0f/s, uncached %.0f/s)",
+			speedup, cached, uncached)
+	}
+	if st.FastRes == 0 {
+		t.Fatal("benchmark never took the lock-free fast path")
+	}
+}
+
+func round2(f float64) float64 { return float64(int(f*100)) / 100 }
+
+// BenchmarkPathLookupCached / BenchmarkPathLookupUncached expose the
+// same sweep through `go test -bench` for the log.
+func BenchmarkPathLookupCached(b *testing.B) {
+	f, files, ghosts := newPathBenchFS(b, true)
+	statSweep(b, f, files, ghosts, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		statSweep(b, f, files, ghosts, 1)
+	}
+}
+
+func BenchmarkPathLookupUncached(b *testing.B) {
+	f, files, ghosts := newPathBenchFS(b, false)
+	statSweep(b, f, files, ghosts, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		statSweep(b, f, files, ghosts, 1)
+	}
+}

@@ -1,0 +1,277 @@
+// Lookup-vs-mutation torture suite: concurrent walkers hammer the
+// lock-free cached path-resolution fast path while mutators create,
+// unlink, rename (same-dir and cross-dir), and recycle directories
+// underneath them. The invariants:
+//
+//   - a permanent file never resolves to ENOENT and never changes
+//     contents;
+//   - a name that never existed always resolves to ENOENT;
+//   - a stat of a churning name may land on either side of a mutation
+//     but never errors with anything besides ErrNotFound, and never
+//     reports another file's identity;
+//   - at quiescence, every cached answer equals the locked-walk answer
+//     (checked by killing the cache and re-statting everything).
+//
+// Run under -race -count=2 by the CI torture job: the generation
+// protocol's correctness is exactly the kind of bug only the race
+// detector and repetition surface.
+package dcache_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"protosim/internal/kernel/dcache"
+	"protosim/internal/kernel/fat32"
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/ksync"
+	"protosim/internal/kernel/sched"
+	"protosim/internal/kernel/xv6fs"
+)
+
+// tfs is the slice of the filesystem API the torture workload needs;
+// both xv6fs.FS and fat32.FS satisfy it.
+type tfs interface {
+	Open(t *sched.Task, path string, flags int) (fs.FileOps, error)
+	Stat(t *sched.Task, path string) (fs.Stat, error)
+	Mkdir(t *sched.Task, path string) error
+	Unlink(t *sched.Task, path string) error
+	Rename(t *sched.Task, oldPath, newPath string) error
+}
+
+func mountXv6(t *testing.T) (tfs, *dcache.Mount) {
+	t.Helper()
+	rd := fs.NewRamdisk(xv6fs.BlockSize, 8192)
+	if err := xv6fs.Mkfs(rd, 64); err != nil {
+		t.Fatal(err)
+	}
+	f, err := xv6fs.Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dcache.New(0, 0).NewMount("/")
+	f.SetDcache(m)
+	return f, m
+}
+
+func mountFat(t *testing.T) (tfs, *dcache.Mount) {
+	t.Helper()
+	rd := fs.NewRamdisk(fat32.SectorSize, 8192)
+	if err := fat32.Mkfs(rd); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fat32.Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dcache.New(0, 0).NewMount("/d")
+	f.SetDcache(m)
+	return f, m
+}
+
+func writeFile(t *testing.T, f tfs, path string, body []byte) {
+	t.Helper()
+	ops, err := f.Open(nil, path, fs.OCreate|fs.OWrOnly|fs.OTrunc)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	fl := fs.NewOpenFile(ops, fs.OCreate|fs.OWrOnly|fs.OTrunc)
+	if _, err := fl.Write(nil, body); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if err := fl.Close(nil); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+}
+
+func TestTortureLookupVsMutation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		mount func(*testing.T) (tfs, *dcache.Mount)
+	}{
+		{"xv6fs", mountXv6},
+		{"fat32", mountFat},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tortureOne(t, tc.mount)
+		})
+	}
+}
+
+func tortureOne(t *testing.T, mount func(*testing.T) (tfs, *dcache.Mount)) {
+	ksync.SetRankCheck(true)
+	t.Cleanup(func() { ksync.SetRankCheck(false) })
+	f, m := mount(t)
+
+	const (
+		walkers  = 4
+		mutators = 3
+		rounds   = 200
+	)
+	// Permanent population: files that must survive the storm untouched,
+	// plus each mutator's private churn directories.
+	perm := make(map[string][]byte)
+	for i := 0; i < 6; i++ {
+		p := fmt.Sprintf("/perm%d.dat", i)
+		body := bytes.Repeat([]byte{byte('a' + i)}, 64+i*17)
+		writeFile(t, f, p, body)
+		perm[p] = body
+	}
+	for w := 0; w < mutators; w++ {
+		for _, d := range []string{fmt.Sprintf("/ma%d", w), fmt.Sprintf("/mb%d", w)} {
+			if err := f.Mkdir(nil, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ghosts := []string{"/never.dat", "/ma0/never", "/no/such/dir"}
+
+	var wg sync.WaitGroup
+	for w := 0; w < walkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Permanent files resolve, always, with stable contents.
+				for p, body := range perm {
+					st, err := f.Stat(nil, p)
+					if err != nil {
+						t.Errorf("walker %d: stat %s = %v", w, p, err)
+						return
+					}
+					if st.Size != int64(len(body)) {
+						t.Errorf("walker %d: %s size %d, want %d", w, p, st.Size, len(body))
+						return
+					}
+				}
+				// Ghosts never resolve.
+				for _, p := range ghosts {
+					if _, err := f.Stat(nil, p); !errors.Is(err, fs.ErrNotFound) {
+						t.Errorf("walker %d: stat ghost %s = %v", w, p, err)
+						return
+					}
+				}
+				// Churning names: either answer is fine, any other error
+				// is not.
+				churn := fmt.Sprintf("/ma%d/churn.dat", r%mutators)
+				if _, err := f.Stat(nil, churn); err != nil && !errors.Is(err, fs.ErrNotFound) {
+					t.Errorf("walker %d: stat %s = %v", w, churn, err)
+					return
+				}
+				// Every tenth round, a full open+read of one permanent file.
+				if r%10 == 0 {
+					p := fmt.Sprintf("/perm%d.dat", r/10%6)
+					ops, err := f.Open(nil, p, fs.ORdOnly)
+					if err != nil {
+						t.Errorf("walker %d: open %s = %v", w, p, err)
+						return
+					}
+					fl := fs.NewOpenFile(ops, fs.ORdOnly)
+					got := make([]byte, len(perm[p]))
+					if _, err := fl.Read(nil, got); err != nil || !bytes.Equal(got, perm[p]) {
+						fl.Close(nil)
+						t.Errorf("walker %d: read %s = %v (match=%v)", w, p, err, bytes.Equal(got, perm[p]))
+						return
+					}
+					fl.Close(nil)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < mutators; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			da := fmt.Sprintf("/ma%d", w)
+			db := fmt.Sprintf("/mb%d", w)
+			for r := 0; r < rounds; r++ {
+				// create → same-dir rename → cross-dir rename → unlink.
+				p0 := da + "/churn.dat"
+				p1 := da + "/moved.dat"
+				p2 := db + "/landed.dat"
+				writeFile(t, f, p0, []byte("churn"))
+				if err := f.Rename(nil, p0, p1); err != nil {
+					t.Errorf("mutator %d: same-dir rename: %v", w, err)
+					return
+				}
+				if err := f.Rename(nil, p1, p2); err != nil {
+					t.Errorf("mutator %d: cross-dir rename: %v", w, err)
+					return
+				}
+				if err := f.Unlink(nil, p2); err != nil {
+					t.Errorf("mutator %d: unlink: %v", w, err)
+					return
+				}
+				// Directory recycling every 25 rounds: rmdir + mkdir of a
+				// private subdir, so InvalidateDir runs under fire.
+				if r%25 == 0 {
+					sub := da + "/sub"
+					if err := f.Mkdir(nil, sub); err != nil {
+						t.Errorf("mutator %d: mkdir %s: %v", w, sub, err)
+						return
+					}
+					writeFile(t, f, sub+"/x", []byte("x"))
+					if err := f.Unlink(nil, sub+"/x"); err != nil {
+						t.Errorf("mutator %d: unlink in sub: %v", w, err)
+						return
+					}
+					if err := f.Unlink(nil, sub); err != nil {
+						t.Errorf("mutator %d: rmdir %s: %v", w, sub, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent equivalence: every cached answer must agree with the
+	// locked walk. Warm pass first (served from the cache where
+	// possible), then kill the cache and re-stat — identical results.
+	paths := []string{}
+	for p := range perm {
+		paths = append(paths, p)
+	}
+	paths = append(paths, ghosts...)
+	for w := 0; w < mutators; w++ {
+		paths = append(paths,
+			fmt.Sprintf("/ma%d", w), fmt.Sprintf("/mb%d", w),
+			fmt.Sprintf("/ma%d/churn.dat", w), fmt.Sprintf("/ma%d/moved.dat", w),
+			fmt.Sprintf("/mb%d/landed.dat", w), fmt.Sprintf("/ma%d/sub", w))
+	}
+	type answer struct {
+		err  error
+		size int64
+		typ  fs.FileType
+	}
+	warm := make(map[string]answer)
+	for _, p := range paths {
+		st, err := f.Stat(nil, p)
+		warm[p] = answer{err: err, size: st.Size, typ: st.Type}
+	}
+	m.Kill() // all subsequent stats take the locked, uncached walk
+	for _, p := range paths {
+		st, err := f.Stat(nil, p)
+		w := warm[p]
+		if !errors.Is(err, w.err) && !(err == nil && w.err == nil) {
+			t.Errorf("%s: cached err %v, locked err %v", p, w.err, err)
+			continue
+		}
+		if err == nil && (st.Size != w.size || st.Type != w.typ) {
+			t.Errorf("%s: cached (size %d type %v), locked (size %d type %v)",
+				p, w.size, w.typ, st.Size, st.Type)
+		}
+	}
+
+	// The storm must actually have exercised the cache.
+	st := m.Stats()
+	if st.Hits == 0 || st.NegHits == 0 || st.Invals == 0 || st.Fills == 0 {
+		t.Fatalf("torture did not exercise the cache: %+v", st)
+	}
+}

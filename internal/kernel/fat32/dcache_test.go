@@ -1,0 +1,212 @@
+package fat32
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"protosim/internal/kernel/dcache"
+	"protosim/internal/kernel/fs"
+)
+
+// newCachedFS mounts a FAT32 volume with a dentry cache attached, the
+// way the kernel wires it at boot.
+func newCachedFS(t *testing.T, blocks int) (*FS, *dcache.Mount) {
+	t.Helper()
+	f := newFS(t, blocks)
+	m := dcache.New(4, 64).NewMount("/d")
+	f.SetDcache(m)
+	return f, m
+}
+
+func TestNegativeEntryCachedUntilCreate(t *testing.T) {
+	f, m := newCachedFS(t, 4096)
+	if _, err := f.Stat(nil, "/nope.txt"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat = %v, want ErrNotFound", err)
+	}
+	neg0 := m.Stats().NegHits
+	if _, err := f.Stat(nil, "/nope.txt"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("second stat = %v, want ErrNotFound", err)
+	}
+	if m.Stats().NegHits <= neg0 {
+		t.Fatal("repeated ENOENT did not hit the negative entry")
+	}
+	// Creating the name must kill the cached ENOENT.
+	fl, err := openOF(f, "/nope.txt", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, []byte("hello"))
+	fl.Close(nil)
+	st, err := f.Stat(nil, "/nope.txt")
+	if err != nil || st.Size != 5 {
+		t.Fatalf("stat after create = %+v, %v (stale negative entry?)", st, err)
+	}
+}
+
+func TestUnlinkInstallsNegativeEntry(t *testing.T) {
+	f, m := newCachedFS(t, 4096)
+	fl, err := openOF(f, "/x.txt", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Close(nil)
+	if _, err := f.Stat(nil, "/x.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/x.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(nil, "/x.txt"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat after unlink = %v (stale positive entry?)", err)
+	}
+	neg0 := m.Stats().NegHits
+	if _, err := f.Stat(nil, "/x.txt"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatal(err)
+	}
+	if m.Stats().NegHits <= neg0 {
+		t.Fatal("unlink did not leave a negative entry behind")
+	}
+}
+
+func TestRenameOverInvalidatesBothNames(t *testing.T) {
+	f, m := newCachedFS(t, 4096)
+	for name, body := range map[string]string{"/a.txt": "AAAA", "/b.txt": "BB"} {
+		fl, err := openOF(f, name, fs.OCreate|fs.OWrOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl.Write(nil, []byte(body))
+		fl.Close(nil)
+	}
+	// Warm the cache on both names.
+	if _, err := f.Stat(nil, "/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(nil, "/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(nil, "/a.txt", "/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	// Old name gone — and the ENOENT is itself cached.
+	if _, err := f.Stat(nil, "/a.txt"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat old name = %v (stale positive entry?)", err)
+	}
+	neg0 := m.Stats().NegHits
+	if _, err := f.Stat(nil, "/a.txt"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatal(err)
+	}
+	if m.Stats().NegHits <= neg0 {
+		t.Fatal("rename did not cache the old name's ENOENT")
+	}
+	// New name is a.txt's content, not the stale victim mapping.
+	fl, err := openOF(f, "/b.txt", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	n, _ := fl.Read(nil, got)
+	fl.Close(nil)
+	if !bytes.Equal(got[:n], []byte("AAAA")) {
+		t.Fatalf("read new name = %q, want AAAA (stale dcache mapping?)", got[:n])
+	}
+}
+
+// TestDcacheCaseInsensitiveKeys: FAT lookups are case-insensitive, so
+// every casing of one name must share one cache entry — positive and
+// negative.
+func TestDcacheCaseInsensitiveKeys(t *testing.T) {
+	f, m := newCachedFS(t, 4096)
+	fl, err := openOF(f, "/File.TXT", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Close(nil)
+	if _, err := f.Stat(nil, "/file.txt"); err != nil {
+		t.Fatal(err)
+	}
+	h0 := m.Stats().Hits
+	if _, err := f.Stat(nil, "/FILE.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Hits <= h0 {
+		t.Fatal("different casing missed the shared cache entry")
+	}
+	// A cached ENOENT under one casing answers every casing — and a
+	// create under ANOTHER casing must still invalidate it.
+	if _, err := f.Stat(nil, "/NoPe"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatal(err)
+	}
+	neg0 := m.Stats().NegHits
+	if _, err := f.Stat(nil, "/nope"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatal(err)
+	}
+	if m.Stats().NegHits <= neg0 {
+		t.Fatal("case-varied ENOENT missed the shared negative entry")
+	}
+	fl, err = openOF(f, "/NOPE", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Close(nil)
+	if _, err := f.Stat(nil, "/nope"); err != nil {
+		t.Fatalf("stat after case-varied create = %v", err)
+	}
+}
+
+// TestDcacheSizeFreshness: a stat served from the cache must report the
+// file's current size, not the size at fill time (patchDirentSize keeps
+// the entry fresh via FixSize).
+func TestDcacheSizeFreshness(t *testing.T) {
+	f, _ := newCachedFS(t, 4096)
+	fl, err := openOF(f, "/grow.txt", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, []byte("1234"))
+	fl.Close(nil)
+	if st, err := f.Stat(nil, "/grow.txt"); err != nil || st.Size != 4 {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+	// Grow through a second descriptor while the entry is cached.
+	fl, err = openOF(f, "/grow.txt", fs.OWrOnly|fs.OAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, []byte("56789"))
+	fl.Close(nil)
+	if st, err := f.Stat(nil, "/grow.txt"); err != nil || st.Size != 9 {
+		t.Fatalf("stat after growth = %+v, %v (stale cached size?)", st, err)
+	}
+}
+
+// TestRemountROKillsDcache: errors=remount-ro degradation empties the
+// cache and latches it dead, so reads fall through to the (still
+// readable) directory blocks.
+func TestRemountROKillsDcache(t *testing.T) {
+	f, m := newCachedFS(t, 4096)
+	fl, err := openOF(f, "/keep.txt", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, []byte("data"))
+	fl.Close(nil)
+	if _, err := f.Stat(nil, "/keep.txt"); err != nil {
+		t.Fatal(err)
+	}
+	f.remountRO(errors.New("injected fault"))
+	if !m.Dead() {
+		t.Fatal("remount-ro did not kill the dcache mount")
+	}
+	if st := m.Stats(); st.Entries != 0 {
+		t.Fatalf("dead mount still holds %d entries", st.Entries)
+	}
+	// Reads still work, straight from the directory blocks.
+	if st, err := f.Stat(nil, "/keep.txt"); err != nil || st.Size != 4 {
+		t.Fatalf("stat on ro mount = %+v, %v", st, err)
+	}
+	if err := f.Unlink(nil, "/keep.txt"); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("unlink on ro mount = %v, want ErrReadOnly", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"strings"
 
+	"protosim/internal/kernel/dcache"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/sched"
 )
@@ -220,28 +221,96 @@ func rootDe() *dirent83 {
 
 // pinRoot pins the root directory's pseudo-inode.
 func (f *FS) pinRoot() *pseudoInode {
-	return f.pin(rootCluster, true, 0, direntRef{})
+	return f.pin(rootCluster, true, 0, direntRef{}, 0, "/")
 }
 
 // walkDir resolves a cleaned absolute path to a pinned, UNLOCKED directory
-// pseudo-inode. The walk is hand-over-hand: each directory is locked only
-// while looking up the next segment and released before the child is
-// locked, so a walk holds at most one lock and can never deadlock against
-// create/unlink/rename, which lock parent before child.
+// pseudo-inode. It first attempts the dentry-cache fast path — every
+// segment answered from the cache, no directory locks at all — and falls
+// back to the classic hand-over-hand locked walk on any miss or
+// generation bump.
 func (f *FS) walkDir(t *sched.Task, path string) (*pseudoInode, error) {
 	path = fs.Clean(path)
-	cur := f.pinRoot()
 	if path == "/" {
-		return cur, nil
+		return f.pinRoot(), nil
 	}
-	for _, seg := range strings.Split(path[1:], "/") {
+	segs := strings.Split(path[1:], "/")
+	if pi, err, done := f.walkDirFast(t, segs); done {
+		return pi, err
+	}
+	return f.walkDirLocked(t, segs)
+}
+
+// walkDirFast is the lock-free walk. It snapshots the mount's mutation
+// generation, resolves every segment from the dentry cache, and trusts
+// the result only if the generation is unchanged at the end: no name
+// mutated anywhere on the mount during the walk, so every hop's answer
+// was simultaneously true. The final pin lands inside that window, so
+// the pinned pseudo-inode is the directory the path named at that
+// instant. done=false means a segment missed or the generation moved:
+// take the locked walk.
+func (f *FS) walkDirFast(t *sched.Task, segs []string) (_ *pseudoInode, _ error, done bool) {
+	dc := f.dc
+	if dc == nil || dc.Dead() {
+		return nil, nil, false
+	}
+	gen := dc.Gen()
+	cur := int64(rootCluster)
+	parent := int64(rootCluster)
+	var last dcache.Entry
+	for _, seg := range segs {
+		e, ok := dc.Lookup(cur, dcName(seg))
+		if !ok {
+			dc.FastPathFellBack()
+			return nil, nil, false
+		}
+		if e.Neg || !e.IsDir {
+			// A cached ENOENT (or a file where a directory is needed)
+			// anywhere on the path decides the whole walk — if the
+			// generation held.
+			if dc.Gen() != gen {
+				dc.FastPathFellBack()
+				return nil, nil, false
+			}
+			dc.FastPathResolved()
+			if e.Neg {
+				return nil, fs.ErrNotFound, true
+			}
+			return nil, fs.ErrNotDir, true
+		}
+		parent = cur
+		cur = e.Ino
+		last = e
+	}
+	pi := f.pin(uint32(last.Ino), true, uint32(last.Size),
+		direntRef{cluster: uint32(last.RefA), index: int(last.RefB)},
+		uint32(parent), dcName(segs[len(segs)-1]))
+	if dc.Gen() != gen {
+		f.unpin(t, pi)
+		dc.FastPathFellBack()
+		return nil, nil, false
+	}
+	dc.FastPathResolved()
+	return pi, nil, true
+}
+
+// walkDirLocked is the classic hand-over-hand walk: each directory is
+// locked only while looking up the next segment and released before the
+// child is locked, so a walk holds at most one lock and can never
+// deadlock against create/unlink/rename, which lock parent before child.
+// Under each lock it consults the cache first (an entry observed under
+// the parent's lock is truthful — mutations invalidate under that same
+// lock) and fills what the scan proved.
+func (f *FS) walkDirLocked(t *sched.Task, segs []string) (*pseudoInode, error) {
+	cur := f.pinRoot()
+	for _, seg := range segs {
 		cur.lock.Lock(t)
 		if cur.gone() {
 			cur.lock.Unlock()
 			f.unpin(t, cur)
 			return nil, fs.ErrNotFound
 		}
-		de, ref, err := f.lookup(t, cur.firstCluster, seg)
+		de, ref, err := f.lookupCached(t, cur, seg)
 		if err != nil {
 			cur.lock.Unlock()
 			f.unpin(t, cur)
@@ -252,12 +321,46 @@ func (f *FS) walkDir(t *sched.Task, path string) (*pseudoInode, error) {
 			f.unpin(t, cur)
 			return nil, fs.ErrNotDir
 		}
-		next := f.pin(de.cluster, true, de.size, ref)
+		next := f.pin(de.cluster, true, de.size, ref, cur.firstCluster, dcName(seg))
 		cur.lock.Unlock()
 		f.unpin(t, cur)
 		cur = next
 	}
 	return cur, nil
+}
+
+// lookupCached answers "does name exist in dp, and as what" through the
+// dentry cache, scanning the directory only on a miss and filling the
+// proven answer (positive or negative). Caller holds dp.lock, which is
+// what makes a cached answer truthful: every mutation of (dp, name)
+// invalidates under that same lock. A positive hit reconstructs the
+// dirent — cluster, type, size, and slot location are all cached, and
+// the size is kept fresh in place by patchDirentSize.
+func (f *FS) lookupCached(t *sched.Task, dp *pseudoInode, name string) (*dirent83, direntRef, error) {
+	if e, ok := f.dc.Lookup(int64(dp.firstCluster), dcName(name)); ok {
+		if e.Neg {
+			return nil, direntRef{}, fs.ErrNotFound
+		}
+		n83, ok83 := to83(name)
+		if !ok83 {
+			return nil, direntRef{}, fs.ErrNameTooLong
+		}
+		de := &dirent83{name: n83, cluster: uint32(e.Ino), size: uint32(e.Size), attr: attrArchive}
+		if e.IsDir {
+			de.attr = attrDir
+		}
+		return de, direntRef{cluster: uint32(e.RefA), index: int(e.RefB)}, nil
+	}
+	de, ref, err := f.lookup(t, dp.firstCluster, name)
+	if err == fs.ErrNotFound {
+		f.dcFillNeg(dp, name)
+		return nil, direntRef{}, err
+	}
+	if err != nil {
+		return nil, direntRef{}, err
+	}
+	f.dcFillPos(dp, name, de, ref)
+	return de, ref, nil
 }
 
 // walkParent resolves the directory containing path's final element,

@@ -24,10 +24,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/dcache"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/ksync"
 	"protosim/internal/kernel/sched"
@@ -109,9 +111,13 @@ type FS struct {
 	dataStart    int // sector of cluster 2
 	clusters     int
 
-	// renameMu serializes renames volume-wide (rank: rename); see
-	// FS.Rename for why two-directory locking needs it.
-	renameMu ksync.SleepLock
+	// renameMu guards tree reshaping (rank: rename). Cross-directory
+	// renames — the only operations that move names between directories,
+	// whose textual ancestry checks and two-directory lock ordering need
+	// a stable tree — take it exclusively. Same-directory renames never
+	// consult ancestry and lock parent-then-child like create/unlink, so
+	// they take it shared and proceed concurrently; see FS.Rename.
+	renameMu ksync.RWSleepLock
 
 	// fatLock (rank: alloc) is the dedicated allocator lock: it guards
 	// free↔claimed FAT transitions (allocCluster's scan-and-claim,
@@ -153,6 +159,15 @@ type FS struct {
 	// and reports its errors. An entry dies at unlink, when the first
 	// cluster stops naming this file.
 	owners map[uint32]*bcache.Owner
+
+	// dc is the kernel dentry cache handle for this mount — nil until the
+	// kernel attaches one; every dcache.Mount method is nil-safe, so a
+	// bare-mounted volume just runs uncached. Lookups consult it before
+	// scanning directory clusters and fill what the scan proved; every
+	// name mutation invalidates its keys BEFORE the dirent write lands.
+	// Keys are the parent directory's first cluster plus the lower-cased
+	// component name (FAT lookups are case-insensitive).
+	dc *dcache.Mount
 }
 
 // pseudoInode bridges FAT (no inodes) to Proto's file layer: one per
@@ -179,6 +194,13 @@ type pseudoInode struct {
 	// Directory entry location, for size updates on write.
 	dirCluster uint32
 	dirIndex   int
+	// Dentry-cache identity: the parent directory's first cluster and
+	// the lower-cased component name, so size publishes can refresh the
+	// cached entry in place (see patchDirentSize). Written at pin
+	// creation (under FS.mu, before the pseudo-inode is visible) and at
+	// rename (under lock); read under lock.
+	parent uint32
+	name   string
 
 	// wb is this file's writeback-error stream (shared via FS.owners so
 	// it survives the pseudo-inode): data writes tag their dirty buffers
@@ -222,6 +244,11 @@ func Mkfs(dev fs.BlockDevice) error {
 	fsi := make([]byte, SectorSize)
 	encodeFSInfo(fsi, uint32(clusters-1), rootCluster+1)
 	if err := dev.WriteBlocks(fsInfoSector, 1, fsi); err != nil {
+		return err
+	}
+
+	// Empty orphan list (a reused device may carry stale records).
+	if err := dev.WriteBlocks(orphanSector, 1, make([]byte, SectorSize)); err != nil {
 		return err
 	}
 
@@ -350,6 +377,14 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	} else {
 		f.freeCount = -1
 	}
+	// Reclaim chains whose unlink was deferred past the previous mount's
+	// lifetime (unlinked-but-open files; see orphan.go). Needs the
+	// geometry and FSInfo seeding above: freeChain maintains freeCount.
+	if reserved > orphanSector {
+		if err := f.orphanScan(t); err != nil {
+			return nil, err
+		}
+	}
 	return f, nil
 }
 
@@ -437,6 +472,42 @@ func (f *FS) RangeStats() (ops, blocks int64) {
 // Cache exposes the buffer cache (all IO flows through it by default).
 func (f *FS) Cache() *bcache.Cache { return f.bc }
 
+// SetDcache attaches the kernel dentry cache handle for this mount. The
+// kernel wires it right after mount, before the volume sees traffic.
+func (f *FS) SetDcache(m *dcache.Mount) { f.dc = m }
+
+// Dcache returns the mount's dentry-cache handle (nil if none attached).
+func (f *FS) Dcache() *dcache.Mount { return f.dc }
+
+// dcName normalizes a component for dentry-cache keys: FAT lookups are
+// case-insensitive, so "DOOM1.WAD" and "doom1.wad" must share one entry.
+func dcName(name string) string { return strings.ToLower(name) }
+
+// dcInval drops the cached entry for name in dp and bumps the mount
+// generation. Caller holds dp.lock; call BEFORE the dirent write that
+// changes the name's meaning, so no lock-free walk can pass its
+// generation recheck having used the superseded answer.
+func (f *FS) dcInval(dp *pseudoInode, name string) {
+	f.dc.Invalidate(int64(dp.firstCluster), dcName(name))
+}
+
+// dcFillPos records what a directory scan proved while dp.lock was held:
+// name exists in dp as de, at ref.
+func (f *FS) dcFillPos(dp *pseudoInode, name string, de *dirent83, ref direntRef) {
+	f.dc.PutPositive(int64(dp.firstCluster), dcName(name), dcache.Entry{
+		Ino:   int64(de.cluster),
+		IsDir: de.attr&attrDir != 0,
+		Size:  int64(de.size),
+		RefA:  int64(ref.cluster),
+		RefB:  int64(ref.index),
+	})
+}
+
+// dcFillNeg records a proven absence. Caller holds dp.lock.
+func (f *FS) dcFillNeg(dp *pseudoInode, name string) {
+	f.dc.PutNegative(int64(dp.firstCluster), dcName(name))
+}
+
 // remountRO latches the volume read-only, keeping the first cause.
 // Called when an ordered publish barrier fails or the device dies —
 // after either, further mutation could only publish structure the disk
@@ -446,6 +517,10 @@ func (f *FS) remountRO(err error) {
 		f.roCause.Store(err)
 	}
 	f.degraded.Store(true)
+	// A dead mount serves no cached names: drop every entry and refuse
+	// further fills, so walks fall through to the (still-readable)
+	// directory blocks and mutating paths see the latched state.
+	f.dc.Kill()
 }
 
 // checkRW gates mutating entry points: nil on a healthy mount,

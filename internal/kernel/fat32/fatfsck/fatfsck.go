@@ -72,6 +72,10 @@ const (
 	fsInfoSector    = 1
 	fsInfoLeadSig   = 0x41615252
 	fsInfoStructSig = 0x61417272
+
+	// orphanSector is the reserved sector holding the deferred-reclaim
+	// orphan list: uint32 first-cluster slots, 0 = empty (fat32/orphan.go).
+	orphanSector = 2
 )
 
 const (
@@ -214,6 +218,12 @@ func (v *volume) check(repair bool) {
 	claims := make(map[int]int)
 	v.walkDir(rootCluster, claims, repair)
 
+	// Orphan list: chains unlinked while still open, durably recorded so
+	// the next mount reclaims them. A recorded chain is legitimately
+	// allocated-but-unreachable — claim it so the lost-cluster sweep
+	// below doesn't flag it; Repair reclaims it the way a mount would.
+	v.checkOrphans(claims, repair)
+
 	// FAT sweep: reserved head entries, lost clusters, free count.
 	if e := v.fatGet(0); e < entEOC {
 		v.errf("FAT[0]: media entry %#x not reserved", e)
@@ -262,6 +272,54 @@ func (v *volume) check(repair bool) {
 		binary.LittleEndian.PutUint32(fsi[492:], rootCluster+1)
 		fsi[510], fsi[511] = 0x55, 0xAA
 		v.rep.FreeFSInfo = v.rep.FreeFAT
+	}
+}
+
+// checkOrphans validates the deferred-reclaim records in the orphan
+// sector. Sound records claim their chains (they are consistent state,
+// clean even in Strict mode — the record IS what makes the chain
+// accounted for); anomalous ones — out-of-range, already free, or
+// naming a chain a dirent also reaches — are repairable artifacts whose
+// fix is dropping the record. With repair set, sound chains are freed
+// and the list emptied, exactly what the next mount's scan would do.
+func (v *volume) checkOrphans(claims map[int]int, repair bool) {
+	if v.fatStart <= orphanSector {
+		return // no orphan sector in this layout
+	}
+	sec := v.sector(orphanSector)
+	reclaimed := 0
+	for i := 0; i < sectorSize/fatEntrySize; i++ {
+		c := int(binary.LittleEndian.Uint32(sec[i*fatEntrySize:]))
+		if c == 0 {
+			continue
+		}
+		_, dup := claims[c]
+		drop := true
+		switch {
+		case !v.validCluster(c):
+			v.flag("orphan record %d: cluster %d out of range", i, c)
+		case v.fatGet(c) == entFree:
+			v.flag("orphan record %d: cluster %d already free", i, c)
+		case dup:
+			v.flag("orphan record %d: cluster %d reachable from a dirent", i, c)
+		default:
+			chain := v.claimChain(c, fmt.Sprintf("orphan chain %d", c), claims)
+			if repair {
+				for _, cc := range chain {
+					v.fatSet(cc, entFree)
+				}
+				reclaimed += len(chain)
+			} else {
+				drop = false
+			}
+		}
+		if repair && drop {
+			binary.LittleEndian.PutUint32(sec[i*fatEntrySize:], 0)
+		}
+	}
+	if repair && reclaimed > 0 {
+		v.rep.Warnings = append(v.rep.Warnings,
+			fmt.Sprintf("repair: reclaimed %d clusters from the orphan list", reclaimed))
 	}
 }
 

@@ -292,3 +292,84 @@ func TestSizeBeyondChainIsCorruption(t *testing.T) {
 	}
 	expectError(t, check(t, rd, fatfsck.PostCrash), "needs")
 }
+
+// orphanPatch writes first-cluster c into slot i of the on-disk orphan
+// list (reserved sector 2, fat32/orphan.go).
+func orphanPatch(t *testing.T, rd *fs.Ramdisk, slot int, c uint32) {
+	t.Helper()
+	b := make([]byte, fat32.SectorSize)
+	if err := rd.ReadBlocks(2, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(b[slot*4:], c)
+	if err := rd.WriteBlocks(2, 1, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrphanedChainCleanAndReclaimable builds the real deferred-reclaim
+// state through the filesystem — unlink-while-open, sync, "crash" before
+// the last close — and demands that fsck judge it CLEAN even in Strict
+// mode (the record is what makes the chain accounted for, like ext4's
+// orphan inode list), while Repair reclaims it.
+func TestOrphanedChainCleanAndReclaimable(t *testing.T) {
+	rd := mkVolume(t)
+	fsys, err := fat32.Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := fsys.Open(nil, "/loose.bin", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := fs.NewOpenFile(ops, fs.OCreate|fs.OWrOnly)
+	if _, err := fl.Write(nil, make([]byte, fat32.ClusterSize+10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Unlink(nil, "/loose.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	// fl deliberately left open: the volume state is what a crash before
+	// the last close leaves behind.
+	rep := check(t, rd, fatfsck.Strict)
+	if !rep.Clean() {
+		t.Fatalf("orphan-recorded chain flagged in Strict mode: %v", rep.Errors)
+	}
+	rep, err = fatfsck.Repair(rd)
+	if err != nil || !rep.Clean() {
+		t.Fatalf("repair: %v %v", err, rep.Errors)
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "orphan list") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("repair warnings %v mention nothing about the orphan list", rep.Warnings)
+	}
+	if rep := check(t, rd, fatfsck.Strict); !rep.Clean() {
+		t.Fatalf("volume not clean after orphan reclaim: %v", rep.Errors)
+	}
+}
+
+func TestOrphanRecordToFreeClusterRepairable(t *testing.T) {
+	rd := mkVolume(t)
+	orphanPatch(t, rd, 0, 450) // cluster 450 is free
+	expectRepairable(t, rd, "already free")
+}
+
+func TestOrphanRecordToReachableChainRepairable(t *testing.T) {
+	rd := mkVolume(t)
+	orphanPatch(t, rd, 3, 2) // the root directory itself
+	expectRepairable(t, rd, "reachable from a dirent")
+}
+
+func TestOrphanRecordOutOfRangeRepairable(t *testing.T) {
+	rd := mkVolume(t)
+	orphanPatch(t, rd, 7, 0x0FFFFFF0)
+	expectRepairable(t, rd, "out of range")
+}

@@ -27,10 +27,13 @@ type file struct {
 // object whose chain starts at cluster. Callers pin while holding the
 // parent directory's lock (or for the root, nothing), so a pin never races
 // the unlink that would invalidate its dirent.
-func (f *FS) pin(cluster uint32, isDir bool, size uint32, ref direntRef) *pseudoInode {
+func (f *FS) pin(cluster uint32, isDir bool, size uint32, ref direntRef, parent uint32, name string) *pseudoInode {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if pi, ok := f.pseudo[cluster]; ok {
+		// Deduplicating onto the live pseudo-inode deliberately ignores
+		// the caller's size/ref/name: the live object is the truth (a
+		// dentry-cache-sourced size could lag an in-flight write).
 		pi.refs++
 		return pi
 	}
@@ -46,6 +49,8 @@ func (f *FS) pin(cluster uint32, isDir bool, size uint32, ref direntRef) *pseudo
 		refs:         1,
 		dirCluster:   ref.cluster,
 		dirIndex:     ref.index,
+		parent:       parent,
+		name:         name,
 		wb:           wb,
 	}
 	pi.lock.SetRank(ksync.RankInode, int64(cluster))
@@ -80,6 +85,13 @@ func (f *FS) unpin(t *sched.Task, pi *pseudoInode) error {
 	}
 	f.mu.Unlock()
 	if reclaim {
+		// Durably retire the orphan record BEFORE freeing: a crash in
+		// between leaves a leaked (fsck-repairable) chain, never a
+		// record pointing at freed clusters. A clear failure skips the
+		// free — the record survives, and the next mount's scan reclaims.
+		if err := f.orphanClear(t, pi.firstCluster); err != nil {
+			return err
+		}
 		return f.freeChain(t, pi.firstCluster)
 	}
 	return nil
@@ -94,13 +106,22 @@ func (f *FS) PseudoInodes() int {
 }
 
 // patchDirentSize pushes pi.size into its directory entry, atomically
-// under the entry's sector buffer lock. Caller holds pi.lock.
+// under the entry's sector buffer lock, then refreshes the dentry
+// cache's copy in place (FixSize touches only a positive entry whose
+// identity still matches — no generation bump, because the name→cluster
+// mapping is unchanged). Caller holds pi.lock, which serializes size
+// publishes for this file. Caller must not call this for an unlinked
+// file (its slot is gone and possibly reused).
 func (f *FS) patchDirentSize(t *sched.Task, pi *pseudoInode) error {
 	ref := direntRef{cluster: pi.dirCluster, index: pi.dirIndex}
 	size := pi.size
-	return f.patchDirent(t, ref, func(entry []byte) {
+	if err := f.patchDirent(t, ref, func(entry []byte) {
 		binary.LittleEndian.PutUint32(entry[28:], size)
-	})
+	}); err != nil {
+		return err
+	}
+	f.dc.FixSize(int64(pi.parent), pi.name, int64(pi.firstCluster), int64(size))
+	return nil
 }
 
 // Open implements fs.FileSystem.
@@ -132,7 +153,7 @@ func (f *FS) Open(t *sched.Task, path string, flags int) (fs.FileOps, error) {
 	if dp.gone() {
 		return fail(fs.ErrNotFound)
 	}
-	de, ref, err := f.lookup(t, dp.firstCluster, name)
+	de, ref, err := f.lookupCached(t, dp, name)
 	if err == fs.ErrNotFound && flags&fs.OCreate != 0 {
 		de, ref, err = f.createInDir(t, dp, name, false)
 	}
@@ -142,7 +163,7 @@ func (f *FS) Open(t *sched.Task, path string, flags int) (fs.FileOps, error) {
 	if de.attr&attrDir != 0 && flags&(fs.OWrOnly|fs.ORdWr) != 0 {
 		return fail(fs.ErrIsDir)
 	}
-	pi := f.pin(de.cluster, de.attr&attrDir != 0, de.size, ref)
+	pi := f.pin(de.cluster, de.attr&attrDir != 0, de.size, ref, dp.firstCluster, dcName(name))
 	if flags&fs.OTrunc != 0 && !pi.isDir {
 		pi.lock.LockNested(t)
 		if pi.size > 0 {
@@ -222,11 +243,16 @@ func (f *FS) createInDir(t *sched.Task, dp *pseudoInode, name string, dir bool) 
 	if dir {
 		de.attr = attrDir
 	}
+	// Kill the cached ENOENT (the lookup-miss that led here filled one)
+	// BEFORE the dirent write makes the name real: a lock-free walk must
+	// never pass its generation recheck holding the stale negative.
+	f.dcInval(dp, name)
 	ref, err := f.addDirent(t, dp.firstCluster, de)
 	if err != nil {
 		f.unclaimCluster(t, c)
 		return nil, direntRef{}, err
 	}
+	f.dcFillPos(dp, name, de, ref)
 	return de, ref, nil
 }
 
@@ -251,7 +277,7 @@ func (f *FS) Mkdir(t *sched.Task, path string) error {
 	if dp.gone() {
 		return fs.ErrNotFound
 	}
-	if _, _, err := f.lookup(t, dp.firstCluster, name); err == nil {
+	if _, _, err := f.lookupCached(t, dp, name); err == nil {
 		return fs.ErrExists
 	} else if err != fs.ErrNotFound {
 		return err
@@ -282,11 +308,11 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 	if dp.gone() {
 		return fail(fs.ErrNotFound)
 	}
-	de, ref, err := f.lookup(t, dp.firstCluster, name)
+	de, ref, err := f.lookupCached(t, dp, name)
 	if err != nil {
 		return fail(err)
 	}
-	pi := f.pin(de.cluster, de.attr&attrDir != 0, de.size, ref)
+	pi := f.pin(de.cluster, de.attr&attrDir != 0, de.size, ref, dp.firstCluster, dcName(name))
 	pi.lock.LockNested(t)
 	failBoth := func(err error) error {
 		pi.lock.Unlock()
@@ -305,6 +331,14 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 			return failBoth(fs.ErrNotEmpty)
 		}
 	}
+	// Invalidate the name — and for a directory, every entry it parents,
+	// since its first cluster can be recycled — BEFORE the dirent write,
+	// so no lock-free walk survives its generation recheck holding the
+	// stale positive.
+	f.dcInval(dp, name)
+	if pi.isDir {
+		f.dc.InvalidateDir(int64(pi.firstCluster))
+	}
 	// Ordered writes: remove the dirent and force that removal durable
 	// BEFORE freeing the chain. The reverse order has a crash window where
 	// a durable dirent points at freed (possibly reallocated) clusters —
@@ -317,6 +351,7 @@ func (f *FS) Unlink(t *sched.Task, path string) error {
 	if err := f.orderedFlush(t, sector); err != nil {
 		return failBoth(err)
 	}
+	f.dcFillNeg(dp, name)
 	err = f.disownPI(t, pi)
 	pi.lock.Unlock()
 	if uerr := f.unpin(t, pi); err == nil {
@@ -352,7 +387,11 @@ func (f *FS) disownPI(t *sched.Task, pi *pseudoInode) error {
 	if pi.refs > 1 {
 		pi.unlinked = true
 		f.mu.Unlock()
-		return nil
+		// Durably record the pending reclaim so it survives an unmount
+		// (or crash) that happens before the last close — the caller's
+		// dirent removal is already durable, so the record always names
+		// an unreachable chain. See orphan.go.
+		return f.orphanAdd(t, pi.firstCluster)
 	}
 	f.mu.Unlock()
 	err := f.freeChain(t, pi.firstCluster)
@@ -376,15 +415,20 @@ func (pi *pseudoInode) gone() bool { return pi.dead || pi.unlinked }
 // handles keep working (see disownPI). A directory may only replace an empty
 // directory; replacing across types fails with ErrIsDir/ErrNotDir.
 //
-// Rename is the one operation holding two directory locks at once, so it
-// is serialized volume-wide by renameMu and locks the pair ancestor-first
-// (ascending first-cluster for unrelated directories). Ancestry comes from
-// the cleaned paths — safe because only renames reshape the tree and
-// renameMu admits one at a time. Against create/unlink/walk, which lock
-// parent-then-child down the tree, ancestor-first ordering closes every
-// cycle. The moved and displaced pseudo-inodes are locked nested under
-// the directories; holders of a single file lock never acquire a second,
-// so the pair cannot cycle either.
+// Rename is the one operation holding two directory locks at once, so
+// cross-directory renames are serialized volume-wide by renameMu (taken
+// EXCLUSIVE) and lock the pair ancestor-first (ascending first-cluster
+// for unrelated directories). Ancestry comes from the cleaned paths —
+// safe because only renames reshape the tree and at most one
+// tree-reshaping rename runs at a time. A same-directory rename never
+// consults ancestry and holds a single directory lock, parent-then-child
+// like create/unlink — it takes renameMu SHARED, so hot same-directory
+// renames on different directories proceed concurrently. Against
+// create/unlink/walk, which lock parent-then-child down the tree,
+// ancestor-first ordering closes every cycle. The moved and displaced
+// pseudo-inodes are locked nested under the directories; holders of a
+// single file lock never acquire a second, so the pair cannot cycle
+// either.
 func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 	if err := f.checkRW(); err != nil {
 		return err
@@ -407,8 +451,13 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		return fs.ErrNameTooLong
 	}
 
-	f.renameMu.Lock(t)
-	defer f.renameMu.Unlock()
+	if oldDir == newDir {
+		f.renameMu.RLock(t)
+		defer f.renameMu.RUnlock()
+	} else {
+		f.renameMu.Lock(t)
+		defer f.renameMu.Unlock()
+	}
 
 	// Renaming onto an ANCESTOR of the source ("/x/y/z" → "/x/y"): the
 	// target is a directory the source's own lock path runs through —
@@ -470,11 +519,11 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		return fail(fs.ErrNotFound)
 	}
 
-	de, ref, err := f.lookup(t, dp1.firstCluster, oldName)
+	de, ref, err := f.lookupCached(t, dp1, oldName)
 	if err != nil {
 		return fail(err)
 	}
-	tde, tref, terr := f.lookup(t, dp2.firstCluster, newName)
+	tde, tref, terr := f.lookupCached(t, dp2, newName)
 	if terr != nil && terr != fs.ErrNotFound {
 		return fail(terr)
 	}
@@ -489,10 +538,16 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		return fail(fs.ErrNotEmpty)
 	}
 
+	// Both names are about to change meaning: drop their cached entries
+	// BEFORE any dirent write, so no lock-free walk survives its
+	// generation recheck holding either stale answer.
+	f.dcInval(dp1, oldName)
+	f.dcInval(dp2, newName)
+
 	// Lock the moved object's pseudo-inode across the move so a concurrent
 	// size patch through an open handle can neither race the dirent copy
 	// nor land on the vacated slot.
-	pi := f.pin(de.cluster, de.attr&attrDir != 0, de.size, ref)
+	pi := f.pin(de.cluster, de.attr&attrDir != 0, de.size, ref, dp1.firstCluster, dcName(oldName))
 	pi.lock.LockNested(t)
 	failPI := func(err error) error {
 		pi.lock.Unlock()
@@ -503,7 +558,7 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		// Replace: validate typing, then repoint the target's entry — one
 		// sector-atomic patch of cluster/size/attr, the name is already
 		// newName — free the displaced chain and poison its pseudo-inode.
-		vpi := f.pin(tde.cluster, tde.attr&attrDir != 0, tde.size, tref)
+		vpi := f.pin(tde.cluster, tde.attr&attrDir != 0, tde.size, tref, dp2.firstCluster, dcName(newName))
 		vpi.lock.LockNested(t)
 		failBoth := func(err error) error {
 			vpi.lock.Unlock()
@@ -526,6 +581,12 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 			}
 		} else if pi.isDir {
 			return failBoth(fs.ErrNotDir)
+		}
+		if vpi.isDir {
+			// The displaced directory's first cluster can be recycled:
+			// drop every cached entry it parents, stale positives and
+			// stale negatives alike.
+			f.dc.InvalidateDir(int64(vpi.firstCluster))
 		}
 		nde := *de
 		nde.name = n83
@@ -564,6 +625,10 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 		// free-chain failures.
 		freeErr := f.disownPI(t, vpi)
 		pi.dirCluster, pi.dirIndex = tref.cluster, tref.index
+		pi.parent, pi.name = dp2.firstCluster, dcName(newName)
+		// The move is committed: record what the directories now prove.
+		f.dcFillPos(dp2, newName, &nde, tref)
+		f.dcFillNeg(dp1, oldName)
 		vpi.lock.Unlock()
 		if uerr := f.unpin(t, vpi); freeErr == nil {
 			freeErr = uerr
@@ -597,6 +662,9 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) error {
 			return failPI(err)
 		}
 		pi.dirCluster, pi.dirIndex = newRef.cluster, newRef.index
+		pi.parent, pi.name = dp2.firstCluster, dcName(newName)
+		f.dcFillPos(dp2, newName, &nde, newRef)
+		f.dcFillNeg(dp1, oldName)
 	}
 	pi.lock.Unlock()
 	f.unpin(t, pi)
@@ -626,7 +694,7 @@ func (f *FS) Stat(t *sched.Task, path string) (fs.Stat, error) {
 	if dp.gone() {
 		return fs.Stat{}, fs.ErrNotFound
 	}
-	de, _, err := f.lookup(t, dp.firstCluster, name)
+	de, _, err := f.lookupCached(t, dp, name)
 	if err != nil {
 		return fs.Stat{}, err
 	}

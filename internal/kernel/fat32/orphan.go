@@ -1,0 +1,137 @@
+package fat32
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"protosim/internal/kernel/sched"
+)
+
+// On-disk orphan-cluster list (reserved sector 2).
+//
+// Unlinking a file that other descriptors still hold open defers the
+// chain reclaim to the last close (see disownPI/unpin). That deferral
+// used to live only in memory: an unmount — or a crash — before the last
+// close forgot the pending reclaim entirely, and the chain leaked until
+// an fsck repair happened to run. The orphan list is the durable record
+// of those pending reclaims, the FAT-flavored analogue of ext4's orphan
+// inode list and of xv6fs's on-disk orphan table: one reserved sector of
+// uint32 first-cluster slots (0 = empty), maintained with the same
+// ordered-writes discipline as everything else on the volume —
+//
+//   - a record is ADDED (durably) only after the unlink's dirent removal
+//     is durable, so a record always names an unreachable chain;
+//   - a record is CLEARED (durably) before its chain is freed, so no
+//     crash leaves a record pointing at freed — possibly reallocated —
+//     clusters. The tolerated crash artifact in both directions is a
+//     leaked chain, exactly what fsck repair already reclaims.
+//
+// Mount scans the list, frees every recorded chain, and zeroes the
+// sector, so pending reclaims survive remounts instead of leaking.
+
+const (
+	orphanSector = 2
+	orphanSlots  = SectorSize / fatEntrySize
+)
+
+// orphanAdd durably records first-cluster c as awaiting deferred
+// reclaim. Called from disownPI after the dirent removal is durable;
+// fatLock serializes slot claims. A full list is not an error — the
+// chain just reverts to being an fsck-repairable leak if the volume is
+// unmounted before the last close.
+func (f *FS) orphanAdd(t *sched.Task, c uint32) error {
+	f.fatLock.Lock(t)
+	defer f.fatLock.Unlock()
+	b, err := f.bc.Get(t, orphanSector)
+	if err != nil {
+		return err
+	}
+	slot := -1
+	for i := 0; i < orphanSlots; i++ {
+		if binary.LittleEndian.Uint32(b.Data[i*fatEntrySize:]) == 0 {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		f.bc.Release(b)
+		return nil
+	}
+	binary.LittleEndian.PutUint32(b.Data[slot*fatEntrySize:], c)
+	f.bc.MarkDirty(b)
+	f.bc.Release(b)
+	return f.orderedFlush(t, orphanSector)
+}
+
+// orphanClear durably retires c's record. Called from unpin BEFORE the
+// chain is freed: a crash between the clear and the free leaves a
+// leaked (repairable) chain, never a record over freed clusters. A
+// missing record (list was full at add time) is fine.
+func (f *FS) orphanClear(t *sched.Task, c uint32) error {
+	f.fatLock.Lock(t)
+	defer f.fatLock.Unlock()
+	b, err := f.bc.Get(t, orphanSector)
+	if err != nil {
+		return err
+	}
+	found := false
+	for i := 0; i < orphanSlots; i++ {
+		if binary.LittleEndian.Uint32(b.Data[i*fatEntrySize:]) == c {
+			binary.LittleEndian.PutUint32(b.Data[i*fatEntrySize:], 0)
+			found = true
+			break
+		}
+	}
+	if !found {
+		f.bc.Release(b)
+		return nil
+	}
+	f.bc.MarkDirty(b)
+	f.bc.Release(b)
+	return f.orderedFlush(t, orphanSector)
+}
+
+// orphanScan runs at mount: reclaim every recorded chain, then zero the
+// list. The sector is zeroed (durably) before the chains are freed —
+// the same leak-not-corruption direction as orphanClear. Records that
+// fail validation (out of range, or pointing at an already-free entry)
+// are dropped; they cannot arise from this code's crash windows, but a
+// scan must never turn a bad record into a freeChain of live data.
+func (f *FS) orphanScan(t *sched.Task) error {
+	b, err := f.bc.Get(t, orphanSector)
+	if err != nil {
+		return err
+	}
+	var pending []uint32
+	for i := 0; i < orphanSlots; i++ {
+		if c := binary.LittleEndian.Uint32(b.Data[i*fatEntrySize:]); c != 0 {
+			pending = append(pending, c)
+			binary.LittleEndian.PutUint32(b.Data[i*fatEntrySize:], 0)
+		}
+	}
+	if len(pending) == 0 {
+		f.bc.Release(b)
+		return nil
+	}
+	f.bc.MarkDirty(b)
+	f.bc.Release(b)
+	if err := f.bc.FlushBlocks(t, []int{orphanSector}, true); err != nil {
+		return err
+	}
+	for _, c := range pending {
+		if c < rootCluster || c >= uint32(f.clusters)+rootCluster {
+			return fmt.Errorf("fat32: orphan record names invalid cluster %d", c)
+		}
+		v, err := f.fatGet(t, c)
+		if err != nil {
+			return err
+		}
+		if v == freeClust {
+			continue
+		}
+		if err := f.freeChain(t, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package fat32
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"protosim/internal/hw"
+	"protosim/internal/kernel/fs"
+)
+
+// newDevFS is newFS but keeps the device handle so the test can remount
+// the same medium or inspect raw sectors.
+func newDevFS(t *testing.T, blocks int) (sdDev, *FS) {
+	t.Helper()
+	sd := hw.NewSDCard(blocks, hw.NewIRQController(1))
+	sd.SetLatencyScale(0)
+	dev := sdDev{sd}
+	if err := Mkfs(dev); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Mount(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, f
+}
+
+// orphanRecords reads the on-disk orphan sector and returns its nonzero
+// slots.
+func orphanRecords(t *testing.T, dev sdDev) []uint32 {
+	t.Helper()
+	b := make([]byte, SectorSize)
+	if err := dev.ReadBlocks(orphanSector, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	var out []uint32
+	for i := 0; i < orphanSlots; i++ {
+		if c := binary.LittleEndian.Uint32(b[i*fatEntrySize:]); c != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestOrphanReclaimAcrossRemount is the regression test for the
+// deferred-reclaim leak: unlink a file somebody still holds open, then
+// lose the mount (crash, unmount) before the last close. The chain used
+// to leak until an fsck repair; now the durable orphan record lets the
+// next mount reclaim it.
+func TestOrphanReclaimAcrossRemount(t *testing.T) {
+	dev, f := newDevFS(t, 4096)
+	free0, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := openOF(f, "/gone.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, make([]byte, 3*ClusterSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/gone.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	// The unlink recorded the pending reclaim durably — visible on the
+	// raw medium, not just in memory.
+	recs := orphanRecords(t, dev)
+	if len(recs) != 1 {
+		t.Fatalf("orphan records after unlink-while-open = %v, want one", recs)
+	}
+	// Remount the same medium WITHOUT closing the descriptor: the old
+	// mount's in-memory deferred reclaim is gone, exactly as after a
+	// crash. The new mount's scan must free the chain.
+	f2, err := Mount(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free2, err := f2.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free2 != free0 {
+		t.Fatalf("free clusters %d after remount, want %d (chain leaked)", free2, free0)
+	}
+	if recs := orphanRecords(t, dev); len(recs) != 0 {
+		t.Fatalf("orphan records after remount scan = %v, want none", recs)
+	}
+	if _, err := f2.Stat(nil, "/gone.bin"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat unlinked file on new mount = %v, want ErrNotFound", err)
+	}
+}
+
+// TestOrphanRecordRetiredByLastClose: the normal (no-crash) path — the
+// last close frees the chain AND retires its record, so a later mount
+// scan finds nothing to do.
+func TestOrphanRecordRetiredByLastClose(t *testing.T) {
+	dev, f := newDevFS(t, 4096)
+	free0, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := openOF(f, "/gone.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, make([]byte, ClusterSize+100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/gone.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if len(orphanRecords(t, dev)) != 1 {
+		t.Fatal("no orphan record while the unlinked file is held open")
+	}
+	if err := fl.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	if recs := orphanRecords(t, dev); len(recs) != 0 {
+		t.Fatalf("orphan records after last close = %v, want none", recs)
+	}
+	free1, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free1 != free0 {
+		t.Fatalf("free clusters %d -> %d after last close", free0, free1)
+	}
+	// After a sync, a fresh mount has nothing to reclaim and the same
+	// free count.
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Mount(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free2, _ := f2.FreeClusters(nil); free2 != free0 {
+		t.Fatalf("free clusters %d on remount, want %d", free2, free0)
+	}
+}
+
+// TestMkfsClearsOrphanSector: mkfs on a reused medium must not inherit
+// stale orphan records that would free live clusters on first mount.
+func TestMkfsClearsOrphanSector(t *testing.T) {
+	sd := hw.NewSDCard(4096, hw.NewIRQController(1))
+	sd.SetLatencyScale(0)
+	dev := sdDev{sd}
+	b := make([]byte, SectorSize)
+	binary.LittleEndian.PutUint32(b[0:], 77)
+	binary.LittleEndian.PutUint32(b[12:], 99)
+	if err := dev.WriteBlocks(orphanSector, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Mkfs(dev); err != nil {
+		t.Fatal(err)
+	}
+	if recs := orphanRecords(t, dev); len(recs) != 0 {
+		t.Fatalf("mkfs left stale orphan records: %v", recs)
+	}
+	if _, err := Mount(dev, nil); err != nil {
+		t.Fatal(err)
+	}
+}

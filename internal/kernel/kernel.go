@@ -22,6 +22,7 @@ import (
 	"protosim/internal/hw"
 	"protosim/internal/kernel/bcache"
 	"protosim/internal/kernel/blkq"
+	"protosim/internal/kernel/dcache"
 	"protosim/internal/kernel/fat32"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/kdebug"
@@ -150,6 +151,7 @@ type Kernel struct {
 	blockDevs    []*BlockIO               // every block device, behind the unified IO path
 	blockCaches  map[string]*bcache.Cache // device name -> its buffer cache (diskstats)
 	daemonCaches []*bcache.Cache          // caches with a running kflushd (stopped at shutdown)
+	dcache       *dcache.Cache            // kernel dentry cache (one Mount handle per filesystem)
 
 	rawEvents *eventQueue // keyboard events when no WM runs
 	kbdAddr   byte
@@ -322,6 +324,10 @@ func (k *Kernel) Boot() error {
 			Policy: bcache.WritePolicyThrough}
 	}
 	k.blockCaches = make(map[string]*bcache.Cache)
+	// The dentry cache is kernel-global with one handle per mount, like
+	// the buffer caches: path walks on both filesystems resolve hot
+	// components from it without touching directory blocks or locks.
+	k.dcache = dcache.New(0, 0)
 	if k.cfg.EnableFiles {
 		k.VFS = fs.NewVFS()
 		var rd *fs.Ramdisk
@@ -342,6 +348,7 @@ func (k *Kernel) Boot() error {
 			return fmt.Errorf("kernel: root fs: %w", err)
 		}
 		k.RootFS = root
+		root.SetDcache(k.dcache.NewMount("/"))
 		k.blockCaches[rdev.Name()] = root.Cache()
 		k.startFlushDaemon(rdev.Name(), root.Cache())
 		if err := k.VFS.Mount("/", root); err != nil {
@@ -372,6 +379,7 @@ func (k *Kernel) Boot() error {
 			return fmt.Errorf("kernel: FAT32: %w", err)
 		}
 		k.FatFS = fatfs
+		fatfs.SetDcache(k.dcache.NewMount("/d"))
 		k.blockCaches[sdio.Name()] = fatfs.Cache()
 		k.startFlushDaemon(sdio.Name(), fatfs.Cache())
 		if k.cfg.Mode == ModeXv6 {
@@ -586,6 +594,12 @@ func (k *Kernel) registerProcFiles() {
 				d.Name(), h, m, ev, wb, ro, rbl, ra, c.DirtyBuffers(), c.DaemonFlushes(), c.GiveUps(), c.ReadRetries())
 		}
 		return b.String()
+	})
+	// Dentry-cache counters, one line per mount plus a total: hit/miss
+	// rates, negative hits, invalidations, and how many walks took the
+	// lock-free fast path versus falling back to the locked walk.
+	k.ProcFS.Register("dcache", func() string {
+		return k.dcache.String()
 	})
 	// One line per mounted filesystem: the errors=remount-ro state surface.
 	// A latched mount shows rw=false with the typed cause that tripped it.

@@ -236,6 +236,113 @@ func (l *SleepLock) Held() bool {
 	return l.locked
 }
 
+// RWSleepLock is a reader-writer sleeplock: any number of concurrent
+// readers, or one writer. Waiters sleep on the scheduler like SleepLock
+// waiters; nil tasks (host-side contexts) spin-yield. Writers take
+// priority: once a writer is waiting, new readers queue behind it, so a
+// steady stream of readers cannot starve the writer.
+//
+// The filesystems use it for per-mount rename serialization: a
+// same-directory rename only touches one directory (already serialized
+// by that directory's inode lock) and takes the lock shared, while a
+// cross-directory rename — whose deadlock freedom and ancestry checks
+// depend on no other rename reshaping the tree mid-flight — takes it
+// exclusive. This is the s_vfs_rename_mutex design point: the common
+// temp-file-swap pattern runs concurrently per directory, and only the
+// rare cross-directory move pays for full serialization.
+//
+// A ranked RWSleepLock (SetRank) participates in the debug lock-order
+// assertion in both modes; read and write acquisitions are tracked
+// identically.
+type RWSleepLock struct {
+	mu      sync.Mutex
+	readers int
+	writer  bool
+	wpend   int // writers waiting; blocks new readers (writer priority)
+	wq      sched.WaitQueue
+
+	// sent carries the rank metadata and stands in for the RW lock in the
+	// rank checker's held-lock table (the checker tracks *SleepLock).
+	sent SleepLock
+}
+
+// SetRank assigns the lock's place in the hierarchy, as SleepLock.SetRank.
+func (l *RWSleepLock) SetRank(r Rank, order int64) { l.sent.SetRank(r, order) }
+
+// RLock acquires the lock shared, sleeping while a writer holds or awaits it.
+func (l *RWSleepLock) RLock(t *sched.Task) {
+	if l.sent.rank != RankNone && rankCheckOn.Load() {
+		rankCheckAcquire(&l.sent, false)
+	}
+	for {
+		l.mu.Lock()
+		if !l.writer && l.wpend == 0 {
+			l.readers++
+			l.mu.Unlock()
+			return
+		}
+		l.mu.Unlock()
+		if t != nil {
+			l.wq.Sleep(t)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// RUnlock releases a shared hold and wakes waiters (a pending writer may
+// now have a clear run).
+func (l *RWSleepLock) RUnlock() {
+	if l.sent.rank != RankNone && rankCheckOn.Load() {
+		rankCheckRelease(&l.sent)
+	}
+	l.mu.Lock()
+	if l.readers <= 0 {
+		l.mu.Unlock()
+		panic("ksync: RUnlock of rwsleeplock with no readers")
+	}
+	l.readers--
+	l.mu.Unlock()
+	l.wq.WakeAll()
+}
+
+// Lock acquires the lock exclusive, sleeping while readers or another
+// writer hold it. New readers queue behind a waiting writer.
+func (l *RWSleepLock) Lock(t *sched.Task) {
+	if l.sent.rank != RankNone && rankCheckOn.Load() {
+		rankCheckAcquire(&l.sent, false)
+	}
+	l.mu.Lock()
+	l.wpend++
+	for l.writer || l.readers > 0 {
+		l.mu.Unlock()
+		if t != nil {
+			l.wq.Sleep(t)
+		} else {
+			runtime.Gosched()
+		}
+		l.mu.Lock()
+	}
+	l.wpend--
+	l.writer = true
+	l.mu.Unlock()
+}
+
+// Unlock releases an exclusive hold and wakes all waiters.
+func (l *RWSleepLock) Unlock() {
+	if l.sent.rank != RankNone && rankCheckOn.Load() {
+		rankCheckRelease(&l.sent)
+	}
+	l.mu.Lock()
+	if !l.writer {
+		l.mu.Unlock()
+		panic("ksync: unlock of unlocked rwsleeplock")
+	}
+	l.writer = false
+	l.mu.Unlock()
+	l.wq.WakeAll()
+}
+
 // --- debug lock-rank checking ---
 //
 // The storage stack's sleeplocks form a hierarchy; acquiring against it is

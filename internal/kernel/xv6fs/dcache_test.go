@@ -1,0 +1,183 @@
+package xv6fs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"protosim/internal/kernel/dcache"
+	"protosim/internal/kernel/fs"
+)
+
+// newCachedFS mounts an xv6fs volume with a dentry cache attached, the
+// way the kernel wires it at boot.
+func newCachedFS(t *testing.T, blocks int) (*FS, *dcache.Mount) {
+	t.Helper()
+	f := newFS(t, blocks)
+	m := dcache.New(4, 64).NewMount("/")
+	f.SetDcache(m)
+	return f, m
+}
+
+func TestNegativeEntryCachedUntilCreate(t *testing.T) {
+	f, m := newCachedFS(t, 4096)
+	if _, err := f.Stat(nil, "/nope"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat = %v, want ErrNotFound", err)
+	}
+	neg0 := m.Stats().NegHits
+	if _, err := f.Stat(nil, "/nope"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("second stat = %v, want ErrNotFound", err)
+	}
+	if m.Stats().NegHits <= neg0 {
+		t.Fatal("repeated ENOENT did not hit the negative entry")
+	}
+	fl, err := openOF(f, "/nope", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, []byte("hello"))
+	fl.Close(nil)
+	st, err := f.Stat(nil, "/nope")
+	if err != nil || st.Size != 5 {
+		t.Fatalf("stat after create = %+v, %v (stale negative entry?)", st, err)
+	}
+}
+
+func TestUnlinkInstallsNegativeEntry(t *testing.T) {
+	f, m := newCachedFS(t, 4096)
+	fl, err := openOF(f, "/x", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Close(nil)
+	if _, err := f.Stat(nil, "/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(nil, "/x"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat after unlink = %v (stale positive entry?)", err)
+	}
+	neg0 := m.Stats().NegHits
+	if _, err := f.Stat(nil, "/x"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatal(err)
+	}
+	if m.Stats().NegHits <= neg0 {
+		t.Fatal("unlink did not leave a negative entry behind")
+	}
+}
+
+func TestRenameOverInvalidatesBothNames(t *testing.T) {
+	f, m := newCachedFS(t, 4096)
+	for _, nb := range []struct{ name, body string }{{"/a", "AAAA"}, {"/b", "BB"}} {
+		fl, err := openOF(f, nb.name, fs.OCreate|fs.OWrOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl.Write(nil, []byte(nb.body))
+		fl.Close(nil)
+	}
+	if _, err := f.Stat(nil, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(nil, "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(nil, "/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(nil, "/a"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat old name = %v (stale positive entry?)", err)
+	}
+	neg0 := m.Stats().NegHits
+	if _, err := f.Stat(nil, "/a"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatal(err)
+	}
+	if m.Stats().NegHits <= neg0 {
+		t.Fatal("rename did not cache the old name's ENOENT")
+	}
+	fl, err := openOF(f, "/b", fs.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	n, _ := fl.Read(nil, got)
+	fl.Close(nil)
+	if !bytes.Equal(got[:n], []byte("AAAA")) {
+		t.Fatalf("read new name = %q, want AAAA (stale dcache mapping?)", got[:n])
+	}
+}
+
+// TestRecycledDirectoryInum: removing a directory must drop every cached
+// entry keyed under its inum — the number is recycled, and a stale child
+// (or stale ENOENT) must not leak into the recycled directory's life.
+func TestRecycledDirectoryInum(t *testing.T) {
+	f, _ := newCachedFS(t, 4096)
+	if err := f.Mkdir(nil, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := openOF(f, "/d/f", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, []byte("old"))
+	fl.Close(nil)
+	if _, err := f.Stat(nil, "/d/f"); err != nil { // warm /d/f
+		t.Fatal(err)
+	}
+	if _, err := f.Stat(nil, "/d/g"); !errors.Is(err, fs.ErrNotFound) { // warm ENOENT
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	// Recreate the directory — very likely on the recycled inum — and
+	// give it a DIFFERENT population.
+	if err := f.Mkdir(nil, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	fl, err = openOF(f, "/d/g", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, []byte("new"))
+	fl.Close(nil)
+	if _, err := f.Stat(nil, "/d/f"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat /d/f in recycled dir = %v, want ErrNotFound", err)
+	}
+	if st, err := f.Stat(nil, "/d/g"); err != nil || st.Size != 3 {
+		t.Fatalf("stat /d/g in recycled dir = %+v, %v (stale ENOENT?)", st, err)
+	}
+}
+
+// TestRemountROKillsDcache: journal-death degradation kills the cache;
+// reads fall through to directory blocks and still work.
+func TestRemountROKillsDcache(t *testing.T) {
+	f, m := newCachedFS(t, 4096)
+	fl, err := openOF(f, "/keep", fs.OCreate|fs.OWrOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.Write(nil, []byte("data"))
+	fl.Close(nil)
+	if _, err := f.Stat(nil, "/keep"); err != nil {
+		t.Fatal(err)
+	}
+	f.remountRO(errors.New("injected fault"))
+	if !m.Dead() {
+		t.Fatal("remount-ro did not kill the dcache mount")
+	}
+	if st := m.Stats(); st.Entries != 0 {
+		t.Fatalf("dead mount still holds %d entries", st.Entries)
+	}
+	if st, err := f.Stat(nil, "/keep"); err != nil || st.Size != 4 {
+		t.Fatalf("stat on ro mount = %+v, %v", st, err)
+	}
+	if err := f.Unlink(nil, "/keep"); !errors.Is(err, fs.ErrReadOnly) {
+		t.Fatalf("unlink on ro mount = %v, want ErrReadOnly", err)
+	}
+}

@@ -139,18 +139,74 @@ func (f *FS) dirEntries(t *sched.Task, dp *inode) ([]fs.DirEntry, error) {
 	return out, nil
 }
 
-// namex resolves path to a referenced, UNLOCKED inode. The walk is
-// hand-over-hand: each directory is locked only while looking up the next
-// segment, and released before the child is locked — so a walk holds at
-// most one inode lock and can never deadlock with create/unlink/rename,
-// which lock parent before child.
+// namex resolves path to a referenced, UNLOCKED inode. It first attempts
+// the dentry-cache fast path — every component answered from the cache,
+// no directory inode locks at all — and falls back to the classic
+// hand-over-hand locked walk on any miss or generation bump. The locked
+// walk holds at most one inode lock (each directory only while looking
+// up the next segment) and fills the cache as it goes.
 func (f *FS) namex(t *sched.Task, path string) (*inode, error) {
 	path = fs.Clean(path)
-	ip := f.iget(rootInum)
 	if path == "/" {
-		return ip, nil
+		return f.iget(rootInum), nil
 	}
-	for _, seg := range strings.Split(path[1:], "/") {
+	segs := strings.Split(path[1:], "/")
+	if ip, err, done := f.namexFast(t, segs); done {
+		return ip, err
+	}
+	return f.namexLocked(t, segs)
+}
+
+// namexFast is the lock-free walk. It snapshots the mount's mutation
+// generation, resolves every component from the dentry cache, and trusts
+// the result only if the generation is unchanged at the end: no name
+// mutated anywhere on the mount during the walk, so every hop's answer
+// was simultaneously true and the composite resolution was path's
+// meaning at that instant. The final iget lands inside that window, so
+// the returned reference pins the inode against inum reuse. done=false
+// means a component missed or the generation moved: take the locked walk.
+func (f *FS) namexFast(t *sched.Task, segs []string) (_ *inode, _ error, done bool) {
+	dc := f.dc
+	if dc == nil || dc.Dead() {
+		return nil, nil, false
+	}
+	gen := dc.Gen()
+	cur := int64(rootInum)
+	for _, seg := range segs {
+		e, ok := dc.Lookup(cur, seg)
+		if !ok {
+			dc.FastPathFellBack()
+			return nil, nil, false
+		}
+		if e.Neg {
+			// A cached ENOENT anywhere on the path proves the whole path
+			// absent — if the generation held.
+			if dc.Gen() != gen {
+				dc.FastPathFellBack()
+				return nil, nil, false
+			}
+			dc.FastPathResolved()
+			return nil, fs.ErrNotFound, true
+		}
+		cur = e.Ino
+	}
+	ip := f.iget(int(cur))
+	if dc.Gen() != gen {
+		f.iput(t, ip)
+		dc.FastPathFellBack()
+		return nil, nil, false
+	}
+	dc.FastPathResolved()
+	return ip, nil, true
+}
+
+// namexLocked is the classic hand-over-hand walk. Under each directory's
+// lock it consults the cache first (an entry observed under the parent's
+// lock is truthful — mutations invalidate under that same lock), scans
+// the directory only on a miss, and fills what the scan proved.
+func (f *FS) namexLocked(t *sched.Task, segs []string) (*inode, error) {
+	ip := f.iget(rootInum)
+	for _, seg := range segs {
 		if err := f.ilock(t, ip); err != nil {
 			f.iput(t, ip)
 			return nil, err
@@ -159,7 +215,7 @@ func (f *FS) namex(t *sched.Task, path string) (*inode, error) {
 			f.iunlockput(t, ip)
 			return nil, fs.ErrNotDir
 		}
-		next, _, err := f.dirLookup(t, ip, seg)
+		next, err := f.dirLookupCached(t, ip, seg)
 		if err != nil {
 			f.iunlockput(t, ip)
 			return nil, err
@@ -173,6 +229,32 @@ func (f *FS) namex(t *sched.Task, path string) (*inode, error) {
 		ip = nip
 	}
 	return ip, nil
+}
+
+// dirLookupCached answers "does name exist in dp, and as what inum"
+// through the dentry cache, scanning the directory only on a miss and
+// filling the proven answer (positive or negative). Caller holds
+// dp.lock. Callers that need the entry's byte offset (unlink, rename)
+// must use dirLookup directly.
+func (f *FS) dirLookupCached(t *sched.Task, dp *inode, name string) (int, error) {
+	if name != "." && name != ".." {
+		if e, ok := f.dc.Lookup(int64(dp.inum), name); ok {
+			if e.Neg {
+				return 0, nil
+			}
+			return int(e.Ino), nil
+		}
+	}
+	inum, _, err := f.dirLookup(t, dp, name)
+	if err != nil {
+		return 0, err
+	}
+	if inum == 0 {
+		f.dcFillNeg(dp, name)
+	} else {
+		f.dcFillPos(dp, name, inum)
+	}
+	return inum, nil
 }
 
 // namexParent resolves the directory containing path's final element,

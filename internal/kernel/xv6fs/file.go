@@ -98,7 +98,7 @@ func (f *FS) create(t *sched.Task, path string, typ uint16, existOK bool) (*inod
 		f.iunlockput(t, dp)
 		return nil, fs.ErrNotFound
 	}
-	if existing, _, err := f.dirLookup(t, dp, name); err != nil {
+	if existing, err := f.dirLookupCached(t, dp, name); err != nil {
 		f.iunlockput(t, dp)
 		return nil, err
 	} else if existing != 0 {
@@ -145,9 +145,14 @@ func (f *FS) create(t *sched.Task, path string, typ uint16, existOK bool) (*inod
 			return fail(err)
 		}
 	}
+	// The name was just proven absent — possibly cached as ENOENT by the
+	// lookup above. Kill that answer before the dirent lands, then record
+	// the new mapping once it has.
+	f.dcInval(dp, name)
 	if err := f.dirLink(t, dp, name, inum); err != nil {
 		return fail(err)
 	}
+	f.dcFillPos(dp, name, inum)
 	f.iunlockput(t, dp)
 	return ip, nil
 }
@@ -193,7 +198,7 @@ func (f *FS) Unlink(t *sched.Task, path string) (err error) {
 	if dp.di.Type != typeDir {
 		return fail(fs.ErrNotDir)
 	}
-	inum, _, err := f.dirLookup(t, dp, name)
+	inum, err := f.dirLookupCached(t, dp, name)
 	if err != nil {
 		return fail(err)
 	}
@@ -216,10 +221,18 @@ func (f *FS) Unlink(t *sched.Task, path string) (err error) {
 			return fail(fs.ErrNotEmpty)
 		}
 	}
+	// The name is about to stop resolving: invalidate before the dirent
+	// write. A dying directory also takes its cached children (and cached
+	// ENOENTs under it) along — its inum may be recycled.
+	f.dcInval(dp, name)
+	if ip.di.Type == typeDir {
+		f.dc.InvalidateDir(int64(ip.inum))
+	}
 	if err := f.dirUnlink(t, dp, name); err != nil {
 		f.iunlockput(t, ip)
 		return fail(err)
 	}
+	f.dcFillNeg(dp, name)
 	ip.di.NLink--
 	err = f.iupdate(t, ip)
 	// A file unlinked while still open elsewhere becomes an orphan: its
@@ -284,8 +297,19 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) (err error) {
 		return fs.ErrNameTooLong
 	}
 
-	f.renameMu.Lock(t)
-	defer f.renameMu.Unlock()
+	// Per-mount rename sharding: a same-directory rename never consults
+	// textual ancestry (its two paths share a parent, so neither can be
+	// the other's prefix) and locks parent-then-child like create/unlink,
+	// so it only needs to EXCLUDE cross-directory renames — whose ancestry
+	// ordering a concurrent directory rename would invalidate — not other
+	// same-directory renames. Shared mode buys exactly that.
+	if oldDir == newDir {
+		f.renameMu.RLock(t)
+		defer f.renameMu.RUnlock()
+	} else {
+		f.renameMu.Lock(t)
+		defer f.renameMu.Unlock()
+	}
 
 	// Renaming onto an ANCESTOR of the source ("/x/y/z" → "/x/y"): the
 	// target is a directory the source's own lock path runs through —
@@ -358,7 +382,7 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) (err error) {
 		return fs.ErrNotFound
 	}
 
-	inum, _, err := f.dirLookup(t, dp1, oldName)
+	inum, err := f.dirLookupCached(t, dp1, oldName)
 	if err != nil {
 		unlockDirs()
 		return err
@@ -367,7 +391,7 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) (err error) {
 		unlockDirs()
 		return fs.ErrNotFound
 	}
-	existing, _, err := f.dirLookup(t, dp2, newName)
+	existing, err := f.dirLookupCached(t, dp2, newName)
 	if err != nil {
 		unlockDirs()
 		return err
@@ -428,6 +452,15 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) (err error) {
 			return failLocked(fs.ErrNotDir)
 		}
 	}
+	// Both names go stale the moment the dirent dance below starts:
+	// invalidate under the held directory locks, before any write. A
+	// displaced directory dies here, so its cached children (and cached
+	// ENOENTs under it) die with it.
+	f.dcInval(dp1, oldName)
+	f.dcInval(dp2, newName)
+	if victim != nil && victim.di.Type == typeDir {
+		f.dc.InvalidateDir(int64(victim.inum))
+	}
 	dotdotMoved := false
 	if ip.di.Type == typeDir && dp1 != dp2 {
 		// The moved directory's ".." must follow it to the new parent.
@@ -485,6 +518,10 @@ func (f *FS) Rename(t *sched.Task, oldPath, newPath string) (err error) {
 		}
 		f.iunlockput(t, victim)
 	}
+	// Record what the rename proved, under the still-held directory locks:
+	// the new name resolves to the moved inode, the old name to nothing.
+	f.dcFillPos(dp2, newName, inum)
+	f.dcFillNeg(dp1, oldName)
 	f.iunlockput(t, ip)
 	unlockDirs()
 	return nil

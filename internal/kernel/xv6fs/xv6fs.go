@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"protosim/internal/kernel/bcache"
+	"protosim/internal/kernel/dcache"
 	"protosim/internal/kernel/fs"
 	"protosim/internal/kernel/jnl"
 	"protosim/internal/kernel/ksync"
@@ -181,11 +182,22 @@ type FS struct {
 	bc  *bcache.Cache
 	sb  Superblock
 
-	// renameMu serializes renames FS-wide (rank: rename). Two-directory
-	// lock acquisition is only deadlock-free against parent→child holders
-	// because at most one rename is in flight at a time and it locks
-	// ancestors first.
-	renameMu ksync.SleepLock
+	// renameMu serializes renames per mount (rank: rename), with
+	// reader-writer sharding: a same-directory rename — which touches one
+	// directory and is already serialized by that directory's inode lock —
+	// holds it SHARED, while a cross-directory rename holds it EXCLUSIVE.
+	// Cross-directory two-lock acquisition orders by textual ancestry,
+	// which is only stable while no other rename (same-directory renames
+	// of a directory included — they relabel subtree paths) reshapes the
+	// tree; exclusive mode buys exactly that window, and nothing more.
+	renameMu ksync.RWSleepLock
+
+	// dc is this mount's slice of the kernel dentry cache (nil = uncached;
+	// every dcache method is a no-op on nil). Fills happen only under the
+	// parent directory's inode lock; every mutation site invalidates —
+	// also under the parent's lock, before the dirent write — and bumps
+	// the mount generation that namex's lock-free fast path re-checks.
+	dc *dcache.Mount
 
 	// itable is the in-memory inode table: one entry per inode with live
 	// references, deduplicated by inode number so every holder converges
@@ -333,6 +345,42 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 // and /proc diagnostics.
 func (f *FS) Journal() *jnl.Journal { return f.log }
 
+// SetDcache attaches the mount's dentry cache. Call before the volume
+// sees traffic (right after MountWith); a nil mount runs uncached.
+func (f *FS) SetDcache(m *dcache.Mount) { f.dc = m }
+
+// Dcache returns the attached dentry-cache mount (nil when uncached).
+func (f *FS) Dcache() *dcache.Mount { return f.dc }
+
+// dcInval drops the cached lookup answer for (dp, name) and bumps the
+// mount generation. Mutation sites call it while holding dp's lock,
+// BEFORE writing the directory change, so a lock-free walk that read the
+// soon-stale entry always fails its generation re-check. "." and ".."
+// are never cached (fs.Clean collapses them before any walk).
+func (f *FS) dcInval(dp *inode, name string) {
+	if name == "." || name == ".." {
+		return
+	}
+	f.dc.Invalidate(int64(dp.inum), name)
+}
+
+// dcFillPos records dp/name → inum. Caller holds dp's lock and has just
+// proven the mapping against the directory itself.
+func (f *FS) dcFillPos(dp *inode, name string, inum int) {
+	if name == "." || name == ".." {
+		return
+	}
+	f.dc.PutPositive(int64(dp.inum), name, dcache.Entry{Ino: int64(inum)})
+}
+
+// dcFillNeg records a proven ENOENT for dp/name. Caller holds dp's lock.
+func (f *FS) dcFillNeg(dp *inode, name string) {
+	if name == "." || name == ".." {
+		return
+	}
+	f.dc.PutNegative(int64(dp.inum), name)
+}
+
 // remountRO latches the volume read-only, keeping the first cause. Called
 // when metadata durability is gone: a journal group commit failed (the
 // on-disk metadata can no longer be made consistent with the in-memory
@@ -342,6 +390,10 @@ func (f *FS) remountRO(err error) {
 		f.roCause.Store(err)
 	}
 	f.degraded.Store(true)
+	// A dead mount serves no cached names: in-memory link counts may have
+	// diverged from disk when a transaction aborted, so drop every entry
+	// and refuse further fills.
+	f.dc.Kill()
 }
 
 // checkRW gates mutating entry points: nil on a healthy mount,

@@ -134,6 +134,12 @@ type FS struct {
 	// transition, so Sync persists it in O(1) instead of rescanning the
 	// FAT. -1 = not yet known.
 	freeCount int
+	// fsInfoOK records that the boot sector advertises an FSInfo sector
+	// AND the reserved region actually contains it. Foreign/legacy
+	// volumes with reserved <= fsInfoSector put FAT (or data) at that
+	// address; persisting FSInfo there would corrupt the volume, so such
+	// mounts keep the count in memory only.
+	fsInfoOK bool
 
 	// Error-resilience state (errors=remount-ro). degraded flips when any
 	// asynchronous writeback is abandoned; roFlag latches when an ordered
@@ -358,6 +364,7 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	// count) when a valid sector is present. Images from before the
 	// FSInfo change just have an invalid sector and start from scratch.
 	if s := int(binary.LittleEndian.Uint16(boot[48:])); s == fsInfoSector && reserved > fsInfoSector {
+		f.fsInfoOK = true
 		fsi := make([]byte, SectorSize)
 		if err := dev.ReadBlocks(fsInfoSector, 1, fsi); err != nil {
 			return nil, err
@@ -380,7 +387,7 @@ func MountWith(dev fs.BlockDevice, t *sched.Task, copts bcache.Options) (*FS, er
 	// Reclaim chains whose unlink was deferred past the previous mount's
 	// lifetime (unlinked-but-open files; see orphan.go). Needs the
 	// geometry and FSInfo seeding above: freeChain maintains freeCount.
-	if reserved > orphanSector {
+	if f.orphanListUsable() {
 		if err := f.orphanScan(t); err != nil {
 			return nil, err
 		}
@@ -421,6 +428,11 @@ func (f *FS) FSInfo(t *sched.Task) (freeCount int, nextFree uint32) {
 // by the claim/free transitions (all under fatLock); only a mount from a
 // pre-FSInfo image pays one lazy FAT scan here. Caller holds fatLock.
 func (f *FS) writeFSInfoLocked(t *sched.Task) error {
+	// No recognized FSInfo sector inside the reserved region (foreign
+	// image): sector 1 belongs to the FAT or data there, never write it.
+	if !f.fsInfoOK {
+		return nil
+	}
 	if f.freeCount < 0 {
 		free, err := f.freeClustersLocked(t)
 		if err != nil {

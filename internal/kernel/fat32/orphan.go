@@ -2,7 +2,6 @@ package fat32
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"protosim/internal/kernel/sched"
 )
@@ -34,12 +33,23 @@ const (
 	orphanSlots  = SectorSize / fatEntrySize
 )
 
+// orphanListUsable reports whether the volume's reserved region actually
+// contains the orphan sector. MountWith accepts foreign/legacy images with
+// reserved as small as 1, where sector 2 is FAT (or data): writing orphan
+// records there would corrupt cluster chains. Such volumes degrade to the
+// old in-memory-only deferral — an unmount before the last close leaks the
+// chain to fsck repair, as before the orphan list existed.
+func (f *FS) orphanListUsable() bool { return f.fatStart > orphanSector }
+
 // orphanAdd durably records first-cluster c as awaiting deferred
 // reclaim. Called from disownPI after the dirent removal is durable;
 // fatLock serializes slot claims. A full list is not an error — the
 // chain just reverts to being an fsck-repairable leak if the volume is
 // unmounted before the last close.
 func (f *FS) orphanAdd(t *sched.Task, c uint32) error {
+	if !f.orphanListUsable() {
+		return nil
+	}
 	f.fatLock.Lock(t)
 	defer f.fatLock.Unlock()
 	b, err := f.bc.Get(t, orphanSector)
@@ -68,6 +78,9 @@ func (f *FS) orphanAdd(t *sched.Task, c uint32) error {
 // leaked (repairable) chain, never a record over freed clusters. A
 // missing record (list was full at add time) is fine.
 func (f *FS) orphanClear(t *sched.Task, c uint32) error {
+	if !f.orphanListUsable() {
+		return nil
+	}
 	f.fatLock.Lock(t)
 	defer f.fatLock.Unlock()
 	b, err := f.bc.Get(t, orphanSector)
@@ -120,7 +133,7 @@ func (f *FS) orphanScan(t *sched.Task) error {
 	}
 	for _, c := range pending {
 		if c < rootCluster || c >= uint32(f.clusters)+rootCluster {
-			return fmt.Errorf("fat32: orphan record names invalid cluster %d", c)
+			continue
 		}
 		v, err := f.fatGet(t, c)
 		if err != nil {

@@ -144,6 +144,155 @@ func TestOrphanRecordRetiredByLastClose(t *testing.T) {
 	}
 }
 
+// mkfsSmallReserved lays out a minimal foreign/legacy volume whose
+// reserved region is a single sector: the FAT begins at absolute sector
+// 1, so the orphan sector (2) is FAT territory.
+func mkfsSmallReserved(t *testing.T, dev fs.BlockDevice) {
+	t.Helper()
+	total := dev.Blocks()
+	const reserved = 1
+	clusters := (total - reserved) / SectorsPerCluster
+	fatSectors := ((clusters+rootCluster)*fatEntrySize + SectorSize - 1) / SectorSize
+	boot := make([]byte, SectorSize)
+	copy(boot[3:], "PROTOFAT")
+	binary.LittleEndian.PutUint16(boot[11:], SectorSize)
+	boot[13] = SectorsPerCluster
+	binary.LittleEndian.PutUint16(boot[14:], reserved)
+	boot[16] = 1
+	binary.LittleEndian.PutUint32(boot[32:], uint32(total))
+	binary.LittleEndian.PutUint32(boot[36:], uint32(fatSectors))
+	binary.LittleEndian.PutUint32(boot[44:], rootCluster)
+	// No FSInfo — it would not fit inside one reserved sector.
+	boot[510], boot[511] = 0x55, 0xAA
+	if err := dev.WriteBlocks(0, 1, boot); err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]byte, SectorSize)
+	for s := 0; s < fatSectors; s++ {
+		if err := dev.WriteBlocks(reserved+s, 1, zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fat0 := make([]byte, SectorSize)
+	binary.LittleEndian.PutUint32(fat0[0:], 0x0FFFFFF8) // media
+	binary.LittleEndian.PutUint32(fat0[4:], 0x0FFFFFFF) // reserved
+	binary.LittleEndian.PutUint32(fat0[8:], endOfChain) // root dir
+	if err := dev.WriteBlocks(reserved, 1, fat0); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < SectorsPerCluster; s++ {
+		if err := dev.WriteBlocks(reserved+fatSectors+s, 1, zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestOrphanListDisabledOnSmallReservedVolume: on a volume whose
+// reserved region does not contain the orphan sector, unlink-while-open
+// must NOT write orphan records — sector 2 is part of the FAT there, and
+// a record would corrupt cluster chains. The deferral degrades to the
+// old in-memory-only behavior: the last close still reclaims.
+func TestOrphanListDisabledOnSmallReservedVolume(t *testing.T) {
+	rd := fs.NewRamdisk(SectorSize, 4096)
+	mkfsSmallReserved(t, rd)
+	f, err := Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := openOF(f, "/gone.bin", fs.OCreate|fs.ORdWr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Write(nil, make([]byte, 2*ClusterSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink(nil, "/gone.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sector 2 holds FAT entries for clusters this workload never
+	// allocated; an orphan record written there would show up as a
+	// spurious nonzero entry.
+	b := make([]byte, SectorSize)
+	if err := rd.ReadBlocks(orphanSector, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range b {
+		if c != 0 {
+			t.Fatalf("byte %d of FAT sector %d dirtied by orphan record", i, orphanSector)
+		}
+	}
+	// Sector 1 is the FAT head here; a Sync that persisted FSInfo to its
+	// usual address would stamp the "RRaA" signature over the media entry.
+	if err := rd.ReadBlocks(1, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	if e := binary.LittleEndian.Uint32(b[0:]); e != 0x0FFFFFF8 {
+		t.Fatalf("FAT[0] media entry = %#x after sync — FSInfo written over the FAT", e)
+	}
+	// The in-memory deferral still does its job at last close.
+	if err := fl.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	free1, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free1 != free0 {
+		t.Fatalf("free clusters %d after last close, want %d", free1, free0)
+	}
+	// And a remount (which must not scan the nonexistent list) works.
+	if err := f.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Mount(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Stat(nil, "/gone.bin"); !errors.Is(err, fs.ErrNotFound) {
+		t.Fatalf("stat unlinked file on remount = %v, want ErrNotFound", err)
+	}
+}
+
+// TestOrphanScanSkipsInvalidRecords: one corrupt byte in the orphan
+// sector must not make the volume unmountable. Out-of-range records are
+// dropped (like already-free ones); the leak-not-corruption posture
+// leaves anything truly wrong to fsck repair.
+func TestOrphanScanSkipsInvalidRecords(t *testing.T) {
+	dev, f := newDevFS(t, 4096)
+	free0, err := f.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, SectorSize)
+	binary.LittleEndian.PutUint32(b[0:], 0x0FFFFFF0)                     // far out of range
+	binary.LittleEndian.PutUint32(b[4:], rootCluster+5)                  // in range, already free
+	binary.LittleEndian.PutUint32(b[8:], uint32(f.clusters)+rootCluster) // one past the end
+	if err := dev.WriteBlocks(orphanSector, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Mount(dev, nil)
+	if err != nil {
+		t.Fatalf("mount with corrupt orphan records = %v, want success", err)
+	}
+	if recs := orphanRecords(t, dev); len(recs) != 0 {
+		t.Fatalf("orphan records after scan = %v, want none", recs)
+	}
+	free2, err := f2.FreeClusters(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free2 != free0 {
+		t.Fatalf("free clusters %d after scan of garbage records, want %d", free2, free0)
+	}
+}
+
 // TestMkfsClearsOrphanSector: mkfs on a reused medium must not inherit
 // stale orphan records that would free live clusters on first mount.
 func TestMkfsClearsOrphanSector(t *testing.T) {

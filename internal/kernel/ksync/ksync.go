@@ -237,10 +237,13 @@ func (l *SleepLock) Held() bool {
 }
 
 // RWSleepLock is a reader-writer sleeplock: any number of concurrent
-// readers, or one writer. Waiters sleep on the scheduler like SleepLock
-// waiters; nil tasks (host-side contexts) spin-yield. Writers take
-// priority: once a writer is waiting, new readers queue behind it, so a
-// steady stream of readers cannot starve the writer.
+// readers, or one writer. Waiters sleep on the scheduler via
+// SleepUnless — lost-wakeup-free, and uninterruptible in the D-state
+// sense (a kill takes effect at the task's next killable checkpoint,
+// never by unwinding out of the acquisition); nil tasks (host-side
+// contexts) spin-yield. Writers take priority: once a writer is waiting,
+// new readers queue behind it, so a steady stream of readers cannot
+// starve the writer.
 //
 // The filesystems use it for per-mount rename serialization: a
 // same-directory rename only touches one directory (already serialized
@@ -270,6 +273,12 @@ type RWSleepLock struct {
 func (l *RWSleepLock) SetRank(r Rank, order int64) { l.sent.SetRank(r, order) }
 
 // RLock acquires the lock shared, sleeping while a writer holds or awaits it.
+//
+// The wait uses SleepUnless: registration on the queue precedes the final
+// condition check, so a release that fires WakeAll between this caller's
+// check and its sleep cannot be lost. The sleep is uninterruptible — a
+// Kill wakes the loop but takes effect at the task's next killable
+// checkpoint, never unwinding from inside the acquisition.
 func (l *RWSleepLock) RLock(t *sched.Task) {
 	if l.sent.rank != RankNone && rankCheckOn.Load() {
 		rankCheckAcquire(&l.sent, false)
@@ -283,7 +292,12 @@ func (l *RWSleepLock) RLock(t *sched.Task) {
 		}
 		l.mu.Unlock()
 		if t != nil {
-			l.wq.Sleep(t)
+			l.wq.SleepUnless(t, func() bool {
+				l.mu.Lock()
+				ok := !l.writer && l.wpend == 0
+				l.mu.Unlock()
+				return ok
+			})
 		} else {
 			runtime.Gosched()
 		}
@@ -308,6 +322,11 @@ func (l *RWSleepLock) RUnlock() {
 
 // Lock acquires the lock exclusive, sleeping while readers or another
 // writer hold it. New readers queue behind a waiting writer.
+//
+// Like RLock, the wait is SleepUnless — lost-wakeup-free and
+// uninterruptible. The latter also keeps wpend balanced: a kill delivered
+// mid-wait cannot unwind the goroutine between the wpend++ and wpend--,
+// which would otherwise block every future shared acquisition forever.
 func (l *RWSleepLock) Lock(t *sched.Task) {
 	if l.sent.rank != RankNone && rankCheckOn.Load() {
 		rankCheckAcquire(&l.sent, false)
@@ -317,7 +336,12 @@ func (l *RWSleepLock) Lock(t *sched.Task) {
 	for l.writer || l.readers > 0 {
 		l.mu.Unlock()
 		if t != nil {
-			l.wq.Sleep(t)
+			l.wq.SleepUnless(t, func() bool {
+				l.mu.Lock()
+				ok := !l.writer && l.readers == 0
+				l.mu.Unlock()
+				return ok
+			})
 		} else {
 			runtime.Gosched()
 		}

@@ -146,6 +146,66 @@ func TestRWSleepLockWriterPriority(t *testing.T) {
 	}
 }
 
+// TestRWSleepLockKilledWaitingWriter is the regression test for the
+// wpend leak: a writer killed while parked behind a reader must not
+// leave its pending-writer registration behind. Under the buggy Sleep
+// path the kill unwound the goroutine between wpend++ and wpend--, and
+// since RLock admits readers only when wpend == 0, every later shared
+// acquisition hung forever. Now the wait is uninterruptible: the killed
+// writer completes the acquisition, releases, and unwinds at its next
+// killable checkpoint — readers keep flowing.
+func TestRWSleepLockKilledWaitingWriter(t *testing.T) {
+	s := newSched(t, 4)
+	var l RWSleepLock
+	var r1in, release atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	s.Go("r1", 1, func(t *sched.Task) {
+		defer wg.Done()
+		l.RLock(t)
+		r1in.Store(true)
+		for !release.Load() {
+			t.SleepFor(time.Millisecond)
+		}
+		l.RUnlock()
+	})
+	w := s.Go("w", 1, func(t *sched.Task) {
+		defer wg.Done()
+		for !r1in.Load() {
+			t.SleepFor(time.Millisecond)
+		}
+		l.Lock(t) // parks behind r1's shared hold
+		l.Unlock()
+	})
+	// Wait for the writer to actually park on the lock's queue, then
+	// condemn it while it waits.
+	deadline := time.Now().Add(5 * time.Second)
+	for l.wq.Waiting() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never parked on the rw lock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Kill(w)
+	// Give the kill's wake a beat to land (the writer re-checks and
+	// re-parks; it must not unwind), then let the reader go.
+	time.Sleep(10 * time.Millisecond)
+	release.Store(true)
+	wg.Wait()
+	// The regression: with wpend leaked, this reader blocks forever.
+	got := make(chan struct{})
+	s.Go("r2", 1, func(t *sched.Task) {
+		l.RLock(t)
+		l.RUnlock()
+		close(got)
+	})
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader blocked after killed writer — pending-writer count leaked")
+	}
+}
+
 // TestRWSleepLockUnlockWithoutLockPanics: both unlock paths assert.
 func TestRWSleepLockUnlockWithoutLockPanics(t *testing.T) {
 	for name, fn := range map[string]func(*RWSleepLock){

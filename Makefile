@@ -27,7 +27,7 @@ vet:
 lint:
 	$(GO) run ./cmd/lintdoc internal/kernel/blkq internal/kernel/bcache \
 		internal/kernel/fs internal/kernel/errseq internal/kernel/uring \
-		internal/kernel/dcache
+		internal/kernel/dcache internal/kernel/net internal/kernel/bufpool
 
 # Lookup-vs-mutation torture: concurrent walkers on the dentry cache's
 # lock-free fast path against create/unlink/rename/rmdir mutators, on
@@ -56,13 +56,17 @@ torture:
 # (BENCH_journal.json). The path-lookup harness compares stat traffic
 # with the dentry cache attached against the uncached locked walk on a
 # latency-bound device — asserting >= 1.5x — recording BENCH_path.json.
-# CI runs this as a non-blocking job.
+# The network harness runs the chanserv broadcast workload end to end
+# over the NIC link — accept rate, single-connection echo, and broadcast
+# fan-out at 64 and 256 members — gating the fan-out floor at 4 MB/s and
+# recording BENCH_net.json. CI runs this as a non-blocking job.
 bench:
 	BENCH_BLKQ_JSON=$(CURDIR)/BENCH_blkq.json $(GO) test -run TestWriteHeavyThroughput -v ./internal/kernel/fat32
 	BENCH_FILE_JSON=$(CURDIR)/BENCH_file.json $(GO) test -run TestFileIOThroughput -v ./internal/kernel/xv6fs
 	BENCH_FILE_JSON=$(CURDIR)/BENCH_file.json $(GO) test -run TestRingIOThroughput -v ./internal/kernel
 	BENCH_JOURNAL_JSON=$(CURDIR)/BENCH_journal.json $(GO) test -run TestJournalOverhead -v ./internal/kernel/xv6fs
 	BENCH_PATH_JSON=$(CURDIR)/BENCH_path.json $(GO) test -run TestPathLookupThroughput -v ./internal/kernel/dcache
+	BENCH_NET_JSON=$(CURDIR)/BENCH_net.json $(GO) test -run TestNetThroughput -v ./internal/user/apps/chanserv
 	$(GO) test -bench 'BenchmarkParallelFiles|BenchmarkWriteHeavy|BenchmarkFsyncAppend|BenchmarkRandom|BenchmarkPathLookup' -benchtime 1x -run '^$$' ./internal/kernel/fat32 ./internal/kernel/xv6fs ./internal/kernel/dcache
 
 # The paper's evaluation as Go benchmarks (Fig 8/9/10, Table 5, ablations,

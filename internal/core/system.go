@@ -13,6 +13,7 @@ import (
 	"protosim/internal/kernel/xv6fs"
 	"protosim/internal/uelf"
 	"protosim/internal/user/apps/blockchain"
+	"protosim/internal/user/apps/chanserv"
 	"protosim/internal/user/apps/donut"
 	"protosim/internal/user/apps/doomlike"
 	"protosim/internal/user/apps/launcher"
@@ -62,6 +63,13 @@ type Options struct {
 	// WithKeyboard attaches the USB keyboard (default true from P4 on).
 	WithKeyboard *bool
 
+	// EnableNet attaches the simulated NIC pair and boots the kernel's
+	// network stack (sockets, /proc/net). Machine.PeerNIC is the far end
+	// of the link: drive it with a host-side net.Stack to be "the rest of
+	// the network". Off by default — the network column is an optional
+	// subsystem, not a Table 1 prototype feature.
+	EnableNet bool
+
 	// ExtraRootFiles adds files to the ramdisk image.
 	ExtraRootFiles map[string][]byte
 
@@ -99,6 +107,7 @@ func programTable() map[string]kernel.Program {
 		"sysmon":        sysmon.Main,
 		"launcher":      launcher.Main,
 		"blockchain":    blockchain.Main,
+		"chanserv":      chanserv.Main,
 		"wordsmith":     wordsmith.Main,
 		"sh":            shell.Main,
 		"ls":            shell.LsMain,
@@ -152,6 +161,7 @@ func NewSystem(opts Options) (*System, error) {
 	if !feats.Has(FeatSDCard) {
 		mcfg.SDBlocks = 0
 	}
+	mcfg.EnableNIC = opts.EnableNet
 	m := hw.NewMachine(mcfg)
 
 	// Partition 2 (FAT32) with user assets, as §3's OS-image layout.
@@ -200,6 +210,7 @@ func NewSystem(opts Options) (*System, error) {
 		EnableSound:    feats.Has(FeatSound),
 		EnableWM:       feats.Has(FeatWM),
 		EnableThreads:  feats.Has(FeatSyscallsThread),
+		EnableNet:      opts.EnableNet,
 		EnableTrace:    true,
 		CacheShards:    opts.CacheShards,
 		CacheBuffers:   opts.CacheBuffers,

@@ -20,6 +20,7 @@ const (
 	IRQDMA                     // DMA transfer completion (audio)
 	IRQGPIO                    // GPIO edge (Game HAT buttons)
 	IRQSD                      // SD controller DMA completion (prod baseline)
+	IRQNIC                     // NIC ring activity: RX frame delivered or TX descriptor completed
 	FIQPanic                   // panic button: fast interrupt, never masked
 
 	irqGenericTimerBase // per-core timer lines follow; do not use directly
@@ -43,6 +44,8 @@ func (l IRQLine) String() string {
 		return "gpio"
 	case IRQSD:
 		return "sd"
+	case IRQNIC:
+		return "nic"
 	case FIQPanic:
 		return "fiq-panic"
 	}
@@ -204,4 +207,14 @@ func (ic *IRQController) PendingLen(core int) int {
 	ic.mu.Lock()
 	defer ic.mu.Unlock()
 	return len(ic.pending[core])
+}
+
+// Routed reports whether a line currently has an enabled handler. Devices
+// whose completions are collected exclusively through an IRQ handler (the
+// NIC rings) check this at attach time so a forgotten Register fails
+// loudly instead of silently dropping every completion.
+func (ic *IRQController) Routed(line IRQLine) bool {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return ic.enabled[line] && ic.handlers[line] != nil
 }

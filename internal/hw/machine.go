@@ -12,6 +12,15 @@ type MachineConfig struct {
 	FBWidth      int
 	FBHeight     int
 	ScrambleSeed uint64 // non-zero: fill DRAM with garbage at power-on
+
+	// EnableNIC installs a network interface pair: Machine.NIC is wired
+	// to the board's IRQ controller (IRQNIC), and Machine.PeerNIC is the
+	// other end of the cross-wired link — the "rest of the network",
+	// driven by whoever holds it (a host-side peer stack in tests and
+	// workloads) through SetNotify.
+	EnableNIC bool
+	// NICLink shapes the link (zero value: instant, unlimited).
+	NICLink LinkConfig
 }
 
 // DefaultConfig is a Pi3-like board scaled for in-process testing: 4 cores,
@@ -42,6 +51,8 @@ type Machine struct {
 	SD      *SDCard
 	USB     *USBController
 	Power   *PowerModel
+	NIC     *NIC // board side of the link (IRQNIC), nil unless EnableNIC
+	PeerNIC *NIC // far side of the link, notify-driven, nil unless EnableNIC
 
 	poweredOn time.Time
 }
@@ -71,6 +82,9 @@ func NewMachine(cfg MachineConfig) *Machine {
 	}
 	m.USB = NewUSBController(m.IRQ)
 	m.Power = NewPowerModel(cfg.Cores)
+	if cfg.EnableNIC {
+		m.NIC, m.PeerNIC = NewLink("eth0", "peer0", m.IRQ, nil, cfg.NICLink)
+	}
 	return m
 }
 
@@ -86,4 +100,8 @@ func (m *Machine) Shutdown() {
 		t.Stop()
 	}
 	m.PWM.Stop()
+	if m.NIC != nil {
+		m.NIC.Close()
+		m.PeerNIC.Close()
+	}
 }

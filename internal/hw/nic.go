@@ -1,0 +1,375 @@
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NIC ring and framing constants.
+const (
+	// NICMTU bounds one frame on the wire, header included. The network
+	// stack sizes its segments to fit.
+	NICMTU = 2048
+	// NICTxRing bounds submitted-but-uncompleted TX descriptors. SubmitTX
+	// refuses beyond it with ErrNICTxRingFull; the submitter waits for a
+	// completion IRQ and retries, exactly like the SD card's queue depth.
+	NICTxRing = 256
+	// NICRxRing bounds frames delivered but not yet popped. Overflow
+	// drops the frame (counted in Stats.RxDrops) — the receive ring of a
+	// real controller under an unresponsive driver.
+	NICRxRing = 4096
+)
+
+// NIC submission errors.
+var (
+	// ErrNICTxRingFull: every TX descriptor is in flight; pop completions
+	// (wait for the IRQ) before submitting more.
+	ErrNICTxRingFull = errors.New("nic: tx ring full")
+	// ErrNICFrameTooBig: the frame exceeds NICMTU.
+	ErrNICFrameTooBig = errors.New("nic: frame exceeds MTU")
+	// ErrNICDown: the NIC (or its link) has been closed.
+	ErrNICDown = errors.New("nic: interface down")
+)
+
+// NICStats counts ring activity for /proc/net and the tests.
+type NICStats struct {
+	TxFrames uint64
+	TxBytes  uint64
+	RxFrames uint64
+	RxBytes  uint64
+	RxDrops  uint64 // RX ring overflow: frame discarded
+	TxIRQs   uint64 // completion interrupts raised
+	RxIRQs   uint64 // delivery interrupts raised
+}
+
+// nicCompletion is one finished TX descriptor awaiting collection.
+type nicCompletion struct {
+	tag uint64
+	err error
+}
+
+// NIC models one half of a point-to-point Ethernet-ish device, mirroring
+// the split submit/completion design of the SD card's DMA path:
+//
+//   - SubmitTX programs a TX descriptor and returns immediately. The
+//     frame's bytes are latched at submit (the descriptor owns a copy of
+//     the slice reference; callers hand ownership over and never reuse the
+//     buffer). When the simulated wire accepts the frame, a completion
+//     record (tag, error) is queued and IRQNIC fires.
+//   - Received frames land in the RX ring; each delivery raises IRQNIC.
+//     The IRQ handler drains both rings with PopTX/PopRX until empty —
+//     one interrupt may cover several descriptors, as on real hardware.
+//
+// Two NICs cross-wired by NewLink form a full-duplex link with
+// configurable per-direction latency and bandwidth; each direction is a
+// FIFO wire (frames serialize in submit order and deliver in that order
+// unless a NetFaultPlan says otherwise).
+type NIC struct {
+	name string
+	ic   *IRQController
+	dir  *linkDir // outbound wire owned by this NIC
+
+	mu       sync.Mutex
+	notify   func() // completion signal when no IRQ controller is wired
+	inflight int    // submitted TX descriptors not yet completed
+	rxq      [][]byte
+	txComp   []nicCompletion
+	closed   bool
+	stats    NICStats
+}
+
+// Name identifies the interface ("eth0", "peer0") in diagnostics.
+func (n *NIC) Name() string { return n.name }
+
+// SetNotify installs a completion signal for NICs without an IRQ
+// controller (the test-harness / remote-host side of a link): it fires
+// after every TX completion or RX delivery, in place of IRQNIC.
+func (n *NIC) SetNotify(fn func()) {
+	n.mu.Lock()
+	n.notify = fn
+	n.mu.Unlock()
+}
+
+// raise signals ring activity: IRQNIC when a controller is wired, the
+// notify hook otherwise. Called with n.mu NOT held.
+func (n *NIC) raise() {
+	n.mu.Lock()
+	ic, fn := n.ic, n.notify
+	n.mu.Unlock()
+	if ic != nil {
+		ic.Raise(IRQNIC)
+	}
+	if fn != nil {
+		fn()
+	}
+}
+
+// SubmitTX programs one TX descriptor and returns immediately; the frame
+// travels the link and the completion (tag) is collected via PopTX after
+// IRQNIC. The NIC takes ownership of the slice — callers must not touch
+// it again (the wire delivers the very bytes to the peer's RX ring).
+func (n *NIC) SubmitTX(tag uint64, frame []byte) error {
+	if len(frame) > NICMTU {
+		return ErrNICFrameTooBig
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNICDown
+	}
+	if n.inflight >= NICTxRing {
+		n.mu.Unlock()
+		return ErrNICTxRingFull
+	}
+	n.inflight++
+	n.stats.TxFrames++
+	n.stats.TxBytes += uint64(len(frame))
+	n.mu.Unlock()
+	n.dir.submit(txFrame{tag: tag, data: frame, src: n})
+	return nil
+}
+
+// completeTX queues the descriptor's completion and raises the IRQ — the
+// wire calls it once the frame has serialized onto the link.
+func (n *NIC) completeTX(tag uint64, err error) {
+	n.mu.Lock()
+	n.inflight--
+	n.txComp = append(n.txComp, nicCompletion{tag: tag, err: err})
+	n.stats.TxIRQs++
+	n.mu.Unlock()
+	n.raise()
+}
+
+// deliverRX lands a frame in the RX ring (wire side). A full ring drops
+// the frame; recovery is the protocol layer's problem, as in real life.
+func (n *NIC) deliverRX(frame []byte) {
+	n.mu.Lock()
+	if n.closed || len(n.rxq) >= NICRxRing {
+		n.stats.RxDrops++
+		n.mu.Unlock()
+		return
+	}
+	n.rxq = append(n.rxq, frame)
+	n.stats.RxFrames++
+	n.stats.RxBytes += uint64(len(frame))
+	n.stats.RxIRQs++
+	n.mu.Unlock()
+	n.raise()
+}
+
+// PopTX collects one finished TX descriptor (tag and error), FIFO. The
+// IRQNIC handler drains this until ok is false.
+func (n *NIC) PopTX() (tag uint64, err error, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.txComp) == 0 {
+		return 0, nil, false
+	}
+	c := n.txComp[0]
+	n.txComp = n.txComp[1:]
+	return c.tag, c.err, true
+}
+
+// PopRX collects one received frame, FIFO. The IRQNIC handler drains this
+// until ok is false.
+func (n *NIC) PopRX() (frame []byte, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.rxq) == 0 {
+		return nil, false
+	}
+	f := n.rxq[0]
+	n.rxq = n.rxq[1:]
+	return f, true
+}
+
+// RxQueued reports frames waiting in the RX ring (diagnostics).
+func (n *NIC) RxQueued() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.rxq)
+}
+
+// Stats snapshots the ring counters.
+func (n *NIC) Stats() NICStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close downs the interface: future submits fail, its outbound wire
+// stops, queued RX frames are dropped. Closing both NICs of a link stops
+// all four wire goroutines.
+func (n *NIC) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.rxq = nil
+	n.mu.Unlock()
+	n.dir.close()
+}
+
+// LinkConfig shapes a full-duplex link. The zero value is an instant,
+// infinite-bandwidth wire (unit tests); benchmarks set real numbers.
+type LinkConfig struct {
+	// LatencyAB / LatencyBA delay delivery per direction (propagation
+	// time; overlaps with serialization of later frames).
+	LatencyAB, LatencyBA time.Duration
+	// BandwidthAB / BandwidthBA serialize frames at bytes/second per
+	// direction (0 = infinite). Serialization occupies the wire: frames
+	// queue behind each other, which is what makes fan-out bandwidth real.
+	BandwidthAB, BandwidthBA int
+}
+
+// NewLink mints two cross-wired NICs: a's transmissions deliver to b's RX
+// ring and vice versa. Either IRQ controller may be nil (use SetNotify on
+// that side). Frames per direction are FIFO unless a NetFaultPlan
+// reorders them.
+func NewLink(nameA, nameB string, icA, icB *IRQController, cfg LinkConfig) (a, b *NIC) {
+	a = &NIC{name: nameA, ic: icA}
+	b = &NIC{name: nameB, ic: icB}
+	a.dir = newLinkDir(fmt.Sprintf("%s->%s", nameA, nameB), b, cfg.LatencyAB, cfg.BandwidthAB)
+	b.dir = newLinkDir(fmt.Sprintf("%s->%s", nameB, nameA), a, cfg.LatencyBA, cfg.BandwidthBA)
+	return a, b
+}
+
+// txFrame is one frame in flight on a wire.
+type txFrame struct {
+	tag  uint64
+	data []byte
+	src  *NIC
+}
+
+// linkDir is one direction of a link: a FIFO wire with serialization
+// (bandwidth) and propagation (latency) stages. Two goroutines model the
+// pipeline — the serializer occupies the wire per frame and completes the
+// TX descriptor; the deliverer sleeps out the propagation delay in FIFO
+// order so a long latency never reorders frames, then lands each frame in
+// the peer's RX ring. The optional NetFaultPlan sits between the stages.
+type linkDir struct {
+	name    string
+	dst     *NIC
+	latency time.Duration
+	bytesNS float64 // nanoseconds per byte (0 = infinite bandwidth)
+
+	mu      sync.Mutex
+	queue   []txFrame
+	cond    *sync.Cond
+	closed  bool
+	started bool
+	faults  *netFaultState
+
+	deliver chan delivery
+}
+
+// delivery is a frame past serialization, stamped with its arrival time.
+// stop is the pipeline-shutdown sentinel: the channel is never closed
+// (the fault layer's delayed flush may still send after link close; a
+// late frame parks harmlessly in the buffer instead of panicking).
+type delivery struct {
+	data []byte
+	at   time.Time
+	stop bool
+}
+
+func newLinkDir(name string, dst *NIC, latency time.Duration, bandwidth int) *linkDir {
+	d := &linkDir{name: name, dst: dst, latency: latency}
+	if bandwidth > 0 {
+		d.bytesNS = float64(time.Second) / float64(bandwidth)
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.deliver = make(chan delivery, NICRxRing)
+	return d
+}
+
+// submit queues a frame for the wire, starting the direction's goroutines
+// on first use (links in NIC-less tests cost nothing until touched).
+func (d *linkDir) submit(f txFrame) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		f.src.completeTX(f.tag, ErrNICDown)
+		return
+	}
+	if !d.started {
+		d.started = true
+		go d.serialize()
+		go d.propagate()
+	}
+	d.queue = append(d.queue, f)
+	d.mu.Unlock()
+	d.cond.Signal()
+}
+
+func (d *linkDir) close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	started := d.started
+	d.mu.Unlock()
+	d.cond.Broadcast()
+	if !started {
+		return
+	}
+}
+
+// serialize is the wire-occupancy stage: one frame at a time, in submit
+// order, each charged its serialization time. Completion of the TX
+// descriptor fires here — the DMA engine has read the buffer.
+func (d *linkDir) serialize() {
+	for {
+		d.mu.Lock()
+		for len(d.queue) == 0 && !d.closed {
+			d.cond.Wait()
+		}
+		if d.closed {
+			// Fail whatever is still queued, then stop the pipeline.
+			rest := d.queue
+			d.queue = nil
+			d.mu.Unlock()
+			for _, f := range rest {
+				f.src.completeTX(f.tag, ErrNICDown)
+			}
+			d.deliver <- delivery{stop: true}
+			return
+		}
+		f := d.queue[0]
+		d.queue = d.queue[1:]
+		fp := d.faults
+		d.mu.Unlock()
+
+		if d.bytesNS > 0 {
+			time.Sleep(time.Duration(d.bytesNS * float64(len(f.data))))
+		}
+		f.src.completeTX(f.tag, nil)
+		if fp != nil {
+			fp.emit(f.data, d.deliver)
+		} else {
+			d.deliver <- delivery{data: f.data, at: time.Now().Add(d.latency)}
+		}
+	}
+}
+
+// propagate is the latency stage: frames sleep until their arrival time
+// in FIFO order (arrival times are monotonic for a fixed latency, and a
+// fault-plan latency spike delays everything behind it — spikes never
+// reorder).
+func (d *linkDir) propagate() {
+	for dl := range d.deliver {
+		if dl.stop {
+			return
+		}
+		if wait := time.Until(dl.at); wait > 0 {
+			time.Sleep(wait)
+		}
+		d.dst.deliverRX(dl.data)
+	}
+}

@@ -1,0 +1,126 @@
+// Package bufpool provides bounded free lists of fixed-size IO buffers.
+//
+// Pipes and socket rings both need a buffer per endpoint, and a channel
+// server holds hundreds of endpoints at once. Allocating each ring fresh
+// churns the GC; an unbounded sync.Pool hides how much memory the rings
+// actually pin. A Pool here is the middle ground, after EdgeNode's
+// BytePool: a fixed-capacity channel of idle buffers. Get recycles an
+// idle buffer or allocates a new one; Put returns a buffer to the list
+// or — when the list is already full — drops it for the GC. The channel
+// bound is therefore a cap on IDLE memory, never a cap on concurrency:
+// Get always succeeds.
+//
+// Buffers are NOT zeroed on recycle. Ring owners track their own
+// read/write cursors and must never expose bytes they did not write.
+//
+// The process-wide size-class registry (Shared) is what pipes and
+// sockets actually use, so every fixed-size ring in the kernel draws
+// from the same bounded free lists.
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats counts pool traffic (tests and /proc diagnostics).
+type Stats struct {
+	Gets     uint64 // total Get calls
+	Recycled uint64 // Gets served from the free list
+	News     uint64 // Gets that had to allocate
+	Puts     uint64 // total Put calls
+	Discards uint64 // Puts dropped: free list full, or wrong-size buffer
+}
+
+// Pool is one bounded free list of same-size buffers.
+type Pool struct {
+	size int
+	free chan []byte
+
+	gets, recycled, news, puts, discards atomic.Uint64
+}
+
+// New returns a pool of size-byte buffers keeping at most maxIdle of
+// them idle.
+func New(maxIdle, size int) *Pool {
+	if maxIdle <= 0 || size <= 0 {
+		panic(fmt.Sprintf("bufpool: bad pool shape maxIdle=%d size=%d", maxIdle, size))
+	}
+	return &Pool{size: size, free: make(chan []byte, maxIdle)}
+}
+
+// Size reports the byte size of this pool's buffers.
+func (p *Pool) Size() int { return p.size }
+
+// Get returns a buffer of exactly Size() bytes: recycled if one is idle,
+// freshly allocated otherwise. Never blocks, never fails.
+func (p *Pool) Get() []byte {
+	p.gets.Add(1)
+	select {
+	case b := <-p.free:
+		p.recycled.Add(1)
+		return b
+	default:
+		p.news.Add(1)
+		return make([]byte, p.size)
+	}
+}
+
+// Put returns a buffer to the free list. A buffer of the wrong size, or
+// one arriving while the list is full, is discarded to the GC — Put
+// never blocks. Callers must not touch the buffer afterwards.
+func (p *Pool) Put(b []byte) {
+	p.puts.Add(1)
+	if len(b) != p.size {
+		p.discards.Add(1)
+		return
+	}
+	select {
+	case p.free <- b:
+	default:
+		p.discards.Add(1)
+	}
+}
+
+// Idle reports how many buffers sit on the free list right now.
+func (p *Pool) Idle() int { return len(p.free) }
+
+// Stats snapshots the traffic counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:     p.gets.Load(),
+		Recycled: p.recycled.Load(),
+		News:     p.news.Load(),
+		Puts:     p.puts.Load(),
+		Discards: p.discards.Load(),
+	}
+}
+
+// sharedIdleBytes bounds the idle memory each shared size class may
+// pin: 4 MiB per class, expressed in buffers of that class's size.
+const sharedIdleBytes = 4 << 20
+
+var (
+	sharedMu sync.Mutex
+	classes  = make(map[int]*Pool)
+)
+
+// Shared returns the process-wide pool for the given size class,
+// minting it on first use. Pipes (512 B rings) and sockets (their ring
+// size) resolve their classes through here, so all fixed-size kernel
+// rings share one bounded set of free lists.
+func Shared(size int) *Pool {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if p, ok := classes[size]; ok {
+		return p
+	}
+	maxIdle := sharedIdleBytes / size
+	if maxIdle < 8 {
+		maxIdle = 8
+	}
+	p := New(maxIdle, size)
+	classes[size] = p
+	return p
+}

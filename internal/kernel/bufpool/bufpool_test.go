@@ -1,0 +1,89 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolRecyclesIdentity(t *testing.T) {
+	p := New(4, 64)
+	b := p.Get()
+	if len(b) != 64 {
+		t.Fatalf("Get() len = %d", len(b))
+	}
+	b[0] = 0xAB
+	p.Put(b)
+	b2 := p.Get()
+	if &b2[0] != &b[0] {
+		t.Fatal("Get after Put did not recycle the buffer")
+	}
+	if b2[0] != 0xAB {
+		t.Fatal("recycled buffer was zeroed; contract says it is not")
+	}
+	s := p.Stats()
+	if s.Gets != 2 || s.Recycled != 1 || s.News != 1 || s.Puts != 1 || s.Discards != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPoolBoundsIdleAndDiscards(t *testing.T) {
+	p := New(2, 8)
+	bufs := [][]byte{p.Get(), p.Get(), p.Get()}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	if p.Idle() != 2 {
+		t.Fatalf("Idle = %d, want 2 (bound)", p.Idle())
+	}
+	if s := p.Stats(); s.Discards != 1 {
+		t.Fatalf("Discards = %d, want 1", s.Discards)
+	}
+}
+
+func TestPoolRejectsWrongSize(t *testing.T) {
+	p := New(2, 8)
+	p.Put(make([]byte, 9))
+	if p.Idle() != 0 {
+		t.Fatal("wrong-size buffer entered the free list")
+	}
+	if s := p.Stats(); s.Discards != 1 {
+		t.Fatalf("Discards = %d, want 1", s.Discards)
+	}
+}
+
+func TestSharedReturnsOnePoolPerClass(t *testing.T) {
+	a, b := Shared(512), Shared(512)
+	if a != b {
+		t.Fatal("Shared(512) minted two pools")
+	}
+	if c := Shared(1024); c == a {
+		t.Fatal("different size classes share a pool")
+	}
+	if a.Size() != 512 {
+		t.Fatalf("Size = %d", a.Size())
+	}
+}
+
+func TestPoolConcurrentChurn(t *testing.T) {
+	p := New(32, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b := p.Get()
+				b[0] = byte(i)
+				p.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Gets != 8000 || s.Puts != 8000 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if p.Idle() > 32 {
+		t.Fatalf("Idle = %d exceeds bound", p.Idle())
+	}
+}

@@ -43,6 +43,7 @@ const (
 	TypeDir
 	TypeDevice
 	TypePipe
+	TypeSocket
 )
 
 // String names the file type for listings and diagnostics.
@@ -56,6 +57,8 @@ func (t FileType) String() string {
 		return "dev"
 	case TypePipe:
 		return "pipe"
+	case TypeSocket:
+		return "sock"
 	}
 	return "?"
 }

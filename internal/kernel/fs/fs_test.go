@@ -403,6 +403,93 @@ func TestFDTableExhaustion(t *testing.T) {
 	}
 }
 
+// TestFDTableGrowsTo512 is the socket-scaling contract: a table limited
+// at MaxFDs-scale grows from its small start through 512+ live fds,
+// numbering them densely from 0, and reports exhaustion exactly at the
+// limit.
+func TestFDTableGrowsTo512(t *testing.T) {
+	const limit = 600
+	ft := NewFDTable(limit)
+	for i := 0; i < limit; i++ {
+		fd, err := ft.Install(NewOpenFile(&memFile{}, 0))
+		if err != nil {
+			t.Fatalf("Install #%d: %v", i, err)
+		}
+		if fd != i {
+			t.Fatalf("Install #%d got fd %d: not lowest-free", i, fd)
+		}
+	}
+	if _, err := ft.Install(NewOpenFile(&memFile{}, 0)); err == nil {
+		t.Fatal("expected exhaustion at the limit")
+	}
+	if ft.OpenCount() != limit || ft.Limit() != limit {
+		t.Fatalf("count=%d limit=%d", ft.OpenCount(), ft.Limit())
+	}
+	ft.CloseAll(nil)
+	if ft.OpenCount() != 0 {
+		t.Fatalf("count after CloseAll = %d", ft.OpenCount())
+	}
+}
+
+// TestFDTableLowestFreeAfterChurn closes a scattered set of fds and
+// verifies reallocation fills exactly those holes, lowest first — the
+// POSIX rule shells and dup2-style redirections rely on.
+func TestFDTableLowestFreeAfterChurn(t *testing.T) {
+	ft := NewFDTable(128)
+	for i := 0; i < 100; i++ {
+		ft.Install(NewOpenFile(&memFile{}, 0))
+	}
+	holes := []int{3, 97, 40, 0, 64}
+	for _, fd := range holes {
+		if err := ft.Close(nil, fd); err != nil {
+			t.Fatalf("Close(%d): %v", fd, err)
+		}
+	}
+	want := []int{0, 3, 40, 64, 97} // ascending: always the lowest hole
+	for _, w := range want {
+		fd, err := ft.Install(NewOpenFile(&memFile{}, 0))
+		if err != nil || fd != w {
+			t.Fatalf("refill got fd %d (%v), want %d", fd, err, w)
+		}
+	}
+	// All holes plugged: next install extends past the old high mark.
+	if fd, _ := ft.Install(NewOpenFile(&memFile{}, 0)); fd != 100 {
+		t.Fatalf("post-refill fd = %d, want 100", fd)
+	}
+	ft.CloseAll(nil)
+}
+
+// TestFDTableCloneOfGrownTable forks a table that has grown well past
+// its initial allocation; the child must see every fd at its original
+// number.
+func TestFDTableCloneOfGrownTable(t *testing.T) {
+	ft := NewFDTable(1024)
+	var fds []int
+	for i := 0; i < 300; i++ {
+		fd, _ := ft.Install(NewOpenFile(&memFile{name: "x", data: []byte{byte(i)}}, ORdOnly))
+		fds = append(fds, fd)
+	}
+	ft.Close(nil, 7) // leave a hole so the clone inherits it
+	child := ft.Clone()
+	if child.OpenCount() != 299 {
+		t.Fatalf("child count = %d", child.OpenCount())
+	}
+	for _, fd := range fds {
+		if fd == 7 {
+			continue
+		}
+		if _, err := child.Get(fd); err != nil {
+			t.Fatalf("child lost fd %d: %v", fd, err)
+		}
+	}
+	// The clone inherits lowest-free behaviour too.
+	if fd, _ := child.Install(NewOpenFile(&memFile{}, 0)); fd != 7 {
+		t.Fatalf("child filled fd %d, want the inherited hole 7", fd)
+	}
+	ft.CloseAll(nil)
+	child.CloseAll(nil)
+}
+
 func TestRamdiskRoundTripAndBounds(t *testing.T) {
 	rd := NewRamdisk(512, 16)
 	src := bytes.Repeat([]byte{0x5A}, 1024)

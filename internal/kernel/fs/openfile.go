@@ -2,6 +2,7 @@ package fs
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"protosim/internal/kernel/errseq"
@@ -441,14 +442,92 @@ func (f *OpenFile) Offset() int64 {
 // FDTable is a process's descriptor table: small integers mapping to
 // shared OpenFiles. fork clones the table — both processes share the open
 // file descriptions, offsets included — and exec keeps it, as in xv6.
+//
+// The table allocates POSIX-style: always the lowest free fd. The slot
+// slice starts small and doubles on demand up to the table's limit, so a
+// shell process pays for 16 slots while a channel server holding 512
+// sockets grows to meet them. Free-slot tracking is a bitmap plus a
+// lowest-possibly-free hint (the find_next_zero_bit idiom), making
+// Install/Dup amortized O(1) instead of the linear slot scan a
+// hundreds-of-sockets accept loop would otherwise pay per connection.
 type FDTable struct {
 	mu    sync.Mutex
-	files []*OpenFile
+	files []*OpenFile // grows on demand; len(files) <= max
+	used  []uint64    // bitmap over files: bit set = slot occupied
+	hint  int         // invariant: no free slot exists below hint
+	count int         // occupied slots (O(1) OpenCount)
+	max   int         // hard fd limit (RLIMIT_NOFILE analogue)
 }
 
-// NewFDTable returns a table with maxFDs slots.
+// fdTableInitial is the starting slot count — enough for any ordinary
+// process; socket-heavy ones double from here.
+const fdTableInitial = 16
+
+// NewFDTable returns a table allowing up to maxFDs descriptors.
 func NewFDTable(maxFDs int) *FDTable {
-	return &FDTable{files: make([]*OpenFile, maxFDs)}
+	n := fdTableInitial
+	if n > maxFDs {
+		n = maxFDs
+	}
+	return &FDTable{
+		files: make([]*OpenFile, n),
+		used:  make([]uint64, (n+63)/64),
+		max:   maxFDs,
+	}
+}
+
+// alloc claims the lowest free fd, growing the table if every current
+// slot is taken and the limit allows. Caller holds ft.mu.
+func (ft *FDTable) alloc() (int, error) {
+	// Bitmap scan from the hint word: the invariant (no free slot below
+	// hint) makes this amortized O(1) across an install/close workload.
+	fd := -1
+	for w := ft.hint / 64; w < len(ft.used); w++ {
+		word := ^ft.used[w]
+		if w == ft.hint/64 {
+			word &^= (1 << (ft.hint % 64)) - 1 // ignore bits below hint
+		}
+		if word == 0 {
+			continue
+		}
+		cand := w*64 + bits.TrailingZeros64(word)
+		if cand < len(ft.files) {
+			fd = cand
+		}
+		break
+	}
+	if fd == -1 {
+		// Every slot in use: grow (doubling) toward the limit.
+		if len(ft.files) >= ft.max {
+			return -1, fmt.Errorf("fs: out of file descriptors (limit %d)", ft.max)
+		}
+		n := len(ft.files) * 2
+		if n > ft.max {
+			n = ft.max
+		}
+		fd = len(ft.files)
+		grown := make([]*OpenFile, n)
+		copy(grown, ft.files)
+		ft.files = grown
+		words := make([]uint64, (n+63)/64)
+		copy(words, ft.used)
+		ft.used = words
+	}
+	ft.used[fd/64] |= 1 << (fd % 64)
+	ft.hint = fd + 1
+	ft.count++
+	return fd, nil
+}
+
+// freeSlot releases fd's slot. Caller holds ft.mu and has checked the
+// slot is occupied.
+func (ft *FDTable) freeSlot(fd int) {
+	ft.files[fd] = nil
+	ft.used[fd/64] &^= 1 << (fd % 64)
+	ft.count--
+	if fd < ft.hint {
+		ft.hint = fd
+	}
 }
 
 // Install places the open file in the lowest free slot and returns the
@@ -457,13 +536,12 @@ func NewFDTable(maxFDs int) *FDTable {
 func (ft *FDTable) Install(of *OpenFile) (int, error) {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
-	for fd, e := range ft.files {
-		if e == nil {
-			ft.files[fd] = of
-			return fd, nil
-		}
+	fd, err := ft.alloc()
+	if err != nil {
+		return -1, err
 	}
-	return -1, fmt.Errorf("fs: out of file descriptors")
+	ft.files[fd] = of
+	return fd, nil
 }
 
 // Get returns the open file description for fd.
@@ -476,8 +554,8 @@ func (ft *FDTable) Get(fd int) (*OpenFile, error) {
 	return ft.files[fd], nil
 }
 
-// Dup duplicates fd into a new slot sharing the same description —
-// offset, flags and error cursor included.
+// Dup duplicates fd into the lowest free slot sharing the same
+// description — offset, flags and error cursor included.
 func (ft *FDTable) Dup(fd int) (int, error) {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
@@ -485,14 +563,13 @@ func (ft *FDTable) Dup(fd int) (int, error) {
 		return -1, ErrBadFD
 	}
 	e := ft.files[fd]
-	for nfd, slot := range ft.files {
-		if slot == nil {
-			e.Ref()
-			ft.files[nfd] = e
-			return nfd, nil
-		}
+	nfd, err := ft.alloc()
+	if err != nil {
+		return -1, err
 	}
-	return -1, fmt.Errorf("fs: out of file descriptors")
+	e.Ref()
+	ft.files[nfd] = e
+	return nfd, nil
 }
 
 // Close drops fd, carrying the calling task so a final close that must
@@ -504,16 +581,25 @@ func (ft *FDTable) Close(t *sched.Task, fd int) error {
 		return ErrBadFD
 	}
 	e := ft.files[fd]
-	ft.files[fd] = nil
+	ft.freeSlot(fd)
 	ft.mu.Unlock()
 	return e.Close(t)
 }
 
-// Clone copies the table for fork: both processes share descriptions.
+// Clone copies the table for fork: both processes share descriptions,
+// and the child starts at the parent's grown size (fd numbers must
+// match across the fork).
 func (ft *FDTable) Clone() *FDTable {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
-	nt := NewFDTable(len(ft.files))
+	nt := &FDTable{
+		files: make([]*OpenFile, len(ft.files)),
+		used:  make([]uint64, len(ft.used)),
+		hint:  ft.hint,
+		count: ft.count,
+		max:   ft.max,
+	}
+	copy(nt.used, ft.used)
 	for fd, e := range ft.files {
 		if e == nil {
 			continue
@@ -539,11 +625,12 @@ func (ft *FDTable) CloseAll(t *sched.Task) {
 func (ft *FDTable) OpenCount() int {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
-	n := 0
-	for _, e := range ft.files {
-		if e != nil {
-			n++
-		}
-	}
-	return n
+	return ft.count
+}
+
+// Limit reports the table's maximum descriptor count.
+func (ft *FDTable) Limit() int {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.max
 }

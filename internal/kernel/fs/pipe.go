@@ -3,6 +3,7 @@ package fs
 import (
 	"sync"
 
+	"protosim/internal/kernel/bufpool"
 	"protosim/internal/kernel/sched"
 )
 
@@ -10,11 +11,14 @@ import (
 // becoming a bottleneck even for 10-byte keyboard events.
 const PipeSize = 512
 
-// pipe is the shared ring between the two ends.
+// pipe is the shared ring between the two ends. The ring's backing
+// buffer comes from the shared bufpool size class and goes back when the
+// last end closes, so a shell pipeline churning pipes recycles one
+// buffer instead of allocating per pipe.
 type pipe struct {
 	mu      sync.Mutex
-	buf     [PipeSize]byte
-	r, w    int // total bytes read/written (mod indices derived)
+	buf     []byte // PipeSize bytes from bufpool; nil once released
+	r, w    int    // total bytes read/written (mod indices derived)
 	readers int
 	writers int
 	rwq     sched.WaitQueue // readers waiting for data
@@ -35,8 +39,18 @@ type PipeWriter struct {
 
 // NewPipe returns connected read and write ends.
 func NewPipe() (*PipeReader, *PipeWriter) {
-	p := &pipe{readers: 1, writers: 1}
+	p := &pipe{buf: bufpool.Shared(PipeSize).Get(), readers: 1, writers: 1}
 	return &PipeReader{p: p}, &PipeWriter{p: p}
+}
+
+// release returns the ring to the pool once both ends are closed.
+// Called with p.mu held; the nil guard makes a double release (two Close
+// racers both observing zero counts) put the buffer back only once.
+func (p *pipe) release() {
+	if p.readers == 0 && p.writers == 0 && p.buf != nil {
+		bufpool.Shared(PipeSize).Put(p.buf)
+		p.buf = nil
+	}
 }
 
 func (p *pipe) used() int { return p.w - p.r }
@@ -104,6 +118,7 @@ func (r *PipeReader) Close(*sched.Task) error {
 	p := r.p
 	p.mu.Lock()
 	p.readers--
+	p.release()
 	p.mu.Unlock()
 	p.wwq.WakeAll()
 	return nil
@@ -114,6 +129,7 @@ func (w *PipeWriter) Close(*sched.Task) error {
 	p := w.p
 	p.mu.Lock()
 	p.writers--
+	p.release()
 	p.mu.Unlock()
 	p.rwq.WakeAll()
 	return nil

@@ -28,6 +28,7 @@ import (
 	"protosim/internal/kernel/kdebug"
 	"protosim/internal/kernel/ktime"
 	"protosim/internal/kernel/mm"
+	"protosim/internal/kernel/net"
 	"protosim/internal/kernel/sched"
 	"protosim/internal/kernel/wm"
 	"protosim/internal/kernel/xv6fs"
@@ -80,6 +81,7 @@ type Config struct {
 	EnableWM      bool // window manager kernel thread
 	EnableThreads bool // clone + semaphores
 	EnableTrace   bool // kdebug event tracing
+	EnableNet     bool // TCP-ish sockets over the board NIC (needs MachineConfig.EnableNIC)
 
 	// Buffer-cache sizing for both filesystems (0 = bcache defaults).
 	// Shard count trades lock contention for memory locality; buffer
@@ -137,6 +139,7 @@ type Kernel struct {
 	RootFS     *xv6fs.FS
 	FatFS      *fat32.FS
 	FB         *hw.Framebuffer
+	Net        *net.Stack
 	WM         *wm.WM
 	Trace      *kdebug.Trace
 	Unwinder   *kdebug.Unwinder
@@ -398,6 +401,29 @@ func (k *Kernel) Boot() error {
 		k.addBlockDev(sdio)
 	}
 
+	// Network: the TCP-ish stack over the board NIC. The IRQNIC handler
+	// only kicks the stack's softirq goroutine (NAPI-style) — protocol
+	// work never runs in interrupt context. The Routed check makes a
+	// forgotten registration fail at boot: a NIC whose completion rings
+	// nobody drains would instead hang every TX-blocked writer silently.
+	if k.cfg.EnableNet {
+		if k.m.NIC == nil {
+			return fmt.Errorf("kernel: network enabled but machine has no NIC (MachineConfig.EnableNIC)")
+		}
+		k.Net = net.NewStack("eth0", NetLocalHost, k.m.NIC, net.Options{
+			After: func(d time.Duration, fn func()) func() bool {
+				return k.VTimers.After(d, fn).Stop
+			},
+		})
+		k.m.IRQ.Register(hw.IRQNIC, 0, func(hw.IRQLine, int) { k.Net.IRQ() })
+		if !k.m.IRQ.Routed(hw.IRQNIC) {
+			return fmt.Errorf("kernel: IRQNIC has no routed handler after registration")
+		}
+		if k.ProcFS != nil {
+			k.ProcFS.Register("net", func() string { return k.Net.ProcText() })
+		}
+	}
+
 	// USB keyboard.
 	if k.cfg.EnableUSB {
 		if err := k.initKeyboard(); err != nil {
@@ -514,6 +540,12 @@ func (k *Kernel) Shutdown() error {
 	}
 	if k.sound != nil {
 		k.sound.stop()
+	}
+	// Tear the network down before the scheduler: aborting every conn
+	// wakes tasks blocked in socket reads/writes so the kill sweep can
+	// collect them instead of timing out on net-parked sleepers.
+	if k.Net != nil {
+		k.Net.Close()
 	}
 	// Stop the writeback daemons first, cleanly: they park in
 	// uninterruptible waits holding no locks, and letting the scheduler

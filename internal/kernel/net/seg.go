@@ -1,0 +1,115 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"protosim/internal/hw"
+)
+
+// Wire-format constants.
+const (
+	// HdrSize is the fixed segment header length.
+	HdrSize = 32
+	// MSS is the maximum payload per segment: one NIC frame minus the
+	// header.
+	MSS = hw.NICMTU - HdrSize
+)
+
+// Segment flags.
+const (
+	flagSYN = 1 << iota
+	flagACK
+	flagFIN
+	flagRST
+)
+
+// segVersion guards against parsing garbage as a segment.
+const segVersion = 1
+
+// Addr names a transport endpoint: a host on the simulated network and a
+// port on it.
+type Addr struct {
+	Host uint16
+	Port uint16
+}
+
+// String renders host:port.
+func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.Host, a.Port) }
+
+// seg is one parsed (or to-be-marshalled) segment.
+type seg struct {
+	flags   byte
+	src     Addr
+	dst     Addr
+	seq     uint64 // wire sequence of the first payload byte (or SYN/FIN)
+	ack     uint64 // next wire sequence the sender expects (flagACK)
+	wnd     uint32 // sender's free receive-ring space
+	payload []byte
+}
+
+// header layout:
+//
+//	off  0: version
+//	off  1: flags
+//	off  2: srcHost   off  4: srcPort
+//	off  6: dstHost   off  8: dstPort
+//	off 10: seq (8)   off 18: ack (8)
+//	off 26: wnd (4)   off 30: payload length (2)
+func (g *seg) marshal(buf []byte) int {
+	buf[0] = segVersion
+	buf[1] = g.flags
+	binary.BigEndian.PutUint16(buf[2:], g.src.Host)
+	binary.BigEndian.PutUint16(buf[4:], g.src.Port)
+	binary.BigEndian.PutUint16(buf[6:], g.dst.Host)
+	binary.BigEndian.PutUint16(buf[8:], g.dst.Port)
+	binary.BigEndian.PutUint64(buf[10:], g.seq)
+	binary.BigEndian.PutUint64(buf[18:], g.ack)
+	binary.BigEndian.PutUint32(buf[26:], g.wnd)
+	binary.BigEndian.PutUint16(buf[30:], uint16(len(g.payload)))
+	copy(buf[HdrSize:], g.payload)
+	return HdrSize + len(g.payload)
+}
+
+// parseSeg decodes a frame in place: the returned seg's payload aliases
+// frame's bytes.
+func parseSeg(frame []byte) (seg, bool) {
+	if len(frame) < HdrSize || frame[0] != segVersion {
+		return seg{}, false
+	}
+	g := seg{
+		flags: frame[1],
+		src:   Addr{binary.BigEndian.Uint16(frame[2:]), binary.BigEndian.Uint16(frame[4:])},
+		dst:   Addr{binary.BigEndian.Uint16(frame[6:]), binary.BigEndian.Uint16(frame[8:])},
+		seq:   binary.BigEndian.Uint64(frame[10:]),
+		ack:   binary.BigEndian.Uint64(frame[18:]),
+		wnd:   binary.BigEndian.Uint32(frame[26:]),
+	}
+	n := int(binary.BigEndian.Uint16(frame[30:]))
+	if HdrSize+n > len(frame) {
+		return seg{}, false
+	}
+	g.payload = frame[HdrSize : HdrSize+n]
+	return g, true
+}
+
+// flagString renders flags for /proc/net and traces.
+func flagString(f byte) string {
+	s := ""
+	if f&flagSYN != 0 {
+		s += "S"
+	}
+	if f&flagACK != 0 {
+		s += "A"
+	}
+	if f&flagFIN != 0 {
+		s += "F"
+	}
+	if f&flagRST != 0 {
+		s += "R"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}

@@ -1,0 +1,257 @@
+package net
+
+import (
+	"fmt"
+	"sync"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/sched"
+)
+
+// Shutdown directions (SysShutdown's how argument).
+const (
+	// ShutRD ends the inbound stream: reads return EOF.
+	ShutRD = 0
+	// ShutWR ends the outbound stream: a FIN is sent, writes fail.
+	ShutWR = 1
+	// ShutRDWR is both.
+	ShutRDWR = 2
+)
+
+// Socket is the fs.FileOps face of the transport: a stream file
+// (Caps() == 0, like a pipe end) the generic OpenFile layer drives
+// through Read/Write/Close with no socket-specific branches. It starts
+// unbound and becomes a listener (Bind+Listen) or a connection
+// (Connect, or minted by Accept).
+type Socket struct {
+	fs.BaseOps
+	stack *Stack
+
+	mu        sync.Mutex
+	c         *conn
+	l         *listener
+	boundPort uint16
+	bound     bool // holds a bind reference on boundPort
+	closed    bool
+}
+
+// NewSocket mints an unbound socket on the stack.
+func (s *Stack) NewSocket() *Socket { return &Socket{stack: s} }
+
+// Bind reserves a local port (0 picks an ephemeral one).
+func (sk *Socket) Bind(t *sched.Task, port uint16) error {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.closed {
+		return fs.ErrBadFD
+	}
+	if sk.bound || sk.c != nil || sk.l != nil {
+		return ErrIsConn
+	}
+	p, err := sk.stack.reservePort(port)
+	if err != nil {
+		return err
+	}
+	sk.boundPort = p
+	sk.bound = true
+	return nil
+}
+
+// LocalPort reports the bound or ephemeral local port (0 if unbound).
+func (sk *Socket) LocalPort() uint16 {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.c != nil {
+		return sk.c.local.Port
+	}
+	return sk.boundPort
+}
+
+// Listen turns a bound socket passive with the given backlog.
+func (sk *Socket) Listen(t *sched.Task, backlog int) error {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.closed {
+		return fs.ErrBadFD
+	}
+	if sk.c != nil || sk.l != nil {
+		return ErrIsConn
+	}
+	if !sk.bound {
+		return ErrNotConn
+	}
+	l, err := sk.stack.listen(sk.boundPort, backlog)
+	if err != nil {
+		return err
+	}
+	sk.l = l
+	sk.bound = false // the listener owns the port reference now
+	return nil
+}
+
+// Accept blocks for the next handshake-complete connection and returns
+// it as a fresh connected Socket.
+func (sk *Socket) Accept(t *sched.Task) (*Socket, error) {
+	sk.mu.Lock()
+	l := sk.l
+	closed := sk.closed
+	sk.mu.Unlock()
+	if closed {
+		return nil, fs.ErrBadFD
+	}
+	if l == nil {
+		return nil, ErrNotListening
+	}
+	c, err := l.accept(t)
+	if err != nil {
+		return nil, err
+	}
+	return &Socket{stack: sk.stack, c: c}, nil
+}
+
+// Connect dials remote, binding an ephemeral port first if needed, and
+// blocks until the handshake completes or is refused.
+func (sk *Socket) Connect(t *sched.Task, remote Addr) error {
+	sk.mu.Lock()
+	if sk.closed {
+		sk.mu.Unlock()
+		return fs.ErrBadFD
+	}
+	if sk.c != nil || sk.l != nil {
+		sk.mu.Unlock()
+		return ErrIsConn
+	}
+	if !sk.bound {
+		p, err := sk.stack.reservePort(0)
+		if err != nil {
+			sk.mu.Unlock()
+			return err
+		}
+		sk.boundPort = p
+		sk.bound = true
+	}
+	port := sk.boundPort
+	sk.mu.Unlock()
+
+	c, err := sk.stack.connect(t, port, remote)
+
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if sk.closed {
+		// Raced with close: tear the fresh conn down.
+		c.close(t)
+		return fs.ErrBadFD
+	}
+	sk.c = c
+	return nil
+}
+
+// Shutdown ends one or both directions of a connected socket. ShutWR
+// sends the FIN immediately; subsequent writes fail with ErrPipeClosed
+// while the peer still drains buffered data to a clean EOF.
+func (sk *Socket) Shutdown(t *sched.Task, how int) error {
+	sk.mu.Lock()
+	c := sk.c
+	closed := sk.closed
+	sk.mu.Unlock()
+	if closed {
+		return fs.ErrBadFD
+	}
+	if c == nil {
+		return ErrNotConn
+	}
+	switch how {
+	case ShutRD:
+		c.shutRD()
+	case ShutWR:
+		c.queueFIN(t)
+	case ShutRDWR:
+		c.shutRD()
+		c.queueFIN(t)
+	default:
+		return fs.ErrNotSupported
+	}
+	return nil
+}
+
+// Addrs reports the connection's endpoints (zero values if unconnected).
+func (sk *Socket) Addrs() (local, remote Addr) {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.c == nil {
+		return Addr{Host: sk.stack.host, Port: sk.boundPort}, Addr{}
+	}
+	return sk.c.local, sk.c.remote
+}
+
+// Read streams received bytes; see conn.read for blocking and EOF
+// semantics.
+func (sk *Socket) Read(t *sched.Task, p []byte) (int, error) {
+	sk.mu.Lock()
+	c := sk.c
+	sk.mu.Unlock()
+	if c == nil {
+		return 0, ErrNotConn
+	}
+	return c.read(t, p)
+}
+
+// Write streams bytes out; see conn.write.
+func (sk *Socket) Write(t *sched.Task, p []byte) (int, error) {
+	sk.mu.Lock()
+	c := sk.c
+	sk.mu.Unlock()
+	if c == nil {
+		return 0, ErrNotConn
+	}
+	return c.write(t, p)
+}
+
+// Close releases whatever the socket became: connection (FIN + reap when
+// the wire winds down), listener (backlog reset), or bare port
+// reservation. Called once by the OpenFile layer when the last
+// descriptor drops.
+func (sk *Socket) Close(t *sched.Task) error {
+	sk.mu.Lock()
+	if sk.closed {
+		sk.mu.Unlock()
+		return nil
+	}
+	sk.closed = true
+	c, l := sk.c, sk.l
+	bound, port := sk.bound, sk.boundPort
+	sk.bound = false
+	sk.mu.Unlock()
+	if c != nil {
+		c.close(t)
+	}
+	if l != nil {
+		l.close()
+	}
+	if bound {
+		sk.stack.releasePort(port)
+	}
+	return nil
+}
+
+// Stat identifies the socket; Size is the unread byte count, mirroring
+// pipes.
+func (sk *Socket) Stat(t *sched.Task) (fs.Stat, error) {
+	sk.mu.Lock()
+	c, l := sk.c, sk.l
+	sk.mu.Unlock()
+	st := fs.Stat{Name: "socket", Type: fs.TypeSocket}
+	switch {
+	case c != nil:
+		c.mu.Lock()
+		st.Name = fmt.Sprintf("socket:%s->%s", c.local, c.remote)
+		st.Size = int64(c.rcvWr - c.rcvRead)
+		c.mu.Unlock()
+	case l != nil:
+		st.Name = fmt.Sprintf("socket:listen:%d", l.port)
+	}
+	return st, nil
+}

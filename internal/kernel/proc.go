@@ -14,8 +14,11 @@ import (
 	"protosim/internal/uelf"
 )
 
-// MaxFDs is the per-process descriptor table size (xv6's NOFILE=16).
-const MaxFDs = 16
+// MaxFDs is the per-process descriptor limit. It left xv6's NOFILE=16
+// behind when sockets arrived: a channel server holds one fd per client
+// plus the listener, so the limit is sized for hundreds of connections
+// (the table itself starts small and grows on demand — see fs.FDTable).
+const MaxFDs = 4096
 
 // Syscall errors.
 var (

@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"errors"
+
+	"protosim/internal/kernel/fs"
+	"protosim/internal/kernel/net"
+)
+
+// Host addresses on the simulated two-node network: the board NIC is one
+// end of the link, the peer NIC (driven by a host-side stack in tests and
+// workloads) is the other.
+const (
+	// NetLocalHost is the kernel stack's address.
+	NetLocalHost uint16 = 1
+	// NetPeerHost is the conventional address of a stack on Machine.PeerNIC.
+	NetPeerHost uint16 = 2
+)
+
+// Network syscall errors.
+var (
+	// ErrNoNet: the network stack is not enabled in this prototype.
+	ErrNoNet = errors.New("kernel: network not enabled in this prototype")
+	// ErrNotSocket: a socket syscall on a descriptor that is not a socket.
+	ErrNotSocket = errors.New("kernel: not a socket")
+)
+
+// --- Socket syscalls ---
+//
+// A socket descriptor is an ordinary *fs.OpenFile over a *net.Socket
+// (Caps() == 0, a stream file like a pipe end): read/write/close/dup/fork
+// sharing all go through the generic descriptor layer with zero
+// socket-specific branches. Only the six calls below know what a socket
+// is, because only they speak addresses and connection state.
+
+// socketFD resolves fd to its socket, or ErrNotSocket for any other file.
+func (p *Proc) socketFD(fd int) (*net.Socket, error) {
+	of, err := p.fds.Get(fd)
+	if err != nil {
+		return nil, err
+	}
+	sk, ok := of.Ops().(*net.Socket)
+	if !ok {
+		return nil, ErrNotSocket
+	}
+	return sk, nil
+}
+
+// SysSocket mints an unbound stream socket and returns its descriptor.
+func (p *Proc) SysSocket() (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return -1, ErrNoFiles
+	}
+	if p.k.Net == nil {
+		return -1, ErrNoNet
+	}
+	return p.installOF(p.k.Net.NewSocket(), fs.ORdWr)
+}
+
+// SysBind reserves a local port for the socket (0 picks an ephemeral
+// port; the choice is visible through net.Socket addresses in /proc/net).
+func (p *Proc) SysBind(fd int, port uint16) error {
+	p.k.count()
+	if p.fds == nil {
+		return ErrNoFiles
+	}
+	sk, err := p.socketFD(fd)
+	if err != nil {
+		return err
+	}
+	return sk.Bind(p.Task, port)
+}
+
+// SysListen turns a bound socket passive with the given backlog.
+func (p *Proc) SysListen(fd int, backlog int) error {
+	p.k.count()
+	if p.fds == nil {
+		return ErrNoFiles
+	}
+	sk, err := p.socketFD(fd)
+	if err != nil {
+		return err
+	}
+	return sk.Listen(p.Task, backlog)
+}
+
+// SysAccept blocks for the next handshake-complete connection and
+// returns its descriptor.
+func (p *Proc) SysAccept(fd int) (int, error) {
+	p.k.count()
+	if p.fds == nil {
+		return -1, ErrNoFiles
+	}
+	sk, err := p.socketFD(fd)
+	if err != nil {
+		return -1, err
+	}
+	defer p.Task.CheckPreempt()
+	conn, err := sk.Accept(p.Task)
+	if err != nil {
+		return -1, err
+	}
+	nfd, err := p.installOF(conn, fs.ORdWr)
+	if err != nil {
+		return -1, err
+	}
+	return nfd, nil
+}
+
+// SysConnect dials host:port, blocking until the handshake completes or
+// the peer refuses.
+func (p *Proc) SysConnect(fd int, host, port uint16) error {
+	p.k.count()
+	if p.fds == nil {
+		return ErrNoFiles
+	}
+	sk, err := p.socketFD(fd)
+	if err != nil {
+		return err
+	}
+	defer p.Task.CheckPreempt()
+	return sk.Connect(p.Task, net.Addr{Host: host, Port: port})
+}
+
+// SysShutdown ends one or both directions of a connected socket
+// (net.ShutRD, net.ShutWR, net.ShutRDWR).
+func (p *Proc) SysShutdown(fd int, how int) error {
+	p.k.count()
+	if p.fds == nil {
+		return ErrNoFiles
+	}
+	sk, err := p.socketFD(fd)
+	if err != nil {
+		return err
+	}
+	defer p.Task.CheckPreempt()
+	return sk.Shutdown(p.Task, how)
+}

@@ -1,0 +1,172 @@
+package chanserv_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"protosim/internal/kernel/net"
+)
+
+// The network-workload harness behind `make bench` / BENCH_net.json:
+// the channel server under load on a booted system. Three figures, all
+// end to end through the NIC link:
+//
+//   - accept rate: connect + join + first-broadcast round trips per
+//     second, serialized (each accept costs a handshake, a task clone,
+//     and a room join);
+//   - echo throughput: a single-member room is an echo server (broadcast
+//     includes the sender), so payload MB/s through one connection;
+//   - broadcast fan-out: one sender, a room of N, delivered MB/s across
+//     all members — the figure that scales with the fan-out width and
+//     gates the floor.
+
+const (
+	nbAcceptClients = 128
+	nbEchoFrame     = 4096
+	nbEchoFrames    = 256
+	nbFanFrame      = 1024
+	nbFanFrames     = 24 // 24 x (1024+4) stays inside every 32 KiB ring
+)
+
+// benchAcceptRate dials n clients through the full join handshake.
+func benchAcceptRate(t testing.TB, peer *net.Stack, n int) float64 {
+	start := time.Now()
+	for k := 0; k < n; k++ {
+		c := joinRoom(t, peer, fmt.Sprintf("accept-%d", k), "hi")
+		c.sk.Close(nil)
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// benchEcho round-trips payload through a single-member room.
+func benchEcho(t testing.TB, peer *net.Stack) float64 {
+	c := joinRoom(t, peer, "echo", "sync")
+	payload := make([]byte, nbEchoFrame)
+	start := time.Now()
+	// Window of 4 frames in flight keeps the pipe full without
+	// overrunning the 32 KiB conn rings.
+	const window = 4
+	inFlight := 0
+	for sent := 0; sent < nbEchoFrames || inFlight > 0; {
+		for sent < nbEchoFrames && inFlight < window {
+			if err := c.send(payload); err != nil {
+				t.Fatalf("echo send: %v", err)
+			}
+			sent++
+			inFlight++
+		}
+		f, err := c.next()
+		if err != nil {
+			t.Fatalf("echo recv: %v", err)
+		}
+		if len(f) != nbEchoFrame {
+			t.Fatalf("echo frame %d bytes, want %d", len(f), nbEchoFrame)
+		}
+		inFlight--
+	}
+	mbps := float64(nbEchoFrames*nbEchoFrame) / (1 << 20) / time.Since(start).Seconds()
+	c.sk.Close(nil)
+	return mbps
+}
+
+// benchFanout joins n clients into one room, broadcasts from the first,
+// and measures delivered MB/s across all members.
+func benchFanout(t testing.TB, peer *net.Stack, n int) float64 {
+	room := fmt.Sprintf("fan-%d", n)
+	clients := make([]*client, n)
+	for k := 0; k < n; k++ {
+		clients[k] = joinRoom(t, peer, room, fmt.Sprintf("s%d", k))
+	}
+	for k, c := range clients {
+		for m := k + 1; m < n; m++ {
+			c.expect(t, fmt.Sprintf("s%d", m))
+		}
+	}
+	payload := make([]byte, nbFanFrame)
+	start := time.Now()
+	for b := 0; b < nbFanFrames; b++ {
+		if err := clients[0].send(payload); err != nil {
+			t.Fatalf("fanout send: %v", err)
+		}
+	}
+	for _, c := range clients {
+		for b := 0; b < nbFanFrames; b++ {
+			f, err := c.next()
+			if err != nil {
+				t.Fatalf("fanout recv: %v", err)
+			}
+			if len(f) != nbFanFrame {
+				t.Fatalf("fanout frame %d bytes, want %d", len(f), nbFanFrame)
+			}
+		}
+	}
+	mbps := float64(nbFanFrames*nbFanFrame*n) / (1 << 20) / time.Since(start).Seconds()
+	for _, c := range clients {
+		c.sk.Close(nil)
+	}
+	return mbps
+}
+
+// TestNetThroughput is the BENCH_net.json recorder and gate. Heavyweight
+// and timing-sensitive, so it only runs when BENCH_NET_JSON names the
+// output (the `make bench` / CI path). The gate is the fan-out floor:
+// the broadcast path must deliver at least 4 MB/s at both widths — a
+// server that serializes, copies, or wakes badly lands far under it.
+func TestNetThroughput(t *testing.T) {
+	out := os.Getenv("BENCH_NET_JSON")
+	if out == "" {
+		t.Skip("set BENCH_NET_JSON=<path> to run the network benchmark")
+	}
+	sys, peer := netSystem(t)
+	done := startChanserv(t, sys)
+
+	accepts := benchAcceptRate(t, peer, nbAcceptClients)
+	echo := benchEcho(t, peer)
+	fan64 := benchFanout(t, peer, 64)
+	fan256 := benchFanout(t, peer, 256)
+
+	shut := joinRoom(t, peer, "end", "sync")
+	if err := shut.send([]byte("/shutdown")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("chanserv exit %d", code)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("chanserv did not exit")
+	}
+	shut.sk.Close(nil)
+
+	ks := sys.Kernel.Net.Stats()
+	res := map[string]any{
+		"workload": fmt.Sprintf("chanserv over the NIC link: %d accepts, %d x %d B echo, %d x %d B broadcast to 64/256 members",
+			nbAcceptClients, nbEchoFrames, nbEchoFrame, nbFanFrames, nbFanFrame),
+		"accepts_per_sec":       round2(accepts),
+		"echo_mb_per_sec":       round2(echo),
+		"fanout_64_mb_per_sec":  round2(fan64),
+		"fanout_256_mb_per_sec": round2(fan256),
+		"kernel_segs_in":        ks.SegsIn,
+		"kernel_segs_out":       ks.SegsOut,
+		"kernel_retrans":        ks.Retrans,
+		"kernel_accepted":       ks.Accepted,
+	}
+	blob, err := json.MarshalIndent(map[string]any{"net": res}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("net: %.0f accepts/s, echo %.2f MB/s, fan-out 64 %.2f MB/s, 256 %.2f MB/s (%d segs out, %d retrans)",
+		accepts, echo, fan64, fan256, ks.SegsOut, ks.Retrans)
+	if fan64 < 4 || fan256 < 4 {
+		t.Fatalf("broadcast fan-out %.2f / %.2f MB/s under the 4 MB/s floor", fan64, fan256)
+	}
+}
+
+func round2(f float64) float64 { return float64(int(f*100)) / 100 }

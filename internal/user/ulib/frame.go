@@ -1,0 +1,128 @@
+package ulib
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"protosim/internal/kernel"
+)
+
+// Length-prefixed frame codec: every frame on a stream is a 4-byte
+// big-endian payload length followed by the payload. Stream sockets (and
+// pipes) preserve bytes, not message boundaries — a 300-byte frame may
+// arrive as 7 reads, or three frames may arrive in one — so the decoder
+// reassembles frames from arbitrary fragmentation.
+
+// FrameHdrSize is the length prefix size.
+const FrameHdrSize = 4
+
+// MaxFrame bounds a single frame's payload; a peer announcing more is
+// corrupt (or hostile) and the stream is unrecoverable, since the only
+// framing is the lengths themselves.
+const MaxFrame = 1 << 20
+
+// Frame codec errors.
+var (
+	// ErrFrameTooBig: a length prefix exceeded MaxFrame.
+	ErrFrameTooBig = errors.New("ulib: frame exceeds MaxFrame")
+	// ErrTruncatedFrame: the stream ended mid-frame.
+	ErrTruncatedFrame = errors.New("ulib: stream ended mid-frame")
+)
+
+// EncodeFrame renders payload as one wire frame.
+func EncodeFrame(payload []byte) []byte {
+	out := make([]byte, FrameHdrSize+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	copy(out[FrameHdrSize:], payload)
+	return out
+}
+
+// WriteFrame writes one frame to fd, looping over short writes.
+func WriteFrame(p *kernel.Proc, fd int, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	buf := EncodeFrame(payload)
+	for len(buf) > 0 {
+		n, err := p.SysWrite(fd, buf)
+		if err != nil {
+			return err
+		}
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// FrameDecoder reassembles frames from a fragmented byte stream. Feed
+// bytes in as they arrive; Next returns completed frames. The zero value
+// is ready to use.
+type FrameDecoder struct {
+	buf []byte
+}
+
+// Feed appends received bytes to the reassembly buffer.
+func (d *FrameDecoder) Feed(p []byte) {
+	d.buf = append(d.buf, p...)
+}
+
+// Next returns the next complete frame's payload, or (nil, nil) when the
+// buffered bytes don't yet complete one. The returned slice is the
+// caller's to keep. ErrFrameTooBig poisons the stream: framing is lost.
+func (d *FrameDecoder) Next() ([]byte, error) {
+	if len(d.buf) < FrameHdrSize {
+		return nil, nil
+	}
+	n := int(binary.BigEndian.Uint32(d.buf))
+	if n > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	if len(d.buf) < FrameHdrSize+n {
+		return nil, nil
+	}
+	payload := make([]byte, n)
+	copy(payload, d.buf[FrameHdrSize:FrameHdrSize+n])
+	// Shift the remainder down; the buffer is reused for the next frame.
+	rest := copy(d.buf, d.buf[FrameHdrSize+n:])
+	d.buf = d.buf[:rest]
+	return payload, nil
+}
+
+// Pending reports whether a partial frame sits in the buffer — an EOF
+// here is a truncation, not a clean end of stream.
+func (d *FrameDecoder) Pending() bool { return len(d.buf) > 0 }
+
+// FrameReader reads whole frames from a descriptor, reassembling across
+// arbitrarily fragmented reads.
+type FrameReader struct {
+	p   *kernel.Proc
+	fd  int
+	d   FrameDecoder
+	buf []byte
+}
+
+// NewFrameReader wraps fd for frame-at-a-time reads.
+func NewFrameReader(p *kernel.Proc, fd int) *FrameReader {
+	return &FrameReader{p: p, fd: fd, buf: make([]byte, 4096)}
+}
+
+// Next returns the next frame's payload. A clean EOF on a frame boundary
+// is io.EOF; an EOF mid-frame is ErrTruncatedFrame.
+func (r *FrameReader) Next() ([]byte, error) {
+	for {
+		if f, err := r.d.Next(); f != nil || err != nil {
+			return f, err
+		}
+		n, err := r.p.SysRead(r.fd, r.buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			if r.d.Pending() {
+				return nil, ErrTruncatedFrame
+			}
+			return nil, io.EOF
+		}
+		r.d.Feed(r.buf[:n])
+	}
+}

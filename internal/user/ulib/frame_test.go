@@ -1,0 +1,145 @@
+package ulib
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestFrameDecoderPathologicalFragmentation(t *testing.T) {
+	// Frames of awkward sizes, concatenated, then fed to the decoder in
+	// every fragmentation pattern a stream can produce: byte-at-a-time,
+	// prime-sized chunks, random splits, and all-at-once.
+	var frames [][]byte
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 3, 255, 256, 257, 4096, 70000} {
+		f := make([]byte, n)
+		rng.Read(f)
+		frames = append(frames, f)
+	}
+	var wire []byte
+	for _, f := range frames {
+		wire = append(wire, EncodeFrame(f)...)
+	}
+
+	feedPatterns := map[string]func(d *FrameDecoder, deliver func()){
+		"byte-at-a-time": func(d *FrameDecoder, deliver func()) {
+			for i := range wire {
+				d.Feed(wire[i : i+1])
+				deliver()
+			}
+		},
+		"prime-chunks": func(d *FrameDecoder, deliver func()) {
+			for i := 0; i < len(wire); i += 7 {
+				end := i + 7
+				if end > len(wire) {
+					end = len(wire)
+				}
+				d.Feed(wire[i:end])
+				deliver()
+			}
+		},
+		"random-chunks": func(d *FrameDecoder, deliver func()) {
+			r := rand.New(rand.NewSource(2))
+			for i := 0; i < len(wire); {
+				n := 1 + r.Intn(9000)
+				if i+n > len(wire) {
+					n = len(wire) - i
+				}
+				d.Feed(wire[i : i+n])
+				i += n
+				deliver()
+			}
+		},
+		"all-at-once": func(d *FrameDecoder, deliver func()) {
+			d.Feed(wire)
+			deliver()
+		},
+	}
+
+	for name, feed := range feedPatterns {
+		t.Run(name, func(t *testing.T) {
+			var d FrameDecoder
+			var got [][]byte
+			deliver := func() {
+				for {
+					f, err := d.Next()
+					if err != nil {
+						t.Fatalf("decode: %v", err)
+					}
+					if f == nil {
+						return
+					}
+					got = append(got, f)
+				}
+			}
+			feed(&d, deliver)
+			if len(got) != len(frames) {
+				t.Fatalf("got %d frames, want %d", len(got), len(frames))
+			}
+			for i := range frames {
+				if !bytes.Equal(got[i], frames[i]) {
+					t.Fatalf("frame %d mismatch (%d vs %d bytes)", i, len(got[i]), len(frames[i]))
+				}
+			}
+			if d.Pending() {
+				t.Fatal("decoder holds leftover bytes after a clean stream")
+			}
+		})
+	}
+}
+
+func TestFrameDecoderZeroLengthFramesBackToBack(t *testing.T) {
+	var d FrameDecoder
+	for i := 0; i < 3; i++ {
+		d.Feed(EncodeFrame(nil))
+	}
+	count := 0
+	for {
+		f, err := d.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f == nil {
+			break
+		}
+		if len(f) != 0 {
+			t.Fatalf("zero frame came back %d bytes", len(f))
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("decoded %d zero frames, want 3", count)
+	}
+}
+
+func TestFrameDecoderRejectsOversizedFrame(t *testing.T) {
+	var hdr [FrameHdrSize]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	var d FrameDecoder
+	d.Feed(hdr[:])
+	if _, err := d.Next(); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized prefix: %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestFrameDecoderPendingDetectsTruncation(t *testing.T) {
+	var d FrameDecoder
+	full := EncodeFrame([]byte("cut short"))
+	d.Feed(full[:len(full)-2])
+	if f, err := d.Next(); f != nil || err != nil {
+		t.Fatalf("partial frame decoded: %v %v", f, err)
+	}
+	if !d.Pending() {
+		t.Fatal("Pending() false with a partial frame buffered")
+	}
+}
+
+func ExampleEncodeFrame() {
+	f := EncodeFrame([]byte("hi"))
+	fmt.Println(len(f), f[3], string(f[4:]))
+	// Output: 6 2 hi
+}
